@@ -1,0 +1,62 @@
+//! Criterion bench: lazy work-list DFSM construction (Figure 9) and the
+//! matcher's per-reference cost.
+//!
+//! The construction is a one-time cost per optimization cycle; the
+//! matcher cost is paid on every instrumented reference, so both matter
+//! to the scheme's net win.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hds_dfsm::{build, DfsmConfig, Matcher};
+use hds_trace::{Addr, DataRef, Pc};
+
+fn streams(n: usize, len: usize) -> Vec<Vec<DataRef>> {
+    (0..n)
+        .map(|s| {
+            (0..len)
+                .map(|k| {
+                    DataRef::new(
+                        Pc((s * 64 + k % 8) as u32),
+                        Addr(((s * 1000 + k * 13) * 32) as u64),
+                    )
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dfsm_build");
+    for n in [5usize, 20, 40, 64] {
+        for head_len in [1usize, 2, 3] {
+            let input = streams(n, 18);
+            let config = DfsmConfig::new(head_len);
+            group.bench_with_input(
+                BenchmarkId::new(format!("headlen{head_len}"), n),
+                &input,
+                |b, input| b.iter(|| build(input, &config).unwrap().state_count()),
+            );
+        }
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("dfsm_match");
+    let input = streams(40, 18);
+    let dfsm = build(&input, &DfsmConfig::new(2)).unwrap();
+    // Drive the matcher with a realistic mix: walk streams end to end.
+    let trace: Vec<DataRef> = input.iter().flatten().copied().cycle().take(100_000).collect();
+    group.throughput(Throughput::Elements(trace.len() as u64));
+    group.bench_function("observe_100k", |b| {
+        b.iter(|| {
+            let mut m = Matcher::new(&dfsm);
+            let mut fired = 0usize;
+            for &r in &trace {
+                fired += m.observe(r).len();
+            }
+            fired
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Criterion bench: end-to-end executor throughput — full
+//! profile → analyze → optimize → hibernate cycles over a synthetic
+//! workload, per run mode.
+//!
+//! This is the wall-clock cost of the *simulation*, which bounds
+//! experiment sizes (the simulated overheads are what the figure
+//! binaries report).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hds_core::{Executor, OptimizerConfig, PrefetchPolicy, RunMode};
+use hds_workloads::{SyntheticConfig, SyntheticWorkload, Workload};
+
+fn workload() -> SyntheticWorkload {
+    SyntheticWorkload::new(SyntheticConfig {
+        total_refs: 150_000,
+        ..SyntheticConfig::default()
+    })
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("executor_modes");
+    group.sample_size(10);
+    let refs = workload().planned_refs();
+    group.throughput(Throughput::Elements(refs));
+    for (name, mode) in [
+        ("baseline", RunMode::Baseline),
+        ("profile", RunMode::Profile),
+        ("analyze", RunMode::Analyze),
+        ("dyn_pref", RunMode::Optimize(PrefetchPolicy::StreamTail)),
+    ] {
+        group.bench_with_input(BenchmarkId::new(name, refs), &mode, |b, &mode| {
+            b.iter(|| {
+                let mut config = OptimizerConfig::paper_scale();
+                config.bursty = hds_bursty::BurstyConfig::new(1_350, 150, 4, 8);
+                let mut w = workload();
+                let procs = w.procedures();
+                Executor::new(config, mode).run(&mut w, procs).total_cycles
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

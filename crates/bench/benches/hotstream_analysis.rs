@@ -1,0 +1,65 @@
+//! Criterion bench: the fast hot-data-stream analysis (Figure 5).
+//!
+//! The paper claims the analysis runs "in time linear in the size of the
+//! grammar" — this bench measures analysis time against grammar size so
+//! the claim is checkable, and compares the fast analysis against the
+//! exhaustive oracle on a small input.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hds_hotstream::{exact, fast, AnalysisConfig};
+use hds_sequitur::{Grammar, Sequitur};
+use hds_trace::Symbol;
+
+fn stream_profile(n: usize) -> Vec<Symbol> {
+    let streams: Vec<Vec<Symbol>> = (0..40u32)
+        .map(|s| (0..16u32).map(|k| Symbol(s * 100 + k)).collect())
+        .collect();
+    let mut out = Vec::with_capacity(n);
+    let mut state = 0xdead_beefu64;
+    while out.len() < n {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        out.extend_from_slice(&streams[(state % 40) as usize]);
+    }
+    out.truncate(n);
+    out
+}
+
+fn grammar_of(n: usize) -> Grammar {
+    let seq: Sequitur = stream_profile(n).into_iter().collect();
+    seq.grammar()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hotstream_fast_analysis");
+    for n in [2_000usize, 10_000, 50_000, 200_000] {
+        let grammar = grammar_of(n);
+        let config = AnalysisConfig::paper_default(n as u64);
+        group.throughput(Throughput::Elements(grammar.size() as u64));
+        group.bench_with_input(
+            BenchmarkId::new("grammar", grammar.size()),
+            &grammar,
+            |b, g| b.iter(|| fast::analyze(g, &config).streams.len()),
+        );
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("fast_vs_exhaustive_oracle");
+    let input = stream_profile(800);
+    let config = AnalysisConfig::new(32, 4, 40);
+    let grammar = {
+        let seq: Sequitur = input.iter().copied().collect();
+        seq.grammar()
+    };
+    group.bench_function("fast", |b| {
+        b.iter(|| fast::analyze(&grammar, &config).streams.len());
+    });
+    group.bench_function("exhaustive", |b| {
+        b.iter(|| exact::enumerate_hot_substrings(&input, &config).len());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Criterion bench: incremental Sequitur append throughput.
+//!
+//! The online profiler feeds every traced reference to Sequitur (§2.3),
+//! so append throughput bounds the profiling overhead. Measured on three
+//! input shapes: highly repetitive (best case for rule churn), random
+//! over a small alphabet, and stream-structured (the realistic case).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hds_sequitur::Sequitur;
+use hds_trace::Symbol;
+
+fn repetitive(n: usize) -> Vec<Symbol> {
+    (0..n).map(|i| Symbol((i % 7) as u32)).collect()
+}
+
+fn random(n: usize) -> Vec<Symbol> {
+    let mut state = 0x2545_f491_4f6c_dd1du64;
+    (0..n)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            Symbol((state % 256) as u32)
+        })
+        .collect()
+}
+
+fn stream_structured(n: usize) -> Vec<Symbol> {
+    // 30 streams of ~18 symbols picked pseudo-randomly — the shape of a
+    // real temporal profile.
+    let streams: Vec<Vec<Symbol>> = (0..30u32)
+        .map(|s| (0..18u32).map(|k| Symbol(s * 100 + k)).collect())
+        .collect();
+    let mut out = Vec::with_capacity(n);
+    let mut state = 0x9e37_79b9u64;
+    while out.len() < n {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        out.extend_from_slice(&streams[(state % 30) as usize]);
+    }
+    out.truncate(n);
+    out
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sequitur_append");
+    for (name, gen) in [
+        ("repetitive", repetitive as fn(usize) -> Vec<Symbol>),
+        ("random", random),
+        ("streams", stream_structured),
+    ] {
+        for n in [1_000usize, 10_000, 50_000] {
+            let input = gen(n);
+            group.throughput(Throughput::Elements(n as u64));
+            group.bench_with_input(BenchmarkId::new(name, n), &input, |b, input| {
+                b.iter(|| {
+                    let mut seq = Sequitur::new();
+                    for &s in input {
+                        seq.append(s);
+                    }
+                    seq.grammar_size()
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,93 @@
+//! Why *bursts*? §2.1's premise, measured.
+//!
+//! Bursty tracing extends Arnold & Ryder's sampling framework \[3\]
+//! precisely because a temporal profile needs *consecutive* references:
+//! "unlike conventional sampling, we sample data reference bursts, which
+//! are short sequences of consecutive data references." This ablation
+//! holds the overall sampling rate fixed and varies the burst length
+//! (`nInstr0`) from 1 (isolated samples, the conventional scheme) to the
+//! framework default, counting how many hot data streams the analysis
+//! can still detect.
+//!
+//! Expected shape: with isolated samples Sequitur sees no repeating
+//! subsequences and detection collapses; detection turns on once bursts
+//! grow past the stream length, and saturates.
+//!
+//! Run: `cargo run --release -p hds-bench --bin burst_ablation`.
+
+use hds_bench::print_table;
+use hds_bursty::{BurstyConfig, BurstyTracer, Phase, Signal};
+use hds_hotstream::{fast, AnalysisConfig};
+use hds_sequitur::Sequitur;
+use hds_trace::SymbolTable;
+use hds_vulcan::Event;
+use hds_workloads::{benchmark, Benchmark, Scale};
+
+/// Collects the profile of the first awake phase under the given
+/// counters, returning (traced refs, detected streams, grammar size).
+fn detect(which: Benchmark, bursty: BurstyConfig) -> (usize, usize, usize) {
+    let mut program = benchmark(which, Scale::Test);
+    let mut tracer = BurstyTracer::new(bursty);
+    let mut symbols = SymbolTable::new();
+    let mut sequitur = Sequitur::new();
+    let mut traced = 0usize;
+    let mut recording = false;
+    while let Some(event) = program.next_event() {
+        match event {
+            Event::Enter(_) | Event::BackEdge(_) => match tracer.on_check() {
+                Some(Signal::BurstBegin) if tracer.phase() == Phase::Awake => recording = true,
+                Some(Signal::BurstEnd) => recording = false,
+                Some(Signal::AwakeComplete) => break,
+                _ => {}
+            },
+            Event::Access(r, _) if recording && tracer.should_record() => {
+                traced += 1;
+                sequitur.append(symbols.intern(r));
+            }
+            _ => {}
+        }
+    }
+    let config = AnalysisConfig::paper_default(traced as u64);
+    let grammar = sequitur.grammar();
+    let result = fast::analyze(&grammar, &config);
+    (traced, result.streams.len(), grammar.size())
+}
+
+fn main() {
+    println!("Burst-length ablation at (approximately) fixed sampling budget");
+    println!();
+    let mut rows = Vec::new();
+    // Fair comparison: the burst sampling rate (10%) and the total
+    // instrumented-check budget per awake phase (nInstr0 * nAwake0 = 600
+    // checks) are both fixed, so roughly the same number of references
+    // is traced in every row — only their *contiguity* varies.
+    let settings: [(u64, u64, &str); 5] = [
+        (1, 600, "1-check bursts (conventional sampling)"),
+        (5, 120, "5-check bursts"),
+        (25, 24, "25-check bursts"),
+        (75, 8, "75-check bursts"),
+        (150, 4, "150-check bursts (default)"),
+    ];
+    for which in [Benchmark::Vpr, Benchmark::Mcf] {
+        for (n_instr, n_awake, label) in settings {
+            let bursty = BurstyConfig::new(9 * n_instr, n_instr, n_awake, 4 * n_awake);
+            let (traced, streams, gsize) = detect(which, bursty);
+            rows.push(vec![
+                which.name().to_string(),
+                label.to_string(),
+                traced.to_string(),
+                streams.to_string(),
+                gsize.to_string(),
+            ]);
+        }
+        eprintln!("  finished {which}");
+    }
+    print_table(
+        &["benchmark", "burst shape", "traced refs", "hot streams", "grammar size"],
+        &rows,
+    );
+    println!();
+    println!("isolated samples carry no temporal adjacency: Sequitur cannot compress them");
+    println!("and no hot data streams emerge. Bursts longer than a stream's recurrence");
+    println!("pattern recover the full detection — the reason bursty tracing exists (§2.1).");
+}

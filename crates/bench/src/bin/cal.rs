@@ -1,0 +1,62 @@
+//! Calibration probe: detailed breakdowns for one benchmark run.
+//! Not part of the paper's experiment set; used to tune the workload and
+//! cost-model knobs. `cargo run --release -p hds-bench --bin cal [bench]`.
+
+use hds_bench::run;
+use hds_core::{OptimizerConfig, PrefetchPolicy, RunMode, RunReport};
+use hds_workloads::{Benchmark, Scale};
+
+fn show(report: &RunReport, base: &RunReport) {
+    let b = &report.breakdown;
+    println!(
+        "{:>9}: total {:>12} ({:+6.1}%) work {} mem {} chk {} rec {} ana {} match {} pf {} opt {}",
+        report.mode,
+        report.total_cycles,
+        report.overhead_vs(base),
+        b.work,
+        b.memory,
+        b.checks,
+        b.recording,
+        b.analysis,
+        b.matching,
+        b.prefetch,
+        b.optimize
+    );
+    println!("           mem: {}", report.mem);
+    if !report.cycles.is_empty() {
+        let c0 = &report.cycles[report.cycles.len() / 2];
+        println!(
+            "           cycles {} | mid: traced {} streams {}/{} dfsm <{} st,{} ck> procs {} gsize {}",
+            report.cycles.len(),
+            c0.traced_refs,
+            c0.hot_streams,
+            c0.streams_used,
+            c0.dfsm_states,
+            c0.dfsm_checks,
+            c0.procs_modified,
+            c0.grammar_size
+        );
+    }
+}
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "vpr".into());
+    let bench = Benchmark::ALL
+        .into_iter()
+        .find(|b| b.name() == which)
+        .expect("unknown benchmark");
+    let config = OptimizerConfig::paper_scale();
+    let base = run(bench, Scale::Paper, RunMode::Baseline, &config);
+    println!("== {bench} ==  baseline {} cycles, {} refs", base.total_cycles, base.refs);
+    for mode in [
+        RunMode::ChecksOnly,
+        RunMode::Profile,
+        RunMode::Analyze,
+        RunMode::Optimize(PrefetchPolicy::None),
+        RunMode::Optimize(PrefetchPolicy::SequentialBlocks),
+        RunMode::Optimize(PrefetchPolicy::StreamTail),
+    ] {
+        let r = run(bench, Scale::Paper, mode, &config);
+        show(&r, &base);
+    }
+}

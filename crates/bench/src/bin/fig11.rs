@@ -1,0 +1,44 @@
+//! Figure 11: overhead of the online profiling and analysis framework.
+//!
+//! For each benchmark, three configurations are measured against the
+//! unmodified program:
+//!
+//! * **Base** — dynamic checks only ("setting nCheck0 to an extremely
+//!   large value and nInstr0 to 1");
+//! * **Prof** — checks + temporal data-reference profiling;
+//! * **Hds**  — checks + profiling + Sequitur + hot-stream analysis.
+//!
+//! Paper shape: Base 2.5% (boxsim) – 6% (parser); Prof adds ≤ 1.6%
+//! (vortex); Hds adds ≤ 1.4%; totals 3% (mcf) – 7% (parser, vortex).
+//!
+//! Run: `cargo run --release -p hds-bench --bin fig11` (add
+//! `--test-scale` for a fast smoke run).
+
+use hds_bench::{pct, print_table, run, scale_from_args};
+use hds_core::{OptimizerConfig, RunMode};
+use hds_workloads::Benchmark;
+
+fn main() {
+    let scale = scale_from_args();
+    let config = OptimizerConfig::paper_scale();
+    println!("Figure 11: overhead of online profiling and analysis (positive = slower)");
+    println!();
+    let mut rows = Vec::new();
+    for bench in Benchmark::ALL {
+        let base = run(bench, scale, RunMode::Baseline, &config);
+        let checks = run(bench, scale, RunMode::ChecksOnly, &config);
+        let prof = run(bench, scale, RunMode::Profile, &config);
+        let hds = run(bench, scale, RunMode::Analyze, &config);
+        rows.push(vec![
+            bench.name().to_string(),
+            pct(checks.overhead_vs(&base)),
+            pct(prof.overhead_vs(&base)),
+            pct(hds.overhead_vs(&base)),
+            format!("{}", hds.refs),
+        ]);
+        eprintln!("  finished {bench}");
+    }
+    print_table(&["benchmark", "Base", "Prof", "Hds", "refs"], &rows);
+    println!();
+    println!("paper: Base 2.5-6%; Prof adds <=1.6%; Hds adds <=1.4%; total 3-7%");
+}

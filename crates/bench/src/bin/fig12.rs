@@ -1,0 +1,76 @@
+//! Figure 12: performance impact of dynamic prefetching.
+//!
+//! For each benchmark, three prefetching configurations, normalized to
+//! the unoptimized program:
+//!
+//! * **No-pref**  — full profiling/analysis/prefix-matching, no
+//!   prefetches (the machinery cost that must be overcome);
+//! * **Seq-pref** — same detection, but prefetch the cache blocks
+//!   sequentially following the matched reference;
+//! * **Dyn-pref** — the paper's scheme: prefetch the stream tail.
+//!
+//! Paper shape: No-pref costs 4–8%; Seq-pref helps only parser (~-5%)
+//! and degrades the rest by 7% (mcf) – 12% (twolf); Dyn-pref nets
+//! -5% (vortex) to -19% (vpr).
+//!
+//! Run: `cargo run --release -p hds-bench --bin fig12` (add
+//! `--test-scale` for a fast smoke run).
+
+use hds_bench::{json_from_args, pct, print_table, reports_to_json, run, scale_from_args};
+use hds_core::{OptimizerConfig, PrefetchPolicy, RunMode};
+use hds_workloads::Benchmark;
+
+fn main() {
+    let scale = scale_from_args();
+    let json = json_from_args();
+    let config = OptimizerConfig::paper_scale();
+    if !json {
+        println!("Figure 12: performance impact of dynamic prefetching");
+        println!("(overhead vs unoptimized; negative = speedup)");
+        println!();
+    }
+    let mut all_reports = Vec::new();
+    let mut rows = Vec::new();
+    for bench in Benchmark::ALL {
+        let base = run(bench, scale, RunMode::Baseline, &config);
+        let nopref = run(
+            bench,
+            scale,
+            RunMode::Optimize(PrefetchPolicy::None),
+            &config,
+        );
+        let seqpref = run(
+            bench,
+            scale,
+            RunMode::Optimize(PrefetchPolicy::SequentialBlocks),
+            &config,
+        );
+        let dynpref = run(
+            bench,
+            scale,
+            RunMode::Optimize(PrefetchPolicy::StreamTail),
+            &config,
+        );
+        rows.push(vec![
+            bench.name().to_string(),
+            pct(nopref.overhead_vs(&base)),
+            pct(seqpref.overhead_vs(&base)),
+            pct(dynpref.overhead_vs(&base)),
+            format!("{:.0}%", dynpref.mem.prefetch_accuracy() * 100.0),
+            dynpref.opt_cycles().to_string(),
+        ]);
+        all_reports.extend([base, nopref, seqpref, dynpref]);
+        eprintln!("  finished {bench}");
+    }
+    if json {
+        println!("{}", reports_to_json(&all_reports));
+        return;
+    }
+    print_table(
+        &["benchmark", "No-pref", "Seq-pref", "Dyn-pref", "pf-accuracy", "opt-cycles"],
+        &rows,
+    );
+    println!();
+    println!("paper: No-pref +4..8%; Seq-pref -5% on parser only, +7..12% elsewhere;");
+    println!("       Dyn-pref -5% (vortex) .. -19% (vpr)");
+}

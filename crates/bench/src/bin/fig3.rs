@@ -1,0 +1,74 @@
+//! Figure 3: the profiling timeline — checking/instrumented alternation
+//! within burst-periods, and the awake/hibernate phases, rendered from
+//! an actual run of the counter machine (not a drawing).
+//!
+//! ```text
+//! awake phase        hibernating phase      awake phase
+//! ccccIccccIccccI    cccccccccccccccc...    ccccIccccI…
+//! ```
+//!
+//! Run: `cargo run -p hds-bench --bin fig3`.
+
+use hds_bursty::{BurstyConfig, BurstyTracer, Mode, Phase, Signal};
+
+fn main() {
+    // Small counters so the whole structure fits on screen:
+    // 12-check periods (9 checking + 3 instrumented), 3 awake periods,
+    // 5 hibernating.
+    let config = BurstyConfig::new(9, 3, 3, 5);
+    let mut tracer = BurstyTracer::new(config);
+
+    println!("Figure 3: profiling timeline (one character per dynamic check)");
+    println!("  c = checking code   I = instrumented code   . = hibernating check");
+    println!("  | = burst-period boundary   [A]/[H] = phase transitions");
+    println!();
+    println!(
+        "  nCheck0 = {}, nInstr0 = {}, nAwake0 = {}, nHibernate0 = {}",
+        config.n_check0, config.n_instr0, config.n_awake0, config.n_hibernate0
+    );
+    println!(
+        "  burst-period = {} checks; sampling rate = {:.3}%",
+        config.burst_period(),
+        config.sampling_rate() * 100.0
+    );
+    println!();
+
+    let mut line = String::from("  ");
+    for _ in 0..(config.burst_period() * (config.n_awake0 + config.n_hibernate0) * 2) {
+        // The check executes in the code version that was live when it
+        // was reached.
+        let (phase, mode) = (tracer.phase(), tracer.mode());
+        let signal = tracer.on_check();
+        let glyph = match (phase, mode) {
+            (Phase::Awake, Mode::Checking) => 'c',
+            (Phase::Awake, Mode::Instrumented) => 'I',
+            (Phase::Hibernating, Mode::Checking) => '.',
+            (Phase::Hibernating, Mode::Instrumented) => 'i',
+        };
+        line.push(glyph);
+        match signal {
+            Some(Signal::BurstEnd) => line.push('|'),
+            Some(Signal::AwakeComplete) => {
+                line.push_str("|[H]");
+                tracer.hibernate();
+            }
+            Some(Signal::HibernationComplete) => {
+                line.push_str("|[A]");
+                tracer.wake();
+            }
+            _ => {}
+        }
+        if line.len() > 72 {
+            println!("{line}");
+            line = String::from("  ");
+        }
+    }
+    if line.trim().len() > 0 {
+        println!("{line}");
+    }
+    println!();
+    println!("note the paper's two properties: burst-periods have the same length in");
+    println!("checks in either phase (the hibernation counters are nCheck0+nInstr0-1 / 1),");
+    println!("and hibernating periods execute exactly one instrumented check whose");
+    println!("references are ignored (shown as 'i').");
+}

@@ -1,0 +1,55 @@
+//! §4.3's headLen ablation (reported as text in the paper):
+//!
+//! > "Changing this to match a single data stream element before
+//! > initiating prefetching lowered this overhead, but at the cost of
+//! > less effective prefetching, yielding a net performance loss.
+//! > Matching the first three data stream elements before initiating
+//! > prefetching increased this overhead without providing any
+//! > corresponding benefit in prefetching accuracy, resulting in a net
+//! > performance loss as well."
+//!
+//! The expected shape: headLen = 2 is the sweet spot; 1 is cheaper but
+//! inaccurate, 3 adds matching work and forfeits prefetching opportunity
+//! (the first two tail references are no longer prefetched).
+//!
+//! Run: `cargo run --release -p hds-bench --bin headlen_sweep`.
+
+use hds_bench::{pct, print_table, run, scale_from_args};
+use hds_core::{OptimizerConfig, PrefetchPolicy, RunMode};
+use hds_dfsm::DfsmConfig;
+use hds_workloads::Benchmark;
+
+fn main() {
+    let scale = scale_from_args();
+    println!("headLen ablation (overhead vs unoptimized; negative = speedup)");
+    println!();
+    let mut rows = Vec::new();
+    for bench in [Benchmark::Vpr, Benchmark::Mcf, Benchmark::Twolf] {
+        let base_config = OptimizerConfig::paper_scale();
+        let base = run(bench, scale, RunMode::Baseline, &base_config);
+        let mut row = vec![bench.name().to_string()];
+        for head_len in 1..=3 {
+            let mut config = OptimizerConfig::paper_scale();
+            config.dfsm = DfsmConfig::new(head_len);
+            let report = run(
+                bench,
+                scale,
+                RunMode::Optimize(PrefetchPolicy::StreamTail),
+                &config,
+            );
+            row.push(format!(
+                "{} ({:.0}% acc)",
+                pct(report.overhead_vs(&base)),
+                report.mem.prefetch_accuracy() * 100.0
+            ));
+        }
+        rows.push(row);
+        eprintln!("  finished {bench}");
+    }
+    print_table(
+        &["benchmark", "headLen=1", "headLen=2", "headLen=3"],
+        &rows,
+    );
+    println!();
+    println!("paper (§4.3): headLen=2 is best; 1 hurts accuracy, 3 adds overhead for no gain");
+}

@@ -1,0 +1,84 @@
+//! §4.3 / §5.1's qualitative comparison, made quantitative: hot-data-
+//! stream prefetching vs the related-work hardware baselines on
+//! pointer-chasing benchmarks.
+//!
+//! > "manual examination of the hot data addresses indicates that many
+//! > will not be successfully prefetched using a simple stride-based
+//! > prefetching scheme. However, a stride-based prefetcher could
+//! > complement our scheme…"
+//!
+//! Baselines: next-block sequential, per-pc stride \[7\], and
+//! Markov/correlation digram \[16\] prefetchers attached directly to the
+//! demand-access stream (no software overheads charged — a *generous*
+//! hardware model), against the full software Dyn-pref scheme including
+//! all its overheads.
+//!
+//! Run: `cargo run --release -p hds-bench --bin related_prefetchers`.
+
+use hds_bench::{pct, print_table, run, run_with_hw_prefetcher, run_with_stream_buffers, scale_from_args};
+use hds_core::{OptimizerConfig, PrefetchPolicy, RunMode};
+use hds_memsim::prefetcher::{MarkovPrefetcher, Prefetcher, SequentialPrefetcher, StridePrefetcher};
+use hds_workloads::Benchmark;
+
+fn main() {
+    let scale = scale_from_args();
+    let config = OptimizerConfig::paper_scale();
+    println!("Related-work prefetchers vs Dyn-pref (overhead vs unoptimized)");
+    println!();
+    let mut rows = Vec::new();
+    for bench in [Benchmark::Mcf, Benchmark::Vpr, Benchmark::Parser] {
+        let base = run(bench, scale, RunMode::Baseline, &config);
+        let block = config.hierarchy.l1.block_size;
+        let mut cells = vec![bench.name().to_string()];
+        let prefetchers: Vec<Box<dyn Prefetcher>> = vec![
+            Box::new(SequentialPrefetcher::new(block, 2)),
+            Box::new(StridePrefetcher::new(2, 2)),
+            Box::new(MarkovPrefetcher::new(block, 4, 2)),
+        ];
+        for mut p in prefetchers {
+            let (cycles, stats) = run_with_hw_prefetcher(bench, scale, &config, p.as_mut());
+            #[allow(clippy::cast_precision_loss)]
+            let overhead = (cycles as f64 - base.total_cycles as f64)
+                / base.total_cycles as f64
+                * 100.0;
+            cells.push(format!(
+                "{} ({:.0}% acc)",
+                pct(overhead),
+                stats.prefetch_accuracy() * 100.0
+            ));
+        }
+        // Jouppi stream buffers: 4 buffers of 4 blocks.
+        let (sb_cycles, sb_stats) = run_with_stream_buffers(bench, scale, &config, 4, 4);
+        #[allow(clippy::cast_precision_loss)]
+        let sb_overhead =
+            (sb_cycles as f64 - base.total_cycles as f64) / base.total_cycles as f64 * 100.0;
+        cells.push(format!("{} ({} hits)", pct(sb_overhead), sb_stats.buffer_hits));
+        let dynpref = run(
+            bench,
+            scale,
+            RunMode::Optimize(PrefetchPolicy::StreamTail),
+            &config,
+        );
+        cells.push(format!(
+            "{} ({:.0}% acc)",
+            pct(dynpref.overhead_vs(&base)),
+            dynpref.mem.prefetch_accuracy() * 100.0
+        ));
+        rows.push(cells);
+        eprintln!("  finished {bench}");
+    }
+    print_table(
+        &["benchmark", "hw sequential", "hw stride", "hw markov", "stream buffers", "Dyn-pref (sw)"],
+        &rows,
+    );
+    println!();
+    println!("observations (§4.3, §5.1): stride prefetching never gains confidence on the");
+    println!("scattered pointer streams (\"many will not be successfully prefetched using a");
+    println!("simple stride-based prefetching scheme\"); next-block prefetching pollutes the");
+    println!("cache except on parser's sequentially allocated streams. An *idealized*");
+    println!("zero-overhead hardware Markov predictor with a large correlation table does");
+    println!("beat the software scheme here — consistent with the hardware literature — but");
+    println!("it requires dedicated hardware; the paper's point is that hot-data-stream");
+    println!("prefetching \"runs on stock hardware\", is configurable per program, and uses");
+    println!("more context than digrams (§5.1).");
+}

@@ -1,0 +1,56 @@
+//! §4.3's scheduling remark, made runnable:
+//!
+//! > "our current implementation makes no attempt to schedule prefetches
+//! > (they are triggered as soon as the prefix matches). More intelligent
+//! > prefetch scheduling could produce larger benefits."
+//!
+//! Compares all-at-once issue (the paper) against windowed issue of 1/2/4
+//! prefetches per subsequent reference.
+//!
+//! Run: `cargo run --release -p hds-bench --bin scheduling_ablation`.
+
+use hds_bench::{pct, print_table, run, scale_from_args};
+use hds_core::{OptimizerConfig, PrefetchPolicy, PrefetchScheduling, RunMode};
+use hds_workloads::Benchmark;
+
+fn main() {
+    let scale = scale_from_args();
+    println!("Prefetch scheduling ablation (overhead vs unoptimized)");
+    println!();
+    let mut rows = Vec::new();
+    for bench in [Benchmark::Vpr, Benchmark::Mcf, Benchmark::Boxsim] {
+        let base = run(bench, scale, RunMode::Baseline, &OptimizerConfig::paper_scale());
+        let mut row = vec![bench.name().to_string()];
+        let schedules = [
+            PrefetchScheduling::AllAtOnce,
+            PrefetchScheduling::Windowed { degree: 1 },
+            PrefetchScheduling::Windowed { degree: 2 },
+            PrefetchScheduling::Windowed { degree: 4 },
+        ];
+        for scheduling in schedules {
+            let mut config = OptimizerConfig::paper_scale();
+            config.scheduling = scheduling;
+            let report = run(
+                bench,
+                scale,
+                RunMode::Optimize(PrefetchPolicy::StreamTail),
+                &config,
+            );
+            row.push(format!(
+                "{} ({} late)",
+                pct(report.overhead_vs(&base)),
+                report.mem.prefetches_late
+            ));
+        }
+        rows.push(row);
+        eprintln!("  finished {bench}");
+    }
+    print_table(
+        &["benchmark", "all-at-once", "window=1", "window=2", "window=4"],
+        &rows,
+    );
+    println!();
+    println!("windowed issue spaces prefetches out: fewer simultaneous fills (less");
+    println!("pollution) but later arrivals (more \"late\" stalls) — the scheduling");
+    println!("trade-off the paper points to as future work.");
+}

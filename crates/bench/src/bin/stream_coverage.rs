@@ -1,0 +1,144 @@
+//! §1's premise, measured: "programs possess a small number of hot data
+//! streams … and these account for around 90% of program references and
+//! more than 80% of cache misses \[8, 28\]."
+//!
+//! For each benchmark: detect hot streams from a *sampled* profile (the
+//! production pipeline), then replay a long unsampled execution window
+//! through the Pentium III cache model, marking which references fall
+//! inside an occurrence of a detected stream, and attribute L1 misses to
+//! stream vs non-stream references.
+//!
+//! Run: `cargo run --release -p hds-bench --bin stream_coverage`.
+
+use hds_bench::print_table;
+use hds_bursty::{BurstyConfig, BurstyTracer, Phase, Signal};
+use hds_core::OptimizerConfig;
+use hds_hotstream::{fast, AnalysisConfig};
+use hds_memsim::MemorySystem;
+use hds_sequitur::Sequitur;
+use hds_trace::{AccessKind, DataRef, SymbolTable};
+use hds_vulcan::Event;
+use hds_workloads::{benchmark, Benchmark, Scale};
+
+/// One pass over a benchmark: the sampled profile's detected streams and
+/// a full reference window for replay.
+fn profile_and_window(which: Benchmark) -> (Vec<Vec<DataRef>>, Vec<DataRef>) {
+    let mut program = benchmark(which, Scale::Test);
+    let b = OptimizerConfig::paper_scale().bursty;
+    let mut tracer =
+        BurstyTracer::new(BurstyConfig::new(b.n_check0, b.n_instr0, b.n_awake0, b.n_hibernate0));
+    let mut symbols = SymbolTable::new();
+    let mut sequitur = Sequitur::new();
+    let mut traced = 0u64;
+    let mut recording = false;
+    let mut window: Vec<DataRef> = Vec::new();
+    let mut done_profiling = false;
+    while let Some(event) = program.next_event() {
+        match event {
+            Event::Enter(_) | Event::BackEdge(_) if !done_profiling => {
+                match tracer.on_check() {
+                    Some(Signal::BurstBegin) if tracer.phase() == Phase::Awake => {
+                        recording = true;
+                    }
+                    Some(Signal::BurstEnd) => recording = false,
+                    Some(Signal::AwakeComplete) => done_profiling = true,
+                    _ => {}
+                }
+            }
+            Event::Access(r, _) => {
+                if !done_profiling && recording && tracer.should_record() {
+                    traced += 1;
+                    sequitur.append(symbols.intern(r));
+                }
+                // The replay window is the whole (test-scale) execution.
+                window.push(r);
+            }
+            _ => {}
+        }
+    }
+    let config = AnalysisConfig::paper_default(traced);
+    let result = fast::analyze(&sequitur.grammar(), &config);
+    let streams = result
+        .streams
+        .iter()
+        .map(|s| symbols.resolve_all(&s.symbols))
+        .collect();
+    (streams, window)
+}
+
+/// Marks every window position covered by a (greedy, non-overlapping per
+/// stream) occurrence of any detected stream.
+fn mark_stream_refs(streams: &[Vec<DataRef>], window: &[DataRef]) -> Vec<bool> {
+    let mut marked = vec![false; window.len()];
+    for stream in streams {
+        if stream.is_empty() || stream.len() > window.len() {
+            continue;
+        }
+        let mut i = 0;
+        while i + stream.len() <= window.len() {
+            if window[i..i + stream.len()] == stream[..] {
+                for slot in &mut marked[i..i + stream.len()] {
+                    *slot = true;
+                }
+                i += stream.len();
+            } else {
+                i += 1;
+            }
+        }
+    }
+    marked
+}
+
+fn main() {
+    println!("Hot-data-stream coverage of references and misses ([8], quoted in §1)");
+    println!();
+    let mut rows = Vec::new();
+    for which in Benchmark::ALL {
+        let (streams, window) = profile_and_window(which);
+        let marked = mark_stream_refs(&streams, &window);
+        // Replay through the paper's cache, attributing misses.
+        let config = OptimizerConfig::paper_scale();
+        let mut mem = MemorySystem::new(config.hierarchy.clone());
+        let (mut refs_in, mut miss_in, mut miss_total) = (0u64, 0u64, 0u64);
+        for (i, &r) in window.iter().enumerate() {
+            let result = mem.access(r.addr, AccessKind::Load);
+            let missed = result.outcome != hds_memsim::AccessOutcome::L1Hit;
+            if marked[i] {
+                refs_in += 1;
+                if missed {
+                    miss_in += 1;
+                }
+            }
+            if missed {
+                miss_total += 1;
+            }
+        }
+        #[allow(clippy::cast_precision_loss)]
+        let ref_pct = refs_in as f64 / window.len().max(1) as f64 * 100.0;
+        #[allow(clippy::cast_precision_loss)]
+        let miss_pct = miss_in as f64 / miss_total.max(1) as f64 * 100.0;
+        rows.push(vec![
+            which.name().to_string(),
+            streams.len().to_string(),
+            format!("{ref_pct:.0}%"),
+            format!("{miss_pct:.0}%"),
+            window.len().to_string(),
+        ]);
+        eprintln!("  finished {which}");
+    }
+    print_table(
+        &[
+            "benchmark",
+            "streams detected",
+            "% of refs in streams",
+            "% of L1 misses in streams",
+            "window refs",
+        ],
+        &rows,
+    );
+    println!();
+    println!("paper's premise ([8, 28]): hot data streams account for ~90% of references");
+    println!("and >80% of cache misses. Our detected (>=1% heat) streams cover less of the");
+    println!("reference total — the long tail of sub-threshold streams is unprefetchable —");
+    println!("but the misses they do cover are what Figure 12's speedups come from.");
+}

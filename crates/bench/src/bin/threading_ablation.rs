@@ -1,0 +1,68 @@
+//! Beyond the paper's single-threaded evaluation: what scheduling does
+//! to hot-data-stream prefetching.
+//!
+//! The paper's mechanics are process-global — the injected matching
+//! state is one variable (Figure 7), the profiling counters are shared,
+//! and sampled bursts interleave whatever the scheduler runs. With
+//! coarse scheduling quanta each burst still sees one thread's
+//! references and everything works; with fine-grained interleaving the
+//! bursts mix threads (trace contamination) and concurrent walks clobber
+//! each other's partial matches, so the benefit decays.
+//!
+//! Run: `cargo run --release -p hds-bench --bin threading_ablation`.
+
+use hds_bench::{pct, print_table};
+use hds_core::{Executor, OptimizerConfig, PrefetchPolicy, RunMode};
+use hds_vulcan::Interleaver;
+use hds_workloads::{SyntheticConfig, SyntheticWorkload, Workload};
+
+/// Two threads run the *same* code (same structure seed, hence the same
+/// procedures and pcs) on different data (different heaps) — two worker
+/// threads of one server.
+fn run_at_quantum(quantum: u64, mode: RunMode) -> hds_core::RunReport {
+    let make = |data_seed: u64| {
+        SyntheticWorkload::new(SyntheticConfig {
+            name: "worker".into(),
+            seed: 0x77,
+            data_seed: Some(data_seed),
+            total_refs: 1_200_000,
+            ..SyntheticConfig::default()
+        })
+    };
+    let a = make(1);
+    let b = make(2);
+    let procs = a.procedures();
+    let mut program = Interleaver::new(vec![Box::new(a), Box::new(b)], quantum);
+    Executor::new(OptimizerConfig::paper_scale(), mode).run(&mut program, procs)
+}
+
+fn main() {
+    println!("Threading ablation: two workers, one shared code image");
+    println!("(overhead vs the same interleaving unoptimized; negative = speedup)");
+    println!();
+    let mut rows = Vec::new();
+    for quantum in [100_000u64, 10_000, 1_000, 100, 10] {
+        let base = run_at_quantum(quantum, RunMode::Baseline);
+        let opt = run_at_quantum(quantum, RunMode::Optimize(PrefetchPolicy::StreamTail));
+        rows.push(vec![
+            quantum.to_string(),
+            pct(opt.overhead_vs(&base)),
+            format!("{:.0}", opt.cycle_avg(|c| c.streams_used as f64)),
+            format!("{:.0}%", opt.mem.prefetch_accuracy() * 100.0),
+        ]);
+        eprintln!("  finished quantum {quantum}");
+    }
+    print_table(
+        &["quantum (events)", "Dyn-pref", "streams/cycle", "pf accuracy"],
+        &rows,
+    );
+    println!();
+    println!("three regimes. very coarse quanta bias each awake phase toward whichever");
+    println!("thread happened to run, so only that thread's addresses get prefetched.");
+    println!("mid quanta are the sweet spot: the profile samples every thread while each");
+    println!("walk stays contiguous. once the quantum shrinks below a walk, bursts record");
+    println!("an interleaved shuffle Sequitur cannot compress and concurrent walks clobber");
+    println!("the global matcher state (Figure 7's process-global `state`) — detection and");
+    println!("benefit collapse. A deployment consideration the paper's single-threaded");
+    println!("evaluation never hits.");
+}

@@ -1,0 +1,205 @@
+//! Shared experiment-harness helpers for the figure/table binaries.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the
+//! paper's evaluation (see DESIGN.md's experiment index). This library
+//! holds the common plumbing: running a benchmark under a mode, scale
+//! selection from the command line, and plain-text table formatting.
+
+use hds_core::{Executor, OptimizerConfig, RunMode, RunReport};
+use hds_memsim::prefetcher::Prefetcher;
+use hds_memsim::MemorySystem;
+use hds_vulcan::Event;
+use hds_workloads::{benchmark, Benchmark, Scale};
+
+/// Parses the run scale from the process arguments: `--test-scale`
+/// shrinks every run for smoke testing; the default is the experiment
+/// scale.
+#[must_use]
+pub fn scale_from_args() -> Scale {
+    if std::env::args().any(|a| a == "--test-scale") {
+        Scale::Test
+    } else {
+        Scale::Paper
+    }
+}
+
+/// Was `--json` passed? Binaries that support it print a JSON array of
+/// the full [`RunReport`]s to stdout instead of (or after) the table.
+#[must_use]
+pub fn json_from_args() -> bool {
+    std::env::args().any(|a| a == "--json")
+}
+
+/// Serialises run reports to pretty JSON (for `--json` output and for
+/// piping experiment results into other tooling).
+///
+/// # Panics
+///
+/// Panics if serialisation fails, which it cannot for these plain data
+/// types.
+#[must_use]
+pub fn reports_to_json(reports: &[RunReport]) -> String {
+    serde_json::to_string_pretty(reports).expect("RunReport serialises infallibly")
+}
+
+/// Runs `which` at `scale` under `mode` with the given configuration.
+#[must_use]
+pub fn run(
+    which: Benchmark,
+    scale: Scale,
+    mode: RunMode,
+    config: &OptimizerConfig,
+) -> RunReport {
+    let mut w = benchmark(which, scale);
+    let procs = w.procedures();
+    Executor::new(config.clone(), mode).run(&mut *w, procs)
+}
+
+/// Runs a benchmark with a *hardware-style* prefetcher attached to every
+/// demand access (no profiling, no injected code) — the related-work
+/// baselines of §5.1. Returns total simulated cycles and the memory
+/// statistics.
+#[must_use]
+pub fn run_with_hw_prefetcher(
+    which: Benchmark,
+    scale: Scale,
+    config: &OptimizerConfig,
+    prefetcher: &mut dyn Prefetcher,
+) -> (u64, hds_memsim::MemStats) {
+    let mut w = benchmark(which, scale);
+    let cost = config.hierarchy.cost;
+    let mut mem = MemorySystem::new(config.hierarchy.clone());
+    let mut cycles = 0u64;
+    while let Some(event) = w.next_event() {
+        match event {
+            Event::Work(n) => cycles += u64::from(n) * cost.work_cycles,
+            Event::Access(r, kind) => {
+                let res = mem.access_at(r.addr, kind, cycles);
+                cycles += res.cycles;
+                for addr in prefetcher.on_access(r, res.outcome) {
+                    cycles += cost.prefetch_issue_cycles;
+                    mem.prefetch_at(addr, cycles);
+                }
+            }
+            Event::Prefetch(addr) => {
+                cycles += cost.prefetch_issue_cycles;
+                mem.prefetch_at(addr, cycles);
+            }
+            Event::Enter(_) | Event::Exit(_) | Event::BackEdge(_) | Event::Thread(_) => {}
+        }
+    }
+    (cycles, *mem.stats())
+}
+
+/// Runs a benchmark behind Jouppi-style stream buffers \[17\] (no
+/// profiling, no injected code; buffers checked on every L1 miss).
+/// Returns total simulated cycles and the buffer statistics.
+#[must_use]
+pub fn run_with_stream_buffers(
+    which: Benchmark,
+    scale: Scale,
+    config: &OptimizerConfig,
+    buffers: usize,
+    depth: usize,
+) -> (u64, hds_memsim::StreamBufferStats) {
+    let mut w = benchmark(which, scale);
+    let cost = config.hierarchy.cost;
+    let mut mem = hds_memsim::StreamBufferMemory::new(config.hierarchy.clone(), buffers, depth);
+    let mut cycles = 0u64;
+    while let Some(event) = w.next_event() {
+        match event {
+            Event::Work(n) => cycles += u64::from(n) * cost.work_cycles,
+            Event::Access(r, kind) => {
+                cycles += mem.access_at(r.addr, kind, cycles).cycles;
+            }
+            Event::Prefetch(_) => {
+                // Hardware-baseline runs ignore software prefetch hints.
+                cycles += cost.prefetch_issue_cycles;
+            }
+            Event::Enter(_) | Event::Exit(_) | Event::BackEdge(_) | Event::Thread(_) => {}
+        }
+    }
+    (cycles, *mem.buffer_stats())
+}
+
+/// Formats a percentage with sign, one decimal.
+#[must_use]
+pub fn pct(v: f64) -> String {
+    format!("{v:+.1}%")
+}
+
+/// Prints a plain-text table: header row plus aligned data rows.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: &[String]| {
+        let mut out = String::new();
+        for (i, cell) in cells.iter().enumerate() {
+            out.push_str(&format!("{:<w$}  ", cell, w = widths[i]));
+        }
+        println!("{}", out.trim_end());
+    };
+    line(&headers.iter().map(|s| (*s).to_string()).collect::<Vec<_>>());
+    line(
+        &widths
+            .iter()
+            .map(|w| "-".repeat(*w))
+            .collect::<Vec<_>>(),
+    );
+    for row in rows {
+        line(row);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hds_core::PrefetchPolicy;
+
+    #[test]
+    fn run_smoke() {
+        let config = OptimizerConfig::test_scale();
+        let report = run(
+            Benchmark::Vortex,
+            Scale::Test,
+            RunMode::Optimize(PrefetchPolicy::StreamTail),
+            &config,
+        );
+        assert!(report.refs > 0);
+        assert_eq!(report.name, "vortex");
+    }
+
+    #[test]
+    fn hw_prefetcher_smoke() {
+        let config = OptimizerConfig::test_scale();
+        let mut p = hds_memsim::prefetcher::SequentialPrefetcher::new(32, 2);
+        let (cycles, stats) =
+            run_with_hw_prefetcher(Benchmark::Vortex, Scale::Test, &config, &mut p);
+        assert!(cycles > 0);
+        assert!(stats.prefetches_issued > 0);
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(5.04), "+5.0%");
+        assert_eq!(pct(-19.0), "-19.0%");
+    }
+
+    #[test]
+    fn reports_round_trip_through_json() {
+        let config = OptimizerConfig::test_scale();
+        let report = run(Benchmark::Vortex, Scale::Test, RunMode::Baseline, &config);
+        let json = reports_to_json(std::slice::from_ref(&report));
+        let parsed: Vec<RunReport> = serde_json::from_str(&json).expect("valid JSON");
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(parsed[0].total_cycles, report.total_cycles);
+        assert_eq!(parsed[0].mem, report.mem);
+        assert_eq!(parsed[0].name, "vortex");
+    }
+}

@@ -1,0 +1,520 @@
+//! Bursty tracing: the low-overhead temporal profiling framework
+//! (Hirzel & Chilimbi \[15\], paper §2.1–§2.2).
+//!
+//! Every procedure of the profiled program exists in two versions — plain
+//! *checking* code and *instrumented* code that also records data
+//! references. Both transfer control to a check at procedure entries and
+//! loop back-edges; a pair of counters decides which version runs next:
+//!
+//! > "At startup, `nCheck` is `nCheck0` and `nInstr` is zero. Most of the
+//! > time, the checking code is executed, and `nCheck` is decremented at
+//! > every check. When it reaches zero, `nInstr` is initialized with
+//! > `nInstr0` and the check transfers control to the instrumented code.
+//! > While in the instrumented code, `nInstr` is decremented at every
+//! > check. When it reaches zero, `nCheck` is initialized with `nCheck0`
+//! > and control returns back to the checking code."
+//!
+//! `nCheck0 + nInstr0` dynamic checks form one *burst-period*. For online
+//! optimization the framework alternates between an **awake** phase
+//! (`nAwake0` burst-periods of real tracing) and a **hibernating** phase
+//! (`nHibernate0` burst-periods with `nCheck = nCheck0 + nInstr0 - 1` and
+//! `nInstr = 1`, so bursts degenerate to a single ignored check and the
+//! only cost is the checks themselves). The sampling rate approximates
+//! `(nAwake0·nInstr0) / ((nAwake0+nHibernate0)·(nInstr0+nCheck0))`
+//! (§2.2, Figure 3).
+//!
+//! Everything here is plain counter arithmetic — deterministic, exactly
+//! as the paper requires for repeatable runs.
+//!
+//! # Examples
+//!
+//! ```
+//! use hds_bursty::{BurstyConfig, BurstyTracer, Mode, Signal};
+//!
+//! // 3 checking checks, 2 instrumented checks per burst-period.
+//! let config = BurstyConfig::new(3, 2, 1, 4);
+//! let mut tracer = BurstyTracer::new(config);
+//! let mut modes = Vec::new();
+//! for _ in 0..5 {
+//!     tracer.on_check();
+//!     modes.push(tracer.mode());
+//! }
+//! assert_eq!(
+//!     modes,
+//!     vec![Mode::Checking, Mode::Checking, Mode::Instrumented,
+//!          Mode::Instrumented, Mode::Checking]
+//! );
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+
+/// The bursty-tracing counter settings.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct BurstyConfig {
+    /// `nCheck0`: checks executed in checking code per burst-period.
+    pub n_check0: u64,
+    /// `nInstr0`: checks executed in instrumented code per burst-period
+    /// (the burst length).
+    pub n_instr0: u64,
+    /// `nAwake0`: burst-periods per awake phase.
+    pub n_awake0: u64,
+    /// `nHibernate0`: burst-periods per hibernating phase.
+    pub n_hibernate0: u64,
+}
+
+impl BurstyConfig {
+    /// Creates and validates a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any counter is zero (the framework degenerates).
+    #[must_use]
+    pub fn new(n_check0: u64, n_instr0: u64, n_awake0: u64, n_hibernate0: u64) -> Self {
+        assert!(n_check0 > 0, "nCheck0 must be nonzero");
+        assert!(n_instr0 > 0, "nInstr0 must be nonzero");
+        assert!(n_awake0 > 0, "nAwake0 must be nonzero");
+        assert!(n_hibernate0 > 0, "nHibernate0 must be nonzero");
+        BurstyConfig {
+            n_check0,
+            n_instr0,
+            n_awake0,
+            n_hibernate0,
+        }
+    }
+
+    /// The paper's evaluation settings (§4.1): sampling rate 0.5% with
+    /// bursts of 60 dynamic checks (`nCheck0 = 11 940`, `nInstr0 = 60`),
+    /// awake 50 burst-periods out of every 2 500
+    /// (`nAwake0 = 50`, `nHibernate0 = 2 450`) — "1 second of every 50
+    /// seconds of program execution".
+    #[must_use]
+    pub fn paper_default() -> Self {
+        BurstyConfig::new(11_940, 60, 50, 2_450)
+    }
+
+    /// Checks per burst-period (`nCheck0 + nInstr0`).
+    #[must_use]
+    pub fn burst_period(&self) -> u64 {
+        self.n_check0 + self.n_instr0
+    }
+
+    /// The effective sampling rate
+    /// `(nAwake0·nInstr0) / ((nAwake0+nHibernate0)·(nInstr0+nCheck0))`.
+    #[must_use]
+    pub fn sampling_rate(&self) -> f64 {
+        #[allow(clippy::cast_precision_loss)]
+        {
+            (self.n_awake0 * self.n_instr0) as f64
+                / ((self.n_awake0 + self.n_hibernate0) * self.burst_period()) as f64
+        }
+    }
+
+    /// The awake-phase burst sampling rate `nInstr0 / (nCheck0+nInstr0)`
+    /// (what Figure 11's "Prof" configuration pays while awake).
+    #[must_use]
+    pub fn awake_rate(&self) -> f64 {
+        #[allow(clippy::cast_precision_loss)]
+        {
+            self.n_instr0 as f64 / self.burst_period() as f64
+        }
+    }
+}
+
+impl Default for BurstyConfig {
+    fn default() -> Self {
+        BurstyConfig::paper_default()
+    }
+}
+
+/// Which code version executes until the next check.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Mode {
+    /// The plain checking version (no profiling).
+    Checking,
+    /// The instrumented version (records data references — unless
+    /// hibernating, in which case the references are ignored, §2.4).
+    Instrumented,
+}
+
+/// The profiling phase.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Actively collecting the temporal profile.
+    Awake,
+    /// Counters detuned; only check overhead is paid.
+    Hibernating,
+}
+
+/// Signals the tracer raises at phase boundaries.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Signal {
+    /// The instrumented code is entered: a profiling burst begins.
+    BurstBegin,
+    /// Control returned to checking code: the burst ended.
+    BurstEnd,
+    /// The awake phase completed its `nAwake0` burst-periods: time for
+    /// the optimizer to analyze and optimize, then call
+    /// [`BurstyTracer::hibernate`].
+    AwakeComplete,
+    /// The hibernating phase completed: the optimizer should de-optimize
+    /// and call [`BurstyTracer::wake`].
+    HibernationComplete,
+}
+
+impl fmt::Display for Signal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Signal::BurstBegin => "burst-begin",
+            Signal::BurstEnd => "burst-end",
+            Signal::AwakeComplete => "awake-complete",
+            Signal::HibernationComplete => "hibernation-complete",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The bursty-tracing counter machine.
+///
+/// Drive it by calling [`BurstyTracer::on_check`] at every dynamic check
+/// site (procedure entry or loop back-edge); read [`BurstyTracer::mode`]
+/// to know which code version executes, and
+/// [`BurstyTracer::should_record`] to know whether a data reference at
+/// this point enters the trace buffer.
+#[derive(Clone, Debug)]
+pub struct BurstyTracer {
+    config: BurstyConfig,
+    /// Current per-phase counter initialisation values.
+    n_check_cur: u64,
+    n_instr_cur: u64,
+    /// Live counters.
+    n_check: u64,
+    n_instr: u64,
+    mode: Mode,
+    phase: Phase,
+    /// Burst-periods completed in the current phase.
+    periods_in_phase: u64,
+    /// Totals (diagnostics).
+    total_checks: u64,
+    total_bursts: u64,
+}
+
+impl BurstyTracer {
+    /// Creates a tracer in the awake phase, checking mode.
+    #[must_use]
+    pub fn new(config: BurstyConfig) -> Self {
+        BurstyTracer {
+            n_check_cur: config.n_check0,
+            n_instr_cur: config.n_instr0,
+            n_check: config.n_check0,
+            n_instr: 0,
+            mode: Mode::Checking,
+            phase: Phase::Awake,
+            periods_in_phase: 0,
+            total_checks: 0,
+            total_bursts: 0,
+            config,
+        }
+    }
+
+    /// The configuration.
+    #[must_use]
+    pub fn config(&self) -> &BurstyConfig {
+        &self.config
+    }
+
+    /// Which code version executes until the next check.
+    #[must_use]
+    pub fn mode(&self) -> Mode {
+        self.mode
+    }
+
+    /// The current phase.
+    #[must_use]
+    pub fn phase(&self) -> Phase {
+        self.phase
+    }
+
+    /// Should a data reference observed now be recorded into the trace
+    /// buffer? True only in instrumented mode while awake — references
+    /// traced during hibernation "are ignored by Sequitur to avoid trace
+    /// contamination" (§2.4).
+    #[must_use]
+    pub fn should_record(&self) -> bool {
+        self.mode == Mode::Instrumented && self.phase == Phase::Awake
+    }
+
+    /// Executes one dynamic check; returns a boundary signal if one
+    /// fired. The mode *after* the call tells which version runs next.
+    pub fn on_check(&mut self) -> Option<Signal> {
+        self.total_checks += 1;
+        match self.mode {
+            Mode::Checking => {
+                self.n_check -= 1;
+                if self.n_check == 0 {
+                    self.n_instr = self.n_instr_cur;
+                    self.mode = Mode::Instrumented;
+                    self.total_bursts += 1;
+                    Some(Signal::BurstBegin)
+                } else {
+                    None
+                }
+            }
+            Mode::Instrumented => {
+                self.n_instr -= 1;
+                if self.n_instr == 0 {
+                    self.n_check = self.n_check_cur;
+                    self.mode = Mode::Checking;
+                    self.periods_in_phase += 1;
+                    match self.phase {
+                        Phase::Awake if self.periods_in_phase >= self.config.n_awake0 => {
+                            Some(Signal::AwakeComplete)
+                        }
+                        Phase::Hibernating
+                            if self.periods_in_phase >= self.config.n_hibernate0 =>
+                        {
+                            Some(Signal::HibernationComplete)
+                        }
+                        _ => Some(Signal::BurstEnd),
+                    }
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// Enters the hibernating phase: `nCheck := nCheck0 + nInstr0 - 1`,
+    /// `nInstr := 1`, so burst-periods keep the same length in checks but
+    /// trace (almost) nothing (§2.2, Figure 3).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called while a burst is in progress (instrumented mode)
+    /// — the optimizer acts on [`Signal::AwakeComplete`], which is only
+    /// raised at a burst boundary.
+    pub fn hibernate(&mut self) {
+        assert_eq!(
+            self.mode,
+            Mode::Checking,
+            "hibernate must be called at a burst boundary"
+        );
+        self.phase = Phase::Hibernating;
+        self.periods_in_phase = 0;
+        self.n_check_cur = self.config.burst_period() - 1;
+        self.n_instr_cur = 1;
+        self.n_check = self.n_check_cur;
+    }
+
+    /// Returns to the awake phase, restoring the original counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called while a burst is in progress.
+    pub fn wake(&mut self) {
+        assert_eq!(
+            self.mode,
+            Mode::Checking,
+            "wake must be called at a burst boundary"
+        );
+        self.phase = Phase::Awake;
+        self.periods_in_phase = 0;
+        self.n_check_cur = self.config.n_check0;
+        self.n_instr_cur = self.config.n_instr0;
+        self.n_check = self.n_check_cur;
+    }
+
+    /// Total dynamic checks executed.
+    #[must_use]
+    pub fn total_checks(&self) -> u64 {
+        self.total_checks
+    }
+
+    /// Total bursts begun (including degenerate hibernation bursts).
+    #[must_use]
+    pub fn total_bursts(&self) -> u64 {
+        self.total_bursts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_validation_and_rates() {
+        let c = BurstyConfig::paper_default();
+        assert_eq!(c.burst_period(), 12_000);
+        // 0.5% awake burst rate.
+        assert!((c.awake_rate() - 0.005).abs() < 1e-9);
+        // Overall: 50/2500 of 0.5% = 0.01%.
+        assert!((c.sampling_rate() - 0.0001).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "nInstr0 must be nonzero")]
+    fn zero_instr_rejected() {
+        let _ = BurstyConfig::new(10, 0, 1, 1);
+    }
+
+    #[test]
+    fn burst_period_cadence() {
+        // nCheck0=3, nInstr0=2: pattern C C B(urst-begin) I E(nd) ...
+        let mut t = BurstyTracer::new(BurstyConfig::new(3, 2, 10, 10));
+        let mut signals = Vec::new();
+        for _ in 0..10 {
+            signals.push(t.on_check());
+        }
+        assert_eq!(
+            signals,
+            vec![
+                None,
+                None,
+                Some(Signal::BurstBegin),
+                None,
+                Some(Signal::BurstEnd),
+                None,
+                None,
+                Some(Signal::BurstBegin),
+                None,
+                Some(Signal::BurstEnd),
+            ]
+        );
+        assert_eq!(t.total_checks(), 10);
+        assert_eq!(t.total_bursts(), 2);
+    }
+
+    #[test]
+    fn should_record_only_awake_instrumented() {
+        let mut t = BurstyTracer::new(BurstyConfig::new(2, 1, 1, 2));
+        assert!(!t.should_record());
+        t.on_check();
+        assert!(!t.should_record());
+        let s = t.on_check();
+        assert_eq!(s, Some(Signal::BurstBegin));
+        assert!(t.should_record());
+        let s = t.on_check();
+        assert_eq!(s, Some(Signal::AwakeComplete)); // nAwake0 = 1
+        assert!(!t.should_record());
+    }
+
+    #[test]
+    fn awake_complete_after_n_awake_periods() {
+        let config = BurstyConfig::new(3, 2, 4, 10);
+        let mut t = BurstyTracer::new(config);
+        let mut periods = 0;
+        let mut checks = 0;
+        loop {
+            checks += 1;
+            match t.on_check() {
+                Some(Signal::BurstEnd) => periods += 1,
+                Some(Signal::AwakeComplete) => {
+                    periods += 1;
+                    break;
+                }
+                _ => {}
+            }
+        }
+        assert_eq!(periods, 4);
+        assert_eq!(checks, 4 * config.burst_period());
+    }
+
+    #[test]
+    fn hibernation_period_same_length_and_silent() {
+        let config = BurstyConfig::new(3, 2, 1, 2);
+        let mut t = BurstyTracer::new(config);
+        // Run to awake-complete.
+        while t.on_check() != Some(Signal::AwakeComplete) {}
+        t.hibernate();
+        assert_eq!(t.phase(), Phase::Hibernating);
+        // One hibernation burst-period is still burst_period() checks,
+        // with exactly one instrumented check that must not record.
+        let mut instrumented = 0;
+        let mut checks = 0;
+        loop {
+            checks += 1;
+            let sig = t.on_check();
+            if t.mode() == Mode::Instrumented {
+                instrumented += 1;
+                assert!(!t.should_record(), "hibernation must not record");
+            }
+            if sig == Some(Signal::HibernationComplete) {
+                break;
+            }
+        }
+        assert_eq!(checks, 2 * config.burst_period());
+        assert_eq!(instrumented, 2); // one per hibernation period
+        t.wake();
+        assert_eq!(t.phase(), Phase::Awake);
+        // Counters restored: next burst begins after nCheck0 checks.
+        for _ in 0..config.n_check0 - 1 {
+            assert_eq!(t.on_check(), None);
+        }
+        assert_eq!(t.on_check(), Some(Signal::BurstBegin));
+    }
+
+    #[test]
+    #[should_panic(expected = "burst boundary")]
+    fn hibernate_mid_burst_panics() {
+        let mut t = BurstyTracer::new(BurstyConfig::new(1, 5, 1, 1));
+        t.on_check(); // enters instrumented mode immediately (nCheck0 = 1)
+        assert_eq!(t.mode(), Mode::Instrumented);
+        t.hibernate();
+    }
+
+    #[test]
+    fn deterministic_cadence() {
+        let config = BurstyConfig::new(7, 3, 2, 5);
+        let run = |n: usize| {
+            let mut t = BurstyTracer::new(config);
+            let mut sigs = Vec::new();
+            for _ in 0..n {
+                let s = t.on_check();
+                if s == Some(Signal::AwakeComplete) {
+                    t.hibernate();
+                } else if s == Some(Signal::HibernationComplete) {
+                    t.wake();
+                }
+                sigs.push((s, t.mode(), t.phase()));
+            }
+            sigs
+        };
+        assert_eq!(run(500), run(500));
+    }
+
+    #[test]
+    fn full_cycle_sampling_rate_approximation() {
+        // Drive many full awake/hibernate cycles and compare the fraction
+        // of recording checks with the formula.
+        let config = BurstyConfig::new(10, 2, 3, 7);
+        let mut t = BurstyTracer::new(config);
+        let mut recording = 0u64;
+        let total = 100_000u64;
+        for _ in 0..total {
+            let s = t.on_check();
+            if t.should_record() {
+                recording += 1;
+            }
+            match s {
+                Some(Signal::AwakeComplete) => t.hibernate(),
+                Some(Signal::HibernationComplete) => t.wake(),
+                _ => {}
+            }
+        }
+        #[allow(clippy::cast_precision_loss)]
+        let measured = recording as f64 / total as f64;
+        let predicted = config.sampling_rate();
+        assert!(
+            (measured - predicted).abs() < predicted * 0.1,
+            "measured {measured}, predicted {predicted}"
+        );
+    }
+
+    #[test]
+    fn signal_display() {
+        assert_eq!(Signal::BurstBegin.to_string(), "burst-begin");
+        assert_eq!(Signal::HibernationComplete.to_string(), "hibernation-complete");
+    }
+}

@@ -1,0 +1,107 @@
+//! Property tests for the bursty-tracing counter machine: signal
+//! well-formedness and exact cadence for arbitrary counter settings.
+
+use hds_bursty::{BurstyConfig, BurstyTracer, Mode, Phase, Signal};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Signals are well-formed for arbitrary configurations: bursts
+    /// alternate begin/end, phase-completion signals replace burst-ends
+    /// exactly at the configured period counts, and the mode/phase
+    /// state agrees with the signal stream.
+    #[test]
+    fn signal_stream_well_formed(
+        n_check in 1u64..50,
+        n_instr in 1u64..20,
+        n_awake in 1u64..6,
+        n_hibernate in 1u64..8,
+        steps in 100usize..4000,
+    ) {
+        let config = BurstyConfig::new(n_check, n_instr, n_awake, n_hibernate);
+        let mut tracer = BurstyTracer::new(config);
+        let mut in_burst = false;
+        let mut periods_this_phase = 0u64;
+        for step in 0..steps {
+            let phase_before = tracer.phase();
+            let signal = tracer.on_check();
+            match signal {
+                Some(Signal::BurstBegin) => {
+                    prop_assert!(!in_burst, "step {step}: burst began inside a burst");
+                    in_burst = true;
+                    prop_assert_eq!(tracer.mode(), Mode::Instrumented);
+                }
+                Some(Signal::BurstEnd) => {
+                    prop_assert!(in_burst, "step {step}: burst ended outside a burst");
+                    in_burst = false;
+                    periods_this_phase += 1;
+                    // An ordinary burst end never lands on the phase
+                    // boundary.
+                    match phase_before {
+                        Phase::Awake => prop_assert!(periods_this_phase < n_awake),
+                        Phase::Hibernating => prop_assert!(periods_this_phase < n_hibernate),
+                    }
+                    prop_assert_eq!(tracer.mode(), Mode::Checking);
+                }
+                Some(Signal::AwakeComplete) => {
+                    prop_assert!(in_burst);
+                    in_burst = false;
+                    periods_this_phase += 1;
+                    prop_assert_eq!(phase_before, Phase::Awake);
+                    prop_assert_eq!(periods_this_phase, n_awake);
+                    periods_this_phase = 0;
+                    tracer.hibernate();
+                }
+                Some(Signal::HibernationComplete) => {
+                    prop_assert!(in_burst);
+                    in_burst = false;
+                    periods_this_phase += 1;
+                    prop_assert_eq!(phase_before, Phase::Hibernating);
+                    prop_assert_eq!(periods_this_phase, n_hibernate);
+                    periods_this_phase = 0;
+                    tracer.wake();
+                }
+                None => {}
+            }
+            // should_record is exactly "instrumented while awake".
+            prop_assert_eq!(
+                tracer.should_record(),
+                tracer.mode() == Mode::Instrumented && tracer.phase() == Phase::Awake
+            );
+        }
+    }
+
+    /// Burst-periods take exactly nCheck0 + nInstr0 checks in the awake
+    /// phase and the same in hibernation (the Figure 3 alignment).
+    #[test]
+    fn period_lengths_exact(
+        n_check in 1u64..40,
+        n_instr in 1u64..15,
+    ) {
+        let config = BurstyConfig::new(n_check, n_instr, 2, 3);
+        let mut tracer = BurstyTracer::new(config);
+        let period = config.burst_period();
+        let mut checks: u64 = 0;
+        let mut boundaries = Vec::new();
+        // Two awake periods, then hibernate for three, then wake again.
+        for _ in 0..(period * 10) {
+            checks += 1;
+            if let Some(
+                Signal::BurstEnd | Signal::AwakeComplete | Signal::HibernationComplete,
+            ) = tracer.on_check()
+            {
+                boundaries.push(checks);
+                if boundaries.len() == 2 {
+                    tracer.hibernate();
+                } else if boundaries.len() == 5 {
+                    tracer.wake();
+                }
+            }
+        }
+        // Every period boundary is a multiple of the period length.
+        for (i, &b) in boundaries.iter().enumerate() {
+            prop_assert_eq!(b, period * (i as u64 + 1), "boundary {} misaligned", i);
+        }
+    }
+}

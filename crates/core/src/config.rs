@@ -1,0 +1,241 @@
+//! Optimizer configuration: run modes, prefetch policies, and the knobs
+//! of every subsystem in one place.
+
+use hds_bursty::BurstyConfig;
+use hds_dfsm::DfsmConfig;
+use hds_hotstream::AnalysisConfig;
+use hds_memsim::HierarchyConfig;
+
+/// What to prefetch when a hot data stream's head matches — the three
+/// prefetching bars of the paper's Figure 12.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PrefetchPolicy {
+    /// Match prefixes but never issue prefetches — Figure 12's *No-pref*:
+    /// "the cost of performing all the profiling, analysis and hot data
+    /// stream prefix matching, yet not inserting prefetches".
+    None,
+    /// On a match, prefetch the cache blocks that *sequentially follow*
+    /// the matched reference — Figure 12's *Seq-pref*, "equivalent to our
+    /// dynamic prefetching scheme if hot data streams are sequentially
+    /// allocated".
+    SequentialBlocks,
+    /// On a match, prefetch the remaining stream addresses (the tail) —
+    /// Figure 12's *Dyn-pref*, the paper's scheme.
+    StreamTail,
+}
+
+impl PrefetchPolicy {
+    /// The label used in the paper's figures.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            PrefetchPolicy::None => "No-pref",
+            PrefetchPolicy::SequentialBlocks => "Seq-pref",
+            PrefetchPolicy::StreamTail => "Dyn-pref",
+        }
+    }
+}
+
+/// When to issue the prefetches of a matched stream's tail.
+///
+/// The paper's implementation "makes no attempt to schedule prefetches
+/// (they are triggered as soon as the prefix matches). More intelligent
+/// prefetch scheduling could produce larger benefits" (§4.3) — this is
+/// that future-work extension.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PrefetchScheduling {
+    /// Issue every tail prefetch immediately at the match (the paper's
+    /// implementation).
+    AllAtOnce,
+    /// Issue at most `degree` queued prefetches per subsequent data
+    /// reference, so fetches arrive closer to their uses (less pollution,
+    /// possibly more late arrivals).
+    Windowed {
+        /// Prefetches issued per subsequent reference.
+        degree: usize,
+    },
+}
+
+/// Whether the optimizer keeps re-profiling (the paper's scheme) or
+/// optimizes once and leaves the code in place.
+///
+/// The paper notes hot data streams "have been shown to be fairly stable
+/// across program inputs and could serve as the basis for an off-line
+/// static prefetching scheme \[10\]. On the other hand, for programs with
+/// distinct phase behavior, a dynamic prefetching scheme that adapts …
+/// may perform better" and leaves the comparison to future work (§1) —
+/// this switch makes the comparison runnable.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CycleStrategy {
+    /// Profile → optimize → hibernate → de-optimize, repeatedly (the
+    /// paper's scheme).
+    Dynamic,
+    /// Profile once, optimize once, and keep the injected code for the
+    /// rest of the run (no re-profiling, no de-optimization).
+    Static,
+}
+
+/// How much of the machinery to run — the bars of Figures 11 and 12.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum RunMode {
+    /// The original, unmodified program (the normalisation baseline).
+    Baseline,
+    /// Only the dynamic checks execute — Figure 11's *Base* bar
+    /// ("measured by setting `nCheck0` to an extremely large value").
+    ChecksOnly,
+    /// Checks + temporal data-reference profiling — Figure 11's *Prof*.
+    Profile,
+    /// Checks + profiling + online Sequitur + hot-data-stream analysis —
+    /// Figure 11's *Hds*.
+    Analyze,
+    /// The full cycle including DFSM injection, with the given prefetch
+    /// policy — Figure 12's bars.
+    Optimize(PrefetchPolicy),
+}
+
+impl RunMode {
+    /// Does this mode record data references while awake?
+    #[must_use]
+    pub fn records(self) -> bool {
+        !matches!(self, RunMode::Baseline | RunMode::ChecksOnly)
+    }
+
+    /// Does this mode run Sequitur + the hot-stream analysis?
+    #[must_use]
+    pub fn analyzes(self) -> bool {
+        matches!(self, RunMode::Analyze | RunMode::Optimize(_))
+    }
+
+    /// Does this mode inject prefix-matching code?
+    #[must_use]
+    pub fn optimizes(self) -> Option<PrefetchPolicy> {
+        match self {
+            RunMode::Optimize(p) => Some(p),
+            _ => None,
+        }
+    }
+}
+
+/// All the knobs of the optimizer in one place.
+#[derive(Clone, Debug)]
+pub struct OptimizerConfig {
+    /// Bursty-tracing counters.
+    pub bursty: BurstyConfig,
+    /// Hot-data-stream thresholds. The heat threshold is re-derived per
+    /// cycle as `heat_percent` of the traced references; `min_length`,
+    /// `max_length` and `min_unique_refs` are used as given.
+    pub analysis: AnalysisConfig,
+    /// Heat threshold as a percentage of each cycle's traced references
+    /// (the paper: streams must "account for at least 1% of the collected
+    /// trace").
+    pub heat_percent: f64,
+    /// DFSM construction (`headLen`, state bound).
+    pub dfsm: DfsmConfig,
+    /// Cache geometry and cycle costs.
+    pub hierarchy: HierarchyConfig,
+    /// Upper bound on streams handed to the DFSM per cycle (hottest
+    /// first); guards against pathological analyses.
+    pub max_streams: usize,
+    /// Prefetch degree for [`PrefetchPolicy::SequentialBlocks`] is the
+    /// matched stream's tail length capped at this value.
+    pub seq_pref_cap: usize,
+    /// When tail prefetches are issued (§4.3 future work).
+    pub scheduling: PrefetchScheduling,
+    /// Dynamic (re-profiling) or static (optimize-once) operation (§1
+    /// future work).
+    pub strategy: CycleStrategy,
+}
+
+impl OptimizerConfig {
+    /// The paper's experiment configuration (§4.1), at simulation scale:
+    /// `nInstr0 = 60`-check bursts, awake/hibernate phasing, streams of
+    /// more than 10 unique references accounting for ≥ 1% of the trace,
+    /// `headLen = 2`. The bursty counters are scaled (2% burst sampling,
+    /// awake 25 of every 100 burst-periods) so that runs of a few million
+    /// references complete several optimization cycles; EXPERIMENTS.md
+    /// records the scaling.
+    #[must_use]
+    pub fn paper_scale() -> Self {
+        OptimizerConfig {
+            bursty: BurstyConfig::new(1_350, 150, 8, 40),
+            analysis: AnalysisConfig {
+                heat_threshold: 1, // re-derived per cycle
+                min_length: 10,
+                max_length: 100,
+                min_unique_refs: 10,
+                chop_long_rules: false,
+            },
+            heat_percent: 1.0,
+            dfsm: DfsmConfig::new(2),
+            hierarchy: HierarchyConfig::pentium_iii(),
+            max_streams: 64,
+            seq_pref_cap: 12,
+            scheduling: PrefetchScheduling::AllAtOnce,
+            strategy: CycleStrategy::Dynamic,
+        }
+    }
+
+    /// A small configuration for unit and integration tests: short
+    /// bursts, quick cycles, permissive stream thresholds.
+    #[must_use]
+    pub fn test_scale() -> Self {
+        OptimizerConfig {
+            bursty: BurstyConfig::new(240, 40, 4, 8),
+            analysis: AnalysisConfig {
+                heat_threshold: 1,
+                min_length: 5,
+                max_length: 100,
+                min_unique_refs: 4,
+                chop_long_rules: false,
+            },
+            heat_percent: 1.0,
+            dfsm: DfsmConfig::new(2),
+            hierarchy: HierarchyConfig::pentium_iii(),
+            max_streams: 64,
+            seq_pref_cap: 16,
+            scheduling: PrefetchScheduling::AllAtOnce,
+            strategy: CycleStrategy::Dynamic,
+        }
+    }
+}
+
+impl Default for OptimizerConfig {
+    fn default() -> Self {
+        OptimizerConfig::paper_scale()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_predicates() {
+        assert!(!RunMode::Baseline.records());
+        assert!(!RunMode::ChecksOnly.records());
+        assert!(RunMode::Profile.records());
+        assert!(!RunMode::Profile.analyzes());
+        assert!(RunMode::Analyze.analyzes());
+        assert_eq!(RunMode::Analyze.optimizes(), None);
+        assert_eq!(
+            RunMode::Optimize(PrefetchPolicy::StreamTail).optimizes(),
+            Some(PrefetchPolicy::StreamTail)
+        );
+    }
+
+    #[test]
+    fn policy_labels_match_figure12() {
+        assert_eq!(PrefetchPolicy::None.label(), "No-pref");
+        assert_eq!(PrefetchPolicy::SequentialBlocks.label(), "Seq-pref");
+        assert_eq!(PrefetchPolicy::StreamTail.label(), "Dyn-pref");
+    }
+
+    #[test]
+    fn paper_scale_matches_paper_settings() {
+        let c = OptimizerConfig::paper_scale();
+        assert_eq!(c.bursty.burst_period(), 1_500); // ~1500-ref bursts, as in §4.1
+        assert_eq!(c.dfsm.head_len, 2); // headLen = 2 (§4.3)
+        assert_eq!(c.analysis.min_length, 10); // >10 refs (§4.1)
+        assert!((c.heat_percent - 1.0).abs() < f64::EPSILON); // 1% of trace
+    }
+}

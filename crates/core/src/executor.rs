@@ -1,0 +1,769 @@
+//! The executor: runs a program event stream through the full
+//! profile → analyze → optimize → hibernate cycle, charging cycles for
+//! everything, exactly once per event.
+
+use hds_bursty::{BurstyTracer, Mode, Phase, Signal};
+use hds_dfsm::{build as build_dfsm, Dfsm, StateId};
+use hds_hotstream::fast;
+use hds_memsim::MemorySystem;
+use hds_sequitur::Sequitur;
+use hds_trace::{DataRef, SymbolTable, TraceBuffer};
+use hds_vulcan::{Event, FrameTracker, Image, Procedure, ProgramSource};
+
+use crate::config::{
+    CycleStrategy, OptimizerConfig, PrefetchPolicy, PrefetchScheduling, RunMode,
+};
+use crate::report::{CostBreakdown, CycleStats, RunReport};
+
+/// Runs one program under one [`RunMode`]. One-shot: construct, call
+/// [`Executor::run`], read the [`RunReport`].
+#[derive(Clone, Debug)]
+pub struct Executor {
+    config: OptimizerConfig,
+    mode: RunMode,
+}
+
+/// All mutable state of a run.
+#[derive(Debug)]
+struct RunState {
+    cycles: u64,
+    breakdown: CostBreakdown,
+    mem: MemorySystem,
+    tracer: BurstyTracer,
+    buffer: TraceBuffer,
+    symbols: SymbolTable,
+    sequitur: Sequitur,
+    image: Image<usize>,
+    dfsm: Option<Dfsm>,
+    dfsm_state: StateId,
+    /// Per-thread call stacks; single-threaded programs use only slot 0.
+    frames: Vec<FrameTracker>,
+    active_thread: usize,
+    refs: u64,
+    checks: u64,
+    cycle_stats: Vec<CycleStats>,
+    /// Tail addresses awaiting issue under windowed scheduling.
+    pf_queue: std::collections::VecDeque<hds_trace::Addr>,
+}
+
+impl Executor {
+    /// Creates an executor with the given configuration and mode.
+    #[must_use]
+    pub fn new(config: OptimizerConfig, mode: RunMode) -> Self {
+        Executor { config, mode }
+    }
+
+    /// Runs `program` to completion. `procedures` describes the static
+    /// image (needed for code injection and the Table 2 "procedures
+    /// modified" statistic); pass the workload's
+    /// `procedures()`.
+    pub fn run<W>(self, program: &mut W, procedures: Vec<Procedure>) -> RunReport
+    where
+        W: ProgramSource + ?Sized,
+    {
+        let mut session = Session::new(self.config, self.mode, procedures);
+        while let Some(event) = program.next_event() {
+            session.on_event(event);
+        }
+        session.finish(program.name())
+    }
+}
+
+/// An incremental (streaming) optimizer session: feed execution events
+/// one at a time with [`Session::on_event`], read progress with the
+/// accessors, and produce the final [`RunReport`] with
+/// [`Session::finish`].
+///
+/// [`Executor::run`] is a thin driver over this type; embedders that
+/// produce events from a live system (rather than a [`ProgramSource`])
+/// use `Session` directly.
+///
+/// # Examples
+///
+/// ```
+/// use hds_core::{OptimizerConfig, PrefetchPolicy, RunMode, Session};
+/// use hds_trace::{AccessKind, Addr, DataRef, Pc};
+/// use hds_vulcan::{Event, ProcId, Procedure};
+///
+/// let mut session = Session::new(
+///     OptimizerConfig::test_scale(),
+///     RunMode::Optimize(PrefetchPolicy::StreamTail),
+///     vec![Procedure::new("main", vec![Pc(16)])],
+/// );
+/// session.on_event(Event::Enter(ProcId(0)));
+/// session.on_event(Event::Access(
+///     DataRef::new(Pc(16), Addr(0x100)),
+///     AccessKind::Load,
+/// ));
+/// session.on_event(Event::Exit(ProcId(0)));
+/// let report = session.finish("embedded");
+/// assert_eq!(report.refs, 1);
+/// ```
+#[derive(Debug)]
+pub struct Session {
+    config: OptimizerConfig,
+    mode: RunMode,
+    st: RunState,
+}
+
+impl Session {
+    /// Creates a session over a program image described by `procedures`.
+    #[must_use]
+    pub fn new(config: OptimizerConfig, mode: RunMode, procedures: Vec<Procedure>) -> Self {
+        let st = RunState {
+            cycles: 0,
+            breakdown: CostBreakdown::default(),
+            mem: MemorySystem::new(config.hierarchy.clone()),
+            tracer: BurstyTracer::new(config.bursty),
+            buffer: TraceBuffer::new(),
+            symbols: SymbolTable::new(),
+            sequitur: Sequitur::new(),
+            image: Image::new(procedures),
+            dfsm: None,
+            dfsm_state: StateId::START,
+            frames: vec![FrameTracker::new()],
+            active_thread: 0,
+            refs: 0,
+            checks: 0,
+            cycle_stats: Vec::new(),
+            pf_queue: std::collections::VecDeque::new(),
+        };
+        Session { config, mode, st }
+    }
+
+    /// Processes one execution event, charging its simulated cost and
+    /// driving the profile -> analyze -> optimize -> hibernate machinery.
+    pub fn on_event(&mut self, event: Event) {
+        let cost = self.config.hierarchy.cost;
+        let st = &mut self.st;
+        match event {
+            Event::Work(n) => {
+                let c = u64::from(n) * cost.work_cycles;
+                st.cycles += c;
+                st.breakdown.work += c;
+            }
+            Event::Enter(p) => {
+                st.frames[st.active_thread].enter(p, st.image.epoch());
+                do_check(&self.config, self.mode, st);
+            }
+            Event::Exit(p) => st.frames[st.active_thread].exit(p),
+            Event::BackEdge(_) => do_check(&self.config, self.mode, st),
+            Event::Access(r, kind) => do_access(&self.config, self.mode, st, r, kind),
+            Event::Prefetch(addr) => {
+                // A prefetch instruction belonging to the program
+                // itself (software prefetching baselines); charged in
+                // every mode, including the baseline.
+                st.cycles += cost.prefetch_issue_cycles;
+                st.breakdown.prefetch += cost.prefetch_issue_cycles;
+                st.mem.prefetch_at(addr, st.cycles);
+            }
+            Event::Thread(t) => {
+                // Context switch: call stacks are per-thread; the
+                // matcher state and profiling counters stay global
+                // (the injected code uses process-global variables,
+                // exactly as in Figure 7).
+                let t = t as usize;
+                while st.frames.len() <= t {
+                    st.frames.push(FrameTracker::new());
+                }
+                st.active_thread = t;
+            }
+        }
+    }
+
+    /// Simulated cycles charged so far.
+    #[must_use]
+    pub fn simulated_cycles(&self) -> u64 {
+        self.st.cycles
+    }
+
+    /// Data references processed so far.
+    #[must_use]
+    pub fn refs_so_far(&self) -> u64 {
+        self.st.refs
+    }
+
+    /// Optimization cycles completed so far.
+    #[must_use]
+    pub fn opt_cycles_so_far(&self) -> usize {
+        self.st.cycle_stats.len()
+    }
+
+    /// Current cache/prefetch statistics.
+    #[must_use]
+    pub fn mem_stats(&self) -> &hds_memsim::MemStats {
+        self.st.mem.stats()
+    }
+
+    /// Ends the session and produces the report, labelled with the
+    /// program's `name`.
+    #[must_use]
+    pub fn finish(self, name: &str) -> RunReport {
+        let mode_label = match self.mode {
+            RunMode::Baseline => "Baseline".to_string(),
+            RunMode::ChecksOnly => "Base".to_string(),
+            RunMode::Profile => "Prof".to_string(),
+            RunMode::Analyze => "Hds".to_string(),
+            RunMode::Optimize(p) => p.label().to_string(),
+        };
+        let st = self.st;
+        RunReport {
+            name: name.to_string(),
+            mode: mode_label,
+            total_cycles: st.cycles,
+            breakdown: st.breakdown,
+            mem: *st.mem.stats(),
+            refs: st.refs,
+            checks_executed: st.checks,
+            cycles: st.cycle_stats,
+        }
+    }
+}
+
+/// One dynamic check site (procedure entry or loop back-edge).
+fn do_check(config: &OptimizerConfig, mode: RunMode, st: &mut RunState) {
+    {
+        let cost = config.hierarchy.cost;
+        match mode {
+            RunMode::Baseline => {} // original binary: no checks exist
+            RunMode::ChecksOnly => {
+                // Figure 11's Base configuration: the checking code runs
+                // forever (nCheck "extremely large"), so only the basic
+                // check cost is paid.
+                st.checks += 1;
+                st.cycles += cost.check_cycles;
+                st.breakdown.checks += cost.check_cycles;
+            }
+            _ => {
+                st.checks += 1;
+                let signal = st.tracer.on_check();
+                let c = if st.tracer.mode() == Mode::Instrumented {
+                    cost.instr_check_cycles
+                } else {
+                    cost.check_cycles
+                };
+                st.cycles += c;
+                st.breakdown.checks += c;
+                match signal {
+                    Some(Signal::BurstBegin) if st.tracer.phase() == Phase::Awake => {
+                        st.buffer.begin_burst();
+                    }
+                    Some(Signal::BurstEnd) if st.buffer.in_burst() => {
+                        st.buffer.end_burst_discard_empty();
+                    }
+                    Some(Signal::BurstBegin | Signal::BurstEnd) => {}
+                    Some(Signal::AwakeComplete) => {
+                        if st.buffer.in_burst() {
+                            st.buffer.end_burst_discard_empty();
+                        }
+                        finish_awake(config, mode, st);
+                        st.tracer.hibernate();
+                    }
+                    Some(Signal::HibernationComplete) => {
+                        if config.strategy == CycleStrategy::Static
+                            && st.dfsm.is_some()
+                        {
+                            // Static operation: the code stays optimized
+                            // and profiling never resumes — just start
+                            // another hibernation span.
+                            st.tracer.hibernate();
+                        } else {
+                            // De-optimize: remove the injected checks and
+                            // prefetches, return to profiling (§1,
+                            // Figure 1).
+                            st.image.deoptimize();
+                            st.dfsm = None;
+                            st.dfsm_state = StateId::START;
+                            st.pf_queue.clear();
+                            st.tracer.wake();
+                        }
+                    }
+                    None => {}
+                }
+            }
+        }
+    }
+
+}
+
+/// One data reference.
+fn do_access(config: &OptimizerConfig, mode: RunMode, st: &mut RunState, r: DataRef, kind: hds_trace::AccessKind) {
+    {
+        let cost = config.hierarchy.cost;
+        st.refs += 1;
+        let res = st.mem.access_at(r.addr, kind, st.cycles);
+        st.cycles += res.cycles;
+        st.breakdown.memory += res.cycles;
+
+        // Profiling: record the reference if a burst is live.
+        if mode.records() && st.tracer.should_record() && st.buffer.in_burst() {
+            st.cycles += cost.record_ref_cycles;
+            st.breakdown.recording += cost.record_ref_cycles;
+            st.buffer.record(r);
+            if mode.analyzes() {
+                let s = st.symbols.intern(r);
+                st.sequitur.append(s);
+                st.cycles += cost.analysis_per_ref_cycles;
+                st.breakdown.analysis += cost.analysis_per_ref_cycles;
+            }
+        }
+
+        // Injected prefix-matching code (only in optimize modes, only at
+        // instrumented pcs, only for activations entered after the patch).
+        if let Some(policy) = mode.optimizes() {
+            // Windowed scheduling: issue a few queued prefetches per
+            // reference so fetches land closer to their uses.
+            if let PrefetchScheduling::Windowed { degree } = config.scheduling {
+                for _ in 0..degree {
+                    let Some(addr) = st.pf_queue.pop_front() else {
+                        break;
+                    };
+                    st.cycles += cost.prefetch_issue_cycles;
+                    st.breakdown.prefetch += cost.prefetch_issue_cycles;
+                    st.mem.prefetch_at(addr, st.cycles);
+                }
+            }
+            let epoch = st.frames[st.active_thread].current_epoch().unwrap_or(0);
+            if st.image.injected_at(r.pc, epoch).is_some() {
+                // Flat per-site cost: the injected if-chains are "sorted
+                // in such a way that more likely cases come first"
+                // (§3.1), so the expected number of executed comparisons
+                // is small regardless of chain length.
+                let c = cost.dfsm_check_cycles;
+                st.cycles += c;
+                st.breakdown.matching += c;
+                let Some(dfsm) = st.dfsm.as_ref() else {
+                    return;
+                };
+                match dfsm.transition(st.dfsm_state, r) {
+                    Some(next) => {
+                        st.dfsm_state = next;
+                        let targets = dfsm.prefetches(next);
+                        if !targets.is_empty() {
+                            let block = config.hierarchy.l1.block_size;
+                            let addrs: Vec<hds_trace::Addr> = match policy {
+                                PrefetchPolicy::None => Vec::new(),
+                                PrefetchPolicy::StreamTail => targets.to_vec(),
+                                PrefetchPolicy::SequentialBlocks => {
+                                    // Same trigger, but fetch the blocks
+                                    // sequentially following the matched
+                                    // reference (§4.3's Seq-pref).
+                                    let n = targets.len().min(config.seq_pref_cap);
+                                    let base = r.addr.block(block);
+                                    (1..=n as u64)
+                                        .map(|k| hds_trace::Addr((base + k) * block))
+                                        .collect()
+                                }
+                            };
+                            match config.scheduling {
+                                PrefetchScheduling::AllAtOnce => {
+                                    for addr in addrs {
+                                        st.cycles += cost.prefetch_issue_cycles;
+                                        st.breakdown.prefetch += cost.prefetch_issue_cycles;
+                                        st.mem.prefetch_at(addr, st.cycles);
+                                    }
+                                }
+                                PrefetchScheduling::Windowed { .. } => {
+                                    st.pf_queue.extend(addrs);
+                                }
+                            }
+                        }
+                    }
+                    None => st.dfsm_state = StateId::START,
+                }
+            }
+        }
+    }
+
+}
+
+/// End of an awake phase: run the analysis, and in optimize modes
+/// build the DFSM and edit the image. Resets the profile state for
+/// the next cycle either way.
+fn finish_awake(config: &OptimizerConfig, mode: RunMode, st: &mut RunState) {
+    {
+        let cost = config.hierarchy.cost;
+        if mode.analyzes() {
+            let trace_len = st.sequitur.input_len();
+            let grammar = st.sequitur.grammar();
+            // Final analysis pass cost: linear in the grammar size.
+            let c = cost.analysis_per_ref_cycles * grammar.size() as u64;
+            st.cycles += c;
+            st.breakdown.analysis += c;
+            let analysis_cfg = config
+                .analysis
+                .clone()
+                .with_heat_percent(trace_len, config.heat_percent);
+            let result = fast::analyze(&grammar, &analysis_cfg);
+            let mut stats = CycleStats {
+                traced_refs: trace_len,
+                hot_streams: result.streams.len(),
+                grammar_size: grammar.size(),
+                ..CycleStats::default()
+            };
+
+            if mode.optimizes().is_some() {
+                let head_len = config.dfsm.head_len;
+                let candidates: Vec<Vec<DataRef>> = result
+                    .streams
+                    .iter()
+                    .map(|s| st.symbols.resolve_all(&s.symbols))
+                    .filter(|refs| refs.len() > head_len)
+                    .collect();
+                // Hottest-first (the analysis sorts that way); drop any
+                // stream that (a) is a contiguous subsequence of an
+                // accepted one — matching it separately would only
+                // duplicate prefetches — or (b) *extends* an accepted
+                // stream (same prefix): such candidates are coincidental
+                // concatenations whose head fires on every walk of the
+                // accepted stream but whose extra tail rarely follows.
+                let mut streams: Vec<Vec<DataRef>> = Vec::new();
+                for cand in candidates {
+                    if streams.len() >= config.max_streams {
+                        break;
+                    }
+                    let subsumed = streams.iter().any(|s| {
+                        s.windows(cand.len()).any(|w| w == &cand[..])
+                            || cand.starts_with(&s[..])
+                    });
+                    if !subsumed {
+                        streams.push(cand);
+                    }
+                }
+                stats.streams_used = streams.len();
+                if !streams.is_empty() {
+                    if let Ok(dfsm) = build_dfsm(&streams, &config.dfsm) {
+                        let checks = dfsm.checks_by_pc();
+                        let mut edit = st.image.edit();
+                        for (pc, chain) in &checks {
+                            // Streams come from observed references, so
+                            // every pc belongs to the image; ignore any
+                            // that do not (defensive).
+                            let _ = edit.inject(*pc, chain.len());
+                        }
+                        let report = edit.commit();
+                        st.cycles += cost.optimize_cycles;
+                        st.breakdown.optimize += cost.optimize_cycles;
+                        stats.dfsm_states = dfsm.state_count();
+                        stats.dfsm_checks = dfsm.address_check_count();
+                        stats.procs_modified = report.procedures_modified;
+                        st.dfsm = Some(dfsm);
+                        st.dfsm_state = StateId::START;
+                    }
+                }
+            }
+            st.cycle_stats.push(stats);
+        }
+        // Fresh profile for the next cycle: hibernation references are
+        // ignored and each cycle analyzes only its own trace (§2.4).
+        st.buffer.clear();
+        st.symbols = SymbolTable::new();
+        st.sequitur = Sequitur::new();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hds_trace::{AccessKind, Addr, Pc};
+    use hds_vulcan::{ProcId, VecSource};
+
+    /// A tiny hand-built program: one procedure looping over one hot
+    /// stream with periodic check sites.
+    fn looping_program(reps: usize) -> (VecSource, Vec<Procedure>) {
+        let pcs: Vec<Pc> = (0..4).map(|i| Pc(16 + i * 4)).collect();
+        let stream: Vec<DataRef> = (0..8u64)
+            .map(|k| DataRef::new(pcs[(k % 4) as usize], Addr(0x4000 + k * 256)))
+            .collect();
+        let mut events = Vec::new();
+        for _ in 0..reps {
+            events.push(Event::Enter(ProcId(0)));
+            for (i, &r) in stream.iter().enumerate() {
+                if i % 3 == 0 {
+                    events.push(Event::BackEdge(ProcId(0)));
+                }
+                events.push(Event::Work(2));
+                events.push(Event::Access(r, AccessKind::Load));
+            }
+            events.push(Event::Exit(ProcId(0)));
+        }
+        (
+            VecSource::new("loop", events),
+            vec![Procedure::new("looper", pcs)],
+        )
+    }
+
+    fn tiny_config() -> OptimizerConfig {
+        let mut c = OptimizerConfig::test_scale();
+        c.bursty = hds_bursty::BurstyConfig::new(8, 8, 2, 3);
+        c.analysis.min_length = 4;
+        c.analysis.min_unique_refs = 2;
+        c
+    }
+
+    #[test]
+    fn baseline_charges_no_check_costs() {
+        let (mut p, procs) = looping_program(50);
+        let report = Executor::new(tiny_config(), RunMode::Baseline).run(&mut p, procs);
+        assert_eq!(report.breakdown.checks, 0);
+        assert_eq!(report.breakdown.recording, 0);
+        assert_eq!(report.checks_executed, 0);
+        assert!(report.refs >= 400);
+        assert!(report.total_cycles > 0);
+        assert_eq!(report.mode, "Baseline");
+    }
+
+    #[test]
+    fn checks_only_adds_exactly_check_cost() {
+        let (mut p1, procs1) = looping_program(50);
+        let (mut p2, procs2) = looping_program(50);
+        let base = Executor::new(tiny_config(), RunMode::Baseline).run(&mut p1, procs1);
+        let checks = Executor::new(tiny_config(), RunMode::ChecksOnly).run(&mut p2, procs2);
+        assert!(checks.checks_executed > 0);
+        let expected =
+            base.total_cycles + checks.checks_executed * tiny_config().hierarchy.cost.check_cycles;
+        assert_eq!(checks.total_cycles, expected);
+    }
+
+    #[test]
+    fn profile_records_bursts() {
+        let (mut p, procs) = looping_program(200);
+        let report = Executor::new(tiny_config(), RunMode::Profile).run(&mut p, procs);
+        assert!(report.breakdown.recording > 0, "nothing recorded");
+        assert_eq!(report.breakdown.analysis, 0);
+        assert!(report.cycles.is_empty());
+    }
+
+    #[test]
+    fn analyze_detects_the_hot_stream() {
+        let (mut p, procs) = looping_program(600);
+        let report = Executor::new(tiny_config(), RunMode::Analyze).run(&mut p, procs);
+        assert!(report.breakdown.analysis > 0);
+        assert!(!report.cycles.is_empty(), "no analysis cycles completed");
+        let found: usize = report.cycles.iter().map(|c| c.hot_streams).sum();
+        assert!(found > 0, "hot stream not detected: {:?}", report.cycles);
+    }
+
+    #[test]
+    fn optimize_injects_and_prefetches() {
+        let (mut p, procs) = looping_program(600);
+        let report = Executor::new(
+            tiny_config(),
+            RunMode::Optimize(PrefetchPolicy::StreamTail),
+        )
+        .run(&mut p, procs);
+        assert!(report.opt_cycles() >= 1);
+        let with_dfsm: Vec<_> = report.cycles.iter().filter(|c| c.dfsm_states > 0).collect();
+        assert!(!with_dfsm.is_empty(), "no DFSM ever built: {:?}", report.cycles);
+        for c in &with_dfsm {
+            assert!(c.procs_modified >= 1);
+            assert!(c.dfsm_checks >= 1);
+        }
+        assert!(report.breakdown.matching > 0, "injected checks never ran");
+        assert!(report.mem.prefetches_issued > 0, "no prefetches issued");
+        assert!(report.breakdown.prefetch > 0);
+    }
+
+    #[test]
+    fn no_pref_matches_but_never_prefetches() {
+        let (mut p, procs) = looping_program(600);
+        let report = Executor::new(tiny_config(), RunMode::Optimize(PrefetchPolicy::None))
+            .run(&mut p, procs);
+        assert!(report.breakdown.matching > 0);
+        assert_eq!(report.mem.prefetches_issued, 0);
+        assert_eq!(report.breakdown.prefetch, 0);
+        assert_eq!(report.mode, "No-pref");
+    }
+
+    /// A program with many short hot streams whose combined footprint
+    /// exceeds L1 (so stream blocks miss on every revisit), walked in
+    /// pseudo-random order (so Sequitur reifies each stream as its own
+    /// rule instead of one maximal round-robin unit) — the memory-bound
+    /// shape prefetching exists for.
+    fn big_stream_program(iterations: usize) -> (VecSource, Vec<Procedure>) {
+        let pcs: Vec<Pc> = (0..4).map(|i| Pc(16 + i * 4)).collect();
+        // 40 streams x 16 blocks at a 33-block stride: ~20 KB > 16 KB L1.
+        let streams: Vec<Vec<DataRef>> = (0..40u64)
+            .map(|s| {
+                (0..16u64)
+                    .map(|k| {
+                        let block = 0x2000 + (s * 16 + k) * 33;
+                        DataRef::new(pcs[(k % 4) as usize], Addr(block * 32))
+                    })
+                    .collect()
+            })
+            .collect();
+        let mut events = Vec::new();
+        let mut rng_state = 0x12345u64; // xorshift: deterministic
+        for _ in 0..iterations {
+            rng_state ^= rng_state << 13;
+            rng_state ^= rng_state >> 7;
+            rng_state ^= rng_state << 17;
+            let stream = &streams[(rng_state % 40) as usize];
+            events.push(Event::Enter(ProcId(0)));
+            for (i, &r) in stream.iter().enumerate() {
+                if i % 3 == 0 {
+                    events.push(Event::BackEdge(ProcId(0)));
+                }
+                events.push(Event::Work(2));
+                events.push(Event::Access(r, AccessKind::Load));
+            }
+            events.push(Event::Exit(ProcId(0)));
+        }
+        (
+            VecSource::new("bigloop", events),
+            vec![Procedure::new("looper", pcs)],
+        )
+    }
+
+    #[test]
+    fn prefetching_speeds_up_a_stream_heavy_program() {
+        // Bursts long enough to span two stream iterations, so Sequitur
+        // sees the repetition.
+        let mut config = tiny_config();
+        config.bursty = hds_bursty::BurstyConfig::new(256, 512, 2, 3);
+        let (mut p1, procs1) = big_stream_program(2_000);
+        let (mut p2, procs2) = big_stream_program(2_000);
+        let nopref = Executor::new(config.clone(), RunMode::Optimize(PrefetchPolicy::None))
+            .run(&mut p1, procs1);
+        let dynpref =
+            Executor::new(config, RunMode::Optimize(PrefetchPolicy::StreamTail))
+                .run(&mut p2, procs2);
+        assert!(
+            dynpref.mem.prefetches_useful > 0,
+            "prefetches were never useful: {}",
+            dynpref.mem
+        );
+        // Same machinery cost, so any win comes from memory cycles — and
+        // it must be a real one.
+        assert!(
+            dynpref.breakdown.memory < nopref.breakdown.memory,
+            "no memory-cycle win: {} vs {}",
+            dynpref.breakdown.memory,
+            nopref.breakdown.memory
+        );
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let run = || {
+            let (mut p, procs) = looping_program(300);
+            Executor::new(
+                tiny_config(),
+                RunMode::Optimize(PrefetchPolicy::StreamTail),
+            )
+            .run(&mut p, procs)
+            .total_cycles
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn windowed_scheduling_issues_same_prefetch_set() {
+        let mut all = tiny_config();
+        all.bursty = hds_bursty::BurstyConfig::new(256, 512, 2, 3);
+        let mut windowed = all.clone();
+        windowed.scheduling = crate::config::PrefetchScheduling::Windowed { degree: 2 };
+        let (mut p1, procs1) = big_stream_program(2_000);
+        let (mut p2, procs2) = big_stream_program(2_000);
+        let a = Executor::new(all, RunMode::Optimize(PrefetchPolicy::StreamTail))
+            .run(&mut p1, procs1);
+        let b = Executor::new(windowed, RunMode::Optimize(PrefetchPolicy::StreamTail))
+            .run(&mut p2, procs2);
+        assert!(b.mem.prefetches_issued > 0);
+        // Windowed never issues *more* than all-at-once (queued items can
+        // be dropped at de-optimization), and both must be useful.
+        assert!(b.mem.prefetches_issued <= a.mem.prefetches_issued);
+        assert!(b.mem.prefetches_useful > 0);
+    }
+
+    #[test]
+    fn static_strategy_profiles_once_and_keeps_code() {
+        let mut config = tiny_config();
+        config.bursty = hds_bursty::BurstyConfig::new(256, 512, 2, 3);
+        config.strategy = crate::config::CycleStrategy::Static;
+        let (mut p, procs) = big_stream_program(4_000);
+        let report = Executor::new(config, RunMode::Optimize(PrefetchPolicy::StreamTail))
+            .run(&mut p, procs);
+        // Exactly one optimization cycle, ever.
+        assert_eq!(report.opt_cycles(), 1, "{:?}", report.cycles);
+        // But prefetching keeps running for the rest of the program.
+        assert!(report.mem.prefetches_issued > 0);
+        // Recording stops after the single awake phase: far less profile
+        // cost than a dynamic run of the same length.
+        let mut dynamic = tiny_config();
+        dynamic.bursty = hds_bursty::BurstyConfig::new(256, 512, 2, 3);
+        let (mut p2, procs2) = big_stream_program(4_000);
+        let dyn_report = Executor::new(dynamic, RunMode::Optimize(PrefetchPolicy::StreamTail))
+            .run(&mut p2, procs2);
+        assert!(dyn_report.opt_cycles() > 1);
+        assert!(report.breakdown.recording < dyn_report.breakdown.recording);
+    }
+
+    #[test]
+    fn missing_procedure_metadata_degrades_gracefully() {
+        // If the image's procedure list does not cover the hot pcs (an
+        // incomplete symbolization), injection silently skips them: no
+        // panic, no prefetching, but profiling and analysis still work.
+        let (mut p, _full_procs) = looping_program(600);
+        let procs = vec![Procedure::new("unrelated", vec![Pc(0xdead)])];
+        let report = Executor::new(
+            tiny_config(),
+            RunMode::Optimize(PrefetchPolicy::StreamTail),
+        )
+        .run(&mut p, procs);
+        assert!(report.opt_cycles() >= 1);
+        // Streams are detected but nothing can be injected.
+        assert!(report.cycles.iter().any(|c| c.hot_streams > 0));
+        assert!(report.cycles.iter().all(|c| c.procs_modified == 0));
+        assert_eq!(report.mem.prefetches_issued, 0);
+    }
+
+    #[test]
+    fn threaded_events_keep_per_thread_stacks() {
+        // Two threads with deliberately clashing nesting: a single
+        // global frame tracker would panic on the interleaved exits.
+        use hds_vulcan::{Interleaver, VecSource};
+        let t0 = VecSource::new(
+            "t0",
+            vec![
+                Event::Enter(ProcId(0)),
+                Event::Work(1),
+                Event::Access(DataRef::new(Pc(16), Addr(0x100)), AccessKind::Load),
+                Event::Work(1),
+                Event::Exit(ProcId(0)),
+            ],
+        );
+        let t1 = VecSource::new(
+            "t1",
+            vec![
+                Event::Enter(ProcId(1)),
+                Event::Work(1),
+                Event::Access(DataRef::new(Pc(32), Addr(0x200)), AccessKind::Load),
+                Event::Work(1),
+                Event::Exit(ProcId(1)),
+            ],
+        );
+        let mut program = Interleaver::new(vec![Box::new(t0), Box::new(t1)], 2);
+        let procs = vec![
+            Procedure::new("p0", vec![Pc(16)]),
+            Procedure::new("p1", vec![Pc(32)]),
+        ];
+        let report = Executor::new(tiny_config(), RunMode::Optimize(PrefetchPolicy::StreamTail))
+            .run(&mut program, procs);
+        assert_eq!(report.refs, 2);
+        assert_eq!(report.name, "interleaved");
+    }
+
+    #[test]
+    fn deopt_happens_each_hibernation_end() {
+        let (mut p, procs) = looping_program(2_000);
+        let report = Executor::new(
+            tiny_config(),
+            RunMode::Optimize(PrefetchPolicy::StreamTail),
+        )
+        .run(&mut p, procs);
+        // Several full cycles completed.
+        assert!(report.opt_cycles() >= 2, "only {} cycles", report.opt_cycles());
+    }
+}

@@ -1,0 +1,57 @@
+//! The dynamic hot data stream prefetching optimizer — the paper's
+//! primary contribution (Chilimbi & Hirzel, PLDI 2002).
+//!
+//! The optimizer runs a program through the three-phase cycle of
+//! Figure 1:
+//!
+//! 1. **Profiling** — bursty tracing ([`hds_bursty`]) samples bursts of
+//!    data references into a temporal profile, which Sequitur
+//!    ([`hds_sequitur`]) compresses online;
+//! 2. **Analysis and optimization** — the fast hot-data-stream analysis
+//!    ([`hds_hotstream`]) extracts streams from the grammar, a
+//!    prefix-matching DFSM ([`hds_dfsm`]) is built over them, and
+//!    detection/prefetching code is injected into the running image
+//!    ([`hds_vulcan`]);
+//! 3. **Hibernation** — profiling is off; the program runs with the
+//!    added prefetch instructions. At the end, the code is de-optimized
+//!    and the cycle repeats.
+//!
+//! Execution, cache behaviour and timing come from [`hds_memsim`]; the
+//! program itself is any `hds_workloads::Workload`-style event source.
+//!
+//! # Examples
+//!
+//! ```
+//! use hds_core::{Executor, OptimizerConfig, PrefetchPolicy, RunMode};
+//! use hds_workloads::{SyntheticConfig, SyntheticWorkload, Workload};
+//!
+//! let make = || SyntheticWorkload::new(SyntheticConfig {
+//!     total_refs: 60_000,
+//!     ..SyntheticConfig::default()
+//! });
+//! let config = OptimizerConfig::test_scale();
+//!
+//! // Baseline: the unmodified program.
+//! let mut w = make();
+//! let procs = w.procedures();
+//! let base = Executor::new(config.clone(), RunMode::Baseline).run(&mut w, procs);
+//! // Full dynamic prefetching.
+//! let mut w = make();
+//! let procs = w.procedures();
+//! let opt = Executor::new(config, RunMode::Optimize(PrefetchPolicy::StreamTail))
+//!     .run(&mut w, procs);
+//! assert!(opt.opt_cycles() >= 1);
+//! // Reports are comparable: overhead_vs is negative when we sped up.
+//! let _pct = opt.overhead_vs(&base);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod executor;
+mod report;
+
+pub use config::{CycleStrategy, OptimizerConfig, PrefetchPolicy, PrefetchScheduling, RunMode};
+pub use executor::{Executor, Session};
+pub use report::{CostBreakdown, CycleStats, RunReport};

@@ -1,0 +1,201 @@
+//! Run reports: cycle breakdowns, per-optimization-cycle statistics, and
+//! the comparisons the paper's figures are built from.
+
+use std::fmt;
+
+use hds_memsim::MemStats;
+
+/// Where the simulated cycles went.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct CostBreakdown {
+    /// Plain (non-memory) instructions.
+    pub work: u64,
+    /// Demand memory accesses.
+    pub memory: u64,
+    /// Bursty-tracing dynamic checks.
+    pub checks: u64,
+    /// Recording traced references into the profile buffer.
+    pub recording: u64,
+    /// Online Sequitur + hot-data-stream analysis.
+    pub analysis: u64,
+    /// Executing injected DFSM prefix-match checks.
+    pub matching: u64,
+    /// Issuing prefetch instructions.
+    pub prefetch: u64,
+    /// Optimization steps (DFSM construction + binary editing).
+    pub optimize: u64,
+}
+
+impl CostBreakdown {
+    /// Sum of all categories.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.work
+            + self.memory
+            + self.checks
+            + self.recording
+            + self.analysis
+            + self.matching
+            + self.prefetch
+            + self.optimize
+    }
+}
+
+/// Statistics of one profile → analyze → optimize cycle — one row's worth
+/// of the paper's Table 2 (which reports per-cycle averages).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct CycleStats {
+    /// References traced during the awake phase.
+    pub traced_refs: u64,
+    /// Hot data streams detected.
+    pub hot_streams: usize,
+    /// Streams actually handed to the DFSM (after length filtering and
+    /// the `max_streams` cap).
+    pub streams_used: usize,
+    /// DFSM state count.
+    pub dfsm_states: usize,
+    /// Distinct injected address checks (Table 2's "checks").
+    pub dfsm_checks: usize,
+    /// Procedures modified by the injection.
+    pub procs_modified: usize,
+    /// Grammar size (total body symbols) the analysis ran over.
+    pub grammar_size: usize,
+}
+
+/// The result of one run.
+#[derive(Clone, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct RunReport {
+    /// Workload name.
+    pub name: String,
+    /// Run-mode label (e.g. "Dyn-pref").
+    pub mode: String,
+    /// Total simulated execution time.
+    pub total_cycles: u64,
+    /// Where the cycles went.
+    pub breakdown: CostBreakdown,
+    /// Cache / prefetch statistics.
+    pub mem: MemStats,
+    /// Data references executed.
+    pub refs: u64,
+    /// Dynamic checks executed.
+    pub checks_executed: u64,
+    /// Per-optimization-cycle statistics (empty unless optimizing).
+    pub cycles: Vec<CycleStats>,
+}
+
+impl RunReport {
+    /// Number of completed optimization cycles.
+    #[must_use]
+    pub fn opt_cycles(&self) -> usize {
+        self.cycles.len()
+    }
+
+    /// Percentage overhead relative to `baseline` (positive = slower,
+    /// negative = speedup), exactly as the paper's Figures 11/12 report:
+    /// "normalized to the execution time of the original unoptimized
+    /// program".
+    #[must_use]
+    pub fn overhead_vs(&self, baseline: &RunReport) -> f64 {
+        #[allow(clippy::cast_precision_loss)]
+        {
+            (self.total_cycles as f64 - baseline.total_cycles as f64)
+                / baseline.total_cycles as f64
+                * 100.0
+        }
+    }
+
+    /// Mean of a per-cycle statistic (helper for Table 2's "per cycle
+    /// avg" columns). Returns 0.0 when no cycles completed.
+    #[must_use]
+    pub fn cycle_avg(&self, f: impl Fn(&CycleStats) -> f64) -> f64 {
+        if self.cycles.is_empty() {
+            return 0.0;
+        }
+        #[allow(clippy::cast_precision_loss)]
+        {
+            self.cycles.iter().map(f).sum::<f64>() / self.cycles.len() as f64
+        }
+    }
+}
+
+impl fmt::Display for RunReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} [{}]: {} cycles, {} refs, {} opt cycles",
+            self.name,
+            self.mode,
+            self.total_cycles,
+            self.refs,
+            self.opt_cycles()
+        )?;
+        write!(f, "  {}", self.mem)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(cycles: u64) -> RunReport {
+        RunReport {
+            name: "t".into(),
+            mode: "m".into(),
+            total_cycles: cycles,
+            breakdown: CostBreakdown::default(),
+            mem: MemStats::default(),
+            refs: 0,
+            checks_executed: 0,
+            cycles: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn overhead_math() {
+        let base = report(1000);
+        assert!((report(1050).overhead_vs(&base) - 5.0).abs() < 1e-9);
+        assert!((report(810).overhead_vs(&base) + 19.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn breakdown_total() {
+        let b = CostBreakdown {
+            work: 1,
+            memory: 2,
+            checks: 3,
+            recording: 4,
+            analysis: 5,
+            matching: 6,
+            prefetch: 7,
+            optimize: 8,
+        };
+        assert_eq!(b.total(), 36);
+    }
+
+    #[test]
+    fn cycle_avg_handles_empty_and_values() {
+        let mut r = report(1);
+        assert_eq!(r.cycle_avg(|c| c.traced_refs as f64), 0.0);
+        r.cycles = vec![
+            CycleStats {
+                traced_refs: 10,
+                ..CycleStats::default()
+            },
+            CycleStats {
+                traced_refs: 30,
+                ..CycleStats::default()
+            },
+        ];
+        assert!((r.cycle_avg(|c| c.traced_refs as f64) - 20.0).abs() < 1e-9);
+        assert_eq!(r.opt_cycles(), 2);
+    }
+
+    #[test]
+    fn display_mentions_mode() {
+        let r = report(5);
+        assert!(r.to_string().contains("[m]"));
+    }
+}

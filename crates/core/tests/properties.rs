@@ -1,0 +1,134 @@
+//! Property tests over the whole optimizer: for arbitrary (small)
+//! workload shapes and counter settings, the executor never panics, is
+//! deterministic, and maintains the mode-cost ordering.
+
+use hds_bursty::BurstyConfig;
+use hds_core::{Executor, OptimizerConfig, PrefetchPolicy, RunMode};
+use hds_workloads::{SyntheticConfig, SyntheticWorkload, Workload};
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+struct Shape {
+    seed: u64,
+    stream_count: usize,
+    hot_core: usize,
+    stream_len_lo: usize,
+    hot_fraction: f64,
+    refs_per_check: u32,
+    n_check0: u64,
+    n_instr0: u64,
+    shared_entry: bool,
+}
+
+fn shape_strategy() -> impl Strategy<Value = Shape> {
+    (
+        any::<u64>(),
+        4usize..40,
+        1usize..8,
+        3usize..12,
+        0.0f64..1.0,
+        1u32..16,
+        8u64..400,
+        4u64..80,
+        any::<bool>(),
+    )
+        .prop_map(
+            |(seed, stream_count, hot_core, len_lo, hot_fraction, rpc, nc, ni, shared)| Shape {
+                seed,
+                stream_count,
+                hot_core: hot_core.min(stream_count),
+                stream_len_lo: len_lo,
+                hot_fraction,
+                refs_per_check: rpc,
+                n_check0: nc,
+                n_instr0: ni,
+                shared_entry: shared,
+            },
+        )
+}
+
+fn build(shape: &Shape) -> (SyntheticWorkload, OptimizerConfig) {
+    let w = SyntheticWorkload::new(SyntheticConfig {
+        name: "prop".into(),
+        seed: shape.seed,
+        total_refs: 40_000,
+        stream_count: shape.stream_count,
+        hot_core: shape.hot_core,
+        stream_len: (shape.stream_len_lo, shape.stream_len_lo + 8),
+        hot_fraction: shape.hot_fraction,
+        refs_per_check: shape.refs_per_check,
+        shared_entry: shape.shared_entry,
+        ..SyntheticConfig::default()
+    });
+    let mut config = OptimizerConfig::test_scale();
+    config.bursty = BurstyConfig::new(shape.n_check0, shape.n_instr0, 2, 4);
+    config.analysis.min_length = 4;
+    config.analysis.min_unique_refs = 2;
+    (w, config)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The full optimizer handles arbitrary workload/counter shapes
+    /// without panicking, and the machinery-cost ordering holds.
+    #[test]
+    fn executor_total_ordering_holds(shape in shape_strategy()) {
+        let mut totals = Vec::new();
+        for mode in [
+            RunMode::Baseline,
+            RunMode::ChecksOnly,
+            RunMode::Profile,
+            RunMode::Analyze,
+            RunMode::Optimize(PrefetchPolicy::None),
+        ] {
+            let (mut w, config) = build(&shape);
+            let procs = w.procedures();
+            let report = Executor::new(config, mode).run(&mut w, procs);
+            prop_assert!(report.refs >= 40_000);
+            totals.push(report.total_cycles);
+        }
+        for pair in totals.windows(2) {
+            prop_assert!(
+                pair[0] <= pair[1],
+                "mode ordering violated: {:?}",
+                totals
+            );
+        }
+    }
+
+    /// Dyn-pref runs are bit-deterministic for arbitrary shapes.
+    #[test]
+    fn dyn_pref_deterministic(shape in shape_strategy()) {
+        let run = || {
+            let (mut w, config) = build(&shape);
+            let procs = w.procedures();
+            Executor::new(config, RunMode::Optimize(PrefetchPolicy::StreamTail))
+                .run(&mut w, procs)
+        };
+        let (a, b) = (run(), run());
+        prop_assert_eq!(a.total_cycles, b.total_cycles);
+        prop_assert_eq!(a.mem, b.mem);
+        prop_assert_eq!(a.cycles, b.cycles);
+    }
+
+    /// Prefetching never perturbs correctness-invariant counters: the
+    /// demand reference count matches the baseline exactly, whatever the
+    /// policy.
+    #[test]
+    fn demand_reference_count_invariant(shape in shape_strategy()) {
+        let mut counts = Vec::new();
+        for mode in [
+            RunMode::Baseline,
+            RunMode::Optimize(PrefetchPolicy::SequentialBlocks),
+            RunMode::Optimize(PrefetchPolicy::StreamTail),
+        ] {
+            let (mut w, config) = build(&shape);
+            let procs = w.procedures();
+            let report = Executor::new(config, mode).run(&mut w, procs);
+            counts.push((report.refs, report.mem.l1_hits + report.mem.l1_misses));
+        }
+        prop_assert_eq!(counts[0], counts[1]);
+        prop_assert_eq!(counts[0], counts[2]);
+    }
+}

@@ -1,0 +1,389 @@
+//! Lazy work-list DFSM construction (the paper's Figure 9).
+
+use std::collections::HashMap;
+use std::fmt;
+
+use hds_trace::{Addr, DataRef};
+
+use crate::machine::{delta, Dfsm, DfsmConfig, State, StateId, StreamId};
+use crate::stream::PrefetchStream;
+
+/// Errors from DFSM construction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BuildError {
+    /// No streams were supplied (an empty machine is useless; the
+    /// optimizer should simply skip injection).
+    NoStreams,
+    /// A stream is too short for the configured `headLen` (needs at least
+    /// `headLen + 1` references so the tail is non-empty).
+    StreamTooShort {
+        /// Index of the offending stream in the input slice.
+        index: usize,
+        /// Its length.
+        len: usize,
+        /// The configured head length.
+        head_len: usize,
+    },
+    /// The subset construction exceeded [`DfsmConfig::max_states`].
+    TooManyStates {
+        /// The configured bound that was hit.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::NoStreams => f.write_str("no hot data streams supplied"),
+            BuildError::StreamTooShort {
+                index,
+                len,
+                head_len,
+            } => write!(
+                f,
+                "stream {index} has {len} references, need more than headLen = {head_len}"
+            ),
+            BuildError::TooManyStates { limit } => {
+                write!(f, "subset construction exceeded {limit} states")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// Builds the prefix-matching DFSM for a set of hot data streams using
+/// the lazy work-list algorithm of Figure 9.
+///
+/// Streams are supplied as full reference sequences; each is split into
+/// head and tail at `config.head_len`.
+///
+/// # Errors
+///
+/// * [`BuildError::NoStreams`] if `streams` is empty;
+/// * [`BuildError::StreamTooShort`] if any stream has fewer than
+///   `head_len + 1` references (callers that want to skip such streams
+///   should filter first — silently dropping them would hide analysis
+///   misconfiguration);
+/// * [`BuildError::TooManyStates`] if the construction exceeds the
+///   configured bound.
+///
+/// # Examples
+///
+/// ```
+/// use hds_dfsm::{build, DfsmConfig};
+/// use hds_trace::{Addr, DataRef, Pc};
+///
+/// let stream: Vec<DataRef> = (0..6)
+///     .map(|i| DataRef::new(Pc(i), Addr(u64::from(i) * 8)))
+///     .collect();
+/// let dfsm = build(&[stream], &DfsmConfig::new(2))?;
+/// assert_eq!(dfsm.state_count(), 3); // {}, {[v,1]}, {[v,2]}
+/// assert_eq!(dfsm.prefetches(hds_dfsm::StateId(2)).len(), 4);
+/// # Ok::<(), hds_dfsm::BuildError>(())
+/// ```
+pub fn build(streams: &[Vec<DataRef>], config: &DfsmConfig) -> Result<Dfsm, BuildError> {
+    if streams.is_empty() {
+        return Err(BuildError::NoStreams);
+    }
+    let mut split = Vec::with_capacity(streams.len());
+    for (index, s) in streams.iter().enumerate() {
+        match PrefetchStream::new(s.clone(), config.head_len) {
+            Some(p) => split.push(p),
+            None => {
+                return Err(BuildError::StreamTooShort {
+                    index,
+                    len: s.len(),
+                    head_len: config.head_len,
+                })
+            }
+        }
+    }
+    build_from_streams(split, config)
+}
+
+/// Builds the machine from pre-split streams.
+fn build_from_streams(
+    streams: Vec<PrefetchStream>,
+    config: &DfsmConfig,
+) -> Result<Dfsm, BuildError> {
+    let head_len = config.head_len as u32;
+    let mut states: Vec<State> = Vec::new();
+    let mut index: HashMap<Vec<(StreamId, u32)>, StateId> = HashMap::new();
+
+    let make_state = |elements: Vec<(StreamId, u32)>, streams: &[PrefetchStream]| -> State {
+        let completed: Vec<StreamId> = elements
+            .iter()
+            .filter(|&&(_, n)| n == head_len)
+            .map(|&(v, _)| v)
+            .collect();
+        let mut prefetches: Vec<Addr> = Vec::new();
+        for &v in &completed {
+            for addr in streams[v.index()].tail_addrs() {
+                if !prefetches.contains(&addr) {
+                    prefetches.push(addr);
+                }
+            }
+        }
+        State {
+            elements,
+            transitions: Vec::new(),
+            prefetches,
+            completed,
+        }
+    };
+
+    // "add {} to the workList" — the start state.
+    states.push(make_state(Vec::new(), &streams));
+    index.insert(Vec::new(), StateId::START);
+    let mut worklist: Vec<StateId> = vec![StateId::START];
+
+    while let Some(sid) = worklist.pop() {
+        // Candidate symbols: the next head reference of every live
+        // element, plus the first reference of every stream (Figure 9's
+        // two addTransition loops).
+        let mut symbols: Vec<DataRef> = Vec::new();
+        for &(v, n) in &states[sid.index()].elements {
+            if n < head_len {
+                symbols.push(streams[v.index()].head()[n as usize]);
+            }
+        }
+        for s in &streams {
+            symbols.push(s.head()[0]);
+        }
+        symbols.sort_unstable();
+        symbols.dedup();
+
+        let mut transitions: Vec<(DataRef, StateId)> = Vec::with_capacity(symbols.len());
+        for a in symbols {
+            let target = delta(&streams, &states[sid.index()].elements, a, head_len);
+            if target.is_empty() {
+                continue; // implicit reset to the start state
+            }
+            let target_id = match index.get(&target) {
+                Some(&id) => id,
+                None => {
+                    if states.len() >= config.max_states {
+                        return Err(BuildError::TooManyStates {
+                            limit: config.max_states,
+                        });
+                    }
+                    let id = StateId(states.len() as u32);
+                    states.push(make_state(target.clone(), &streams));
+                    index.insert(target, id);
+                    worklist.push(id);
+                    id
+                }
+            };
+            transitions.push((a, target_id));
+        }
+        states[sid.index()].transitions = transitions;
+    }
+
+    Ok(Dfsm {
+        streams,
+        states,
+        config: config.clone(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hds_trace::Pc;
+
+    fn refs(s: &str) -> Vec<DataRef> {
+        s.bytes()
+            .map(|b| DataRef::new(Pc(u32::from(b)), Addr(u64::from(b))))
+            .collect()
+    }
+
+    /// The paper's Figure 8: v = abacadae, w = bbghij, headLen = 3.
+    #[test]
+    fn fig8_machine() {
+        let streams = vec![refs("abacadae"), refs("bbghij")];
+        let dfsm = build(&streams, &DfsmConfig::new(3)).unwrap();
+        dfsm.verify().unwrap();
+
+        // 7 states = headLen * n + 1, matching the figure.
+        assert_eq!(dfsm.state_count(), 7);
+
+        let v = StreamId(0);
+        let w = StreamId(1);
+        let a = refs("a")[0];
+        let b = refs("b")[0];
+        let g = refs("g")[0];
+
+        // Walk the figure's paths. {} --a--> {[v,1]}.
+        let s = dfsm.transition(StateId::START, a).unwrap();
+        assert_eq!(dfsm.elements(s), &[(v, 1)]);
+        // {[v,1]} --b--> {[v,2],[w,1]}.
+        let s = dfsm.transition(s, b).unwrap();
+        assert_eq!(dfsm.elements(s), &[(v, 2), (w, 1)]);
+        // {[v,2],[w,1]} --a--> {[v,1],[v,3]}: complete match of v.
+        let s = dfsm.transition(s, a).unwrap();
+        assert_eq!(dfsm.elements(s), &[(v, 1), (v, 3)]);
+        assert_eq!(dfsm.completed_streams(s), &[v]);
+        // Prefetches: tail of v = cadae -> c, a, d, e.
+        let addrs: Vec<u64> = dfsm.prefetches(s).iter().map(|p| p.0).collect();
+        assert_eq!(
+            addrs,
+            vec![u64::from(b'c'), u64::from(b'a'), u64::from(b'd'), u64::from(b'e')]
+        );
+
+        // {} --b--> {[w,1]} --b--> {[w,1],[w,2]} --g--> {[w,3]}.
+        let s = dfsm.transition(StateId::START, b).unwrap();
+        assert_eq!(dfsm.elements(s), &[(w, 1)]);
+        let s = dfsm.transition(s, b).unwrap();
+        assert_eq!(dfsm.elements(s), &[(w, 1), (w, 2)]);
+        let s = dfsm.transition(s, g).unwrap();
+        assert_eq!(dfsm.elements(s), &[(w, 3)]);
+        assert_eq!(dfsm.completed_streams(s), &[w]);
+        // Tail of w = hij.
+        assert_eq!(dfsm.prefetches(s).len(), 3);
+        // {[w,3]} has no outgoing transitions on g/h..., only restarts on
+        // a and b.
+        assert!(dfsm.transition(s, g).is_none());
+        let restart = dfsm.transition(s, a).unwrap();
+        assert_eq!(dfsm.elements(restart), &[(v, 1)]);
+    }
+
+    #[test]
+    fn single_stream_machine_is_linear() {
+        // Distinct references: exactly headLen + 1 states.
+        let stream: Vec<DataRef> = (0..10)
+            .map(|i| DataRef::new(Pc(i), Addr(u64::from(i) * 32)))
+            .collect();
+        for head_len in 1..=4 {
+            let dfsm =
+                build(std::slice::from_ref(&stream), &DfsmConfig::new(head_len)).unwrap();
+            dfsm.verify().unwrap();
+            assert_eq!(dfsm.state_count(), head_len + 1);
+            // One advance edge per prefix, plus one restart edge on the
+            // first reference out of every non-start state.
+            assert_eq!(dfsm.transition_count(), 2 * head_len);
+            // Address checks: one per distinct head reference.
+            assert_eq!(dfsm.address_check_count(), head_len);
+        }
+    }
+
+    #[test]
+    fn typical_size_close_to_headlen_n_plus_1() {
+        // 20 streams over mostly-distinct references.
+        let streams: Vec<Vec<DataRef>> = (0..20u32)
+            .map(|k| {
+                (0..12u32)
+                    .map(|i| DataRef::new(Pc(k * 100 + i), Addr(u64::from(k * 1000 + i * 8))))
+                    .collect()
+            })
+            .collect();
+        let config = DfsmConfig::new(2);
+        let dfsm = build(&streams, &config).unwrap();
+        dfsm.verify().unwrap();
+        assert_eq!(dfsm.state_count(), 2 * 20 + 1);
+    }
+
+    #[test]
+    fn shared_prefixes_share_states() {
+        // Two streams with the same first reference share the [.,1] state
+        // transition target: {[v,1],[w,1]}.
+        let a = DataRef::new(Pc(1), Addr(0x10));
+        let v = vec![a, DataRef::new(Pc(2), Addr(0x20)), DataRef::new(Pc(3), Addr(0x30))];
+        let w = vec![a, DataRef::new(Pc(4), Addr(0x40)), DataRef::new(Pc(5), Addr(0x50))];
+        let dfsm = build(&[v, w], &DfsmConfig::new(2)).unwrap();
+        dfsm.verify().unwrap();
+        let s = dfsm.transition(StateId::START, a).unwrap();
+        assert_eq!(dfsm.elements(s).len(), 2);
+    }
+
+    #[test]
+    fn build_errors() {
+        assert!(matches!(
+            build(&[], &DfsmConfig::new(2)),
+            Err(BuildError::NoStreams)
+        ));
+        let short = vec![refs("ab")];
+        assert!(matches!(
+            build(&short, &DfsmConfig::new(2)),
+            Err(BuildError::StreamTooShort { index: 0, len: 2, head_len: 2 })
+        ));
+        // State bound enforced.
+        let streams = vec![refs("abcde"), refs("bcdea"), refs("cdeab")];
+        let err = build(&streams, &DfsmConfig::new(3).with_max_states(2));
+        assert!(matches!(err, Err(BuildError::TooManyStates { limit: 2 })));
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(BuildError::NoStreams.to_string().contains("no hot data streams"));
+        let e = BuildError::StreamTooShort { index: 3, len: 2, head_len: 2 };
+        assert!(e.to_string().contains("stream 3"));
+        assert!(BuildError::TooManyStates { limit: 7 }.to_string().contains('7'));
+    }
+
+    #[test]
+    fn repeated_symbol_head_self_overlap() {
+        // v = aab...: from {[v,1]} on a -> {[v,1],[v,2]} (advance and
+        // restart simultaneously).
+        let dfsm = build(&[refs("aabcd")], &DfsmConfig::new(3)).unwrap();
+        dfsm.verify().unwrap();
+        let a = refs("a")[0];
+        let s1 = dfsm.transition(StateId::START, a).unwrap();
+        let s2 = dfsm.transition(s1, a).unwrap();
+        assert_eq!(dfsm.elements(s2), &[(StreamId(0), 1), (StreamId(0), 2)]);
+        // Another a keeps the same set (self-loop).
+        assert_eq!(dfsm.transition(s2, a), Some(s2));
+    }
+
+    #[test]
+    fn render_contains_paper_notation() {
+        let dfsm = build(&[refs("abcd")], &DfsmConfig::new(2)).unwrap();
+        let rendered = dfsm.render();
+        assert!(rendered.contains("{[v0,1]}"), "{rendered}");
+        assert!(rendered.contains("prefetch"), "{rendered}");
+    }
+
+    #[test]
+    fn exact_duplicate_streams_share_states_and_prefetches() {
+        // The optimizer deduplicates, but build() must behave sensibly
+        // anyway: two identical streams produce element sets carrying
+        // both ids, with the identical tail deduplicated in the
+        // annotation.
+        let v = refs("abcde");
+        let dfsm = build(&[v.clone(), v.clone()], &DfsmConfig::new(2)).unwrap();
+        dfsm.verify().unwrap();
+        // States: {}, {[v0,1],[v1,1]}, {[v0,2],[v1,2]} = 3.
+        assert_eq!(dfsm.state_count(), 3);
+        let s = dfsm
+            .transition(StateId::START, refs("a")[0])
+            .and_then(|s| dfsm.transition(s, refs("b")[0]))
+            .unwrap();
+        assert_eq!(dfsm.completed_streams(s).len(), 2);
+        // Tail addresses are deduplicated: c, d, e once each.
+        assert_eq!(dfsm.prefetches(s).len(), 3);
+    }
+
+    #[test]
+    fn dot_export_is_well_formed() {
+        let streams = vec![refs("abacadae"), refs("bbghij")];
+        let dfsm = build(&streams, &DfsmConfig::new(3)).unwrap();
+        let dot = dfsm.to_dot();
+        assert!(dot.starts_with("digraph dfsm {"));
+        assert!(dot.trim_end().ends_with('}'));
+        // One node line per state, one edge line per transition.
+        assert_eq!(dot.matches("shape=").count() - 1, dfsm.state_count()); // -1: node default
+        assert_eq!(dot.matches(" -> ").count(), dfsm.transition_count());
+        // Accepting states are doubly circled.
+        assert!(dot.contains("doublecircle"));
+    }
+
+    #[test]
+    fn instrumented_pcs_cover_heads_only() {
+        let dfsm = build(&[refs("abcdef")], &DfsmConfig::new(2)).unwrap();
+        let pcs = dfsm.instrumented_pcs();
+        assert_eq!(pcs.len(), 2);
+        assert!(pcs.contains(&Pc(u32::from(b'a'))));
+        assert!(pcs.contains(&Pc(u32::from(b'b'))));
+        assert!(!pcs.contains(&Pc(u32::from(b'c'))));
+    }
+}

@@ -1,0 +1,198 @@
+//! Check-code generation: the per-pc detection/prefetching code of the
+//! paper's Figure 7, in a form the binary-editing substrate can inject.
+//!
+//! For every pc appearing in any stream head, the machine's transitions
+//! are grouped into an if-chain:
+//!
+//! ```text
+//! a.pc: if ((accessing a.addr) && (state == s)) {
+//!           state = s';
+//!           prefetch s'.prefetches;
+//!       }
+//! ```
+//!
+//! Checks are "sorted in such a way that more likely cases come first"
+//! (§3.1); lacking dynamic frequencies at injection time, we order by
+//! source state id — the start state (by far the most frequently
+//! occupied) first.
+
+use std::collections::BTreeMap;
+
+use hds_trace::{Addr, DataRef, Pc};
+
+use crate::machine::{Dfsm, StateId};
+
+/// One injected check: "when at `pc`, if the access hits `addr` and the
+/// matcher is in `from`, move to `to` and prefetch `prefetches`".
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct InjectedCheck {
+    /// The instrumented program counter.
+    pub pc: Pc,
+    /// The address compared against.
+    pub addr: Addr,
+    /// Source state.
+    pub from: StateId,
+    /// Target state.
+    pub to: StateId,
+    /// Addresses prefetched when this check fires (the target state's
+    /// annotation).
+    pub prefetches: Vec<Addr>,
+}
+
+impl Dfsm {
+    /// Generates the per-pc check lists for injection. Every transition
+    /// of the machine becomes exactly one check at the pc of its
+    /// triggering reference; the map is sorted by pc, each pc's chain by
+    /// `(from, addr)` with the start state first.
+    #[must_use]
+    pub fn checks_by_pc(&self) -> BTreeMap<Pc, Vec<InjectedCheck>> {
+        let mut map: BTreeMap<Pc, Vec<InjectedCheck>> = BTreeMap::new();
+        for (from, state) in self.iter_states() {
+            for &(r, to) in &state.transitions {
+                map.entry(r.pc).or_default().push(InjectedCheck {
+                    pc: r.pc,
+                    addr: r.addr,
+                    from,
+                    to,
+                    prefetches: self.prefetches(to).to_vec(),
+                });
+            }
+        }
+        for chain in map.values_mut() {
+            chain.sort_by_key(|c| (c.from, c.addr));
+        }
+        map
+    }
+
+    /// Total number of injected checks (equals
+    /// [`Dfsm::transition_count`]): every transition becomes one
+    /// `state == s` comparison in some pc's chain.
+    #[must_use]
+    pub fn check_count(&self) -> usize {
+        self.transition_count()
+    }
+
+    /// Number of distinct `(pc, addr)` comparisons injected — the outer
+    /// `if (accessing a.addr)` branches of Figure 7, and the "checks"
+    /// column of the paper's Table 2 (which reports slightly fewer checks
+    /// than states, e.g. "<79 states, 68 checks>").
+    #[must_use]
+    pub fn address_check_count(&self) -> usize {
+        let mut refs: Vec<DataRef> = self
+            .iter_states()
+            .flat_map(|(_, s)| s.transitions.iter().map(|&(r, _)| r))
+            .collect();
+        refs.sort_unstable();
+        refs.dedup();
+        refs.len()
+    }
+}
+
+/// Renders a pc's check chain as Figure-7-style pseudo-code, for
+/// diagnostics and the worked-example binaries.
+#[must_use]
+pub fn render_checks(pc: Pc, checks: &[InjectedCheck]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "{pc}:");
+    // Group by address: outer `if (accessing addr)`, inner state chain.
+    let mut by_addr: BTreeMap<Addr, Vec<&InjectedCheck>> = BTreeMap::new();
+    for c in checks {
+        by_addr.entry(c.addr).or_default().push(c);
+    }
+    for (addr, chain) in by_addr {
+        let _ = writeln!(out, "  if (accessing {addr}) {{");
+        for c in chain {
+            let _ = write!(out, "    if (state == {}) state = {};", c.from, c.to);
+            if !c.prefetches.is_empty() {
+                let addrs: Vec<String> =
+                    c.prefetches.iter().map(ToString::to_string).collect();
+                let _ = write!(out, " prefetch {};", addrs.join(","));
+            }
+            out.push('\n');
+        }
+        let _ = writeln!(out, "  }} else state = q0;");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::build;
+    use crate::machine::DfsmConfig;
+
+    fn refs(s: &str) -> Vec<DataRef> {
+        s.bytes()
+            .map(|b| DataRef::new(Pc(u32::from(b)), Addr(u64::from(b))))
+            .collect()
+    }
+
+    #[test]
+    fn checks_cover_all_transitions() {
+        let streams = vec![refs("abacadae"), refs("bbghij")];
+        let dfsm = build(&streams, &DfsmConfig::new(3)).unwrap();
+        let checks = dfsm.checks_by_pc();
+        let total: usize = checks.values().map(Vec::len).sum();
+        assert_eq!(total, dfsm.transition_count());
+        assert_eq!(total, dfsm.check_count());
+        // Only head pcs are instrumented.
+        let pcs: Vec<Pc> = checks.keys().copied().collect();
+        assert_eq!(pcs, dfsm.instrumented_pcs());
+    }
+
+    #[test]
+    fn chains_start_state_first() {
+        let streams = vec![refs("abacadae"), refs("bbghij")];
+        let dfsm = build(&streams, &DfsmConfig::new(3)).unwrap();
+        for chain in dfsm.checks_by_pc().values() {
+            for pair in chain.windows(2) {
+                assert!((pair[0].from, pair[0].addr) <= (pair[1].from, pair[1].addr));
+            }
+        }
+    }
+
+    #[test]
+    fn prefetching_checks_carry_tail_addresses() {
+        let dfsm = build(&[refs("abcde")], &DfsmConfig::new(2)).unwrap();
+        let checks = dfsm.checks_by_pc();
+        let b_chain = &checks[&Pc(u32::from(b'b'))];
+        // The b-check completes the head and prefetches c, d, e.
+        assert_eq!(b_chain.len(), 1);
+        assert_eq!(b_chain[0].prefetches.len(), 3);
+    }
+
+    #[test]
+    fn render_looks_like_fig7() {
+        let dfsm = build(&[refs("abcde")], &DfsmConfig::new(2)).unwrap();
+        let checks = dfsm.checks_by_pc();
+        let pc = Pc(u32::from(b'a'));
+        let rendered = render_checks(pc, &checks[&pc]);
+        assert!(rendered.contains("if (accessing"), "{rendered}");
+        assert!(rendered.contains("state = q"), "{rendered}");
+        let pc_b = Pc(u32::from(b'b'));
+        let rendered_b = render_checks(pc_b, &checks[&pc_b]);
+        assert!(rendered_b.contains("prefetch"), "{rendered_b}");
+    }
+
+    #[test]
+    fn same_pc_different_addresses_grouped() {
+        // Two streams touching different addresses from the same pc.
+        let v = vec![
+            DataRef::new(Pc(1), Addr(0x10)),
+            DataRef::new(Pc(2), Addr(0x20)),
+            DataRef::new(Pc(3), Addr(0x30)),
+        ];
+        let w = vec![
+            DataRef::new(Pc(1), Addr(0x99)),
+            DataRef::new(Pc(2), Addr(0xaa)),
+            DataRef::new(Pc(3), Addr(0xbb)),
+        ];
+        let dfsm = build(&[v, w], &DfsmConfig::new(2)).unwrap();
+        let checks = dfsm.checks_by_pc();
+        assert_eq!(checks.len(), 2); // pcs 1 and 2
+        assert!(checks[&Pc(1)].len() >= 2);
+        let rendered = render_checks(Pc(1), &checks[&Pc(1)]);
+        assert!(rendered.matches("if (accessing").count() >= 2, "{rendered}");
+    }
+}

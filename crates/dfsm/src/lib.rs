@@ -1,0 +1,57 @@
+//! Prefix-matching deterministic finite state machine (DFSM) construction
+//! for hot data stream prefetching.
+//!
+//! Matching every hot data stream with its own counter (the paper's
+//! Figure 7) duplicates work when streams share prefixes. Instead, the
+//! optimizer builds **one** DFSM that "keeps track of matching prefixes
+//! for all hot data streams simultaneously" (§3.1):
+//!
+//! * a *state* is a set of state elements `[v, seen]` — "the prefix
+//!   matcher has seen the first `seen` data accesses of hot data stream
+//!   `v`";
+//! * the transition function is
+//!   `d(s,a) = {[v,n+1] | n < headLen && [v,n] ∈ s && a == v_{n+1}}
+//!   ∪ {[w,1] | a == w_1}`;
+//! * a state containing `[v, headLen]` is a complete match of `v.head`,
+//!   annotated with prefetches for the addresses of `v.tail`.
+//!
+//! Construction is the lazy work-list algorithm of Figure 9: only
+//! reachable states are materialised. The state count is potentially
+//! exponential but in practice close to `headLen * n + 1` (the paper
+//! "never observed this exponential blow-up"); [`DfsmConfig::max_states`]
+//! guards against adversarial inputs.
+//!
+//! # Examples
+//!
+//! The paper's Figure 8 machine for `v = abacadae`, `w = bbghij` with
+//! `headLen = 3`:
+//!
+//! ```
+//! use hds_dfsm::{build, DfsmConfig};
+//! use hds_trace::{Addr, DataRef, Pc};
+//!
+//! fn refs(s: &str) -> Vec<DataRef> {
+//!     s.bytes()
+//!         .map(|b| DataRef::new(Pc(u32::from(b)), Addr(u64::from(b))))
+//!         .collect()
+//! }
+//! let streams = vec![refs("abacadae"), refs("bbghij")];
+//! let dfsm = build(&streams, &DfsmConfig::new(3)).expect("well-formed streams");
+//! // headLen * n + 1 = 7 states, exactly as the paper predicts.
+//! assert_eq!(dfsm.state_count(), 7);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod build;
+mod codegen;
+mod machine;
+mod matcher;
+mod stream;
+
+pub use build::{build, BuildError};
+pub use codegen::{render_checks, InjectedCheck};
+pub use machine::{Dfsm, DfsmConfig, StateId, StreamId};
+pub use matcher::{Matcher, NfaOracle};
+pub use stream::PrefetchStream;

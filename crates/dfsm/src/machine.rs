@@ -1,0 +1,439 @@
+//! The DFSM data structure: states, transitions, prefetch annotations.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use hds_trace::{Addr, DataRef, Pc};
+
+use crate::stream::PrefetchStream;
+
+/// Index of a hot data stream within the machine.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct StreamId(pub u32);
+
+impl StreamId {
+    /// Returns the id as a `usize` index.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for StreamId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// Index of a DFSM state. State 0 is always the start state `{}`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct StateId(pub u32);
+
+impl StateId {
+    /// The start state (the empty element set — nothing matched).
+    pub const START: StateId = StateId(0);
+
+    /// Returns the id as a `usize` index.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for StateId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "q{}", self.0)
+    }
+}
+
+/// Construction parameters.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct DfsmConfig {
+    /// `headLen`: the number of stream references that must match before
+    /// prefetching is initiated. The paper's evaluation settles on 2:
+    /// "A prefix that is too short may hurt prefetching accuracy, and too
+    /// large a prefix reduces the prefetching opportunity" (§1, §4.3).
+    pub head_len: usize,
+    /// Upper bound on materialised states, guarding against the
+    /// theoretically exponential subset construction.
+    pub max_states: usize,
+}
+
+impl DfsmConfig {
+    /// Creates a configuration with the given `headLen` and the default
+    /// state bound (65 536).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `head_len` is zero.
+    #[must_use]
+    pub fn new(head_len: usize) -> Self {
+        assert!(head_len > 0, "headLen must be at least 1");
+        DfsmConfig {
+            head_len,
+            max_states: 65_536,
+        }
+    }
+
+    /// Returns a copy with a custom state bound.
+    #[must_use]
+    pub fn with_max_states(mut self, max_states: usize) -> Self {
+        self.max_states = max_states;
+        self
+    }
+}
+
+impl Default for DfsmConfig {
+    /// The paper's production configuration: `headLen = 2`.
+    fn default() -> Self {
+        DfsmConfig::new(2)
+    }
+}
+
+/// One DFSM state: a canonical (sorted) set of `[stream, seen]` elements,
+/// its outgoing transitions, and the prefetches fired on entry.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub(crate) struct State {
+    /// Sorted `(stream, seen)` pairs with `1 <= seen <= headLen`.
+    pub elements: Vec<(StreamId, u32)>,
+    /// Outgoing transitions, sorted by data reference for determinism.
+    pub transitions: Vec<(DataRef, StateId)>,
+    /// Distinct addresses to prefetch when this state is entered (union
+    /// of the tails of all streams whose head completes here).
+    pub prefetches: Vec<Addr>,
+    /// The streams completed at this state (diagnostic / statistics).
+    pub completed: Vec<StreamId>,
+}
+
+/// The prefix-matching DFSM over a set of hot data streams.
+///
+/// Build one with [`build`](crate::build); drive it with a
+/// [`Matcher`](crate::Matcher).
+#[derive(Clone, Debug)]
+pub struct Dfsm {
+    pub(crate) streams: Vec<PrefetchStream>,
+    pub(crate) states: Vec<State>,
+    pub(crate) config: DfsmConfig,
+}
+
+impl Dfsm {
+    /// Number of states (including the start state).
+    #[must_use]
+    pub fn state_count(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Total number of transitions across all states — the "checks"
+    /// column of the paper's Table 2.
+    #[must_use]
+    pub fn transition_count(&self) -> usize {
+        self.states.iter().map(|s| s.transitions.len()).sum()
+    }
+
+    /// The streams the machine matches.
+    #[must_use]
+    pub fn streams(&self) -> &[PrefetchStream] {
+        &self.streams
+    }
+
+    /// The configured `headLen`.
+    #[must_use]
+    pub fn head_len(&self) -> usize {
+        self.config.head_len
+    }
+
+    /// Looks up the transition out of `state` on data reference `r`.
+    /// `None` means the machine resets to the start state.
+    #[must_use]
+    pub fn transition(&self, state: StateId, r: DataRef) -> Option<StateId> {
+        let state = &self.states[state.index()];
+        state
+            .transitions
+            .binary_search_by(|(probe, _)| probe.cmp(&r))
+            .ok()
+            .map(|i| state.transitions[i].1)
+    }
+
+    /// The addresses prefetched on entering `state` (empty for most
+    /// states).
+    #[must_use]
+    pub fn prefetches(&self, state: StateId) -> &[Addr] {
+        &self.states[state.index()].prefetches
+    }
+
+    /// The streams whose heads complete at `state`.
+    #[must_use]
+    pub fn completed_streams(&self, state: StateId) -> &[StreamId] {
+        &self.states[state.index()].completed
+    }
+
+    /// The element set of `state`, sorted — `{[v,2],[w,1]}` in the
+    /// paper's notation.
+    #[must_use]
+    pub fn elements(&self, state: StateId) -> &[(StreamId, u32)] {
+        &self.states[state.index()].elements
+    }
+
+    /// The set of program counters that need instrumentation: every pc
+    /// appearing in any stream head. Checks are injected only at these
+    /// pcs (§3.1).
+    #[must_use]
+    pub fn instrumented_pcs(&self) -> Vec<Pc> {
+        let mut pcs: Vec<Pc> = self
+            .streams
+            .iter()
+            .flat_map(|s| s.head().iter().map(|r| r.pc))
+            .collect();
+        pcs.sort_unstable();
+        pcs.dedup();
+        pcs
+    }
+
+    /// Iterates over all states with their ids.
+    pub(crate) fn iter_states(&self) -> impl Iterator<Item = (StateId, &State)> {
+        self.states
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (StateId(i as u32), s))
+    }
+
+    /// Renders the machine as a transition table for debugging; states
+    /// are shown with their element sets in the paper's notation.
+    #[must_use]
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (id, state) in self.iter_states() {
+            let elements: Vec<String> = state
+                .elements
+                .iter()
+                .map(|(v, n)| format!("[{v},{n}]"))
+                .collect();
+            let _ = write!(out, "{id} {{{}}}", elements.join(","));
+            if !state.prefetches.is_empty() {
+                let _ = write!(out, " prefetch:{}", state.prefetches.len());
+            }
+            out.push('\n');
+            for (r, target) in &state.transitions {
+                let _ = writeln!(out, "  {r} -> {target}");
+            }
+        }
+        out
+    }
+
+    /// Renders the machine in Graphviz DOT format, for visual inspection
+    /// (`dot -Tsvg`). States are labelled with their element sets in the
+    /// paper's `{[v,n]}` notation; accepting (prefetching) states are
+    /// doubly circled; edges are labelled with the triggering reference.
+    #[must_use]
+    pub fn to_dot(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("digraph dfsm {\n  rankdir=LR;\n  node [shape=circle];\n");
+        for (id, state) in self.iter_states() {
+            let elements: Vec<String> = state
+                .elements
+                .iter()
+                .map(|(v, n)| format!("[{v},{n}]"))
+                .collect();
+            let shape = if state.prefetches.is_empty() {
+                "circle"
+            } else {
+                "doublecircle"
+            };
+            let _ = writeln!(
+                out,
+                "  {} [shape={shape} label=\"{}\\n{{{}}}\"];",
+                id.index(),
+                id,
+                elements.join(",")
+            );
+            for (r, target) in &state.transitions {
+                let _ = writeln!(
+                    out,
+                    "  {} -> {} [label=\"{:#x}@{:#x}\"];",
+                    id.index(),
+                    target.index(),
+                    r.pc.0,
+                    r.addr.0
+                );
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// Structural sanity checks: canonical sorted element sets, sorted
+    /// deterministic transitions, element bounds, prefetch annotations
+    /// exactly on states containing a completed head, and a transition
+    /// function consistent with the paper's `d(s,a)` definition.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violation found.
+    pub fn verify(&self) -> Result<(), String> {
+        let head_len = self.config.head_len as u32;
+        if self.states.is_empty() {
+            return Err("machine has no start state".into());
+        }
+        if !self.states[0].elements.is_empty() {
+            return Err("state 0 is not the empty start state".into());
+        }
+        let mut seen_sets = std::collections::HashSet::new();
+        for (id, state) in self.iter_states() {
+            if !state.elements.windows(2).all(|w| w[0] < w[1]) {
+                return Err(format!("{id}: elements not sorted/deduplicated"));
+            }
+            if !seen_sets.insert(state.elements.clone()) {
+                return Err(format!("{id}: duplicate element set"));
+            }
+            for &(v, n) in &state.elements {
+                if v.index() >= self.streams.len() {
+                    return Err(format!("{id}: element references unknown stream {v}"));
+                }
+                if n == 0 || n > head_len {
+                    return Err(format!("{id}: element [{v},{n}] out of bounds"));
+                }
+            }
+            if !state.transitions.windows(2).all(|w| w[0].0 < w[1].0) {
+                return Err(format!("{id}: transitions not sorted by reference"));
+            }
+            for &(_, target) in &state.transitions {
+                if target.index() >= self.states.len() {
+                    return Err(format!("{id}: transition to unknown state {target}"));
+                }
+            }
+            // Prefetch annotation mirrors completed heads.
+            let completed: Vec<StreamId> = state
+                .elements
+                .iter()
+                .filter(|&&(_, n)| n == head_len)
+                .map(|&(v, _)| v)
+                .collect();
+            if completed != state.completed {
+                return Err(format!("{id}: completed-stream list inconsistent"));
+            }
+            let mut expect: Vec<Addr> = Vec::new();
+            for &v in &completed {
+                for addr in self.streams[v.index()].tail_addrs() {
+                    if !expect.contains(&addr) {
+                        expect.push(addr);
+                    }
+                }
+            }
+            if expect != state.prefetches {
+                return Err(format!("{id}: prefetch annotation inconsistent"));
+            }
+        }
+        // Transition-function consistency: recompute d(s,a) for every
+        // stored edge and for every possible symbol out of each state.
+        let mut set_to_id: HashMap<Vec<(StreamId, u32)>, StateId> = HashMap::new();
+        for (id, state) in self.iter_states() {
+            set_to_id.insert(state.elements.clone(), id);
+        }
+        for (id, state) in self.iter_states() {
+            let mut symbols: Vec<DataRef> = Vec::new();
+            for &(v, n) in &state.elements {
+                if n < head_len {
+                    symbols.push(self.streams[v.index()].head()[n as usize]);
+                }
+            }
+            for s in &self.streams {
+                symbols.push(s.head()[0]);
+            }
+            symbols.sort_unstable();
+            symbols.dedup();
+            for a in symbols {
+                let target_set = delta(&self.streams, &state.elements, a, head_len);
+                let stored = self.transition(id, a);
+                match (target_set.is_empty(), stored) {
+                    (true, None) => {}
+                    (true, Some(t)) => {
+                        return Err(format!("{id} --{a}--> {t} but d(s,a) is empty"))
+                    }
+                    (false, None) => {
+                        return Err(format!("{id} missing transition on {a}"))
+                    }
+                    (false, Some(t)) => {
+                        let expect_id = set_to_id.get(&target_set).copied();
+                        if expect_id != Some(t) {
+                            return Err(format!(
+                                "{id} --{a}--> {t}, expected state for {target_set:?}"
+                            ));
+                        }
+                    }
+                }
+            }
+            // No extra transitions beyond the relevant symbol set.
+            for &(r, _) in &state.transitions {
+                let target_set = delta(&self.streams, &state.elements, r, head_len);
+                if target_set.is_empty() {
+                    return Err(format!("{id} has spurious transition on {r}"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The paper's transition function `d(s,a)`, producing a canonical sorted
+/// element set.
+pub(crate) fn delta(
+    streams: &[PrefetchStream],
+    elements: &[(StreamId, u32)],
+    a: DataRef,
+    head_len: u32,
+) -> Vec<(StreamId, u32)> {
+    let mut out: Vec<(StreamId, u32)> = Vec::new();
+    for &(v, n) in elements {
+        if n < head_len && streams[v.index()].head()[n as usize] == a {
+            out.push((v, n + 1));
+        }
+    }
+    for (i, w) in streams.iter().enumerate() {
+        if w.head()[0] == a {
+            out.push((StreamId(i as u32), 1));
+        }
+    }
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_validation() {
+        assert_eq!(DfsmConfig::default().head_len, 2);
+        let c = DfsmConfig::new(3).with_max_states(100);
+        assert_eq!((c.head_len, c.max_states), (3, 100));
+    }
+
+    #[test]
+    #[should_panic(expected = "headLen must be at least 1")]
+    fn zero_head_len_rejected() {
+        let _ = DfsmConfig::new(0);
+    }
+
+    #[test]
+    fn delta_advances_and_restarts() {
+        use hds_trace::{Addr, DataRef, Pc};
+        let r = |b: u8| DataRef::new(Pc(u32::from(b)), Addr(u64::from(b)));
+        let streams = vec![
+            PrefetchStream::new(vec![r(b'a'), r(b'b'), r(b'a'), r(b'c')], 3).unwrap(),
+        ];
+        // From {[v,1]} on 'b' -> {[v,2]}; 'a' restarts -> {[v,1]}.
+        let s1 = vec![(StreamId(0), 1)];
+        assert_eq!(delta(&streams, &s1, r(b'b'), 3), vec![(StreamId(0), 2)]);
+        assert_eq!(delta(&streams, &s1, r(b'a'), 3), vec![(StreamId(0), 1)]);
+        // From {[v,2]} on 'a': advance to 3 *and* restart to 1.
+        let s2 = vec![(StreamId(0), 2)];
+        assert_eq!(
+            delta(&streams, &s2, r(b'a'), 3),
+            vec![(StreamId(0), 1), (StreamId(0), 3)]
+        );
+        // Unknown symbol: empty (reset).
+        assert!(delta(&streams, &s2, r(b'z'), 3).is_empty());
+    }
+}

@@ -1,0 +1,219 @@
+//! Drivers for the prefix-matching machine.
+//!
+//! [`Matcher`] is the production driver: O(log k) per observed reference
+//! (binary search among a state's transitions — the injected code's
+//! if-chain). [`NfaOracle`] recomputes the element set from scratch on
+//! every step, directly from the paper's `d(s,a)` definition; it exists
+//! so property tests can assert the DFSM is exactly the subset
+//! construction of the per-stream matching semantics.
+
+use hds_trace::{Addr, DataRef};
+
+use crate::machine::{delta, Dfsm, StateId, StreamId};
+use crate::stream::PrefetchStream;
+
+/// The production matcher: drives a [`Dfsm`] over the data references
+/// observed at instrumented pcs.
+///
+/// Feed it **every** execution of an instrumented pc, whatever address is
+/// accessed — a non-matching reference resets the machine, exactly like
+/// the `else { v.seen = 0; }` arms of the paper's Figure 7.
+///
+/// # Examples
+///
+/// ```
+/// use hds_dfsm::{build, DfsmConfig, Matcher};
+/// use hds_trace::{Addr, DataRef, Pc};
+///
+/// let stream: Vec<DataRef> = (0..4)
+///     .map(|i| DataRef::new(Pc(i), Addr(u64::from(i) * 8)))
+///     .collect();
+/// let dfsm = build(&[stream.clone()], &DfsmConfig::new(2))?;
+/// let mut matcher = Matcher::new(&dfsm);
+/// assert!(matcher.observe(stream[0]).is_empty());
+/// // Completing the head fires prefetches for the tail addresses.
+/// assert_eq!(matcher.observe(stream[1]), &[Addr(16), Addr(24)]);
+/// # Ok::<(), hds_dfsm::BuildError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct Matcher<'a> {
+    dfsm: &'a Dfsm,
+    state: StateId,
+    completions: u64,
+    observations: u64,
+}
+
+impl<'a> Matcher<'a> {
+    /// Creates a matcher positioned at the start state.
+    #[must_use]
+    pub fn new(dfsm: &'a Dfsm) -> Self {
+        Matcher {
+            dfsm,
+            state: StateId::START,
+            completions: 0,
+            observations: 0,
+        }
+    }
+
+    /// Observes one data reference at an instrumented pc; returns the
+    /// addresses to prefetch (usually empty).
+    pub fn observe(&mut self, r: DataRef) -> &'a [Addr] {
+        self.observations += 1;
+        match self.dfsm.transition(self.state, r) {
+            Some(next) => {
+                self.state = next;
+                let prefetches = self.dfsm.prefetches(next);
+                if !prefetches.is_empty() {
+                    self.completions += 1;
+                }
+                prefetches
+            }
+            None => {
+                self.state = StateId::START;
+                &[]
+            }
+        }
+    }
+
+    /// The current state.
+    #[must_use]
+    pub fn state(&self) -> StateId {
+        self.state
+    }
+
+    /// Resets to the start state (used at optimization-cycle boundaries).
+    pub fn reset(&mut self) {
+        self.state = StateId::START;
+    }
+
+    /// Number of complete head matches observed so far.
+    #[must_use]
+    pub fn completions(&self) -> u64 {
+        self.completions
+    }
+
+    /// Number of references observed so far.
+    #[must_use]
+    pub fn observations(&self) -> u64 {
+        self.observations
+    }
+}
+
+/// Reference oracle: simulates the nondeterministic element-set semantics
+/// directly, recomputing `d(s,a)` from the stream definitions at every
+/// step. Quadratic and allocation-happy — for tests only.
+#[derive(Clone, Debug)]
+pub struct NfaOracle {
+    streams: Vec<PrefetchStream>,
+    head_len: u32,
+    elements: Vec<(StreamId, u32)>,
+}
+
+impl NfaOracle {
+    /// Creates an oracle over the same streams and `headLen` as `dfsm`.
+    #[must_use]
+    pub fn new(dfsm: &Dfsm) -> Self {
+        NfaOracle {
+            streams: dfsm.streams().to_vec(),
+            head_len: dfsm.head_len() as u32,
+            elements: Vec::new(),
+        }
+    }
+
+    /// Observes one reference; returns the deduplicated tail addresses of
+    /// every stream whose head completed on this step.
+    pub fn observe(&mut self, r: DataRef) -> Vec<Addr> {
+        self.elements = delta(&self.streams, &self.elements, r, self.head_len);
+        let mut out: Vec<Addr> = Vec::new();
+        for &(v, n) in &self.elements {
+            if n == self.head_len {
+                for addr in self.streams[v.index()].tail_addrs() {
+                    if !out.contains(&addr) {
+                        out.push(addr);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// The current element set (sorted).
+    #[must_use]
+    pub fn elements(&self) -> &[(StreamId, u32)] {
+        &self.elements
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::build;
+    use crate::machine::DfsmConfig;
+    use hds_trace::Pc;
+
+    fn refs(s: &str) -> Vec<DataRef> {
+        s.bytes()
+            .map(|b| DataRef::new(Pc(u32::from(b)), Addr(u64::from(b))))
+            .collect()
+    }
+
+    #[test]
+    fn matcher_completes_and_resets() {
+        let dfsm = build(&[refs("abcde")], &DfsmConfig::new(2)).unwrap();
+        let mut m = Matcher::new(&dfsm);
+        let (a, b, z) = (refs("a")[0], refs("b")[0], refs("z")[0]);
+        assert!(m.observe(a).is_empty());
+        assert_eq!(m.observe(b).len(), 3); // tail cde
+        assert_eq!(m.completions(), 1);
+        // Unknown ref resets.
+        assert!(m.observe(z).is_empty());
+        assert_eq!(m.state(), StateId::START);
+        // Match again.
+        m.observe(a);
+        assert_eq!(m.observe(b).len(), 3);
+        assert_eq!(m.completions(), 2);
+        assert_eq!(m.observations(), 5);
+    }
+
+    #[test]
+    fn matcher_partial_then_fail() {
+        let dfsm = build(&[refs("abcd")], &DfsmConfig::new(3)).unwrap();
+        let mut m = Matcher::new(&dfsm);
+        m.observe(refs("a")[0]);
+        m.observe(refs("b")[0]);
+        // 'a' is not v3 (= c) but restarts the prefix.
+        assert!(m.observe(refs("a")[0]).is_empty());
+        assert_eq!(dfsm.elements(m.state()), &[(StreamId(0), 1)]);
+    }
+
+    #[test]
+    fn oracle_agrees_on_fig8_walk() {
+        let streams = vec![refs("abacadae"), refs("bbghij")];
+        let dfsm = build(&streams, &DfsmConfig::new(3)).unwrap();
+        let mut m = Matcher::new(&dfsm);
+        let mut oracle = NfaOracle::new(&dfsm);
+        for r in refs("ababbgababahbbghbb") {
+            let got = m.observe(r).to_vec();
+            let want = oracle.observe(r);
+            assert_eq!(got, want, "divergence on {r}");
+            assert_eq!(dfsm.elements(m.state()), oracle.elements());
+        }
+    }
+
+    #[test]
+    fn reset_returns_to_start() {
+        let dfsm = build(&[refs("abc")], &DfsmConfig::new(1)).unwrap();
+        let mut m = Matcher::new(&dfsm);
+        m.observe(refs("a")[0]);
+        assert_ne!(m.state(), StateId::START);
+        m.reset();
+        assert_eq!(m.state(), StateId::START);
+    }
+
+    #[test]
+    fn head_len_one_fires_immediately() {
+        let dfsm = build(&[refs("abcd")], &DfsmConfig::new(1)).unwrap();
+        let mut m = Matcher::new(&dfsm);
+        assert_eq!(m.observe(refs("a")[0]).len(), 3);
+    }
+}

@@ -1,0 +1,163 @@
+//! Hot data streams split into matchable head and prefetchable tail.
+
+use std::fmt;
+
+use hds_trace::{Addr, DataRef};
+
+/// A hot data stream divided for prefetching: the optimizer "uses a fixed
+/// constant `headLen` to divide each hot data stream `v` into a head
+/// `v.head = v_1 … v_headLen` and a tail
+/// `v.tail = v_{headLen+1} … v_{v.length}`. When it detects the data
+/// references in `v.head`, it prefetches from the addresses of `v.tail`"
+/// (§3.1).
+///
+/// # Examples
+///
+/// ```
+/// use hds_dfsm::PrefetchStream;
+/// use hds_trace::{Addr, DataRef, Pc};
+///
+/// let refs: Vec<DataRef> = (0..5)
+///     .map(|i| DataRef::new(Pc(i), Addr(u64::from(i) * 0x10)))
+///     .collect();
+/// let stream = PrefetchStream::new(refs, 2).expect("long enough");
+/// assert_eq!(stream.head().len(), 2);
+/// assert_eq!(stream.tail_addrs().len(), 3);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct PrefetchStream {
+    refs: Vec<DataRef>,
+    head_len: usize,
+}
+
+impl PrefetchStream {
+    /// Splits a stream at `head_len`.
+    ///
+    /// Returns `None` when the stream is too short to be useful: the head
+    /// must be complete (`refs.len() > head_len`) and the tail non-empty,
+    /// otherwise a full prefix match would have nothing to prefetch.
+    /// `head_len` must be at least 1.
+    #[must_use]
+    pub fn new(refs: Vec<DataRef>, head_len: usize) -> Option<Self> {
+        if head_len == 0 || refs.len() <= head_len {
+            return None;
+        }
+        Some(PrefetchStream { refs, head_len })
+    }
+
+    /// The full stream contents.
+    #[must_use]
+    pub fn refs(&self) -> &[DataRef] {
+        &self.refs
+    }
+
+    /// The head: the prefix that must be matched before prefetching.
+    #[must_use]
+    pub fn head(&self) -> &[DataRef] {
+        &self.refs[..self.head_len]
+    }
+
+    /// The tail: the references whose addresses are prefetched on a
+    /// complete head match.
+    #[must_use]
+    pub fn tail(&self) -> &[DataRef] {
+        &self.refs[self.head_len..]
+    }
+
+    /// The distinct addresses of the tail, in first-occurrence order —
+    /// the paper's example issues `prefetch c.addr,a.addr,d.addr,e.addr`
+    /// for stream `abacadae` (duplicate `a` collapsed).
+    #[must_use]
+    pub fn tail_addrs(&self) -> Vec<Addr> {
+        let mut out: Vec<Addr> = Vec::with_capacity(self.tail().len());
+        for r in self.tail() {
+            if !out.contains(&r.addr) {
+                out.push(r.addr);
+            }
+        }
+        out
+    }
+
+    /// The configured head length.
+    #[must_use]
+    pub fn head_len(&self) -> usize {
+        self.head_len
+    }
+
+    /// Stream length in references.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.refs.len()
+    }
+
+    /// Never true — construction rejects empty streams — but required for
+    /// a well-behaved API alongside [`PrefetchStream::len`].
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.refs.is_empty()
+    }
+}
+
+impl fmt::Display for PrefetchStream {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "stream(len {}, head {}, tail {} addrs)",
+            self.len(),
+            self.head_len,
+            self.tail_addrs().len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hds_trace::Pc;
+
+    fn refs(s: &str) -> Vec<DataRef> {
+        s.bytes()
+            .map(|b| DataRef::new(Pc(u32::from(b)), Addr(u64::from(b))))
+            .collect()
+    }
+
+    #[test]
+    fn paper_example_tail_addrs() {
+        // v = abacadae, headLen = 3: head aba, tail cadae,
+        // prefetch c, a, d, e (deduplicated, order preserved).
+        let v = PrefetchStream::new(refs("abacadae"), 3).unwrap();
+        assert_eq!(v.head(), &refs("aba")[..]);
+        assert_eq!(v.tail(), &refs("cadae")[..]);
+        let addrs: Vec<u64> = v.tail_addrs().iter().map(|a| a.0).collect();
+        assert_eq!(
+            addrs,
+            vec![u64::from(b'c'), u64::from(b'a'), u64::from(b'd'), u64::from(b'e')]
+        );
+    }
+
+    #[test]
+    fn rejects_too_short_streams() {
+        assert!(PrefetchStream::new(refs("ab"), 2).is_none()); // empty tail
+        assert!(PrefetchStream::new(refs("a"), 2).is_none());
+        assert!(PrefetchStream::new(refs(""), 1).is_none());
+        assert!(PrefetchStream::new(refs("abc"), 0).is_none());
+        assert!(PrefetchStream::new(refs("abc"), 2).is_some());
+    }
+
+    #[test]
+    fn head_tail_partition() {
+        let v = PrefetchStream::new(refs("abcdef"), 2).unwrap();
+        let mut whole = v.head().to_vec();
+        whole.extend_from_slice(v.tail());
+        assert_eq!(whole, refs("abcdef"));
+        assert_eq!(v.len(), 6);
+        assert!(!v.is_empty());
+        assert_eq!(v.head_len(), 2);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let v = PrefetchStream::new(refs("abcd"), 1).unwrap();
+        assert_eq!(v.to_string(), "stream(len 4, head 1, tail 3 addrs)");
+    }
+}

@@ -1,0 +1,121 @@
+//! Property-based tests: the DFSM is exactly the subset construction of
+//! the per-stream prefix-matching semantics.
+
+use hds_dfsm::{build, DfsmConfig, Matcher, NfaOracle};
+use hds_trace::{Addr, DataRef, Pc};
+use proptest::prelude::*;
+
+/// Strategy: a set of streams over a small reference alphabet (so heads
+/// collide and share prefixes), plus a trace to drive the machine with.
+fn small_ref(max: u32) -> impl Strategy<Value = DataRef> {
+    (0..max).prop_map(|i| DataRef::new(Pc(i % 5), Addr(u64::from(i) * 8)))
+}
+
+fn streams_strategy() -> impl Strategy<Value = Vec<Vec<DataRef>>> {
+    proptest::collection::vec(
+        proptest::collection::vec(small_ref(8), 4..10),
+        1..6,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(160))]
+
+    /// The DFSM matcher and the direct NFA-semantics oracle agree on
+    /// every step of a random trace: same element sets, same prefetches.
+    #[test]
+    fn dfsm_equals_subset_construction(
+        streams in streams_strategy(),
+        trace in proptest::collection::vec(small_ref(8), 0..200),
+        head_len in 1usize..4,
+    ) {
+        let dfsm = match build(&streams, &DfsmConfig::new(head_len)) {
+            Ok(d) => d,
+            Err(_) => return Ok(()), // short streams: rejected by contract
+        };
+        dfsm.verify().map_err(TestCaseError::fail)?;
+        let mut matcher = Matcher::new(&dfsm);
+        let mut oracle = NfaOracle::new(&dfsm);
+        for &r in &trace {
+            let got = matcher.observe(r).to_vec();
+            let want = oracle.observe(r);
+            prop_assert_eq!(&got, &want, "prefetch divergence on {}", r);
+            prop_assert_eq!(
+                dfsm.elements(matcher.state()),
+                oracle.elements(),
+                "element-set divergence on {}", r
+            );
+        }
+    }
+
+    /// Feeding a stream's own head from the start state always completes
+    /// the match and prefetches its tail addresses.
+    #[test]
+    fn own_head_always_matches(
+        streams in streams_strategy(),
+        head_len in 1usize..4,
+        pick in 0usize..6,
+    ) {
+        let dfsm = match build(&streams, &DfsmConfig::new(head_len)) {
+            Ok(d) => d,
+            Err(_) => return Ok(()),
+        };
+        let stream = &dfsm.streams()[pick % dfsm.streams().len()];
+        let mut matcher = Matcher::new(&dfsm);
+        let mut last: Vec<Addr> = Vec::new();
+        for &r in stream.head() {
+            last = matcher.observe(r).to_vec();
+        }
+        // The final head reference completes at least this stream, so
+        // every one of its tail addresses is among the fired prefetches.
+        for addr in stream.tail_addrs() {
+            prop_assert!(last.contains(&addr), "missing prefetch of {}", addr);
+        }
+    }
+
+    /// State count stays near headLen * n + 1 for streams with distinct
+    /// references (the paper's empirical observation), and the machine
+    /// always verifies.
+    #[test]
+    fn state_count_linear_for_distinct_refs(
+        n in 1usize..12,
+        head_len in 1usize..4,
+    ) {
+        let streams: Vec<Vec<DataRef>> = (0..n)
+            .map(|k| {
+                (0..(head_len + 3))
+                    .map(|i| DataRef::new(
+                        Pc((k * 100 + i) as u32),
+                        Addr((k * 4096 + i * 8) as u64),
+                    ))
+                    .collect()
+            })
+            .collect();
+        let dfsm = build(&streams, &DfsmConfig::new(head_len)).unwrap();
+        dfsm.verify().map_err(TestCaseError::fail)?;
+        prop_assert_eq!(dfsm.state_count(), head_len * n + 1);
+        // Exact edge count for fully distinct references: the start state
+        // has n edges; each of the n*(head_len-1) mid states has one
+        // advance edge plus n restart edges; each of the n completed
+        // states has n restart edges.
+        let expected = n + n * (head_len - 1) * (n + 1) + n * n;
+        prop_assert_eq!(dfsm.transition_count(), expected);
+        // One address check per distinct head reference.
+        prop_assert_eq!(dfsm.address_check_count(), head_len * n);
+    }
+
+    /// Construction is deterministic.
+    #[test]
+    fn build_deterministic(streams in streams_strategy(), head_len in 1usize..3) {
+        let a = build(&streams, &DfsmConfig::new(head_len));
+        let b = build(&streams, &DfsmConfig::new(head_len));
+        match (a, b) {
+            (Ok(x), Ok(y)) => {
+                prop_assert_eq!(x.render(), y.render());
+                prop_assert_eq!(x.state_count(), y.state_count());
+            }
+            (Err(x), Err(y)) => prop_assert_eq!(x, y),
+            _ => prop_assert!(false, "one build failed, the other succeeded"),
+        }
+    }
+}

@@ -1,0 +1,183 @@
+//! Analysis configuration: the heat threshold `H` and the stream length
+//! window `[minLen, maxLen]`.
+
+/// Configuration for hot data stream detection.
+///
+/// A non-terminal `A` is hot iff
+/// `minLen <= A.length <= maxLen && H <= A.heat` (paper §2.3). The paper's
+/// production setting (§4.1) detects "streams that contain more than 10
+/// references, and account for at least 1% of the collected trace" —
+/// build that with [`AnalysisConfig::paper_default`].
+///
+/// # Examples
+///
+/// ```
+/// use hds_hotstream::AnalysisConfig;
+///
+/// // The Figure 6 / Table 1 worked example.
+/// let c = AnalysisConfig::new(8, 2, 7);
+/// assert_eq!(c.heat_threshold, 8);
+///
+/// // Production settings for a 100k-reference trace: H = 1% of trace.
+/// let c = AnalysisConfig::paper_default(100_000);
+/// assert_eq!(c.heat_threshold, 1_000);
+/// assert_eq!(c.min_length, 10);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct AnalysisConfig {
+    /// Heat threshold `H`: minimum `length * coldUses` for a stream to be
+    /// reported.
+    pub heat_threshold: u64,
+    /// Minimum stream length `minLen` (in references). Streams shorter
+    /// than this do not justify the prefix-matching overhead.
+    pub min_length: u64,
+    /// Maximum stream length `maxLen`. Overly long streams (like the
+    /// whole trace) are useless as prefetch units.
+    pub max_length: u64,
+    /// Optional additional filter: minimum number of *distinct* references
+    /// in the stream. The paper's configuration requires streams with
+    /// "more than ten unique references" — prefetching a stream that
+    /// bounces between two addresses buys nothing. `0` disables the
+    /// filter.
+    pub min_unique_refs: u64,
+    /// Extension (ours, not the paper's): when a *hot* non-terminal
+    /// exceeds `max_length`, report its expansion chopped into
+    /// `max_length`-sized windows instead of skipping it entirely.
+    /// Without this, a program whose entire inner loop Sequitur folds
+    /// into one giant rule (e.g. a long fixed traversal with no other
+    /// repetition) yields no streams at all. Sound: each window occurs
+    /// at least `coldUses` times, non-overlapping. Off by default.
+    pub chop_long_rules: bool,
+}
+
+impl AnalysisConfig {
+    /// Creates a configuration from the three core parameters; the
+    /// unique-reference filter is disabled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min_length > max_length` or `min_length == 0`.
+    #[must_use]
+    pub fn new(heat_threshold: u64, min_length: u64, max_length: u64) -> Self {
+        assert!(min_length > 0, "min_length must be at least 1");
+        assert!(
+            min_length <= max_length,
+            "min_length {min_length} exceeds max_length {max_length}"
+        );
+        AnalysisConfig {
+            heat_threshold,
+            min_length,
+            max_length,
+            min_unique_refs: 0,
+            chop_long_rules: false,
+        }
+    }
+
+    /// The paper's production configuration (§4.1) for a trace of
+    /// `trace_len` references: streams of more than 10 (unique)
+    /// references accounting for at least 1% of the trace.
+    #[must_use]
+    pub fn paper_default(trace_len: u64) -> Self {
+        AnalysisConfig {
+            heat_threshold: (trace_len / 100).max(1),
+            min_length: 10,
+            max_length: 100,
+            min_unique_refs: 10,
+            chop_long_rules: false,
+        }
+    }
+
+    /// Returns a copy with the heat threshold set to `percent`% of
+    /// `trace_len`.
+    #[must_use]
+    pub fn with_heat_percent(mut self, trace_len: u64, percent: f64) -> Self {
+        assert!(
+            (0.0..=100.0).contains(&percent),
+            "percent must be within 0..=100, got {percent}"
+        );
+        #[allow(clippy::cast_precision_loss, clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let h = ((trace_len as f64) * percent / 100.0).ceil() as u64;
+        self.heat_threshold = h.max(1);
+        self
+    }
+
+    /// Returns a copy with the unique-reference filter set.
+    #[must_use]
+    pub fn with_min_unique_refs(mut self, n: u64) -> Self {
+        self.min_unique_refs = n;
+        self
+    }
+
+    /// Returns a copy with long-rule chopping enabled (see
+    /// [`AnalysisConfig::chop_long_rules`]).
+    #[must_use]
+    pub fn with_chopping(mut self) -> Self {
+        self.chop_long_rules = true;
+        self
+    }
+
+    /// Does a stream of length `len` and heat `heat` satisfy the core
+    /// (length-window and threshold) criteria?
+    #[must_use]
+    pub fn is_hot(&self, len: u64, heat: u64) -> bool {
+        self.min_length <= len && len <= self.max_length && self.heat_threshold <= heat
+    }
+}
+
+impl Default for AnalysisConfig {
+    /// A small-scale default suitable for unit tests: `H = 8`,
+    /// `minLen = 2`, `maxLen = 100`.
+    fn default() -> Self {
+        AnalysisConfig::new(8, 2, 100)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn is_hot_window_edges() {
+        let c = AnalysisConfig::new(8, 2, 7);
+        assert!(c.is_hot(2, 8));
+        assert!(c.is_hot(7, 8));
+        assert!(!c.is_hot(1, 100));
+        assert!(!c.is_hot(8, 100));
+        assert!(!c.is_hot(5, 7));
+    }
+
+    #[test]
+    fn paper_default_scales_with_trace() {
+        let c = AnalysisConfig::paper_default(50_000);
+        assert_eq!(c.heat_threshold, 500);
+        assert_eq!(c.min_unique_refs, 10);
+        // Tiny traces never get a zero threshold.
+        assert_eq!(AnalysisConfig::paper_default(5).heat_threshold, 1);
+    }
+
+    #[test]
+    fn heat_percent_rounds_up() {
+        let c = AnalysisConfig::default().with_heat_percent(999, 1.0);
+        assert_eq!(c.heat_threshold, 10);
+        let c = AnalysisConfig::default().with_heat_percent(0, 1.0);
+        assert_eq!(c.heat_threshold, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "min_length")]
+    fn rejects_inverted_window() {
+        let _ = AnalysisConfig::new(8, 9, 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "min_length must be at least 1")]
+    fn rejects_zero_min() {
+        let _ = AnalysisConfig::new(8, 0, 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "percent")]
+    fn rejects_bad_percent() {
+        let _ = AnalysisConfig::default().with_heat_percent(100, 150.0);
+    }
+}

@@ -1,0 +1,216 @@
+//! Exact reference analyses used as the test oracle and ablation baseline.
+//!
+//! The paper's fast analysis (Figure 5) trades precision for speed,
+//! relying "more heavily on the ability of Sequitur to infer hierarchical
+//! structure" than Larus's precise hot-subpath algorithm \[21\]. This
+//! module provides the precise quantities:
+//!
+//! * [`non_overlapping_frequency`] — the exact `v.frequency` of §2.3: the
+//!   maximum number of non-overlapping occurrences of `v` in `w`;
+//! * [`heat`] — the exact regularity magnitude `v.length * v.frequency`;
+//! * [`enumerate_hot_substrings`] — exhaustive enumeration of all hot
+//!   substrings of a (small) trace, the ground truth against which the
+//!   fast analysis is validated.
+
+use std::collections::HashMap;
+
+use hds_trace::Symbol;
+
+use crate::config::AnalysisConfig;
+
+/// Counts the maximum number of non-overlapping occurrences of `needle`
+/// in `haystack`.
+///
+/// Greedy left-to-right matching is optimal for this objective (taking
+/// the earliest possible next occurrence never reduces the count), so the
+/// run time is `O(|haystack| * |needle|)` worst case; typical inputs are
+/// far cheaper.
+///
+/// An empty needle is defined to occur zero times (streams are non-empty
+/// by construction).
+///
+/// # Examples
+///
+/// ```
+/// use hds_hotstream::exact::non_overlapping_frequency;
+/// use hds_trace::Symbol;
+///
+/// let w: Vec<Symbol> = [0, 1, 0, 1, 0, 1].iter().map(|&i| Symbol(i)).collect();
+/// let v: Vec<Symbol> = [0, 1].iter().map(|&i| Symbol(i)).collect();
+/// assert_eq!(non_overlapping_frequency(&v, &w), 3);
+/// // Overlaps don't double-count: "aaa" contains "aa" twice overlapping,
+/// // once non-overlapping... plus the second disjoint start.
+/// let w: Vec<Symbol> = vec![Symbol(7); 5];
+/// let v: Vec<Symbol> = vec![Symbol(7); 2];
+/// assert_eq!(non_overlapping_frequency(&v, &w), 2);
+/// ```
+#[must_use]
+pub fn non_overlapping_frequency(needle: &[Symbol], haystack: &[Symbol]) -> u64 {
+    if needle.is_empty() || needle.len() > haystack.len() {
+        return 0;
+    }
+    let mut count = 0u64;
+    let mut i = 0usize;
+    while i + needle.len() <= haystack.len() {
+        if haystack[i..i + needle.len()] == *needle {
+            count += 1;
+            i += needle.len();
+        } else {
+            i += 1;
+        }
+    }
+    count
+}
+
+/// The exact regularity magnitude of `needle` within `haystack`:
+/// `needle.len() * frequency`.
+#[must_use]
+pub fn heat(needle: &[Symbol], haystack: &[Symbol]) -> u64 {
+    needle.len() as u64 * non_overlapping_frequency(needle, haystack)
+}
+
+/// One entry of the exhaustive enumeration: a substring and its exact
+/// heat.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct ExactStream {
+    /// The substring contents.
+    pub symbols: Vec<Symbol>,
+    /// Exact heat (`len * non-overlapping frequency`).
+    pub heat: u64,
+}
+
+/// Exhaustively enumerates every distinct substring of `trace` within the
+/// config's length window whose exact heat reaches the threshold.
+/// Intended for *small* traces (`O(n^3)`-ish): it is the test oracle, not
+/// a production analysis.
+///
+/// Results are sorted hottest first, ties broken lexicographically.
+///
+/// # Panics
+///
+/// Panics if the trace is longer than 4096 symbols — an accidental call
+/// on a production-sized trace would appear to hang.
+#[must_use]
+pub fn enumerate_hot_substrings(trace: &[Symbol], config: &AnalysisConfig) -> Vec<ExactStream> {
+    assert!(
+        trace.len() <= 4096,
+        "enumerate_hot_substrings is an oracle for small traces (got {} symbols)",
+        trace.len()
+    );
+    let n = trace.len();
+    let mut seen: HashMap<&[Symbol], u64> = HashMap::new();
+    #[allow(clippy::cast_possible_truncation)]
+    let max_len = (config.max_length as usize).min(n);
+    let min_len = config.min_length as usize;
+    for len in min_len..=max_len {
+        if len == 0 || len > n {
+            continue;
+        }
+        for start in 0..=(n - len) {
+            let candidate = &trace[start..start + len];
+            seen.entry(candidate).or_insert(0);
+        }
+    }
+    let mut out: Vec<ExactStream> = seen
+        .into_keys()
+        .filter_map(|candidate| {
+            let h = heat(candidate, trace);
+            if h >= config.heat_threshold {
+                if config.min_unique_refs > 0 {
+                    let unique = candidate
+                        .iter()
+                        .collect::<std::collections::HashSet<_>>()
+                        .len() as u64;
+                    if unique < config.min_unique_refs {
+                        return None;
+                    }
+                }
+                Some(ExactStream {
+                    symbols: candidate.to_vec(),
+                    heat: h,
+                })
+            } else {
+                None
+            }
+        })
+        .collect();
+    out.sort_by(|a, b| b.heat.cmp(&a.heat).then_with(|| a.symbols.cmp(&b.symbols)));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn syms(s: &str) -> Vec<Symbol> {
+        s.bytes().map(|b| Symbol(u32::from(b - b'a'))).collect()
+    }
+
+    #[test]
+    fn frequency_basic() {
+        assert_eq!(non_overlapping_frequency(&syms("ab"), &syms("ababab")), 3);
+        assert_eq!(non_overlapping_frequency(&syms("abc"), &syms("abcabcab")), 2);
+        assert_eq!(non_overlapping_frequency(&syms("x"), &syms("abc")), 0);
+        assert_eq!(non_overlapping_frequency(&syms(""), &syms("abc")), 0);
+        assert_eq!(non_overlapping_frequency(&syms("abcd"), &syms("abc")), 0);
+    }
+
+    #[test]
+    fn frequency_overlap_is_not_counted() {
+        assert_eq!(non_overlapping_frequency(&syms("aa"), &syms("aaa")), 1);
+        assert_eq!(non_overlapping_frequency(&syms("aa"), &syms("aaaa")), 2);
+        assert_eq!(non_overlapping_frequency(&syms("aba"), &syms("ababa")), 1);
+    }
+
+    #[test]
+    fn heat_is_len_times_freq() {
+        assert_eq!(heat(&syms("abc"), &syms("abcabcabc")), 9);
+        assert_eq!(heat(&syms("ab"), &syms("abab")), 4);
+    }
+
+    #[test]
+    fn paper_example_exact_heat() {
+        // In w = abaabcabcabcabc the stream abcabc occurs twice
+        // (non-overlapping), heat 12 — matching the fast analysis.
+        let w = syms("abaabcabcabcabc");
+        assert_eq!(heat(&syms("abcabc"), &w), 12);
+        // abc occurs 4 times, heat 12 as well (the fast analysis
+        // attributes all of them to abcabc and reports abc cold).
+        assert_eq!(heat(&syms("abc"), &w), 12);
+    }
+
+    #[test]
+    fn enumeration_finds_the_paper_stream() {
+        let w = syms("abaabcabcabcabc");
+        let cfg = AnalysisConfig::new(8, 2, 7);
+        let hot = enumerate_hot_substrings(&w, &cfg);
+        assert!(hot.iter().any(|s| s.symbols == syms("abcabc") && s.heat == 12));
+        // Everything reported really satisfies the thresholds.
+        for s in &hot {
+            assert!(cfg.is_hot(s.symbols.len() as u64, s.heat));
+        }
+    }
+
+    #[test]
+    fn enumeration_respects_unique_filter() {
+        let cfg = AnalysisConfig::new(4, 2, 8).with_min_unique_refs(3);
+        let hot = enumerate_hot_substrings(&syms("abababab"), &cfg);
+        assert!(hot.is_empty());
+    }
+
+    #[test]
+    fn enumeration_sorted_hottest_first() {
+        let w = syms(&format!("{}{}", "ab".repeat(10), "cde".repeat(4)));
+        let hot = enumerate_hot_substrings(&w, &AnalysisConfig::new(6, 2, 10));
+        for pair in hot.windows(2) {
+            assert!(pair[0].heat >= pair[1].heat);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "small traces")]
+    fn enumeration_rejects_huge_traces() {
+        let w = vec![Symbol(0); 5000];
+        let _ = enumerate_hot_substrings(&w, &AnalysisConfig::default());
+    }
+}

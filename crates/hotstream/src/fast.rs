@@ -1,0 +1,495 @@
+//! The paper's fast hot-data-stream approximation (Figure 5).
+//!
+//! The algorithm exploits the fact that each non-terminal `A` of a
+//! Sequitur grammar generates exactly one word `w_A`, so non-terminals
+//! *are* candidate streams. It runs in three linear passes over the
+//! grammar DAG:
+//!
+//! 1. number the non-terminals in reverse post-order, so parents precede
+//!    children;
+//! 2. propagate `uses` (occurrence counts in the parse tree) top-down;
+//! 3. compute `heat = w_A.length * A.coldUses`, report hot non-terminals,
+//!    and subtract subsumed uses from children (`coldUses` of a child
+//!    drops by the full `uses` of a hot parent, but only by the
+//!    *already-subsumed* `uses - coldUses` of a cold parent).
+//!
+//! The result under-approximates true heat (a stream's exact
+//! non-overlapping frequency is never smaller than its cold parse-tree
+//! use count), which is the safe direction for a prefetcher: everything
+//! reported really is hot.
+
+use std::collections::HashSet;
+use std::fmt;
+
+use hds_sequitur::{GSym, Grammar, RuleId};
+use hds_trace::Symbol;
+
+use crate::config::AnalysisConfig;
+
+/// One detected hot data stream.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct HotDataStream {
+    /// The stream contents `w_A`, as interned symbols.
+    pub symbols: Vec<Symbol>,
+    /// The stream's regularity magnitude `length * coldUses`.
+    pub heat: u64,
+    /// The grammar rule the stream came from (diagnostic).
+    pub rule: RuleId,
+}
+
+impl HotDataStream {
+    /// Stream length in references.
+    #[must_use]
+    pub fn len(&self) -> u64 {
+        self.symbols.len() as u64
+    }
+
+    /// Returns `true` if the stream is empty (never produced by the
+    /// analysis, but required for a well-behaved API).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.symbols.is_empty()
+    }
+
+    /// Number of distinct symbols in the stream.
+    #[must_use]
+    pub fn unique_refs(&self) -> u64 {
+        self.symbols.iter().collect::<HashSet<_>>().len() as u64
+    }
+}
+
+impl fmt::Display for HotDataStream {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "stream[{}] len {} heat {}", self.rule, self.len(), self.heat)
+    }
+}
+
+/// Per-non-terminal values computed by the analysis — one row of the
+/// paper's Table 1.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct NonTerminalRow {
+    /// The rule this row describes.
+    pub rule: RuleId,
+    /// Expansion length `w_A.length`.
+    pub length: u64,
+    /// Reverse post-order index.
+    pub index: usize,
+    /// Parse-tree use count.
+    pub uses: u64,
+    /// Use count not subsumed by other hot non-terminals.
+    pub cold_uses: u64,
+    /// `length * cold_uses`.
+    pub heat: u64,
+    /// Whether the non-terminal was reported as a hot data stream.
+    pub reported: bool,
+}
+
+/// The full analysis output: the hot streams plus the per-non-terminal
+/// table (Figure 6 / Table 1 of the paper).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct AnalysisResult {
+    /// Detected hot data streams, hottest first.
+    pub streams: Vec<HotDataStream>,
+    /// Per-non-terminal computed values, in rule order.
+    pub table: Vec<NonTerminalRow>,
+}
+
+impl AnalysisResult {
+    /// Total heat of all reported streams.
+    #[must_use]
+    pub fn total_heat(&self) -> u64 {
+        self.streams.iter().map(|s| s.heat).sum()
+    }
+
+    /// Fraction of a trace of length `trace_len` covered by the reported
+    /// streams (the paper's "accounts for 12/15 = 80% of all data
+    /// references" in the worked example).
+    #[must_use]
+    pub fn coverage(&self, trace_len: u64) -> f64 {
+        if trace_len == 0 {
+            return 0.0;
+        }
+        #[allow(clippy::cast_precision_loss)]
+        {
+            self.total_heat() as f64 / trace_len as f64
+        }
+    }
+}
+
+/// Runs the fast hot-data-stream analysis of Figure 5 over a grammar
+/// snapshot.
+///
+/// Runs in time linear in the grammar size. The returned streams are
+/// sorted hottest-first and deduplicated by content (if two rules expand
+/// to the same word, the hotter row wins and the heats are summed —
+/// they describe the same stream).
+///
+/// # Panics
+///
+/// Panics if the grammar is malformed (see [`Grammar::verify`]).
+#[must_use]
+pub fn analyze(grammar: &Grammar, config: &AnalysisConfig) -> AnalysisResult {
+    let n = grammar.rule_count();
+    if n == 0 {
+        return AnalysisResult::default();
+    }
+
+    // Pass 1: reverse post-order numbering (parents before children).
+    // `order[i]` = rule visited; `index_of[rule]` = its rpo index.
+    let mut index_of = vec![usize::MAX; n];
+    let mut next = n;
+    // Iterative DFS from the start rule. Children are the non-terminals
+    // on the right-hand side, in body order.
+    let mut visited = vec![false; n];
+    let mut stack: Vec<(usize, usize)> = vec![(0, 0)];
+    visited[0] = true;
+    while let Some((rule, pos)) = stack.pop() {
+        let body = grammar.rule(RuleId(rule as u32)).body();
+        let mut p = pos;
+        let mut descended = false;
+        while p < body.len() {
+            let sym = body[p];
+            p += 1;
+            if let GSym::Rule(r) = sym {
+                if !visited[r.index()] {
+                    visited[r.index()] = true;
+                    stack.push((rule, p)); // resume the parent here later
+                    stack.push((r.index(), 0));
+                    descended = true;
+                    break;
+                }
+            }
+        }
+        if !descended {
+            // All children visited: assign the next reverse index.
+            next -= 1;
+            index_of[rule] = next;
+        }
+    }
+    // Every rule is reachable from S in a verified grammar, but guard
+    // against unused rules anyway: give them indices after the reachable
+    // ones (they have zero uses and stay cold).
+    for idx in index_of.iter_mut() {
+        if *idx == usize::MAX {
+            next -= 1;
+            *idx = next;
+        }
+    }
+
+    // Rules in ascending index order.
+    let mut by_index: Vec<usize> = (0..n).collect();
+    by_index.sort_by_key(|&r| index_of[r]);
+
+    // Pass 2: uses/coldUses propagation.
+    let mut uses = vec![0u64; n];
+    let mut cold_uses = vec![0u64; n];
+    uses[0] = 1;
+    cold_uses[0] = 1;
+    for &r in &by_index {
+        let parent_uses = uses[r];
+        for sym in grammar.rule(RuleId(r as u32)).body() {
+            if let GSym::Rule(child) = sym {
+                uses[child.index()] += parent_uses;
+                cold_uses[child.index()] += parent_uses;
+            }
+        }
+    }
+
+    // Pass 3: heat computation and hot-stream reporting.
+    let mut rows: Vec<NonTerminalRow> = (0..n)
+        .map(|r| NonTerminalRow {
+            rule: RuleId(r as u32),
+            length: grammar.rule(RuleId(r as u32)).length(),
+            index: index_of[r],
+            uses: uses[r],
+            cold_uses: 0, // final value filled in below
+            heat: 0,
+            reported: false,
+        })
+        .collect();
+    let mut streams = Vec::new();
+    for &r in &by_index {
+        let length = grammar.rule(RuleId(r as u32)).length();
+        let heat = length.saturating_mul(cold_uses[r]);
+        let mut hot = config.is_hot(length, heat);
+        let mut expansion = None;
+        if hot && config.min_unique_refs > 0 {
+            let w = grammar.expand(RuleId(r as u32));
+            let unique = w.iter().collect::<HashSet<_>>().len() as u64;
+            if unique < config.min_unique_refs {
+                hot = false;
+            } else {
+                expansion = Some(w);
+            }
+        }
+        // The start rule is never a prefetchable stream (it is the whole
+        // trace); the paper's Table 1 marks it "no, start".
+        if r == 0 {
+            hot = false;
+        }
+        // Extension: a rule that is hot in every respect except being
+        // *longer* than maxLen can be chopped into maxLen windows, each
+        // of which inherits the rule's cold use count (sound: windows of
+        // distinct occurrences never overlap).
+        let chop = config.chop_long_rules
+            && r != 0
+            && !hot
+            && length > config.max_length
+            && heat >= config.heat_threshold
+            && cold_uses[r] > 0;
+        rows[r].cold_uses = cold_uses[r];
+        rows[r].heat = heat;
+        rows[r].reported = hot || chop;
+        let subtract = if hot || chop {
+            uses[r]
+        } else {
+            uses[r] - cold_uses[r]
+        };
+        if subtract > 0 {
+            for sym in grammar.rule(RuleId(r as u32)).body() {
+                if let GSym::Rule(child) = sym {
+                    cold_uses[child.index()] =
+                        cold_uses[child.index()].saturating_sub(subtract);
+                }
+            }
+        }
+        if hot {
+            let symbols =
+                expansion.unwrap_or_else(|| grammar.expand(RuleId(r as u32)));
+            streams.push(HotDataStream {
+                symbols,
+                heat,
+                rule: RuleId(r as u32),
+            });
+        } else if chop {
+            let w = grammar.expand(RuleId(r as u32));
+            #[allow(clippy::cast_possible_truncation)]
+            for chunk in w.chunks(config.max_length as usize) {
+                let chunk_len = chunk.len() as u64;
+                if chunk_len < config.min_length {
+                    continue; // a short final remainder
+                }
+                if config.min_unique_refs > 0 {
+                    let unique =
+                        chunk.iter().collect::<HashSet<_>>().len() as u64;
+                    if unique < config.min_unique_refs {
+                        continue;
+                    }
+                }
+                streams.push(HotDataStream {
+                    symbols: chunk.to_vec(),
+                    heat: chunk_len.saturating_mul(cold_uses[r]),
+                    rule: RuleId(r as u32),
+                });
+            }
+        }
+    }
+
+    // Deduplicate identical stream contents (possible when distinct rules
+    // expand to the same word), merging heat.
+    streams.sort_by(|a, b| a.symbols.cmp(&b.symbols));
+    let mut deduped: Vec<HotDataStream> = Vec::with_capacity(streams.len());
+    for s in streams {
+        match deduped.last_mut() {
+            Some(last) if last.symbols == s.symbols => last.heat += s.heat,
+            _ => deduped.push(s),
+        }
+    }
+    deduped.sort_by(|a, b| b.heat.cmp(&a.heat).then_with(|| a.symbols.cmp(&b.symbols)));
+
+    rows.sort_by_key(|row| row.rule);
+    AnalysisResult {
+        streams: deduped,
+        table: rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hds_sequitur::Sequitur;
+
+    fn syms(s: &str) -> Vec<Symbol> {
+        s.bytes().map(|b| Symbol(u32::from(b - b'a'))).collect()
+    }
+
+    fn to_string(symbols: &[Symbol]) -> String {
+        symbols
+            .iter()
+            .map(|s| char::from(b'a' + u8::try_from(s.0).unwrap()))
+            .collect()
+    }
+
+    fn analyze_str(input: &str, config: &AnalysisConfig) -> AnalysisResult {
+        let seq: Sequitur = syms(input).into_iter().collect();
+        analyze(&seq.grammar(), config)
+    }
+
+    /// The full paper worked example: Figure 4 grammar, Figure 6 values,
+    /// Table 1 rows.
+    #[test]
+    fn paper_table1_values() {
+        let result = analyze_str("abaabcabcabcabc", &AnalysisConfig::new(8, 2, 7));
+
+        // Exactly one hot stream: abcabc with heat 12.
+        assert_eq!(result.streams.len(), 1);
+        let stream = &result.streams[0];
+        assert_eq!(to_string(&stream.symbols), "abcabc");
+        assert_eq!(stream.heat, 12);
+        // It accounts for 12/15 = 80% of the trace.
+        assert!((result.coverage(15) - 0.8).abs() < 1e-9);
+
+        // Table 1, keyed by expansion so the test is robust to rule
+        // numbering: S(len 15), A=ab(2), B=abcabc(6), C=abc(3).
+        let mut rows_by_len: std::collections::HashMap<u64, &NonTerminalRow> =
+            std::collections::HashMap::new();
+        for row in &result.table {
+            rows_by_len.insert(row.length, row);
+        }
+        let s = rows_by_len[&15];
+        assert_eq!((s.index, s.uses, s.cold_uses, s.heat, s.reported), (0, 1, 1, 15, false));
+        let a = rows_by_len[&2];
+        assert_eq!((a.index, a.uses, a.cold_uses, a.heat, a.reported), (3, 5, 1, 2, false));
+        let b = rows_by_len[&6];
+        assert_eq!((b.index, b.uses, b.cold_uses, b.heat, b.reported), (1, 2, 2, 12, true));
+        let c = rows_by_len[&3];
+        assert_eq!((c.index, c.uses, c.cold_uses, c.heat, c.reported), (2, 4, 0, 0, false));
+    }
+
+    #[test]
+    fn empty_input_reports_nothing() {
+        let result = analyze_str("", &AnalysisConfig::default());
+        assert!(result.streams.is_empty());
+        assert_eq!(result.table.len(), 1); // just S
+        assert_eq!(result.total_heat(), 0);
+        assert_eq!(result.coverage(0), 0.0);
+    }
+
+    #[test]
+    fn non_repetitive_input_reports_nothing() {
+        let result = analyze_str("abcdefg", &AnalysisConfig::new(4, 2, 7));
+        assert!(result.streams.is_empty());
+    }
+
+    #[test]
+    fn start_rule_never_reported() {
+        // Whole input repeats, but S itself must not be a stream even
+        // when it satisfies the window.
+        let result = analyze_str("ababab", &AnalysisConfig::new(1, 1, 100));
+        assert!(result.streams.iter().all(|s| s.rule != RuleId::START));
+    }
+
+    #[test]
+    fn heat_threshold_filters() {
+        let hot = analyze_str("abcabcabcabc", &AnalysisConfig::new(6, 2, 8));
+        assert!(!hot.streams.is_empty());
+        let cold = analyze_str("abcabcabcabc", &AnalysisConfig::new(1_000, 2, 8));
+        assert!(cold.streams.is_empty());
+    }
+
+    #[test]
+    fn length_window_filters() {
+        // abcabc repeated: candidate streams of length 3, 6, 12...
+        let none = analyze_str("abcabcabcabc", &AnalysisConfig::new(1, 100, 200));
+        assert!(none.streams.is_empty());
+    }
+
+    #[test]
+    fn unique_refs_filter() {
+        // "ababab..." has streams with only 2 unique refs.
+        let cfg = AnalysisConfig::new(4, 2, 50).with_min_unique_refs(3);
+        let result = analyze_str(&"ab".repeat(32), &cfg);
+        assert!(
+            result.streams.is_empty(),
+            "streams with 2 unique refs must be filtered: {:?}",
+            result.streams
+        );
+        // Same input without the filter does report.
+        let unfiltered = analyze_str(&"ab".repeat(32), &AnalysisConfig::new(4, 2, 50));
+        assert!(!unfiltered.streams.is_empty());
+    }
+
+    #[test]
+    fn streams_sorted_hottest_first() {
+        // Two patterns with different frequencies.
+        let input = format!("{}{}", "abcd".repeat(20), "efgh".repeat(5));
+        let result = analyze_str(&input, &AnalysisConfig::new(8, 2, 8));
+        assert!(result.streams.len() >= 2);
+        for pair in result.streams.windows(2) {
+            assert!(pair[0].heat >= pair[1].heat);
+        }
+    }
+
+    #[test]
+    fn hot_subsumption_zeroes_children() {
+        // When a parent is hot, its children's cold uses drop by the
+        // parent's full use count — in the paper example, C ends cold.
+        let result = analyze_str("abaabcabcabcabc", &AnalysisConfig::new(8, 2, 7));
+        let c_row = result.table.iter().find(|r| r.length == 3).unwrap();
+        assert_eq!(c_row.cold_uses, 0);
+        assert!(!c_row.reported);
+    }
+
+    #[test]
+    fn table_covers_every_rule() {
+        let seq: Sequitur = syms("abcabdabcabd").into_iter().collect();
+        let g = seq.grammar();
+        let result = analyze(&g, &AnalysisConfig::default());
+        assert_eq!(result.table.len(), g.rule_count());
+        // Indices are a permutation of 0..n.
+        let mut idx: Vec<_> = result.table.iter().map(|r| r.index).collect();
+        idx.sort_unstable();
+        assert_eq!(idx, (0..g.rule_count()).collect::<Vec<_>>());
+        // Parents precede children: S has index 0.
+        assert_eq!(
+            result.table.iter().find(|r| r.rule == RuleId::START).unwrap().index,
+            0
+        );
+    }
+
+    #[test]
+    fn chopping_recovers_streams_from_oversized_rules() {
+        // A fixed 20-symbol unit repeated 6 times with no internal
+        // repetition: Sequitur folds it into one rule of length 20; with
+        // maxLen = 8 the plain analysis reports nothing.
+        let unit: String = ('a'..='t').collect();
+        let mut input = String::new();
+        for i in 0..6 {
+            input.push_str(&unit);
+            // Varying separators prevent a mega-rule over the repeats.
+            for _ in 0..=i {
+                input.push('u');
+            }
+        }
+        let plain = AnalysisConfig::new(20, 4, 8);
+        let none = analyze_str(&input, &plain);
+        assert!(none.streams.is_empty(), "plain analysis should find nothing");
+        let chopped = analyze_str(&input, &plain.clone().with_chopping());
+        assert!(!chopped.streams.is_empty(), "chopping should recover windows");
+        for s in &chopped.streams {
+            assert!(s.symbols.len() <= 8);
+            assert!(s.symbols.len() >= 4);
+            // Every window is a real substring with at least the claimed
+            // frequency.
+            let syms_in = syms(&input);
+            assert!(
+                crate::exact::heat(&s.symbols, &syms_in) >= s.heat,
+                "chopped heat {} exceeds exact for {:?}",
+                s.heat,
+                s.symbols
+            );
+        }
+        // The windows tile the unit: together they cover most of it.
+        let covered: usize = chopped.streams.iter().map(|s| s.symbols.len()).sum();
+        assert!(covered >= 16, "only {covered} of 20 covered");
+    }
+
+    #[test]
+    fn stream_display_and_accessors() {
+        let result = analyze_str("abcabcabcabc", &AnalysisConfig::new(6, 2, 8));
+        let s = &result.streams[0];
+        assert!(!s.is_empty());
+        assert_eq!(s.unique_refs(), 3);
+        assert!(s.to_string().contains("heat"));
+    }
+}

@@ -1,0 +1,62 @@
+//! Hot data stream detection over Sequitur grammars.
+//!
+//! A *hot data stream* is a data-reference subsequence `v` whose
+//! *regularity magnitude* (heat) `v.heat = v.length * v.frequency` exceeds
+//! a predetermined threshold `H`, where `v.frequency` counts
+//! non-overlapping occurrences in the trace (paper §2.3). Hot data streams
+//! account for most of a program's data references and cache misses, and
+//! they repeat in the same order — which is what makes them prefetchable.
+//!
+//! This crate provides two analyses:
+//!
+//! * [`fast::analyze`] — the paper's fast approximation (Figure 5): a
+//!   single linear pass over the Sequitur grammar that treats each
+//!   non-terminal `A` as a candidate stream with
+//!   `A.heat = w_A.length * A.coldUses`, where `coldUses` discounts
+//!   occurrences subsumed by other hot non-terminals. This is the analysis
+//!   the online optimizer runs.
+//! * [`exact`] — ground-truth utilities: exact non-overlapping occurrence
+//!   counting and (for small inputs) exhaustive hot-substring
+//!   enumeration. The test oracle — the fast analysis never reports a
+//!   heat higher than the exact heat of the same stream.
+//! * [`precise::analyze`] — a scalable precise analysis in the spirit of
+//!   Larus's algorithm \[21\] (the one the paper trades away): a suffix
+//!   automaton enumerates one candidate per repeated-substring
+//!   occurrence class and verifies exact heat, finding *every* hot
+//!   stream of the trace. The `analysis_comparison` experiment binary
+//!   measures the fast analysis against it.
+//!
+//! # Examples
+//!
+//! The paper's worked example (Figures 4 and 6, Table 1):
+//!
+//! ```
+//! use hds_hotstream::{fast, AnalysisConfig};
+//! use hds_sequitur::Sequitur;
+//! use hds_trace::Symbol;
+//!
+//! // w = abaabcabcabcabc
+//! let input: Vec<Symbol> = "abaabcabcabcabc"
+//!     .bytes()
+//!     .map(|b| Symbol(u32::from(b - b'a')))
+//!     .collect();
+//! let seq: Sequitur = input.iter().copied().collect();
+//! let config = AnalysisConfig::new(8, 2, 7);
+//! let result = fast::analyze(&seq.grammar(), &config);
+//! // Exactly one hot data stream: abcabc with heat 12.
+//! assert_eq!(result.streams.len(), 1);
+//! assert_eq!(result.streams[0].heat, 12);
+//! assert_eq!(result.streams[0].symbols.len(), 6);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+pub mod exact;
+pub mod fast;
+pub mod precise;
+
+pub use config::AnalysisConfig;
+pub use fast::{AnalysisResult, HotDataStream, NonTerminalRow};
+pub use precise::SuffixAutomaton;

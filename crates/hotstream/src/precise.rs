@@ -1,0 +1,326 @@
+//! A precise hot-data-stream analysis, in the spirit of Larus's
+//! whole-program-paths algorithm \[21\].
+//!
+//! The paper's §2.3: "Larus describes an algorithm for finding a set of
+//! hot data streams from a Sequitur grammar \[21\]; we use a faster,
+//! less precise algorithm that relies more heavily on the ability of
+//! Sequitur to infer hierarchical structure." This module is the
+//! *precise* side of that trade-off, so the loss can be measured
+//! (`analysis_comparison` experiment binary): it finds **every**
+//! substring of the trace whose exact regularity magnitude crosses the
+//! threshold, not just the ones Sequitur happened to reify as grammar
+//! rules.
+//!
+//! Implementation: a suffix automaton over the trace gives, in
+//! near-linear time, one canonical candidate per *occurrence class* of
+//! repeated substrings (all substrings sharing an end-position set; the
+//! longest of each class dominates the others at equal frequency).
+//! Candidates whose optimistic heat (length × overlapping occurrence
+//! count) reaches the threshold are then verified with the exact
+//! non-overlapping count of §2.3. This is far cheaper than the
+//! exhaustive oracle in [`crate::exact`] (which is quadratic-to-cubic)
+//! while producing the same verdicts.
+
+use std::collections::HashMap;
+
+use hds_trace::Symbol;
+
+use crate::config::AnalysisConfig;
+use crate::exact::{non_overlapping_frequency, ExactStream};
+
+/// One state of the suffix automaton.
+struct State {
+    /// Length of the longest substring in this state's class.
+    len: u32,
+    /// Suffix link.
+    link: i32,
+    /// Transitions.
+    next: HashMap<Symbol, u32>,
+    /// Number of end positions (overlapping occurrence count); filled in
+    /// after construction.
+    count: u64,
+    /// End index (exclusive) of the first occurrence of this class's
+    /// strings in the trace.
+    first_end: u32,
+}
+
+/// A suffix automaton over a symbol sequence.
+///
+/// Exposed for reuse by tests and benchmarks; most callers want
+/// [`analyze`].
+pub struct SuffixAutomaton {
+    states: Vec<State>,
+    last: u32,
+}
+
+impl SuffixAutomaton {
+    /// Builds the automaton for `trace` in `O(|trace| log |alphabet|)`.
+    #[must_use]
+    pub fn build(trace: &[Symbol]) -> Self {
+        let mut sam = SuffixAutomaton {
+            states: vec![State {
+                len: 0,
+                link: -1,
+                next: HashMap::new(),
+                count: 0,
+                first_end: 0,
+            }],
+            last: 0,
+        };
+        for (i, &c) in trace.iter().enumerate() {
+            sam.extend(c, (i + 1) as u32);
+        }
+        sam.propagate_counts();
+        sam
+    }
+
+    fn extend(&mut self, c: Symbol, end: u32) {
+        let cur = self.states.len() as u32;
+        let last_len = self.states[self.last as usize].len;
+        self.states.push(State {
+            len: last_len + 1,
+            link: -1,
+            next: HashMap::new(),
+            count: 1, // a fresh end position
+            first_end: end,
+        });
+        let mut p = self.last as i32;
+        while p >= 0 && !self.states[p as usize].next.contains_key(&c) {
+            self.states[p as usize].next.insert(c, cur);
+            p = self.states[p as usize].link;
+        }
+        if p < 0 {
+            self.states[cur as usize].link = 0;
+        } else {
+            let q = self.states[p as usize].next[&c];
+            if self.states[p as usize].len + 1 == self.states[q as usize].len {
+                self.states[cur as usize].link = q as i32;
+            } else {
+                // Clone q.
+                let clone = self.states.len() as u32;
+                let cloned = State {
+                    len: self.states[p as usize].len + 1,
+                    link: self.states[q as usize].link,
+                    next: self.states[q as usize].next.clone(),
+                    count: 0, // clones own no end positions directly
+                    first_end: self.states[q as usize].first_end,
+                };
+                self.states.push(cloned);
+                let mut pp = p;
+                while pp >= 0 && self.states[pp as usize].next.get(&c) == Some(&q) {
+                    self.states[pp as usize].next.insert(c, clone);
+                    pp = self.states[pp as usize].link;
+                }
+                self.states[q as usize].link = clone as i32;
+                self.states[cur as usize].link = clone as i32;
+            }
+        }
+        self.last = cur;
+    }
+
+    /// Accumulates end-position counts up the suffix links.
+    fn propagate_counts(&mut self) {
+        let mut order: Vec<u32> = (1..self.states.len() as u32).collect();
+        order.sort_by_key(|&s| std::cmp::Reverse(self.states[s as usize].len));
+        for s in order {
+            let link = self.states[s as usize].link;
+            let count = self.states[s as usize].count;
+            if link > 0 {
+                self.states[link as usize].count += count;
+            }
+        }
+    }
+
+    /// Number of states (diagnostic; linear in the trace length).
+    #[must_use]
+    pub fn state_count(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Counts the (possibly overlapping) occurrences of `needle`.
+    /// Returns 0 if it never occurs.
+    #[must_use]
+    pub fn occurrences(&self, needle: &[Symbol]) -> u64 {
+        let mut s = 0u32;
+        for c in needle {
+            match self.states[s as usize].next.get(c) {
+                Some(&t) => s = t,
+                None => return 0,
+            }
+        }
+        self.states[s as usize].count
+    }
+}
+
+/// Finds **all** hot data streams of the trace precisely: every substring
+/// within the config's length window whose exact (non-overlapping) heat
+/// reaches the threshold, reported once per occurrence class (the
+/// longest, hottest representative of each class).
+///
+/// Results are sorted hottest-first. Compared to
+/// [`exact::enumerate_hot_substrings`](crate::exact::enumerate_hot_substrings)
+/// this scales to full profile-sized traces; compared to
+/// [`fast::analyze`](crate::fast::analyze) it misses nothing, at the cost
+/// of materialising the whole trace.
+#[must_use]
+pub fn analyze(trace: &[Symbol], config: &AnalysisConfig) -> Vec<ExactStream> {
+    if trace.is_empty() {
+        return Vec::new();
+    }
+    let sam = SuffixAutomaton::build(trace);
+    let mut out = Vec::new();
+    for s in 1..sam.states.len() {
+        let st = &sam.states[s];
+        let link_len = if st.link >= 0 {
+            sam.states[st.link as usize].len
+        } else {
+            0
+        };
+        // The class represents lengths (link_len, st.len]. Pick the
+        // longest length inside the config window; shorter windows of
+        // other classes are handled by their own states.
+        #[allow(clippy::cast_possible_truncation)]
+        let max_len = config.max_length.min(u64::from(u32::MAX)) as u32;
+        let len = u64::from(st.len.min(max_len));
+        if len <= u64::from(link_len) || len < config.min_length {
+            continue;
+        }
+        // Optimistic bound: overlapping occurrences >= non-overlapping.
+        if len * st.count < config.heat_threshold {
+            continue;
+        }
+        let end = st.first_end as usize;
+        #[allow(clippy::cast_possible_truncation)]
+        let start = end - len as usize;
+        let candidate = &trace[start..end];
+        if config.min_unique_refs > 0 {
+            let unique = candidate
+                .iter()
+                .collect::<std::collections::HashSet<_>>()
+                .len() as u64;
+            if unique < config.min_unique_refs {
+                continue;
+            }
+        }
+        let freq = non_overlapping_frequency(candidate, trace);
+        let heat = len * freq;
+        if heat >= config.heat_threshold {
+            out.push(ExactStream {
+                symbols: candidate.to_vec(),
+                heat,
+            });
+        }
+    }
+    out.sort_by(|a, b| b.heat.cmp(&a.heat).then_with(|| a.symbols.cmp(&b.symbols)));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact;
+
+    fn syms(s: &str) -> Vec<Symbol> {
+        s.bytes().map(|b| Symbol(u32::from(b - b'a'))).collect()
+    }
+
+    #[test]
+    fn sam_counts_overlapping_occurrences() {
+        let trace = syms("abcabcabc");
+        let sam = SuffixAutomaton::build(&trace);
+        assert_eq!(sam.occurrences(&syms("abc")), 3);
+        assert_eq!(sam.occurrences(&syms("bca")), 2);
+        assert_eq!(sam.occurrences(&syms("abcabc")), 2); // overlapping count
+        assert_eq!(sam.occurrences(&syms("zzz")), 0);
+        assert_eq!(sam.occurrences(&syms("abcabcabc")), 1);
+    }
+
+    #[test]
+    fn sam_counts_on_runs() {
+        let trace = syms("aaaa");
+        let sam = SuffixAutomaton::build(&trace);
+        assert_eq!(sam.occurrences(&syms("a")), 4);
+        assert_eq!(sam.occurrences(&syms("aa")), 3);
+        assert_eq!(sam.occurrences(&syms("aaa")), 2);
+    }
+
+    #[test]
+    fn paper_example_found_precisely() {
+        let trace = syms("abaabcabcabcabc");
+        let config = AnalysisConfig::new(8, 2, 7);
+        let hot = analyze(&trace, &config);
+        assert!(
+            hot.iter().any(|s| s.symbols == syms("abcabc") && s.heat == 12),
+            "abcabc missing: {hot:?}"
+        );
+        // Everything reported really is hot, by the oracle.
+        for s in &hot {
+            assert_eq!(s.heat, exact::heat(&s.symbols, &trace));
+            assert!(config.is_hot(s.symbols.len() as u64, s.heat));
+        }
+    }
+
+    #[test]
+    fn agrees_with_exhaustive_oracle_on_heat_verdicts() {
+        // Every stream the exhaustive oracle finds is covered by some
+        // precise candidate of at least that heat (the precise analysis
+        // reports one representative per class, the oracle reports all).
+        let trace = syms(&format!("{}{}{}", "abcd".repeat(9), "xy".repeat(5), "abcd".repeat(3)));
+        let config = AnalysisConfig::new(12, 2, 16);
+        let precise = analyze(&trace, &config);
+        let oracle = exact::enumerate_hot_substrings(&trace, &config);
+        assert!(!oracle.is_empty());
+        let top_oracle = oracle[0].heat;
+        let top_precise = precise.first().map_or(0, |s| s.heat);
+        assert_eq!(top_precise, top_oracle, "hottest stream heat differs");
+        // Precise candidates are a subset of oracle results.
+        for p in &precise {
+            assert!(
+                oracle.iter().any(|o| o.symbols == p.symbols),
+                "precise found {:?} the oracle missed",
+                p.symbols
+            );
+        }
+    }
+
+    #[test]
+    fn empty_and_tiny_traces() {
+        assert!(analyze(&[], &AnalysisConfig::default()).is_empty());
+        assert!(analyze(&syms("a"), &AnalysisConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn length_window_respected() {
+        let trace = syms(&"abcdefgh".repeat(10));
+        let config = AnalysisConfig::new(4, 2, 5);
+        for s in analyze(&trace, &config) {
+            let len = s.symbols.len() as u64;
+            assert!((2..=5).contains(&len), "length {len} outside window");
+        }
+    }
+
+    #[test]
+    fn unique_refs_filter_applies() {
+        let trace = syms(&"ab".repeat(40));
+        let config = AnalysisConfig::new(4, 2, 10).with_min_unique_refs(3);
+        assert!(analyze(&trace, &config).is_empty());
+    }
+
+    #[test]
+    fn scales_past_the_oracle_cap() {
+        // The exhaustive oracle refuses traces > 4096 symbols; the
+        // precise analysis handles profile-sized traces comfortably.
+        let mut trace = Vec::new();
+        let streams: Vec<Vec<Symbol>> = (0..20u32)
+            .map(|s| (0..15u32).map(|k| Symbol(s * 100 + k)).collect())
+            .collect();
+        let mut state = 7u64;
+        while trace.len() < 30_000 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            trace.extend_from_slice(&streams[(state >> 33) as usize % 20]);
+        }
+        let config = AnalysisConfig::paper_default(trace.len() as u64);
+        let hot = analyze(&trace, &config);
+        assert!(hot.len() >= 15, "only {} streams found", hot.len());
+    }
+}

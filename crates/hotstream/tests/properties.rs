@@ -1,0 +1,166 @@
+//! Property-based validation of the fast hot-data-stream analysis
+//! against the exact oracle.
+
+use hds_hotstream::{exact, fast, precise, AnalysisConfig};
+use hds_sequitur::Sequitur;
+use hds_trace::Symbol;
+use proptest::prelude::*;
+
+fn to_symbols(input: &[u8]) -> Vec<Symbol> {
+    input.iter().map(|&b| Symbol(u32::from(b))).collect()
+}
+
+fn grammar_of(symbols: &[Symbol]) -> hds_sequitur::Grammar {
+    let seq: Sequitur = symbols.iter().copied().collect();
+    seq.grammar()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Soundness: the heat the fast analysis reports for a stream is a
+    /// lower bound on the stream's exact heat (cold parse-tree uses are a
+    /// subset of actual non-overlapping occurrences). Everything reported
+    /// really is hot.
+    #[test]
+    fn reported_heat_is_a_lower_bound(input in proptest::collection::vec(0u8..4, 0..160)) {
+        let symbols = to_symbols(&input);
+        let config = AnalysisConfig::new(6, 2, 20);
+        let result = fast::analyze(&grammar_of(&symbols), &config);
+        for stream in &result.streams {
+            let exact_heat = exact::heat(&stream.symbols, &symbols);
+            prop_assert!(
+                stream.heat <= exact_heat,
+                "stream {:?}: fast heat {} > exact heat {}",
+                stream.symbols, stream.heat, exact_heat
+            );
+            prop_assert!(config.is_hot(stream.symbols.len() as u64, stream.heat));
+        }
+    }
+
+    /// Every reported stream actually occurs in the trace (it is a real
+    /// substring, not an artifact of grammar manipulation).
+    #[test]
+    fn reported_streams_occur_in_trace(input in proptest::collection::vec(0u8..3, 0..200)) {
+        let symbols = to_symbols(&input);
+        let result = fast::analyze(&grammar_of(&symbols), &AnalysisConfig::new(4, 2, 30));
+        for stream in &result.streams {
+            prop_assert!(
+                exact::non_overlapping_frequency(&stream.symbols, &symbols) >= 1,
+                "stream {:?} not found in trace", stream.symbols
+            );
+        }
+    }
+
+    /// The per-non-terminal table is internally consistent: coldUses
+    /// never exceeds uses, heat = length * coldUses, and the sum of heats
+    /// of reported streams never exceeds the trace length times... nothing
+    /// — but each stream's heat is at most the trace length.
+    #[test]
+    fn table_consistency(input in proptest::collection::vec(0u8..5, 0..160)) {
+        let symbols = to_symbols(&input);
+        let result = fast::analyze(&grammar_of(&symbols), &AnalysisConfig::new(6, 2, 20));
+        for row in &result.table {
+            prop_assert!(row.cold_uses <= row.uses);
+            prop_assert_eq!(row.heat, row.length * row.cold_uses);
+        }
+        for stream in &result.streams {
+            prop_assert!(stream.heat <= symbols.len() as u64,
+                "heat {} exceeds trace length {}", stream.heat, symbols.len());
+        }
+    }
+
+    /// Total reported heat never exceeds the trace length: cold uses of
+    /// distinct hot non-terminals cover disjoint parts of the parse tree.
+    #[test]
+    fn total_heat_bounded_by_trace(input in proptest::collection::vec(0u8..3, 0..220)) {
+        let symbols = to_symbols(&input);
+        let result = fast::analyze(&grammar_of(&symbols), &AnalysisConfig::new(2, 2, 40));
+        prop_assert!(result.total_heat() <= symbols.len() as u64);
+    }
+
+    /// Agreement with the oracle on coverage: every stream the fast
+    /// analysis reports is also found by exhaustive enumeration at the
+    /// same thresholds (enumeration is the superset — it finds streams
+    /// the grammar happened not to reify as rules).
+    #[test]
+    fn fast_is_subset_of_exhaustive(input in proptest::collection::vec(0u8..3, 0..120)) {
+        let symbols = to_symbols(&input);
+        let config = AnalysisConfig::new(6, 2, 16);
+        let fast_result = fast::analyze(&grammar_of(&symbols), &config);
+        let oracle = exact::enumerate_hot_substrings(&symbols, &config);
+        for stream in &fast_result.streams {
+            prop_assert!(
+                oracle.iter().any(|o| o.symbols == stream.symbols),
+                "fast stream {:?} missing from oracle", stream.symbols
+            );
+        }
+    }
+
+    /// Determinism of the analysis.
+    #[test]
+    fn analysis_deterministic(input in proptest::collection::vec(0u8..4, 0..150)) {
+        let symbols = to_symbols(&input);
+        let g = grammar_of(&symbols);
+        let config = AnalysisConfig::new(6, 2, 20);
+        prop_assert_eq!(fast::analyze(&g, &config), fast::analyze(&g, &config));
+    }
+
+    /// The precise (suffix-automaton) analysis agrees with the
+    /// exhaustive oracle: same hottest heat, and everything it reports
+    /// is in the oracle's result set.
+    #[test]
+    fn precise_agrees_with_oracle(input in proptest::collection::vec(0u8..4, 0..180)) {
+        let symbols = to_symbols(&input);
+        let config = AnalysisConfig::new(6, 2, 24);
+        let precise = precise::analyze(&symbols, &config);
+        let oracle = exact::enumerate_hot_substrings(&symbols, &config);
+        prop_assert_eq!(
+            precise.first().map(|s| s.heat).unwrap_or(0),
+            oracle.first().map(|s| s.heat).unwrap_or(0),
+            "hottest heat differs"
+        );
+        for p in &precise {
+            prop_assert!(
+                oracle.iter().any(|o| o.symbols == p.symbols && o.heat == p.heat),
+                "precise stream {:?} not confirmed by oracle", p.symbols
+            );
+        }
+    }
+
+    /// The fast analysis never finds heat the precise analysis misses:
+    /// the precise top heat bounds the fast top heat from above.
+    #[test]
+    fn precise_dominates_fast(input in proptest::collection::vec(0u8..3, 0..200)) {
+        let symbols = to_symbols(&input);
+        let config = AnalysisConfig::new(6, 2, 30);
+        let fast_result = fast::analyze(&grammar_of(&symbols), &config);
+        let precise = precise::analyze(&symbols, &config);
+        let fast_top = fast_result.streams.first().map(|s| s.heat).unwrap_or(0);
+        let precise_top = precise.first().map(|s| s.heat).unwrap_or(0);
+        prop_assert!(
+            precise_top >= fast_top,
+            "fast found heat {} but precise only {}", fast_top, precise_top
+        );
+    }
+
+    /// The suffix automaton's overlapping occurrence counts are exact.
+    #[test]
+    fn sam_occurrence_counts_exact(
+        input in proptest::collection::vec(0u8..3, 1..120),
+        needle in proptest::collection::vec(0u8..3, 1..6),
+    ) {
+        let symbols = to_symbols(&input);
+        let needle = to_symbols(&needle);
+        let sam = hds_hotstream::SuffixAutomaton::build(&symbols);
+        let expected = if needle.len() > symbols.len() {
+            0
+        } else {
+            symbols
+                .windows(needle.len())
+                .filter(|w| *w == &needle[..])
+                .count() as u64
+        };
+        prop_assert_eq!(sam.occurrences(&needle), expected);
+    }
+}

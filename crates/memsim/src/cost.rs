@@ -1,0 +1,102 @@
+//! The cycle cost model.
+//!
+//! All "execution time" in this reproduction is deterministic simulated
+//! cycles. The charges below are calibrated to the paper's era (a 550 MHz
+//! Pentium III with SDRAM: an L2 hit costs ~10–18 cycles, a memory access
+//! ~80–100) and to the overhead figures of the paper's Figure 11 (the
+//! bare dynamic checks cost 2.5–6%, full profiling ≤ 7%).
+
+/// Cycle charges for every event the simulation can produce.
+///
+/// # Examples
+///
+/// ```
+/// use hds_memsim::CostModel;
+///
+/// let cost = CostModel::default();
+/// assert!(cost.memory_cycles > cost.l2_hit_cycles);
+/// assert!(cost.l2_hit_cycles > cost.l1_hit_cycles);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct CostModel {
+    /// One plain (non-memory) instruction.
+    pub work_cycles: u64,
+    /// A load/store that hits L1.
+    pub l1_hit_cycles: u64,
+    /// Additional penalty when L1 misses but L2 hits.
+    pub l2_hit_cycles: u64,
+    /// Additional penalty when both levels miss (memory access).
+    pub memory_cycles: u64,
+    /// One bursty-tracing dynamic check in the *checking* code version
+    /// (counter decrement + branch).
+    pub check_cycles: u64,
+    /// One dynamic check in the *instrumented* code version.
+    pub instr_check_cycles: u64,
+    /// Recording one traced data reference (buffer append; the amortised
+    /// per-symbol Sequitur cost is charged separately per analysis).
+    pub record_ref_cycles: u64,
+    /// Executing one injected DFSM prefix-match check site (the if-chain
+    /// of Figure 7 at one instrumented pc).
+    pub dfsm_check_cycles: u64,
+    /// Issuing one `prefetcht0` instruction.
+    pub prefetch_issue_cycles: u64,
+    /// Per-symbol cost of the online Sequitur + hot-stream analysis,
+    /// charged when the optimizer processes the trace buffer.
+    pub analysis_per_ref_cycles: u64,
+    /// Fixed cost of one optimization step (DFSM construction, code
+    /// injection, thread stop/restart — §3.2).
+    pub optimize_cycles: u64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            work_cycles: 1,
+            l1_hit_cycles: 1,
+            l2_hit_cycles: 22,
+            memory_cycles: 90,
+            check_cycles: 3,
+            instr_check_cycles: 4,
+            record_ref_cycles: 4,
+            dfsm_check_cycles: 3,
+            prefetch_issue_cycles: 1,
+            analysis_per_ref_cycles: 8,
+            optimize_cycles: 25_000,
+        }
+    }
+}
+
+impl CostModel {
+    /// Total latency of an access that misses all the way to memory.
+    #[must_use]
+    pub fn full_miss_cycles(&self) -> u64 {
+        self.l1_hit_cycles + self.l2_hit_cycles + self.memory_cycles
+    }
+
+    /// Total latency of an access served by L2.
+    #[must_use]
+    pub fn l2_total_cycles(&self) -> u64 {
+        self.l1_hit_cycles + self.l2_hit_cycles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_ordering_sane() {
+        let c = CostModel::default();
+        assert!(c.work_cycles >= 1);
+        assert!(c.l1_hit_cycles < c.l2_total_cycles());
+        assert!(c.l2_total_cycles() < c.full_miss_cycles());
+        assert!(c.check_cycles < c.instr_check_cycles);
+    }
+
+    #[test]
+    fn totals_add_up() {
+        let c = CostModel::default();
+        assert_eq!(c.l2_total_cycles(), 23);
+        assert_eq!(c.full_miss_cycles(), 113);
+    }
+}

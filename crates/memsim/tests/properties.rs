@@ -1,0 +1,147 @@
+//! Property tests for the cache simulator: the set-associative LRU cache
+//! agrees with a naive reference model, and hierarchy invariants hold on
+//! random access/prefetch interleavings.
+
+use hds_memsim::{AccessOutcome, Cache, CacheConfig, HierarchyConfig, MemorySystem};
+use hds_trace::{AccessKind, Addr};
+use proptest::prelude::*;
+
+/// Naive reference: per-set vector of blocks ordered most-recent-first.
+struct RefCache {
+    sets: Vec<Vec<u64>>,
+    assoc: usize,
+    block_size: u64,
+    num_sets: u64,
+}
+
+impl RefCache {
+    fn new(config: CacheConfig) -> Self {
+        RefCache {
+            sets: vec![Vec::new(); config.num_sets() as usize],
+            assoc: config.assoc as usize,
+            block_size: config.block_size,
+            num_sets: config.num_sets(),
+        }
+    }
+
+    fn set_of(&self, block: u64) -> usize {
+        (block % self.num_sets) as usize
+    }
+
+    fn access(&mut self, addr: Addr) -> bool {
+        let block = addr.block(self.block_size);
+        let set = self.set_of(block);
+        if let Some(pos) = self.sets[set].iter().position(|&b| b == block) {
+            let b = self.sets[set].remove(pos);
+            self.sets[set].insert(0, b);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn fill(&mut self, addr: Addr) {
+        let block = addr.block(self.block_size);
+        let set = self.set_of(block);
+        if let Some(pos) = self.sets[set].iter().position(|&b| b == block) {
+            let b = self.sets[set].remove(pos);
+            self.sets[set].insert(0, b);
+            return;
+        }
+        if self.sets[set].len() == self.assoc {
+            self.sets[set].pop();
+        }
+        self.sets[set].insert(0, block);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The production cache and the naive MRU-list model agree on every
+    /// hit/miss over random access sequences (fill-on-miss policy).
+    #[test]
+    fn cache_matches_reference_model(
+        addrs in proptest::collection::vec(0u64..2048, 1..400),
+    ) {
+        let config = CacheConfig::new(256, 2, 32); // 4 sets, tiny => heavy eviction
+        let mut cache = Cache::new(config);
+        let mut reference = RefCache::new(config);
+        for &a in &addrs {
+            let addr = Addr(a);
+            let got = cache.access(addr);
+            let want = reference.access(addr);
+            prop_assert_eq!(got, want, "divergence at {}", addr);
+            if !got {
+                cache.fill(addr, false);
+                reference.fill(addr);
+            }
+        }
+    }
+
+    /// Hierarchy inclusion-ish sanity: an address that hits L1 was
+    /// previously brought in; repeating the same access immediately is
+    /// always an L1 hit; stats counters add up.
+    #[test]
+    fn hierarchy_invariants(
+        addrs in proptest::collection::vec(0u64..8192, 1..300),
+    ) {
+        let mut m = MemorySystem::new(HierarchyConfig::tiny());
+        for &a in &addrs {
+            let addr = Addr(a);
+            let _ = m.access(addr, AccessKind::Load);
+            let again = m.access(addr, AccessKind::Load);
+            prop_assert_eq!(again.outcome, AccessOutcome::L1Hit);
+        }
+        let s = m.stats();
+        prop_assert_eq!(s.l1_hits + s.l1_misses, 2 * addrs.len() as u64);
+        prop_assert_eq!(s.l2_hits + s.l2_misses, s.l1_misses);
+        prop_assert!(s.demand_cycles >= s.l1_hits + s.l1_misses);
+    }
+
+    /// Prefetching never changes functional behaviour, only timing: with
+    /// all prefetches landed, demand cycles with prefetching of exactly
+    /// the future addresses is never worse than without.
+    #[test]
+    fn perfect_prefetching_never_hurts(
+        addrs in proptest::collection::vec(0u64..4096, 1..200),
+    ) {
+        let mut plain = MemorySystem::new(HierarchyConfig::tiny());
+        let mut fetched = MemorySystem::new(HierarchyConfig::tiny());
+        let mut plain_cycles = 0u64;
+        let mut fetched_cycles = 0u64;
+        for &a in &addrs {
+            let addr = Addr(a);
+            plain_cycles += plain.access(addr, AccessKind::Load).cycles;
+            // Prefetch exactly the block about to be accessed, untimed
+            // (fully timely).
+            fetched.prefetch(addr);
+            fetched_cycles += fetched.access(addr, AccessKind::Load).cycles;
+        }
+        prop_assert!(fetched_cycles <= plain_cycles,
+            "prefetching made things worse: {} > {}", fetched_cycles, plain_cycles);
+        prop_assert_eq!(fetched.stats().l1_misses, 0);
+    }
+
+    /// Issued-prefetch accounting: useful + polluting never exceeds
+    /// issued (late ones are counted useful).
+    #[test]
+    fn prefetch_accounting_bounds(
+        ops in proptest::collection::vec((0u64..2048, proptest::bool::ANY), 1..300),
+    ) {
+        let mut m = MemorySystem::new(HierarchyConfig::tiny());
+        let mut now = 0u64;
+        for &(a, is_prefetch) in &ops {
+            now += 7;
+            if is_prefetch {
+                m.prefetch_at(Addr(a), now);
+            } else {
+                let _ = m.access_at(Addr(a), AccessKind::Load, now);
+            }
+        }
+        let s = m.stats();
+        prop_assert!(s.prefetches_useful + s.prefetches_polluting <= s.prefetches_issued + s.prefetches_useful,
+            "accounting out of bounds: {}", s);
+        prop_assert!(s.prefetches_late <= s.prefetches_issued);
+    }
+}

@@ -1,0 +1,854 @@
+//! The incremental Sequitur compressor.
+//!
+//! Implementation notes
+//! --------------------
+//!
+//! The grammar is held as one circular doubly-linked list per rule, with a
+//! *guard* node closing the circle (the guard doubles as the handle from
+//! the rule to its body: `guard.next` is the first body symbol,
+//! `guard.prev` the last). Nodes live in an arena (`Vec<Node>` + free
+//! list) and are addressed by index, so the whole crate is safe Rust.
+//!
+//! A digram hash table maps each pair of adjacent symbol *values* to the
+//! arena index of the (unique) occurrence's first node. Appending a
+//! terminal to the start rule triggers the classic cascade:
+//!
+//! * **digram uniqueness** — if the new digram already occurs elsewhere,
+//!   either reuse the rule whose whole body it is, or create a fresh rule
+//!   and substitute both occurrences;
+//! * **rule utility** — rules whose occurrence count drops to one are
+//!   inlined at their sole remaining use and deleted.
+//!
+//! Unlike the textbook C implementation, rule-utility enforcement here is
+//! driven by a worklist over exact per-rule occurrence sets rather than a
+//! single opportunistic check, which makes the invariant hold
+//! unconditionally (the property tests in `tests/` exercise this).
+
+use std::collections::{HashMap, HashSet};
+
+use hds_trace::Symbol;
+
+use crate::grammar::{GSym, Grammar, Rule, RuleId};
+
+/// Arena index of a symbol node. `NIL` marks "no node".
+type NodeId = u32;
+const NIL: NodeId = u32::MAX;
+
+/// Value stored in a node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+enum Value {
+    /// A terminal symbol.
+    Terminal(Symbol),
+    /// A use (occurrence) of rule `r`.
+    Rule(u32),
+    /// The guard node of rule `r`; never part of any digram.
+    Guard(u32),
+}
+
+/// Digram key: the pair of adjacent symbol values (guards excluded).
+type Digram = (Value, Value);
+
+#[derive(Clone, Debug)]
+struct Node {
+    value: Value,
+    prev: NodeId,
+    next: NodeId,
+    /// Distinguishes live nodes from freed arena slots.
+    live: bool,
+}
+
+#[derive(Clone, Debug)]
+struct RuleData {
+    guard: NodeId,
+    /// Arena indices of every node whose value is `Rule(self)`.
+    occurrences: HashSet<NodeId>,
+    /// Length of the rule's expansion, in terminals. Fixed at rule
+    /// creation (rule bodies only ever change in expansion-preserving
+    /// ways); the start rule's length grows with every append.
+    length: u64,
+    live: bool,
+}
+
+/// The incremental Sequitur grammar compressor.
+///
+/// Feed symbols one at a time with [`Sequitur::append`]; take analysis
+/// snapshots with [`Sequitur::grammar`]. Construction is deterministic:
+/// the same input always yields the same grammar.
+///
+/// # Examples
+///
+/// ```
+/// use hds_sequitur::Sequitur;
+/// use hds_trace::Symbol;
+///
+/// let mut seq = Sequitur::new();
+/// seq.extend([Symbol(0), Symbol(1), Symbol(0), Symbol(1)]);
+/// assert_eq!(seq.input_len(), 4);
+/// // "abab" compresses to S -> A A, A -> a b.
+/// assert_eq!(seq.grammar().rule_count(), 2);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Sequitur {
+    nodes: Vec<Node>,
+    free_nodes: Vec<NodeId>,
+    rules: Vec<RuleData>,
+    free_rules: Vec<u32>,
+    /// Occurrence index: every live guard-free adjacency is recorded under
+    /// its digram key. By the uniqueness invariant a key's occupants are
+    /// pairwise *overlapping* (runs like `aaa`), so the vectors stay tiny;
+    /// keeping all of them (rather than one canonical occurrence, as in
+    /// the textbook implementation) means destroying one occurrence never
+    /// strands an unindexed survivor.
+    digrams: HashMap<Digram, Vec<NodeId>>,
+    /// Rules whose occurrence count may have dropped to one.
+    pending_utility: Vec<u32>,
+    input_len: u64,
+}
+
+impl Default for Sequitur {
+    fn default() -> Self {
+        Sequitur::new()
+    }
+}
+
+impl Sequitur {
+    /// Creates an empty compressor containing just the start rule `S`.
+    #[must_use]
+    pub fn new() -> Self {
+        let mut seq = Sequitur {
+            nodes: Vec::new(),
+            free_nodes: Vec::new(),
+            rules: Vec::new(),
+            free_rules: Vec::new(),
+            digrams: HashMap::new(),
+            pending_utility: Vec::new(),
+            input_len: 0,
+        };
+        let start = seq.alloc_rule();
+        debug_assert_eq!(start, 0);
+        seq
+    }
+
+    /// Number of symbols appended so far (the length of the input string).
+    #[must_use]
+    pub fn input_len(&self) -> u64 {
+        self.input_len
+    }
+
+    /// Number of live rules, including the start rule.
+    #[must_use]
+    pub fn rule_count(&self) -> usize {
+        self.rules.iter().filter(|r| r.live).count()
+    }
+
+    /// Total number of live body symbols across all rules — the grammar
+    /// size in which both Sequitur and the hot-stream analysis are linear.
+    #[must_use]
+    pub fn grammar_size(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| n.live && !matches!(n.value, Value::Guard(_)))
+            .count()
+    }
+
+    /// Appends one symbol of the input string, restoring both Sequitur
+    /// invariants before returning.
+    pub fn append(&mut self, t: Symbol) {
+        self.input_len += 1;
+        self.rules[0].length += 1;
+        let guard = self.rules[0].guard;
+        let last = self.nodes[guard as usize].prev;
+        let node = self.insert_after(last, Value::Terminal(t));
+        // The only new adjacency is (last, node).
+        self.check(last);
+        self.drain_utility();
+        debug_assert_ne!(node, NIL);
+    }
+
+    /// Takes an immutable snapshot of the current grammar as a dense DAG.
+    /// Rule ids are renumbered; id 0 is the start rule.
+    #[must_use]
+    pub fn grammar(&self) -> Grammar {
+        // Dense renumbering of live rules, start rule first.
+        let mut dense = vec![u32::MAX; self.rules.len()];
+        let mut next = 0u32;
+        for (i, r) in self.rules.iter().enumerate() {
+            if r.live {
+                dense[i] = next;
+                next += 1;
+            }
+        }
+        let mut out = Vec::with_capacity(next as usize);
+        for (i, r) in self.rules.iter().enumerate() {
+            if !r.live {
+                continue;
+            }
+            let mut body = Vec::new();
+            let mut n = self.nodes[r.guard as usize].next;
+            while n != r.guard {
+                match self.nodes[n as usize].value {
+                    Value::Terminal(t) => body.push(GSym::Terminal(t)),
+                    Value::Rule(rr) => body.push(GSym::Rule(RuleId(dense[rr as usize]))),
+                    Value::Guard(_) => unreachable!("guard inside rule body of rule {i}"),
+                }
+                n = self.nodes[n as usize].next;
+            }
+            out.push(Rule::new(body, r.length));
+        }
+        Grammar::new(out)
+    }
+
+    /// Expands the start rule back to the full input string. Equivalent to
+    /// `self.grammar().expand_start()` but avoids building the snapshot.
+    #[must_use]
+    pub fn expand_start(&self) -> Vec<Symbol> {
+        let mut out = Vec::with_capacity(self.input_len as usize);
+        self.expand_into(0, &mut out);
+        out
+    }
+
+    fn expand_into(&self, rule: u32, out: &mut Vec<Symbol>) {
+        // Iterative DFS over (node) positions to avoid deep recursion.
+        let mut stack = vec![self.nodes[self.rules[rule as usize].guard as usize].next];
+        let mut rule_stack = vec![rule];
+        while let Some(&n) = stack.last() {
+            let owner = *rule_stack.last().expect("rule stack parallels node stack");
+            let guard = self.rules[owner as usize].guard;
+            if n == guard {
+                stack.pop();
+                rule_stack.pop();
+                if let Some(top) = stack.last_mut() {
+                    *top = self.nodes[*top as usize].next;
+                }
+                continue;
+            }
+            match self.nodes[n as usize].value {
+                Value::Terminal(t) => {
+                    out.push(t);
+                    *stack.last_mut().expect("nonempty") = self.nodes[n as usize].next;
+                }
+                Value::Rule(r) => {
+                    stack.push(self.nodes[self.rules[r as usize].guard as usize].next);
+                    rule_stack.push(r);
+                }
+                Value::Guard(_) => unreachable!("guard mid-body"),
+            }
+        }
+    }
+
+    /// Verifies both Sequitur invariants plus internal bookkeeping
+    /// consistency. Used pervasively by the test suite; O(grammar size).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        // 1. Linked-list integrity & occurrence bookkeeping.
+        let mut seen_occ: HashMap<u32, HashSet<NodeId>> = HashMap::new();
+        let mut digram_count: HashMap<Digram, Vec<NodeId>> = HashMap::new();
+        for (ri, rule) in self.rules.iter().enumerate() {
+            if !rule.live {
+                continue;
+            }
+            let guard = rule.guard;
+            if !self.nodes[guard as usize].live {
+                return Err(format!("rule {ri} has a dead guard node"));
+            }
+            let mut n = self.nodes[guard as usize].next;
+            let mut body_len = 0usize;
+            while n != guard {
+                let node = &self.nodes[n as usize];
+                if !node.live {
+                    return Err(format!("dead node {n} linked in rule {ri}"));
+                }
+                if self.nodes[node.next as usize].prev != n {
+                    return Err(format!("broken link at node {n}"));
+                }
+                match node.value {
+                    Value::Guard(_) => return Err(format!("guard node {n} inside body of rule {ri}")),
+                    Value::Rule(r) => {
+                        if !self.rules[r as usize].live {
+                            return Err(format!("rule {ri} references dead rule {r}"));
+                        }
+                        seen_occ.entry(r).or_default().insert(n);
+                    }
+                    Value::Terminal(_) => {}
+                }
+                // Collect digrams.
+                let next = node.next;
+                if next != guard {
+                    let key = (node.value, self.nodes[next as usize].value);
+                    digram_count.entry(key).or_default().push(n);
+                }
+                n = node.next;
+                body_len += 1;
+                if body_len > self.nodes.len() {
+                    return Err(format!("rule {ri} body does not terminate"));
+                }
+            }
+            if ri != 0 && body_len < 2 {
+                return Err(format!("rule {ri} has body of length {body_len} (< 2)"));
+            }
+        }
+        // Occurrence sets match.
+        for (ri, rule) in self.rules.iter().enumerate() {
+            if !rule.live {
+                continue;
+            }
+            let seen = seen_occ.remove(&(ri as u32)).unwrap_or_default();
+            if seen != rule.occurrences {
+                return Err(format!(
+                    "rule {ri} occurrence set mismatch: recorded {:?}, actual {:?}",
+                    rule.occurrences, seen
+                ));
+            }
+            if ri != 0 && rule.occurrences.len() < 2 {
+                return Err(format!(
+                    "rule utility violated: rule {ri} used {} time(s)",
+                    rule.occurrences.len()
+                ));
+            }
+        }
+        // 2. Digram uniqueness (all same-key occurrences pairwise
+        //    overlapping) + occurrence-index consistency (index == the set
+        //    of live adjacencies, exactly).
+        for (key, positions) in &digram_count {
+            for (i, &p) in positions.iter().enumerate() {
+                for &q in &positions[i + 1..] {
+                    let p_next = self.nodes[p as usize].next;
+                    let q_next = self.nodes[q as usize].next;
+                    let overlapping = p_next == q || q_next == p;
+                    // Like the reference implementation, Sequitur leaves
+                    // runs of one repeated symbol (aaaa…) only partially
+                    // compressed: same-key occurrences inside one run are
+                    // permitted. Any other duplicate is a violation.
+                    if !overlapping
+                        && !(key.0 == key.1
+                            && (self.same_run(p, q, key.0) || self.same_run(q, p, key.0)))
+                    {
+                        return Err(format!(
+                            "digram uniqueness violated for {key:?}: nodes {p} and {q}"
+                        ));
+                    }
+                }
+            }
+            let indexed = self.digrams.get(key).cloned().unwrap_or_default();
+            for &p in positions {
+                if !indexed.contains(&p) {
+                    return Err(format!(
+                        "digram {key:?} occurrence at node {p} is not indexed"
+                    ));
+                }
+            }
+        }
+        for (key, occ) in &self.digrams {
+            let actual = digram_count.get(key);
+            for n in occ {
+                if !actual.is_some_and(|v| v.contains(n)) {
+                    return Err(format!("stale digram index entry {key:?} -> node {n}"));
+                }
+            }
+        }
+        // 3. Recorded lengths match actual expansions.
+        let snapshot = self.grammar();
+        snapshot.verify()?;
+        Ok(())
+    }
+
+    // ----- arena plumbing ---------------------------------------------
+
+    fn alloc_node(&mut self, value: Value) -> NodeId {
+        if let Some(id) = self.free_nodes.pop() {
+            self.nodes[id as usize] = Node {
+                value,
+                prev: NIL,
+                next: NIL,
+                live: true,
+            };
+            id
+        } else {
+            let id = u32::try_from(self.nodes.len()).expect("node arena overflow");
+            self.nodes.push(Node {
+                value,
+                prev: NIL,
+                next: NIL,
+                live: true,
+            });
+            id
+        }
+    }
+
+    fn free_node(&mut self, n: NodeId) {
+        debug_assert!(self.nodes[n as usize].live);
+        self.nodes[n as usize].live = false;
+        self.free_nodes.push(n);
+    }
+
+    fn alloc_rule(&mut self) -> u32 {
+        let id = if let Some(id) = self.free_rules.pop() {
+            id
+        } else {
+            let id = u32::try_from(self.rules.len()).expect("rule arena overflow");
+            self.rules.push(RuleData {
+                guard: NIL,
+                occurrences: HashSet::new(),
+                length: 0,
+                live: false,
+            });
+            id
+        };
+        let guard = self.alloc_node(Value::Guard(id));
+        self.nodes[guard as usize].prev = guard;
+        self.nodes[guard as usize].next = guard;
+        let data = &mut self.rules[id as usize];
+        data.guard = guard;
+        data.occurrences.clear();
+        data.length = 0;
+        data.live = true;
+        id
+    }
+
+    fn free_rule(&mut self, r: u32) {
+        debug_assert!(self.rules[r as usize].live);
+        debug_assert!(self.rules[r as usize].occurrences.is_empty());
+        let guard = self.rules[r as usize].guard;
+        self.free_node(guard);
+        self.rules[r as usize].live = false;
+        self.free_rules.push(r);
+    }
+
+    // ----- digram table helpers ---------------------------------------
+
+    fn digram_key(&self, first: NodeId) -> Option<Digram> {
+        let node = &self.nodes[first as usize];
+        if matches!(node.value, Value::Guard(_)) {
+            return None;
+        }
+        let next = &self.nodes[node.next as usize];
+        if matches!(next.value, Value::Guard(_)) {
+            return None;
+        }
+        Some((node.value, next.value))
+    }
+
+    /// Records the digram starting at `first` in the occurrence index.
+    /// Idempotent.
+    fn index_digram(&mut self, first: NodeId) {
+        if let Some(key) = self.digram_key(first) {
+            let occ = self.digrams.entry(key).or_default();
+            if !occ.contains(&first) {
+                occ.push(first);
+            }
+        }
+    }
+
+    /// Removes the occurrence of the digram starting at `first` from the
+    /// index (other — necessarily overlapping — occurrences of the same
+    /// digram stay indexed).
+    fn unindex_digram(&mut self, first: NodeId) {
+        if let Some(key) = self.digram_key(first) {
+            if let Some(occ) = self.digrams.get_mut(&key) {
+                occ.retain(|&n| n != first);
+                if occ.is_empty() {
+                    self.digrams.remove(&key);
+                }
+            }
+        }
+    }
+
+    // ----- structural edits -------------------------------------------
+
+    /// Inserts a fresh node with `value` immediately after `pos`,
+    /// maintaining occurrence sets (not the digram table — callers manage
+    /// the affected adjacencies).
+    fn insert_after(&mut self, pos: NodeId, value: Value) -> NodeId {
+        let n = self.alloc_node(value);
+        let next = self.nodes[pos as usize].next;
+        self.nodes[n as usize].prev = pos;
+        self.nodes[n as usize].next = next;
+        self.nodes[pos as usize].next = n;
+        self.nodes[next as usize].prev = n;
+        if let Value::Rule(r) = value {
+            self.rules[r as usize].occurrences.insert(n);
+        }
+        n
+    }
+
+    /// Unlinks and frees `n`, maintaining occurrence sets and scheduling a
+    /// utility check if the referenced rule dropped to one use. The
+    /// adjacent digram entries must already have been unindexed.
+    fn delete_node(&mut self, n: NodeId) {
+        let (prev, next, value) = {
+            let node = &self.nodes[n as usize];
+            (node.prev, node.next, node.value)
+        };
+        self.nodes[prev as usize].next = next;
+        self.nodes[next as usize].prev = prev;
+        if let Value::Rule(r) = value {
+            let occ = &mut self.rules[r as usize].occurrences;
+            occ.remove(&n);
+            if occ.len() == 1 {
+                self.pending_utility.push(r);
+            }
+        }
+        self.free_node(n);
+    }
+
+    // ----- the Sequitur cascade ---------------------------------------
+
+    /// Checks the digram starting at `first` against the digram table,
+    /// triggering a match if it occurs elsewhere. Returns `true` if the
+    /// grammar was rewritten.
+    fn check(&mut self, first: NodeId) -> bool {
+        let Some(key) = self.digram_key(first) else {
+            return false;
+        };
+        match self.find_partner(key, first) {
+            None => {
+                self.index_digram(first);
+                false
+            }
+            Some(other) => {
+                self.match_digram(first, other);
+                true
+            }
+        }
+    }
+
+    /// Finds an indexed occurrence of `key` that does not overlap the
+    /// occurrence at `first`, preferring one that forms a whole rule body
+    /// (so existing rules are reused rather than duplicated).
+    fn find_partner(&self, key: Digram, first: NodeId) -> Option<NodeId> {
+        let occ = self.digrams.get(&key)?;
+        let mut fallback = None;
+        for &o in occ {
+            if o == first
+                || self.nodes[o as usize].next == first
+                || self.nodes[first as usize].next == o
+            {
+                continue; // self or overlapping occurrence
+            }
+            if self.is_whole_body(o) {
+                return Some(o);
+            }
+            fallback = fallback.or(Some(o));
+        }
+        fallback
+    }
+
+    /// Is node `q` reachable from node `p` by following `next` links
+    /// through nodes that all carry value `v` (i.e. are `p` and `q` in the
+    /// same run of one repeated symbol)? Used only by the invariant
+    /// checker.
+    fn same_run(&self, p: NodeId, q: NodeId, v: Value) -> bool {
+        let mut n = p;
+        for _ in 0..self.nodes.len() {
+            if self.nodes[n as usize].value != v {
+                return false;
+            }
+            if n == q {
+                return true;
+            }
+            n = self.nodes[n as usize].next;
+        }
+        false
+    }
+
+    /// Does the digram starting at `o` constitute the entire body of a
+    /// rule?
+    fn is_whole_body(&self, o: NodeId) -> bool {
+        let prev = self.nodes[o as usize].prev;
+        let second = self.nodes[o as usize].next;
+        let after = self.nodes[second as usize].next;
+        matches!(self.nodes[prev as usize].value, Value::Guard(_))
+            && matches!(self.nodes[after as usize].value, Value::Guard(_))
+    }
+
+    /// The new digram at `new` equals the indexed digram at `old`.
+    /// Either reuse the rule whose entire body is that digram, or create a
+    /// fresh rule and substitute both occurrences.
+    fn match_digram(&mut self, new: NodeId, old: NodeId) {
+        if self.is_whole_body(old) {
+            let prev = self.nodes[old as usize].prev;
+            let Value::Guard(r) = self.nodes[prev as usize].value else {
+                unreachable!("is_whole_body checked the guard")
+            };
+            self.substitute(new, r);
+        } else {
+            // Create a new rule whose body is a copy of the digram.
+            let v1 = self.nodes[new as usize].value;
+            let v2 = self.nodes[self.nodes[new as usize].next as usize].value;
+            let key = (v1, v2);
+            let r = self.alloc_rule();
+            self.rules[r as usize].length = self.value_len(v1) + self.value_len(v2);
+            let guard = self.rules[r as usize].guard;
+            let b1 = self.insert_after(guard, v1);
+            let _b2 = self.insert_after(b1, v2);
+            // Replace the *old* occurrence first (as in the reference
+            // implementation), then the new one.
+            self.substitute(old, r);
+            self.substitute(new, r);
+            // Index the new rule's body digram, and fold in any further
+            // occurrences the substitution cascades may have (re-)created:
+            // each is a whole-body match for the fresh rule.
+            self.index_digram(b1);
+            while let Some(stray) = self.find_partner(key, b1) {
+                if !self.rules[r as usize].live {
+                    break; // r was inlined away by a utility cascade
+                }
+                self.substitute(stray, r);
+            }
+        }
+    }
+
+    /// Replaces the digram starting at `first` with an occurrence of rule
+    /// `r`, then re-checks the adjacencies the replacement created.
+    fn substitute(&mut self, first: NodeId, r: u32) {
+        let prev = self.nodes[first as usize].prev;
+        let second = self.nodes[first as usize].next;
+        // Unindex the three adjacencies that are about to be destroyed:
+        // (prev, first), (first, second), (second, after).
+        self.unindex_digram(prev);
+        self.unindex_digram(first);
+        self.unindex_digram(second);
+        self.delete_node(second);
+        self.delete_node(first);
+        let occurrence = self.insert_after(prev, Value::Rule(r));
+        // Check the two new adjacencies. If the left check rewrites the
+        // grammar, it re-checks its own aftermath; otherwise the right
+        // adjacency is still intact and must be checked here.
+        if !self.check(prev) {
+            self.check(occurrence);
+        }
+    }
+
+    fn value_len(&self, v: Value) -> u64 {
+        match v {
+            Value::Terminal(_) => 1,
+            Value::Rule(r) => self.rules[r as usize].length,
+            Value::Guard(_) => 0,
+        }
+    }
+
+    /// Enforces rule utility: expands (inlines) every rule left with a
+    /// single occurrence, cascading as necessary.
+    fn drain_utility(&mut self) {
+        while let Some(r) = self.pending_utility.pop() {
+            let rule = &self.rules[r as usize];
+            if !rule.live || rule.occurrences.len() != 1 {
+                continue; // count changed since scheduling
+            }
+            let site = *rule.occurrences.iter().next().expect("len == 1");
+            self.expand_rule_at(site, r);
+        }
+    }
+
+    /// Inlines rule `r`'s body in place of its sole occurrence `site` and
+    /// deletes the rule.
+    fn expand_rule_at(&mut self, site: NodeId, r: u32) {
+        let left = self.nodes[site as usize].prev;
+        let right = self.nodes[site as usize].next;
+        let guard = self.rules[r as usize].guard;
+        let first = self.nodes[guard as usize].next;
+        let last = self.nodes[guard as usize].prev;
+        debug_assert_ne!(first, guard, "expanding an empty rule");
+        // Unindex the adjacencies destroyed by removing `site`:
+        // (left, site) and (site, right). Body-internal digram entries
+        // stay valid because the body nodes are spliced, not copied.
+        self.unindex_digram(left);
+        self.unindex_digram(site);
+        // Remove the occurrence node. Bypass delete_node's utility
+        // scheduling: the rule is about to die.
+        self.rules[r as usize].occurrences.remove(&site);
+        self.nodes[left as usize].next = right;
+        self.nodes[right as usize].prev = left;
+        self.free_node(site);
+        // Splice the body between left and right.
+        self.nodes[left as usize].next = first;
+        self.nodes[first as usize].prev = left;
+        self.nodes[last as usize].next = right;
+        self.nodes[right as usize].prev = last;
+        // Detach and delete the rule (guard freed by free_rule).
+        self.nodes[guard as usize].next = guard;
+        self.nodes[guard as usize].prev = guard;
+        self.free_rule(r);
+        // Two new adjacencies: (left, first) and (last, right). As in
+        // substitute(), a rewrite at the left adjacency re-checks its own
+        // aftermath; the right adjacency must be checked regardless, since
+        // it is positionally disjoint unless the body had length 2 and a
+        // left rewrite already consumed `first`. check() is safe either
+        // way because it recomputes adjacency from live links.
+        self.check(left);
+        self.check(self.nodes[right as usize].prev);
+    }
+}
+
+impl Extend<Symbol> for Sequitur {
+    fn extend<I: IntoIterator<Item = Symbol>>(&mut self, iter: I) {
+        for s in iter {
+            self.append(s);
+        }
+    }
+}
+
+impl FromIterator<Symbol> for Sequitur {
+    fn from_iter<I: IntoIterator<Item = Symbol>>(iter: I) -> Self {
+        let mut seq = Sequitur::new();
+        seq.extend(iter);
+        seq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn syms(s: &str) -> Vec<Symbol> {
+        s.bytes().map(|b| Symbol(u32::from(b - b'a'))).collect()
+    }
+
+    fn build(s: &str) -> Sequitur {
+        let mut seq = Sequitur::new();
+        for sym in syms(s) {
+            seq.append(sym);
+            seq.check_invariants()
+                .unwrap_or_else(|e| panic!("invariant broken after '{s}': {e}"));
+        }
+        seq
+    }
+
+    #[test]
+    fn empty_grammar_is_well_formed() {
+        let seq = Sequitur::new();
+        seq.check_invariants().unwrap();
+        assert_eq!(seq.input_len(), 0);
+        assert_eq!(seq.rule_count(), 1);
+        assert!(seq.expand_start().is_empty());
+    }
+
+    #[test]
+    fn single_symbol() {
+        let seq = build("a");
+        assert_eq!(seq.expand_start(), syms("a"));
+        assert_eq!(seq.rule_count(), 1);
+    }
+
+    #[test]
+    fn no_repetition_stays_flat() {
+        let seq = build("abcdefg");
+        assert_eq!(seq.expand_start(), syms("abcdefg"));
+        assert_eq!(seq.rule_count(), 1);
+    }
+
+    #[test]
+    fn abab_creates_one_rule() {
+        let seq = build("abab");
+        assert_eq!(seq.expand_start(), syms("abab"));
+        let g = seq.grammar();
+        assert_eq!(g.rule_count(), 2);
+        // S -> A A, A -> a b
+        assert_eq!(g.rule(RuleId(0)).body().len(), 2);
+        assert_eq!(g.rule(RuleId(1)).length(), 2);
+    }
+
+    #[test]
+    fn overlapping_digrams_do_not_explode() {
+        for s in ["aaa", "aaaa", "aaaaa", "aaaaaaaaaa"] {
+            let seq = build(s);
+            assert_eq!(seq.expand_start(), syms(s), "round-trip failed for {s}");
+        }
+    }
+
+    #[test]
+    fn fig4_grammar_structure() {
+        // Paper Figure 4: w = abaabcabcabcabc yields
+        // S -> A a B B, A -> a b, B -> C C, C -> A c.
+        let seq = build("abaabcabcabcabc");
+        assert_eq!(seq.expand_start(), syms("abaabcabcabcabc"));
+        let g = seq.grammar();
+        assert_eq!(g.rule_count(), 4, "grammar:\n{g}");
+        // Collect expansions of the three non-start rules.
+        let mut expansions: Vec<String> = g
+            .iter()
+            .skip(1)
+            .map(|(id, _)| {
+                g.expand(id)
+                    .iter()
+                    .map(|s| char::from(b'a' + u8::try_from(s.0).unwrap()))
+                    .collect()
+            })
+            .collect();
+        expansions.sort();
+        assert_eq!(expansions, vec!["ab", "abc", "abcabc"], "grammar:\n{g}");
+        // Start rule body has 4 symbols: A a B B.
+        assert_eq!(g.rule(RuleId::START).body().len(), 4, "grammar:\n{g}");
+        assert_eq!(g.rule(RuleId::START).length(), 15);
+    }
+
+    #[test]
+    fn rule_utility_inlines_singleton_rules() {
+        // "abcdbcabcd": classic case where an intermediate rule loses its
+        // second use and must be inlined.
+        let seq = build("abcdbcabcd");
+        assert_eq!(seq.expand_start(), syms("abcdbcabcd"));
+    }
+
+    #[test]
+    fn long_periodic_input_compresses_logarithmically() {
+        let mut input = String::new();
+        for _ in 0..256 {
+            input.push_str("abcd");
+        }
+        let mut seq = Sequitur::new();
+        for sym in syms(&input) {
+            seq.append(sym);
+        }
+        seq.check_invariants().unwrap();
+        assert_eq!(seq.expand_start(), syms(&input));
+        // 1024 symbols of period 4 need only O(log n) rules.
+        assert!(
+            seq.rule_count() <= 16,
+            "expected logarithmic growth, got {} rules",
+            seq.rule_count()
+        );
+        assert!(seq.grammar_size() <= 64);
+    }
+
+    #[test]
+    fn determinism_same_input_same_grammar() {
+        let a = build("abacadaeabacadae");
+        let b = build("abacadaeabacadae");
+        assert_eq!(a.grammar(), b.grammar());
+    }
+
+    #[test]
+    fn snapshot_is_dense_and_well_formed_after_rule_churn() {
+        // Interleave patterns so rules are created and destroyed.
+        let seq = build("abcabdabeabfabgabcabdabeabfabg");
+        let g = seq.grammar();
+        g.verify().unwrap();
+        assert_eq!(g.expand_start(), syms("abcabdabeabfabg").repeat(2));
+    }
+
+    #[test]
+    fn grammar_size_and_input_len_track() {
+        let seq = build("abcabcabc");
+        assert_eq!(seq.input_len(), 9);
+        assert!(seq.grammar_size() < 9, "repetition must compress");
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let seq: Sequitur = syms("abab").into_iter().collect();
+        assert_eq!(seq.expand_start(), syms("abab"));
+    }
+
+    #[test]
+    fn alternating_then_shifted_patterns() {
+        // Exercises rule reuse where the matched digram is a whole body.
+        let seq = build("xyxyzxyxyz");
+        assert_eq!(seq.expand_start(), syms("xyxyzxyxyz"));
+        let g = seq.grammar();
+        g.verify().unwrap();
+    }
+}

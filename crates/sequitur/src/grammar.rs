@@ -1,0 +1,530 @@
+//! Immutable grammar snapshots.
+//!
+//! The incremental [`Sequitur`](crate::Sequitur) engine keeps the grammar
+//! in a mutable linked-list representation. The analysis phase wants a
+//! stable, index-based view: a DAG of rules where each rule body is a
+//! sequence of terminals and rule references (the "DAG representation" of
+//! the paper's Figure 4). [`Grammar`] is that snapshot.
+
+use std::fmt;
+
+use hds_trace::Symbol;
+
+/// Identifier of a rule within a [`Grammar`] snapshot.
+///
+/// Rule 0 is always the start rule `S`. Ids are dense indices into
+/// [`Grammar::rules`](Grammar::rule).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RuleId(pub u32);
+
+impl RuleId {
+    /// The start rule `S`.
+    pub const START: RuleId = RuleId(0);
+
+    /// Returns the id as a `usize` index.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for RuleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if *self == RuleId::START {
+            f.write_str("S")
+        } else {
+            write!(f, "R{}", self.0)
+        }
+    }
+}
+
+/// One symbol on the right-hand side of a grammar rule: either a terminal
+/// (an interned data reference) or a reference to another rule
+/// (a non-terminal).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum GSym {
+    /// A terminal symbol — one distinct data reference.
+    Terminal(Symbol),
+    /// A non-terminal: a reference to another rule of the grammar.
+    Rule(RuleId),
+}
+
+impl fmt::Display for GSym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GSym::Terminal(s) => write!(f, "{s}"),
+            GSym::Rule(r) => write!(f, "{r}"),
+        }
+    }
+}
+
+/// One rule of a grammar snapshot: its body and the length of its
+/// (unique) expansion `w_A`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Rule {
+    body: Vec<GSym>,
+    length: u64,
+}
+
+impl Rule {
+    /// Creates a rule from its body and expansion length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `length` is inconsistent in the trivial case of an
+    /// all-terminal body (cheap sanity check; full consistency is the
+    /// engine's job).
+    #[must_use]
+    pub fn new(body: Vec<GSym>, length: u64) -> Self {
+        if body.iter().all(|s| matches!(s, GSym::Terminal(_))) {
+            assert_eq!(
+                body.len() as u64,
+                length,
+                "all-terminal rule body must have length == body.len()"
+            );
+        }
+        Rule { body, length }
+    }
+
+    /// The right-hand side of the rule.
+    #[must_use]
+    pub fn body(&self) -> &[GSym] {
+        &self.body
+    }
+
+    /// Length of the rule's expansion `w_A` in terminals — the
+    /// `w_A.length` the analysis multiplies by `coldUses` to compute heat.
+    #[must_use]
+    pub fn length(&self) -> u64 {
+        self.length
+    }
+}
+
+/// An immutable snapshot of a Sequitur grammar: a DAG of rules, rule 0
+/// being the start rule `S`.
+///
+/// The grammar is *acyclic* "in the sense that no non-terminal directly or
+/// indirectly defines itself" (§2.3); [`Grammar::verify`] checks this,
+/// along with referential integrity.
+///
+/// # Examples
+///
+/// ```
+/// use hds_sequitur::{GSym, Grammar, Rule, RuleId};
+/// use hds_trace::Symbol;
+///
+/// // S -> A A,  A -> a b
+/// let g = Grammar::new(vec![
+///     Rule::new(vec![GSym::Rule(RuleId(1)), GSym::Rule(RuleId(1))], 4),
+///     Rule::new(vec![GSym::Terminal(Symbol(0)), GSym::Terminal(Symbol(1))], 2),
+/// ]);
+/// g.verify().expect("well-formed");
+/// assert_eq!(g.expand(RuleId::START), vec![Symbol(0), Symbol(1), Symbol(0), Symbol(1)]);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct Grammar {
+    rules: Vec<Rule>,
+}
+
+impl Grammar {
+    /// Creates a grammar from its rules; `rules[0]` is the start rule.
+    #[must_use]
+    pub fn new(rules: Vec<Rule>) -> Self {
+        Grammar { rules }
+    }
+
+    /// Number of rules, including the start rule.
+    #[must_use]
+    pub fn rule_count(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Returns a rule by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[must_use]
+    pub fn rule(&self, id: RuleId) -> &Rule {
+        &self.rules[id.index()]
+    }
+
+    /// Iterates over `(id, rule)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (RuleId, &Rule)> {
+        self.rules
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (RuleId(i as u32), r))
+    }
+
+    /// Total number of symbols across all rule bodies — the "size of the
+    /// grammar" in which the analysis is linear.
+    #[must_use]
+    pub fn size(&self) -> usize {
+        self.rules.iter().map(|r| r.body.len()).sum()
+    }
+
+    /// Expands a rule to its terminal string `w_A`.
+    ///
+    /// Runs in time linear in the output length (iterative, no recursion,
+    /// so deep grammars cannot overflow the stack).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the grammar is malformed (dangling rule reference or a
+    /// cycle); call [`Grammar::verify`] first for untrusted input.
+    #[must_use]
+    pub fn expand(&self, id: RuleId) -> Vec<Symbol> {
+        let mut out = Vec::with_capacity(self.rule(id).length() as usize);
+        // Explicit stack of (rule, position) frames.
+        let mut stack: Vec<(RuleId, usize)> = vec![(id, 0)];
+        // For a well-formed grammar the number of stack operations is
+        // bounded by the parse-tree size, itself bounded by twice the sum
+        // of all expansion lengths; exceeding the budget means a cycle.
+        let mut guard = 0usize;
+        let budget = self
+            .rules
+            .iter()
+            .map(|r| r.length as usize)
+            .sum::<usize>()
+            .saturating_mul(4)
+            .saturating_add(self.size())
+            + 64;
+        while let Some((rule, pos)) = stack.pop() {
+            guard += 1;
+            assert!(guard <= budget, "grammar expansion did not terminate; cyclic grammar?");
+            let body = self.rule(rule).body();
+            if pos < body.len() {
+                stack.push((rule, pos + 1));
+                match body[pos] {
+                    GSym::Terminal(t) => out.push(t),
+                    GSym::Rule(r) => stack.push((r, 0)),
+                }
+            }
+        }
+        out
+    }
+
+    /// Expands the start rule — the full profiled string `w`.
+    #[must_use]
+    pub fn expand_start(&self) -> Vec<Symbol> {
+        self.expand(RuleId::START)
+    }
+
+    /// Checks structural well-formedness: every rule reference is in
+    /// range, the DAG is acyclic, every recorded expansion length matches
+    /// the actual expansion, and every non-start rule is referenced at
+    /// least once.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first violation found.
+    pub fn verify(&self) -> Result<(), String> {
+        if self.rules.is_empty() {
+            return Err("grammar has no start rule".to_string());
+        }
+        // Referential integrity.
+        for (id, rule) in self.iter() {
+            for sym in rule.body() {
+                if let GSym::Rule(r) = sym {
+                    if r.index() >= self.rules.len() {
+                        return Err(format!("rule {id} references out-of-range rule {r}"));
+                    }
+                    if *r == RuleId::START {
+                        return Err(format!("rule {id} references the start rule"));
+                    }
+                }
+            }
+        }
+        // Acyclicity via iterative colouring (0 = white, 1 = grey, 2 = black).
+        let mut colour = vec![0u8; self.rules.len()];
+        let mut stack: Vec<(usize, usize)> = Vec::new();
+        for root in 0..self.rules.len() {
+            if colour[root] != 0 {
+                continue;
+            }
+            colour[root] = 1;
+            stack.push((root, 0));
+            while let Some(&mut (node, ref mut pos)) = stack.last_mut() {
+                let body = self.rules[node].body();
+                if *pos == body.len() {
+                    colour[node] = 2;
+                    stack.pop();
+                    continue;
+                }
+                let sym = body[*pos];
+                *pos += 1;
+                if let GSym::Rule(r) = sym {
+                    match colour[r.index()] {
+                        0 => {
+                            colour[r.index()] = 1;
+                            stack.push((r.index(), 0));
+                        }
+                        1 => return Err(format!("grammar cycle through {r}")),
+                        _ => {}
+                    }
+                }
+            }
+        }
+        // Length consistency, bottom-up (lengths of referenced rules are
+        // themselves consistent once checked, so a single memoised pass
+        // suffices; acyclicity already established).
+        let mut actual = vec![None::<u64>; self.rules.len()];
+        for _ in 0..self.rules.len() {
+            for i in (0..self.rules.len()).rev() {
+                if actual[i].is_some() {
+                    continue;
+                }
+                let mut sum = Some(0u64);
+                for sym in self.rules[i].body() {
+                    match sym {
+                        GSym::Terminal(_) => sum = sum.map(|s| s + 1),
+                        GSym::Rule(r) => {
+                            sum = match (sum, actual[r.index()]) {
+                                (Some(s), Some(l)) => Some(s + l),
+                                _ => None,
+                            }
+                        }
+                    }
+                }
+                actual[i] = sum;
+            }
+        }
+        for (i, rule) in self.rules.iter().enumerate() {
+            let a = actual[i].ok_or_else(|| format!("could not compute length of rule {i}"))?;
+            if a != rule.length {
+                return Err(format!(
+                    "rule {} records length {} but expands to {} terminals",
+                    RuleId(i as u32),
+                    rule.length,
+                    a
+                ));
+            }
+        }
+        // Utility: every non-start rule used at least once in the snapshot.
+        let mut used = vec![false; self.rules.len()];
+        used[0] = true;
+        for rule in &self.rules {
+            for sym in rule.body() {
+                if let GSym::Rule(r) = sym {
+                    used[r.index()] = true;
+                }
+            }
+        }
+        if let Some(i) = used.iter().position(|&u| !u) {
+            return Err(format!("rule {} is unused", RuleId(i as u32)));
+        }
+        Ok(())
+    }
+
+    /// Nesting depth of the grammar DAG: the longest chain of rule
+    /// references from the start rule to a terminal-only rule. A flat
+    /// grammar (no repetition found) has depth 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the grammar is cyclic (call [`Grammar::verify`] first
+    /// for untrusted input).
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        let mut memo = vec![usize::MAX; self.rules.len()];
+        // Iterative post-order over the DAG.
+        let mut stack = vec![(0usize, false)];
+        while let Some((rule, expanded)) = stack.pop() {
+            if memo[rule] != usize::MAX {
+                continue;
+            }
+            if expanded {
+                let mut depth = 0;
+                for sym in self.rules[rule].body() {
+                    if let GSym::Rule(r) = sym {
+                        depth = depth.max(1 + memo[r.index()]);
+                        assert!(
+                            memo[r.index()] != usize::MAX,
+                            "cyclic grammar in depth()"
+                        );
+                    }
+                }
+                memo[rule] = depth;
+            } else {
+                stack.push((rule, true));
+                for sym in self.rules[rule].body() {
+                    if let GSym::Rule(r) = sym {
+                        if memo[r.index()] == usize::MAX {
+                            stack.push((r.index(), false));
+                        }
+                    }
+                }
+            }
+        }
+        memo[0]
+    }
+
+    /// The compression ratio: input length divided by grammar size
+    /// (1.0 for incompressible input, higher is better).
+    #[must_use]
+    pub fn compression_ratio(&self) -> f64 {
+        let input = self.rule(RuleId::START).length();
+        let size = self.size();
+        if size == 0 {
+            return 1.0;
+        }
+        #[allow(clippy::cast_precision_loss)]
+        {
+            input as f64 / size as f64
+        }
+    }
+
+    /// Renders the grammar as one rule per line, e.g. `S -> R1 s0 R2 R2`.
+    /// Intended for tests and debugging output; see the `fig4` experiment
+    /// binary for the paper's worked example.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (id, rule) in self.iter() {
+            out.push_str(&id.to_string());
+            out.push_str(" ->");
+            for sym in rule.body() {
+                out.push(' ');
+                out.push_str(&sym.to_string());
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for Grammar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(i: u32) -> GSym {
+        GSym::Terminal(Symbol(i))
+    }
+    fn n(i: u32) -> GSym {
+        GSym::Rule(RuleId(i))
+    }
+
+    #[test]
+    fn expand_flat_rule() {
+        let g = Grammar::new(vec![Rule::new(vec![t(0), t(1), t(2)], 3)]);
+        g.verify().unwrap();
+        assert_eq!(
+            g.expand_start(),
+            vec![Symbol(0), Symbol(1), Symbol(2)]
+        );
+    }
+
+    #[test]
+    fn expand_nested_rules() {
+        // S -> B B, B -> C C, C -> a b   =>  abababab
+        let g = Grammar::new(vec![
+            Rule::new(vec![n(1), n(1)], 8),
+            Rule::new(vec![n(2), n(2)], 4),
+            Rule::new(vec![t(0), t(1)], 2),
+        ]);
+        g.verify().unwrap();
+        let expansion = g.expand_start();
+        assert_eq!(expansion.len(), 8);
+        assert_eq!(
+            expansion,
+            vec![0, 1, 0, 1, 0, 1, 0, 1]
+                .into_iter()
+                .map(Symbol)
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn verify_rejects_dangling_reference() {
+        let g = Grammar::new(vec![Rule::new(vec![n(5)], 0)]);
+        assert!(g.verify().unwrap_err().contains("out-of-range"));
+    }
+
+    #[test]
+    fn verify_rejects_cycle() {
+        // S -> R1, R1 -> R2, R2 -> R1  (lengths bogus, cycle found first)
+        let g = Grammar::new(vec![
+            Rule::new(vec![n(1)], 1),
+            Rule::new(vec![n(2)], 1),
+            Rule::new(vec![n(1)], 1),
+        ]);
+        assert!(g.verify().unwrap_err().contains("cycle"));
+    }
+
+    #[test]
+    fn verify_rejects_wrong_length() {
+        let g = Grammar::new(vec![
+            Rule::new(vec![n(1), n(1)], 5), // actually 4
+            Rule::new(vec![t(0), t(1)], 2),
+        ]);
+        assert!(g.verify().unwrap_err().contains("length"));
+    }
+
+    #[test]
+    fn verify_rejects_unused_rule() {
+        let g = Grammar::new(vec![
+            Rule::new(vec![t(0)], 1),
+            Rule::new(vec![t(1), t(2)], 2),
+        ]);
+        assert!(g.verify().unwrap_err().contains("unused"));
+    }
+
+    #[test]
+    fn verify_rejects_reference_to_start() {
+        let g = Grammar::new(vec![Rule::new(vec![n(0)], 1)]);
+        assert!(g.verify().unwrap_err().contains("start"));
+    }
+
+    #[test]
+    fn verify_rejects_empty_grammar() {
+        assert!(Grammar::default().verify().is_err());
+    }
+
+    #[test]
+    fn size_counts_body_symbols() {
+        let g = Grammar::new(vec![
+            Rule::new(vec![n(1), t(9), n(1)], 5),
+            Rule::new(vec![t(0), t(1)], 2),
+        ]);
+        assert_eq!(g.size(), 5);
+    }
+
+    #[test]
+    fn render_uses_paper_like_names() {
+        let g = Grammar::new(vec![
+            Rule::new(vec![n(1), n(1)], 4),
+            Rule::new(vec![t(0), t(1)], 2),
+        ]);
+        assert_eq!(g.render(), "S -> R1 R1\nR1 -> s0 s1\n");
+        assert_eq!(g.to_string(), g.render());
+    }
+
+    #[test]
+    fn depth_and_compression() {
+        // Flat grammar: depth 0, ratio 1.
+        let flat = Grammar::new(vec![Rule::new(vec![t(0), t(1), t(2)], 3)]);
+        assert_eq!(flat.depth(), 0);
+        assert!((flat.compression_ratio() - 1.0).abs() < 1e-9);
+        // S -> B B, B -> C C, C -> a b: depth 2, ratio 8/6.
+        let nested = Grammar::new(vec![
+            Rule::new(vec![n(1), n(1)], 8),
+            Rule::new(vec![n(2), n(2)], 4),
+            Rule::new(vec![t(0), t(1)], 2),
+        ]);
+        assert_eq!(nested.depth(), 2);
+        assert!((nested.compression_ratio() - 8.0 / 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "all-terminal rule body")]
+    fn rule_new_validates_trivial_lengths() {
+        let _ = Rule::new(vec![t(0), t(1)], 3);
+    }
+}

@@ -1,0 +1,138 @@
+//! Property-based tests for the Sequitur engine.
+//!
+//! The two key correctness properties of the compressor are:
+//!
+//! 1. **Lossless round-trip** — expanding the start rule reproduces the
+//!    appended input exactly, at every prefix of every input;
+//! 2. **Invariant preservation** — digram uniqueness, rule utility,
+//!    occurrence bookkeeping, digram-table consistency, and recorded
+//!    expansion lengths hold after every append.
+//!
+//! Both are checked over small alphabets (which maximise repetition and
+//! hence rule churn) and larger ones.
+
+use hds_sequitur::Sequitur;
+use hds_trace::Symbol;
+use proptest::prelude::*;
+
+fn to_symbols(input: &[u8]) -> Vec<Symbol> {
+    input.iter().map(|&b| Symbol(u32::from(b))).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Round-trip over a tiny alphabet: heavy repetition, maximal rule
+    /// creation/destruction churn.
+    #[test]
+    fn roundtrip_tiny_alphabet(input in proptest::collection::vec(0u8..3, 0..200)) {
+        let symbols = to_symbols(&input);
+        let mut seq = Sequitur::new();
+        for &s in &symbols {
+            seq.append(s);
+        }
+        prop_assert_eq!(seq.expand_start(), symbols);
+    }
+
+    /// Invariants hold after *every* append, not just at the end.
+    #[test]
+    fn invariants_at_every_prefix(input in proptest::collection::vec(0u8..4, 0..80)) {
+        let symbols = to_symbols(&input);
+        let mut seq = Sequitur::new();
+        for (i, &s) in symbols.iter().enumerate() {
+            seq.append(s);
+            if let Err(e) = seq.check_invariants() {
+                prop_assert!(false, "after {} symbols: {e}", i + 1);
+            }
+        }
+    }
+
+    /// Round-trip over a wider alphabet with longer inputs.
+    #[test]
+    fn roundtrip_wide_alphabet(input in proptest::collection::vec(0u8..32, 0..500)) {
+        let symbols = to_symbols(&input);
+        let seq: Sequitur = symbols.iter().copied().collect();
+        prop_assert_eq!(seq.expand_start(), symbols);
+        prop_assert!(seq.check_invariants().is_ok());
+    }
+
+    /// The grammar snapshot expands identically to the engine's own
+    /// expansion, and passes structural verification.
+    #[test]
+    fn snapshot_agrees_with_engine(input in proptest::collection::vec(0u8..5, 0..150)) {
+        let symbols = to_symbols(&input);
+        let seq: Sequitur = symbols.iter().copied().collect();
+        let g = seq.grammar();
+        g.verify().map_err(TestCaseError::fail)?;
+        prop_assert_eq!(g.expand_start(), seq.expand_start());
+        prop_assert_eq!(g.rule(hds_sequitur::RuleId::START).length(), symbols.len() as u64);
+    }
+
+    /// Compression never inflates beyond the input: grammar size (total
+    /// body symbols) is at most input length (plus nothing).
+    #[test]
+    fn grammar_never_larger_than_input(input in proptest::collection::vec(0u8..6, 0..300)) {
+        let symbols = to_symbols(&input);
+        let seq: Sequitur = symbols.iter().copied().collect();
+        prop_assert!(seq.grammar_size() <= symbols.len().max(1));
+    }
+
+    /// Determinism: building twice yields identical grammars.
+    #[test]
+    fn deterministic(input in proptest::collection::vec(0u8..4, 0..120)) {
+        let symbols = to_symbols(&input);
+        let a: Sequitur = symbols.iter().copied().collect();
+        let b: Sequitur = symbols.iter().copied().collect();
+        prop_assert_eq!(a.grammar(), b.grammar());
+    }
+}
+
+/// Highly repetitive structured inputs (nested periods) — the worst case
+/// for rule churn — exercised deterministically and at scale.
+#[test]
+fn structured_torture() {
+    let mut patterns: Vec<Vec<u8>> = Vec::new();
+    patterns.push(b"abcabcabcabcabc".to_vec());
+    patterns.push(b"aabbaabbaabb".to_vec());
+    patterns.push(b"abcdabceabcdabce".to_vec());
+    // Period-doubling pattern.
+    let mut p = vec![0u8, 1];
+    for _ in 0..6 {
+        let mut q = p.clone();
+        q.extend_from_slice(&p);
+        q.push(2);
+        p = q;
+    }
+    patterns.push(p);
+    for pattern in patterns {
+        let symbols = to_symbols(&pattern);
+        let mut seq = Sequitur::new();
+        for &s in &symbols {
+            seq.append(s);
+            seq.check_invariants().expect("invariants");
+        }
+        assert_eq!(seq.expand_start(), symbols);
+    }
+}
+
+/// A long pseudo-random-but-deterministic input mixing repetition and
+/// noise, checked only at the end (fast path for CI).
+#[test]
+fn long_mixed_input() {
+    let mut state = 0x9e3779b9u32;
+    let mut input = Vec::new();
+    for i in 0..20_000u32 {
+        state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+        if i % 7 < 4 {
+            // Hot stream fragment.
+            input.extend_from_slice(&[10, 11, 12, 13, 14]);
+        } else {
+            input.push((state >> 24) as u8);
+        }
+    }
+    let symbols = to_symbols(&input);
+    let seq: Sequitur = symbols.iter().copied().collect();
+    assert_eq!(seq.expand_start(), symbols);
+    seq.check_invariants().expect("invariants");
+    assert!(seq.grammar_size() < symbols.len() / 2, "repetitive input must compress");
+}

@@ -1,0 +1,282 @@
+//! The temporal data reference profile: an append-only buffer of sampled
+//! reference bursts.
+//!
+//! Bursty tracing (paper §2.1) does not record the complete reference
+//! trace; it records *bursts* — short subsequences of consecutive data
+//! references. The concatenation of the bursts is the string fed to
+//! Sequitur. [`TraceBuffer`] stores the references together with the burst
+//! boundaries, because downstream consumers occasionally need to know
+//! where one burst ends and the next begins (e.g. to avoid treating a
+//! burst seam as a real temporal adjacency when validating matches).
+
+use std::fmt;
+use std::ops::Range;
+
+use crate::types::DataRef;
+
+/// One profiled burst: a contiguous range of indices into the buffer's
+/// reference vector.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Burst {
+    range: Range<usize>,
+}
+
+impl Burst {
+    /// The half-open index range of this burst within the owning buffer.
+    #[must_use]
+    pub fn range(&self) -> Range<usize> {
+        self.range.clone()
+    }
+
+    /// Number of references in this burst.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.range.len()
+    }
+
+    /// Returns `true` if the burst recorded no references.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.range.is_empty()
+    }
+}
+
+/// An append-only buffer of sampled data-reference bursts — the temporal
+/// data reference profile of paper §2.
+///
+/// # Examples
+///
+/// ```
+/// use hds_trace::{Addr, DataRef, Pc, TraceBuffer};
+///
+/// let mut buf = TraceBuffer::new();
+/// buf.begin_burst();
+/// buf.record(DataRef::new(Pc(1), Addr(0x10)));
+/// buf.record(DataRef::new(Pc(2), Addr(0x20)));
+/// buf.end_burst();
+/// assert_eq!(buf.len(), 2);
+/// assert_eq!(buf.bursts().count(), 1);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct TraceBuffer {
+    refs: Vec<DataRef>,
+    bursts: Vec<Burst>,
+    /// Start index of the burst currently being recorded, if any.
+    open: Option<usize>,
+}
+
+impl TraceBuffer {
+    /// Creates an empty trace buffer.
+    #[must_use]
+    pub fn new() -> Self {
+        TraceBuffer::default()
+    }
+
+    /// Creates an empty buffer with capacity for `n` references.
+    #[must_use]
+    pub fn with_capacity(n: usize) -> Self {
+        TraceBuffer {
+            refs: Vec::with_capacity(n),
+            bursts: Vec::new(),
+            open: None,
+        }
+    }
+
+    /// Marks the start of a new profiling burst.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a burst is already open; bursts do not nest.
+    pub fn begin_burst(&mut self) {
+        assert!(self.open.is_none(), "begin_burst while a burst is open");
+        self.open = Some(self.refs.len());
+    }
+
+    /// Appends a reference to the currently open burst.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no burst is open — the profiler must only record while the
+    /// instrumented code version is executing.
+    pub fn record(&mut self, r: DataRef) {
+        assert!(self.open.is_some(), "record outside of a burst");
+        self.refs.push(r);
+    }
+
+    /// Closes the currently open burst. Empty bursts are kept (they still
+    /// mark a sampling event) unless `discard_empty` policy is desired by
+    /// the caller, in which case use [`TraceBuffer::end_burst_discard_empty`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if no burst is open.
+    pub fn end_burst(&mut self) {
+        let start = self.open.take().expect("end_burst without begin_burst");
+        self.bursts.push(Burst {
+            range: start..self.refs.len(),
+        });
+    }
+
+    /// Closes the currently open burst, dropping it if it recorded nothing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no burst is open.
+    pub fn end_burst_discard_empty(&mut self) {
+        let start = self.open.take().expect("end_burst without begin_burst");
+        if start < self.refs.len() {
+            self.bursts.push(Burst {
+                range: start..self.refs.len(),
+            });
+        }
+    }
+
+    /// Total number of recorded references across all bursts.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.refs.len()
+    }
+
+    /// Returns `true` if nothing has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.refs.is_empty()
+    }
+
+    /// All recorded references, bursts concatenated in recording order.
+    /// This concatenation is the string `w` handed to Sequitur (§2.3).
+    #[must_use]
+    pub fn refs(&self) -> &[DataRef] {
+        &self.refs
+    }
+
+    /// Iterates over the completed bursts.
+    pub fn bursts(&self) -> impl ExactSizeIterator<Item = &Burst> + '_ {
+        self.bursts.iter()
+    }
+
+    /// The references of one burst.
+    #[must_use]
+    pub fn burst_refs(&self, burst: &Burst) -> &[DataRef] {
+        &self.refs[burst.range()]
+    }
+
+    /// Discards all recorded data, keeping allocations. Called when the
+    /// optimizer finishes an analyze/optimize step and returns to
+    /// profiling afresh (trace from the previous cycle must not
+    /// contaminate the next one, §2.4).
+    pub fn clear(&mut self) {
+        self.refs.clear();
+        self.bursts.clear();
+        self.open = None;
+    }
+
+    /// Returns `true` if a burst is currently being recorded.
+    #[must_use]
+    pub fn in_burst(&self) -> bool {
+        self.open.is_some()
+    }
+}
+
+impl fmt::Display for TraceBuffer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "trace buffer: {} refs in {} bursts",
+            self.refs.len(),
+            self.bursts.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{Addr, Pc};
+
+    fn r(pc: u32, addr: u64) -> DataRef {
+        DataRef::new(Pc(pc), Addr(addr))
+    }
+
+    #[test]
+    fn bursts_partition_refs() {
+        let mut buf = TraceBuffer::new();
+        buf.begin_burst();
+        buf.record(r(1, 1));
+        buf.record(r(2, 2));
+        buf.end_burst();
+        buf.begin_burst();
+        buf.record(r(3, 3));
+        buf.end_burst();
+
+        assert_eq!(buf.len(), 3);
+        let bursts: Vec<_> = buf.bursts().collect();
+        assert_eq!(bursts.len(), 2);
+        assert_eq!(buf.burst_refs(bursts[0]), &[r(1, 1), r(2, 2)]);
+        assert_eq!(buf.burst_refs(bursts[1]), &[r(3, 3)]);
+        // Concatenation preserves order.
+        assert_eq!(buf.refs(), &[r(1, 1), r(2, 2), r(3, 3)]);
+    }
+
+    #[test]
+    fn empty_burst_kept_by_default_discarded_on_request() {
+        let mut buf = TraceBuffer::new();
+        buf.begin_burst();
+        buf.end_burst();
+        assert_eq!(buf.bursts().count(), 1);
+        assert!(buf.bursts().next().unwrap().is_empty());
+
+        buf.begin_burst();
+        buf.end_burst_discard_empty();
+        assert_eq!(buf.bursts().count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "record outside of a burst")]
+    fn record_requires_open_burst() {
+        let mut buf = TraceBuffer::new();
+        buf.record(r(1, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "begin_burst while a burst is open")]
+    fn bursts_do_not_nest() {
+        let mut buf = TraceBuffer::new();
+        buf.begin_burst();
+        buf.begin_burst();
+    }
+
+    #[test]
+    #[should_panic(expected = "end_burst without begin_burst")]
+    fn end_requires_begin() {
+        let mut buf = TraceBuffer::new();
+        buf.end_burst();
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut buf = TraceBuffer::with_capacity(16);
+        buf.begin_burst();
+        buf.record(r(1, 1));
+        buf.end_burst();
+        buf.begin_burst(); // leave a burst open
+        buf.clear();
+        assert!(buf.is_empty());
+        assert!(!buf.in_burst());
+        assert_eq!(buf.bursts().count(), 0);
+        // Usable again after clear.
+        buf.begin_burst();
+        buf.record(r(2, 2));
+        buf.end_burst();
+        assert_eq!(buf.len(), 1);
+    }
+
+    #[test]
+    fn display_summarises() {
+        let mut buf = TraceBuffer::new();
+        buf.begin_burst();
+        buf.record(r(1, 1));
+        buf.end_burst();
+        assert_eq!(buf.to_string(), "trace buffer: 1 refs in 1 bursts");
+    }
+}

@@ -1,0 +1,215 @@
+//! Dense interning of distinct data references.
+//!
+//! The Sequitur compressor and the hot-data-stream analysis treat each
+//! distinct observed data reference as a symbol of a finite alphabet
+//! ("Each observed data reference can be viewed as a symbol, and the
+//! concatenation of the profiled bursts as a string *w* of symbols",
+//! paper §2.3). [`SymbolTable`] maps `(pc, addr)` pairs to dense `u32`
+//! ids and back.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::types::DataRef;
+
+/// A dense id standing for one distinct [`DataRef`].
+///
+/// Symbols are only meaningful relative to the [`SymbolTable`] that issued
+/// them. They are `Copy`, cheap to hash, and contiguous from zero, which
+/// lets downstream analyses use them as vector indices.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Symbol(pub u32);
+
+impl Symbol {
+    /// Returns the symbol as a `usize` index.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// An interning table mapping distinct data references to dense [`Symbol`]s.
+///
+/// # Examples
+///
+/// ```
+/// use hds_trace::{Addr, DataRef, Pc, SymbolTable};
+///
+/// let mut table = SymbolTable::new();
+/// let r = DataRef::new(Pc(4), Addr(0x100));
+/// let s = table.intern(r);
+/// assert_eq!(table.resolve(s), r);
+/// assert_eq!(table.len(), 1);
+/// assert_eq!(table.lookup(r), Some(s));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct SymbolTable {
+    by_ref: HashMap<DataRef, Symbol>,
+    by_symbol: Vec<DataRef>,
+}
+
+impl SymbolTable {
+    /// Creates an empty symbol table.
+    #[must_use]
+    pub fn new() -> Self {
+        SymbolTable::default()
+    }
+
+    /// Interns a data reference, returning its symbol. Repeated interning
+    /// of the same reference returns the same symbol.
+    pub fn intern(&mut self, r: DataRef) -> Symbol {
+        if let Some(&s) = self.by_ref.get(&r) {
+            return s;
+        }
+        let s = Symbol(
+            u32::try_from(self.by_symbol.len()).expect("symbol table overflowed u32 symbols"),
+        );
+        self.by_ref.insert(r, s);
+        self.by_symbol.push(r);
+        s
+    }
+
+    /// Looks up the symbol previously interned for `r`, if any.
+    #[must_use]
+    pub fn lookup(&self, r: DataRef) -> Option<Symbol> {
+        self.by_ref.get(&r).copied()
+    }
+
+    /// Returns the data reference a symbol stands for.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` was not issued by this table.
+    #[must_use]
+    pub fn resolve(&self, s: Symbol) -> DataRef {
+        self.by_symbol[s.index()]
+    }
+
+    /// Returns the number of distinct references interned so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.by_symbol.len()
+    }
+
+    /// Returns `true` if no references have been interned.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.by_symbol.is_empty()
+    }
+
+    /// Iterates over `(symbol, data reference)` pairs in symbol order.
+    pub fn iter(&self) -> impl Iterator<Item = (Symbol, DataRef)> + '_ {
+        self.by_symbol
+            .iter()
+            .enumerate()
+            .map(|(i, &r)| (Symbol(i as u32), r))
+    }
+
+    /// Interns every reference of a slice, returning the symbol sequence.
+    pub fn intern_all(&mut self, refs: &[DataRef]) -> Vec<Symbol> {
+        refs.iter().map(|&r| self.intern(r)).collect()
+    }
+
+    /// Resolves a slice of symbols back to data references.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any symbol was not issued by this table.
+    #[must_use]
+    pub fn resolve_all(&self, symbols: &[Symbol]) -> Vec<DataRef> {
+        symbols.iter().map(|&s| self.resolve(s)).collect()
+    }
+}
+
+impl FromIterator<DataRef> for SymbolTable {
+    fn from_iter<I: IntoIterator<Item = DataRef>>(iter: I) -> Self {
+        let mut table = SymbolTable::new();
+        for r in iter {
+            table.intern(r);
+        }
+        table
+    }
+}
+
+impl Extend<DataRef> for SymbolTable {
+    fn extend<I: IntoIterator<Item = DataRef>>(&mut self, iter: I) {
+        for r in iter {
+            self.intern(r);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{Addr, Pc};
+
+    fn r(pc: u32, addr: u64) -> DataRef {
+        DataRef::new(Pc(pc), Addr(addr))
+    }
+
+    #[test]
+    fn interning_is_idempotent() {
+        let mut t = SymbolTable::new();
+        let s1 = t.intern(r(1, 10));
+        let s2 = t.intern(r(1, 10));
+        assert_eq!(s1, s2);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn symbols_are_dense_from_zero() {
+        let mut t = SymbolTable::new();
+        let symbols: Vec<_> = (0..100).map(|i| t.intern(r(i, u64::from(i) * 8))).collect();
+        for (i, s) in symbols.iter().enumerate() {
+            assert_eq!(s.index(), i);
+        }
+    }
+
+    #[test]
+    fn resolve_round_trips() {
+        let mut t = SymbolTable::new();
+        let refs: Vec<_> = (0..50).map(|i| r(i % 7, u64::from(i))).collect();
+        let symbols = t.intern_all(&refs);
+        assert_eq!(t.resolve_all(&symbols), refs);
+    }
+
+    #[test]
+    fn lookup_misses_return_none() {
+        let mut t = SymbolTable::new();
+        t.intern(r(1, 1));
+        assert_eq!(t.lookup(r(2, 2)), None);
+    }
+
+    #[test]
+    fn from_iterator_and_extend() {
+        let mut t: SymbolTable = vec![r(1, 1), r(2, 2), r(1, 1)].into_iter().collect();
+        assert_eq!(t.len(), 2);
+        t.extend(vec![r(3, 3), r(2, 2)]);
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn iter_yields_symbol_order() {
+        let mut t = SymbolTable::new();
+        t.intern(r(9, 9));
+        t.intern(r(8, 8));
+        let pairs: Vec<_> = t.iter().collect();
+        assert_eq!(pairs[0], (Symbol(0), r(9, 9)));
+        assert_eq!(pairs[1], (Symbol(1), r(8, 8)));
+    }
+
+    #[test]
+    fn empty_table_reports_empty() {
+        let t = SymbolTable::new();
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+        assert_eq!(t.iter().count(), 0);
+    }
+}

@@ -1,0 +1,209 @@
+//! Plain value types: program counters, addresses, and data references.
+
+use std::fmt;
+
+/// The program counter (instruction address) of a load or store site.
+///
+/// In the paper's system this is a real x86 instruction address; in this
+/// reproduction it identifies an instruction within a simulated
+/// [`hds-vulcan`](https://example.com) program image. `Pc` values are only
+/// compared for equality and ordering — no arithmetic is performed on them
+/// outside the image that owns them.
+///
+/// # Examples
+///
+/// ```
+/// use hds_trace::Pc;
+/// let pc = Pc(0x401_000);
+/// assert_eq!(format!("{pc}"), "pc:0x401000");
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Pc(pub u32);
+
+impl fmt::Display for Pc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pc:{:#x}", self.0)
+    }
+}
+
+impl From<u32> for Pc {
+    fn from(raw: u32) -> Self {
+        Pc(raw)
+    }
+}
+
+/// A data (memory) address touched by a load or store.
+///
+/// Addresses are byte-granular; cache-block granularity is imposed by the
+/// memory simulator, not here.
+///
+/// # Examples
+///
+/// ```
+/// use hds_trace::Addr;
+/// let addr = Addr(0x1000);
+/// assert_eq!(addr.block(32), 0x80);
+/// assert_eq!(format!("{addr}"), "addr:0x1000");
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Addr(pub u64);
+
+impl Addr {
+    /// Returns the cache-block number of this address for the given block
+    /// size in bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_size` is zero or not a power of two.
+    #[must_use]
+    pub fn block(self, block_size: u64) -> u64 {
+        assert!(
+            block_size.is_power_of_two(),
+            "block size must be a nonzero power of two, got {block_size}"
+        );
+        self.0 / block_size
+    }
+
+    /// Returns the address offset by `delta` bytes (wrapping).
+    ///
+    /// Used by the sequential and stride prefetch baselines, which target
+    /// addresses relative to an observed miss.
+    #[must_use]
+    pub fn offset(self, delta: i64) -> Addr {
+        Addr(self.0.wrapping_add_signed(delta))
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "addr:{:#x}", self.0)
+    }
+}
+
+impl From<u64> for Addr {
+    fn from(raw: u64) -> Self {
+        Addr(raw)
+    }
+}
+
+/// Whether a data reference is a load or a store.
+///
+/// The prefetching scheme treats loads and stores uniformly (both miss the
+/// cache and both appear in hot data streams); the distinction is kept for
+/// the cache simulator's write-allocate policy and for workload realism.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum AccessKind {
+    /// A load (read) of the address.
+    #[default]
+    Load,
+    /// A store (write) to the address.
+    Store,
+}
+
+impl fmt::Display for AccessKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AccessKind::Load => f.write_str("load"),
+            AccessKind::Store => f.write_str("store"),
+        }
+    }
+}
+
+/// A data reference: a load or store of a particular address at a
+/// particular instruction, represented as the pair `(pc, addr)`.
+///
+/// This is the unit the entire system operates on — traces are sequences of
+/// `DataRef`s, hot data streams are subsequences of `DataRef`s that repeat,
+/// and the injected detection code compares the running program's accesses
+/// against the `(pc, addr)` pairs of stream heads.
+///
+/// # Examples
+///
+/// ```
+/// use hds_trace::{Addr, DataRef, Pc};
+/// let r = DataRef::new(Pc(0x10), Addr(0xbeef));
+/// assert_eq!(r.pc, Pc(0x10));
+/// assert_eq!(r.addr, Addr(0xbeef));
+/// assert_eq!(format!("{r}"), "(pc:0x10, addr:0xbeef)");
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DataRef {
+    /// The instruction performing the access.
+    pub pc: Pc,
+    /// The data address accessed.
+    pub addr: Addr,
+}
+
+impl DataRef {
+    /// Creates a data reference from its program counter and address.
+    #[must_use]
+    pub fn new(pc: Pc, addr: Addr) -> Self {
+        DataRef { pc, addr }
+    }
+}
+
+impl fmt::Display for DataRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.pc, self.addr)
+    }
+}
+
+impl From<(Pc, Addr)> for DataRef {
+    fn from((pc, addr): (Pc, Addr)) -> Self {
+        DataRef { pc, addr }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pc_display_and_order() {
+        assert_eq!(Pc(0x10).to_string(), "pc:0x10");
+        assert!(Pc(1) < Pc(2));
+        assert_eq!(Pc::from(7u32), Pc(7));
+    }
+
+    #[test]
+    fn addr_block_arithmetic() {
+        assert_eq!(Addr(0).block(32), 0);
+        assert_eq!(Addr(31).block(32), 0);
+        assert_eq!(Addr(32).block(32), 1);
+        assert_eq!(Addr(1024).block(64), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn addr_block_rejects_non_power_of_two() {
+        let _ = Addr(0).block(48);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn addr_block_rejects_zero() {
+        let _ = Addr(0).block(0);
+    }
+
+    #[test]
+    fn addr_offset_wraps() {
+        assert_eq!(Addr(100).offset(32), Addr(132));
+        assert_eq!(Addr(100).offset(-100), Addr(0));
+        assert_eq!(Addr(0).offset(-1), Addr(u64::MAX));
+    }
+
+    #[test]
+    fn dataref_equality_is_pairwise() {
+        let a = DataRef::new(Pc(1), Addr(2));
+        let b = DataRef::from((Pc(1), Addr(2)));
+        assert_eq!(a, b);
+        assert_ne!(a, DataRef::new(Pc(1), Addr(3)));
+        assert_ne!(a, DataRef::new(Pc(2), Addr(2)));
+    }
+
+    #[test]
+    fn access_kind_default_is_load() {
+        assert_eq!(AccessKind::default(), AccessKind::Load);
+        assert_eq!(AccessKind::Store.to_string(), "store");
+    }
+}

@@ -1,0 +1,77 @@
+//! Property tests for the trace substrate: the profile codec round-trips
+//! arbitrary buffers, and decoding never panics on arbitrary bytes.
+
+use hds_trace::{codec, Addr, DataRef, Pc, TraceBuffer};
+use proptest::prelude::*;
+
+fn buffer_strategy() -> impl Strategy<Value = TraceBuffer> {
+    proptest::collection::vec(
+        proptest::collection::vec((any::<u32>(), any::<u64>()), 0..40),
+        0..12,
+    )
+    .prop_map(|bursts| {
+        let mut buf = TraceBuffer::new();
+        for burst in bursts {
+            buf.begin_burst();
+            for (pc, addr) in burst {
+                buf.record(DataRef::new(Pc(pc), Addr(addr)));
+            }
+            buf.end_burst();
+        }
+        buf
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Encode/decode is the identity on buffers, including burst
+    /// boundaries and extreme pc/addr values.
+    #[test]
+    fn codec_round_trips(buf in buffer_strategy()) {
+        let blob = codec::encode_profile(&buf);
+        let back = codec::decode_profile(&blob).unwrap();
+        prop_assert_eq!(back.refs(), buf.refs());
+        prop_assert_eq!(back.bursts().count(), buf.bursts().count());
+        for (a, b) in back.bursts().zip(buf.bursts()) {
+            prop_assert_eq!(back.burst_refs(a), buf.burst_refs(b));
+        }
+    }
+
+    /// Decoding arbitrary bytes either fails cleanly or yields a
+    /// well-formed buffer — it never panics.
+    #[test]
+    fn decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..200)) {
+        if let Ok(buf) = codec::decode_profile(&bytes) {
+            // A successful parse must be internally consistent.
+            let total: usize = buf.bursts().map(|b| buf.burst_refs(b).len()).sum();
+            prop_assert_eq!(total, buf.len());
+        }
+    }
+
+    /// Truncating a valid blob anywhere inside the payload fails with
+    /// Truncated (never panics, never misparses silently into a longer
+    /// buffer).
+    #[test]
+    fn truncation_is_detected(buf in buffer_strategy(), cut_fraction in 0.0f64..1.0) {
+        let blob = codec::encode_profile(&buf);
+        if blob.len() <= 5 {
+            return Ok(()); // header-only: nothing to truncate meaningfully
+        }
+        #[allow(clippy::cast_precision_loss, clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let cut = 5 + ((blob.len() - 5) as f64 * cut_fraction) as usize;
+        if cut >= blob.len() {
+            return Ok(());
+        }
+        match codec::decode_profile(&blob[..cut]) {
+            Ok(parsed) => {
+                // Only acceptable if the remaining bytes happened to form
+                // a complete prefix of bursts... which cannot happen
+                // because the burst count is fixed in the header.
+                prop_assert!(parsed.len() <= buf.len());
+                prop_assert!(false, "truncated blob parsed successfully");
+            }
+            Err(e) => prop_assert_eq!(e, codec::CodecError::Truncated),
+        }
+    }
+}

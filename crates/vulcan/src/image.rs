@@ -1,0 +1,357 @@
+//! The editable program image: procedure copies, check injection, entry
+//! patching, and de-optimization.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use hds_trace::Pc;
+
+use crate::program::{ProcId, Procedure};
+
+/// Errors from an [`EditSession`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EditError {
+    /// The pc does not belong to any procedure of the image.
+    UnknownPc(Pc),
+    /// A payload was already injected at this pc in this session.
+    AlreadyInjected(Pc),
+}
+
+impl fmt::Display for EditError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EditError::UnknownPc(pc) => write!(f, "{pc} does not belong to the image"),
+            EditError::AlreadyInjected(pc) => write!(f, "{pc} already has injected code"),
+        }
+    }
+}
+
+impl std::error::Error for EditError {}
+
+/// Statistics of one committed edit session — the Table 2 inputs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EditReport {
+    /// Procedures copied and patched in this session.
+    pub procedures_modified: usize,
+    /// Total pcs that received injected code.
+    pub pcs_injected: usize,
+    /// The image epoch after the edit (fresh activations from this epoch
+    /// on execute the patched copies).
+    pub epoch: u64,
+}
+
+/// One patched procedure copy: the injected payloads per pc, and the
+/// epoch at which the copy became live.
+#[derive(Clone, Debug)]
+struct Copy<T> {
+    checks: HashMap<Pc, T>,
+    since_epoch: u64,
+}
+
+/// The editable program image.
+///
+/// `T` is the payload type injected at instrumented pcs (the optimizer
+/// injects DFSM check chains). The image starts unpatched; an
+/// [`EditSession`] models dynamic Vulcan's stop-the-world binary edit.
+#[derive(Clone, Debug)]
+pub struct Image<T> {
+    procs: Vec<Procedure>,
+    pc_to_proc: HashMap<Pc, ProcId>,
+    copies: HashMap<ProcId, Copy<T>>,
+    epoch: u64,
+    total_edits: u64,
+    total_deopts: u64,
+}
+
+impl<T> Image<T> {
+    /// Creates an unpatched image from its procedures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if two procedures claim the same pc.
+    #[must_use]
+    pub fn new(procs: Vec<Procedure>) -> Self {
+        let mut pc_to_proc = HashMap::new();
+        for (i, p) in procs.iter().enumerate() {
+            for &pc in p.pcs() {
+                let clash = pc_to_proc.insert(pc, ProcId(i as u32));
+                assert!(clash.is_none(), "{pc} belongs to two procedures");
+            }
+        }
+        Image {
+            procs,
+            pc_to_proc,
+            copies: HashMap::new(),
+            epoch: 0,
+            total_edits: 0,
+            total_deopts: 0,
+        }
+    }
+
+    /// The procedures of the image.
+    #[must_use]
+    pub fn procedures(&self) -> &[Procedure] {
+        &self.procs
+    }
+
+    /// Resolves the procedure owning `pc`.
+    #[must_use]
+    pub fn proc_of(&self, pc: Pc) -> Option<ProcId> {
+        self.pc_to_proc.get(&pc).copied()
+    }
+
+    /// The current image epoch. Bumped by every committed edit and every
+    /// de-optimization; activations record the epoch they entered at.
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Is the procedure's entry currently patched with a jump to a copy?
+    #[must_use]
+    pub fn is_patched(&self, proc: ProcId) -> bool {
+        self.copies.contains_key(&proc)
+    }
+
+    /// The payload injected at `pc`, as seen by an activation that
+    /// entered its procedure at `frame_epoch`.
+    ///
+    /// Returns `None` when the owning procedure is unpatched, or when the
+    /// activation predates the patch (a *stale* activation: its return
+    /// address targets the original code, §3.2).
+    #[must_use]
+    pub fn injected_at(&self, pc: Pc, frame_epoch: u64) -> Option<&T> {
+        let proc = self.proc_of(pc)?;
+        let copy = self.copies.get(&proc)?;
+        if frame_epoch < copy.since_epoch {
+            return None; // stale activation runs the original code
+        }
+        copy.checks.get(&pc)
+    }
+
+    /// Begins a stop-the-world edit session ("Dynamic Vulcan stops all
+    /// running program threads while binary modifications are in
+    /// progress").
+    pub fn edit(&mut self) -> EditSession<'_, T> {
+        EditSession {
+            staged: HashMap::new(),
+            image: self,
+        }
+    }
+
+    /// Removes every entry jump, reverting all procedures to their
+    /// original code ("when the optimizer wants to deoptimize later, it
+    /// need only remove those jumps"). Returns how many procedures were
+    /// reverted.
+    pub fn deoptimize(&mut self) -> usize {
+        let n = self.copies.len();
+        self.copies.clear();
+        if n > 0 {
+            self.epoch += 1;
+            self.total_deopts += 1;
+        }
+        n
+    }
+
+    /// Number of committed edit sessions.
+    #[must_use]
+    pub fn total_edits(&self) -> u64 {
+        self.total_edits
+    }
+
+    /// Number of de-optimizations that actually removed patches.
+    #[must_use]
+    pub fn total_deopts(&self) -> u64 {
+        self.total_deopts
+    }
+
+    /// The set of currently patched procedures.
+    #[must_use]
+    pub fn patched_procs(&self) -> Vec<ProcId> {
+        let mut v: Vec<ProcId> = self.copies.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+/// A stop-the-world edit: stage injections, then [`EditSession::commit`]
+/// to copy the affected procedures, attach the payloads, and patch the
+/// entry jumps atomically.
+#[derive(Debug)]
+pub struct EditSession<'a, T> {
+    staged: HashMap<Pc, T>,
+    image: &'a mut Image<T>,
+}
+
+impl<T> EditSession<'_, T> {
+    /// Stages a payload for injection at `pc`.
+    ///
+    /// # Errors
+    ///
+    /// * [`EditError::UnknownPc`] if `pc` belongs to no procedure;
+    /// * [`EditError::AlreadyInjected`] if this session already staged a
+    ///   payload at `pc`.
+    pub fn inject(&mut self, pc: Pc, payload: T) -> Result<(), EditError> {
+        if self.image.proc_of(pc).is_none() {
+            return Err(EditError::UnknownPc(pc));
+        }
+        if self.staged.contains_key(&pc) {
+            return Err(EditError::AlreadyInjected(pc));
+        }
+        self.staged.insert(pc, payload);
+        Ok(())
+    }
+
+    /// Commits the staged edits: bumps the epoch, copies every procedure
+    /// containing a staged pc, attaches the payloads to the copies, and
+    /// patches the entries. Any previous patch of an affected procedure
+    /// is replaced; patches of unaffected procedures are removed (the
+    /// optimizer de-optimizes before re-optimizing — §1's cycle — so a
+    /// commit describes the complete new instrumentation).
+    pub fn commit(self) -> EditReport {
+        let image = self.image;
+        image.epoch += 1;
+        image.total_edits += 1;
+        let epoch = image.epoch;
+        image.copies.clear();
+        let mut pcs_injected = 0usize;
+        for (pc, payload) in self.staged {
+            let proc = image.proc_of(pc).expect("validated by inject");
+            let copy = image.copies.entry(proc).or_insert_with(|| Copy {
+                checks: HashMap::new(),
+                since_epoch: epoch,
+            });
+            copy.checks.insert(pc, payload);
+            pcs_injected += 1;
+        }
+        EditReport {
+            procedures_modified: image.copies.len(),
+            pcs_injected,
+            epoch,
+        }
+    }
+
+    /// Abandons the session without modifying the image.
+    pub fn abort(self) {
+        // Dropping the session discards the staged edits.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn image() -> Image<&'static str> {
+        Image::new(vec![
+            Procedure::new("alpha", vec![Pc(0x10), Pc(0x14)]),
+            Procedure::new("beta", vec![Pc(0x20)]),
+            Procedure::new("gamma", vec![Pc(0x30), Pc(0x34), Pc(0x38)]),
+        ])
+    }
+
+    #[test]
+    fn pc_ownership() {
+        let img = image();
+        assert_eq!(img.proc_of(Pc(0x14)), Some(ProcId(0)));
+        assert_eq!(img.proc_of(Pc(0x30)), Some(ProcId(2)));
+        assert_eq!(img.proc_of(Pc(0x99)), None);
+        assert_eq!(img.procedures().len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "belongs to two procedures")]
+    fn duplicate_pcs_rejected() {
+        let _: Image<()> = Image::new(vec![
+            Procedure::new("a", vec![Pc(1)]),
+            Procedure::new("b", vec![Pc(1)]),
+        ]);
+    }
+
+    #[test]
+    fn edit_injects_and_patches() {
+        let mut img = image();
+        let mut edit = img.edit();
+        edit.inject(Pc(0x10), "c1").unwrap();
+        edit.inject(Pc(0x14), "c2").unwrap();
+        edit.inject(Pc(0x20), "c3").unwrap();
+        let report = edit.commit();
+        assert_eq!(report.procedures_modified, 2);
+        assert_eq!(report.pcs_injected, 3);
+        assert_eq!(report.epoch, 1);
+        assert!(img.is_patched(ProcId(0)));
+        assert!(img.is_patched(ProcId(1)));
+        assert!(!img.is_patched(ProcId(2)));
+        assert_eq!(img.patched_procs(), vec![ProcId(0), ProcId(1)]);
+        assert_eq!(img.injected_at(Pc(0x10), 1), Some(&"c1"));
+        // Un-injected pc of a patched procedure: no payload.
+        assert_eq!(img.injected_at(Pc(0x30), 1), None);
+    }
+
+    #[test]
+    fn stale_activations_see_original_code() {
+        let mut img = image();
+        let mut edit = img.edit();
+        edit.inject(Pc(0x10), "chk").unwrap();
+        edit.commit();
+        // Frame entered before the patch (epoch 0): original code.
+        assert_eq!(img.injected_at(Pc(0x10), 0), None);
+        // Frame entered at/after the patch epoch: instrumented copy.
+        assert_eq!(img.injected_at(Pc(0x10), 1), Some(&"chk"));
+        assert_eq!(img.injected_at(Pc(0x10), 5), Some(&"chk"));
+    }
+
+    #[test]
+    fn deoptimize_removes_all_patches() {
+        let mut img = image();
+        let mut edit = img.edit();
+        edit.inject(Pc(0x10), "chk").unwrap();
+        edit.commit();
+        assert_eq!(img.deoptimize(), 1);
+        assert!(!img.is_patched(ProcId(0)));
+        assert_eq!(img.injected_at(Pc(0x10), img.epoch()), None);
+        assert_eq!(img.epoch(), 2);
+        // Deoptimizing an unpatched image is a no-op.
+        assert_eq!(img.deoptimize(), 0);
+        assert_eq!(img.epoch(), 2);
+        assert_eq!(img.total_deopts(), 1);
+    }
+
+    #[test]
+    fn recommit_replaces_previous_patches() {
+        let mut img = image();
+        let mut edit = img.edit();
+        edit.inject(Pc(0x10), "old").unwrap();
+        edit.commit();
+        let mut edit = img.edit();
+        edit.inject(Pc(0x20), "new").unwrap();
+        let report = edit.commit();
+        assert_eq!(report.procedures_modified, 1);
+        // alpha's patch is gone, beta's is live.
+        assert!(!img.is_patched(ProcId(0)));
+        assert_eq!(img.injected_at(Pc(0x20), img.epoch()), Some(&"new"));
+        assert_eq!(img.total_edits(), 2);
+    }
+
+    #[test]
+    fn edit_errors() {
+        let mut img = image();
+        let mut edit = img.edit();
+        assert_eq!(edit.inject(Pc(0x99), "x"), Err(EditError::UnknownPc(Pc(0x99))));
+        edit.inject(Pc(0x10), "x").unwrap();
+        assert_eq!(
+            edit.inject(Pc(0x10), "y"),
+            Err(EditError::AlreadyInjected(Pc(0x10)))
+        );
+        edit.abort();
+        assert_eq!(img.epoch(), 0);
+        assert_eq!(img.total_edits(), 0);
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(EditError::UnknownPc(Pc(0x7)).to_string().contains("0x7"));
+        assert!(EditError::AlreadyInjected(Pc(0x7))
+            .to_string()
+            .contains("already"));
+    }
+}

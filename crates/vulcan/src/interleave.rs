@@ -1,0 +1,254 @@
+//! Deterministic multi-thread interleaving.
+//!
+//! The paper's system handles multi-threaded programs — "Dynamic Vulcan
+//! stops all running program threads while binary modifications are in
+//! progress and restarts them on completion" (§3.2) — though its
+//! evaluation is single-threaded. This module provides the substrate to
+//! study what threading does to the scheme: an [`Interleaver`] merges
+//! several [`ProgramSource`]s into one event stream, switching between
+//! them every `quantum` events and announcing each switch with
+//! [`Event::Thread`].
+//!
+//! Downstream consequences the executor models faithfully:
+//!
+//! * call stacks are per-thread (each thread gets its own frame
+//!   tracker);
+//! * the injected DFSM matching *state* is a global variable, exactly as
+//!   the paper's Figure 7 code uses a global `v.seen` — so threads
+//!   interleaving through the same hot code can clobber each other's
+//!   partial matches;
+//! * the profiling counters and the trace buffer are global, so sampled
+//!   bursts interleave references from all running threads (cross-thread
+//!   trace contamination). The `threading_ablation` experiment measures
+//!   both effects as a function of the scheduling quantum.
+
+use crate::program::{Event, ProgramSource};
+
+/// Merges several program sources into one deterministic round-robin
+/// interleaving.
+///
+/// # Examples
+///
+/// ```
+/// use hds_vulcan::{Event, Interleaver, ProcId, ProgramSource, VecSource};
+///
+/// let a = VecSource::new("a", vec![Event::Work(1), Event::Work(2)]);
+/// let b = VecSource::new("b", vec![Event::Work(3)]);
+/// let mut m = Interleaver::new(vec![Box::new(a), Box::new(b)], 1);
+/// let mut order = Vec::new();
+/// while let Some(e) = m.next_event() {
+///     order.push(e);
+/// }
+/// assert_eq!(
+///     order,
+///     vec![
+///         Event::Thread(0),
+///         Event::Work(1),
+///         Event::Thread(1),
+///         Event::Work(3),
+///         Event::Thread(0),
+///         Event::Work(2),
+///     ]
+/// );
+/// ```
+pub struct Interleaver {
+    threads: Vec<Option<Box<dyn ProgramSource>>>,
+    quantum: u64,
+    current: usize,
+    /// Events remaining in the current quantum.
+    remaining: u64,
+    /// Has the current slot been announced with a `Thread` event?
+    announced: bool,
+    /// Lookahead: the event to deliver right after an announcement.
+    pending: Option<Event>,
+    name: String,
+}
+
+impl Interleaver {
+    /// Creates an interleaver over `threads`, switching every `quantum`
+    /// events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is empty or `quantum` is zero.
+    #[must_use]
+    pub fn new(threads: Vec<Box<dyn ProgramSource>>, quantum: u64) -> Self {
+        assert!(!threads.is_empty(), "need at least one thread");
+        assert!(quantum > 0, "quantum must be nonzero");
+        Interleaver {
+            threads: threads.into_iter().map(Some).collect(),
+            quantum,
+            current: 0,
+            remaining: quantum,
+            announced: false,
+            pending: None,
+            name: "interleaved".to_string(),
+        }
+    }
+
+    /// Number of threads still running.
+    #[must_use]
+    pub fn live_threads(&self) -> usize {
+        self.threads.iter().filter(|t| t.is_some()).count()
+    }
+
+    /// Advances to the next live thread, if any. Returns false when all
+    /// threads are exhausted.
+    fn rotate(&mut self) -> bool {
+        let n = self.threads.len();
+        for step in 1..=n {
+            let idx = (self.current + step) % n;
+            if self.threads[idx].is_some() {
+                self.current = idx;
+                self.remaining = self.quantum;
+                self.announced = false;
+                return true;
+            }
+        }
+        false
+    }
+}
+
+impl std::fmt::Debug for Interleaver {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Interleaver")
+            .field("threads", &self.threads.len())
+            .field("live", &self.live_threads())
+            .field("quantum", &self.quantum)
+            .field("current", &self.current)
+            .finish()
+    }
+}
+
+impl ProgramSource for Interleaver {
+    fn next_event(&mut self) -> Option<Event> {
+        // Deliver the lookahead event that followed an announcement.
+        if let Some(e) = self.pending.take() {
+            self.remaining = self.remaining.saturating_sub(1);
+            return Some(e);
+        }
+        loop {
+            // Rotate when the current slot is dead or its quantum is up.
+            if self.threads.get(self.current).is_none_or(Option::is_none)
+                || self.remaining == 0
+            {
+                if !self.rotate() {
+                    return None;
+                }
+                continue;
+            }
+            let slot = &mut self.threads[self.current];
+            match slot.as_mut().and_then(|t| t.next_event()) {
+                Some(e) => {
+                    if self.announced {
+                        self.remaining -= 1;
+                        return Some(e);
+                    }
+                    // Announce the slot only now that it demonstrably has
+                    // an event to run (no trailing announcements for
+                    // exhausted threads).
+                    self.announced = true;
+                    self.pending = Some(e);
+                    return Some(Event::Thread(self.current as u32));
+                }
+                None => {
+                    // Thread finished: retire it; the loop rotates.
+                    *slot = None;
+                }
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::VecSource;
+
+    fn work(ns: &[u32]) -> Box<dyn ProgramSource> {
+        Box::new(VecSource::new(
+            "t",
+            ns.iter().map(|&n| Event::Work(n)).collect(),
+        ))
+    }
+
+    fn drain(m: &mut Interleaver) -> Vec<Event> {
+        let mut v = Vec::new();
+        while let Some(e) = m.next_event() {
+            v.push(e);
+        }
+        v
+    }
+
+    #[test]
+    fn round_robin_with_quantum() {
+        let mut m = Interleaver::new(vec![work(&[1, 2, 3, 4]), work(&[10, 20])], 2);
+        let events = drain(&mut m);
+        assert_eq!(
+            events,
+            vec![
+                Event::Thread(0),
+                Event::Work(1),
+                Event::Work(2),
+                Event::Thread(1),
+                Event::Work(10),
+                Event::Work(20),
+                Event::Thread(0),
+                Event::Work(3),
+                Event::Work(4),
+            ]
+        );
+    }
+
+    #[test]
+    fn finished_threads_are_skipped() {
+        let mut m = Interleaver::new(vec![work(&[1]), work(&[10, 20, 30])], 2);
+        let events = drain(&mut m);
+        // Thread 0 dies inside its first quantum; thread 1 runs out the
+        // rest alone.
+        let works: Vec<u32> = events
+            .iter()
+            .filter_map(|e| match e {
+                Event::Work(n) => Some(*n),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(works, vec![1, 10, 20, 30]);
+        assert_eq!(m.live_threads(), 0);
+    }
+
+    #[test]
+    fn single_thread_passthrough() {
+        let mut m = Interleaver::new(vec![work(&[1, 2, 3])], 100);
+        let events = drain(&mut m);
+        assert_eq!(events[0], Event::Thread(0));
+        assert_eq!(events.len(), 4);
+    }
+
+    #[test]
+    fn deterministic() {
+        let mk = || {
+            Interleaver::new(
+                vec![work(&[1, 2, 3, 4, 5]), work(&[6, 7]), work(&[8, 9, 10])],
+                3,
+            )
+        };
+        assert_eq!(drain(&mut mk()), drain(&mut mk()));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn rejects_empty() {
+        let _ = Interleaver::new(vec![], 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantum")]
+    fn rejects_zero_quantum() {
+        let _ = Interleaver::new(vec![work(&[1])], 0);
+    }
+}

@@ -1,0 +1,982 @@
+//! A tiny RISC-like instruction set, assembler, and interpreter, so that
+//! simulated binaries can be *actual programs* rather than event
+//! generators.
+//!
+//! The optimizer only ever sees the [`Event`] stream, so any
+//! [`ProgramSource`] works — the benchmark models in `hds-workloads`
+//! generate events directly for speed. This module provides the other
+//! end of the fidelity spectrum: write a pointer-chasing kernel in a
+//! 16-register ISA, assemble it into an [`Image`](crate::Image)-compatible procedure
+//! layout, put linked data structures into a word-addressed memory with
+//! [`HeapImage`], and run it under the [`Interpreter`], which emits
+//! exactly the events a binary-instrumented execution would:
+//!
+//! * [`Event::Enter`]/[`Event::Exit`] at calls and returns,
+//! * [`Event::BackEdge`] at taken backward branches (the bursty-tracing
+//!   check sites of Figure 2),
+//! * [`Event::Access`] for every load and store, with the pc of the
+//!   instruction — the `(pc, addr)` pairs the whole system runs on,
+//! * [`Event::Work`] for everything else.
+//!
+//! See `examples/isa_microbench.rs` for a complete program optimized
+//! end-to-end.
+
+use std::collections::HashMap;
+
+use hds_trace::{AccessKind, Addr, DataRef, Pc};
+
+use crate::program::{Event, ProcId, Procedure, ProgramSource};
+
+/// A register name (`r0`–`r15`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Reg(pub u8);
+
+/// A branch target handle, produced by [`Asm::label`] (bound at the
+/// current position, for backward branches) or [`Asm::forward`] +
+/// [`Asm::bind`] (for forward branches).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Label(usize);
+
+/// One instruction of the mini-ISA.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Inst {
+    /// `rd = imm`
+    MovImm {
+        /// Destination register.
+        d: Reg,
+        /// Immediate value.
+        imm: i64,
+    },
+    /// `rd = ra + rb`
+    Add {
+        /// Destination register.
+        d: Reg,
+        /// First operand.
+        a: Reg,
+        /// Second operand.
+        b: Reg,
+    },
+    /// `rd = ra + imm`
+    AddImm {
+        /// Destination register.
+        d: Reg,
+        /// Operand register.
+        a: Reg,
+        /// Immediate addend.
+        imm: i64,
+    },
+    /// `rd = ra * rb` (wrapping)
+    Mul {
+        /// Destination register.
+        d: Reg,
+        /// First operand.
+        a: Reg,
+        /// Second operand.
+        b: Reg,
+    },
+    /// `rd = (ra as u64 >> sh) as i64` (logical shift right)
+    Shr {
+        /// Destination register.
+        d: Reg,
+        /// Operand register.
+        a: Reg,
+        /// Shift amount.
+        sh: u32,
+    },
+    /// `rd = ra & imm`
+    AndImm {
+        /// Destination register.
+        d: Reg,
+        /// Operand register.
+        a: Reg,
+        /// Immediate mask.
+        imm: i64,
+    },
+    /// `rd = mem[ra + off]` — a data reference.
+    Load {
+        /// Destination register.
+        d: Reg,
+        /// Base address register.
+        a: Reg,
+        /// Byte offset.
+        off: i64,
+    },
+    /// `mem[ra + off] = rs` — a data reference.
+    Store {
+        /// Source register.
+        s: Reg,
+        /// Base address register.
+        a: Reg,
+        /// Byte offset.
+        off: i64,
+    },
+    /// Branch to `target` if `rc != 0`.
+    Bnz {
+        /// Condition register.
+        c: Reg,
+        /// Target label.
+        target: Label,
+    },
+    /// Branch to `target` if `rc == 0`.
+    Bz {
+        /// Condition register.
+        c: Reg,
+        /// Target label.
+        target: Label,
+    },
+    /// Unconditional jump.
+    Jmp {
+        /// Target label.
+        target: Label,
+    },
+    /// Call another procedure.
+    Call {
+        /// Callee.
+        proc: ProcId,
+    },
+    /// Software-prefetch `mem[ra + off]` (a hint; never faults).
+    Prefetch {
+        /// Base address register.
+        a: Reg,
+        /// Byte offset.
+        off: i64,
+    },
+    /// Return from the current procedure.
+    Ret,
+    /// `n` units of plain (non-memory) work.
+    Work(
+        /// Number of work units.
+        u32,
+    ),
+}
+
+/// Assembles one procedure: instructions plus forward-referencable
+/// labels.
+///
+/// # Examples
+///
+/// ```
+/// use hds_vulcan::isa::{Asm, Reg};
+///
+/// let mut asm = Asm::new("count_down");
+/// let r0 = Reg(0);
+/// asm.mov_imm(r0, 3);
+/// let top = asm.label();
+/// asm.add_imm(r0, r0, -1);
+/// asm.bnz(r0, top); // a backward branch: a loop back-edge
+/// asm.ret();
+/// let proc = asm.finish();
+/// assert_eq!(proc.insts().len(), 4);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Asm {
+    name: String,
+    insts: Vec<Inst>,
+    targets: Vec<Option<usize>>,
+}
+
+impl Asm {
+    /// Starts assembling a procedure.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        Asm {
+            name: name.into(),
+            insts: Vec::new(),
+            targets: Vec::new(),
+        }
+    }
+
+    /// Returns a label bound to the current position (the index of the
+    /// next instruction) — use for backward branch targets.
+    #[must_use]
+    pub fn label(&mut self) -> Label {
+        self.targets.push(Some(self.insts.len()));
+        Label(self.targets.len() - 1)
+    }
+
+    /// Declares a label to be bound later with [`Asm::bind`] — use for
+    /// forward branch targets.
+    #[must_use]
+    pub fn forward(&mut self) -> Label {
+        self.targets.push(None);
+        Label(self.targets.len() - 1)
+    }
+
+    /// Binds a forward label to the current position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label is already bound.
+    pub fn bind(&mut self, label: Label) {
+        assert!(
+            self.targets[label.0].is_none(),
+            "label {} bound twice in {}",
+            label.0,
+            self.name
+        );
+        self.targets[label.0] = Some(self.insts.len());
+    }
+
+    /// `rd = imm`
+    pub fn mov_imm(&mut self, d: Reg, imm: i64) -> &mut Self {
+        self.insts.push(Inst::MovImm { d, imm });
+        self
+    }
+
+    /// `rd = ra + rb`
+    pub fn add(&mut self, d: Reg, a: Reg, b: Reg) -> &mut Self {
+        self.insts.push(Inst::Add { d, a, b });
+        self
+    }
+
+    /// `rd = ra + imm`
+    pub fn add_imm(&mut self, d: Reg, a: Reg, imm: i64) -> &mut Self {
+        self.insts.push(Inst::AddImm { d, a, imm });
+        self
+    }
+
+    /// `rd = ra * rb`
+    pub fn mul(&mut self, d: Reg, a: Reg, b: Reg) -> &mut Self {
+        self.insts.push(Inst::Mul { d, a, b });
+        self
+    }
+
+    /// `rd = ra >>(logical) sh`
+    pub fn shr(&mut self, d: Reg, a: Reg, sh: u32) -> &mut Self {
+        self.insts.push(Inst::Shr { d, a, sh });
+        self
+    }
+
+    /// `rd = ra & imm`
+    pub fn and_imm(&mut self, d: Reg, a: Reg, imm: i64) -> &mut Self {
+        self.insts.push(Inst::AndImm { d, a, imm });
+        self
+    }
+
+    /// `rd = mem[ra + off]`
+    pub fn load(&mut self, d: Reg, a: Reg, off: i64) -> &mut Self {
+        self.insts.push(Inst::Load { d, a, off });
+        self
+    }
+
+    /// `mem[ra + off] = rs`
+    pub fn store(&mut self, s: Reg, a: Reg, off: i64) -> &mut Self {
+        self.insts.push(Inst::Store { s, a, off });
+        self
+    }
+
+    /// Branch if nonzero.
+    pub fn bnz(&mut self, c: Reg, target: Label) -> &mut Self {
+        self.insts.push(Inst::Bnz { c, target });
+        self
+    }
+
+    /// Branch if zero.
+    pub fn bz(&mut self, c: Reg, target: Label) -> &mut Self {
+        self.insts.push(Inst::Bz { c, target });
+        self
+    }
+
+    /// Unconditional jump.
+    pub fn jmp(&mut self, target: Label) -> &mut Self {
+        self.insts.push(Inst::Jmp { target });
+        self
+    }
+
+    /// Call a procedure.
+    pub fn call(&mut self, proc: ProcId) -> &mut Self {
+        self.insts.push(Inst::Call { proc });
+        self
+    }
+
+    /// Software-prefetch `mem[ra + off]`.
+    pub fn prefetch(&mut self, a: Reg, off: i64) -> &mut Self {
+        self.insts.push(Inst::Prefetch { a, off });
+        self
+    }
+
+    /// Return.
+    pub fn ret(&mut self) -> &mut Self {
+        self.insts.push(Inst::Ret);
+        self
+    }
+
+    /// Plain work.
+    pub fn work(&mut self, n: u32) -> &mut Self {
+        self.insts.push(Inst::Work(n));
+        self
+    }
+
+    /// Finishes the procedure, resolving every label.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a forward label was never bound, or if a branch targets
+    /// past the end of the procedure.
+    #[must_use]
+    pub fn finish(self) -> ProcBody {
+        let targets: Vec<usize> = self
+            .targets
+            .iter()
+            .enumerate()
+            .map(|(i, t)| t.unwrap_or_else(|| panic!("label {i} never bound in {}", self.name)))
+            .collect();
+        for inst in &self.insts {
+            if let Inst::Bnz { target, .. } | Inst::Bz { target, .. } | Inst::Jmp { target } =
+                inst
+            {
+                assert!(
+                    targets[target.0] <= self.insts.len(),
+                    "branch target {} out of range in {}",
+                    targets[target.0],
+                    self.name
+                );
+            }
+        }
+        ProcBody {
+            name: self.name,
+            insts: self.insts,
+            targets,
+        }
+    }
+}
+
+/// An assembled procedure body.
+#[derive(Clone, Debug)]
+pub struct ProcBody {
+    name: String,
+    insts: Vec<Inst>,
+    /// Resolved label targets (instruction indices).
+    targets: Vec<usize>,
+}
+
+impl ProcBody {
+    /// Resolves a label to its instruction index.
+    #[must_use]
+    pub fn resolve(&self, label: Label) -> usize {
+        self.targets[label.0]
+    }
+}
+
+impl ProcBody {
+    /// The procedure's name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The instructions.
+    #[must_use]
+    pub fn insts(&self) -> &[Inst] {
+        &self.insts
+    }
+}
+
+/// The pc of instruction `index` in procedure `proc`, matching the image
+/// layout conventions used throughout the workspace.
+#[must_use]
+pub fn pc_of(proc: ProcId, index: usize) -> Pc {
+    Pc(proc.0 * 100_000 + 16 + (index as u32) * 4)
+}
+
+/// A word-addressed (8-byte) memory image for building linked data
+/// structures.
+///
+/// # Examples
+///
+/// ```
+/// use hds_vulcan::isa::HeapImage;
+///
+/// let mut heap = HeapImage::new();
+/// // A two-node list: node at 0x100 points to 0x240, which ends the list.
+/// heap.write(0x100, 0x240);
+/// heap.write(0x240, 0);
+/// assert_eq!(heap.read(0x100), 0x240);
+/// assert_eq!(heap.read(0x999), 0); // uninitialised memory reads zero
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct HeapImage {
+    words: HashMap<u64, i64>,
+}
+
+impl HeapImage {
+    /// An empty (all-zero) memory.
+    #[must_use]
+    pub fn new() -> Self {
+        HeapImage::default()
+    }
+
+    /// Reads the word at `addr` (0 if never written).
+    #[must_use]
+    pub fn read(&self, addr: u64) -> i64 {
+        self.words.get(&addr).copied().unwrap_or(0)
+    }
+
+    /// Writes the word at `addr`.
+    pub fn write(&mut self, addr: u64, value: i64) {
+        self.words.insert(addr, value);
+    }
+
+    /// Builds a singly linked list whose nodes live at the given
+    /// addresses (each node's first word is the `next` pointer; 0
+    /// terminates). Returns the head address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is empty.
+    pub fn link_list(&mut self, nodes: &[u64]) -> u64 {
+        assert!(!nodes.is_empty(), "a list needs at least one node");
+        for pair in nodes.windows(2) {
+            self.write(pair[0], pair[1] as i64);
+        }
+        self.write(*nodes.last().expect("nonempty"), 0);
+        nodes[0]
+    }
+}
+
+/// Interpreter errors (turned into panics would hide program bugs; the
+/// interpreter surfaces them).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ExecError {
+    /// `Call`/`Ret` imbalance or a call to an unknown procedure.
+    BadCall(ProcId),
+    /// Execution ran past the end of a procedure without `Ret`.
+    FellOffEnd(ProcId),
+    /// A computed address was negative.
+    NegativeAddress(i64),
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::BadCall(p) => write!(f, "call to unknown procedure {p}"),
+            ExecError::FellOffEnd(p) => write!(f, "fell off the end of {p}"),
+            ExecError::NegativeAddress(a) => write!(f, "negative address {a}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// The interpreter: executes an assembled program, emitting the event
+/// stream of an instrumented binary. Implements [`ProgramSource`].
+///
+/// Execution starts at procedure 0 and repeats (re-entering procedure 0)
+/// until `fuel` references have been emitted; malformed programs surface
+/// an [`ExecError`] through [`Interpreter::error`] and end the stream.
+#[derive(Clone, Debug)]
+pub struct Interpreter {
+    procs: Vec<ProcBody>,
+    heap: HeapImage,
+    regs: [i64; 16],
+    /// Call stack of (procedure, return instruction index).
+    stack: Vec<(ProcId, usize)>,
+    proc: ProcId,
+    ip: usize,
+    refs_emitted: u64,
+    fuel: u64,
+    steps: u64,
+    max_steps: u64,
+    pending: std::collections::VecDeque<Event>,
+    error: Option<ExecError>,
+    name: String,
+    finished: bool,
+}
+
+impl Interpreter {
+    /// Creates an interpreter over `procs` (entry point: procedure 0)
+    /// and an initial heap, running until `fuel` data references have
+    /// been emitted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `procs` is empty.
+    #[must_use]
+    pub fn new(name: impl Into<String>, procs: Vec<ProcBody>, heap: HeapImage, fuel: u64) -> Self {
+        assert!(!procs.is_empty(), "a program needs an entry procedure");
+        Interpreter {
+            procs,
+            heap,
+            regs: [0; 16],
+            stack: Vec::new(),
+            proc: ProcId(0),
+            ip: 0,
+            refs_emitted: 0,
+            fuel,
+            steps: 0,
+            // Generous step budget so reference-free programs (or
+            // infinite compute loops) still terminate deterministically.
+            max_steps: fuel.saturating_mul(64).saturating_add(1_000_000),
+            pending: std::collections::VecDeque::new(),
+            error: None,
+            name: name.into(),
+            finished: false,
+        }
+    }
+
+    /// The static procedure list for [`crate::Image`] construction:
+    /// every load/store pc, per procedure.
+    #[must_use]
+    pub fn procedures(&self) -> Vec<Procedure> {
+        self.procs
+            .iter()
+            .enumerate()
+            .map(|(i, body)| {
+                let pcs: Vec<Pc> = body
+                    .insts
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, inst)| matches!(inst, Inst::Load { .. } | Inst::Store { .. }))
+                    .map(|(j, _)| pc_of(ProcId(i as u32), j))
+                    .collect();
+                Procedure::new(body.name.clone(), pcs)
+            })
+            .collect()
+    }
+
+    /// The error that ended execution, if any.
+    #[must_use]
+    pub fn error(&self) -> Option<&ExecError> {
+        self.error.as_ref()
+    }
+
+    /// Current register file (diagnostics/tests).
+    #[must_use]
+    pub fn regs(&self) -> &[i64; 16] {
+        &self.regs
+    }
+
+    /// Reads a heap word (diagnostics/tests).
+    #[must_use]
+    pub fn heap_read(&self, addr: u64) -> i64 {
+        self.heap.read(addr)
+    }
+
+    /// Executes one instruction, queueing its events. Returns false when
+    /// the program is over.
+    fn step(&mut self) -> bool {
+        self.steps += 1;
+        if self.refs_emitted >= self.fuel && self.steps > 1 || self.steps > self.max_steps {
+            // Unwind politely: close all open activations.
+            while let Some((proc, _)) = self.stack.pop() {
+                let _ = proc;
+            }
+            return false;
+        }
+        let body = &self.procs[self.proc.index()];
+        let Some(&inst) = body.insts.get(self.ip) else {
+            self.error = Some(ExecError::FellOffEnd(self.proc));
+            return false;
+        };
+        let at = self.ip;
+        self.ip += 1;
+        match inst {
+            Inst::MovImm { d, imm } => {
+                self.regs[d.0 as usize] = imm;
+                self.pending.push_back(Event::Work(1));
+            }
+            Inst::Add { d, a, b } => {
+                self.regs[d.0 as usize] =
+                    self.regs[a.0 as usize].wrapping_add(self.regs[b.0 as usize]);
+                self.pending.push_back(Event::Work(1));
+            }
+            Inst::AddImm { d, a, imm } => {
+                self.regs[d.0 as usize] = self.regs[a.0 as usize].wrapping_add(imm);
+                self.pending.push_back(Event::Work(1));
+            }
+            Inst::Mul { d, a, b } => {
+                self.regs[d.0 as usize] =
+                    self.regs[a.0 as usize].wrapping_mul(self.regs[b.0 as usize]);
+                self.pending.push_back(Event::Work(1));
+            }
+            Inst::Shr { d, a, sh } => {
+                #[allow(clippy::cast_sign_loss, clippy::cast_possible_wrap)]
+                {
+                    self.regs[d.0 as usize] =
+                        ((self.regs[a.0 as usize] as u64) >> (sh % 64)) as i64;
+                }
+                self.pending.push_back(Event::Work(1));
+            }
+            Inst::AndImm { d, a, imm } => {
+                self.regs[d.0 as usize] = self.regs[a.0 as usize] & imm;
+                self.pending.push_back(Event::Work(1));
+            }
+            Inst::Load { d, a, off } => {
+                let addr = self.regs[a.0 as usize].wrapping_add(off);
+                if addr < 0 {
+                    self.error = Some(ExecError::NegativeAddress(addr));
+                    return false;
+                }
+                #[allow(clippy::cast_sign_loss)]
+                let addr = addr as u64;
+                self.regs[d.0 as usize] = self.heap.read(addr);
+                self.refs_emitted += 1;
+                self.pending.push_back(Event::Access(
+                    DataRef::new(pc_of(self.proc, at), Addr(addr)),
+                    AccessKind::Load,
+                ));
+            }
+            Inst::Store { s, a, off } => {
+                let addr = self.regs[a.0 as usize].wrapping_add(off);
+                if addr < 0 {
+                    self.error = Some(ExecError::NegativeAddress(addr));
+                    return false;
+                }
+                #[allow(clippy::cast_sign_loss)]
+                let addr = addr as u64;
+                self.heap.write(addr, self.regs[s.0 as usize]);
+                self.refs_emitted += 1;
+                self.pending.push_back(Event::Access(
+                    DataRef::new(pc_of(self.proc, at), Addr(addr)),
+                    AccessKind::Store,
+                ));
+            }
+            Inst::Bnz { c, target } => {
+                self.pending.push_back(Event::Work(1));
+                if self.regs[c.0 as usize] != 0 {
+                    let t = self.procs[self.proc.index()].resolve(target);
+                    if t <= at {
+                        // A taken backward branch is a loop back-edge —
+                        // a bursty-tracing check site (Figure 2).
+                        self.pending.push_back(Event::BackEdge(self.proc));
+                    }
+                    self.ip = t;
+                }
+            }
+            Inst::Bz { c, target } => {
+                self.pending.push_back(Event::Work(1));
+                if self.regs[c.0 as usize] == 0 {
+                    let t = self.procs[self.proc.index()].resolve(target);
+                    if t <= at {
+                        self.pending.push_back(Event::BackEdge(self.proc));
+                    }
+                    self.ip = t;
+                }
+            }
+            Inst::Jmp { target } => {
+                self.pending.push_back(Event::Work(1));
+                let t = self.procs[self.proc.index()].resolve(target);
+                if t <= at {
+                    self.pending.push_back(Event::BackEdge(self.proc));
+                }
+                self.ip = t;
+            }
+            Inst::Call { proc } => {
+                if proc.index() >= self.procs.len() {
+                    self.error = Some(ExecError::BadCall(proc));
+                    return false;
+                }
+                self.stack.push((self.proc, self.ip));
+                self.proc = proc;
+                self.ip = 0;
+                self.pending.push_back(Event::Enter(proc));
+            }
+            Inst::Prefetch { a, off } => {
+                let addr = self.regs[a.0 as usize].wrapping_add(off);
+                // Prefetches never fault: a bad address is simply dropped.
+                if addr >= 0 {
+                    #[allow(clippy::cast_sign_loss)]
+                    self.pending.push_back(Event::Prefetch(Addr(addr as u64)));
+                } else {
+                    self.pending.push_back(Event::Work(1));
+                }
+            }
+            Inst::Ret => {
+                self.pending.push_back(Event::Exit(self.proc));
+                match self.stack.pop() {
+                    Some((proc, ip)) => {
+                        self.proc = proc;
+                        self.ip = ip;
+                    }
+                    None => {
+                        // Returning from the entry procedure: restart it
+                        // (the program loops until out of fuel).
+                        self.proc = ProcId(0);
+                        self.ip = 0;
+                        self.pending.push_back(Event::Enter(ProcId(0)));
+                    }
+                }
+            }
+            Inst::Work(n) => self.pending.push_back(Event::Work(n)),
+        }
+        true
+    }
+}
+
+impl ProgramSource for Interpreter {
+    fn next_event(&mut self) -> Option<Event> {
+        loop {
+            if let Some(e) = self.pending.pop_front() {
+                return Some(e);
+            }
+            if self.finished {
+                return None;
+            }
+            if self.refs_emitted == 0 && self.stack.is_empty() && self.ip == 0 {
+                // First event of the run: entering the entry procedure.
+                self.pending.push_back(Event::Enter(ProcId(0)));
+            }
+            if !self.step() {
+                self.finished = true;
+                // Close the entry activation if it is still open.
+                self.pending.push_back(Event::Exit(self.proc));
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(i: u8) -> Reg {
+        Reg(i)
+    }
+
+    /// A procedure that walks a linked list from r0 until the next
+    /// pointer is zero, loading each node.
+    fn list_walker() -> ProcBody {
+        let mut asm = Asm::new("walk");
+        let top = asm.label();
+        asm.load(r(1), r(0), 0); // r1 = node.next
+        asm.work(2);
+        asm.add_imm(r(0), r(1), 0); // r0 = r1
+        asm.bnz(r(0), top);
+        asm.ret();
+        asm.finish()
+    }
+
+    #[test]
+    fn assembler_builds_and_validates() {
+        let body = list_walker();
+        assert_eq!(body.name(), "walk");
+        assert_eq!(body.insts().len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "never bound")]
+    fn assembler_rejects_unbound_forward_labels() {
+        let mut asm = Asm::new("bad");
+        let exit = asm.forward();
+        asm.jmp(exit);
+        let _ = asm.finish();
+    }
+
+    #[test]
+    fn forward_branches_skip_ahead_without_back_edges() {
+        let mut asm = Asm::new("main");
+        asm.mov_imm(r(0), 1);
+        let exit = asm.forward();
+        asm.bnz(r(0), exit); // taken forward branch: no back-edge
+        asm.load(r(1), r(0), 0); // skipped
+        asm.bind(exit);
+        asm.load(r(2), r(0), 0x40); // executed, burns the fuel
+        asm.ret();
+        let mut interp = Interpreter::new("t", vec![asm.finish()], HeapImage::new(), 1);
+        let events = run(&mut interp);
+        assert!(!events.iter().any(|e| matches!(e, Event::BackEdge(_))),
+            "forward branch produced a back-edge");
+        let loads: Vec<u64> = events.iter().filter_map(|e| match e {
+            Event::Access(r, _) => Some(r.addr.0),
+            _ => None,
+        }).collect();
+        assert_eq!(loads, vec![0x41]); // only the post-label load ran
+    }
+
+    #[test]
+    fn heap_image_links_lists() {
+        let mut heap = HeapImage::new();
+        let head = heap.link_list(&[0x100, 0x300, 0x200]);
+        assert_eq!(head, 0x100);
+        assert_eq!(heap.read(0x100), 0x300);
+        assert_eq!(heap.read(0x300), 0x200);
+        assert_eq!(heap.read(0x200), 0);
+    }
+
+    fn driver_plus_walker(head: u64) -> Vec<ProcBody> {
+        // proc0: set r0 = head, call walk, ret (then restarts).
+        let mut main = Asm::new("main");
+        main.mov_imm(r(0), head as i64);
+        main.call(ProcId(1));
+        main.ret();
+        vec![main.finish(), list_walker()]
+    }
+
+    fn run(interp: &mut Interpreter) -> Vec<Event> {
+        let mut events = Vec::new();
+        while let Some(e) = interp.next_event() {
+            events.push(e);
+        }
+        events
+    }
+
+    #[test]
+    fn interpreter_walks_a_list() {
+        let mut heap = HeapImage::new();
+        let head = heap.link_list(&[0x100, 0x340, 0x280, 0x1c0]);
+        let mut interp = Interpreter::new("t", driver_plus_walker(head), heap, 9);
+        let events = run(&mut interp);
+        assert!(interp.error().is_none(), "{:?}", interp.error());
+        // The loads hit the list nodes in order, repeatedly.
+        let addrs: Vec<u64> = events
+            .iter()
+            .filter_map(|e| match e {
+                Event::Access(r, AccessKind::Load) => Some(r.addr.0),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(&addrs[..4], &[0x100, 0x340, 0x280, 0x1c0]);
+        // The program restarted and walked again.
+        assert_eq!(&addrs[4..8], &[0x100, 0x340, 0x280, 0x1c0]);
+    }
+
+    #[test]
+    fn events_are_well_formed() {
+        let mut heap = HeapImage::new();
+        let head = heap.link_list(&[0x100, 0x340, 0x280]);
+        let mut interp = Interpreter::new("t", driver_plus_walker(head), heap, 50);
+        let events = run(&mut interp);
+        let mut depth = 0i64;
+        let mut back_edges = 0;
+        for e in &events {
+            match e {
+                Event::Enter(_) => depth += 1,
+                Event::Exit(_) => depth -= 1,
+                Event::BackEdge(_) => back_edges += 1,
+                Event::Access(..) | Event::Work(_) | Event::Prefetch(_) => {
+                    assert!(depth > 0, "{e:?} outside proc");
+                }
+                Event::Thread(_) => unreachable!("single-threaded interpreter"),
+            }
+            assert!(depth >= 0, "negative depth");
+        }
+        assert!(back_edges > 0, "loop produced no back-edges");
+    }
+
+    #[test]
+    fn loads_carry_the_loading_instructions_pc() {
+        let mut heap = HeapImage::new();
+        let head = heap.link_list(&[0x100, 0x340]);
+        let mut interp = Interpreter::new("t", driver_plus_walker(head), heap, 4);
+        let procedures = interp.procedures();
+        // walk (proc 1) has exactly one load at instruction 0.
+        assert_eq!(procedures[1].pcs(), &[pc_of(ProcId(1), 0)]);
+        let events = run(&mut interp);
+        for e in events {
+            if let Event::Access(r, _) = e {
+                assert_eq!(r.pc, pc_of(ProcId(1), 0));
+            }
+        }
+    }
+
+    #[test]
+    fn alu_ops_compute() {
+        let mut asm = Asm::new("main");
+        asm.mov_imm(r(0), 6);
+        asm.mov_imm(r(1), 7);
+        asm.mul(r(2), r(0), r(1)); // 42
+        asm.shr(r(3), r(2), 1); // 21
+        asm.and_imm(r(4), r(3), 0xF); // 5
+        asm.load(r(5), r(0), 0x100); // burn the fuel
+        asm.ret();
+        // One trailing load burns the single unit of fuel so the
+        // program stops after exactly one iteration.
+        let mut interp = Interpreter::new("t", vec![asm.finish()], HeapImage::new(), 1);
+        let _ = run(&mut interp);
+        assert_eq!(interp.regs()[2], 42);
+        assert_eq!(interp.regs()[3], 21);
+        assert_eq!(interp.regs()[4], 5);
+    }
+
+    #[test]
+    fn stores_mutate_the_heap() {
+        let mut asm = Asm::new("main");
+        asm.mov_imm(r(0), 0x500);
+        asm.mov_imm(r(1), 42);
+        asm.store(r(1), r(0), 8);
+        asm.load(r(2), r(0), 8);
+        asm.ret();
+        let mut interp = Interpreter::new("t", vec![asm.finish()], HeapImage::new(), 2);
+        let _ = run(&mut interp);
+        assert_eq!(interp.heap_read(0x508), 42);
+        assert_eq!(interp.regs()[2], 42);
+    }
+
+    #[test]
+    fn bad_call_is_surfaced() {
+        let mut asm = Asm::new("main");
+        asm.call(ProcId(7));
+        asm.ret();
+        let mut interp = Interpreter::new("t", vec![asm.finish()], HeapImage::new(), 10);
+        let _ = run(&mut interp);
+        assert_eq!(interp.error(), Some(&ExecError::BadCall(ProcId(7))));
+    }
+
+    #[test]
+    fn negative_address_is_surfaced() {
+        let mut asm = Asm::new("main");
+        asm.mov_imm(r(0), -64);
+        asm.load(r(1), r(0), 0);
+        asm.ret();
+        let mut interp = Interpreter::new("t", vec![asm.finish()], HeapImage::new(), 10);
+        let _ = run(&mut interp);
+        assert_eq!(interp.error(), Some(&ExecError::NegativeAddress(-64)));
+    }
+
+    #[test]
+    fn fell_off_end_is_surfaced() {
+        let asm = Asm::new("main"); // empty body, no Ret
+        let mut interp = Interpreter::new("t", vec![asm.finish()], HeapImage::new(), 10);
+        let _ = run(&mut interp);
+        assert_eq!(interp.error(), Some(&ExecError::FellOffEnd(ProcId(0))));
+    }
+
+    #[test]
+    fn prefetch_instruction_emits_hint_events() {
+        let mut asm = Asm::new("main");
+        asm.mov_imm(r(0), 0x400);
+        asm.prefetch(r(0), 64); // valid hint
+        asm.mov_imm(r(1), -8);
+        asm.prefetch(r(1), 0); // negative address: dropped as work
+        asm.load(r(2), r(0), 0); // burn fuel
+        asm.ret();
+        let mut interp = Interpreter::new("t", vec![asm.finish()], HeapImage::new(), 1);
+        let events = run(&mut interp);
+        let hints: Vec<u64> = events
+            .iter()
+            .filter_map(|e| match e {
+                Event::Prefetch(a) => Some(a.0),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(hints, vec![0x440]);
+        assert!(interp.error().is_none());
+    }
+
+    #[test]
+    fn deterministic() {
+        let mk = || {
+            let mut heap = HeapImage::new();
+            let head = heap.link_list(&[0x100, 0x340, 0x280]);
+            Interpreter::new("t", driver_plus_walker(head), heap, 100)
+        };
+        assert_eq!(run(&mut mk()), run(&mut mk()));
+    }
+
+    #[test]
+    fn fuel_bounds_the_run() {
+        let mut heap = HeapImage::new();
+        let head = heap.link_list(&[0x100, 0x340, 0x280]);
+        let mut interp = Interpreter::new("t", driver_plus_walker(head), heap, 17);
+        let events = run(&mut interp);
+        let refs = events
+            .iter()
+            .filter(|e| matches!(e, Event::Access(..)))
+            .count();
+        assert_eq!(refs, 17);
+    }
+}

@@ -1,0 +1,156 @@
+//! Property tests for the binary-editing substrate: arbitrary sequences
+//! of edit / de-optimize operations maintain the image's invariants and
+//! the stale-activation visibility rules.
+
+use hds_trace::Pc;
+use hds_vulcan::{Image, ProcId, Procedure};
+use proptest::prelude::*;
+
+/// A random image with `n` procedures of 1–4 pcs each.
+fn image_with(n: usize) -> Image<u32> {
+    let mut procs = Vec::new();
+    for i in 0..n {
+        let pcs: Vec<Pc> = (0..=(i % 4)).map(|j| Pc((i * 100 + j) as u32)).collect();
+        procs.push(Procedure::new(format!("p{i}"), pcs));
+    }
+    Image::new(procs)
+}
+
+#[derive(Clone, Debug)]
+enum Op {
+    /// Commit an edit injecting payloads at the pcs of these procedures.
+    Edit(Vec<usize>),
+    /// Abort an edit after staging at these procedures.
+    Abort(Vec<usize>),
+    /// De-optimize.
+    Deopt,
+}
+
+fn op_strategy(n_procs: usize) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        proptest::collection::vec(0..n_procs, 0..4).prop_map(Op::Edit),
+        proptest::collection::vec(0..n_procs, 0..4).prop_map(Op::Abort),
+        Just(Op::Deopt),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn edit_sequences_maintain_invariants(
+        ops in proptest::collection::vec(op_strategy(6), 0..24),
+    ) {
+        let n_procs = 6;
+        let mut image = image_with(n_procs);
+        // Shadow model: the currently injected payload per pc, plus the
+        // epoch of the live patch set.
+        let mut live: std::collections::HashMap<Pc, u32> = std::collections::HashMap::new();
+        let mut payload_counter = 0u32;
+        let mut last_epoch = image.epoch();
+
+        for op in &ops {
+            match op {
+                Op::Edit(procs) => {
+                    let mut edit = image.edit();
+                    let mut staged = std::collections::HashMap::new();
+                    for &p in procs {
+                        let pc = Pc((p * 100) as u32); // first pc of proc p
+                        payload_counter += 1;
+                        if let std::collections::hash_map::Entry::Vacant(slot) =
+                            staged.entry(pc)
+                        {
+                            edit.inject(pc, payload_counter).unwrap();
+                            slot.insert(payload_counter);
+                        } else {
+                            prop_assert!(edit.inject(pc, payload_counter).is_err());
+                        }
+                    }
+                    let report = edit.commit();
+                    // A commit always replaces the whole patch set.
+                    live = staged;
+                    let unique_procs: std::collections::HashSet<_> =
+                        live.keys().map(|pc| pc.0 / 100).collect();
+                    prop_assert_eq!(report.procedures_modified, unique_procs.len());
+                    prop_assert!(image.epoch() > last_epoch, "commit must bump the epoch");
+                    last_epoch = image.epoch();
+                }
+                Op::Abort(procs) => {
+                    let mut edit = image.edit();
+                    for &p in procs {
+                        let _ = edit.inject(Pc((p * 100) as u32), 0);
+                    }
+                    edit.abort();
+                    prop_assert_eq!(image.epoch(), last_epoch, "abort must not bump the epoch");
+                }
+                Op::Deopt => {
+                    let removed = image.deoptimize();
+                    prop_assert_eq!(removed, image_patched_count(&live));
+                    if removed > 0 {
+                        prop_assert!(image.epoch() > last_epoch);
+                        last_epoch = image.epoch();
+                    }
+                    live.clear();
+                }
+            }
+            // Visibility: current-epoch activations see exactly the live
+            // payloads; epoch-0 (stale) activations see nothing unless
+            // the image is still at epoch 0.
+            for p in 0..n_procs {
+                for j in 0..=(p % 4) {
+                    let pc = Pc((p * 100 + j) as u32);
+                    prop_assert_eq!(
+                        image.injected_at(pc, image.epoch()),
+                        live.get(&pc),
+                        "live view wrong at {}", pc
+                    );
+                    if image.epoch() > 0 {
+                        prop_assert_eq!(image.injected_at(pc, 0), None,
+                            "stale activation saw a patch at {}", pc);
+                    }
+                }
+            }
+            // patched_procs agrees with the live set.
+            let expect: std::collections::HashSet<ProcId> = live
+                .keys()
+                .map(|pc| ProcId(pc.0 / 100))
+                .collect();
+            let got: std::collections::HashSet<ProcId> =
+                image.patched_procs().into_iter().collect();
+            prop_assert_eq!(got, expect);
+        }
+    }
+}
+
+fn image_patched_count(live: &std::collections::HashMap<Pc, u32>) -> usize {
+    live.keys()
+        .map(|pc| pc.0 / 100)
+        .collect::<std::collections::HashSet<_>>()
+        .len()
+}
+
+/// Activations entered at intermediate epochs see the patch set that was
+/// live at their entry — not earlier ones, not later ones.
+#[test]
+fn epoch_visibility_is_monotone() {
+    let mut image = image_with(3);
+    // Epoch 1: patch proc 0.
+    let mut edit = image.edit();
+    edit.inject(Pc(0), 10).unwrap();
+    edit.commit();
+    let epoch1 = image.epoch();
+    // Epoch 2: patch proc 1 instead.
+    let mut edit = image.edit();
+    edit.inject(Pc(100), 20).unwrap();
+    edit.commit();
+    let epoch2 = image.epoch();
+
+    // An activation from epoch1 entered before the *current* patch of
+    // proc 1, so it must not see it…
+    assert_eq!(image.injected_at(Pc(100), epoch1), None);
+    // …and proc 0's patch no longer exists at all.
+    assert_eq!(image.injected_at(Pc(0), epoch1), None);
+    assert_eq!(image.injected_at(Pc(0), epoch2), None);
+    // Fresh activations see the live patch.
+    assert_eq!(image.injected_at(Pc(100), epoch2), Some(&20));
+}

@@ -1,0 +1,411 @@
+//! `boxsim`: spheres bouncing in a box — an actual (small, integer-exact)
+//! simulation, not a trace generator.
+//!
+//! The paper uses "boxsim … to simulate 1000 bouncing spheres" (§4.1).
+//! This model keeps the essential memory behaviour of such a code:
+//!
+//! * spheres live in heap records (two cache blocks each: position data
+//!   and velocity data);
+//! * a uniform grid partitions the box; each cell keeps a linked list of
+//!   its spheres, and each simulation step walks every cell's list —
+//!   producing per-cell reference sequences that repeat step after step
+//!   (the hot data streams) until spheres migrate between cells;
+//! * migrations (bounces and crossings) slowly reshuffle the lists,
+//!   giving the program genuine phase drift that a dynamic prefetcher
+//!   must track.
+//!
+//! All physics is integer fixed-point, so the simulation is bit-exact
+//! deterministic.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use hds_trace::{AccessKind, Addr, DataRef, Pc};
+use hds_vulcan::{Event, ProcId, Procedure, ProgramSource};
+
+use crate::Workload;
+
+const BLOCK: u64 = 32;
+/// Fixed-point scale (16.16).
+const FP: i64 = 1 << 16;
+
+/// Configuration for [`BoxSim`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BoxSimConfig {
+    /// Number of spheres (the paper simulates 1000).
+    pub spheres: usize,
+    /// Grid cells per side (cells = side^2; 2-D box keeps lists long).
+    pub grid_side: usize,
+    /// Total data references to emit.
+    pub total_refs: u64,
+    /// RNG seed for initial positions/velocities.
+    pub seed: u64,
+    /// References between loop back-edge check sites.
+    pub refs_per_check: u32,
+}
+
+impl Default for BoxSimConfig {
+    fn default() -> Self {
+        BoxSimConfig {
+            spheres: 1000,
+            grid_side: 8,
+            total_refs: 2_000_000,
+            seed: 0xB0C5,
+            refs_per_check: 8,
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Sphere {
+    /// Position in fixed-point box coordinates.
+    x: i64,
+    y: i64,
+    /// Velocity.
+    vx: i64,
+    vy: i64,
+    /// Heap block of the sphere's position record; velocity record is the
+    /// next block.
+    pos_block: u64,
+}
+
+/// The bouncing-spheres simulation. See the module docs.
+#[derive(Clone, Debug)]
+pub struct BoxSim {
+    config: BoxSimConfig,
+    spheres: Vec<Sphere>,
+    /// Per-cell sphere index lists.
+    cells: Vec<Vec<usize>>,
+    /// Heap block of each cell's header.
+    cell_blocks: Vec<u64>,
+    procs: Vec<Procedure>,
+    pc_cell_header: Pc,
+    pc_sphere_pos: [Pc; 4],
+    pc_sphere_vel: [Pc; 4],
+    pc_sphere_store: [Pc; 4],
+    emitted: u64,
+    until_check: u32,
+    pending: std::collections::VecDeque<Event>,
+    /// Next cell to simulate within the current step.
+    next_cell: usize,
+    finished: bool,
+}
+
+impl BoxSim {
+    /// Initialises the box with randomly placed spheres.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a degenerate configuration (no spheres or cells).
+    #[must_use]
+    pub fn new(config: BoxSimConfig) -> Self {
+        assert!(config.spheres > 0, "need at least one sphere");
+        assert!(config.grid_side > 0, "need at least one cell");
+        let mut rng = SmallRng::seed_from_u64(config.seed);
+        let side = config.grid_side as i64;
+        let box_size = side * FP;
+        let cell_count = config.grid_side * config.grid_side;
+
+        // Heap layout: cell headers first, then sphere records (2 blocks
+        // each), deliberately shuffled so traversal order is non-
+        // sequential in memory (this is why Seq-pref pollutes on boxsim).
+        let mut sphere_blocks: Vec<u64> = (0..config.spheres as u64)
+            .map(|i| 128 + cell_count as u64 + i * 2)
+            .collect();
+        for i in (1..sphere_blocks.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            sphere_blocks.swap(i, j);
+        }
+
+        let mut spheres = Vec::with_capacity(config.spheres);
+        for &pos_block in sphere_blocks.iter() {
+            spheres.push(Sphere {
+                x: rng.gen_range(0..box_size),
+                y: rng.gen_range(0..box_size),
+                vx: rng.gen_range(-FP / 768..FP / 768),
+                vy: rng.gen_range(-FP / 768..FP / 768),
+                pos_block,
+            });
+        }
+        let cell_blocks: Vec<u64> = (0..cell_count as u64).map(|i| 128 + i).collect();
+        let mut cells = vec![Vec::new(); cell_count];
+        for (i, s) in spheres.iter().enumerate() {
+            cells[Self::cell_of(s, side)].push(i);
+        }
+
+        // One procedure per activity; the integration loop is 4x
+        // unrolled, as a compiler would emit it, so each activity has
+        // four pc variants selected by loop position.
+        let pc_cell_header = Pc(1016);
+        let pc_sphere_pos = [Pc(1020), Pc(1032), Pc(1044), Pc(1056)];
+        let pc_sphere_vel = [Pc(1024), Pc(1036), Pc(1048), Pc(1060)];
+        let pc_sphere_store = [Pc(1028), Pc(1040), Pc(1052), Pc(1064)];
+        let mut integrate_pcs = Vec::new();
+        for k in 0..4 {
+            integrate_pcs.push(pc_sphere_pos[k]);
+            integrate_pcs.push(pc_sphere_vel[k]);
+            integrate_pcs.push(pc_sphere_store[k]);
+        }
+        let procs = vec![
+            Procedure::new("step_cells", vec![pc_cell_header]),
+            Procedure::new("integrate_sphere", integrate_pcs),
+        ];
+
+        BoxSim {
+            until_check: config.refs_per_check,
+            config,
+            spheres,
+            cells,
+            cell_blocks,
+            procs,
+            pc_cell_header,
+            pc_sphere_pos,
+            pc_sphere_vel,
+            pc_sphere_store,
+            emitted: 0,
+            pending: std::collections::VecDeque::new(),
+            next_cell: 0,
+            finished: false,
+        }
+    }
+
+    fn cell_of(s: &Sphere, side: i64) -> usize {
+        let cx = (s.x / FP).clamp(0, side - 1);
+        let cy = (s.y / FP).clamp(0, side - 1);
+        (cy * side + cx) as usize
+    }
+
+    /// Current cell occupancy (diagnostics / tests).
+    #[must_use]
+    pub fn cell_sizes(&self) -> Vec<usize> {
+        self.cells.iter().map(Vec::len).collect()
+    }
+
+    fn push_ref(&mut self, pc: Pc, block: u64, kind: AccessKind) {
+        if self.until_check == 0 {
+            let proc = if pc == self.pc_cell_header {
+                ProcId(0)
+            } else {
+                ProcId(1)
+            };
+            self.pending.push_back(Event::BackEdge(proc));
+            self.until_check = self.config.refs_per_check;
+        }
+        self.until_check -= 1;
+        self.pending
+            .push_back(Event::Access(DataRef::new(pc, Addr(block * BLOCK)), kind));
+    }
+
+    /// Simulates one cell: walk its list, integrate each sphere, handle
+    /// wall bounces, and migrate crossers.
+    fn simulate_cell(&mut self, cell: usize) {
+        let side = self.config.grid_side as i64;
+        let box_size = side * FP;
+        self.pending.push_back(Event::Enter(ProcId(0)));
+        self.push_ref(self.pc_cell_header, self.cell_blocks[cell], AccessKind::Load);
+        let members = self.cells[cell].clone();
+        self.pending.push_back(Event::Enter(ProcId(1)));
+        let mut migrated: Vec<(usize, usize)> = Vec::new();
+        for (k, &i) in members.iter().enumerate() {
+            // Load position and velocity records, store updated position.
+            // The pc variant follows the unrolled loop position.
+            let v = k % 4;
+            let pos_block = self.spheres[i].pos_block;
+            self.push_ref(self.pc_sphere_pos[v], pos_block, AccessKind::Load);
+            self.pending.push_back(Event::Work(4));
+            self.push_ref(self.pc_sphere_vel[v], pos_block + 1, AccessKind::Load);
+            self.pending.push_back(Event::Work(6));
+            self.push_ref(self.pc_sphere_store[v], pos_block, AccessKind::Store);
+
+            let s = &mut self.spheres[i];
+            s.x += s.vx;
+            s.y += s.vy;
+            // Bounce off the walls.
+            if s.x < 0 {
+                s.x = -s.x;
+                s.vx = -s.vx;
+            }
+            if s.x >= box_size {
+                s.x = 2 * (box_size - 1) - s.x;
+                s.vx = -s.vx;
+            }
+            if s.y < 0 {
+                s.y = -s.y;
+                s.vy = -s.vy;
+            }
+            if s.y >= box_size {
+                s.y = 2 * (box_size - 1) - s.y;
+                s.vy = -s.vy;
+            }
+            let new_cell = Self::cell_of(s, side);
+            if new_cell != cell {
+                migrated.push((i, new_cell));
+            }
+        }
+        self.pending.push_back(Event::Exit(ProcId(1)));
+        // Apply migrations (list removals/appends — the phase drift).
+        for (i, new_cell) in migrated {
+            if let Some(pos) = self.cells[cell].iter().position(|&x| x == i) {
+                self.cells[cell].remove(pos);
+            }
+            self.cells[new_cell].push(i);
+        }
+        self.pending.push_back(Event::Exit(ProcId(0)));
+    }
+}
+
+impl ProgramSource for BoxSim {
+    fn next_event(&mut self) -> Option<Event> {
+        loop {
+            if let Some(e) = self.pending.pop_front() {
+                if matches!(e, Event::Access(..)) {
+                    self.emitted += 1;
+                }
+                return Some(e);
+            }
+            if self.finished || self.emitted >= self.config.total_refs {
+                self.finished = true;
+                return None;
+            }
+            let cell = self.next_cell;
+            self.next_cell = (self.next_cell + 1) % self.cells.len();
+            self.simulate_cell(cell);
+        }
+    }
+
+    fn name(&self) -> &str {
+        "boxsim"
+    }
+}
+
+impl Workload for BoxSim {
+    fn procedures(&self) -> Vec<Procedure> {
+        self.procs.clone()
+    }
+
+    fn planned_refs(&self) -> u64 {
+        self.config.total_refs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> BoxSimConfig {
+        BoxSimConfig {
+            spheres: 60,
+            grid_side: 4,
+            total_refs: 20_000,
+            ..BoxSimConfig::default()
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let drain = |mut b: BoxSim| {
+            let mut v = Vec::new();
+            while let Some(e) = b.next_event() {
+                v.push(e);
+            }
+            v
+        };
+        assert_eq!(drain(BoxSim::new(small())), drain(BoxSim::new(small())));
+    }
+
+    #[test]
+    fn spheres_conserved_across_migrations() {
+        let mut b = BoxSim::new(small());
+        for _ in 0..50_000 {
+            if b.next_event().is_none() {
+                break;
+            }
+        }
+        let total: usize = b.cell_sizes().iter().sum();
+        assert_eq!(total, 60, "spheres lost or duplicated by migration");
+    }
+
+    #[test]
+    fn cell_walks_repeat_as_streams() {
+        // With few migrations early on, consecutive steps access each
+        // cell's spheres in the same order: repeated (pc, addr) sequences.
+        let mut b = BoxSim::new(small());
+        let mut refs = Vec::new();
+        while refs.len() < 12_000 {
+            match b.next_event() {
+                Some(Event::Access(r, _)) => refs.push(r),
+                Some(_) => {}
+                None => break,
+            }
+        }
+        // Find a per-sphere triple (pos, vel, store) and count its
+        // repetitions.
+        let needle = &refs[1..4];
+        let count = refs
+            .windows(3)
+            .filter(|w| w == &needle)
+            .count();
+        assert!(count >= 3, "cell-walk sequences repeat only {count} times");
+    }
+
+    #[test]
+    fn events_well_formed() {
+        let mut b = BoxSim::new(small());
+        let mut depth = 0i64;
+        let mut refs = 0u64;
+        while let Some(e) = b.next_event() {
+            match e {
+                Event::Enter(_) => depth += 1,
+                Event::Exit(_) => depth -= 1,
+                Event::Access(..) => {
+                    refs += 1;
+                    assert!(depth > 0);
+                }
+                _ => {}
+            }
+            assert!(depth >= 0);
+        }
+        assert_eq!(depth, 0);
+        assert!(refs >= 20_000);
+    }
+
+    #[test]
+    fn sphere_layout_is_shuffled() {
+        let b = BoxSim::new(BoxSimConfig {
+            spheres: 100,
+            ..small()
+        });
+        let mut ascending = 0;
+        for pair in b.spheres.windows(2) {
+            if pair[1].pos_block > pair[0].pos_block {
+                ascending += 1;
+            }
+        }
+        // A shuffled layout is nowhere near sorted.
+        assert!(ascending < 75, "layout suspiciously sequential: {ascending}/99");
+    }
+
+    #[test]
+    fn positions_stay_in_box() {
+        let mut b = BoxSim::new(small());
+        for _ in 0..100_000 {
+            if b.next_event().is_none() {
+                break;
+            }
+        }
+        let box_size = 4 * FP;
+        for s in &b.spheres {
+            assert!(s.x >= 0 && s.x < box_size, "x out of box: {}", s.x);
+            assert!(s.y >= 0 && s.y < box_size, "y out of box: {}", s.y);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sphere")]
+    fn zero_spheres_rejected() {
+        let _ = BoxSim::new(BoxSimConfig {
+            spheres: 0,
+            ..BoxSimConfig::default()
+        });
+    }
+}

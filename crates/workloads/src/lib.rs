@@ -1,0 +1,49 @@
+//! Synthetic benchmark models of the paper's evaluation programs.
+//!
+//! The paper evaluates on "several of the memory-performance-limited
+//! SPECint2000 benchmarks, and `boxsim`, a graphics application that
+//! simulates spheres bouncing in a box" (§4.1), run with their largest
+//! (ref) inputs. Those binaries and inputs are not reproducible here, so
+//! this crate models each benchmark's *memory behaviour* — the only thing
+//! the prefetching scheme can see — as a deterministic event-stream
+//! generator:
+//!
+//! * [`SyntheticWorkload`] — a parameterised pointer-program model:
+//!   a set of heap-allocated *hot traversals* (linked structures whose
+//!   walk emits a fixed `(pc, addr)` sequence — the hot data streams),
+//!   mixed with noise accesses over a large working set, interleaved
+//!   compute, procedure call/loop structure, and optional phase shifts.
+//! * [`BoxSim`] — an actual little physics simulation of spheres bouncing
+//!   in a gridded box (cell lists walked each step), the paper's sixth
+//!   benchmark with its stated 1000 spheres.
+//! * [`suite`] — the six configured benchmarks with per-benchmark
+//!   parameters chosen to match each program's published memory character
+//!   (e.g. `parser`'s hot streams are *sequentially allocated*, which is
+//!   why Seq-pref helps it and only it, §4.3).
+//!
+//! Everything is seeded and deterministic: "executions of deterministic
+//! benchmarks are repeatable, which helps testing" (§2.2).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod boxsim;
+mod suite;
+mod synthetic;
+
+pub use boxsim::{BoxSim, BoxSimConfig};
+pub use suite::{benchmark, suite, Benchmark, Scale};
+pub use synthetic::{SyntheticConfig, SyntheticWorkload};
+
+use hds_vulcan::{ProgramSource, Procedure};
+
+/// A benchmark program: an event source plus the static procedure list
+/// needed to build its editable [`hds_vulcan::Image`].
+pub trait Workload: ProgramSource {
+    /// The procedures of the simulated binary.
+    fn procedures(&self) -> Vec<Procedure>;
+
+    /// Total data references this workload will emit (for progress and
+    /// experiment budgeting).
+    fn planned_refs(&self) -> u64;
+}

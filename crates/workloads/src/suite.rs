@@ -1,0 +1,284 @@
+//! The six configured benchmarks of the paper's evaluation.
+//!
+//! Per-benchmark parameters are chosen to match each program's published
+//! memory character and the paper's Table 2 (hot stream counts,
+//! procedures touched) and §4.3 commentary (parser's sequentially
+//! allocated streams). Absolute run lengths are scaled to simulation
+//! budgets — `Scale` picks how far; the *relative* lengths preserve the
+//! ordering of Table 2's optimization-cycle counts
+//! (twolf > mcf > vpr ≈ boxsim > parser > vortex).
+
+use crate::boxsim::{BoxSim, BoxSimConfig};
+use crate::synthetic::{SyntheticConfig, SyntheticWorkload};
+use crate::Workload;
+
+/// The benchmarks of the evaluation (§4.1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Benchmark {
+    /// SPECint2000 175.vpr: FPGA placement and routing — graph/netlist
+    /// traversals with long, highly regular hot streams. The paper's
+    /// biggest winner (19%).
+    Vpr,
+    /// SPECint2000 181.mcf: network simplex — relentless pointer chasing
+    /// over arc/node lists, large working set.
+    Mcf,
+    /// SPECint2000 300.twolf: standard-cell placement — many smaller
+    /// streams, frequent phase changes (most optimization cycles in
+    /// Table 2).
+    Twolf,
+    /// SPECint2000 197.parser: link grammar parser — dictionary linked
+    /// lists that happen to be *sequentially allocated*, the one program
+    /// Seq-pref helps (§4.3).
+    Parser,
+    /// SPECint2000 255.vortex: OO database — modest stream coverage, the
+    /// paper's smallest win (5%).
+    Vortex,
+    /// boxsim: 1000 spheres bouncing in a box (§4.1).
+    Boxsim,
+}
+
+impl Benchmark {
+    /// All six, in the paper's presentation order.
+    pub const ALL: [Benchmark; 6] = [
+        Benchmark::Vpr,
+        Benchmark::Mcf,
+        Benchmark::Twolf,
+        Benchmark::Parser,
+        Benchmark::Vortex,
+        Benchmark::Boxsim,
+    ];
+
+    /// The benchmark's display name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Benchmark::Vpr => "vpr",
+            Benchmark::Mcf => "mcf",
+            Benchmark::Twolf => "twolf",
+            Benchmark::Parser => "parser",
+            Benchmark::Vortex => "vortex",
+            Benchmark::Boxsim => "boxsim",
+        }
+    }
+}
+
+impl std::fmt::Display for Benchmark {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// How big to make the runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Scale {
+    /// Tiny runs for unit/integration tests (tens of thousands of refs).
+    Test,
+    /// The experiment scale used by the figure/table binaries (millions
+    /// of refs; several optimization cycles per benchmark).
+    Paper,
+}
+
+impl Scale {
+    /// Multiplier applied to the per-benchmark base length (in units of
+    /// 100k references).
+    fn refs(self, base_100k: u64) -> u64 {
+        match self {
+            Scale::Test => 60_000,
+            Scale::Paper => base_100k * 100_000,
+        }
+    }
+}
+
+/// Builds one configured benchmark.
+#[must_use]
+pub fn benchmark(which: Benchmark, scale: Scale) -> Box<dyn Workload> {
+    match which {
+        // vpr: few large procedures, long regular streams, very high hot
+        // coverage -> the largest prefetching win.
+        Benchmark::Vpr => Box::new(SyntheticWorkload::new(SyntheticConfig {
+            name: "vpr".into(),
+            seed: 0x7001,
+            data_seed: None,
+            total_refs: scale.refs(48),
+            stream_count: 150,
+            hot_core: 44,
+            core_weight: 10,
+            stream_len: (16, 26),
+            hot_fraction: 0.92,
+            noise_blocks: 1 << 17,
+            noise_run: (3, 10),
+            sequential_alloc: false,
+            work_per_ref: (2, 5),
+            proc_count: 7,
+            pcs_per_stream: 10,
+            refs_per_check: 10,
+            shared_entry: true,
+            phase_period: Some(2_400_000),
+            phase_groups: 2,
+        })),
+        // mcf: pointer chasing over a big network; heavy misses, strong
+        // but slightly noisier streams; long run (many cycles).
+        Benchmark::Mcf => Box::new(SyntheticWorkload::new(SyntheticConfig {
+            name: "mcf".into(),
+            seed: 0x7002,
+            data_seed: None,
+            total_refs: scale.refs(96),
+            stream_count: 160,
+            hot_core: 40,
+            core_weight: 12,
+            stream_len: (14, 22),
+            hot_fraction: 0.9,
+            noise_blocks: 1 << 18, // 8 MB: the benchmark's huge arena
+            noise_run: (4, 10),
+            sequential_alloc: false,
+            work_per_ref: (1, 4), // extremely memory-bound
+            proc_count: 6,
+            pcs_per_stream: 9,
+            refs_per_check: 12,
+            shared_entry: true,
+            phase_period: Some(2_000_000),
+            phase_groups: 2,
+        })),
+        // twolf: many small streams, frequent phase changes, smallest
+        // procedures (densest checks -> highest Base overhead).
+        Benchmark::Twolf => Box::new(SyntheticWorkload::new(SyntheticConfig {
+            name: "twolf".into(),
+            seed: 0x7003,
+            data_seed: None,
+            total_refs: scale.refs(144),
+            stream_count: 140,
+            hot_core: 27,
+            core_weight: 8,
+            stream_len: (12, 18),
+            hot_fraction: 0.9,
+            noise_blocks: 1 << 16,
+            noise_run: (4, 10),
+            sequential_alloc: false,
+            work_per_ref: (2, 6),
+            proc_count: 11,
+            pcs_per_stream: 8,
+            refs_per_check: 6,
+            shared_entry: true,
+            phase_period: None,
+            phase_groups: 1,
+        })),
+        // parser: dictionary lists allocated in order -> sequential hot
+        // streams; small run (few cycles in Table 2); dense checks
+        // (parser has the highest check overhead in Figure 11).
+        Benchmark::Parser => Box::new(SyntheticWorkload::new(SyntheticConfig {
+            name: "parser".into(),
+            seed: 0x7004,
+            data_seed: None,
+            total_refs: scale.refs(24),
+            stream_count: 130,
+            hot_core: 22,
+            core_weight: 7,
+            stream_len: (12, 20),
+            hot_fraction: 0.88,
+            noise_blocks: 1 << 16,
+            noise_run: (4, 12),
+            sequential_alloc: true,
+            work_per_ref: (2, 6),
+            proc_count: 9,
+            pcs_per_stream: 8,
+            refs_per_check: 5,
+            shared_entry: true,
+            phase_period: None,
+            phase_groups: 1,
+        })),
+        // vortex: OO database; lowest stream coverage and count -> the
+        // smallest win.
+        Benchmark::Vortex => Box::new(SyntheticWorkload::new(SyntheticConfig {
+            name: "vortex".into(),
+            seed: 0x7005,
+            data_seed: None,
+            total_refs: scale.refs(18),
+            stream_count: 110,
+            hot_core: 15,
+            core_weight: 6,
+            stream_len: (12, 18),
+            hot_fraction: 0.62,
+            noise_blocks: 1 << 17,
+            noise_run: (4, 12),
+            sequential_alloc: false,
+            work_per_ref: (4, 9), // more compute per reference
+            proc_count: 12,
+            pcs_per_stream: 8,
+            refs_per_check: 9,
+            shared_entry: true,
+            phase_period: None,
+            phase_groups: 1,
+        })),
+        Benchmark::Boxsim => Box::new(BoxSim::new(BoxSimConfig {
+            spheres: 1000,
+            grid_side: 8,
+            total_refs: match scale {
+                Scale::Test => 60_000,
+                Scale::Paper => 8_500_000,
+            },
+            seed: 0x7006,
+            refs_per_check: 25,
+        })),
+    }
+}
+
+/// The full six-benchmark suite.
+#[must_use]
+pub fn suite(scale: Scale) -> Vec<Box<dyn Workload>> {
+    Benchmark::ALL
+        .iter()
+        .map(|&b| benchmark(b, scale))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hds_vulcan::Event;
+
+    #[test]
+    fn suite_has_six_named_benchmarks() {
+        let s = suite(Scale::Test);
+        let names: Vec<&str> = s.iter().map(|w| w.name()).collect();
+        assert_eq!(names, vec!["vpr", "mcf", "twolf", "parser", "vortex", "boxsim"]);
+    }
+
+    #[test]
+    fn every_benchmark_emits_events_and_procedures() {
+        for mut w in suite(Scale::Test) {
+            let procs = w.procedures();
+            assert!(!procs.is_empty(), "{} has no procedures", w.name());
+            assert!(w.planned_refs() > 0);
+            let mut refs = 0u64;
+            let mut checks = 0u64;
+            while let Some(e) = w.next_event() {
+                match e {
+                    Event::Access(..) => refs += 1,
+                    Event::Enter(_) | Event::BackEdge(_) => checks += 1,
+                    _ => {}
+                }
+            }
+            assert!(refs >= w.planned_refs(), "{} emitted too few refs", w.name());
+            assert!(checks > 0, "{} has no check sites", w.name());
+        }
+    }
+
+    #[test]
+    fn paper_scale_lengths_preserve_table2_ordering() {
+        // Run lengths drive the optimization-cycle counts; Table 2 orders
+        // them twolf (55) > mcf (36) > boxsim (19) > vpr (17) >
+        // parser (4) > vortex (3).
+        let len = |b| benchmark(b, Scale::Paper).planned_refs();
+        assert!(len(Benchmark::Twolf) > len(Benchmark::Mcf));
+        assert!(len(Benchmark::Mcf) > len(Benchmark::Boxsim));
+        assert!(len(Benchmark::Boxsim) >= len(Benchmark::Vpr));
+        assert!(len(Benchmark::Vpr) > len(Benchmark::Parser));
+        assert!(len(Benchmark::Parser) > len(Benchmark::Vortex));
+    }
+
+    #[test]
+    fn benchmark_display_names() {
+        assert_eq!(Benchmark::Vpr.to_string(), "vpr");
+        assert_eq!(Benchmark::ALL.len(), 6);
+    }
+}

@@ -1,0 +1,707 @@
+//! The parameterised pointer-program model.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use hds_trace::{AccessKind, Addr, DataRef, Pc};
+use hds_vulcan::{Event, ProcId, Procedure, ProgramSource};
+
+use crate::Workload;
+
+/// Cache block size the address generators align to (the paper machine's
+/// 32 bytes).
+const BLOCK: u64 = 32;
+
+/// Parameters of a [`SyntheticWorkload`].
+///
+/// The defaults model a generic pointer-chasing program; the
+/// [`suite`](crate::suite) functions override them per benchmark.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SyntheticConfig {
+    /// Benchmark name for reports.
+    pub name: String,
+    /// RNG seed for the program's *structure* (stream lengths, pc
+    /// layout, weights) — same seed, same "program".
+    pub seed: u64,
+    /// RNG seed for the program's *data* (heap addresses, traversal
+    /// order, noise) — a different `data_seed` with the same `seed`
+    /// models running the same program on a different input, as in the
+    /// paper's stability study \[10\]. Defaults to `seed`.
+    pub data_seed: Option<u64>,
+    /// Total data references to emit.
+    pub total_refs: u64,
+    /// Total number of traversals (structures) the program walks. Only
+    /// a fraction of them are hot enough to cross the 1%-of-trace heat
+    /// threshold; the rest form the long tail that (together with noise)
+    /// creates cache pressure, like the thousands of minor streams real
+    /// programs have.
+    pub stream_count: usize,
+    /// Number of *core* traversals with high pick weight — the streams
+    /// that should end up above the heat threshold (Table 2 reports
+    /// 14–41 detected streams per cycle).
+    pub hot_core: usize,
+    /// Pick weight of core traversals relative to tail traversals
+    /// (weight 1). Higher values concentrate traffic on the detectable
+    /// streams — programs like vpr have very high hot-stream coverage.
+    pub core_weight: u32,
+    /// Stream length range in references (the paper: "15–20 object
+    /// references on average").
+    pub stream_len: (usize, usize),
+    /// Fraction of iterations that walk a hot traversal (the rest are
+    /// noise); prior work attributes ~90% of references to hot streams.
+    pub hot_fraction: f64,
+    /// Noise working-set size in cache blocks (sized well beyond L2 so
+    /// noise misses).
+    pub noise_blocks: u64,
+    /// Length range of one noise scan, in references. Longer scans put
+    /// more eviction pressure on the caches between hot walks.
+    pub noise_run: (usize, usize),
+    /// Are the hot traversals' nodes allocated at sequential addresses
+    /// (parser) or scattered across the heap (everything else)?
+    pub sequential_alloc: bool,
+    /// Plain instructions between consecutive references (min, max) —
+    /// sets how memory-bound the program is.
+    pub work_per_ref: (u32, u32),
+    /// Number of procedures the traversal code is spread over (Table 2
+    /// reports 6–12 procedures modified).
+    pub proc_count: usize,
+    /// Distinct load/store pcs per hot traversal: each traversal is its
+    /// own loop nest with its own instructions, so streams do not share
+    /// pcs (which keeps injected check chains short, as in real code
+    /// where the two head pcs are specific instructions).
+    pub pcs_per_stream: usize,
+    /// References between consecutive check sites (loop back-edges) —
+    /// sets the dynamic-check density and hence the Figure 11 "Base"
+    /// overhead.
+    pub refs_per_check: u32,
+    /// Do traversals of the same procedure share their *first* reference
+    /// (loading the container's head object from a common pc)? This is
+    /// how real structure walks begin, and it is what makes one-element
+    /// prefixes ambiguous: with `headLen = 1` the matcher fires on the
+    /// shared entry reference and must prefetch the union of every
+    /// continuation's tail (§4.3's "prefix that is too short may hurt
+    /// prefetching accuracy").
+    pub shared_entry: bool,
+    /// If set, every `period` references the hot-traversal *selection*
+    /// rotates to a different subset — program phase behaviour, which is
+    /// what makes a dynamic (re-profiling) scheme worthwhile.
+    pub phase_period: Option<u64>,
+    /// Number of distinct phase groups when `phase_period` is set.
+    pub phase_groups: usize,
+}
+
+impl Default for SyntheticConfig {
+    fn default() -> Self {
+        SyntheticConfig {
+            name: "synthetic".to_string(),
+            seed: 0x5EED,
+            data_seed: None,
+            total_refs: 200_000,
+            stream_count: 96,
+            hot_core: 24,
+            core_weight: 10,
+            stream_len: (14, 22),
+            hot_fraction: 0.85,
+            noise_blocks: 1 << 17, // 4 MB
+            noise_run: (3, 10),
+            sequential_alloc: false,
+            work_per_ref: (2, 6),
+            proc_count: 8,
+            pcs_per_stream: 10,
+            refs_per_check: 8,
+            shared_entry: true,
+            phase_period: None,
+            phase_groups: 2,
+        }
+    }
+}
+
+/// One hot traversal: the fixed reference sequence its walk emits.
+#[derive(Clone, Debug)]
+struct Traversal {
+    refs: Vec<DataRef>,
+    /// Procedure whose loop walks this structure.
+    proc: ProcId,
+    /// Relative pick weight (some structures are much hotter).
+    weight: u32,
+    /// Phase group this traversal belongs to.
+    group: usize,
+}
+
+/// The parameterised pointer-program model. See [`SyntheticConfig`].
+///
+/// # Examples
+///
+/// ```
+/// use hds_vulcan::ProgramSource;
+/// use hds_workloads::{SyntheticConfig, SyntheticWorkload, Workload};
+///
+/// let mut w = SyntheticWorkload::new(SyntheticConfig {
+///     total_refs: 1000,
+///     ..SyntheticConfig::default()
+/// });
+/// assert!(!w.procedures().is_empty());
+/// let mut refs = 0;
+/// while let Some(e) = w.next_event() {
+///     if matches!(e, hds_vulcan::Event::Access(..)) {
+///         refs += 1;
+///     }
+/// }
+/// // The source finishes the iteration in progress, so it may overshoot
+/// // the target slightly.
+/// assert!(refs >= 1000);
+/// ```
+#[derive(Clone, Debug)]
+pub struct SyntheticWorkload {
+    config: SyntheticConfig,
+    rng: SmallRng,
+    procs: Vec<Procedure>,
+    traversals: Vec<Traversal>,
+    noise_base: u64,
+    noise_pcs: Vec<Pc>,
+    noise_proc: ProcId,
+    /// References emitted so far.
+    emitted: u64,
+    /// References until the next BackEdge check site.
+    until_check: u32,
+    /// Queue of pending events for the current iteration.
+    pending: std::collections::VecDeque<Event>,
+    /// Current phase group.
+    phase: usize,
+    finished: bool,
+}
+
+impl SyntheticWorkload {
+    /// Builds the heap layout and procedures for a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics on degenerate configurations (no streams, zero-length
+    /// streams, `hot_fraction` outside `[0,1]`).
+    #[must_use]
+    pub fn new(config: SyntheticConfig) -> Self {
+        assert!(config.stream_count > 0, "need at least one stream");
+        assert!(
+            config.hot_core >= 1 && config.hot_core <= config.stream_count,
+            "hot_core must be within 1..=stream_count"
+        );
+        assert!(config.stream_len.0 >= 3, "streams must have at least 3 refs");
+        assert!(config.stream_len.0 <= config.stream_len.1, "bad stream_len range");
+        assert!(
+            (0.0..=1.0).contains(&config.hot_fraction),
+            "hot_fraction must be in [0,1]"
+        );
+        assert!(config.proc_count >= 1 && config.pcs_per_stream >= 2);
+        // Structure (lengths, weights, pc shapes) comes from `seed`; the
+        // heap layout and runtime dynamics come from `data_seed`.
+        let mut structure_rng = SmallRng::seed_from_u64(config.seed);
+        let mut rng = SmallRng::seed_from_u64(config.data_seed.unwrap_or(config.seed));
+
+        // Heap layout. Streams first, then the noise region.
+        let mut next_block: u64 = 64; // leave low memory unused
+        let hot_arena_base = next_block;
+        // Scattered allocations draw from a dedicated arena 4x the hot
+        // footprint so nodes are spread out but stable.
+        let hot_refs_estimate: u64 =
+            (config.stream_count * config.stream_len.1) as u64;
+        let scatter_span = (hot_refs_estimate * 8).max(1024);
+        let mut taken = std::collections::HashSet::new();
+        let mut traversals = Vec::with_capacity(config.stream_count);
+        // One shared "container head" reference per procedure: walks of
+        // any structure owned by that procedure begin by loading it.
+        let entry_blocks: Vec<u64> = (0..config.proc_count as u64).map(|i| 8 + i).collect();
+        for s in 0..config.stream_count {
+            let len = structure_rng.gen_range(config.stream_len.0..=config.stream_len.1);
+            let proc = ProcId((s % config.proc_count) as u32);
+            // Each traversal gets its own pc range inside its procedure:
+            // proc i owns pcs i*100_000 + slot*400 + ...
+            let slot = s / config.proc_count;
+            let pcs: Vec<Pc> = (0..config.pcs_per_stream)
+                .map(|j| Pc((proc.index() * 100_000 + 16 + slot * 400 + j * 4) as u32))
+                .collect();
+            let mut refs = Vec::with_capacity(len);
+            if config.shared_entry {
+                let entry_pc = Pc((proc.index() * 100_000 + 8) as u32);
+                refs.push(DataRef::new(
+                    entry_pc,
+                    Addr(entry_blocks[proc.index()] * BLOCK),
+                ));
+            }
+            let body_len = if config.shared_entry { len - 1 } else { len };
+            for k in 0..body_len {
+                let block = if config.sequential_alloc {
+                    let b = next_block;
+                    next_block += 1;
+                    b
+                } else {
+                    // Scattered: a fresh random block in the arena.
+                    loop {
+                        let b = hot_arena_base + rng.gen_range(0..scatter_span);
+                        if taken.insert(b) {
+                            break b;
+                        }
+                    }
+                };
+                // Traversal loops reuse their own handful of load pcs,
+                // like real list/tree walks.
+                let pc = pcs[k % pcs.len()];
+                refs.push(DataRef::new(pc, Addr(block * BLOCK)));
+            }
+            // Core traversals dominate the traffic (and cross the heat
+            // threshold); the tail shares the rest.
+            let weight = if s < config.hot_core {
+                config.core_weight
+            } else {
+                1
+            };
+            traversals.push(Traversal {
+                refs,
+                proc,
+                weight,
+                // Pair-blocked assignment so phase groups do not
+                // correlate with the round-robin procedure assignment.
+                group: (s / 2) % config.phase_groups.max(1),
+            });
+        }
+        if !config.sequential_alloc {
+            next_block = hot_arena_base + scatter_span;
+        }
+        let noise_base = next_block;
+
+        // Procedures: proc i owns the pcs of the traversals assigned to
+        // it; the last procedure is the noise procedure.
+        let mut procs = Vec::with_capacity(config.proc_count + 1);
+        for i in 0..config.proc_count {
+            let mut pcs: Vec<Pc> = traversals
+                .iter()
+                .filter(|t: &&Traversal| t.proc.index() == i)
+                .flat_map(|t| t.refs.iter().map(|r| r.pc))
+                .collect();
+            pcs.sort_unstable();
+            pcs.dedup();
+            procs.push(Procedure::new(format!("traverse_{i}"), pcs));
+        }
+        let noise_proc = ProcId(config.proc_count as u32);
+        let noise_pcs: Vec<Pc> = (0..6)
+            .map(|j| Pc((config.proc_count * 100_000 + 16 + j * 4) as u32))
+            .collect();
+        procs.push(Procedure::new("noise_scan", noise_pcs.clone()));
+
+        SyntheticWorkload {
+            until_check: config.refs_per_check,
+            rng,
+            procs,
+            traversals,
+            noise_base,
+            noise_pcs,
+            noise_proc,
+            emitted: 0,
+            pending: std::collections::VecDeque::new(),
+            phase: 0,
+            finished: false,
+            config,
+        }
+    }
+
+    /// The configuration.
+    #[must_use]
+    pub fn config(&self) -> &SyntheticConfig {
+        &self.config
+    }
+
+    /// The exact reference sequences of the hot traversals (ground truth
+    /// for tests: the analysis should rediscover these).
+    #[must_use]
+    pub fn hot_traversals(&self) -> Vec<Vec<DataRef>> {
+        self.traversals.iter().map(|t| t.refs.clone()).collect()
+    }
+
+    /// Schedules one program iteration (a procedure activation walking a
+    /// hot structure, or a noise scan) into the pending queue.
+    fn schedule_iteration(&mut self) {
+        // Phase rotation.
+        if let Some(period) = self.config.phase_period {
+            let phase = (self.emitted / period) as usize % self.config.phase_groups.max(1);
+            self.phase = phase;
+        }
+        let hot = self.rng.gen_bool(self.config.hot_fraction);
+        if hot {
+            // Weighted pick among the traversals of the current group
+            // (all groups if no phasing).
+            let candidates: Vec<usize> = self
+                .traversals
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| {
+                    self.config.phase_period.is_none() || t.group == self.phase
+                })
+                .map(|(i, _)| i)
+                .collect();
+            let total_weight: u32 = candidates
+                .iter()
+                .map(|&i| self.traversals[i].weight)
+                .sum();
+            let mut pick = self.rng.gen_range(0..total_weight.max(1));
+            let mut chosen = candidates[0];
+            for &i in &candidates {
+                let w = self.traversals[i].weight;
+                if pick < w {
+                    chosen = i;
+                    break;
+                }
+                pick -= w;
+            }
+            let proc = self.traversals[chosen].proc;
+            let refs = self.traversals[chosen].refs.clone();
+            self.pending.push_back(Event::Enter(proc));
+            for (k, &r) in refs.iter().enumerate() {
+                self.push_work();
+                self.push_ref(r, if k % 7 == 6 { AccessKind::Store } else { AccessKind::Load });
+            }
+            self.pending.push_back(Event::Exit(proc));
+        } else {
+            // Noise: a short scan of random blocks in the big region.
+            let (lo, hi) = self.config.noise_run;
+            let n = self.rng.gen_range(lo..=hi);
+            self.pending.push_back(Event::Enter(self.noise_proc));
+            for _ in 0..n {
+                self.push_work();
+                let block = self.noise_base + self.rng.gen_range(0..self.config.noise_blocks);
+                let pc = self.noise_pcs[self.rng.gen_range(0..self.noise_pcs.len())];
+                self.push_ref(
+                    DataRef::new(pc, Addr(block * BLOCK)),
+                    AccessKind::Load,
+                );
+            }
+            self.pending.push_back(Event::Exit(self.noise_proc));
+        }
+    }
+
+    fn push_work(&mut self) {
+        let (lo, hi) = self.config.work_per_ref;
+        let n = self.rng.gen_range(lo..=hi);
+        if n > 0 {
+            self.pending.push_back(Event::Work(n));
+        }
+    }
+
+    fn push_ref(&mut self, r: DataRef, kind: AccessKind) {
+        // Interleave loop back-edge check sites at the configured density.
+        if self.until_check == 0 {
+            // The back-edge belongs to whichever procedure is on top; the
+            // executor tracks that, we just tag the owning proc of the pc.
+            self.pending.push_back(Event::BackEdge(self.proc_of_pc(r.pc)));
+            self.until_check = self.config.refs_per_check;
+        }
+        self.until_check -= 1;
+        self.pending.push_back(Event::Access(r, kind));
+    }
+
+    fn proc_of_pc(&self, pc: Pc) -> ProcId {
+        ProcId(pc.0 / 100_000)
+    }
+}
+
+impl ProgramSource for SyntheticWorkload {
+    fn next_event(&mut self) -> Option<Event> {
+        loop {
+            if let Some(e) = self.pending.pop_front() {
+                if matches!(e, Event::Access(..)) {
+                    self.emitted += 1;
+                }
+                return Some(e);
+            }
+            if self.finished || self.emitted >= self.config.total_refs {
+                self.finished = true;
+                return None;
+            }
+            self.schedule_iteration();
+        }
+    }
+
+    fn name(&self) -> &str {
+        &self.config.name
+    }
+}
+
+impl Workload for SyntheticWorkload {
+    fn procedures(&self) -> Vec<Procedure> {
+        self.procs.clone()
+    }
+
+    fn planned_refs(&self) -> u64 {
+        self.config.total_refs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn drain(w: &mut SyntheticWorkload) -> Vec<Event> {
+        let mut events = Vec::new();
+        while let Some(e) = w.next_event() {
+            events.push(e);
+        }
+        events
+    }
+
+    fn config(total: u64) -> SyntheticConfig {
+        SyntheticConfig {
+            total_refs: total,
+            ..SyntheticConfig::default()
+        }
+    }
+
+    #[test]
+    fn emits_exactly_total_refs() {
+        let mut w = SyntheticWorkload::new(config(5_000));
+        let events = drain(&mut w);
+        let refs = events
+            .iter()
+            .filter(|e| matches!(e, Event::Access(..)))
+            .count();
+        assert!(refs >= 5_000);
+        // At most one extra iteration's worth of overshoot.
+        assert!(refs < 5_000 + 40);
+        // Exhausted source stays exhausted.
+        assert_eq!(w.next_event(), None);
+    }
+
+    #[test]
+    fn deterministic_streams() {
+        let a = drain(&mut SyntheticWorkload::new(config(3_000)));
+        let b = drain(&mut SyntheticWorkload::new(config(3_000)));
+        assert_eq!(a, b);
+        // Different seed: different stream.
+        let mut c2 = config(3_000);
+        c2.seed = 42;
+        let c = drain(&mut SyntheticWorkload::new(c2));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn enters_and_exits_balance() {
+        let mut w = SyntheticWorkload::new(config(4_000));
+        let mut depth = 0i64;
+        while let Some(e) = w.next_event() {
+            match e {
+                Event::Enter(_) => depth += 1,
+                Event::Exit(_) => depth -= 1,
+                _ => {}
+            }
+            assert!(depth >= 0);
+        }
+        assert_eq!(depth, 0);
+    }
+
+    #[test]
+    fn accesses_only_inside_procedures() {
+        let mut w = SyntheticWorkload::new(config(2_000));
+        let mut depth = 0i64;
+        while let Some(e) = w.next_event() {
+            match e {
+                Event::Enter(_) => depth += 1,
+                Event::Exit(_) => depth -= 1,
+                Event::Access(..) | Event::BackEdge(_) => assert!(depth > 0, "{e:?} outside proc"),
+                Event::Work(_) | Event::Prefetch(_) | Event::Thread(_) => {}
+            }
+        }
+    }
+
+    #[test]
+    fn hot_traversals_repeat_verbatim() {
+        let mut w = SyntheticWorkload::new(config(20_000));
+        let hot = w.hot_traversals();
+        let events = drain(&mut w);
+        let refs: Vec<DataRef> = events
+            .iter()
+            .filter_map(|e| match e {
+                Event::Access(r, _) => Some(*r),
+                _ => None,
+            })
+            .collect();
+        // The hottest traversal occurs many times as a contiguous
+        // subsequence.
+        let needle = &hot[0];
+        let mut count = 0;
+        let mut i = 0;
+        while i + needle.len() <= refs.len() {
+            if refs[i..i + needle.len()] == needle[..] {
+                count += 1;
+                i += needle.len();
+            } else {
+                i += 1;
+            }
+        }
+        assert!(count >= 3, "hot traversal repeated only {count} times");
+    }
+
+    #[test]
+    fn sequential_alloc_produces_adjacent_blocks() {
+        let mut c = config(1_000);
+        c.sequential_alloc = true;
+        let w = SyntheticWorkload::new(c);
+        for t in w.hot_traversals() {
+            // The first reference is the shared container head; the
+            // structure body after it is block-adjacent.
+            for pair in t[1..].windows(2) {
+                let b0 = pair[0].addr.block(BLOCK);
+                let b1 = pair[1].addr.block(BLOCK);
+                assert_eq!(b1, b0 + 1, "sequential alloc must be block-adjacent");
+            }
+        }
+    }
+
+    #[test]
+    fn shared_entry_is_common_within_a_procedure() {
+        let w = SyntheticWorkload::new(config(1_000));
+        let hot = w.hot_traversals();
+        // Streams 0 and proc_count share a procedure, hence an entry ref.
+        let pc = w.config().proc_count;
+        assert_eq!(hot[0][0], hot[pc][0], "same-proc streams share their entry");
+        assert_ne!(hot[0][1], hot[pc][1], "but diverge immediately after");
+        // Different procedures have different entries.
+        assert_ne!(hot[0][0], hot[1][0]);
+    }
+
+    #[test]
+    fn data_seed_changes_addresses_but_not_structure() {
+        let base = SyntheticWorkload::new(config(1_000));
+        let mut other_cfg = config(1_000);
+        other_cfg.data_seed = Some(0xD1FF);
+        let other = SyntheticWorkload::new(other_cfg);
+        let (a, b) = (base.hot_traversals(), other.hot_traversals());
+        assert_eq!(a.len(), b.len());
+        let mut addr_diffs = 0;
+        for (ta, tb) in a.iter().zip(&b) {
+            // Same structure: same length and same pc sequence.
+            assert_eq!(ta.len(), tb.len(), "structure changed with data seed");
+            let pcs_a: Vec<_> = ta.iter().map(|r| r.pc).collect();
+            let pcs_b: Vec<_> = tb.iter().map(|r| r.pc).collect();
+            assert_eq!(pcs_a, pcs_b, "pc layout changed with data seed");
+            // Different input: (mostly) different heap addresses.
+            addr_diffs += ta
+                .iter()
+                .zip(tb)
+                .filter(|(ra, rb)| ra.addr != rb.addr)
+                .count();
+        }
+        assert!(addr_diffs > 0, "data seed had no effect on addresses");
+    }
+
+    #[test]
+    fn shared_entry_can_be_disabled() {
+        let mut c = config(1_000);
+        c.shared_entry = false;
+        let w = SyntheticWorkload::new(c);
+        let hot = w.hot_traversals();
+        let pc = w.config().proc_count;
+        assert_ne!(hot[0][0], hot[pc][0]);
+    }
+
+    #[test]
+    fn scattered_alloc_is_not_sequential() {
+        let w = SyntheticWorkload::new(config(1_000));
+        let mut adjacent = 0;
+        let mut total = 0;
+        for t in w.hot_traversals() {
+            for pair in t.windows(2) {
+                total += 1;
+                if pair[1].addr.block(BLOCK) == pair[0].addr.block(BLOCK) + 1 {
+                    adjacent += 1;
+                }
+            }
+        }
+        assert!(
+            (adjacent as f64) < (total as f64) * 0.1,
+            "scattered layout looks sequential: {adjacent}/{total}"
+        );
+    }
+
+    #[test]
+    fn stream_addresses_are_distinct_blocks() {
+        let w = SyntheticWorkload::new(config(100));
+        let mut blocks = HashSet::new();
+        for t in w.hot_traversals() {
+            // Skip the shared per-procedure entry reference.
+            for r in &t[1..] {
+                assert!(
+                    blocks.insert(r.addr.block(BLOCK)),
+                    "block reused across stream nodes"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn check_sites_at_configured_density() {
+        let mut c = config(8_000);
+        c.refs_per_check = 4;
+        let mut w = SyntheticWorkload::new(c);
+        let events = drain(&mut w);
+        let refs = events.iter().filter(|e| matches!(e, Event::Access(..))).count();
+        let checks = events
+            .iter()
+            .filter(|e| matches!(e, Event::BackEdge(_) | Event::Enter(_)))
+            .count();
+        // BackEdges alone give refs/4; Enters add more.
+        assert!(checks >= refs / 4, "checks {checks} for {refs} refs");
+        assert!(checks <= refs, "implausibly many checks");
+    }
+
+    #[test]
+    fn phase_rotation_changes_active_streams() {
+        let mut c = config(40_000);
+        c.phase_period = Some(10_000);
+        c.phase_groups = 2;
+        c.hot_fraction = 1.0;
+        let mut w = SyntheticWorkload::new(c);
+        let groups: Vec<usize> = w
+            .traversals
+            .iter()
+            .map(|t| t.group)
+            .collect();
+        let hot = w.hot_traversals();
+        let events = drain(&mut w);
+        let refs: Vec<DataRef> = events
+            .iter()
+            .filter_map(|e| match e {
+                Event::Access(r, _) => Some(*r),
+                _ => None,
+            })
+            .collect();
+        // First-phase refs come only from group-0 traversals.
+        let early = &refs[..2_000];
+        let g1_first: HashSet<DataRef> = hot
+            .iter()
+            .zip(&groups)
+            .filter(|(_, &g)| g == 1)
+            .flat_map(|(t, _)| t.iter().copied())
+            .collect();
+        let leaked = early.iter().filter(|r| g1_first.contains(r)).count();
+        assert_eq!(leaked, 0, "group-1 streams active during phase 0");
+    }
+
+    #[test]
+    #[should_panic(expected = "hot_fraction")]
+    fn invalid_hot_fraction_rejected() {
+        let mut c = config(10);
+        c.hot_fraction = 1.5;
+        let _ = SyntheticWorkload::new(c);
+    }
+
+    #[test]
+    fn procedures_cover_all_pcs() {
+        let w = SyntheticWorkload::new(config(100));
+        let procs = w.procedures();
+        let all_pcs: HashSet<Pc> = procs.iter().flat_map(|p| p.pcs().iter().copied()).collect();
+        for t in w.hot_traversals() {
+            for r in &t {
+                assert!(all_pcs.contains(&r.pc), "{} not owned by any proc", r.pc);
+            }
+        }
+        assert_eq!(procs.len(), w.config().proc_count + 1);
+    }
+}

@@ -1,0 +1,181 @@
+//! The full stack on an *actual program*: a pointer-chasing kernel
+//! written in the `hds-vulcan` mini-ISA, interpreted instruction by
+//! instruction, profiled, analyzed, and dynamically prefetched.
+//!
+//! The program keeps 32 singly linked lists of 40 scattered nodes in a
+//! word-addressed heap. Its main loop advances an in-register xorshift*
+//! -style PRNG (kept in memory at address 8), picks a list, loads its
+//! head pointer from a table, and calls `walk`, which chases `next`
+//! pointers until nil. Every walk of list *k* touches the same node
+//! addresses in the same order — a hot data stream the optimizer
+//! discovers from sampled bursts and prefetches past the pointer chase.
+//!
+//! ```sh
+//! cargo run --release --example isa_microbench
+//! ```
+
+use hds::optimizer::{Executor, OptimizerConfig, PrefetchPolicy, RunMode};
+use hds::vulcan::isa::{Asm, HeapImage, Interpreter, Reg};
+use hds::vulcan::ProcId;
+
+const LISTS: u64 = 32;
+const NODES_PER_LIST: u64 = 40;
+const TABLE_BASE: u64 = 0x100;
+const RNG_STATE_ADDR: u64 = 8;
+
+/// Builds the heap: the head-pointer table and the scattered lists.
+fn build_heap() -> HeapImage {
+    let mut heap = HeapImage::new();
+    for k in 0..LISTS {
+        let nodes: Vec<u64> = (0..NODES_PER_LIST)
+            .map(|j| {
+                // Scatter: odd multiplier mod 2^16 is a bijection on the
+                // block index, so nodes never collide.
+                let block = 0x80 + ((k * NODES_PER_LIST + j) * 37) % (1 << 16);
+                block * 32
+            })
+            .collect();
+        let head = heap.link_list(&nodes);
+        heap.write(TABLE_BASE + k * 8, head as i64);
+    }
+    heap.write(RNG_STATE_ADDR, 0x1234_5678);
+    heap
+}
+
+/// Assembles the two-procedure program. With `greedy`, the walk loop
+/// carries compiler-inserted jump-pointer prefetches (Luk & Mowry [22]):
+/// after loading a node's `next` pointer, it software-prefetches the
+/// pointed-to node — one node ahead of the chase.
+fn build_program_with(greedy: bool) -> Vec<hds::vulcan::isa::ProcBody> {
+    let (s, a, idx, slot, head) = (Reg(0), Reg(1), Reg(2), Reg(3), Reg(4));
+
+    // proc 0 (main): advance the PRNG, pick a list, walk it, return
+    // (the interpreter restarts main until out of fuel).
+    let mut main = Asm::new("main");
+    main.mov_imm(a, RNG_STATE_ADDR as i64);
+    main.load(s, a, 0); // s = rng state
+    main.mov_imm(Reg(5), 6_364_136_223_846_793_005);
+    main.mul(s, s, Reg(5)); // LCG multiply
+    main.add_imm(s, s, 1_442_695_040_888_963_407);
+    main.store(s, a, 0); // state back to memory
+    main.shr(idx, s, 59); // top bits: 0..31
+    main.and_imm(idx, idx, (LISTS - 1) as i64);
+    main.mov_imm(Reg(6), 8);
+    main.mul(slot, idx, Reg(6));
+    main.add_imm(slot, slot, TABLE_BASE as i64);
+    main.mov_imm(Reg(7), 0);
+    main.add(slot, slot, Reg(7));
+    main.load(head, slot, 0); // head pointer of the chosen list
+    main.add_imm(Reg(8), head, 0); // walk's argument register
+    main.call(ProcId(1));
+    main.ret();
+
+    // proc 1 (walk): chase next pointers from r8 until nil. The loop is
+    // 4x unrolled, as a compiler would emit it, so the check (back-edge)
+    // density matches ordinary code rather than one check per reference.
+    let cur = Reg(8);
+    let next = Reg(9);
+    let mut walk = Asm::new("walk");
+    let exit = walk.forward();
+    let top = walk.label();
+    for _ in 0..4 {
+        walk.load(next, cur, 0); // next = *cur  <-- the hot references
+        if greedy {
+            walk.prefetch(next, 0); // greedy jump-pointer prefetch [22]
+        }
+        walk.work(3);
+        walk.add_imm(cur, next, 0);
+        walk.bz(cur, exit); // nil: done (forward branch, no check)
+    }
+    walk.jmp(top); // taken backward branch = loop back-edge
+    walk.bind(exit);
+    walk.ret();
+
+    vec![main.finish(), walk.finish()]
+}
+
+fn build_program() -> Vec<hds::vulcan::isa::ProcBody> {
+    build_program_with(false)
+}
+
+fn interpreter(fuel: u64) -> Interpreter {
+    Interpreter::new("isa-microbench", build_program(), build_heap(), fuel)
+}
+
+fn run_with_head_len(fuel: u64, head_len: usize) -> (hds::optimizer::RunReport, hds::optimizer::RunReport) {
+    let mut config = OptimizerConfig::paper_scale();
+    config.analysis.min_length = 10;
+    config.dfsm = hds::dfsm::DfsmConfig::new(head_len);
+    // This kernel executes ~12 references per check site; scale the
+    // burst length so one burst still spans several whole list walks.
+    config.bursty = hds::bursty::BurstyConfig::new(2_700, 300, 8, 40);
+
+    let mut w = interpreter(fuel);
+    let procs = w.procedures();
+    let base = Executor::new(config.clone(), RunMode::Baseline).run(&mut w, procs);
+    assert!(w.error().is_none(), "program error: {:?}", w.error());
+
+    let mut w = interpreter(fuel);
+    let procs = w.procedures();
+    let opt = Executor::new(config, RunMode::Optimize(PrefetchPolicy::StreamTail))
+        .run(&mut w, procs);
+    assert!(w.error().is_none(), "program error: {:?}", w.error());
+    (base, opt)
+}
+
+fn main() {
+    let fuel = 1_500_000; // data references to execute
+    println!("mini-ISA pointer chaser: {LISTS} lists x {NODES_PER_LIST} scattered nodes");
+    println!();
+    // First, the classic *static software* alternative: the program
+    // recompiled with greedy jump-pointer prefetches (one node ahead).
+    {
+        let config = OptimizerConfig::paper_scale();
+        let mut plain = interpreter(fuel);
+        let procs = plain.procedures();
+        let base = Executor::new(config.clone(), RunMode::Baseline).run(&mut plain, procs);
+        let mut greedy = Interpreter::new(
+            "isa-microbench-greedy",
+            build_program_with(true),
+            build_heap(),
+            fuel,
+        );
+        let procs = greedy.procedures();
+        let g = Executor::new(config, RunMode::Baseline).run(&mut greedy, procs);
+        println!(
+            "  greedy jump-pointer prefetch [22] (recompiled): {:+6.1}% vs baseline, {} prefetches",
+            g.overhead_vs(&base),
+            g.mem.prefetches_issued
+        );
+    }
+    println!();
+    // Every iteration starts with the same two references (the PRNG
+    // state load+store at address 8), so with headLen = 2 *all* streams
+    // share their entire head: each match fires the union of every tail
+    // and accuracy collapses. headLen = 3 reaches the table load, whose
+    // address identifies the list — §4.3's prefix-length trade-off on a
+    // real program.
+    for head_len in [2usize, 3] {
+        let (base, opt) = run_with_head_len(fuel, head_len);
+        println!(
+            "  headLen={head_len}: {:+6.1}% vs baseline | {:.0} streams/cycle | {} prefetches, {:.0}% useful",
+            opt.overhead_vs(&base),
+            opt.cycle_avg(|c| c.hot_streams as f64),
+            opt.mem.prefetches_issued,
+            opt.mem.prefetch_accuracy() * 100.0
+        );
+    }
+    println!();
+    println!("every event here came from interpreting real instructions: the unrolled");
+    println!("walk loop's loads produce the hot (pc, addr) pairs, its taken backward jump");
+    println!("is the bursty-tracing check site, and the injected DFSM checks fire at the");
+    println!("head pcs. The headLen contrast is the paper's §4.3 point live: a 2-reference");
+    println!("prefix is this program's shared PRNG preamble, so every match fires every");
+    println!("tail; one more reference reaches the table load that identifies the list.");
+    println!();
+    println!("on this textbook single-list kernel, greedy jump-pointer prefetching wins —");
+    println!("when a compiler can see the next-pointer field, one node ahead is enough.");
+    println!("the paper's point (§5.1) is that such \"static analyses are restricted to");
+    println!("regular linked data structures accessed by local regular control\": the");
+    println!("dynamic scheme needs no source, no types, and no compiler analysis.");
+}

@@ -1,0 +1,88 @@
+//! Using the profiling/analysis stack as a library, without the
+//! optimizer: collect a temporal profile of a program with bursty
+//! tracing, compress it with Sequitur, and print the detected hot data
+//! streams — the paper's Section 2 as a standalone tool.
+//!
+//! ```sh
+//! cargo run --release --example profile_explorer
+//! ```
+
+use hds::bursty::{BurstyConfig, BurstyTracer, Signal};
+use hds::hotstream::{fast, AnalysisConfig};
+use hds::sequitur::Sequitur;
+use hds::trace::{SymbolTable, TraceBuffer};
+use hds::vulcan::Event;
+use hds::workloads::{benchmark, Benchmark, Scale};
+
+fn main() {
+    // Profile the mcf model: pointer chasing over a large network.
+    let mut program = benchmark(Benchmark::Mcf, Scale::Test);
+
+    // Bursty tracing: 3%-ish burst sampling, one awake phase.
+    let mut tracer = BurstyTracer::new(BurstyConfig::new(1_350, 150, 8, 24));
+    let mut buffer = TraceBuffer::new();
+    let mut symbols = SymbolTable::new();
+    let mut sequitur = Sequitur::new();
+    let mut refs_seen = 0u64;
+
+    'run: while let Some(event) = program.next_event() {
+        match event {
+            Event::Enter(_) | Event::BackEdge(_) => match tracer.on_check() {
+                Some(Signal::BurstBegin) => buffer.begin_burst(),
+                Some(Signal::BurstEnd) => buffer.end_burst_discard_empty(),
+                Some(Signal::AwakeComplete) => {
+                    if buffer.in_burst() {
+                        buffer.end_burst_discard_empty();
+                    }
+                    break 'run; // one awake phase is enough for a look
+                }
+                _ => {}
+            },
+            Event::Access(r, _) => {
+                refs_seen += 1;
+                if tracer.should_record() && buffer.in_burst() {
+                    buffer.record(r);
+                    sequitur.append(symbols.intern(r));
+                }
+            }
+            Event::Work(_) | Event::Exit(_) | Event::Prefetch(_) | Event::Thread(_) => {}
+        }
+    }
+
+    let grammar = sequitur.grammar();
+    println!(
+        "executed {refs_seen} references; traced {} of them in {} bursts",
+        buffer.len(),
+        buffer.bursts().count()
+    );
+    println!(
+        "Sequitur: {} rules, grammar size {} ({}x compression)",
+        grammar.rule_count(),
+        grammar.size(),
+        buffer.len().max(1) / grammar.size().max(1)
+    );
+
+    // The paper's production thresholds: streams of more than 10 unique
+    // references covering at least 1% of the trace.
+    let config = AnalysisConfig::paper_default(buffer.len() as u64);
+    let result = fast::analyze(&grammar, &config);
+    println!(
+        "hot data streams (heat >= {}, {:.0}% of trace covered):",
+        config.heat_threshold,
+        result.coverage(buffer.len() as u64) * 100.0
+    );
+    for (i, stream) in result.streams.iter().enumerate().take(10) {
+        let refs = symbols.resolve_all(&stream.symbols);
+        println!(
+            "  #{i:<2} heat {:>5}  len {:>3}  first refs: {} {} {}",
+            stream.heat,
+            stream.symbols.len(),
+            refs[0],
+            refs[1],
+            refs[2],
+        );
+    }
+    if result.streams.len() > 10 {
+        println!("  ... and {} more", result.streams.len() - 10);
+    }
+}

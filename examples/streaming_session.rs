@@ -1,0 +1,65 @@
+//! Embedding the optimizer with the streaming [`Session`] API: instead
+//! of handing over a complete program, feed execution events as they
+//! happen and observe the optimizer adapt live.
+//!
+//! This is the integration shape a real deployment has — a simulator,
+//! an emulator, or an instrumented runtime produces events; the session
+//! profiles, optimizes, and reports between batches.
+//!
+//! ```sh
+//! cargo run --release --example streaming_session
+//! ```
+
+use hds::optimizer::{OptimizerConfig, PrefetchPolicy, RunMode, Session};
+use hds::vulcan::ProgramSource;
+use hds::workloads::{SyntheticConfig, SyntheticWorkload, Workload};
+
+fn main() {
+    let mut producer = SyntheticWorkload::new(SyntheticConfig {
+        name: "live".into(),
+        total_refs: 3_000_000,
+        ..SyntheticConfig::default()
+    });
+    let mut session = Session::new(
+        OptimizerConfig::paper_scale(),
+        RunMode::Optimize(PrefetchPolicy::StreamTail),
+        producer.procedures(),
+    );
+
+    // Feed events in batches, reporting progress between them — exactly
+    // what an embedding driving a live system would do.
+    let mut batch = 0u64;
+    let mut last_cycles = 0usize;
+    loop {
+        let mut fed = 0;
+        while fed < 500_000 {
+            match producer.next_event() {
+                Some(e) => session.on_event(e),
+                None => {
+                    let report = session.finish("live");
+                    println!();
+                    println!(
+                        "final: {} refs, {} simulated cycles, {} optimization cycles, {}",
+                        report.refs,
+                        report.total_cycles,
+                        report.opt_cycles(),
+                        report.mem
+                    );
+                    return;
+                }
+            }
+            fed += 1;
+        }
+        batch += 1;
+        let cycles_now = session.opt_cycles_so_far();
+        println!(
+            "batch {batch}: {:>9} refs, {:>11} cycles, {} optimization cycles{}, {} prefetches useful",
+            session.refs_so_far(),
+            session.simulated_cycles(),
+            cycles_now,
+            if cycles_now > last_cycles { " (+)" } else { "" },
+            session.mem_stats().prefetches_useful,
+        );
+        last_cycles = cycles_now;
+    }
+}

@@ -1,0 +1,54 @@
+//! # hds — Dynamic Hot Data Stream Prefetching
+//!
+//! A from-scratch Rust reproduction of Chilimbi & Hirzel, *Dynamic Hot
+//! Data Stream Prefetching for General-Purpose Programs* (PLDI 2002):
+//! a completely automatic, software-only prefetching scheme that
+//! profiles a running program with bursty tracing, extracts *hot data
+//! streams* (frequently repeating data-reference sequences) from the
+//! profile with Sequitur + a fast grammar analysis, and dynamically
+//! injects prefix-matching/prefetching code into the running binary.
+//!
+//! This facade crate re-exports the whole system; each subsystem is its
+//! own crate:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`trace`] | `hds-trace` | data references, symbols, trace buffers |
+//! | [`sequitur`] | `hds-sequitur` | incremental grammar compression |
+//! | [`hotstream`] | `hds-hotstream` | hot-data-stream analyses |
+//! | [`dfsm`] | `hds-dfsm` | prefix-matching DFSM (build, match, codegen) |
+//! | [`memsim`] | `hds-memsim` | cache hierarchy, cost model, prefetcher baselines |
+//! | [`vulcan`] | `hds-vulcan` | simulated binary image + dynamic editing |
+//! | [`bursty`] | `hds-bursty` | bursty tracing counters and phases |
+//! | [`workloads`] | `hds-workloads` | the six benchmark models |
+//! | [`optimizer`] | `hds-core` | the dynamic prefetching optimizer |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use hds::optimizer::{Executor, OptimizerConfig, PrefetchPolicy, RunMode};
+//! use hds::workloads::{SyntheticConfig, SyntheticWorkload, Workload};
+//!
+//! let config = OptimizerConfig::test_scale();
+//! let mut w = SyntheticWorkload::new(SyntheticConfig {
+//!     total_refs: 50_000,
+//!     ..SyntheticConfig::default()
+//! });
+//! let procs = w.procedures();
+//! let report = Executor::new(config, RunMode::Optimize(PrefetchPolicy::StreamTail))
+//!     .run(&mut w, procs);
+//! println!("{report}");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use hds_bursty as bursty;
+pub use hds_core as optimizer;
+pub use hds_dfsm as dfsm;
+pub use hds_hotstream as hotstream;
+pub use hds_memsim as memsim;
+pub use hds_sequitur as sequitur;
+pub use hds_trace as trace;
+pub use hds_vulcan as vulcan;
+pub use hds_workloads as workloads;

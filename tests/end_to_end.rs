@@ -1,0 +1,153 @@
+//! Integration tests: the full profile → analyze → optimize → hibernate
+//! pipeline across all crates.
+
+use hds::optimizer::{Executor, OptimizerConfig, PrefetchPolicy, RunMode};
+use hds::workloads::{suite, Scale, SyntheticConfig, SyntheticWorkload, Workload};
+
+fn test_config() -> OptimizerConfig {
+    let mut c = OptimizerConfig::paper_scale();
+    // Shorter cycles so Test-scale workloads complete several.
+    c.bursty = hds::bursty::BurstyConfig::new(240, 60, 4, 8);
+    c
+}
+
+fn stream_heavy() -> SyntheticWorkload {
+    SyntheticWorkload::new(SyntheticConfig {
+        name: "itest".into(),
+        total_refs: 400_000,
+        ..SyntheticConfig::default()
+    })
+}
+
+fn run(mode: RunMode) -> hds::optimizer::RunReport {
+    let mut w = stream_heavy();
+    let procs = w.procedures();
+    Executor::new(test_config(), mode).run(&mut w, procs)
+}
+
+#[test]
+fn mode_overheads_are_ordered() {
+    // Each layer of machinery costs more than the previous: Baseline <=
+    // ChecksOnly <= Profile <= Analyze <= No-pref.
+    let base = run(RunMode::Baseline);
+    let checks = run(RunMode::ChecksOnly);
+    let prof = run(RunMode::Profile);
+    let hds = run(RunMode::Analyze);
+    let nopref = run(RunMode::Optimize(PrefetchPolicy::None));
+    assert!(base.total_cycles < checks.total_cycles);
+    assert!(checks.total_cycles < prof.total_cycles);
+    assert!(prof.total_cycles < hds.total_cycles);
+    assert!(hds.total_cycles < nopref.total_cycles);
+    // And the memory behaviour is identical in all non-prefetching modes
+    // (instrumentation must not perturb the cache).
+    for r in [&checks, &prof, &hds, &nopref] {
+        assert_eq!(r.mem.l1_hits, base.mem.l1_hits, "{} perturbed the cache", r.mode);
+        assert_eq!(r.mem.l2_misses, base.mem.l2_misses);
+    }
+}
+
+#[test]
+fn dyn_pref_beats_no_pref_on_stream_heavy_workload() {
+    let nopref = run(RunMode::Optimize(PrefetchPolicy::None));
+    let dynpref = run(RunMode::Optimize(PrefetchPolicy::StreamTail));
+    assert!(dynpref.opt_cycles() >= 2, "too few cycles: {}", dynpref.opt_cycles());
+    assert!(dynpref.mem.prefetches_useful > 0);
+    assert!(
+        dynpref.total_cycles < nopref.total_cycles,
+        "prefetching did not pay for itself: {} vs {}",
+        dynpref.total_cycles,
+        nopref.total_cycles
+    );
+}
+
+#[test]
+fn runs_are_deterministic() {
+    let a = run(RunMode::Optimize(PrefetchPolicy::StreamTail));
+    let b = run(RunMode::Optimize(PrefetchPolicy::StreamTail));
+    assert_eq!(a.total_cycles, b.total_cycles);
+    assert_eq!(a.mem, b.mem);
+    assert_eq!(a.cycles, b.cycles);
+}
+
+#[test]
+fn random_access_workload_gets_no_streams() {
+    // hot_fraction 0 => pure noise: nothing repeats, nothing detected,
+    // nothing injected.
+    let mut w = SyntheticWorkload::new(SyntheticConfig {
+        name: "noise-only".into(),
+        total_refs: 300_000,
+        hot_fraction: 0.0,
+        ..SyntheticConfig::default()
+    });
+    let procs = w.procedures();
+    let report = Executor::new(test_config(), RunMode::Optimize(PrefetchPolicy::StreamTail))
+        .run(&mut w, procs);
+    assert!(report.opt_cycles() >= 1, "cycles should still complete");
+    let total_streams: usize = report.cycles.iter().map(|c| c.streams_used).sum();
+    assert_eq!(total_streams, 0, "streams detected in pure noise: {:?}", report.cycles);
+    assert_eq!(report.mem.prefetches_issued, 0);
+}
+
+#[test]
+fn whole_suite_runs_at_test_scale() {
+    for mut w in suite(Scale::Test) {
+        let name = w.name().to_string();
+        let procs = w.procedures();
+        let report = Executor::new(
+            OptimizerConfig::test_scale(),
+            RunMode::Optimize(PrefetchPolicy::StreamTail),
+        )
+        .run(&mut *w, procs);
+        assert!(report.refs >= 60_000, "{name}: too few refs");
+        assert!(report.total_cycles > 0, "{name}: no cycles charged");
+    }
+}
+
+#[test]
+fn seq_pref_issues_sequential_blocks() {
+    let seqpref = run(RunMode::Optimize(PrefetchPolicy::SequentialBlocks));
+    assert!(seqpref.mem.prefetches_issued > 0);
+    // The default workload's streams are scattered, so sequential
+    // prefetching must be mostly useless.
+    assert!(
+        seqpref.mem.prefetch_accuracy() < 0.3,
+        "sequential prefetching suspiciously accurate on scattered streams: {}",
+        seqpref.mem.prefetch_accuracy()
+    );
+}
+
+#[test]
+fn sequentially_allocated_workload_makes_seq_pref_work() {
+    let make = || {
+        SyntheticWorkload::new(SyntheticConfig {
+            name: "seq-alloc".into(),
+            total_refs: 400_000,
+            sequential_alloc: true,
+            ..SyntheticConfig::default()
+        })
+    };
+    let mut w = make();
+    let procs = w.procedures();
+    let seqpref = Executor::new(
+        test_config(),
+        RunMode::Optimize(PrefetchPolicy::SequentialBlocks),
+    )
+    .run(&mut w, procs);
+    let mut w = make();
+    let procs = w.procedures();
+    let dynpref = Executor::new(
+        test_config(),
+        RunMode::Optimize(PrefetchPolicy::StreamTail),
+    )
+    .run(&mut w, procs);
+    // With sequential allocation the two schemes fetch (nearly) the same
+    // blocks: Seq-pref accuracy must be comparable (§4.3).
+    assert!(seqpref.mem.prefetches_useful > 0);
+    let ratio = seqpref.mem.prefetch_accuracy() / dynpref.mem.prefetch_accuracy().max(1e-9);
+    assert!(
+        ratio > 0.5,
+        "Seq-pref accuracy {} far below Dyn-pref {} on sequential streams",
+        seqpref.mem.prefetch_accuracy(),
+        dynpref.mem.prefetch_accuracy()
+    );
+}

@@ -1,0 +1,110 @@
+//! Integration test: the optimizer over an *interpreted* program — every
+//! event produced by executing mini-ISA instructions, end to end through
+//! profiling, analysis, DFSM injection, and prefetching.
+
+use hds::optimizer::{Executor, OptimizerConfig, PrefetchPolicy, RunMode};
+use hds::vulcan::isa::{Asm, HeapImage, Interpreter, ProcBody, Reg};
+use hds::vulcan::ProcId;
+
+const LISTS: u64 = 32;
+const NODES: u64 = 40;
+
+fn build_heap() -> HeapImage {
+    let mut heap = HeapImage::new();
+    for k in 0..LISTS {
+        let nodes: Vec<u64> = (0..NODES)
+            .map(|j| (0x80 + ((k * NODES + j) * 37) % (1 << 16)) * 32)
+            .collect();
+        let head = heap.link_list(&nodes);
+        heap.write(0x100 + k * 8, head as i64);
+    }
+    heap.write(8, 0xFEED);
+    heap
+}
+
+fn build_program() -> Vec<ProcBody> {
+    let (s, a, idx, slot, head) = (Reg(0), Reg(1), Reg(2), Reg(3), Reg(4));
+    let mut main = Asm::new("main");
+    main.mov_imm(a, 8);
+    main.load(s, a, 0);
+    main.mov_imm(Reg(5), 6_364_136_223_846_793_005);
+    main.mul(s, s, Reg(5));
+    main.add_imm(s, s, 1_442_695_040_888_963_407);
+    main.store(s, a, 0);
+    main.shr(idx, s, 59);
+    main.and_imm(idx, idx, (LISTS - 1) as i64);
+    main.mov_imm(Reg(6), 8);
+    main.mul(slot, idx, Reg(6));
+    main.add_imm(slot, slot, 0x100);
+    main.load(head, slot, 0);
+    main.add_imm(Reg(8), head, 0);
+    main.call(ProcId(1));
+    main.ret();
+
+    let (cur, next) = (Reg(8), Reg(9));
+    let mut walk = Asm::new("walk");
+    let exit = walk.forward();
+    let top = walk.label();
+    for _ in 0..4 {
+        walk.load(next, cur, 0);
+        walk.work(3);
+        walk.add_imm(cur, next, 0);
+        walk.bz(cur, exit);
+    }
+    walk.jmp(top);
+    walk.bind(exit);
+    walk.ret();
+
+    vec![main.finish(), walk.finish()]
+}
+
+fn config() -> OptimizerConfig {
+    let mut config = OptimizerConfig::paper_scale();
+    config.analysis.min_length = 10;
+    config.dfsm = hds::dfsm::DfsmConfig::new(3); // past the shared PRNG preamble
+    config.bursty = hds::bursty::BurstyConfig::new(2_700, 300, 8, 40);
+    config
+}
+
+#[test]
+fn interpreted_program_gets_prefetched() {
+    let fuel = 1_500_000;
+    let mut w = Interpreter::new("isa-e2e", build_program(), build_heap(), fuel);
+    let procs = w.procedures();
+    let base = Executor::new(config(), RunMode::Baseline).run(&mut w, procs);
+    assert!(w.error().is_none(), "{:?}", w.error());
+
+    let mut w = Interpreter::new("isa-e2e", build_program(), build_heap(), fuel);
+    let procs = w.procedures();
+    let opt = Executor::new(config(), RunMode::Optimize(PrefetchPolicy::StreamTail))
+        .run(&mut w, procs);
+    assert!(w.error().is_none(), "{:?}", w.error());
+
+    // Streams are detected from the interpreted execution...
+    assert!(opt.opt_cycles() >= 2, "only {} cycles", opt.opt_cycles());
+    let detected: usize = opt.cycles.iter().map(|c| c.streams_used).sum();
+    assert!(detected > 0, "no streams used: {:?}", opt.cycles);
+    // ...checks are injected into the two ISA procedures...
+    assert!(opt.cycles.iter().any(|c| c.procs_modified >= 1));
+    // ...and prefetching genuinely helps.
+    assert!(opt.mem.prefetches_useful > 1_000, "{}", opt.mem);
+    assert!(
+        opt.total_cycles < base.total_cycles,
+        "no net win: {} vs {}",
+        opt.total_cycles,
+        base.total_cycles
+    );
+}
+
+#[test]
+fn interpreted_runs_are_deterministic() {
+    let run = || {
+        let mut w = Interpreter::new("isa-det", build_program(), build_heap(), 300_000);
+        let procs = w.procedures();
+        Executor::new(config(), RunMode::Optimize(PrefetchPolicy::StreamTail))
+            .run(&mut w, procs)
+    };
+    let (a, b) = (run(), run());
+    assert_eq!(a.total_cycles, b.total_cycles);
+    assert_eq!(a.mem, b.mem);
+}

@@ -1,0 +1,119 @@
+//! Golden tests: the paper's worked examples, end to end across crates.
+
+use hds::dfsm::{build, DfsmConfig, Matcher};
+use hds::hotstream::{exact, fast, AnalysisConfig};
+use hds::sequitur::{RuleId, Sequitur};
+use hds::trace::{Addr, DataRef, Pc, Symbol};
+
+fn symbols(s: &str) -> Vec<Symbol> {
+    s.bytes().map(|b| Symbol(u32::from(b - b'a'))).collect()
+}
+
+fn refs(s: &str) -> Vec<DataRef> {
+    s.bytes()
+        .map(|b| DataRef::new(Pc(u32::from(b)), Addr(u64::from(b))))
+        .collect()
+}
+
+/// Figure 4: Sequitur grammar of `abaabcabcabcabc` has 4 rules whose
+/// expansions are the paper's `ab`, `abc`, `abcabc` (plus S).
+#[test]
+fn figure4_grammar() {
+    let seq: Sequitur = symbols("abaabcabcabcabc").into_iter().collect();
+    let g = seq.grammar();
+    g.verify().expect("well-formed");
+    assert_eq!(g.rule_count(), 4);
+    let mut expansions: Vec<usize> = g.iter().map(|(id, _)| g.expand(id).len()).collect();
+    expansions.sort_unstable();
+    assert_eq!(expansions, vec![2, 3, 6, 15]);
+}
+
+/// Figure 6 / Table 1: the analysis values, and the single hot stream
+/// `abcabc` with heat 12 covering 80% of the trace.
+#[test]
+fn table1_analysis() {
+    let seq: Sequitur = symbols("abaabcabcabcabc").into_iter().collect();
+    let result = fast::analyze(&seq.grammar(), &AnalysisConfig::new(8, 2, 7));
+    assert_eq!(result.streams.len(), 1);
+    assert_eq!(result.streams[0].heat, 12);
+    assert_eq!(result.streams[0].symbols, symbols("abcabc"));
+    assert!((result.coverage(15) - 0.8).abs() < 1e-9);
+    // The exact oracle agrees on the stream's heat.
+    assert_eq!(
+        exact::heat(&result.streams[0].symbols, &symbols("abaabcabcabcabc")),
+        12
+    );
+}
+
+/// Figure 8: the DFSM for v=abacadae, w=bbghij with headLen=3 has
+/// exactly the 7 states of the figure, and matching the paper's §3
+/// narration ("once the addresses a.addr, b.addr, a.addr are detected
+/// ... prefetches are issued for c.addr, a.addr, d.addr, e.addr").
+#[test]
+fn figure8_dfsm_and_section3_prefetches() {
+    let streams = vec![refs("abacadae"), refs("bbghij")];
+    let dfsm = build(&streams, &DfsmConfig::new(3)).expect("valid streams");
+    dfsm.verify().expect("machine verifies");
+    assert_eq!(dfsm.state_count(), 7);
+
+    let mut matcher = Matcher::new(&dfsm);
+    assert!(matcher.observe(refs("a")[0]).is_empty());
+    assert!(matcher.observe(refs("b")[0]).is_empty());
+    let prefetches = matcher.observe(refs("a")[0]);
+    let addrs: Vec<u64> = prefetches.iter().map(|a| a.0).collect();
+    assert_eq!(
+        addrs,
+        vec![
+            u64::from(b'c'),
+            u64::from(b'a'),
+            u64::from(b'd'),
+            u64::from(b'e')
+        ]
+    );
+}
+
+/// §3.1's within-stream observation ("this even holds inside one hot
+/// data stream"): when a head overlaps itself, the set-based DFSM keeps
+/// every live partial match where a single counter would lose one.
+/// For v = aabcd with head "aab": after "aa", observing another 'a'
+/// must keep both [v,1] and [v,2] alive.
+#[test]
+fn section31_self_overlap_keeps_partial_matches() {
+    let streams = vec![refs("aabcd")];
+    let dfsm = build(&streams, &DfsmConfig::new(3)).expect("valid");
+    let mut matcher = Matcher::new(&dfsm);
+    matcher.observe(refs("a")[0]);
+    matcher.observe(refs("a")[0]);
+    let elements_after_aa = dfsm.elements(matcher.state()).to_vec();
+    assert!(elements_after_aa.contains(&(hds::dfsm::StreamId(0), 2)));
+    // A third 'a': [v,2] cannot advance ('b' expected) but the new 'a'
+    // both restarts and re-advances — the element set is unchanged.
+    matcher.observe(refs("a")[0]);
+    assert_eq!(dfsm.elements(matcher.state()), &elements_after_aa[..]);
+    // And Figure 8's counterpart: for v=abacadae, {[v,2]} on a stray 'b'
+    // resets (the figure shows the edge to {[w,2],[w,1]} exists only
+    // because of w; with v alone the machine goes back to start).
+    let streams = vec![refs("abacadae")];
+    let dfsm = build(&streams, &DfsmConfig::new(3)).expect("valid");
+    let mut matcher = Matcher::new(&dfsm);
+    matcher.observe(refs("a")[0]);
+    matcher.observe(refs("b")[0]);
+    matcher.observe(refs("b")[0]);
+    assert_eq!(matcher.state(), hds::dfsm::StateId::START);
+}
+
+/// The paper's start-rule convention: S is numbered 0 in reverse
+/// post-order and never reported as a stream.
+#[test]
+fn start_rule_is_index_zero_and_never_hot() {
+    let seq: Sequitur = symbols("ababababab").into_iter().collect();
+    let result = fast::analyze(&seq.grammar(), &AnalysisConfig::new(1, 1, 1000));
+    let s_row = result
+        .table
+        .iter()
+        .find(|r| r.rule == RuleId::START)
+        .expect("S present");
+    assert_eq!(s_row.index, 0);
+    assert!(!s_row.reported);
+    assert!(result.streams.iter().all(|s| s.rule != RuleId::START));
+}

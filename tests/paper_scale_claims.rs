@@ -1,0 +1,101 @@
+//! Executable claim-checks: the paper-scale experiment shapes, as
+//! assertions. These run the full evaluation (~a minute), so they are
+//! `#[ignore]`d by default:
+//!
+//! ```sh
+//! cargo test --release -p hds --test paper_scale_claims -- --ignored
+//! ```
+
+use hds::optimizer::{Executor, OptimizerConfig, PrefetchPolicy, RunMode, RunReport};
+use hds::workloads::{benchmark, Benchmark, Scale};
+
+fn run(which: Benchmark, mode: RunMode) -> RunReport {
+    let mut w = benchmark(which, Scale::Paper);
+    let procs = w.procedures();
+    Executor::new(OptimizerConfig::paper_scale(), mode).run(&mut *w, procs)
+}
+
+fn overhead(which: Benchmark, mode: RunMode) -> f64 {
+    let base = run(which, RunMode::Baseline);
+    run(which, mode).overhead_vs(&base)
+}
+
+/// Figure 12's shape: Dyn-pref speeds up every benchmark; vpr is the
+/// largest win and vortex the smallest; No-pref costs a single-digit
+/// percentage; Seq-pref helps only parser.
+#[test]
+#[ignore = "full paper-scale evaluation (~1 minute)"]
+fn figure12_shape() {
+    let mut dyn_wins = Vec::new();
+    for which in Benchmark::ALL {
+        let base = run(which, RunMode::Baseline);
+        let nopref = run(which, RunMode::Optimize(PrefetchPolicy::None));
+        let seqpref = run(which, RunMode::Optimize(PrefetchPolicy::SequentialBlocks));
+        let dynpref = run(which, RunMode::Optimize(PrefetchPolicy::StreamTail));
+        let no = nopref.overhead_vs(&base);
+        let seq = seqpref.overhead_vs(&base);
+        let dyn_ = dynpref.overhead_vs(&base);
+        assert!(
+            (0.0..12.0).contains(&no),
+            "{which}: No-pref {no:+.1}% out of the single-digit band"
+        );
+        assert!(dyn_ < 0.0, "{which}: Dyn-pref is not a speedup ({dyn_:+.1}%)");
+        if which == Benchmark::Parser {
+            assert!(seq < 0.0, "parser: Seq-pref should win ({seq:+.1}%)");
+        } else {
+            assert!(seq > 0.0, "{which}: Seq-pref should pollute ({seq:+.1}%)");
+        }
+        dyn_wins.push((which, dyn_));
+        eprintln!("{which}: No {no:+.1}%  Seq {seq:+.1}%  Dyn {dyn_:+.1}%");
+    }
+    let best = dyn_wins.iter().min_by(|a, b| a.1.total_cmp(&b.1)).unwrap();
+    let worst = dyn_wins.iter().max_by(|a, b| a.1.total_cmp(&b.1)).unwrap();
+    assert_eq!(best.0, Benchmark::Vpr, "vpr should be the largest win");
+    assert_eq!(worst.0, Benchmark::Vortex, "vortex should be the smallest win");
+}
+
+/// Figure 11's shape: Base < Prof < Hds, all in the low single digits.
+#[test]
+#[ignore = "full paper-scale evaluation (~1 minute)"]
+fn figure11_shape() {
+    for which in Benchmark::ALL {
+        let base = overhead(which, RunMode::ChecksOnly);
+        let prof = overhead(which, RunMode::Profile);
+        let hds = overhead(which, RunMode::Analyze);
+        assert!(base > 0.0 && base < 6.0, "{which}: Base {base:+.1}%");
+        assert!(prof >= base, "{which}: Prof below Base");
+        assert!(hds >= prof, "{which}: Hds below Prof");
+        assert!(hds < 8.0, "{which}: Hds {hds:+.1}% too expensive");
+        eprintln!("{which}: Base {base:+.1}%  Prof {prof:+.1}%  Hds {hds:+.1}%");
+    }
+}
+
+/// Table 2's scale-free columns: stream counts, DFSM sizes and
+/// procedures-modified land in the paper's ranges.
+#[test]
+#[ignore = "full paper-scale evaluation (~1 minute)"]
+fn table2_ranges() {
+    for which in Benchmark::ALL {
+        let report = run(which, RunMode::Optimize(PrefetchPolicy::StreamTail));
+        assert!(report.opt_cycles() >= 3, "{which}: too few cycles");
+        let hds = report.cycle_avg(|c| c.hot_streams as f64);
+        assert!(
+            (10.0..=50.0).contains(&hds),
+            "{which}: {hds:.0} streams/cycle outside the paper band"
+        );
+        let states = report.cycle_avg(|c| c.dfsm_states as f64);
+        assert!(
+            (20.0..=90.0).contains(&states),
+            "{which}: {states:.0} DFSM states outside the paper band"
+        );
+        let procs = report.cycle_avg(|c| c.procs_modified as f64);
+        assert!(
+            (2.0..=13.0).contains(&procs),
+            "{which}: {procs:.0} procedures modified outside the paper band"
+        );
+        eprintln!(
+            "{which}: {} cycles, {hds:.0} streams, {states:.0} states, {procs:.0} procs",
+            report.opt_cycles()
+        );
+    }
+}

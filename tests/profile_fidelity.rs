@@ -1,0 +1,116 @@
+//! Integration tests of the profiling substrate's fidelity: the sampled
+//! temporal profile is a faithful sub-view of the real reference trace.
+
+use hds::bursty::{BurstyConfig, BurstyTracer, Phase, Signal};
+use hds::trace::{DataRef, TraceBuffer};
+use hds::vulcan::{Event, ProgramSource};
+use hds::workloads::{SyntheticConfig, SyntheticWorkload};
+
+/// Runs bursty tracing by hand over a workload, returning the full trace
+/// and the sampled profile.
+fn profile(config: BurstyConfig, total_refs: u64) -> (Vec<DataRef>, TraceBuffer) {
+    let mut w = SyntheticWorkload::new(SyntheticConfig {
+        name: "fidelity".into(),
+        total_refs,
+        ..SyntheticConfig::default()
+    });
+    let mut tracer = BurstyTracer::new(config);
+    let mut buffer = TraceBuffer::new();
+    let mut full = Vec::new();
+    while let Some(e) = w.next_event() {
+        match e {
+            Event::Enter(_) | Event::BackEdge(_) => match tracer.on_check() {
+                // Hibernation-phase bursts are degenerate and ignored,
+                // exactly as the executor does (§2.4).
+                Some(Signal::BurstBegin) if tracer.phase() == Phase::Awake => {
+                    buffer.begin_burst();
+                }
+                Some(Signal::BurstBegin) => {}
+                Some(Signal::BurstEnd) if buffer.in_burst() => {
+                    buffer.end_burst_discard_empty();
+                }
+                Some(Signal::BurstEnd) => {}
+                Some(Signal::AwakeComplete) => {
+                    if buffer.in_burst() {
+                        buffer.end_burst_discard_empty();
+                    }
+                    tracer.hibernate();
+                }
+                Some(Signal::HibernationComplete) => tracer.wake(),
+                None => {}
+            },
+            Event::Access(r, _) => {
+                full.push(r);
+                if tracer.should_record() && buffer.in_burst() {
+                    buffer.record(r);
+                }
+            }
+            _ => {}
+        }
+    }
+    (full, buffer)
+}
+
+/// Is `needle` a subsequence (not necessarily contiguous) of `haystack`?
+fn is_subsequence(needle: &[DataRef], haystack: &[DataRef]) -> bool {
+    let mut it = haystack.iter();
+    needle.iter().all(|n| it.by_ref().any(|h| h == n))
+}
+
+#[test]
+fn sampled_profile_is_a_subsequence_of_the_trace() {
+    let (full, buffer) = profile(BurstyConfig::new(120, 40, 3, 5), 120_000);
+    assert!(!buffer.is_empty(), "nothing sampled");
+    assert!(
+        is_subsequence(buffer.refs(), &full),
+        "profile is not a subsequence of the execution"
+    );
+}
+
+#[test]
+fn bursts_are_contiguous_runs_of_the_trace() {
+    let (full, buffer) = profile(BurstyConfig::new(120, 40, 3, 5), 120_000);
+    for burst in buffer.bursts() {
+        let refs = buffer.burst_refs(burst);
+        if refs.is_empty() {
+            continue;
+        }
+        // Every burst appears verbatim (contiguously) in the full trace.
+        assert!(
+            full.windows(refs.len()).any(|w| w == refs),
+            "burst of {} refs is not contiguous in the trace",
+            refs.len()
+        );
+    }
+}
+
+#[test]
+fn sampling_rate_matches_formula_on_a_real_workload() {
+    let config = BurstyConfig::new(600, 60, 4, 12);
+    let (full, buffer) = profile(config, 600_000);
+    let measured = buffer.len() as f64 / full.len() as f64;
+    let predicted = config.sampling_rate();
+    // The formula counts *checks*, our denominator counts refs; they
+    // agree when refs-per-check is steady, which the workload keeps
+    // roughly true. Allow 35% relative tolerance.
+    assert!(
+        (measured - predicted).abs() < predicted * 0.35,
+        "measured {measured:.5}, predicted {predicted:.5}"
+    );
+}
+
+#[test]
+fn hibernation_records_nothing() {
+    // All-hibernating behaviour after the first awake phase: with
+    // nAwake=1 and a huge hibernation, almost nothing is sampled.
+    let short = BurstyConfig::new(120, 40, 2, 4);
+    let long = BurstyConfig::new(120, 40, 2, 40);
+    let (_, buf_short) = profile(short, 200_000);
+    let (_, buf_long) = profile(long, 200_000);
+    assert!(
+        (buf_long.len() as f64) < (buf_short.len() as f64) * 0.5,
+        "longer hibernation must sample less: {} vs {}",
+        buf_long.len(),
+        buf_short.len()
+    );
+}
