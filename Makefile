@@ -1,0 +1,29 @@
+# Developer entry points. `make verify` is the tier-1 gate: it must stay
+# green on every commit.
+
+CARGO ?= cargo
+
+.PHONY: verify build test clippy bench-smoke telemetry-demo
+
+## Tier-1 gate: release build, full test suite, clippy clean.
+verify: build test clippy
+
+build:
+	$(CARGO) build --release
+
+test:
+	$(CARGO) test -q
+
+clippy:
+	$(CARGO) clippy --workspace -- -D warnings
+
+## One fast pass over every Criterion bench (includes observer_overhead,
+## the zero-overhead-when-off check).
+bench-smoke:
+	$(CARGO) bench -p hds-bench
+
+## Live telemetry walkthrough: per-cycle table, counter reconciliation,
+## per-stream prefetch quality, Prometheus dump. Fast smoke scale; drop
+## --test-scale for the paper-scale run.
+telemetry-demo:
+	$(CARGO) run --release -p hds-bench --bin telemetry_demo -- --test-scale

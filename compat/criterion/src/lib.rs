@@ -1,0 +1,303 @@
+//! Offline stand-in for `criterion`.
+//!
+//! A simple wall-clock harness exposing the subset of the criterion API
+//! the workspace's benches use: `benchmark_group`, `sample_size`,
+//! `throughput`, `bench_function` / `bench_with_input`, `Bencher::iter`,
+//! `BenchmarkId`, `black_box`, and the `criterion_group!` /
+//! `criterion_main!` macros. Each benchmark runs a calibration pass to
+//! pick an iteration count (~50ms per sample), then reports mean,
+//! median, and min per-iteration time plus derived throughput.
+//!
+//! Statistical rigor (outlier analysis, regression baselines) is out of
+//! scope — the numbers are indicative, which is all the offline
+//! environment can promise anyway.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier: prevents the optimizer from deleting a
+/// computation whose result is otherwise unused.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Units for derived throughput reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark name of the form `function/parameter`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered as `{name}/{parameter}`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            full: format!("{}/{parameter}", name.into()),
+        }
+    }
+
+    /// An id with no function prefix.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            full: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { full: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { full: s }
+    }
+}
+
+/// Drives timed iterations of one benchmark body.
+pub struct Bencher {
+    samples: usize,
+    /// Per-sample mean iteration times, filled by [`Bencher::iter`].
+    times: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine`, first calibrating an iteration count so each
+    /// sample runs long enough to be measurable.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibration: find iterations/sample targeting ~50ms.
+        let mut iters: u64 = 1;
+        let per_iter = loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(5) || iters >= 1 << 24 {
+                break elapsed / u32::try_from(iters).unwrap_or(u32::MAX);
+            }
+            iters *= 4;
+        };
+        let target = Duration::from_millis(50);
+        let iters_per_sample = if per_iter.is_zero() {
+            1 << 20
+        } else {
+            (target.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1 << 24) as u64
+        };
+        self.times.clear();
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            self.times
+                .push(start.elapsed() / u32::try_from(iters_per_sample).unwrap_or(u32::MAX));
+        }
+    }
+}
+
+/// A named set of related benchmarks sharing sample-count and
+/// throughput settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    samples: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples each benchmark collects.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.samples = samples.max(2);
+        self
+    }
+
+    /// Sets the per-iteration work amount for throughput reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let mut bencher = Bencher {
+            samples: self.samples,
+            times: Vec::new(),
+        };
+        f(&mut bencher);
+        report(&self.name, &id.full, &mut bencher.times, self.throughput);
+        self
+    }
+
+    /// Runs one benchmark over a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (required by the criterion API; prints a blank
+    /// separator line here).
+    pub fn finish(&mut self) {
+        let _ = &self.criterion;
+        println!();
+    }
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    default_samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_samples: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let samples = self.default_samples;
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            samples,
+            throughput: None,
+        }
+    }
+
+    /// Runs a standalone benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        self.benchmark_group(name.to_string())
+            .bench_function("bench", f);
+        self
+    }
+}
+
+fn report(group: &str, bench: &str, times: &mut [Duration], throughput: Option<Throughput>) {
+    times.sort_unstable();
+    let min = times.first().copied().unwrap_or_default();
+    let median = times[times.len() / 2];
+    let mean = times
+        .iter()
+        .sum::<Duration>()
+        .checked_div(u32::try_from(times.len()).unwrap_or(1))
+        .unwrap_or_default();
+    let mut line = format!(
+        "{group}/{bench}: mean {} median {} min {}",
+        fmt_duration(mean),
+        fmt_duration(median),
+        fmt_duration(min)
+    );
+    if let Some(tp) = throughput {
+        let per_sec = |count: u64| {
+            if mean.is_zero() {
+                f64::INFINITY
+            } else {
+                count as f64 / mean.as_secs_f64()
+            }
+        };
+        match tp {
+            Throughput::Elements(n) => {
+                line.push_str(&format!(" ({:.3} Melem/s)", per_sec(n) / 1e6));
+            }
+            Throughput::Bytes(n) => {
+                line.push_str(&format!(" ({:.3} MiB/s)", per_sec(n) / (1024.0 * 1024.0)));
+            }
+        }
+    }
+    println!("{line}");
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos}ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2}us", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2}ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.2}s", nanos as f64 / 1e9)
+    }
+}
+
+/// Declares a benchmark group function compatible with
+/// [`criterion_main!`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trivial_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3);
+        group.throughput(Throughput::Elements(16));
+        group.bench_with_input(BenchmarkId::new("sum", 16), &16u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+    }
+
+    criterion_group!(benches, trivial_bench);
+
+    #[test]
+    fn harness_runs() {
+        benches();
+    }
+
+    #[test]
+    fn ids_render_as_name_slash_param() {
+        assert_eq!(BenchmarkId::new("encode", 42).full, "encode/42");
+        assert_eq!(BenchmarkId::from_parameter("x").full, "x");
+    }
+
+    #[test]
+    fn durations_format_by_magnitude() {
+        assert_eq!(fmt_duration(Duration::from_nanos(12)), "12ns");
+        assert_eq!(fmt_duration(Duration::from_micros(3)), "3.00us");
+        assert_eq!(fmt_duration(Duration::from_millis(7)), "7.00ms");
+    }
+}

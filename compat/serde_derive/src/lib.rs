@@ -1,0 +1,237 @@
+//! Derive macros for the offline `serde` shim.
+//!
+//! Supports exactly what the workspace derives on: non-generic structs
+//! with named fields (and unit-variant enums, serialized as their
+//! variant name). Implemented directly on `proc_macro::TokenStream` —
+//! the build environment has no crates.io access, so `syn`/`quote` are
+//! not available.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The parsed shape of a deriving type.
+enum Input {
+    /// `struct Name { field, ... }`
+    Struct { name: String, fields: Vec<String> },
+    /// `enum Name { Variant, ... }` (unit variants only)
+    Enum { name: String, variants: Vec<String> },
+}
+
+/// Parses the item a derive macro was attached to.
+fn parse_input(input: TokenStream) -> Result<Input, String> {
+    let mut iter = input.into_iter().peekable();
+    // Skip attributes (`#[...]`) and visibility (`pub`, `pub(crate)`).
+    let kind = loop {
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next(); // pub(crate) etc.
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id)) => {
+                let s = id.to_string();
+                if s == "struct" || s == "enum" {
+                    break s;
+                }
+                return Err(format!("unexpected token `{s}` before struct/enum"));
+            }
+            other => return Err(format!("unexpected token {other:?} before struct/enum")),
+        }
+    };
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, found {other:?}")),
+    };
+    let body = loop {
+        match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g,
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                return Err("generic types are not supported by the serde shim derive".into())
+            }
+            Some(_) => continue,
+            None => return Err("expected `{ ... }` body".into()),
+        }
+    };
+    if kind == "struct" {
+        Ok(Input::Struct {
+            name,
+            fields: parse_named_fields(body.stream())?,
+        })
+    } else {
+        Ok(Input::Enum {
+            name,
+            variants: parse_unit_variants(body.stream())?,
+        })
+    }
+}
+
+/// Collects field names from `{ vis name: Type, ... }`.
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    loop {
+        // Skip attributes and visibility before the field name.
+        let field = loop {
+            match iter.next() {
+                None => return Ok(fields),
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    iter.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    if let Some(TokenTree::Group(g)) = iter.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            iter.next();
+                        }
+                    }
+                }
+                Some(TokenTree::Ident(id)) => break id.to_string(),
+                Some(other) => return Err(format!("unexpected token {other:?} in fields")),
+            }
+        };
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("expected `:` after field `{field}`, found {other:?}")),
+        }
+        fields.push(field);
+        // Skip the type up to the next top-level comma (`<...>` may
+        // contain commas; groups are atomic token trees).
+        let mut angle_depth = 0i32;
+        for tok in iter.by_ref() {
+            match tok {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => break,
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Collects variant names from `{ Variant, ... }`, rejecting payloads.
+fn parse_unit_variants(body: TokenStream) -> Result<Vec<String>, String> {
+    let mut variants = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    loop {
+        let variant = loop {
+            match iter.next() {
+                None => return Ok(variants),
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    iter.next();
+                }
+                Some(TokenTree::Ident(id)) => break id.to_string(),
+                Some(other) => return Err(format!("unexpected token {other:?} in variants")),
+            }
+        };
+        variants.push(variant);
+        match iter.next() {
+            None => return Ok(variants),
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+            Some(TokenTree::Group(_)) => {
+                return Err("enum variants with payloads are not supported by the serde shim".into())
+            }
+            Some(other) => return Err(format!("unexpected token {other:?} after variant")),
+        }
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+/// Derives the shim's `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = match parse_input(input) {
+        Ok(p) => p,
+        Err(e) => return compile_error(&e),
+    };
+    let code = match parsed {
+        Input::Struct { name, fields } => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "fields.push(({f:?}.to_string(), ::serde::Serialize::to_value(&self.{f})));\n"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         let mut fields: Vec<(String, ::serde::Value)> = Vec::new();\n\
+                         {pushes}\
+                         ::serde::Value::Obj(fields)\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Input::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => ::serde::Value::Str({v:?}.to_string()),\n"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{ {arms} }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().unwrap()
+}
+
+/// Derives the shim's `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = match parse_input(input) {
+        Ok(p) => p,
+        Err(e) => return compile_error(&e),
+    };
+    let code = match parsed {
+        Input::Struct { name, fields } => {
+            let field_inits: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(v.get({f:?}).ok_or_else(|| \
+                         ::serde::Error::msg(concat!(\"missing field `\", {f:?}, \"`\")))?)?,\n"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> Result<Self, ::serde::Error> {{\n\
+                         Ok({name} {{ {field_inits} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Input::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{v:?} => Ok({name}::{v}),\n"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> Result<Self, ::serde::Error> {{\n\
+                         match v {{\n\
+                             ::serde::Value::Str(s) => match s.as_str() {{\n\
+                                 {arms}\
+                                 other => Err(::serde::Error::msg(format!(\n\
+                                     \"unknown variant `{{other}}` for {name}\"))),\n\
+                             }},\n\
+                             _ => Err(::serde::Error::msg(\"expected string variant\")),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().unwrap()
+}

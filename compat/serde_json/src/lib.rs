@@ -1,0 +1,363 @@
+//! Offline stand-in for `serde_json`, over the serde shim's [`Value`]
+//! model: renders values to JSON text (compact or pretty) and parses
+//! JSON text back. Covers the full JSON grammar, which is more than the
+//! workspace strictly needs — parsing robustness is cheap and keeps the
+//! shim honest.
+
+#![forbid(unsafe_code)]
+
+pub use serde::{Error, Value};
+use serde::{Deserialize, Serialize};
+
+/// Serializes `value` to compact JSON.
+///
+/// # Errors
+///
+/// Never fails for the shim's value model; the `Result` mirrors the
+/// real `serde_json` signature.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), None, 0);
+    Ok(out)
+}
+
+/// Serializes `value` to human-readable JSON (two-space indents).
+///
+/// # Errors
+///
+/// Never fails for the shim's value model (see [`to_string`]).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), Some(2), 0);
+    Ok(out)
+}
+
+/// Parses JSON text into a `T`.
+///
+/// # Errors
+///
+/// Returns an [`Error`] describing the first syntax error or shape
+/// mismatch.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let value = parse_value_str(s)?;
+    T::from_value(&value)
+}
+
+/// Parses JSON text into a dynamically typed [`Value`].
+///
+/// # Errors
+///
+/// Returns an [`Error`] describing the first syntax error.
+pub fn parse_value_str(s: &str) -> Result<Value, Error> {
+    let bytes = s.as_bytes();
+    let mut pos = 0;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(Error::msg(format!("trailing characters at byte {pos}")));
+    }
+    Ok(value)
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_value(out: &mut String, v: &Value, indent: Option<usize>, depth: usize) {
+    let (nl, pad, pad_in) = match indent {
+        Some(w) => (
+            "\n",
+            " ".repeat(w * depth),
+            " ".repeat(w * (depth + 1)),
+        ),
+        None => ("", String::new(), String::new()),
+    };
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::U64(n) => out.push_str(&n.to_string()),
+        Value::I64(n) => out.push_str(&n.to_string()),
+        Value::F64(x) => {
+            if x.is_finite() {
+                // `{}` prints the shortest representation that parses
+                // back exactly; force a trailing `.0` on integral floats
+                // so the value re-parses as a float.
+                let s = x.to_string();
+                out.push_str(&s);
+                if !s.contains(['.', 'e', 'E']) {
+                    out.push_str(".0");
+                }
+            } else {
+                out.push_str("null"); // JSON has no NaN/Inf
+            }
+        }
+        Value::Str(s) => write_escaped(out, s),
+        Value::Arr(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(nl);
+                out.push_str(&pad_in);
+                write_value(out, item, indent, depth + 1);
+            }
+            out.push_str(nl);
+            out.push_str(&pad);
+            out.push(']');
+        }
+        Value::Obj(fields) => {
+            if fields.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, val)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(nl);
+                out.push_str(&pad_in);
+                write_escaped(out, k);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, val, indent, depth + 1);
+            }
+            out.push_str(nl);
+            out.push_str(&pad);
+            out.push('}');
+        }
+    }
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, lit: &str) -> Result<(), Error> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(Error::msg(format!("expected `{lit}` at byte {pos}")))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Value, Error> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err(Error::msg("unexpected end of input")),
+        Some(b'n') => expect(b, pos, "null").map(|()| Value::Null),
+        Some(b't') => expect(b, pos, "true").map(|()| Value::Bool(true)),
+        Some(b'f') => expect(b, pos, "false").map(|()| Value::Bool(false)),
+        Some(b'"') => parse_string(b, pos).map(Value::Str),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Value::Arr(items));
+            }
+            loop {
+                items.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Value::Arr(items));
+                    }
+                    _ => return Err(Error::msg(format!("expected `,` or `]` at byte {pos}"))),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut fields = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Value::Obj(fields));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = parse_string(b, pos)?;
+                skip_ws(b, pos);
+                expect(b, pos, ":")?;
+                let value = parse_value(b, pos)?;
+                fields.push((key, value));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Value::Obj(fields));
+                    }
+                    _ => return Err(Error::msg(format!("expected `,` or `}}` at byte {pos}"))),
+                }
+            }
+        }
+        Some(_) => parse_number(b, pos),
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, Error> {
+    if b.get(*pos) != Some(&b'"') {
+        return Err(Error::msg(format!("expected string at byte {pos}")));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match b.get(*pos) {
+            None => return Err(Error::msg("unterminated string")),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = b
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or_else(|| Error::msg("truncated \\u escape"))?;
+                        let code = u32::from_str_radix(
+                            std::str::from_utf8(hex)
+                                .map_err(|_| Error::msg("bad \\u escape"))?,
+                            16,
+                        )
+                        .map_err(|_| Error::msg("bad \\u escape"))?;
+                        out.push(
+                            char::from_u32(code)
+                                .ok_or_else(|| Error::msg("bad \\u code point"))?,
+                        );
+                        *pos += 4;
+                    }
+                    _ => return Err(Error::msg("bad escape")),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar.
+                let rest = std::str::from_utf8(&b[*pos..])
+                    .map_err(|_| Error::msg("invalid UTF-8 in string"))?;
+                let c = rest.chars().next().unwrap();
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<Value, Error> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let mut float = false;
+    while let Some(&c) = b.get(*pos) {
+        match c {
+            b'0'..=b'9' => *pos += 1,
+            b'.' | b'e' | b'E' | b'+' | b'-' => {
+                float = true;
+                *pos += 1;
+            }
+            _ => break,
+        }
+    }
+    let text = std::str::from_utf8(&b[start..*pos]).expect("ASCII number");
+    if text.is_empty() || text == "-" {
+        return Err(Error::msg(format!("expected value at byte {start}")));
+    }
+    if !float {
+        if let Ok(n) = text.parse::<u64>() {
+            return Ok(Value::U64(n));
+        }
+        if let Ok(n) = text.parse::<i64>() {
+            return Ok(Value::I64(n));
+        }
+    }
+    text.parse::<f64>()
+        .map(Value::F64)
+        .map_err(|_| Error::msg(format!("bad number `{text}`")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_round_trip() {
+        for text in ["null", "true", "false", "0", "42", "-7", "1.5", "\"hi\""] {
+            let v = parse_value_str(text).unwrap();
+            assert_eq!(to_string(&Wrapper(v.clone())).unwrap(), text);
+        }
+    }
+
+    /// A pass-through Serialize for raw values (test helper).
+    struct Wrapper(Value);
+    impl serde::Serialize for Wrapper {
+        fn to_value(&self) -> Value {
+            self.0.clone()
+        }
+    }
+
+    #[test]
+    fn nested_structures_round_trip() {
+        let text = r#"{"a":[1,2,{"b":"x\ny"}],"c":{},"d":[]}"#;
+        let v = parse_value_str(text).unwrap();
+        assert_eq!(to_string(&Wrapper(v)).unwrap(), text);
+    }
+
+    #[test]
+    fn pretty_output_parses_back() {
+        let v = parse_value_str(r#"{"a":[1,2],"b":{"c":3.25}}"#).unwrap();
+        let pretty = to_string_pretty(&Wrapper(v.clone())).unwrap();
+        assert!(pretty.contains("\n  "));
+        assert_eq!(parse_value_str(&pretty).unwrap(), v);
+    }
+
+    #[test]
+    fn typed_from_str() {
+        let ns: Vec<u64> = from_str("[1, 2, 3]").unwrap();
+        assert_eq!(ns, vec![1, 2, 3]);
+        assert!(from_str::<Vec<u64>>("[1, -2]").is_err());
+        assert!(from_str::<Vec<u64>>("[1, 2").is_err());
+        assert!(from_str::<Vec<u64>>("[1] trailing").is_err());
+    }
+
+    #[test]
+    fn integral_floats_keep_a_dot() {
+        let v = Value::F64(3.0);
+        assert_eq!(to_string(&Wrapper(v)).unwrap(), "3.0");
+    }
+}

@@ -1,0 +1,72 @@
+//! Criterion bench: the zero-overhead-when-off claim.
+//!
+//! Three instantiations of the same end-to-end optimize run:
+//!
+//! * `baseline` — `Executor::run`, i.e. `Session<NullObserver>` through
+//!   the default constructor (the pre-telemetry code path);
+//! * `null_observer` — `run_observed` with an explicit `NullObserver`:
+//!   must monomorphize to *exactly* the baseline (same type), so any
+//!   measured difference is noise. The acceptance bound is <2%.
+//! * `metrics_recorder` — `run_observed` with a live `MetricsRecorder`:
+//!   the real cost of turning telemetry on.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use hds_core::{Executor, NullObserver, OptimizerConfig, PrefetchPolicy, RunMode};
+use hds_telemetry::MetricsRecorder;
+use hds_workloads::{SyntheticConfig, SyntheticWorkload, Workload};
+
+fn workload() -> SyntheticWorkload {
+    SyntheticWorkload::new(SyntheticConfig {
+        total_refs: 150_000,
+        ..SyntheticConfig::default()
+    })
+}
+
+fn config() -> OptimizerConfig {
+    let mut config = OptimizerConfig::paper_scale();
+    config.bursty = hds_bursty::BurstyConfig::new(1_350, 150, 4, 8);
+    config
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("observer_overhead");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(workload().planned_refs()));
+    let mode = RunMode::Optimize(PrefetchPolicy::StreamTail);
+
+    group.bench_function("baseline", |b| {
+        b.iter(|| {
+            let mut w = workload();
+            let procs = w.procedures();
+            black_box(
+                Executor::new(config(), mode)
+                    .run(&mut w, procs)
+                    .total_cycles,
+            )
+        });
+    });
+    group.bench_function("null_observer", |b| {
+        b.iter(|| {
+            let mut w = workload();
+            let procs = w.procedures();
+            black_box(
+                Executor::new(config(), mode)
+                    .run_observed(&mut w, procs, NullObserver)
+                    .total_cycles,
+            )
+        });
+    });
+    group.bench_function("metrics_recorder", |b| {
+        b.iter(|| {
+            let mut w = workload();
+            let procs = w.procedures();
+            let mut rec = MetricsRecorder::new();
+            let report = Executor::new(config(), mode).run_observed(&mut w, procs, &mut rec);
+            black_box((report.total_cycles, rec.prefetches_issued()))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

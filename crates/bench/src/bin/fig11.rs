@@ -12,18 +12,21 @@
 //! (vortex); Hds adds ≤ 1.4%; totals 3% (mcf) – 7% (parser, vortex).
 //!
 //! Run: `cargo run --release -p hds-bench --bin fig11` (add
-//! `--test-scale` for a fast smoke run).
+//! `--test-scale` for a fast smoke run, `--jsonl <path>` to also dump
+//! every run report as one JSON record per line).
 
-use hds_bench::{pct, print_table, run, scale_from_args};
+use hds_bench::{jsonl_path_from_args, pct, print_table, run, scale_from_args, write_reports_jsonl};
 use hds_core::{OptimizerConfig, RunMode};
 use hds_workloads::Benchmark;
 
 fn main() {
     let scale = scale_from_args();
+    let jsonl = jsonl_path_from_args();
     let config = OptimizerConfig::paper_scale();
     println!("Figure 11: overhead of online profiling and analysis (positive = slower)");
     println!();
     let mut rows = Vec::new();
+    let mut reports = Vec::new();
     for bench in Benchmark::ALL {
         let base = run(bench, scale, RunMode::Baseline, &config);
         let checks = run(bench, scale, RunMode::ChecksOnly, &config);
@@ -37,8 +40,15 @@ fn main() {
             format!("{}", hds.refs),
         ]);
         eprintln!("  finished {bench}");
+        if jsonl.is_some() {
+            reports.extend([base, checks, prof, hds]);
+        }
     }
     print_table(&["benchmark", "Base", "Prof", "Hds", "refs"], &rows);
     println!();
     println!("paper: Base 2.5-6%; Prof adds <=1.6%; Hds adds <=1.4%; total 3-7%");
+    if let Some(path) = jsonl {
+        write_reports_jsonl(&path, "fig11", &reports).expect("writing --jsonl file");
+        eprintln!("wrote {} JSONL records to {}", reports.len(), path.display());
+    }
 }

@@ -63,7 +63,7 @@ fn main() {
             line = String::from("  ");
         }
     }
-    if line.trim().len() > 0 {
+    if !line.trim().is_empty() {
         println!("{line}");
     }
     println!();

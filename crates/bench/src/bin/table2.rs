@@ -12,18 +12,22 @@
 //! so cycle counts and traced refs scale down; the scale-free columns
 //! should land in the paper's ranges.
 //!
-//! Run: `cargo run --release -p hds-bench --bin table2`.
+//! Run: `cargo run --release -p hds-bench --bin table2` (add
+//! `--jsonl <path>` to also dump every run report as one JSON record
+//! per line).
 
-use hds_bench::{print_table, run, scale_from_args};
+use hds_bench::{jsonl_path_from_args, print_table, run, scale_from_args, write_reports_jsonl};
 use hds_core::{OptimizerConfig, PrefetchPolicy, RunMode};
 use hds_workloads::Benchmark;
 
 fn main() {
     let scale = scale_from_args();
+    let jsonl = jsonl_path_from_args();
     let config = OptimizerConfig::paper_scale();
     println!("Table 2: detailed dynamic prefetching characterization (per-cycle averages)");
     println!();
     let mut rows = Vec::new();
+    let mut reports = Vec::new();
     for bench in Benchmark::ALL {
         let report = run(
             bench,
@@ -45,6 +49,9 @@ fn main() {
             format!("{:.0}", avg(|c| c.procs_modified as f64)),
         ]);
         eprintln!("  finished {bench}");
+        if jsonl.is_some() {
+            reports.push(report);
+        }
     }
     print_table(
         &[
@@ -61,4 +68,8 @@ fn main() {
     println!("paper: vpr <17, 83231, 41, <79 st, 68 ck>, 7>, mcf <36, 72537, 37, <75,74>, 6>,");
     println!("       twolf <55, 87981, 25, <42,41>, 11>, parser <4, 73244, 21, <43,42>, 9>,");
     println!("       vortex <3, 67852, 14, <29,28>, 12>, boxsim <19, 87818, 23, <40,36>, 7>");
+    if let Some(path) = jsonl {
+        write_reports_jsonl(&path, "table2", &reports).expect("writing --jsonl file");
+        eprintln!("wrote {} JSONL records to {}", reports.len(), path.display());
+    }
 }

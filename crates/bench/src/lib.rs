@@ -30,6 +30,47 @@ pub fn json_from_args() -> bool {
     std::env::args().any(|a| a == "--json")
 }
 
+/// Parses `--jsonl <path>` from the process arguments: the destination
+/// for one self-describing JSON record per run report.
+#[must_use]
+pub fn jsonl_path_from_args() -> Option<std::path::PathBuf> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--jsonl" {
+            return args.next().map(std::path::PathBuf::from);
+        }
+    }
+    None
+}
+
+/// Writes `reports` to `path` as JSONL: one self-describing object per
+/// line, tagged with `record: "run_report"` and the producing binary's
+/// name in `source`, followed by every [`RunReport`] field.
+///
+/// # Errors
+///
+/// Returns any I/O error from creating or writing the file.
+pub fn write_reports_jsonl(
+    path: &std::path::Path,
+    source: &str,
+    reports: &[RunReport],
+) -> std::io::Result<()> {
+    use serde::{Serialize, Value};
+    use std::io::Write as _;
+    let mut out = std::io::BufWriter::new(std::fs::File::create(path)?);
+    for r in reports {
+        let mut value = r.to_value();
+        if let Value::Obj(fields) = &mut value {
+            fields.insert(0, ("record".to_string(), Value::Str("run_report".to_string())));
+            fields.insert(1, ("source".to_string(), Value::Str(source.to_string())));
+        }
+        let line = serde_json::to_string(&value)
+            .map_err(|e| std::io::Error::other(e.to_string()))?;
+        writeln!(out, "{line}")?;
+    }
+    out.flush()
+}
+
 /// Serialises run reports to pretty JSON (for `--json` output and for
 /// piping experiment results into other tooling).
 ///
@@ -189,6 +230,26 @@ mod tests {
     fn pct_formats() {
         assert_eq!(pct(5.04), "+5.0%");
         assert_eq!(pct(-19.0), "-19.0%");
+    }
+
+    #[test]
+    fn jsonl_writer_emits_one_tagged_record_per_report() {
+        let config = OptimizerConfig::test_scale();
+        let report = run(Benchmark::Vortex, Scale::Test, RunMode::Baseline, &config);
+        let path = std::env::temp_dir().join("hds-bench-jsonl-test.jsonl");
+        write_reports_jsonl(&path, "unit-test", &[report.clone(), report])
+            .expect("writing JSONL");
+        let body = std::fs::read_to_string(&path).expect("reading back");
+        let _ = std::fs::remove_file(&path);
+        let lines: Vec<&str> = body.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in lines {
+            let v: serde::Value = serde_json::from_str(line).expect("valid JSON line");
+            assert_eq!(v.get("record"), Some(&serde::Value::Str("run_report".into())));
+            assert_eq!(v.get("source"), Some(&serde::Value::Str("unit-test".into())));
+            assert!(v.get("total_cycles").is_some());
+            assert!(v.get("mem").is_some());
+        }
     }
 
     #[test]

@@ -199,6 +199,11 @@ pub struct BurstyTracer {
     /// Totals (diagnostics).
     total_checks: u64,
     total_bursts: u64,
+    /// Checks executed while the phase was [`Phase::Awake`].
+    awake_checks: u64,
+    /// Awake/hibernate boundaries crossed ([`BurstyTracer::hibernate`] +
+    /// [`BurstyTracer::wake`] calls).
+    phase_transitions: u64,
 }
 
 impl BurstyTracer {
@@ -215,6 +220,8 @@ impl BurstyTracer {
             periods_in_phase: 0,
             total_checks: 0,
             total_bursts: 0,
+            awake_checks: 0,
+            phase_transitions: 0,
             config,
         }
     }
@@ -250,6 +257,9 @@ impl BurstyTracer {
     /// fired. The mode *after* the call tells which version runs next.
     pub fn on_check(&mut self) -> Option<Signal> {
         self.total_checks += 1;
+        if self.phase == Phase::Awake {
+            self.awake_checks += 1;
+        }
         match self.mode {
             Mode::Checking => {
                 self.n_check -= 1;
@@ -302,6 +312,7 @@ impl BurstyTracer {
             "hibernate must be called at a burst boundary"
         );
         self.phase = Phase::Hibernating;
+        self.phase_transitions += 1;
         self.periods_in_phase = 0;
         self.n_check_cur = self.config.burst_period() - 1;
         self.n_instr_cur = 1;
@@ -320,6 +331,7 @@ impl BurstyTracer {
             "wake must be called at a burst boundary"
         );
         self.phase = Phase::Awake;
+        self.phase_transitions += 1;
         self.periods_in_phase = 0;
         self.n_check_cur = self.config.n_check0;
         self.n_instr_cur = self.config.n_instr0;
@@ -336,6 +348,34 @@ impl BurstyTracer {
     #[must_use]
     pub fn total_bursts(&self) -> u64 {
         self.total_bursts
+    }
+
+    /// Checks executed while awake.
+    #[must_use]
+    pub fn awake_checks(&self) -> u64 {
+        self.awake_checks
+    }
+
+    /// Awake/hibernate phase boundaries crossed so far.
+    #[must_use]
+    pub fn phase_transitions(&self) -> u64 {
+        self.phase_transitions
+    }
+
+    /// The *effective* duty cycle so far: the fraction of dynamic checks
+    /// executed while awake. Converges on
+    /// `nAwake0 / (nAwake0 + nHibernate0)` once the tracer has been
+    /// through full cycles; early in a run it reads high because the
+    /// tracer starts awake.
+    #[must_use]
+    pub fn duty_cycle(&self) -> f64 {
+        if self.total_checks == 0 {
+            return 0.0;
+        }
+        #[allow(clippy::cast_precision_loss)]
+        {
+            self.awake_checks as f64 / self.total_checks as f64
+        }
     }
 }
 
@@ -509,6 +549,32 @@ mod tests {
         assert!(
             (measured - predicted).abs() < predicted * 0.1,
             "measured {measured}, predicted {predicted}"
+        );
+    }
+
+    #[test]
+    fn duty_cycle_tracks_awake_fraction() {
+        let config = BurstyConfig::new(3, 2, 2, 6);
+        let mut t = BurstyTracer::new(config);
+        assert_eq!(t.duty_cycle(), 0.0);
+        assert_eq!(t.phase_transitions(), 0);
+        // Drive several full awake/hibernate cycles.
+        for _ in 0..20_000 {
+            match t.on_check() {
+                Some(Signal::AwakeComplete) => t.hibernate(),
+                Some(Signal::HibernationComplete) => t.wake(),
+                _ => {}
+            }
+        }
+        assert!(t.phase_transitions() >= 2);
+        assert_eq!(t.awake_checks() + (t.total_checks() - t.awake_checks()), t.total_checks());
+        // Awake 2 of every 8 burst-periods (same period length in both
+        // phases), so the duty cycle converges on 0.25.
+        let expected = 2.0 / 8.0;
+        assert!(
+            (t.duty_cycle() - expected).abs() < 0.05,
+            "duty cycle {} far from {expected}",
+            t.duty_cycle()
         );
     }
 

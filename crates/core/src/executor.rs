@@ -7,6 +7,7 @@ use hds_dfsm::{build as build_dfsm, Dfsm, StateId};
 use hds_hotstream::fast;
 use hds_memsim::MemorySystem;
 use hds_sequitur::Sequitur;
+use hds_telemetry::{events as tev, NullObserver, Observer};
 use hds_trace::{DataRef, SymbolTable, TraceBuffer};
 use hds_vulcan::{Event, FrameTracker, Image, Procedure, ProgramSource};
 
@@ -42,8 +43,9 @@ struct RunState {
     refs: u64,
     checks: u64,
     cycle_stats: Vec<CycleStats>,
-    /// Tail addresses awaiting issue under windowed scheduling.
-    pf_queue: std::collections::VecDeque<hds_trace::Addr>,
+    /// Tail addresses (with their triggering stream id) awaiting issue
+    /// under windowed scheduling.
+    pf_queue: std::collections::VecDeque<(hds_trace::Addr, u32)>,
 }
 
 impl Executor {
@@ -67,6 +69,26 @@ impl Executor {
         }
         session.finish(program.name())
     }
+
+    /// Like [`Executor::run`], but with an observer receiving every
+    /// telemetry event of the run. Pass `&mut recorder` to keep the
+    /// observer afterwards.
+    pub fn run_observed<W, O>(
+        self,
+        program: &mut W,
+        procedures: Vec<Procedure>,
+        obs: O,
+    ) -> RunReport
+    where
+        W: ProgramSource + ?Sized,
+        O: Observer,
+    {
+        let mut session = Session::with_observer(self.config, self.mode, procedures, obs);
+        while let Some(event) = program.next_event() {
+            session.on_event(event);
+        }
+        session.finish(program.name())
+    }
 }
 
 /// An incremental (streaming) optimizer session: feed execution events
@@ -77,6 +99,17 @@ impl Executor {
 /// [`Executor::run`] is a thin driver over this type; embedders that
 /// produce events from a live system (rather than a [`ProgramSource`])
 /// use `Session` directly.
+///
+/// # Observability
+///
+/// The session is generic over an [`Observer`] (default:
+/// [`NullObserver`]). Every phase boundary, stream detection, DFSM
+/// build, prefetch issue/outcome, and de-optimization is reported to
+/// the observer. Emission sites are gated on `O::ENABLED`, a
+/// monomorphization-time constant, so the default `NullObserver`
+/// session compiles to exactly the uninstrumented code — zero overhead
+/// when off (the `observer_overhead` benchmark in `crates/bench`
+/// verifies this).
 ///
 /// # Examples
 ///
@@ -99,17 +132,52 @@ impl Executor {
 /// let report = session.finish("embedded");
 /// assert_eq!(report.refs, 1);
 /// ```
+///
+/// With an observer (borrow it to keep it afterwards):
+///
+/// ```
+/// use hds_core::{OptimizerConfig, PrefetchPolicy, RunMode, Session};
+/// use hds_telemetry::MetricsRecorder;
+/// use hds_vulcan::Procedure;
+///
+/// let mut rec = MetricsRecorder::new();
+/// let session = Session::with_observer(
+///     OptimizerConfig::test_scale(),
+///     RunMode::Optimize(PrefetchPolicy::StreamTail),
+///     Vec::<Procedure>::new(),
+///     &mut rec,
+/// );
+/// let _report = session.finish("observed");
+/// assert_eq!(rec.cycles_completed(), 0);
+/// ```
 #[derive(Debug)]
-pub struct Session {
+pub struct Session<O: Observer = NullObserver> {
     config: OptimizerConfig,
     mode: RunMode,
     st: RunState,
+    obs: O,
 }
 
 impl Session {
-    /// Creates a session over a program image described by `procedures`.
+    /// Creates a session over a program image described by `procedures`,
+    /// with no observer attached.
     #[must_use]
     pub fn new(config: OptimizerConfig, mode: RunMode, procedures: Vec<Procedure>) -> Self {
+        Session::with_observer(config, mode, procedures, NullObserver)
+    }
+}
+
+impl<O: Observer> Session<O> {
+    /// Creates a session with an attached observer. All telemetry
+    /// events of the run are delivered to `obs`; pass `&mut observer`
+    /// to retain access to it after [`Session::finish`].
+    #[must_use]
+    pub fn with_observer(
+        config: OptimizerConfig,
+        mode: RunMode,
+        procedures: Vec<Procedure>,
+        obs: O,
+    ) -> Self {
         let st = RunState {
             cycles: 0,
             breakdown: CostBreakdown::default(),
@@ -128,7 +196,32 @@ impl Session {
             cycle_stats: Vec::new(),
             pf_queue: std::collections::VecDeque::new(),
         };
-        Session { config, mode, st }
+        let mut session = Session {
+            config,
+            mode,
+            st,
+            obs,
+        };
+        // The first profiling cycle starts with the program (the tracer
+        // begins awake); baseline modes never cycle.
+        if O::ENABLED && session.mode.records() {
+            session.obs.cycle_start(&tev::CycleStart {
+                opt_cycle: 0,
+                at_cycle: 0,
+            });
+        }
+        session
+    }
+
+    /// The attached observer.
+    #[must_use]
+    pub fn observer(&self) -> &O {
+        &self.obs
+    }
+
+    /// The attached observer, mutably.
+    pub fn observer_mut(&mut self) -> &mut O {
+        &mut self.obs
     }
 
     /// Processes one execution event, charging its simulated cost and
@@ -144,18 +237,19 @@ impl Session {
             }
             Event::Enter(p) => {
                 st.frames[st.active_thread].enter(p, st.image.epoch());
-                do_check(&self.config, self.mode, st);
+                do_check(&self.config, self.mode, st, &mut self.obs);
             }
             Event::Exit(p) => st.frames[st.active_thread].exit(p),
-            Event::BackEdge(_) => do_check(&self.config, self.mode, st),
-            Event::Access(r, kind) => do_access(&self.config, self.mode, st, r, kind),
+            Event::BackEdge(_) => do_check(&self.config, self.mode, st, &mut self.obs),
+            Event::Access(r, kind) => {
+                do_access(&self.config, self.mode, st, &mut self.obs, r, kind);
+            }
             Event::Prefetch(addr) => {
                 // A prefetch instruction belonging to the program
                 // itself (software prefetching baselines); charged in
                 // every mode, including the baseline.
-                st.cycles += cost.prefetch_issue_cycles;
-                st.breakdown.prefetch += cost.prefetch_issue_cycles;
-                st.mem.prefetch_at(addr, st.cycles);
+                issue_prefetch(&self.config, st, &mut self.obs, addr, tev::PROGRAM_STREAM);
+                drain_outcomes(st, &mut self.obs);
             }
             Event::Thread(t) => {
                 // Context switch: call stacks are per-thread; the
@@ -198,7 +292,10 @@ impl Session {
     /// Ends the session and produces the report, labelled with the
     /// program's `name`.
     #[must_use]
-    pub fn finish(self, name: &str) -> RunReport {
+    pub fn finish(mut self, name: &str) -> RunReport {
+        // Deliver any outcomes resolved since the last access (e.g.
+        // pollution from the final fills).
+        drain_outcomes(&mut self.st, &mut self.obs);
         let mode_label = match self.mode {
             RunMode::Baseline => "Baseline".to_string(),
             RunMode::ChecksOnly => "Base".to_string(),
@@ -220,8 +317,64 @@ impl Session {
     }
 }
 
+/// Issues one prefetch, charging its cost. With an enabled observer the
+/// prefetch is tagged in the memory system (so its outcome is
+/// attributed back to `stream`) and reported; otherwise this is exactly
+/// the untagged path.
+fn issue_prefetch<O: Observer>(
+    config: &OptimizerConfig,
+    st: &mut RunState,
+    obs: &mut O,
+    addr: hds_trace::Addr,
+    stream: u32,
+) {
+    let cost = config.hierarchy.cost;
+    st.cycles += cost.prefetch_issue_cycles;
+    st.breakdown.prefetch += cost.prefetch_issue_cycles;
+    if O::ENABLED {
+        st.mem.prefetch_tagged_at(addr, st.cycles, stream);
+        obs.prefetch_issued(&tev::PrefetchIssued {
+            stream_id: stream,
+            addr: addr.0,
+            block: addr.block(config.hierarchy.l1.block_size),
+            at_cycle: st.cycles,
+            at_ref: st.refs,
+        });
+    } else {
+        st.mem.prefetch_at(addr, st.cycles);
+    }
+}
+
+/// Forwards resolved prefetch outcomes from the memory system's
+/// attribution queue to the observer. No-op (and no queue ever fills)
+/// without an enabled observer.
+fn drain_outcomes<O: Observer>(st: &mut RunState, obs: &mut O) {
+    if !O::ENABLED {
+        return;
+    }
+    for o in st.mem.take_outcomes() {
+        obs.prefetch_outcome(&tev::PrefetchOutcome {
+            stream_id: o.tag,
+            block: o.block,
+            fate: match o.fate {
+                hds_memsim::PrefetchFate::Useful => tev::PrefetchFate::Useful,
+                hds_memsim::PrefetchFate::Late => tev::PrefetchFate::Late,
+                hds_memsim::PrefetchFate::Polluted => tev::PrefetchFate::Polluted,
+            },
+            issued_at_cycle: o.issued_at,
+            resolved_at_cycle: o.resolved_at,
+            resolved_at_ref: st.refs,
+        });
+    }
+}
+
 /// One dynamic check site (procedure entry or loop back-edge).
-fn do_check(config: &OptimizerConfig, mode: RunMode, st: &mut RunState) {
+fn do_check<O: Observer>(
+    config: &OptimizerConfig,
+    mode: RunMode,
+    st: &mut RunState,
+    obs: &mut O,
+) {
     {
         let cost = config.hierarchy.cost;
         match mode {
@@ -256,8 +409,11 @@ fn do_check(config: &OptimizerConfig, mode: RunMode, st: &mut RunState) {
                         if st.buffer.in_burst() {
                             st.buffer.end_burst_discard_empty();
                         }
-                        finish_awake(config, mode, st);
+                        finish_awake(config, mode, st, obs);
                         st.tracer.hibernate();
+                        if O::ENABLED {
+                            obs.phase_transition(&phase_event(st, tev::PhaseKind::Hibernating));
+                        }
                     }
                     Some(Signal::HibernationComplete) => {
                         if config.strategy == CycleStrategy::Static
@@ -267,15 +423,35 @@ fn do_check(config: &OptimizerConfig, mode: RunMode, st: &mut RunState) {
                             // and profiling never resumes — just start
                             // another hibernation span.
                             st.tracer.hibernate();
+                            if O::ENABLED {
+                                obs.phase_transition(&phase_event(
+                                    st,
+                                    tev::PhaseKind::Hibernating,
+                                ));
+                            }
                         } else {
                             // De-optimize: remove the injected checks and
                             // prefetches, return to profiling (§1,
                             // Figure 1).
+                            let had_code = st.dfsm.is_some();
                             st.image.deoptimize();
                             st.dfsm = None;
                             st.dfsm_state = StateId::START;
                             st.pf_queue.clear();
                             st.tracer.wake();
+                            if O::ENABLED {
+                                if had_code {
+                                    obs.deoptimize(&tev::Deoptimize {
+                                        at_cycle: st.cycles,
+                                        opt_cycle: st.cycle_stats.len() as u64,
+                                    });
+                                }
+                                obs.phase_transition(&phase_event(st, tev::PhaseKind::Awake));
+                                obs.cycle_start(&tev::CycleStart {
+                                    opt_cycle: st.cycle_stats.len() as u64,
+                                    at_cycle: st.cycles,
+                                });
+                            }
                         }
                     }
                     None => {}
@@ -286,8 +462,26 @@ fn do_check(config: &OptimizerConfig, mode: RunMode, st: &mut RunState) {
 
 }
 
+/// A [`tev::PhaseTransition`] snapshot of the current run state.
+fn phase_event(st: &RunState, to: tev::PhaseKind) -> tev::PhaseTransition {
+    tev::PhaseTransition {
+        at_cycle: st.cycles,
+        at_check: st.checks,
+        to,
+        opt_cycle: st.cycle_stats.len() as u64,
+        duty_cycle: st.tracer.duty_cycle(),
+    }
+}
+
 /// One data reference.
-fn do_access(config: &OptimizerConfig, mode: RunMode, st: &mut RunState, r: DataRef, kind: hds_trace::AccessKind) {
+fn do_access<O: Observer>(
+    config: &OptimizerConfig,
+    mode: RunMode,
+    st: &mut RunState,
+    obs: &mut O,
+    r: DataRef,
+    kind: hds_trace::AccessKind,
+) {
     {
         let cost = config.hierarchy.cost;
         st.refs += 1;
@@ -315,12 +509,10 @@ fn do_access(config: &OptimizerConfig, mode: RunMode, st: &mut RunState, r: Data
             // reference so fetches land closer to their uses.
             if let PrefetchScheduling::Windowed { degree } = config.scheduling {
                 for _ in 0..degree {
-                    let Some(addr) = st.pf_queue.pop_front() else {
+                    let Some((addr, tag)) = st.pf_queue.pop_front() else {
                         break;
                     };
-                    st.cycles += cost.prefetch_issue_cycles;
-                    st.breakdown.prefetch += cost.prefetch_issue_cycles;
-                    st.mem.prefetch_at(addr, st.cycles);
+                    issue_prefetch(config, st, obs, addr, tag);
                 }
             }
             let epoch = st.frames[st.active_thread].current_epoch().unwrap_or(0);
@@ -332,47 +524,57 @@ fn do_access(config: &OptimizerConfig, mode: RunMode, st: &mut RunState, r: Data
                 let c = cost.dfsm_check_cycles;
                 st.cycles += c;
                 st.breakdown.matching += c;
-                let Some(dfsm) = st.dfsm.as_ref() else {
-                    return;
-                };
-                match dfsm.transition(st.dfsm_state, r) {
-                    Some(next) => {
-                        st.dfsm_state = next;
-                        let targets = dfsm.prefetches(next);
-                        if !targets.is_empty() {
-                            let block = config.hierarchy.l1.block_size;
-                            let addrs: Vec<hds_trace::Addr> = match policy {
-                                PrefetchPolicy::None => Vec::new(),
-                                PrefetchPolicy::StreamTail => targets.to_vec(),
-                                PrefetchPolicy::SequentialBlocks => {
-                                    // Same trigger, but fetch the blocks
-                                    // sequentially following the matched
-                                    // reference (§4.3's Seq-pref).
-                                    let n = targets.len().min(config.seq_pref_cap);
-                                    let base = r.addr.block(block);
-                                    (1..=n as u64)
-                                        .map(|k| hds_trace::Addr((base + k) * block))
-                                        .collect()
-                                }
-                            };
-                            match config.scheduling {
-                                PrefetchScheduling::AllAtOnce => {
-                                    for addr in addrs {
-                                        st.cycles += cost.prefetch_issue_cycles;
-                                        st.breakdown.prefetch += cost.prefetch_issue_cycles;
-                                        st.mem.prefetch_at(addr, st.cycles);
+                if st.dfsm.is_some() {
+                    // Resolve the transition (and copy out the targets)
+                    // first, so the machine borrow ends before issuing.
+                    let step = {
+                        let dfsm = st.dfsm.as_ref().expect("checked above");
+                        dfsm.transition(st.dfsm_state, r).map(|next| {
+                            let tag = dfsm
+                                .completed_streams(next)
+                                .first()
+                                .map_or(tev::PROGRAM_STREAM, |s| s.0);
+                            (next, dfsm.prefetches(next).to_vec(), tag)
+                        })
+                    };
+                    match step {
+                        Some((next, targets, tag)) => {
+                            st.dfsm_state = next;
+                            if !targets.is_empty() {
+                                let block = config.hierarchy.l1.block_size;
+                                let addrs: Vec<hds_trace::Addr> = match policy {
+                                    PrefetchPolicy::None => Vec::new(),
+                                    PrefetchPolicy::StreamTail => targets,
+                                    PrefetchPolicy::SequentialBlocks => {
+                                        // Same trigger, but fetch the blocks
+                                        // sequentially following the matched
+                                        // reference (§4.3's Seq-pref).
+                                        let n = targets.len().min(config.seq_pref_cap);
+                                        let base = r.addr.block(block);
+                                        (1..=n as u64)
+                                            .map(|k| hds_trace::Addr((base + k) * block))
+                                            .collect()
                                     }
-                                }
-                                PrefetchScheduling::Windowed { .. } => {
-                                    st.pf_queue.extend(addrs);
+                                };
+                                match config.scheduling {
+                                    PrefetchScheduling::AllAtOnce => {
+                                        for addr in addrs {
+                                            issue_prefetch(config, st, obs, addr, tag);
+                                        }
+                                    }
+                                    PrefetchScheduling::Windowed { .. } => {
+                                        st.pf_queue
+                                            .extend(addrs.into_iter().map(|a| (a, tag)));
+                                    }
                                 }
                             }
                         }
+                        None => st.dfsm_state = StateId::START,
                     }
-                    None => st.dfsm_state = StateId::START,
                 }
             }
         }
+        drain_outcomes(st, obs);
     }
 
 }
@@ -380,7 +582,12 @@ fn do_access(config: &OptimizerConfig, mode: RunMode, st: &mut RunState, r: Data
 /// End of an awake phase: run the analysis, and in optimize modes
 /// build the DFSM and edit the image. Resets the profile state for
 /// the next cycle either way.
-fn finish_awake(config: &OptimizerConfig, mode: RunMode, st: &mut RunState) {
+fn finish_awake<O: Observer>(
+    config: &OptimizerConfig,
+    mode: RunMode,
+    st: &mut RunState,
+    obs: &mut O,
+) {
     {
         let cost = config.hierarchy.cost;
         if mode.analyzes() {
@@ -431,6 +638,18 @@ fn finish_awake(config: &OptimizerConfig, mode: RunMode, st: &mut RunState) {
                     }
                 }
                 stats.streams_used = streams.len();
+                if O::ENABLED {
+                    // Ids match the DFSM's StreamIds (build preserves
+                    // input order), so prefetch events correlate back.
+                    for (i, s) in streams.iter().enumerate() {
+                        obs.stream_detected(&tev::StreamDetected {
+                            opt_cycle: st.cycle_stats.len() as u64,
+                            stream_id: i as u32,
+                            len: s.len(),
+                            head_len,
+                        });
+                    }
+                }
                 if !streams.is_empty() {
                     if let Ok(dfsm) = build_dfsm(&streams, &config.dfsm) {
                         let checks = dfsm.checks_by_pc();
@@ -447,10 +666,32 @@ fn finish_awake(config: &OptimizerConfig, mode: RunMode, st: &mut RunState) {
                         stats.dfsm_states = dfsm.state_count();
                         stats.dfsm_checks = dfsm.address_check_count();
                         stats.procs_modified = report.procedures_modified;
+                        if O::ENABLED {
+                            obs.dfsm_built(&tev::DfsmBuilt {
+                                opt_cycle: st.cycle_stats.len() as u64,
+                                states: stats.dfsm_states,
+                                address_checks: stats.dfsm_checks,
+                                streams: streams.len(),
+                                procs_modified: stats.procs_modified,
+                            });
+                        }
                         st.dfsm = Some(dfsm);
                         st.dfsm_state = StateId::START;
                     }
                 }
+            }
+            if O::ENABLED {
+                obs.cycle_end(&tev::CycleEnd {
+                    opt_cycle: st.cycle_stats.len() as u64,
+                    at_cycle: st.cycles,
+                    traced_refs: stats.traced_refs,
+                    hot_streams: stats.hot_streams,
+                    streams_used: stats.streams_used,
+                    dfsm_states: stats.dfsm_states,
+                    dfsm_checks: stats.dfsm_checks,
+                    procs_modified: stats.procs_modified,
+                    grammar_size: stats.grammar_size,
+                });
             }
             st.cycle_stats.push(stats);
         }
@@ -465,6 +706,8 @@ fn finish_awake(config: &OptimizerConfig, mode: RunMode, st: &mut RunState) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use hds_telemetry::events::{PrefetchFate, PROGRAM_STREAM};
+    use hds_telemetry::MetricsRecorder;
     use hds_trace::{AccessKind, Addr, Pc};
     use hds_vulcan::{ProcId, VecSource};
 
@@ -765,5 +1008,89 @@ mod tests {
         .run(&mut p, procs);
         // Several full cycles completed.
         assert!(report.opt_cycles() >= 2, "only {} cycles", report.opt_cycles());
+    }
+
+    /// Runs the memory-bound program with a `MetricsRecorder` attached
+    /// and returns (report, recorder).
+    fn observed_run(iterations: usize) -> (RunReport, MetricsRecorder) {
+        let mut config = tiny_config();
+        config.bursty = hds_bursty::BurstyConfig::new(256, 512, 2, 3);
+        let (mut p, procs) = big_stream_program(iterations);
+        let mut rec = MetricsRecorder::new();
+        let report = Executor::new(config, RunMode::Optimize(PrefetchPolicy::StreamTail))
+            .run_observed(&mut p, procs, &mut rec);
+        (report, rec)
+    }
+
+    #[test]
+    fn observer_counters_reconcile_with_report() {
+        let (report, rec) = observed_run(2_000);
+        assert!(report.mem.prefetches_issued > 0);
+        assert_eq!(rec.prefetches_issued(), report.mem.prefetches_issued);
+        assert_eq!(rec.cycles_completed(), report.cycles.len() as u64);
+        assert_eq!(
+            rec.traced_refs_total(),
+            report.cycles.iter().map(|c| c.traced_refs).sum::<u64>()
+        );
+        assert_eq!(
+            rec.streams_detected(),
+            report.cycles.iter().map(|c| c.streams_used as u64).sum::<u64>()
+        );
+        // Outcome fates reconcile with MemStats: a late prefetch counts
+        // in both `prefetches_late` and `prefetches_useful` there, while
+        // each telemetry outcome has exactly one fate.
+        assert_eq!(
+            rec.outcomes(PrefetchFate::Useful),
+            report.mem.prefetches_useful - report.mem.prefetches_late
+        );
+        assert_eq!(rec.outcomes(PrefetchFate::Late), report.mem.prefetches_late);
+        assert_eq!(
+            rec.outcomes(PrefetchFate::Polluted),
+            report.mem.prefetches_polluting
+        );
+    }
+
+    #[test]
+    fn observer_sees_phase_boundaries_and_duty_cycle() {
+        let (report, rec) = observed_run(2_000);
+        assert!(rec.phase_transitions_total() >= 2);
+        assert!(rec.cycles_started() >= rec.cycles_completed());
+        assert!(rec.deopts() >= 1, "dynamic strategy must deoptimize");
+        let duty = rec.last_duty_cycle();
+        assert!(duty > 0.0 && duty < 1.0, "duty cycle {duty} out of range");
+        assert!(report.cycles.len() >= 2);
+    }
+
+    #[test]
+    fn observation_does_not_perturb_the_run() {
+        // The observed run and the default (NullObserver) run must be
+        // cycle-for-cycle identical: tagging is timing-neutral and the
+        // observer is outside the simulated machine.
+        let (observed, _) = observed_run(1_000);
+        let mut config = tiny_config();
+        config.bursty = hds_bursty::BurstyConfig::new(256, 512, 2, 3);
+        let (mut p, procs) = big_stream_program(1_000);
+        let plain = Executor::new(config, RunMode::Optimize(PrefetchPolicy::StreamTail))
+            .run(&mut p, procs);
+        assert_eq!(observed.total_cycles, plain.total_cycles);
+        assert_eq!(observed.mem, plain.mem);
+        assert_eq!(observed.breakdown, plain.breakdown);
+    }
+
+    #[test]
+    fn per_stream_quality_is_populated() {
+        let (_, rec) = observed_run(2_000);
+        // At least one real (non-program) stream must have resolved
+        // prefetches with computable quality ratios.
+        let real: Vec<_> = rec
+            .per_stream()
+            .iter()
+            .filter(|(&id, _)| id != PROGRAM_STREAM)
+            .collect();
+        assert!(!real.is_empty(), "no per-stream metrics recorded");
+        assert!(
+            real.iter().any(|(_, m)| m.accuracy() > 0.0),
+            "no stream ever had a useful prefetch"
+        );
     }
 }

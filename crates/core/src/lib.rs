@@ -55,3 +55,8 @@ mod report;
 pub use config::{CycleStrategy, OptimizerConfig, PrefetchPolicy, PrefetchScheduling, RunMode};
 pub use executor::{Executor, Session};
 pub use report::{CostBreakdown, CycleStats, RunReport};
+
+// Observability: the observer contract lives in `hds_telemetry`;
+// re-exported here so embedders wiring a `Session` observer need only
+// this crate.
+pub use hds_telemetry::{self as telemetry, NullObserver, Observer};

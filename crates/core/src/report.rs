@@ -28,17 +28,19 @@ pub struct CostBreakdown {
 }
 
 impl CostBreakdown {
-    /// Sum of all categories.
+    /// Sum of all categories. Saturates at `u64::MAX` instead of
+    /// overflowing — pathological configurations (or hand-built
+    /// breakdowns) must not panic a report.
     #[must_use]
     pub fn total(&self) -> u64 {
         self.work
-            + self.memory
-            + self.checks
-            + self.recording
-            + self.analysis
-            + self.matching
-            + self.prefetch
-            + self.optimize
+            .saturating_add(self.memory)
+            .saturating_add(self.checks)
+            .saturating_add(self.recording)
+            .saturating_add(self.analysis)
+            .saturating_add(self.matching)
+            .saturating_add(self.prefetch)
+            .saturating_add(self.optimize)
     }
 }
 
@@ -173,6 +175,71 @@ mod tests {
             optimize: 8,
         };
         assert_eq!(b.total(), 36);
+    }
+
+    #[test]
+    fn breakdown_total_saturates_instead_of_overflowing() {
+        let b = CostBreakdown {
+            work: u64::MAX,
+            memory: 1,
+            ..CostBreakdown::default()
+        };
+        assert_eq!(b.total(), u64::MAX);
+        let b = CostBreakdown {
+            work: u64::MAX / 2,
+            memory: u64::MAX / 2,
+            checks: u64::MAX / 2,
+            ..CostBreakdown::default()
+        };
+        assert_eq!(b.total(), u64::MAX);
+    }
+
+    #[cfg(feature = "serde")]
+    #[test]
+    fn cycle_stats_round_trip_through_json() {
+        let stats = CycleStats {
+            traced_refs: 12_345,
+            hot_streams: 9,
+            streams_used: 4,
+            dfsm_states: 31,
+            dfsm_checks: 17,
+            procs_modified: 3,
+            grammar_size: 412,
+        };
+        let json = serde_json::to_string(&stats).unwrap();
+        let back: CycleStats = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, stats);
+    }
+
+    #[cfg(feature = "serde")]
+    #[test]
+    fn run_report_round_trips_through_json() {
+        let mut r = report(987);
+        r.breakdown = CostBreakdown {
+            work: 1,
+            memory: 2,
+            checks: 3,
+            recording: 4,
+            analysis: 5,
+            matching: 6,
+            prefetch: 7,
+            optimize: 8,
+        };
+        r.refs = 55;
+        r.checks_executed = 11;
+        r.cycles = vec![CycleStats {
+            traced_refs: 10,
+            ..CycleStats::default()
+        }];
+        let json = serde_json::to_string_pretty(&r).unwrap();
+        let back: RunReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.name, r.name);
+        assert_eq!(back.total_cycles, r.total_cycles);
+        assert_eq!(back.breakdown, r.breakdown);
+        assert_eq!(back.mem, r.mem);
+        assert_eq!(back.cycles, r.cycles);
+        assert_eq!(back.refs, r.refs);
+        assert_eq!(back.checks_executed, r.checks_executed);
     }
 
     #[test]

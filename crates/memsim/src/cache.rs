@@ -87,6 +87,10 @@ struct Line {
     block: u64,
     lru: u64,
     prefetched_unused: bool,
+    /// The fill that brought this line in was a prefetch. Unlike
+    /// `prefetched_unused` this never clears on use, so hits can be
+    /// attributed to prefetched vs. demand-fetched lines.
+    origin_prefetched: bool,
     /// Written since fill (write-back accounting).
     dirty: bool,
 }
@@ -99,6 +103,9 @@ pub(crate) struct Evicted {
     pub kind: EvictedKind,
     /// Was the victim dirty (a write-back)?
     pub dirty: bool,
+    /// Block number of the victim (meaningful unless `kind` is
+    /// [`EvictedKind::None`]).
+    pub block: u64,
 }
 
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -192,6 +199,16 @@ impl Cache {
             .any(|l| l.block == block && l.prefetched_unused)
     }
 
+    /// Was the resident line containing `addr` originally filled by a
+    /// prefetch? (No LRU update; persists across demand uses.)
+    pub(crate) fn line_origin_prefetched(&self, addr: Addr) -> bool {
+        let block = addr.block(self.config.block_size);
+        let set = self.set_of(block);
+        self.sets[set]
+            .iter()
+            .any(|l| l.block == block && l.origin_prefetched)
+    }
+
     /// Is the block containing `addr` resident? (No LRU update.)
     #[must_use]
     pub fn contains(&self, addr: Addr) -> bool {
@@ -217,12 +234,14 @@ impl Cache {
             return Evicted {
                 kind: EvictedKind::None,
                 dirty: false,
+                block,
             };
         }
         let new_line = Line {
             block,
             lru: tick,
             prefetched_unused: prefetched,
+            origin_prefetched: prefetched,
             dirty: false,
         };
         if set.len() < assoc {
@@ -230,6 +249,7 @@ impl Cache {
             return Evicted {
                 kind: EvictedKind::None,
                 dirty: false,
+                block,
             };
         }
         let victim = set
@@ -243,6 +263,7 @@ impl Cache {
                 EvictedKind::Demand
             },
             dirty: victim.dirty,
+            block: victim.block,
         };
         *victim = new_line;
         evicted

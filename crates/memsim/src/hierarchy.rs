@@ -72,12 +72,53 @@ pub struct AccessResult {
     pub cycles: u64,
 }
 
+/// How a *tracked* prefetch ultimately resolved (see
+/// [`MemorySystem::prefetch_tagged_at`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PrefetchFate {
+    /// The block was demand-hit in L1 before eviction.
+    Useful,
+    /// The demand access arrived while the block was still in flight.
+    Late,
+    /// The block was evicted without ever being demand-used.
+    Polluted,
+}
+
+/// The resolution record of one tracked prefetch. Queued internally and
+/// drained with [`MemorySystem::take_outcomes`], so attribution stays
+/// decoupled from whoever consumes it (the telemetry layer).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PrefetchResolution {
+    /// The tag the issuer attached (stream id, by convention).
+    pub tag: u32,
+    /// Cache block number.
+    pub block: u64,
+    /// How the prefetch resolved.
+    pub fate: PrefetchFate,
+    /// Simulated time the prefetch was issued.
+    pub issued_at: u64,
+    /// Simulated time of the resolution.
+    pub resolved_at: u64,
+}
+
+/// Issue bookkeeping for one tracked prefetched block.
+#[derive(Clone, Copy, Debug)]
+struct PendingPrefetch {
+    tag: u32,
+    issued_at: u64,
+}
+
 /// Counters the evaluation reports on.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct MemStats {
     /// Demand accesses served by L1.
     pub l1_hits: u64,
+    /// Of the L1 hits, those served by a line originally filled by a
+    /// prefetch (hits on demand-fetched lines are the difference). This
+    /// attributes *all* hits on such lines, not just the first — the
+    /// prefetched-vs-demand split of where hits come from.
+    pub l1_hits_on_prefetched: u64,
     /// Demand accesses that missed L1.
     pub l1_misses: u64,
     /// Demand accesses served by L2.
@@ -161,6 +202,11 @@ pub struct MemorySystem {
     l2: Cache,
     /// Blocks in flight from prefetches: block number -> completion time.
     in_flight: HashMap<u64, u64>,
+    /// Tracked (tagged) prefetched blocks awaiting resolution.
+    pending: HashMap<u64, PendingPrefetch>,
+    /// Resolved outcomes awaiting [`MemorySystem::take_outcomes`]. Only
+    /// tagged prefetches produce entries, so untracked runs pay nothing.
+    outcomes: Vec<PrefetchResolution>,
     stats: MemStats,
 }
 
@@ -172,6 +218,8 @@ impl MemorySystem {
             l1: Cache::new(config.l1),
             l2: Cache::new(config.l2),
             in_flight: HashMap::new(),
+            pending: HashMap::new(),
+            outcomes: Vec::new(),
             config,
             stats: MemStats::default(),
         }
@@ -207,7 +255,8 @@ impl MemorySystem {
         if let Some(&done) = self.in_flight.get(&block) {
             let remaining = done.saturating_sub(now);
             self.in_flight.remove(&block);
-            self.fill_both(addr, false); // arrives used
+            self.resolve(block, PrefetchFate::Late, now);
+            self.fill_both(addr, false, now); // arrives used
             self.mark_if_store(addr, kind);
             self.stats.prefetches_late += 1;
             self.stats.l1_misses += 1;
@@ -223,7 +272,7 @@ impl MemorySystem {
             };
         }
 
-        if self.l1_access_tracking(addr, kind == AccessKind::Store) {
+        if self.l1_access_tracking(addr, kind == AccessKind::Store, now) {
             self.stats.l1_hits += 1;
             let cycles = cost.l1_hit_cycles;
             self.stats.demand_cycles += cycles;
@@ -235,7 +284,7 @@ impl MemorySystem {
         self.stats.l1_misses += 1;
         if self.l2.access(addr) {
             self.stats.l2_hits += 1;
-            self.fill_l1(addr, false);
+            self.fill_l1(addr, false, now);
             self.mark_if_store(addr, kind);
             let cycles = cost.l2_total_cycles();
             self.stats.demand_cycles += cycles;
@@ -245,7 +294,7 @@ impl MemorySystem {
             };
         }
         self.stats.l2_misses += 1;
-        self.fill_both(addr, false);
+        self.fill_both(addr, false, now);
         self.mark_if_store(addr, kind);
         let cycles = cost.full_miss_cycles();
         self.stats.demand_cycles += cycles;
@@ -266,6 +315,23 @@ impl MemorySystem {
     /// promoted immediately if already L2-resident). Returns the issue
     /// cost in cycles.
     pub fn prefetch_at(&mut self, addr: Addr, now: u64) -> u64 {
+        self.prefetch_inner(addr, now, None)
+    }
+
+    /// Like [`MemorySystem::prefetch_at`], additionally *tracking* the
+    /// prefetch under `tag` (by convention the issuing stream's id): its
+    /// eventual resolution — useful, late, or polluted — is queued as a
+    /// [`PrefetchResolution`] for [`MemorySystem::take_outcomes`].
+    /// Timing and cache effects are identical to the untagged call, so
+    /// enabling attribution never perturbs a simulation. Redundant
+    /// prefetches of L1-resident blocks are not tracked (they resolve
+    /// never), and a re-prefetch of a still-pending block keeps the
+    /// original issue record.
+    pub fn prefetch_tagged_at(&mut self, addr: Addr, now: u64, tag: u32) -> u64 {
+        self.prefetch_inner(addr, now, Some(tag))
+    }
+
+    fn prefetch_inner(&mut self, addr: Addr, now: u64, tag: Option<u32>) -> u64 {
         let cost = self.config.cost;
         self.land_arrived(now);
         self.stats.prefetches_issued += 1;
@@ -274,9 +340,14 @@ impl MemorySystem {
             // Redundant prefetch: no effect beyond issue cost.
             return cost.prefetch_issue_cycles;
         }
+        if let Some(tag) = tag {
+            self.pending
+                .entry(block)
+                .or_insert(PendingPrefetch { tag, issued_at: now });
+        }
         if self.l2.contains(addr) {
             // L2 hit: promotion to L1 is fast; model as immediate.
-            self.fill_l1(addr, true);
+            self.fill_l1(addr, true, now);
             return cost.prefetch_issue_cycles;
         }
         self.in_flight
@@ -288,6 +359,26 @@ impl MemorySystem {
     /// Untimed prefetch: completes before any later untimed access.
     pub fn prefetch(&mut self, addr: Addr) -> u64 {
         self.prefetch_at(addr, 0)
+    }
+
+    /// Drains the queued resolutions of tracked prefetches (in
+    /// resolution order). Cheap to call when nothing resolved: an empty
+    /// queue is handed back without allocating.
+    pub fn take_outcomes(&mut self) -> Vec<PrefetchResolution> {
+        std::mem::take(&mut self.outcomes)
+    }
+
+    /// Resolves the tracked prefetch of `block`, if any.
+    fn resolve(&mut self, block: u64, fate: PrefetchFate, now: u64) {
+        if let Some(p) = self.pending.remove(&block) {
+            self.outcomes.push(PrefetchResolution {
+                tag: p.tag,
+                block,
+                fate,
+                issued_at: p.issued_at,
+                resolved_at: now,
+            });
+        }
     }
 
     /// Moves completed in-flight prefetches into the caches.
@@ -304,11 +395,11 @@ impl MemorySystem {
             .collect();
         for block in arrived {
             self.in_flight.remove(&block);
-            self.fill_both(Addr(block * block_size), true);
+            self.fill_both(Addr(block * block_size), true, now);
         }
     }
 
-    fn l1_access_tracking(&mut self, addr: Addr, write: bool) -> bool {
+    fn l1_access_tracking(&mut self, addr: Addr, write: bool, now: u64) -> bool {
         // Count useful prefetches: a hit on a line still marked
         // prefetched-unused.
         let was_unused_prefetch = self.l1.contains(addr) && {
@@ -316,9 +407,17 @@ impl MemorySystem {
             // clears the flag on hit, so probe first.
             self.l1_line_is_unused_prefetch(addr)
         };
+        let origin_prefetched = self.l1.line_origin_prefetched(addr);
         let hit = self.l1.access_kind(addr, write);
-        if hit && was_unused_prefetch {
-            self.stats.prefetches_useful += 1;
+        if hit {
+            if origin_prefetched {
+                self.stats.l1_hits_on_prefetched += 1;
+            }
+            if was_unused_prefetch {
+                self.stats.prefetches_useful += 1;
+                let block = addr.block(self.config.l1.block_size);
+                self.resolve(block, PrefetchFate::Useful, now);
+            }
         }
         hit
     }
@@ -334,18 +433,19 @@ impl MemorySystem {
         }
     }
 
-    fn fill_l1(&mut self, addr: Addr, prefetched: bool) {
+    fn fill_l1(&mut self, addr: Addr, prefetched: bool, now: u64) {
         let evicted = self.l1.fill_tracked(addr, prefetched);
         if evicted.kind == EvictedKind::UnusedPrefetch {
             self.stats.prefetches_polluting += 1;
+            self.resolve(evicted.block, PrefetchFate::Polluted, now);
         }
         if evicted.dirty {
             self.stats.writebacks += 1;
         }
     }
 
-    fn fill_both(&mut self, addr: Addr, prefetched: bool) {
-        self.fill_l1(addr, prefetched);
+    fn fill_both(&mut self, addr: Addr, prefetched: bool, now: u64) {
+        self.fill_l1(addr, prefetched, now);
         let _ = self.l2.fill_tracked(addr, prefetched);
     }
 
@@ -354,7 +454,7 @@ impl MemorySystem {
     /// hierarchy, like stream buffers, where the fill cost is accounted
     /// by the caller.
     pub fn install_l1(&mut self, addr: Addr) {
-        self.fill_l1(addr, false);
+        self.fill_l1(addr, false, 0);
     }
 
     /// Is the block containing `addr` L1-resident?
@@ -370,10 +470,13 @@ impl MemorySystem {
     }
 
     /// Empties both caches and the in-flight queue, preserving stats.
+    /// Tracked-but-unresolved prefetches are dropped without an outcome
+    /// (their lines no longer exist to resolve against).
     pub fn clear(&mut self) {
         self.l1.clear();
         self.l2.clear();
         self.in_flight.clear();
+        self.pending.clear();
     }
 }
 
@@ -511,6 +614,89 @@ mod tests {
         // Clean traffic adds no write-backs.
         m.access(Addr(24 * 32), AccessKind::Load);
         assert_eq!(m.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn tagged_prefetches_resolve_with_fates() {
+        let cost = CostModel::default();
+        let mut m = mem();
+        // Useful: prefetched, landed, demand-hit.
+        m.prefetch_tagged_at(Addr(0x200), 0, 7);
+        m.access_at(Addr(0x200), AccessKind::Load, cost.memory_cycles + 1);
+        // Late: demand access catches the block in flight.
+        m.prefetch_tagged_at(Addr(0x400), 1_000_000, 7);
+        m.access_at(Addr(0x400), AccessKind::Load, 1_000_000 + cost.memory_cycles / 2);
+        let outcomes = m.take_outcomes();
+        assert_eq!(outcomes.len(), 2);
+        assert_eq!(outcomes[0].fate, PrefetchFate::Useful);
+        assert_eq!(outcomes[0].tag, 7);
+        assert!(outcomes[0].resolved_at > outcomes[0].issued_at);
+        assert_eq!(outcomes[1].fate, PrefetchFate::Late);
+        // Queue drained.
+        assert!(m.take_outcomes().is_empty());
+    }
+
+    #[test]
+    fn tagged_pollution_resolves_on_eviction() {
+        let mut m = mem();
+        m.prefetch_tagged_at(Addr(0), 0, 3);
+        // Land it, then evict it with demand fills of the same set.
+        m.access_at(Addr(8 * 32), AccessKind::Load, u64::MAX);
+        m.access_at(Addr(16 * 32), AccessKind::Load, u64::MAX);
+        m.access_at(Addr(24 * 32), AccessKind::Load, u64::MAX);
+        let outcomes = m.take_outcomes();
+        assert!(
+            outcomes
+                .iter()
+                .any(|o| o.fate == PrefetchFate::Polluted && o.tag == 3 && o.block == 0),
+            "{outcomes:?}"
+        );
+    }
+
+    #[test]
+    fn untagged_prefetches_produce_no_outcomes() {
+        let mut m = mem();
+        m.prefetch_at(Addr(0x200), 0);
+        m.access_at(Addr(0x200), AccessKind::Load, u64::MAX);
+        assert!(m.take_outcomes().is_empty());
+        assert_eq!(m.stats().prefetches_useful, 1);
+    }
+
+    #[test]
+    fn tagging_never_perturbs_timing_or_stats() {
+        let drive = |tagged: bool| {
+            let mut m = mem();
+            let mut total = 0u64;
+            for i in 0..200u64 {
+                let addr = Addr((i % 50) * 64);
+                if i % 3 == 0 {
+                    if tagged {
+                        m.prefetch_tagged_at(addr, i * 10, (i % 4) as u32);
+                    } else {
+                        m.prefetch_at(addr, i * 10);
+                    }
+                }
+                total += m.access_at(addr, AccessKind::Load, i * 10 + 5).cycles;
+            }
+            (total, *m.stats())
+        };
+        assert_eq!(drive(false), drive(true));
+    }
+
+    #[test]
+    fn hits_attributed_to_prefetched_lines() {
+        let mut m = mem();
+        // Prefetched line: every hit counts, not just the first.
+        m.prefetch(Addr(0x200));
+        m.access_at(Addr(0x200), AccessKind::Load, u64::MAX);
+        m.access_at(Addr(0x200), AccessKind::Load, u64::MAX);
+        // Demand line: hits are not attributed to prefetching.
+        m.access_at(Addr(0x600), AccessKind::Load, u64::MAX);
+        m.access_at(Addr(0x600), AccessKind::Load, u64::MAX);
+        let s = m.stats();
+        assert_eq!(s.l1_hits_on_prefetched, 2, "{s}");
+        assert_eq!(s.l1_hits, 3);
+        assert_eq!(s.prefetches_useful, 1);
     }
 
     #[test]

@@ -46,5 +46,8 @@ mod stream_buffer;
 
 pub use cache::{Cache, CacheConfig};
 pub use cost::CostModel;
-pub use hierarchy::{AccessOutcome, AccessResult, HierarchyConfig, MemStats, MemorySystem};
+pub use hierarchy::{
+    AccessOutcome, AccessResult, HierarchyConfig, MemStats, MemorySystem, PrefetchFate,
+    PrefetchResolution,
+};
 pub use stream_buffer::{StreamBufferMemory, StreamBufferStats};

@@ -1,0 +1,220 @@
+//! The typed events the optimizer emits.
+//!
+//! Every struct is plain data with public fields: the emitting side
+//! (`hds-core`) fills them from its run state, observers read them.
+//! All of them derive the workspace `serde` Serialize so sinks can
+//! export them without per-event glue.
+
+use serde::{Deserialize, Serialize};
+
+/// The bursty-tracing phase being entered.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PhaseKind {
+    /// Profiling: bursts record references.
+    Awake,
+    /// Detuned counters: only check overhead (and, when optimized,
+    /// prefetching) runs.
+    Hibernating,
+}
+
+/// An awake/hibernate boundary was crossed.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize)]
+pub struct PhaseTransition {
+    /// Simulated cycle count at the transition.
+    pub at_cycle: u64,
+    /// Dynamic checks executed so far.
+    pub at_check: u64,
+    /// The phase being entered.
+    pub to: PhaseKind,
+    /// Optimization cycles completed so far.
+    pub opt_cycle: u64,
+    /// Effective duty cycle so far: fraction of dynamic checks executed
+    /// while awake.
+    pub duty_cycle: f64,
+}
+
+/// A profile → analyze → optimize cycle began.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize)]
+pub struct CycleStart {
+    /// Index of the cycle that is starting (0-based).
+    pub opt_cycle: u64,
+    /// Simulated cycle count at the start.
+    pub at_cycle: u64,
+}
+
+/// A cycle's awake phase completed; the analysis statistics are final.
+/// Mirrors `hds-core`'s per-cycle `CycleStats` (the paper's Table 2
+/// row), plus position information.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize)]
+pub struct CycleEnd {
+    /// Index of the cycle that ended (0-based).
+    pub opt_cycle: u64,
+    /// Simulated cycle count at the end of the awake phase.
+    pub at_cycle: u64,
+    /// References traced during the awake phase.
+    pub traced_refs: u64,
+    /// Hot data streams the analysis detected.
+    pub hot_streams: usize,
+    /// Streams handed to the DFSM after filtering.
+    pub streams_used: usize,
+    /// DFSM state count (0 if none was built).
+    pub dfsm_states: usize,
+    /// Distinct injected address checks.
+    pub dfsm_checks: usize,
+    /// Procedures modified by injection.
+    pub procs_modified: usize,
+    /// Grammar size the analysis ran over.
+    pub grammar_size: usize,
+}
+
+/// A hot data stream was accepted for prefetching. The id matches the
+/// DFSM's `StreamId` for the cycle, so later [`PrefetchIssued`] /
+/// [`PrefetchOutcome`] events correlate back to it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+pub struct StreamDetected {
+    /// Cycle the stream belongs to.
+    pub opt_cycle: u64,
+    /// Stream id within this cycle's DFSM.
+    pub stream_id: u32,
+    /// Stream length in references.
+    pub len: usize,
+    /// Prefix length that must match before the tail is prefetched.
+    pub head_len: usize,
+}
+
+/// A prefix-matching DFSM was built and its checks injected.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+pub struct DfsmBuilt {
+    /// Cycle the machine belongs to.
+    pub opt_cycle: u64,
+    /// DFSM state count.
+    pub states: usize,
+    /// Distinct injected address checks.
+    pub address_checks: usize,
+    /// Streams the machine matches.
+    pub streams: usize,
+    /// Procedures modified by the injection.
+    pub procs_modified: usize,
+}
+
+/// A prefetch instruction was issued.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+pub struct PrefetchIssued {
+    /// Stream that triggered the prefetch, or [`PROGRAM_STREAM`] for
+    /// prefetch instructions belonging to the program itself.
+    pub stream_id: u32,
+    /// Prefetched address.
+    pub addr: u64,
+    /// Cache block number of the address (correlation key for
+    /// [`PrefetchOutcome`]).
+    pub block: u64,
+    /// Simulated cycle count at issue.
+    pub at_cycle: u64,
+    /// Demand references executed so far (for lead-distance metrics).
+    pub at_ref: u64,
+}
+
+/// Stream id used for prefetches not triggered by a detected stream
+/// (the program's own software prefetch instructions).
+pub const PROGRAM_STREAM: u32 = u32::MAX;
+
+/// How an issued prefetch resolved.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PrefetchFate {
+    /// The block was demand-hit in L1 before eviction: a full hit.
+    Useful,
+    /// The demand access arrived while the block was still in flight:
+    /// the miss was shortened but not hidden.
+    Late,
+    /// The block was evicted without ever being demand-used: pollution.
+    Polluted,
+}
+
+impl PrefetchFate {
+    /// Lower-case label (Prometheus/JSON friendly).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            PrefetchFate::Useful => "useful",
+            PrefetchFate::Late => "late",
+            PrefetchFate::Polluted => "polluted",
+        }
+    }
+}
+
+/// An issued prefetch resolved. Emitted by `hds-core` from the memory
+/// simulator's attribution queue; each *tracked* prefetch resolves at
+/// most once (redundant prefetches of already-resident blocks resolve
+/// never).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+pub struct PrefetchOutcome {
+    /// Stream that issued the prefetch (or [`PROGRAM_STREAM`]).
+    pub stream_id: u32,
+    /// Cache block number.
+    pub block: u64,
+    /// How it resolved.
+    pub fate: PrefetchFate,
+    /// Simulated cycle count at issue.
+    pub issued_at_cycle: u64,
+    /// Simulated cycle count at resolution.
+    pub resolved_at_cycle: u64,
+    /// Demand references executed when the outcome resolved.
+    pub resolved_at_ref: u64,
+}
+
+impl PrefetchOutcome {
+    /// Cycles between issue and resolution (the match-to-access
+    /// latency for useful/late outcomes).
+    #[must_use]
+    pub fn latency_cycles(&self) -> u64 {
+        self.resolved_at_cycle.saturating_sub(self.issued_at_cycle)
+    }
+}
+
+/// Injected checks and prefetches were removed (end of a hibernation
+/// span under the dynamic strategy).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize)]
+pub struct Deoptimize {
+    /// Simulated cycle count at de-optimization.
+    pub at_cycle: u64,
+    /// Optimization cycles completed so far.
+    pub opt_cycle: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fate_labels() {
+        assert_eq!(PrefetchFate::Useful.label(), "useful");
+        assert_eq!(PrefetchFate::Late.label(), "late");
+        assert_eq!(PrefetchFate::Polluted.label(), "polluted");
+    }
+
+    #[test]
+    fn latency_saturates() {
+        let o = PrefetchOutcome {
+            stream_id: 0,
+            block: 0,
+            fate: PrefetchFate::Useful,
+            issued_at_cycle: 10,
+            resolved_at_cycle: 4,
+            resolved_at_ref: 0,
+        };
+        assert_eq!(o.latency_cycles(), 0);
+    }
+
+    #[test]
+    fn events_serialize_to_objects() {
+        use serde::{Serialize, Value};
+        let v = CycleEnd {
+            opt_cycle: 3,
+            traced_refs: 7,
+            ..CycleEnd::default()
+        }
+        .to_value();
+        assert_eq!(v.get("opt_cycle"), Some(&Value::U64(3)));
+        assert_eq!(v.get("traced_refs"), Some(&Value::U64(7)));
+    }
+}

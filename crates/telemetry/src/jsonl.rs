@@ -1,0 +1,255 @@
+//! JSONL export: one self-describing JSON record per event.
+
+use std::io::Write;
+
+use serde::{Serialize, Value};
+
+use crate::events::{
+    CycleEnd, CycleStart, Deoptimize, DfsmBuilt, PhaseTransition, PrefetchFate, PrefetchIssued,
+    PrefetchOutcome, StreamDetected,
+};
+use crate::Observer;
+
+/// An [`Observer`] that appends one JSON object per event to a writer,
+/// newline-delimited. Every record carries an `"event"` tag naming its
+/// kind, so the file is self-describing.
+///
+/// `cycle_end` records additionally carry the running global prefetch
+/// `accuracy` / `coverage` / `timeliness`, so each line of the per-cycle
+/// series is a complete snapshot on its own.
+///
+/// Write errors do not panic (observers are called from the optimizer's
+/// hot path); they are counted and readable via
+/// [`JsonlSink::write_errors`].
+#[derive(Debug)]
+pub struct JsonlSink<W: Write> {
+    out: W,
+    write_errors: u64,
+    records: u64,
+    // Running global tallies for the per-cycle quality snapshot.
+    issued: u64,
+    useful: u64,
+    late: u64,
+}
+
+impl<W: Write> JsonlSink<W> {
+    /// A sink writing to `out`.
+    pub fn new(out: W) -> Self {
+        JsonlSink {
+            out,
+            write_errors: 0,
+            records: 0,
+            issued: 0,
+            useful: 0,
+            late: 0,
+        }
+    }
+
+    /// Records successfully written.
+    #[must_use]
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// Writes that failed (the records were dropped).
+    #[must_use]
+    pub fn write_errors(&self) -> u64 {
+        self.write_errors
+    }
+
+    /// Flushes and returns the writer.
+    ///
+    /// # Errors
+    ///
+    /// Returns the flush error, if any.
+    pub fn into_inner(mut self) -> std::io::Result<W> {
+        self.out.flush()?;
+        Ok(self.out)
+    }
+
+    fn emit(&mut self, kind: &str, event: &impl Serialize) {
+        self.emit_with(kind, event, Vec::new());
+    }
+
+    fn emit_with(&mut self, kind: &str, event: &impl Serialize, extra: Vec<(String, Value)>) {
+        let mut value = event.to_value();
+        if let Value::Obj(fields) = &mut value {
+            fields.insert(0, ("event".to_string(), Value::Str(kind.to_string())));
+            fields.extend(extra);
+        }
+        let line = serde_json::to_string(&value).unwrap_or_else(|_| "null".to_string());
+        match writeln!(self.out, "{line}") {
+            Ok(()) => self.records += 1,
+            Err(_) => self.write_errors += 1,
+        }
+    }
+
+    #[allow(clippy::cast_precision_loss)]
+    fn ratio(num: u64, den: u64) -> f64 {
+        if den == 0 {
+            0.0
+        } else {
+            num as f64 / den as f64
+        }
+    }
+}
+
+// Raw `Value`s serialize as themselves.
+struct Raw(Value);
+
+impl Serialize for Raw {
+    fn to_value(&self) -> Value {
+        self.0.clone()
+    }
+}
+
+impl<W: Write> Observer for JsonlSink<W> {
+    fn phase_transition(&mut self, event: &PhaseTransition) {
+        self.emit("phase_transition", event);
+    }
+
+    fn cycle_start(&mut self, event: &CycleStart) {
+        self.emit("cycle_start", event);
+    }
+
+    fn cycle_end(&mut self, event: &CycleEnd) {
+        let extra = vec![
+            (
+                "prefetch_accuracy".to_string(),
+                Value::F64(Self::ratio(self.useful, self.issued)),
+            ),
+            (
+                "prefetch_coverage".to_string(),
+                Value::F64(Self::ratio(self.useful + self.late, self.issued)),
+            ),
+            (
+                "prefetch_timeliness".to_string(),
+                Value::F64(Self::ratio(self.useful, self.useful + self.late)),
+            ),
+        ];
+        self.emit_with("cycle_end", event, extra);
+    }
+
+    fn stream_detected(&mut self, event: &StreamDetected) {
+        self.emit("stream_detected", event);
+    }
+
+    fn dfsm_built(&mut self, event: &DfsmBuilt) {
+        self.emit("dfsm_built", event);
+    }
+
+    fn prefetch_issued(&mut self, event: &PrefetchIssued) {
+        self.issued += 1;
+        self.emit("prefetch_issued", event);
+    }
+
+    fn prefetch_outcome(&mut self, event: &PrefetchOutcome) {
+        match event.fate {
+            PrefetchFate::Useful => self.useful += 1,
+            PrefetchFate::Late => self.late += 1,
+            PrefetchFate::Polluted => {}
+        }
+        // The fate enum serializes as its variant name; re-wrap with the
+        // lower-case label for a stable external schema.
+        let mut value = event.to_value();
+        if let Value::Obj(fields) = &mut value {
+            for (k, v) in fields.iter_mut() {
+                if k == "fate" {
+                    *v = Value::Str(event.fate.label().to_string());
+                }
+            }
+        }
+        self.emit("prefetch_outcome", &Raw(value));
+    }
+
+    fn deoptimize(&mut self, event: &Deoptimize) {
+        self.emit("deoptimize", event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::PhaseKind;
+
+    fn lines(sink: JsonlSink<Vec<u8>>) -> Vec<Value> {
+        let buf = sink.into_inner().unwrap();
+        String::from_utf8(buf)
+            .unwrap()
+            .lines()
+            .map(|l| serde_json::parse_value_str(l).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn records_are_tagged_and_parse() {
+        let mut sink = JsonlSink::new(Vec::new());
+        sink.cycle_start(&CycleStart { opt_cycle: 0, at_cycle: 0 });
+        sink.phase_transition(&PhaseTransition {
+            at_cycle: 10,
+            at_check: 2,
+            to: PhaseKind::Hibernating,
+            opt_cycle: 1,
+            duty_cycle: 0.25,
+        });
+        assert_eq!(sink.records(), 2);
+        assert_eq!(sink.write_errors(), 0);
+        let records = lines(sink);
+        assert_eq!(records[0].get("event"), Some(&Value::Str("cycle_start".into())));
+        assert_eq!(records[1].get("event"), Some(&Value::Str("phase_transition".into())));
+        assert_eq!(records[1].get("to"), Some(&Value::Str("Hibernating".into())));
+        assert_eq!(records[1].get("duty_cycle"), Some(&Value::F64(0.25)));
+    }
+
+    #[test]
+    fn cycle_end_carries_quality_snapshot() {
+        let mut sink = JsonlSink::new(Vec::new());
+        for block in 0..2u64 {
+            sink.prefetch_issued(&PrefetchIssued {
+                stream_id: 0,
+                addr: block * 32,
+                block,
+                at_cycle: 1,
+                at_ref: 0,
+            });
+        }
+        sink.prefetch_outcome(&PrefetchOutcome {
+            stream_id: 0,
+            block: 0,
+            fate: PrefetchFate::Useful,
+            issued_at_cycle: 1,
+            resolved_at_cycle: 2,
+            resolved_at_ref: 1,
+        });
+        sink.cycle_end(&CycleEnd::default());
+        let records = lines(sink);
+        let end = records.last().unwrap();
+        assert_eq!(end.get("prefetch_accuracy"), Some(&Value::F64(0.5)));
+        assert_eq!(end.get("prefetch_coverage"), Some(&Value::F64(0.5)));
+        assert_eq!(end.get("prefetch_timeliness"), Some(&Value::F64(1.0)));
+        // The outcome record uses the lower-case fate label.
+        let outcome = records
+            .iter()
+            .find(|r| r.get("event") == Some(&Value::Str("prefetch_outcome".into())))
+            .unwrap();
+        assert_eq!(outcome.get("fate"), Some(&Value::Str("useful".into())));
+    }
+
+    #[test]
+    fn write_errors_are_counted_not_fatal() {
+        /// A writer that always fails.
+        struct Broken;
+        impl Write for Broken {
+            fn write(&mut self, _buf: &[u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::other("broken"))
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut sink = JsonlSink::new(Broken);
+        sink.cycle_start(&CycleStart::default());
+        assert_eq!(sink.records(), 0);
+        assert_eq!(sink.write_errors(), 1);
+    }
+}

@@ -1,0 +1,219 @@
+//! Observability for the hot-data-stream prefetching cycle.
+//!
+//! The optimizer (`hds-core`) emits a typed event at every interesting
+//! boundary of the profile → analyze → optimize → hibernate loop:
+//! phase transitions, cycle starts/ends, stream detection, DFSM
+//! construction, prefetch issue, prefetch outcome, and de-optimization.
+//! This crate defines those events ([`events`]), the [`Observer`] trait
+//! that receives them, and two production observers:
+//!
+//! - [`MetricsRecorder`]: in-memory counters, log-scaled histograms, and
+//!   per-stream prefetch accuracy / coverage / timeliness, renderable in
+//!   Prometheus text exposition format.
+//! - [`JsonlSink`]: one self-describing JSON record per event, for
+//!   offline analysis.
+//!
+//! # Zero overhead when off
+//!
+//! [`NullObserver`] implements every hook as an empty default method and
+//! sets [`Observer::ENABLED`] to `false`. Instrumented code is generic
+//! over `O: Observer`, so the `NullObserver` instantiation monomorphizes
+//! every emission site to nothing, and `O::ENABLED` lets callers skip
+//! even the *construction* of event payloads. The
+//! `observer_overhead` benchmark in `hds-bench` verifies the paired
+//! claim end to end.
+//!
+//! # Examples
+//!
+//! ```
+//! use hds_telemetry::{MetricsRecorder, Observer};
+//! use hds_telemetry::events::{CycleEnd, PrefetchFate, PrefetchOutcome};
+//!
+//! let mut metrics = MetricsRecorder::new();
+//! metrics.prefetch_outcome(&PrefetchOutcome {
+//!     stream_id: 0,
+//!     block: 0x40,
+//!     fate: PrefetchFate::Useful,
+//!     issued_at_cycle: 100,
+//!     resolved_at_cycle: 190,
+//!     resolved_at_ref: 12,
+//! });
+//! metrics.cycle_end(&CycleEnd { opt_cycle: 0, at_cycle: 200, ..CycleEnd::default() });
+//! let text = metrics.render_prometheus();
+//! assert!(text.contains("hds_prefetch_outcomes_total{fate=\"useful\"} 1"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod events;
+mod jsonl;
+mod metrics;
+
+pub use jsonl::JsonlSink;
+pub use metrics::{Histogram, MetricsRecorder, StreamMetrics};
+
+use events::{
+    CycleEnd, CycleStart, Deoptimize, DfsmBuilt, PhaseTransition, PrefetchIssued,
+    PrefetchOutcome, StreamDetected,
+};
+
+/// Receiver of optimizer lifecycle events.
+///
+/// Every hook has an empty default body, so observers implement only
+/// what they care about. Instrumentation sites should gate any work
+/// that exists *only* to build an event payload behind
+/// [`Observer::ENABLED`]:
+///
+/// ```ignore
+/// if O::ENABLED {
+///     observer.stream_detected(&expensive_to_build_event());
+/// }
+/// ```
+pub trait Observer {
+    /// Whether this observer consumes events at all. `false` only for
+    /// [`NullObserver`] (and compositions of it): emission sites compile
+    /// to nothing when this is `false`.
+    const ENABLED: bool = true;
+
+    /// The bursty tracer crossed an awake/hibernate boundary.
+    fn phase_transition(&mut self, _event: &PhaseTransition) {}
+    /// A profile → analyze → optimize cycle began (profiling starts).
+    fn cycle_start(&mut self, _event: &CycleStart) {}
+    /// A cycle's awake phase finished: analysis ran, statistics final.
+    fn cycle_end(&mut self, _event: &CycleEnd) {}
+    /// A hot data stream was accepted for prefetching.
+    fn stream_detected(&mut self, _event: &StreamDetected) {}
+    /// A prefix-matching DFSM was built and injected.
+    fn dfsm_built(&mut self, _event: &DfsmBuilt) {}
+    /// A prefetch instruction was issued.
+    fn prefetch_issued(&mut self, _event: &PrefetchIssued) {}
+    /// An issued prefetch resolved (used, late, or evicted unused).
+    fn prefetch_outcome(&mut self, _event: &PrefetchOutcome) {}
+    /// Injected code was removed at the end of a hibernation span.
+    fn deoptimize(&mut self, _event: &Deoptimize) {}
+}
+
+/// The do-nothing observer: every hook is a no-op and
+/// [`Observer::ENABLED`] is `false`, so instrumented code monomorphizes
+/// to exactly the uninstrumented code.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NullObserver;
+
+impl Observer for NullObserver {
+    const ENABLED: bool = false;
+}
+
+/// Forwarding through a mutable reference, so an observer can stay
+/// owned by the caller while a session borrows it.
+impl<O: Observer> Observer for &mut O {
+    const ENABLED: bool = O::ENABLED;
+
+    fn phase_transition(&mut self, event: &PhaseTransition) {
+        (**self).phase_transition(event);
+    }
+    fn cycle_start(&mut self, event: &CycleStart) {
+        (**self).cycle_start(event);
+    }
+    fn cycle_end(&mut self, event: &CycleEnd) {
+        (**self).cycle_end(event);
+    }
+    fn stream_detected(&mut self, event: &StreamDetected) {
+        (**self).stream_detected(event);
+    }
+    fn dfsm_built(&mut self, event: &DfsmBuilt) {
+        (**self).dfsm_built(event);
+    }
+    fn prefetch_issued(&mut self, event: &PrefetchIssued) {
+        (**self).prefetch_issued(event);
+    }
+    fn prefetch_outcome(&mut self, event: &PrefetchOutcome) {
+        (**self).prefetch_outcome(event);
+    }
+    fn deoptimize(&mut self, event: &Deoptimize) {
+        (**self).deoptimize(event);
+    }
+}
+
+/// Fan-out to two observers (nest pairs for more).
+impl<A: Observer, B: Observer> Observer for (A, B) {
+    const ENABLED: bool = A::ENABLED || B::ENABLED;
+
+    fn phase_transition(&mut self, event: &PhaseTransition) {
+        self.0.phase_transition(event);
+        self.1.phase_transition(event);
+    }
+    fn cycle_start(&mut self, event: &CycleStart) {
+        self.0.cycle_start(event);
+        self.1.cycle_start(event);
+    }
+    fn cycle_end(&mut self, event: &CycleEnd) {
+        self.0.cycle_end(event);
+        self.1.cycle_end(event);
+    }
+    fn stream_detected(&mut self, event: &StreamDetected) {
+        self.0.stream_detected(event);
+        self.1.stream_detected(event);
+    }
+    fn dfsm_built(&mut self, event: &DfsmBuilt) {
+        self.0.dfsm_built(event);
+        self.1.dfsm_built(event);
+    }
+    fn prefetch_issued(&mut self, event: &PrefetchIssued) {
+        self.0.prefetch_issued(event);
+        self.1.prefetch_issued(event);
+    }
+    fn prefetch_outcome(&mut self, event: &PrefetchOutcome) {
+        self.0.prefetch_outcome(event);
+        self.1.prefetch_outcome(event);
+    }
+    fn deoptimize(&mut self, event: &Deoptimize) {
+        self.0.deoptimize(event);
+        self.1.deoptimize(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Default)]
+    struct Counting {
+        seen: usize,
+    }
+
+    impl Observer for Counting {
+        fn cycle_end(&mut self, _event: &CycleEnd) {
+            self.seen += 1;
+        }
+    }
+
+    #[test]
+    fn null_observer_is_disabled() {
+        const {
+            assert!(!NullObserver::ENABLED);
+            assert!(!<(NullObserver, NullObserver) as Observer>::ENABLED);
+            assert!(Counting::ENABLED);
+            assert!(<(NullObserver, Counting) as Observer>::ENABLED);
+        }
+    }
+
+    #[test]
+    fn pair_fans_out() {
+        let mut pair = (Counting::default(), Counting::default());
+        pair.cycle_end(&CycleEnd::default());
+        assert_eq!(pair.0.seen, 1);
+        assert_eq!(pair.1.seen, 1);
+    }
+
+    #[test]
+    fn mut_ref_forwards() {
+        let mut c = Counting::default();
+        {
+            let obs = &mut c;
+            obs.cycle_end(&CycleEnd::default());
+        }
+        assert_eq!(c.seen, 1);
+        const { assert!(<&mut Counting as Observer>::ENABLED) };
+    }
+}

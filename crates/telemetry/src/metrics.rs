@@ -1,0 +1,595 @@
+//! In-memory metrics: counters, log-scaled histograms, per-stream
+//! prefetch quality, and a Prometheus text renderer.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt::Write as _;
+
+use crate::events::{
+    CycleEnd, CycleStart, Deoptimize, DfsmBuilt, PhaseKind, PhaseTransition, PrefetchFate,
+    PrefetchIssued, PrefetchOutcome, StreamDetected,
+};
+use crate::Observer;
+
+/// A power-of-two-bucketed histogram of `u64` samples.
+///
+/// Bucket 0 holds the value 0; bucket `i > 0` holds values in
+/// `[2^(i-1), 2^i - 1]`, i.e. the upper bound of bucket `i` is
+/// `2^i - 1`. Log scaling keeps the histogram O(64) regardless of the
+/// value range, which is what a hot-path recorder can afford.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    buckets: [u64; 65],
+    count: u64,
+    sum: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [0; 65],
+            count: 0,
+            sum: 0,
+        }
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        let idx = if value == 0 {
+            0
+        } else {
+            64 - value.leading_zeros() as usize
+        };
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+    }
+
+    /// Number of samples recorded.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples (saturating).
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Mean sample, or 0.0 when empty.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        #[allow(clippy::cast_precision_loss)]
+        {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// `(upper_bound, cumulative_count)` pairs up to the highest
+    /// occupied bucket — the shape Prometheus histogram series need.
+    #[must_use]
+    pub fn cumulative_buckets(&self) -> Vec<(u64, u64)> {
+        let top = match self.buckets.iter().rposition(|&c| c > 0) {
+            Some(i) => i,
+            None => return Vec::new(),
+        };
+        let mut acc = 0;
+        (0..=top)
+            .map(|i| {
+                acc += self.buckets[i];
+                let bound = match i {
+                    0 => 0,
+                    64 => u64::MAX,
+                    _ => (1u64 << i) - 1,
+                };
+                (bound, acc)
+            })
+            .collect()
+    }
+}
+
+/// Per-stream prefetch quality counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StreamMetrics {
+    /// Prefetches issued on behalf of the stream.
+    pub issued: u64,
+    /// Resolved as full hits.
+    pub useful: u64,
+    /// Resolved late (demand access caught the block in flight).
+    pub late: u64,
+    /// Evicted unused.
+    pub polluted: u64,
+}
+
+impl StreamMetrics {
+    #[allow(clippy::cast_precision_loss)]
+    fn ratio(num: u64, den: u64) -> f64 {
+        if den == 0 {
+            0.0
+        } else {
+            num as f64 / den as f64
+        }
+    }
+
+    /// Fraction of issued prefetches that became full hits.
+    #[must_use]
+    pub fn accuracy(&self) -> f64 {
+        Self::ratio(self.useful, self.issued)
+    }
+
+    /// Fraction of issued prefetches whose predicted access actually
+    /// arrived (usefully or late) — how often the stream's prediction
+    /// covered a real access.
+    #[must_use]
+    pub fn coverage(&self) -> f64 {
+        Self::ratio(self.useful + self.late, self.issued)
+    }
+
+    /// Among prefetches whose access arrived, the fraction that landed
+    /// in time to fully hide the miss.
+    #[must_use]
+    pub fn timeliness(&self) -> f64 {
+        Self::ratio(self.useful, self.useful + self.late)
+    }
+}
+
+/// The standard metrics observer: counts every event kind, histograms
+/// the interesting magnitudes, and tracks per-stream prefetch quality.
+///
+/// Counters are exact mirrors of the run's behavior, so they reconcile
+/// against the final `RunReport` (the `telemetry_demo` binary asserts
+/// this).
+#[derive(Clone, Debug, Default)]
+pub struct MetricsRecorder {
+    // Plain counters.
+    phase_transitions_awake: u64,
+    phase_transitions_hibernate: u64,
+    cycles_started: u64,
+    cycles_completed: u64,
+    streams_detected: u64,
+    dfsms_built: u64,
+    prefetches_issued: u64,
+    outcomes: [u64; 3], // indexed by fate
+    deopts: u64,
+    traced_refs_total: u64,
+    last_duty_cycle: f64,
+    // Histograms.
+    stream_length: Histogram,
+    dfsm_state_count: Histogram,
+    match_to_access_cycles: Histogram,
+    prefetch_lead_refs: Histogram,
+    // Correlation.
+    per_stream: BTreeMap<u32, StreamMetrics>,
+    /// Issue bookkeeping per block, for lead-distance in references.
+    pending_issue_ref: HashMap<u64, u64>,
+}
+
+impl MetricsRecorder {
+    /// An empty recorder.
+    #[must_use]
+    pub fn new() -> Self {
+        MetricsRecorder::default()
+    }
+
+    /// Prefetches issued.
+    #[must_use]
+    pub fn prefetches_issued(&self) -> u64 {
+        self.prefetches_issued
+    }
+
+    /// Resolved outcomes with the given fate.
+    #[must_use]
+    pub fn outcomes(&self, fate: PrefetchFate) -> u64 {
+        self.outcomes[fate as usize]
+    }
+
+    /// Completed optimization cycles observed.
+    #[must_use]
+    pub fn cycles_completed(&self) -> u64 {
+        self.cycles_completed
+    }
+
+    /// Cycles started (completed cycles plus any still profiling).
+    #[must_use]
+    pub fn cycles_started(&self) -> u64 {
+        self.cycles_started
+    }
+
+    /// DFSMs built and injected.
+    #[must_use]
+    pub fn dfsms_built(&self) -> u64 {
+        self.dfsms_built
+    }
+
+    /// Awake/hibernate boundaries crossed, both directions summed.
+    #[must_use]
+    pub fn phase_transitions_total(&self) -> u64 {
+        self.phase_transitions_awake + self.phase_transitions_hibernate
+    }
+
+    /// Sum of traced references over all completed cycles.
+    #[must_use]
+    pub fn traced_refs_total(&self) -> u64 {
+        self.traced_refs_total
+    }
+
+    /// Streams accepted for prefetching, summed over cycles.
+    #[must_use]
+    pub fn streams_detected(&self) -> u64 {
+        self.streams_detected
+    }
+
+    /// De-optimizations observed.
+    #[must_use]
+    pub fn deopts(&self) -> u64 {
+        self.deopts
+    }
+
+    /// Effective duty cycle reported by the most recent phase
+    /// transition.
+    #[must_use]
+    pub fn last_duty_cycle(&self) -> f64 {
+        self.last_duty_cycle
+    }
+
+    /// Per-stream quality, keyed by stream id.
+    #[must_use]
+    pub fn per_stream(&self) -> &BTreeMap<u32, StreamMetrics> {
+        &self.per_stream
+    }
+
+    /// The stream-length histogram.
+    #[must_use]
+    pub fn stream_length(&self) -> &Histogram {
+        &self.stream_length
+    }
+
+    /// The DFSM state-count histogram (one sample per build).
+    #[must_use]
+    pub fn dfsm_state_count(&self) -> &Histogram {
+        &self.dfsm_state_count
+    }
+
+    /// The match-to-access latency histogram (cycles from prefetch
+    /// issue to the demand access, over useful and late outcomes).
+    #[must_use]
+    pub fn match_to_access_cycles(&self) -> &Histogram {
+        &self.match_to_access_cycles
+    }
+
+    /// The prefetch lead-distance histogram (demand references between
+    /// issue and resolution).
+    #[must_use]
+    pub fn prefetch_lead_refs(&self) -> &Histogram {
+        &self.prefetch_lead_refs
+    }
+
+    /// Renders everything in Prometheus text exposition format.
+    #[must_use]
+    #[allow(clippy::too_many_lines)]
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        let counter = |out: &mut String, name: &str, help: &str, value: u64| {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name} {value}");
+        };
+        counter(
+            &mut out,
+            "hds_phase_transitions_total",
+            "Awake/hibernate boundaries crossed (both directions).",
+            self.phase_transitions_awake + self.phase_transitions_hibernate,
+        );
+        counter(
+            &mut out,
+            "hds_cycles_started_total",
+            "Profile->analyze->optimize cycles started.",
+            self.cycles_started,
+        );
+        counter(
+            &mut out,
+            "hds_cycles_completed_total",
+            "Cycles whose awake phase (and analysis) completed.",
+            self.cycles_completed,
+        );
+        counter(
+            &mut out,
+            "hds_traced_refs_total",
+            "References traced across all completed cycles.",
+            self.traced_refs_total,
+        );
+        counter(
+            &mut out,
+            "hds_streams_detected_total",
+            "Hot data streams accepted for prefetching.",
+            self.streams_detected,
+        );
+        counter(
+            &mut out,
+            "hds_dfsms_built_total",
+            "Prefix-matching DFSMs built and injected.",
+            self.dfsms_built,
+        );
+        counter(
+            &mut out,
+            "hds_prefetches_issued_total",
+            "Prefetch instructions issued.",
+            self.prefetches_issued,
+        );
+        counter(
+            &mut out,
+            "hds_deoptimizations_total",
+            "Times injected code was removed.",
+            self.deopts,
+        );
+        let _ = writeln!(
+            out,
+            "# HELP hds_prefetch_outcomes_total Resolved prefetches by fate."
+        );
+        let _ = writeln!(out, "# TYPE hds_prefetch_outcomes_total counter");
+        for fate in [PrefetchFate::Useful, PrefetchFate::Late, PrefetchFate::Polluted] {
+            let _ = writeln!(
+                out,
+                "hds_prefetch_outcomes_total{{fate=\"{}\"}} {}",
+                fate.label(),
+                self.outcomes[fate as usize]
+            );
+        }
+        let _ = writeln!(
+            out,
+            "# HELP hds_duty_cycle Effective awake fraction of dynamic checks."
+        );
+        let _ = writeln!(out, "# TYPE hds_duty_cycle gauge");
+        let _ = writeln!(out, "hds_duty_cycle {}", self.last_duty_cycle);
+
+        let histogram = |out: &mut String, name: &str, help: &str, h: &Histogram| {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} histogram");
+            for (bound, cumulative) in h.cumulative_buckets() {
+                let _ = writeln!(out, "{name}_bucket{{le=\"{bound}\"}} {cumulative}");
+            }
+            let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", h.count());
+            let _ = writeln!(out, "{name}_sum {}", h.sum());
+            let _ = writeln!(out, "{name}_count {}", h.count());
+        };
+        histogram(
+            &mut out,
+            "hds_stream_length_refs",
+            "Accepted hot-stream lengths in references.",
+            &self.stream_length,
+        );
+        histogram(
+            &mut out,
+            "hds_dfsm_states",
+            "DFSM state counts per built machine.",
+            &self.dfsm_state_count,
+        );
+        histogram(
+            &mut out,
+            "hds_match_to_access_cycles",
+            "Cycles from prefetch issue to the demand access.",
+            &self.match_to_access_cycles,
+        );
+        histogram(
+            &mut out,
+            "hds_prefetch_lead_refs",
+            "Demand references between prefetch issue and resolution.",
+            &self.prefetch_lead_refs,
+        );
+
+        for (metric, help, f) in [
+            (
+                "hds_stream_prefetch_accuracy",
+                "Per-stream fraction of issued prefetches that fully hit.",
+                StreamMetrics::accuracy as fn(&StreamMetrics) -> f64,
+            ),
+            (
+                "hds_stream_prefetch_coverage",
+                "Per-stream fraction of issued prefetches whose access arrived.",
+                StreamMetrics::coverage,
+            ),
+            (
+                "hds_stream_prefetch_timeliness",
+                "Per-stream fraction of arrived prefetches that were in time.",
+                StreamMetrics::timeliness,
+            ),
+        ] {
+            let _ = writeln!(out, "# HELP {metric} {help}");
+            let _ = writeln!(out, "# TYPE {metric} gauge");
+            for (id, s) in &self.per_stream {
+                let _ = writeln!(out, "{metric}{{stream=\"{id}\"}} {}", f(s));
+            }
+        }
+        let _ = writeln!(
+            out,
+            "# HELP hds_stream_prefetches_issued Per-stream prefetches issued."
+        );
+        let _ = writeln!(out, "# TYPE hds_stream_prefetches_issued gauge");
+        for (id, s) in &self.per_stream {
+            let _ = writeln!(out, "hds_stream_prefetches_issued{{stream=\"{id}\"}} {}", s.issued);
+        }
+        out
+    }
+}
+
+impl Observer for MetricsRecorder {
+    fn phase_transition(&mut self, event: &PhaseTransition) {
+        match event.to {
+            PhaseKind::Awake => self.phase_transitions_awake += 1,
+            PhaseKind::Hibernating => self.phase_transitions_hibernate += 1,
+        }
+        self.last_duty_cycle = event.duty_cycle;
+    }
+
+    fn cycle_start(&mut self, _event: &CycleStart) {
+        self.cycles_started += 1;
+        // Stale correlation entries from a de-optimized cycle would
+        // mis-attribute lead distances across cycles; drop them.
+        self.pending_issue_ref.clear();
+    }
+
+    fn cycle_end(&mut self, event: &CycleEnd) {
+        self.cycles_completed += 1;
+        self.traced_refs_total += event.traced_refs;
+    }
+
+    fn stream_detected(&mut self, event: &StreamDetected) {
+        self.streams_detected += 1;
+        self.stream_length.record(event.len as u64);
+    }
+
+    fn dfsm_built(&mut self, event: &DfsmBuilt) {
+        self.dfsms_built += 1;
+        self.dfsm_state_count.record(event.states as u64);
+    }
+
+    fn prefetch_issued(&mut self, event: &PrefetchIssued) {
+        self.prefetches_issued += 1;
+        self.per_stream.entry(event.stream_id).or_default().issued += 1;
+        self.pending_issue_ref.entry(event.block).or_insert(event.at_ref);
+    }
+
+    fn prefetch_outcome(&mut self, event: &PrefetchOutcome) {
+        self.outcomes[event.fate as usize] += 1;
+        let s = self.per_stream.entry(event.stream_id).or_default();
+        match event.fate {
+            PrefetchFate::Useful => s.useful += 1,
+            PrefetchFate::Late => s.late += 1,
+            PrefetchFate::Polluted => s.polluted += 1,
+        }
+        if matches!(event.fate, PrefetchFate::Useful | PrefetchFate::Late) {
+            self.match_to_access_cycles.record(event.latency_cycles());
+        }
+        if let Some(issue_ref) = self.pending_issue_ref.remove(&event.block) {
+            if event.fate != PrefetchFate::Polluted {
+                self.prefetch_lead_refs
+                    .record(event.resolved_at_ref.saturating_sub(issue_ref));
+            }
+        }
+    }
+
+    fn deoptimize(&mut self, _event: &Deoptimize) {
+        self.deopts += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_are_log2() {
+        let mut h = Histogram::new();
+        for v in [0, 1, 2, 3, 4, 7, 8, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 8);
+        assert_eq!(h.sum(), 1025);
+        let buckets = h.cumulative_buckets();
+        // Value 0 -> bucket with bound 0 (1 sample); 1 -> bound 1;
+        // 2,3 -> bound 3; 4,7 -> bound 7; 8 -> bound 15; 1000 -> bound 1023.
+        assert_eq!(buckets[0], (0, 1));
+        assert_eq!(buckets[1], (1, 2));
+        assert_eq!(buckets[2], (3, 4));
+        assert_eq!(buckets[3], (7, 6));
+        assert_eq!(buckets[4], (15, 7));
+        assert_eq!(*buckets.last().unwrap(), (1023, 8));
+        assert!((h.mean() - 1025.0 / 8.0).abs() < 1e-9);
+    }
+
+    fn outcome(stream: u32, block: u64, fate: PrefetchFate) -> PrefetchOutcome {
+        PrefetchOutcome {
+            stream_id: stream,
+            block,
+            fate,
+            issued_at_cycle: 100,
+            resolved_at_cycle: 350,
+            resolved_at_ref: 20,
+        }
+    }
+
+    #[test]
+    fn per_stream_quality_ratios() {
+        let mut m = MetricsRecorder::new();
+        for block in 0..4 {
+            m.prefetch_issued(&PrefetchIssued {
+                stream_id: 7,
+                addr: block * 32,
+                block,
+                at_cycle: 100,
+                at_ref: 10,
+            });
+        }
+        m.prefetch_outcome(&outcome(7, 0, PrefetchFate::Useful));
+        m.prefetch_outcome(&outcome(7, 1, PrefetchFate::Useful));
+        m.prefetch_outcome(&outcome(7, 2, PrefetchFate::Late));
+        m.prefetch_outcome(&outcome(7, 3, PrefetchFate::Polluted));
+        let s = m.per_stream()[&7];
+        assert_eq!(s.issued, 4);
+        assert!((s.accuracy() - 0.5).abs() < 1e-9);
+        assert!((s.coverage() - 0.75).abs() < 1e-9);
+        assert!((s.timeliness() - 2.0 / 3.0).abs() < 1e-9);
+        // Lead distance recorded for the three non-polluted outcomes.
+        assert_eq!(m.prefetch_lead_refs().count(), 3);
+        assert_eq!(m.match_to_access_cycles().count(), 3);
+    }
+
+    #[test]
+    fn empty_ratios_are_zero() {
+        let s = StreamMetrics::default();
+        assert_eq!(s.accuracy(), 0.0);
+        assert_eq!(s.coverage(), 0.0);
+        assert_eq!(s.timeliness(), 0.0);
+    }
+
+    #[test]
+    fn prometheus_render_is_well_formed() {
+        let mut m = MetricsRecorder::new();
+        m.prefetch_issued(&PrefetchIssued {
+            stream_id: 1,
+            addr: 64,
+            block: 2,
+            at_cycle: 5,
+            at_ref: 1,
+        });
+        m.prefetch_outcome(&outcome(1, 2, PrefetchFate::Useful));
+        m.stream_detected(&StreamDetected {
+            opt_cycle: 0,
+            stream_id: 1,
+            len: 12,
+            head_len: 2,
+        });
+        let text = m.render_prometheus();
+        for line in text.lines() {
+            if line.starts_with('#') {
+                assert!(
+                    line.starts_with("# HELP ") || line.starts_with("# TYPE "),
+                    "bad comment line: {line}"
+                );
+                continue;
+            }
+            // metric[{labels}] value
+            let (name_part, value) = line.rsplit_once(' ').expect("name and value");
+            assert!(value.parse::<f64>().is_ok(), "bad value in: {line}");
+            let name = name_part.split('{').next().unwrap();
+            assert!(
+                name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'),
+                "bad metric name in: {line}"
+            );
+        }
+        assert!(text.contains("hds_prefetches_issued_total 1"));
+        assert!(text.contains("hds_stream_prefetch_accuracy{stream=\"1\"} 1"));
+        assert!(text.contains("hds_stream_length_refs_bucket{le=\"+Inf\"} 1"));
+    }
+}
