@@ -3,10 +3,10 @@
 
 CARGO ?= cargo
 
-.PHONY: verify build test clippy bench-smoke telemetry-demo
+.PHONY: verify build test clippy bench-smoke telemetry-demo chaos-smoke
 
-## Tier-1 gate: release build, full test suite, clippy clean.
-verify: build test clippy
+## Tier-1 gate: release build, full test suite, clippy clean, chaos smoke.
+verify: build test clippy chaos-smoke
 
 build:
 	$(CARGO) build --release
@@ -21,6 +21,12 @@ clippy:
 ## the zero-overhead-when-off check).
 bench-smoke:
 	$(CARGO) bench -p hds-bench
+
+## Fault-injection smoke: 100 seeded chaos schedules over the benchmark
+## suite (no panics, exact telemetry reconciliation, failed-edit runs
+## degrade to the analyze baseline). Finishes in a few seconds.
+chaos-smoke:
+	$(CARGO) run --release -p hds-bench --bin chaos -- --schedules 100
 
 ## Live telemetry walkthrough: per-cycle table, counter reconciliation,
 ## per-stream prefetch quality, Prometheus dump. Fast smoke scale; drop

@@ -9,9 +9,19 @@
 //!   measured difference is noise. The acceptance bound is <2%.
 //! * `metrics_recorder` — `run_observed` with a live `MetricsRecorder`:
 //!   the real cost of turning telemetry on.
+//!
+//! Two more for the guard layer's matching claim:
+//!
+//! * `guard_off` — the default `GuardConfig::disabled()` through the
+//!   baseline path: the `Option<GuardRuntime>` is `None` and every
+//!   guard site is a skipped branch;
+//! * `guard_enabled` — generous (never-binding) budgets plus the
+//!   accuracy policy: the real cost of running guarded.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
-use hds_core::{Executor, NullObserver, OptimizerConfig, PrefetchPolicy, RunMode};
+use hds_core::{
+    AccuracyConfig, Executor, GuardConfig, NullObserver, OptimizerConfig, PrefetchPolicy, RunMode,
+};
 use hds_telemetry::MetricsRecorder;
 use hds_workloads::{SyntheticConfig, SyntheticWorkload, Workload};
 
@@ -63,6 +73,29 @@ fn bench(c: &mut Criterion) {
             let mut rec = MetricsRecorder::new();
             let report = Executor::new(config(), mode).run_observed(&mut w, procs, &mut rec);
             black_box((report.total_cycles, rec.prefetches_issued()))
+        });
+    });
+    group.bench_function("guard_off", |b| {
+        b.iter(|| {
+            let mut w = workload();
+            let procs = w.procedures();
+            let mut cfg = config();
+            cfg.guard = GuardConfig::disabled();
+            black_box(Executor::new(cfg, mode).run(&mut w, procs).total_cycles)
+        });
+    });
+    group.bench_function("guard_enabled", |b| {
+        b.iter(|| {
+            let mut w = workload();
+            let procs = w.procedures();
+            let mut cfg = config();
+            cfg.guard = GuardConfig::disabled()
+                .with_max_grammar_rules(u64::MAX)
+                .with_max_analysis_cycles(u64::MAX)
+                .with_max_dfsm_states(u64::MAX)
+                .with_max_prefetch_queue(u64::MAX)
+                .with_accuracy(AccuracyConfig::new());
+            black_box(Executor::new(cfg, mode).run(&mut w, procs).total_cycles)
         });
     });
     group.finish();

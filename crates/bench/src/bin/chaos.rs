@@ -1,0 +1,310 @@
+//! Chaos harness: the optimizer under seeded fault schedules.
+//!
+//! Runs the benchmark suite through the full optimize cycle while a
+//! seeded [`FaultPlan`] corrupts traced references, truncates trace
+//! bursts, fails binary edits mid-session, injects thread switches
+//! around stop-the-world edits, and starves the analysis budget —
+//! with budget guards and the accuracy-driven deoptimization policy
+//! enabled on a rotating subset of schedules. Every schedule asserts:
+//!
+//! 1. **no panic** — the run completes under `catch_unwind`;
+//! 2. **exact reconciliation** — the `MetricsRecorder` counters agree
+//!    with the final `RunReport` (prefetches, cycles, outcome fates,
+//!    guard trips, partial deopts);
+//! 3. **graceful degradation** — when every edit fails, the optimize
+//!    run costs exactly what the analyze-only configuration costs
+//!    (nothing was ever installed, so nothing optimized-and-broken
+//!    remains behind).
+//!
+//! Failures print the offending seed so the schedule replays exactly.
+//!
+//! Run: `cargo run --release -p hds-bench --bin chaos`
+//! (options: `--schedules <n>`, default 100; `--bench-json <path>` to
+//! also write the guards-off-is-free comparison as JSON).
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use hds_core::{
+    AccuracyConfig, Executor, FaultPlan, GuardConfig, OptimizerConfig, PrefetchPolicy, RunMode,
+};
+use hds_telemetry::events::PrefetchFate;
+use hds_telemetry::MetricsRecorder;
+use hds_workloads::{benchmark, Benchmark, Scale};
+
+fn schedules_from_args() -> u64 {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--schedules" {
+            return args
+                .next()
+                .and_then(|n| n.parse().ok())
+                .unwrap_or_else(|| {
+                    eprintln!("bad --schedules value; using 100");
+                    100
+                });
+        }
+    }
+    100
+}
+
+/// The guard configuration for schedule `seed`: a rotation over off,
+/// generous (enabled but rarely binding), and tight (budgets small
+/// enough to trip on real workloads), with the accuracy policy on for
+/// every other enabled schedule.
+fn guard_for(seed: u64) -> GuardConfig {
+    let accuracy = AccuracyConfig {
+        min_accuracy: 0.25,
+        bad_windows: 2,
+        min_samples: 4,
+    };
+    match seed % 4 {
+        0 => GuardConfig::disabled(),
+        // Generous budgets (installation always happens) plus a
+        // deliberately unsatisfiable accuracy bar: forces the partial /
+        // full deoptimization machinery to run on real workloads.
+        1 => {
+            let g = GuardConfig::disabled()
+                .with_max_grammar_rules(100_000)
+                .with_max_analysis_cycles(u64::MAX / 2)
+                .with_max_dfsm_states(10_000)
+                .with_max_prefetch_queue(10_000);
+            g.with_accuracy(AccuracyConfig {
+                min_accuracy: 1.1, // > 1.0: every sampled window is "bad"
+                bad_windows: 1,
+                min_samples: 1,
+            })
+        }
+        2 => GuardConfig::disabled()
+            .with_max_grammar_rules(64 + seed % 256)
+            .with_max_dfsm_states(8 + seed % 64)
+            .with_max_prefetch_queue(4 + seed % 32),
+        _ => GuardConfig::disabled()
+            .with_max_analysis_cycles(1 + seed % 100_000)
+            .with_accuracy(accuracy),
+    }
+}
+
+struct ScheduleResult {
+    faults_fired: u64,
+    guard_trips: u64,
+    partial_deopts: u64,
+    cycles: usize,
+    mismatches: Vec<String>,
+}
+
+/// One schedule: run `bench` under the seed's fault plan and guard
+/// configuration, then reconcile observer counters against the report.
+fn run_schedule(seed: u64, which: Benchmark) -> ScheduleResult {
+    let mut config = OptimizerConfig::test_scale();
+    config.guard = guard_for(seed);
+    let mut plan = FaultPlan::from_seed(seed);
+    let mut rec = MetricsRecorder::new();
+
+    let mut w = benchmark(which, Scale::Test);
+    let procs = w.procedures();
+    let report = Executor::new(config, RunMode::Optimize(PrefetchPolicy::StreamTail))
+        .run_faulted(&mut *w, procs, &mut rec, &mut plan);
+
+    // A late prefetch increments both `prefetches_late` and
+    // `prefetches_useful` in MemStats; each telemetry outcome carries
+    // exactly one fate (same identity telemetry_demo checks).
+    let useful_fates = report.mem.prefetches_useful - report.mem.prefetches_late;
+    let checks: [(&str, u64, u64); 8] = [
+        ("prefetches issued", rec.prefetches_issued(), report.mem.prefetches_issued),
+        ("cycles completed", rec.cycles_completed(), report.cycles.len() as u64),
+        (
+            "traced refs",
+            rec.traced_refs_total(),
+            report.cycles.iter().map(|c| c.traced_refs).sum::<u64>(),
+        ),
+        ("useful outcomes", rec.outcomes(PrefetchFate::Useful), useful_fates),
+        ("late outcomes", rec.outcomes(PrefetchFate::Late), report.mem.prefetches_late),
+        (
+            "polluted outcomes",
+            rec.outcomes(PrefetchFate::Polluted),
+            report.mem.prefetches_polluting,
+        ),
+        ("guard trips", rec.guard_trips_total(), report.guard_trips),
+        ("partial deopts", rec.partial_deopts(), report.partial_deopts),
+    ];
+    let mismatches = checks
+        .iter()
+        .filter(|(_, observed, reported)| observed != reported)
+        .map(|(what, observed, reported)| format!("{what}: observer {observed} != report {reported}"))
+        .collect();
+
+    ScheduleResult {
+        faults_fired: plan.counts().total(),
+        guard_trips: report.guard_trips,
+        partial_deopts: report.partial_deopts,
+        cycles: report.cycles.len(),
+        mismatches,
+    }
+}
+
+/// The degradation invariant: with every edit failing (and the edit
+/// session rolling back atomically each time), the optimize-mode run
+/// must cost exactly what analyze-only mode costs.
+fn assert_failed_edits_match_analyze(seed: u64, which: Benchmark) {
+    let config = OptimizerConfig::test_scale();
+    let mut w = benchmark(which, Scale::Test);
+    let procs = w.procedures();
+    let analyze = Executor::new(config.clone(), RunMode::Analyze).run(&mut *w, procs);
+
+    let mut plan = FaultPlan::edits_always_fail(seed);
+    let mut w = benchmark(which, Scale::Test);
+    let procs = w.procedures();
+    let faulted = Executor::new(config, RunMode::Optimize(PrefetchPolicy::StreamTail))
+        .run_faulted(&mut *w, procs, hds_telemetry::NullObserver, &mut plan);
+
+    assert!(
+        plan.counts().failed_edits > 0,
+        "[seed {seed}] {}: no edits were attempted",
+        which.name()
+    );
+    assert_eq!(
+        faulted.total_cycles,
+        analyze.total_cycles,
+        "[seed {seed}] {}: failed-edit run does not cost the analyze baseline",
+        which.name()
+    );
+    assert_eq!(
+        faulted.mem, analyze.mem,
+        "[seed {seed}] {}: failed-edit run's memory behaviour diverged",
+        which.name()
+    );
+    assert_eq!(faulted.breakdown.optimize, 0);
+    assert_eq!(faulted.mem.prefetches_issued, 0);
+}
+
+fn bench_json_path() -> Option<std::path::PathBuf> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--bench-json" {
+            return args.next().map(std::path::PathBuf::from);
+        }
+    }
+    None
+}
+
+/// The guards-off-is-free claim, as data: for every benchmark, the
+/// default configuration (`GuardConfig::disabled()`) and a build of the
+/// same run with guards *enabled but never binding* must report
+/// identical cycle costs and memory behaviour.
+fn write_bench_json(path: &std::path::Path) {
+    #[derive(serde::Serialize)]
+    struct Row {
+        benchmark: &'static str,
+        guards_off_total_cycles: u64,
+        guards_on_untripped_total_cycles: u64,
+        identical: bool,
+        prefetches_issued: u64,
+        l1_misses_off: u64,
+        l1_misses_on: u64,
+    }
+
+    let untripped = || {
+        GuardConfig::disabled()
+            .with_max_grammar_rules(u64::MAX)
+            .with_max_analysis_cycles(u64::MAX)
+            .with_max_dfsm_states(u64::MAX)
+            .with_max_prefetch_queue(u64::MAX)
+    };
+
+    let mut rows = Vec::new();
+    for which in Benchmark::ALL {
+        let config = OptimizerConfig::test_scale();
+        let mut w = benchmark(which, Scale::Test);
+        let procs = w.procedures();
+        let off = Executor::new(config.clone(), RunMode::Optimize(PrefetchPolicy::StreamTail))
+            .run(&mut *w, procs);
+
+        let mut guarded_config = config;
+        guarded_config.guard = untripped();
+        let mut w = benchmark(which, Scale::Test);
+        let procs = w.procedures();
+        let on = Executor::new(guarded_config, RunMode::Optimize(PrefetchPolicy::StreamTail))
+            .run(&mut *w, procs);
+
+        let identical = off.total_cycles == on.total_cycles
+            && off.breakdown == on.breakdown
+            && off.mem == on.mem;
+        assert!(
+            identical,
+            "{}: guards-on-untripped run diverged from guards-off",
+            which.name()
+        );
+        rows.push(Row {
+            benchmark: which.name(),
+            guards_off_total_cycles: off.total_cycles,
+            guards_on_untripped_total_cycles: on.total_cycles,
+            identical,
+            prefetches_issued: off.mem.prefetches_issued,
+            l1_misses_off: off.mem.l1_misses,
+            l1_misses_on: on.mem.l1_misses,
+        });
+    }
+    let json = serde_json::to_string_pretty(&rows).expect("serializing bench rows");
+    std::fs::write(path, json + "\n").expect("writing --bench-json file");
+    println!("bench-json: guards-off == guards-on-untripped on all {} benchmarks -> {}",
+        rows.len(), path.display());
+}
+
+fn main() {
+    let schedules = schedules_from_args();
+    println!("chaos: {schedules} seeded fault schedules over the benchmark suite");
+
+    let mut panics = 0u64;
+    let mut reconcile_failures = 0u64;
+    let mut total_faults = 0u64;
+    let mut total_trips = 0u64;
+    let mut total_partial_deopts = 0u64;
+    let mut total_cycles = 0usize;
+
+    for seed in 0..schedules {
+        let which = Benchmark::ALL[(seed % Benchmark::ALL.len() as u64) as usize];
+        match catch_unwind(AssertUnwindSafe(|| run_schedule(seed, which))) {
+            Ok(r) => {
+                total_faults += r.faults_fired;
+                total_trips += r.guard_trips;
+                total_partial_deopts += r.partial_deopts;
+                total_cycles += r.cycles;
+                if !r.mismatches.is_empty() {
+                    reconcile_failures += 1;
+                    for m in &r.mismatches {
+                        eprintln!("[seed {seed}] {}: {m}", which.name());
+                    }
+                }
+            }
+            Err(_) => {
+                panics += 1;
+                eprintln!("[seed {seed}] {}: PANIC", which.name());
+            }
+        }
+    }
+
+    // The degradation invariant across the whole suite (one seed each).
+    for (i, which) in Benchmark::ALL.iter().enumerate() {
+        assert_failed_edits_match_analyze(1_000 + i as u64, *which);
+    }
+    println!("degradation: failed-edit runs match the analyze baseline on all {} benchmarks", Benchmark::ALL.len());
+
+    if let Some(path) = bench_json_path() {
+        write_bench_json(&path);
+    }
+
+    println!(
+        "schedules {schedules}: {total_faults} faults fired, {total_trips} guard trips, \
+         {total_partial_deopts} partial deopts, {total_cycles} optimization cycles"
+    );
+    assert_eq!(panics, 0, "{panics} schedules panicked");
+    assert_eq!(
+        reconcile_failures, 0,
+        "{reconcile_failures} schedules failed telemetry reconciliation"
+    );
+    assert!(
+        total_faults > 0,
+        "no schedule ever fired a fault — the harness is not exercising anything"
+    );
+    println!("chaos: OK — no panics, exact reconciliation on every schedule");
+}

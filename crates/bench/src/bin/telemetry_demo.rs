@@ -16,8 +16,8 @@
 //! also stream one JSON record per telemetry event to a file).
 
 use hds_bench::{jsonl_path_from_args, print_table, scale_from_args};
-use hds_core::{Executor, OptimizerConfig, PrefetchPolicy, RunMode};
-use hds_telemetry::events::{CycleEnd, PhaseTransition, PrefetchFate};
+use hds_core::{Executor, GuardConfig, OptimizerConfig, PrefetchPolicy, RunMode};
+use hds_telemetry::events::{CycleEnd, Deoptimize, GuardTripped, PhaseTransition, PrefetchFate};
 use hds_telemetry::{JsonlSink, MetricsRecorder, Observer};
 use hds_workloads::{benchmark, Benchmark};
 
@@ -43,6 +43,25 @@ impl Observer for LiveTable {
             "  -> {:?} at cycle {} (duty cycle so far {:.3})",
             e.to, e.at_cycle, e.duty_cycle
         );
+    }
+
+    fn guard_tripped(&mut self, e: &GuardTripped) {
+        eprintln!(
+            "  !! guard {} tripped at cycle {}: observed {} > budget {}",
+            e.guard.label(),
+            e.at_cycle,
+            e.observed,
+            e.budget
+        );
+    }
+
+    fn deoptimize(&mut self, e: &Deoptimize) {
+        if e.partial {
+            eprintln!(
+                "  !! partial deopt at cycle {}: stream {:?} removed, rest keep prefetching",
+                e.at_cycle, e.stream_id
+            );
+        }
     }
 }
 
@@ -97,10 +116,19 @@ fn main() {
     let which = benchmark_from_args();
     // Paper-scale awake phases need paper-scale runs to complete; the
     // test-scale smoke run pairs the short workloads with quick cycles.
-    let config = match scale {
+    let mut config = match scale {
         hds_workloads::Scale::Paper => OptimizerConfig::paper_scale(),
         _ => OptimizerConfig::test_scale(),
     };
+    // `--guarded` turns on deliberately tight budget guards so the
+    // GuardTripped telemetry shows up live (and in the Prometheus dump).
+    if std::env::args().any(|a| a == "--guarded") {
+        config.guard = GuardConfig::disabled()
+            .with_max_grammar_rules(48)
+            .with_max_dfsm_states(16)
+            .with_max_prefetch_queue(8);
+        println!("(guards on: tight grammar/DFSM/queue budgets)");
+    }
     let jsonl_out: Box<dyn std::io::Write> = match jsonl_path_from_args() {
         Some(path) => Box::new(std::io::BufWriter::new(
             std::fs::File::create(&path).expect("creating --jsonl file"),
@@ -131,7 +159,7 @@ fn main() {
     // `prefetches_useful` in MemStats; each telemetry outcome carries
     // exactly one fate, so the useful *fate* count is the difference.
     let useful_fates = report.mem.prefetches_useful - report.mem.prefetches_late;
-    let checks: [(&str, u64, u64); 6] = [
+    let checks: [(&str, u64, u64); 8] = [
         ("prefetches issued", rec.prefetches_issued(), report.mem.prefetches_issued),
         ("cycles completed", rec.cycles_completed(), report.cycles.len() as u64),
         (
@@ -146,6 +174,8 @@ fn main() {
             rec.outcomes(PrefetchFate::Polluted),
             report.mem.prefetches_polluting,
         ),
+        ("guard trips", rec.guard_trips_total(), report.guard_trips),
+        ("partial deopts", rec.partial_deopts(), report.partial_deopts),
     ];
     let mut rows = Vec::new();
     let mut mismatches = 0;

@@ -3,6 +3,7 @@
 
 use hds_bursty::BurstyConfig;
 use hds_dfsm::DfsmConfig;
+use hds_guard::GuardConfig;
 use hds_hotstream::AnalysisConfig;
 use hds_memsim::HierarchyConfig;
 
@@ -144,6 +145,11 @@ pub struct OptimizerConfig {
     /// Dynamic (re-profiling) or static (optimize-once) operation (§1
     /// future work).
     pub strategy: CycleStrategy,
+    /// Budget guards and the accuracy-driven partial-deoptimization
+    /// policy. Disabled by default: with every guard off the layer is
+    /// behaviorally inert and reported cycle costs are identical to a
+    /// build without it.
+    pub guard: GuardConfig,
 }
 
 impl OptimizerConfig {
@@ -172,6 +178,7 @@ impl OptimizerConfig {
             seq_pref_cap: 12,
             scheduling: PrefetchScheduling::AllAtOnce,
             strategy: CycleStrategy::Dynamic,
+            guard: GuardConfig::disabled(),
         }
     }
 
@@ -195,6 +202,7 @@ impl OptimizerConfig {
             seq_pref_cap: 16,
             scheduling: PrefetchScheduling::AllAtOnce,
             strategy: CycleStrategy::Dynamic,
+            guard: GuardConfig::disabled(),
         }
     }
 }

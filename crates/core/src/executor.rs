@@ -2,11 +2,16 @@
 //! profile → analyze → optimize → hibernate cycle, charging cycles for
 //! everything, exactly once per event.
 
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
 use hds_bursty::{BurstyTracer, Mode, Phase, Signal};
-use hds_dfsm::{build as build_dfsm, Dfsm, StateId};
+use hds_dfsm::{build as build_dfsm, BuildError, Dfsm, StateId};
+use hds_guard::{FaultInjector, GuardRuntime, NoFaults, Trip};
 use hds_hotstream::fast;
 use hds_memsim::MemorySystem;
 use hds_sequitur::Sequitur;
+use hds_telemetry::events::GuardKind;
 use hds_telemetry::{events as tev, NullObserver, Observer};
 use hds_trace::{DataRef, SymbolTable, TraceBuffer};
 use hds_vulcan::{Event, FrameTracker, Image, Procedure, ProgramSource};
@@ -46,6 +51,15 @@ struct RunState {
     /// Tail addresses (with their triggering stream id) awaiting issue
     /// under windowed scheduling.
     pf_queue: std::collections::VecDeque<(hds_trace::Addr, u32)>,
+    /// Budget guards + accuracy policy; `None` when every guard is off
+    /// (the common case), so the unguarded paths stay branch-cheap.
+    guard: Option<GuardRuntime>,
+    /// The streams of the current DFSM installation (index = stream id),
+    /// kept so the accuracy policy can rebuild the matcher over the
+    /// survivors when it surgically removes a stream.
+    installed: Vec<Vec<DataRef>>,
+    /// Streams removed by accuracy-driven partial de-optimization.
+    partial_deopts: u64,
 }
 
 impl Executor {
@@ -84,6 +98,28 @@ impl Executor {
         O: Observer,
     {
         let mut session = Session::with_observer(self.config, self.mode, procedures, obs);
+        while let Some(event) = program.next_event() {
+            session.on_event(event);
+        }
+        session.finish(program.name())
+    }
+
+    /// Like [`Executor::run_observed`], but additionally threads a
+    /// [`FaultInjector`] through the session — the chaos-testing entry
+    /// point. Pass `&mut plan` to read the fault counts afterwards.
+    pub fn run_faulted<W, O, F>(
+        self,
+        program: &mut W,
+        procedures: Vec<Procedure>,
+        obs: O,
+        faults: F,
+    ) -> RunReport
+    where
+        W: ProgramSource + ?Sized,
+        O: Observer,
+        F: FaultInjector,
+    {
+        let mut session = Session::with_faults(self.config, self.mode, procedures, obs, faults);
         while let Some(event) = program.next_event() {
             session.on_event(event);
         }
@@ -151,11 +187,12 @@ impl Executor {
 /// assert_eq!(rec.cycles_completed(), 0);
 /// ```
 #[derive(Debug)]
-pub struct Session<O: Observer = NullObserver> {
+pub struct Session<O: Observer = NullObserver, F: FaultInjector = NoFaults> {
     config: OptimizerConfig,
     mode: RunMode,
     st: RunState,
     obs: O,
+    faults: F,
 }
 
 impl Session {
@@ -178,6 +215,26 @@ impl<O: Observer> Session<O> {
         procedures: Vec<Procedure>,
         obs: O,
     ) -> Self {
+        Session::with_faults(config, mode, procedures, obs, NoFaults)
+    }
+}
+
+impl<O: Observer, F: FaultInjector> Session<O, F> {
+    /// Creates a session with an attached observer *and* fault injector.
+    /// The default [`NoFaults`] injector monomorphizes every injection
+    /// site away; chaos tests pass an `hds_guard::FaultPlan`.
+    #[must_use]
+    pub fn with_faults(
+        config: OptimizerConfig,
+        mode: RunMode,
+        procedures: Vec<Procedure>,
+        obs: O,
+        faults: F,
+    ) -> Self {
+        let guard = config
+            .guard
+            .is_enabled()
+            .then(|| GuardRuntime::new(config.guard.clone()));
         let st = RunState {
             cycles: 0,
             breakdown: CostBreakdown::default(),
@@ -195,12 +252,16 @@ impl<O: Observer> Session<O> {
             checks: 0,
             cycle_stats: Vec::new(),
             pf_queue: std::collections::VecDeque::new(),
+            guard,
+            installed: Vec::new(),
+            partial_deopts: 0,
         };
         let mut session = Session {
             config,
             mode,
             st,
             obs,
+            faults,
         };
         // The first profiling cycle starts with the program (the tracer
         // begins awake); baseline modes never cycle.
@@ -224,6 +285,18 @@ impl<O: Observer> Session<O> {
         &mut self.obs
     }
 
+    /// The attached fault injector, mutably (e.g. to read an
+    /// `hds_guard::FaultPlan`'s counts mid-run).
+    pub fn fault_injector_mut(&mut self) -> &mut F {
+        &mut self.faults
+    }
+
+    /// The guard runtime, when any guard is configured.
+    #[must_use]
+    pub fn guard(&self) -> Option<&GuardRuntime> {
+        self.st.guard.as_ref()
+    }
+
     /// Processes one execution event, charging its simulated cost and
     /// driving the profile -> analyze -> optimize -> hibernate machinery.
     pub fn on_event(&mut self, event: Event) {
@@ -237,12 +310,14 @@ impl<O: Observer> Session<O> {
             }
             Event::Enter(p) => {
                 st.frames[st.active_thread].enter(p, st.image.epoch());
-                do_check(&self.config, self.mode, st, &mut self.obs);
+                do_check(&self.config, self.mode, st, &mut self.obs, &mut self.faults);
             }
             Event::Exit(p) => st.frames[st.active_thread].exit(p),
-            Event::BackEdge(_) => do_check(&self.config, self.mode, st, &mut self.obs),
+            Event::BackEdge(_) => {
+                do_check(&self.config, self.mode, st, &mut self.obs, &mut self.faults);
+            }
             Event::Access(r, kind) => {
-                do_access(&self.config, self.mode, st, &mut self.obs, r, kind);
+                do_access(&self.config, self.mode, st, &mut self.obs, &mut self.faults, r, kind);
             }
             Event::Prefetch(addr) => {
                 // A prefetch instruction belonging to the program
@@ -312,8 +387,37 @@ impl<O: Observer> Session<O> {
             mem: *st.mem.stats(),
             refs: st.refs,
             checks_executed: st.checks,
+            guard_trips: st.guard.as_ref().map_or(0, GuardRuntime::trips_total),
+            partial_deopts: st.partial_deopts,
             cycles: st.cycle_stats,
         }
+    }
+}
+
+/// Content hash of a stream's reference sequence, used by the accuracy
+/// policy's cross-installation denylist. `DefaultHasher::new()` is
+/// deterministic, so denylisting is reproducible run-to-run.
+fn stream_hash(refs: &[DataRef]) -> u64 {
+    let mut h = DefaultHasher::new();
+    for r in refs {
+        r.pc.0.hash(&mut h);
+        r.addr.0.hash(&mut h);
+    }
+    h.finish()
+}
+
+/// Reports a guard trip to the observer — only the first trip of each
+/// guard per cycle, so emitted events reconcile exactly with
+/// [`GuardRuntime::trips_total`].
+fn report_trip<O: Observer>(st: &RunState, obs: &mut O, trip: Trip) {
+    if O::ENABLED && trip.first_in_cycle {
+        obs.guard_tripped(&tev::GuardTripped {
+            guard: trip.guard,
+            budget: trip.budget,
+            observed: trip.observed,
+            opt_cycle: st.cycle_stats.len() as u64,
+            at_cycle: st.cycles,
+        });
     }
 }
 
@@ -331,8 +435,16 @@ fn issue_prefetch<O: Observer>(
     let cost = config.hierarchy.cost;
     st.cycles += cost.prefetch_issue_cycles;
     st.breakdown.prefetch += cost.prefetch_issue_cycles;
-    if O::ENABLED {
+    // The accuracy policy needs per-stream attribution even without an
+    // observer attached; tagging is timing-neutral (see the
+    // `observation_does_not_perturb_the_run` test).
+    let track = O::ENABLED || st.guard.as_ref().is_some_and(GuardRuntime::tracks_accuracy);
+    if track {
         st.mem.prefetch_tagged_at(addr, st.cycles, stream);
+    } else {
+        st.mem.prefetch_at(addr, st.cycles);
+    }
+    if O::ENABLED {
         obs.prefetch_issued(&tev::PrefetchIssued {
             stream_id: stream,
             addr: addr.0,
@@ -340,40 +452,49 @@ fn issue_prefetch<O: Observer>(
             at_cycle: st.cycles,
             at_ref: st.refs,
         });
-    } else {
-        st.mem.prefetch_at(addr, st.cycles);
     }
 }
 
 /// Forwards resolved prefetch outcomes from the memory system's
-/// attribution queue to the observer. No-op (and no queue ever fills)
-/// without an enabled observer.
+/// attribution queue to the observer and the accuracy tracker. No-op
+/// (and no queue ever fills) without an enabled observer or an accuracy
+/// policy.
 fn drain_outcomes<O: Observer>(st: &mut RunState, obs: &mut O) {
-    if !O::ENABLED {
+    let track_guard = st.guard.as_ref().is_some_and(GuardRuntime::tracks_accuracy);
+    if !O::ENABLED && !track_guard {
         return;
     }
     for o in st.mem.take_outcomes() {
-        obs.prefetch_outcome(&tev::PrefetchOutcome {
-            stream_id: o.tag,
-            block: o.block,
-            fate: match o.fate {
-                hds_memsim::PrefetchFate::Useful => tev::PrefetchFate::Useful,
-                hds_memsim::PrefetchFate::Late => tev::PrefetchFate::Late,
-                hds_memsim::PrefetchFate::Polluted => tev::PrefetchFate::Polluted,
-            },
-            issued_at_cycle: o.issued_at,
-            resolved_at_cycle: o.resolved_at,
-            resolved_at_ref: st.refs,
-        });
+        let fate = match o.fate {
+            hds_memsim::PrefetchFate::Useful => tev::PrefetchFate::Useful,
+            hds_memsim::PrefetchFate::Late => tev::PrefetchFate::Late,
+            hds_memsim::PrefetchFate::Polluted => tev::PrefetchFate::Polluted,
+        };
+        if track_guard {
+            if let Some(g) = &mut st.guard {
+                g.record_outcome(o.tag, fate);
+            }
+        }
+        if O::ENABLED {
+            obs.prefetch_outcome(&tev::PrefetchOutcome {
+                stream_id: o.tag,
+                block: o.block,
+                fate,
+                issued_at_cycle: o.issued_at,
+                resolved_at_cycle: o.resolved_at,
+                resolved_at_ref: st.refs,
+            });
+        }
     }
 }
 
 /// One dynamic check site (procedure entry or loop back-edge).
-fn do_check<O: Observer>(
+fn do_check<O: Observer, F: FaultInjector>(
     config: &OptimizerConfig,
     mode: RunMode,
     st: &mut RunState,
     obs: &mut O,
+    faults: &mut F,
 ) {
     {
         let cost = config.hierarchy.cost;
@@ -404,12 +525,22 @@ fn do_check<O: Observer>(
                     Some(Signal::BurstEnd) if st.buffer.in_burst() => {
                         st.buffer.end_burst_discard_empty();
                     }
-                    Some(Signal::BurstBegin | Signal::BurstEnd) => {}
+                    Some(Signal::BurstBegin) => {}
+                    Some(Signal::BurstEnd) if st.tracer.phase() == Phase::Hibernating => {
+                        // Hibernation-period burst boundaries: nothing is
+                        // recorded, but the prefetching code is live.
+                        // These are the accuracy policy's evaluation
+                        // windows — frequent enough to react within one
+                        // hibernation span, coarse enough to accumulate
+                        // outcome samples.
+                        evaluate_accuracy(config, st, obs, faults);
+                    }
+                    Some(Signal::BurstEnd) => {}
                     Some(Signal::AwakeComplete) => {
                         if st.buffer.in_burst() {
                             st.buffer.end_burst_discard_empty();
                         }
-                        finish_awake(config, mode, st, obs);
+                        finish_awake(config, mode, st, obs, faults);
                         st.tracer.hibernate();
                         if O::ENABLED {
                             obs.phase_transition(&phase_event(st, tev::PhaseKind::Hibernating));
@@ -438,12 +569,21 @@ fn do_check<O: Observer>(
                             st.dfsm = None;
                             st.dfsm_state = StateId::START;
                             st.pf_queue.clear();
+                            st.installed.clear();
+                            if let Some(g) = &mut st.guard {
+                                // New profiling cycle: fresh trip
+                                // latches, no installation to track.
+                                g.begin_cycle();
+                                g.begin_install(std::iter::empty::<(u32, u64)>());
+                            }
                             st.tracer.wake();
                             if O::ENABLED {
                                 if had_code {
                                     obs.deoptimize(&tev::Deoptimize {
                                         at_cycle: st.cycles,
                                         opt_cycle: st.cycle_stats.len() as u64,
+                                        partial: false,
+                                        stream_id: None,
                                     });
                                 }
                                 obs.phase_transition(&phase_event(st, tev::PhaseKind::Awake));
@@ -474,11 +614,12 @@ fn phase_event(st: &RunState, to: tev::PhaseKind) -> tev::PhaseTransition {
 }
 
 /// One data reference.
-fn do_access<O: Observer>(
+fn do_access<O: Observer, F: FaultInjector>(
     config: &OptimizerConfig,
     mode: RunMode,
     st: &mut RunState,
     obs: &mut O,
+    faults: &mut F,
     r: DataRef,
     kind: hds_trace::AccessKind,
 ) {
@@ -491,14 +632,44 @@ fn do_access<O: Observer>(
 
         // Profiling: record the reference if a burst is live.
         if mode.records() && st.tracer.should_record() && st.buffer.in_burst() {
-            st.cycles += cost.record_ref_cycles;
-            st.breakdown.recording += cost.record_ref_cycles;
-            st.buffer.record(r);
-            if mode.analyzes() {
-                let s = st.symbols.intern(r);
-                st.sequitur.append(s);
-                st.cycles += cost.analysis_per_ref_cycles;
-                st.breakdown.analysis += cost.analysis_per_ref_cycles;
+            if F::ENABLED && faults.truncate_trace() {
+                // Profiling-buffer overflow: the profile collected so
+                // far this phase is lost; recording resumes at the next
+                // burst.
+                st.buffer.clear();
+                st.symbols = SymbolTable::new();
+                st.sequitur = Sequitur::new();
+            } else {
+                // A fault may corrupt the *traced* copy of the
+                // reference (a torn read of the profiling buffer); the
+                // executed access above is untouched.
+                let traced = if F::ENABLED { faults.corrupt_ref(r) } else { r };
+                st.cycles += cost.record_ref_cycles;
+                st.breakdown.recording += cost.record_ref_cycles;
+                st.buffer.record(traced);
+                if mode.analyzes() {
+                    // A tripped grammar guard mutes Sequitur for the
+                    // rest of the phase: the grammar stops growing and
+                    // stops charging analysis cycles.
+                    let muted = st
+                        .guard
+                        .as_ref()
+                        .is_some_and(|g| g.is_tripped(GuardKind::GrammarRules));
+                    if !muted {
+                        let s = st.symbols.intern(traced);
+                        st.sequitur.append(s);
+                        st.cycles += cost.analysis_per_ref_cycles;
+                        st.breakdown.analysis += cost.analysis_per_ref_cycles;
+                        let rules = st.sequitur.rule_count() as u64;
+                        let trip = st
+                            .guard
+                            .as_mut()
+                            .and_then(|g| g.observe(GuardKind::GrammarRules, rules));
+                        if let Some(t) = trip {
+                            report_trip(st, obs, t);
+                        }
+                    }
+                }
             }
         }
 
@@ -524,19 +695,18 @@ fn do_access<O: Observer>(
                 let c = cost.dfsm_check_cycles;
                 st.cycles += c;
                 st.breakdown.matching += c;
-                if st.dfsm.is_some() {
-                    // Resolve the transition (and copy out the targets)
-                    // first, so the machine borrow ends before issuing.
-                    let step = {
-                        let dfsm = st.dfsm.as_ref().expect("checked above");
-                        dfsm.transition(st.dfsm_state, r).map(|next| {
-                            let tag = dfsm
-                                .completed_streams(next)
-                                .first()
-                                .map_or(tev::PROGRAM_STREAM, |s| s.0);
-                            (next, dfsm.prefetches(next).to_vec(), tag)
-                        })
-                    };
+                // Resolve the transition (and copy out the targets)
+                // first, so the machine borrow ends before issuing.
+                let step = st.dfsm.as_ref().map(|dfsm| {
+                    dfsm.transition(st.dfsm_state, r).map(|next| {
+                        let tag = dfsm
+                            .completed_streams(next)
+                            .first()
+                            .map_or(tev::PROGRAM_STREAM, |s| s.0);
+                        (next, dfsm.prefetches(next).to_vec(), tag)
+                    })
+                });
+                if let Some(step) = step {
                     match step {
                         Some((next, targets, tag)) => {
                             st.dfsm_state = next;
@@ -565,6 +735,17 @@ fn do_access<O: Observer>(
                                     PrefetchScheduling::Windowed { .. } => {
                                         st.pf_queue
                                             .extend(addrs.into_iter().map(|a| (a, tag)));
+                                        let depth = st.pf_queue.len() as u64;
+                                        let trip = st.guard.as_mut().and_then(|g| {
+                                            g.observe(GuardKind::PrefetchQueue, depth)
+                                        });
+                                        if let Some(t) = trip {
+                                            // Keep the oldest entries:
+                                            // they are closest to their
+                                            // use points.
+                                            st.pf_queue.truncate(t.budget as usize);
+                                            report_trip(st, obs, t);
+                                        }
                                     }
                                 }
                             }
@@ -582,11 +763,12 @@ fn do_access<O: Observer>(
 /// End of an awake phase: run the analysis, and in optimize modes
 /// build the DFSM and edit the image. Resets the profile state for
 /// the next cycle either way.
-fn finish_awake<O: Observer>(
+fn finish_awake<O: Observer, F: FaultInjector>(
     config: &OptimizerConfig,
     mode: RunMode,
     st: &mut RunState,
     obs: &mut O,
+    faults: &mut F,
 ) {
     {
         let cost = config.hierarchy.cost;
@@ -595,6 +777,49 @@ fn finish_awake<O: Observer>(
             let grammar = st.sequitur.grammar();
             // Final analysis pass cost: linear in the grammar size.
             let c = cost.analysis_per_ref_cycles * grammar.size() as u64;
+            // Degraded cycles skip the final pass entirely: a starved
+            // budget (fault injection), a muted grammar (the rule guard
+            // tripped mid-phase, so the profile is incomplete), or an
+            // over-budget cost projection. Profiling carries over to the
+            // next cycle; the skipped pass charges nothing.
+            let starved = F::ENABLED && faults.starve_analysis();
+            let muted = st
+                .guard
+                .as_ref()
+                .is_some_and(|g| g.is_tripped(GuardKind::GrammarRules));
+            let trip = st
+                .guard
+                .as_mut()
+                .and_then(|g| g.observe(GuardKind::AnalysisCycles, c));
+            let over_budget = trip.is_some();
+            if let Some(t) = trip {
+                report_trip(st, obs, t);
+            }
+            if starved || muted || over_budget {
+                let stats = CycleStats {
+                    traced_refs: trace_len,
+                    grammar_size: grammar.size(),
+                    ..CycleStats::default()
+                };
+                if O::ENABLED {
+                    obs.cycle_end(&tev::CycleEnd {
+                        opt_cycle: st.cycle_stats.len() as u64,
+                        at_cycle: st.cycles,
+                        traced_refs: stats.traced_refs,
+                        hot_streams: 0,
+                        streams_used: 0,
+                        dfsm_states: 0,
+                        dfsm_checks: 0,
+                        procs_modified: 0,
+                        grammar_size: stats.grammar_size,
+                    });
+                }
+                st.cycle_stats.push(stats);
+                st.buffer.clear();
+                st.symbols = SymbolTable::new();
+                st.sequitur = Sequitur::new();
+                return;
+            }
             st.cycles += c;
             st.breakdown.analysis += c;
             let analysis_cfg = config
@@ -629,6 +854,16 @@ fn finish_awake<O: Observer>(
                     if streams.len() >= config.max_streams {
                         break;
                     }
+                    // Streams the accuracy policy de-optimized are
+                    // denylisted by content hash: reinstalling them
+                    // would just repeat the bad-accuracy cycle.
+                    if st
+                        .guard
+                        .as_ref()
+                        .is_some_and(|g| g.is_denylisted(stream_hash(&cand)))
+                    {
+                        continue;
+                    }
                     let subsumed = streams.iter().any(|s| {
                         s.windows(cand.len()).any(|w| w == &cand[..])
                             || cand.starts_with(&s[..])
@@ -651,32 +886,91 @@ fn finish_awake<O: Observer>(
                     }
                 }
                 if !streams.is_empty() {
-                    if let Ok(dfsm) = build_dfsm(&streams, &config.dfsm) {
-                        let checks = dfsm.checks_by_pc();
-                        let mut edit = st.image.edit();
-                        for (pc, chain) in &checks {
-                            // Streams come from observed references, so
-                            // every pc belongs to the image; ignore any
-                            // that do not (defensive).
-                            let _ = edit.inject(*pc, chain.len());
+                    // The DFSM guard caps subset-construction states on
+                    // top of the crate's own configured limit.
+                    let mut dfsm_cfg = config.dfsm.clone();
+                    if let Some(cap) = config.guard.max_dfsm_states {
+                        dfsm_cfg.max_states = dfsm_cfg.max_states.min(cap as usize);
+                    }
+                    match build_dfsm(&streams, &dfsm_cfg) {
+                        Ok(dfsm) => {
+                            let checks = dfsm.checks_by_pc();
+                            let mut edit = st.image.edit();
+                            for (pc, chain) in &checks {
+                                if F::ENABLED {
+                                    if let Some(err) = faults.fail_edit(*pc) {
+                                        edit.fail(err);
+                                        continue;
+                                    }
+                                }
+                                // Streams come from observed references,
+                                // so every pc belongs to the image;
+                                // ignore any that do not (defensive).
+                                let _ = edit.inject(*pc, chain.len());
+                            }
+                            match edit.commit() {
+                                Ok(report) => {
+                                    st.cycles += cost.optimize_cycles;
+                                    st.breakdown.optimize += cost.optimize_cycles;
+                                    stats.dfsm_states = dfsm.state_count();
+                                    stats.dfsm_checks = dfsm.address_check_count();
+                                    stats.procs_modified = report.procedures_modified;
+                                    if O::ENABLED {
+                                        obs.dfsm_built(&tev::DfsmBuilt {
+                                            opt_cycle: st.cycle_stats.len() as u64,
+                                            states: stats.dfsm_states,
+                                            address_checks: stats.dfsm_checks,
+                                            streams: streams.len(),
+                                            procs_modified: stats.procs_modified,
+                                        });
+                                    }
+                                    st.dfsm = Some(dfsm);
+                                    st.dfsm_state = StateId::START;
+                                    if let Some(g) = &mut st.guard {
+                                        g.begin_install(
+                                            streams
+                                                .iter()
+                                                .enumerate()
+                                                .map(|(i, s)| (i as u32, stream_hash(s))),
+                                        );
+                                    }
+                                    st.installed = streams;
+                                }
+                                Err(_) => {
+                                    // The edit rolled back atomically:
+                                    // nothing was installed, no optimize
+                                    // cost is charged, and the cycle
+                                    // completes unoptimized.
+                                }
+                            }
+                            // A fault may force a thread switch "during"
+                            // the stop-the-world edit; it lands at the
+                            // commit point, so stale activations exercise
+                            // the epoch discipline.
+                            if F::ENABLED {
+                                if let Some(t) =
+                                    faults.edit_thread_switch(st.frames.len() as u32)
+                                {
+                                    let t = t as usize;
+                                    while st.frames.len() <= t {
+                                        st.frames.push(FrameTracker::new());
+                                    }
+                                    st.active_thread = t;
+                                }
+                            }
                         }
-                        let report = edit.commit();
-                        st.cycles += cost.optimize_cycles;
-                        st.breakdown.optimize += cost.optimize_cycles;
-                        stats.dfsm_states = dfsm.state_count();
-                        stats.dfsm_checks = dfsm.address_check_count();
-                        stats.procs_modified = report.procedures_modified;
-                        if O::ENABLED {
-                            obs.dfsm_built(&tev::DfsmBuilt {
-                                opt_cycle: st.cycle_stats.len() as u64,
-                                states: stats.dfsm_states,
-                                address_checks: stats.dfsm_checks,
-                                streams: streams.len(),
-                                procs_modified: stats.procs_modified,
+                        Err(BuildError::TooManyStates { limit }) => {
+                            // Over the state budget: skip injection for
+                            // this cycle (the guard only trips when its
+                            // own cap, not the crate's, was binding).
+                            let trip = st.guard.as_mut().and_then(|g| {
+                                g.observe(GuardKind::DfsmStates, limit as u64 + 1)
                             });
+                            if let Some(t) = trip {
+                                report_trip(st, obs, t);
+                            }
                         }
-                        st.dfsm = Some(dfsm);
-                        st.dfsm_state = StateId::START;
+                        Err(_) => {}
                     }
                 }
             }
@@ -700,6 +994,139 @@ fn finish_awake<O: Observer>(
         st.buffer.clear();
         st.symbols = SymbolTable::new();
         st.sequitur = Sequitur::new();
+    }
+}
+
+/// Closes one accuracy-evaluation window (a hibernation-period burst
+/// boundary). Streams whose accuracy stayed below threshold for the
+/// configured number of windows are *surgically* de-optimized: the
+/// matcher is rebuilt over the survivors and a partial image edit
+/// removes only the dropped streams' check sites, leaving the
+/// well-predicting streams' checks (and their activations' epochs)
+/// untouched — a finer-grained form of §3.2's de-optimization.
+fn evaluate_accuracy<O: Observer, F: FaultInjector>(
+    config: &OptimizerConfig,
+    st: &mut RunState,
+    obs: &mut O,
+    faults: &mut F,
+) {
+    if st.dfsm.is_none()
+        || !st.guard.as_ref().is_some_and(GuardRuntime::tracks_accuracy)
+    {
+        return;
+    }
+    // Attribute outcomes resolved since the last access before judging.
+    drain_outcomes(st, obs);
+    let bad = match &mut st.guard {
+        Some(g) => g.evaluate_window(),
+        None => return,
+    };
+    if bad.is_empty() {
+        return;
+    }
+    let cost = config.hierarchy.cost;
+    let bad_ids: Vec<u32> = bad.iter().map(|b| b.stream_id).collect();
+    let kept: Vec<Vec<DataRef>> = st
+        .installed
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| !bad_ids.contains(&(*i as u32)))
+        .map(|(_, s)| s.clone())
+        .collect();
+    let old_checks = match st.dfsm.as_ref() {
+        Some(d) => d.checks_by_pc(),
+        None => return,
+    };
+
+    let rebuilt = if kept.is_empty() {
+        None
+    } else {
+        build_dfsm(&kept, &config.dfsm).ok()
+    };
+    match rebuilt {
+        Some(new_dfsm) => {
+            let new_checks = new_dfsm.checks_by_pc();
+            let mut edit = st.image.edit_partial();
+            for pc in old_checks.keys().filter(|pc| !new_checks.contains_key(*pc)) {
+                if F::ENABLED {
+                    if let Some(err) = faults.fail_edit(*pc) {
+                        edit.fail(err);
+                        continue;
+                    }
+                }
+                let _ = edit.remove(*pc);
+            }
+            for (pc, chain) in &new_checks {
+                if !old_checks.contains_key(pc) {
+                    let _ = edit.inject(*pc, chain.len());
+                }
+            }
+            match edit.commit() {
+                Ok(_) => {
+                    // The surgical rebuild is an optimization step: DFSM
+                    // construction plus a (partial) binary edit.
+                    st.cycles += cost.optimize_cycles;
+                    st.breakdown.optimize += cost.optimize_cycles;
+                    st.partial_deopts += bad.len() as u64;
+                    if let Some(g) = &mut st.guard {
+                        for id in &bad_ids {
+                            g.drop_stream(*id);
+                        }
+                        g.begin_install(
+                            kept.iter()
+                                .enumerate()
+                                .map(|(i, s)| (i as u32, stream_hash(s))),
+                        );
+                    }
+                    if O::ENABLED {
+                        for id in &bad_ids {
+                            obs.deoptimize(&tev::Deoptimize {
+                                at_cycle: st.cycles,
+                                opt_cycle: st.cycle_stats.len() as u64,
+                                partial: true,
+                                stream_id: Some(*id),
+                            });
+                        }
+                    }
+                    st.installed = kept;
+                    st.dfsm = Some(new_dfsm);
+                    // Stream ids were remapped by the rebuild: restart
+                    // matching and drop prefetches queued against the
+                    // old installation.
+                    st.dfsm_state = StateId::START;
+                    st.pf_queue.clear();
+                }
+                Err(_) => {
+                    // The partial edit rolled back (e.g. an induced
+                    // editor failure): the old installation stays live
+                    // and the next window re-evaluates.
+                }
+            }
+        }
+        None => {
+            // Every installed stream went bad (or the survivor rebuild
+            // failed): fall back to the paper's all-or-nothing
+            // de-optimization.
+            st.image.deoptimize();
+            st.dfsm = None;
+            st.dfsm_state = StateId::START;
+            st.pf_queue.clear();
+            st.installed.clear();
+            if let Some(g) = &mut st.guard {
+                for id in &bad_ids {
+                    g.drop_stream(*id);
+                }
+                g.begin_install(std::iter::empty::<(u32, u64)>());
+            }
+            if O::ENABLED {
+                obs.deoptimize(&tev::Deoptimize {
+                    at_cycle: st.cycles,
+                    opt_cycle: st.cycle_stats.len() as u64,
+                    partial: false,
+                    stream_id: None,
+                });
+            }
+        }
     }
 }
 

@@ -60,3 +60,11 @@ pub use report::{CostBreakdown, CycleStats, RunReport};
 // re-exported here so embedders wiring a `Session` observer need only
 // this crate.
 pub use hds_telemetry::{self as telemetry, NullObserver, Observer};
+
+// Robustness: budget guards, the accuracy-driven partial-deoptimization
+// policy, and fault injection live in `hds_guard`; re-exported so
+// embedders configuring `OptimizerConfig::guard` or running chaos
+// sessions need only this crate.
+pub use hds_guard::{
+    self as guard, AccuracyConfig, FaultInjector, FaultPlan, GuardConfig, GuardRuntime, NoFaults,
+};

@@ -84,6 +84,12 @@ pub struct RunReport {
     pub refs: u64,
     /// Dynamic checks executed.
     pub checks_executed: u64,
+    /// Budget-guard trips over the run (0 when no guards are
+    /// configured).
+    pub guard_trips: u64,
+    /// Streams surgically de-optimized by the accuracy policy (0 when
+    /// the policy is off).
+    pub partial_deopts: u64,
     /// Per-optimization-cycle statistics (empty unless optimizing).
     pub cycles: Vec<CycleStats>,
 }
@@ -151,6 +157,8 @@ mod tests {
             mem: MemStats::default(),
             refs: 0,
             checks_executed: 0,
+            guard_trips: 0,
+            partial_deopts: 0,
             cycles: Vec::new(),
         }
     }
@@ -227,6 +235,8 @@ mod tests {
         };
         r.refs = 55;
         r.checks_executed = 11;
+        r.guard_trips = 3;
+        r.partial_deopts = 2;
         r.cycles = vec![CycleStats {
             traced_refs: 10,
             ..CycleStats::default()
@@ -240,6 +250,8 @@ mod tests {
         assert_eq!(back.cycles, r.cycles);
         assert_eq!(back.refs, r.refs);
         assert_eq!(back.checks_executed, r.checks_executed);
+        assert_eq!(back.guard_trips, r.guard_trips);
+        assert_eq!(back.partial_deopts, r.partial_deopts);
     }
 
     #[test]

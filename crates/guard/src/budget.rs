@@ -1,0 +1,316 @@
+//! Budget guards: caps on the resources the optimize cycle consumes.
+
+use hds_telemetry::events::{GuardKind, PrefetchFate};
+
+use crate::accuracy::{AccuracyConfig, AccuracyTracker, BadStream};
+
+/// Configured budgets for the optimize cycle. `None` disables a guard.
+///
+/// The default configuration ([`GuardConfig::disabled`]) has every guard
+/// off, which makes the guard layer behaviorally inert: the executor's
+/// reported cycle costs are identical to a build without the layer.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct GuardConfig {
+    /// Cap on Sequitur grammar rule count during an awake phase. A trip
+    /// mutes further grammar growth for the rest of the phase and skips
+    /// the end-of-awake optimization (the profile is untrustworthy).
+    pub max_grammar_rules: Option<u64>,
+    /// Cap on the *projected* simulated cycles of the end-of-awake
+    /// analysis pass. A trip skips analysis and optimization for the
+    /// cycle; profiling resumes next cycle.
+    pub max_analysis_cycles: Option<u64>,
+    /// Cap on DFSM subset-construction states, applied on top of the
+    /// DFSM crate's own configured limit. A trip skips injection.
+    pub max_dfsm_states: Option<u64>,
+    /// Cap on the pending-prefetch queue depth. A trip truncates the
+    /// queue to the cap (oldest prefetches win: they are closest to
+    /// their use point).
+    pub max_prefetch_queue: Option<u64>,
+    /// Accuracy-driven partial de-optimization policy; `None` disables
+    /// outcome tracking entirely.
+    pub accuracy: Option<AccuracyConfig>,
+}
+
+impl GuardConfig {
+    /// Every guard off: the layer is behaviorally inert.
+    #[must_use]
+    pub const fn disabled() -> Self {
+        GuardConfig {
+            max_grammar_rules: None,
+            max_analysis_cycles: None,
+            max_dfsm_states: None,
+            max_prefetch_queue: None,
+            accuracy: None,
+        }
+    }
+
+    /// Is any guard or the accuracy policy enabled?
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.max_grammar_rules.is_some()
+            || self.max_analysis_cycles.is_some()
+            || self.max_dfsm_states.is_some()
+            || self.max_prefetch_queue.is_some()
+            || self.accuracy.is_some()
+    }
+
+    /// The budget configured for `kind`, if any.
+    #[must_use]
+    pub fn budget(&self, kind: GuardKind) -> Option<u64> {
+        match kind {
+            GuardKind::GrammarRules => self.max_grammar_rules,
+            GuardKind::AnalysisCycles => self.max_analysis_cycles,
+            GuardKind::DfsmStates => self.max_dfsm_states,
+            GuardKind::PrefetchQueue => self.max_prefetch_queue,
+        }
+    }
+
+    /// With a grammar-rule cap.
+    #[must_use]
+    pub const fn with_max_grammar_rules(mut self, cap: u64) -> Self {
+        self.max_grammar_rules = Some(cap);
+        self
+    }
+
+    /// With an analysis-cycle cap.
+    #[must_use]
+    pub const fn with_max_analysis_cycles(mut self, cap: u64) -> Self {
+        self.max_analysis_cycles = Some(cap);
+        self
+    }
+
+    /// With a DFSM state cap.
+    #[must_use]
+    pub const fn with_max_dfsm_states(mut self, cap: u64) -> Self {
+        self.max_dfsm_states = Some(cap);
+        self
+    }
+
+    /// With a pending-prefetch queue cap.
+    #[must_use]
+    pub const fn with_max_prefetch_queue(mut self, cap: u64) -> Self {
+        self.max_prefetch_queue = Some(cap);
+        self
+    }
+
+    /// With an accuracy-driven partial-deoptimization policy.
+    #[must_use]
+    pub fn with_accuracy(mut self, policy: AccuracyConfig) -> Self {
+        self.accuracy = Some(policy);
+        self
+    }
+}
+
+/// A budget violation observed by [`GuardRuntime::observe`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Trip {
+    /// Which budget tripped.
+    pub guard: GuardKind,
+    /// The configured cap.
+    pub budget: u64,
+    /// The observed value exceeding it.
+    pub observed: u64,
+    /// `true` the first time this guard trips in the current cycle —
+    /// the one occurrence that should emit a `GuardTripped` event.
+    pub first_in_cycle: bool,
+}
+
+/// Runtime state of the guard layer for one optimizer session: per-cycle
+/// trip latches, lifetime trip counts, and the per-stream accuracy
+/// tracker.
+#[derive(Clone, Debug)]
+pub struct GuardRuntime {
+    config: GuardConfig,
+    tripped: [bool; 4],
+    trips: [u64; 4],
+    accuracy: Option<AccuracyTracker>,
+}
+
+impl GuardRuntime {
+    /// A runtime for `config`.
+    #[must_use]
+    pub fn new(config: GuardConfig) -> Self {
+        let accuracy = config.accuracy.clone().map(AccuracyTracker::new);
+        GuardRuntime {
+            config,
+            tripped: [false; 4],
+            trips: [0; 4],
+            accuracy,
+        }
+    }
+
+    /// The configuration this runtime enforces.
+    #[must_use]
+    pub fn config(&self) -> &GuardConfig {
+        &self.config
+    }
+
+    /// Resets the per-cycle trip latches (call at each `CycleStart`).
+    pub fn begin_cycle(&mut self) {
+        self.tripped = [false; 4];
+    }
+
+    /// Checks `observed` against `kind`'s budget. Returns `None` while
+    /// within budget (or when the guard is off); otherwise a [`Trip`]
+    /// whose `first_in_cycle` flag is set exactly once per kind per
+    /// cycle (the occurrence that should emit telemetry). Only first
+    /// occurrences count toward [`GuardRuntime::trips`], so the count
+    /// reconciles exactly with emitted `GuardTripped` events.
+    pub fn observe(&mut self, kind: GuardKind, observed: u64) -> Option<Trip> {
+        let budget = self.config.budget(kind)?;
+        if observed <= budget {
+            return None;
+        }
+        let slot = kind as usize;
+        let first_in_cycle = !self.tripped[slot];
+        if first_in_cycle {
+            self.tripped[slot] = true;
+            self.trips[slot] += 1;
+        }
+        Some(Trip {
+            guard: kind,
+            budget,
+            observed,
+            first_in_cycle,
+        })
+    }
+
+    /// Has `kind` already tripped in the current cycle?
+    #[must_use]
+    pub fn is_tripped(&self, kind: GuardKind) -> bool {
+        self.tripped[kind as usize]
+    }
+
+    /// Lifetime first-in-cycle trips of `kind`.
+    #[must_use]
+    pub fn trips(&self, kind: GuardKind) -> u64 {
+        self.trips[kind as usize]
+    }
+
+    /// Lifetime first-in-cycle trips across every guard.
+    #[must_use]
+    pub fn trips_total(&self) -> u64 {
+        self.trips.iter().sum()
+    }
+
+    // ---- accuracy policy passthroughs ----
+
+    /// Does this runtime need per-stream prefetch outcomes? When `true`
+    /// the executor must tag prefetches for attribution even without an
+    /// enabled observer.
+    #[must_use]
+    pub fn tracks_accuracy(&self) -> bool {
+        self.accuracy.is_some()
+    }
+
+    /// Registers the streams of a fresh DFSM installation: `(stream id,
+    /// content hash)` pairs. Clears the previous installation's stats.
+    pub fn begin_install(&mut self, streams: impl IntoIterator<Item = (u32, u64)>) {
+        if let Some(acc) = &mut self.accuracy {
+            acc.begin_install(streams);
+        }
+    }
+
+    /// Accumulates one resolved prefetch outcome for `stream_id`.
+    pub fn record_outcome(&mut self, stream_id: u32, fate: PrefetchFate) {
+        if let Some(acc) = &mut self.accuracy {
+            acc.record(stream_id, fate);
+        }
+    }
+
+    /// Closes the current evaluation window: updates every tracked
+    /// stream's low-accuracy streak and returns the streams whose streak
+    /// reached the configured limit — the partial-deoptimization
+    /// candidates, worst accuracy first.
+    pub fn evaluate_window(&mut self) -> Vec<BadStream> {
+        self.accuracy
+            .as_mut()
+            .map(AccuracyTracker::evaluate_window)
+            .unwrap_or_default()
+    }
+
+    /// Drops `stream_id` from tracking after its checks were removed,
+    /// adding its content hash to the cross-installation denylist.
+    pub fn drop_stream(&mut self, stream_id: u32) {
+        if let Some(acc) = &mut self.accuracy {
+            acc.drop_stream(stream_id);
+        }
+    }
+
+    /// Is a stream with this content hash denylisted from
+    /// re-installation?
+    #[must_use]
+    pub fn is_denylisted(&self, hash: u64) -> bool {
+        self.accuracy
+            .as_ref()
+            .is_some_and(|acc| acc.is_denylisted(hash))
+    }
+
+    /// Number of denylisted stream hashes.
+    #[must_use]
+    pub fn denylist_len(&self) -> usize {
+        self.accuracy.as_ref().map_or(0, AccuracyTracker::denylist_len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_config_observes_nothing() {
+        let mut guard = GuardRuntime::new(GuardConfig::disabled());
+        assert!(!guard.config().is_enabled());
+        for kind in GuardKind::ALL {
+            assert!(guard.observe(kind, u64::MAX).is_none());
+        }
+        assert_eq!(guard.trips_total(), 0);
+    }
+
+    #[test]
+    fn trips_latch_per_cycle_and_count_once() {
+        let cfg = GuardConfig::disabled()
+            .with_max_grammar_rules(10)
+            .with_max_prefetch_queue(4);
+        assert!(cfg.is_enabled());
+        let mut guard = GuardRuntime::new(cfg);
+
+        guard.begin_cycle();
+        assert!(guard.observe(GuardKind::GrammarRules, 10).is_none());
+        let t = guard.observe(GuardKind::GrammarRules, 11).unwrap();
+        assert!(t.first_in_cycle);
+        assert_eq!(t.budget, 10);
+        assert!(guard.is_tripped(GuardKind::GrammarRules));
+        assert!(!guard.observe(GuardKind::GrammarRules, 12).unwrap().first_in_cycle);
+        // Independent guard, independent latch.
+        assert!(guard.observe(GuardKind::PrefetchQueue, 5).unwrap().first_in_cycle);
+
+        guard.begin_cycle();
+        assert!(!guard.is_tripped(GuardKind::GrammarRules));
+        assert!(guard.observe(GuardKind::GrammarRules, 99).unwrap().first_in_cycle);
+
+        assert_eq!(guard.trips(GuardKind::GrammarRules), 2);
+        assert_eq!(guard.trips(GuardKind::PrefetchQueue), 1);
+        assert_eq!(guard.trips_total(), 3);
+    }
+
+    #[test]
+    fn budget_lookup_matches_fields() {
+        let cfg = GuardConfig::disabled()
+            .with_max_grammar_rules(1)
+            .with_max_analysis_cycles(2)
+            .with_max_dfsm_states(3)
+            .with_max_prefetch_queue(4);
+        assert_eq!(cfg.budget(GuardKind::GrammarRules), Some(1));
+        assert_eq!(cfg.budget(GuardKind::AnalysisCycles), Some(2));
+        assert_eq!(cfg.budget(GuardKind::DfsmStates), Some(3));
+        assert_eq!(cfg.budget(GuardKind::PrefetchQueue), Some(4));
+    }
+
+    #[test]
+    fn accuracy_is_off_by_default() {
+        let guard = GuardRuntime::new(GuardConfig::disabled());
+        assert!(!guard.tracks_accuracy());
+        assert_eq!(guard.denylist_len(), 0);
+    }
+}

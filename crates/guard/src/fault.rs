@@ -1,0 +1,401 @@
+//! Deterministic, seeded fault injection for the optimize cycle.
+//!
+//! The executor is generic over a [`FaultInjector`], exactly as it is
+//! generic over `hds-telemetry`'s `Observer`: the default [`NoFaults`]
+//! sets [`FaultInjector::ENABLED`] to `false`, so every injection site
+//! monomorphizes to nothing in production builds. [`FaultPlan`] is the
+//! chaos-testing implementation: a seeded xorshift generator drives
+//! per-site fault probabilities, so a failing schedule replays exactly
+//! from its seed.
+
+use hds_trace::{Addr, DataRef};
+use hds_vulcan::EditError;
+
+/// Injection points the executor exposes. Every hook has a benign
+/// default, so implementations override only the faults they model.
+pub trait FaultInjector {
+    /// Whether this injector can fire at all. `false` only for
+    /// [`NoFaults`] (and references to it): injection sites compile to
+    /// nothing when this is `false`.
+    const ENABLED: bool = true;
+
+    /// May corrupt a data reference before it is traced (a torn read of
+    /// the profiling buffer). The reference actually *executed* is
+    /// unchanged — only the profile sees the corruption.
+    fn corrupt_ref(&mut self, r: DataRef) -> DataRef {
+        r
+    }
+
+    /// When `true`, the current trace burst is truncated: the buffer's
+    /// contents so far are dropped (a profiling-buffer overflow).
+    fn truncate_trace(&mut self) -> bool {
+        false
+    }
+
+    /// May force the binary editor to fail at `pc` mid-edit. The
+    /// executor poisons the edit session with the returned error; the
+    /// session then rolls back atomically.
+    fn fail_edit(&mut self, pc: hds_trace::Pc) -> Option<EditError> {
+        let _ = pc;
+        None
+    }
+
+    /// May inject a thread switch *during* a stop-the-world edit: the
+    /// returned thread (index into `0..threads`) performs a procedure
+    /// entry immediately after the edit commits, exercising the
+    /// stale-activation epoch discipline.
+    fn edit_thread_switch(&mut self, threads: u32) -> Option<u32> {
+        let _ = threads;
+        None
+    }
+
+    /// When `true`, the end-of-awake analysis is starved of its budget:
+    /// the executor must skip analysis and optimization for this cycle
+    /// as if the analysis-cycle guard had tripped.
+    fn starve_analysis(&mut self) -> bool {
+        false
+    }
+}
+
+/// The no-fault injector: every hook is benign and
+/// [`FaultInjector::ENABLED`] is `false`, so faultable code
+/// monomorphizes to exactly the unfaulted code.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NoFaults;
+
+impl FaultInjector for NoFaults {
+    const ENABLED: bool = false;
+}
+
+/// Forwarding through a mutable reference, so a plan can stay owned by
+/// the test harness while a session borrows it.
+impl<F: FaultInjector> FaultInjector for &mut F {
+    const ENABLED: bool = F::ENABLED;
+
+    fn corrupt_ref(&mut self, r: DataRef) -> DataRef {
+        (**self).corrupt_ref(r)
+    }
+    fn truncate_trace(&mut self) -> bool {
+        (**self).truncate_trace()
+    }
+    fn fail_edit(&mut self, pc: hds_trace::Pc) -> Option<EditError> {
+        (**self).fail_edit(pc)
+    }
+    fn edit_thread_switch(&mut self, threads: u32) -> Option<u32> {
+        (**self).edit_thread_switch(threads)
+    }
+    fn starve_analysis(&mut self) -> bool {
+        (**self).starve_analysis()
+    }
+}
+
+/// Per-site fault probabilities in permille (0–1000).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultRates {
+    /// Chance a traced reference's address is corrupted.
+    pub corrupt_ref: u16,
+    /// Chance a burst's trace buffer is truncated.
+    pub truncate_trace: u16,
+    /// Chance an individual injection fails mid-edit.
+    pub fail_edit: u16,
+    /// Chance a thread switch is injected around a stop-the-world edit.
+    pub thread_switch: u16,
+    /// Chance the analysis budget is starved for a cycle.
+    pub starve_analysis: u16,
+}
+
+impl FaultRates {
+    /// Every rate zero: the plan never fires (useful to prove the plan
+    /// itself is transparent).
+    #[must_use]
+    pub const fn quiet() -> Self {
+        FaultRates {
+            corrupt_ref: 0,
+            truncate_trace: 0,
+            fail_edit: 0,
+            thread_switch: 0,
+            starve_analysis: 0,
+        }
+    }
+}
+
+/// How often each fault actually fired (for post-run reconciliation).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultCounts {
+    /// References whose profiled address was corrupted.
+    pub corrupted_refs: u64,
+    /// Trace bursts truncated.
+    pub truncated_traces: u64,
+    /// Edits forced to fail.
+    pub failed_edits: u64,
+    /// Thread switches injected around edits.
+    pub injected_switches: u64,
+    /// Analysis passes starved.
+    pub starved_analyses: u64,
+}
+
+impl FaultCounts {
+    /// Total faults fired across every site.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.corrupted_refs
+            + self.truncated_traces
+            + self.failed_edits
+            + self.injected_switches
+            + self.starved_analyses
+    }
+}
+
+/// A deterministic fault schedule: a seeded xorshift64* generator drives
+/// per-site probabilities, so every decision replays exactly from
+/// `(seed, rates)`.
+#[derive(Clone, Debug)]
+pub struct FaultPlan {
+    state: u64,
+    rates: FaultRates,
+    counts: FaultCounts,
+}
+
+impl FaultPlan {
+    /// A plan with rates derived from the seed itself: each site gets a
+    /// small random probability, so a population of seeds covers many
+    /// fault mixes. Used by the chaos harness.
+    ///
+    /// The per-site ranges are scaled to how often each hook fires:
+    /// `corrupt_ref` and `truncate_trace` are consulted once per traced
+    /// reference (hundreds of times per burst) and `fail_edit` once per
+    /// injection in an all-or-nothing edit session (tens per install),
+    /// so their rates stay in the low permille — high enough to corrupt
+    /// profiles and roll back sessions regularly, low enough that some
+    /// bursts and commits survive intact and the optimizer still
+    /// reaches its install/deoptimize paths under fault.
+    #[must_use]
+    pub fn from_seed(seed: u64) -> Self {
+        let mut plan = FaultPlan::with_rates(seed, FaultRates::quiet());
+        #[allow(clippy::cast_possible_truncation)]
+        let rates = FaultRates {
+            corrupt_ref: (plan.next() % 8) as u16,
+            truncate_trace: (plan.next() % 3) as u16,
+            fail_edit: (plan.next() % 40) as u16,
+            thread_switch: (plan.next() % 200) as u16,
+            starve_analysis: (plan.next() % 80) as u16,
+        };
+        plan.rates = rates;
+        plan
+    }
+
+    /// A plan with explicit rates.
+    #[must_use]
+    pub fn with_rates(seed: u64, rates: FaultRates) -> Self {
+        // Scramble the seed into a nonzero xorshift state.
+        let state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0x2545_F491_4F6C_DD1D;
+        FaultPlan {
+            state: if state == 0 { 0x2545_F491_4F6C_DD1D } else { state },
+            rates,
+            counts: FaultCounts::default(),
+        }
+    }
+
+    /// A plan that fails *every* edit and nothing else: the optimizer
+    /// can never install code, so the run must match the unoptimized
+    /// baseline exactly.
+    #[must_use]
+    pub fn edits_always_fail(seed: u64) -> Self {
+        FaultPlan::with_rates(
+            seed,
+            FaultRates {
+                fail_edit: 1000,
+                ..FaultRates::quiet()
+            },
+        )
+    }
+
+    /// The configured rates.
+    #[must_use]
+    pub fn rates(&self) -> FaultRates {
+        self.rates
+    }
+
+    /// How often each fault fired so far.
+    #[must_use]
+    pub fn counts(&self) -> FaultCounts {
+        self.counts
+    }
+
+    /// xorshift64* step.
+    fn next(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn chance(&mut self, permille: u16) -> bool {
+        if permille == 0 {
+            return false;
+        }
+        if permille >= 1000 {
+            return true;
+        }
+        self.next() % 1000 < u64::from(permille)
+    }
+}
+
+impl FaultInjector for FaultPlan {
+    fn corrupt_ref(&mut self, r: DataRef) -> DataRef {
+        if !self.chance(self.rates.corrupt_ref) {
+            return r;
+        }
+        self.counts.corrupted_refs += 1;
+        // Flip a few address bits — enough to fall into another cache
+        // block so the corruption is observable downstream.
+        let noise = (self.next() | 0x40) & 0xFFFF;
+        DataRef {
+            pc: r.pc,
+            addr: Addr(r.addr.0 ^ noise),
+        }
+    }
+
+    fn truncate_trace(&mut self) -> bool {
+        let fire = self.chance(self.rates.truncate_trace);
+        if fire {
+            self.counts.truncated_traces += 1;
+        }
+        fire
+    }
+
+    fn fail_edit(&mut self, pc: hds_trace::Pc) -> Option<EditError> {
+        if !self.chance(self.rates.fail_edit) {
+            return None;
+        }
+        self.counts.failed_edits += 1;
+        Some(EditError::Induced(pc))
+    }
+
+    fn edit_thread_switch(&mut self, threads: u32) -> Option<u32> {
+        if threads == 0 || !self.chance(self.rates.thread_switch) {
+            return None;
+        }
+        self.counts.injected_switches += 1;
+        #[allow(clippy::cast_possible_truncation)]
+        Some((self.next() % u64::from(threads)) as u32)
+    }
+
+    fn starve_analysis(&mut self) -> bool {
+        let fire = self.chance(self.rates.starve_analysis);
+        if fire {
+            self.counts.starved_analyses += 1;
+        }
+        fire
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hds_trace::Pc;
+
+    #[test]
+    fn enabled_flags() {
+        const {
+            assert!(!NoFaults::ENABLED);
+            assert!(FaultPlan::ENABLED);
+            assert!(<&mut FaultPlan as FaultInjector>::ENABLED);
+        }
+    }
+
+    fn drive(plan: &mut FaultPlan, steps: u32) -> Vec<u64> {
+        let mut log = Vec::new();
+        for i in 0..steps {
+            let r = DataRef::new(Pc(i), hds_trace::Addr(u64::from(i) * 64));
+            log.push(plan.corrupt_ref(r).addr.0);
+            log.push(u64::from(plan.truncate_trace()));
+            log.push(plan.fail_edit(Pc(i)).is_some().into());
+            log.push(u64::from(plan.edit_thread_switch(4).unwrap_or(99)));
+            log.push(u64::from(plan.starve_analysis()));
+        }
+        log
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let mut a = FaultPlan::from_seed(42);
+        let mut b = FaultPlan::from_seed(42);
+        assert_eq!(a.rates(), b.rates());
+        assert_eq!(drive(&mut a, 500), drive(&mut b, 500));
+        assert_eq!(a.counts(), b.counts());
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = FaultPlan::from_seed(1);
+        let mut b = FaultPlan::from_seed(2);
+        assert_ne!(drive(&mut a, 500), drive(&mut b, 500));
+    }
+
+    #[test]
+    fn quiet_rates_never_fire() {
+        let mut plan = FaultPlan::with_rates(7, FaultRates::quiet());
+        let r = DataRef::new(Pc(1), hds_trace::Addr(0x40));
+        for _ in 0..200 {
+            assert_eq!(plan.corrupt_ref(r), r);
+            assert!(!plan.truncate_trace());
+            assert!(plan.fail_edit(Pc(1)).is_none());
+            assert!(plan.edit_thread_switch(8).is_none());
+            assert!(!plan.starve_analysis());
+        }
+        assert_eq!(plan.counts().total(), 0);
+    }
+
+    #[test]
+    fn edits_always_fail_fails_every_edit() {
+        let mut plan = FaultPlan::edits_always_fail(3);
+        for i in 0..50 {
+            assert_eq!(plan.fail_edit(Pc(i)), Some(EditError::Induced(Pc(i))));
+        }
+        assert_eq!(plan.counts().failed_edits, 50);
+        assert_eq!(plan.counts().corrupted_refs, 0);
+    }
+
+    #[test]
+    fn corruption_changes_the_block_not_the_pc() {
+        let mut plan = FaultPlan::with_rates(
+            9,
+            FaultRates {
+                corrupt_ref: 1000,
+                ..FaultRates::quiet()
+            },
+        );
+        let r = DataRef::new(Pc(0x10), hds_trace::Addr(0x1000));
+        let c = plan.corrupt_ref(r);
+        assert_eq!(c.pc, r.pc);
+        assert_ne!(c.addr.block(64), r.addr.block(64));
+    }
+
+    #[test]
+    fn seed_zero_is_usable() {
+        let mut plan = FaultPlan::from_seed(0);
+        // Must not get stuck at a zero xorshift state.
+        let a = plan.next();
+        let b = plan.next();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn thread_switch_stays_in_range() {
+        let mut plan = FaultPlan::with_rates(
+            11,
+            FaultRates {
+                thread_switch: 1000,
+                ..FaultRates::quiet()
+            },
+        );
+        for _ in 0..100 {
+            let t = plan.edit_thread_switch(3).unwrap();
+            assert!(t < 3);
+        }
+        assert!(plan.edit_thread_switch(0).is_none());
+    }
+}

@@ -1,0 +1,60 @@
+//! Robustness layer for the profile → analyze → optimize cycle: budget
+//! guards, accuracy-driven de-optimization policy, and deterministic
+//! fault injection.
+//!
+//! The paper's system (§3.2, §5) assumes the analysis and injection
+//! machinery is cheap enough to run inline with the program. This crate
+//! makes that assumption *enforceable* instead of hoped-for:
+//!
+//! * [`GuardConfig`] / [`GuardRuntime`] — configurable caps on the four
+//!   resources the cycle can blow up on (Sequitur grammar rules,
+//!   end-of-awake analysis cycles, DFSM subset-construction states,
+//!   pending-prefetch queue depth). A tripped budget degrades the cycle
+//!   gracefully — skip the optimization, truncate the queue, carry
+//!   profiling over — instead of panicking or running unbounded.
+//! * [`AccuracyConfig`] / the accuracy tracker inside [`GuardRuntime`] —
+//!   consumes per-stream Useful / Late / Polluted prefetch outcomes and
+//!   flags streams whose accuracy stays below a threshold for K
+//!   consecutive evaluation windows. The optimizer then *surgically*
+//!   de-optimizes just those streams' checks (via
+//!   `Image::edit_partial`), while well-predicting streams keep
+//!   prefetching — a finer-grained instance of §3.2's "remove those
+//!   jumps" de-optimization.
+//! * [`FaultInjector`] / [`FaultPlan`] — a deterministic, seeded fault
+//!   layer threaded through the executor behind a zero-cost-when-off
+//!   generic (same discipline as `hds-telemetry`'s `Observer`):
+//!   corrupt trace references, truncate trace buffers, force
+//!   [`EditError`]s mid-edit, inject thread switches during
+//!   stop-the-world edits, and starve the analysis budget. [`NoFaults`]
+//!   monomorphizes every injection site away.
+//!
+//! # Examples
+//!
+//! ```
+//! use hds_guard::{GuardConfig, GuardRuntime};
+//! use hds_telemetry::events::GuardKind;
+//!
+//! let mut guard = GuardRuntime::new(GuardConfig::disabled().with_max_dfsm_states(64));
+//! guard.begin_cycle();
+//! assert!(guard.observe(GuardKind::DfsmStates, 64).is_none());
+//! let trip = guard.observe(GuardKind::DfsmStates, 65).expect("over budget");
+//! assert!(trip.first_in_cycle);
+//! // Second trip in the same cycle is recorded but not `first`.
+//! assert!(!guard.observe(GuardKind::DfsmStates, 66).unwrap().first_in_cycle);
+//! assert_eq!(guard.trips(GuardKind::DfsmStates), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod accuracy;
+mod budget;
+mod fault;
+
+pub use accuracy::{AccuracyConfig, BadStream};
+pub use budget::{GuardConfig, GuardRuntime, Trip};
+pub use fault::{FaultCounts, FaultInjector, FaultPlan, FaultRates, NoFaults};
+
+// Re-export the error type faults induce, so callers need not depend on
+// hds-vulcan directly for matching.
+pub use hds_vulcan::EditError;

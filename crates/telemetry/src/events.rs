@@ -171,14 +171,80 @@ impl PrefetchOutcome {
     }
 }
 
-/// Injected checks and prefetches were removed (end of a hibernation
-/// span under the dynamic strategy).
+/// A budget guard that can trip and degrade the optimize cycle.
+///
+/// Each variant names the resource whose cap was exceeded; the
+/// degradation taken is the guard layer's (`hds-guard`) business — the
+/// event only records that the budget was insufficient.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GuardKind {
+    /// Sequitur grammar rule count during an awake phase.
+    GrammarRules,
+    /// Projected simulated cycles of the end-of-awake analysis pass.
+    AnalysisCycles,
+    /// DFSM subset-construction state count.
+    DfsmStates,
+    /// Pending-prefetch queue depth under windowed scheduling.
+    PrefetchQueue,
+}
+
+impl GuardKind {
+    /// Lower-case label (Prometheus/JSON friendly).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            GuardKind::GrammarRules => "grammar_rules",
+            GuardKind::AnalysisCycles => "analysis_cycles",
+            GuardKind::DfsmStates => "dfsm_states",
+            GuardKind::PrefetchQueue => "prefetch_queue",
+        }
+    }
+
+    /// Every guard kind, in rendering order.
+    pub const ALL: [GuardKind; 4] = [
+        GuardKind::GrammarRules,
+        GuardKind::AnalysisCycles,
+        GuardKind::DfsmStates,
+        GuardKind::PrefetchQueue,
+    ];
+}
+
+/// A budget guard tripped: a resource exceeded its configured cap and
+/// the current cycle was degraded (optimization skipped, queue
+/// truncated, or code de-optimized) instead of panicking or running
+/// unbounded. Emitted at most once per guard kind per optimization
+/// cycle.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize)]
+pub struct GuardTripped {
+    /// Which budget tripped.
+    pub guard: GuardKind,
+    /// The configured cap.
+    pub budget: u64,
+    /// The observed value that exceeded it.
+    pub observed: u64,
+    /// Optimization cycles completed when the guard tripped.
+    pub opt_cycle: u64,
+    /// Simulated cycle count at the trip.
+    pub at_cycle: u64,
+}
+
+/// Injected checks and prefetches were removed — fully (end of a
+/// hibernation span under the dynamic strategy, or a guard forcing the
+/// code out) or partially (one stream's checks surgically removed by
+/// the accuracy guard while the rest keep prefetching).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize)]
 pub struct Deoptimize {
     /// Simulated cycle count at de-optimization.
     pub at_cycle: u64,
     /// Optimization cycles completed so far.
     pub opt_cycle: u64,
+    /// `true` when only part of the injected code was removed; `false`
+    /// for the all-or-nothing removal of §3.2.
+    pub partial: bool,
+    /// For a partial de-optimization, the id of the stream whose checks
+    /// were removed (the id matches the cycle's earlier
+    /// [`StreamDetected`] / [`PrefetchIssued`] events).
+    pub stream_id: Option<u32>,
 }
 
 #[cfg(test)]
@@ -190,6 +256,38 @@ mod tests {
         assert_eq!(PrefetchFate::Useful.label(), "useful");
         assert_eq!(PrefetchFate::Late.label(), "late");
         assert_eq!(PrefetchFate::Polluted.label(), "polluted");
+    }
+
+    #[test]
+    fn guard_labels_are_distinct() {
+        let labels: Vec<&str> = GuardKind::ALL.iter().map(|g| g.label()).collect();
+        let mut dedup = labels.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), labels.len());
+        assert_eq!(GuardKind::GrammarRules.label(), "grammar_rules");
+    }
+
+    #[test]
+    fn guard_tripped_serializes_to_object() {
+        use serde::{Serialize, Value};
+        let v = GuardTripped {
+            guard: GuardKind::PrefetchQueue,
+            budget: 128,
+            observed: 129,
+            opt_cycle: 2,
+            at_cycle: 999,
+        }
+        .to_value();
+        assert_eq!(v.get("budget"), Some(&Value::U64(128)));
+        assert_eq!(v.get("observed"), Some(&Value::U64(129)));
+    }
+
+    #[test]
+    fn deoptimize_defaults_to_full() {
+        let d = Deoptimize::default();
+        assert!(!d.partial);
+        assert_eq!(d.stream_id, None);
     }
 
     #[test]

@@ -5,8 +5,8 @@ use std::io::Write;
 use serde::{Serialize, Value};
 
 use crate::events::{
-    CycleEnd, CycleStart, Deoptimize, DfsmBuilt, PhaseTransition, PrefetchFate, PrefetchIssued,
-    PrefetchOutcome, StreamDetected,
+    CycleEnd, CycleStart, Deoptimize, DfsmBuilt, GuardTripped, PhaseTransition, PrefetchFate,
+    PrefetchIssued, PrefetchOutcome, StreamDetected,
 };
 use crate::Observer;
 
@@ -165,6 +165,20 @@ impl<W: Write> Observer for JsonlSink<W> {
     fn deoptimize(&mut self, event: &Deoptimize) {
         self.emit("deoptimize", event);
     }
+
+    fn guard_tripped(&mut self, event: &GuardTripped) {
+        // The kind enum serializes as its variant name; re-wrap with the
+        // lower-case label for a stable external schema.
+        let mut value = event.to_value();
+        if let Value::Obj(fields) = &mut value {
+            for (k, v) in fields.iter_mut() {
+                if k == "guard" {
+                    *v = Value::Str(event.guard.label().to_string());
+                }
+            }
+        }
+        self.emit("guard_tripped", &Raw(value));
+    }
 }
 
 #[cfg(test)]
@@ -233,6 +247,26 @@ mod tests {
             .find(|r| r.get("event") == Some(&Value::Str("prefetch_outcome".into())))
             .unwrap();
         assert_eq!(outcome.get("fate"), Some(&Value::Str("useful".into())));
+    }
+
+    #[test]
+    fn guard_trips_use_stable_labels() {
+        use crate::events::GuardKind;
+        let mut sink = JsonlSink::new(Vec::new());
+        sink.guard_tripped(&GuardTripped {
+            guard: GuardKind::DfsmStates,
+            budget: 64,
+            observed: 65,
+            opt_cycle: 0,
+            at_cycle: 10,
+        });
+        let records = lines(sink);
+        assert_eq!(
+            records[0].get("event"),
+            Some(&Value::Str("guard_tripped".into()))
+        );
+        assert_eq!(records[0].get("guard"), Some(&Value::Str("dfsm_states".into())));
+        assert_eq!(records[0].get("budget"), Some(&Value::U64(64)));
     }
 
     #[test]

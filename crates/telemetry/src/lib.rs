@@ -54,8 +54,8 @@ pub use jsonl::JsonlSink;
 pub use metrics::{Histogram, MetricsRecorder, StreamMetrics};
 
 use events::{
-    CycleEnd, CycleStart, Deoptimize, DfsmBuilt, PhaseTransition, PrefetchIssued,
-    PrefetchOutcome, StreamDetected,
+    CycleEnd, CycleStart, Deoptimize, DfsmBuilt, GuardTripped, PhaseTransition,
+    PrefetchIssued, PrefetchOutcome, StreamDetected,
 };
 
 /// Receiver of optimizer lifecycle events.
@@ -90,8 +90,11 @@ pub trait Observer {
     fn prefetch_issued(&mut self, _event: &PrefetchIssued) {}
     /// An issued prefetch resolved (used, late, or evicted unused).
     fn prefetch_outcome(&mut self, _event: &PrefetchOutcome) {}
-    /// Injected code was removed at the end of a hibernation span.
+    /// Injected code was removed (fully at the end of a hibernation
+    /// span, or partially by the accuracy guard).
     fn deoptimize(&mut self, _event: &Deoptimize) {}
+    /// A budget guard tripped and degraded the current cycle.
+    fn guard_tripped(&mut self, _event: &GuardTripped) {}
 }
 
 /// The do-nothing observer: every hook is a no-op and
@@ -133,6 +136,9 @@ impl<O: Observer> Observer for &mut O {
     fn deoptimize(&mut self, event: &Deoptimize) {
         (**self).deoptimize(event);
     }
+    fn guard_tripped(&mut self, event: &GuardTripped) {
+        (**self).guard_tripped(event);
+    }
 }
 
 /// Fan-out to two observers (nest pairs for more).
@@ -170,6 +176,10 @@ impl<A: Observer, B: Observer> Observer for (A, B) {
     fn deoptimize(&mut self, event: &Deoptimize) {
         self.0.deoptimize(event);
         self.1.deoptimize(event);
+    }
+    fn guard_tripped(&mut self, event: &GuardTripped) {
+        self.0.guard_tripped(event);
+        self.1.guard_tripped(event);
     }
 }
 

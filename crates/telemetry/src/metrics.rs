@@ -5,8 +5,8 @@ use std::collections::{BTreeMap, HashMap};
 use std::fmt::Write as _;
 
 use crate::events::{
-    CycleEnd, CycleStart, Deoptimize, DfsmBuilt, PhaseKind, PhaseTransition, PrefetchFate,
-    PrefetchIssued, PrefetchOutcome, StreamDetected,
+    CycleEnd, CycleStart, Deoptimize, DfsmBuilt, GuardKind, GuardTripped, PhaseKind,
+    PhaseTransition, PrefetchFate, PrefetchIssued, PrefetchOutcome, StreamDetected,
 };
 use crate::Observer;
 
@@ -162,6 +162,8 @@ pub struct MetricsRecorder {
     prefetches_issued: u64,
     outcomes: [u64; 3], // indexed by fate
     deopts: u64,
+    partial_deopts: u64,
+    guard_trips: [u64; 4], // indexed by guard kind
     traced_refs_total: u64,
     last_duty_cycle: f64,
     // Histograms.
@@ -230,10 +232,28 @@ impl MetricsRecorder {
         self.streams_detected
     }
 
-    /// De-optimizations observed.
+    /// De-optimizations observed (full and partial).
     #[must_use]
     pub fn deopts(&self) -> u64 {
         self.deopts
+    }
+
+    /// Partial (single-stream) de-optimizations observed.
+    #[must_use]
+    pub fn partial_deopts(&self) -> u64 {
+        self.partial_deopts
+    }
+
+    /// Guard trips observed for one guard kind.
+    #[must_use]
+    pub fn guard_trips(&self, guard: GuardKind) -> u64 {
+        self.guard_trips[guard as usize]
+    }
+
+    /// Guard trips observed, all kinds summed.
+    #[must_use]
+    pub fn guard_trips_total(&self) -> u64 {
+        self.guard_trips.iter().sum()
     }
 
     /// Effective duty cycle reported by the most recent phase
@@ -330,9 +350,28 @@ impl MetricsRecorder {
         counter(
             &mut out,
             "hds_deoptimizations_total",
-            "Times injected code was removed.",
+            "Times injected code was removed (full and partial).",
             self.deopts,
         );
+        counter(
+            &mut out,
+            "hds_partial_deoptimizations_total",
+            "Times a single low-accuracy stream's checks were removed.",
+            self.partial_deopts,
+        );
+        let _ = writeln!(
+            out,
+            "# HELP hds_guard_trips_total Budget-guard trips by guard kind."
+        );
+        let _ = writeln!(out, "# TYPE hds_guard_trips_total counter");
+        for guard in GuardKind::ALL {
+            let _ = writeln!(
+                out,
+                "hds_guard_trips_total{{guard=\"{}\"}} {}",
+                guard.label(),
+                self.guard_trips[guard as usize]
+            );
+        }
         let _ = writeln!(
             out,
             "# HELP hds_prefetch_outcomes_total Resolved prefetches by fate."
@@ -479,8 +518,15 @@ impl Observer for MetricsRecorder {
         }
     }
 
-    fn deoptimize(&mut self, _event: &Deoptimize) {
+    fn deoptimize(&mut self, event: &Deoptimize) {
         self.deopts += 1;
+        if event.partial {
+            self.partial_deopts += 1;
+        }
+    }
+
+    fn guard_tripped(&mut self, event: &GuardTripped) {
+        self.guard_trips[event.guard as usize] += 1;
     }
 }
 
@@ -543,6 +589,41 @@ mod tests {
         // Lead distance recorded for the three non-polluted outcomes.
         assert_eq!(m.prefetch_lead_refs().count(), 3);
         assert_eq!(m.match_to_access_cycles().count(), 3);
+    }
+
+    #[test]
+    fn guard_trips_and_partial_deopts_are_counted() {
+        let mut m = MetricsRecorder::new();
+        m.guard_tripped(&GuardTripped {
+            guard: GuardKind::GrammarRules,
+            budget: 100,
+            observed: 101,
+            opt_cycle: 0,
+            at_cycle: 50,
+        });
+        m.guard_tripped(&GuardTripped {
+            guard: GuardKind::PrefetchQueue,
+            budget: 8,
+            observed: 12,
+            opt_cycle: 1,
+            at_cycle: 90,
+        });
+        m.deoptimize(&Deoptimize {
+            at_cycle: 100,
+            opt_cycle: 1,
+            partial: true,
+            stream_id: Some(3),
+        });
+        m.deoptimize(&Deoptimize::default());
+        assert_eq!(m.guard_trips(GuardKind::GrammarRules), 1);
+        assert_eq!(m.guard_trips(GuardKind::AnalysisCycles), 0);
+        assert_eq!(m.guard_trips_total(), 2);
+        assert_eq!(m.deopts(), 2);
+        assert_eq!(m.partial_deopts(), 1);
+        let text = m.render_prometheus();
+        assert!(text.contains("hds_guard_trips_total{guard=\"grammar_rules\"} 1"));
+        assert!(text.contains("hds_guard_trips_total{guard=\"dfsm_states\"} 0"));
+        assert!(text.contains("hds_partial_deoptimizations_total 1"));
     }
 
     #[test]

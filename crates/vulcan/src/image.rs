@@ -15,6 +15,12 @@ pub enum EditError {
     UnknownPc(Pc),
     /// A payload was already injected at this pc in this session.
     AlreadyInjected(Pc),
+    /// A removal targeted a pc that has no injected payload.
+    NotInjected(Pc),
+    /// An induced editor failure at this pc (fault injection / transient
+    /// binary-editor error). The session is poisoned and its commit
+    /// rolls back.
+    Induced(Pc),
 }
 
 impl fmt::Display for EditError {
@@ -22,6 +28,8 @@ impl fmt::Display for EditError {
         match self {
             EditError::UnknownPc(pc) => write!(f, "{pc} does not belong to the image"),
             EditError::AlreadyInjected(pc) => write!(f, "{pc} already has injected code"),
+            EditError::NotInjected(pc) => write!(f, "{pc} has no injected code to remove"),
+            EditError::Induced(pc) => write!(f, "induced editor failure at {pc}"),
         }
     }
 }
@@ -131,12 +139,39 @@ impl<T> Image<T> {
 
     /// Begins a stop-the-world edit session ("Dynamic Vulcan stops all
     /// running program threads while binary modifications are in
-    /// progress").
+    /// progress"). The commit *replaces* the complete instrumentation:
+    /// patches of procedures not touched by the session are removed.
     pub fn edit(&mut self) -> EditSession<'_, T> {
         EditSession {
             staged: HashMap::new(),
+            removals: Vec::new(),
+            poisoned: None,
+            replace: true,
             image: self,
         }
+    }
+
+    /// Begins a *patch-mode* edit session for surgical, partial changes:
+    /// staged injections are layered onto the live instrumentation and
+    /// staged removals delete individual payloads, while every untouched
+    /// procedure copy survives **with its original `since_epoch`** — so
+    /// activations already running a surviving copy keep executing its
+    /// checks. This is the partial-deoptimization primitive.
+    pub fn edit_partial(&mut self) -> EditSession<'_, T> {
+        EditSession {
+            staged: HashMap::new(),
+            removals: Vec::new(),
+            poisoned: None,
+            replace: false,
+            image: self,
+        }
+    }
+
+    /// The payload currently injected at `pc` in the live copy of its
+    /// procedure, regardless of activation epoch.
+    fn live_payload(&self, pc: Pc) -> Option<&T> {
+        let proc = self.proc_of(pc)?;
+        self.copies.get(&proc)?.checks.get(&pc)
     }
 
     /// Removes every entry jump, reverting all procedures to their
@@ -174,12 +209,23 @@ impl<T> Image<T> {
     }
 }
 
-/// A stop-the-world edit: stage injections, then [`EditSession::commit`]
-/// to copy the affected procedures, attach the payloads, and patch the
-/// entry jumps atomically.
+/// A stop-the-world edit: stage injections (and, in patch mode,
+/// removals), then [`EditSession::commit`] to apply everything
+/// atomically.
+///
+/// The session is *transactional*: the first staging error poisons it,
+/// and a poisoned commit performs **no** image mutation — no epoch
+/// bump, no copy touched. A half-failed edit therefore rolls the whole
+/// session back, leaving the pre-edit image intact (threads resume on
+/// exactly the code they were stopped on).
 #[derive(Debug)]
 pub struct EditSession<'a, T> {
     staged: HashMap<Pc, T>,
+    removals: Vec<Pc>,
+    poisoned: Option<EditError>,
+    /// `true` for [`Image::edit`] (commit describes the complete new
+    /// instrumentation), `false` for [`Image::edit_partial`].
+    replace: bool,
     image: &'a mut Image<T>,
 }
 
@@ -190,45 +236,133 @@ impl<T> EditSession<'_, T> {
     ///
     /// * [`EditError::UnknownPc`] if `pc` belongs to no procedure;
     /// * [`EditError::AlreadyInjected`] if this session already staged a
-    ///   payload at `pc`.
+    ///   payload at `pc`, or (in patch mode) the live image already has
+    ///   one there.
+    ///
+    /// Any error poisons the session: its commit will roll back.
     pub fn inject(&mut self, pc: Pc, payload: T) -> Result<(), EditError> {
         if self.image.proc_of(pc).is_none() {
-            return Err(EditError::UnknownPc(pc));
+            return Err(self.poison(EditError::UnknownPc(pc)));
         }
-        if self.staged.contains_key(&pc) {
-            return Err(EditError::AlreadyInjected(pc));
+        if self.staged.contains_key(&pc)
+            || (!self.replace && self.image.live_payload(pc).is_some())
+        {
+            return Err(self.poison(EditError::AlreadyInjected(pc)));
         }
         self.staged.insert(pc, payload);
         Ok(())
     }
 
-    /// Commits the staged edits: bumps the epoch, copies every procedure
-    /// containing a staged pc, attaches the payloads to the copies, and
-    /// patches the entries. Any previous patch of an affected procedure
-    /// is replaced; patches of unaffected procedures are removed (the
-    /// optimizer de-optimizes before re-optimizing — §1's cycle — so a
-    /// commit describes the complete new instrumentation).
-    pub fn commit(self) -> EditReport {
+    /// Stages the removal of the payload injected at `pc` (patch mode;
+    /// in replace mode the commit discards old patches anyway, so a
+    /// removal of a live pc is accepted and redundant).
+    ///
+    /// # Errors
+    ///
+    /// * [`EditError::UnknownPc`] if `pc` belongs to no procedure;
+    /// * [`EditError::NotInjected`] if the live image has no payload at
+    ///   `pc`.
+    ///
+    /// Any error poisons the session: its commit will roll back.
+    pub fn remove(&mut self, pc: Pc) -> Result<(), EditError> {
+        if self.image.proc_of(pc).is_none() {
+            return Err(self.poison(EditError::UnknownPc(pc)));
+        }
+        if self.image.live_payload(pc).is_none() {
+            return Err(self.poison(EditError::NotInjected(pc)));
+        }
+        self.removals.push(pc);
+        Ok(())
+    }
+
+    /// Poisons the session with an externally induced failure (the
+    /// fault-injection layer models a binary editor dying mid-edit).
+    /// The commit will roll back with this error.
+    pub fn fail(&mut self, err: EditError) {
+        let _ = self.poison(err);
+    }
+
+    /// The error that poisoned this session, if any.
+    #[must_use]
+    pub fn poisoned(&self) -> Option<&EditError> {
+        self.poisoned.as_ref()
+    }
+
+    fn poison(&mut self, err: EditError) -> EditError {
+        if self.poisoned.is_none() {
+            self.poisoned = Some(err.clone());
+        }
+        err
+    }
+
+    /// Commits the staged edits atomically: bumps the epoch, copies
+    /// every affected procedure, attaches the payloads, and patches the
+    /// entries.
+    ///
+    /// In replace mode ([`Image::edit`]) patches of unaffected
+    /// procedures are removed — the commit describes the complete new
+    /// instrumentation (§1's deoptimize-before-reoptimize cycle). In
+    /// patch mode ([`Image::edit_partial`]) staged removals delete
+    /// individual payloads, a procedure copy with no payloads left is
+    /// unpatched, and surviving copies keep their `since_epoch`.
+    ///
+    /// # Errors
+    ///
+    /// If the session was poisoned by a failed [`EditSession::inject`] /
+    /// [`EditSession::remove`] or an induced [`EditSession::fail`], the
+    /// first such error is returned and the image is **not** modified in
+    /// any way (no epoch bump, all copies intact).
+    pub fn commit(self) -> Result<EditReport, EditError> {
+        if let Some(err) = self.poisoned {
+            return Err(err); // atomic rollback: the image was never touched
+        }
         let image = self.image;
         image.epoch += 1;
         image.total_edits += 1;
         let epoch = image.epoch;
-        image.copies.clear();
+        let mut touched: Vec<ProcId> = Vec::new();
+        if self.replace {
+            image.copies.clear();
+        } else {
+            for pc in self.removals {
+                // Validated by `remove`; a pc no longer live (duplicate
+                // removal staged twice) is simply already gone.
+                let Some(proc) = image.proc_of(pc) else { continue };
+                let Some(copy) = image.copies.get_mut(&proc) else {
+                    continue;
+                };
+                copy.checks.remove(&pc);
+                touched.push(proc);
+                if copy.checks.is_empty() {
+                    image.copies.remove(&proc); // entry jump removed: original code
+                }
+            }
+        }
         let mut pcs_injected = 0usize;
         for (pc, payload) in self.staged {
-            let proc = image.proc_of(pc).expect("validated by inject");
+            // Validated by `inject`; skipping an (impossible) unknown pc
+            // beats panicking inside a stop-the-world edit.
+            let Some(proc) = image.proc_of(pc) else { continue };
             let copy = image.copies.entry(proc).or_insert_with(|| Copy {
                 checks: HashMap::new(),
                 since_epoch: epoch,
             });
             copy.checks.insert(pc, payload);
+            touched.push(proc);
             pcs_injected += 1;
         }
-        EditReport {
-            procedures_modified: image.copies.len(),
+        let procedures_modified = if self.replace {
+            image.copies.len()
+        } else {
+            touched.sort_unstable();
+            touched.dedup();
+            touched.len()
+        };
+        Ok(EditReport {
+            procedures_modified,
             pcs_injected,
             epoch,
-        }
+        })
     }
 
     /// Abandons the session without modifying the image.
@@ -274,7 +408,7 @@ mod tests {
         edit.inject(Pc(0x10), "c1").unwrap();
         edit.inject(Pc(0x14), "c2").unwrap();
         edit.inject(Pc(0x20), "c3").unwrap();
-        let report = edit.commit();
+        let report = edit.commit().unwrap();
         assert_eq!(report.procedures_modified, 2);
         assert_eq!(report.pcs_injected, 3);
         assert_eq!(report.epoch, 1);
@@ -292,7 +426,7 @@ mod tests {
         let mut img = image();
         let mut edit = img.edit();
         edit.inject(Pc(0x10), "chk").unwrap();
-        edit.commit();
+        edit.commit().unwrap();
         // Frame entered before the patch (epoch 0): original code.
         assert_eq!(img.injected_at(Pc(0x10), 0), None);
         // Frame entered at/after the patch epoch: instrumented copy.
@@ -305,7 +439,7 @@ mod tests {
         let mut img = image();
         let mut edit = img.edit();
         edit.inject(Pc(0x10), "chk").unwrap();
-        edit.commit();
+        edit.commit().unwrap();
         assert_eq!(img.deoptimize(), 1);
         assert!(!img.is_patched(ProcId(0)));
         assert_eq!(img.injected_at(Pc(0x10), img.epoch()), None);
@@ -321,10 +455,10 @@ mod tests {
         let mut img = image();
         let mut edit = img.edit();
         edit.inject(Pc(0x10), "old").unwrap();
-        edit.commit();
+        edit.commit().unwrap();
         let mut edit = img.edit();
         edit.inject(Pc(0x20), "new").unwrap();
-        let report = edit.commit();
+        let report = edit.commit().unwrap();
         assert_eq!(report.procedures_modified, 1);
         // alpha's patch is gone, beta's is live.
         assert!(!img.is_patched(ProcId(0)));
@@ -353,5 +487,112 @@ mod tests {
         assert!(EditError::AlreadyInjected(Pc(0x7))
             .to_string()
             .contains("already"));
+        assert!(EditError::NotInjected(Pc(0x7)).to_string().contains("remove"));
+        assert!(EditError::Induced(Pc(0x7)).to_string().contains("induced"));
+    }
+
+    /// Regression: a mid-session failure must not leave the image
+    /// half-patched. Committing a poisoned session rolls back — the
+    /// pre-edit instrumentation and epoch are intact.
+    #[test]
+    fn failed_injection_rolls_back_the_whole_session() {
+        let mut img = image();
+        let mut edit = img.edit();
+        edit.inject(Pc(0x10), "keep").unwrap();
+        edit.commit().unwrap();
+        let epoch_before = img.epoch();
+
+        let mut edit = img.edit();
+        edit.inject(Pc(0x20), "half").unwrap();
+        // Second injection fails mid-session...
+        assert_eq!(edit.inject(Pc(0x99), "bad"), Err(EditError::UnknownPc(Pc(0x99))));
+        assert_eq!(edit.poisoned(), Some(&EditError::UnknownPc(Pc(0x99))));
+        // ...and a further valid staging does not un-poison it.
+        edit.inject(Pc(0x30), "late").unwrap();
+        assert_eq!(edit.commit(), Err(EditError::UnknownPc(Pc(0x99))));
+
+        // Pre-edit image fully intact: old payload live, nothing new.
+        assert_eq!(img.epoch(), epoch_before);
+        assert_eq!(img.injected_at(Pc(0x10), epoch_before), Some(&"keep"));
+        assert_eq!(img.injected_at(Pc(0x20), epoch_before), None);
+        assert_eq!(img.injected_at(Pc(0x30), epoch_before), None);
+        assert_eq!(img.total_edits(), 1);
+    }
+
+    #[test]
+    fn induced_failure_rolls_back() {
+        let mut img = image();
+        let mut edit = img.edit();
+        edit.inject(Pc(0x10), "x").unwrap();
+        edit.fail(EditError::Induced(Pc(0x10)));
+        assert_eq!(edit.commit(), Err(EditError::Induced(Pc(0x10))));
+        assert_eq!(img.epoch(), 0);
+        assert!(!img.is_patched(ProcId(0)));
+        assert_eq!(img.total_edits(), 0);
+    }
+
+    #[test]
+    fn partial_edit_removes_one_pc_and_preserves_survivor_epoch() {
+        let mut img = image();
+        let mut edit = img.edit();
+        edit.inject(Pc(0x10), "good").unwrap();
+        edit.inject(Pc(0x20), "bad").unwrap();
+        edit.commit().unwrap();
+        let install_epoch = img.epoch();
+
+        let mut patch = img.edit_partial();
+        patch.remove(Pc(0x20)).unwrap();
+        let report = patch.commit().unwrap();
+        assert_eq!(report.procedures_modified, 1);
+        assert_eq!(report.pcs_injected, 0);
+        assert_eq!(report.epoch, install_epoch + 1);
+
+        // beta's copy is empty → unpatched; alpha's survives...
+        assert!(!img.is_patched(ProcId(1)));
+        assert!(img.is_patched(ProcId(0)));
+        // ...with its original since_epoch: an activation that entered
+        // at the *install* epoch (before the partial deopt) still sees
+        // the surviving check. This is the surgical property.
+        assert_eq!(img.injected_at(Pc(0x10), install_epoch), Some(&"good"));
+        assert_eq!(img.injected_at(Pc(0x20), img.epoch()), None);
+    }
+
+    #[test]
+    fn partial_edit_errors_poison_and_roll_back() {
+        let mut img = image();
+        let mut edit = img.edit();
+        edit.inject(Pc(0x10), "live").unwrap();
+        edit.commit().unwrap();
+
+        let mut patch = img.edit_partial();
+        // Removing a never-injected pc fails...
+        assert_eq!(patch.remove(Pc(0x30)), Err(EditError::NotInjected(Pc(0x30))));
+        // ...as does re-injecting over a live payload in patch mode.
+        let mut patch = img.edit_partial();
+        assert_eq!(
+            patch.inject(Pc(0x10), "dup"),
+            Err(EditError::AlreadyInjected(Pc(0x10)))
+        );
+        patch.remove(Pc(0x10)).unwrap();
+        assert_eq!(patch.commit(), Err(EditError::AlreadyInjected(Pc(0x10))));
+        // Rollback: the live payload survived both poisoned sessions.
+        assert_eq!(img.injected_at(Pc(0x10), img.epoch()), Some(&"live"));
+        assert_eq!(img.epoch(), 1);
+    }
+
+    #[test]
+    fn partial_edit_can_layer_new_checks() {
+        let mut img = image();
+        let mut edit = img.edit();
+        edit.inject(Pc(0x10), "a").unwrap();
+        edit.commit().unwrap();
+        let mut patch = img.edit_partial();
+        patch.inject(Pc(0x30), "b").unwrap();
+        let report = patch.commit().unwrap();
+        assert_eq!(report.pcs_injected, 1);
+        // Both live; alpha's copy kept since_epoch 1, gamma's starts at 2.
+        assert_eq!(img.injected_at(Pc(0x10), 1), Some(&"a"));
+        assert_eq!(img.injected_at(Pc(0x30), 1), None); // stale for gamma
+        assert_eq!(img.injected_at(Pc(0x30), 2), Some(&"b"));
     }
 }

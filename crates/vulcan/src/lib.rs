@@ -23,7 +23,9 @@
 //!   injected at each pc is a type parameter (the optimizer injects DFSM
 //!   check chains, tests inject strings);
 //! * [`Image::edit`] — a stop-the-world [`EditSession`] (copy + inject +
-//!   patch), [`Image::deoptimize`] — jump removal;
+//!   patch) that commits atomically or rolls back entirely,
+//!   [`Image::edit_partial`] — surgical patch-mode edits (the partial
+//!   de-optimization primitive), [`Image::deoptimize`] — jump removal;
 //! * [`Event`], [`ProgramSource`] — the execution event stream interface
 //!   that workloads implement and the optimizer's executor consumes;
 //! * [`FrameTracker`] — call-stack tracking that resolves, per activation,
@@ -40,7 +42,7 @@
 //! ]);
 //! let mut edit = image.edit();
 //! edit.inject(Pc(0x10), "check-chain").unwrap();
-//! let report = edit.commit();
+//! let report = edit.commit().unwrap();
 //! assert_eq!(report.procedures_modified, 1);
 //! // A fresh activation sees the injected payload…
 //! assert_eq!(image.injected_at(Pc(0x10), image.epoch()), Some(&"check-chain"));

@@ -54,6 +54,7 @@ proptest! {
                 Op::Edit(procs) => {
                     let mut edit = image.edit();
                     let mut staged = std::collections::HashMap::new();
+                    let mut poisoned = false;
                     for &p in procs {
                         let pc = Pc((p * 100) as u32); // first pc of proc p
                         payload_counter += 1;
@@ -64,16 +65,26 @@ proptest! {
                             slot.insert(payload_counter);
                         } else {
                             prop_assert!(edit.inject(pc, payload_counter).is_err());
+                            poisoned = true;
                         }
                     }
-                    let report = edit.commit();
-                    // A commit always replaces the whole patch set.
-                    live = staged;
-                    let unique_procs: std::collections::HashSet<_> =
-                        live.keys().map(|pc| pc.0 / 100).collect();
-                    prop_assert_eq!(report.procedures_modified, unique_procs.len());
-                    prop_assert!(image.epoch() > last_epoch, "commit must bump the epoch");
-                    last_epoch = image.epoch();
+                    let result = edit.commit();
+                    if poisoned {
+                        // A session with any failed staging rolls back
+                        // atomically: the live set and epoch are untouched.
+                        prop_assert!(result.is_err());
+                        prop_assert_eq!(image.epoch(), last_epoch,
+                            "poisoned commit must not bump the epoch");
+                    } else {
+                        let report = result.unwrap();
+                        // A commit always replaces the whole patch set.
+                        live = staged;
+                        let unique_procs: std::collections::HashSet<_> =
+                            live.keys().map(|pc| pc.0 / 100).collect();
+                        prop_assert_eq!(report.procedures_modified, unique_procs.len());
+                        prop_assert!(image.epoch() > last_epoch, "commit must bump the epoch");
+                        last_epoch = image.epoch();
+                    }
                 }
                 Op::Abort(procs) => {
                     let mut edit = image.edit();
@@ -122,6 +133,166 @@ proptest! {
     }
 }
 
+/// One simulated thread activation: the image epoch it entered its
+/// procedure at (what [`hds_vulcan::FrameTracker`] records at runtime).
+#[derive(Clone, Copy, Debug)]
+struct Frame {
+    entered_at: u64,
+}
+
+#[derive(Clone, Debug)]
+enum ChaosOp {
+    /// Full stop-the-world edit over these procedures; `fail` induces a
+    /// mid-edit editor fault (the session must roll back).
+    FullEdit { procs: Vec<usize>, fail: bool },
+    /// Patch-mode removal of one procedure's first-pc payload.
+    PartialRemove { proc: usize },
+    /// Patch-mode injection at one procedure's first pc.
+    PartialAdd { proc: usize },
+    /// De-optimize everything.
+    Deopt,
+    /// A thread switch: a thread enters a procedure *now*, recording the
+    /// current epoch in its activation record.
+    Spawn,
+}
+
+fn chaos_op(n_procs: usize) -> impl Strategy<Value = ChaosOp> {
+    prop_oneof![
+        (proptest::collection::vec(0..n_procs, 0..4), any::<bool>())
+            .prop_map(|(procs, fail)| ChaosOp::FullEdit { procs, fail }),
+        (0..n_procs).prop_map(|proc| ChaosOp::PartialRemove { proc }),
+        (0..n_procs).prop_map(|proc| ChaosOp::PartialAdd { proc }),
+        Just(ChaosOp::Deopt),
+        Just(ChaosOp::Spawn),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(160))]
+
+    /// Epoch discipline under random thread-switch schedules: whatever a
+    /// thread observes at its entry epoch is all-or-nothing — either the
+    /// procedure's complete current copy or the original code. No
+    /// interleaving of full edits, partial edits, induced edit failures,
+    /// deopts, and thread switches ever exposes a half-patched copy.
+    #[test]
+    fn thread_switches_never_observe_half_patched_copies(
+        ops in proptest::collection::vec(chaos_op(5), 0..32),
+    ) {
+        use hds_vulcan::EditError;
+        let n_procs = 5;
+        let mut image = image_with(n_procs);
+        // Shadow model: per-proc (since_epoch, payloads).
+        let mut model: std::collections::HashMap<usize, (u64, std::collections::HashMap<Pc, u32>)> =
+            std::collections::HashMap::new();
+        let mut frames: Vec<Frame> = vec![Frame { entered_at: 0 }];
+        let mut payload = 0u32;
+
+        for op in &ops {
+            match op {
+                ChaosOp::FullEdit { procs, fail } => {
+                    let epoch_before = image.epoch();
+                    let mut edit = image.edit();
+                    let mut staged: std::collections::HashMap<usize, std::collections::HashMap<Pc, u32>> =
+                        std::collections::HashMap::new();
+                    let mut poisoned = false;
+                    for &p in procs {
+                        let pc = Pc((p * 100) as u32);
+                        payload += 1;
+                        if edit.inject(pc, payload).is_ok() {
+                            staged.entry(p).or_default().insert(pc, payload);
+                        } else {
+                            poisoned = true; // duplicate pc poisons the session
+                        }
+                    }
+                    if *fail || poisoned {
+                        if *fail {
+                            edit.fail(EditError::Induced(Pc(0)));
+                        }
+                        prop_assert!(edit.commit().is_err());
+                        prop_assert_eq!(image.epoch(), epoch_before,
+                            "failed edit must not bump the epoch");
+                        // model unchanged: rollback.
+                    } else {
+                        edit.commit().unwrap();
+                        model = staged
+                            .into_iter()
+                            .map(|(p, checks)| (p, (image.epoch(), checks)))
+                            .collect();
+                    }
+                }
+                ChaosOp::PartialRemove { proc } => {
+                    let pc = Pc((proc * 100) as u32);
+                    let live = model.get(proc).is_some_and(|(_, c)| c.contains_key(&pc));
+                    let mut patch = image.edit_partial();
+                    if live {
+                        patch.remove(pc).unwrap();
+                        patch.commit().unwrap();
+                        let empty = {
+                            let entry = model.get_mut(proc).unwrap();
+                            entry.1.remove(&pc);
+                            entry.1.is_empty()
+                        };
+                        if empty {
+                            model.remove(proc);
+                        }
+                    } else {
+                        prop_assert!(patch.remove(pc).is_err());
+                        prop_assert!(patch.commit().is_err());
+                    }
+                }
+                ChaosOp::PartialAdd { proc } => {
+                    let pc = Pc((proc * 100) as u32);
+                    let live = model.get(proc).is_some_and(|(_, c)| c.contains_key(&pc));
+                    let mut patch = image.edit_partial();
+                    payload += 1;
+                    if live {
+                        prop_assert!(patch.inject(pc, payload).is_err());
+                        prop_assert!(patch.commit().is_err());
+                    } else {
+                        patch.inject(pc, payload).unwrap();
+                        patch.commit().unwrap();
+                        // A fresh copy starts at the new epoch; a surviving
+                        // copy keeps its since_epoch.
+                        let entry = model
+                            .entry(*proc)
+                            .or_insert_with(|| (image.epoch(), std::collections::HashMap::new()));
+                        entry.1.insert(pc, payload);
+                    }
+                }
+                ChaosOp::Deopt => {
+                    image.deoptimize();
+                    model.clear();
+                }
+                ChaosOp::Spawn => {
+                    frames.push(Frame { entered_at: image.epoch() });
+                }
+            }
+
+            // Every thread's view is all-or-nothing per procedure.
+            for frame in &frames {
+                for p in 0..n_procs {
+                    let visible: std::collections::HashMap<Pc, u32> = (0..=(p % 4))
+                        .filter_map(|j| {
+                            let pc = Pc((p * 100 + j) as u32);
+                            image.injected_at(pc, frame.entered_at).map(|v| (pc, *v))
+                        })
+                        .collect();
+                    let expect = match model.get(&p) {
+                        Some((since, checks)) if frame.entered_at >= *since => checks.clone(),
+                        _ => std::collections::HashMap::new(), // original code
+                    };
+                    prop_assert_eq!(
+                        visible, expect,
+                        "thread entered at epoch {} saw a half-patched proc {}",
+                        frame.entered_at, p
+                    );
+                }
+            }
+        }
+    }
+}
+
 fn image_patched_count(live: &std::collections::HashMap<Pc, u32>) -> usize {
     live.keys()
         .map(|pc| pc.0 / 100)
@@ -137,12 +308,12 @@ fn epoch_visibility_is_monotone() {
     // Epoch 1: patch proc 0.
     let mut edit = image.edit();
     edit.inject(Pc(0), 10).unwrap();
-    edit.commit();
+    edit.commit().unwrap();
     let epoch1 = image.epoch();
     // Epoch 2: patch proc 1 instead.
     let mut edit = image.edit();
     edit.inject(Pc(100), 20).unwrap();
-    edit.commit();
+    edit.commit().unwrap();
     let epoch2 = image.epoch();
 
     // An activation from epoch1 entered before the *current* patch of

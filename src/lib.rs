@@ -21,6 +21,7 @@
 //! | [`vulcan`] | `hds-vulcan` | simulated binary image + dynamic editing |
 //! | [`bursty`] | `hds-bursty` | bursty tracing counters and phases |
 //! | [`workloads`] | `hds-workloads` | the six benchmark models |
+//! | [`guard`] | `hds-guard` | budget guards, accuracy-driven deoptimization, fault injection |
 //! | [`optimizer`] | `hds-core` | the dynamic prefetching optimizer |
 //!
 //! # Quickstart
@@ -46,6 +47,7 @@
 pub use hds_bursty as bursty;
 pub use hds_core as optimizer;
 pub use hds_dfsm as dfsm;
+pub use hds_guard as guard;
 pub use hds_hotstream as hotstream;
 pub use hds_memsim as memsim;
 pub use hds_sequitur as sequitur;
