@@ -3,10 +3,11 @@
 
 CARGO ?= cargo
 
-.PHONY: verify build test clippy bench-smoke telemetry-demo chaos-smoke
+.PHONY: verify build test clippy bench-smoke telemetry-demo chaos-smoke bench-par
 
-## Tier-1 gate: release build, full test suite, clippy clean, chaos smoke.
-verify: build test clippy chaos-smoke
+## Tier-1 gate: release build, full test suite, clippy clean, chaos smoke,
+## parallel-runner smoke (bit-identical + speedup + worker-lag stats).
+verify: build test clippy chaos-smoke bench-par
 
 build:
 	$(CARGO) build --release
@@ -27,6 +28,13 @@ bench-smoke:
 ## degrade to the analyze baseline). Finishes in a few seconds.
 chaos-smoke:
 	$(CARGO) run --release -p hds-bench --bin chaos -- --schedules 100
+
+## Parallel suite-runner smoke: the fig11 matrix sequentially vs 4
+## workers — asserts bit-identical outcomes, measures the speedup, and
+## profiles background-analysis worker lag. Writes
+## results/BENCH_parallel.json.
+bench-par:
+	$(CARGO) run --release -p hds-bench --bin bench_parallel -- --test-scale
 
 ## Live telemetry walkthrough: per-cycle table, counter reconciliation,
 ## per-stream prefetch quality, Prometheus dump. Fast smoke scale; drop

@@ -7,7 +7,7 @@
 //! binaries report).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use hds_core::{Executor, OptimizerConfig, PrefetchPolicy, RunMode};
+use hds_core::{OptimizerConfig, PrefetchPolicy, RunMode, SessionBuilder};
 use hds_workloads::{SyntheticConfig, SyntheticWorkload, Workload};
 
 fn workload() -> SyntheticWorkload {
@@ -34,7 +34,11 @@ fn bench(c: &mut Criterion) {
                 config.bursty = hds_bursty::BurstyConfig::new(1_350, 150, 4, 8);
                 let mut w = workload();
                 let procs = w.procedures();
-                Executor::new(config, mode).run(&mut w, procs).total_cycles
+                SessionBuilder::new(config)
+                    .procedures(procs)
+                    .mode(mode)
+                    .run(&mut w)
+                    .total_cycles
             });
         });
     }

@@ -2,13 +2,13 @@
 //!
 //! Three instantiations of the same end-to-end optimize run:
 //!
-//! * `baseline` — `Executor::run`, i.e. `Session<NullObserver>` through
-//!   the default constructor (the pre-telemetry code path);
-//! * `null_observer` — `run_observed` with an explicit `NullObserver`:
+//! * `baseline` — `SessionBuilder::run` with the default
+//!   `NullObserver` (the pre-telemetry code path);
+//! * `null_observer` — `.observer(NullObserver)` spelled explicitly:
 //!   must monomorphize to *exactly* the baseline (same type), so any
 //!   measured difference is noise. The acceptance bound is <2%.
-//! * `metrics_recorder` — `run_observed` with a live `MetricsRecorder`:
-//!   the real cost of turning telemetry on.
+//! * `metrics_recorder` — `.observer(&mut MetricsRecorder)`: the real
+//!   cost of turning telemetry on.
 //!
 //! Two more for the guard layer's matching claim:
 //!
@@ -20,7 +20,8 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 use hds_core::{
-    AccuracyConfig, Executor, GuardConfig, NullObserver, OptimizerConfig, PrefetchPolicy, RunMode,
+    AccuracyConfig, GuardConfig, NullObserver, OptimizerConfig, PrefetchPolicy, RunMode,
+    SessionBuilder,
 };
 use hds_telemetry::MetricsRecorder;
 use hds_workloads::{SyntheticConfig, SyntheticWorkload, Workload};
@@ -49,8 +50,10 @@ fn bench(c: &mut Criterion) {
             let mut w = workload();
             let procs = w.procedures();
             black_box(
-                Executor::new(config(), mode)
-                    .run(&mut w, procs)
+                SessionBuilder::new(config())
+                    .procedures(procs)
+                    .mode(mode)
+                    .run(&mut w)
                     .total_cycles,
             )
         });
@@ -60,8 +63,11 @@ fn bench(c: &mut Criterion) {
             let mut w = workload();
             let procs = w.procedures();
             black_box(
-                Executor::new(config(), mode)
-                    .run_observed(&mut w, procs, NullObserver)
+                SessionBuilder::new(config())
+                    .procedures(procs)
+                    .observer(NullObserver)
+                    .mode(mode)
+                    .run(&mut w)
                     .total_cycles,
             )
         });
@@ -71,7 +77,11 @@ fn bench(c: &mut Criterion) {
             let mut w = workload();
             let procs = w.procedures();
             let mut rec = MetricsRecorder::new();
-            let report = Executor::new(config(), mode).run_observed(&mut w, procs, &mut rec);
+            let report = SessionBuilder::new(config())
+                .procedures(procs)
+                .observer(&mut rec)
+                .mode(mode)
+                .run(&mut w);
             black_box((report.total_cycles, rec.prefetches_issued()))
         });
     });
@@ -81,7 +91,13 @@ fn bench(c: &mut Criterion) {
             let procs = w.procedures();
             let mut cfg = config();
             cfg.guard = GuardConfig::disabled();
-            black_box(Executor::new(cfg, mode).run(&mut w, procs).total_cycles)
+            black_box(
+                SessionBuilder::new(cfg)
+                    .procedures(procs)
+                    .mode(mode)
+                    .run(&mut w)
+                    .total_cycles,
+            )
         });
     });
     group.bench_function("guard_enabled", |b| {
@@ -95,7 +111,13 @@ fn bench(c: &mut Criterion) {
                 .with_max_dfsm_states(u64::MAX)
                 .with_max_prefetch_queue(u64::MAX)
                 .with_accuracy(AccuracyConfig::new());
-            black_box(Executor::new(cfg, mode).run(&mut w, procs).total_cycles)
+            black_box(
+                SessionBuilder::new(cfg)
+                    .procedures(procs)
+                    .mode(mode)
+                    .run(&mut w)
+                    .total_cycles,
+            )
         });
     });
     group.finish();

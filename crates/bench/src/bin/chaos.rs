@@ -25,7 +25,7 @@
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use hds_core::{
-    AccuracyConfig, Executor, FaultPlan, GuardConfig, OptimizerConfig, PrefetchPolicy, RunMode,
+    AccuracyConfig, FaultPlan, GuardConfig, OptimizerConfig, PrefetchPolicy, SessionBuilder,
 };
 use hds_telemetry::events::PrefetchFate;
 use hds_telemetry::MetricsRecorder;
@@ -102,8 +102,12 @@ fn run_schedule(seed: u64, which: Benchmark) -> ScheduleResult {
 
     let mut w = benchmark(which, Scale::Test);
     let procs = w.procedures();
-    let report = Executor::new(config, RunMode::Optimize(PrefetchPolicy::StreamTail))
-        .run_faulted(&mut *w, procs, &mut rec, &mut plan);
+    let report = SessionBuilder::new(config)
+        .procedures(procs)
+        .observer(&mut rec)
+        .faults(&mut plan)
+        .optimize(PrefetchPolicy::StreamTail)
+        .run(&mut *w);
 
     // A late prefetch increments both `prefetches_late` and
     // `prefetches_useful` in MemStats; each telemetry outcome carries
@@ -149,13 +153,19 @@ fn assert_failed_edits_match_analyze(seed: u64, which: Benchmark) {
     let config = OptimizerConfig::test_scale();
     let mut w = benchmark(which, Scale::Test);
     let procs = w.procedures();
-    let analyze = Executor::new(config.clone(), RunMode::Analyze).run(&mut *w, procs);
+    let analyze = SessionBuilder::new(config.clone())
+        .procedures(procs)
+        .analyze()
+        .run(&mut *w);
 
     let mut plan = FaultPlan::edits_always_fail(seed);
     let mut w = benchmark(which, Scale::Test);
     let procs = w.procedures();
-    let faulted = Executor::new(config, RunMode::Optimize(PrefetchPolicy::StreamTail))
-        .run_faulted(&mut *w, procs, hds_telemetry::NullObserver, &mut plan);
+    let faulted = SessionBuilder::new(config)
+        .procedures(procs)
+        .faults(&mut plan)
+        .optimize(PrefetchPolicy::StreamTail)
+        .run(&mut *w);
 
     assert!(
         plan.counts().failed_edits > 0,
@@ -216,15 +226,19 @@ fn write_bench_json(path: &std::path::Path) {
         let config = OptimizerConfig::test_scale();
         let mut w = benchmark(which, Scale::Test);
         let procs = w.procedures();
-        let off = Executor::new(config.clone(), RunMode::Optimize(PrefetchPolicy::StreamTail))
-            .run(&mut *w, procs);
+        let off = SessionBuilder::new(config.clone())
+            .procedures(procs)
+            .optimize(PrefetchPolicy::StreamTail)
+            .run(&mut *w);
 
         let mut guarded_config = config;
         guarded_config.guard = untripped();
         let mut w = benchmark(which, Scale::Test);
         let procs = w.procedures();
-        let on = Executor::new(guarded_config, RunMode::Optimize(PrefetchPolicy::StreamTail))
-            .run(&mut *w, procs);
+        let on = SessionBuilder::new(guarded_config)
+            .procedures(procs)
+            .optimize(PrefetchPolicy::StreamTail)
+            .run(&mut *w);
 
         let identical = off.total_cycles == on.total_cycles
             && off.breakdown == on.breakdown

@@ -16,7 +16,7 @@
 //! also stream one JSON record per telemetry event to a file).
 
 use hds_bench::{jsonl_path_from_args, print_table, scale_from_args};
-use hds_core::{Executor, GuardConfig, OptimizerConfig, PrefetchPolicy, RunMode};
+use hds_core::{GuardConfig, OptimizerConfig, PrefetchPolicy, SessionBuilder};
 use hds_telemetry::events::{CycleEnd, Deoptimize, GuardTripped, PhaseTransition, PrefetchFate};
 use hds_telemetry::{JsonlSink, MetricsRecorder, Observer};
 use hds_workloads::{benchmark, Benchmark};
@@ -147,8 +147,11 @@ fn main() {
     let mut sink = JsonlSink::new(jsonl_out);
     let mut w = benchmark(which, scale);
     let procs = w.procedures();
-    let report = Executor::new(config, RunMode::Optimize(PrefetchPolicy::StreamTail))
-        .run_observed(&mut *w, procs, ((&mut rec, &mut sink), LiveTable));
+    let report = SessionBuilder::new(config)
+        .procedures(procs)
+        .observer(((&mut rec, &mut sink), LiveTable))
+        .optimize(PrefetchPolicy::StreamTail)
+        .run(&mut *w);
 
     println!();
     println!("{report}");

@@ -12,7 +12,7 @@
 //! Run: `cargo run --release -p hds-bench --bin threading_ablation`.
 
 use hds_bench::{pct, print_table};
-use hds_core::{Executor, OptimizerConfig, PrefetchPolicy, RunMode};
+use hds_core::{OptimizerConfig, PrefetchPolicy, RunMode, SessionBuilder};
 use hds_vulcan::Interleaver;
 use hds_workloads::{SyntheticConfig, SyntheticWorkload, Workload};
 
@@ -33,7 +33,10 @@ fn run_at_quantum(quantum: u64, mode: RunMode) -> hds_core::RunReport {
     let b = make(2);
     let procs = a.procedures();
     let mut program = Interleaver::new(vec![Box::new(a), Box::new(b)], quantum);
-    Executor::new(OptimizerConfig::paper_scale(), mode).run(&mut program, procs)
+    SessionBuilder::new(OptimizerConfig::paper_scale())
+        .procedures(procs)
+        .mode(mode)
+        .run(&mut program)
 }
 
 fn main() {

@@ -5,7 +5,7 @@
 //! holds the common plumbing: running a benchmark under a mode, scale
 //! selection from the command line, and plain-text table formatting.
 
-use hds_core::{Executor, OptimizerConfig, RunMode, RunReport};
+use hds_core::{OptimizerConfig, RunMode, RunReport, SessionBuilder};
 use hds_memsim::prefetcher::Prefetcher;
 use hds_memsim::MemorySystem;
 use hds_vulcan::Event;
@@ -93,7 +93,10 @@ pub fn run(
 ) -> RunReport {
     let mut w = benchmark(which, scale);
     let procs = w.procedures();
-    Executor::new(config.clone(), mode).run(&mut *w, procs)
+    SessionBuilder::new(config.clone())
+        .procedures(procs)
+        .mode(mode)
+        .run(&mut *w)
 }
 
 /// Runs a benchmark with a *hardware-style* prefetcher attached to every

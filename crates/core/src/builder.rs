@@ -1,0 +1,696 @@
+//! The unified entry point: [`SessionBuilder`] (typestate run
+//! construction) and [`EngineConfig`] (validated engine-wide
+//! configuration).
+//!
+//! Historically the crate grew one entry point per capability —
+//! `Executor::run`, `run_observed`, `run_faulted`, plus the matching
+//! `Session::new` / `with_observer` / `with_faults` constructors — a
+//! combinatorial surface that doubled with every new generic. The
+//! builder collapses them: observer and fault injector are optional
+//! attachments with zero-overhead defaults ([`NullObserver`],
+//! [`NoFaults`]), and the run mode is a *typestate* transition — a
+//! builder without a mode has no `build()`/`run()` methods, so "forgot
+//! to pick a mode" is a compile error, not a panic.
+//!
+//! ```
+//! use hds_core::{OptimizerConfig, PrefetchPolicy, SessionBuilder};
+//! use hds_workloads::{SyntheticConfig, SyntheticWorkload, Workload};
+//!
+//! let mut w = SyntheticWorkload::new(SyntheticConfig {
+//!     total_refs: 50_000,
+//!     ..SyntheticConfig::default()
+//! });
+//! let procs = w.procedures();
+//! let report = SessionBuilder::new(OptimizerConfig::test_scale())
+//!     .procedures(procs)
+//!     .optimize(PrefetchPolicy::StreamTail)
+//!     .run(&mut w);
+//! assert!(report.refs > 0);
+//! ```
+
+use std::fmt;
+
+use hds_bursty::BurstyConfig;
+use hds_guard::{FaultInjector, FaultPlan, FaultRates, GuardConfig, NoFaults};
+use hds_telemetry::{NullObserver, Observer};
+use hds_vulcan::{Procedure, ProgramSource};
+
+use crate::config::{
+    AnalysisConcurrency, CycleStrategy, OptimizerConfig, PrefetchPolicy, PrefetchScheduling,
+    RunMode,
+};
+use crate::executor::Session;
+use crate::report::RunReport;
+
+// ---------------------------------------------------------------------------
+// SessionBuilder
+// ---------------------------------------------------------------------------
+
+/// Typestate marker: no run mode selected yet. A
+/// `SessionBuilder<NeedsMode, _, _>` has no `build()` or `run()` —
+/// selecting a mode ([`SessionBuilder::mode`] or a named shortcut like
+/// [`SessionBuilder::optimize`]) transitions to [`Ready`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NeedsMode;
+
+/// Typestate marker: a run mode has been selected; the builder can now
+/// [`SessionBuilder::build`] a [`Session`] or [`SessionBuilder::run`] a
+/// program.
+#[derive(Clone, Copy, Debug)]
+pub struct Ready(RunMode);
+
+/// Builds a [`Session`] (or drives a whole run): the single,
+/// non-deprecated way to start the optimizer.
+///
+/// Attachments default to the zero-overhead implementations — the
+/// default-generic session (`Observer = NullObserver`,
+/// `FaultInjector = NoFaults`) monomorphizes to exactly the
+/// uninstrumented code. Attaching an observer or fault injector swaps
+/// the type parameter, never adds a runtime branch.
+///
+/// # Typestate
+///
+/// The mode parameter `M` starts at [`NeedsMode`]; `build()`/`run()`
+/// only exist on `SessionBuilder<Ready, _, _>`, so a mode must be
+/// selected first — at compile time.
+///
+/// # Examples
+///
+/// Observed + faulted chaos run:
+///
+/// ```
+/// use hds_core::{FaultPlan, OptimizerConfig, PrefetchPolicy, SessionBuilder};
+/// use hds_telemetry::MetricsRecorder;
+/// use hds_workloads::{SyntheticConfig, SyntheticWorkload, Workload};
+///
+/// let mut w = SyntheticWorkload::new(SyntheticConfig {
+///     total_refs: 40_000,
+///     ..SyntheticConfig::default()
+/// });
+/// let procs = w.procedures();
+/// let mut rec = MetricsRecorder::new();
+/// let mut plan = FaultPlan::from_seed(7);
+/// let report = SessionBuilder::new(OptimizerConfig::test_scale())
+///     .procedures(procs)
+///     .observer(&mut rec)
+///     .faults(&mut plan)
+///     .optimize(PrefetchPolicy::StreamTail)
+///     .run(&mut w);
+/// assert_eq!(rec.cycles_completed(), report.cycles.len() as u64);
+/// ```
+#[derive(Debug)]
+pub struct SessionBuilder<M = NeedsMode, O: Observer = NullObserver, F: FaultInjector = NoFaults> {
+    config: OptimizerConfig,
+    procedures: Vec<Procedure>,
+    state: M,
+    obs: O,
+    faults: F,
+}
+
+impl SessionBuilder {
+    /// Starts a builder from an [`OptimizerConfig`] with no procedures,
+    /// no observer, and no faults.
+    #[must_use]
+    pub fn new(config: OptimizerConfig) -> Self {
+        SessionBuilder {
+            config,
+            procedures: Vec::new(),
+            state: NeedsMode,
+            obs: NullObserver,
+            faults: NoFaults,
+        }
+    }
+}
+
+impl<M, O: Observer, F: FaultInjector> SessionBuilder<M, O, F> {
+    /// Sets the static program image (needed for code injection and the
+    /// Table 2 "procedures modified" statistic). Pass the workload's
+    /// `procedures()`; defaults to an empty image.
+    #[must_use]
+    pub fn procedures(mut self, procedures: Vec<Procedure>) -> Self {
+        self.procedures = procedures;
+        self
+    }
+
+    /// Attaches an observer receiving every telemetry event of the run.
+    /// Pass `&mut recorder` to keep access to it after the run.
+    #[must_use]
+    pub fn observer<O2: Observer>(self, obs: O2) -> SessionBuilder<M, O2, F> {
+        SessionBuilder {
+            config: self.config,
+            procedures: self.procedures,
+            state: self.state,
+            obs,
+            faults: self.faults,
+        }
+    }
+
+    /// Attaches a fault injector (the chaos-testing entry point). Pass
+    /// `&mut plan` to read an `hds_guard::FaultPlan`'s counts after the
+    /// run.
+    #[must_use]
+    pub fn faults<F2: FaultInjector>(self, faults: F2) -> SessionBuilder<M, O, F2> {
+        SessionBuilder {
+            config: self.config,
+            procedures: self.procedures,
+            state: self.state,
+            obs: self.obs,
+            faults,
+        }
+    }
+}
+
+impl<O: Observer, F: FaultInjector> SessionBuilder<NeedsMode, O, F> {
+    /// Selects the run mode, unlocking [`SessionBuilder::build`] and
+    /// [`SessionBuilder::run`].
+    #[must_use]
+    pub fn mode(self, mode: RunMode) -> SessionBuilder<Ready, O, F> {
+        SessionBuilder {
+            config: self.config,
+            procedures: self.procedures,
+            state: Ready(mode),
+            obs: self.obs,
+            faults: self.faults,
+        }
+    }
+
+    /// The unmodified program ([`RunMode::Baseline`]).
+    #[must_use]
+    pub fn baseline(self) -> SessionBuilder<Ready, O, F> {
+        self.mode(RunMode::Baseline)
+    }
+
+    /// Only the dynamic checks ([`RunMode::ChecksOnly`], Figure 11
+    /// *Base*).
+    #[must_use]
+    pub fn checks_only(self) -> SessionBuilder<Ready, O, F> {
+        self.mode(RunMode::ChecksOnly)
+    }
+
+    /// Checks + profiling ([`RunMode::Profile`], Figure 11 *Prof*).
+    #[must_use]
+    pub fn profile(self) -> SessionBuilder<Ready, O, F> {
+        self.mode(RunMode::Profile)
+    }
+
+    /// Checks + profiling + analysis ([`RunMode::Analyze`], Figure 11
+    /// *Hds*).
+    #[must_use]
+    pub fn analyze(self) -> SessionBuilder<Ready, O, F> {
+        self.mode(RunMode::Analyze)
+    }
+
+    /// The full cycle with the given prefetch policy
+    /// ([`RunMode::Optimize`], Figure 12's bars).
+    #[must_use]
+    pub fn optimize(self, policy: PrefetchPolicy) -> SessionBuilder<Ready, O, F> {
+        self.mode(RunMode::Optimize(policy))
+    }
+}
+
+impl<O: Observer, F: FaultInjector> SessionBuilder<Ready, O, F> {
+    /// The selected run mode.
+    #[must_use]
+    pub fn selected_mode(&self) -> RunMode {
+        self.state.0
+    }
+
+    /// Builds the streaming [`Session`]. Embedders producing events
+    /// from a live system feed it with [`Session::on_event`] and close
+    /// with [`Session::finish`].
+    #[must_use]
+    pub fn build(self) -> Session<O, F> {
+        Session::construct(
+            self.config,
+            self.state.0,
+            self.procedures,
+            self.obs,
+            self.faults,
+        )
+    }
+
+    /// Runs `program` to completion and returns its report — the
+    /// one-shot driver over [`SessionBuilder::build`].
+    pub fn run<W>(self, program: &mut W) -> RunReport
+    where
+        W: ProgramSource + ?Sized,
+    {
+        let mut session = self.build();
+        while let Some(event) = program.next_event() {
+            session.on_event(event);
+        }
+        session.finish(program.name())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// EngineConfig
+// ---------------------------------------------------------------------------
+
+/// A configuration rejected by [`EngineConfigBuilder::build`].
+///
+/// Every variant is a setting combination the runtime would previously
+/// only surface as a panic (e.g. `BurstyConfig::new` asserts) or as
+/// silent degeneracy (a duty cycle that never hibernates long enough to
+/// analyze).
+#[derive(Clone, Copy, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum ConfigError {
+    /// A bursty-tracing counter is zero; the framework degenerates
+    /// (`BurstyConfig::new` would panic).
+    ZeroBurstCounter {
+        /// Which counter (`nCheck0`, `nInstr0`, `nAwake0`,
+        /// `nHibernate0`).
+        field: &'static str,
+    },
+    /// The hibernation phase is shorter than the awake phase — the duty
+    /// cycle is inverted: profiling dominates and (in background mode)
+    /// analysis has no hibernation span to overlap with.
+    HibernationShorterThanAwake {
+        /// `nAwake0` burst-periods.
+        awake: u64,
+        /// `nHibernate0` burst-periods.
+        hibernate: u64,
+    },
+    /// `heat_percent` outside `(0, 100]`.
+    HeatPercentOutOfRange(
+        /// The rejected value.
+        f64,
+    ),
+    /// `analysis.min_length > analysis.max_length`: no stream can ever
+    /// qualify.
+    StreamLengthBoundsInverted {
+        /// Minimum qualifying stream length.
+        min: u64,
+        /// Maximum qualifying stream length.
+        max: u64,
+    },
+    /// `dfsm.head_len == 0`: the matcher would match everything
+    /// unconditionally.
+    ZeroHeadLen,
+    /// `max_streams == 0`: every cycle would optimize nothing.
+    ZeroMaxStreams,
+    /// `PrefetchScheduling::Windowed { degree: 0 }`: queued prefetches
+    /// would never issue.
+    ZeroWindowedDegree,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::ZeroBurstCounter { field } => {
+                write!(f, "bursty counter {field} must be nonzero")
+            }
+            ConfigError::HibernationShorterThanAwake { awake, hibernate } => write!(
+                f,
+                "hibernation ({hibernate} burst-periods) is shorter than the awake phase \
+                 ({awake} burst-periods); the duty cycle is inverted"
+            ),
+            ConfigError::HeatPercentOutOfRange(v) => {
+                write!(f, "heat_percent must be in (0, 100], got {v}")
+            }
+            ConfigError::StreamLengthBoundsInverted { min, max } => write!(
+                f,
+                "analysis.min_length ({min}) exceeds max_length ({max}); no stream can qualify"
+            ),
+            ConfigError::ZeroHeadLen => write!(f, "dfsm.head_len must be at least 1"),
+            ConfigError::ZeroMaxStreams => write!(f, "max_streams must be at least 1"),
+            ConfigError::ZeroWindowedDegree => {
+                write!(f, "windowed prefetch scheduling needs degree >= 1")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// The engine-wide configuration: a *validated* [`OptimizerConfig`]
+/// (which embeds the guard budgets) plus an optional fault plan, built
+/// with [`EngineConfig::builder`].
+///
+/// Construction is the validation boundary: an `EngineConfig` in hand
+/// means every cross-field invariant holds, so downstream code never
+/// re-checks (and never panics on) configuration.
+///
+/// ```
+/// use hds_core::EngineConfig;
+///
+/// let engine = EngineConfig::builder()
+///     .bursty(240, 40, 4, 8)
+///     .heat_percent(1.0)
+///     .build()
+///     .unwrap();
+/// let _builder = engine.session();
+/// ```
+#[derive(Clone, Debug)]
+pub struct EngineConfig {
+    optimizer: OptimizerConfig,
+    fault_seed: u64,
+    fault_rates: Option<FaultRates>,
+}
+
+impl EngineConfig {
+    /// Starts a builder from [`OptimizerConfig::paper_scale`].
+    #[must_use]
+    pub fn builder() -> EngineConfigBuilder {
+        EngineConfigBuilder::new(OptimizerConfig::paper_scale())
+    }
+
+    /// Starts a builder from an existing optimizer configuration (still
+    /// validated at `build()`).
+    #[must_use]
+    pub fn builder_from(optimizer: OptimizerConfig) -> EngineConfigBuilder {
+        EngineConfigBuilder::new(optimizer)
+    }
+
+    /// The validated optimizer configuration.
+    #[must_use]
+    pub fn optimizer(&self) -> &OptimizerConfig {
+        &self.optimizer
+    }
+
+    /// Consumes the config, yielding the optimizer configuration.
+    #[must_use]
+    pub fn into_optimizer(self) -> OptimizerConfig {
+        self.optimizer
+    }
+
+    /// The configured fault plan (seeded, deterministic), when fault
+    /// injection was requested with [`EngineConfigBuilder::faults`].
+    #[must_use]
+    pub fn fault_plan(&self) -> Option<FaultPlan> {
+        self.fault_rates
+            .map(|rates| FaultPlan::with_rates(self.fault_seed, rates))
+    }
+
+    /// Starts a [`SessionBuilder`] over this configuration.
+    #[must_use]
+    pub fn session(&self) -> SessionBuilder {
+        SessionBuilder::new(self.optimizer.clone())
+    }
+}
+
+/// Builder for [`EngineConfig`]; `build()` validates every cross-field
+/// invariant and returns a typed [`ConfigError`] instead of panicking.
+#[derive(Clone, Debug)]
+pub struct EngineConfigBuilder {
+    optimizer: OptimizerConfig,
+    bursty_raw: Option<(u64, u64, u64, u64)>,
+    fault_seed: u64,
+    fault_rates: Option<FaultRates>,
+}
+
+impl EngineConfigBuilder {
+    fn new(optimizer: OptimizerConfig) -> Self {
+        EngineConfigBuilder {
+            optimizer,
+            bursty_raw: None,
+            fault_seed: 0,
+            fault_rates: None,
+        }
+    }
+
+    /// Replaces the whole optimizer configuration.
+    #[must_use]
+    pub fn optimizer(mut self, optimizer: OptimizerConfig) -> Self {
+        self.optimizer = optimizer;
+        self
+    }
+
+    /// Sets the bursty-tracing counters from raw values. Unlike
+    /// `BurstyConfig::new`, zero counters are *reported* (as
+    /// [`ConfigError::ZeroBurstCounter`]) rather than panicking.
+    #[must_use]
+    pub fn bursty(mut self, n_check0: u64, n_instr0: u64, n_awake0: u64, n_hibernate0: u64) -> Self {
+        self.bursty_raw = Some((n_check0, n_instr0, n_awake0, n_hibernate0));
+        self
+    }
+
+    /// Sets the heat threshold (percent of each cycle's traced refs).
+    #[must_use]
+    pub fn heat_percent(mut self, percent: f64) -> Self {
+        self.optimizer.heat_percent = percent;
+        self
+    }
+
+    /// Sets where the analyze phase runs (inline or background worker).
+    #[must_use]
+    pub fn concurrency(mut self, concurrency: AnalysisConcurrency) -> Self {
+        self.optimizer.concurrency = concurrency;
+        self
+    }
+
+    /// Sets dynamic (re-profiling) or static (optimize-once) operation.
+    #[must_use]
+    pub fn strategy(mut self, strategy: CycleStrategy) -> Self {
+        self.optimizer.strategy = strategy;
+        self
+    }
+
+    /// Sets when tail prefetches are issued.
+    #[must_use]
+    pub fn scheduling(mut self, scheduling: PrefetchScheduling) -> Self {
+        self.optimizer.scheduling = scheduling;
+        self
+    }
+
+    /// Caps the streams handed to the DFSM per cycle.
+    #[must_use]
+    pub fn max_streams(mut self, max_streams: usize) -> Self {
+        self.optimizer.max_streams = max_streams;
+        self
+    }
+
+    /// Sets the budget guards and accuracy policy.
+    #[must_use]
+    pub fn guard(mut self, guard: GuardConfig) -> Self {
+        self.optimizer.guard = guard;
+        self
+    }
+
+    /// Requests deterministic fault injection with the given seed and
+    /// rates; read the plan back with [`EngineConfig::fault_plan`].
+    #[must_use]
+    pub fn faults(mut self, seed: u64, rates: FaultRates) -> Self {
+        self.fault_seed = seed;
+        self.fault_rates = Some(rates);
+        self
+    }
+
+    /// Validates and produces the [`EngineConfig`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ConfigError`] found; checks run in a fixed
+    /// order (bursty counters, duty cycle, heat, stream bounds, DFSM,
+    /// stream cap, scheduling).
+    pub fn build(self) -> Result<EngineConfig, ConfigError> {
+        let mut optimizer = self.optimizer;
+        if let Some((n_check0, n_instr0, n_awake0, n_hibernate0)) = self.bursty_raw {
+            for (value, field) in [
+                (n_check0, "nCheck0"),
+                (n_instr0, "nInstr0"),
+                (n_awake0, "nAwake0"),
+                (n_hibernate0, "nHibernate0"),
+            ] {
+                if value == 0 {
+                    return Err(ConfigError::ZeroBurstCounter { field });
+                }
+            }
+            optimizer.bursty = BurstyConfig {
+                n_check0,
+                n_instr0,
+                n_awake0,
+                n_hibernate0,
+            };
+        }
+        let b = optimizer.bursty;
+        if b.n_hibernate0 < b.n_awake0 {
+            return Err(ConfigError::HibernationShorterThanAwake {
+                awake: b.n_awake0,
+                hibernate: b.n_hibernate0,
+            });
+        }
+        if !(optimizer.heat_percent > 0.0 && optimizer.heat_percent <= 100.0) {
+            return Err(ConfigError::HeatPercentOutOfRange(optimizer.heat_percent));
+        }
+        if optimizer.analysis.min_length > optimizer.analysis.max_length {
+            return Err(ConfigError::StreamLengthBoundsInverted {
+                min: optimizer.analysis.min_length,
+                max: optimizer.analysis.max_length,
+            });
+        }
+        if optimizer.dfsm.head_len == 0 {
+            return Err(ConfigError::ZeroHeadLen);
+        }
+        if optimizer.max_streams == 0 {
+            return Err(ConfigError::ZeroMaxStreams);
+        }
+        if let PrefetchScheduling::Windowed { degree: 0 } = optimizer.scheduling {
+            return Err(ConfigError::ZeroWindowedDegree);
+        }
+        Ok(EngineConfig {
+            optimizer,
+            fault_seed: self.fault_seed,
+            fault_rates: self.fault_rates,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hds_telemetry::MetricsRecorder;
+    use hds_workloads::{SyntheticConfig, SyntheticWorkload, Workload};
+
+    fn workload() -> SyntheticWorkload {
+        SyntheticWorkload::new(SyntheticConfig {
+            total_refs: 60_000,
+            ..SyntheticConfig::default()
+        })
+    }
+
+    #[test]
+    fn builder_run_matches_legacy_executor_run() {
+        let mut w = workload();
+        let procs = w.procedures();
+        let new = SessionBuilder::new(OptimizerConfig::test_scale())
+            .procedures(procs)
+            .optimize(PrefetchPolicy::StreamTail)
+            .run(&mut w);
+        let mut w = workload();
+        let procs = w.procedures();
+        #[allow(deprecated)]
+        let old = crate::Executor::new(
+            OptimizerConfig::test_scale(),
+            RunMode::Optimize(PrefetchPolicy::StreamTail),
+        )
+        .run(&mut w, procs);
+        assert_eq!(new, old);
+    }
+
+    #[test]
+    fn builder_attaches_observer_and_faults() {
+        let mut w = workload();
+        let procs = w.procedures();
+        let mut rec = MetricsRecorder::new();
+        let mut plan = FaultPlan::from_seed(3);
+        let report = SessionBuilder::new(OptimizerConfig::test_scale())
+            .procedures(procs)
+            .observer(&mut rec)
+            .faults(&mut plan)
+            .optimize(PrefetchPolicy::StreamTail)
+            .run(&mut w);
+        assert_eq!(rec.cycles_completed(), report.cycles.len() as u64);
+    }
+
+    #[test]
+    fn mode_shortcuts_select_the_right_modes() {
+        let b = || SessionBuilder::new(OptimizerConfig::test_scale());
+        assert_eq!(b().baseline().selected_mode(), RunMode::Baseline);
+        assert_eq!(b().checks_only().selected_mode(), RunMode::ChecksOnly);
+        assert_eq!(b().profile().selected_mode(), RunMode::Profile);
+        assert_eq!(b().analyze().selected_mode(), RunMode::Analyze);
+        assert_eq!(
+            b().optimize(PrefetchPolicy::None).selected_mode(),
+            RunMode::Optimize(PrefetchPolicy::None)
+        );
+    }
+
+    #[test]
+    fn build_yields_a_streaming_session() {
+        let mut session = SessionBuilder::new(OptimizerConfig::test_scale())
+            .optimize(PrefetchPolicy::StreamTail)
+            .build();
+        session.on_event(hds_vulcan::Event::Work(3));
+        let report = session.finish("streaming");
+        assert_eq!(report.refs, 0);
+        assert!(report.total_cycles > 0);
+    }
+
+    #[test]
+    fn engine_config_validates_zero_counters() {
+        let err = EngineConfig::builder().bursty(0, 40, 4, 8).build().unwrap_err();
+        assert_eq!(err, ConfigError::ZeroBurstCounter { field: "nCheck0" });
+        let err = EngineConfig::builder().bursty(240, 40, 4, 0).build().unwrap_err();
+        assert_eq!(err, ConfigError::ZeroBurstCounter { field: "nHibernate0" });
+    }
+
+    #[test]
+    fn engine_config_rejects_inverted_duty_cycle() {
+        let err = EngineConfig::builder().bursty(240, 40, 8, 4).build().unwrap_err();
+        assert_eq!(
+            err,
+            ConfigError::HibernationShorterThanAwake {
+                awake: 8,
+                hibernate: 4
+            }
+        );
+        assert!(err.to_string().contains("duty cycle is inverted"));
+    }
+
+    #[test]
+    fn engine_config_rejects_bad_heat_and_bounds() {
+        assert_eq!(
+            EngineConfig::builder().heat_percent(0.0).build().unwrap_err(),
+            ConfigError::HeatPercentOutOfRange(0.0)
+        );
+        assert_eq!(
+            EngineConfig::builder().heat_percent(250.0).build().unwrap_err(),
+            ConfigError::HeatPercentOutOfRange(250.0)
+        );
+        let mut opt = OptimizerConfig::test_scale();
+        opt.analysis.min_length = 200;
+        assert_eq!(
+            EngineConfig::builder_from(opt).build().unwrap_err(),
+            ConfigError::StreamLengthBoundsInverted { min: 200, max: 100 }
+        );
+        let mut opt = OptimizerConfig::test_scale();
+        opt.dfsm.head_len = 0;
+        assert_eq!(
+            EngineConfig::builder_from(opt).build().unwrap_err(),
+            ConfigError::ZeroHeadLen
+        );
+        assert_eq!(
+            EngineConfig::builder().max_streams(0).build().unwrap_err(),
+            ConfigError::ZeroMaxStreams
+        );
+        assert_eq!(
+            EngineConfig::builder()
+                .scheduling(PrefetchScheduling::Windowed { degree: 0 })
+                .build()
+                .unwrap_err(),
+            ConfigError::ZeroWindowedDegree
+        );
+    }
+
+    #[test]
+    fn engine_config_carries_faults_and_feeds_sessions() {
+        let engine = EngineConfig::builder()
+            .bursty(240, 40, 4, 8)
+            .concurrency(AnalysisConcurrency::Background)
+            .faults(9, FaultRates::default())
+            .build()
+            .unwrap();
+        assert_eq!(engine.optimizer().bursty.n_check0, 240);
+        assert_eq!(
+            engine.optimizer().concurrency,
+            AnalysisConcurrency::Background
+        );
+        let plan = engine.fault_plan().expect("faults configured");
+        assert_eq!(plan.rates(), FaultRates::default());
+        let mut w = workload();
+        let procs = w.procedures();
+        let report = engine.session().procedures(procs).profile().run(&mut w);
+        assert!(report.refs > 0);
+        assert_eq!(engine.into_optimizer().bursty.n_hibernate0, 8);
+    }
+
+    #[test]
+    fn valid_paper_scale_passes() {
+        assert!(EngineConfig::builder().build().is_ok());
+        assert!(EngineConfig::builder_from(OptimizerConfig::test_scale())
+            .build()
+            .is_ok());
+    }
+}

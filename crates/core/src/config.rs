@@ -76,6 +76,32 @@ pub enum CycleStrategy {
     Static,
 }
 
+/// Where the analyze phase (Sequitur → hot-stream detection → DFSM
+/// construction) runs relative to the simulated program.
+///
+/// The paper runs analysis on the critical path: "the profiling phase
+/// is followed by an analysis and optimization phase" that the program
+/// waits out. [`AnalysisConcurrency::Background`] moves it onto a
+/// worker thread: the program keeps executing hibernation references
+/// while the analysis runs, and the result is installed at a
+/// deterministic ready point in simulated time (see
+/// `crates/core/src/pipeline.rs` and DESIGN.md §9). Runs stay
+/// bit-identical across hosts and thread schedules.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum AnalysisConcurrency {
+    /// Analyze at the end of each awake phase, on the critical path
+    /// (the paper's implementation): per-reference grammar maintenance
+    /// is charged during profiling and the final pass at phase end.
+    #[default]
+    Inline,
+    /// Analyze on a background worker with a double-buffered trace
+    /// handoff over a bounded channel. The critical path pays only
+    /// recording; if the hibernation span ends (or the worker-lag
+    /// guard trips) before the ready point, the result is discarded —
+    /// *analysis starvation* — and the cycle completes unoptimized.
+    Background,
+}
+
 /// How much of the machinery to run — the bars of Figures 11 and 12.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum RunMode {
@@ -145,6 +171,9 @@ pub struct OptimizerConfig {
     /// Dynamic (re-profiling) or static (optimize-once) operation (§1
     /// future work).
     pub strategy: CycleStrategy,
+    /// Whether the analyze phase runs inline (the paper) or on a
+    /// background worker, off the critical path.
+    pub concurrency: AnalysisConcurrency,
     /// Budget guards and the accuracy-driven partial-deoptimization
     /// policy. Disabled by default: with every guard off the layer is
     /// behaviorally inert and reported cycle costs are identical to a
@@ -178,6 +207,7 @@ impl OptimizerConfig {
             seq_pref_cap: 12,
             scheduling: PrefetchScheduling::AllAtOnce,
             strategy: CycleStrategy::Dynamic,
+            concurrency: AnalysisConcurrency::Inline,
             guard: GuardConfig::disabled(),
         }
     }
@@ -202,6 +232,7 @@ impl OptimizerConfig {
             seq_pref_cap: 16,
             scheduling: PrefetchScheduling::AllAtOnce,
             strategy: CycleStrategy::Dynamic,
+            concurrency: AnalysisConcurrency::Inline,
             guard: GuardConfig::disabled(),
         }
     }

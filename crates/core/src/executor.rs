@@ -2,9 +2,6 @@
 //! profile → analyze → optimize → hibernate cycle, charging cycles for
 //! everything, exactly once per event.
 
-use std::collections::hash_map::DefaultHasher;
-use std::hash::{Hash, Hasher};
-
 use hds_bursty::{BurstyTracer, Mode, Phase, Signal};
 use hds_dfsm::{build as build_dfsm, BuildError, Dfsm, StateId};
 use hds_guard::{FaultInjector, GuardRuntime, NoFaults, Trip};
@@ -17,12 +14,22 @@ use hds_trace::{DataRef, SymbolTable, TraceBuffer};
 use hds_vulcan::{Event, FrameTracker, Image, Procedure, ProgramSource};
 
 use crate::config::{
-    CycleStrategy, OptimizerConfig, PrefetchPolicy, PrefetchScheduling, RunMode,
+    AnalysisConcurrency, CycleStrategy, OptimizerConfig, PrefetchPolicy, PrefetchScheduling,
+    RunMode,
 };
-use crate::report::{CostBreakdown, CycleStats, RunReport};
+use crate::pipeline::{
+    machine_for, select_streams, stream_hash, AnalyzeOutcome, AnalyzeRequest, BackgroundAnalysis,
+    PendingAnalysis,
+};
+use crate::report::{CostBreakdown, CycleStats, RunReport, WorkerStats};
 
 /// Runs one program under one [`RunMode`]. One-shot: construct, call
 /// [`Executor::run`], read the [`RunReport`].
+#[deprecated(
+    since = "0.4.0",
+    note = "use hds_core::SessionBuilder — e.g. \
+            `SessionBuilder::new(config).procedures(procs).mode(mode).run(&mut program)`"
+)]
 #[derive(Clone, Debug)]
 pub struct Executor {
     config: OptimizerConfig,
@@ -60,10 +67,16 @@ struct RunState {
     installed: Vec<Vec<DataRef>>,
     /// Streams removed by accuracy-driven partial de-optimization.
     partial_deopts: u64,
+    /// The background analysis worker
+    /// ([`AnalysisConcurrency::Background`] only): channels, the
+    /// in-flight request, and the handoff/apply/starve counters.
+    bg: Option<BackgroundAnalysis>,
 }
 
+#[allow(deprecated)]
 impl Executor {
     /// Creates an executor with the given configuration and mode.
+    #[deprecated(since = "0.4.0", note = "use hds_core::SessionBuilder")]
     #[must_use]
     pub fn new(config: OptimizerConfig, mode: RunMode) -> Self {
         Executor { config, mode }
@@ -73,20 +86,28 @@ impl Executor {
     /// image (needed for code injection and the Table 2 "procedures
     /// modified" statistic); pass the workload's
     /// `procedures()`.
+    #[deprecated(
+        since = "0.4.0",
+        note = "use `SessionBuilder::new(config).procedures(procs).mode(mode).run(program)`"
+    )]
     pub fn run<W>(self, program: &mut W, procedures: Vec<Procedure>) -> RunReport
     where
         W: ProgramSource + ?Sized,
     {
-        let mut session = Session::new(self.config, self.mode, procedures);
-        while let Some(event) = program.next_event() {
-            session.on_event(event);
-        }
-        session.finish(program.name())
+        crate::SessionBuilder::new(self.config)
+            .procedures(procedures)
+            .mode(self.mode)
+            .run(program)
     }
 
     /// Like [`Executor::run`], but with an observer receiving every
     /// telemetry event of the run. Pass `&mut recorder` to keep the
     /// observer afterwards.
+    #[deprecated(
+        since = "0.4.0",
+        note = "use `SessionBuilder::new(config).procedures(procs).observer(obs).mode(mode)\
+                .run(program)`"
+    )]
     pub fn run_observed<W, O>(
         self,
         program: &mut W,
@@ -97,16 +118,21 @@ impl Executor {
         W: ProgramSource + ?Sized,
         O: Observer,
     {
-        let mut session = Session::with_observer(self.config, self.mode, procedures, obs);
-        while let Some(event) = program.next_event() {
-            session.on_event(event);
-        }
-        session.finish(program.name())
+        crate::SessionBuilder::new(self.config)
+            .procedures(procedures)
+            .observer(obs)
+            .mode(self.mode)
+            .run(program)
     }
 
     /// Like [`Executor::run_observed`], but additionally threads a
     /// [`FaultInjector`] through the session — the chaos-testing entry
     /// point. Pass `&mut plan` to read the fault counts afterwards.
+    #[deprecated(
+        since = "0.4.0",
+        note = "use `SessionBuilder::new(config).procedures(procs).observer(obs)\
+                .faults(faults).mode(mode).run(program)`"
+    )]
     pub fn run_faulted<W, O, F>(
         self,
         program: &mut W,
@@ -119,11 +145,12 @@ impl Executor {
         O: Observer,
         F: FaultInjector,
     {
-        let mut session = Session::with_faults(self.config, self.mode, procedures, obs, faults);
-        while let Some(event) = program.next_event() {
-            session.on_event(event);
-        }
-        session.finish(program.name())
+        crate::SessionBuilder::new(self.config)
+            .procedures(procedures)
+            .observer(obs)
+            .faults(faults)
+            .mode(self.mode)
+            .run(program)
     }
 }
 
@@ -150,15 +177,14 @@ impl Executor {
 /// # Examples
 ///
 /// ```
-/// use hds_core::{OptimizerConfig, PrefetchPolicy, RunMode, Session};
+/// use hds_core::{OptimizerConfig, PrefetchPolicy, SessionBuilder};
 /// use hds_trace::{AccessKind, Addr, DataRef, Pc};
 /// use hds_vulcan::{Event, ProcId, Procedure};
 ///
-/// let mut session = Session::new(
-///     OptimizerConfig::test_scale(),
-///     RunMode::Optimize(PrefetchPolicy::StreamTail),
-///     vec![Procedure::new("main", vec![Pc(16)])],
-/// );
+/// let mut session = SessionBuilder::new(OptimizerConfig::test_scale())
+///     .procedures(vec![Procedure::new("main", vec![Pc(16)])])
+///     .optimize(PrefetchPolicy::StreamTail)
+///     .build();
 /// session.on_event(Event::Enter(ProcId(0)));
 /// session.on_event(Event::Access(
 ///     DataRef::new(Pc(16), Addr(0x100)),
@@ -172,17 +198,14 @@ impl Executor {
 /// With an observer (borrow it to keep it afterwards):
 ///
 /// ```
-/// use hds_core::{OptimizerConfig, PrefetchPolicy, RunMode, Session};
+/// use hds_core::{OptimizerConfig, PrefetchPolicy, SessionBuilder};
 /// use hds_telemetry::MetricsRecorder;
-/// use hds_vulcan::Procedure;
 ///
 /// let mut rec = MetricsRecorder::new();
-/// let session = Session::with_observer(
-///     OptimizerConfig::test_scale(),
-///     RunMode::Optimize(PrefetchPolicy::StreamTail),
-///     Vec::<Procedure>::new(),
-///     &mut rec,
-/// );
+/// let session = SessionBuilder::new(OptimizerConfig::test_scale())
+///     .observer(&mut rec)
+///     .optimize(PrefetchPolicy::StreamTail)
+///     .build();
 /// let _report = session.finish("observed");
 /// assert_eq!(rec.cycles_completed(), 0);
 /// ```
@@ -198,9 +221,13 @@ pub struct Session<O: Observer = NullObserver, F: FaultInjector = NoFaults> {
 impl Session {
     /// Creates a session over a program image described by `procedures`,
     /// with no observer attached.
+    #[deprecated(
+        since = "0.4.0",
+        note = "use `SessionBuilder::new(config).procedures(procs).mode(mode).build()`"
+    )]
     #[must_use]
     pub fn new(config: OptimizerConfig, mode: RunMode, procedures: Vec<Procedure>) -> Self {
-        Session::with_observer(config, mode, procedures, NullObserver)
+        Session::construct(config, mode, procedures, NullObserver, NoFaults)
     }
 }
 
@@ -208,6 +235,11 @@ impl<O: Observer> Session<O> {
     /// Creates a session with an attached observer. All telemetry
     /// events of the run are delivered to `obs`; pass `&mut observer`
     /// to retain access to it after [`Session::finish`].
+    #[deprecated(
+        since = "0.4.0",
+        note = "use `SessionBuilder::new(config).procedures(procs).observer(obs).mode(mode)\
+                .build()`"
+    )]
     #[must_use]
     pub fn with_observer(
         config: OptimizerConfig,
@@ -215,7 +247,7 @@ impl<O: Observer> Session<O> {
         procedures: Vec<Procedure>,
         obs: O,
     ) -> Self {
-        Session::with_faults(config, mode, procedures, obs, NoFaults)
+        Session::construct(config, mode, procedures, obs, NoFaults)
     }
 }
 
@@ -223,8 +255,25 @@ impl<O: Observer, F: FaultInjector> Session<O, F> {
     /// Creates a session with an attached observer *and* fault injector.
     /// The default [`NoFaults`] injector monomorphizes every injection
     /// site away; chaos tests pass an `hds_guard::FaultPlan`.
+    #[deprecated(
+        since = "0.4.0",
+        note = "use `SessionBuilder::new(config).procedures(procs).observer(obs)\
+                .faults(faults).mode(mode).build()`"
+    )]
     #[must_use]
     pub fn with_faults(
+        config: OptimizerConfig,
+        mode: RunMode,
+        procedures: Vec<Procedure>,
+        obs: O,
+        faults: F,
+    ) -> Self {
+        Session::construct(config, mode, procedures, obs, faults)
+    }
+
+    /// The one real constructor; every public entry (the deprecated
+    /// shims and [`crate::SessionBuilder`]) funnels here.
+    pub(crate) fn construct(
         config: OptimizerConfig,
         mode: RunMode,
         procedures: Vec<Procedure>,
@@ -235,6 +284,11 @@ impl<O: Observer, F: FaultInjector> Session<O, F> {
             .guard
             .is_enabled()
             .then(|| GuardRuntime::new(config.guard.clone()));
+        // The worker thread only exists in background mode — inline
+        // sessions (the default) spawn nothing, so the zero-overhead
+        // claims of the observer/fault generics are untouched.
+        let bg = (config.concurrency == AnalysisConcurrency::Background && mode.analyzes())
+            .then(|| BackgroundAnalysis::spawn(config.clone(), mode.optimizes().is_some()));
         let st = RunState {
             cycles: 0,
             breakdown: CostBreakdown::default(),
@@ -255,6 +309,7 @@ impl<O: Observer, F: FaultInjector> Session<O, F> {
             guard,
             installed: Vec::new(),
             partial_deopts: 0,
+            bg,
         };
         let mut session = Session {
             config,
@@ -368,6 +423,11 @@ impl<O: Observer, F: FaultInjector> Session<O, F> {
     /// program's `name`.
     #[must_use]
     pub fn finish(mut self, name: &str) -> RunReport {
+        // A background analysis still in flight at program end can no
+        // longer be installed: resolve it as starved so the handoff is
+        // accounted for, then let the worker shut down (dropping the
+        // run state closes the request channel and joins the thread).
+        starve_background(&mut self.st, &mut self.obs);
         // Deliver any outcomes resolved since the last access (e.g.
         // pollution from the final fills).
         drain_outcomes(&mut self.st, &mut self.obs);
@@ -379,6 +439,11 @@ impl<O: Observer, F: FaultInjector> Session<O, F> {
             RunMode::Optimize(p) => p.label().to_string(),
         };
         let st = self.st;
+        let worker = st.bg.as_ref().map_or_else(WorkerStats::default, |bg| WorkerStats {
+            handoffs: bg.handoffs,
+            applied: bg.applied,
+            starved: bg.starved,
+        });
         RunReport {
             name: name.to_string(),
             mode: mode_label,
@@ -389,21 +454,10 @@ impl<O: Observer, F: FaultInjector> Session<O, F> {
             checks_executed: st.checks,
             guard_trips: st.guard.as_ref().map_or(0, GuardRuntime::trips_total),
             partial_deopts: st.partial_deopts,
+            worker,
             cycles: st.cycle_stats,
         }
     }
-}
-
-/// Content hash of a stream's reference sequence, used by the accuracy
-/// policy's cross-installation denylist. `DefaultHasher::new()` is
-/// deterministic, so denylisting is reproducible run-to-run.
-fn stream_hash(refs: &[DataRef]) -> u64 {
-    let mut h = DefaultHasher::new();
-    for r in refs {
-        r.pc.0.hash(&mut h);
-        r.addr.0.hash(&mut h);
-    }
-    h.finish()
 }
 
 /// Reports a guard trip to the observer — only the first trip of each
@@ -518,6 +572,11 @@ fn do_check<O: Observer, F: FaultInjector>(
                 };
                 st.cycles += c;
                 st.breakdown.checks += c;
+                // Background mode: a ready analysis result installs at
+                // the first check at or past its simulated ready point
+                // — resolved before the signal, so an installation "at"
+                // the wake-up check precedes de-optimization.
+                poll_background(config, mode, st, obs, faults);
                 match signal {
                     Some(Signal::BurstBegin) if st.tracer.phase() == Phase::Awake => {
                         st.buffer.begin_burst();
@@ -561,6 +620,11 @@ fn do_check<O: Observer, F: FaultInjector>(
                                 ));
                             }
                         } else {
+                            // A background analysis that missed the
+                            // whole hibernation span can no longer be
+                            // installed: resolve it as starved before
+                            // profiling resumes.
+                            starve_background(st, obs);
                             // De-optimize: remove the injected checks and
                             // prefetches, return to profiling (§1,
                             // Figure 1).
@@ -647,7 +711,11 @@ fn do_access<O: Observer, F: FaultInjector>(
                 st.cycles += cost.record_ref_cycles;
                 st.breakdown.recording += cost.record_ref_cycles;
                 st.buffer.record(traced);
-                if mode.analyzes() {
+                // Background mode records only: grammar maintenance
+                // happens on the worker, so the critical path pays
+                // nothing per reference for analysis — the headline
+                // win of concurrent analysis.
+                if mode.analyzes() && st.bg.is_none() {
                     // A tripped grammar guard mutes Sequitur for the
                     // rest of the phase: the grammar stops growing and
                     // stops charging analysis cycles.
@@ -772,6 +840,16 @@ fn finish_awake<O: Observer, F: FaultInjector>(
 ) {
     {
         let cost = config.hierarchy.cost;
+        if mode.analyzes() && st.bg.is_some() {
+            // Concurrent analysis: hand the trace to the worker and
+            // keep executing; the result installs at its ready point
+            // during hibernation (or starves).
+            handoff_analysis(config, st, obs, faults);
+            st.buffer.clear();
+            st.symbols = SymbolTable::new();
+            st.sequitur = Sequitur::new();
+            return;
+        }
         if mode.analyzes() {
             let trace_len = st.sequitur.input_len();
             let grammar = st.sequitur.grammar();
@@ -796,25 +874,7 @@ fn finish_awake<O: Observer, F: FaultInjector>(
                 report_trip(st, obs, t);
             }
             if starved || muted || over_budget {
-                let stats = CycleStats {
-                    traced_refs: trace_len,
-                    grammar_size: grammar.size(),
-                    ..CycleStats::default()
-                };
-                if O::ENABLED {
-                    obs.cycle_end(&tev::CycleEnd {
-                        opt_cycle: st.cycle_stats.len() as u64,
-                        at_cycle: st.cycles,
-                        traced_refs: stats.traced_refs,
-                        hot_streams: 0,
-                        streams_used: 0,
-                        dfsm_states: 0,
-                        dfsm_checks: 0,
-                        procs_modified: 0,
-                        grammar_size: stats.grammar_size,
-                    });
-                }
-                st.cycle_stats.push(stats);
+                degraded_cycle(st, obs, trace_len, grammar.size());
                 st.buffer.clear();
                 st.symbols = SymbolTable::new();
                 st.sequitur = Sequitur::new();
@@ -836,42 +896,17 @@ fn finish_awake<O: Observer, F: FaultInjector>(
 
             if mode.optimizes().is_some() {
                 let head_len = config.dfsm.head_len;
-                let candidates: Vec<Vec<DataRef>> = result
-                    .streams
-                    .iter()
-                    .map(|s| st.symbols.resolve_all(&s.symbols))
-                    .filter(|refs| refs.len() > head_len)
-                    .collect();
-                // Hottest-first (the analysis sorts that way); drop any
-                // stream that (a) is a contiguous subsequence of an
-                // accepted one — matching it separately would only
-                // duplicate prefetches — or (b) *extends* an accepted
-                // stream (same prefix): such candidates are coincidental
-                // concatenations whose head fires on every walk of the
-                // accepted stream but whose extra tail rarely follows.
-                let mut streams: Vec<Vec<DataRef>> = Vec::new();
-                for cand in candidates {
-                    if streams.len() >= config.max_streams {
-                        break;
-                    }
-                    // Streams the accuracy policy de-optimized are
-                    // denylisted by content hash: reinstalling them
-                    // would just repeat the bad-accuracy cycle.
-                    if st
-                        .guard
-                        .as_ref()
-                        .is_some_and(|g| g.is_denylisted(stream_hash(&cand)))
-                    {
-                        continue;
-                    }
-                    let subsumed = streams.iter().any(|s| {
-                        s.windows(cand.len()).any(|w| w == &cand[..])
-                            || cand.starts_with(&s[..])
-                    });
-                    if !subsumed {
-                        streams.push(cand);
-                    }
-                }
+                // Hottest-first selection with subsumption/extension
+                // dedup and the accuracy policy's denylist — shared
+                // with the background worker (`pipeline`).
+                let guard = st.guard.as_ref();
+                let symbols = &st.symbols;
+                let streams = select_streams(
+                    result.streams.iter().map(|s| symbols.resolve_all(&s.symbols)),
+                    head_len,
+                    config.max_streams,
+                    |h| guard.is_some_and(|g| g.is_denylisted(h)),
+                );
                 stats.streams_used = streams.len();
                 if O::ENABLED {
                     // Ids match the DFSM's StreamIds (build preserves
@@ -886,78 +921,9 @@ fn finish_awake<O: Observer, F: FaultInjector>(
                     }
                 }
                 if !streams.is_empty() {
-                    // The DFSM guard caps subset-construction states on
-                    // top of the crate's own configured limit.
-                    let mut dfsm_cfg = config.dfsm.clone();
-                    if let Some(cap) = config.guard.max_dfsm_states {
-                        dfsm_cfg.max_states = dfsm_cfg.max_states.min(cap as usize);
-                    }
-                    match build_dfsm(&streams, &dfsm_cfg) {
+                    match machine_for(&streams, config) {
                         Ok(dfsm) => {
-                            let checks = dfsm.checks_by_pc();
-                            let mut edit = st.image.edit();
-                            for (pc, chain) in &checks {
-                                if F::ENABLED {
-                                    if let Some(err) = faults.fail_edit(*pc) {
-                                        edit.fail(err);
-                                        continue;
-                                    }
-                                }
-                                // Streams come from observed references,
-                                // so every pc belongs to the image;
-                                // ignore any that do not (defensive).
-                                let _ = edit.inject(*pc, chain.len());
-                            }
-                            match edit.commit() {
-                                Ok(report) => {
-                                    st.cycles += cost.optimize_cycles;
-                                    st.breakdown.optimize += cost.optimize_cycles;
-                                    stats.dfsm_states = dfsm.state_count();
-                                    stats.dfsm_checks = dfsm.address_check_count();
-                                    stats.procs_modified = report.procedures_modified;
-                                    if O::ENABLED {
-                                        obs.dfsm_built(&tev::DfsmBuilt {
-                                            opt_cycle: st.cycle_stats.len() as u64,
-                                            states: stats.dfsm_states,
-                                            address_checks: stats.dfsm_checks,
-                                            streams: streams.len(),
-                                            procs_modified: stats.procs_modified,
-                                        });
-                                    }
-                                    st.dfsm = Some(dfsm);
-                                    st.dfsm_state = StateId::START;
-                                    if let Some(g) = &mut st.guard {
-                                        g.begin_install(
-                                            streams
-                                                .iter()
-                                                .enumerate()
-                                                .map(|(i, s)| (i as u32, stream_hash(s))),
-                                        );
-                                    }
-                                    st.installed = streams;
-                                }
-                                Err(_) => {
-                                    // The edit rolled back atomically:
-                                    // nothing was installed, no optimize
-                                    // cost is charged, and the cycle
-                                    // completes unoptimized.
-                                }
-                            }
-                            // A fault may force a thread switch "during"
-                            // the stop-the-world edit; it lands at the
-                            // commit point, so stale activations exercise
-                            // the epoch discipline.
-                            if F::ENABLED {
-                                if let Some(t) =
-                                    faults.edit_thread_switch(st.frames.len() as u32)
-                                {
-                                    let t = t as usize;
-                                    while st.frames.len() <= t {
-                                        st.frames.push(FrameTracker::new());
-                                    }
-                                    st.active_thread = t;
-                                }
-                            }
+                            install_machine(config, st, obs, faults, dfsm, streams, &mut stats);
                         }
                         Err(BuildError::TooManyStates { limit }) => {
                             // Over the state budget: skip injection for
@@ -995,6 +961,334 @@ fn finish_awake<O: Observer, F: FaultInjector>(
         st.symbols = SymbolTable::new();
         st.sequitur = Sequitur::new();
     }
+}
+
+/// Installs a built DFSM: stop-the-world image edit (with fault
+/// injection), optimize-cost charge, stats/telemetry, and the accuracy
+/// tracker's per-installation bookkeeping. Shared by the inline path
+/// (at the end of the awake phase) and the background path (at the
+/// result's ready point during hibernation).
+fn install_machine<O: Observer, F: FaultInjector>(
+    config: &OptimizerConfig,
+    st: &mut RunState,
+    obs: &mut O,
+    faults: &mut F,
+    dfsm: Dfsm,
+    streams: Vec<Vec<DataRef>>,
+    stats: &mut CycleStats,
+) {
+    let cost = config.hierarchy.cost;
+    let checks = dfsm.checks_by_pc();
+    let mut edit = st.image.edit();
+    for (pc, chain) in &checks {
+        if F::ENABLED {
+            if let Some(err) = faults.fail_edit(*pc) {
+                edit.fail(err);
+                continue;
+            }
+        }
+        // Streams come from observed references, so every pc belongs
+        // to the image; ignore any that do not (defensive).
+        let _ = edit.inject(*pc, chain.len());
+    }
+    match edit.commit() {
+        Ok(report) => {
+            st.cycles += cost.optimize_cycles;
+            st.breakdown.optimize += cost.optimize_cycles;
+            stats.dfsm_states = dfsm.state_count();
+            stats.dfsm_checks = dfsm.address_check_count();
+            stats.procs_modified = report.procedures_modified;
+            if O::ENABLED {
+                obs.dfsm_built(&tev::DfsmBuilt {
+                    opt_cycle: st.cycle_stats.len() as u64,
+                    states: stats.dfsm_states,
+                    address_checks: stats.dfsm_checks,
+                    streams: streams.len(),
+                    procs_modified: stats.procs_modified,
+                });
+            }
+            st.dfsm = Some(dfsm);
+            st.dfsm_state = StateId::START;
+            if let Some(g) = &mut st.guard {
+                g.begin_install(
+                    streams
+                        .iter()
+                        .enumerate()
+                        .map(|(i, s)| (i as u32, stream_hash(s))),
+                );
+            }
+            st.installed = streams;
+        }
+        Err(_) => {
+            // The edit rolled back atomically: nothing was installed,
+            // no optimize cost is charged, and the cycle completes
+            // unoptimized.
+        }
+    }
+    // A fault may force a thread switch "during" the stop-the-world
+    // edit; it lands at the commit point, so stale activations exercise
+    // the epoch discipline.
+    if F::ENABLED {
+        if let Some(t) = faults.edit_thread_switch(st.frames.len() as u32) {
+            let t = t as usize;
+            while st.frames.len() <= t {
+                st.frames.push(FrameTracker::new());
+            }
+            st.active_thread = t;
+        }
+    }
+}
+
+/// Completes the current optimization cycle degraded: statistics carry
+/// only the trace and grammar sizes, nothing was installed, and nothing
+/// beyond what was already charged hits the critical path.
+fn degraded_cycle<O: Observer>(
+    st: &mut RunState,
+    obs: &mut O,
+    traced_refs: u64,
+    grammar_size: usize,
+) {
+    let stats = CycleStats {
+        traced_refs,
+        grammar_size,
+        ..CycleStats::default()
+    };
+    if O::ENABLED {
+        obs.cycle_end(&tev::CycleEnd {
+            opt_cycle: st.cycle_stats.len() as u64,
+            at_cycle: st.cycles,
+            traced_refs,
+            grammar_size,
+            ..tev::CycleEnd::default()
+        });
+    }
+    st.cycle_stats.push(stats);
+}
+
+/// Hands the awake phase's trace to the background worker and computes
+/// the deterministic ready point: `handoff_at + analysis_per_ref_cycles
+/// × trace_len (+ injected stall)` — the modeled latency of the
+/// analysis in simulated time. Wall-clock speed of the worker never
+/// affects the simulated run.
+fn handoff_analysis<O: Observer, F: FaultInjector>(
+    config: &OptimizerConfig,
+    st: &mut RunState,
+    obs: &mut O,
+    faults: &mut F,
+) {
+    let cost = config.hierarchy.cost;
+    let trace_len = st.buffer.refs().len() as u64;
+    // Injected analysis starvation fires at the handoff (mirroring the
+    // inline path's starved budget): the trace is dropped and the
+    // cycle completes degraded. The grammar was never built, so its
+    // size reports as zero.
+    if F::ENABLED && faults.starve_analysis() {
+        degraded_cycle(st, obs, trace_len, 0);
+        return;
+    }
+    let base = cost.analysis_per_ref_cycles * trace_len;
+    let extra = if F::ENABLED { faults.stall_worker(base) } else { 0 };
+    let denylist = st
+        .guard
+        .as_ref()
+        .map_or_else(Vec::new, GuardRuntime::denylist_hashes);
+    let refs = st.buffer.refs().to_vec();
+    let submitted = st
+        .bg
+        .as_mut()
+        .is_some_and(|bg| bg.submit(AnalyzeRequest { refs, denylist }));
+    if !submitted {
+        // The worker is gone (it panicked): degrade like starvation.
+        degraded_cycle(st, obs, trace_len, 0);
+        return;
+    }
+    let Some(bg) = st.bg.as_mut() else { return };
+    bg.pending = Some(PendingAnalysis {
+        handoff_at: st.cycles,
+        ready_at: st.cycles + base + extra,
+    });
+    bg.handoffs += 1;
+    if O::ENABLED {
+        obs.analysis_handoff(&tev::AnalysisHandoff {
+            opt_cycle: st.cycle_stats.len() as u64,
+            at_cycle: st.cycles,
+            trace_len,
+        });
+    }
+}
+
+/// Resolves an in-flight background analysis whose ready point has been
+/// reached: blocking receive (wall-clock only), worker-lag guard
+/// observation, then install — or discard, when the lag guard tripped.
+fn poll_background<O: Observer, F: FaultInjector>(
+    config: &OptimizerConfig,
+    mode: RunMode,
+    st: &mut RunState,
+    obs: &mut O,
+    faults: &mut F,
+) {
+    let (p, outcome) = {
+        let Some(bg) = st.bg.as_mut() else { return };
+        let Some(p) = bg.pending else { return };
+        if st.cycles < p.ready_at {
+            return;
+        }
+        bg.pending = None;
+        (p, bg.recv())
+    };
+    let lag = st.cycles.saturating_sub(p.handoff_at);
+    let trip = st
+        .guard
+        .as_mut()
+        .and_then(|g| g.observe(GuardKind::WorkerLag, lag));
+    let lag_tripped = trip.is_some();
+    if let Some(t) = trip {
+        report_trip(st, obs, t);
+    }
+    let Some(outcome) = outcome else {
+        // The worker died mid-analysis: nothing to install.
+        mark_starved(st, obs, p, lag, &AnalyzeOutcome::default());
+        return;
+    };
+    if lag_tripped {
+        // Stale result: the worker lagged past its budget, so the
+        // hibernation span has too little left to amortize an install.
+        mark_starved(st, obs, p, lag, &outcome);
+        return;
+    }
+    apply_outcome(config, mode, st, obs, faults, p, outcome, lag);
+}
+
+/// Force-resolves an in-flight background analysis as starved: the
+/// hibernation span (or the run) ended before its ready point.
+fn starve_background<O: Observer>(st: &mut RunState, obs: &mut O) {
+    let (p, outcome) = {
+        let Some(bg) = st.bg.as_mut() else { return };
+        let Some(p) = bg.pending.take() else { return };
+        (p, bg.recv().unwrap_or_default())
+    };
+    let lag = st.cycles.saturating_sub(p.handoff_at);
+    // The lag sample is recorded even on the starvation path, so lag
+    // budgets see every resolution.
+    let trip = st
+        .guard
+        .as_mut()
+        .and_then(|g| g.observe(GuardKind::WorkerLag, lag));
+    if let Some(t) = trip {
+        report_trip(st, obs, t);
+    }
+    mark_starved(st, obs, p, lag, &outcome);
+}
+
+/// Accounts one starved analysis: counter, telemetry, and the degraded
+/// cycle completion — every handoff produces exactly one cycle record,
+/// so traced-reference reconciliation stays exact either way.
+fn mark_starved<O: Observer>(
+    st: &mut RunState,
+    obs: &mut O,
+    p: PendingAnalysis,
+    lag: u64,
+    outcome: &AnalyzeOutcome,
+) {
+    if let Some(bg) = st.bg.as_mut() {
+        bg.starved += 1;
+    }
+    if O::ENABLED {
+        obs.analysis_starved(&tev::AnalysisStarved {
+            opt_cycle: st.cycle_stats.len() as u64,
+            handoff_at_cycle: p.handoff_at,
+            at_cycle: st.cycles,
+            lag_cycles: lag,
+        });
+    }
+    degraded_cycle(st, obs, outcome.trace_len, outcome.grammar_size);
+}
+
+/// Installs a background analysis result at its ready point: records
+/// the guard observations the worker computed but could not apply (it
+/// never touches the runtime), then runs the same selection-already-
+/// done install path as the inline implementation.
+#[allow(clippy::too_many_arguments)]
+fn apply_outcome<O: Observer, F: FaultInjector>(
+    config: &OptimizerConfig,
+    mode: RunMode,
+    st: &mut RunState,
+    obs: &mut O,
+    faults: &mut F,
+    p: PendingAnalysis,
+    outcome: AnalyzeOutcome,
+    lag: u64,
+) {
+    if let Some(bg) = st.bg.as_mut() {
+        bg.applied += 1;
+    }
+    if O::ENABLED {
+        obs.analysis_applied(&tev::AnalysisApplied {
+            opt_cycle: st.cycle_stats.len() as u64,
+            handoff_at_cycle: p.handoff_at,
+            at_cycle: st.cycles,
+            lag_cycles: lag,
+        });
+    }
+    let trip = st
+        .guard
+        .as_mut()
+        .and_then(|g| g.observe(GuardKind::GrammarRules, outcome.rules_peak));
+    if let Some(t) = trip {
+        report_trip(st, obs, t);
+    }
+    if outcome.muted {
+        // The rule cap was exceeded mid-trace: the profile is
+        // incomplete, exactly like an inline muted cycle.
+        degraded_cycle(st, obs, outcome.trace_len, outcome.grammar_size);
+        return;
+    }
+    let mut stats = CycleStats {
+        traced_refs: outcome.trace_len,
+        hot_streams: outcome.hot_streams,
+        grammar_size: outcome.grammar_size,
+        ..CycleStats::default()
+    };
+    if mode.optimizes().is_some() {
+        stats.streams_used = outcome.streams.len();
+        if O::ENABLED {
+            let head_len = config.dfsm.head_len;
+            for (i, s) in outcome.streams.iter().enumerate() {
+                obs.stream_detected(&tev::StreamDetected {
+                    opt_cycle: st.cycle_stats.len() as u64,
+                    stream_id: i as u32,
+                    len: s.len(),
+                    head_len,
+                });
+            }
+        }
+        if let Some(observed) = outcome.dfsm_over_limit {
+            let trip = st
+                .guard
+                .as_mut()
+                .and_then(|g| g.observe(GuardKind::DfsmStates, observed));
+            if let Some(t) = trip {
+                report_trip(st, obs, t);
+            }
+        }
+        if let Some(dfsm) = outcome.dfsm {
+            install_machine(config, st, obs, faults, dfsm, outcome.streams, &mut stats);
+        }
+    }
+    if O::ENABLED {
+        obs.cycle_end(&tev::CycleEnd {
+            opt_cycle: st.cycle_stats.len() as u64,
+            at_cycle: st.cycles,
+            traced_refs: stats.traced_refs,
+            hot_streams: stats.hot_streams,
+            streams_used: stats.streams_used,
+            dfsm_states: stats.dfsm_states,
+            dfsm_checks: stats.dfsm_checks,
+            procs_modified: stats.procs_modified,
+            grammar_size: stats.grammar_size,
+        });
+    }
+    st.cycle_stats.push(stats);
 }
 
 /// Closes one accuracy-evaluation window (a hibernation-period burst
@@ -1171,10 +1465,55 @@ mod tests {
         c
     }
 
+    /// One-shot run via the builder (the tests' shorthand).
+    fn execute<W: ProgramSource + ?Sized>(
+        config: OptimizerConfig,
+        mode: RunMode,
+        program: &mut W,
+        procedures: Vec<Procedure>,
+    ) -> RunReport {
+        crate::SessionBuilder::new(config)
+            .procedures(procedures)
+            .mode(mode)
+            .run(program)
+    }
+
+    /// [`execute`] with an observer attached.
+    fn execute_observed<W: ProgramSource + ?Sized, O: Observer>(
+        config: OptimizerConfig,
+        mode: RunMode,
+        program: &mut W,
+        procedures: Vec<Procedure>,
+        obs: O,
+    ) -> RunReport {
+        crate::SessionBuilder::new(config)
+            .procedures(procedures)
+            .observer(obs)
+            .mode(mode)
+            .run(program)
+    }
+
+    /// [`execute`] with an observer and fault injector attached.
+    fn execute_faulted<W: ProgramSource + ?Sized, O: Observer, F: FaultInjector>(
+        config: OptimizerConfig,
+        mode: RunMode,
+        program: &mut W,
+        procedures: Vec<Procedure>,
+        obs: O,
+        faults: F,
+    ) -> RunReport {
+        crate::SessionBuilder::new(config)
+            .procedures(procedures)
+            .observer(obs)
+            .faults(faults)
+            .mode(mode)
+            .run(program)
+    }
+
     #[test]
     fn baseline_charges_no_check_costs() {
         let (mut p, procs) = looping_program(50);
-        let report = Executor::new(tiny_config(), RunMode::Baseline).run(&mut p, procs);
+        let report = execute(tiny_config(), RunMode::Baseline, &mut p, procs);
         assert_eq!(report.breakdown.checks, 0);
         assert_eq!(report.breakdown.recording, 0);
         assert_eq!(report.checks_executed, 0);
@@ -1187,8 +1526,8 @@ mod tests {
     fn checks_only_adds_exactly_check_cost() {
         let (mut p1, procs1) = looping_program(50);
         let (mut p2, procs2) = looping_program(50);
-        let base = Executor::new(tiny_config(), RunMode::Baseline).run(&mut p1, procs1);
-        let checks = Executor::new(tiny_config(), RunMode::ChecksOnly).run(&mut p2, procs2);
+        let base = execute(tiny_config(), RunMode::Baseline, &mut p1, procs1);
+        let checks = execute(tiny_config(), RunMode::ChecksOnly, &mut p2, procs2);
         assert!(checks.checks_executed > 0);
         let expected =
             base.total_cycles + checks.checks_executed * tiny_config().hierarchy.cost.check_cycles;
@@ -1198,7 +1537,7 @@ mod tests {
     #[test]
     fn profile_records_bursts() {
         let (mut p, procs) = looping_program(200);
-        let report = Executor::new(tiny_config(), RunMode::Profile).run(&mut p, procs);
+        let report = execute(tiny_config(), RunMode::Profile, &mut p, procs);
         assert!(report.breakdown.recording > 0, "nothing recorded");
         assert_eq!(report.breakdown.analysis, 0);
         assert!(report.cycles.is_empty());
@@ -1207,7 +1546,7 @@ mod tests {
     #[test]
     fn analyze_detects_the_hot_stream() {
         let (mut p, procs) = looping_program(600);
-        let report = Executor::new(tiny_config(), RunMode::Analyze).run(&mut p, procs);
+        let report = execute(tiny_config(), RunMode::Analyze, &mut p, procs);
         assert!(report.breakdown.analysis > 0);
         assert!(!report.cycles.is_empty(), "no analysis cycles completed");
         let found: usize = report.cycles.iter().map(|c| c.hot_streams).sum();
@@ -1217,11 +1556,12 @@ mod tests {
     #[test]
     fn optimize_injects_and_prefetches() {
         let (mut p, procs) = looping_program(600);
-        let report = Executor::new(
+        let report = execute(
             tiny_config(),
             RunMode::Optimize(PrefetchPolicy::StreamTail),
-        )
-        .run(&mut p, procs);
+            &mut p,
+            procs,
+        );
         assert!(report.opt_cycles() >= 1);
         let with_dfsm: Vec<_> = report.cycles.iter().filter(|c| c.dfsm_states > 0).collect();
         assert!(!with_dfsm.is_empty(), "no DFSM ever built: {:?}", report.cycles);
@@ -1237,8 +1577,7 @@ mod tests {
     #[test]
     fn no_pref_matches_but_never_prefetches() {
         let (mut p, procs) = looping_program(600);
-        let report = Executor::new(tiny_config(), RunMode::Optimize(PrefetchPolicy::None))
-            .run(&mut p, procs);
+        let report = execute(tiny_config(), RunMode::Optimize(PrefetchPolicy::None), &mut p, procs);
         assert!(report.breakdown.matching > 0);
         assert_eq!(report.mem.prefetches_issued, 0);
         assert_eq!(report.breakdown.prefetch, 0);
@@ -1294,11 +1633,9 @@ mod tests {
         config.bursty = hds_bursty::BurstyConfig::new(256, 512, 2, 3);
         let (mut p1, procs1) = big_stream_program(2_000);
         let (mut p2, procs2) = big_stream_program(2_000);
-        let nopref = Executor::new(config.clone(), RunMode::Optimize(PrefetchPolicy::None))
-            .run(&mut p1, procs1);
+        let nopref = execute(config.clone(), RunMode::Optimize(PrefetchPolicy::None), &mut p1, procs1);
         let dynpref =
-            Executor::new(config, RunMode::Optimize(PrefetchPolicy::StreamTail))
-                .run(&mut p2, procs2);
+            execute(config, RunMode::Optimize(PrefetchPolicy::StreamTail), &mut p2, procs2);
         assert!(
             dynpref.mem.prefetches_useful > 0,
             "prefetches were never useful: {}",
@@ -1318,11 +1655,12 @@ mod tests {
     fn deterministic_runs() {
         let run = || {
             let (mut p, procs) = looping_program(300);
-            Executor::new(
+            execute(
                 tiny_config(),
                 RunMode::Optimize(PrefetchPolicy::StreamTail),
+                &mut p,
+                procs,
             )
-            .run(&mut p, procs)
             .total_cycles
         };
         assert_eq!(run(), run());
@@ -1336,10 +1674,8 @@ mod tests {
         windowed.scheduling = crate::config::PrefetchScheduling::Windowed { degree: 2 };
         let (mut p1, procs1) = big_stream_program(2_000);
         let (mut p2, procs2) = big_stream_program(2_000);
-        let a = Executor::new(all, RunMode::Optimize(PrefetchPolicy::StreamTail))
-            .run(&mut p1, procs1);
-        let b = Executor::new(windowed, RunMode::Optimize(PrefetchPolicy::StreamTail))
-            .run(&mut p2, procs2);
+        let a = execute(all, RunMode::Optimize(PrefetchPolicy::StreamTail), &mut p1, procs1);
+        let b = execute(windowed, RunMode::Optimize(PrefetchPolicy::StreamTail), &mut p2, procs2);
         assert!(b.mem.prefetches_issued > 0);
         // Windowed never issues *more* than all-at-once (queued items can
         // be dropped at de-optimization), and both must be useful.
@@ -1353,8 +1689,7 @@ mod tests {
         config.bursty = hds_bursty::BurstyConfig::new(256, 512, 2, 3);
         config.strategy = crate::config::CycleStrategy::Static;
         let (mut p, procs) = big_stream_program(4_000);
-        let report = Executor::new(config, RunMode::Optimize(PrefetchPolicy::StreamTail))
-            .run(&mut p, procs);
+        let report = execute(config, RunMode::Optimize(PrefetchPolicy::StreamTail), &mut p, procs);
         // Exactly one optimization cycle, ever.
         assert_eq!(report.opt_cycles(), 1, "{:?}", report.cycles);
         // But prefetching keeps running for the rest of the program.
@@ -1364,8 +1699,7 @@ mod tests {
         let mut dynamic = tiny_config();
         dynamic.bursty = hds_bursty::BurstyConfig::new(256, 512, 2, 3);
         let (mut p2, procs2) = big_stream_program(4_000);
-        let dyn_report = Executor::new(dynamic, RunMode::Optimize(PrefetchPolicy::StreamTail))
-            .run(&mut p2, procs2);
+        let dyn_report = execute(dynamic, RunMode::Optimize(PrefetchPolicy::StreamTail), &mut p2, procs2);
         assert!(dyn_report.opt_cycles() > 1);
         assert!(report.breakdown.recording < dyn_report.breakdown.recording);
     }
@@ -1377,11 +1711,12 @@ mod tests {
         // panic, no prefetching, but profiling and analysis still work.
         let (mut p, _full_procs) = looping_program(600);
         let procs = vec![Procedure::new("unrelated", vec![Pc(0xdead)])];
-        let report = Executor::new(
+        let report = execute(
             tiny_config(),
             RunMode::Optimize(PrefetchPolicy::StreamTail),
-        )
-        .run(&mut p, procs);
+            &mut p,
+            procs,
+        );
         assert!(report.opt_cycles() >= 1);
         // Streams are detected but nothing can be injected.
         assert!(report.cycles.iter().any(|c| c.hot_streams > 0));
@@ -1419,8 +1754,7 @@ mod tests {
             Procedure::new("p0", vec![Pc(16)]),
             Procedure::new("p1", vec![Pc(32)]),
         ];
-        let report = Executor::new(tiny_config(), RunMode::Optimize(PrefetchPolicy::StreamTail))
-            .run(&mut program, procs);
+        let report = execute(tiny_config(), RunMode::Optimize(PrefetchPolicy::StreamTail), &mut program, procs);
         assert_eq!(report.refs, 2);
         assert_eq!(report.name, "interleaved");
     }
@@ -1428,11 +1762,12 @@ mod tests {
     #[test]
     fn deopt_happens_each_hibernation_end() {
         let (mut p, procs) = looping_program(2_000);
-        let report = Executor::new(
+        let report = execute(
             tiny_config(),
             RunMode::Optimize(PrefetchPolicy::StreamTail),
-        )
-        .run(&mut p, procs);
+            &mut p,
+            procs,
+        );
         // Several full cycles completed.
         assert!(report.opt_cycles() >= 2, "only {} cycles", report.opt_cycles());
     }
@@ -1444,8 +1779,13 @@ mod tests {
         config.bursty = hds_bursty::BurstyConfig::new(256, 512, 2, 3);
         let (mut p, procs) = big_stream_program(iterations);
         let mut rec = MetricsRecorder::new();
-        let report = Executor::new(config, RunMode::Optimize(PrefetchPolicy::StreamTail))
-            .run_observed(&mut p, procs, &mut rec);
+        let report = execute_observed(
+            config,
+            RunMode::Optimize(PrefetchPolicy::StreamTail),
+            &mut p,
+            procs,
+            &mut rec,
+        );
         (report, rec)
     }
 
@@ -1497,11 +1837,162 @@ mod tests {
         let mut config = tiny_config();
         config.bursty = hds_bursty::BurstyConfig::new(256, 512, 2, 3);
         let (mut p, procs) = big_stream_program(1_000);
-        let plain = Executor::new(config, RunMode::Optimize(PrefetchPolicy::StreamTail))
-            .run(&mut p, procs);
+        let plain = execute(config, RunMode::Optimize(PrefetchPolicy::StreamTail), &mut p, procs);
         assert_eq!(observed.total_cycles, plain.total_cycles);
         assert_eq!(observed.mem, plain.mem);
         assert_eq!(observed.breakdown, plain.breakdown);
+    }
+
+    /// The memory-bound configuration with analysis on the background
+    /// worker.
+    fn bg_config() -> OptimizerConfig {
+        let mut config = tiny_config();
+        config.bursty = hds_bursty::BurstyConfig::new(256, 512, 2, 3);
+        config.concurrency = AnalysisConcurrency::Background;
+        config
+    }
+
+    #[test]
+    fn background_mode_moves_analysis_off_the_critical_path() {
+        let (mut p, procs) = big_stream_program(2_000);
+        let bg = execute(bg_config(), RunMode::Optimize(PrefetchPolicy::StreamTail), &mut p, procs);
+        // The critical path never pays an analysis cycle...
+        assert_eq!(bg.breakdown.analysis, 0);
+        // ...while an inline run of the same program does.
+        let mut inline = bg_config();
+        inline.concurrency = AnalysisConcurrency::Inline;
+        let (mut p2, procs2) = big_stream_program(2_000);
+        let il = execute(inline, RunMode::Optimize(PrefetchPolicy::StreamTail), &mut p2, procs2);
+        assert!(il.breakdown.analysis > 0);
+        assert_eq!(il.worker, crate::report::WorkerStats::default());
+        // The worker really cycled: traces handed off, results
+        // installed mid-hibernation, prefetching live afterwards.
+        assert!(bg.worker.handoffs >= 2, "{:?}", bg.worker);
+        assert!(bg.worker.applied >= 1, "{:?}", bg.worker);
+        assert_eq!(
+            bg.worker.handoffs,
+            bg.worker.applied + bg.worker.starved,
+            "an in-flight analysis was neither applied nor starved"
+        );
+        // Every handoff completes exactly one cycle record.
+        assert_eq!(bg.cycles.len() as u64, bg.worker.handoffs);
+        assert!(bg.mem.prefetches_issued > 0, "no prefetches after apply");
+    }
+
+    #[test]
+    fn background_runs_are_bit_identical() {
+        let run = || {
+            let (mut p, procs) = big_stream_program(1_000);
+            execute(bg_config(), RunMode::Optimize(PrefetchPolicy::StreamTail), &mut p, procs)
+        };
+        // Full-report equality: real thread scheduling must never leak
+        // into the simulated run.
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn background_observation_does_not_perturb_the_run() {
+        let (mut p, procs) = big_stream_program(1_000);
+        let mut rec = MetricsRecorder::new();
+        let observed = execute_observed(
+            bg_config(),
+            RunMode::Optimize(PrefetchPolicy::StreamTail),
+            &mut p,
+            procs,
+            &mut rec,
+        );
+        let (mut p2, procs2) = big_stream_program(1_000);
+        let plain = execute(
+            bg_config(),
+            RunMode::Optimize(PrefetchPolicy::StreamTail),
+            &mut p2,
+            procs2,
+        );
+        assert_eq!(observed, plain);
+    }
+
+    #[test]
+    fn background_observer_reconciles_and_populates_worker_lag() {
+        let (mut p, procs) = big_stream_program(2_000);
+        let mut rec = MetricsRecorder::new();
+        let report = execute_observed(
+            bg_config(),
+            RunMode::Optimize(PrefetchPolicy::StreamTail),
+            &mut p,
+            procs,
+            &mut rec,
+        );
+        assert_eq!(rec.analysis_handoffs(), report.worker.handoffs);
+        assert_eq!(rec.analyses_applied(), report.worker.applied);
+        assert_eq!(rec.analyses_starved(), report.worker.starved);
+        // One lag sample per resolution, and the phase overlap is real:
+        // the histogram is populated with nonzero lags.
+        let lag = rec.worker_lag_cycles();
+        assert_eq!(lag.count(), report.worker.applied + report.worker.starved);
+        assert!(lag.count() > 0, "worker-lag histogram never populated");
+        assert_eq!(rec.cycles_completed(), report.cycles.len() as u64);
+        assert_eq!(
+            rec.traced_refs_total(),
+            report.cycles.iter().map(|c| c.traced_refs).sum::<u64>()
+        );
+    }
+
+    #[test]
+    fn background_analyze_mode_detects_streams() {
+        let (mut p, procs) = big_stream_program(2_000);
+        let report = execute(bg_config(), RunMode::Analyze, &mut p, procs);
+        assert_eq!(report.breakdown.analysis, 0);
+        assert!(report.worker.applied >= 1);
+        let found: usize = report.cycles.iter().map(|c| c.hot_streams).sum();
+        assert!(found > 0, "hot stream not detected: {:?}", report.cycles);
+    }
+
+    #[test]
+    fn slow_worker_fault_starves_without_reconciliation_drift() {
+        use hds_guard::{FaultPlan, FaultRates};
+        let rates = FaultRates {
+            stall_worker: 1_000, // every handoff stalls 1x-8x its latency
+            ..FaultRates::quiet()
+        };
+        let (mut p, procs) = big_stream_program(2_000);
+        let mut rec = MetricsRecorder::new();
+        let mut plan = FaultPlan::with_rates(7, rates);
+        let report = execute_faulted(
+            bg_config(),
+            RunMode::Optimize(PrefetchPolicy::StreamTail),
+            &mut p,
+            procs,
+            &mut rec,
+            &mut plan,
+        );
+        assert!(plan.counts().stalled_workers > 0, "{:?}", plan.counts());
+        assert!(report.worker.starved > 0, "stalls never starved: {:?}", report.worker);
+        assert_eq!(
+            report.worker.handoffs,
+            report.worker.applied + report.worker.starved
+        );
+        assert_eq!(rec.analyses_starved(), report.worker.starved);
+        assert_eq!(rec.cycles_completed(), report.cycles.len() as u64);
+        assert_eq!(
+            rec.traced_refs_total(),
+            report.cycles.iter().map(|c| c.traced_refs).sum::<u64>()
+        );
+    }
+
+    #[test]
+    fn worker_lag_guard_discards_every_late_result() {
+        let mut config = bg_config();
+        // Any lag exceeds this budget, so every resolution is a
+        // guard-driven starvation: nothing ever installs.
+        config.guard = hds_guard::GuardConfig::disabled().with_max_worker_lag(1);
+        let (mut p, procs) = big_stream_program(2_000);
+        let report = execute(config, RunMode::Optimize(PrefetchPolicy::StreamTail), &mut p, procs);
+        assert!(report.worker.handoffs > 0);
+        assert_eq!(report.worker.applied, 0);
+        assert_eq!(report.worker.starved, report.worker.handoffs);
+        assert!(report.guard_trips >= report.worker.starved);
+        assert_eq!(report.mem.prefetches_issued, 0);
+        assert!(report.cycles.iter().all(|c| c.dfsm_states == 0));
     }
 
     #[test]

@@ -22,7 +22,7 @@
 //! # Examples
 //!
 //! ```
-//! use hds_core::{Executor, OptimizerConfig, PrefetchPolicy, RunMode};
+//! use hds_core::{OptimizerConfig, PrefetchPolicy, SessionBuilder};
 //! use hds_workloads::{SyntheticConfig, SyntheticWorkload, Workload};
 //!
 //! let make = || SyntheticWorkload::new(SyntheticConfig {
@@ -34,12 +34,17 @@
 //! // Baseline: the unmodified program.
 //! let mut w = make();
 //! let procs = w.procedures();
-//! let base = Executor::new(config.clone(), RunMode::Baseline).run(&mut w, procs);
+//! let base = SessionBuilder::new(config.clone())
+//!     .procedures(procs)
+//!     .baseline()
+//!     .run(&mut w);
 //! // Full dynamic prefetching.
 //! let mut w = make();
 //! let procs = w.procedures();
-//! let opt = Executor::new(config, RunMode::Optimize(PrefetchPolicy::StreamTail))
-//!     .run(&mut w, procs);
+//! let opt = SessionBuilder::new(config)
+//!     .procedures(procs)
+//!     .optimize(PrefetchPolicy::StreamTail)
+//!     .run(&mut w);
 //! assert!(opt.opt_cycles() >= 1);
 //! // Reports are comparable: overhead_vs is negative when we sped up.
 //! let _pct = opt.overhead_vs(&base);
@@ -48,13 +53,23 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod builder;
 mod config;
 mod executor;
+mod pipeline;
 mod report;
 
-pub use config::{CycleStrategy, OptimizerConfig, PrefetchPolicy, PrefetchScheduling, RunMode};
-pub use executor::{Executor, Session};
-pub use report::{CostBreakdown, CycleStats, RunReport};
+pub use builder::{
+    ConfigError, EngineConfig, EngineConfigBuilder, NeedsMode, Ready, SessionBuilder,
+};
+pub use config::{
+    AnalysisConcurrency, CycleStrategy, OptimizerConfig, PrefetchPolicy, PrefetchScheduling,
+    RunMode,
+};
+#[allow(deprecated)]
+pub use executor::Executor;
+pub use executor::Session;
+pub use report::{CostBreakdown, CycleStats, RunReport, WorkerStats};
 
 // Observability: the observer contract lives in `hds_telemetry`;
 // re-exported here so embedders wiring a `Session` observer need only

@@ -66,8 +66,26 @@ pub struct CycleStats {
     pub grammar_size: usize,
 }
 
+/// Background-analysis worker statistics (all zero in inline mode).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct WorkerStats {
+    /// Awake-phase traces handed to the background worker.
+    pub handoffs: u64,
+    /// Analysis results installed at their ready point.
+    pub applied: u64,
+    /// Analysis results discarded: the hibernation span (or the run)
+    /// ended, or the worker-lag guard tripped, before the ready point.
+    pub starved: u64,
+}
+
 /// The result of one run.
-#[derive(Clone, Debug)]
+///
+/// `PartialEq` compares every field, including per-cycle statistics —
+/// the parallel suite runner's determinism guarantee (sequential and
+/// parallel execution produce bit-identical reports) is asserted with
+/// it.
+#[derive(Clone, Debug, PartialEq)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct RunReport {
     /// Workload name.
@@ -90,6 +108,8 @@ pub struct RunReport {
     /// Streams surgically de-optimized by the accuracy policy (0 when
     /// the policy is off).
     pub partial_deopts: u64,
+    /// Background-analysis statistics (all zero in inline mode).
+    pub worker: WorkerStats,
     /// Per-optimization-cycle statistics (empty unless optimizing).
     pub cycles: Vec<CycleStats>,
 }
@@ -159,6 +179,7 @@ mod tests {
             checks_executed: 0,
             guard_trips: 0,
             partial_deopts: 0,
+            worker: WorkerStats::default(),
             cycles: Vec::new(),
         }
     }
@@ -237,6 +258,11 @@ mod tests {
         r.checks_executed = 11;
         r.guard_trips = 3;
         r.partial_deopts = 2;
+        r.worker = WorkerStats {
+            handoffs: 4,
+            applied: 3,
+            starved: 1,
+        };
         r.cycles = vec![CycleStats {
             traced_refs: 10,
             ..CycleStats::default()
@@ -252,6 +278,8 @@ mod tests {
         assert_eq!(back.checks_executed, r.checks_executed);
         assert_eq!(back.guard_trips, r.guard_trips);
         assert_eq!(back.partial_deopts, r.partial_deopts);
+        assert_eq!(back.worker, r.worker);
+        assert_eq!(back, r);
     }
 
     #[test]

@@ -2,8 +2,8 @@
 //! tolerance, and accuracy-driven partial de-optimization.
 
 use hds_core::{
-    AccuracyConfig, Executor, FaultPlan, GuardConfig, OptimizerConfig, PrefetchPolicy,
-    PrefetchScheduling, RunMode, Session,
+    AccuracyConfig, FaultPlan, GuardConfig, OptimizerConfig, PrefetchPolicy, PrefetchScheduling,
+    Session, SessionBuilder,
 };
 use hds_telemetry::events::{self as tev, GuardKind};
 use hds_telemetry::{MetricsRecorder, Observer};
@@ -60,8 +60,10 @@ fn enabled_but_untripped_guards_are_bit_identical() {
     // Guards with unreachable budgets (and an unreachable accuracy
     // threshold) must not perturb the simulated machine at all.
     let (mut p1, procs1) = big_stream_program(2_000);
-    let plain = Executor::new(stream_config(), RunMode::Optimize(PrefetchPolicy::StreamTail))
-        .run(&mut p1, procs1);
+    let plain = SessionBuilder::new(stream_config())
+        .procedures(procs1)
+        .optimize(PrefetchPolicy::StreamTail)
+        .run(&mut p1);
 
     let mut guarded_cfg = stream_config();
     guarded_cfg.guard = GuardConfig::disabled()
@@ -75,8 +77,10 @@ fn enabled_but_untripped_guards_are_bit_identical() {
             min_samples: 1,
         });
     let (mut p2, procs2) = big_stream_program(2_000);
-    let guarded = Executor::new(guarded_cfg, RunMode::Optimize(PrefetchPolicy::StreamTail))
-        .run(&mut p2, procs2);
+    let guarded = SessionBuilder::new(guarded_cfg)
+        .procedures(procs2)
+        .optimize(PrefetchPolicy::StreamTail)
+        .run(&mut p2);
 
     assert_eq!(guarded.total_cycles, plain.total_cycles);
     assert_eq!(guarded.breakdown, plain.breakdown);
@@ -91,8 +95,11 @@ fn grammar_budget_trips_and_skips_optimization() {
     cfg.guard = GuardConfig::disabled().with_max_grammar_rules(3);
     let (mut p, procs) = big_stream_program(2_000);
     let mut rec = MetricsRecorder::new();
-    let report = Executor::new(cfg, RunMode::Optimize(PrefetchPolicy::StreamTail))
-        .run_observed(&mut p, procs, &mut rec);
+    let report = SessionBuilder::new(cfg)
+        .procedures(procs)
+        .observer(&mut rec)
+        .optimize(PrefetchPolicy::StreamTail)
+        .run(&mut p);
 
     // The guard tripped in (at least) the first cycle; trip counts
     // reconcile exactly with the emitted telemetry.
@@ -111,8 +118,10 @@ fn analysis_budget_trips_and_carries_profile_cost_only() {
     let mut cfg = stream_config();
     cfg.guard = GuardConfig::disabled().with_max_analysis_cycles(1);
     let (mut p, procs) = big_stream_program(2_000);
-    let report = Executor::new(cfg, RunMode::Optimize(PrefetchPolicy::StreamTail))
-        .run(&mut p, procs);
+    let report = SessionBuilder::new(cfg)
+        .procedures(procs)
+        .optimize(PrefetchPolicy::StreamTail)
+        .run(&mut p);
     assert!(report.guard_trips >= 1);
     // Every cycle's final pass is skipped: traced refs are recorded but
     // nothing is analyzed or optimized.
@@ -126,8 +135,10 @@ fn dfsm_state_budget_skips_injection() {
     let mut cfg = stream_config();
     cfg.guard = GuardConfig::disabled().with_max_dfsm_states(1);
     let (mut p, procs) = big_stream_program(2_000);
-    let report = Executor::new(cfg, RunMode::Optimize(PrefetchPolicy::StreamTail))
-        .run(&mut p, procs);
+    let report = SessionBuilder::new(cfg)
+        .procedures(procs)
+        .optimize(PrefetchPolicy::StreamTail)
+        .run(&mut p);
     assert!(report.guard_trips >= 1, "state guard never tripped");
     // Analysis still runs (streams are found) but injection is skipped.
     assert!(report.cycles.iter().any(|c| c.streams_used > 0));
@@ -143,11 +154,15 @@ fn prefetch_queue_budget_truncates_but_keeps_prefetching() {
     guarded.guard = GuardConfig::disabled().with_max_prefetch_queue(2);
 
     let (mut p1, procs1) = big_stream_program(2_000);
-    let free = Executor::new(unguarded, RunMode::Optimize(PrefetchPolicy::StreamTail))
-        .run(&mut p1, procs1);
+    let free = SessionBuilder::new(unguarded)
+        .procedures(procs1)
+        .optimize(PrefetchPolicy::StreamTail)
+        .run(&mut p1);
     let (mut p2, procs2) = big_stream_program(2_000);
-    let capped = Executor::new(guarded, RunMode::Optimize(PrefetchPolicy::StreamTail))
-        .run(&mut p2, procs2);
+    let capped = SessionBuilder::new(guarded)
+        .procedures(procs2)
+        .optimize(PrefetchPolicy::StreamTail)
+        .run(&mut p2);
 
     assert!(capped.guard_trips >= 1, "queue guard never tripped");
     assert!(capped.mem.prefetches_issued > 0, "capped run stopped prefetching");
@@ -160,12 +175,17 @@ fn always_failing_edits_degrade_to_the_analyze_configuration() {
     // optimize-mode run must cost exactly what the analyze-only mode
     // costs: no injected checks, no prefetches, no optimize cycles.
     let (mut p1, procs1) = big_stream_program(2_000);
-    let analyze =
-        Executor::new(stream_config(), RunMode::Analyze).run(&mut p1, procs1);
+    let analyze = SessionBuilder::new(stream_config())
+        .procedures(procs1)
+        .analyze()
+        .run(&mut p1);
     let (mut p2, procs2) = big_stream_program(2_000);
     let mut plan = FaultPlan::edits_always_fail(7);
-    let faulted = Executor::new(stream_config(), RunMode::Optimize(PrefetchPolicy::StreamTail))
-        .run_faulted(&mut p2, procs2, hds_telemetry::NullObserver, &mut plan);
+    let faulted = SessionBuilder::new(stream_config())
+        .procedures(procs2)
+        .faults(&mut plan)
+        .optimize(PrefetchPolicy::StreamTail)
+        .run(&mut p2);
 
     assert!(plan.counts().failed_edits > 0, "no edits were ever attempted");
     assert_eq!(faulted.total_cycles, analyze.total_cycles);
@@ -265,12 +285,11 @@ fn low_accuracy_stream_is_surgically_removed_while_the_rest_keep_prefetching() {
     });
 
     let mut timeline = Timeline::default();
-    let mut session = Session::with_observer(
-        cfg,
-        RunMode::Optimize(PrefetchPolicy::StreamTail),
-        demo_procs(),
-        &mut timeline,
-    );
+    let mut session = SessionBuilder::new(cfg)
+        .procedures(demo_procs())
+        .observer(&mut timeline)
+        .optimize(PrefetchPolicy::StreamTail)
+        .build();
 
     // Phase 1 — profile: walk every stream fully, in pseudo-random
     // order (so Sequitur reifies each stream as its own rule), until the

@@ -3,7 +3,7 @@
 //! deterministic, and maintains the mode-cost ordering.
 
 use hds_bursty::BurstyConfig;
-use hds_core::{Executor, OptimizerConfig, PrefetchPolicy, RunMode};
+use hds_core::{OptimizerConfig, PrefetchPolicy, RunMode, SessionBuilder};
 use hds_workloads::{SyntheticConfig, SyntheticWorkload, Workload};
 use proptest::prelude::*;
 
@@ -84,7 +84,10 @@ proptest! {
         ] {
             let (mut w, config) = build(&shape);
             let procs = w.procedures();
-            let report = Executor::new(config, mode).run(&mut w, procs);
+            let report = SessionBuilder::new(config)
+                .procedures(procs)
+                .mode(mode)
+                .run(&mut w);
             prop_assert!(report.refs >= 40_000);
             totals.push(report.total_cycles);
         }
@@ -103,8 +106,10 @@ proptest! {
         let run = || {
             let (mut w, config) = build(&shape);
             let procs = w.procedures();
-            Executor::new(config, RunMode::Optimize(PrefetchPolicy::StreamTail))
-                .run(&mut w, procs)
+            SessionBuilder::new(config)
+                .procedures(procs)
+                .optimize(PrefetchPolicy::StreamTail)
+                .run(&mut w)
         };
         let (a, b) = (run(), run());
         prop_assert_eq!(a.total_cycles, b.total_cycles);
@@ -125,7 +130,10 @@ proptest! {
         ] {
             let (mut w, config) = build(&shape);
             let procs = w.procedures();
-            let report = Executor::new(config, mode).run(&mut w, procs);
+            let report = SessionBuilder::new(config)
+                .procedures(procs)
+                .mode(mode)
+                .run(&mut w);
             counts.push((report.refs, report.mem.l1_hits + report.mem.l1_misses));
         }
         prop_assert_eq!(counts[0], counts[1]);

@@ -172,6 +172,12 @@ impl AccuracyTracker {
     pub(crate) fn denylist_len(&self) -> usize {
         self.denylist.len()
     }
+
+    pub(crate) fn denylist_hashes(&self) -> Vec<u64> {
+        let mut hashes: Vec<u64> = self.denylist.iter().copied().collect();
+        hashes.sort_unstable();
+        hashes
+    }
 }
 
 #[cfg(test)]

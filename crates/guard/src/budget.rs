@@ -26,6 +26,11 @@ pub struct GuardConfig {
     /// queue to the cap (oldest prefetches win: they are closest to
     /// their use point).
     pub max_prefetch_queue: Option<u64>,
+    /// Cap on the simulated cycles a background analysis may lag behind
+    /// its handoff point (concurrent-analysis mode). A trip discards
+    /// the late result instead of installing stale streams; profiling
+    /// resumes next cycle.
+    pub max_worker_lag: Option<u64>,
     /// Accuracy-driven partial de-optimization policy; `None` disables
     /// outcome tracking entirely.
     pub accuracy: Option<AccuracyConfig>,
@@ -40,6 +45,7 @@ impl GuardConfig {
             max_analysis_cycles: None,
             max_dfsm_states: None,
             max_prefetch_queue: None,
+            max_worker_lag: None,
             accuracy: None,
         }
     }
@@ -51,6 +57,7 @@ impl GuardConfig {
             || self.max_analysis_cycles.is_some()
             || self.max_dfsm_states.is_some()
             || self.max_prefetch_queue.is_some()
+            || self.max_worker_lag.is_some()
             || self.accuracy.is_some()
     }
 
@@ -62,6 +69,7 @@ impl GuardConfig {
             GuardKind::AnalysisCycles => self.max_analysis_cycles,
             GuardKind::DfsmStates => self.max_dfsm_states,
             GuardKind::PrefetchQueue => self.max_prefetch_queue,
+            GuardKind::WorkerLag => self.max_worker_lag,
         }
     }
 
@@ -93,6 +101,13 @@ impl GuardConfig {
         self
     }
 
+    /// With a background-worker lag cap (simulated cycles).
+    #[must_use]
+    pub const fn with_max_worker_lag(mut self, cap: u64) -> Self {
+        self.max_worker_lag = Some(cap);
+        self
+    }
+
     /// With an accuracy-driven partial-deoptimization policy.
     #[must_use]
     pub fn with_accuracy(mut self, policy: AccuracyConfig) -> Self {
@@ -121,8 +136,8 @@ pub struct Trip {
 #[derive(Clone, Debug)]
 pub struct GuardRuntime {
     config: GuardConfig,
-    tripped: [bool; 4],
-    trips: [u64; 4],
+    tripped: [bool; 5],
+    trips: [u64; 5],
     accuracy: Option<AccuracyTracker>,
 }
 
@@ -133,8 +148,8 @@ impl GuardRuntime {
         let accuracy = config.accuracy.clone().map(AccuracyTracker::new);
         GuardRuntime {
             config,
-            tripped: [false; 4],
-            trips: [0; 4],
+            tripped: [false; 5],
+            trips: [0; 5],
             accuracy,
         }
     }
@@ -147,7 +162,7 @@ impl GuardRuntime {
 
     /// Resets the per-cycle trip latches (call at each `CycleStart`).
     pub fn begin_cycle(&mut self) {
-        self.tripped = [false; 4];
+        self.tripped = [false; 5];
     }
 
     /// Checks `observed` against `kind`'s budget. Returns `None` while
@@ -251,6 +266,16 @@ impl GuardRuntime {
     pub fn denylist_len(&self) -> usize {
         self.accuracy.as_ref().map_or(0, AccuracyTracker::denylist_len)
     }
+
+    /// Snapshot of the denylisted content hashes, sorted for
+    /// determinism. Used to hand the denylist to a background analysis
+    /// worker that cannot borrow the tracker across threads.
+    #[must_use]
+    pub fn denylist_hashes(&self) -> Vec<u64> {
+        self.accuracy
+            .as_ref()
+            .map_or_else(Vec::new, AccuracyTracker::denylist_hashes)
+    }
 }
 
 #[cfg(test)]
@@ -300,11 +325,24 @@ mod tests {
             .with_max_grammar_rules(1)
             .with_max_analysis_cycles(2)
             .with_max_dfsm_states(3)
-            .with_max_prefetch_queue(4);
+            .with_max_prefetch_queue(4)
+            .with_max_worker_lag(5);
         assert_eq!(cfg.budget(GuardKind::GrammarRules), Some(1));
         assert_eq!(cfg.budget(GuardKind::AnalysisCycles), Some(2));
         assert_eq!(cfg.budget(GuardKind::DfsmStates), Some(3));
         assert_eq!(cfg.budget(GuardKind::PrefetchQueue), Some(4));
+        assert_eq!(cfg.budget(GuardKind::WorkerLag), Some(5));
+    }
+
+    #[test]
+    fn worker_lag_trips_like_any_budget() {
+        let mut guard = GuardRuntime::new(GuardConfig::disabled().with_max_worker_lag(100));
+        guard.begin_cycle();
+        assert!(guard.observe(GuardKind::WorkerLag, 100).is_none());
+        let t = guard.observe(GuardKind::WorkerLag, 101).unwrap();
+        assert!(t.first_in_cycle);
+        assert_eq!(t.budget, 100);
+        assert_eq!(guard.trips(GuardKind::WorkerLag), 1);
     }
 
     #[test]

@@ -55,6 +55,16 @@ pub trait FaultInjector {
     fn starve_analysis(&mut self) -> bool {
         false
     }
+
+    /// Extra simulated cycles the background analysis worker is stalled
+    /// beyond its modeled latency of `base_cycles` (a slow or preempted
+    /// worker in concurrent-analysis mode). The delay pushes the
+    /// result's ready point later in simulated time, so a large stall
+    /// deterministically drives the starvation / worker-lag guard path.
+    fn stall_worker(&mut self, base_cycles: u64) -> u64 {
+        let _ = base_cycles;
+        0
+    }
 }
 
 /// The no-fault injector: every hook is benign and
@@ -87,6 +97,9 @@ impl<F: FaultInjector> FaultInjector for &mut F {
     fn starve_analysis(&mut self) -> bool {
         (**self).starve_analysis()
     }
+    fn stall_worker(&mut self, base_cycles: u64) -> u64 {
+        (**self).stall_worker(base_cycles)
+    }
 }
 
 /// Per-site fault probabilities in permille (0–1000).
@@ -102,6 +115,9 @@ pub struct FaultRates {
     pub thread_switch: u16,
     /// Chance the analysis budget is starved for a cycle.
     pub starve_analysis: u16,
+    /// Chance the background analysis worker is stalled for a handoff
+    /// (concurrent-analysis mode).
+    pub stall_worker: u16,
 }
 
 impl FaultRates {
@@ -115,6 +131,7 @@ impl FaultRates {
             fail_edit: 0,
             thread_switch: 0,
             starve_analysis: 0,
+            stall_worker: 0,
         }
     }
 }
@@ -132,6 +149,8 @@ pub struct FaultCounts {
     pub injected_switches: u64,
     /// Analysis passes starved.
     pub starved_analyses: u64,
+    /// Background analysis workers stalled.
+    pub stalled_workers: u64,
 }
 
 impl FaultCounts {
@@ -143,6 +162,7 @@ impl FaultCounts {
             + self.failed_edits
             + self.injected_switches
             + self.starved_analyses
+            + self.stalled_workers
     }
 }
 
@@ -179,6 +199,7 @@ impl FaultPlan {
             fail_edit: (plan.next() % 40) as u16,
             thread_switch: (plan.next() % 200) as u16,
             starve_analysis: (plan.next() % 80) as u16,
+            stall_worker: (plan.next() % 150) as u16,
         };
         plan.rates = rates;
         plan
@@ -290,6 +311,16 @@ impl FaultInjector for FaultPlan {
         }
         fire
     }
+
+    fn stall_worker(&mut self, base_cycles: u64) -> u64 {
+        if !self.chance(self.rates.stall_worker) {
+            return 0;
+        }
+        self.counts.stalled_workers += 1;
+        // 1x–8x the modeled latency: long enough that a large multiple
+        // routinely overruns the hibernation span and starves the apply.
+        base_cycles.saturating_mul(1 + self.next() % 8)
+    }
 }
 
 #[cfg(test)]
@@ -315,6 +346,7 @@ mod tests {
             log.push(plan.fail_edit(Pc(i)).is_some().into());
             log.push(u64::from(plan.edit_thread_switch(4).unwrap_or(99)));
             log.push(u64::from(plan.starve_analysis()));
+            log.push(plan.stall_worker(1000));
         }
         log
     }
@@ -345,8 +377,26 @@ mod tests {
             assert!(plan.fail_edit(Pc(1)).is_none());
             assert!(plan.edit_thread_switch(8).is_none());
             assert!(!plan.starve_analysis());
+            assert_eq!(plan.stall_worker(1000), 0);
         }
         assert_eq!(plan.counts().total(), 0);
+    }
+
+    #[test]
+    fn stalls_scale_with_the_modeled_latency() {
+        let mut plan = FaultPlan::with_rates(
+            13,
+            FaultRates {
+                stall_worker: 1000,
+                ..FaultRates::quiet()
+            },
+        );
+        for _ in 0..50 {
+            let extra = plan.stall_worker(1000);
+            assert!(extra >= 1000, "a fired stall delays at least 1x the base");
+            assert!(extra <= 8000);
+        }
+        assert_eq!(plan.counts().stalled_workers, 50);
     }
 
     #[test]

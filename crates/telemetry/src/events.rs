@@ -171,6 +171,50 @@ impl PrefetchOutcome {
     }
 }
 
+/// The awake-phase trace was handed off to the background analysis
+/// worker (concurrent-analysis mode only). From this point the
+/// simulated program keeps executing hibernation references while the
+/// worker runs grammar construction, hot-stream detection, and DFSM
+/// build off the critical path.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize)]
+pub struct AnalysisHandoff {
+    /// Index of the optimization cycle whose trace was handed off.
+    pub opt_cycle: u64,
+    /// Simulated cycle count at the handoff.
+    pub at_cycle: u64,
+    /// References in the handed-off trace.
+    pub trace_len: u64,
+}
+
+/// A background analysis result came back in time and was installed.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize)]
+pub struct AnalysisApplied {
+    /// Index of the optimization cycle the result belongs to.
+    pub opt_cycle: u64,
+    /// Simulated cycle count at the original handoff.
+    pub handoff_at_cycle: u64,
+    /// Simulated cycle count at installation.
+    pub at_cycle: u64,
+    /// Simulated cycles the analysis overlapped execution
+    /// (`at_cycle - handoff_at_cycle`): the worker-lag sample.
+    pub lag_cycles: u64,
+}
+
+/// A background analysis result was discarded because the worker fell
+/// too far behind: the hibernation span ended (or the run finished, or
+/// the worker-lag guard tripped) before the result could be installed.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize)]
+pub struct AnalysisStarved {
+    /// Index of the optimization cycle whose result was discarded.
+    pub opt_cycle: u64,
+    /// Simulated cycle count at the original handoff.
+    pub handoff_at_cycle: u64,
+    /// Simulated cycle count at the discard.
+    pub at_cycle: u64,
+    /// Simulated cycles between handoff and discard.
+    pub lag_cycles: u64,
+}
+
 /// A budget guard that can trip and degrade the optimize cycle.
 ///
 /// Each variant names the resource whose cap was exceeded; the
@@ -186,6 +230,9 @@ pub enum GuardKind {
     DfsmStates,
     /// Pending-prefetch queue depth under windowed scheduling.
     PrefetchQueue,
+    /// Simulated cycles the background analysis worker lagged behind
+    /// the handoff point (concurrent-analysis mode).
+    WorkerLag,
 }
 
 impl GuardKind {
@@ -197,15 +244,17 @@ impl GuardKind {
             GuardKind::AnalysisCycles => "analysis_cycles",
             GuardKind::DfsmStates => "dfsm_states",
             GuardKind::PrefetchQueue => "prefetch_queue",
+            GuardKind::WorkerLag => "worker_lag",
         }
     }
 
     /// Every guard kind, in rendering order.
-    pub const ALL: [GuardKind; 4] = [
+    pub const ALL: [GuardKind; 5] = [
         GuardKind::GrammarRules,
         GuardKind::AnalysisCycles,
         GuardKind::DfsmStates,
         GuardKind::PrefetchQueue,
+        GuardKind::WorkerLag,
     ];
 }
 

@@ -5,8 +5,9 @@ use std::io::Write;
 use serde::{Serialize, Value};
 
 use crate::events::{
-    CycleEnd, CycleStart, Deoptimize, DfsmBuilt, GuardTripped, PhaseTransition, PrefetchFate,
-    PrefetchIssued, PrefetchOutcome, StreamDetected,
+    AnalysisApplied, AnalysisHandoff, AnalysisStarved, CycleEnd, CycleStart, Deoptimize,
+    DfsmBuilt, GuardTripped, PhaseTransition, PrefetchFate, PrefetchIssued, PrefetchOutcome,
+    StreamDetected,
 };
 use crate::Observer;
 
@@ -21,9 +22,16 @@ use crate::Observer;
 /// Write errors do not panic (observers are called from the optimizer's
 /// hot path); they are counted and readable via
 /// [`JsonlSink::write_errors`].
+///
+/// The sink flushes its writer when dropped — including during an
+/// unwind — so a faulted run that panics (or a truncated-trace chaos
+/// schedule that aborts a session early) never loses buffered tail
+/// events.
 #[derive(Debug)]
 pub struct JsonlSink<W: Write> {
-    out: W,
+    /// `None` only after [`JsonlSink::into_inner`] took the writer
+    /// (the drop-flush guard then has nothing left to do).
+    out: Option<W>,
     write_errors: u64,
     records: u64,
     // Running global tallies for the per-cycle quality snapshot.
@@ -36,7 +44,7 @@ impl<W: Write> JsonlSink<W> {
     /// A sink writing to `out`.
     pub fn new(out: W) -> Self {
         JsonlSink {
-            out,
+            out: Some(out),
             write_errors: 0,
             records: 0,
             issued: 0,
@@ -63,8 +71,9 @@ impl<W: Write> JsonlSink<W> {
     ///
     /// Returns the flush error, if any.
     pub fn into_inner(mut self) -> std::io::Result<W> {
-        self.out.flush()?;
-        Ok(self.out)
+        let mut out = self.out.take().expect("writer present until into_inner");
+        out.flush()?;
+        Ok(out)
     }
 
     fn emit(&mut self, kind: &str, event: &impl Serialize) {
@@ -78,7 +87,8 @@ impl<W: Write> JsonlSink<W> {
             fields.extend(extra);
         }
         let line = serde_json::to_string(&value).unwrap_or_else(|_| "null".to_string());
-        match writeln!(self.out, "{line}") {
+        let Some(out) = self.out.as_mut() else { return };
+        match writeln!(out, "{line}") {
             Ok(()) => self.records += 1,
             Err(_) => self.write_errors += 1,
         }
@@ -90,6 +100,18 @@ impl<W: Write> JsonlSink<W> {
             0.0
         } else {
             num as f64 / den as f64
+        }
+    }
+}
+
+/// The drop-flush guard: buffered tail events survive early returns
+/// and panics in the instrumented run. Flush errors here are ignored
+/// (they were either already counted per-record, or there is no caller
+/// left to report them to).
+impl<W: Write> Drop for JsonlSink<W> {
+    fn drop(&mut self) {
+        if let Some(out) = self.out.as_mut() {
+            let _ = out.flush();
         }
     }
 }
@@ -179,6 +201,18 @@ impl<W: Write> Observer for JsonlSink<W> {
         }
         self.emit("guard_tripped", &Raw(value));
     }
+
+    fn analysis_handoff(&mut self, event: &AnalysisHandoff) {
+        self.emit("analysis_handoff", event);
+    }
+
+    fn analysis_applied(&mut self, event: &AnalysisApplied) {
+        self.emit("analysis_applied", event);
+    }
+
+    fn analysis_starved(&mut self, event: &AnalysisStarved) {
+        self.emit("analysis_starved", event);
+    }
 }
 
 #[cfg(test)]
@@ -267,6 +301,85 @@ mod tests {
         );
         assert_eq!(records[0].get("guard"), Some(&Value::Str("dfsm_states".into())));
         assert_eq!(records[0].get("budget"), Some(&Value::U64(64)));
+    }
+
+    #[test]
+    fn drop_flushes_buffered_tail() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::Arc;
+
+        /// Counts flushes without consuming the shared tally on drop.
+        struct FlushCounter(Arc<AtomicU64>);
+        impl Write for FlushCounter {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                self.0.fetch_add(1, Ordering::SeqCst);
+                Ok(())
+            }
+        }
+
+        let flushes = Arc::new(AtomicU64::new(0));
+        {
+            let mut sink = JsonlSink::new(FlushCounter(Arc::clone(&flushes)));
+            sink.cycle_start(&CycleStart::default());
+            assert_eq!(flushes.load(Ordering::SeqCst), 0);
+        }
+        assert_eq!(flushes.load(Ordering::SeqCst), 1, "drop must flush");
+
+        // During an unwind too.
+        let flushes_panic = Arc::new(AtomicU64::new(0));
+        let moved = Arc::clone(&flushes_panic);
+        let _ = std::panic::catch_unwind(move || {
+            let mut sink = JsonlSink::new(FlushCounter(moved));
+            sink.cycle_start(&CycleStart::default());
+            panic!("simulated faulted run");
+        });
+        assert_eq!(flushes_panic.load(Ordering::SeqCst), 1, "unwind must flush");
+
+        // into_inner still hands the writer back (no double flush on drop).
+        let flushes_inner = Arc::new(AtomicU64::new(0));
+        let sink = JsonlSink::new(FlushCounter(Arc::clone(&flushes_inner)));
+        let _writer = sink.into_inner().unwrap();
+        assert_eq!(flushes_inner.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn analysis_events_are_tagged() {
+        let mut sink = JsonlSink::new(Vec::new());
+        sink.analysis_handoff(&AnalysisHandoff {
+            opt_cycle: 0,
+            at_cycle: 100,
+            trace_len: 42,
+        });
+        sink.analysis_applied(&AnalysisApplied {
+            opt_cycle: 0,
+            handoff_at_cycle: 100,
+            at_cycle: 180,
+            lag_cycles: 80,
+        });
+        sink.analysis_starved(&AnalysisStarved {
+            opt_cycle: 1,
+            handoff_at_cycle: 300,
+            at_cycle: 500,
+            lag_cycles: 200,
+        });
+        let records = lines(sink);
+        assert_eq!(
+            records[0].get("event"),
+            Some(&Value::Str("analysis_handoff".into()))
+        );
+        assert_eq!(records[0].get("trace_len"), Some(&Value::U64(42)));
+        assert_eq!(
+            records[1].get("event"),
+            Some(&Value::Str("analysis_applied".into()))
+        );
+        assert_eq!(records[1].get("lag_cycles"), Some(&Value::U64(80)));
+        assert_eq!(
+            records[2].get("event"),
+            Some(&Value::Str("analysis_starved".into()))
+        );
     }
 
     #[test]

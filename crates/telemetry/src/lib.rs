@@ -54,8 +54,8 @@ pub use jsonl::JsonlSink;
 pub use metrics::{Histogram, MetricsRecorder, StreamMetrics};
 
 use events::{
-    CycleEnd, CycleStart, Deoptimize, DfsmBuilt, GuardTripped, PhaseTransition,
-    PrefetchIssued, PrefetchOutcome, StreamDetected,
+    AnalysisApplied, AnalysisHandoff, AnalysisStarved, CycleEnd, CycleStart, Deoptimize,
+    DfsmBuilt, GuardTripped, PhaseTransition, PrefetchIssued, PrefetchOutcome, StreamDetected,
 };
 
 /// Receiver of optimizer lifecycle events.
@@ -95,6 +95,14 @@ pub trait Observer {
     fn deoptimize(&mut self, _event: &Deoptimize) {}
     /// A budget guard tripped and degraded the current cycle.
     fn guard_tripped(&mut self, _event: &GuardTripped) {}
+    /// An awake-phase trace was handed to the background analysis
+    /// worker (concurrent-analysis mode).
+    fn analysis_handoff(&mut self, _event: &AnalysisHandoff) {}
+    /// A background analysis result was installed; the lag sample
+    /// measures the overlap with execution.
+    fn analysis_applied(&mut self, _event: &AnalysisApplied) {}
+    /// A background analysis result was discarded (worker starved).
+    fn analysis_starved(&mut self, _event: &AnalysisStarved) {}
 }
 
 /// The do-nothing observer: every hook is a no-op and
@@ -139,6 +147,15 @@ impl<O: Observer> Observer for &mut O {
     fn guard_tripped(&mut self, event: &GuardTripped) {
         (**self).guard_tripped(event);
     }
+    fn analysis_handoff(&mut self, event: &AnalysisHandoff) {
+        (**self).analysis_handoff(event);
+    }
+    fn analysis_applied(&mut self, event: &AnalysisApplied) {
+        (**self).analysis_applied(event);
+    }
+    fn analysis_starved(&mut self, event: &AnalysisStarved) {
+        (**self).analysis_starved(event);
+    }
 }
 
 /// Fan-out to two observers (nest pairs for more).
@@ -180,6 +197,18 @@ impl<A: Observer, B: Observer> Observer for (A, B) {
     fn guard_tripped(&mut self, event: &GuardTripped) {
         self.0.guard_tripped(event);
         self.1.guard_tripped(event);
+    }
+    fn analysis_handoff(&mut self, event: &AnalysisHandoff) {
+        self.0.analysis_handoff(event);
+        self.1.analysis_handoff(event);
+    }
+    fn analysis_applied(&mut self, event: &AnalysisApplied) {
+        self.0.analysis_applied(event);
+        self.1.analysis_applied(event);
+    }
+    fn analysis_starved(&mut self, event: &AnalysisStarved) {
+        self.0.analysis_starved(event);
+        self.1.analysis_starved(event);
     }
 }
 

@@ -5,8 +5,9 @@ use std::collections::{BTreeMap, HashMap};
 use std::fmt::Write as _;
 
 use crate::events::{
-    CycleEnd, CycleStart, Deoptimize, DfsmBuilt, GuardKind, GuardTripped, PhaseKind,
-    PhaseTransition, PrefetchFate, PrefetchIssued, PrefetchOutcome, StreamDetected,
+    AnalysisApplied, AnalysisHandoff, AnalysisStarved, CycleEnd, CycleStart, Deoptimize,
+    DfsmBuilt, GuardKind, GuardTripped, PhaseKind, PhaseTransition, PrefetchFate,
+    PrefetchIssued, PrefetchOutcome, StreamDetected,
 };
 use crate::Observer;
 
@@ -163,14 +164,18 @@ pub struct MetricsRecorder {
     outcomes: [u64; 3], // indexed by fate
     deopts: u64,
     partial_deopts: u64,
-    guard_trips: [u64; 4], // indexed by guard kind
+    guard_trips: [u64; 5], // indexed by guard kind
     traced_refs_total: u64,
     last_duty_cycle: f64,
+    analysis_handoffs: u64,
+    analysis_applied: u64,
+    analysis_starved: u64,
     // Histograms.
     stream_length: Histogram,
     dfsm_state_count: Histogram,
     match_to_access_cycles: Histogram,
     prefetch_lead_refs: Histogram,
+    worker_lag_cycles: Histogram,
     // Correlation.
     per_stream: BTreeMap<u32, StreamMetrics>,
     /// Issue bookkeeping per block, for lead-distance in references.
@@ -295,6 +300,32 @@ impl MetricsRecorder {
         &self.prefetch_lead_refs
     }
 
+    /// Traces handed to the background analysis worker.
+    #[must_use]
+    pub fn analysis_handoffs(&self) -> u64 {
+        self.analysis_handoffs
+    }
+
+    /// Background analysis results installed in time.
+    #[must_use]
+    pub fn analyses_applied(&self) -> u64 {
+        self.analysis_applied
+    }
+
+    /// Background analysis results discarded (worker starved).
+    #[must_use]
+    pub fn analyses_starved(&self) -> u64 {
+        self.analysis_starved
+    }
+
+    /// The worker-lag histogram: simulated cycles each background
+    /// analysis overlapped execution, one sample per handoff that
+    /// resolved (applied or starved).
+    #[must_use]
+    pub fn worker_lag_cycles(&self) -> &Histogram {
+        &self.worker_lag_cycles
+    }
+
     /// Renders everything in Prometheus text exposition format.
     #[must_use]
     #[allow(clippy::too_many_lines)]
@@ -358,6 +389,24 @@ impl MetricsRecorder {
             "hds_partial_deoptimizations_total",
             "Times a single low-accuracy stream's checks were removed.",
             self.partial_deopts,
+        );
+        counter(
+            &mut out,
+            "hds_analysis_handoffs_total",
+            "Traces handed to the background analysis worker.",
+            self.analysis_handoffs,
+        );
+        counter(
+            &mut out,
+            "hds_analysis_applied_total",
+            "Background analysis results installed in time.",
+            self.analysis_applied,
+        );
+        counter(
+            &mut out,
+            "hds_analysis_starved_total",
+            "Background analysis results discarded (worker starved).",
+            self.analysis_starved,
         );
         let _ = writeln!(
             out,
@@ -425,6 +474,12 @@ impl MetricsRecorder {
             "hds_prefetch_lead_refs",
             "Demand references between prefetch issue and resolution.",
             &self.prefetch_lead_refs,
+        );
+        histogram(
+            &mut out,
+            "hds_worker_lag_cycles",
+            "Simulated cycles background analyses overlapped execution.",
+            &self.worker_lag_cycles,
         );
 
         for (metric, help, f) in [
@@ -528,6 +583,20 @@ impl Observer for MetricsRecorder {
     fn guard_tripped(&mut self, event: &GuardTripped) {
         self.guard_trips[event.guard as usize] += 1;
     }
+
+    fn analysis_handoff(&mut self, _event: &AnalysisHandoff) {
+        self.analysis_handoffs += 1;
+    }
+
+    fn analysis_applied(&mut self, event: &AnalysisApplied) {
+        self.analysis_applied += 1;
+        self.worker_lag_cycles.record(event.lag_cycles);
+    }
+
+    fn analysis_starved(&mut self, event: &AnalysisStarved) {
+        self.analysis_starved += 1;
+        self.worker_lag_cycles.record(event.lag_cycles);
+    }
 }
 
 #[cfg(test)]
@@ -624,6 +693,51 @@ mod tests {
         assert!(text.contains("hds_guard_trips_total{guard=\"grammar_rules\"} 1"));
         assert!(text.contains("hds_guard_trips_total{guard=\"dfsm_states\"} 0"));
         assert!(text.contains("hds_partial_deoptimizations_total 1"));
+    }
+
+    #[test]
+    fn analysis_counters_and_worker_lag_histogram() {
+        let mut m = MetricsRecorder::new();
+        m.analysis_handoff(&AnalysisHandoff {
+            opt_cycle: 0,
+            at_cycle: 10,
+            trace_len: 100,
+        });
+        m.analysis_applied(&AnalysisApplied {
+            opt_cycle: 0,
+            handoff_at_cycle: 10,
+            at_cycle: 74,
+            lag_cycles: 64,
+        });
+        m.analysis_handoff(&AnalysisHandoff {
+            opt_cycle: 1,
+            at_cycle: 200,
+            trace_len: 100,
+        });
+        m.analysis_starved(&AnalysisStarved {
+            opt_cycle: 1,
+            handoff_at_cycle: 200,
+            at_cycle: 1000,
+            lag_cycles: 800,
+        });
+        assert_eq!(m.analysis_handoffs(), 2);
+        assert_eq!(m.analyses_applied(), 1);
+        assert_eq!(m.analyses_starved(), 1);
+        assert_eq!(m.worker_lag_cycles().count(), 2);
+        assert_eq!(m.worker_lag_cycles().sum(), 864);
+        m.guard_tripped(&GuardTripped {
+            guard: GuardKind::WorkerLag,
+            budget: 500,
+            observed: 800,
+            opt_cycle: 1,
+            at_cycle: 1000,
+        });
+        assert_eq!(m.guard_trips(GuardKind::WorkerLag), 1);
+        let text = m.render_prometheus();
+        assert!(text.contains("hds_analysis_handoffs_total 2"));
+        assert!(text.contains("hds_analysis_starved_total 1"));
+        assert!(text.contains("hds_guard_trips_total{guard=\"worker_lag\"} 1"));
+        assert!(text.contains("hds_worker_lag_cycles_count 2"));
     }
 
     #[test]

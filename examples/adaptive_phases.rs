@@ -15,7 +15,7 @@
 //! cargo run --release --example adaptive_phases
 //! ```
 
-use hds::optimizer::{Executor, OptimizerConfig, PrefetchPolicy, RunMode};
+use hds::optimizer::{OptimizerConfig, PrefetchPolicy, SessionBuilder};
 use hds::workloads::{SyntheticConfig, SyntheticWorkload, Workload};
 
 fn run_with_period(period: u64) -> (f64, usize) {
@@ -37,11 +37,16 @@ fn run_with_period(period: u64) -> (f64, usize) {
     let config = OptimizerConfig::paper_scale();
     let mut w = make();
     let procs = w.procedures();
-    let base = Executor::new(config.clone(), RunMode::Baseline).run(&mut w, procs);
+    let base = SessionBuilder::new(config.clone())
+        .procedures(procs)
+        .baseline()
+        .run(&mut w);
     let mut w = make();
     let procs = w.procedures();
-    let opt = Executor::new(config, RunMode::Optimize(PrefetchPolicy::StreamTail))
-        .run(&mut w, procs);
+    let opt = SessionBuilder::new(config)
+        .procedures(procs)
+        .optimize(PrefetchPolicy::StreamTail)
+        .run(&mut w);
     (opt.overhead_vs(&base), opt.opt_cycles())
 }
 

@@ -11,7 +11,7 @@
 //! cargo run --release --example custom_workload
 //! ```
 
-use hds::optimizer::{Executor, OptimizerConfig, PrefetchPolicy, RunMode};
+use hds::optimizer::{OptimizerConfig, PrefetchPolicy, SessionBuilder};
 use hds::trace::{AccessKind, Addr, DataRef, Pc};
 use hds::vulcan::{Event, ProcId, Procedure, ProgramSource};
 
@@ -170,12 +170,17 @@ fn main() {
 
     let mut w = TreeWalker::new(1_500_000);
     let procs = w.procedures();
-    let base = Executor::new(config.clone(), RunMode::Baseline).run(&mut w, procs);
+    let base = SessionBuilder::new(config.clone())
+        .procedures(procs)
+        .baseline()
+        .run(&mut w);
 
     let mut w = TreeWalker::new(1_500_000);
     let procs = w.procedures();
-    let opt = Executor::new(config, RunMode::Optimize(PrefetchPolicy::StreamTail))
-        .run(&mut w, procs);
+    let opt = SessionBuilder::new(config)
+        .procedures(procs)
+        .optimize(PrefetchPolicy::StreamTail)
+        .run(&mut w);
 
     println!("tree walker, 80 binary trees of 48 scattered nodes each");
     println!("  baseline: {} cycles", base.total_cycles);

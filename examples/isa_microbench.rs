@@ -14,7 +14,7 @@
 //! cargo run --release --example isa_microbench
 //! ```
 
-use hds::optimizer::{Executor, OptimizerConfig, PrefetchPolicy, RunMode};
+use hds::optimizer::{OptimizerConfig, PrefetchPolicy, SessionBuilder};
 use hds::vulcan::isa::{Asm, HeapImage, Interpreter, Reg};
 use hds::vulcan::ProcId;
 
@@ -112,13 +112,18 @@ fn run_with_head_len(fuel: u64, head_len: usize) -> (hds::optimizer::RunReport, 
 
     let mut w = interpreter(fuel);
     let procs = w.procedures();
-    let base = Executor::new(config.clone(), RunMode::Baseline).run(&mut w, procs);
+    let base = SessionBuilder::new(config.clone())
+        .procedures(procs)
+        .baseline()
+        .run(&mut w);
     assert!(w.error().is_none(), "program error: {:?}", w.error());
 
     let mut w = interpreter(fuel);
     let procs = w.procedures();
-    let opt = Executor::new(config, RunMode::Optimize(PrefetchPolicy::StreamTail))
-        .run(&mut w, procs);
+    let opt = SessionBuilder::new(config)
+        .procedures(procs)
+        .optimize(PrefetchPolicy::StreamTail)
+        .run(&mut w);
     assert!(w.error().is_none(), "program error: {:?}", w.error());
     (base, opt)
 }
@@ -133,7 +138,10 @@ fn main() {
         let config = OptimizerConfig::paper_scale();
         let mut plain = interpreter(fuel);
         let procs = plain.procedures();
-        let base = Executor::new(config.clone(), RunMode::Baseline).run(&mut plain, procs);
+        let base = SessionBuilder::new(config.clone())
+            .procedures(procs)
+            .baseline()
+            .run(&mut plain);
         let mut greedy = Interpreter::new(
             "isa-microbench-greedy",
             build_program_with(true),
@@ -141,7 +149,10 @@ fn main() {
             fuel,
         );
         let procs = greedy.procedures();
-        let g = Executor::new(config, RunMode::Baseline).run(&mut greedy, procs);
+        let g = SessionBuilder::new(config)
+            .procedures(procs)
+            .baseline()
+            .run(&mut greedy);
         println!(
             "  greedy jump-pointer prefetch [22] (recompiled): {:+6.1}% vs baseline, {} prefetches",
             g.overhead_vs(&base),

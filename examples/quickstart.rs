@@ -5,7 +5,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use hds::optimizer::{Executor, OptimizerConfig, PrefetchPolicy, RunMode};
+use hds::optimizer::{OptimizerConfig, PrefetchPolicy, SessionBuilder};
 use hds::workloads::{SyntheticConfig, SyntheticWorkload, Workload};
 
 fn make_workload() -> SyntheticWorkload {
@@ -24,7 +24,10 @@ fn main() {
     // 1. The unmodified program.
     let mut w = make_workload();
     let procs = w.procedures();
-    let base = Executor::new(config.clone(), RunMode::Baseline).run(&mut w, procs);
+    let base = SessionBuilder::new(config.clone())
+        .procedures(procs)
+        .baseline()
+        .run(&mut w);
     println!("baseline:  {} cycles over {} references", base.total_cycles, base.refs);
     println!("           {}", base.mem);
 
@@ -32,8 +35,10 @@ fn main() {
     //    repeatedly, prefetching each matched stream's tail.
     let mut w = make_workload();
     let procs = w.procedures();
-    let opt = Executor::new(config, RunMode::Optimize(PrefetchPolicy::StreamTail))
-        .run(&mut w, procs);
+    let opt = SessionBuilder::new(config)
+        .procedures(procs)
+        .optimize(PrefetchPolicy::StreamTail)
+        .run(&mut w);
     println!();
     println!("dyn-pref:  {} cycles ({:+.1}% vs baseline)", opt.total_cycles, opt.overhead_vs(&base));
     println!("           {}", opt.mem);

@@ -10,7 +10,7 @@
 //! cargo run --release --example streaming_session
 //! ```
 
-use hds::optimizer::{OptimizerConfig, PrefetchPolicy, RunMode, Session};
+use hds::optimizer::{OptimizerConfig, PrefetchPolicy, SessionBuilder};
 use hds::vulcan::ProgramSource;
 use hds::workloads::{SyntheticConfig, SyntheticWorkload, Workload};
 
@@ -20,11 +20,10 @@ fn main() {
         total_refs: 3_000_000,
         ..SyntheticConfig::default()
     });
-    let mut session = Session::new(
-        OptimizerConfig::paper_scale(),
-        RunMode::Optimize(PrefetchPolicy::StreamTail),
-        producer.procedures(),
-    );
+    let mut session = SessionBuilder::new(OptimizerConfig::paper_scale())
+        .procedures(producer.procedures())
+        .optimize(PrefetchPolicy::StreamTail)
+        .build();
 
     // Feed events in batches, reporting progress between them — exactly
     // what an embedding driving a live system would do.

@@ -23,11 +23,15 @@
 //! | [`workloads`] | `hds-workloads` | the six benchmark models |
 //! | [`guard`] | `hds-guard` | budget guards, accuracy-driven deoptimization, fault injection |
 //! | [`optimizer`] | `hds-core` | the dynamic prefetching optimizer |
+//! | [`engine`] | `hds-engine` | parallel suite runner (bit-identical to sequential) |
 //!
 //! # Quickstart
 //!
+//! Every run goes through [`optimizer::SessionBuilder`]: give it a
+//! configuration, the workload's procedures, and a mode, then `run`.
+//!
 //! ```
-//! use hds::optimizer::{Executor, OptimizerConfig, PrefetchPolicy, RunMode};
+//! use hds::optimizer::{OptimizerConfig, PrefetchPolicy, SessionBuilder};
 //! use hds::workloads::{SyntheticConfig, SyntheticWorkload, Workload};
 //!
 //! let config = OptimizerConfig::test_scale();
@@ -36,8 +40,10 @@
 //!     ..SyntheticConfig::default()
 //! });
 //! let procs = w.procedures();
-//! let report = Executor::new(config, RunMode::Optimize(PrefetchPolicy::StreamTail))
-//!     .run(&mut w, procs);
+//! let report = SessionBuilder::new(config)
+//!     .procedures(procs)
+//!     .optimize(PrefetchPolicy::StreamTail)
+//!     .run(&mut w);
 //! println!("{report}");
 //! ```
 
@@ -47,6 +53,7 @@
 pub use hds_bursty as bursty;
 pub use hds_core as optimizer;
 pub use hds_dfsm as dfsm;
+pub use hds_engine as engine;
 pub use hds_guard as guard;
 pub use hds_hotstream as hotstream;
 pub use hds_memsim as memsim;

@@ -16,7 +16,7 @@ use hds::bursty::{BurstyConfig, BurstyTracer, Phase, Signal};
 use hds::dfsm::{build as build_dfsm, DfsmConfig};
 use hds::hotstream::{fast, AnalysisConfig};
 use hds::optimizer::{
-    CycleStrategy, Executor, OptimizerConfig, PrefetchPolicy, RunMode, RunReport,
+    CycleStrategy, OptimizerConfig, PrefetchPolicy, RunMode, RunReport, SessionBuilder,
 };
 use hds::sequitur::Sequitur;
 use hds::trace::{DataRef, SymbolTable};
@@ -136,10 +136,16 @@ fn cmd_run(opts: &Options) -> Result<(), String> {
     for which in parse_benches(&opts.bench)? {
         let mut w = benchmark(which, opts.scale);
         let procs = w.procedures();
-        let baseline = Executor::new(config.clone(), RunMode::Baseline).run(&mut *w, procs);
+        let baseline = SessionBuilder::new(config.clone())
+            .procedures(procs)
+            .baseline()
+            .run(&mut *w);
         let mut w = benchmark(which, opts.scale);
         let procs = w.procedures();
-        let report = Executor::new(config.clone(), mode).run(&mut *w, procs);
+        let report = SessionBuilder::new(config.clone())
+            .procedures(procs)
+            .mode(mode)
+            .run(&mut *w);
         if !opts.json {
             println!(
                 "{:<8} {:>9} refs  {:>12} cycles  {:+7.2}% vs baseline  {} opt cycles",

@@ -1,7 +1,7 @@
 //! Integration tests: the full profile → analyze → optimize → hibernate
 //! pipeline across all crates.
 
-use hds::optimizer::{Executor, OptimizerConfig, PrefetchPolicy, RunMode};
+use hds::optimizer::{OptimizerConfig, PrefetchPolicy, RunMode, SessionBuilder};
 use hds::workloads::{suite, Scale, SyntheticConfig, SyntheticWorkload, Workload};
 
 fn test_config() -> OptimizerConfig {
@@ -22,7 +22,10 @@ fn stream_heavy() -> SyntheticWorkload {
 fn run(mode: RunMode) -> hds::optimizer::RunReport {
     let mut w = stream_heavy();
     let procs = w.procedures();
-    Executor::new(test_config(), mode).run(&mut w, procs)
+    SessionBuilder::new(test_config())
+        .procedures(procs)
+        .mode(mode)
+        .run(&mut w)
 }
 
 #[test]
@@ -80,8 +83,10 @@ fn random_access_workload_gets_no_streams() {
         ..SyntheticConfig::default()
     });
     let procs = w.procedures();
-    let report = Executor::new(test_config(), RunMode::Optimize(PrefetchPolicy::StreamTail))
-        .run(&mut w, procs);
+    let report = SessionBuilder::new(test_config())
+        .procedures(procs)
+        .optimize(PrefetchPolicy::StreamTail)
+        .run(&mut w);
     assert!(report.opt_cycles() >= 1, "cycles should still complete");
     let total_streams: usize = report.cycles.iter().map(|c| c.streams_used).sum();
     assert_eq!(total_streams, 0, "streams detected in pure noise: {:?}", report.cycles);
@@ -93,11 +98,10 @@ fn whole_suite_runs_at_test_scale() {
     for mut w in suite(Scale::Test) {
         let name = w.name().to_string();
         let procs = w.procedures();
-        let report = Executor::new(
-            OptimizerConfig::test_scale(),
-            RunMode::Optimize(PrefetchPolicy::StreamTail),
-        )
-        .run(&mut *w, procs);
+        let report = SessionBuilder::new(OptimizerConfig::test_scale())
+            .procedures(procs)
+            .optimize(PrefetchPolicy::StreamTail)
+            .run(&mut *w);
         assert!(report.refs >= 60_000, "{name}: too few refs");
         assert!(report.total_cycles > 0, "{name}: no cycles charged");
     }
@@ -128,18 +132,16 @@ fn sequentially_allocated_workload_makes_seq_pref_work() {
     };
     let mut w = make();
     let procs = w.procedures();
-    let seqpref = Executor::new(
-        test_config(),
-        RunMode::Optimize(PrefetchPolicy::SequentialBlocks),
-    )
-    .run(&mut w, procs);
+    let seqpref = SessionBuilder::new(test_config())
+        .procedures(procs)
+        .optimize(PrefetchPolicy::SequentialBlocks)
+        .run(&mut w);
     let mut w = make();
     let procs = w.procedures();
-    let dynpref = Executor::new(
-        test_config(),
-        RunMode::Optimize(PrefetchPolicy::StreamTail),
-    )
-    .run(&mut w, procs);
+    let dynpref = SessionBuilder::new(test_config())
+        .procedures(procs)
+        .optimize(PrefetchPolicy::StreamTail)
+        .run(&mut w);
     // With sequential allocation the two schemes fetch (nearly) the same
     // blocks: Seq-pref accuracy must be comparable (§4.3).
     assert!(seqpref.mem.prefetches_useful > 0);

@@ -2,7 +2,7 @@
 //! event produced by executing mini-ISA instructions, end to end through
 //! profiling, analysis, DFSM injection, and prefetching.
 
-use hds::optimizer::{Executor, OptimizerConfig, PrefetchPolicy, RunMode};
+use hds::optimizer::{OptimizerConfig, PrefetchPolicy, SessionBuilder};
 use hds::vulcan::isa::{Asm, HeapImage, Interpreter, ProcBody, Reg};
 use hds::vulcan::ProcId;
 
@@ -71,13 +71,18 @@ fn interpreted_program_gets_prefetched() {
     let fuel = 1_500_000;
     let mut w = Interpreter::new("isa-e2e", build_program(), build_heap(), fuel);
     let procs = w.procedures();
-    let base = Executor::new(config(), RunMode::Baseline).run(&mut w, procs);
+    let base = SessionBuilder::new(config())
+        .procedures(procs)
+        .baseline()
+        .run(&mut w);
     assert!(w.error().is_none(), "{:?}", w.error());
 
     let mut w = Interpreter::new("isa-e2e", build_program(), build_heap(), fuel);
     let procs = w.procedures();
-    let opt = Executor::new(config(), RunMode::Optimize(PrefetchPolicy::StreamTail))
-        .run(&mut w, procs);
+    let opt = SessionBuilder::new(config())
+        .procedures(procs)
+        .optimize(PrefetchPolicy::StreamTail)
+        .run(&mut w);
     assert!(w.error().is_none(), "{:?}", w.error());
 
     // Streams are detected from the interpreted execution...
@@ -101,8 +106,10 @@ fn interpreted_runs_are_deterministic() {
     let run = || {
         let mut w = Interpreter::new("isa-det", build_program(), build_heap(), 300_000);
         let procs = w.procedures();
-        Executor::new(config(), RunMode::Optimize(PrefetchPolicy::StreamTail))
-            .run(&mut w, procs)
+        SessionBuilder::new(config())
+            .procedures(procs)
+            .optimize(PrefetchPolicy::StreamTail)
+            .run(&mut w)
     };
     let (a, b) = (run(), run());
     assert_eq!(a.total_cycles, b.total_cycles);

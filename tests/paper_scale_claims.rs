@@ -6,13 +6,16 @@
 //! cargo test --release -p hds --test paper_scale_claims -- --ignored
 //! ```
 
-use hds::optimizer::{Executor, OptimizerConfig, PrefetchPolicy, RunMode, RunReport};
+use hds::optimizer::{OptimizerConfig, PrefetchPolicy, RunMode, RunReport, SessionBuilder};
 use hds::workloads::{benchmark, Benchmark, Scale};
 
 fn run(which: Benchmark, mode: RunMode) -> RunReport {
     let mut w = benchmark(which, Scale::Paper);
     let procs = w.procedures();
-    Executor::new(OptimizerConfig::paper_scale(), mode).run(&mut *w, procs)
+    SessionBuilder::new(OptimizerConfig::paper_scale())
+        .procedures(procs)
+        .mode(mode)
+        .run(&mut *w)
 }
 
 fn overhead(which: Benchmark, mode: RunMode) -> f64 {
