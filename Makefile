@@ -3,11 +3,13 @@
 
 CARGO ?= cargo
 
-.PHONY: verify build test clippy bench-smoke telemetry-demo chaos-smoke bench-par
+.PHONY: verify build test clippy bench-smoke telemetry-demo chaos-smoke bench-par chaos-crash bench-recover
 
 ## Tier-1 gate: release build, full test suite, clippy clean, chaos smoke,
-## parallel-runner smoke (bit-identical + speedup + worker-lag stats).
-verify: build test clippy chaos-smoke bench-par
+## parallel-runner smoke (bit-identical + speedup + worker-lag stats),
+## chaos-crash smoke (supervised recovery is bit-identical), and the
+## recovery benchmark (checkpoint neutrality + snapshot sizes).
+verify: build test clippy chaos-smoke bench-par chaos-crash bench-recover
 
 build:
 	$(CARGO) build --release
@@ -28,6 +30,18 @@ bench-smoke:
 ## degrade to the analyze baseline). Finishes in a few seconds.
 chaos-smoke:
 	$(CARGO) run --release -p hds-bench --bin chaos -- --schedules 100
+
+## Crash-recovery smoke: 100 seeded kill schedules (phase-boundary,
+## mid-edit, mid-handoff) under the supervisor — zero panics, exact
+## recovery-telemetry reconciliation, and every recovered lineage
+## bit-identical (report + image digest) to its crash-free twin.
+chaos-crash:
+	$(CARGO) run --release -p hds-bench --bin chaos_crash -- --schedules 100
+
+## Recovery benchmark: checkpointing timing-neutrality, snapshot sizes,
+## and a supervised kill-schedule sweep. Writes results/BENCH_recover.json.
+bench-recover:
+	$(CARGO) run --release -p hds-bench --bin bench_recover
 
 ## Parallel suite-runner smoke: the fig11 matrix sequentially vs 4
 ## workers — asserts bit-identical outcomes, measures the speedup, and

@@ -56,7 +56,9 @@ impl BenchmarkId {
 
 impl From<&str> for BenchmarkId {
     fn from(s: &str) -> Self {
-        BenchmarkId { full: s.to_string() }
+        BenchmarkId {
+            full: s.to_string(),
+        }
     }
 }
 

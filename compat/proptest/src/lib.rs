@@ -583,7 +583,9 @@ mod tests {
         use crate::strategy::Strategy;
         let gen_seq = || {
             let mut rng = crate::test_runner::TestRng::for_case("seq", 7);
-            (0..8).map(|_| (0u64..1000).gen_value(&mut rng)).collect::<Vec<_>>()
+            (0..8)
+                .map(|_| (0u64..1000).gen_value(&mut rng))
+                .collect::<Vec<_>>()
         };
         assert_eq!(gen_seq(), gen_seq());
     }

@@ -74,7 +74,10 @@ pub trait Rng: RngCore {
     where
         Self: Sized,
     {
-        assert!((0.0..=1.0).contains(&p), "gen_bool probability {p} not in [0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "gen_bool probability {p} not in [0, 1]"
+        );
         // 53 random bits → uniform in [0, 1).
         let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
         unit < p

@@ -94,7 +94,11 @@ fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
         };
         match iter.next() {
             Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
-            other => return Err(format!("expected `:` after field `{field}`, found {other:?}")),
+            other => {
+                return Err(format!(
+                    "expected `:` after field `{field}`, found {other:?}"
+                ))
+            }
         }
         fields.push(field);
         // Skip the type up to the next top-level comma (`<...>` may
@@ -131,7 +135,9 @@ fn parse_unit_variants(body: TokenStream) -> Result<Vec<String>, String> {
             None => return Ok(variants),
             Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
             Some(TokenTree::Group(_)) => {
-                return Err("enum variants with payloads are not supported by the serde shim".into())
+                return Err(
+                    "enum variants with payloads are not supported by the serde shim".into(),
+                )
             }
             Some(other) => return Err(format!("unexpected token {other:?} after variant")),
         }

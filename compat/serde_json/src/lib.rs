@@ -6,8 +6,8 @@
 
 #![forbid(unsafe_code)]
 
-pub use serde::{Error, Value};
 use serde::{Deserialize, Serialize};
+pub use serde::{Error, Value};
 
 /// Serializes `value` to compact JSON.
 ///
@@ -77,11 +77,7 @@ fn write_escaped(out: &mut String, s: &str) {
 
 fn write_value(out: &mut String, v: &Value, indent: Option<usize>, depth: usize) {
     let (nl, pad, pad_in) = match indent {
-        Some(w) => (
-            "\n",
-            " ".repeat(w * depth),
-            " ".repeat(w * (depth + 1)),
-        ),
+        Some(w) => ("\n", " ".repeat(w * depth), " ".repeat(w * (depth + 1))),
         None => ("", String::new(), String::new()),
     };
     match v {
@@ -251,14 +247,12 @@ fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, Error> {
                             .get(*pos + 1..*pos + 5)
                             .ok_or_else(|| Error::msg("truncated \\u escape"))?;
                         let code = u32::from_str_radix(
-                            std::str::from_utf8(hex)
-                                .map_err(|_| Error::msg("bad \\u escape"))?,
+                            std::str::from_utf8(hex).map_err(|_| Error::msg("bad \\u escape"))?,
                             16,
                         )
                         .map_err(|_| Error::msg("bad \\u escape"))?;
                         out.push(
-                            char::from_u32(code)
-                                .ok_or_else(|| Error::msg("bad \\u code point"))?,
+                            char::from_u32(code).ok_or_else(|| Error::msg("bad \\u code point"))?,
                         );
                         *pos += 4;
                     }

@@ -21,7 +21,11 @@ fn addresses(n: usize, span_blocks: u64) -> Vec<Addr> {
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("cache_access");
-    for (name, span) in [("l1_resident", 256u64), ("l2_resident", 4_096), ("thrashing", 1 << 17)] {
+    for (name, span) in [
+        ("l1_resident", 256u64),
+        ("l2_resident", 4_096),
+        ("thrashing", 1 << 17),
+    ] {
         let addrs = addresses(100_000, span);
         group.throughput(Throughput::Elements(addrs.len() as u64));
         group.bench_with_input(BenchmarkId::new(name, span), &addrs, |b, addrs| {

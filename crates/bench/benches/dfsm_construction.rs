@@ -43,7 +43,13 @@ fn bench(c: &mut Criterion) {
     let input = streams(40, 18);
     let dfsm = build(&input, &DfsmConfig::new(2)).unwrap();
     // Drive the matcher with a realistic mix: walk streams end to end.
-    let trace: Vec<DataRef> = input.iter().flatten().copied().cycle().take(100_000).collect();
+    let trace: Vec<DataRef> = input
+        .iter()
+        .flatten()
+        .copied()
+        .cycle()
+        .take(100_000)
+        .collect();
     group.throughput(Throughput::Elements(trace.len() as u64));
     group.bench_function("observe_100k", |b| {
         b.iter(|| {

@@ -83,8 +83,7 @@ fn main() {
         } else {
             // Heat of the hottest precise stream vs the hottest fast one
             // (total heats double-count overlapping precise classes).
-            fast_result.streams.first().map_or(0, |s| s.heat) as f64
-                / precise_result[0].heat as f64
+            fast_result.streams.first().map_or(0, |s| s.heat) as f64 / precise_result[0].heat as f64
                 * 100.0
         };
         rows.push(vec![

@@ -19,9 +19,7 @@
 use std::time::Instant;
 
 use hds_bench::scale_from_args;
-use hds_core::{
-    AnalysisConcurrency, OptimizerConfig, PrefetchPolicy, SessionBuilder,
-};
+use hds_core::{AnalysisConcurrency, OptimizerConfig, PrefetchPolicy, SessionBuilder};
 use hds_engine::{fig11_matrix, run_suite, JobOutcome};
 use hds_telemetry::MetricsRecorder;
 use hds_workloads::{benchmark, Benchmark, Scale};
@@ -38,7 +36,12 @@ fn arg_after(flag: &str) -> Option<String> {
 }
 
 fn obj(fields: Vec<(&str, Value)>) -> Value {
-    Value::Obj(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    Value::Obj(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
 }
 
 /// Times one full pass over the suite at the given worker count.

@@ -83,7 +83,13 @@ fn main() {
         eprintln!("  finished {which}");
     }
     print_table(
-        &["benchmark", "burst shape", "traced refs", "hot streams", "grammar size"],
+        &[
+            "benchmark",
+            "burst shape",
+            "traced refs",
+            "hot streams",
+            "grammar size",
+        ],
         &rows,
     );
     println!();

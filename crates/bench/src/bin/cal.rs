@@ -47,7 +47,10 @@ fn main() {
         .expect("unknown benchmark");
     let config = OptimizerConfig::paper_scale();
     let base = run(bench, Scale::Paper, RunMode::Baseline, &config);
-    println!("== {bench} ==  baseline {} cycles, {} refs", base.total_cycles, base.refs);
+    println!(
+        "== {bench} ==  baseline {} cycles, {} refs",
+        base.total_cycles, base.refs
+    );
     for mode in [
         RunMode::ChecksOnly,
         RunMode::Profile,

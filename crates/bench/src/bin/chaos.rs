@@ -35,13 +35,10 @@ fn schedules_from_args() -> u64 {
     let mut args = std::env::args();
     while let Some(a) = args.next() {
         if a == "--schedules" {
-            return args
-                .next()
-                .and_then(|n| n.parse().ok())
-                .unwrap_or_else(|| {
-                    eprintln!("bad --schedules value; using 100");
-                    100
-                });
+            return args.next().and_then(|n| n.parse().ok()).unwrap_or_else(|| {
+                eprintln!("bad --schedules value; using 100");
+                100
+            });
         }
     }
     100
@@ -114,27 +111,49 @@ fn run_schedule(seed: u64, which: Benchmark) -> ScheduleResult {
     // exactly one fate (same identity telemetry_demo checks).
     let useful_fates = report.mem.prefetches_useful - report.mem.prefetches_late;
     let checks: [(&str, u64, u64); 8] = [
-        ("prefetches issued", rec.prefetches_issued(), report.mem.prefetches_issued),
-        ("cycles completed", rec.cycles_completed(), report.cycles.len() as u64),
+        (
+            "prefetches issued",
+            rec.prefetches_issued(),
+            report.mem.prefetches_issued,
+        ),
+        (
+            "cycles completed",
+            rec.cycles_completed(),
+            report.cycles.len() as u64,
+        ),
         (
             "traced refs",
             rec.traced_refs_total(),
             report.cycles.iter().map(|c| c.traced_refs).sum::<u64>(),
         ),
-        ("useful outcomes", rec.outcomes(PrefetchFate::Useful), useful_fates),
-        ("late outcomes", rec.outcomes(PrefetchFate::Late), report.mem.prefetches_late),
+        (
+            "useful outcomes",
+            rec.outcomes(PrefetchFate::Useful),
+            useful_fates,
+        ),
+        (
+            "late outcomes",
+            rec.outcomes(PrefetchFate::Late),
+            report.mem.prefetches_late,
+        ),
         (
             "polluted outcomes",
             rec.outcomes(PrefetchFate::Polluted),
             report.mem.prefetches_polluting,
         ),
         ("guard trips", rec.guard_trips_total(), report.guard_trips),
-        ("partial deopts", rec.partial_deopts(), report.partial_deopts),
+        (
+            "partial deopts",
+            rec.partial_deopts(),
+            report.partial_deopts,
+        ),
     ];
     let mismatches = checks
         .iter()
         .filter(|(_, observed, reported)| observed != reported)
-        .map(|(what, observed, reported)| format!("{what}: observer {observed} != report {reported}"))
+        .map(|(what, observed, reported)| {
+            format!("{what}: observer {observed} != report {reported}")
+        })
         .collect();
 
     ScheduleResult {
@@ -179,7 +198,8 @@ fn assert_failed_edits_match_analyze(seed: u64, which: Benchmark) {
         which.name()
     );
     assert_eq!(
-        faulted.mem, analyze.mem,
+        faulted.mem,
+        analyze.mem,
         "[seed {seed}] {}: failed-edit run's memory behaviour diverged",
         which.name()
     );
@@ -260,8 +280,11 @@ fn write_bench_json(path: &std::path::Path) {
     }
     let json = serde_json::to_string_pretty(&rows).expect("serializing bench rows");
     std::fs::write(path, json + "\n").expect("writing --bench-json file");
-    println!("bench-json: guards-off == guards-on-untripped on all {} benchmarks -> {}",
-        rows.len(), path.display());
+    println!(
+        "bench-json: guards-off == guards-on-untripped on all {} benchmarks -> {}",
+        rows.len(),
+        path.display()
+    );
 }
 
 fn main() {
@@ -301,7 +324,10 @@ fn main() {
     for (i, which) in Benchmark::ALL.iter().enumerate() {
         assert_failed_edits_match_analyze(1_000 + i as u64, *which);
     }
-    println!("degradation: failed-edit runs match the analyze baseline on all {} benchmarks", Benchmark::ALL.len());
+    println!(
+        "degradation: failed-edit runs match the analyze baseline on all {} benchmarks",
+        Benchmark::ALL.len()
+    );
 
     if let Some(path) = bench_json_path() {
         write_bench_json(&path);

@@ -15,7 +15,9 @@
 //! `--test-scale` for a fast smoke run, `--jsonl <path>` to also dump
 //! every run report as one JSON record per line).
 
-use hds_bench::{jsonl_path_from_args, pct, print_table, run, scale_from_args, write_reports_jsonl};
+use hds_bench::{
+    jsonl_path_from_args, pct, print_table, run, scale_from_args, write_reports_jsonl,
+};
 use hds_core::{OptimizerConfig, RunMode};
 use hds_workloads::Benchmark;
 
@@ -49,6 +51,10 @@ fn main() {
     println!("paper: Base 2.5-6%; Prof adds <=1.6%; Hds adds <=1.4%; total 3-7%");
     if let Some(path) = jsonl {
         write_reports_jsonl(&path, "fig11", &reports).expect("writing --jsonl file");
-        eprintln!("wrote {} JSONL records to {}", reports.len(), path.display());
+        eprintln!(
+            "wrote {} JSONL records to {}",
+            reports.len(),
+            path.display()
+        );
     }
 }

@@ -67,7 +67,14 @@ fn main() {
         return;
     }
     print_table(
-        &["benchmark", "No-pref", "Seq-pref", "Dyn-pref", "pf-accuracy", "opt-cycles"],
+        &[
+            "benchmark",
+            "No-pref",
+            "Seq-pref",
+            "Dyn-pref",
+            "pf-accuracy",
+            "opt-cycles",
+        ],
         &rows,
     );
     println!();

@@ -8,10 +8,7 @@ use hds_trace::Symbol;
 
 fn main() {
     let input = "abaabcabcabcabc";
-    let symbols: Vec<Symbol> = input
-        .bytes()
-        .map(|b| Symbol(u32::from(b - b'a')))
-        .collect();
+    let symbols: Vec<Symbol> = input.bytes().map(|b| Symbol(u32::from(b - b'a'))).collect();
     let seq: Sequitur = symbols.iter().copied().collect();
     let grammar = seq.grammar();
 
@@ -26,7 +23,10 @@ fn main() {
     println!("{render}");
     println!("input length:  {}", seq.input_len());
     println!("grammar rules: {}", grammar.rule_count());
-    println!("grammar size:  {} symbols (DAG representation)", grammar.size());
+    println!(
+        "grammar size:  {} symbols (DAG representation)",
+        grammar.size()
+    );
     let expansion: String = grammar
         .expand_start()
         .iter()

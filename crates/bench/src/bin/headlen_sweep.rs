@@ -46,10 +46,7 @@ fn main() {
         rows.push(row);
         eprintln!("  finished {bench}");
     }
-    print_table(
-        &["benchmark", "headLen=1", "headLen=2", "headLen=3"],
-        &rows,
-    );
+    print_table(&["benchmark", "headLen=1", "headLen=2", "headLen=3"], &rows);
     println!();
     println!("paper (§4.3): headLen=2 is best; 1 hurts accuracy, 3 adds overhead for no gain");
 }

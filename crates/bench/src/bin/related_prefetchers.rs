@@ -15,9 +15,13 @@
 //!
 //! Run: `cargo run --release -p hds-bench --bin related_prefetchers`.
 
-use hds_bench::{pct, print_table, run, run_with_hw_prefetcher, run_with_stream_buffers, scale_from_args};
+use hds_bench::{
+    pct, print_table, run, run_with_hw_prefetcher, run_with_stream_buffers, scale_from_args,
+};
 use hds_core::{OptimizerConfig, PrefetchPolicy, RunMode};
-use hds_memsim::prefetcher::{MarkovPrefetcher, Prefetcher, SequentialPrefetcher, StridePrefetcher};
+use hds_memsim::prefetcher::{
+    MarkovPrefetcher, Prefetcher, SequentialPrefetcher, StridePrefetcher,
+};
 use hds_workloads::Benchmark;
 
 fn main() {
@@ -38,9 +42,8 @@ fn main() {
         for mut p in prefetchers {
             let (cycles, stats) = run_with_hw_prefetcher(bench, scale, &config, p.as_mut());
             #[allow(clippy::cast_precision_loss)]
-            let overhead = (cycles as f64 - base.total_cycles as f64)
-                / base.total_cycles as f64
-                * 100.0;
+            let overhead =
+                (cycles as f64 - base.total_cycles as f64) / base.total_cycles as f64 * 100.0;
             cells.push(format!(
                 "{} ({:.0}% acc)",
                 pct(overhead),
@@ -52,7 +55,11 @@ fn main() {
         #[allow(clippy::cast_precision_loss)]
         let sb_overhead =
             (sb_cycles as f64 - base.total_cycles as f64) / base.total_cycles as f64 * 100.0;
-        cells.push(format!("{} ({} hits)", pct(sb_overhead), sb_stats.buffer_hits));
+        cells.push(format!(
+            "{} ({} hits)",
+            pct(sb_overhead),
+            sb_stats.buffer_hits
+        ));
         let dynpref = run(
             bench,
             scale,
@@ -68,7 +75,14 @@ fn main() {
         eprintln!("  finished {bench}");
     }
     print_table(
-        &["benchmark", "hw sequential", "hw stride", "hw markov", "stream buffers", "Dyn-pref (sw)"],
+        &[
+            "benchmark",
+            "hw sequential",
+            "hw stride",
+            "hw markov",
+            "stream buffers",
+            "Dyn-pref (sw)",
+        ],
         &rows,
     );
     println!();

@@ -13,7 +13,12 @@ use hds_workloads::Benchmark;
 fn main() {
     let scale = scale_from_args();
     let bench = Benchmark::Mcf;
-    let base = run(bench, scale, RunMode::Baseline, &OptimizerConfig::paper_scale());
+    let base = run(
+        bench,
+        scale,
+        RunMode::Baseline,
+        &OptimizerConfig::paper_scale(),
+    );
     println!("Sampling-rate sweep on {bench} (bursty tracing, §2.2)");
     println!();
     let mut rows = Vec::new();
@@ -33,8 +38,8 @@ fn main() {
         let report = run(bench, scale, RunMode::Profile, &config);
         let predicted = config.bursty.sampling_rate();
         #[allow(clippy::cast_precision_loss)]
-        let recorded = report.breakdown.recording as f64
-            / config.hierarchy.cost.record_ref_cycles as f64;
+        let recorded =
+            report.breakdown.recording as f64 / config.hierarchy.cost.record_ref_cycles as f64;
         #[allow(clippy::cast_precision_loss)]
         let measured = recorded / report.refs as f64;
         rows.push(vec![
@@ -46,7 +51,12 @@ fn main() {
         eprintln!("  finished {n_check}/{n_instr}");
     }
     print_table(
-        &["nCheck0/nInstr0", "predicted rate", "measured rate", "Prof overhead"],
+        &[
+            "nCheck0/nInstr0",
+            "predicted rate",
+            "measured rate",
+            "Prof overhead",
+        ],
         &rows,
     );
     println!();

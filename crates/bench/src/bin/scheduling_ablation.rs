@@ -19,7 +19,12 @@ fn main() {
     println!();
     let mut rows = Vec::new();
     for bench in [Benchmark::Vpr, Benchmark::Mcf, Benchmark::Boxsim] {
-        let base = run(bench, scale, RunMode::Baseline, &OptimizerConfig::paper_scale());
+        let base = run(
+            bench,
+            scale,
+            RunMode::Baseline,
+            &OptimizerConfig::paper_scale(),
+        );
         let mut row = vec![bench.name().to_string()];
         let schedules = [
             PrefetchScheduling::AllAtOnce,
@@ -46,7 +51,13 @@ fn main() {
         eprintln!("  finished {bench}");
     }
     print_table(
-        &["benchmark", "all-at-once", "window=1", "window=2", "window=4"],
+        &[
+            "benchmark",
+            "all-at-once",
+            "window=1",
+            "window=2",
+            "window=4",
+        ],
         &rows,
     );
     println!();

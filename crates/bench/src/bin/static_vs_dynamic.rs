@@ -52,7 +52,13 @@ fn main() {
         eprintln!("  finished {bench}");
     }
     print_table(
-        &["benchmark", "dynamic", "static", "dyn cycles", "static cycles"],
+        &[
+            "benchmark",
+            "dynamic",
+            "static",
+            "dyn cycles",
+            "static cycles",
+        ],
         &rows,
     );
     println!();

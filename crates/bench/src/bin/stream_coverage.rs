@@ -25,8 +25,12 @@ use hds_workloads::{benchmark, Benchmark, Scale};
 fn profile_and_window(which: Benchmark) -> (Vec<Vec<DataRef>>, Vec<DataRef>) {
     let mut program = benchmark(which, Scale::Test);
     let b = OptimizerConfig::paper_scale().bursty;
-    let mut tracer =
-        BurstyTracer::new(BurstyConfig::new(b.n_check0, b.n_instr0, b.n_awake0, b.n_hibernate0));
+    let mut tracer = BurstyTracer::new(BurstyConfig::new(
+        b.n_check0,
+        b.n_instr0,
+        b.n_awake0,
+        b.n_hibernate0,
+    ));
     let mut symbols = SymbolTable::new();
     let mut sequitur = Sequitur::new();
     let mut traced = 0u64;
@@ -35,16 +39,14 @@ fn profile_and_window(which: Benchmark) -> (Vec<Vec<DataRef>>, Vec<DataRef>) {
     let mut done_profiling = false;
     while let Some(event) = program.next_event() {
         match event {
-            Event::Enter(_) | Event::BackEdge(_) if !done_profiling => {
-                match tracer.on_check() {
-                    Some(Signal::BurstBegin) if tracer.phase() == Phase::Awake => {
-                        recording = true;
-                    }
-                    Some(Signal::BurstEnd) => recording = false,
-                    Some(Signal::AwakeComplete) => done_profiling = true,
-                    _ => {}
+            Event::Enter(_) | Event::BackEdge(_) if !done_profiling => match tracer.on_check() {
+                Some(Signal::BurstBegin) if tracer.phase() == Phase::Awake => {
+                    recording = true;
                 }
-            }
+                Some(Signal::BurstEnd) => recording = false,
+                Some(Signal::AwakeComplete) => done_profiling = true,
+                _ => {}
+            },
             Event::Access(r, _) => {
                 if !done_profiling && recording && tracer.should_record() {
                     traced += 1;

@@ -11,10 +11,7 @@ use hds_trace::Symbol;
 
 fn main() {
     let input = "abaabcabcabcabc";
-    let symbols: Vec<Symbol> = input
-        .bytes()
-        .map(|b| Symbol(u32::from(b - b'a')))
-        .collect();
+    let symbols: Vec<Symbol> = input.bytes().map(|b| Symbol(u32::from(b - b'a'))).collect();
     let seq: Sequitur = symbols.iter().copied().collect();
     let grammar = seq.grammar();
     let config = AnalysisConfig::new(8, 2, 7);
@@ -51,7 +48,16 @@ fn main() {
         })
         .collect();
     print_table(
-        &["rule", "expansion", "length", "index", "uses", "coldUses", "heat", "report?"],
+        &[
+            "rule",
+            "expansion",
+            "length",
+            "index",
+            "uses",
+            "coldUses",
+            "heat",
+            "report?",
+        ],
         &rows,
     );
     println!();
@@ -65,5 +71,7 @@ fn main() {
     }
     println!();
     println!("paper: one hot stream, abcabc, heat 12 = 80% of all data references;");
-    println!("       S <15,0,1,1,15,start>, A <2,3,5,1,2,cold>, B <6,1,2,2,12,yes>, C <3,2,4,0,0,cold>");
+    println!(
+        "       S <15,0,1,1,15,start>, A <2,3,5,1,2,cold>, B <6,1,2,2,12,yes>, C <3,2,4,0,0,cold>"
+    );
 }

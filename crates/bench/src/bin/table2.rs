@@ -70,6 +70,10 @@ fn main() {
     println!("       vortex <3, 67852, 14, <29,28>, 12>, boxsim <19, 87818, 23, <40,36>, 7>");
     if let Some(path) = jsonl {
         write_reports_jsonl(&path, "table2", &reports).expect("writing --jsonl file");
-        eprintln!("wrote {} JSONL records to {}", reports.len(), path.display());
+        eprintln!(
+            "wrote {} JSONL records to {}",
+            reports.len(),
+            path.display()
+        );
     }
 }

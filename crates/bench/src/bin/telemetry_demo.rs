@@ -136,7 +136,10 @@ fn main() {
         None => Box::new(std::io::sink()),
     };
 
-    println!("telemetry demo: {} under Dyn-pref, live per-cycle view", which.name());
+    println!(
+        "telemetry demo: {} under Dyn-pref, live per-cycle view",
+        which.name()
+    );
     println!();
     println!(
         "{:>5}  {:>11}  {:>7}  {:>7}  {:>6}  {:>6}  {:>5}",
@@ -163,22 +166,42 @@ fn main() {
     // exactly one fate, so the useful *fate* count is the difference.
     let useful_fates = report.mem.prefetches_useful - report.mem.prefetches_late;
     let checks: [(&str, u64, u64); 8] = [
-        ("prefetches issued", rec.prefetches_issued(), report.mem.prefetches_issued),
-        ("cycles completed", rec.cycles_completed(), report.cycles.len() as u64),
+        (
+            "prefetches issued",
+            rec.prefetches_issued(),
+            report.mem.prefetches_issued,
+        ),
+        (
+            "cycles completed",
+            rec.cycles_completed(),
+            report.cycles.len() as u64,
+        ),
         (
             "traced refs",
             rec.traced_refs_total(),
             report.cycles.iter().map(|c| c.traced_refs).sum::<u64>(),
         ),
-        ("useful outcomes", rec.outcomes(PrefetchFate::Useful), useful_fates),
-        ("late outcomes", rec.outcomes(PrefetchFate::Late), report.mem.prefetches_late),
+        (
+            "useful outcomes",
+            rec.outcomes(PrefetchFate::Useful),
+            useful_fates,
+        ),
+        (
+            "late outcomes",
+            rec.outcomes(PrefetchFate::Late),
+            report.mem.prefetches_late,
+        ),
         (
             "polluted outcomes",
             rec.outcomes(PrefetchFate::Polluted),
             report.mem.prefetches_polluting,
         ),
         ("guard trips", rec.guard_trips_total(), report.guard_trips),
-        ("partial deopts", rec.partial_deopts(), report.partial_deopts),
+        (
+            "partial deopts",
+            rec.partial_deopts(),
+            report.partial_deopts,
+        ),
     ];
     let mut rows = Vec::new();
     let mut mismatches = 0;
@@ -191,11 +214,18 @@ fn main() {
             what.to_string(),
             observed.to_string(),
             reported.to_string(),
-            if ok { "ok".to_string() } else { "MISMATCH".to_string() },
+            if ok {
+                "ok".to_string()
+            } else {
+                "MISMATCH".to_string()
+            },
         ]);
     }
     print_table(&["counter", "observer", "report", "status"], &rows);
-    assert_eq!(mismatches, 0, "telemetry does not reconcile with the report");
+    assert_eq!(
+        mismatches, 0,
+        "telemetry does not reconcile with the report"
+    );
     println!("reconciliation: all counters agree exactly");
     println!();
 
@@ -215,7 +245,10 @@ fn main() {
         ]);
     }
     println!("per-stream prefetch quality (id is per-cycle):");
-    print_table(&["stream", "issued", "accuracy", "coverage", "timeliness"], &rows);
+    print_table(
+        &["stream", "issued", "accuracy", "coverage", "timeliness"],
+        &rows,
+    );
     println!();
 
     // --- Prometheus dump, parse-checked. -------------------------------

@@ -56,7 +56,12 @@ fn main() {
         eprintln!("  finished quantum {quantum}");
     }
     print_table(
-        &["quantum (events)", "Dyn-pref", "streams/cycle", "pf accuracy"],
+        &[
+            "quantum (events)",
+            "Dyn-pref",
+            "streams/cycle",
+            "pf accuracy",
+        ],
         &rows,
     );
     println!();

@@ -61,11 +61,14 @@ pub fn write_reports_jsonl(
     for r in reports {
         let mut value = r.to_value();
         if let Value::Obj(fields) = &mut value {
-            fields.insert(0, ("record".to_string(), Value::Str("run_report".to_string())));
+            fields.insert(
+                0,
+                ("record".to_string(), Value::Str("run_report".to_string())),
+            );
             fields.insert(1, ("source".to_string(), Value::Str(source.to_string())));
         }
-        let line = serde_json::to_string(&value)
-            .map_err(|e| std::io::Error::other(e.to_string()))?;
+        let line =
+            serde_json::to_string(&value).map_err(|e| std::io::Error::other(e.to_string()))?;
         writeln!(out, "{line}")?;
     }
     out.flush()
@@ -85,12 +88,7 @@ pub fn reports_to_json(reports: &[RunReport]) -> String {
 
 /// Runs `which` at `scale` under `mode` with the given configuration.
 #[must_use]
-pub fn run(
-    which: Benchmark,
-    scale: Scale,
-    mode: RunMode,
-    config: &OptimizerConfig,
-) -> RunReport {
+pub fn run(which: Benchmark, scale: Scale, mode: RunMode, config: &OptimizerConfig) -> RunReport {
     let mut w = benchmark(which, scale);
     let procs = w.procedures();
     SessionBuilder::new(config.clone())
@@ -190,12 +188,7 @@ pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
         println!("{}", out.trim_end());
     };
     line(&headers.iter().map(|s| (*s).to_string()).collect::<Vec<_>>());
-    line(
-        &widths
-            .iter()
-            .map(|w| "-".repeat(*w))
-            .collect::<Vec<_>>(),
-    );
+    line(&widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>());
     for row in rows {
         line(row);
     }
@@ -240,16 +233,21 @@ mod tests {
         let config = OptimizerConfig::test_scale();
         let report = run(Benchmark::Vortex, Scale::Test, RunMode::Baseline, &config);
         let path = std::env::temp_dir().join("hds-bench-jsonl-test.jsonl");
-        write_reports_jsonl(&path, "unit-test", &[report.clone(), report])
-            .expect("writing JSONL");
+        write_reports_jsonl(&path, "unit-test", &[report.clone(), report]).expect("writing JSONL");
         let body = std::fs::read_to_string(&path).expect("reading back");
         let _ = std::fs::remove_file(&path);
         let lines: Vec<&str> = body.lines().collect();
         assert_eq!(lines.len(), 2);
         for line in lines {
             let v: serde::Value = serde_json::from_str(line).expect("valid JSON line");
-            assert_eq!(v.get("record"), Some(&serde::Value::Str("run_report".into())));
-            assert_eq!(v.get("source"), Some(&serde::Value::Str("unit-test".into())));
+            assert_eq!(
+                v.get("record"),
+                Some(&serde::Value::Str("run_report".into()))
+            );
+            assert_eq!(
+                v.get("source"),
+                Some(&serde::Value::Str("unit-test".into()))
+            );
             assert!(v.get("total_cycles").is_some());
             assert!(v.get("mem").is_some());
         }

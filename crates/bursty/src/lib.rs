@@ -282,9 +282,7 @@ impl BurstyTracer {
                         Phase::Awake if self.periods_in_phase >= self.config.n_awake0 => {
                             Some(Signal::AwakeComplete)
                         }
-                        Phase::Hibernating
-                            if self.periods_in_phase >= self.config.n_hibernate0 =>
-                        {
+                        Phase::Hibernating if self.periods_in_phase >= self.config.n_hibernate0 => {
                             Some(Signal::HibernationComplete)
                         }
                         _ => Some(Signal::BurstEnd),
@@ -377,6 +375,78 @@ impl BurstyTracer {
             self.awake_checks as f64 / self.total_checks as f64
         }
     }
+
+    /// Exports the complete counter-machine state — the checkpointing
+    /// primitive. Everything the tracer is, minus the (static)
+    /// configuration.
+    #[must_use]
+    pub fn export_state(&self) -> TracerState {
+        TracerState {
+            n_check_cur: self.n_check_cur,
+            n_instr_cur: self.n_instr_cur,
+            n_check: self.n_check,
+            n_instr: self.n_instr,
+            instrumented: match self.mode {
+                Mode::Checking => 0,
+                Mode::Instrumented => 1,
+            },
+            hibernating: match self.phase {
+                Phase::Awake => 0,
+                Phase::Hibernating => 1,
+            },
+            periods_in_phase: self.periods_in_phase,
+            total_checks: self.total_checks,
+            total_bursts: self.total_bursts,
+            awake_checks: self.awake_checks,
+            phase_transitions: self.phase_transitions,
+        }
+    }
+
+    /// Restores state exported by [`BurstyTracer::export_state`]. The
+    /// tracer continues its cadence exactly where the export left off;
+    /// the configuration must be the one the state was exported under.
+    pub fn restore_state(&mut self, s: &TracerState) {
+        self.n_check_cur = s.n_check_cur;
+        self.n_instr_cur = s.n_instr_cur;
+        self.n_check = s.n_check;
+        self.n_instr = s.n_instr;
+        self.mode = if s.instrumented == 0 {
+            Mode::Checking
+        } else {
+            Mode::Instrumented
+        };
+        self.phase = if s.hibernating == 0 {
+            Phase::Awake
+        } else {
+            Phase::Hibernating
+        };
+        self.periods_in_phase = s.periods_in_phase;
+        self.total_checks = s.total_checks;
+        self.total_bursts = s.total_bursts;
+        self.awake_checks = s.awake_checks;
+        self.phase_transitions = s.phase_transitions;
+    }
+}
+
+/// A [`BurstyTracer`]'s complete mutable state as plain integers (mode
+/// and phase as 0/1 discriminants), produced by
+/// [`BurstyTracer::export_state`] for crash-consistent snapshots.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub struct TracerState {
+    pub n_check_cur: u64,
+    pub n_instr_cur: u64,
+    pub n_check: u64,
+    pub n_instr: u64,
+    /// 0 = checking, 1 = instrumented.
+    pub instrumented: u64,
+    /// 0 = awake, 1 = hibernating.
+    pub hibernating: u64,
+    pub periods_in_phase: u64,
+    pub total_checks: u64,
+    pub total_bursts: u64,
+    pub awake_checks: u64,
+    pub phase_transitions: u64,
 }
 
 #[cfg(test)]
@@ -567,7 +637,10 @@ mod tests {
             }
         }
         assert!(t.phase_transitions() >= 2);
-        assert_eq!(t.awake_checks() + (t.total_checks() - t.awake_checks()), t.total_checks());
+        assert_eq!(
+            t.awake_checks() + (t.total_checks() - t.awake_checks()),
+            t.total_checks()
+        );
         // Awake 2 of every 8 burst-periods (same period length in both
         // phases), so the duty cycle converges on 0.25.
         let expected = 2.0 / 8.0;
@@ -581,6 +654,51 @@ mod tests {
     #[test]
     fn signal_display() {
         assert_eq!(Signal::BurstBegin.to_string(), "burst-begin");
-        assert_eq!(Signal::HibernationComplete.to_string(), "hibernation-complete");
+        assert_eq!(
+            Signal::HibernationComplete.to_string(),
+            "hibernation-complete"
+        );
+    }
+
+    /// A restored tracer continues its cadence bit-identically: export at
+    /// an arbitrary check, restore into a fresh tracer, and the two emit
+    /// the same signal/mode/phase sequence forever after.
+    #[test]
+    fn export_restore_resumes_identical_cadence() {
+        let config = BurstyConfig::new(7, 3, 2, 5);
+        for stop_at in [0usize, 1, 9, 23, 137, 500] {
+            let mut original = BurstyTracer::new(config);
+            for _ in 0..stop_at {
+                match original.on_check() {
+                    Some(Signal::AwakeComplete) => original.hibernate(),
+                    Some(Signal::HibernationComplete) => original.wake(),
+                    _ => {}
+                }
+            }
+            let state = original.export_state();
+            let mut resumed = BurstyTracer::new(config);
+            resumed.restore_state(&state);
+            assert_eq!(resumed.export_state(), state, "round-trip at {stop_at}");
+            for i in 0..300 {
+                let a = original.on_check();
+                let b = resumed.on_check();
+                assert_eq!(a, b, "signal diverged at {stop_at}+{i}");
+                assert_eq!(original.mode(), resumed.mode());
+                assert_eq!(original.phase(), resumed.phase());
+                match a {
+                    Some(Signal::AwakeComplete) => {
+                        original.hibernate();
+                        resumed.hibernate();
+                    }
+                    Some(Signal::HibernationComplete) => {
+                        original.wake();
+                        resumed.wake();
+                    }
+                    _ => {}
+                }
+            }
+            assert_eq!(original.total_checks(), resumed.total_checks());
+            assert_eq!(original.total_bursts(), resumed.total_bursts());
+        }
     }
 }

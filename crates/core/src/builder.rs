@@ -41,6 +41,7 @@ use crate::config::{
 };
 use crate::executor::Session;
 use crate::report::RunReport;
+use crate::snapshot::{Snapshot, SnapshotError};
 
 // ---------------------------------------------------------------------------
 // SessionBuilder
@@ -105,11 +106,12 @@ pub struct SessionBuilder<M = NeedsMode, O: Observer = NullObserver, F: FaultInj
     state: M,
     obs: O,
     faults: F,
+    checkpoints: bool,
 }
 
 impl SessionBuilder {
     /// Starts a builder from an [`OptimizerConfig`] with no procedures,
-    /// no observer, and no faults.
+    /// no observer, no faults, and no checkpointing.
     #[must_use]
     pub fn new(config: OptimizerConfig) -> Self {
         SessionBuilder {
@@ -118,6 +120,7 @@ impl SessionBuilder {
             state: NeedsMode,
             obs: NullObserver,
             faults: NoFaults,
+            checkpoints: false,
         }
     }
 }
@@ -142,6 +145,7 @@ impl<M, O: Observer, F: FaultInjector> SessionBuilder<M, O, F> {
             state: self.state,
             obs,
             faults: self.faults,
+            checkpoints: self.checkpoints,
         }
     }
 
@@ -156,7 +160,18 @@ impl<M, O: Observer, F: FaultInjector> SessionBuilder<M, O, F> {
             state: self.state,
             obs: self.obs,
             faults,
+            checkpoints: self.checkpoints,
         }
+    }
+
+    /// Turns on crash-consistent checkpointing: every phase boundary
+    /// captures a versioned, checksummed [`Snapshot`] of the full
+    /// optimizer state, retrievable with [`Session::latest_snapshot`]
+    /// and resumable with [`SessionBuilder::resume`].
+    #[must_use]
+    pub fn checkpoints(mut self) -> Self {
+        self.checkpoints = true;
+        self
     }
 }
 
@@ -171,6 +186,7 @@ impl<O: Observer, F: FaultInjector> SessionBuilder<NeedsMode, O, F> {
             state: Ready(mode),
             obs: self.obs,
             faults: self.faults,
+            checkpoints: self.checkpoints,
         }
     }
 
@@ -220,17 +236,45 @@ impl<O: Observer, F: FaultInjector> SessionBuilder<Ready, O, F> {
     /// with [`Session::finish`].
     #[must_use]
     pub fn build(self) -> Session<O, F> {
-        Session::construct(
+        let checkpoints = self.checkpoints;
+        let mut session = Session::construct(
             self.config,
             self.state.0,
             self.procedures,
+            self.obs,
+            self.faults,
+        );
+        if checkpoints {
+            session.enable_checkpoints();
+        }
+        session
+    }
+
+    /// Reconstructs a session from a phase-boundary [`Snapshot`]
+    /// instead of starting fresh — the crash-recovery entry point. The
+    /// builder's config, mode, and procedures must match the capturing
+    /// run's; any attached observer/faults carry over. See
+    /// [`Session::resume_from`].
+    ///
+    /// # Errors
+    ///
+    /// Any [`SnapshotError`]: corruption, a foreign format, or a
+    /// snapshot captured under a different configuration.
+    pub fn resume(self, snapshot: &Snapshot) -> Result<Session<O, F>, SnapshotError> {
+        Session::resume_from(
+            self.config,
+            self.state.0,
+            self.procedures,
+            snapshot,
             self.obs,
             self.faults,
         )
     }
 
     /// Runs `program` to completion and returns its report — the
-    /// one-shot driver over [`SessionBuilder::build`].
+    /// one-shot driver over [`SessionBuilder::build`]. An injected
+    /// crash ends the loop early (the session is dead); supervised
+    /// recovery lives in `hds-engine`.
     pub fn run<W>(self, program: &mut W) -> RunReport
     where
         W: ProgramSource + ?Sized,
@@ -238,6 +282,9 @@ impl<O: Observer, F: FaultInjector> SessionBuilder<Ready, O, F> {
         let mut session = self.build();
         while let Some(event) = program.next_event() {
             session.on_event(event);
+            if session.crashed() {
+                break;
+            }
         }
         session.finish(program.name())
     }
@@ -421,7 +468,13 @@ impl EngineConfigBuilder {
     /// `BurstyConfig::new`, zero counters are *reported* (as
     /// [`ConfigError::ZeroBurstCounter`]) rather than panicking.
     #[must_use]
-    pub fn bursty(mut self, n_check0: u64, n_instr0: u64, n_awake0: u64, n_hibernate0: u64) -> Self {
+    pub fn bursty(
+        mut self,
+        n_check0: u64,
+        n_instr0: u64,
+        n_awake0: u64,
+        n_hibernate0: u64,
+    ) -> Self {
         self.bursty_raw = Some((n_check0, n_instr0, n_awake0, n_hibernate0));
         self
     }
@@ -610,15 +663,29 @@ mod tests {
 
     #[test]
     fn engine_config_validates_zero_counters() {
-        let err = EngineConfig::builder().bursty(0, 40, 4, 8).build().unwrap_err();
+        let err = EngineConfig::builder()
+            .bursty(0, 40, 4, 8)
+            .build()
+            .unwrap_err();
         assert_eq!(err, ConfigError::ZeroBurstCounter { field: "nCheck0" });
-        let err = EngineConfig::builder().bursty(240, 40, 4, 0).build().unwrap_err();
-        assert_eq!(err, ConfigError::ZeroBurstCounter { field: "nHibernate0" });
+        let err = EngineConfig::builder()
+            .bursty(240, 40, 4, 0)
+            .build()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ConfigError::ZeroBurstCounter {
+                field: "nHibernate0"
+            }
+        );
     }
 
     #[test]
     fn engine_config_rejects_inverted_duty_cycle() {
-        let err = EngineConfig::builder().bursty(240, 40, 8, 4).build().unwrap_err();
+        let err = EngineConfig::builder()
+            .bursty(240, 40, 8, 4)
+            .build()
+            .unwrap_err();
         assert_eq!(
             err,
             ConfigError::HibernationShorterThanAwake {
@@ -632,11 +699,17 @@ mod tests {
     #[test]
     fn engine_config_rejects_bad_heat_and_bounds() {
         assert_eq!(
-            EngineConfig::builder().heat_percent(0.0).build().unwrap_err(),
+            EngineConfig::builder()
+                .heat_percent(0.0)
+                .build()
+                .unwrap_err(),
             ConfigError::HeatPercentOutOfRange(0.0)
         );
         assert_eq!(
-            EngineConfig::builder().heat_percent(250.0).build().unwrap_err(),
+            EngineConfig::builder()
+                .heat_percent(250.0)
+                .build()
+                .unwrap_err(),
             ConfigError::HeatPercentOutOfRange(250.0)
         );
         let mut opt = OptimizerConfig::test_scale();

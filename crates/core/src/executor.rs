@@ -4,14 +4,14 @@
 
 use hds_bursty::{BurstyTracer, Mode, Phase, Signal};
 use hds_dfsm::{build as build_dfsm, BuildError, Dfsm, StateId};
-use hds_guard::{FaultInjector, GuardRuntime, NoFaults, Trip};
+use hds_guard::{CrashPoint, FaultInjector, GuardRuntime, NoFaults, Trip};
 use hds_hotstream::fast;
 use hds_memsim::MemorySystem;
 use hds_sequitur::Sequitur;
 use hds_telemetry::events::GuardKind;
 use hds_telemetry::{events as tev, NullObserver, Observer};
 use hds_trace::{DataRef, SymbolTable, TraceBuffer};
-use hds_vulcan::{Event, FrameTracker, Image, Procedure, ProgramSource};
+use hds_vulcan::{EditJournal, Event, FrameTracker, Image, Procedure, ProgramSource};
 
 use crate::config::{
     AnalysisConcurrency, CycleStrategy, OptimizerConfig, PrefetchPolicy, PrefetchScheduling,
@@ -22,6 +22,8 @@ use crate::pipeline::{
     PendingAnalysis,
 };
 use crate::report::{CostBreakdown, CycleStats, RunReport, WorkerStats};
+use crate::snapshot::{config_fingerprint, BgState, PendingState, SessionState, Snapshot};
+use crate::SnapshotError;
 
 /// Runs one program under one [`RunMode`]. One-shot: construct, call
 /// [`Executor::run`], read the [`RunReport`].
@@ -71,6 +73,30 @@ struct RunState {
     /// ([`AnalysisConcurrency::Background`] only): channels, the
     /// in-flight request, and the handoff/apply/starve counters.
     bg: Option<BackgroundAnalysis>,
+    /// Set by an injected crash ([`CrashPoint`]): the session is dead
+    /// and consumes no further events until the supervisor restarts it
+    /// from its last snapshot.
+    crashed: bool,
+    /// Workload events fully accepted by [`Session::on_event`] — the
+    /// resume cursor a snapshot records.
+    events_consumed: u64,
+    /// Phase-boundary snapshots captured (reconciles with
+    /// `RecoverySnapshot` telemetry and `RunReport::snapshots`).
+    snapshots: u64,
+    /// Supervisor restarts that produced this session (stamped by
+    /// [`Session::mark_restarted`]; never serialized).
+    restarts: u64,
+    /// Write-ahead journal for stop-the-world image edits: a commit
+    /// torn by a mid-edit crash is deterministically rolled forward by
+    /// [`Session::crash_recover`], never left half-patched.
+    journal: EditJournal<usize>,
+    /// The most recent phase-boundary snapshot (checkpointing only).
+    latest_snapshot: Option<Snapshot>,
+    /// Whether phase boundaries capture snapshots.
+    checkpoints: bool,
+    /// How to reconstruct the DFSM from `installed` on resume:
+    /// 0 = none, 1 = full build, 2 = accuracy-rebuild over survivors.
+    dfsm_rebuild: u8,
 }
 
 #[allow(deprecated)]
@@ -310,6 +336,14 @@ impl<O: Observer, F: FaultInjector> Session<O, F> {
             installed: Vec::new(),
             partial_deopts: 0,
             bg,
+            crashed: false,
+            events_consumed: 0,
+            snapshots: 0,
+            restarts: 0,
+            journal: EditJournal::new(),
+            latest_snapshot: None,
+            checkpoints: false,
+            dfsm_rebuild: 0,
         };
         let mut session = Session {
             config,
@@ -352,9 +386,232 @@ impl<O: Observer, F: FaultInjector> Session<O, F> {
         self.st.guard.as_ref()
     }
 
+    /// Turns on crash-consistent checkpointing: every phase boundary
+    /// captures a versioned, checksummed [`Snapshot`] of the full
+    /// optimizer state, retrievable with [`Session::latest_snapshot`].
+    pub fn enable_checkpoints(&mut self) {
+        self.st.checkpoints = true;
+    }
+
+    /// Whether an injected crash has killed this session. A crashed
+    /// session consumes no further events; restart it from
+    /// [`Session::latest_snapshot`] via [`Session::resume_from`].
+    #[must_use]
+    pub fn crashed(&self) -> bool {
+        self.st.crashed
+    }
+
+    /// Workload events fully accepted so far — the resume cursor.
+    #[must_use]
+    pub fn events_consumed(&self) -> u64 {
+        self.st.events_consumed
+    }
+
+    /// Phase-boundary snapshots captured so far.
+    #[must_use]
+    pub fn snapshots_taken(&self) -> u64 {
+        self.st.snapshots
+    }
+
+    /// The most recent phase-boundary snapshot, when checkpointing is
+    /// on and at least one boundary has passed.
+    #[must_use]
+    pub fn latest_snapshot(&self) -> Option<&Snapshot> {
+        self.st.latest_snapshot.as_ref()
+    }
+
+    /// A deterministic digest of the edited program image — the
+    /// bit-identity witness the chaos-crash suite compares between
+    /// recovered and uninterrupted runs.
+    #[must_use]
+    pub fn image_digest(&self) -> u64 {
+        self.st.image.digest_with(|len| *len as u64)
+    }
+
+    /// Inspects the write-ahead edit journal and rolls a torn commit
+    /// forward, leaving the image exactly as if the commit had
+    /// completed. Idempotent; returns whether anything was replayed.
+    /// Emits a `RecoveryReplay` telemetry event either way.
+    pub fn crash_recover(&mut self) -> bool {
+        let rolled = self.st.journal.recover(&mut self.st.image);
+        if O::ENABLED {
+            self.obs.recovery_replay(&tev::RecoveryReplay {
+                events_consumed: self.st.events_consumed,
+                rolled_forward: rolled,
+            });
+        }
+        rolled
+    }
+
+    /// Stamps the supervisor's restart count onto the session (so the
+    /// final [`RunReport::restarts`] reconciles) and emits the matching
+    /// `RecoveryRestart` telemetry event, stamped with this session's
+    /// resume cursor. Restart counts belong to the supervisor's
+    /// lifetime, not the crashed segment's, so they are never
+    /// serialized; `backoff_cycles` is the modeled backoff the
+    /// supervisor charged before this attempt.
+    pub fn mark_restarted(&mut self, attempt: u32, backoff_cycles: u64) {
+        self.st.restarts = u64::from(attempt);
+        if O::ENABLED {
+            self.obs.recovery_restart(&tev::RecoveryRestart {
+                attempt,
+                resumed_at_event: self.st.events_consumed,
+                backoff_cycles,
+            });
+        }
+    }
+
+    /// A liveness probe for the background analysis worker thread
+    /// (`None` when analysis runs inline). The probe's `upgrade()`
+    /// fails once the worker has fully exited — the
+    /// no-detached-threads regression tests key on this.
+    #[must_use]
+    pub fn worker_probe(&self) -> Option<std::sync::Weak<()>> {
+        self.st.bg.as_ref().map(BackgroundAnalysis::worker_probe)
+    }
+
+    /// Reconstructs a session from a phase-boundary [`Snapshot`],
+    /// continuing bit-identically to the run that captured it: feed it
+    /// the same workload with the snapshot's
+    /// [`events_consumed`](Session::events_consumed) leading events
+    /// skipped, and the final report and image digest match the
+    /// uninterrupted run exactly.
+    ///
+    /// `config`, `mode`, and `procedures` must be the ones the
+    /// capturing session ran under (checked via a config fingerprint).
+    /// The DFSM, grammar, and trace buffer are rebuilt, not decoded:
+    /// their construction is deterministic in the serialized state.
+    /// Checkpointing stays enabled on the resumed session.
+    ///
+    /// # Errors
+    ///
+    /// Any [`SnapshotError`]: a corrupted blob (`ChecksumMismatch`), a
+    /// foreign format (`BadMagic`/`UnsupportedVersion`/`Malformed`), or
+    /// a snapshot from a different configuration (`ConfigMismatch`).
+    pub fn resume_from(
+        config: OptimizerConfig,
+        mode: RunMode,
+        procedures: Vec<Procedure>,
+        snapshot: &Snapshot,
+        obs: O,
+        mut faults: F,
+    ) -> Result<Self, SnapshotError> {
+        let expected = config_fingerprint(&config, mode);
+        let state = SessionState::from_snapshot(snapshot, expected)?;
+        let mut mem = MemorySystem::new(config.hierarchy.clone());
+        mem.restore_state(&state.mem);
+        let mut tracer = BurstyTracer::new(config.bursty);
+        tracer.restore_state(&state.tracer);
+        let mut image = Image::new(procedures);
+        image.restore_state(state.image);
+        let dfsm = match state.dfsm_rebuild {
+            0 => None,
+            1 => Some(machine_for(&state.installed, &config).map_err(|_| {
+                SnapshotError::Malformed("installed streams no longer build a dfsm".into())
+            })?),
+            2 => Some(build_dfsm(&state.installed, &config.dfsm).map_err(|_| {
+                SnapshotError::Malformed("installed streams no longer build a dfsm".into())
+            })?),
+            d => {
+                return Err(SnapshotError::Malformed(format!(
+                    "dfsm_rebuild: bad discriminant {d}"
+                )))
+            }
+        };
+        let frames = state
+            .frames
+            .into_iter()
+            .map(|(stack, max_depth)| {
+                let stack = stack
+                    .into_iter()
+                    .map(|(p, e)| (hds_vulcan::ProcId(p), e))
+                    .collect();
+                FrameTracker::from_parts(stack, max_depth)
+            })
+            .collect();
+        let guard = state.guard.as_ref().map(|gs| {
+            let mut g = GuardRuntime::new(config.guard.clone());
+            g.restore_state(gs);
+            g
+        });
+        // Background mode: spawn a fresh worker and re-submit the
+        // in-flight request, if any — `analyze_trace` is pure, so the
+        // recomputed outcome is identical to the one the crash lost.
+        let bg = state.bg.map(|bs| {
+            let mut bg = BackgroundAnalysis::spawn(config.clone(), mode.optimizes().is_some());
+            bg.handoffs = bs.handoffs;
+            bg.applied = bs.applied;
+            bg.starved = bs.starved;
+            if let Some(p) = bs.pending {
+                let request = AnalyzeRequest {
+                    refs: p.refs,
+                    denylist: p.denylist,
+                };
+                if bg.submit(request.clone()) {
+                    bg.pending = Some(PendingAnalysis {
+                        handoff_at: p.handoff_at,
+                        ready_at: p.ready_at,
+                        request,
+                    });
+                }
+            }
+            bg
+        });
+        faults.restore_state(state.fault_state);
+        let st = RunState {
+            cycles: state.cycles,
+            breakdown: state.breakdown,
+            mem,
+            tracer,
+            buffer: TraceBuffer::new(),
+            symbols: SymbolTable::new(),
+            sequitur: Sequitur::new(),
+            image,
+            dfsm,
+            dfsm_state: StateId(state.dfsm_state),
+            frames,
+            active_thread: state.active_thread,
+            refs: state.refs,
+            checks: state.checks,
+            cycle_stats: state.cycle_stats,
+            pf_queue: state
+                .pf_queue
+                .iter()
+                .map(|&(a, t)| (hds_trace::Addr(a), t))
+                .collect(),
+            guard,
+            installed: state.installed,
+            partial_deopts: state.partial_deopts,
+            bg,
+            crashed: false,
+            events_consumed: state.events_consumed,
+            snapshots: state.snapshots,
+            restarts: 0,
+            journal: EditJournal::new(),
+            latest_snapshot: Some(snapshot.clone()),
+            checkpoints: true,
+            dfsm_rebuild: state.dfsm_rebuild,
+        };
+        Ok(Session {
+            config,
+            mode,
+            st,
+            obs,
+            faults,
+        })
+    }
+
     /// Processes one execution event, charging its simulated cost and
     /// driving the profile -> analyze -> optimize -> hibernate machinery.
+    ///
+    /// A crashed session (see [`Session::crashed`]) ignores further
+    /// events: the process is dead, and recovery goes through the
+    /// supervisor and [`Session::resume_from`].
     pub fn on_event(&mut self, event: Event) {
+        if self.st.crashed {
+            return;
+        }
+        self.st.events_consumed += 1;
         let cost = self.config.hierarchy.cost;
         let st = &mut self.st;
         match event {
@@ -372,7 +629,15 @@ impl<O: Observer, F: FaultInjector> Session<O, F> {
                 do_check(&self.config, self.mode, st, &mut self.obs, &mut self.faults);
             }
             Event::Access(r, kind) => {
-                do_access(&self.config, self.mode, st, &mut self.obs, &mut self.faults, r, kind);
+                do_access(
+                    &self.config,
+                    self.mode,
+                    st,
+                    &mut self.obs,
+                    &mut self.faults,
+                    r,
+                    kind,
+                );
             }
             Event::Prefetch(addr) => {
                 // A prefetch instruction belonging to the program
@@ -439,11 +704,14 @@ impl<O: Observer, F: FaultInjector> Session<O, F> {
             RunMode::Optimize(p) => p.label().to_string(),
         };
         let st = self.st;
-        let worker = st.bg.as_ref().map_or_else(WorkerStats::default, |bg| WorkerStats {
-            handoffs: bg.handoffs,
-            applied: bg.applied,
-            starved: bg.starved,
-        });
+        let worker = st
+            .bg
+            .as_ref()
+            .map_or_else(WorkerStats::default, |bg| WorkerStats {
+                handoffs: bg.handoffs,
+                applied: bg.applied,
+                starved: bg.starved,
+            });
         RunReport {
             name: name.to_string(),
             mode: mode_label,
@@ -455,6 +723,8 @@ impl<O: Observer, F: FaultInjector> Session<O, F> {
             guard_trips: st.guard.as_ref().map_or(0, GuardRuntime::trips_total),
             partial_deopts: st.partial_deopts,
             worker,
+            snapshots: st.snapshots,
+            restarts: st.restarts,
             cycles: st.cycle_stats,
         }
     }
@@ -577,6 +847,11 @@ fn do_check<O: Observer, F: FaultInjector>(
                 // — resolved before the signal, so an installation "at"
                 // the wake-up check precedes de-optimization.
                 poll_background(config, mode, st, obs, faults);
+                if st.crashed {
+                    // A mid-edit crash during the background install:
+                    // the session is dead; the signal dies with it.
+                    return;
+                }
                 match signal {
                     Some(Signal::BurstBegin) if st.tracer.phase() == Phase::Awake => {
                         st.buffer.begin_burst();
@@ -600,25 +875,28 @@ fn do_check<O: Observer, F: FaultInjector>(
                             st.buffer.end_burst_discard_empty();
                         }
                         finish_awake(config, mode, st, obs, faults);
+                        if st.crashed {
+                            // Killed mid-edit or mid-handoff inside the
+                            // analysis/install: the boundary was never
+                            // reached, so no snapshot is captured.
+                            return;
+                        }
                         st.tracer.hibernate();
                         if O::ENABLED {
                             obs.phase_transition(&phase_event(st, tev::PhaseKind::Hibernating));
                         }
+                        checkpoint(config, mode, st, obs, faults);
                     }
                     Some(Signal::HibernationComplete) => {
-                        if config.strategy == CycleStrategy::Static
-                            && st.dfsm.is_some()
-                        {
+                        if config.strategy == CycleStrategy::Static && st.dfsm.is_some() {
                             // Static operation: the code stays optimized
                             // and profiling never resumes — just start
                             // another hibernation span.
                             st.tracer.hibernate();
                             if O::ENABLED {
-                                obs.phase_transition(&phase_event(
-                                    st,
-                                    tev::PhaseKind::Hibernating,
-                                ));
+                                obs.phase_transition(&phase_event(st, tev::PhaseKind::Hibernating));
                             }
+                            checkpoint(config, mode, st, obs, faults);
                         } else {
                             // A background analysis that missed the
                             // whole hibernation span can no longer be
@@ -631,6 +909,7 @@ fn do_check<O: Observer, F: FaultInjector>(
                             let had_code = st.dfsm.is_some();
                             st.image.deoptimize();
                             st.dfsm = None;
+                            st.dfsm_rebuild = 0;
                             st.dfsm_state = StateId::START;
                             st.pf_queue.clear();
                             st.installed.clear();
@@ -656,6 +935,7 @@ fn do_check<O: Observer, F: FaultInjector>(
                                     at_cycle: st.cycles,
                                 });
                             }
+                            checkpoint(config, mode, st, obs, faults);
                         }
                     }
                     None => {}
@@ -663,7 +943,6 @@ fn do_check<O: Observer, F: FaultInjector>(
             }
         }
     }
-
 }
 
 /// A [`tev::PhaseTransition`] snapshot of the current run state.
@@ -674,6 +953,96 @@ fn phase_event(st: &RunState, to: tev::PhaseKind) -> tev::PhaseTransition {
         to,
         opt_cycle: st.cycle_stats.len() as u64,
         duty_cycle: st.tracer.duty_cycle(),
+    }
+}
+
+/// A phase boundary: capture a snapshot (when checkpointing is on),
+/// then draw the phase-boundary kill point. Capture strictly precedes
+/// the draw, so a crash *at* a boundary still leaves that boundary's
+/// snapshot behind — each boundary is captured exactly once per
+/// supervised run, which is what makes `RecoverySnapshot` telemetry
+/// reconcile with [`RunReport::snapshots`](crate::RunReport).
+fn checkpoint<O: Observer, F: FaultInjector>(
+    config: &OptimizerConfig,
+    mode: RunMode,
+    st: &mut RunState,
+    obs: &mut O,
+    faults: &mut F,
+) {
+    if st.checkpoints {
+        // Boundaries sit between profiles: the trace buffer and grammar
+        // are always empty here, which is why they need no encoding.
+        debug_assert!(!st.buffer.in_burst());
+        debug_assert_eq!(st.sequitur.input_len(), 0);
+        // Count the capture first so the serialized counter includes
+        // the snapshot in flight: a resumed session reports every
+        // capture that ever happened on its timeline.
+        st.snapshots += 1;
+        let state = export_session_state(st, faults);
+        let snap = state.to_snapshot(config_fingerprint(config, mode));
+        if O::ENABLED {
+            obs.recovery_snapshot(&tev::RecoverySnapshot {
+                opt_cycle: st.cycle_stats.len() as u64,
+                at_cycle: st.cycles,
+                events_consumed: st.events_consumed,
+                bytes: snap.len() as u64,
+            });
+        }
+        st.latest_snapshot = Some(snap);
+    }
+    // The kill point is drawn whether or not checkpointing is on, so
+    // crash schedules land identically for supervised and bare runs.
+    if F::ENABLED && faults.crash(CrashPoint::PhaseBoundary) {
+        st.crashed = true;
+    }
+}
+
+/// Exports the full mutable run state for serialization. The
+/// fault-injector's in-simulation stream rides along so a resumed
+/// session re-draws exactly the faults the original would have.
+fn export_session_state<F: FaultInjector>(st: &RunState, faults: &F) -> SessionState {
+    SessionState {
+        cycles: st.cycles,
+        breakdown: st.breakdown,
+        mem: st.mem.export_state(),
+        tracer: st.tracer.export_state(),
+        image: st.image.export_state(),
+        dfsm_state: st.dfsm_state.0,
+        dfsm_rebuild: st.dfsm_rebuild,
+        frames: st
+            .frames
+            .iter()
+            .map(|f| {
+                let stack = f
+                    .export_stack()
+                    .into_iter()
+                    .map(|(p, e)| (p.0, e))
+                    .collect();
+                (stack, f.max_depth())
+            })
+            .collect(),
+        active_thread: st.active_thread,
+        refs: st.refs,
+        checks: st.checks,
+        cycle_stats: st.cycle_stats.clone(),
+        pf_queue: st.pf_queue.iter().map(|&(a, t)| (a.0, t)).collect(),
+        guard: st.guard.as_ref().map(GuardRuntime::export_state),
+        installed: st.installed.clone(),
+        partial_deopts: st.partial_deopts,
+        bg: st.bg.as_ref().map(|bg| BgState {
+            handoffs: bg.handoffs,
+            applied: bg.applied,
+            starved: bg.starved,
+            pending: bg.pending.as_ref().map(|p| PendingState {
+                handoff_at: p.handoff_at,
+                ready_at: p.ready_at,
+                refs: p.request.refs.clone(),
+                denylist: p.request.denylist.clone(),
+            }),
+        }),
+        events_consumed: st.events_consumed,
+        snapshots: st.snapshots,
+        fault_state: faults.snapshot_state(),
     }
 }
 
@@ -801,8 +1170,7 @@ fn do_access<O: Observer, F: FaultInjector>(
                                         }
                                     }
                                     PrefetchScheduling::Windowed { .. } => {
-                                        st.pf_queue
-                                            .extend(addrs.into_iter().map(|a| (a, tag)));
+                                        st.pf_queue.extend(addrs.into_iter().map(|a| (a, tag)));
                                         let depth = st.pf_queue.len() as u64;
                                         let trip = st.guard.as_mut().and_then(|g| {
                                             g.observe(GuardKind::PrefetchQueue, depth)
@@ -825,7 +1193,6 @@ fn do_access<O: Observer, F: FaultInjector>(
         }
         drain_outcomes(st, obs);
     }
-
 }
 
 /// End of an awake phase: run the analysis, and in optimize modes
@@ -902,7 +1269,10 @@ fn finish_awake<O: Observer, F: FaultInjector>(
                 let guard = st.guard.as_ref();
                 let symbols = &st.symbols;
                 let streams = select_streams(
-                    result.streams.iter().map(|s| symbols.resolve_all(&s.symbols)),
+                    result
+                        .streams
+                        .iter()
+                        .map(|s| symbols.resolve_all(&s.symbols)),
                     head_len,
                     config.max_streams,
                     |h| guard.is_some_and(|g| g.is_denylisted(h)),
@@ -929,9 +1299,10 @@ fn finish_awake<O: Observer, F: FaultInjector>(
                             // Over the state budget: skip injection for
                             // this cycle (the guard only trips when its
                             // own cap, not the crate's, was binding).
-                            let trip = st.guard.as_mut().and_then(|g| {
-                                g.observe(GuardKind::DfsmStates, limit as u64 + 1)
-                            });
+                            let trip = st
+                                .guard
+                                .as_mut()
+                                .and_then(|g| g.observe(GuardKind::DfsmStates, limit as u64 + 1));
                             if let Some(t) = trip {
                                 report_trip(st, obs, t);
                             }
@@ -991,8 +1362,26 @@ fn install_machine<O: Observer, F: FaultInjector>(
         // to the image; ignore any that do not (defensive).
         let _ = edit.inject(*pc, chain.len());
     }
-    match edit.commit() {
-        Ok(report) => {
+    // The mid-edit kill point: the "process" dies partway through the
+    // stop-the-world patch. The write-ahead journal records the edit
+    // before any patch lands, so the torn image is deterministically
+    // rolled forward by `Session::crash_recover` — never half-patched.
+    // A *failed* (poisoned) edit rolls back atomically WITHOUT
+    // journaling, so a crash landing on an already-failed edit rolls
+    // back exactly once.
+    let mut tear = None;
+    if F::ENABLED && faults.crash(CrashPoint::MidEdit) {
+        st.crashed = true;
+        tear = Some(checks.len() / 2);
+    }
+    match edit.commit_journaled(&mut st.journal, tear) {
+        Ok(None) => {
+            // Torn mid-commit: a prefix of the patches landed and the
+            // journal entry is pending. This session is dead; nothing
+            // more happens in it (recovery rolls the image forward).
+            return;
+        }
+        Ok(Some(report)) => {
             st.cycles += cost.optimize_cycles;
             st.breakdown.optimize += cost.optimize_cycles;
             stats.dfsm_states = dfsm.state_count();
@@ -1018,6 +1407,7 @@ fn install_machine<O: Observer, F: FaultInjector>(
                 );
             }
             st.installed = streams;
+            st.dfsm_rebuild = 1;
         }
         Err(_) => {
             // The edit rolled back atomically: nothing was installed,
@@ -1087,16 +1477,21 @@ fn handoff_analysis<O: Observer, F: FaultInjector>(
         return;
     }
     let base = cost.analysis_per_ref_cycles * trace_len;
-    let extra = if F::ENABLED { faults.stall_worker(base) } else { 0 };
+    let extra = if F::ENABLED {
+        faults.stall_worker(base)
+    } else {
+        0
+    };
     let denylist = st
         .guard
         .as_ref()
         .map_or_else(Vec::new, GuardRuntime::denylist_hashes);
     let refs = st.buffer.refs().to_vec();
-    let submitted = st
-        .bg
-        .as_mut()
-        .is_some_and(|bg| bg.submit(AnalyzeRequest { refs, denylist }));
+    // The request is kept alongside the ready point so a snapshot can
+    // serialize it and a resumed session can re-submit it to a fresh
+    // worker (`analyze_trace` is pure, so the outcome is identical).
+    let request = AnalyzeRequest { refs, denylist };
+    let submitted = st.bg.as_mut().is_some_and(|bg| bg.submit(request.clone()));
     if !submitted {
         // The worker is gone (it panicked): degrade like starvation.
         degraded_cycle(st, obs, trace_len, 0);
@@ -1106,6 +1501,7 @@ fn handoff_analysis<O: Observer, F: FaultInjector>(
     bg.pending = Some(PendingAnalysis {
         handoff_at: st.cycles,
         ready_at: st.cycles + base + extra,
+        request,
     });
     bg.handoffs += 1;
     if O::ENABLED {
@@ -1114,6 +1510,13 @@ fn handoff_analysis<O: Observer, F: FaultInjector>(
             at_cycle: st.cycles,
             trace_len,
         });
+    }
+    // The mid-handoff kill point: the process dies after the trace left
+    // for the worker but before hibernation began. The pending request
+    // dies with the process; the resumed run replays the boundary event
+    // and hands off again, deterministically.
+    if F::ENABLED && faults.crash(CrashPoint::MidHandoff) {
+        st.crashed = true;
     }
 }
 
@@ -1129,11 +1532,13 @@ fn poll_background<O: Observer, F: FaultInjector>(
 ) {
     let (p, outcome) = {
         let Some(bg) = st.bg.as_mut() else { return };
-        let Some(p) = bg.pending else { return };
-        if st.cycles < p.ready_at {
+        let Some(pending) = bg.pending.as_ref() else {
+            return;
+        };
+        if st.cycles < pending.ready_at {
             return;
         }
-        bg.pending = None;
+        let p = bg.pending.take().expect("pending presence checked above");
         (p, bg.recv())
     };
     let lag = st.cycles.saturating_sub(p.handoff_at);
@@ -1304,9 +1709,7 @@ fn evaluate_accuracy<O: Observer, F: FaultInjector>(
     obs: &mut O,
     faults: &mut F,
 ) {
-    if st.dfsm.is_none()
-        || !st.guard.as_ref().is_some_and(GuardRuntime::tracks_accuracy)
-    {
+    if st.dfsm.is_none() || !st.guard.as_ref().is_some_and(GuardRuntime::tracks_accuracy) {
         return;
     }
     // Attribute outcomes resolved since the last access before judging.
@@ -1384,6 +1787,7 @@ fn evaluate_accuracy<O: Observer, F: FaultInjector>(
                     }
                     st.installed = kept;
                     st.dfsm = Some(new_dfsm);
+                    st.dfsm_rebuild = 2;
                     // Stream ids were remapped by the rebuild: restart
                     // matching and drop prefetches queued against the
                     // old installation.
@@ -1403,6 +1807,7 @@ fn evaluate_accuracy<O: Observer, F: FaultInjector>(
             // de-optimization.
             st.image.deoptimize();
             st.dfsm = None;
+            st.dfsm_rebuild = 0;
             st.dfsm_state = StateId::START;
             st.pf_queue.clear();
             st.installed.clear();
@@ -1564,7 +1969,11 @@ mod tests {
         );
         assert!(report.opt_cycles() >= 1);
         let with_dfsm: Vec<_> = report.cycles.iter().filter(|c| c.dfsm_states > 0).collect();
-        assert!(!with_dfsm.is_empty(), "no DFSM ever built: {:?}", report.cycles);
+        assert!(
+            !with_dfsm.is_empty(),
+            "no DFSM ever built: {:?}",
+            report.cycles
+        );
         for c in &with_dfsm {
             assert!(c.procs_modified >= 1);
             assert!(c.dfsm_checks >= 1);
@@ -1577,7 +1986,12 @@ mod tests {
     #[test]
     fn no_pref_matches_but_never_prefetches() {
         let (mut p, procs) = looping_program(600);
-        let report = execute(tiny_config(), RunMode::Optimize(PrefetchPolicy::None), &mut p, procs);
+        let report = execute(
+            tiny_config(),
+            RunMode::Optimize(PrefetchPolicy::None),
+            &mut p,
+            procs,
+        );
         assert!(report.breakdown.matching > 0);
         assert_eq!(report.mem.prefetches_issued, 0);
         assert_eq!(report.breakdown.prefetch, 0);
@@ -1633,9 +2047,18 @@ mod tests {
         config.bursty = hds_bursty::BurstyConfig::new(256, 512, 2, 3);
         let (mut p1, procs1) = big_stream_program(2_000);
         let (mut p2, procs2) = big_stream_program(2_000);
-        let nopref = execute(config.clone(), RunMode::Optimize(PrefetchPolicy::None), &mut p1, procs1);
-        let dynpref =
-            execute(config, RunMode::Optimize(PrefetchPolicy::StreamTail), &mut p2, procs2);
+        let nopref = execute(
+            config.clone(),
+            RunMode::Optimize(PrefetchPolicy::None),
+            &mut p1,
+            procs1,
+        );
+        let dynpref = execute(
+            config,
+            RunMode::Optimize(PrefetchPolicy::StreamTail),
+            &mut p2,
+            procs2,
+        );
         assert!(
             dynpref.mem.prefetches_useful > 0,
             "prefetches were never useful: {}",
@@ -1674,8 +2097,18 @@ mod tests {
         windowed.scheduling = crate::config::PrefetchScheduling::Windowed { degree: 2 };
         let (mut p1, procs1) = big_stream_program(2_000);
         let (mut p2, procs2) = big_stream_program(2_000);
-        let a = execute(all, RunMode::Optimize(PrefetchPolicy::StreamTail), &mut p1, procs1);
-        let b = execute(windowed, RunMode::Optimize(PrefetchPolicy::StreamTail), &mut p2, procs2);
+        let a = execute(
+            all,
+            RunMode::Optimize(PrefetchPolicy::StreamTail),
+            &mut p1,
+            procs1,
+        );
+        let b = execute(
+            windowed,
+            RunMode::Optimize(PrefetchPolicy::StreamTail),
+            &mut p2,
+            procs2,
+        );
         assert!(b.mem.prefetches_issued > 0);
         // Windowed never issues *more* than all-at-once (queued items can
         // be dropped at de-optimization), and both must be useful.
@@ -1689,7 +2122,12 @@ mod tests {
         config.bursty = hds_bursty::BurstyConfig::new(256, 512, 2, 3);
         config.strategy = crate::config::CycleStrategy::Static;
         let (mut p, procs) = big_stream_program(4_000);
-        let report = execute(config, RunMode::Optimize(PrefetchPolicy::StreamTail), &mut p, procs);
+        let report = execute(
+            config,
+            RunMode::Optimize(PrefetchPolicy::StreamTail),
+            &mut p,
+            procs,
+        );
         // Exactly one optimization cycle, ever.
         assert_eq!(report.opt_cycles(), 1, "{:?}", report.cycles);
         // But prefetching keeps running for the rest of the program.
@@ -1699,7 +2137,12 @@ mod tests {
         let mut dynamic = tiny_config();
         dynamic.bursty = hds_bursty::BurstyConfig::new(256, 512, 2, 3);
         let (mut p2, procs2) = big_stream_program(4_000);
-        let dyn_report = execute(dynamic, RunMode::Optimize(PrefetchPolicy::StreamTail), &mut p2, procs2);
+        let dyn_report = execute(
+            dynamic,
+            RunMode::Optimize(PrefetchPolicy::StreamTail),
+            &mut p2,
+            procs2,
+        );
         assert!(dyn_report.opt_cycles() > 1);
         assert!(report.breakdown.recording < dyn_report.breakdown.recording);
     }
@@ -1754,7 +2197,12 @@ mod tests {
             Procedure::new("p0", vec![Pc(16)]),
             Procedure::new("p1", vec![Pc(32)]),
         ];
-        let report = execute(tiny_config(), RunMode::Optimize(PrefetchPolicy::StreamTail), &mut program, procs);
+        let report = execute(
+            tiny_config(),
+            RunMode::Optimize(PrefetchPolicy::StreamTail),
+            &mut program,
+            procs,
+        );
         assert_eq!(report.refs, 2);
         assert_eq!(report.name, "interleaved");
     }
@@ -1769,7 +2217,11 @@ mod tests {
             procs,
         );
         // Several full cycles completed.
-        assert!(report.opt_cycles() >= 2, "only {} cycles", report.opt_cycles());
+        assert!(
+            report.opt_cycles() >= 2,
+            "only {} cycles",
+            report.opt_cycles()
+        );
     }
 
     /// Runs the memory-bound program with a `MetricsRecorder` attached
@@ -1801,7 +2253,11 @@ mod tests {
         );
         assert_eq!(
             rec.streams_detected(),
-            report.cycles.iter().map(|c| c.streams_used as u64).sum::<u64>()
+            report
+                .cycles
+                .iter()
+                .map(|c| c.streams_used as u64)
+                .sum::<u64>()
         );
         // Outcome fates reconcile with MemStats: a late prefetch counts
         // in both `prefetches_late` and `prefetches_useful` there, while
@@ -1837,7 +2293,12 @@ mod tests {
         let mut config = tiny_config();
         config.bursty = hds_bursty::BurstyConfig::new(256, 512, 2, 3);
         let (mut p, procs) = big_stream_program(1_000);
-        let plain = execute(config, RunMode::Optimize(PrefetchPolicy::StreamTail), &mut p, procs);
+        let plain = execute(
+            config,
+            RunMode::Optimize(PrefetchPolicy::StreamTail),
+            &mut p,
+            procs,
+        );
         assert_eq!(observed.total_cycles, plain.total_cycles);
         assert_eq!(observed.mem, plain.mem);
         assert_eq!(observed.breakdown, plain.breakdown);
@@ -1855,14 +2316,24 @@ mod tests {
     #[test]
     fn background_mode_moves_analysis_off_the_critical_path() {
         let (mut p, procs) = big_stream_program(2_000);
-        let bg = execute(bg_config(), RunMode::Optimize(PrefetchPolicy::StreamTail), &mut p, procs);
+        let bg = execute(
+            bg_config(),
+            RunMode::Optimize(PrefetchPolicy::StreamTail),
+            &mut p,
+            procs,
+        );
         // The critical path never pays an analysis cycle...
         assert_eq!(bg.breakdown.analysis, 0);
         // ...while an inline run of the same program does.
         let mut inline = bg_config();
         inline.concurrency = AnalysisConcurrency::Inline;
         let (mut p2, procs2) = big_stream_program(2_000);
-        let il = execute(inline, RunMode::Optimize(PrefetchPolicy::StreamTail), &mut p2, procs2);
+        let il = execute(
+            inline,
+            RunMode::Optimize(PrefetchPolicy::StreamTail),
+            &mut p2,
+            procs2,
+        );
         assert!(il.breakdown.analysis > 0);
         assert_eq!(il.worker, crate::report::WorkerStats::default());
         // The worker really cycled: traces handed off, results
@@ -1883,7 +2354,12 @@ mod tests {
     fn background_runs_are_bit_identical() {
         let run = || {
             let (mut p, procs) = big_stream_program(1_000);
-            execute(bg_config(), RunMode::Optimize(PrefetchPolicy::StreamTail), &mut p, procs)
+            execute(
+                bg_config(),
+                RunMode::Optimize(PrefetchPolicy::StreamTail),
+                &mut p,
+                procs,
+            )
         };
         // Full-report equality: real thread scheduling must never leak
         // into the simulated run.
@@ -1966,7 +2442,11 @@ mod tests {
             &mut plan,
         );
         assert!(plan.counts().stalled_workers > 0, "{:?}", plan.counts());
-        assert!(report.worker.starved > 0, "stalls never starved: {:?}", report.worker);
+        assert!(
+            report.worker.starved > 0,
+            "stalls never starved: {:?}",
+            report.worker
+        );
         assert_eq!(
             report.worker.handoffs,
             report.worker.applied + report.worker.starved
@@ -1986,7 +2466,12 @@ mod tests {
         // guard-driven starvation: nothing ever installs.
         config.guard = hds_guard::GuardConfig::disabled().with_max_worker_lag(1);
         let (mut p, procs) = big_stream_program(2_000);
-        let report = execute(config, RunMode::Optimize(PrefetchPolicy::StreamTail), &mut p, procs);
+        let report = execute(
+            config,
+            RunMode::Optimize(PrefetchPolicy::StreamTail),
+            &mut p,
+            procs,
+        );
         assert!(report.worker.handoffs > 0);
         assert_eq!(report.worker.applied, 0);
         assert_eq!(report.worker.starved, report.worker.handoffs);

@@ -58,6 +58,7 @@ mod config;
 mod executor;
 mod pipeline;
 mod report;
+mod snapshot;
 
 pub use builder::{
     ConfigError, EngineConfig, EngineConfigBuilder, NeedsMode, Ready, SessionBuilder,
@@ -70,6 +71,7 @@ pub use config::{
 pub use executor::Executor;
 pub use executor::Session;
 pub use report::{CostBreakdown, CycleStats, RunReport, WorkerStats};
+pub use snapshot::{Snapshot, SnapshotError};
 
 // Observability: the observer contract lives in `hds_telemetry`;
 // re-exported here so embedders wiring a `Session` observer need only
@@ -81,5 +83,6 @@ pub use hds_telemetry::{self as telemetry, NullObserver, Observer};
 // embedders configuring `OptimizerConfig::guard` or running chaos
 // sessions need only this crate.
 pub use hds_guard::{
-    self as guard, AccuracyConfig, FaultInjector, FaultPlan, GuardConfig, GuardRuntime, NoFaults,
+    self as guard, AccuracyConfig, CrashPoint, FaultInjector, FaultPlan, GuardConfig, GuardRuntime,
+    NoFaults,
 };

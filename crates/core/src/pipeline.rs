@@ -98,7 +98,10 @@ pub(crate) fn machine_for(
 
 /// One awake-phase trace handed to the worker, with everything the
 /// analysis needs snapshotted at the handoff point (the worker must not
-/// reach back into session state).
+/// reach back into session state). `Clone` so an in-flight request can
+/// be captured in a crash-consistent checkpoint and re-submitted to a
+/// fresh worker on resume.
+#[derive(Clone, Debug)]
 pub(crate) struct AnalyzeRequest {
     /// The recorded references, in trace order.
     pub refs: Vec<DataRef>,
@@ -183,12 +186,9 @@ pub(crate) fn analyze_trace(
             .streams
             .iter()
             .map(|s| symbols.resolve_all(&s.symbols));
-        let streams = select_streams(
-            candidates,
-            config.dfsm.head_len,
-            config.max_streams,
-            |h| req.denylist.binary_search(&h).is_ok(),
-        );
+        let streams = select_streams(candidates, config.dfsm.head_len, config.max_streams, |h| {
+            req.denylist.binary_search(&h).is_ok()
+        });
         if !streams.is_empty() {
             match machine_for(&streams, config) {
                 Ok(dfsm) => out.dfsm = Some(dfsm),
@@ -204,13 +204,20 @@ pub(crate) fn analyze_trace(
 }
 
 /// An in-flight background analysis, tracked in simulated time.
-#[derive(Clone, Copy, Debug)]
+///
+/// Carries the handed-off request itself so a checkpoint taken while an
+/// analysis is in flight can re-submit the identical trace to a fresh
+/// worker on resume (`analyze_trace` is pure, so the re-run result is
+/// bit-identical).
+#[derive(Clone, Debug)]
 pub(crate) struct PendingAnalysis {
     /// Simulated cycle count at the handoff.
     pub handoff_at: u64,
     /// The deterministic install point: the first check at or past this
     /// cycle count resolves the analysis.
     pub ready_at: u64,
+    /// The handed-off request (trace + denylist at the handoff point).
+    pub request: AnalyzeRequest,
 }
 
 /// The background analysis worker: a thread consuming
@@ -222,6 +229,10 @@ pub(crate) struct BackgroundAnalysis {
     tx: Option<SyncSender<AnalyzeRequest>>,
     rx: Receiver<AnalyzeOutcome>,
     handle: Option<JoinHandle<()>>,
+    /// Weak side of a liveness token owned by the worker thread: it
+    /// upgrades iff the thread is still running. Tests use it to assert
+    /// that dropping a session mid-phase leaves no detached thread.
+    alive: std::sync::Weak<()>,
     /// The in-flight request, if any. Invariant: resolved (applied or
     /// starved) before the next handoff.
     pub pending: Option<PendingAnalysis>,
@@ -240,9 +251,12 @@ impl BackgroundAnalysis {
     pub fn spawn(config: OptimizerConfig, optimize: bool) -> Self {
         let (tx, req_rx) = sync_channel::<AnalyzeRequest>(1);
         let (out_tx, rx) = sync_channel::<AnalyzeOutcome>(1);
+        let token = std::sync::Arc::new(());
+        let alive = std::sync::Arc::downgrade(&token);
         let handle = std::thread::Builder::new()
             .name("hds-analysis".into())
             .spawn(move || {
+                let _token = token; // dropped when the thread exits
                 while let Ok(req) = req_rx.recv() {
                     if out_tx.send(analyze_trace(&config, optimize, &req)).is_err() {
                         break;
@@ -254,11 +268,20 @@ impl BackgroundAnalysis {
             tx: Some(tx),
             rx,
             handle: Some(handle),
+            alive,
             pending: None,
             handoffs: 0,
             applied: 0,
             starved: 0,
         }
+    }
+
+    /// A weak handle that upgrades iff the worker thread is still
+    /// running. After the session (and thus this struct) is dropped,
+    /// `upgrade()` returns `None` — the joined thread released its
+    /// token.
+    pub fn worker_probe(&self) -> std::sync::Weak<()> {
+        self.alive.clone()
     }
 
     /// Hands a trace to the worker. `false` when the worker is gone
@@ -338,8 +361,7 @@ mod tests {
                 denylist: Vec::new(),
             },
         );
-        let mut denylist: Vec<u64> =
-            open.streams.iter().map(|s| stream_hash(s)).collect();
+        let mut denylist: Vec<u64> = open.streams.iter().map(|s| stream_hash(s)).collect();
         denylist.sort_unstable();
         let blocked = analyze_trace(
             &config(),
@@ -370,7 +392,14 @@ mod tests {
             refs.extend([a, b, a, b]);
         }
         let total = refs.len() as u64;
-        let out = analyze_trace(&c, true, &AnalyzeRequest { refs, denylist: Vec::new() });
+        let out = analyze_trace(
+            &c,
+            true,
+            &AnalyzeRequest {
+                refs,
+                denylist: Vec::new(),
+            },
+        );
         assert!(out.muted);
         assert!(out.trace_len < total);
         assert!(out.rules_peak > 2);
@@ -404,18 +433,26 @@ mod tests {
     }
 
     #[test]
+    fn worker_probe_dies_with_the_worker() {
+        let bg = BackgroundAnalysis::spawn(config(), true);
+        let probe = bg.worker_probe();
+        assert!(probe.upgrade().is_some(), "worker should be running");
+        drop(bg);
+        // Drop joins the thread, so by here the token is released.
+        assert!(
+            probe.upgrade().is_none(),
+            "worker thread outlived its session"
+        );
+    }
+
+    #[test]
     fn select_streams_orders_and_dedupes() {
         let a = stream(0x1000, 6);
         let sub: Vec<DataRef> = a[1..5].to_vec(); // contiguous subsequence
         let mut ext = a.clone(); // extension: same prefix, longer
         ext.extend(stream(0x9000, 2));
         let b = stream(0x2000, 6);
-        let picked = select_streams(
-            vec![a.clone(), sub, ext, b.clone()],
-            2,
-            8,
-            |_| false,
-        );
+        let picked = select_streams(vec![a.clone(), sub, ext, b.clone()], 2, 8, |_| false);
         assert_eq!(picked, vec![a, b]);
     }
 }

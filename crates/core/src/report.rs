@@ -110,6 +110,13 @@ pub struct RunReport {
     pub partial_deopts: u64,
     /// Background-analysis statistics (all zero in inline mode).
     pub worker: WorkerStats,
+    /// Phase-boundary snapshots captured (0 unless checkpointing is
+    /// on). Reconciles exactly with `RecoverySnapshot` telemetry.
+    pub snapshots: u64,
+    /// Supervisor restarts that contributed to this run (0 for an
+    /// unsupervised or crash-free run). Reconciles exactly with
+    /// `RecoveryRestart` telemetry.
+    pub restarts: u64,
     /// Per-optimization-cycle statistics (empty unless optimizing).
     pub cycles: Vec<CycleStats>,
 }
@@ -129,8 +136,7 @@ impl RunReport {
     pub fn overhead_vs(&self, baseline: &RunReport) -> f64 {
         #[allow(clippy::cast_precision_loss)]
         {
-            (self.total_cycles as f64 - baseline.total_cycles as f64)
-                / baseline.total_cycles as f64
+            (self.total_cycles as f64 - baseline.total_cycles as f64) / baseline.total_cycles as f64
                 * 100.0
         }
     }
@@ -180,6 +186,8 @@ mod tests {
             guard_trips: 0,
             partial_deopts: 0,
             worker: WorkerStats::default(),
+            snapshots: 0,
+            restarts: 0,
             cycles: Vec::new(),
         }
     }
@@ -263,6 +271,8 @@ mod tests {
             applied: 3,
             starved: 1,
         };
+        r.snapshots = 7;
+        r.restarts = 2;
         r.cycles = vec![CycleStats {
             traced_refs: 10,
             ..CycleStats::default()
@@ -279,6 +289,8 @@ mod tests {
         assert_eq!(back.guard_trips, r.guard_trips);
         assert_eq!(back.partial_deopts, r.partial_deopts);
         assert_eq!(back.worker, r.worker);
+        assert_eq!(back.snapshots, r.snapshots);
+        assert_eq!(back.restarts, r.restarts);
         assert_eq!(back, r);
     }
 

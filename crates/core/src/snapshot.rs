@@ -1,0 +1,1167 @@
+//! Crash-consistent snapshots: versioned, checksummed captures of the
+//! optimizer's full mutable state at phase boundaries.
+//!
+//! A [`Snapshot`] is a self-validating byte blob: an ASCII header
+//! `HDSSNAP<version> <crc32> <len>\n` followed by a JSON payload of the
+//! complete run state (memory hierarchy, bursty tracer, image patches,
+//! guard runtime, installed streams, background-analysis in-flight
+//! request, and every report counter). Decoding verifies the magic, the
+//! format version, and a CRC-32 over the body *before* any field is
+//! parsed — a snapshot with even one flipped byte is rejected with a
+//! typed [`SnapshotError`], never silently loaded and never a panic.
+//!
+//! The DFSM itself is not serialized: its construction is deterministic
+//! in the installed streams, so resume rebuilds it from the `installed`
+//! list and a one-byte rebuild discriminant. Likewise the Sequitur
+//! grammar and trace buffer are empty at every capture point (captures
+//! happen only at phase boundaries, after the profile is consumed), so
+//! they are asserted empty rather than stored.
+
+use std::fmt;
+
+use hds_bursty::TracerState;
+use hds_guard::{AccuracyState, GuardState, StreamAccuracyState};
+use hds_memsim::{CacheState, LineState, MemState, PrefetchFate, PrefetchResolution};
+use hds_trace::{Addr, DataRef, Pc};
+use hds_vulcan::{CopyState, ImageState, ProcId};
+use serde::Value;
+
+use crate::config::{OptimizerConfig, RunMode};
+use crate::report::{CostBreakdown, CycleStats};
+
+/// The current snapshot format version (the digit in the magic).
+const FORMAT_VERSION: u8 = b'1';
+/// Magic prefix of every snapshot: `HDSSNAP` + version digit.
+const MAGIC: &[u8; 7] = b"HDSSNAP";
+
+// ---------------------------------------------------------------------------
+// Errors
+// ---------------------------------------------------------------------------
+
+/// Why a snapshot was rejected. Every decoding failure is typed; a
+/// corrupted or incompatible snapshot can never load silently or panic.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SnapshotError {
+    /// The bytes do not start with the `HDSSNAP` magic.
+    BadMagic,
+    /// The magic matched but the format version is not one this build
+    /// can read.
+    UnsupportedVersion(
+        /// The version byte found.
+        u8,
+    ),
+    /// The body's CRC-32 does not match the header's.
+    ChecksumMismatch {
+        /// CRC recorded in the header.
+        expected: u32,
+        /// CRC computed over the body.
+        found: u32,
+    },
+    /// The header or payload structure is invalid (names the first
+    /// offending field).
+    Malformed(String),
+    /// The snapshot was captured under a different configuration or run
+    /// mode; resuming would silently diverge.
+    ConfigMismatch {
+        /// Fingerprint the resuming session expects.
+        expected: u64,
+        /// Fingerprint recorded in the snapshot.
+        found: u64,
+    },
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::BadMagic => write!(f, "not a snapshot (bad magic)"),
+            SnapshotError::UnsupportedVersion(v) => {
+                write!(f, "unsupported snapshot format version {v:#04x}")
+            }
+            SnapshotError::ChecksumMismatch { expected, found } => write!(
+                f,
+                "snapshot checksum mismatch (header {expected:08x}, body {found:08x})"
+            ),
+            SnapshotError::Malformed(what) => write!(f, "malformed snapshot: {what}"),
+            SnapshotError::ConfigMismatch { expected, found } => write!(
+                f,
+                "snapshot config fingerprint {found:016x} does not match session {expected:016x}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+// ---------------------------------------------------------------------------
+// CRC-32 (IEEE), bitwise — no tables, no dependencies.
+// ---------------------------------------------------------------------------
+
+fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc: u32 = 0xFFFF_FFFF;
+    for &b in bytes {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot blob
+// ---------------------------------------------------------------------------
+
+/// A validated snapshot blob: `HDSSNAP<v> <crc32:08x> <len>\n<payload>`.
+///
+/// Construction goes through [`Snapshot::from_bytes`] (which validates)
+/// or the crate-internal encoder, so a `Snapshot` in hand always has a
+/// well-formed header whose checksum matched at construction time.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Snapshot {
+    bytes: Vec<u8>,
+}
+
+impl Snapshot {
+    /// The raw bytes (for persisting to disk or shipping elsewhere).
+    #[must_use]
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Consumes the snapshot, yielding its bytes.
+    #[must_use]
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.bytes
+    }
+
+    /// Size of the blob in bytes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Whether the blob is empty (never true for a validated snapshot).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// Validates `bytes` (magic, version, checksum, JSON structure) and
+    /// wraps them as a `Snapshot`.
+    ///
+    /// # Errors
+    ///
+    /// Any [`SnapshotError`] except `ConfigMismatch` (configuration
+    /// compatibility is checked at resume, when the target session's
+    /// config is known).
+    pub fn from_bytes(bytes: Vec<u8>) -> Result<Self, SnapshotError> {
+        let snap = Snapshot { bytes };
+        snap.decode_value()?;
+        Ok(snap)
+    }
+
+    /// Encodes a payload value into a headered, checksummed blob.
+    pub(crate) fn encode_value(payload: &Value) -> Snapshot {
+        let json = serde_json::to_string(payload).unwrap_or_else(|_| "null".to_string());
+        let body = format!("{}\n{json}", json.len());
+        let crc = crc32(body.as_bytes());
+        let mut bytes = Vec::with_capacity(body.len() + 18);
+        bytes.extend_from_slice(MAGIC);
+        bytes.push(FORMAT_VERSION);
+        bytes.extend_from_slice(format!(" {crc:08x} ").as_bytes());
+        bytes.extend_from_slice(body.as_bytes());
+        Snapshot { bytes }
+    }
+
+    /// Validates the header and checksum, then parses the JSON payload.
+    pub(crate) fn decode_value(&self) -> Result<Value, SnapshotError> {
+        let b = &self.bytes;
+        if b.len() < MAGIC.len() || &b[..MAGIC.len()] != MAGIC {
+            return Err(SnapshotError::BadMagic);
+        }
+        let version = *b
+            .get(MAGIC.len())
+            .ok_or(SnapshotError::Malformed("truncated header".into()))?;
+        if version != FORMAT_VERSION {
+            return Err(SnapshotError::UnsupportedVersion(version));
+        }
+        if b.get(8) != Some(&b' ') {
+            return Err(SnapshotError::Malformed("missing crc separator".into()));
+        }
+        let crc_hex = b
+            .get(9..17)
+            .ok_or(SnapshotError::Malformed("truncated crc".into()))?;
+        let crc_hex = std::str::from_utf8(crc_hex)
+            .map_err(|_| SnapshotError::Malformed("crc is not ASCII hex".into()))?;
+        let expected = u32::from_str_radix(crc_hex, 16)
+            .map_err(|_| SnapshotError::Malformed("crc is not ASCII hex".into()))?;
+        if b.get(17) != Some(&b' ') {
+            return Err(SnapshotError::Malformed("missing body separator".into()));
+        }
+        let body = b
+            .get(18..)
+            .ok_or(SnapshotError::Malformed("missing body".into()))?;
+        let found = crc32(body);
+        if found != expected {
+            return Err(SnapshotError::ChecksumMismatch { expected, found });
+        }
+        let body = std::str::from_utf8(body)
+            .map_err(|_| SnapshotError::Malformed("body is not UTF-8".into()))?;
+        let (len_line, payload) = body
+            .split_once('\n')
+            .ok_or(SnapshotError::Malformed("missing length line".into()))?;
+        let len: usize = len_line
+            .parse()
+            .map_err(|_| SnapshotError::Malformed("bad length line".into()))?;
+        if payload.len() != len {
+            return Err(SnapshotError::Malformed(format!(
+                "payload length {} does not match header {len}",
+                payload.len()
+            )));
+        }
+        serde_json::parse_value_str(payload)
+            .map_err(|e| SnapshotError::Malformed(format!("payload JSON: {e}")))
+    }
+}
+
+/// Deterministic fingerprint of the (configuration, run-mode) pair a
+/// snapshot was captured under. `DefaultHasher` over the `Debug`
+/// renderings: stable within a build, which is the compatibility domain
+/// snapshots need (resume targets the same binary).
+pub(crate) fn config_fingerprint(config: &OptimizerConfig, mode: RunMode) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    format!("{config:?}").hash(&mut h);
+    format!("{mode:?}").hash(&mut h);
+    h.finish()
+}
+
+// ---------------------------------------------------------------------------
+// SessionState: everything a Session needs to continue bit-identically.
+// ---------------------------------------------------------------------------
+
+/// In-flight background analysis, serialized: the timing pair plus the
+/// full request, so resume can re-submit it to a fresh worker
+/// (`analyze_trace` is pure, so the re-computed outcome is identical).
+#[derive(Clone, Debug, PartialEq)]
+pub(crate) struct PendingState {
+    pub handoff_at: u64,
+    pub ready_at: u64,
+    pub refs: Vec<DataRef>,
+    pub denylist: Vec<u64>,
+}
+
+/// Background-worker counters and the in-flight request, if any.
+#[derive(Clone, Debug, PartialEq)]
+pub(crate) struct BgState {
+    pub handoffs: u64,
+    pub applied: u64,
+    pub starved: u64,
+    pub pending: Option<PendingState>,
+}
+
+/// The complete serializable state of a run — the payload of a
+/// [`Snapshot`]. Field-for-field mirror of the executor's `RunState`
+/// (minus the rebuildable DFSM and the always-empty profile buffers).
+#[derive(Clone, Debug, PartialEq)]
+pub(crate) struct SessionState {
+    pub cycles: u64,
+    pub breakdown: CostBreakdown,
+    pub mem: MemState,
+    pub tracer: TracerState,
+    pub image: ImageState<usize>,
+    pub dfsm_state: u32,
+    /// How to reconstruct the DFSM from `installed`: 0 = no machine,
+    /// 1 = full build (`machine_for`), 2 = accuracy-rebuild path
+    /// (`build_dfsm` over the survivors).
+    pub dfsm_rebuild: u8,
+    /// Per-thread call stacks as `(stack, max_depth)` pairs.
+    pub frames: Vec<(Vec<(u32, u64)>, usize)>,
+    pub active_thread: usize,
+    pub refs: u64,
+    pub checks: u64,
+    pub cycle_stats: Vec<CycleStats>,
+    pub pf_queue: Vec<(u64, u32)>,
+    pub guard: Option<GuardState>,
+    pub installed: Vec<Vec<DataRef>>,
+    pub partial_deopts: u64,
+    pub bg: Option<BgState>,
+    pub events_consumed: u64,
+    pub snapshots: u64,
+    pub fault_state: u64,
+}
+
+// --- serialization helpers (hand-built: the vendored serde shim has no
+// --- derive for tuples/enums, and the canonical order must be explicit).
+
+fn u(n: u64) -> Value {
+    Value::U64(n)
+}
+
+fn arr(items: Vec<Value>) -> Value {
+    Value::Arr(items)
+}
+
+fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Obj(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn malformed(what: impl Into<String>) -> SnapshotError {
+    SnapshotError::Malformed(what.into())
+}
+
+fn as_arr<'a>(v: &'a Value, what: &str) -> Result<&'a [Value], SnapshotError> {
+    match v {
+        Value::Arr(items) => Ok(items),
+        _ => Err(malformed(format!("{what}: expected array"))),
+    }
+}
+
+fn as_u64(v: &Value, what: &str) -> Result<u64, SnapshotError> {
+    match v {
+        Value::U64(n) => Ok(*n),
+        Value::I64(n) if *n >= 0 => Ok(*n as u64),
+        _ => Err(malformed(format!("{what}: expected unsigned integer"))),
+    }
+}
+
+fn as_bool(v: &Value, what: &str) -> Result<bool, SnapshotError> {
+    match v {
+        Value::Bool(b) => Ok(*b),
+        _ => Err(malformed(format!("{what}: expected bool"))),
+    }
+}
+
+fn field<'a>(v: &'a Value, key: &str) -> Result<&'a Value, SnapshotError> {
+    v.get(key)
+        .ok_or_else(|| malformed(format!("missing field {key}")))
+}
+
+fn u64_field(v: &Value, key: &str) -> Result<u64, SnapshotError> {
+    as_u64(field(v, key)?, key)
+}
+
+fn usize_field(v: &Value, key: &str) -> Result<usize, SnapshotError> {
+    usize::try_from(u64_field(v, key)?).map_err(|_| malformed(format!("{key}: out of range")))
+}
+
+fn u64s(v: &Value, what: &str) -> Result<Vec<u64>, SnapshotError> {
+    as_arr(v, what)?.iter().map(|x| as_u64(x, what)).collect()
+}
+
+fn fixed<const N: usize>(v: &Value, what: &str) -> Result<[u64; N], SnapshotError> {
+    let items = u64s(v, what)?;
+    <[u64; N]>::try_from(items).map_err(|_| malformed(format!("{what}: expected {N} elements")))
+}
+
+fn breakdown_to_value(b: &CostBreakdown) -> Value {
+    arr(vec![
+        u(b.work),
+        u(b.memory),
+        u(b.checks),
+        u(b.recording),
+        u(b.analysis),
+        u(b.matching),
+        u(b.prefetch),
+        u(b.optimize),
+    ])
+}
+
+fn breakdown_from_value(v: &Value) -> Result<CostBreakdown, SnapshotError> {
+    let [work, memory, checks, recording, analysis, matching, prefetch, optimize] =
+        fixed::<8>(v, "breakdown")?;
+    Ok(CostBreakdown {
+        work,
+        memory,
+        checks,
+        recording,
+        analysis,
+        matching,
+        prefetch,
+        optimize,
+    })
+}
+
+fn cycle_stats_to_value(c: &CycleStats) -> Value {
+    arr(vec![
+        u(c.traced_refs),
+        u(c.hot_streams as u64),
+        u(c.streams_used as u64),
+        u(c.dfsm_states as u64),
+        u(c.dfsm_checks as u64),
+        u(c.procs_modified as u64),
+        u(c.grammar_size as u64),
+    ])
+}
+
+fn cycle_stats_from_value(v: &Value) -> Result<CycleStats, SnapshotError> {
+    let [traced_refs, hot, used, states, checks, procs, grammar] = fixed::<7>(v, "cycle_stats")?;
+    Ok(CycleStats {
+        traced_refs,
+        hot_streams: hot as usize,
+        streams_used: used as usize,
+        dfsm_states: states as usize,
+        dfsm_checks: checks as usize,
+        procs_modified: procs as usize,
+        grammar_size: grammar as usize,
+    })
+}
+
+fn stats_to_value(s: &hds_memsim::MemStats) -> Value {
+    arr(vec![
+        u(s.l1_hits),
+        u(s.l1_hits_on_prefetched),
+        u(s.l1_misses),
+        u(s.l2_hits),
+        u(s.l2_misses),
+        u(s.prefetches_issued),
+        u(s.prefetches_useful),
+        u(s.prefetches_late),
+        u(s.prefetches_polluting),
+        u(s.writebacks),
+        u(s.demand_cycles),
+    ])
+}
+
+fn stats_from_value(v: &Value) -> Result<hds_memsim::MemStats, SnapshotError> {
+    let [h, hp, m, h2, m2, pi, pu, pl, pp, wb, dc] = fixed::<11>(v, "mem.stats")?;
+    Ok(hds_memsim::MemStats {
+        l1_hits: h,
+        l1_hits_on_prefetched: hp,
+        l1_misses: m,
+        l2_hits: h2,
+        l2_misses: m2,
+        prefetches_issued: pi,
+        prefetches_useful: pu,
+        prefetches_late: pl,
+        prefetches_polluting: pp,
+        writebacks: wb,
+        demand_cycles: dc,
+    })
+}
+
+fn cache_to_value(c: &CacheState) -> Value {
+    obj(vec![
+        ("tick", u(c.tick)),
+        (
+            "sets",
+            arr(c
+                .sets
+                .iter()
+                .map(|set| {
+                    arr(set
+                        .iter()
+                        .map(|l| {
+                            arr(vec![
+                                u(l.block),
+                                u(l.lru),
+                                u(u64::from(l.prefetched_unused)),
+                                u(u64::from(l.origin_prefetched)),
+                                u(u64::from(l.dirty)),
+                            ])
+                        })
+                        .collect())
+                })
+                .collect()),
+        ),
+    ])
+}
+
+fn cache_from_value(v: &Value) -> Result<CacheState, SnapshotError> {
+    let tick = u64_field(v, "tick")?;
+    let mut sets = Vec::new();
+    for set in as_arr(field(v, "sets")?, "cache.sets")? {
+        let mut lines = Vec::new();
+        for line in as_arr(set, "cache.set")? {
+            let [block, lru, pu, op, dirty] = fixed::<5>(line, "cache.line")?;
+            lines.push(LineState {
+                block,
+                lru,
+                prefetched_unused: pu != 0,
+                origin_prefetched: op != 0,
+                dirty: dirty != 0,
+            });
+        }
+        sets.push(lines);
+    }
+    Ok(CacheState { tick, sets })
+}
+
+fn mem_to_value(m: &MemState) -> Value {
+    obj(vec![
+        ("l1", cache_to_value(&m.l1)),
+        ("l2", cache_to_value(&m.l2)),
+        (
+            "in_flight",
+            arr(m
+                .in_flight
+                .iter()
+                .map(|&(b, t)| arr(vec![u(b), u(t)]))
+                .collect()),
+        ),
+        (
+            "pending",
+            arr(m
+                .pending
+                .iter()
+                .map(|&(b, tag, t)| arr(vec![u(b), u(u64::from(tag)), u(t)]))
+                .collect()),
+        ),
+        (
+            "outcomes",
+            arr(m
+                .outcomes
+                .iter()
+                .map(|o| {
+                    let fate = match o.fate {
+                        PrefetchFate::Useful => 0,
+                        PrefetchFate::Late => 1,
+                        PrefetchFate::Polluted => 2,
+                    };
+                    arr(vec![
+                        u(u64::from(o.tag)),
+                        u(o.block),
+                        u(fate),
+                        u(o.issued_at),
+                        u(o.resolved_at),
+                    ])
+                })
+                .collect()),
+        ),
+        ("stats", stats_to_value(&m.stats)),
+    ])
+}
+
+fn mem_from_value(v: &Value) -> Result<MemState, SnapshotError> {
+    let l1 = cache_from_value(field(v, "l1")?)?;
+    let l2 = cache_from_value(field(v, "l2")?)?;
+    let mut in_flight = Vec::new();
+    for e in as_arr(field(v, "in_flight")?, "mem.in_flight")? {
+        let [b, t] = fixed::<2>(e, "mem.in_flight")?;
+        in_flight.push((b, t));
+    }
+    let mut pending = Vec::new();
+    for e in as_arr(field(v, "pending")?, "mem.pending")? {
+        let [b, tag, t] = fixed::<3>(e, "mem.pending")?;
+        let tag = u32::try_from(tag).map_err(|_| malformed("mem.pending: tag out of range"))?;
+        pending.push((b, tag, t));
+    }
+    let mut outcomes = Vec::new();
+    for e in as_arr(field(v, "outcomes")?, "mem.outcomes")? {
+        let [tag, block, fate, issued_at, resolved_at] = fixed::<5>(e, "mem.outcomes")?;
+        let fate = match fate {
+            0 => PrefetchFate::Useful,
+            1 => PrefetchFate::Late,
+            2 => PrefetchFate::Polluted,
+            _ => return Err(malformed("mem.outcomes: bad fate discriminant")),
+        };
+        outcomes.push(PrefetchResolution {
+            tag: u32::try_from(tag).map_err(|_| malformed("mem.outcomes: tag out of range"))?,
+            block,
+            fate,
+            issued_at,
+            resolved_at,
+        });
+    }
+    let stats = stats_from_value(field(v, "stats")?)?;
+    Ok(MemState {
+        l1,
+        l2,
+        in_flight,
+        pending,
+        outcomes,
+        stats,
+    })
+}
+
+fn tracer_to_value(t: &TracerState) -> Value {
+    arr(vec![
+        u(t.n_check_cur),
+        u(t.n_instr_cur),
+        u(t.n_check),
+        u(t.n_instr),
+        u(t.instrumented),
+        u(t.hibernating),
+        u(t.periods_in_phase),
+        u(t.total_checks),
+        u(t.total_bursts),
+        u(t.awake_checks),
+        u(t.phase_transitions),
+    ])
+}
+
+fn tracer_from_value(v: &Value) -> Result<TracerState, SnapshotError> {
+    let [ncc, nic, nc, ni, ins, hib, pip, tc, tb, ac, pt] = fixed::<11>(v, "tracer")?;
+    Ok(TracerState {
+        n_check_cur: ncc,
+        n_instr_cur: nic,
+        n_check: nc,
+        n_instr: ni,
+        instrumented: ins,
+        hibernating: hib,
+        periods_in_phase: pip,
+        total_checks: tc,
+        total_bursts: tb,
+        awake_checks: ac,
+        phase_transitions: pt,
+    })
+}
+
+fn image_to_value(i: &ImageState<usize>) -> Value {
+    obj(vec![
+        ("epoch", u(i.epoch)),
+        ("total_edits", u(i.total_edits)),
+        ("total_deopts", u(i.total_deopts)),
+        (
+            "copies",
+            arr(i
+                .copies
+                .iter()
+                .map(|c| {
+                    obj(vec![
+                        ("proc", u(u64::from(c.proc.0))),
+                        ("since_epoch", u(c.since_epoch)),
+                        (
+                            "checks",
+                            arr(c
+                                .checks
+                                .iter()
+                                .map(|&(pc, len)| arr(vec![u(u64::from(pc.0)), u(len as u64)]))
+                                .collect()),
+                        ),
+                    ])
+                })
+                .collect()),
+        ),
+    ])
+}
+
+fn image_from_value(v: &Value) -> Result<ImageState<usize>, SnapshotError> {
+    let mut copies = Vec::new();
+    for c in as_arr(field(v, "copies")?, "image.copies")? {
+        let proc_raw = u64_field(c, "proc")?;
+        let proc = ProcId(
+            u32::try_from(proc_raw).map_err(|_| malformed("image.copies: proc out of range"))?,
+        );
+        let since_epoch = u64_field(c, "since_epoch")?;
+        let mut checks = Vec::new();
+        for e in as_arr(field(c, "checks")?, "image.checks")? {
+            let [pc, len] = fixed::<2>(e, "image.checks")?;
+            let pc = Pc(u32::try_from(pc).map_err(|_| malformed("image.checks: pc out of range"))?);
+            let len =
+                usize::try_from(len).map_err(|_| malformed("image.checks: len out of range"))?;
+            checks.push((pc, len));
+        }
+        copies.push(CopyState {
+            proc,
+            since_epoch,
+            checks,
+        });
+    }
+    Ok(ImageState {
+        epoch: u64_field(v, "epoch")?,
+        total_edits: u64_field(v, "total_edits")?,
+        total_deopts: u64_field(v, "total_deopts")?,
+        copies,
+    })
+}
+
+fn refs_to_value(refs: &[DataRef]) -> Value {
+    arr(refs
+        .iter()
+        .map(|r| arr(vec![u(u64::from(r.pc.0)), u(r.addr.0)]))
+        .collect())
+}
+
+fn refs_from_value(v: &Value, what: &str) -> Result<Vec<DataRef>, SnapshotError> {
+    let mut out = Vec::new();
+    for e in as_arr(v, what)? {
+        let [pc, addr] = fixed::<2>(e, what)?;
+        let pc = Pc(u32::try_from(pc).map_err(|_| malformed(format!("{what}: pc out of range")))?);
+        out.push(DataRef::new(pc, Addr(addr)));
+    }
+    Ok(out)
+}
+
+fn guard_to_value(g: &GuardState) -> Value {
+    obj(vec![
+        (
+            "tripped",
+            arr(g.tripped.iter().map(|&b| Value::Bool(b)).collect()),
+        ),
+        ("trips", arr(g.trips.iter().map(|&t| u(t)).collect())),
+        (
+            "accuracy",
+            match &g.accuracy {
+                None => Value::Null,
+                Some(a) => obj(vec![
+                    (
+                        "streams",
+                        arr(a
+                            .streams
+                            .iter()
+                            .map(|s| {
+                                arr(vec![
+                                    u(u64::from(s.stream_id)),
+                                    u(s.hash),
+                                    u(s.useful),
+                                    u(s.late),
+                                    u(s.polluted),
+                                    u(u64::from(s.streak)),
+                                ])
+                            })
+                            .collect()),
+                    ),
+                    ("denylist", arr(a.denylist.iter().map(|&h| u(h)).collect())),
+                ]),
+            },
+        ),
+    ])
+}
+
+fn guard_from_value(v: &Value) -> Result<GuardState, SnapshotError> {
+    let tripped_vals = as_arr(field(v, "tripped")?, "guard.tripped")?;
+    if tripped_vals.len() != 5 {
+        return Err(malformed("guard.tripped: expected 5 elements"));
+    }
+    let mut tripped = [false; 5];
+    for (slot, val) in tripped.iter_mut().zip(tripped_vals) {
+        *slot = as_bool(val, "guard.tripped")?;
+    }
+    let trips = fixed::<5>(field(v, "trips")?, "guard.trips")?;
+    let accuracy = match field(v, "accuracy")? {
+        Value::Null => None,
+        a => {
+            let mut streams = Vec::new();
+            for s in as_arr(field(a, "streams")?, "guard.accuracy.streams")? {
+                let [id, hash, useful, late, polluted, streak] =
+                    fixed::<6>(s, "guard.accuracy.streams")?;
+                streams.push(StreamAccuracyState {
+                    stream_id: u32::try_from(id)
+                        .map_err(|_| malformed("guard.accuracy: id out of range"))?,
+                    hash,
+                    useful,
+                    late,
+                    polluted,
+                    streak: u32::try_from(streak)
+                        .map_err(|_| malformed("guard.accuracy: streak out of range"))?,
+                });
+            }
+            let denylist = u64s(field(a, "denylist")?, "guard.accuracy.denylist")?;
+            Some(AccuracyState { streams, denylist })
+        }
+    };
+    Ok(GuardState {
+        tripped,
+        trips,
+        accuracy,
+    })
+}
+
+impl SessionState {
+    /// Serializes the state under the given config fingerprint.
+    pub(crate) fn to_snapshot(&self, config_hash: u64) -> Snapshot {
+        let bg = match &self.bg {
+            None => Value::Null,
+            Some(b) => obj(vec![
+                ("handoffs", u(b.handoffs)),
+                ("applied", u(b.applied)),
+                ("starved", u(b.starved)),
+                (
+                    "pending",
+                    match &b.pending {
+                        None => Value::Null,
+                        Some(p) => obj(vec![
+                            ("handoff_at", u(p.handoff_at)),
+                            ("ready_at", u(p.ready_at)),
+                            ("refs", refs_to_value(&p.refs)),
+                            ("denylist", arr(p.denylist.iter().map(|&h| u(h)).collect())),
+                        ]),
+                    },
+                ),
+            ]),
+        };
+        let payload = obj(vec![
+            ("config", u(config_hash)),
+            ("cycles", u(self.cycles)),
+            ("breakdown", breakdown_to_value(&self.breakdown)),
+            ("mem", mem_to_value(&self.mem)),
+            ("tracer", tracer_to_value(&self.tracer)),
+            ("image", image_to_value(&self.image)),
+            ("dfsm_state", u(u64::from(self.dfsm_state))),
+            ("dfsm_rebuild", u(u64::from(self.dfsm_rebuild))),
+            (
+                "frames",
+                arr(self
+                    .frames
+                    .iter()
+                    .map(|(stack, max_depth)| {
+                        obj(vec![
+                            (
+                                "stack",
+                                arr(stack
+                                    .iter()
+                                    .map(|&(p, e)| arr(vec![u(u64::from(p)), u(e)]))
+                                    .collect()),
+                            ),
+                            ("max_depth", u(*max_depth as u64)),
+                        ])
+                    })
+                    .collect()),
+            ),
+            ("active_thread", u(self.active_thread as u64)),
+            ("refs", u(self.refs)),
+            ("checks", u(self.checks)),
+            (
+                "cycle_stats",
+                arr(self.cycle_stats.iter().map(cycle_stats_to_value).collect()),
+            ),
+            (
+                "pf_queue",
+                arr(self
+                    .pf_queue
+                    .iter()
+                    .map(|&(a, t)| arr(vec![u(a), u(u64::from(t))]))
+                    .collect()),
+            ),
+            (
+                "guard",
+                self.guard.as_ref().map_or(Value::Null, guard_to_value),
+            ),
+            (
+                "installed",
+                arr(self.installed.iter().map(|s| refs_to_value(s)).collect()),
+            ),
+            ("partial_deopts", u(self.partial_deopts)),
+            ("bg", bg),
+            ("events_consumed", u(self.events_consumed)),
+            ("snapshots", u(self.snapshots)),
+            ("fault_state", u(self.fault_state)),
+        ]);
+        Snapshot::encode_value(&payload)
+    }
+
+    /// Decodes and validates a snapshot against the resuming session's
+    /// config fingerprint.
+    pub(crate) fn from_snapshot(
+        snap: &Snapshot,
+        expected_config: u64,
+    ) -> Result<SessionState, SnapshotError> {
+        let v = snap.decode_value()?;
+        let found = u64_field(&v, "config")?;
+        if found != expected_config {
+            return Err(SnapshotError::ConfigMismatch {
+                expected: expected_config,
+                found,
+            });
+        }
+        let mut frames = Vec::new();
+        for f in as_arr(field(&v, "frames")?, "frames")? {
+            let mut stack = Vec::new();
+            for e in as_arr(field(f, "stack")?, "frames.stack")? {
+                let [p, epoch] = fixed::<2>(e, "frames.stack")?;
+                let p =
+                    u32::try_from(p).map_err(|_| malformed("frames.stack: proc out of range"))?;
+                stack.push((p, epoch));
+            }
+            frames.push((stack, usize_field(f, "max_depth")?));
+        }
+        let mut cycle_stats = Vec::new();
+        for c in as_arr(field(&v, "cycle_stats")?, "cycle_stats")? {
+            cycle_stats.push(cycle_stats_from_value(c)?);
+        }
+        let mut pf_queue = Vec::new();
+        for e in as_arr(field(&v, "pf_queue")?, "pf_queue")? {
+            let [a, t] = fixed::<2>(e, "pf_queue")?;
+            let t = u32::try_from(t).map_err(|_| malformed("pf_queue: tag out of range"))?;
+            pf_queue.push((a, t));
+        }
+        let guard = match field(&v, "guard")? {
+            Value::Null => None,
+            g => Some(guard_from_value(g)?),
+        };
+        let mut installed = Vec::new();
+        for s in as_arr(field(&v, "installed")?, "installed")? {
+            installed.push(refs_from_value(s, "installed")?);
+        }
+        let bg = match field(&v, "bg")? {
+            Value::Null => None,
+            b => Some(BgState {
+                handoffs: u64_field(b, "handoffs")?,
+                applied: u64_field(b, "applied")?,
+                starved: u64_field(b, "starved")?,
+                pending: match field(b, "pending")? {
+                    Value::Null => None,
+                    p => Some(PendingState {
+                        handoff_at: u64_field(p, "handoff_at")?,
+                        ready_at: u64_field(p, "ready_at")?,
+                        refs: refs_from_value(field(p, "refs")?, "bg.pending.refs")?,
+                        denylist: u64s(field(p, "denylist")?, "bg.pending.denylist")?,
+                    }),
+                },
+            }),
+        };
+        let dfsm_state = u32::try_from(u64_field(&v, "dfsm_state")?)
+            .map_err(|_| malformed("dfsm_state: out of range"))?;
+        let dfsm_rebuild = u8::try_from(u64_field(&v, "dfsm_rebuild")?)
+            .map_err(|_| malformed("dfsm_rebuild: out of range"))?;
+        Ok(SessionState {
+            cycles: u64_field(&v, "cycles")?,
+            breakdown: breakdown_from_value(field(&v, "breakdown")?)?,
+            mem: mem_from_value(field(&v, "mem")?)?,
+            tracer: tracer_from_value(field(&v, "tracer")?)?,
+            image: image_from_value(field(&v, "image")?)?,
+            dfsm_state,
+            dfsm_rebuild,
+            frames,
+            active_thread: usize_field(&v, "active_thread")?,
+            refs: u64_field(&v, "refs")?,
+            checks: u64_field(&v, "checks")?,
+            cycle_stats,
+            pf_queue,
+            guard,
+            installed,
+            partial_deopts: u64_field(&v, "partial_deopts")?,
+            bg,
+            events_consumed: u64_field(&v, "events_consumed")?,
+            snapshots: u64_field(&v, "snapshots")?,
+            fault_state: u64_field(&v, "fault_state")?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_state() -> SessionState {
+        SessionState {
+            cycles: 123_456,
+            breakdown: CostBreakdown {
+                work: 1,
+                memory: 2,
+                checks: 3,
+                recording: 4,
+                analysis: 5,
+                matching: 6,
+                prefetch: 7,
+                optimize: 8,
+            },
+            mem: MemState {
+                l1: CacheState {
+                    tick: 9,
+                    sets: vec![
+                        vec![LineState {
+                            block: 4,
+                            lru: 2,
+                            prefetched_unused: true,
+                            origin_prefetched: true,
+                            dirty: false,
+                        }],
+                        vec![],
+                    ],
+                },
+                l2: CacheState {
+                    tick: 11,
+                    sets: vec![vec![]],
+                },
+                in_flight: vec![(7, 900)],
+                pending: vec![(7, 2, 850)],
+                outcomes: vec![PrefetchResolution {
+                    tag: 1,
+                    block: 3,
+                    fate: PrefetchFate::Late,
+                    issued_at: 10,
+                    resolved_at: 20,
+                }],
+                stats: hds_memsim::MemStats {
+                    l1_hits: 100,
+                    l1_misses: 10,
+                    ..hds_memsim::MemStats::default()
+                },
+            },
+            tracer: TracerState {
+                n_check_cur: 5,
+                hibernating: 1,
+                total_checks: 77,
+                ..TracerState::default()
+            },
+            image: ImageState {
+                epoch: 3,
+                total_edits: 3,
+                total_deopts: 1,
+                copies: vec![CopyState {
+                    proc: ProcId(0),
+                    since_epoch: 3,
+                    checks: vec![(Pc(16), 2), (Pc(20), 1)],
+                }],
+            },
+            dfsm_state: 4,
+            dfsm_rebuild: 1,
+            frames: vec![(vec![(0, 3), (1, 3)], 5), (vec![], 2)],
+            active_thread: 0,
+            refs: 4242,
+            checks: 99,
+            cycle_stats: vec![CycleStats {
+                traced_refs: 50,
+                hot_streams: 2,
+                streams_used: 1,
+                dfsm_states: 7,
+                dfsm_checks: 3,
+                procs_modified: 1,
+                grammar_size: 40,
+            }],
+            pf_queue: vec![(0x1000, 0), (0x1040, 1)],
+            guard: Some(GuardState {
+                tripped: [true, false, false, false, true],
+                trips: [2, 0, 0, 0, 1],
+                accuracy: Some(AccuracyState {
+                    streams: vec![StreamAccuracyState {
+                        stream_id: 0,
+                        hash: 0xDEAD,
+                        useful: 5,
+                        late: 1,
+                        polluted: 2,
+                        streak: 1,
+                    }],
+                    denylist: vec![0xBEEF],
+                }),
+            }),
+            installed: vec![vec![
+                DataRef::new(Pc(16), Addr(0x100)),
+                DataRef::new(Pc(20), Addr(0x140)),
+            ]],
+            partial_deopts: 1,
+            bg: Some(BgState {
+                handoffs: 4,
+                applied: 2,
+                starved: 1,
+                pending: Some(PendingState {
+                    handoff_at: 100,
+                    ready_at: 200,
+                    refs: vec![DataRef::new(Pc(16), Addr(0x100))],
+                    denylist: vec![0xBEEF],
+                }),
+            }),
+            events_consumed: 987_654,
+            snapshots: 6,
+            fault_state: 0x1234_5678_9ABC_DEF0,
+        }
+    }
+
+    #[test]
+    fn session_state_round_trips() {
+        let state = sample_state();
+        let snap = state.to_snapshot(42);
+        let back = SessionState::from_snapshot(&snap, 42).unwrap();
+        assert_eq!(back, state);
+    }
+
+    #[test]
+    fn from_bytes_revalidates() {
+        let snap = sample_state().to_snapshot(42);
+        let ok = Snapshot::from_bytes(snap.as_bytes().to_vec()).unwrap();
+        assert_eq!(ok, snap);
+        assert!(!ok.is_empty());
+        assert_eq!(ok.len(), snap.as_bytes().len());
+        assert_eq!(ok.clone().into_bytes(), snap.as_bytes().to_vec());
+    }
+
+    #[test]
+    fn config_mismatch_is_typed() {
+        let snap = sample_state().to_snapshot(42);
+        assert_eq!(
+            SessionState::from_snapshot(&snap, 43),
+            Err(SnapshotError::ConfigMismatch {
+                expected: 43,
+                found: 42
+            })
+        );
+    }
+
+    #[test]
+    fn bad_magic_and_version_are_typed() {
+        assert_eq!(
+            Snapshot::from_bytes(b"NOTASNAP".to_vec()),
+            Err(SnapshotError::BadMagic)
+        );
+        assert_eq!(
+            Snapshot::from_bytes(Vec::new()),
+            Err(SnapshotError::BadMagic)
+        );
+        let mut bytes = sample_state().to_snapshot(1).into_bytes();
+        bytes[7] = b'9';
+        assert_eq!(
+            Snapshot::from_bytes(bytes),
+            Err(SnapshotError::UnsupportedVersion(b'9'))
+        );
+    }
+
+    #[test]
+    fn payload_corruption_is_a_checksum_mismatch() {
+        let snap = sample_state().to_snapshot(7);
+        let bytes = snap.as_bytes();
+        for pos in [18, bytes.len() / 2, bytes.len() - 1] {
+            let mut corrupt = bytes.to_vec();
+            corrupt[pos] ^= 0x01;
+            match Snapshot::from_bytes(corrupt) {
+                Err(SnapshotError::ChecksumMismatch { .. }) => {}
+                other => panic!("byte {pos}: expected ChecksumMismatch, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn crc32_matches_known_vector() {
+        // The standard IEEE CRC-32 check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn fingerprint_separates_configs_and_modes() {
+        let a = OptimizerConfig::test_scale();
+        let mut b = OptimizerConfig::test_scale();
+        b.max_streams += 1;
+        assert_ne!(
+            config_fingerprint(&a, RunMode::Baseline),
+            config_fingerprint(&b, RunMode::Baseline)
+        );
+        assert_ne!(
+            config_fingerprint(&a, RunMode::Baseline),
+            config_fingerprint(&a, RunMode::Analyze)
+        );
+        assert_eq!(
+            config_fingerprint(&a, RunMode::Profile),
+            config_fingerprint(&a, RunMode::Profile)
+        );
+    }
+
+    #[test]
+    fn errors_display() {
+        assert!(SnapshotError::BadMagic.to_string().contains("magic"));
+        assert!(SnapshotError::UnsupportedVersion(b'9')
+            .to_string()
+            .contains("version"));
+        assert!(SnapshotError::ChecksumMismatch {
+            expected: 1,
+            found: 2
+        }
+        .to_string()
+        .contains("checksum"));
+        assert!(SnapshotError::Malformed("x".into())
+            .to_string()
+            .contains("x"));
+        assert!(SnapshotError::ConfigMismatch {
+            expected: 1,
+            found: 2
+        }
+        .to_string()
+        .contains("fingerprint"));
+    }
+}

@@ -165,7 +165,10 @@ fn prefetch_queue_budget_truncates_but_keeps_prefetching() {
         .run(&mut p2);
 
     assert!(capped.guard_trips >= 1, "queue guard never tripped");
-    assert!(capped.mem.prefetches_issued > 0, "capped run stopped prefetching");
+    assert!(
+        capped.mem.prefetches_issued > 0,
+        "capped run stopped prefetching"
+    );
     assert!(capped.mem.prefetches_issued <= free.mem.prefetches_issued);
 }
 
@@ -187,7 +190,10 @@ fn always_failing_edits_degrade_to_the_analyze_configuration() {
         .optimize(PrefetchPolicy::StreamTail)
         .run(&mut p2);
 
-    assert!(plan.counts().failed_edits > 0, "no edits were ever attempted");
+    assert!(
+        plan.counts().failed_edits > 0,
+        "no edits were ever attempted"
+    );
     assert_eq!(faulted.total_cycles, analyze.total_cycles);
     assert_eq!(faulted.mem, analyze.mem);
     assert_eq!(faulted.breakdown.optimize, 0);
@@ -229,7 +235,7 @@ fn demo_procs() -> Vec<Procedure> {
 /// happened strictly *after* the partial de-optimization.
 #[derive(Default)]
 struct Timeline {
-    issued: Vec<(u64, u64)>, // (at_cycle, addr)
+    issued: Vec<(u64, u64)>,  // (at_cycle, addr)
     partial_deopts: Vec<u64>, // at_cycle
     full_deopts: Vec<u64>,    // at_cycle
 }
@@ -350,7 +356,10 @@ fn low_accuracy_stream_is_surgically_removed_while_the_rest_keep_prefetching() {
 
     let report = session.finish("partial-deopt-demo");
     assert!(report.partial_deopts >= 1, "no partial deopt recorded");
-    assert!(report.mem.prefetches_useful > 0, "no stream ever predicted well");
+    assert!(
+        report.mem.prefetches_useful > 0,
+        "no stream ever predicted well"
+    );
 
     // Timeline assertions: a partial deopt happened, no full deopt did
     // (static strategy + surgical removal), and after the partial deopt
@@ -367,9 +376,11 @@ fn low_accuracy_stream_is_surgically_removed_while_the_rest_keep_prefetching() {
         .skip(HEAD_LEN)
         .map(|r| r.addr.0)
         .collect();
-    let after: Vec<&(u64, u64)> =
-        timeline.issued.iter().filter(|(c, _)| *c > t).collect();
-    assert!(!after.is_empty(), "no prefetches at all after the partial deopt");
+    let after: Vec<&(u64, u64)> = timeline.issued.iter().filter(|(c, _)| *c > t).collect();
+    assert!(
+        !after.is_empty(),
+        "no prefetches at all after the partial deopt"
+    );
     assert!(
         after.iter().all(|(_, a)| !bad_tail.contains(a)),
         "the removed stream's tail was still being prefetched"

@@ -228,7 +228,12 @@ mod tests {
         let addrs: Vec<u64> = dfsm.prefetches(s).iter().map(|p| p.0).collect();
         assert_eq!(
             addrs,
-            vec![u64::from(b'c'), u64::from(b'a'), u64::from(b'd'), u64::from(b'e')]
+            vec![
+                u64::from(b'c'),
+                u64::from(b'a'),
+                u64::from(b'd'),
+                u64::from(b'e')
+            ]
         );
 
         // {} --b--> {[w,1]} --b--> {[w,1],[w,2]} --g--> {[w,3]}.
@@ -255,8 +260,7 @@ mod tests {
             .map(|i| DataRef::new(Pc(i), Addr(u64::from(i) * 32)))
             .collect();
         for head_len in 1..=4 {
-            let dfsm =
-                build(std::slice::from_ref(&stream), &DfsmConfig::new(head_len)).unwrap();
+            let dfsm = build(std::slice::from_ref(&stream), &DfsmConfig::new(head_len)).unwrap();
             dfsm.verify().unwrap();
             assert_eq!(dfsm.state_count(), head_len + 1);
             // One advance edge per prefix, plus one restart edge on the
@@ -288,8 +292,16 @@ mod tests {
         // Two streams with the same first reference share the [.,1] state
         // transition target: {[v,1],[w,1]}.
         let a = DataRef::new(Pc(1), Addr(0x10));
-        let v = vec![a, DataRef::new(Pc(2), Addr(0x20)), DataRef::new(Pc(3), Addr(0x30))];
-        let w = vec![a, DataRef::new(Pc(4), Addr(0x40)), DataRef::new(Pc(5), Addr(0x50))];
+        let v = vec![
+            a,
+            DataRef::new(Pc(2), Addr(0x20)),
+            DataRef::new(Pc(3), Addr(0x30)),
+        ];
+        let w = vec![
+            a,
+            DataRef::new(Pc(4), Addr(0x40)),
+            DataRef::new(Pc(5), Addr(0x50)),
+        ];
         let dfsm = build(&[v, w], &DfsmConfig::new(2)).unwrap();
         dfsm.verify().unwrap();
         let s = dfsm.transition(StateId::START, a).unwrap();
@@ -305,7 +317,11 @@ mod tests {
         let short = vec![refs("ab")];
         assert!(matches!(
             build(&short, &DfsmConfig::new(2)),
-            Err(BuildError::StreamTooShort { index: 0, len: 2, head_len: 2 })
+            Err(BuildError::StreamTooShort {
+                index: 0,
+                len: 2,
+                head_len: 2
+            })
         ));
         // State bound enforced.
         let streams = vec![refs("abcde"), refs("bcdea"), refs("cdeab")];
@@ -315,10 +331,18 @@ mod tests {
 
     #[test]
     fn error_display() {
-        assert!(BuildError::NoStreams.to_string().contains("no hot data streams"));
-        let e = BuildError::StreamTooShort { index: 3, len: 2, head_len: 2 };
+        assert!(BuildError::NoStreams
+            .to_string()
+            .contains("no hot data streams"));
+        let e = BuildError::StreamTooShort {
+            index: 3,
+            len: 2,
+            head_len: 2,
+        };
         assert!(e.to_string().contains("stream 3"));
-        assert!(BuildError::TooManyStates { limit: 7 }.to_string().contains('7'));
+        assert!(BuildError::TooManyStates { limit: 7 }
+            .to_string()
+            .contains('7'));
     }
 
     #[test]

@@ -105,8 +105,7 @@ pub fn render_checks(pc: Pc, checks: &[InjectedCheck]) -> String {
         for c in chain {
             let _ = write!(out, "    if (state == {}) state = {};", c.from, c.to);
             if !c.prefetches.is_empty() {
-                let addrs: Vec<String> =
-                    c.prefetches.iter().map(ToString::to_string).collect();
+                let addrs: Vec<String> = c.prefetches.iter().map(ToString::to_string).collect();
                 let _ = write!(out, " prefetch {};", addrs.join(","));
             }
             out.push('\n');

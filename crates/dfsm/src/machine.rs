@@ -350,9 +350,7 @@ impl Dfsm {
                     (true, Some(t)) => {
                         return Err(format!("{id} --{a}--> {t} but d(s,a) is empty"))
                     }
-                    (false, None) => {
-                        return Err(format!("{id} missing transition on {a}"))
-                    }
+                    (false, None) => return Err(format!("{id} missing transition on {a}")),
                     (false, Some(t)) => {
                         let expect_id = set_to_id.get(&target_set).copied();
                         if expect_id != Some(t) {
@@ -420,9 +418,8 @@ mod tests {
     fn delta_advances_and_restarts() {
         use hds_trace::{Addr, DataRef, Pc};
         let r = |b: u8| DataRef::new(Pc(u32::from(b)), Addr(u64::from(b)));
-        let streams = vec![
-            PrefetchStream::new(vec![r(b'a'), r(b'b'), r(b'a'), r(b'c')], 3).unwrap(),
-        ];
+        let streams =
+            vec![PrefetchStream::new(vec![r(b'a'), r(b'b'), r(b'a'), r(b'c')], 3).unwrap()];
         // From {[v,1]} on 'b' -> {[v,2]}; 'a' restarts -> {[v,1]}.
         let s1 = vec![(StreamId(0), 1)];
         assert_eq!(delta(&streams, &s1, r(b'b'), 3), vec![(StreamId(0), 2)]);

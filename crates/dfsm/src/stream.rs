@@ -131,7 +131,12 @@ mod tests {
         let addrs: Vec<u64> = v.tail_addrs().iter().map(|a| a.0).collect();
         assert_eq!(
             addrs,
-            vec![u64::from(b'c'), u64::from(b'a'), u64::from(b'd'), u64::from(b'e')]
+            vec![
+                u64::from(b'c'),
+                u64::from(b'a'),
+                u64::from(b'd'),
+                u64::from(b'e')
+            ]
         );
     }
 

@@ -12,10 +12,7 @@ fn small_ref(max: u32) -> impl Strategy<Value = DataRef> {
 }
 
 fn streams_strategy() -> impl Strategy<Value = Vec<Vec<DataRef>>> {
-    proptest::collection::vec(
-        proptest::collection::vec(small_ref(8), 4..10),
-        1..6,
-    )
+    proptest::collection::vec(proptest::collection::vec(small_ref(8), 4..10), 1..6)
 }
 
 proptest! {

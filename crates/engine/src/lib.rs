@@ -36,12 +36,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod supervisor;
+
+pub use supervisor::{supervise, SupervisedOutcome, SupervisorPolicy};
+
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-use hds_core::{
-    OptimizerConfig, PrefetchPolicy, RunMode, RunReport, SessionBuilder, WorkerStats,
-};
+use hds_core::{OptimizerConfig, PrefetchPolicy, RunMode, RunReport, SessionBuilder, WorkerStats};
 use hds_guard::FaultPlan;
 use hds_telemetry::JsonlSink;
 use hds_workloads::{benchmark, Benchmark, Scale};
@@ -120,10 +122,7 @@ pub fn run_job(job: &SuiteJob) -> JobOutcome {
     let (report, faults_fired) = match job.fault_seed {
         Some(seed) => {
             let mut plan = FaultPlan::from_seed(seed);
-            let report = builder
-                .faults(&mut plan)
-                .mode(job.mode)
-                .run(&mut *w);
+            let report = builder.faults(&mut plan).mode(job.mode).run(&mut *w);
             (report, plan.counts().total())
         }
         None => (builder.mode(job.mode).run(&mut *w), 0),
@@ -148,11 +147,7 @@ pub fn fig11_matrix(scale: Scale, config: &OptimizerConfig) -> Vec<SuiteJob> {
     ];
     Benchmark::ALL
         .iter()
-        .flat_map(|&b| {
-            modes
-                .iter()
-                .map(move |&m| (b, m))
-        })
+        .flat_map(|&b| modes.iter().map(move |&m| (b, m)))
         .map(|(b, m)| SuiteJob::new(b, scale, m, config))
         .collect()
 }
@@ -177,7 +172,11 @@ pub fn table2_matrix(scale: Scale, config: &OptimizerConfig) -> Vec<SuiteJob> {
 /// Chaos jobs: `seeds` fault schedules rotating over the benchmark
 /// suite, each optimizing under `FaultPlan::from_seed(seed)`.
 #[must_use]
-pub fn chaos_matrix(scale: Scale, config: &OptimizerConfig, seeds: std::ops::Range<u64>) -> Vec<SuiteJob> {
+pub fn chaos_matrix(
+    scale: Scale,
+    config: &OptimizerConfig,
+    seeds: std::ops::Range<u64>,
+) -> Vec<SuiteJob> {
     seeds
         .map(|seed| {
             let which = Benchmark::ALL[(seed % Benchmark::ALL.len() as u64) as usize];
@@ -207,11 +206,13 @@ pub fn run_suite(jobs: &[SuiteJob], workers: usize) -> Vec<JobOutcome> {
 /// outcomes (all zeros when every job ran inline).
 #[must_use]
 pub fn aggregate_worker_stats(outcomes: &[JobOutcome]) -> WorkerStats {
-    outcomes.iter().fold(WorkerStats::default(), |acc, o| WorkerStats {
-        handoffs: acc.handoffs + o.report.worker.handoffs,
-        applied: acc.applied + o.report.worker.applied,
-        starved: acc.starved + o.report.worker.starved,
-    })
+    outcomes
+        .iter()
+        .fold(WorkerStats::default(), |acc, o| WorkerStats {
+            handoffs: acc.handoffs + o.report.worker.handoffs,
+            applied: acc.applied + o.report.worker.applied,
+            starved: acc.starved + o.report.worker.starved,
+        })
 }
 
 /// Applies `f` to every item, fanning the work over up to `workers`

@@ -80,6 +80,32 @@ impl StreamStats {
     }
 }
 
+/// Serializable state of one tracked stream inside an [`AccuracyState`].
+///
+/// Plain data for checkpointing: field order mirrors the private
+/// per-stream accumulator.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub struct StreamAccuracyState {
+    pub stream_id: u32,
+    pub hash: u64,
+    pub useful: u64,
+    pub late: u64,
+    pub polluted: u64,
+    pub streak: u32,
+}
+
+/// Serializable snapshot of an [`AccuracyTracker`]: per-stream window
+/// accumulators (sorted by stream id) plus the cross-installation
+/// denylist (sorted). The config is not included — it is part of the
+/// session configuration, which a checkpoint validates separately.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub struct AccuracyState {
+    pub streams: Vec<StreamAccuracyState>,
+    pub denylist: Vec<u64>,
+}
+
 /// Tracks per-stream outcomes across evaluation windows and maintains
 /// the cross-installation denylist of content hashes.
 #[derive(Clone, Debug)]
@@ -178,6 +204,49 @@ impl AccuracyTracker {
         hashes.sort_unstable();
         hashes
     }
+
+    /// Canonical (sorted) snapshot of the tracker for checkpointing.
+    pub(crate) fn export_state(&self) -> AccuracyState {
+        let mut streams: Vec<StreamAccuracyState> = self
+            .streams
+            .iter()
+            .map(|(&id, s)| StreamAccuracyState {
+                stream_id: id,
+                hash: s.hash,
+                useful: s.useful,
+                late: s.late,
+                polluted: s.polluted,
+                streak: s.streak,
+            })
+            .collect();
+        streams.sort_unstable_by_key(|s| s.stream_id);
+        AccuracyState {
+            streams,
+            denylist: self.denylist_hashes(),
+        }
+    }
+
+    /// Overwrites per-stream accumulators and the denylist from a
+    /// snapshot. The config is left as constructed.
+    pub(crate) fn restore_state(&mut self, state: &AccuracyState) {
+        self.streams = state
+            .streams
+            .iter()
+            .map(|s| {
+                (
+                    s.stream_id,
+                    StreamStats {
+                        hash: s.hash,
+                        useful: s.useful,
+                        late: s.late,
+                        polluted: s.polluted,
+                        streak: s.streak,
+                    },
+                )
+            })
+            .collect();
+        self.denylist = state.denylist.iter().copied().collect();
+    }
 }
 
 #[cfg(test)]
@@ -258,6 +327,36 @@ mod tests {
         assert_eq!(t.denylist_len(), 1);
         // Outcomes for the dropped stream are ignored, not a panic.
         t.record(0, PrefetchFate::Useful);
+    }
+
+    #[test]
+    fn export_restore_round_trips_mid_streak() {
+        let mut t = tracker();
+        feed(&mut t, 0, 0, 4); // streak 1 after evaluation
+        feed(&mut t, 1, 4, 0);
+        t.evaluate_window();
+        feed(&mut t, 0, 1, 2); // partial window in flight
+        t.drop_stream(1);
+
+        let state = t.export_state();
+        assert_eq!(state.streams.len(), 1);
+        assert_eq!(state.streams[0].stream_id, 0);
+        assert_eq!(state.streams[0].streak, 1);
+        assert_eq!(state.denylist, vec![0xBBBB]);
+
+        let mut restored = AccuracyTracker::new(t.config.clone());
+        restored.restore_state(&state);
+        assert_eq!(restored.export_state(), state);
+        // Both finish the window identically: one more polluted outcome
+        // completes the bad streak and flags stream 0.
+        for tr in [&mut t, &mut restored] {
+            feed(tr, 0, 0, 1);
+            let bad = tr.evaluate_window();
+            assert_eq!(bad.len(), 1);
+            assert_eq!(bad[0].stream_id, 0);
+            assert_eq!(bad[0].windows, 2);
+        }
+        assert!(restored.is_denylisted(0xBBBB));
     }
 
     #[test]

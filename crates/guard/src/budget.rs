@@ -2,7 +2,7 @@
 
 use hds_telemetry::events::{GuardKind, PrefetchFate};
 
-use crate::accuracy::{AccuracyConfig, AccuracyTracker, BadStream};
+use crate::accuracy::{AccuracyConfig, AccuracyState, AccuracyTracker, BadStream};
 
 /// Configured budgets for the optimize cycle. `None` disables a guard.
 ///
@@ -128,6 +128,18 @@ pub struct Trip {
     /// `true` the first time this guard trips in the current cycle —
     /// the one occurrence that should emit a `GuardTripped` event.
     pub first_in_cycle: bool,
+}
+
+/// Serializable snapshot of a [`GuardRuntime`]: per-cycle trip latches,
+/// lifetime trip counts, and the accuracy tracker's state (if the
+/// accuracy policy is enabled). The config itself is not captured — a
+/// checkpoint validates configuration compatibility separately.
+#[derive(Clone, Debug, Default, PartialEq)]
+#[allow(missing_docs)]
+pub struct GuardState {
+    pub tripped: [bool; 5],
+    pub trips: [u64; 5],
+    pub accuracy: Option<AccuracyState>,
 }
 
 /// Runtime state of the guard layer for one optimizer session: per-cycle
@@ -264,7 +276,9 @@ impl GuardRuntime {
     /// Number of denylisted stream hashes.
     #[must_use]
     pub fn denylist_len(&self) -> usize {
-        self.accuracy.as_ref().map_or(0, AccuracyTracker::denylist_len)
+        self.accuracy
+            .as_ref()
+            .map_or(0, AccuracyTracker::denylist_len)
     }
 
     /// Snapshot of the denylisted content hashes, sorted for
@@ -275,6 +289,31 @@ impl GuardRuntime {
         self.accuracy
             .as_ref()
             .map_or_else(Vec::new, AccuracyTracker::denylist_hashes)
+    }
+
+    // ---- checkpointing ----
+
+    /// Canonical snapshot of the runtime's mutable state for
+    /// checkpointing.
+    #[must_use]
+    pub fn export_state(&self) -> GuardState {
+        GuardState {
+            tripped: self.tripped,
+            trips: self.trips,
+            accuracy: self.accuracy.as_ref().map(AccuracyTracker::export_state),
+        }
+    }
+
+    /// Overwrites the runtime's mutable state from a snapshot. The
+    /// snapshot's accuracy state is applied only when this runtime's
+    /// config has the accuracy policy enabled (checkpoint config
+    /// validation makes a mismatch unreachable in practice).
+    pub fn restore_state(&mut self, state: &GuardState) {
+        self.tripped = state.tripped;
+        self.trips = state.trips;
+        if let (Some(acc), Some(s)) = (&mut self.accuracy, &state.accuracy) {
+            acc.restore_state(s);
+        }
     }
 }
 
@@ -306,13 +345,28 @@ mod tests {
         assert!(t.first_in_cycle);
         assert_eq!(t.budget, 10);
         assert!(guard.is_tripped(GuardKind::GrammarRules));
-        assert!(!guard.observe(GuardKind::GrammarRules, 12).unwrap().first_in_cycle);
+        assert!(
+            !guard
+                .observe(GuardKind::GrammarRules, 12)
+                .unwrap()
+                .first_in_cycle
+        );
         // Independent guard, independent latch.
-        assert!(guard.observe(GuardKind::PrefetchQueue, 5).unwrap().first_in_cycle);
+        assert!(
+            guard
+                .observe(GuardKind::PrefetchQueue, 5)
+                .unwrap()
+                .first_in_cycle
+        );
 
         guard.begin_cycle();
         assert!(!guard.is_tripped(GuardKind::GrammarRules));
-        assert!(guard.observe(GuardKind::GrammarRules, 99).unwrap().first_in_cycle);
+        assert!(
+            guard
+                .observe(GuardKind::GrammarRules, 99)
+                .unwrap()
+                .first_in_cycle
+        );
 
         assert_eq!(guard.trips(GuardKind::GrammarRules), 2);
         assert_eq!(guard.trips(GuardKind::PrefetchQueue), 1);
@@ -350,5 +404,45 @@ mod tests {
         let guard = GuardRuntime::new(GuardConfig::disabled());
         assert!(!guard.tracks_accuracy());
         assert_eq!(guard.denylist_len(), 0);
+    }
+
+    #[test]
+    fn export_restore_round_trips_runtime_state() {
+        use hds_telemetry::events::PrefetchFate;
+
+        let cfg = GuardConfig::disabled()
+            .with_max_grammar_rules(10)
+            .with_accuracy(AccuracyConfig::new());
+        let mut guard = GuardRuntime::new(cfg.clone());
+        guard.begin_cycle();
+        guard.observe(GuardKind::GrammarRules, 50);
+        guard.begin_install([(0, 0xCAFE), (1, 0xF00D)]);
+        for _ in 0..4 {
+            guard.record_outcome(0, PrefetchFate::Polluted);
+            guard.record_outcome(1, PrefetchFate::Useful);
+        }
+        guard.evaluate_window();
+        guard.drop_stream(1);
+
+        let state = guard.export_state();
+        assert!(state.tripped[GuardKind::GrammarRules as usize]);
+        assert_eq!(state.trips[GuardKind::GrammarRules as usize], 1);
+        let acc = state.accuracy.as_ref().unwrap();
+        assert_eq!(acc.denylist, vec![0xF00D]);
+
+        let mut restored = GuardRuntime::new(cfg);
+        restored.restore_state(&state);
+        assert_eq!(restored.export_state(), state);
+        assert!(restored.is_tripped(GuardKind::GrammarRules));
+        assert_eq!(restored.trips_total(), 1);
+        assert!(restored.is_denylisted(0xF00D));
+        // The latch survived the round trip: a repeat observation in the
+        // same cycle is not first_in_cycle.
+        assert!(
+            !restored
+                .observe(GuardKind::GrammarRules, 60)
+                .unwrap()
+                .first_in_cycle
+        );
     }
 }

@@ -8,8 +8,45 @@
 //! per-site fault probabilities, so a failing schedule replays exactly
 //! from its seed.
 
+use std::fmt;
+
 use hds_trace::{Addr, DataRef};
 use hds_vulcan::EditError;
+
+/// Where a crash fault can kill the optimizer process (simulated: the
+/// session stops consuming events and must be restarted from its last
+/// snapshot by a supervisor).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CrashPoint {
+    /// At an awake/hibernate phase boundary, after the boundary's
+    /// snapshot was captured.
+    PhaseBoundary,
+    /// Inside a stop-the-world edit, after the write-ahead journal was
+    /// written but before every patch landed (a torn image).
+    MidEdit,
+    /// During the handoff of a trace to the background analysis worker.
+    MidHandoff,
+}
+
+impl CrashPoint {
+    /// Every kill-point class, for coverage assertions.
+    pub const ALL: [CrashPoint; 3] = [
+        CrashPoint::PhaseBoundary,
+        CrashPoint::MidEdit,
+        CrashPoint::MidHandoff,
+    ];
+}
+
+impl fmt::Display for CrashPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CrashPoint::PhaseBoundary => "phase-boundary",
+            CrashPoint::MidEdit => "mid-edit",
+            CrashPoint::MidHandoff => "mid-handoff",
+        };
+        f.write_str(s)
+    }
+}
 
 /// Injection points the executor exposes. Every hook has a benign
 /// default, so implementations override only the faults they model.
@@ -65,6 +102,32 @@ pub trait FaultInjector {
         let _ = base_cycles;
         0
     }
+
+    /// When `true`, the process dies at this kill point: the session
+    /// stops consuming events and a supervisor must restart it from its
+    /// last snapshot. Crash decisions must come from a *separate* random
+    /// stream than the in-simulation faults, so a restarted segment
+    /// re-draws its in-simulation faults identically without re-drawing
+    /// the crash that killed it.
+    fn crash(&mut self, point: CrashPoint) -> bool {
+        let _ = point;
+        false
+    }
+
+    /// The injector's in-simulation random state, for inclusion in a
+    /// snapshot ([`FaultInjector::restore_state`] is its inverse). The
+    /// crash stream and fault counters are *not* part of this state —
+    /// they belong to the supervisor's lifetime, not the segment's.
+    fn snapshot_state(&self) -> u64 {
+        0
+    }
+
+    /// Restores the in-simulation random state captured by
+    /// [`FaultInjector::snapshot_state`], so a re-executed segment
+    /// re-draws exactly the faults the original execution drew.
+    fn restore_state(&mut self, state: u64) {
+        let _ = state;
+    }
 }
 
 /// The no-fault injector: every hook is benign and
@@ -100,6 +163,15 @@ impl<F: FaultInjector> FaultInjector for &mut F {
     fn stall_worker(&mut self, base_cycles: u64) -> u64 {
         (**self).stall_worker(base_cycles)
     }
+    fn crash(&mut self, point: CrashPoint) -> bool {
+        (**self).crash(point)
+    }
+    fn snapshot_state(&self) -> u64 {
+        (**self).snapshot_state()
+    }
+    fn restore_state(&mut self, state: u64) {
+        (**self).restore_state(state);
+    }
 }
 
 /// Per-site fault probabilities in permille (0–1000).
@@ -118,6 +190,13 @@ pub struct FaultRates {
     /// Chance the background analysis worker is stalled for a handoff
     /// (concurrent-analysis mode).
     pub stall_worker: u16,
+    /// Chance the process dies at a phase boundary (after the boundary
+    /// snapshot was captured).
+    pub crash_phase_boundary: u16,
+    /// Chance the process dies mid-edit, tearing the journaled commit.
+    pub crash_mid_edit: u16,
+    /// Chance the process dies during a background-analysis handoff.
+    pub crash_mid_handoff: u16,
 }
 
 impl FaultRates {
@@ -132,6 +211,9 @@ impl FaultRates {
             thread_switch: 0,
             starve_analysis: 0,
             stall_worker: 0,
+            crash_phase_boundary: 0,
+            crash_mid_edit: 0,
+            crash_mid_handoff: 0,
         }
     }
 }
@@ -151,6 +233,8 @@ pub struct FaultCounts {
     pub starved_analyses: u64,
     /// Background analysis workers stalled.
     pub stalled_workers: u64,
+    /// Crash faults fired (process kills; lifetime across restarts).
+    pub crashes: u64,
 }
 
 impl FaultCounts {
@@ -163,6 +247,7 @@ impl FaultCounts {
             + self.injected_switches
             + self.starved_analyses
             + self.stalled_workers
+            + self.crashes
     }
 }
 
@@ -172,8 +257,16 @@ impl FaultCounts {
 #[derive(Clone, Debug)]
 pub struct FaultPlan {
     state: u64,
+    /// Separate stream for crash decisions: never part of a snapshot, so
+    /// a restarted segment re-draws its in-simulation faults without
+    /// re-drawing the crash that killed it.
+    crash_state: u64,
     rates: FaultRates,
     counts: FaultCounts,
+    /// Lifetime cap on crash faults (the chaos harness's termination
+    /// guarantee: after the budget is spent, the run completes).
+    max_crashes: u32,
+    crashes_fired: u32,
 }
 
 impl FaultPlan {
@@ -200,6 +293,7 @@ impl FaultPlan {
             thread_switch: (plan.next() % 200) as u16,
             starve_analysis: (plan.next() % 80) as u16,
             stall_worker: (plan.next() % 150) as u16,
+            ..FaultRates::quiet() // crash rates stay zero: from_seed plans never kill
         };
         plan.rates = rates;
         plan
@@ -208,13 +302,58 @@ impl FaultPlan {
     /// A plan with explicit rates.
     #[must_use]
     pub fn with_rates(seed: u64, rates: FaultRates) -> Self {
-        // Scramble the seed into a nonzero xorshift state.
+        // Scramble the seed into a nonzero xorshift state; the crash
+        // stream gets an independent scramble of the same seed.
         let state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0x2545_F491_4F6C_DD1D;
+        let crash_state = seed.wrapping_mul(0xBF58_476D_1CE4_E5B9) ^ 0x94D0_49BB_1331_11EB;
         FaultPlan {
-            state: if state == 0 { 0x2545_F491_4F6C_DD1D } else { state },
+            state: if state == 0 {
+                0x2545_F491_4F6C_DD1D
+            } else {
+                state
+            },
+            crash_state: if crash_state == 0 {
+                0x94D0_49BB_1331_11EB
+            } else {
+                crash_state
+            },
             rates,
             counts: FaultCounts::default(),
+            max_crashes: u32::MAX,
+            crashes_fired: 0,
         }
+    }
+
+    /// A chaos-crash plan: in-simulation fault rates as
+    /// [`FaultPlan::from_seed`], plus seed-derived kill probabilities at
+    /// every [`CrashPoint`] class, capped at `max_crashes` lifetime
+    /// kills so every schedule terminates. One plan supervises a whole
+    /// restart lineage: the crash stream and budget persist across
+    /// restarts while the in-simulation stream is snapshot-restored.
+    #[must_use]
+    pub fn crashy(seed: u64, max_crashes: u32) -> Self {
+        let mut plan = FaultPlan::from_seed(seed);
+        // Kill points are rare (a handful of boundaries and installs per
+        // run), so the rates are high enough that most schedules crash
+        // at least once.
+        #[allow(clippy::cast_possible_truncation)]
+        {
+            plan.rates.crash_phase_boundary = 150 + (plan.next_crash() % 500) as u16;
+            plan.rates.crash_mid_edit = 200 + (plan.next_crash() % 600) as u16;
+            plan.rates.crash_mid_handoff = 200 + (plan.next_crash() % 600) as u16;
+        }
+        plan.max_crashes = max_crashes;
+        plan
+    }
+
+    /// Caps the lifetime crash budget (how many kills this plan may
+    /// deal across a whole restart lineage). Lets hand-rated plans —
+    /// e.g. "every edit fails *and* every install crashes" — terminate
+    /// under supervision the way [`FaultPlan::crashy`] schedules do.
+    #[must_use]
+    pub fn with_max_crashes(mut self, max_crashes: u32) -> Self {
+        self.max_crashes = max_crashes;
+        self
     }
 
     /// A plan that fails *every* edit and nothing else: the optimizer
@@ -243,6 +382,18 @@ impl FaultPlan {
         self.counts
     }
 
+    /// Crash faults fired so far (against the lifetime budget).
+    #[must_use]
+    pub fn crashes_fired(&self) -> u32 {
+        self.crashes_fired
+    }
+
+    /// The lifetime crash budget.
+    #[must_use]
+    pub fn max_crashes(&self) -> u32 {
+        self.max_crashes
+    }
+
     /// xorshift64* step.
     fn next(&mut self) -> u64 {
         let mut x = self.state;
@@ -250,6 +401,16 @@ impl FaultPlan {
         x ^= x >> 7;
         x ^= x << 17;
         self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// xorshift64* step of the independent crash stream.
+    fn next_crash(&mut self) -> u64 {
+        let mut x = self.crash_state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.crash_state = x;
         x.wrapping_mul(0x2545_F491_4F6C_DD1D)
     }
 
@@ -320,6 +481,37 @@ impl FaultInjector for FaultPlan {
         // 1x–8x the modeled latency: long enough that a large multiple
         // routinely overruns the hibernation span and starves the apply.
         base_cycles.saturating_mul(1 + self.next() % 8)
+    }
+
+    fn crash(&mut self, point: CrashPoint) -> bool {
+        let permille = match point {
+            CrashPoint::PhaseBoundary => self.rates.crash_phase_boundary,
+            CrashPoint::MidEdit => self.rates.crash_mid_edit,
+            CrashPoint::MidHandoff => self.rates.crash_mid_handoff,
+        };
+        if permille == 0 || self.crashes_fired >= self.max_crashes {
+            return false; // no draw: crash-free plans stay bit-identical
+        }
+        let fire = permille >= 1000 || self.next_crash() % 1000 < u64::from(permille);
+        if fire {
+            self.crashes_fired += 1;
+            self.counts.crashes += 1;
+        }
+        fire
+    }
+
+    fn snapshot_state(&self) -> u64 {
+        self.state
+    }
+
+    fn restore_state(&mut self, state: u64) {
+        // A zero xorshift state is absorbing; no valid snapshot carries
+        // one, but defend anyway.
+        self.state = if state == 0 {
+            0x2545_F491_4F6C_DD1D
+        } else {
+            state
+        };
     }
 }
 
@@ -431,6 +623,85 @@ mod tests {
         let a = plan.next();
         let b = plan.next();
         assert_ne!(a, b);
+    }
+
+    /// The crash stream is independent of the in-simulation stream: a
+    /// plan that is also asked for crash decisions draws exactly the
+    /// same in-simulation faults as one that is not.
+    #[test]
+    fn crash_stream_does_not_perturb_simulation_faults() {
+        let mut plain = FaultPlan::crashy(17, 1000);
+        let mut crashing = FaultPlan::crashy(17, 1000);
+        let mut crashes = 0u32;
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        for i in 0..300 {
+            a.extend(drive(&mut plain, 1));
+            for point in CrashPoint::ALL {
+                if crashing.crash(point) {
+                    crashes += 1;
+                }
+            }
+            b.extend(drive(&mut crashing, 1));
+            let _ = i;
+        }
+        assert!(crashes > 0, "crashy plan never crashed");
+        assert_eq!(a, b, "crash draws leaked into the simulation stream");
+    }
+
+    #[test]
+    fn crash_budget_caps_lifetime_kills() {
+        let mut plan = FaultPlan::crashy(5, 3);
+        let mut fired = 0;
+        for _ in 0..10_000 {
+            if plan.crash(CrashPoint::PhaseBoundary) {
+                fired += 1;
+            }
+        }
+        assert_eq!(fired, 3);
+        assert_eq!(plan.crashes_fired(), 3);
+        assert_eq!(plan.counts().crashes, 3);
+        assert_eq!(plan.max_crashes(), 3);
+    }
+
+    #[test]
+    fn from_seed_and_quiet_plans_never_crash() {
+        let mut plan = FaultPlan::from_seed(23);
+        let mut quiet = FaultPlan::with_rates(23, FaultRates::quiet());
+        for point in CrashPoint::ALL {
+            for _ in 0..500 {
+                assert!(!plan.crash(point));
+                assert!(!quiet.crash(point));
+            }
+        }
+        assert_eq!(plan.counts().crashes, 0);
+    }
+
+    /// Snapshot/restore of the in-simulation stream: a plan restored to
+    /// a captured state re-draws exactly the faults the original drew
+    /// from that point, even if crash decisions intervened.
+    #[test]
+    fn snapshot_restore_replays_simulation_stream() {
+        let mut plan = FaultPlan::crashy(31, 1000);
+        let _ = drive(&mut plan, 50);
+        let saved = plan.snapshot_state();
+        let replay_a = drive(&mut plan, 100);
+        for point in CrashPoint::ALL {
+            let _ = plan.crash(point); // crash draws must not matter
+        }
+        plan.restore_state(saved);
+        let replay_b = drive(&mut plan, 100);
+        assert_eq!(replay_a, replay_b);
+        plan.restore_state(0); // degenerate state is made usable
+        assert_ne!(plan.snapshot_state(), 0);
+    }
+
+    #[test]
+    fn crash_point_display_and_all() {
+        assert_eq!(CrashPoint::ALL.len(), 3);
+        assert_eq!(CrashPoint::PhaseBoundary.to_string(), "phase-boundary");
+        assert_eq!(CrashPoint::MidEdit.to_string(), "mid-edit");
+        assert_eq!(CrashPoint::MidHandoff.to_string(), "mid-handoff");
     }
 
     #[test]

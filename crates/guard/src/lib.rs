@@ -26,7 +26,15 @@
 //!   corrupt trace references, truncate trace buffers, force
 //!   [`EditError`]s mid-edit, inject thread switches during
 //!   stop-the-world edits, and starve the analysis budget. [`NoFaults`]
-//!   monomorphizes every injection site away.
+//!   monomorphizes every injection site away. [`CrashPoint`] extends
+//!   the plan with process-kill faults at phase boundaries, mid-edit,
+//!   and mid-background-handoff, drawn from a *separate* RNG stream so
+//!   crash schedules never perturb in-simulation fault draws — and so a
+//!   restarted session re-draws the same in-simulation faults from a
+//!   restored state without re-triggering the same crash forever.
+//! * [`GuardState`] / [`AccuracyState`] — canonical serializable
+//!   snapshots of the runtime's mutable state, consumed by the core
+//!   crate's crash-consistent checkpoints.
 //!
 //! # Examples
 //!
@@ -51,9 +59,9 @@ mod accuracy;
 mod budget;
 mod fault;
 
-pub use accuracy::{AccuracyConfig, BadStream};
-pub use budget::{GuardConfig, GuardRuntime, Trip};
-pub use fault::{FaultCounts, FaultInjector, FaultPlan, FaultRates, NoFaults};
+pub use accuracy::{AccuracyConfig, AccuracyState, BadStream, StreamAccuracyState};
+pub use budget::{GuardConfig, GuardRuntime, GuardState, Trip};
+pub use fault::{CrashPoint, FaultCounts, FaultInjector, FaultPlan, FaultRates, NoFaults};
 
 // Re-export the error type faults induce, so callers need not depend on
 // hds-vulcan directly for matching.

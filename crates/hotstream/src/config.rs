@@ -95,7 +95,11 @@ impl AnalysisConfig {
             (0.0..=100.0).contains(&percent),
             "percent must be within 0..=100, got {percent}"
         );
-        #[allow(clippy::cast_precision_loss, clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        #[allow(
+            clippy::cast_precision_loss,
+            clippy::cast_possible_truncation,
+            clippy::cast_sign_loss
+        )]
         let h = ((trace_len as f64) * percent / 100.0).ceil() as u64;
         self.heat_threshold = h.max(1);
         self

@@ -149,7 +149,10 @@ mod tests {
     #[test]
     fn frequency_basic() {
         assert_eq!(non_overlapping_frequency(&syms("ab"), &syms("ababab")), 3);
-        assert_eq!(non_overlapping_frequency(&syms("abc"), &syms("abcabcab")), 2);
+        assert_eq!(
+            non_overlapping_frequency(&syms("abc"), &syms("abcabcab")),
+            2
+        );
         assert_eq!(non_overlapping_frequency(&syms("x"), &syms("abc")), 0);
         assert_eq!(non_overlapping_frequency(&syms(""), &syms("abc")), 0);
         assert_eq!(non_overlapping_frequency(&syms("abcd"), &syms("abc")), 0);
@@ -184,7 +187,9 @@ mod tests {
         let w = syms("abaabcabcabcabc");
         let cfg = AnalysisConfig::new(8, 2, 7);
         let hot = enumerate_hot_substrings(&w, &cfg);
-        assert!(hot.iter().any(|s| s.symbols == syms("abcabc") && s.heat == 12));
+        assert!(hot
+            .iter()
+            .any(|s| s.symbols == syms("abcabc") && s.heat == 12));
         // Everything reported really satisfies the thresholds.
         for s in &hot {
             assert!(cfg.is_hot(s.symbols.len() as u64, s.heat));

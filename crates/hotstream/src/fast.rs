@@ -60,7 +60,13 @@ impl HotDataStream {
 
 impl fmt::Display for HotDataStream {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "stream[{}] len {} heat {}", self.rule, self.len(), self.heat)
+        write!(
+            f,
+            "stream[{}] len {} heat {}",
+            self.rule,
+            self.len(),
+            self.heat
+        )
     }
 }
 
@@ -248,14 +254,12 @@ pub fn analyze(grammar: &Grammar, config: &AnalysisConfig) -> AnalysisResult {
         if subtract > 0 {
             for sym in grammar.rule(RuleId(r as u32)).body() {
                 if let GSym::Rule(child) = sym {
-                    cold_uses[child.index()] =
-                        cold_uses[child.index()].saturating_sub(subtract);
+                    cold_uses[child.index()] = cold_uses[child.index()].saturating_sub(subtract);
                 }
             }
         }
         if hot {
-            let symbols =
-                expansion.unwrap_or_else(|| grammar.expand(RuleId(r as u32)));
+            let symbols = expansion.unwrap_or_else(|| grammar.expand(RuleId(r as u32)));
             streams.push(HotDataStream {
                 symbols,
                 heat,
@@ -270,8 +274,7 @@ pub fn analyze(grammar: &Grammar, config: &AnalysisConfig) -> AnalysisResult {
                     continue; // a short final remainder
                 }
                 if config.min_unique_refs > 0 {
-                    let unique =
-                        chunk.iter().collect::<HashSet<_>>().len() as u64;
+                    let unique = chunk.iter().collect::<HashSet<_>>().len() as u64;
                     if unique < config.min_unique_refs {
                         continue;
                     }
@@ -347,13 +350,25 @@ mod tests {
             rows_by_len.insert(row.length, row);
         }
         let s = rows_by_len[&15];
-        assert_eq!((s.index, s.uses, s.cold_uses, s.heat, s.reported), (0, 1, 1, 15, false));
+        assert_eq!(
+            (s.index, s.uses, s.cold_uses, s.heat, s.reported),
+            (0, 1, 1, 15, false)
+        );
         let a = rows_by_len[&2];
-        assert_eq!((a.index, a.uses, a.cold_uses, a.heat, a.reported), (3, 5, 1, 2, false));
+        assert_eq!(
+            (a.index, a.uses, a.cold_uses, a.heat, a.reported),
+            (3, 5, 1, 2, false)
+        );
         let b = rows_by_len[&6];
-        assert_eq!((b.index, b.uses, b.cold_uses, b.heat, b.reported), (1, 2, 2, 12, true));
+        assert_eq!(
+            (b.index, b.uses, b.cold_uses, b.heat, b.reported),
+            (1, 2, 2, 12, true)
+        );
         let c = rows_by_len[&3];
-        assert_eq!((c.index, c.uses, c.cold_uses, c.heat, c.reported), (2, 4, 0, 0, false));
+        assert_eq!(
+            (c.index, c.uses, c.cold_uses, c.heat, c.reported),
+            (2, 4, 0, 0, false)
+        );
     }
 
     #[test]
@@ -442,7 +457,12 @@ mod tests {
         assert_eq!(idx, (0..g.rule_count()).collect::<Vec<_>>());
         // Parents precede children: S has index 0.
         assert_eq!(
-            result.table.iter().find(|r| r.rule == RuleId::START).unwrap().index,
+            result
+                .table
+                .iter()
+                .find(|r| r.rule == RuleId::START)
+                .unwrap()
+                .index,
             0
         );
     }
@@ -463,9 +483,15 @@ mod tests {
         }
         let plain = AnalysisConfig::new(20, 4, 8);
         let none = analyze_str(&input, &plain);
-        assert!(none.streams.is_empty(), "plain analysis should find nothing");
+        assert!(
+            none.streams.is_empty(),
+            "plain analysis should find nothing"
+        );
         let chopped = analyze_str(&input, &plain.clone().with_chopping());
-        assert!(!chopped.streams.is_empty(), "chopping should recover windows");
+        assert!(
+            !chopped.streams.is_empty(),
+            "chopping should recover windows"
+        );
         for s in &chopped.streams {
             assert!(s.symbols.len() <= 8);
             assert!(s.symbols.len() >= 4);

@@ -250,7 +250,8 @@ mod tests {
         let config = AnalysisConfig::new(8, 2, 7);
         let hot = analyze(&trace, &config);
         assert!(
-            hot.iter().any(|s| s.symbols == syms("abcabc") && s.heat == 12),
+            hot.iter()
+                .any(|s| s.symbols == syms("abcabc") && s.heat == 12),
             "abcabc missing: {hot:?}"
         );
         // Everything reported really is hot, by the oracle.
@@ -265,7 +266,12 @@ mod tests {
         // Every stream the exhaustive oracle finds is covered by some
         // precise candidate of at least that heat (the precise analysis
         // reports one representative per class, the oracle reports all).
-        let trace = syms(&format!("{}{}{}", "abcd".repeat(9), "xy".repeat(5), "abcd".repeat(3)));
+        let trace = syms(&format!(
+            "{}{}{}",
+            "abcd".repeat(9),
+            "xy".repeat(5),
+            "abcd".repeat(3)
+        ));
         let config = AnalysisConfig::new(12, 2, 16);
         let precise = analyze(&trace, &config);
         let oracle = exact::enumerate_hot_substrings(&trace, &config);

@@ -35,7 +35,10 @@ impl CacheConfig {
     /// `assoc * block_size`.
     #[must_use]
     pub fn new(size_bytes: u64, assoc: u32, block_size: u64) -> Self {
-        assert!(block_size.is_power_of_two(), "block size must be a power of two");
+        assert!(
+            block_size.is_power_of_two(),
+            "block size must be a power of two"
+        );
         assert!(assoc > 0, "associativity must be nonzero");
         let way_bytes = u64::from(assoc) * block_size;
         assert!(
@@ -288,6 +291,76 @@ impl Cache {
     pub fn occupancy(&self) -> usize {
         self.sets.iter().map(Vec::len).sum()
     }
+
+    /// Exports the cache's complete state (per-set lines in residency
+    /// order plus the LRU tick) — the checkpointing primitive.
+    #[must_use]
+    pub fn export_state(&self) -> CacheState {
+        CacheState {
+            tick: self.tick,
+            sets: self
+                .sets
+                .iter()
+                .map(|set| {
+                    set.iter()
+                        .map(|l| LineState {
+                            block: l.block,
+                            lru: l.lru,
+                            prefetched_unused: l.prefetched_unused,
+                            origin_prefetched: l.origin_prefetched,
+                            dirty: l.dirty,
+                        })
+                        .collect()
+                })
+                .collect(),
+        }
+    }
+
+    /// Restores state exported by [`Cache::export_state`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state's set count disagrees with this cache's
+    /// geometry (the state was exported from a different configuration).
+    pub fn restore_state(&mut self, state: &CacheState) {
+        assert_eq!(
+            state.sets.len(),
+            self.sets.len(),
+            "cache state set count mismatch"
+        );
+        self.tick = state.tick;
+        for (set, lines) in self.sets.iter_mut().zip(&state.sets) {
+            set.clear();
+            set.extend(lines.iter().map(|l| Line {
+                block: l.block,
+                lru: l.lru,
+                prefetched_unused: l.prefetched_unused,
+                origin_prefetched: l.origin_prefetched,
+                dirty: l.dirty,
+            }));
+        }
+    }
+}
+
+/// One cached line's state, as exported by [`Cache::export_state`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub struct LineState {
+    pub block: u64,
+    pub lru: u64,
+    pub prefetched_unused: bool,
+    pub origin_prefetched: bool,
+    pub dirty: bool,
+}
+
+/// A [`Cache`]'s complete mutable state: the LRU tick and, per set (in
+/// set order), the resident lines in residency order.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CacheState {
+    /// The LRU clock.
+    pub tick: u64,
+    /// Lines per set, outer index = set index.
+    pub sets: Vec<Vec<LineState>>,
 }
 
 #[cfg(test)]
@@ -390,7 +463,10 @@ mod tests {
         c.fill(Addr(0), true);
         c.fill(Addr(64), true);
         // Evicting an unused prefetched line reports it.
-        assert_eq!(c.fill_tracked(Addr(128), false).kind, EvictedKind::UnusedPrefetch);
+        assert_eq!(
+            c.fill_tracked(Addr(128), false).kind,
+            EvictedKind::UnusedPrefetch
+        );
         // A used prefetched line counts as demand on eviction.
         c.clear();
         c.fill(Addr(0), true);

@@ -341,9 +341,10 @@ impl MemorySystem {
             return cost.prefetch_issue_cycles;
         }
         if let Some(tag) = tag {
-            self.pending
-                .entry(block)
-                .or_insert(PendingPrefetch { tag, issued_at: now });
+            self.pending.entry(block).or_insert(PendingPrefetch {
+                tag,
+                issued_at: now,
+            });
         }
         if self.l2.contains(addr) {
             // L2 hit: promotion to L1 is fast; model as immediate.
@@ -387,12 +388,15 @@ impl MemorySystem {
             return;
         }
         let block_size = self.config.l1.block_size;
-        let arrived: Vec<u64> = self
+        let mut arrived: Vec<u64> = self
             .in_flight
             .iter()
             .filter(|&(_, &t)| t <= now)
             .map(|(&b, _)| b)
             .collect();
+        // HashMap iteration order is per-instance random: land in block
+        // order so a restored hierarchy fills (and evicts) identically.
+        arrived.sort_unstable();
         for block in arrived {
             self.in_flight.remove(&block);
             self.fill_both(Addr(block * block_size), true, now);
@@ -478,6 +482,67 @@ impl MemorySystem {
         self.in_flight.clear();
         self.pending.clear();
     }
+
+    /// Exports the hierarchy's complete mutable state in canonical
+    /// order (in-flight and pending maps sorted by block, outcome queue
+    /// in arrival order) — the checkpointing primitive.
+    #[must_use]
+    pub fn export_state(&self) -> MemState {
+        let mut in_flight: Vec<(u64, u64)> = self.in_flight.iter().map(|(&b, &t)| (b, t)).collect();
+        in_flight.sort_unstable();
+        let mut pending: Vec<(u64, u32, u64)> = self
+            .pending
+            .iter()
+            .map(|(&b, p)| (b, p.tag, p.issued_at))
+            .collect();
+        pending.sort_unstable();
+        MemState {
+            l1: self.l1.export_state(),
+            l2: self.l2.export_state(),
+            in_flight,
+            pending,
+            outcomes: self.outcomes.clone(),
+            stats: self.stats,
+        }
+    }
+
+    /// Restores state exported by [`MemorySystem::export_state`]. The
+    /// hierarchy must have the geometry the state was exported under.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a cache-geometry mismatch.
+    pub fn restore_state(&mut self, state: &MemState) {
+        self.l1.restore_state(&state.l1);
+        self.l2.restore_state(&state.l2);
+        self.in_flight = state.in_flight.iter().copied().collect();
+        self.pending = state
+            .pending
+            .iter()
+            .map(|&(block, tag, issued_at)| (block, PendingPrefetch { tag, issued_at }))
+            .collect();
+        self.outcomes = state.outcomes.clone();
+        self.stats = state.stats;
+    }
+}
+
+/// A [`MemorySystem`]'s complete mutable state in canonical order,
+/// produced by [`MemorySystem::export_state`] for crash-consistent
+/// snapshots.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MemState {
+    /// First-level cache state.
+    pub l1: crate::cache::CacheState,
+    /// Second-level cache state.
+    pub l2: crate::cache::CacheState,
+    /// In-flight prefetches as `(block, completion_time)`, sorted.
+    pub in_flight: Vec<(u64, u64)>,
+    /// Tracked prefetches as `(block, tag, issued_at)`, sorted.
+    pub pending: Vec<(u64, u32, u64)>,
+    /// Resolved-but-undrained outcomes, in resolution order.
+    pub outcomes: Vec<PrefetchResolution>,
+    /// Accumulated statistics.
+    pub stats: MemStats,
 }
 
 #[cfg(test)]
@@ -561,7 +626,7 @@ mod tests {
         m.prefetch(Addr(8 * 32));
         // Land them.
         m.access_at(Addr(32), AccessKind::Load, u64::MAX); // unrelated access lands in-flight
-        // Demand-fill two more set-0 blocks: evicts the unused prefetches.
+                                                           // Demand-fill two more set-0 blocks: evicts the unused prefetches.
         m.access(Addr(16 * 32), AccessKind::Load);
         m.access(Addr(24 * 32), AccessKind::Load);
         m.access(Addr(32 * 32), AccessKind::Load);
@@ -625,7 +690,11 @@ mod tests {
         m.access_at(Addr(0x200), AccessKind::Load, cost.memory_cycles + 1);
         // Late: demand access catches the block in flight.
         m.prefetch_tagged_at(Addr(0x400), 1_000_000, 7);
-        m.access_at(Addr(0x400), AccessKind::Load, 1_000_000 + cost.memory_cycles / 2);
+        m.access_at(
+            Addr(0x400),
+            AccessKind::Load,
+            1_000_000 + cost.memory_cycles / 2,
+        );
         let outcomes = m.take_outcomes();
         assert_eq!(outcomes.len(), 2);
         assert_eq!(outcomes[0].fate, PrefetchFate::Useful);
@@ -705,5 +774,43 @@ mod tests {
         m.access(Addr(0x80), AccessKind::Store);
         let r = m.access(Addr(0x80), AccessKind::Load);
         assert_eq!(r.outcome, AccessOutcome::L1Hit);
+    }
+
+    /// A restored hierarchy is bit-identical going forward: export
+    /// mid-run (with prefetches in flight and outcomes queued), restore
+    /// into a fresh system, and both produce identical results for the
+    /// same continuation.
+    #[test]
+    fn export_restore_resumes_identical_behaviour() {
+        let drive_prefix = |m: &mut MemorySystem| {
+            for i in 0..60u64 {
+                let addr = Addr((i % 17) * 64);
+                if i % 3 == 0 {
+                    m.prefetch_tagged_at(addr, i * 10, (i % 4) as u32);
+                }
+                m.access_at(addr, AccessKind::Load, i * 10 + 5);
+            }
+            // Leave prefetches in flight and outcomes undrained.
+            m.prefetch_tagged_at(Addr(0x4000), 601, 9);
+            m.prefetch_tagged_at(Addr(0x4400), 602, 9);
+        };
+        let mut original = mem();
+        drive_prefix(&mut original);
+        let state = original.export_state();
+        assert!(!state.in_flight.is_empty(), "test needs in-flight blocks");
+        assert!(state.in_flight.windows(2).all(|w| w[0].0 < w[1].0));
+        let mut resumed = mem();
+        resumed.restore_state(&state);
+        assert_eq!(resumed.export_state(), state, "round-trip must be exact");
+        for i in 0..80u64 {
+            let now = 650 + i * 7;
+            let addr = Addr((i % 23) * 64);
+            let a = original.access_at(addr, AccessKind::Load, now);
+            let b = resumed.access_at(addr, AccessKind::Load, now);
+            assert_eq!(a, b, "access {i} diverged after restore");
+        }
+        assert_eq!(original.stats(), resumed.stats());
+        assert_eq!(original.take_outcomes(), resumed.take_outcomes());
+        assert_eq!(original.export_state(), resumed.export_state());
     }
 }

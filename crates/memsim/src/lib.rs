@@ -44,10 +44,10 @@ mod hierarchy;
 pub mod prefetcher;
 mod stream_buffer;
 
-pub use cache::{Cache, CacheConfig};
+pub use cache::{Cache, CacheConfig, CacheState, LineState};
 pub use cost::CostModel;
 pub use hierarchy::{
-    AccessOutcome, AccessResult, HierarchyConfig, MemStats, MemorySystem, PrefetchFate,
+    AccessOutcome, AccessResult, HierarchyConfig, MemState, MemStats, MemorySystem, PrefetchFate,
     PrefetchResolution,
 };
 pub use stream_buffer::{StreamBufferMemory, StreamBufferStats};

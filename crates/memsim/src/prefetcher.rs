@@ -57,7 +57,10 @@ impl SequentialPrefetcher {
     #[must_use]
     pub fn new(block_size: u64, degree: u32) -> Self {
         assert!(degree > 0, "degree must be nonzero");
-        assert!(block_size.is_power_of_two(), "block size must be a power of two");
+        assert!(
+            block_size.is_power_of_two(),
+            "block size must be a power of two"
+        );
         SequentialPrefetcher { block_size, degree }
     }
 }
@@ -174,9 +177,15 @@ impl MarkovPrefetcher {
     /// exceeds `max_successors`.
     #[must_use]
     pub fn new(block_size: u64, max_successors: usize, degree: usize) -> Self {
-        assert!(degree > 0 && max_successors > 0, "degree/max_successors must be nonzero");
+        assert!(
+            degree > 0 && max_successors > 0,
+            "degree/max_successors must be nonzero"
+        );
         assert!(degree <= max_successors, "degree exceeds table fan-out");
-        assert!(block_size.is_power_of_two(), "block size must be a power of two");
+        assert!(
+            block_size.is_power_of_two(),
+            "block size must be a power of two"
+        );
         MarkovPrefetcher {
             table: HashMap::new(),
             order: std::collections::VecDeque::new(),
@@ -232,9 +241,7 @@ impl Prefetcher for MarkovPrefetcher {
                     slot.1 += 1;
                 } else if successors.len() < self.max_successors {
                     successors.push((block, 1));
-                } else if let Some(weakest) =
-                    successors.iter_mut().min_by_key(|(_, c)| *c)
-                {
+                } else if let Some(weakest) = successors.iter_mut().min_by_key(|(_, c)| *c) {
                     // Replace the weakest successor (simple LFU).
                     *weakest = (block, 1);
                 }
@@ -272,7 +279,9 @@ mod tests {
     #[test]
     fn null_never_prefetches() {
         let mut p = NullPrefetcher;
-        assert!(p.on_access(load(1, 0x100), AccessOutcome::Memory).is_empty());
+        assert!(p
+            .on_access(load(1, 0x100), AccessOutcome::Memory)
+            .is_empty());
         assert_eq!(p.name(), "none");
     }
 
@@ -290,9 +299,15 @@ mod tests {
     fn stride_learns_fixed_delta() {
         let mut p = StridePrefetcher::new(2, 1);
         // Strides of 64 from pc 7.
-        assert!(p.on_access(load(7, 0x1000), AccessOutcome::Memory).is_empty());
-        assert!(p.on_access(load(7, 0x1040), AccessOutcome::Memory).is_empty());
-        assert!(p.on_access(load(7, 0x1080), AccessOutcome::Memory).is_empty());
+        assert!(p
+            .on_access(load(7, 0x1000), AccessOutcome::Memory)
+            .is_empty());
+        assert!(p
+            .on_access(load(7, 0x1040), AccessOutcome::Memory)
+            .is_empty());
+        assert!(p
+            .on_access(load(7, 0x1080), AccessOutcome::Memory)
+            .is_empty());
         // Confidence reached: predict next.
         let out = p.on_access(load(7, 0x10c0), AccessOutcome::Memory);
         assert_eq!(out, vec![Addr(0x1100)]);
@@ -305,7 +320,7 @@ mod tests {
         p.on_access(load(7, 0x1040), AccessOutcome::Memory);
         let out = p.on_access(load(7, 0x1080), AccessOutcome::Memory);
         assert_eq!(out, vec![Addr(0x10c0)]); // confident
-        // Pointer-chasing jump breaks the stride.
+                                             // Pointer-chasing jump breaks the stride.
         let out = p.on_access(load(7, 0x9000), AccessOutcome::Memory);
         assert!(out.is_empty());
     }

@@ -148,7 +148,10 @@ impl StreamBufferMemory {
             let cost = self.inner.config().cost;
             let (outcome, cycles) = if ready > now {
                 self.stats.buffer_hits_late += 1;
-                (AccessOutcome::LatePrefetch, cost.l1_hit_cycles + (ready - now))
+                (
+                    AccessOutcome::LatePrefetch,
+                    cost.l1_hit_cycles + (ready - now),
+                )
             } else {
                 // An arrived buffer head is SRAM beside the L1: a hit
                 // there costs barely more than an L1 hit (Jouppi's
@@ -262,7 +265,10 @@ mod tests {
             now += 500;
             let b = m.access_at(Addr(0x90000 + i * 32), AccessKind::Load, now);
             for r in [a, b] {
-                if matches!(r.outcome, AccessOutcome::L2Hit | AccessOutcome::LatePrefetch) {
+                if matches!(
+                    r.outcome,
+                    AccessOutcome::L2Hit | AccessOutcome::LatePrefetch
+                ) {
                     late_or_hit += 1;
                 }
             }

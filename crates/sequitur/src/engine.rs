@@ -265,7 +265,9 @@ impl Sequitur {
                     return Err(format!("broken link at node {n}"));
                 }
                 match node.value {
-                    Value::Guard(_) => return Err(format!("guard node {n} inside body of rule {ri}")),
+                    Value::Guard(_) => {
+                        return Err(format!("guard node {n} inside body of rule {ri}"))
+                    }
                     Value::Rule(r) => {
                         if !self.rules[r as usize].live {
                             return Err(format!("rule {ri} references dead rule {r}"));

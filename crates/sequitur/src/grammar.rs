@@ -192,7 +192,10 @@ impl Grammar {
             + 64;
         while let Some((rule, pos)) = stack.pop() {
             guard += 1;
-            assert!(guard <= budget, "grammar expansion did not terminate; cyclic grammar?");
+            assert!(
+                guard <= budget,
+                "grammar expansion did not terminate; cyclic grammar?"
+            );
             let body = self.rule(rule).body();
             if pos < body.len() {
                 stack.push((rule, pos + 1));
@@ -339,10 +342,7 @@ impl Grammar {
                 for sym in self.rules[rule].body() {
                     if let GSym::Rule(r) = sym {
                         depth = depth.max(1 + memo[r.index()]);
-                        assert!(
-                            memo[r.index()] != usize::MAX,
-                            "cyclic grammar in depth()"
-                        );
+                        assert!(memo[r.index()] != usize::MAX, "cyclic grammar in depth()");
                     }
                 }
                 memo[rule] = depth;
@@ -415,10 +415,7 @@ mod tests {
     fn expand_flat_rule() {
         let g = Grammar::new(vec![Rule::new(vec![t(0), t(1), t(2)], 3)]);
         g.verify().unwrap();
-        assert_eq!(
-            g.expand_start(),
-            vec![Symbol(0), Symbol(1), Symbol(2)]
-        );
+        assert_eq!(g.expand_start(), vec![Symbol(0), Symbol(1), Symbol(2)]);
     }
 
     #[test]

@@ -134,5 +134,8 @@ fn long_mixed_input() {
     let seq: Sequitur = symbols.iter().copied().collect();
     assert_eq!(seq.expand_start(), symbols);
     seq.check_invariants().expect("invariants");
-    assert!(seq.grammar_size() < symbols.len() / 2, "repetitive input must compress");
+    assert!(
+        seq.grammar_size() < symbols.len() / 2,
+        "repetitive input must compress"
+    );
 }

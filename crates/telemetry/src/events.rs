@@ -296,6 +296,60 @@ pub struct Deoptimize {
     pub stream_id: Option<u32>,
 }
 
+/// A crash-consistent checkpoint of the full optimizer state was
+/// captured at a phase boundary. The sum of these events over a
+/// supervised run's attempts reconciles exactly with the final
+/// `RunReport`'s `snapshots` counter.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize)]
+pub struct RecoverySnapshot {
+    /// Optimization cycles completed at capture.
+    pub opt_cycle: u64,
+    /// Simulated cycle count at capture.
+    pub at_cycle: u64,
+    /// Workload events fully consumed at capture — the resume point.
+    pub events_consumed: u64,
+    /// Encoded snapshot size in bytes (header + checksummed payload).
+    pub bytes: u64,
+}
+
+/// Crash recovery inspected the write-ahead edit journal. When
+/// `rolled_forward` is set, a commit torn by a mid-edit crash was
+/// deterministically replayed to its committed image; otherwise the
+/// journal was empty and the image was already consistent.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize)]
+pub struct RecoveryReplay {
+    /// Workload events consumed when the crash hit.
+    pub events_consumed: u64,
+    /// `true` when a pending journal entry was applied forward.
+    pub rolled_forward: bool,
+}
+
+/// The supervisor restarted a crashed session from its last snapshot.
+/// The sum of these events reconciles exactly with the final
+/// `RunReport`'s `restarts` counter.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize)]
+pub struct RecoveryRestart {
+    /// Restart attempt number (1-based: first restart is 1).
+    pub attempt: u32,
+    /// Workload events skipped to reach the resume point (the snapshot's
+    /// `events_consumed`; 0 when restarting from scratch).
+    pub resumed_at_event: u64,
+    /// Modeled capped-exponential backoff charged before this restart,
+    /// in simulated cycles.
+    pub backoff_cycles: u64,
+}
+
+/// The supervisor's circuit breaker opened: the session crashed more
+/// times than the restart cap allows, and the run was abandoned with
+/// its last consistent state intact.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize)]
+pub struct RecoveryGaveUp {
+    /// Restarts performed before giving up (the configured cap).
+    pub restarts: u32,
+    /// Total crashes observed across all attempts.
+    pub crashes: u64,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -350,6 +404,39 @@ mod tests {
             resolved_at_ref: 0,
         };
         assert_eq!(o.latency_cycles(), 0);
+    }
+
+    #[test]
+    fn recovery_events_serialize_to_objects() {
+        use serde::{Serialize, Value};
+        let v = RecoverySnapshot {
+            opt_cycle: 2,
+            at_cycle: 5000,
+            events_consumed: 81,
+            bytes: 1234,
+        }
+        .to_value();
+        assert_eq!(v.get("events_consumed"), Some(&Value::U64(81)));
+        assert_eq!(v.get("bytes"), Some(&Value::U64(1234)));
+        let v = RecoveryRestart {
+            attempt: 1,
+            resumed_at_event: 81,
+            backoff_cycles: 1000,
+        }
+        .to_value();
+        assert_eq!(v.get("attempt"), Some(&Value::U64(1)));
+        let v = RecoveryReplay {
+            events_consumed: 81,
+            rolled_forward: true,
+        }
+        .to_value();
+        assert_eq!(v.get("rolled_forward"), Some(&Value::Bool(true)));
+        let v = RecoveryGaveUp {
+            restarts: 4,
+            crashes: 5,
+        }
+        .to_value();
+        assert_eq!(v.get("crashes"), Some(&Value::U64(5)));
     }
 
     #[test]

@@ -5,9 +5,9 @@ use std::io::Write;
 use serde::{Serialize, Value};
 
 use crate::events::{
-    AnalysisApplied, AnalysisHandoff, AnalysisStarved, CycleEnd, CycleStart, Deoptimize,
-    DfsmBuilt, GuardTripped, PhaseTransition, PrefetchFate, PrefetchIssued, PrefetchOutcome,
-    StreamDetected,
+    AnalysisApplied, AnalysisHandoff, AnalysisStarved, CycleEnd, CycleStart, Deoptimize, DfsmBuilt,
+    GuardTripped, PhaseTransition, PrefetchFate, PrefetchIssued, PrefetchOutcome, RecoveryGaveUp,
+    RecoveryReplay, RecoveryRestart, RecoverySnapshot, StreamDetected,
 };
 use crate::Observer;
 
@@ -213,6 +213,22 @@ impl<W: Write> Observer for JsonlSink<W> {
     fn analysis_starved(&mut self, event: &AnalysisStarved) {
         self.emit("analysis_starved", event);
     }
+
+    fn recovery_snapshot(&mut self, event: &RecoverySnapshot) {
+        self.emit("recovery_snapshot", event);
+    }
+
+    fn recovery_replay(&mut self, event: &RecoveryReplay) {
+        self.emit("recovery_replay", event);
+    }
+
+    fn recovery_restart(&mut self, event: &RecoveryRestart) {
+        self.emit("recovery_restart", event);
+    }
+
+    fn recovery_gave_up(&mut self, event: &RecoveryGaveUp) {
+        self.emit("recovery_gave_up", event);
+    }
 }
 
 #[cfg(test)]
@@ -232,7 +248,10 @@ mod tests {
     #[test]
     fn records_are_tagged_and_parse() {
         let mut sink = JsonlSink::new(Vec::new());
-        sink.cycle_start(&CycleStart { opt_cycle: 0, at_cycle: 0 });
+        sink.cycle_start(&CycleStart {
+            opt_cycle: 0,
+            at_cycle: 0,
+        });
         sink.phase_transition(&PhaseTransition {
             at_cycle: 10,
             at_check: 2,
@@ -243,9 +262,18 @@ mod tests {
         assert_eq!(sink.records(), 2);
         assert_eq!(sink.write_errors(), 0);
         let records = lines(sink);
-        assert_eq!(records[0].get("event"), Some(&Value::Str("cycle_start".into())));
-        assert_eq!(records[1].get("event"), Some(&Value::Str("phase_transition".into())));
-        assert_eq!(records[1].get("to"), Some(&Value::Str("Hibernating".into())));
+        assert_eq!(
+            records[0].get("event"),
+            Some(&Value::Str("cycle_start".into()))
+        );
+        assert_eq!(
+            records[1].get("event"),
+            Some(&Value::Str("phase_transition".into()))
+        );
+        assert_eq!(
+            records[1].get("to"),
+            Some(&Value::Str("Hibernating".into()))
+        );
         assert_eq!(records[1].get("duty_cycle"), Some(&Value::F64(0.25)));
     }
 
@@ -299,7 +327,10 @@ mod tests {
             records[0].get("event"),
             Some(&Value::Str("guard_tripped".into()))
         );
-        assert_eq!(records[0].get("guard"), Some(&Value::Str("dfsm_states".into())));
+        assert_eq!(
+            records[0].get("guard"),
+            Some(&Value::Str("dfsm_states".into()))
+        );
         assert_eq!(records[0].get("budget"), Some(&Value::U64(64)));
     }
 
@@ -380,6 +411,51 @@ mod tests {
             records[2].get("event"),
             Some(&Value::Str("analysis_starved".into()))
         );
+    }
+
+    #[test]
+    fn recovery_events_are_tagged() {
+        let mut sink = JsonlSink::new(Vec::new());
+        sink.recovery_snapshot(&RecoverySnapshot {
+            opt_cycle: 1,
+            at_cycle: 4000,
+            events_consumed: 81,
+            bytes: 2048,
+        });
+        sink.recovery_replay(&RecoveryReplay {
+            events_consumed: 90,
+            rolled_forward: true,
+        });
+        sink.recovery_restart(&RecoveryRestart {
+            attempt: 1,
+            resumed_at_event: 81,
+            backoff_cycles: 1000,
+        });
+        sink.recovery_gave_up(&RecoveryGaveUp {
+            restarts: 4,
+            crashes: 5,
+        });
+        let records = lines(sink);
+        assert_eq!(
+            records[0].get("event"),
+            Some(&Value::Str("recovery_snapshot".into()))
+        );
+        assert_eq!(records[0].get("bytes"), Some(&Value::U64(2048)));
+        assert_eq!(
+            records[1].get("event"),
+            Some(&Value::Str("recovery_replay".into()))
+        );
+        assert_eq!(records[1].get("rolled_forward"), Some(&Value::Bool(true)));
+        assert_eq!(
+            records[2].get("event"),
+            Some(&Value::Str("recovery_restart".into()))
+        );
+        assert_eq!(records[2].get("backoff_cycles"), Some(&Value::U64(1000)));
+        assert_eq!(
+            records[3].get("event"),
+            Some(&Value::Str("recovery_gave_up".into()))
+        );
+        assert_eq!(records[3].get("restarts"), Some(&Value::U64(4)));
     }
 
     #[test]

@@ -54,8 +54,9 @@ pub use jsonl::JsonlSink;
 pub use metrics::{Histogram, MetricsRecorder, StreamMetrics};
 
 use events::{
-    AnalysisApplied, AnalysisHandoff, AnalysisStarved, CycleEnd, CycleStart, Deoptimize,
-    DfsmBuilt, GuardTripped, PhaseTransition, PrefetchIssued, PrefetchOutcome, StreamDetected,
+    AnalysisApplied, AnalysisHandoff, AnalysisStarved, CycleEnd, CycleStart, Deoptimize, DfsmBuilt,
+    GuardTripped, PhaseTransition, PrefetchIssued, PrefetchOutcome, RecoveryGaveUp, RecoveryReplay,
+    RecoveryRestart, RecoverySnapshot, StreamDetected,
 };
 
 /// Receiver of optimizer lifecycle events.
@@ -103,6 +104,15 @@ pub trait Observer {
     fn analysis_applied(&mut self, _event: &AnalysisApplied) {}
     /// A background analysis result was discarded (worker starved).
     fn analysis_starved(&mut self, _event: &AnalysisStarved) {}
+    /// A crash-consistent checkpoint was captured at a phase boundary.
+    fn recovery_snapshot(&mut self, _event: &RecoverySnapshot) {}
+    /// Crash recovery inspected (and possibly rolled forward) the
+    /// write-ahead edit journal.
+    fn recovery_replay(&mut self, _event: &RecoveryReplay) {}
+    /// The supervisor restarted a crashed session from its snapshot.
+    fn recovery_restart(&mut self, _event: &RecoveryRestart) {}
+    /// The supervisor's restart circuit breaker opened.
+    fn recovery_gave_up(&mut self, _event: &RecoveryGaveUp) {}
 }
 
 /// The do-nothing observer: every hook is a no-op and
@@ -155,6 +165,18 @@ impl<O: Observer> Observer for &mut O {
     }
     fn analysis_starved(&mut self, event: &AnalysisStarved) {
         (**self).analysis_starved(event);
+    }
+    fn recovery_snapshot(&mut self, event: &RecoverySnapshot) {
+        (**self).recovery_snapshot(event);
+    }
+    fn recovery_replay(&mut self, event: &RecoveryReplay) {
+        (**self).recovery_replay(event);
+    }
+    fn recovery_restart(&mut self, event: &RecoveryRestart) {
+        (**self).recovery_restart(event);
+    }
+    fn recovery_gave_up(&mut self, event: &RecoveryGaveUp) {
+        (**self).recovery_gave_up(event);
     }
 }
 
@@ -209,6 +231,22 @@ impl<A: Observer, B: Observer> Observer for (A, B) {
     fn analysis_starved(&mut self, event: &AnalysisStarved) {
         self.0.analysis_starved(event);
         self.1.analysis_starved(event);
+    }
+    fn recovery_snapshot(&mut self, event: &RecoverySnapshot) {
+        self.0.recovery_snapshot(event);
+        self.1.recovery_snapshot(event);
+    }
+    fn recovery_replay(&mut self, event: &RecoveryReplay) {
+        self.0.recovery_replay(event);
+        self.1.recovery_replay(event);
+    }
+    fn recovery_restart(&mut self, event: &RecoveryRestart) {
+        self.0.recovery_restart(event);
+        self.1.recovery_restart(event);
+    }
+    fn recovery_gave_up(&mut self, event: &RecoveryGaveUp) {
+        self.0.recovery_gave_up(event);
+        self.1.recovery_gave_up(event);
     }
 }
 

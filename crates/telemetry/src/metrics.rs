@@ -5,9 +5,10 @@ use std::collections::{BTreeMap, HashMap};
 use std::fmt::Write as _;
 
 use crate::events::{
-    AnalysisApplied, AnalysisHandoff, AnalysisStarved, CycleEnd, CycleStart, Deoptimize,
-    DfsmBuilt, GuardKind, GuardTripped, PhaseKind, PhaseTransition, PrefetchFate,
-    PrefetchIssued, PrefetchOutcome, StreamDetected,
+    AnalysisApplied, AnalysisHandoff, AnalysisStarved, CycleEnd, CycleStart, Deoptimize, DfsmBuilt,
+    GuardKind, GuardTripped, PhaseKind, PhaseTransition, PrefetchFate, PrefetchIssued,
+    PrefetchOutcome, RecoveryGaveUp, RecoveryReplay, RecoveryRestart, RecoverySnapshot,
+    StreamDetected,
 };
 use crate::Observer;
 
@@ -170,6 +171,12 @@ pub struct MetricsRecorder {
     analysis_handoffs: u64,
     analysis_applied: u64,
     analysis_starved: u64,
+    recovery_snapshots: u64,
+    recovery_replays: u64,
+    recovery_rollforwards: u64,
+    recovery_restarts: u64,
+    recovery_gave_up: u64,
+    recovery_backoff_cycles: u64,
     // Histograms.
     stream_length: Histogram,
     dfsm_state_count: Histogram,
@@ -326,6 +333,46 @@ impl MetricsRecorder {
         &self.worker_lag_cycles
     }
 
+    /// Crash-consistent checkpoints captured. Reconciles with the final
+    /// `RunReport`'s `snapshots` counter on a supervised run.
+    #[must_use]
+    pub fn recovery_snapshots(&self) -> u64 {
+        self.recovery_snapshots
+    }
+
+    /// Edit-journal inspections during crash recovery.
+    #[must_use]
+    pub fn recovery_replays(&self) -> u64 {
+        self.recovery_replays
+    }
+
+    /// Journal inspections that actually rolled a torn commit forward.
+    #[must_use]
+    pub fn recovery_rollforwards(&self) -> u64 {
+        self.recovery_rollforwards
+    }
+
+    /// Supervised restarts from a snapshot. Reconciles with the final
+    /// `RunReport`'s `restarts` counter.
+    #[must_use]
+    pub fn recovery_restarts(&self) -> u64 {
+        self.recovery_restarts
+    }
+
+    /// Times the supervisor's restart circuit breaker opened (0 or 1
+    /// per supervised run).
+    #[must_use]
+    pub fn recovery_gave_ups(&self) -> u64 {
+        self.recovery_gave_up
+    }
+
+    /// Total modeled backoff charged before restarts, in simulated
+    /// cycles.
+    #[must_use]
+    pub fn recovery_backoff_cycles(&self) -> u64 {
+        self.recovery_backoff_cycles
+    }
+
     /// Renders everything in Prometheus text exposition format.
     #[must_use]
     #[allow(clippy::too_many_lines)]
@@ -408,6 +455,42 @@ impl MetricsRecorder {
             "Background analysis results discarded (worker starved).",
             self.analysis_starved,
         );
+        counter(
+            &mut out,
+            "hds_recovery_snapshots_total",
+            "Crash-consistent checkpoints captured at phase boundaries.",
+            self.recovery_snapshots,
+        );
+        counter(
+            &mut out,
+            "hds_recovery_replays_total",
+            "Edit-journal inspections during crash recovery.",
+            self.recovery_replays,
+        );
+        counter(
+            &mut out,
+            "hds_recovery_rollforwards_total",
+            "Torn edits rolled forward from the write-ahead journal.",
+            self.recovery_rollforwards,
+        );
+        counter(
+            &mut out,
+            "hds_recovery_restarts_total",
+            "Supervised restarts from a snapshot.",
+            self.recovery_restarts,
+        );
+        counter(
+            &mut out,
+            "hds_recovery_gave_up_total",
+            "Times the restart circuit breaker opened.",
+            self.recovery_gave_up,
+        );
+        counter(
+            &mut out,
+            "hds_recovery_backoff_cycles_total",
+            "Modeled backoff charged before restarts (simulated cycles).",
+            self.recovery_backoff_cycles,
+        );
         let _ = writeln!(
             out,
             "# HELP hds_guard_trips_total Budget-guard trips by guard kind."
@@ -426,7 +509,11 @@ impl MetricsRecorder {
             "# HELP hds_prefetch_outcomes_total Resolved prefetches by fate."
         );
         let _ = writeln!(out, "# TYPE hds_prefetch_outcomes_total counter");
-        for fate in [PrefetchFate::Useful, PrefetchFate::Late, PrefetchFate::Polluted] {
+        for fate in [
+            PrefetchFate::Useful,
+            PrefetchFate::Late,
+            PrefetchFate::Polluted,
+        ] {
             let _ = writeln!(
                 out,
                 "hds_prefetch_outcomes_total{{fate=\"{}\"}} {}",
@@ -511,7 +598,11 @@ impl MetricsRecorder {
         );
         let _ = writeln!(out, "# TYPE hds_stream_prefetches_issued gauge");
         for (id, s) in &self.per_stream {
-            let _ = writeln!(out, "hds_stream_prefetches_issued{{stream=\"{id}\"}} {}", s.issued);
+            let _ = writeln!(
+                out,
+                "hds_stream_prefetches_issued{{stream=\"{id}\"}} {}",
+                s.issued
+            );
         }
         out
     }
@@ -551,7 +642,9 @@ impl Observer for MetricsRecorder {
     fn prefetch_issued(&mut self, event: &PrefetchIssued) {
         self.prefetches_issued += 1;
         self.per_stream.entry(event.stream_id).or_default().issued += 1;
-        self.pending_issue_ref.entry(event.block).or_insert(event.at_ref);
+        self.pending_issue_ref
+            .entry(event.block)
+            .or_insert(event.at_ref);
     }
 
     fn prefetch_outcome(&mut self, event: &PrefetchOutcome) {
@@ -596,6 +689,26 @@ impl Observer for MetricsRecorder {
     fn analysis_starved(&mut self, event: &AnalysisStarved) {
         self.analysis_starved += 1;
         self.worker_lag_cycles.record(event.lag_cycles);
+    }
+
+    fn recovery_snapshot(&mut self, _event: &RecoverySnapshot) {
+        self.recovery_snapshots += 1;
+    }
+
+    fn recovery_replay(&mut self, event: &RecoveryReplay) {
+        self.recovery_replays += 1;
+        if event.rolled_forward {
+            self.recovery_rollforwards += 1;
+        }
+    }
+
+    fn recovery_restart(&mut self, event: &RecoveryRestart) {
+        self.recovery_restarts += 1;
+        self.recovery_backoff_cycles += event.backoff_cycles;
+    }
+
+    fn recovery_gave_up(&mut self, _event: &RecoveryGaveUp) {
+        self.recovery_gave_up += 1;
     }
 }
 
@@ -738,6 +851,56 @@ mod tests {
         assert!(text.contains("hds_analysis_starved_total 1"));
         assert!(text.contains("hds_guard_trips_total{guard=\"worker_lag\"} 1"));
         assert!(text.contains("hds_worker_lag_cycles_count 2"));
+    }
+
+    #[test]
+    fn recovery_counters_accumulate() {
+        let mut m = MetricsRecorder::new();
+        m.recovery_snapshot(&RecoverySnapshot {
+            opt_cycle: 0,
+            at_cycle: 100,
+            events_consumed: 10,
+            bytes: 512,
+        });
+        m.recovery_snapshot(&RecoverySnapshot {
+            opt_cycle: 1,
+            at_cycle: 300,
+            events_consumed: 30,
+            bytes: 768,
+        });
+        m.recovery_replay(&RecoveryReplay {
+            events_consumed: 35,
+            rolled_forward: true,
+        });
+        m.recovery_replay(&RecoveryReplay {
+            events_consumed: 40,
+            rolled_forward: false,
+        });
+        m.recovery_restart(&RecoveryRestart {
+            attempt: 1,
+            resumed_at_event: 30,
+            backoff_cycles: 1000,
+        });
+        m.recovery_restart(&RecoveryRestart {
+            attempt: 2,
+            resumed_at_event: 30,
+            backoff_cycles: 2000,
+        });
+        m.recovery_gave_up(&RecoveryGaveUp {
+            restarts: 2,
+            crashes: 3,
+        });
+        assert_eq!(m.recovery_snapshots(), 2);
+        assert_eq!(m.recovery_replays(), 2);
+        assert_eq!(m.recovery_rollforwards(), 1);
+        assert_eq!(m.recovery_restarts(), 2);
+        assert_eq!(m.recovery_gave_ups(), 1);
+        assert_eq!(m.recovery_backoff_cycles(), 3000);
+        let text = m.render_prometheus();
+        assert!(text.contains("hds_recovery_snapshots_total 2"));
+        assert!(text.contains("hds_recovery_rollforwards_total 1"));
+        assert!(text.contains("hds_recovery_restarts_total 2"));
+        assert!(text.contains("hds_recovery_backoff_cycles_total 3000"));
     }
 
     #[test]

@@ -181,7 +181,10 @@ mod tests {
         let mut buf = TraceBuffer::new();
         buf.begin_burst();
         for i in 0..10u64 {
-            buf.record(DataRef::new(Pc(16 + (i as u32 % 4) * 4), Addr(0x1000 + i * 32)));
+            buf.record(DataRef::new(
+                Pc(16 + (i as u32 % 4) * 4),
+                Addr(0x1000 + i * 32),
+            ));
         }
         buf.end_burst();
         buf.begin_burst();
@@ -235,7 +238,10 @@ mod tests {
     #[test]
     fn rejects_garbage() {
         assert_eq!(decode_profile(b"nope").unwrap_err(), CodecError::Truncated);
-        assert_eq!(decode_profile(b"XXXX\x01").unwrap_err(), CodecError::BadMagic);
+        assert_eq!(
+            decode_profile(b"XXXX\x01").unwrap_err(),
+            CodecError::BadMagic
+        );
         assert_eq!(
             decode_profile(b"HDSP\x63").unwrap_err(),
             CodecError::UnsupportedVersion(0x63)

@@ -51,9 +51,37 @@ pub struct EditReport {
 /// One patched procedure copy: the injected payloads per pc, and the
 /// epoch at which the copy became live.
 #[derive(Clone, Debug)]
-struct Copy<T> {
-    checks: HashMap<Pc, T>,
-    since_epoch: u64,
+pub(crate) struct Copy<T> {
+    pub(crate) checks: HashMap<Pc, T>,
+    pub(crate) since_epoch: u64,
+}
+
+/// The patched state of one procedure, in canonical (sorted) order —
+/// the unit of [`Image::export_state`] / [`Image::restore_state`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CopyState<T> {
+    /// The patched procedure.
+    pub proc: ProcId,
+    /// Epoch at which the copy became live.
+    pub since_epoch: u64,
+    /// Injected payloads, sorted by pc.
+    pub checks: Vec<(Pc, T)>,
+}
+
+/// The complete mutable state of an [`Image`] in canonical order:
+/// epoch counters plus every live procedure copy. The static side
+/// (procedures, pc ownership) is not part of the state — a restored
+/// image must be constructed over the same procedures.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ImageState<T> {
+    /// Current image epoch.
+    pub epoch: u64,
+    /// Committed edit sessions so far.
+    pub total_edits: u64,
+    /// De-optimizations that removed patches so far.
+    pub total_deopts: u64,
+    /// Live procedure copies, sorted by procedure id.
+    pub copies: Vec<CopyState<T>>,
 }
 
 /// The editable program image.
@@ -65,9 +93,9 @@ struct Copy<T> {
 pub struct Image<T> {
     procs: Vec<Procedure>,
     pc_to_proc: HashMap<Pc, ProcId>,
-    copies: HashMap<ProcId, Copy<T>>,
-    epoch: u64,
-    total_edits: u64,
+    pub(crate) copies: HashMap<ProcId, Copy<T>>,
+    pub(crate) epoch: u64,
+    pub(crate) total_edits: u64,
     total_deopts: u64,
 }
 
@@ -209,6 +237,90 @@ impl<T> Image<T> {
     }
 }
 
+impl<T: Clone> Image<T> {
+    /// Exports the image's mutable state in canonical (sorted) order —
+    /// the checkpointing primitive. The static procedure table is not
+    /// included; restore into an image built over the same procedures.
+    #[must_use]
+    pub fn export_state(&self) -> ImageState<T> {
+        let mut copies: Vec<CopyState<T>> = self
+            .copies
+            .iter()
+            .map(|(&proc, copy)| {
+                let mut checks: Vec<(Pc, T)> = copy
+                    .checks
+                    .iter()
+                    .map(|(&pc, payload)| (pc, payload.clone()))
+                    .collect();
+                checks.sort_unstable_by_key(|&(pc, _)| pc);
+                CopyState {
+                    proc,
+                    since_epoch: copy.since_epoch,
+                    checks,
+                }
+            })
+            .collect();
+        copies.sort_unstable_by_key(|c| c.proc);
+        ImageState {
+            epoch: self.epoch,
+            total_edits: self.total_edits,
+            total_deopts: self.total_deopts,
+            copies,
+        }
+    }
+
+    /// Restores mutable state previously produced by
+    /// [`Image::export_state`], replacing all live patches and epoch
+    /// counters. The procedures the image was constructed over are
+    /// untouched.
+    pub fn restore_state(&mut self, state: ImageState<T>) {
+        self.epoch = state.epoch;
+        self.total_edits = state.total_edits;
+        self.total_deopts = state.total_deopts;
+        self.copies = state
+            .copies
+            .into_iter()
+            .map(|c| {
+                (
+                    c.proc,
+                    Copy {
+                        checks: c.checks.into_iter().collect(),
+                        since_epoch: c.since_epoch,
+                    },
+                )
+            })
+            .collect();
+    }
+
+    /// A deterministic digest of the image's mutable state, hashing
+    /// each payload through `f`. Two images digest equal iff their
+    /// epochs, edit/deopt counters, and live patches (procedure,
+    /// since-epoch, pc, payload hash) all agree — the chaos suite's
+    /// bit-identical-image assertion.
+    #[must_use]
+    pub fn digest_with(&self, f: impl Fn(&T) -> u64) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.epoch.hash(&mut h);
+        self.total_edits.hash(&mut h);
+        self.total_deopts.hash(&mut h);
+        let mut procs: Vec<ProcId> = self.copies.keys().copied().collect();
+        procs.sort_unstable();
+        for proc in procs {
+            let copy = &self.copies[&proc];
+            proc.0.hash(&mut h);
+            copy.since_epoch.hash(&mut h);
+            let mut pcs: Vec<Pc> = copy.checks.keys().copied().collect();
+            pcs.sort_unstable();
+            for pc in pcs {
+                pc.hash(&mut h);
+                f(&copy.checks[&pc]).hash(&mut h);
+            }
+        }
+        h.finish()
+    }
+}
+
 /// A stop-the-world edit: stage injections (and, in patch mode,
 /// removals), then [`EditSession::commit`] to apply everything
 /// atomically.
@@ -220,13 +332,13 @@ impl<T> Image<T> {
 /// exactly the code they were stopped on).
 #[derive(Debug)]
 pub struct EditSession<'a, T> {
-    staged: HashMap<Pc, T>,
-    removals: Vec<Pc>,
-    poisoned: Option<EditError>,
+    pub(crate) staged: HashMap<Pc, T>,
+    pub(crate) removals: Vec<Pc>,
+    pub(crate) poisoned: Option<EditError>,
     /// `true` for [`Image::edit`] (commit describes the complete new
     /// instrumentation), `false` for [`Image::edit_partial`].
-    replace: bool,
-    image: &'a mut Image<T>,
+    pub(crate) replace: bool,
+    pub(crate) image: &'a mut Image<T>,
 }
 
 impl<T> EditSession<'_, T> {
@@ -244,8 +356,7 @@ impl<T> EditSession<'_, T> {
         if self.image.proc_of(pc).is_none() {
             return Err(self.poison(EditError::UnknownPc(pc)));
         }
-        if self.staged.contains_key(&pc)
-            || (!self.replace && self.image.live_payload(pc).is_some())
+        if self.staged.contains_key(&pc) || (!self.replace && self.image.live_payload(pc).is_some())
         {
             return Err(self.poison(EditError::AlreadyInjected(pc)));
         }
@@ -327,7 +438,9 @@ impl<T> EditSession<'_, T> {
             for pc in self.removals {
                 // Validated by `remove`; a pc no longer live (duplicate
                 // removal staged twice) is simply already gone.
-                let Some(proc) = image.proc_of(pc) else { continue };
+                let Some(proc) = image.proc_of(pc) else {
+                    continue;
+                };
                 let Some(copy) = image.copies.get_mut(&proc) else {
                     continue;
                 };
@@ -342,7 +455,9 @@ impl<T> EditSession<'_, T> {
         for (pc, payload) in self.staged {
             // Validated by `inject`; skipping an (impossible) unknown pc
             // beats panicking inside a stop-the-world edit.
-            let Some(proc) = image.proc_of(pc) else { continue };
+            let Some(proc) = image.proc_of(pc) else {
+                continue;
+            };
             let copy = image.copies.entry(proc).or_insert_with(|| Copy {
                 checks: HashMap::new(),
                 since_epoch: epoch,
@@ -470,7 +585,10 @@ mod tests {
     fn edit_errors() {
         let mut img = image();
         let mut edit = img.edit();
-        assert_eq!(edit.inject(Pc(0x99), "x"), Err(EditError::UnknownPc(Pc(0x99))));
+        assert_eq!(
+            edit.inject(Pc(0x99), "x"),
+            Err(EditError::UnknownPc(Pc(0x99)))
+        );
         edit.inject(Pc(0x10), "x").unwrap();
         assert_eq!(
             edit.inject(Pc(0x10), "y"),
@@ -487,7 +605,9 @@ mod tests {
         assert!(EditError::AlreadyInjected(Pc(0x7))
             .to_string()
             .contains("already"));
-        assert!(EditError::NotInjected(Pc(0x7)).to_string().contains("remove"));
+        assert!(EditError::NotInjected(Pc(0x7))
+            .to_string()
+            .contains("remove"));
         assert!(EditError::Induced(Pc(0x7)).to_string().contains("induced"));
     }
 
@@ -505,7 +625,10 @@ mod tests {
         let mut edit = img.edit();
         edit.inject(Pc(0x20), "half").unwrap();
         // Second injection fails mid-session...
-        assert_eq!(edit.inject(Pc(0x99), "bad"), Err(EditError::UnknownPc(Pc(0x99))));
+        assert_eq!(
+            edit.inject(Pc(0x99), "bad"),
+            Err(EditError::UnknownPc(Pc(0x99)))
+        );
         assert_eq!(edit.poisoned(), Some(&EditError::UnknownPc(Pc(0x99))));
         // ...and a further valid staging does not un-poison it.
         edit.inject(Pc(0x30), "late").unwrap();
@@ -566,7 +689,10 @@ mod tests {
 
         let mut patch = img.edit_partial();
         // Removing a never-injected pc fails...
-        assert_eq!(patch.remove(Pc(0x30)), Err(EditError::NotInjected(Pc(0x30))));
+        assert_eq!(
+            patch.remove(Pc(0x30)),
+            Err(EditError::NotInjected(Pc(0x30)))
+        );
         // ...as does re-injecting over a live payload in patch mode.
         let mut patch = img.edit_partial();
         assert_eq!(

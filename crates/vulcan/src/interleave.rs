@@ -129,9 +129,7 @@ impl ProgramSource for Interleaver {
         }
         loop {
             // Rotate when the current slot is dead or its quantum is up.
-            if self.threads.get(self.current).is_none_or(Option::is_none)
-                || self.remaining == 0
-            {
+            if self.threads.get(self.current).is_none_or(Option::is_none) || self.remaining == 0 {
                 if !self.rotate() {
                     return None;
                 }

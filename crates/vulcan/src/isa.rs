@@ -322,8 +322,7 @@ impl Asm {
             .map(|(i, t)| t.unwrap_or_else(|| panic!("label {i} never bound in {}", self.name)))
             .collect();
         for inst in &self.insts {
-            if let Inst::Bnz { target, .. } | Inst::Bz { target, .. } | Inst::Jmp { target } =
-                inst
+            if let Inst::Bnz { target, .. } | Inst::Bz { target, .. } | Inst::Jmp { target } = inst
             {
                 assert!(
                     targets[target.0] <= self.insts.len(),
@@ -778,12 +777,17 @@ mod tests {
         asm.ret();
         let mut interp = Interpreter::new("t", vec![asm.finish()], HeapImage::new(), 1);
         let events = run(&mut interp);
-        assert!(!events.iter().any(|e| matches!(e, Event::BackEdge(_))),
-            "forward branch produced a back-edge");
-        let loads: Vec<u64> = events.iter().filter_map(|e| match e {
-            Event::Access(r, _) => Some(r.addr.0),
-            _ => None,
-        }).collect();
+        assert!(
+            !events.iter().any(|e| matches!(e, Event::BackEdge(_))),
+            "forward branch produced a back-edge"
+        );
+        let loads: Vec<u64> = events
+            .iter()
+            .filter_map(|e| match e {
+                Event::Access(r, _) => Some(r.addr.0),
+                _ => None,
+            })
+            .collect();
         assert_eq!(loads, vec![0x41]); // only the post-label load ran
     }
 

@@ -29,7 +29,14 @@
 //! * [`Event`], [`ProgramSource`] — the execution event stream interface
 //!   that workloads implement and the optimizer's executor consumes;
 //! * [`FrameTracker`] — call-stack tracking that resolves, per activation,
-//!   whether the patched copy or the stale original is executing.
+//!   whether the patched copy or the stale original is executing;
+//! * [`EditJournal`] — a write-ahead journal making edits
+//!   crash-consistent: a commit that dies mid-patch is deterministically
+//!   rolled forward on recovery, never left half-applied
+//!   ([`EditSession::commit_journaled`]);
+//! * [`ImageState`] / [`Image::export_state`] — canonical-order export
+//!   and restore of the image's mutable state, the checkpointing
+//!   primitive behind crash-consistent snapshots.
 //!
 //! # Examples
 //!
@@ -56,8 +63,10 @@
 mod image;
 mod interleave;
 pub mod isa;
+mod journal;
 mod program;
 
-pub use image::{EditError, EditReport, EditSession, Image};
+pub use image::{CopyState, EditError, EditReport, EditSession, Image, ImageState};
 pub use interleave::Interleaver;
+pub use journal::{EditJournal, JournalEntry};
 pub use program::{Event, FrameTracker, ProcId, Procedure, ProgramSource, VecSource};

@@ -200,6 +200,22 @@ impl FrameTracker {
     pub fn max_depth(&self) -> usize {
         self.max_depth
     }
+
+    /// The live activation stack, outermost first — the checkpointing
+    /// export (pairs of procedure and entry epoch).
+    #[must_use]
+    pub fn export_stack(&self) -> Vec<(ProcId, u64)> {
+        self.stack.clone()
+    }
+
+    /// Reconstructs a tracker from a stack exported by
+    /// [`FrameTracker::export_stack`] plus the observed `max_depth`
+    /// diagnostic.
+    #[must_use]
+    pub fn from_parts(stack: Vec<(ProcId, u64)>, max_depth: usize) -> Self {
+        let max_depth = max_depth.max(stack.len());
+        FrameTracker { stack, max_depth }
+    }
 }
 
 #[cfg(test)]

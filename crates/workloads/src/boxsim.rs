@@ -202,7 +202,11 @@ impl BoxSim {
         let side = self.config.grid_side as i64;
         let box_size = side * FP;
         self.pending.push_back(Event::Enter(ProcId(0)));
-        self.push_ref(self.pc_cell_header, self.cell_blocks[cell], AccessKind::Load);
+        self.push_ref(
+            self.pc_cell_header,
+            self.cell_blocks[cell],
+            AccessKind::Load,
+        );
         let members = self.cells[cell].clone();
         self.pending.push_back(Event::Enter(ProcId(1)));
         let mut migrated: Vec<(usize, usize)> = Vec::new();
@@ -341,10 +345,7 @@ mod tests {
         // Find a per-sphere triple (pos, vel, store) and count its
         // repetitions.
         let needle = &refs[1..4];
-        let count = refs
-            .windows(3)
-            .filter(|w| w == &needle)
-            .count();
+        let count = refs.windows(3).filter(|w| w == &needle).count();
         assert!(count >= 3, "cell-walk sequences repeat only {count} times");
     }
 
@@ -382,7 +383,10 @@ mod tests {
             }
         }
         // A shuffled layout is nowhere near sorted.
-        assert!(ascending < 75, "layout suspiciously sequential: {ascending}/99");
+        assert!(
+            ascending < 75,
+            "layout suspiciously sequential: {ascending}/99"
+        );
     }
 
     #[test]

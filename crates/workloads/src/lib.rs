@@ -35,7 +35,7 @@ pub use boxsim::{BoxSim, BoxSimConfig};
 pub use suite::{benchmark, suite, Benchmark, Scale};
 pub use synthetic::{SyntheticConfig, SyntheticWorkload};
 
-use hds_vulcan::{ProgramSource, Procedure};
+use hds_vulcan::{Procedure, ProgramSource};
 
 /// A benchmark program: an event source plus the static procedure list
 /// needed to build its editable [`hds_vulcan::Image`].

@@ -240,7 +240,10 @@ mod tests {
     fn suite_has_six_named_benchmarks() {
         let s = suite(Scale::Test);
         let names: Vec<&str> = s.iter().map(|w| w.name()).collect();
-        assert_eq!(names, vec!["vpr", "mcf", "twolf", "parser", "vortex", "boxsim"]);
+        assert_eq!(
+            names,
+            vec!["vpr", "mcf", "twolf", "parser", "vortex", "boxsim"]
+        );
     }
 
     #[test]
@@ -258,7 +261,11 @@ mod tests {
                     _ => {}
                 }
             }
-            assert!(refs >= w.planned_refs(), "{} emitted too few refs", w.name());
+            assert!(
+                refs >= w.planned_refs(),
+                "{} emitted too few refs",
+                w.name()
+            );
             assert!(checks > 0, "{} has no check sites", w.name());
         }
     }

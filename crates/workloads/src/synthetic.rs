@@ -185,8 +185,14 @@ impl SyntheticWorkload {
             config.hot_core >= 1 && config.hot_core <= config.stream_count,
             "hot_core must be within 1..=stream_count"
         );
-        assert!(config.stream_len.0 >= 3, "streams must have at least 3 refs");
-        assert!(config.stream_len.0 <= config.stream_len.1, "bad stream_len range");
+        assert!(
+            config.stream_len.0 >= 3,
+            "streams must have at least 3 refs"
+        );
+        assert!(
+            config.stream_len.0 <= config.stream_len.1,
+            "bad stream_len range"
+        );
         assert!(
             (0.0..=1.0).contains(&config.hot_fraction),
             "hot_fraction must be in [0,1]"
@@ -202,8 +208,7 @@ impl SyntheticWorkload {
         let hot_arena_base = next_block;
         // Scattered allocations draw from a dedicated arena 4x the hot
         // footprint so nodes are spread out but stable.
-        let hot_refs_estimate: u64 =
-            (config.stream_count * config.stream_len.1) as u64;
+        let hot_refs_estimate: u64 = (config.stream_count * config.stream_len.1) as u64;
         let scatter_span = (hot_refs_estimate * 8).max(1024);
         let mut taken = std::collections::HashSet::new();
         let mut traversals = Vec::with_capacity(config.stream_count);
@@ -332,15 +337,10 @@ impl SyntheticWorkload {
                 .traversals
                 .iter()
                 .enumerate()
-                .filter(|(_, t)| {
-                    self.config.phase_period.is_none() || t.group == self.phase
-                })
+                .filter(|(_, t)| self.config.phase_period.is_none() || t.group == self.phase)
                 .map(|(i, _)| i)
                 .collect();
-            let total_weight: u32 = candidates
-                .iter()
-                .map(|&i| self.traversals[i].weight)
-                .sum();
+            let total_weight: u32 = candidates.iter().map(|&i| self.traversals[i].weight).sum();
             let mut pick = self.rng.gen_range(0..total_weight.max(1));
             let mut chosen = candidates[0];
             for &i in &candidates {
@@ -356,7 +356,14 @@ impl SyntheticWorkload {
             self.pending.push_back(Event::Enter(proc));
             for (k, &r) in refs.iter().enumerate() {
                 self.push_work();
-                self.push_ref(r, if k % 7 == 6 { AccessKind::Store } else { AccessKind::Load });
+                self.push_ref(
+                    r,
+                    if k % 7 == 6 {
+                        AccessKind::Store
+                    } else {
+                        AccessKind::Load
+                    },
+                );
             }
             self.pending.push_back(Event::Exit(proc));
         } else {
@@ -368,10 +375,7 @@ impl SyntheticWorkload {
                 self.push_work();
                 let block = self.noise_base + self.rng.gen_range(0..self.config.noise_blocks);
                 let pc = self.noise_pcs[self.rng.gen_range(0..self.noise_pcs.len())];
-                self.push_ref(
-                    DataRef::new(pc, Addr(block * BLOCK)),
-                    AccessKind::Load,
-                );
+                self.push_ref(DataRef::new(pc, Addr(block * BLOCK)), AccessKind::Load);
             }
             self.pending.push_back(Event::Exit(self.noise_proc));
         }
@@ -390,7 +394,8 @@ impl SyntheticWorkload {
         if self.until_check == 0 {
             // The back-edge belongs to whichever procedure is on top; the
             // executor tracks that, we just tag the owning proc of the pc.
-            self.pending.push_back(Event::BackEdge(self.proc_of_pc(r.pc)));
+            self.pending
+                .push_back(Event::BackEdge(self.proc_of_pc(r.pc)));
             self.until_check = self.config.refs_per_check;
         }
         self.until_check -= 1;
@@ -641,7 +646,10 @@ mod tests {
         c.refs_per_check = 4;
         let mut w = SyntheticWorkload::new(c);
         let events = drain(&mut w);
-        let refs = events.iter().filter(|e| matches!(e, Event::Access(..))).count();
+        let refs = events
+            .iter()
+            .filter(|e| matches!(e, Event::Access(..)))
+            .count();
         let checks = events
             .iter()
             .filter(|e| matches!(e, Event::BackEdge(_) | Event::Enter(_)))
@@ -658,11 +666,7 @@ mod tests {
         c.phase_groups = 2;
         c.hot_fraction = 1.0;
         let mut w = SyntheticWorkload::new(c);
-        let groups: Vec<usize> = w
-            .traversals
-            .iter()
-            .map(|t| t.group)
-            .collect();
+        let groups: Vec<usize> = w.traversals.iter().map(|t| t.group).collect();
         let hot = w.hot_traversals();
         let events = drain(&mut w);
         let refs: Vec<DataRef> = events

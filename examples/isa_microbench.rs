@@ -102,7 +102,10 @@ fn interpreter(fuel: u64) -> Interpreter {
     Interpreter::new("isa-microbench", build_program(), build_heap(), fuel)
 }
 
-fn run_with_head_len(fuel: u64, head_len: usize) -> (hds::optimizer::RunReport, hds::optimizer::RunReport) {
+fn run_with_head_len(
+    fuel: u64,
+    head_len: usize,
+) -> (hds::optimizer::RunReport, hds::optimizer::RunReport) {
     let mut config = OptimizerConfig::paper_scale();
     config.analysis.min_length = 10;
     config.dfsm = hds::dfsm::DfsmConfig::new(head_len);

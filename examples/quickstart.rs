@@ -28,7 +28,10 @@ fn main() {
         .procedures(procs)
         .baseline()
         .run(&mut w);
-    println!("baseline:  {} cycles over {} references", base.total_cycles, base.refs);
+    println!(
+        "baseline:  {} cycles over {} references",
+        base.total_cycles, base.refs
+    );
     println!("           {}", base.mem);
 
     // 2. The full scheme: profile -> analyze -> optimize -> hibernate,
@@ -40,7 +43,11 @@ fn main() {
         .optimize(PrefetchPolicy::StreamTail)
         .run(&mut w);
     println!();
-    println!("dyn-pref:  {} cycles ({:+.1}% vs baseline)", opt.total_cycles, opt.overhead_vs(&base));
+    println!(
+        "dyn-pref:  {} cycles ({:+.1}% vs baseline)",
+        opt.total_cycles,
+        opt.overhead_vs(&base)
+    );
     println!("           {}", opt.mem);
     println!();
     println!(

@@ -201,7 +201,12 @@ fn cmd_streams(opts: &Options) -> Result<(), String> {
     let benches = parse_benches(&opts.bench)?;
     for which in benches {
         let (streams, symbols, traced) = collect_streams(which, opts.scale)?;
-        println!("{}: {} hot data streams from {} traced refs", which, streams.len(), traced);
+        println!(
+            "{}: {} hot data streams from {} traced refs",
+            which,
+            streams.len(),
+            traced
+        );
         for (i, s) in streams.iter().enumerate().take(20) {
             let refs = symbols.resolve_all(s);
             let preview: Vec<String> = refs.iter().take(3).map(ToString::to_string).collect();
@@ -223,8 +228,12 @@ fn collect_streams(
 ) -> Result<(Vec<Vec<hds::trace::Symbol>>, SymbolTable, u64), String> {
     let mut program = benchmark(which, scale);
     let b = OptimizerConfig::paper_scale().bursty;
-    let mut tracer =
-        BurstyTracer::new(BurstyConfig::new(b.n_check0, b.n_instr0, b.n_awake0, b.n_hibernate0));
+    let mut tracer = BurstyTracer::new(BurstyConfig::new(
+        b.n_check0,
+        b.n_instr0,
+        b.n_awake0,
+        b.n_hibernate0,
+    ));
     let mut symbols = SymbolTable::new();
     let mut sequitur = Sequitur::new();
     let mut traced = 0u64;
@@ -276,8 +285,12 @@ fn cmd_dot(opts: &Options) -> Result<(), String> {
 fn collect_profile(which: Benchmark, scale: Scale) -> hds::trace::TraceBuffer {
     let mut program = benchmark(which, scale);
     let b = OptimizerConfig::paper_scale().bursty;
-    let mut tracer =
-        BurstyTracer::new(BurstyConfig::new(b.n_check0, b.n_instr0, b.n_awake0, b.n_hibernate0));
+    let mut tracer = BurstyTracer::new(BurstyConfig::new(
+        b.n_check0,
+        b.n_instr0,
+        b.n_awake0,
+        b.n_hibernate0,
+    ));
     let mut buffer = hds::trace::TraceBuffer::new();
     while let Some(event) = program.next_event() {
         match event {
@@ -366,7 +379,10 @@ fn cmd_analyze(opts: &Options) -> Result<(), String> {
 }
 
 fn cmd_list() {
-    println!("benchmarks: all {}", Benchmark::ALL.map(|b| b.name()).join(" "));
+    println!(
+        "benchmarks: all {}",
+        Benchmark::ALL.map(|b| b.name()).join(" ")
+    );
     println!("modes:      baseline base prof hds no-pref seq-pref dyn-pref");
     println!("commands:   run streams dot profile analyze list");
     println!("flags:      --scale test|paper  --static  --headlen N  --json  --chop  --out <file>");
@@ -455,7 +471,10 @@ mod tests {
             ("prof", RunMode::Profile),
             ("hds", RunMode::Analyze),
             ("no-pref", RunMode::Optimize(PrefetchPolicy::None)),
-            ("seq-pref", RunMode::Optimize(PrefetchPolicy::SequentialBlocks)),
+            (
+                "seq-pref",
+                RunMode::Optimize(PrefetchPolicy::SequentialBlocks),
+            ),
             ("dyn-pref", RunMode::Optimize(PrefetchPolicy::StreamTail)),
         ] {
             assert_eq!(parse_mode(name).unwrap(), expect);

@@ -44,7 +44,11 @@ fn mode_overheads_are_ordered() {
     // And the memory behaviour is identical in all non-prefetching modes
     // (instrumentation must not perturb the cache).
     for r in [&checks, &prof, &hds, &nopref] {
-        assert_eq!(r.mem.l1_hits, base.mem.l1_hits, "{} perturbed the cache", r.mode);
+        assert_eq!(
+            r.mem.l1_hits, base.mem.l1_hits,
+            "{} perturbed the cache",
+            r.mode
+        );
         assert_eq!(r.mem.l2_misses, base.mem.l2_misses);
     }
 }
@@ -53,7 +57,11 @@ fn mode_overheads_are_ordered() {
 fn dyn_pref_beats_no_pref_on_stream_heavy_workload() {
     let nopref = run(RunMode::Optimize(PrefetchPolicy::None));
     let dynpref = run(RunMode::Optimize(PrefetchPolicy::StreamTail));
-    assert!(dynpref.opt_cycles() >= 2, "too few cycles: {}", dynpref.opt_cycles());
+    assert!(
+        dynpref.opt_cycles() >= 2,
+        "too few cycles: {}",
+        dynpref.opt_cycles()
+    );
     assert!(dynpref.mem.prefetches_useful > 0);
     assert!(
         dynpref.total_cycles < nopref.total_cycles,
@@ -89,7 +97,11 @@ fn random_access_workload_gets_no_streams() {
         .run(&mut w);
     assert!(report.opt_cycles() >= 1, "cycles should still complete");
     let total_streams: usize = report.cycles.iter().map(|c| c.streams_used).sum();
-    assert_eq!(total_streams, 0, "streams detected in pure noise: {:?}", report.cycles);
+    assert_eq!(
+        total_streams, 0,
+        "streams detected in pure noise: {:?}",
+        report.cycles
+    );
     assert_eq!(report.mem.prefetches_issued, 0);
 }
 

@@ -42,7 +42,10 @@ fn figure12_shape() {
             (0.0..12.0).contains(&no),
             "{which}: No-pref {no:+.1}% out of the single-digit band"
         );
-        assert!(dyn_ < 0.0, "{which}: Dyn-pref is not a speedup ({dyn_:+.1}%)");
+        assert!(
+            dyn_ < 0.0,
+            "{which}: Dyn-pref is not a speedup ({dyn_:+.1}%)"
+        );
         if which == Benchmark::Parser {
             assert!(seq < 0.0, "parser: Seq-pref should win ({seq:+.1}%)");
         } else {
@@ -54,7 +57,11 @@ fn figure12_shape() {
     let best = dyn_wins.iter().min_by(|a, b| a.1.total_cmp(&b.1)).unwrap();
     let worst = dyn_wins.iter().max_by(|a, b| a.1.total_cmp(&b.1)).unwrap();
     assert_eq!(best.0, Benchmark::Vpr, "vpr should be the largest win");
-    assert_eq!(worst.0, Benchmark::Vortex, "vortex should be the smallest win");
+    assert_eq!(
+        worst.0,
+        Benchmark::Vortex,
+        "vortex should be the smallest win"
+    );
 }
 
 /// Figure 11's shape: Base < Prof < Hds, all in the low single digits.
