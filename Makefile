@@ -3,13 +3,14 @@
 
 CARGO ?= cargo
 
-.PHONY: verify build test clippy bench-smoke telemetry-demo chaos-smoke bench-par chaos-crash bench-recover
+.PHONY: verify build test clippy bench-smoke telemetry-demo chaos-smoke bench-par chaos-crash bench-recover serve-smoke
 
 ## Tier-1 gate: release build, full test suite, clippy clean, chaos smoke,
 ## parallel-runner smoke (bit-identical + speedup + worker-lag stats),
-## chaos-crash smoke (supervised recovery is bit-identical), and the
-## recovery benchmark (checkpoint neutrality + snapshot sizes).
-verify: build test clippy chaos-smoke bench-par chaos-crash bench-recover
+## chaos-crash smoke (supervised recovery is bit-identical), the
+## recovery benchmark (checkpoint neutrality + snapshot sizes), and the
+## serving-layer smoke (sharded == sequential, graceful shedding).
+verify: build test clippy chaos-smoke bench-par chaos-crash bench-recover serve-smoke
 
 build:
 	$(CARGO) build --release
@@ -49,6 +50,13 @@ bench-recover:
 ## results/BENCH_parallel.json.
 bench-par:
 	$(CARGO) run --release -p hds-bench --bin bench_parallel -- --test-scale
+
+## Serving front-end smoke: open-loop load at 1/2/8 shards — asserts
+## per-tenant reports bit-identical to standalone sessions, measures
+## throughput and queue-depth quantiles, and demonstrates typed load
+## shedding under a tight budget. Writes results/BENCH_serve.json.
+serve-smoke:
+	$(CARGO) run --release -p hds-bench --bin bench_serve -- --test-scale
 
 ## Live telemetry walkthrough: per-cycle table, counter reconciliation,
 ## per-stream prefetch quality, Prometheus dump. Fast smoke scale; drop

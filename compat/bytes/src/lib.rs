@@ -39,6 +39,19 @@ impl Bytes {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// Consumes `len` bytes into a new buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than `len` bytes remain.
+    #[must_use]
+    pub fn copy_to_bytes(&mut self, len: usize) -> Bytes {
+        assert!(self.remaining() >= len, "copy_to_bytes past end");
+        let out = Bytes::copy_from_slice(&self.data[self.pos..self.pos + len]);
+        self.pos += len;
+        out
+    }
 }
 
 impl Deref for Bytes {
@@ -102,6 +115,25 @@ impl BytesMut {
             pos: 0,
         }
     }
+
+    /// Appends a slice (inherent, as on the real `BytesMut`).
+    pub fn extend_from_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+
+    /// Splits off and returns the first `at` bytes, leaving the rest.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than `at` bytes are buffered.
+    #[must_use]
+    pub fn split_to(&mut self, at: usize) -> BytesMut {
+        assert!(at <= self.data.len(), "split_to past end");
+        let rest = self.data.split_off(at);
+        BytesMut {
+            data: std::mem::replace(&mut self.data, rest),
+        }
+    }
 }
 
 impl Deref for BytesMut {
@@ -142,6 +174,17 @@ pub trait Buf {
     ///
     /// Panics if fewer than `cnt` bytes remain.
     fn advance(&mut self, cnt: usize);
+
+    /// Consumes and returns a little-endian `u32`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than four bytes remain.
+    fn get_u32_le(&mut self) -> u32 {
+        let mut raw = [0u8; 4];
+        self.copy_to_slice(&mut raw);
+        u32::from_le_bytes(raw)
+    }
 }
 
 impl Buf for Bytes {
@@ -175,6 +218,11 @@ pub trait BufMut {
 
     /// Appends a slice.
     fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends a little-endian `u32`.
+    fn put_u32_le(&mut self, n: u32) {
+        self.put_slice(&n.to_le_bytes());
+    }
 }
 
 impl BufMut for BytesMut {

@@ -61,14 +61,14 @@ fn schedules_from_args() -> u64 {
 /// assertion.
 struct TrackedPlan {
     inner: FaultPlan,
-    fired: [u64; 3],
+    fired: [u64; 4],
 }
 
 impl TrackedPlan {
     fn new(inner: FaultPlan) -> Self {
         TrackedPlan {
             inner,
-            fired: [0; 3],
+            fired: [0; 4],
         }
     }
 }
@@ -162,7 +162,7 @@ struct ScheduleResult {
     crashes: u64,
     restarts: u64,
     snapshots: u64,
-    fired: [u64; 3],
+    fired: [u64; 4],
     mismatches: Vec<String>,
 }
 
@@ -325,7 +325,7 @@ fn main() {
     let mut total_crashes = 0u64;
     let mut total_restarts = 0u64;
     let mut total_snapshots = 0u64;
-    let mut fired = [0u64; 3];
+    let mut fired = [0u64; 4];
 
     for seed in 0..schedules {
         let which = Benchmark::ALL[(seed % Benchmark::ALL.len() as u64) as usize];
@@ -376,6 +376,12 @@ fn main() {
         "no schedule ever restarted — the kill schedules are not exercising recovery"
     );
     for (point, n) in CrashPoint::ALL.iter().zip(fired) {
+        // Mid-frame kills live in the serving layer's chunk pump, which
+        // the single-process executor never reaches; chaos_serve covers
+        // that class.
+        if *point == CrashPoint::MidFrame {
+            continue;
+        }
         assert!(n > 0, "kill point {point} never fired across the sweep");
     }
     println!("chaos-crash: OK — every lineage recovered bit-identically");

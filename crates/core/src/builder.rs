@@ -604,22 +604,27 @@ mod tests {
     }
 
     #[test]
-    fn builder_run_matches_legacy_executor_run() {
+    fn builder_run_matches_manual_session_loop() {
         let mut w = workload();
         let procs = w.procedures();
-        let new = SessionBuilder::new(OptimizerConfig::test_scale())
+        let one_shot = SessionBuilder::new(OptimizerConfig::test_scale())
             .procedures(procs)
             .optimize(PrefetchPolicy::StreamTail)
             .run(&mut w);
         let mut w = workload();
         let procs = w.procedures();
-        #[allow(deprecated)]
-        let old = crate::Executor::new(
-            OptimizerConfig::test_scale(),
-            RunMode::Optimize(PrefetchPolicy::StreamTail),
-        )
-        .run(&mut w, procs);
-        assert_eq!(new, old);
+        let mut session = SessionBuilder::new(OptimizerConfig::test_scale())
+            .procedures(procs)
+            .optimize(PrefetchPolicy::StreamTail)
+            .build();
+        while let Some(event) = w.next_event() {
+            session.on_event(event);
+            if session.crashed() {
+                break;
+            }
+        }
+        let streamed = session.finish(w.name());
+        assert_eq!(one_shot, streamed);
     }
 
     #[test]

@@ -420,6 +420,16 @@ impl<O: Observer, F: FaultInjector> Session<O, F> {
         self.st.latest_snapshot.as_ref()
     }
 
+    /// Moves the most recent phase-boundary snapshot out of the session
+    /// without cloning — the hibernation hook for `hds-serve`'s LRU
+    /// eviction, which snapshots a cold tenant, drops the live session,
+    /// and later rehydrates it via [`Session::resume_from`] (or a fresh
+    /// build plus replay when no boundary had passed yet).
+    #[must_use]
+    pub fn take_latest_snapshot(&mut self) -> Option<Snapshot> {
+        self.st.latest_snapshot.take()
+    }
+
     /// A deterministic digest of the edited program image — the
     /// bit-identity witness the chaos-crash suite compares between
     /// recovered and uninterrupted runs.
@@ -2478,6 +2488,61 @@ mod tests {
         assert!(report.guard_trips >= report.worker.starved);
         assert_eq!(report.mem.prefetches_issued, 0);
         assert!(report.cycles.iter().all(|c| c.dfsm_states == 0));
+    }
+
+    /// The deprecated construction shims (`Executor::new`,
+    /// `Session::new`/`with_observer`/`with_faults`) must stay
+    /// behaviorally identical to their [`SessionBuilder`] replacements
+    /// until removal. This test is their *only* remaining internal
+    /// exercise; everything else in the workspace goes through the
+    /// builder.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_match_builder() {
+        let mode = RunMode::Optimize(PrefetchPolicy::StreamTail);
+        let reference = {
+            let (mut p, procs) = looping_program(40);
+            execute(tiny_config(), mode, &mut p, procs)
+        };
+
+        // One-shot executor shims.
+        let (mut p, procs) = looping_program(40);
+        let via_run = Executor::new(tiny_config(), mode).run(&mut p, procs);
+        assert_eq!(via_run, reference);
+
+        let (mut p, procs) = looping_program(40);
+        let mut rec = MetricsRecorder::new();
+        let via_observed = Executor::new(tiny_config(), mode).run_observed(&mut p, procs, &mut rec);
+        assert_eq!(via_observed, reference);
+        assert!(rec.traced_refs_total() > 0);
+
+        let (mut p, procs) = looping_program(40);
+        let via_faulted =
+            Executor::new(tiny_config(), mode).run_faulted(&mut p, procs, NullObserver, NoFaults);
+        assert_eq!(via_faulted, reference);
+
+        // Streaming session shims.
+        let (mut p, procs) = looping_program(40);
+        let mut session = Session::new(tiny_config(), mode, procs);
+        while let Some(event) = p.next_event() {
+            session.on_event(event);
+        }
+        assert_eq!(session.finish("loop"), reference);
+
+        let (mut p, procs) = looping_program(40);
+        let mut rec = MetricsRecorder::new();
+        let mut session = Session::with_observer(tiny_config(), mode, procs, &mut rec);
+        while let Some(event) = p.next_event() {
+            session.on_event(event);
+        }
+        assert_eq!(session.finish("loop"), reference);
+
+        let (mut p, procs) = looping_program(40);
+        let mut session = Session::with_faults(tiny_config(), mode, procs, NullObserver, NoFaults);
+        while let Some(event) = p.next_event() {
+            session.on_event(event);
+        }
+        assert_eq!(session.finish("loop"), reference);
     }
 
     #[test]

@@ -260,6 +260,48 @@ where
         .collect()
 }
 
+/// Runs `f` once over every item with exclusive (`&mut`) access,
+/// splitting the slice into at most `workers` contiguous chunks that
+/// execute concurrently.
+///
+/// This is the in-place sibling of [`parallel_map`], built for owners
+/// of stateful workers — e.g. `hds-serve` pumping its shard mailboxes,
+/// where each shard owns live sessions that must be *mutated*, not
+/// mapped. Chunking is deterministic (item `i` always lands in chunk
+/// `i / ceil(len / workers)`), and because chunks are disjoint, no
+/// locking is needed.
+///
+/// `workers <= 1` (or a single item) degenerates to a plain sequential
+/// loop with no threads spawned.
+///
+/// # Panics
+///
+/// Propagates a panic from `f` (the scope join re-raises it).
+pub fn parallel_for_each_mut<T, F>(items: &mut [T], workers: usize, f: F)
+where
+    T: Send,
+    F: Fn(&mut T) + Sync,
+{
+    let workers = workers.clamp(1, items.len().max(1));
+    if workers == 1 {
+        for item in items.iter_mut() {
+            f(item);
+        }
+        return;
+    }
+    let chunk = items.len().div_ceil(workers);
+    let f = &f;
+    rayon::scope(|s| {
+        for slice in items.chunks_mut(chunk) {
+            s.spawn(move |_| {
+                for item in slice {
+                    f(item);
+                }
+            });
+        }
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -269,6 +311,48 @@ mod tests {
         let items: Vec<u64> = (0..100).collect();
         let doubled = parallel_map(&items, 8, |&x| x * 2);
         assert_eq!(doubled, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_for_each_mut_touches_every_item_exactly_once() {
+        let mut items: Vec<u64> = (0..100).collect();
+        parallel_for_each_mut(&mut items, 8, |x| *x = *x * 2 + 1);
+        assert_eq!(items, (0..100).map(|x| x * 2 + 1).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_for_each_mut_degenerate_cases() {
+        let mut one = [7u64];
+        parallel_for_each_mut(&mut one, 8, |x| *x += 1);
+        assert_eq!(one, [8]);
+        let mut empty: [u64; 0] = [];
+        parallel_for_each_mut(&mut empty, 4, |_| unreachable!());
+        let mut items: Vec<u64> = (0..10).collect();
+        parallel_for_each_mut(&mut items, 0, |x| *x += 1);
+        assert_eq!(items, (1..=10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_for_each_mut_with_stateful_items() {
+        // The serve use case in miniature: each "shard" drains its own
+        // queue into its own tally, concurrently and without locks.
+        struct Shard {
+            queue: Vec<u64>,
+            tally: u64,
+        }
+        let mut shards: Vec<Shard> = (0..6)
+            .map(|i| Shard {
+                queue: (0..=i).collect(),
+                tally: 0,
+            })
+            .collect();
+        parallel_for_each_mut(&mut shards, 3, |s| {
+            s.tally = s.queue.drain(..).sum();
+        });
+        for (i, s) in shards.iter().enumerate() {
+            assert!(s.queue.is_empty());
+            assert_eq!(s.tally, (0..=i as u64).sum());
+        }
     }
 
     #[test]

@@ -26,14 +26,20 @@ pub enum CrashPoint {
     MidEdit,
     /// During the handoff of a trace to the background analysis worker.
     MidHandoff,
+    /// Midway through feeding a tenant's trace chunk into its session
+    /// (the serving layer's shard worker dies between two events of one
+    /// wire frame). Consulted once per chunk by `hds-serve`, never by
+    /// the single-process executor.
+    MidFrame,
 }
 
 impl CrashPoint {
     /// Every kill-point class, for coverage assertions.
-    pub const ALL: [CrashPoint; 3] = [
+    pub const ALL: [CrashPoint; 4] = [
         CrashPoint::PhaseBoundary,
         CrashPoint::MidEdit,
         CrashPoint::MidHandoff,
+        CrashPoint::MidFrame,
     ];
 }
 
@@ -43,6 +49,7 @@ impl fmt::Display for CrashPoint {
             CrashPoint::PhaseBoundary => "phase-boundary",
             CrashPoint::MidEdit => "mid-edit",
             CrashPoint::MidHandoff => "mid-handoff",
+            CrashPoint::MidFrame => "mid-frame",
         };
         f.write_str(s)
     }
@@ -197,6 +204,9 @@ pub struct FaultRates {
     pub crash_mid_edit: u16,
     /// Chance the process dies during a background-analysis handoff.
     pub crash_mid_handoff: u16,
+    /// Chance a serving-layer shard worker dies midway through feeding
+    /// one tenant's trace chunk.
+    pub crash_mid_frame: u16,
 }
 
 impl FaultRates {
@@ -214,6 +224,7 @@ impl FaultRates {
             crash_phase_boundary: 0,
             crash_mid_edit: 0,
             crash_mid_handoff: 0,
+            crash_mid_frame: 0,
         }
     }
 }
@@ -341,6 +352,9 @@ impl FaultPlan {
             plan.rates.crash_phase_boundary = 150 + (plan.next_crash() % 500) as u16;
             plan.rates.crash_mid_edit = 200 + (plan.next_crash() % 600) as u16;
             plan.rates.crash_mid_handoff = 200 + (plan.next_crash() % 600) as u16;
+            // Chunk feeds are frequent (one draw per wire frame), so the
+            // mid-frame rate stays lower than the rare kill points.
+            plan.rates.crash_mid_frame = 50 + (plan.next_crash() % 250) as u16;
         }
         plan.max_crashes = max_crashes;
         plan
@@ -488,6 +502,7 @@ impl FaultInjector for FaultPlan {
             CrashPoint::PhaseBoundary => self.rates.crash_phase_boundary,
             CrashPoint::MidEdit => self.rates.crash_mid_edit,
             CrashPoint::MidHandoff => self.rates.crash_mid_handoff,
+            CrashPoint::MidFrame => self.rates.crash_mid_frame,
         };
         if permille == 0 || self.crashes_fired >= self.max_crashes {
             return false; // no draw: crash-free plans stay bit-identical
@@ -698,10 +713,11 @@ mod tests {
 
     #[test]
     fn crash_point_display_and_all() {
-        assert_eq!(CrashPoint::ALL.len(), 3);
+        assert_eq!(CrashPoint::ALL.len(), 4);
         assert_eq!(CrashPoint::PhaseBoundary.to_string(), "phase-boundary");
         assert_eq!(CrashPoint::MidEdit.to_string(), "mid-edit");
         assert_eq!(CrashPoint::MidHandoff.to_string(), "mid-handoff");
+        assert_eq!(CrashPoint::MidFrame.to_string(), "mid-frame");
     }
 
     #[test]

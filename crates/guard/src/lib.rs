@@ -32,6 +32,11 @@
 //!   crash schedules never perturb in-simulation fault draws — and so a
 //!   restarted session re-draws the same in-simulation faults from a
 //!   restored state without re-triggering the same crash forever.
+//! * [`ServeBudgets`] / [`ServeGuard`] — the same graceful-degradation
+//!   discipline for the multi-tenant serving front-end (`hds-serve`):
+//!   optional caps on live sessions, per-tenant queued chunks, and
+//!   global queued bytes, breached caps answered with typed
+//!   `Busy`/`Shed` responses and counted for exact reconciliation.
 //! * [`GuardState`] / [`AccuracyState`] — canonical serializable
 //!   snapshots of the runtime's mutable state, consumed by the core
 //!   crate's crash-consistent checkpoints.
@@ -58,10 +63,12 @@
 mod accuracy;
 mod budget;
 mod fault;
+mod serve;
 
 pub use accuracy::{AccuracyConfig, AccuracyState, BadStream, StreamAccuracyState};
 pub use budget::{GuardConfig, GuardRuntime, GuardState, Trip};
 pub use fault::{CrashPoint, FaultCounts, FaultInjector, FaultPlan, FaultRates, NoFaults};
+pub use serve::{ServeBudgets, ServeGuard, ServeTrip};
 
 // Re-export the error type faults induce, so callers need not depend on
 // hds-vulcan directly for matching.

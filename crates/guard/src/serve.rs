@@ -1,0 +1,261 @@
+//! Admission-control budgets for the multi-tenant serving layer.
+//!
+//! `hds-serve` accepts many tenants' trace streams at once; these
+//! budgets are what keeps that front-end from melting down under load.
+//! Exactly like [`crate::GuardConfig`] for the per-session optimize
+//! cycle, every cap is optional, a breached cap degrades service
+//! gracefully — a typed `Busy`/`Shed` response instead of a panic or an
+//! unbounded queue — and every decision is counted so the final
+//! `ServeReport` reconciles against emitted telemetry.
+
+use hds_telemetry::events::ServeBudgetKind;
+
+/// Optional caps on the serving layer's three load axes. `None` means
+/// unlimited.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServeBudgets {
+    max_live_sessions: Option<u64>,
+    max_queued_chunks: Option<u64>,
+    max_global_bytes: Option<u64>,
+}
+
+impl ServeBudgets {
+    /// Every budget unlimited (admission control never fires).
+    #[must_use]
+    pub const fn disabled() -> Self {
+        ServeBudgets {
+            max_live_sessions: None,
+            max_queued_chunks: None,
+            max_global_bytes: None,
+        }
+    }
+
+    /// Caps concurrently live tenant sessions across all shards. At the
+    /// cap, a new tenant either evicts the least-recently-used live
+    /// session (eviction enabled) or receives `Busy` (disabled).
+    #[must_use]
+    pub const fn with_max_live_sessions(mut self, cap: u64) -> Self {
+        self.max_live_sessions = Some(cap);
+        self
+    }
+
+    /// Caps trace chunks queued for a single tenant between pumps;
+    /// chunks past the cap are shed.
+    #[must_use]
+    pub const fn with_max_queued_chunks(mut self, cap: u64) -> Self {
+        self.max_queued_chunks = Some(cap);
+        self
+    }
+
+    /// Caps bytes of chunk payload queued across all tenants; chunks
+    /// past the cap are shed.
+    #[must_use]
+    pub const fn with_max_global_bytes(mut self, cap: u64) -> Self {
+        self.max_global_bytes = Some(cap);
+        self
+    }
+
+    /// Whether any budget is set at all.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.max_live_sessions.is_some()
+            || self.max_queued_chunks.is_some()
+            || self.max_global_bytes.is_some()
+    }
+
+    /// The configured cap for one budget kind.
+    #[must_use]
+    pub fn budget(&self, kind: ServeBudgetKind) -> Option<u64> {
+        match kind {
+            ServeBudgetKind::LiveSessions => self.max_live_sessions,
+            ServeBudgetKind::TenantQueue => self.max_queued_chunks,
+            ServeBudgetKind::GlobalBytes => self.max_global_bytes,
+        }
+    }
+}
+
+/// One admission-control refusal: which budget, its cap, and the
+/// observed value that breached it. Mirrors [`crate::Trip`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ServeTrip {
+    /// Which budget was breached.
+    pub kind: ServeBudgetKind,
+    /// The configured cap.
+    pub budget: u64,
+    /// The observed value that breached it.
+    pub observed: u64,
+}
+
+/// The runtime ledger for [`ServeBudgets`]: answers admission questions
+/// and counts every refusal, so `ServeReport` totals reconcile exactly
+/// with the `Shed`/`Busy` telemetry the manager emits.
+#[derive(Clone, Debug)]
+pub struct ServeGuard {
+    config: ServeBudgets,
+    shed: [u64; 3], // indexed by ServeBudgetKind
+    busy: u64,
+}
+
+impl ServeGuard {
+    /// A guard enforcing `config`.
+    #[must_use]
+    pub fn new(config: ServeBudgets) -> Self {
+        ServeGuard {
+            config,
+            shed: [0; 3],
+            busy: 0,
+        }
+    }
+
+    /// The enforced budgets.
+    #[must_use]
+    pub fn config(&self) -> &ServeBudgets {
+        &self.config
+    }
+
+    /// Whether admitting one more live session on top of `live` would
+    /// breach the cap. Does not count anything: the caller decides
+    /// whether the breach becomes an LRU eviction or a counted `Busy`.
+    #[must_use]
+    pub fn session_over_budget(&self, live: u64) -> Option<ServeTrip> {
+        let budget = self.config.max_live_sessions?;
+        if live >= budget {
+            return Some(ServeTrip {
+                kind: ServeBudgetKind::LiveSessions,
+                budget,
+                observed: live,
+            });
+        }
+        None
+    }
+
+    /// Records one `Busy` refusal (session cap breached, eviction
+    /// disabled).
+    pub fn count_busy(&mut self) {
+        self.busy += 1;
+    }
+
+    /// Admits or sheds one queued trace chunk. `tenant_queued` and
+    /// `global_bytes` are the *prospective* values if the chunk were
+    /// accepted (current count plus this chunk). A breach sheds the
+    /// chunk: the refusal is counted and returned as a typed trip.
+    ///
+    /// # Errors
+    ///
+    /// The [`ServeTrip`] naming the breached budget; the per-tenant
+    /// queue cap is checked before the global byte cap.
+    pub fn admit_chunk(&mut self, tenant_queued: u64, global_bytes: u64) -> Result<(), ServeTrip> {
+        if let Some(budget) = self.config.max_queued_chunks {
+            if tenant_queued > budget {
+                let trip = ServeTrip {
+                    kind: ServeBudgetKind::TenantQueue,
+                    budget,
+                    observed: tenant_queued,
+                };
+                self.shed[trip.kind as usize] += 1;
+                return Err(trip);
+            }
+        }
+        if let Some(budget) = self.config.max_global_bytes {
+            if global_bytes > budget {
+                let trip = ServeTrip {
+                    kind: ServeBudgetKind::GlobalBytes,
+                    budget,
+                    observed: global_bytes,
+                };
+                self.shed[trip.kind as usize] += 1;
+                return Err(trip);
+            }
+        }
+        Ok(())
+    }
+
+    /// Chunks shed for one budget kind.
+    #[must_use]
+    pub fn shed(&self, kind: ServeBudgetKind) -> u64 {
+        self.shed[kind as usize]
+    }
+
+    /// Chunks shed, all budget kinds summed.
+    #[must_use]
+    pub fn shed_total(&self) -> u64 {
+        self.shed.iter().sum()
+    }
+
+    /// `Busy` refusals counted.
+    #[must_use]
+    pub fn busy(&self) -> u64 {
+        self.busy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_budgets_admit_everything() {
+        let mut guard = ServeGuard::new(ServeBudgets::disabled());
+        assert!(!guard.config().is_enabled());
+        assert!(guard.session_over_budget(u64::MAX).is_none());
+        assert_eq!(guard.admit_chunk(u64::MAX, u64::MAX), Ok(()));
+        assert_eq!(guard.shed_total(), 0);
+        assert_eq!(guard.busy(), 0);
+    }
+
+    #[test]
+    fn session_cap_trips_at_the_boundary() {
+        let guard = ServeGuard::new(ServeBudgets::disabled().with_max_live_sessions(2));
+        assert!(guard.session_over_budget(1).is_none());
+        let trip = guard.session_over_budget(2).expect("at cap");
+        assert_eq!(trip.kind, ServeBudgetKind::LiveSessions);
+        assert_eq!(trip.budget, 2);
+        assert_eq!(trip.observed, 2);
+    }
+
+    #[test]
+    fn chunk_admission_checks_queue_then_bytes() {
+        let budgets = ServeBudgets::disabled()
+            .with_max_queued_chunks(4)
+            .with_max_global_bytes(1024);
+        let mut guard = ServeGuard::new(budgets);
+        assert_eq!(guard.admit_chunk(4, 1024), Ok(()));
+        // Both over budget: the tenant queue is named first.
+        let trip = guard.admit_chunk(5, 2048).unwrap_err();
+        assert_eq!(trip.kind, ServeBudgetKind::TenantQueue);
+        let trip = guard.admit_chunk(3, 2048).unwrap_err();
+        assert_eq!(trip.kind, ServeBudgetKind::GlobalBytes);
+        assert_eq!(trip.budget, 1024);
+        assert_eq!(trip.observed, 2048);
+        assert_eq!(guard.shed(ServeBudgetKind::TenantQueue), 1);
+        assert_eq!(guard.shed(ServeBudgetKind::GlobalBytes), 1);
+        assert_eq!(guard.shed(ServeBudgetKind::LiveSessions), 0);
+        assert_eq!(guard.shed_total(), 2);
+    }
+
+    #[test]
+    fn busy_refusals_are_counted_separately() {
+        let mut guard = ServeGuard::new(ServeBudgets::disabled().with_max_live_sessions(0));
+        assert!(guard.session_over_budget(0).is_some());
+        guard.count_busy();
+        guard.count_busy();
+        assert_eq!(guard.busy(), 2);
+        assert_eq!(guard.shed_total(), 0);
+    }
+
+    #[test]
+    fn budget_lookup_matches_builders() {
+        let budgets = ServeBudgets::disabled()
+            .with_max_live_sessions(8)
+            .with_max_queued_chunks(16)
+            .with_max_global_bytes(4096);
+        assert!(budgets.is_enabled());
+        assert_eq!(budgets.budget(ServeBudgetKind::LiveSessions), Some(8));
+        assert_eq!(budgets.budget(ServeBudgetKind::TenantQueue), Some(16));
+        assert_eq!(budgets.budget(ServeBudgetKind::GlobalBytes), Some(4096));
+        assert_eq!(
+            ServeBudgets::disabled().budget(ServeBudgetKind::LiveSessions),
+            None
+        );
+    }
+}

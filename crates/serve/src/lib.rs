@@ -1,0 +1,75 @@
+//! `hds-serve`: a sharded multi-tenant profiling-and-prefetching
+//! service front-end.
+//!
+//! The paper's system optimizes one process from the inside. This
+//! crate turns the whole profile → analyze → optimize cycle into a
+//! *service*: many tenants stream trace events over a length-prefixed
+//! binary protocol ([`wire`], magic `HDSW`), a [`SessionManager`]
+//! consistently hashes them onto shards whose workers drive ordinary
+//! `SessionBuilder` pipelines, and each tenant eventually gets its
+//! [`hds_core::RunReport`] back — bit-identical to running alone,
+//! whatever the shard count and however often the tenant was LRU-
+//! evicted and rehydrated along the way.
+//!
+//! The moving parts:
+//!
+//! * [`wire`] — the frame codec. Decoding is total (typed
+//!   [`wire::FrameError`], never a panic) and trace chunks reuse the
+//!   `HDSP` profile codec's zigzag-delta primitives.
+//! * [`transport`] — the byte pipe: an in-process [`transport::loopback`]
+//!   pair by default, real TCP behind the `net` feature.
+//! * [`manager`] — the control plane (admission via
+//!   [`hds_guard::ServeBudgets`], LRU eviction, consistent hashing)
+//!   and the parallel shard pump.
+//! * [`report`] — the [`ServeReport`] aggregate, reconciling exactly
+//!   with the serve telemetry in [`hds_telemetry`].
+//! * [`load`] — seeded load generation and the standalone reference
+//!   runner the determinism suite compares against.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod load;
+pub mod manager;
+pub mod report;
+pub mod transport;
+pub mod wire;
+
+pub use manager::{chunk_cost, tenant_key, ServeConfig, ServeConfigError, SessionManager};
+pub use report::{ServeReport, ShardStats, TenantOutcome};
+pub use transport::{loopback, LoopbackTransport, Transport, TransportError};
+pub use wire::{Frame, FrameError, MAX_FRAME_BYTES, WIRE_VERSION};
+
+use hds_core::Observer;
+
+/// Drives one client connection to completion: receive frames, answer
+/// immediately, pump the shards every `pump_every` frames (and once at
+/// end of stream) so reports flow back. Returns when the transport's
+/// stream ends cleanly.
+///
+/// # Errors
+///
+/// Any [`TransportError`] from the underlying pipe.
+pub fn serve<T: Transport, O: Observer>(
+    transport: &mut T,
+    manager: &mut SessionManager<O>,
+    pump_every: u64,
+) -> Result<(), TransportError> {
+    let mut since_pump = 0u64;
+    while let Some(frame) = transport.recv()? {
+        for response in manager.handle(frame) {
+            transport.send(&response)?;
+        }
+        since_pump += 1;
+        if pump_every > 0 && since_pump >= pump_every {
+            for response in manager.pump() {
+                transport.send(&response)?;
+            }
+            since_pump = 0;
+        }
+    }
+    for response in manager.pump() {
+        transport.send(&response)?;
+    }
+    Ok(())
+}

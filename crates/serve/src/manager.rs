@@ -1,0 +1,909 @@
+//! The sharded multi-tenant session manager.
+//!
+//! Tenants are consistently hashed onto shards (64 virtual points per
+//! shard, so adding shards moves few tenants); each shard owns a
+//! bounded mailbox of work and the live [`Session`]s of its tenants.
+//! The manager alternates two phases that never overlap, which is what
+//! makes the whole front-end deterministic and race-free:
+//!
+//! * [`SessionManager::handle`] — the single-threaded control plane:
+//!   handshake, admission control ([`ServeGuard`]), LRU victim
+//!   selection, and mailbox enqueue. Breached budgets come back as
+//!   typed [`Frame::Busy`] / [`Frame::Shed`] responses, never panics.
+//! * [`SessionManager::pump`] — drains every shard mailbox, shards in
+//!   parallel ([`parallel_for_each_mut`]) but each shard strictly in
+//!   mailbox order. Workers append typed notes; after the barrier the
+//!   notes replay through the observer in shard order, so telemetry
+//!   counts are identical at any worker count.
+//!
+//! Eviction hibernates a tenant to `(latest phase-boundary snapshot,
+//! replay tail)` — the tail being the events fed since that boundary,
+//! conceptually the write-ahead journal of received chunks. The next
+//! frame for the tenant rehydrates it: resume from the snapshot (or a
+//! fresh build when no boundary had passed) and replay the tail. By
+//! the core crate's resume guarantee, the rehydrated session continues
+//! bit-identically, so a serve→evict→resume lineage produces the same
+//! `RunReport` and image digest as an uninterrupted run.
+//!
+//! Chaos: with [`ServeConfig::with_chaos`], each shard draws a
+//! [`CrashPoint::MidFrame`] kill from its own seeded [`FaultPlan`]
+//! once per chunk. A kill models the shard process dying mid-chunk:
+//! the live session is lost, the persisted snapshot and journaled tail
+//! survive, and the shard restarts the tenant by the same rehydration
+//! path before re-feeding the chunk — deterministic replay, reported
+//! as `RecoveryRestart` telemetry.
+
+use std::collections::BTreeMap;
+
+use hds_core::{
+    NullObserver, Observer, OptimizerConfig, RunMode, RunReport, Session, SessionBuilder, Snapshot,
+};
+use hds_engine::parallel_for_each_mut;
+use hds_guard::{CrashPoint, FaultInjector, FaultPlan, ServeBudgets, ServeGuard};
+use hds_telemetry::events as tev;
+use hds_telemetry::events::ServeBudgetKind;
+use hds_vulcan::{Event, Procedure};
+
+use crate::report::{ServeReport, ShardStats, TenantOutcome};
+use crate::wire::{Frame, WIRE_VERSION};
+
+/// Virtual points per shard on the consistent-hash ring.
+const VNODES_PER_SHARD: u32 = 64;
+
+/// FNV-1a — the tenant key used for ring placement and telemetry.
+#[must_use]
+pub fn tenant_key(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in name.as_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Modeled wire cost of a chunk, charged against the global byte
+/// budget: the length prefix and kind plus ~8 bytes per event (the
+/// worst-case varint-encoded access).
+#[must_use]
+pub fn chunk_cost(events: &[Event]) -> u64 {
+    16 + 8 * events.len() as u64
+}
+
+/// A serving configuration rejected by [`SessionManager::new`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ServeConfigError {
+    /// Zero shards: there is nowhere to place a tenant.
+    ZeroShards,
+    /// Zero pump workers: the mailboxes would never drain.
+    ZeroWorkers,
+}
+
+impl std::fmt::Display for ServeConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeConfigError::ZeroShards => f.write_str("serve config has zero shards"),
+            ServeConfigError::ZeroWorkers => f.write_str("serve config has zero pump workers"),
+        }
+    }
+}
+
+impl std::error::Error for ServeConfigError {}
+
+/// Configuration of the serving front-end.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    shards: u32,
+    workers: usize,
+    budgets: ServeBudgets,
+    evict_on_pressure: bool,
+    chaos: Option<(u64, u32)>,
+    optimizer: OptimizerConfig,
+    mode: RunMode,
+}
+
+impl ServeConfig {
+    /// One shard, one worker, unlimited budgets, LRU eviction on
+    /// live-session pressure, no chaos.
+    #[must_use]
+    pub fn new(optimizer: OptimizerConfig, mode: RunMode) -> Self {
+        ServeConfig {
+            shards: 1,
+            workers: 1,
+            budgets: ServeBudgets::disabled(),
+            evict_on_pressure: true,
+            chaos: None,
+            optimizer,
+            mode,
+        }
+    }
+
+    /// Sets the shard count.
+    #[must_use]
+    pub fn with_shards(mut self, shards: u32) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// Sets how many threads [`SessionManager::pump`] uses.
+    #[must_use]
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Sets the admission-control budgets.
+    #[must_use]
+    pub fn with_budgets(mut self, budgets: ServeBudgets) -> Self {
+        self.budgets = budgets;
+        self
+    }
+
+    /// At the live-session cap: `true` (default) evicts the
+    /// least-recently-used tenant, `false` answers [`Frame::Busy`].
+    #[must_use]
+    pub fn with_eviction(mut self, evict: bool) -> Self {
+        self.evict_on_pressure = evict;
+        self
+    }
+
+    /// Arms per-shard mid-frame crash injection: shard `s` draws from
+    /// `FaultPlan::crashy(seed + s, max_crashes)` once per chunk.
+    #[must_use]
+    pub fn with_chaos(mut self, seed: u64, max_crashes: u32) -> Self {
+        self.chaos = Some((seed, max_crashes));
+        self
+    }
+
+    /// The shard count.
+    #[must_use]
+    pub fn shards(&self) -> u32 {
+        self.shards
+    }
+}
+
+/// Per-tenant control-plane state (the workers never touch this).
+struct TenantControl {
+    shard: u32,
+    key: u64,
+    live: bool,
+    finished: bool,
+    queued_chunks: u64,
+    last_used: u64,
+}
+
+/// Work item in a shard mailbox, processed strictly in order.
+enum ShardMsg {
+    Open {
+        tenant: String,
+        procedures: Vec<Procedure>,
+    },
+    Chunk {
+        tenant: String,
+        events: Vec<Event>,
+    },
+    Flush {
+        tenant: String,
+    },
+    Evict {
+        tenant: String,
+    },
+    Resume {
+        tenant: String,
+    },
+}
+
+/// What a worker did during a pump, replayed through the observer in
+/// shard order so telemetry is deterministic at any worker count.
+enum Note {
+    Evicted {
+        key: u64,
+        snapshot_bytes: u64,
+        tail_events: u64,
+    },
+    Resumed {
+        key: u64,
+        replayed: u64,
+    },
+    Restarted {
+        attempt: u32,
+        resumed_at: u64,
+    },
+    Pumped {
+        queued: u64,
+        frames: u64,
+        events: u64,
+    },
+    Report {
+        tenant: String,
+        report: Box<RunReport>,
+        digest: u64,
+    },
+}
+
+/// A hibernated tenant: the persisted phase-boundary snapshot (if one
+/// was ever taken) plus the journaled events since it.
+struct ColdState {
+    snapshot: Option<Snapshot>,
+    tail: Vec<Event>,
+}
+
+/// A live tenant session plus the replay-tail bookkeeping that makes
+/// it evictable at any instant.
+struct LiveSession {
+    session: Session,
+    tail: Vec<Event>,
+    snaps: u64,
+}
+
+/// A tenant as its owning shard sees it.
+struct TenantState {
+    procedures: Vec<Procedure>,
+    live: Option<LiveSession>,
+    cold: Option<ColdState>,
+    crash_attempts: u32,
+}
+
+struct Shard {
+    index: u32,
+    mailbox: Vec<ShardMsg>,
+    sessions: BTreeMap<String, TenantState>,
+    faults: Option<FaultPlan>,
+    notes: Vec<Note>,
+    frames_total: u64,
+    events_total: u64,
+}
+
+#[derive(Default)]
+struct Tally {
+    opened: u64,
+    evicted: u64,
+    resumed: u64,
+    replayed_events: u64,
+    rejected: u64,
+    restarts: u64,
+    pumps: u64,
+}
+
+/// The serving front-end: see the module docs for the architecture.
+pub struct SessionManager<O: Observer = NullObserver> {
+    cfg: ServeConfig,
+    obs: O,
+    guard: ServeGuard,
+    ring: Vec<(u64, u32)>,
+    shards: Vec<Shard>,
+    tenants: BTreeMap<String, TenantControl>,
+    clock: u64,
+    live_count: u64,
+    global_queued_bytes: u64,
+    hello_done: bool,
+    tally: Tally,
+    outcomes: Vec<TenantOutcome>,
+}
+
+impl SessionManager<NullObserver> {
+    /// A manager with no observer attached.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeConfigError`] for a degenerate configuration.
+    pub fn new(cfg: ServeConfig) -> Result<Self, ServeConfigError> {
+        SessionManager::with_observer(cfg, NullObserver)
+    }
+}
+
+impl<O: Observer> SessionManager<O> {
+    /// A manager emitting serve telemetry into `obs`.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeConfigError`] for a degenerate configuration.
+    pub fn with_observer(cfg: ServeConfig, obs: O) -> Result<Self, ServeConfigError> {
+        if cfg.shards == 0 {
+            return Err(ServeConfigError::ZeroShards);
+        }
+        if cfg.workers == 0 {
+            return Err(ServeConfigError::ZeroWorkers);
+        }
+        let mut ring = Vec::with_capacity((cfg.shards * VNODES_PER_SHARD) as usize);
+        for s in 0..cfg.shards {
+            for v in 0..VNODES_PER_SHARD {
+                let point = tenant_key(&format!("shard-{s}-vnode-{v}"));
+                ring.push((point, s));
+            }
+        }
+        ring.sort_unstable();
+        let shards = (0..cfg.shards)
+            .map(|index| Shard {
+                index,
+                mailbox: Vec::new(),
+                sessions: BTreeMap::new(),
+                faults: cfg
+                    .chaos
+                    .map(|(seed, max)| FaultPlan::crashy(seed.wrapping_add(u64::from(index)), max)),
+                notes: Vec::new(),
+                frames_total: 0,
+                events_total: 0,
+            })
+            .collect();
+        let guard = ServeGuard::new(cfg.budgets);
+        Ok(SessionManager {
+            cfg,
+            obs,
+            guard,
+            ring,
+            shards,
+            tenants: BTreeMap::new(),
+            clock: 0,
+            live_count: 0,
+            global_queued_bytes: 0,
+            hello_done: false,
+            tally: Tally::default(),
+            outcomes: Vec::new(),
+        })
+    }
+
+    /// The observer, for reading recorded metrics back.
+    pub fn observer(&self) -> &O {
+        &self.obs
+    }
+
+    /// Consumes the manager and returns its observer.
+    pub fn into_observer(self) -> O {
+        self.obs
+    }
+
+    /// Which shard a tenant lands on (first ring point at or after the
+    /// tenant's key, wrapping).
+    #[must_use]
+    pub fn shard_for(&self, key: u64) -> u32 {
+        let i = self.ring.partition_point(|&(point, _)| point < key);
+        self.ring[i % self.ring.len()].1
+    }
+
+    /// Handles one client frame on the control plane, returning the
+    /// immediate responses. Pending chunk work is only enqueued here;
+    /// call [`SessionManager::pump`] to execute it.
+    pub fn handle(&mut self, frame: Frame) -> Vec<Frame> {
+        self.clock += 1;
+        match frame {
+            Frame::Hello { .. } => {
+                // Version validity is enforced at decode time.
+                self.hello_done = true;
+                vec![Frame::HelloAck {
+                    version: WIRE_VERSION,
+                }]
+            }
+            _ if !self.hello_done => self.reject("handshake required"),
+            Frame::OpenSession { tenant, procedures } => self.open_session(tenant, procedures),
+            Frame::TraceChunk { tenant, events } => self.trace_chunk(tenant, events),
+            Frame::Flush { tenant } => self.flush(tenant),
+            Frame::Evict { tenant } => self.evict(&tenant),
+            Frame::Resume { tenant } => self.resume(tenant),
+            Frame::HelloAck { .. }
+            | Frame::Report { .. }
+            | Frame::Busy { .. }
+            | Frame::Shed { .. }
+            | Frame::Reject { .. } => self.reject("server-to-client frame from client"),
+        }
+    }
+
+    fn reject(&mut self, reason: &str) -> Vec<Frame> {
+        self.tally.rejected += 1;
+        vec![Frame::Reject {
+            reason: reason.to_string(),
+        }]
+    }
+
+    /// Makes room for one more live session. Returns `Err(response)`
+    /// when the caller must answer `Busy` instead.
+    fn admit_live(&mut self, tenant: &str, key: u64, shard: u32) -> Result<(), Vec<Frame>> {
+        while let Some(trip) = self.guard.session_over_budget(self.live_count) {
+            if self.cfg.evict_on_pressure && self.evict_lru(tenant) {
+                continue;
+            }
+            self.guard.count_busy();
+            if O::ENABLED {
+                self.obs.serve_busy(&tev::ServeBusy {
+                    tenant: key,
+                    shard,
+                    budget: trip.budget,
+                    observed: trip.observed,
+                });
+            }
+            return Err(vec![Frame::Busy {
+                tenant: tenant.to_string(),
+                budget: trip.budget,
+                observed: trip.observed,
+            }]);
+        }
+        Ok(())
+    }
+
+    /// Hibernates the least-recently-used live tenant (excluding
+    /// `exclude`); `false` when no victim exists.
+    fn evict_lru(&mut self, exclude: &str) -> bool {
+        let victim = self
+            .tenants
+            .iter()
+            .filter(|(name, c)| c.live && !c.finished && name.as_str() != exclude)
+            .min_by_key(|(name, c)| (c.last_used, *name))
+            .map(|(name, _)| name.clone());
+        let Some(name) = victim else {
+            return false;
+        };
+        self.evict_known(&name);
+        true
+    }
+
+    /// Marks a live tenant cold and tells its shard to snapshot it.
+    fn evict_known(&mut self, name: &str) {
+        let ctrl = self.tenants.get_mut(name).expect("victim exists");
+        ctrl.live = false;
+        self.live_count -= 1;
+        self.shards[ctrl.shard as usize]
+            .mailbox
+            .push(ShardMsg::Evict {
+                tenant: name.to_string(),
+            });
+    }
+
+    fn open_session(&mut self, tenant: String, procedures: Vec<Procedure>) -> Vec<Frame> {
+        if self.tenants.contains_key(&tenant) {
+            return self.reject("tenant already open");
+        }
+        let key = tenant_key(&tenant);
+        let shard = self.shard_for(key);
+        if let Err(busy) = self.admit_live(&tenant, key, shard) {
+            return busy;
+        }
+        self.tenants.insert(
+            tenant.clone(),
+            TenantControl {
+                shard,
+                key,
+                live: true,
+                finished: false,
+                queued_chunks: 0,
+                last_used: self.clock,
+            },
+        );
+        self.live_count += 1;
+        self.tally.opened += 1;
+        if O::ENABLED {
+            self.obs
+                .serve_session_opened(&tev::ServeSessionOpened { tenant: key, shard });
+        }
+        self.shards[shard as usize]
+            .mailbox
+            .push(ShardMsg::Open { tenant, procedures });
+        Vec::new()
+    }
+
+    fn trace_chunk(&mut self, tenant: String, events: Vec<Event>) -> Vec<Frame> {
+        let Some(ctrl) = self.tenants.get(&tenant) else {
+            return self.reject("unknown tenant");
+        };
+        if ctrl.finished {
+            return self.reject("tenant already flushed");
+        }
+        let (key, shard, was_live) = (ctrl.key, ctrl.shard, ctrl.live);
+        if !was_live {
+            // Feeding a hibernated tenant reopens it: the shard will
+            // rehydrate on pump, so it re-counts against the live cap.
+            if let Err(busy) = self.admit_live(&tenant, key, shard) {
+                return busy;
+            }
+        }
+        let cost = chunk_cost(&events);
+        let queued = self.tenants[&tenant].queued_chunks;
+        if let Err(trip) = self
+            .guard
+            .admit_chunk(queued + 1, self.global_queued_bytes + cost)
+        {
+            if O::ENABLED {
+                self.obs.serve_shed(&tev::ServeShed {
+                    tenant: key,
+                    shard,
+                    kind: trip.kind,
+                    budget: trip.budget,
+                    observed: trip.observed,
+                });
+            }
+            return vec![Frame::Shed {
+                tenant,
+                kind: trip.kind,
+                budget: trip.budget,
+                observed: trip.observed,
+            }];
+        }
+        let ctrl = self.tenants.get_mut(&tenant).expect("checked above");
+        if !was_live {
+            ctrl.live = true;
+            self.live_count += 1;
+        }
+        ctrl.queued_chunks += 1;
+        ctrl.last_used = self.clock;
+        self.global_queued_bytes += cost;
+        self.shards[shard as usize]
+            .mailbox
+            .push(ShardMsg::Chunk { tenant, events });
+        Vec::new()
+    }
+
+    fn flush(&mut self, tenant: String) -> Vec<Frame> {
+        let Some(ctrl) = self.tenants.get_mut(&tenant) else {
+            return self.reject("unknown tenant");
+        };
+        if ctrl.finished {
+            return self.reject("tenant already flushed");
+        }
+        ctrl.finished = true;
+        ctrl.last_used = self.clock;
+        if ctrl.live {
+            ctrl.live = false;
+            self.live_count -= 1;
+        }
+        let shard = ctrl.shard;
+        self.shards[shard as usize]
+            .mailbox
+            .push(ShardMsg::Flush { tenant });
+        Vec::new()
+    }
+
+    fn evict(&mut self, tenant: &str) -> Vec<Frame> {
+        let Some(ctrl) = self.tenants.get(tenant) else {
+            return self.reject("unknown tenant");
+        };
+        if ctrl.finished {
+            return self.reject("tenant already flushed");
+        }
+        if !ctrl.live {
+            return Vec::new(); // idempotent
+        }
+        self.evict_known(tenant);
+        Vec::new()
+    }
+
+    fn resume(&mut self, tenant: String) -> Vec<Frame> {
+        let Some(ctrl) = self.tenants.get(&tenant) else {
+            return self.reject("unknown tenant");
+        };
+        if ctrl.finished {
+            return self.reject("tenant already flushed");
+        }
+        if ctrl.live {
+            return Vec::new(); // idempotent
+        }
+        let (key, shard) = (ctrl.key, ctrl.shard);
+        if let Err(busy) = self.admit_live(&tenant, key, shard) {
+            return busy;
+        }
+        let ctrl = self.tenants.get_mut(&tenant).expect("checked above");
+        ctrl.live = true;
+        ctrl.last_used = self.clock;
+        self.live_count += 1;
+        self.shards[shard as usize]
+            .mailbox
+            .push(ShardMsg::Resume { tenant });
+        Vec::new()
+    }
+
+    /// Drains every shard mailbox (shards in parallel, each shard in
+    /// order), replays the workers' notes through the observer in
+    /// shard order, and returns the response frames produced
+    /// (tenant [`Frame::Report`]s).
+    pub fn pump(&mut self) -> Vec<Frame> {
+        self.tally.pumps += 1;
+        let optimizer = self.cfg.optimizer.clone();
+        let mode = self.cfg.mode;
+        parallel_for_each_mut(&mut self.shards, self.cfg.workers, |shard| {
+            shard.pump(&optimizer, mode);
+        });
+        let mut responses = Vec::new();
+        let noted: Vec<(u32, Vec<Note>)> = self
+            .shards
+            .iter_mut()
+            .map(|s| (s.index, std::mem::take(&mut s.notes)))
+            .collect();
+        for (shard, notes) in noted {
+            for note in notes {
+                match note {
+                    Note::Evicted {
+                        key,
+                        snapshot_bytes,
+                        tail_events,
+                    } => {
+                        self.tally.evicted += 1;
+                        if O::ENABLED {
+                            self.obs.serve_session_evicted(&tev::ServeSessionEvicted {
+                                tenant: key,
+                                shard,
+                                snapshot_bytes,
+                                tail_events,
+                            });
+                        }
+                    }
+                    Note::Resumed { key, replayed } => {
+                        self.tally.resumed += 1;
+                        self.tally.replayed_events += replayed;
+                        if O::ENABLED {
+                            self.obs.serve_session_resumed(&tev::ServeSessionResumed {
+                                tenant: key,
+                                shard,
+                                replayed_events: replayed,
+                            });
+                        }
+                    }
+                    Note::Restarted {
+                        attempt,
+                        resumed_at,
+                    } => {
+                        self.tally.restarts += 1;
+                        if O::ENABLED {
+                            self.obs.recovery_restart(&tev::RecoveryRestart {
+                                attempt,
+                                resumed_at_event: resumed_at,
+                                backoff_cycles: 0,
+                            });
+                        }
+                    }
+                    Note::Pumped {
+                        queued,
+                        frames,
+                        events,
+                    } => {
+                        if O::ENABLED {
+                            self.obs.serve_shard_pump(&tev::ServeShardPump {
+                                shard,
+                                queued,
+                                frames,
+                                events,
+                            });
+                        }
+                    }
+                    Note::Report {
+                        tenant,
+                        report,
+                        digest,
+                    } => {
+                        responses.push(Frame::Report {
+                            tenant: tenant.clone(),
+                            report_json: serde_json::to_string(&*report).unwrap_or_default(),
+                            image_digest: digest,
+                        });
+                        self.outcomes.push(TenantOutcome {
+                            tenant,
+                            report: *report,
+                            image_digest: digest,
+                        });
+                    }
+                }
+            }
+        }
+        // Everything enqueued was drained; reset queue accounting.
+        for ctrl in self.tenants.values_mut() {
+            ctrl.queued_chunks = 0;
+        }
+        self.global_queued_bytes = 0;
+        responses
+    }
+
+    /// The aggregated serving report. Every counter reconciles exactly
+    /// with the telemetry emitted so far (see
+    /// [`ServeReport::reconciles`]).
+    #[must_use]
+    pub fn report(&self) -> ServeReport {
+        ServeReport {
+            shards: self.cfg.shards,
+            opened: self.tally.opened,
+            evicted: self.tally.evicted,
+            resumed: self.tally.resumed,
+            replayed_events: self.tally.replayed_events,
+            busy: self.guard.busy(),
+            shed: [
+                self.guard.shed(ServeBudgetKind::LiveSessions),
+                self.guard.shed(ServeBudgetKind::TenantQueue),
+                self.guard.shed(ServeBudgetKind::GlobalBytes),
+            ],
+            rejected: self.tally.rejected,
+            restarts: self.tally.restarts,
+            pumps: self.tally.pumps,
+            frames: self.shards.iter().map(|s| s.frames_total).sum(),
+            events: self.shards.iter().map(|s| s.events_total).sum(),
+            per_shard: self
+                .shards
+                .iter()
+                .map(|s| ShardStats {
+                    shard: s.index,
+                    frames: s.frames_total,
+                    events: s.events_total,
+                })
+                .collect(),
+            outcomes: self.outcomes.clone(),
+        }
+    }
+}
+
+fn build_session(
+    optimizer: &OptimizerConfig,
+    mode: RunMode,
+    procedures: Vec<Procedure>,
+) -> Session {
+    SessionBuilder::new(optimizer.clone())
+        .procedures(procedures)
+        .checkpoints()
+        .mode(mode)
+        .build()
+}
+
+/// Feeds one event with the replay-tail bookkeeping: an event absorbed
+/// into a fresh phase-boundary snapshot clears the tail (the snapshot
+/// now covers it); otherwise it joins the tail.
+fn feed(live: &mut LiveSession, event: Event) {
+    live.session.on_event(event);
+    let snaps = live.session.snapshots_taken();
+    if snaps > live.snaps {
+        live.snaps = snaps;
+        live.tail.clear();
+    } else {
+        live.tail.push(event);
+    }
+}
+
+/// Moves a live session to cold storage; returns `(snapshot_bytes,
+/// tail_events)` or `None` when the tenant was already cold.
+fn hibernate(state: &mut TenantState) -> Option<(u64, u64)> {
+    let mut live = state.live.take()?;
+    let snapshot = live.session.take_latest_snapshot();
+    let bytes = snapshot.as_ref().map_or(0, |s| s.len() as u64);
+    let tail_events = live.tail.len() as u64;
+    state.cold = Some(ColdState {
+        snapshot,
+        tail: live.tail,
+    });
+    Some((bytes, tail_events))
+}
+
+/// Rehydrates a cold tenant: resume from the snapshot (or rebuild
+/// fresh when none was ever taken) and replay the journaled tail.
+/// Appends a `Resumed` note. No-op when the tenant is already live.
+fn ensure_live(
+    state: &mut TenantState,
+    optimizer: &OptimizerConfig,
+    mode: RunMode,
+    notes: &mut Vec<Note>,
+    key: u64,
+) {
+    if state.live.is_some() {
+        return;
+    }
+    let cold = state.cold.take().unwrap_or(ColdState {
+        snapshot: None,
+        tail: Vec::new(),
+    });
+    let session = match cold.snapshot {
+        Some(snap) => SessionBuilder::new(optimizer.clone())
+            .procedures(state.procedures.clone())
+            .checkpoints()
+            .mode(mode)
+            .resume(&snap)
+            // A snapshot this manager captured always resumes (same
+            // config, mode, procedures); degrade to a fresh build
+            // rather than panicking if it somehow does not.
+            .unwrap_or_else(|_| build_session(optimizer, mode, state.procedures.clone())),
+        None => build_session(optimizer, mode, state.procedures.clone()),
+    };
+    let mut live = LiveSession {
+        snaps: session.snapshots_taken(),
+        session,
+        tail: Vec::new(),
+    };
+    let replayed = cold.tail.len() as u64;
+    for event in cold.tail {
+        feed(&mut live, event);
+    }
+    state.live = Some(live);
+    notes.push(Note::Resumed { key, replayed });
+}
+
+impl Shard {
+    fn pump(&mut self, optimizer: &OptimizerConfig, mode: RunMode) {
+        let msgs = std::mem::take(&mut self.mailbox);
+        let queued = msgs.len() as u64;
+        let mut frames = 0u64;
+        let mut events_n = 0u64;
+        for msg in msgs {
+            match msg {
+                ShardMsg::Open { tenant, procedures } => {
+                    let session = build_session(optimizer, mode, procedures.clone());
+                    self.sessions.insert(
+                        tenant,
+                        TenantState {
+                            procedures,
+                            live: Some(LiveSession {
+                                snaps: session.snapshots_taken(),
+                                session,
+                                tail: Vec::new(),
+                            }),
+                            cold: None,
+                            crash_attempts: 0,
+                        },
+                    );
+                }
+                ShardMsg::Chunk { tenant, events } => {
+                    frames += 1;
+                    events_n += events.len() as u64;
+                    let killed = self
+                        .faults
+                        .as_mut()
+                        .is_some_and(|f| f.crash(CrashPoint::MidFrame));
+                    let key = tenant_key(&tenant);
+                    let Some(state) = self.sessions.get_mut(&tenant) else {
+                        continue;
+                    };
+                    if killed {
+                        // The shard process dies mid-chunk. The live
+                        // session is lost; the persisted snapshot and
+                        // the journaled tail survive, so the restarted
+                        // shard replays the tenant and re-feeds the
+                        // chunk deterministically.
+                        hibernate(state);
+                        state.crash_attempts += 1;
+                        ensure_live(state, optimizer, mode, &mut self.notes, key);
+                        let live = state.live.as_ref().expect("just rehydrated");
+                        self.notes.push(Note::Restarted {
+                            attempt: state.crash_attempts,
+                            resumed_at: live.session.events_consumed(),
+                        });
+                    } else {
+                        ensure_live(state, optimizer, mode, &mut self.notes, key);
+                    }
+                    let live = state.live.as_mut().expect("live after rehydration");
+                    for event in events {
+                        feed(live, event);
+                    }
+                }
+                ShardMsg::Flush { tenant } => {
+                    if let Some(mut state) = self.sessions.remove(&tenant) {
+                        let key = tenant_key(&tenant);
+                        ensure_live(&mut state, optimizer, mode, &mut self.notes, key);
+                        let live = state.live.take().expect("live after rehydration");
+                        let digest = live.session.image_digest();
+                        let report = live.session.finish(&tenant);
+                        self.notes.push(Note::Report {
+                            tenant,
+                            report: Box::new(report),
+                            digest,
+                        });
+                    }
+                }
+                ShardMsg::Evict { tenant } => {
+                    let key = tenant_key(&tenant);
+                    if let Some(state) = self.sessions.get_mut(&tenant) {
+                        if let Some((snapshot_bytes, tail_events)) = hibernate(state) {
+                            self.notes.push(Note::Evicted {
+                                key,
+                                snapshot_bytes,
+                                tail_events,
+                            });
+                        }
+                    }
+                }
+                ShardMsg::Resume { tenant } => {
+                    let key = tenant_key(&tenant);
+                    if let Some(state) = self.sessions.get_mut(&tenant) {
+                        ensure_live(state, optimizer, mode, &mut self.notes, key);
+                    }
+                }
+            }
+        }
+        self.frames_total += frames;
+        self.events_total += events_n;
+        self.notes.push(Note::Pumped {
+            queued,
+            frames,
+            events: events_n,
+        });
+    }
+}

@@ -1,0 +1,134 @@
+//! The aggregated serving report and its exact telemetry
+//! reconciliation.
+
+use hds_core::RunReport;
+use hds_telemetry::events::ServeBudgetKind;
+use hds_telemetry::MetricsRecorder;
+use serde::Serialize;
+
+/// Per-shard pump totals.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+pub struct ShardStats {
+    /// Shard index.
+    pub shard: u32,
+    /// Trace chunks this shard processed.
+    pub frames: u64,
+    /// Events this shard fed into sessions.
+    pub events: u64,
+}
+
+/// A flushed tenant's final results.
+#[derive(Clone, Debug, PartialEq, Serialize)]
+pub struct TenantOutcome {
+    /// Tenant identifier.
+    pub tenant: String,
+    /// The tenant's run report, bit-identical to a standalone
+    /// checkpointed `SessionBuilder` run over the same events.
+    pub report: RunReport,
+    /// `Session::image_digest()` at flush time.
+    pub image_digest: u64,
+}
+
+/// Everything the serving front-end did, aggregated. Every counter
+/// reconciles exactly with the telemetry the manager emitted; see
+/// [`ServeReport::reconciles`].
+#[derive(Clone, Debug, PartialEq, Serialize)]
+pub struct ServeReport {
+    /// Configured shard count.
+    pub shards: u32,
+    /// Sessions opened.
+    pub opened: u64,
+    /// Sessions hibernated (LRU pressure or explicit `Evict`).
+    pub evicted: u64,
+    /// Sessions rehydrated.
+    pub resumed: u64,
+    /// Journaled tail events replayed across all rehydrations.
+    pub replayed_events: u64,
+    /// `Busy` responses (live-session cap with eviction disabled or no
+    /// victim available).
+    pub busy: u64,
+    /// Chunks shed, indexed by [`ServeBudgetKind`] declaration order.
+    pub shed: [u64; 3],
+    /// Protocol violations answered with `Reject`.
+    pub rejected: u64,
+    /// Mid-frame crash recoveries (chaos mode only).
+    pub restarts: u64,
+    /// How many times the mailboxes were pumped.
+    pub pumps: u64,
+    /// Trace chunks processed.
+    pub frames: u64,
+    /// Events fed into sessions.
+    pub events: u64,
+    /// Per-shard breakdown of `frames`/`events`.
+    pub per_shard: Vec<ShardStats>,
+    /// Final results of every flushed tenant, in flush order.
+    pub outcomes: Vec<TenantOutcome>,
+}
+
+impl ServeReport {
+    /// Chunks shed by one budget.
+    #[must_use]
+    pub fn shed_by(&self, kind: ServeBudgetKind) -> u64 {
+        self.shed[match kind {
+            ServeBudgetKind::LiveSessions => 0,
+            ServeBudgetKind::TenantQueue => 1,
+            ServeBudgetKind::GlobalBytes => 2,
+        }]
+    }
+
+    /// Total chunks shed across all budgets.
+    #[must_use]
+    pub fn shed_total(&self) -> u64 {
+        self.shed.iter().sum()
+    }
+
+    /// Exact reconciliation against a [`MetricsRecorder`] that
+    /// observed the same manager: every serve counter the recorder
+    /// accumulated must equal this report's, or the name of the first
+    /// divergent counter is returned.
+    ///
+    /// # Errors
+    ///
+    /// The name of the first counter that does not reconcile.
+    pub fn reconciles(&self, rec: &MetricsRecorder) -> Result<(), &'static str> {
+        if rec.serve_sessions_opened() != self.opened {
+            return Err("opened");
+        }
+        if rec.serve_sessions_evicted() != self.evicted {
+            return Err("evicted");
+        }
+        if rec.serve_sessions_resumed() != self.resumed {
+            return Err("resumed");
+        }
+        if rec.serve_replayed_events() != self.replayed_events {
+            return Err("replayed_events");
+        }
+        if rec.serve_busy_total() != self.busy {
+            return Err("busy");
+        }
+        for kind in ServeBudgetKind::ALL {
+            if rec.serve_shed_by(kind) != self.shed_by(kind) {
+                return Err("shed");
+            }
+        }
+        if rec.recovery_restarts() != self.restarts {
+            return Err("restarts");
+        }
+        // The queue-depth histogram sees one sample per shard per
+        // pump; its sample count ties the pump loop to telemetry.
+        if rec.serve_queue_depth().count() != self.pumps * u64::from(self.shards) {
+            return Err("queue_depth_samples");
+        }
+        for stats in &self.per_shard {
+            let (frames, events) = rec
+                .serve_per_shard()
+                .get(&stats.shard)
+                .copied()
+                .unwrap_or((0, 0));
+            if frames != stats.frames || events != stats.events {
+                return Err("per_shard");
+            }
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,239 @@
+//! Frame transports: how `HDSW` frames move between a client and the
+//! serving front-end.
+//!
+//! The [`Transport`] trait abstracts the byte pipe; everything above it
+//! (the [`SessionManager`](crate::SessionManager), the serve loop) is
+//! transport-agnostic. Two implementations ship:
+//!
+//! * [`loopback`] — an in-process pair backed by shared byte queues.
+//!   The default for tests and benches: deterministic, no sockets, and
+//!   it still exercises the full encode → reassemble → decode path.
+//! * `TcpTransport` (behind the `net` feature) — blocking `std::net`
+//!   TCP, one frame stream per connection. No external dependencies.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+use bytes::BytesMut;
+
+use crate::wire::{decode_stream, Frame, FrameError};
+
+/// Errors moving frames over a transport.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TransportError {
+    /// The peer closed the connection mid-frame.
+    Closed,
+    /// The byte stream did not parse as a frame.
+    Frame(FrameError),
+    /// An I/O error from the underlying pipe (TCP only).
+    Io(String),
+}
+
+impl std::fmt::Display for TransportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransportError::Closed => f.write_str("transport closed"),
+            TransportError::Frame(e) => write!(f, "frame error: {e}"),
+            TransportError::Io(e) => write!(f, "transport i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+impl From<FrameError> for TransportError {
+    fn from(e: FrameError) -> Self {
+        TransportError::Frame(e)
+    }
+}
+
+/// A bidirectional frame pipe.
+pub trait Transport {
+    /// Sends one frame.
+    ///
+    /// # Errors
+    ///
+    /// [`TransportError::Closed`] / [`TransportError::Io`] when the
+    /// pipe is gone.
+    fn send(&mut self, frame: &Frame) -> Result<(), TransportError>;
+
+    /// Receives the next frame. `Ok(None)` means the stream ended
+    /// cleanly (loopback: queue empty; TCP: orderly shutdown between
+    /// frames).
+    ///
+    /// # Errors
+    ///
+    /// [`TransportError::Frame`] for malformed bytes,
+    /// [`TransportError::Closed`] for a tear mid-frame.
+    fn recv(&mut self) -> Result<Option<Frame>, TransportError>;
+}
+
+/// Shared byte queue between the two ends of a loopback pair.
+type Pipe = Arc<Mutex<VecDeque<u8>>>;
+
+/// One end of an in-process transport pair.
+pub struct LoopbackTransport {
+    out: Pipe,
+    inbox: Pipe,
+    reassembly: BytesMut,
+}
+
+/// Creates a connected in-process pair: frames sent on one end are
+/// received on the other, byte-serialized through the real wire codec.
+#[must_use]
+pub fn loopback() -> (LoopbackTransport, LoopbackTransport) {
+    let a_to_b: Pipe = Arc::new(Mutex::new(VecDeque::new()));
+    let b_to_a: Pipe = Arc::new(Mutex::new(VecDeque::new()));
+    (
+        LoopbackTransport {
+            out: Arc::clone(&a_to_b),
+            inbox: Arc::clone(&b_to_a),
+            reassembly: BytesMut::new(),
+        },
+        LoopbackTransport {
+            out: b_to_a,
+            inbox: a_to_b,
+            reassembly: BytesMut::new(),
+        },
+    )
+}
+
+impl Transport for LoopbackTransport {
+    fn send(&mut self, frame: &Frame) -> Result<(), TransportError> {
+        let blob = frame.encode();
+        self.out
+            .lock()
+            .map_err(|_| TransportError::Closed)?
+            .extend(blob.iter().copied());
+        Ok(())
+    }
+
+    fn recv(&mut self) -> Result<Option<Frame>, TransportError> {
+        {
+            let mut inbox = self.inbox.lock().map_err(|_| TransportError::Closed)?;
+            if !inbox.is_empty() {
+                let drained: Vec<u8> = inbox.drain(..).collect();
+                self.reassembly.extend_from_slice(&drained);
+            }
+        }
+        Ok(decode_stream(&mut self.reassembly)?)
+    }
+}
+
+/// Blocking TCP transport over `std::net` (feature `net`).
+#[cfg(feature = "net")]
+pub mod tcp {
+    use std::io::{Read, Write};
+    use std::net::TcpStream;
+
+    use bytes::BytesMut;
+
+    use super::{Transport, TransportError};
+    use crate::wire::{decode_stream, Frame};
+
+    /// One `HDSW` frame stream over a TCP connection.
+    pub struct TcpTransport {
+        stream: TcpStream,
+        reassembly: BytesMut,
+    }
+
+    impl TcpTransport {
+        /// Wraps an accepted or connected stream.
+        #[must_use]
+        pub fn new(stream: TcpStream) -> Self {
+            TcpTransport {
+                stream,
+                reassembly: BytesMut::new(),
+            }
+        }
+
+        /// Connects to a listening server.
+        ///
+        /// # Errors
+        ///
+        /// [`TransportError::Io`] when the connection fails.
+        pub fn connect(addr: impl std::net::ToSocketAddrs) -> Result<Self, TransportError> {
+            let stream = TcpStream::connect(addr).map_err(|e| TransportError::Io(e.to_string()))?;
+            Ok(TcpTransport::new(stream))
+        }
+
+        /// Half-closes the write side so the peer's `recv` sees a clean
+        /// end of stream after draining buffered frames.
+        ///
+        /// # Errors
+        ///
+        /// [`TransportError::Io`] when the shutdown fails.
+        pub fn finish_sending(&mut self) -> Result<(), TransportError> {
+            self.stream
+                .shutdown(std::net::Shutdown::Write)
+                .map_err(|e| TransportError::Io(e.to_string()))
+        }
+    }
+
+    impl Transport for TcpTransport {
+        fn send(&mut self, frame: &Frame) -> Result<(), TransportError> {
+            let blob = frame.encode();
+            self.stream
+                .write_all(&blob)
+                .map_err(|e| TransportError::Io(e.to_string()))
+        }
+
+        fn recv(&mut self) -> Result<Option<Frame>, TransportError> {
+            loop {
+                if let Some(frame) = decode_stream(&mut self.reassembly)? {
+                    return Ok(Some(frame));
+                }
+                let mut chunk = [0u8; 4096];
+                let n = self
+                    .stream
+                    .read(&mut chunk)
+                    .map_err(|e| TransportError::Io(e.to_string()))?;
+                if n == 0 {
+                    // Orderly shutdown: clean only between frames.
+                    if self.reassembly.is_empty() {
+                        return Ok(None);
+                    }
+                    return Err(TransportError::Closed);
+                }
+                self.reassembly.extend_from_slice(&chunk[..n]);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::WIRE_VERSION;
+
+    #[test]
+    fn loopback_round_trips_frames_in_order() {
+        let (mut client, mut server) = loopback();
+        let frames = vec![
+            Frame::Hello {
+                version: WIRE_VERSION,
+            },
+            Frame::Flush {
+                tenant: "alpha".into(),
+            },
+        ];
+        for f in &frames {
+            client.send(f).unwrap();
+        }
+        assert_eq!(server.recv().unwrap(), Some(frames[0].clone()));
+        assert_eq!(server.recv().unwrap(), Some(frames[1].clone()));
+        assert_eq!(server.recv().unwrap(), None);
+        // And the reverse direction.
+        server
+            .send(&Frame::HelloAck {
+                version: WIRE_VERSION,
+            })
+            .unwrap();
+        assert_eq!(
+            client.recv().unwrap(),
+            Some(Frame::HelloAck {
+                version: WIRE_VERSION
+            })
+        );
+    }
+}

@@ -1,0 +1,756 @@
+//! The `HDSW` wire protocol: length-prefixed binary frames carrying
+//! tenant trace streams to the serving front-end and reports back.
+//!
+//! Layout of every frame:
+//!
+//! ```text
+//! body length u32 LE | kind u8 | kind-specific fields
+//! ```
+//!
+//! The handshake frame additionally embeds the `HDSW` magic and a
+//! protocol version so a server can reject foreign or future clients
+//! with a typed error instead of misparsing their stream. Strings are
+//! varint-length-prefixed UTF-8; integers are LEB128 varints; trace
+//! events reuse the exact zigzag-delta primitives of the `HDSP`
+//! profile codec ([`hds_trace::codec`]), with the delta predictor
+//! reset at every chunk so chunks stay independently decodable.
+//!
+//! Decoding is total: any byte sequence produces either a [`Frame`] or
+//! a [`FrameError`], never a panic — property-tested in
+//! `tests/wire.rs` against truncation and single-byte corruption.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use hds_trace::codec::{get_varint, put_varint, unzigzag, zigzag, CodecError};
+use hds_trace::{AccessKind, Addr, DataRef, Pc};
+use hds_vulcan::{Event, ProcId, Procedure};
+
+/// Magic bytes inside the `Hello` frame.
+pub const MAGIC: &[u8; 4] = b"HDSW";
+/// Current protocol version.
+pub const WIRE_VERSION: u8 = 1;
+/// Upper bound on a frame body; larger length prefixes are rejected
+/// before any allocation so a corrupt prefix cannot balloon memory.
+pub const MAX_FRAME_BYTES: u32 = 1 << 26;
+
+// Frame kind tags. Client→server kinds sit below 0x80, server→client
+// kinds at or above it; the split is cosmetic (both directions decode
+// with the same function) but makes hex dumps readable.
+const K_HELLO: u8 = 0x01;
+const K_OPEN: u8 = 0x02;
+const K_CHUNK: u8 = 0x03;
+const K_FLUSH: u8 = 0x04;
+const K_EVICT: u8 = 0x05;
+const K_RESUME: u8 = 0x06;
+const K_HELLO_ACK: u8 = 0x81;
+const K_REPORT: u8 = 0x82;
+const K_BUSY: u8 = 0x83;
+const K_SHED: u8 = 0x84;
+const K_REJECT: u8 = 0x85;
+
+// Event tags inside a TraceChunk payload.
+const E_ENTER: u8 = 0;
+const E_BACK_EDGE: u8 = 1;
+const E_EXIT: u8 = 2;
+const E_WORK: u8 = 3;
+const E_ACCESS: u8 = 4;
+const E_PREFETCH: u8 = 5;
+const E_THREAD: u8 = 6;
+
+/// Which admission budget shed a chunk (mirrors
+/// [`hds_telemetry::events::ServeBudgetKind`] on the wire as one byte).
+const B_LIVE: u8 = 0;
+const B_QUEUE: u8 = 1;
+const B_BYTES: u8 = 2;
+
+/// Errors from [`Frame::decode`]. Every malformed input maps to one of
+/// these; decoding never panics.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FrameError {
+    /// The stream ended in the middle of a frame.
+    Truncated,
+    /// The length prefix exceeds [`MAX_FRAME_BYTES`].
+    Oversized(
+        /// The declared body length.
+        u32,
+    ),
+    /// A `Hello` frame without the `HDSW` magic.
+    BadMagic,
+    /// The peer speaks a protocol version this library does not.
+    UnsupportedVersion(
+        /// The version found in the frame.
+        u8,
+    ),
+    /// An unknown frame kind tag.
+    UnknownKind(
+        /// The tag found in the frame.
+        u8,
+    ),
+    /// A varint ran past its maximum width.
+    Overlong,
+    /// A length-prefixed string was not valid UTF-8.
+    BadUtf8,
+    /// A structurally invalid payload (bad event tag, trailing bytes…).
+    BadPayload(
+        /// What was wrong.
+        &'static str,
+    ),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Truncated => f.write_str("frame truncated"),
+            FrameError::Oversized(n) => write!(f, "frame body of {n} bytes exceeds the cap"),
+            FrameError::BadMagic => f.write_str("hello frame without HDSW magic"),
+            FrameError::UnsupportedVersion(v) => write!(f, "unsupported wire version {v}"),
+            FrameError::UnknownKind(k) => write!(f, "unknown frame kind {k:#04x}"),
+            FrameError::Overlong => f.write_str("overlong varint in frame"),
+            FrameError::BadUtf8 => f.write_str("frame string is not valid UTF-8"),
+            FrameError::BadPayload(what) => write!(f, "bad frame payload: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<CodecError> for FrameError {
+    fn from(e: CodecError) -> Self {
+        match e {
+            CodecError::Truncated => FrameError::Truncated,
+            CodecError::Overlong => FrameError::Overlong,
+            // The profile codec's magic/version errors cannot surface
+            // from the varint helpers this module borrows.
+            CodecError::BadMagic => FrameError::BadMagic,
+            CodecError::UnsupportedVersion(v) => FrameError::UnsupportedVersion(v),
+        }
+    }
+}
+
+/// One protocol message, either direction.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Frame {
+    /// Client handshake: magic + version. Must be the first frame.
+    Hello {
+        /// The client's protocol version.
+        version: u8,
+    },
+    /// Registers a tenant and its simulated binary's procedures.
+    OpenSession {
+        /// Tenant identifier (any UTF-8 string).
+        tenant: String,
+        /// The procedures of the tenant's program image.
+        procedures: Vec<Procedure>,
+    },
+    /// A batch of trace events for an open tenant.
+    TraceChunk {
+        /// Tenant identifier.
+        tenant: String,
+        /// The events, in program order.
+        events: Vec<Event>,
+    },
+    /// Ends the tenant's stream; the server answers with [`Frame::Report`].
+    Flush {
+        /// Tenant identifier.
+        tenant: String,
+    },
+    /// Explicitly hibernates the tenant's session (snapshot + drop).
+    Evict {
+        /// Tenant identifier.
+        tenant: String,
+    },
+    /// Explicitly rehydrates an evicted tenant.
+    Resume {
+        /// Tenant identifier.
+        tenant: String,
+    },
+    /// Server handshake acknowledgement.
+    HelloAck {
+        /// The server's protocol version.
+        version: u8,
+    },
+    /// The tenant's final [`hds_core::RunReport`], serialized as JSON,
+    /// plus the code image digest for bit-identity checks.
+    Report {
+        /// Tenant identifier.
+        tenant: String,
+        /// `serde_json`-serialized `RunReport`.
+        report_json: String,
+        /// `Session::image_digest()` at flush time.
+        image_digest: u64,
+    },
+    /// The live-session cap is reached and eviction is disabled.
+    Busy {
+        /// Tenant identifier.
+        tenant: String,
+        /// The configured cap.
+        budget: u64,
+        /// The observed value that breached it.
+        observed: u64,
+    },
+    /// A chunk was dropped by admission control.
+    Shed {
+        /// Tenant identifier.
+        tenant: String,
+        /// Which budget shed it.
+        kind: hds_telemetry::events::ServeBudgetKind,
+        /// The configured cap.
+        budget: u64,
+        /// The prospective value that breached it.
+        observed: u64,
+    },
+    /// A protocol violation (no handshake, unknown tenant, …).
+    Reject {
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+fn put_string(out: &mut BytesMut, s: &str) {
+    put_varint(out, s.len() as u64);
+    out.put_slice(s.as_bytes());
+}
+
+fn get_string(buf: &mut Bytes) -> Result<String, FrameError> {
+    let len = usize::try_from(get_varint(buf)?).map_err(|_| FrameError::Oversized(u32::MAX))?;
+    if buf.remaining() < len {
+        return Err(FrameError::Truncated);
+    }
+    let raw = buf.copy_to_bytes(len);
+    String::from_utf8(raw.to_vec()).map_err(|_| FrameError::BadUtf8)
+}
+
+fn put_budget_kind(out: &mut BytesMut, kind: hds_telemetry::events::ServeBudgetKind) {
+    use hds_telemetry::events::ServeBudgetKind as K;
+    out.put_u8(match kind {
+        K::LiveSessions => B_LIVE,
+        K::TenantQueue => B_QUEUE,
+        K::GlobalBytes => B_BYTES,
+    });
+}
+
+fn get_budget_kind(buf: &mut Bytes) -> Result<hds_telemetry::events::ServeBudgetKind, FrameError> {
+    use hds_telemetry::events::ServeBudgetKind as K;
+    if !buf.has_remaining() {
+        return Err(FrameError::Truncated);
+    }
+    match buf.get_u8() {
+        B_LIVE => Ok(K::LiveSessions),
+        B_QUEUE => Ok(K::TenantQueue),
+        B_BYTES => Ok(K::GlobalBytes),
+        _ => Err(FrameError::BadPayload("unknown budget kind")),
+    }
+}
+
+fn put_events(out: &mut BytesMut, events: &[Event]) {
+    put_varint(out, events.len() as u64);
+    // Per-chunk delta predictor, exactly as the profile codec resets
+    // per burst: chunks decode independently of each other.
+    let mut prev_pc: i64 = 0;
+    let mut prev_addr: i64 = 0;
+    for e in events {
+        match *e {
+            Event::Enter(p) => {
+                out.put_u8(E_ENTER);
+                put_varint(out, u64::from(p.0));
+            }
+            Event::BackEdge(p) => {
+                out.put_u8(E_BACK_EDGE);
+                put_varint(out, u64::from(p.0));
+            }
+            Event::Exit(p) => {
+                out.put_u8(E_EXIT);
+                put_varint(out, u64::from(p.0));
+            }
+            Event::Work(n) => {
+                out.put_u8(E_WORK);
+                put_varint(out, u64::from(n));
+            }
+            Event::Access(r, kind) => {
+                out.put_u8(E_ACCESS);
+                out.put_u8(match kind {
+                    AccessKind::Load => 0,
+                    AccessKind::Store => 1,
+                });
+                let pc = i64::from(r.pc.0);
+                #[allow(clippy::cast_possible_wrap)]
+                let addr = r.addr.0 as i64;
+                put_varint(out, zigzag(pc.wrapping_sub(prev_pc)));
+                put_varint(out, zigzag(addr.wrapping_sub(prev_addr)));
+                prev_pc = pc;
+                prev_addr = addr;
+            }
+            Event::Prefetch(a) => {
+                out.put_u8(E_PREFETCH);
+                put_varint(out, a.0);
+            }
+            Event::Thread(t) => {
+                out.put_u8(E_THREAD);
+                put_varint(out, u64::from(t));
+            }
+        }
+    }
+}
+
+fn get_events(buf: &mut Bytes) -> Result<Vec<Event>, FrameError> {
+    let n = get_varint(buf)?;
+    // A chunk of n events needs at least n tag bytes; reject absurd
+    // counts before reserving anything.
+    if n > u64::from(MAX_FRAME_BYTES) {
+        return Err(FrameError::BadPayload("event count exceeds frame cap"));
+    }
+    #[allow(clippy::cast_possible_truncation)]
+    let mut events = Vec::with_capacity((n as usize).min(1 << 16));
+    let mut prev_pc: i64 = 0;
+    let mut prev_addr: i64 = 0;
+    for _ in 0..n {
+        if !buf.has_remaining() {
+            return Err(FrameError::Truncated);
+        }
+        let tag = buf.get_u8();
+        let event = match tag {
+            E_ENTER | E_BACK_EDGE | E_EXIT => {
+                let raw = get_varint(buf)?;
+                let p = ProcId(
+                    u32::try_from(raw).map_err(|_| FrameError::BadPayload("proc id overflow"))?,
+                );
+                match tag {
+                    E_ENTER => Event::Enter(p),
+                    E_BACK_EDGE => Event::BackEdge(p),
+                    _ => Event::Exit(p),
+                }
+            }
+            E_WORK => {
+                let raw = get_varint(buf)?;
+                Event::Work(
+                    u32::try_from(raw).map_err(|_| FrameError::BadPayload("work overflow"))?,
+                )
+            }
+            E_ACCESS => {
+                if !buf.has_remaining() {
+                    return Err(FrameError::Truncated);
+                }
+                let kind = match buf.get_u8() {
+                    0 => AccessKind::Load,
+                    1 => AccessKind::Store,
+                    _ => return Err(FrameError::BadPayload("unknown access kind")),
+                };
+                let pc = prev_pc.wrapping_add(unzigzag(get_varint(buf)?));
+                let addr = prev_addr.wrapping_add(unzigzag(get_varint(buf)?));
+                prev_pc = pc;
+                prev_addr = addr;
+                #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+                Event::Access(DataRef::new(Pc(pc as u32), Addr(addr as u64)), kind)
+            }
+            E_PREFETCH => Event::Prefetch(Addr(get_varint(buf)?)),
+            E_THREAD => {
+                let raw = get_varint(buf)?;
+                Event::Thread(
+                    u32::try_from(raw).map_err(|_| FrameError::BadPayload("thread overflow"))?,
+                )
+            }
+            _ => return Err(FrameError::BadPayload("unknown event tag")),
+        };
+        events.push(event);
+    }
+    Ok(events)
+}
+
+fn put_procedures(out: &mut BytesMut, procedures: &[Procedure]) {
+    put_varint(out, procedures.len() as u64);
+    for p in procedures {
+        put_string(out, p.name());
+        put_varint(out, p.pcs().len() as u64);
+        for pc in p.pcs() {
+            put_varint(out, u64::from(pc.0));
+        }
+    }
+}
+
+fn get_procedures(buf: &mut Bytes) -> Result<Vec<Procedure>, FrameError> {
+    let n = get_varint(buf)?;
+    if n > u64::from(MAX_FRAME_BYTES) {
+        return Err(FrameError::BadPayload("procedure count exceeds frame cap"));
+    }
+    let mut procedures = Vec::new();
+    for _ in 0..n {
+        let name = get_string(buf)?;
+        let pcs_len = get_varint(buf)?;
+        if pcs_len > u64::from(MAX_FRAME_BYTES) {
+            return Err(FrameError::BadPayload("pc count exceeds frame cap"));
+        }
+        let mut pcs = Vec::new();
+        for _ in 0..pcs_len {
+            let raw = get_varint(buf)?;
+            pcs.push(Pc(
+                u32::try_from(raw).map_err(|_| FrameError::BadPayload("pc overflow"))?
+            ));
+        }
+        procedures.push(Procedure::new(name, pcs));
+    }
+    Ok(procedures)
+}
+
+impl Frame {
+    /// Serializes the frame, length prefix included.
+    #[must_use]
+    pub fn encode(&self) -> Bytes {
+        let mut body = BytesMut::with_capacity(64);
+        match self {
+            Frame::Hello { version } => {
+                body.put_u8(K_HELLO);
+                body.put_slice(MAGIC);
+                body.put_u8(*version);
+            }
+            Frame::OpenSession { tenant, procedures } => {
+                body.put_u8(K_OPEN);
+                put_string(&mut body, tenant);
+                put_procedures(&mut body, procedures);
+            }
+            Frame::TraceChunk { tenant, events } => {
+                body.put_u8(K_CHUNK);
+                put_string(&mut body, tenant);
+                put_events(&mut body, events);
+            }
+            Frame::Flush { tenant } => {
+                body.put_u8(K_FLUSH);
+                put_string(&mut body, tenant);
+            }
+            Frame::Evict { tenant } => {
+                body.put_u8(K_EVICT);
+                put_string(&mut body, tenant);
+            }
+            Frame::Resume { tenant } => {
+                body.put_u8(K_RESUME);
+                put_string(&mut body, tenant);
+            }
+            Frame::HelloAck { version } => {
+                body.put_u8(K_HELLO_ACK);
+                body.put_slice(MAGIC);
+                body.put_u8(*version);
+            }
+            Frame::Report {
+                tenant,
+                report_json,
+                image_digest,
+            } => {
+                body.put_u8(K_REPORT);
+                put_string(&mut body, tenant);
+                put_string(&mut body, report_json);
+                put_varint(&mut body, *image_digest);
+            }
+            Frame::Busy {
+                tenant,
+                budget,
+                observed,
+            } => {
+                body.put_u8(K_BUSY);
+                put_string(&mut body, tenant);
+                put_varint(&mut body, *budget);
+                put_varint(&mut body, *observed);
+            }
+            Frame::Shed {
+                tenant,
+                kind,
+                budget,
+                observed,
+            } => {
+                body.put_u8(K_SHED);
+                put_string(&mut body, tenant);
+                put_budget_kind(&mut body, *kind);
+                put_varint(&mut body, *budget);
+                put_varint(&mut body, *observed);
+            }
+            Frame::Reject { reason } => {
+                body.put_u8(K_REJECT);
+                put_string(&mut body, reason);
+            }
+        }
+        let mut out = BytesMut::with_capacity(4 + body.len());
+        #[allow(clippy::cast_possible_truncation)]
+        out.put_u32_le(body.len() as u32);
+        out.put_slice(&body);
+        out.freeze()
+    }
+
+    /// Decodes one complete frame from `blob` (length prefix included).
+    /// Trailing bytes after the declared body are a [`FrameError::BadPayload`];
+    /// use [`decode_stream`] to pull frames out of a concatenated byte
+    /// stream.
+    ///
+    /// # Errors
+    ///
+    /// Any [`FrameError`]; never panics, whatever the input bytes.
+    pub fn decode(blob: &[u8]) -> Result<Frame, FrameError> {
+        let mut buf = Bytes::copy_from_slice(blob);
+        if buf.remaining() < 4 {
+            return Err(FrameError::Truncated);
+        }
+        let len = buf.get_u32_le();
+        if len > MAX_FRAME_BYTES {
+            return Err(FrameError::Oversized(len));
+        }
+        if (buf.remaining() as u64) < u64::from(len) {
+            return Err(FrameError::Truncated);
+        }
+        if buf.remaining() as u64 > u64::from(len) {
+            return Err(FrameError::BadPayload("trailing bytes after frame"));
+        }
+        decode_body(&mut buf)
+    }
+}
+
+/// Decodes a frame body (the bytes after the length prefix).
+fn decode_body(buf: &mut Bytes) -> Result<Frame, FrameError> {
+    if !buf.has_remaining() {
+        return Err(FrameError::Truncated);
+    }
+    let kind = buf.get_u8();
+    let frame = match kind {
+        K_HELLO | K_HELLO_ACK => {
+            if buf.remaining() < MAGIC.len() + 1 {
+                return Err(FrameError::Truncated);
+            }
+            let mut magic = [0u8; 4];
+            buf.copy_to_slice(&mut magic);
+            if &magic != MAGIC {
+                return Err(FrameError::BadMagic);
+            }
+            let version = buf.get_u8();
+            if version != WIRE_VERSION {
+                return Err(FrameError::UnsupportedVersion(version));
+            }
+            if kind == K_HELLO {
+                Frame::Hello { version }
+            } else {
+                Frame::HelloAck { version }
+            }
+        }
+        K_OPEN => {
+            let tenant = get_string(buf)?;
+            let procedures = get_procedures(buf)?;
+            Frame::OpenSession { tenant, procedures }
+        }
+        K_CHUNK => {
+            let tenant = get_string(buf)?;
+            let events = get_events(buf)?;
+            Frame::TraceChunk { tenant, events }
+        }
+        K_FLUSH => Frame::Flush {
+            tenant: get_string(buf)?,
+        },
+        K_EVICT => Frame::Evict {
+            tenant: get_string(buf)?,
+        },
+        K_RESUME => Frame::Resume {
+            tenant: get_string(buf)?,
+        },
+        K_REPORT => {
+            let tenant = get_string(buf)?;
+            let report_json = get_string(buf)?;
+            let image_digest = get_varint(buf)?;
+            Frame::Report {
+                tenant,
+                report_json,
+                image_digest,
+            }
+        }
+        K_BUSY => {
+            let tenant = get_string(buf)?;
+            let budget = get_varint(buf)?;
+            let observed = get_varint(buf)?;
+            Frame::Busy {
+                tenant,
+                budget,
+                observed,
+            }
+        }
+        K_SHED => {
+            let tenant = get_string(buf)?;
+            let kind = get_budget_kind(buf)?;
+            let budget = get_varint(buf)?;
+            let observed = get_varint(buf)?;
+            Frame::Shed {
+                tenant,
+                kind,
+                budget,
+                observed,
+            }
+        }
+        K_REJECT => Frame::Reject {
+            reason: get_string(buf)?,
+        },
+        other => return Err(FrameError::UnknownKind(other)),
+    };
+    if buf.has_remaining() {
+        return Err(FrameError::BadPayload("trailing bytes after frame"));
+    }
+    Ok(frame)
+}
+
+/// Pulls the next complete frame out of a reassembly buffer, consuming
+/// its bytes. Returns `Ok(None)` when the buffer holds only part of a
+/// frame (read more and retry); a malformed complete frame is an error
+/// and the offending bytes are consumed so the stream can continue.
+///
+/// # Errors
+///
+/// Any [`FrameError`] from the complete frame at the buffer's head.
+pub fn decode_stream(buf: &mut BytesMut) -> Result<Option<Frame>, FrameError> {
+    if buf.len() < 4 {
+        return Ok(None);
+    }
+    let len = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]);
+    if len > MAX_FRAME_BYTES {
+        return Err(FrameError::Oversized(len));
+    }
+    let total = 4 + len as usize;
+    if buf.len() < total {
+        return Ok(None);
+    }
+    let frame_bytes = buf.split_to(total);
+    Frame::decode(&frame_bytes).map(Some)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_frames() -> Vec<Frame> {
+        use hds_telemetry::events::ServeBudgetKind;
+        vec![
+            Frame::Hello {
+                version: WIRE_VERSION,
+            },
+            Frame::OpenSession {
+                tenant: "tenant-a".into(),
+                procedures: vec![Procedure::new("main", vec![Pc(16), Pc(20)])],
+            },
+            Frame::TraceChunk {
+                tenant: "tenant-a".into(),
+                events: vec![
+                    Event::Enter(ProcId(0)),
+                    Event::Work(3),
+                    Event::Access(DataRef::new(Pc(16), Addr(0x4000)), AccessKind::Load),
+                    Event::Access(DataRef::new(Pc(20), Addr(u64::MAX)), AccessKind::Store),
+                    Event::BackEdge(ProcId(0)),
+                    Event::Prefetch(Addr(0x8000)),
+                    Event::Thread(2),
+                    Event::Exit(ProcId(0)),
+                ],
+            },
+            Frame::Flush {
+                tenant: "tenant-a".into(),
+            },
+            Frame::Evict { tenant: "t".into() },
+            Frame::Resume { tenant: "t".into() },
+            Frame::HelloAck {
+                version: WIRE_VERSION,
+            },
+            Frame::Report {
+                tenant: "tenant-a".into(),
+                report_json: "{\"refs\":12}".into(),
+                image_digest: u64::MAX,
+            },
+            Frame::Busy {
+                tenant: "t".into(),
+                budget: 4,
+                observed: 4,
+            },
+            Frame::Shed {
+                tenant: "t".into(),
+                kind: ServeBudgetKind::GlobalBytes,
+                budget: 1024,
+                observed: 2048,
+            },
+            Frame::Reject {
+                reason: "no handshake".into(),
+            },
+        ]
+    }
+
+    #[test]
+    fn every_frame_round_trips() {
+        for frame in sample_frames() {
+            let blob = frame.encode();
+            assert_eq!(Frame::decode(&blob), Ok(frame.clone()), "frame {frame:?}");
+        }
+    }
+
+    #[test]
+    fn stream_reassembly_handles_partial_frames() {
+        let frames = sample_frames();
+        let mut wire = BytesMut::new();
+        for f in &frames {
+            wire.extend_from_slice(&f.encode());
+        }
+        // Feed the concatenated stream one byte at a time.
+        let mut inbox = BytesMut::new();
+        let mut decoded = Vec::new();
+        for i in 0..wire.len() {
+            inbox.extend_from_slice(&wire[i..=i]);
+            while let Some(f) = decode_stream(&mut inbox).unwrap() {
+                decoded.push(f);
+            }
+        }
+        assert_eq!(decoded, frames);
+        assert!(inbox.is_empty());
+    }
+
+    #[test]
+    fn rejects_bad_handshakes() {
+        let mut ok = Frame::Hello {
+            version: WIRE_VERSION,
+        }
+        .encode()
+        .to_vec();
+        // Corrupt the magic.
+        ok[5] = b'X';
+        assert_eq!(Frame::decode(&ok), Err(FrameError::BadMagic));
+        let future = {
+            let mut body = BytesMut::new();
+            body.put_u8(K_HELLO);
+            body.put_slice(MAGIC);
+            body.put_u8(99);
+            let mut out = BytesMut::new();
+            out.put_u32_le(body.len() as u32);
+            out.put_slice(&body);
+            out.freeze()
+        };
+        assert_eq!(
+            Frame::decode(&future),
+            Err(FrameError::UnsupportedVersion(99))
+        );
+    }
+
+    #[test]
+    fn rejects_oversized_and_unknown() {
+        let huge = (MAX_FRAME_BYTES + 1).to_le_bytes();
+        assert_eq!(
+            Frame::decode(&huge),
+            Err(FrameError::Oversized(MAX_FRAME_BYTES + 1))
+        );
+        let unknown = [1u8, 0, 0, 0, 0x7f];
+        assert_eq!(Frame::decode(&unknown), Err(FrameError::UnknownKind(0x7f)));
+    }
+
+    #[test]
+    fn access_deltas_reset_per_chunk() {
+        // Two chunks with identical events must encode identically:
+        // the predictor must not leak across chunks.
+        let events = vec![Event::Access(
+            DataRef::new(Pc(16), Addr(0x9000)),
+            AccessKind::Load,
+        )];
+        let a = Frame::TraceChunk {
+            tenant: "t".into(),
+            events: events.clone(),
+        }
+        .encode();
+        let b = Frame::TraceChunk {
+            tenant: "t".into(),
+            events,
+        }
+        .encode();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,357 @@
+//! The serving layer's headline guarantee: a tenant served through any
+//! shard count, interleaving, and eviction schedule gets a `RunReport`
+//! and image digest bit-identical to running alone through a
+//! standalone checkpointed `SessionBuilder` session — and every serve
+//! counter reconciles exactly with emitted telemetry.
+
+use hds_core::{OptimizerConfig, PrefetchPolicy, RunMode, RunReport};
+use hds_guard::ServeBudgets;
+use hds_serve::load::{generate, standalone_reference, LoadConfig, TenantLoad};
+use hds_serve::{loopback, serve, Frame, ServeConfig, ServeConfigError, SessionManager, Transport};
+use hds_telemetry::MetricsRecorder;
+use std::collections::BTreeMap;
+
+fn tiny_config() -> OptimizerConfig {
+    let mut c = OptimizerConfig::test_scale();
+    c.bursty = hds_bursty::BurstyConfig::new(8, 8, 2, 3);
+    c.analysis.min_length = 4;
+    c.analysis.min_unique_refs = 2;
+    c
+}
+
+fn mode() -> RunMode {
+    RunMode::Optimize(PrefetchPolicy::StreamTail)
+}
+
+fn load() -> Vec<TenantLoad> {
+    generate(&LoadConfig {
+        tenants: 6,
+        chunks_per_tenant: 4,
+        events_per_chunk: 120,
+        seed: 42,
+    })
+    .expect("valid load shape")
+}
+
+fn references(loads: &[TenantLoad]) -> BTreeMap<String, (RunReport, u64)> {
+    loads
+        .iter()
+        .map(|l| {
+            (
+                l.name.clone(),
+                standalone_reference(&tiny_config(), mode(), l),
+            )
+        })
+        .collect()
+}
+
+/// Streams every tenant through the manager: open all, then chunks
+/// round-robin with a pump between rounds (so tenants interleave on
+/// shards), optionally evicting every tenant each round, then flush.
+fn drive(
+    manager: &mut SessionManager<MetricsRecorder>,
+    loads: &[TenantLoad],
+    evict_each_round: bool,
+) {
+    assert_eq!(
+        manager.handle(Frame::Hello {
+            version: hds_serve::WIRE_VERSION
+        }),
+        vec![Frame::HelloAck {
+            version: hds_serve::WIRE_VERSION
+        }]
+    );
+    for l in loads {
+        let responses = manager.handle(Frame::OpenSession {
+            tenant: l.name.clone(),
+            procedures: l.procedures.clone(),
+        });
+        assert!(responses.is_empty(), "unexpected {responses:?}");
+    }
+    manager.pump();
+    let rounds = loads.iter().map(|l| l.chunks.len()).max().unwrap_or(0);
+    for round in 0..rounds {
+        for l in loads {
+            if let Some(chunk) = l.chunks.get(round) {
+                let responses = manager.handle(Frame::TraceChunk {
+                    tenant: l.name.clone(),
+                    events: chunk.clone(),
+                });
+                assert!(responses.is_empty(), "unexpected {responses:?}");
+            }
+        }
+        manager.pump();
+        if evict_each_round {
+            for l in loads {
+                manager.handle(Frame::Evict {
+                    tenant: l.name.clone(),
+                });
+            }
+            manager.pump();
+        }
+    }
+    for l in loads {
+        manager.handle(Frame::Flush {
+            tenant: l.name.clone(),
+        });
+    }
+}
+
+fn assert_outcomes_match(manager: &SessionManager<MetricsRecorder>, loads: &[TenantLoad]) {
+    let refs = references(loads);
+    let report = manager.report();
+    assert_eq!(report.outcomes.len(), loads.len(), "missing tenant reports");
+    for outcome in &report.outcomes {
+        let (expected_report, expected_digest) = &refs[&outcome.tenant];
+        assert_eq!(
+            &outcome.report, expected_report,
+            "report diverged for {}",
+            outcome.tenant
+        );
+        assert_eq!(
+            outcome.image_digest, *expected_digest,
+            "image digest diverged for {}",
+            outcome.tenant
+        );
+    }
+    report
+        .reconciles(manager.observer())
+        .expect("telemetry reconciles");
+}
+
+#[test]
+fn served_reports_match_standalone_across_shard_counts() {
+    let loads = load();
+    for shards in [1u32, 2, 8] {
+        let cfg = ServeConfig::new(tiny_config(), mode())
+            .with_shards(shards)
+            .with_workers(4);
+        let mut manager = SessionManager::with_observer(cfg, MetricsRecorder::new()).unwrap();
+        drive(&mut manager, &loads, false);
+        let responses = manager.pump();
+        assert_eq!(
+            responses
+                .iter()
+                .filter(|f| matches!(f, Frame::Report { .. }))
+                .count(),
+            loads.len()
+        );
+        assert_outcomes_match(&manager, &loads);
+    }
+}
+
+#[test]
+fn forced_eviction_of_every_tenant_is_bit_identical() {
+    let loads = load();
+    let cfg = ServeConfig::new(tiny_config(), mode())
+        .with_shards(8)
+        .with_workers(4);
+    let mut manager = SessionManager::with_observer(cfg, MetricsRecorder::new()).unwrap();
+    drive(&mut manager, &loads, true);
+    manager.pump();
+    let report = manager.report();
+    assert!(
+        report.evicted >= loads.len() as u64,
+        "evictions did not happen: {}",
+        report.evicted
+    );
+    assert!(
+        report.resumed >= loads.len() as u64,
+        "rehydrations did not happen: {}",
+        report.resumed
+    );
+    assert_outcomes_match(&manager, &loads);
+}
+
+#[test]
+fn lru_pressure_evicts_and_stays_bit_identical() {
+    let loads = load();
+    let cfg = ServeConfig::new(tiny_config(), mode())
+        .with_shards(2)
+        .with_workers(2)
+        .with_budgets(ServeBudgets::disabled().with_max_live_sessions(2));
+    let mut manager = SessionManager::with_observer(cfg, MetricsRecorder::new()).unwrap();
+    drive(&mut manager, &loads, false);
+    manager.pump();
+    let report = manager.report();
+    assert!(
+        report.evicted >= loads.len() as u64 - 2,
+        "LRU eviction never fired: {}",
+        report.evicted
+    );
+    assert_eq!(report.busy, 0);
+    assert_outcomes_match(&manager, &loads);
+}
+
+#[test]
+fn busy_when_eviction_disabled() {
+    let loads = load();
+    let cfg = ServeConfig::new(tiny_config(), mode())
+        .with_budgets(ServeBudgets::disabled().with_max_live_sessions(1))
+        .with_eviction(false);
+    let mut manager = SessionManager::with_observer(cfg, MetricsRecorder::new()).unwrap();
+    manager.handle(Frame::Hello {
+        version: hds_serve::WIRE_VERSION,
+    });
+    assert!(manager
+        .handle(Frame::OpenSession {
+            tenant: loads[0].name.clone(),
+            procedures: loads[0].procedures.clone(),
+        })
+        .is_empty());
+    let responses = manager.handle(Frame::OpenSession {
+        tenant: loads[1].name.clone(),
+        procedures: loads[1].procedures.clone(),
+    });
+    assert!(
+        matches!(responses.as_slice(), [Frame::Busy { tenant, budget: 1, observed: 1 }] if *tenant == loads[1].name),
+        "expected Busy, got {responses:?}"
+    );
+    let report = manager.report();
+    assert_eq!(report.busy, 1);
+    assert_eq!(report.opened, 1);
+    report
+        .reconciles(manager.observer())
+        .expect("telemetry reconciles");
+}
+
+#[test]
+fn breached_queue_budgets_shed_typed_frames() {
+    let loads = load();
+    let cfg = ServeConfig::new(tiny_config(), mode())
+        .with_budgets(ServeBudgets::disabled().with_max_queued_chunks(1));
+    let mut manager = SessionManager::with_observer(cfg, MetricsRecorder::new()).unwrap();
+    manager.handle(Frame::Hello {
+        version: hds_serve::WIRE_VERSION,
+    });
+    manager.handle(Frame::OpenSession {
+        tenant: loads[0].name.clone(),
+        procedures: loads[0].procedures.clone(),
+    });
+    // First chunk fits the queue; the second (same pump window) sheds.
+    assert!(manager
+        .handle(Frame::TraceChunk {
+            tenant: loads[0].name.clone(),
+            events: loads[0].chunks[0].clone(),
+        })
+        .is_empty());
+    let responses = manager.handle(Frame::TraceChunk {
+        tenant: loads[0].name.clone(),
+        events: loads[0].chunks[1].clone(),
+    });
+    assert!(
+        matches!(
+            responses.as_slice(),
+            [Frame::Shed {
+                kind: hds_telemetry::events::ServeBudgetKind::TenantQueue,
+                budget: 1,
+                observed: 2,
+                ..
+            }]
+        ),
+        "expected Shed, got {responses:?}"
+    );
+    // After a pump the queue drains and chunks are admitted again.
+    manager.pump();
+    assert!(manager
+        .handle(Frame::TraceChunk {
+            tenant: loads[0].name.clone(),
+            events: loads[0].chunks[1].clone(),
+        })
+        .is_empty());
+    let report = manager.report();
+    assert_eq!(report.shed_total(), 1);
+    report
+        .reconciles(manager.observer())
+        .expect("telemetry reconciles");
+}
+
+#[test]
+fn degenerate_configs_are_typed_errors() {
+    let zero_shards = ServeConfig::new(tiny_config(), mode()).with_shards(0);
+    assert!(matches!(
+        SessionManager::new(zero_shards).err(),
+        Some(ServeConfigError::ZeroShards)
+    ));
+    let zero_workers = ServeConfig::new(tiny_config(), mode()).with_workers(0);
+    assert!(matches!(
+        SessionManager::new(zero_workers).err(),
+        Some(ServeConfigError::ZeroWorkers)
+    ));
+}
+
+#[test]
+fn end_to_end_over_loopback_transport() {
+    let loads = load();
+    let refs = references(&loads);
+    let (mut client, mut server) = loopback();
+    // Client writes its whole stream up front (open loop), then the
+    // server drains it, pumping every 4 frames.
+    client
+        .send(&Frame::Hello {
+            version: hds_serve::WIRE_VERSION,
+        })
+        .unwrap();
+    for l in &loads {
+        client
+            .send(&Frame::OpenSession {
+                tenant: l.name.clone(),
+                procedures: l.procedures.clone(),
+            })
+            .unwrap();
+    }
+    let rounds = loads.iter().map(|l| l.chunks.len()).max().unwrap_or(0);
+    for round in 0..rounds {
+        for l in &loads {
+            if let Some(chunk) = l.chunks.get(round) {
+                client
+                    .send(&Frame::TraceChunk {
+                        tenant: l.name.clone(),
+                        events: chunk.clone(),
+                    })
+                    .unwrap();
+            }
+        }
+    }
+    for l in &loads {
+        client
+            .send(&Frame::Flush {
+                tenant: l.name.clone(),
+            })
+            .unwrap();
+    }
+    let cfg = ServeConfig::new(tiny_config(), mode()).with_shards(2);
+    let mut manager = SessionManager::with_observer(cfg, MetricsRecorder::new()).unwrap();
+    serve(&mut server, &mut manager, 4).unwrap();
+    // The client sees the handshake ack and one report per tenant,
+    // each matching the standalone reference.
+    assert_eq!(
+        client.recv().unwrap(),
+        Some(Frame::HelloAck {
+            version: hds_serve::WIRE_VERSION
+        })
+    );
+    let mut seen = 0;
+    while let Some(frame) = client.recv().unwrap() {
+        if let Frame::Report {
+            tenant,
+            report_json,
+            image_digest,
+        } = frame
+        {
+            let (expected_report, expected_digest) = &refs[&tenant];
+            let report: RunReport = serde_json::from_str(&report_json).unwrap();
+            assert_eq!(
+                &report, expected_report,
+                "wire report diverged for {tenant}"
+            );
+            assert_eq!(image_digest, *expected_digest);
+            seen += 1;
+        }
+    }
+    assert_eq!(seen, loads.len());
+    manager
+        .report()
+        .reconciles(manager.observer())
+        .expect("telemetry reconciles");
+}

@@ -1,0 +1,103 @@
+//! End-to-end serve over real TCP (feature `net`): a client thread
+//! streams a small tenant load to a listening server, which drives a
+//! `SessionManager` and sends the `Report` frames back over the wire.
+#![cfg(feature = "net")]
+
+use std::net::TcpListener;
+use std::thread;
+
+use hds_core::{OptimizerConfig, PrefetchPolicy, RunMode, RunReport};
+use hds_serve::load::{generate, standalone_reference, LoadConfig};
+use hds_serve::transport::tcp::TcpTransport;
+use hds_serve::{serve, Frame, ServeConfig, SessionManager, Transport};
+use hds_telemetry::MetricsRecorder;
+
+fn tiny_config() -> OptimizerConfig {
+    let mut c = OptimizerConfig::test_scale();
+    c.bursty = hds_bursty::BurstyConfig::new(8, 8, 2, 3);
+    c.analysis.min_length = 4;
+    c.analysis.min_unique_refs = 2;
+    c
+}
+
+#[test]
+fn tcp_round_trip_matches_standalone() {
+    let mode = RunMode::Optimize(PrefetchPolicy::StreamTail);
+    let loads = generate(&LoadConfig {
+        tenants: 2,
+        chunks_per_tenant: 3,
+        events_per_chunk: 90,
+        seed: 11,
+    })
+    .unwrap();
+    let refs: Vec<_> = loads
+        .iter()
+        .map(|l| standalone_reference(&tiny_config(), mode, l))
+        .collect();
+
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+
+    let server = thread::spawn(move || {
+        let (stream, _) = listener.accept().unwrap();
+        let mut transport = TcpTransport::new(stream);
+        let cfg = ServeConfig::new(tiny_config(), mode).with_shards(2);
+        let mut manager = SessionManager::with_observer(cfg, MetricsRecorder::new()).unwrap();
+        serve(&mut transport, &mut manager, 0).unwrap();
+        manager.report()
+    });
+
+    let mut client = TcpTransport::connect(addr).unwrap();
+    client
+        .send(&Frame::Hello {
+            version: hds_serve::WIRE_VERSION,
+        })
+        .unwrap();
+    for l in &loads {
+        client
+            .send(&Frame::OpenSession {
+                tenant: l.name.clone(),
+                procedures: l.procedures.clone(),
+            })
+            .unwrap();
+        for chunk in &l.chunks {
+            client
+                .send(&Frame::TraceChunk {
+                    tenant: l.name.clone(),
+                    events: chunk.clone(),
+                })
+                .unwrap();
+        }
+        client
+            .send(&Frame::Flush {
+                tenant: l.name.clone(),
+            })
+            .unwrap();
+    }
+    client.finish_sending().unwrap();
+
+    assert_eq!(
+        client.recv().unwrap(),
+        Some(Frame::HelloAck {
+            version: hds_serve::WIRE_VERSION
+        })
+    );
+    let mut seen = 0;
+    while let Some(frame) = client.recv().unwrap() {
+        if let Frame::Report {
+            tenant,
+            report_json,
+            image_digest,
+        } = frame
+        {
+            let idx = loads.iter().position(|l| l.name == tenant).unwrap();
+            let report: RunReport = serde_json::from_str(&report_json).unwrap();
+            assert_eq!(report, refs[idx].0, "tcp report diverged for {tenant}");
+            assert_eq!(image_digest, refs[idx].1);
+            seen += 1;
+        }
+    }
+    assert_eq!(seen, loads.len());
+    let server_report = server.join().unwrap();
+    assert_eq!(server_report.opened, loads.len() as u64);
+}

@@ -1,0 +1,173 @@
+//! Property tests for the `HDSW` wire codec: arbitrary frames
+//! round-trip exactly; truncated or corrupted bytes produce typed
+//! [`FrameError`]s, never panics; foreign handshakes are rejected
+//! cleanly.
+
+use hds_serve::wire::{decode_stream, MAGIC};
+use hds_serve::{Frame, FrameError, WIRE_VERSION};
+use hds_telemetry::events::ServeBudgetKind;
+use hds_trace::{AccessKind, Addr, DataRef, Pc};
+use hds_vulcan::{Event, ProcId, Procedure};
+use proptest::prelude::*;
+
+fn event_strategy() -> impl Strategy<Value = Event> {
+    prop_oneof![
+        any::<u32>().prop_map(|p| Event::Enter(ProcId(p))),
+        any::<u32>().prop_map(|p| Event::BackEdge(ProcId(p))),
+        any::<u32>().prop_map(|p| Event::Exit(ProcId(p))),
+        any::<u32>().prop_map(Event::Work),
+        (any::<u32>(), any::<u64>(), any::<bool>()).prop_map(|(pc, addr, store)| Event::Access(
+            DataRef::new(Pc(pc), Addr(addr)),
+            if store {
+                AccessKind::Store
+            } else {
+                AccessKind::Load
+            }
+        )),
+        any::<u64>().prop_map(|a| Event::Prefetch(Addr(a))),
+        any::<u32>().prop_map(Event::Thread),
+    ]
+}
+
+fn tenant_strategy() -> impl Strategy<Value = String> {
+    any::<u64>().prop_map(|n| format!("tenant-{}", n % 64))
+}
+
+fn procedures_strategy() -> impl Strategy<Value = Vec<Procedure>> {
+    proptest::collection::vec(
+        (any::<u64>(), proptest::collection::vec(any::<u32>(), 0..6)),
+        0..4,
+    )
+    .prop_map(|procs| {
+        procs
+            .into_iter()
+            .map(|(n, pcs)| {
+                Procedure::new(
+                    format!("proc-{}", n % 32),
+                    pcs.into_iter().map(Pc).collect(),
+                )
+            })
+            .collect()
+    })
+}
+
+fn frame_strategy() -> impl Strategy<Value = Frame> {
+    prop_oneof![
+        Just(Frame::Hello {
+            version: WIRE_VERSION
+        }),
+        Just(Frame::HelloAck {
+            version: WIRE_VERSION
+        }),
+        (tenant_strategy(), procedures_strategy())
+            .prop_map(|(tenant, procedures)| Frame::OpenSession { tenant, procedures }),
+        (
+            tenant_strategy(),
+            proptest::collection::vec(event_strategy(), 0..50)
+        )
+            .prop_map(|(tenant, events)| Frame::TraceChunk { tenant, events }),
+        tenant_strategy().prop_map(|tenant| Frame::Flush { tenant }),
+        tenant_strategy().prop_map(|tenant| Frame::Evict { tenant }),
+        tenant_strategy().prop_map(|tenant| Frame::Resume { tenant }),
+        (tenant_strategy(), tenant_strategy(), any::<u64>()).prop_map(
+            |(tenant, report_json, image_digest)| Frame::Report {
+                tenant,
+                report_json,
+                image_digest
+            }
+        ),
+        (tenant_strategy(), any::<u64>(), any::<u64>()).prop_map(|(tenant, budget, observed)| {
+            Frame::Busy {
+                tenant,
+                budget,
+                observed,
+            }
+        }),
+        (tenant_strategy(), any::<u64>(), any::<u64>(), 0u8..3u8).prop_map(
+            |(tenant, budget, observed, k)| Frame::Shed {
+                tenant,
+                kind: match k {
+                    0 => ServeBudgetKind::LiveSessions,
+                    1 => ServeBudgetKind::TenantQueue,
+                    _ => ServeBudgetKind::GlobalBytes,
+                },
+                budget,
+                observed,
+            }
+        ),
+        tenant_strategy().prop_map(|reason| Frame::Reject { reason }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Encode → decode is the identity on every frame kind.
+    #[test]
+    fn frames_round_trip(frame in frame_strategy()) {
+        let blob = frame.encode();
+        prop_assert_eq!(Frame::decode(&blob), Ok(frame));
+    }
+
+    /// Truncating an encoded frame anywhere yields a typed error —
+    /// never a panic, never a silent partial parse.
+    #[test]
+    fn truncation_is_a_typed_error(frame in frame_strategy(), cut_fraction in 0.0f64..1.0) {
+        let blob = frame.encode();
+        #[allow(clippy::cast_precision_loss, clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let cut = (blob.len() as f64 * cut_fraction) as usize;
+        if cut >= blob.len() {
+            return Ok(());
+        }
+        match Frame::decode(&blob[..cut]) {
+            Ok(parsed) => prop_assert!(false, "truncated frame parsed as {parsed:?}"),
+            Err(e) => prop_assert_eq!(e, FrameError::Truncated),
+        }
+    }
+
+    /// Flipping any single byte of a valid frame either still decodes
+    /// (the flip hit a don't-care bit such as a string byte) or fails
+    /// with a typed error. It never panics.
+    #[test]
+    fn corrupt_one_byte_never_panics(frame in frame_strategy(), pos in any::<usize>(), flip in 1u8..=255) {
+        let mut blob = frame.encode().to_vec();
+        let pos = pos % blob.len();
+        blob[pos] ^= flip;
+        let _ = Frame::decode(&blob); // Ok or Err both fine; no panic.
+    }
+
+    /// Arbitrary bytes through the stream reassembler: typed error or
+    /// clean partial-frame wait, never a panic.
+    #[test]
+    fn stream_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..120)) {
+        let mut buf = bytes::BytesMut::new();
+        buf.extend_from_slice(&bytes);
+        // Drain until a parse error or the reassembler wants more bytes.
+        while let Ok(Some(_)) = decode_stream(&mut buf) {}
+    }
+}
+
+#[test]
+fn version_mismatch_hello_is_rejected_cleanly() {
+    // A future-versioned Hello: well-formed frame, unsupported version.
+    let mut blob = Frame::Hello {
+        version: WIRE_VERSION,
+    }
+    .encode()
+    .to_vec();
+    let version_at = blob.len() - 1;
+    blob[version_at] = WIRE_VERSION + 7;
+    assert_eq!(
+        Frame::decode(&blob),
+        Err(FrameError::UnsupportedVersion(WIRE_VERSION + 7))
+    );
+    // And a foreign magic is BadMagic, checked before the version.
+    let mut foreign = Frame::Hello {
+        version: WIRE_VERSION,
+    }
+    .encode()
+    .to_vec();
+    foreign[5] = b'Z';
+    assert_eq!(Frame::decode(&foreign), Err(FrameError::BadMagic));
+    assert_eq!(MAGIC, b"HDSW");
+}

@@ -350,6 +350,126 @@ pub struct RecoveryGaveUp {
     pub crashes: u64,
 }
 
+/// A serving-layer admission budget (`hds-serve`): which resource cap
+/// an over-budget request ran into. Parallel to [`GuardKind`], but for
+/// the multi-tenant front-end rather than the per-session optimize
+/// cycle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ServeBudgetKind {
+    /// Concurrently live tenant sessions across all shards.
+    LiveSessions,
+    /// Trace chunks queued for a single tenant between pumps.
+    TenantQueue,
+    /// Bytes of trace-chunk payload queued across all tenants.
+    GlobalBytes,
+}
+
+impl ServeBudgetKind {
+    /// Lower-case label (Prometheus/JSON friendly).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            ServeBudgetKind::LiveSessions => "live_sessions",
+            ServeBudgetKind::TenantQueue => "tenant_queue",
+            ServeBudgetKind::GlobalBytes => "global_bytes",
+        }
+    }
+
+    /// Every serve budget kind, in rendering order.
+    pub const ALL: [ServeBudgetKind; 3] = [
+        ServeBudgetKind::LiveSessions,
+        ServeBudgetKind::TenantQueue,
+        ServeBudgetKind::GlobalBytes,
+    ];
+}
+
+/// A tenant session was admitted and opened on a shard. The sum of
+/// these events reconciles exactly with `ServeReport::opened`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize)]
+pub struct ServeSessionOpened {
+    /// Stable 64-bit key of the tenant id (FNV-1a of the id string).
+    pub tenant: u64,
+    /// Shard the tenant consistently hashes onto.
+    pub shard: u32,
+}
+
+/// A cold tenant's live session was evicted: its state was captured as
+/// a crash-consistent snapshot plus the replay tail of events consumed
+/// since the last phase boundary.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize)]
+pub struct ServeSessionEvicted {
+    /// Stable 64-bit key of the tenant id.
+    pub tenant: u64,
+    /// Shard that owned the session.
+    pub shard: u32,
+    /// Encoded snapshot size in bytes (0 when the session had not yet
+    /// crossed a phase boundary and the tail carries everything).
+    pub snapshot_bytes: u64,
+    /// Events in the replay tail beyond the snapshot's resume point.
+    pub tail_events: u64,
+}
+
+/// An evicted tenant's next frame arrived and its session was
+/// rehydrated — snapshot resumed, tail replayed — bit-identically to
+/// the uninterrupted session.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize)]
+pub struct ServeSessionResumed {
+    /// Stable 64-bit key of the tenant id.
+    pub tenant: u64,
+    /// Shard that owns the session.
+    pub shard: u32,
+    /// Tail events replayed on top of the snapshot.
+    pub replayed_events: u64,
+}
+
+/// A trace chunk was dropped by admission control: a serve budget was
+/// exhausted and the tenant received a typed `Shed` frame instead of a
+/// panic or an unbounded queue. The sum of these events reconciles
+/// exactly with `ServeReport::shed`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+pub struct ServeShed {
+    /// Stable 64-bit key of the tenant id.
+    pub tenant: u64,
+    /// Shard the chunk was bound for.
+    pub shard: u32,
+    /// Which budget was exhausted.
+    pub kind: ServeBudgetKind,
+    /// The configured cap.
+    pub budget: u64,
+    /// The observed value that exceeded it.
+    pub observed: u64,
+}
+
+/// An `OpenSession` was refused outright: the live-session cap is
+/// reached and LRU eviction is disabled, so the tenant received a typed
+/// `Busy` frame and must retry later.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize)]
+pub struct ServeBusy {
+    /// Stable 64-bit key of the tenant id.
+    pub tenant: u64,
+    /// Shard the tenant would have hashed onto.
+    pub shard: u32,
+    /// The configured live-session cap.
+    pub budget: u64,
+    /// Live sessions at the refusal.
+    pub observed: u64,
+}
+
+/// One shard finished draining its mailbox for a pump: the queue-depth
+/// sample feeds the depth histogram, the drain counters feed per-shard
+/// utilization.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize)]
+pub struct ServeShardPump {
+    /// Shard index.
+    pub shard: u32,
+    /// Frames queued in the mailbox when the pump began.
+    pub queued: u64,
+    /// Frames drained by this pump.
+    pub frames: u64,
+    /// Workload events fed into tenant sessions by this pump.
+    pub events: u64,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -437,6 +557,47 @@ mod tests {
         }
         .to_value();
         assert_eq!(v.get("crashes"), Some(&Value::U64(5)));
+    }
+
+    #[test]
+    fn serve_budget_labels_are_distinct() {
+        let labels: Vec<&str> = ServeBudgetKind::ALL.iter().map(|k| k.label()).collect();
+        let mut dedup = labels.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), labels.len());
+        assert_eq!(ServeBudgetKind::LiveSessions.label(), "live_sessions");
+    }
+
+    #[test]
+    fn serve_events_serialize_to_objects() {
+        use serde::{Serialize, Value};
+        let v = ServeShed {
+            tenant: 0xfeed,
+            shard: 3,
+            kind: ServeBudgetKind::GlobalBytes,
+            budget: 4096,
+            observed: 5000,
+        }
+        .to_value();
+        assert_eq!(v.get("budget"), Some(&Value::U64(4096)));
+        assert_eq!(v.get("observed"), Some(&Value::U64(5000)));
+        let v = ServeSessionEvicted {
+            tenant: 1,
+            shard: 0,
+            snapshot_bytes: 256,
+            tail_events: 7,
+        }
+        .to_value();
+        assert_eq!(v.get("tail_events"), Some(&Value::U64(7)));
+        let v = ServeShardPump {
+            shard: 2,
+            queued: 5,
+            frames: 5,
+            events: 40,
+        }
+        .to_value();
+        assert_eq!(v.get("queued"), Some(&Value::U64(5)));
     }
 
     #[test]

@@ -7,7 +7,8 @@ use serde::{Serialize, Value};
 use crate::events::{
     AnalysisApplied, AnalysisHandoff, AnalysisStarved, CycleEnd, CycleStart, Deoptimize, DfsmBuilt,
     GuardTripped, PhaseTransition, PrefetchFate, PrefetchIssued, PrefetchOutcome, RecoveryGaveUp,
-    RecoveryReplay, RecoveryRestart, RecoverySnapshot, StreamDetected,
+    RecoveryReplay, RecoveryRestart, RecoverySnapshot, ServeBusy, ServeSessionEvicted,
+    ServeSessionOpened, ServeSessionResumed, ServeShardPump, ServeShed, StreamDetected,
 };
 use crate::Observer;
 
@@ -228,6 +229,40 @@ impl<W: Write> Observer for JsonlSink<W> {
 
     fn recovery_gave_up(&mut self, event: &RecoveryGaveUp) {
         self.emit("recovery_gave_up", event);
+    }
+
+    fn serve_session_opened(&mut self, event: &ServeSessionOpened) {
+        self.emit("serve_session_opened", event);
+    }
+
+    fn serve_session_evicted(&mut self, event: &ServeSessionEvicted) {
+        self.emit("serve_session_evicted", event);
+    }
+
+    fn serve_session_resumed(&mut self, event: &ServeSessionResumed) {
+        self.emit("serve_session_resumed", event);
+    }
+
+    fn serve_shed(&mut self, event: &ServeShed) {
+        // The kind enum serializes as its variant name; re-wrap with the
+        // lower-case label for a stable external schema.
+        let mut value = event.to_value();
+        if let Value::Obj(fields) = &mut value {
+            for (k, v) in fields.iter_mut() {
+                if k == "kind" {
+                    *v = Value::Str(event.kind.label().to_string());
+                }
+            }
+        }
+        self.emit("serve_shed", &Raw(value));
+    }
+
+    fn serve_busy(&mut self, event: &ServeBusy) {
+        self.emit("serve_busy", event);
+    }
+
+    fn serve_shard_pump(&mut self, event: &ServeShardPump) {
+        self.emit("serve_shard_pump", event);
     }
 }
 
@@ -456,6 +491,38 @@ mod tests {
             Some(&Value::Str("recovery_gave_up".into()))
         );
         assert_eq!(records[3].get("restarts"), Some(&Value::U64(4)));
+    }
+
+    #[test]
+    fn serve_events_are_tagged_with_stable_labels() {
+        use crate::events::ServeBudgetKind;
+        let mut sink = JsonlSink::new(Vec::new());
+        sink.serve_session_opened(&ServeSessionOpened {
+            tenant: 0xbeef,
+            shard: 2,
+        });
+        sink.serve_shed(&ServeShed {
+            tenant: 0xbeef,
+            shard: 2,
+            kind: ServeBudgetKind::TenantQueue,
+            budget: 4,
+            observed: 5,
+        });
+        let records = lines(sink);
+        assert_eq!(
+            records[0].get("event"),
+            Some(&Value::Str("serve_session_opened".into()))
+        );
+        assert_eq!(records[0].get("shard"), Some(&Value::U64(2)));
+        assert_eq!(
+            records[1].get("event"),
+            Some(&Value::Str("serve_shed".into()))
+        );
+        assert_eq!(
+            records[1].get("kind"),
+            Some(&Value::Str("tenant_queue".into()))
+        );
+        assert_eq!(records[1].get("observed"), Some(&Value::U64(5)));
     }
 
     #[test]

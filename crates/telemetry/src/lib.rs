@@ -56,7 +56,8 @@ pub use metrics::{Histogram, MetricsRecorder, StreamMetrics};
 use events::{
     AnalysisApplied, AnalysisHandoff, AnalysisStarved, CycleEnd, CycleStart, Deoptimize, DfsmBuilt,
     GuardTripped, PhaseTransition, PrefetchIssued, PrefetchOutcome, RecoveryGaveUp, RecoveryReplay,
-    RecoveryRestart, RecoverySnapshot, StreamDetected,
+    RecoveryRestart, RecoverySnapshot, ServeBusy, ServeSessionEvicted, ServeSessionOpened,
+    ServeSessionResumed, ServeShardPump, ServeShed, StreamDetected,
 };
 
 /// Receiver of optimizer lifecycle events.
@@ -113,6 +114,21 @@ pub trait Observer {
     fn recovery_restart(&mut self, _event: &RecoveryRestart) {}
     /// The supervisor's restart circuit breaker opened.
     fn recovery_gave_up(&mut self, _event: &RecoveryGaveUp) {}
+    /// The serving layer admitted a tenant and opened its session.
+    fn serve_session_opened(&mut self, _event: &ServeSessionOpened) {}
+    /// The serving layer evicted a cold tenant's session to a snapshot
+    /// plus replay tail.
+    fn serve_session_evicted(&mut self, _event: &ServeSessionEvicted) {}
+    /// The serving layer rehydrated an evicted tenant's session.
+    fn serve_session_resumed(&mut self, _event: &ServeSessionResumed) {}
+    /// The serving layer dropped a trace chunk (a serve budget was
+    /// exhausted) and answered with a typed `Shed` frame.
+    fn serve_shed(&mut self, _event: &ServeShed) {}
+    /// The serving layer refused an `OpenSession` with a typed `Busy`
+    /// frame (session cap reached, eviction disabled).
+    fn serve_busy(&mut self, _event: &ServeBusy) {}
+    /// A serving shard drained its mailbox for one pump.
+    fn serve_shard_pump(&mut self, _event: &ServeShardPump) {}
 }
 
 /// The do-nothing observer: every hook is a no-op and
@@ -177,6 +193,24 @@ impl<O: Observer> Observer for &mut O {
     }
     fn recovery_gave_up(&mut self, event: &RecoveryGaveUp) {
         (**self).recovery_gave_up(event);
+    }
+    fn serve_session_opened(&mut self, event: &ServeSessionOpened) {
+        (**self).serve_session_opened(event);
+    }
+    fn serve_session_evicted(&mut self, event: &ServeSessionEvicted) {
+        (**self).serve_session_evicted(event);
+    }
+    fn serve_session_resumed(&mut self, event: &ServeSessionResumed) {
+        (**self).serve_session_resumed(event);
+    }
+    fn serve_shed(&mut self, event: &ServeShed) {
+        (**self).serve_shed(event);
+    }
+    fn serve_busy(&mut self, event: &ServeBusy) {
+        (**self).serve_busy(event);
+    }
+    fn serve_shard_pump(&mut self, event: &ServeShardPump) {
+        (**self).serve_shard_pump(event);
     }
 }
 
@@ -247,6 +281,30 @@ impl<A: Observer, B: Observer> Observer for (A, B) {
     fn recovery_gave_up(&mut self, event: &RecoveryGaveUp) {
         self.0.recovery_gave_up(event);
         self.1.recovery_gave_up(event);
+    }
+    fn serve_session_opened(&mut self, event: &ServeSessionOpened) {
+        self.0.serve_session_opened(event);
+        self.1.serve_session_opened(event);
+    }
+    fn serve_session_evicted(&mut self, event: &ServeSessionEvicted) {
+        self.0.serve_session_evicted(event);
+        self.1.serve_session_evicted(event);
+    }
+    fn serve_session_resumed(&mut self, event: &ServeSessionResumed) {
+        self.0.serve_session_resumed(event);
+        self.1.serve_session_resumed(event);
+    }
+    fn serve_shed(&mut self, event: &ServeShed) {
+        self.0.serve_shed(event);
+        self.1.serve_shed(event);
+    }
+    fn serve_busy(&mut self, event: &ServeBusy) {
+        self.0.serve_busy(event);
+        self.1.serve_busy(event);
+    }
+    fn serve_shard_pump(&mut self, event: &ServeShardPump) {
+        self.0.serve_shard_pump(event);
+        self.1.serve_shard_pump(event);
     }
 }
 

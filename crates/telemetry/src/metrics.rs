@@ -8,7 +8,8 @@ use crate::events::{
     AnalysisApplied, AnalysisHandoff, AnalysisStarved, CycleEnd, CycleStart, Deoptimize, DfsmBuilt,
     GuardKind, GuardTripped, PhaseKind, PhaseTransition, PrefetchFate, PrefetchIssued,
     PrefetchOutcome, RecoveryGaveUp, RecoveryReplay, RecoveryRestart, RecoverySnapshot,
-    StreamDetected,
+    ServeBudgetKind, ServeBusy, ServeSessionEvicted, ServeSessionOpened, ServeSessionResumed,
+    ServeShardPump, ServeShed, StreamDetected,
 };
 use crate::Observer;
 
@@ -177,14 +178,23 @@ pub struct MetricsRecorder {
     recovery_restarts: u64,
     recovery_gave_up: u64,
     recovery_backoff_cycles: u64,
+    serve_opened: u64,
+    serve_evicted: u64,
+    serve_resumed: u64,
+    serve_busy: u64,
+    serve_shed: [u64; 3], // indexed by serve budget kind
+    serve_replayed_events: u64,
     // Histograms.
     stream_length: Histogram,
     dfsm_state_count: Histogram,
     match_to_access_cycles: Histogram,
     prefetch_lead_refs: Histogram,
     worker_lag_cycles: Histogram,
+    serve_queue_depth: Histogram,
     // Correlation.
     per_stream: BTreeMap<u32, StreamMetrics>,
+    /// Frames and events drained per serving shard (utilization).
+    per_shard: BTreeMap<u32, (u64, u64)>,
     /// Issue bookkeeping per block, for lead-distance in references.
     pending_issue_ref: HashMap<u64, u64>,
 }
@@ -373,6 +383,67 @@ impl MetricsRecorder {
         self.recovery_backoff_cycles
     }
 
+    /// Tenant sessions the serving layer admitted and opened.
+    /// Reconciles with `ServeReport::opened`.
+    #[must_use]
+    pub fn serve_sessions_opened(&self) -> u64 {
+        self.serve_opened
+    }
+
+    /// Cold tenant sessions evicted to a snapshot plus replay tail.
+    /// Reconciles with `ServeReport::evicted`.
+    #[must_use]
+    pub fn serve_sessions_evicted(&self) -> u64 {
+        self.serve_evicted
+    }
+
+    /// Evicted tenant sessions rehydrated on a later frame.
+    /// Reconciles with `ServeReport::resumed`.
+    #[must_use]
+    pub fn serve_sessions_resumed(&self) -> u64 {
+        self.serve_resumed
+    }
+
+    /// `OpenSession` requests refused with a typed `Busy` frame.
+    /// Reconciles with `ServeReport::busy`.
+    #[must_use]
+    pub fn serve_busy_total(&self) -> u64 {
+        self.serve_busy
+    }
+
+    /// Trace chunks shed for one serve budget kind.
+    #[must_use]
+    pub fn serve_shed_by(&self, kind: ServeBudgetKind) -> u64 {
+        self.serve_shed[kind as usize]
+    }
+
+    /// Trace chunks shed, all budget kinds summed. Reconciles with
+    /// `ServeReport::shed`.
+    #[must_use]
+    pub fn serve_shed_total(&self) -> u64 {
+        self.serve_shed.iter().sum()
+    }
+
+    /// Tail events replayed while rehydrating evicted sessions.
+    #[must_use]
+    pub fn serve_replayed_events(&self) -> u64 {
+        self.serve_replayed_events
+    }
+
+    /// The shard mailbox queue-depth histogram (one sample per shard
+    /// per pump).
+    #[must_use]
+    pub fn serve_queue_depth(&self) -> &Histogram {
+        &self.serve_queue_depth
+    }
+
+    /// `(frames, events)` drained per serving shard — the per-shard
+    /// utilization table.
+    #[must_use]
+    pub fn serve_per_shard(&self) -> &BTreeMap<u32, (u64, u64)> {
+        &self.per_shard
+    }
+
     /// Renders everything in Prometheus text exposition format.
     #[must_use]
     #[allow(clippy::too_many_lines)]
@@ -491,6 +562,49 @@ impl MetricsRecorder {
             "Modeled backoff charged before restarts (simulated cycles).",
             self.recovery_backoff_cycles,
         );
+        counter(
+            &mut out,
+            "hds_serve_sessions_opened_total",
+            "Tenant sessions admitted and opened by the serving layer.",
+            self.serve_opened,
+        );
+        counter(
+            &mut out,
+            "hds_serve_sessions_evicted_total",
+            "Cold tenant sessions evicted to snapshot plus replay tail.",
+            self.serve_evicted,
+        );
+        counter(
+            &mut out,
+            "hds_serve_sessions_resumed_total",
+            "Evicted tenant sessions rehydrated on a later frame.",
+            self.serve_resumed,
+        );
+        counter(
+            &mut out,
+            "hds_serve_busy_total",
+            "OpenSession requests refused with a typed Busy frame.",
+            self.serve_busy,
+        );
+        counter(
+            &mut out,
+            "hds_serve_replayed_events_total",
+            "Tail events replayed while rehydrating evicted sessions.",
+            self.serve_replayed_events,
+        );
+        let _ = writeln!(
+            out,
+            "# HELP hds_serve_shed_total Trace chunks shed by serve budget kind."
+        );
+        let _ = writeln!(out, "# TYPE hds_serve_shed_total counter");
+        for kind in ServeBudgetKind::ALL {
+            let _ = writeln!(
+                out,
+                "hds_serve_shed_total{{budget=\"{}\"}} {}",
+                kind.label(),
+                self.serve_shed[kind as usize]
+            );
+        }
         let _ = writeln!(
             out,
             "# HELP hds_guard_trips_total Budget-guard trips by guard kind."
@@ -568,6 +682,31 @@ impl MetricsRecorder {
             "Simulated cycles background analyses overlapped execution.",
             &self.worker_lag_cycles,
         );
+        histogram(
+            &mut out,
+            "hds_serve_queue_depth",
+            "Shard mailbox depth at each pump.",
+            &self.serve_queue_depth,
+        );
+        for (metric, help, pick) in [
+            (
+                "hds_serve_shard_frames_total",
+                "Frames drained per serving shard.",
+                0usize,
+            ),
+            (
+                "hds_serve_shard_events_total",
+                "Workload events fed per serving shard.",
+                1usize,
+            ),
+        ] {
+            let _ = writeln!(out, "# HELP {metric} {help}");
+            let _ = writeln!(out, "# TYPE {metric} counter");
+            for (shard, drained) in &self.per_shard {
+                let value = if pick == 0 { drained.0 } else { drained.1 };
+                let _ = writeln!(out, "{metric}{{shard=\"{shard}\"}} {value}");
+            }
+        }
 
         for (metric, help, f) in [
             (
@@ -709,6 +848,34 @@ impl Observer for MetricsRecorder {
 
     fn recovery_gave_up(&mut self, _event: &RecoveryGaveUp) {
         self.recovery_gave_up += 1;
+    }
+
+    fn serve_session_opened(&mut self, _event: &ServeSessionOpened) {
+        self.serve_opened += 1;
+    }
+
+    fn serve_session_evicted(&mut self, _event: &ServeSessionEvicted) {
+        self.serve_evicted += 1;
+    }
+
+    fn serve_session_resumed(&mut self, event: &ServeSessionResumed) {
+        self.serve_resumed += 1;
+        self.serve_replayed_events += event.replayed_events;
+    }
+
+    fn serve_shed(&mut self, event: &ServeShed) {
+        self.serve_shed[event.kind as usize] += 1;
+    }
+
+    fn serve_busy(&mut self, _event: &ServeBusy) {
+        self.serve_busy += 1;
+    }
+
+    fn serve_shard_pump(&mut self, event: &ServeShardPump) {
+        self.serve_queue_depth.record(event.queued);
+        let shard = self.per_shard.entry(event.shard).or_default();
+        shard.0 += event.frames;
+        shard.1 += event.events;
     }
 }
 
@@ -901,6 +1068,81 @@ mod tests {
         assert!(text.contains("hds_recovery_rollforwards_total 1"));
         assert!(text.contains("hds_recovery_restarts_total 2"));
         assert!(text.contains("hds_recovery_backoff_cycles_total 3000"));
+    }
+
+    #[test]
+    fn serve_counters_histograms_and_labels() {
+        let mut m = MetricsRecorder::new();
+        m.serve_session_opened(&ServeSessionOpened {
+            tenant: 1,
+            shard: 0,
+        });
+        m.serve_session_opened(&ServeSessionOpened {
+            tenant: 2,
+            shard: 1,
+        });
+        m.serve_session_evicted(&ServeSessionEvicted {
+            tenant: 1,
+            shard: 0,
+            snapshot_bytes: 512,
+            tail_events: 3,
+        });
+        m.serve_session_resumed(&ServeSessionResumed {
+            tenant: 1,
+            shard: 0,
+            replayed_events: 3,
+        });
+        m.serve_shed(&ServeShed {
+            tenant: 2,
+            shard: 1,
+            kind: ServeBudgetKind::TenantQueue,
+            budget: 4,
+            observed: 5,
+        });
+        m.serve_shed(&ServeShed {
+            tenant: 2,
+            shard: 1,
+            kind: ServeBudgetKind::GlobalBytes,
+            budget: 1024,
+            observed: 2048,
+        });
+        m.serve_busy(&ServeBusy {
+            tenant: 3,
+            shard: 1,
+            budget: 2,
+            observed: 2,
+        });
+        m.serve_shard_pump(&ServeShardPump {
+            shard: 0,
+            queued: 4,
+            frames: 4,
+            events: 37,
+        });
+        m.serve_shard_pump(&ServeShardPump {
+            shard: 1,
+            queued: 0,
+            frames: 0,
+            events: 0,
+        });
+        assert_eq!(m.serve_sessions_opened(), 2);
+        assert_eq!(m.serve_sessions_evicted(), 1);
+        assert_eq!(m.serve_sessions_resumed(), 1);
+        assert_eq!(m.serve_replayed_events(), 3);
+        assert_eq!(m.serve_busy_total(), 1);
+        assert_eq!(m.serve_shed_by(ServeBudgetKind::TenantQueue), 1);
+        assert_eq!(m.serve_shed_by(ServeBudgetKind::LiveSessions), 0);
+        assert_eq!(m.serve_shed_total(), 2);
+        assert_eq!(m.serve_queue_depth().count(), 2);
+        assert_eq!(m.serve_queue_depth().sum(), 4);
+        assert_eq!(m.serve_per_shard()[&0], (4, 37));
+        let text = m.render_prometheus();
+        assert!(text.contains("hds_serve_sessions_opened_total 2"));
+        assert!(text.contains("hds_serve_shed_total{budget=\"tenant_queue\"} 1"));
+        assert!(text.contains("hds_serve_shed_total{budget=\"live_sessions\"} 0"));
+        assert!(text.contains("hds_serve_busy_total 1"));
+        assert!(text.contains("hds_serve_queue_depth_count 2"));
+        assert!(text.contains("hds_serve_shard_frames_total{shard=\"0\"} 4"));
+        assert!(text.contains("hds_serve_shard_events_total{shard=\"1\"} 0"));
     }
 
     #[test]

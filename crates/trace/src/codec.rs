@@ -54,7 +54,11 @@ impl std::fmt::Display for CodecError {
 
 impl std::error::Error for CodecError {}
 
-fn put_varint(out: &mut BytesMut, mut v: u64) {
+/// Appends an LEB128-style varint (7 data bits per byte, high bit =
+/// continuation). Public so higher layers — e.g. the `hds-serve` wire
+/// protocol — frame their payloads with the exact same primitives the
+/// profile codec uses.
+pub fn put_varint(out: &mut BytesMut, mut v: u64) {
     loop {
         let byte = (v & 0x7f) as u8;
         v >>= 7;
@@ -66,7 +70,13 @@ fn put_varint(out: &mut BytesMut, mut v: u64) {
     }
 }
 
-fn get_varint(buf: &mut Bytes) -> Result<u64, CodecError> {
+/// Reads a varint written by [`put_varint`].
+///
+/// # Errors
+///
+/// [`CodecError::Truncated`] when the buffer ends mid-varint,
+/// [`CodecError::Overlong`] when the encoding exceeds ten bytes.
+pub fn get_varint(buf: &mut Bytes) -> Result<u64, CodecError> {
     let mut v = 0u64;
     for shift in (0..64).step_by(7) {
         if !buf.has_remaining() {
@@ -83,11 +93,14 @@ fn get_varint(buf: &mut Bytes) -> Result<u64, CodecError> {
 
 /// Zigzag encoding maps small signed deltas to small unsigned varints.
 #[allow(clippy::cast_sign_loss)]
-fn zigzag(v: i64) -> u64 {
+#[must_use]
+pub fn zigzag(v: i64) -> u64 {
     ((v << 1) ^ (v >> 63)) as u64
 }
 
-fn unzigzag(v: u64) -> i64 {
+/// Inverse of [`zigzag`].
+#[must_use]
+pub fn unzigzag(v: u64) -> i64 {
     ((v >> 1) as i64) ^ -((v & 1) as i64)
 }
 
@@ -265,6 +278,19 @@ mod tests {
         for v in [0i64, 1, -1, 63, -64, i64::MAX, i64::MIN, 12345, -98765] {
             assert_eq!(unzigzag(zigzag(v)), v, "zigzag broken for {v}");
         }
+    }
+
+    #[test]
+    fn varint_round_trips() {
+        for v in [0u64, 1, 127, 128, 300, u64::from(u32::MAX), u64::MAX] {
+            let mut out = BytesMut::new();
+            put_varint(&mut out, v);
+            let mut buf = out.freeze();
+            assert_eq!(get_varint(&mut buf), Ok(v), "varint broken for {v}");
+            assert!(!buf.has_remaining());
+        }
+        let mut empty = Bytes::copy_from_slice(&[]);
+        assert_eq!(get_varint(&mut empty), Err(CodecError::Truncated));
     }
 
     #[test]

@@ -22,8 +22,10 @@
 //! | [`bursty`] | `hds-bursty` | bursty tracing counters and phases |
 //! | [`workloads`] | `hds-workloads` | the six benchmark models |
 //! | [`guard`] | `hds-guard` | budget guards, accuracy-driven deoptimization, fault injection |
+//! | [`telemetry`] | `hds-telemetry` | observers, metrics recorder, JSONL sink |
 //! | [`optimizer`] | `hds-core` | the dynamic prefetching optimizer |
 //! | [`engine`] | `hds-engine` | parallel suite runner (bit-identical to sequential) |
+//! | [`serve`] | `hds-serve` | sharded multi-tenant serving front-end (wire protocol, eviction, admission control) |
 //!
 //! # Quickstart
 //!
@@ -58,6 +60,8 @@ pub use hds_guard as guard;
 pub use hds_hotstream as hotstream;
 pub use hds_memsim as memsim;
 pub use hds_sequitur as sequitur;
+pub use hds_serve as serve;
+pub use hds_telemetry as telemetry;
 pub use hds_trace as trace;
 pub use hds_vulcan as vulcan;
 pub use hds_workloads as workloads;
