@@ -3,14 +3,17 @@
 
 CARGO ?= cargo
 
-.PHONY: verify build test clippy bench-smoke telemetry-demo chaos-smoke bench-par chaos-crash bench-recover serve-smoke
+.PHONY: verify build test clippy bench-smoke telemetry-demo chaos-smoke bench-par chaos-crash bench-recover serve-smoke trace-smoke bench-trend
 
 ## Tier-1 gate: release build, full test suite, clippy clean, chaos smoke,
 ## parallel-runner smoke (bit-identical + speedup + worker-lag stats),
 ## chaos-crash smoke (supervised recovery is bit-identical), the
-## recovery benchmark (checkpoint neutrality + snapshot sizes), and the
-## serving-layer smoke (sharded == sequential, graceful shedding).
-verify: build test clippy chaos-smoke bench-par chaos-crash bench-recover serve-smoke
+## recovery benchmark (checkpoint neutrality + snapshot sizes), the
+## serving-layer smoke (sharded == sequential, graceful shedding), the
+## flight-recorder smoke (tracing is bit-identical and crash dumps
+## land), and the bench-trend gate (serving throughput vs the committed
+## baseline).
+verify: build test clippy chaos-smoke bench-par chaos-crash bench-recover serve-smoke trace-smoke bench-trend
 
 build:
 	$(CARGO) build --release
@@ -57,6 +60,20 @@ bench-par:
 ## shedding under a tight budget. Writes results/BENCH_serve.json.
 serve-smoke:
 	$(CARGO) run --release -p hds-bench --bin bench_serve -- --test-scale
+
+## Flight-recorder smoke: every benchmark traced vs untraced (reports
+## and image digests bit-identical, spans well nested, export parses),
+## plus a forced supervised crash leaving a flightdump-*.json black
+## box. Writes results/BENCH_trace.json.
+trace-smoke:
+	$(CARGO) run --release -p hds-bench --bin bench_trace -- --test-scale
+
+## Bench-trend gate: the freshly written results/BENCH_serve.json
+## (serve-smoke runs first under `make verify`) against the committed
+## baseline — fails if serving throughput fell below 80% of HEAD's at
+## any shard count; skips with a note when either side is missing.
+bench-trend:
+	$(CARGO) run --release -p hds-bench --bin bench_trend
 
 ## Live telemetry walkthrough: per-cycle table, counter reconciliation,
 ## per-stream prefetch quality, Prometheus dump. Fast smoke scale; drop

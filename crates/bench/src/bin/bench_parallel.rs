@@ -21,9 +21,10 @@ use std::time::Instant;
 use hds_bench::scale_from_args;
 use hds_core::{AnalysisConcurrency, OptimizerConfig, PrefetchPolicy, SessionBuilder};
 use hds_engine::{fig11_matrix, run_suite, JobOutcome};
+use hds_flight::RunMeta;
 use hds_telemetry::MetricsRecorder;
 use hds_workloads::{benchmark, Benchmark, Scale};
-use serde::Value;
+use serde::{Serialize, Value};
 
 fn arg_after(flag: &str) -> Option<String> {
     let mut args = std::env::args();
@@ -156,6 +157,8 @@ fn main() {
 
     let result = obj(vec![
         ("record", Value::Str("bench_parallel".to_string())),
+        // Multi-mode matrix: no single config fingerprint applies.
+        ("meta", RunMeta::capture(None).to_value()),
         (
             "scale",
             Value::Str(match scale {

@@ -23,10 +23,11 @@ use hds_core::{
     RunMode, RunReport, SessionBuilder, Snapshot,
 };
 use hds_engine::{supervise, SupervisorPolicy};
+use hds_flight::RunMeta;
 use hds_telemetry::MetricsRecorder;
 use hds_vulcan::{Event, Procedure};
 use hds_workloads::{benchmark, Benchmark, Scale};
-use serde::Value;
+use serde::{Serialize, Value};
 
 fn arg_after(flag: &str) -> Option<String> {
     let mut args = std::env::args();
@@ -219,6 +220,8 @@ fn main() {
 
     let result = obj(vec![
         ("record", Value::Str("bench_recover".to_string())),
+        // Kill-schedule sweep spans several configs: no one fingerprint.
+        ("meta", RunMeta::capture(None).to_value()),
         ("scale", Value::Str("test".to_string())),
         ("schedules", Value::U64(schedules)),
         ("crashed_schedules", Value::U64(totals.crashed_schedules)),

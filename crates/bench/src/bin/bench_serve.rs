@@ -22,13 +22,14 @@
 use std::time::Instant;
 
 use hds_bench::scale_from_args;
-use hds_core::{OptimizerConfig, PrefetchPolicy, RunMode};
+use hds_core::{config_fingerprint, OptimizerConfig, PrefetchPolicy, RunMode};
+use hds_flight::RunMeta;
 use hds_guard::ServeBudgets;
 use hds_serve::load::{generate, standalone_reference, LoadConfig, TenantLoad};
 use hds_serve::{Frame, ServeConfig, SessionManager};
 use hds_telemetry::{Histogram, MetricsRecorder};
 use hds_workloads::Scale;
-use serde::Value;
+use serde::{Serialize, Value};
 
 fn arg_after(flag: &str) -> Option<String> {
     let mut args = std::env::args();
@@ -249,6 +250,10 @@ fn main() {
 
     let result = obj(vec![
         ("record", Value::Str("bench_serve".to_string())),
+        (
+            "meta",
+            RunMeta::capture(Some(config_fingerprint(&config, mode))).to_value(),
+        ),
         (
             "scale",
             Value::Str(match scale {

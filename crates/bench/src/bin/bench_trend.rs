@@ -1,0 +1,120 @@
+//! Bench-trend gate: compares a freshly generated
+//! `results/BENCH_serve.json` against the committed baseline
+//! (`git show <rev>:results/BENCH_serve.json`) and fails when serving
+//! throughput regressed more than the allowed fraction at any shard
+//! count.
+//!
+//! The comparison is deliberately coarse — a 20% guardrail against
+//! accidental quadratic blowups, not a microbenchmark — because both
+//! numbers come from the same host in the same `make verify` run.
+//! When either side is unavailable (no fresh file, no git, no baseline
+//! in the committed tree yet) the gate skips with a note instead of
+//! failing: absence of evidence is not a regression.
+//!
+//! Run: `cargo run --release -p hds-bench --bin bench_trend`
+//! (options: `--current <path>`, `--baseline-rev <rev>` (default
+//! `HEAD`), `--min-ratio <f>` (default 0.8)).
+
+use std::process::Command;
+
+use hds_bench::print_table;
+use serde::Value;
+
+fn arg_after(flag: &str) -> Option<String> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == flag {
+            return args.next();
+        }
+    }
+    None
+}
+
+/// `shards -> events_per_s` out of a BENCH_serve.json value.
+fn throughputs(doc: &Value) -> Vec<(u64, f64)> {
+    let Some(Value::Arr(rows)) = doc.get("per_shards") else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    for row in rows {
+        let (Some(Value::U64(shards)), Some(Value::F64(eps))) =
+            (row.get("shards"), row.get("events_per_s"))
+        else {
+            continue;
+        };
+        out.push((*shards, *eps));
+    }
+    out
+}
+
+fn baseline_blob(rev: &str, path: &str) -> Option<String> {
+    let out = Command::new("git")
+        .args(["show", &format!("{rev}:{path}")])
+        .output()
+        .ok()?;
+    if !out.status.success() {
+        return None;
+    }
+    Some(String::from_utf8_lossy(&out.stdout).into_owned())
+}
+
+fn main() {
+    let current_path =
+        arg_after("--current").unwrap_or_else(|| "results/BENCH_serve.json".to_string());
+    let rev = arg_after("--baseline-rev").unwrap_or_else(|| "HEAD".to_string());
+    let min_ratio: f64 = arg_after("--min-ratio")
+        .map(|f| f.parse().expect("--min-ratio takes a number"))
+        .unwrap_or(0.8);
+
+    let Ok(current_text) = std::fs::read_to_string(&current_path) else {
+        println!("bench-trend: no fresh {current_path}; skipping (run bench_serve first)");
+        return;
+    };
+    let Some(baseline_text) = baseline_blob(&rev, "results/BENCH_serve.json") else {
+        println!("bench-trend: no committed baseline at {rev}; skipping");
+        return;
+    };
+    let current = serde_json::parse_value_str(&current_text).expect("fresh BENCH_serve parses");
+    let baseline =
+        serde_json::parse_value_str(&baseline_text).expect("committed BENCH_serve parses");
+    let current_tp = throughputs(&current);
+    let baseline_tp = throughputs(&baseline);
+    if current_tp.is_empty() || baseline_tp.is_empty() {
+        println!("bench-trend: per_shards throughput missing on one side; skipping");
+        return;
+    }
+
+    println!(
+        "bench-trend: fresh {current_path} vs {rev} (fail below {:.0}% of baseline)",
+        min_ratio * 100.0
+    );
+    let mut rows = Vec::new();
+    let mut regressions = 0u32;
+    for (shards, cur) in &current_tp {
+        let Some((_, base)) = baseline_tp.iter().find(|(s, _)| s == shards) else {
+            continue;
+        };
+        let ratio = cur / base;
+        let ok = ratio >= min_ratio;
+        if !ok {
+            regressions += 1;
+        }
+        rows.push(vec![
+            shards.to_string(),
+            format!("{base:.0}"),
+            format!("{cur:.0}"),
+            format!("{:.2}x", ratio),
+            if ok { "ok" } else { "REGRESSED" }.to_string(),
+        ]);
+    }
+    print_table(
+        &["shards", "baseline ev/s", "current ev/s", "ratio", "status"],
+        &rows,
+    );
+    assert!(
+        regressions == 0,
+        "serving throughput regressed more than {:.0}% at {regressions} shard count(s)",
+        (1.0 - min_ratio) * 100.0
+    );
+    println!("bench-trend: throughput within budget at every shard count");
+}

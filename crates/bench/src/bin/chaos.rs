@@ -27,9 +27,11 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use hds_core::{
     AccuracyConfig, FaultPlan, GuardConfig, OptimizerConfig, PrefetchPolicy, SessionBuilder,
 };
+use hds_flight::RunMeta;
 use hds_telemetry::events::PrefetchFate;
 use hds_telemetry::MetricsRecorder;
 use hds_workloads::{benchmark, Benchmark, Scale};
+use serde::{Serialize, Value};
 
 fn schedules_from_args() -> u64 {
     let mut args = std::env::args();
@@ -278,7 +280,16 @@ fn write_bench_json(path: &std::path::Path) {
             l1_misses_on: on.mem.l1_misses,
         });
     }
-    let json = serde_json::to_string_pretty(&rows).expect("serializing bench rows");
+    let result = Value::Obj(vec![
+        ("record".to_string(), Value::Str("bench_guard".to_string())),
+        // Guard rotation spans two configs: no one fingerprint applies.
+        ("meta".to_string(), RunMeta::capture(None).to_value()),
+        (
+            "rows".to_string(),
+            Value::Arr(rows.iter().map(Serialize::to_value).collect()),
+        ),
+    ]);
+    let json = serde_json::to_string_pretty(&result).expect("serializing bench rows");
     std::fs::write(path, json + "\n").expect("writing --bench-json file");
     println!(
         "bench-json: guards-off == guards-on-untripped on all {} benchmarks -> {}",

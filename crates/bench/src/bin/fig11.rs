@@ -13,27 +13,45 @@
 //!
 //! Run: `cargo run --release -p hds-bench --bin fig11` (add
 //! `--test-scale` for a fast smoke run, `--jsonl <path>` to also dump
-//! every run report as one JSON record per line).
+//! every run report as one JSON record per line, `--trace-out <path>`
+//! to export every run's span timeline as Perfetto/chrome-trace JSON).
 
 use hds_bench::{
-    jsonl_path_from_args, pct, print_table, run, scale_from_args, write_reports_jsonl,
+    jsonl_path_from_args, pct, print_table, run, run_traced, scale_from_args,
+    trace_out_path_from_args, write_reports_jsonl,
 };
 use hds_core::{OptimizerConfig, RunMode};
+use hds_flight::{perfetto, FlightRecorder};
 use hds_workloads::Benchmark;
 
 fn main() {
     let scale = scale_from_args();
     let jsonl = jsonl_path_from_args();
+    let trace = trace_out_path_from_args();
+    let mut flight = trace
+        .as_ref()
+        .map(|_| FlightRecorder::new(1 << 16).with_label("fig11"));
+    let mut next_track = 0u32;
     let config = OptimizerConfig::paper_scale();
     println!("Figure 11: overhead of online profiling and analysis (positive = slower)");
     println!();
     let mut rows = Vec::new();
     let mut reports = Vec::new();
     for bench in Benchmark::ALL {
-        let base = run(bench, scale, RunMode::Baseline, &config);
-        let checks = run(bench, scale, RunMode::ChecksOnly, &config);
-        let prof = run(bench, scale, RunMode::Profile, &config);
-        let hds = run(bench, scale, RunMode::Analyze, &config);
+        // One Perfetto track per run, so the four configurations of a
+        // benchmark sit on adjacent, independently monotonic timelines.
+        let mut go = |mode: RunMode| match flight.as_mut() {
+            Some(rec) => {
+                rec.set_track_base(next_track);
+                next_track += 1;
+                run_traced(bench, scale, mode, &config, rec)
+            }
+            None => run(bench, scale, mode, &config),
+        };
+        let base = go(RunMode::Baseline);
+        let checks = go(RunMode::ChecksOnly);
+        let prof = go(RunMode::Profile);
+        let hds = go(RunMode::Analyze);
         rows.push(vec![
             bench.name().to_string(),
             pct(checks.overhead_vs(&base)),
@@ -54,6 +72,14 @@ fn main() {
         eprintln!(
             "wrote {} JSONL records to {}",
             reports.len(),
+            path.display()
+        );
+    }
+    if let (Some(path), Some(rec)) = (trace, flight) {
+        perfetto::write_chrome_trace(&path, &rec.records()).expect("writing --trace-out file");
+        eprintln!(
+            "wrote {} trace records to {}",
+            rec.total_recorded(),
             path.display()
         );
     }

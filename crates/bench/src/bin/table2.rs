@@ -14,27 +14,39 @@
 //!
 //! Run: `cargo run --release -p hds-bench --bin table2` (add
 //! `--jsonl <path>` to also dump every run report as one JSON record
-//! per line).
+//! per line, `--trace-out <path>` to export every run's span timeline
+//! as Perfetto/chrome-trace JSON).
 
-use hds_bench::{jsonl_path_from_args, print_table, run, scale_from_args, write_reports_jsonl};
+use hds_bench::{
+    jsonl_path_from_args, print_table, run, run_traced, scale_from_args, trace_out_path_from_args,
+    write_reports_jsonl,
+};
 use hds_core::{OptimizerConfig, PrefetchPolicy, RunMode};
+use hds_flight::{perfetto, FlightRecorder};
 use hds_workloads::Benchmark;
 
 fn main() {
     let scale = scale_from_args();
     let jsonl = jsonl_path_from_args();
+    let trace = trace_out_path_from_args();
+    let mut flight = trace
+        .as_ref()
+        .map(|_| FlightRecorder::new(1 << 16).with_label("table2"));
     let config = OptimizerConfig::paper_scale();
     println!("Table 2: detailed dynamic prefetching characterization (per-cycle averages)");
     println!();
     let mut rows = Vec::new();
     let mut reports = Vec::new();
-    for bench in Benchmark::ALL {
-        let report = run(
-            bench,
-            scale,
-            RunMode::Optimize(PrefetchPolicy::StreamTail),
-            &config,
-        );
+    for (track, bench) in Benchmark::ALL.iter().copied().enumerate() {
+        let mode = RunMode::Optimize(PrefetchPolicy::StreamTail);
+        let report = match flight.as_mut() {
+            Some(rec) => {
+                // One Perfetto track per benchmark run.
+                rec.set_track_base(u32::try_from(track).unwrap_or(u32::MAX));
+                run_traced(bench, scale, mode, &config, rec)
+            }
+            None => run(bench, scale, mode, &config),
+        };
         let avg = |f: fn(&hds_core::CycleStats) -> f64| report.cycle_avg(f);
         rows.push(vec![
             bench.name().to_string(),
@@ -73,6 +85,14 @@ fn main() {
         eprintln!(
             "wrote {} JSONL records to {}",
             reports.len(),
+            path.display()
+        );
+    }
+    if let (Some(path), Some(rec)) = (trace, flight) {
+        perfetto::write_chrome_trace(&path, &rec.records()).expect("writing --trace-out file");
+        eprintln!(
+            "wrote {} trace records to {}",
+            rec.total_recorded(),
             path.display()
         );
     }

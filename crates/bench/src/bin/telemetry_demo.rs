@@ -13,10 +13,13 @@
 //!
 //! Run: `cargo run --release -p hds-bench --bin telemetry_demo`
 //! (options: `--test-scale`, `--benchmark <name>`, `--jsonl <path>` to
-//! also stream one JSON record per telemetry event to a file).
+//! also stream one JSON record per telemetry event to a file,
+//! `--trace-out <path>` to export the run's span timeline as
+//! Perfetto/chrome-trace JSON).
 
-use hds_bench::{jsonl_path_from_args, print_table, scale_from_args};
+use hds_bench::{jsonl_path_from_args, print_table, scale_from_args, trace_out_path_from_args};
 use hds_core::{GuardConfig, OptimizerConfig, PrefetchPolicy, SessionBuilder};
+use hds_flight::{perfetto, FlightRecorder};
 use hds_telemetry::events::{CycleEnd, Deoptimize, GuardTripped, PhaseTransition, PrefetchFate};
 use hds_telemetry::{JsonlSink, MetricsRecorder, Observer};
 use hds_workloads::{benchmark, Benchmark};
@@ -148,11 +151,14 @@ fn main() {
 
     let mut rec = MetricsRecorder::new();
     let mut sink = JsonlSink::new(jsonl_out);
+    // The flight recorder rides along unconditionally (recording costs
+    // zero simulated cycles); the export is written only on request.
+    let mut flight = FlightRecorder::new(1 << 16).with_label(which.name());
     let mut w = benchmark(which, scale);
     let procs = w.procedures();
     let report = SessionBuilder::new(config)
         .procedures(procs)
-        .observer(((&mut rec, &mut sink), LiveTable))
+        .observer((((&mut rec, &mut sink), LiveTable), &mut flight))
         .optimize(PrefetchPolicy::StreamTail)
         .run(&mut *w);
 
@@ -258,6 +264,15 @@ fn main() {
         Err(e) => panic!("prometheus dump is malformed: {e}"),
     }
     println!("{prom}");
+
+    if let Some(path) = trace_out_path_from_args() {
+        perfetto::write_chrome_trace(&path, &flight.records()).expect("writing --trace-out file");
+        eprintln!(
+            "trace: {} span records -> {}",
+            flight.total_recorded(),
+            path.display()
+        );
+    }
 
     let records = sink.records();
     let errors = sink.write_errors();

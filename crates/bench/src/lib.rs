@@ -43,6 +43,20 @@ pub fn jsonl_path_from_args() -> Option<std::path::PathBuf> {
     None
 }
 
+/// Parses `--trace-out <path>` from the process arguments: the
+/// destination for a Perfetto/chrome-trace JSON export of the run's
+/// flight-recorder spans.
+#[must_use]
+pub fn trace_out_path_from_args() -> Option<std::path::PathBuf> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--trace-out" {
+            return args.next().map(std::path::PathBuf::from);
+        }
+    }
+    None
+}
+
 /// Writes `reports` to `path` as JSONL: one self-describing object per
 /// line, tagged with `record: "run_report"` and the producing binary's
 /// name in `source`, followed by every [`RunReport`] field.
@@ -93,6 +107,28 @@ pub fn run(which: Benchmark, scale: Scale, mode: RunMode, config: &OptimizerConf
     let procs = w.procedures();
     SessionBuilder::new(config.clone())
         .procedures(procs)
+        .mode(mode)
+        .run(&mut *w)
+}
+
+/// Like [`run`], but with a [`hds_flight::FlightRecorder`] attached so
+/// the run's span timeline lands in `recorder`. Recording charges zero
+/// simulated cycles, so the report is bit-identical to [`run`]'s
+/// (`bench_trace` enforces this; callers set the recorder's track base
+/// between runs to keep consecutive timelines apart).
+#[must_use]
+pub fn run_traced(
+    which: Benchmark,
+    scale: Scale,
+    mode: RunMode,
+    config: &OptimizerConfig,
+    recorder: &mut hds_flight::FlightRecorder,
+) -> RunReport {
+    let mut w = benchmark(which, scale);
+    let procs = w.procedures();
+    SessionBuilder::new(config.clone())
+        .procedures(procs)
+        .observer(recorder)
         .mode(mode)
         .run(&mut *w)
 }

@@ -359,6 +359,9 @@ impl<O: Observer, F: FaultInjector> Session<O, F> {
                 opt_cycle: 0,
                 at_cycle: 0,
             });
+            session
+                .obs
+                .span(&tev::SpanEvent::begin(tev::SpanKind::Profile, 0));
         }
         session
     }
@@ -602,13 +605,36 @@ impl<O: Observer, F: FaultInjector> Session<O, F> {
             checkpoints: true,
             dfsm_rebuild: state.dfsm_rebuild,
         };
-        Ok(Session {
+        let mut session = Session {
             config,
             mode,
             st,
             obs,
             faults,
-        })
+        };
+        // Re-open the restored phase's span so a recorder that outlives
+        // the crashed attempt (the supervisor's observer) never sees an
+        // end boundary without a matching begin.
+        if O::ENABLED && session.mode.records() {
+            let kind = match session.st.tracer.phase() {
+                Phase::Awake => tev::SpanKind::Profile,
+                Phase::Hibernating => tev::SpanKind::Hibernate,
+            };
+            let opt_cycle = session.st.cycle_stats.len() as u64;
+            session
+                .obs
+                .span(&tev::SpanEvent::begin(kind, session.st.cycles).with_args(opt_cycle, 0));
+            // Ditto for a re-submitted in-flight background analysis:
+            // its eventual resolution emits an end boundary.
+            if let Some(p) = session.st.bg.as_ref().and_then(|bg| bg.pending.as_ref()) {
+                let trace_len = p.request.refs.len() as u64;
+                session.obs.span(
+                    &tev::SpanEvent::begin(tev::SpanKind::BgAnalysis, p.handoff_at)
+                        .with_args(opt_cycle, trace_len),
+                );
+            }
+        }
+        Ok(session)
     }
 
     /// Processes one execution event, charging its simulated cost and
@@ -706,6 +732,18 @@ impl<O: Observer, F: FaultInjector> Session<O, F> {
         // Deliver any outcomes resolved since the last access (e.g.
         // pollution from the final fills).
         drain_outcomes(&mut self.st, &mut self.obs);
+        // Close the phase span left open at program end. A crashed
+        // session closes nothing: its dangling spans are exactly what a
+        // flight dump uses to name the phase that died.
+        if O::ENABLED && self.mode.records() && !self.st.crashed {
+            let kind = match self.st.tracer.phase() {
+                Phase::Awake => tev::SpanKind::Profile,
+                Phase::Hibernating => tev::SpanKind::Hibernate,
+            };
+            let opt_cycle = self.st.cycle_stats.len() as u64;
+            self.obs
+                .span(&tev::SpanEvent::end(kind, self.st.cycles).with_args(opt_cycle, 0));
+        }
         let mode_label = match self.mode {
             RunMode::Baseline => "Baseline".to_string(),
             RunMode::ChecksOnly => "Base".to_string(),
@@ -868,6 +906,18 @@ fn do_check<O: Observer, F: FaultInjector>(
                     }
                     Some(Signal::BurstEnd) if st.buffer.in_burst() => {
                         st.buffer.end_burst_discard_empty();
+                        // One recorded burst folded into the grammar
+                        // (inline analysis only): a = references absorbed
+                        // so far this phase, b = grammar rules.
+                        if O::ENABLED && mode.analyzes() && st.bg.is_none() {
+                            obs.span(
+                                &tev::SpanEvent::instant(tev::SpanKind::SequiturAppend, st.cycles)
+                                    .with_args(
+                                        st.sequitur.input_len(),
+                                        st.sequitur.rule_count() as u64,
+                                    ),
+                            );
+                        }
                     }
                     Some(Signal::BurstBegin) => {}
                     Some(Signal::BurstEnd) if st.tracer.phase() == Phase::Hibernating => {
@@ -884,6 +934,12 @@ fn do_check<O: Observer, F: FaultInjector>(
                         if st.buffer.in_burst() {
                             st.buffer.end_burst_discard_empty();
                         }
+                        if O::ENABLED {
+                            obs.span(
+                                &tev::SpanEvent::end(tev::SpanKind::Profile, st.cycles)
+                                    .with_args(st.cycle_stats.len() as u64, 0),
+                            );
+                        }
                         finish_awake(config, mode, st, obs, faults);
                         if st.crashed {
                             // Killed mid-edit or mid-handoff inside the
@@ -894,6 +950,10 @@ fn do_check<O: Observer, F: FaultInjector>(
                         st.tracer.hibernate();
                         if O::ENABLED {
                             obs.phase_transition(&phase_event(st, tev::PhaseKind::Hibernating));
+                            obs.span(
+                                &tev::SpanEvent::begin(tev::SpanKind::Hibernate, st.cycles)
+                                    .with_args(st.cycle_stats.len() as u64, 0),
+                            );
                         }
                         checkpoint(config, mode, st, obs, faults);
                     }
@@ -905,9 +965,23 @@ fn do_check<O: Observer, F: FaultInjector>(
                             st.tracer.hibernate();
                             if O::ENABLED {
                                 obs.phase_transition(&phase_event(st, tev::PhaseKind::Hibernating));
+                                obs.span(
+                                    &tev::SpanEvent::end(tev::SpanKind::Hibernate, st.cycles)
+                                        .with_args(st.cycle_stats.len() as u64, 0),
+                                );
+                                obs.span(
+                                    &tev::SpanEvent::begin(tev::SpanKind::Hibernate, st.cycles)
+                                        .with_args(st.cycle_stats.len() as u64, 0),
+                                );
                             }
                             checkpoint(config, mode, st, obs, faults);
                         } else {
+                            if O::ENABLED {
+                                obs.span(
+                                    &tev::SpanEvent::end(tev::SpanKind::Hibernate, st.cycles)
+                                        .with_args(st.cycle_stats.len() as u64, 0),
+                                );
+                            }
                             // A background analysis that missed the
                             // whole hibernation span can no longer be
                             // installed: resolve it as starved before
@@ -944,6 +1018,10 @@ fn do_check<O: Observer, F: FaultInjector>(
                                     opt_cycle: st.cycle_stats.len() as u64,
                                     at_cycle: st.cycles,
                                 });
+                                obs.span(
+                                    &tev::SpanEvent::begin(tev::SpanKind::Profile, st.cycles)
+                                        .with_args(st.cycle_stats.len() as u64, 0),
+                                );
                             }
                             checkpoint(config, mode, st, obs, faults);
                         }
@@ -1004,8 +1082,22 @@ fn checkpoint<O: Observer, F: FaultInjector>(
     // crash schedules land identically for supervised and bare runs.
     if F::ENABLED && faults.crash(CrashPoint::PhaseBoundary) {
         st.crashed = true;
+        if O::ENABLED {
+            obs.span(
+                &tev::SpanEvent::instant(tev::SpanKind::Crash, st.cycles)
+                    .with_args(CRASH_PHASE_BOUNDARY, st.cycle_stats.len() as u64),
+            );
+        }
     }
 }
+
+/// `a`-payload of a [`tev::SpanKind::Crash`] instant: which
+/// [`CrashPoint`] killed the session.
+pub(crate) const CRASH_PHASE_BOUNDARY: u64 = 0;
+/// See [`CRASH_PHASE_BOUNDARY`].
+pub(crate) const CRASH_MID_EDIT: u64 = 1;
+/// See [`CRASH_PHASE_BOUNDARY`].
+pub(crate) const CRASH_MID_HANDOFF: u64 = 2;
 
 /// Exports the full mutable run state for serialization. The
 /// fault-injector's in-simulation stream rides along so a resumed
@@ -1259,6 +1351,13 @@ fn finish_awake<O: Observer, F: FaultInjector>(
             }
             st.cycles += c;
             st.breakdown.analysis += c;
+            // a = grammar size the pass runs over, b = traced references.
+            if O::ENABLED {
+                obs.span(
+                    &tev::SpanEvent::begin(tev::SpanKind::Analyze, st.cycles)
+                        .with_args(grammar.size() as u64, trace_len),
+                );
+            }
             let analysis_cfg = config
                 .analysis
                 .clone()
@@ -1301,7 +1400,23 @@ fn finish_awake<O: Observer, F: FaultInjector>(
                     }
                 }
                 if !streams.is_empty() {
-                    match machine_for(&streams, config) {
+                    // a = streams fed to subset construction; the end
+                    // boundary's b = resulting state count (0 on failure).
+                    if O::ENABLED {
+                        obs.span(
+                            &tev::SpanEvent::begin(tev::SpanKind::DfsmBuild, st.cycles)
+                                .with_args(streams.len() as u64, 0),
+                        );
+                    }
+                    let built = machine_for(&streams, config);
+                    if O::ENABLED {
+                        let states = built.as_ref().map_or(0, |d| d.state_count() as u64);
+                        obs.span(
+                            &tev::SpanEvent::end(tev::SpanKind::DfsmBuild, st.cycles)
+                                .with_args(streams.len() as u64, states),
+                        );
+                    }
+                    match built {
                         Ok(dfsm) => {
                             install_machine(config, st, obs, faults, dfsm, streams, &mut stats);
                         }
@@ -1334,6 +1449,12 @@ fn finish_awake<O: Observer, F: FaultInjector>(
                     grammar_size: stats.grammar_size,
                 });
             }
+            if O::ENABLED {
+                obs.span(
+                    &tev::SpanEvent::end(tev::SpanKind::Analyze, st.cycles)
+                        .with_args(stats.grammar_size as u64, stats.traced_refs),
+                );
+            }
             st.cycle_stats.push(stats);
         }
         // Fresh profile for the next cycle: hibernation references are
@@ -1360,6 +1481,16 @@ fn install_machine<O: Observer, F: FaultInjector>(
 ) {
     let cost = config.hierarchy.cost;
     let checks = dfsm.checks_by_pc();
+    // a = distinct check sites being patched. The end boundary is
+    // emitted on every exit — including the torn mid-edit crash, so
+    // exported traces stay well nested; the Crash instant (not a
+    // dangling span) names that kill point.
+    if O::ENABLED {
+        obs.span(
+            &tev::SpanEvent::begin(tev::SpanKind::ImageEdit, st.cycles)
+                .with_args(checks.len() as u64, 0),
+        );
+    }
     let mut edit = st.image.edit();
     for (pc, chain) in &checks {
         if F::ENABLED {
@@ -1383,12 +1514,24 @@ fn install_machine<O: Observer, F: FaultInjector>(
     if F::ENABLED && faults.crash(CrashPoint::MidEdit) {
         st.crashed = true;
         tear = Some(checks.len() / 2);
+        if O::ENABLED {
+            obs.span(
+                &tev::SpanEvent::instant(tev::SpanKind::Crash, st.cycles)
+                    .with_args(CRASH_MID_EDIT, st.cycle_stats.len() as u64),
+            );
+        }
     }
     match edit.commit_journaled(&mut st.journal, tear) {
         Ok(None) => {
             // Torn mid-commit: a prefix of the patches landed and the
             // journal entry is pending. This session is dead; nothing
             // more happens in it (recovery rolls the image forward).
+            if O::ENABLED {
+                obs.span(
+                    &tev::SpanEvent::end(tev::SpanKind::ImageEdit, st.cycles)
+                        .with_args(checks.len() as u64, 1),
+                );
+            }
             return;
         }
         Ok(Some(report)) => {
@@ -1424,6 +1567,12 @@ fn install_machine<O: Observer, F: FaultInjector>(
             // no optimize cost is charged, and the cycle completes
             // unoptimized.
         }
+    }
+    if O::ENABLED {
+        obs.span(
+            &tev::SpanEvent::end(tev::SpanKind::ImageEdit, st.cycles)
+                .with_args(checks.len() as u64, 0),
+        );
     }
     // A fault may force a thread switch "during" the stop-the-world
     // edit; it lands at the commit point, so stale activations exercise
@@ -1520,6 +1669,13 @@ fn handoff_analysis<O: Observer, F: FaultInjector>(
             at_cycle: st.cycles,
             trace_len,
         });
+        // The worker's span lives on its own lane: it begins before the
+        // awake phase's successor opens and ends mid-hibernation.
+        // a = optimization cycle, b = handed-off trace length.
+        obs.span(
+            &tev::SpanEvent::begin(tev::SpanKind::BgAnalysis, st.cycles)
+                .with_args(st.cycle_stats.len() as u64, trace_len),
+        );
     }
     // The mid-handoff kill point: the process dies after the trace left
     // for the worker but before hibernation began. The pending request
@@ -1527,6 +1683,12 @@ fn handoff_analysis<O: Observer, F: FaultInjector>(
     // and hands off again, deterministically.
     if F::ENABLED && faults.crash(CrashPoint::MidHandoff) {
         st.crashed = true;
+        if O::ENABLED {
+            obs.span(
+                &tev::SpanEvent::instant(tev::SpanKind::Crash, st.cycles)
+                    .with_args(CRASH_MID_HANDOFF, st.cycle_stats.len() as u64),
+            );
+        }
     }
 }
 
@@ -1615,6 +1777,10 @@ fn mark_starved<O: Observer>(
             at_cycle: st.cycles,
             lag_cycles: lag,
         });
+        obs.span(
+            &tev::SpanEvent::end(tev::SpanKind::BgAnalysis, st.cycles)
+                .with_args(st.cycle_stats.len() as u64, lag),
+        );
     }
     degraded_cycle(st, obs, outcome.trace_len, outcome.grammar_size);
 }
@@ -1644,6 +1810,10 @@ fn apply_outcome<O: Observer, F: FaultInjector>(
             at_cycle: st.cycles,
             lag_cycles: lag,
         });
+        obs.span(
+            &tev::SpanEvent::end(tev::SpanKind::BgAnalysis, st.cycles)
+                .with_args(st.cycle_stats.len() as u64, lag),
+        );
     }
     let trip = st
         .guard

@@ -71,7 +71,7 @@ pub use config::{
 pub use executor::Executor;
 pub use executor::Session;
 pub use report::{CostBreakdown, CycleStats, RunReport, WorkerStats};
-pub use snapshot::{Snapshot, SnapshotError};
+pub use snapshot::{config_fingerprint, Snapshot, SnapshotError};
 
 // Observability: the observer contract lives in `hds_telemetry`;
 // re-exported here so embedders wiring a `Session` observer need only

@@ -228,8 +228,10 @@ impl Snapshot {
 /// Deterministic fingerprint of the (configuration, run-mode) pair a
 /// snapshot was captured under. `DefaultHasher` over the `Debug`
 /// renderings: stable within a build, which is the compatibility domain
-/// snapshots need (resume targets the same binary).
-pub(crate) fn config_fingerprint(config: &OptimizerConfig, mode: RunMode) -> u64 {
+/// snapshots need (resume targets the same binary). Public so bench
+/// writers can stamp `results/BENCH_*.json` meta blocks with the exact
+/// configuration a number was measured under.
+pub fn config_fingerprint(config: &OptimizerConfig, mode: RunMode) -> u64 {
     use std::hash::{Hash, Hasher};
     let mut h = std::collections::hash_map::DefaultHasher::new();
     format!("{config:?}").hash(&mut h);

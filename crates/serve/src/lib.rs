@@ -38,7 +38,7 @@ pub mod wire;
 pub use manager::{chunk_cost, tenant_key, ServeConfig, ServeConfigError, SessionManager};
 pub use report::{ServeReport, ShardStats, TenantOutcome};
 pub use transport::{loopback, LoopbackTransport, Transport, TransportError};
-pub use wire::{Frame, FrameError, MAX_FRAME_BYTES, WIRE_VERSION};
+pub use wire::{Frame, FrameError, ShardSummary, TenantStats, MAX_FRAME_BYTES, WIRE_VERSION};
 
 use hds_core::Observer;
 

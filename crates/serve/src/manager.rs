@@ -45,10 +45,15 @@ use hds_telemetry::events::ServeBudgetKind;
 use hds_vulcan::{Event, Procedure};
 
 use crate::report::{ServeReport, ShardStats, TenantOutcome};
-use crate::wire::{Frame, WIRE_VERSION};
+use crate::wire::{Frame, ShardSummary, TenantStats, WIRE_VERSION};
 
 /// Virtual points per shard on the consistent-hash ring.
 const VNODES_PER_SHARD: u32 = 64;
+
+/// The `a` argument of the `Crash` span instant a mid-frame shard kill
+/// leaves in the flight ring. Continues the core executor's crash-point
+/// numbering (0 = phase boundary, 1 = mid edit, 2 = mid handoff).
+const CRASH_MID_FRAME: u64 = 3;
 
 /// FNV-1a — the tenant key used for ring placement and telemetry.
 #[must_use]
@@ -206,6 +211,7 @@ enum Note {
         replayed: u64,
     },
     Restarted {
+        key: u64,
         attempt: u32,
         resumed_at: u64,
     },
@@ -366,7 +372,25 @@ impl<O: Observer> SessionManager<O> {
     /// call [`SessionManager::pump`] to execute it.
     pub fn handle(&mut self, frame: Frame) -> Vec<Frame> {
         self.clock += 1;
-        match frame {
+        // Span the frame on its tenant's shard track (track 0 for
+        // tenant-less frames), carrying the wire kind tag and tenant
+        // key so a flight dump names what was in flight.
+        let (track, tag, key) = (
+            frame
+                .tenant()
+                .and_then(|t| self.tenants.get(t))
+                .map_or(0, |c| c.shard + 1),
+            u64::from(frame.kind_tag()),
+            frame.tenant().map_or(0, tenant_key),
+        );
+        if O::ENABLED {
+            self.obs.span(
+                &tev::SpanEvent::begin(tev::SpanKind::ServeFrame, self.clock)
+                    .on_track(track)
+                    .with_args(tag, key),
+            );
+        }
+        let responses = match frame {
             Frame::Hello { .. } => {
                 // Version validity is enforced at decode time.
                 self.hello_done = true;
@@ -380,12 +404,77 @@ impl<O: Observer> SessionManager<O> {
             Frame::Flush { tenant } => self.flush(tenant),
             Frame::Evict { tenant } => self.evict(&tenant),
             Frame::Resume { tenant } => self.resume(tenant),
+            Frame::Introspect { tenant } => self.introspect(&tenant),
             Frame::HelloAck { .. }
             | Frame::Report { .. }
             | Frame::Busy { .. }
             | Frame::Shed { .. }
-            | Frame::Reject { .. } => self.reject("server-to-client frame from client"),
+            | Frame::Reject { .. }
+            | Frame::Stats { .. } => self.reject("server-to-client frame from client"),
+        };
+        if O::ENABLED {
+            self.obs.span(
+                &tev::SpanEvent::end(tev::SpanKind::ServeFrame, self.clock)
+                    .on_track(track)
+                    .with_args(tag, responses.len() as u64),
+            );
         }
+        responses
+    }
+
+    /// Answers [`Frame::Introspect`] from live control-plane and shard
+    /// state — no flush, no pump, no rehydration, and (`Stats` being
+    /// pure observation) no admission-control charge.
+    fn introspect(&mut self, filter: &str) -> Vec<Frame> {
+        if !filter.is_empty() && !self.tenants.contains_key(filter) {
+            return self.reject("unknown tenant");
+        }
+        let tenants = self
+            .tenants
+            .iter()
+            .filter(|(name, _)| filter.is_empty() || name.as_str() == filter)
+            .map(|(name, ctrl)| {
+                let (events_consumed, snapshots, tail_events) = self.shards[ctrl.shard as usize]
+                    .sessions
+                    .get(name)
+                    .map_or((0, 0, 0), |state| match (&state.live, &state.cold) {
+                        (Some(live), _) => (
+                            live.session.events_consumed(),
+                            live.session.snapshots_taken(),
+                            live.tail.len() as u64,
+                        ),
+                        (None, Some(cold)) => (0, 0, cold.tail.len() as u64),
+                        (None, None) => (0, 0, 0),
+                    });
+                TenantStats {
+                    tenant: name.clone(),
+                    shard: ctrl.shard,
+                    live: ctrl.live,
+                    finished: ctrl.finished,
+                    queued_chunks: ctrl.queued_chunks,
+                    events_consumed,
+                    snapshots,
+                    tail_events,
+                }
+            })
+            .collect();
+        let shards = self
+            .shards
+            .iter()
+            .map(|s| ShardSummary {
+                shard: s.index,
+                mailbox_depth: s.mailbox.len() as u64,
+                live_sessions: s.sessions.values().filter(|t| t.live.is_some()).count() as u64,
+                frames: s.frames_total,
+                events: s.events_total,
+            })
+            .collect();
+        vec![Frame::Stats {
+            clock: self.clock,
+            queued_bytes: self.global_queued_bytes,
+            tenants,
+            shards,
+        }]
     }
 
     fn reject(&mut self, reason: &str) -> Vec<Frame> {
@@ -607,6 +696,16 @@ impl<O: Observer> SessionManager<O> {
             .map(|s| (s.index, std::mem::take(&mut s.notes)))
             .collect();
         for (shard, notes) in noted {
+            if O::ENABLED {
+                // One ShardPump span per shard per pump, replayed on
+                // the shard's track in shard order — same determinism
+                // story as the note replay itself.
+                self.obs.span(
+                    &tev::SpanEvent::begin(tev::SpanKind::ShardPump, self.clock)
+                        .on_track(shard + 1),
+                );
+            }
+            let (mut pumped_frames, mut pumped_events) = (0u64, 0u64);
             for note in notes {
                 match note {
                     Note::Evicted {
@@ -636,11 +735,19 @@ impl<O: Observer> SessionManager<O> {
                         }
                     }
                     Note::Restarted {
+                        key,
                         attempt,
                         resumed_at,
                     } => {
                         self.tally.restarts += 1;
                         if O::ENABLED {
+                            // The crash instant names the shard and
+                            // tenant a flight dump should blame.
+                            self.obs.span(
+                                &tev::SpanEvent::instant(tev::SpanKind::Crash, self.clock)
+                                    .on_track(shard + 1)
+                                    .with_args(CRASH_MID_FRAME, key),
+                            );
                             self.obs.recovery_restart(&tev::RecoveryRestart {
                                 attempt,
                                 resumed_at_event: resumed_at,
@@ -653,6 +760,8 @@ impl<O: Observer> SessionManager<O> {
                         frames,
                         events,
                     } => {
+                        pumped_frames = frames;
+                        pumped_events = events;
                         if O::ENABLED {
                             self.obs.serve_shard_pump(&tev::ServeShardPump {
                                 shard,
@@ -679,6 +788,13 @@ impl<O: Observer> SessionManager<O> {
                         });
                     }
                 }
+            }
+            if O::ENABLED {
+                self.obs.span(
+                    &tev::SpanEvent::end(tev::SpanKind::ShardPump, self.clock)
+                        .on_track(shard + 1)
+                        .with_args(pumped_frames, pumped_events),
+                );
             }
         }
         // Everything enqueued was drained; reset queue accounting.
@@ -853,6 +969,7 @@ impl Shard {
                         ensure_live(state, optimizer, mode, &mut self.notes, key);
                         let live = state.live.as_ref().expect("just rehydrated");
                         self.notes.push(Note::Restarted {
+                            key,
                             attempt: state.crash_attempts,
                             resumed_at: live.session.events_consumed(),
                         });

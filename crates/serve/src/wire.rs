@@ -41,11 +41,13 @@ const K_CHUNK: u8 = 0x03;
 const K_FLUSH: u8 = 0x04;
 const K_EVICT: u8 = 0x05;
 const K_RESUME: u8 = 0x06;
+const K_INTROSPECT: u8 = 0x07;
 const K_HELLO_ACK: u8 = 0x81;
 const K_REPORT: u8 = 0x82;
 const K_BUSY: u8 = 0x83;
 const K_SHED: u8 = 0x84;
 const K_REJECT: u8 = 0x85;
+const K_STATS: u8 = 0x86;
 
 // Event tags inside a TraceChunk payload.
 const E_ENTER: u8 = 0;
@@ -126,6 +128,47 @@ impl From<CodecError> for FrameError {
     }
 }
 
+/// Live summary of one tenant inside a [`Frame::Stats`] answer —
+/// read straight off the control plane and the owning shard, without
+/// flushing, pumping, or rehydrating anything.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TenantStats {
+    /// Tenant identifier.
+    pub tenant: String,
+    /// The shard the tenant is consistently hashed onto.
+    pub shard: u32,
+    /// Whether the tenant currently holds a live session slot.
+    pub live: bool,
+    /// Whether the tenant has been flushed (its report is final).
+    pub finished: bool,
+    /// Chunks enqueued on the control plane since the last pump.
+    pub queued_chunks: u64,
+    /// Events the live session has consumed so far (0 while the
+    /// tenant is hibernated — reading it would mean rehydrating).
+    pub events_consumed: u64,
+    /// Phase-boundary snapshots the live session has taken (0 while
+    /// hibernated, for the same reason).
+    pub snapshots: u64,
+    /// Events in the replay tail (journal since the last snapshot),
+    /// live or hibernated.
+    pub tail_events: u64,
+}
+
+/// Live summary of one shard inside a [`Frame::Stats`] answer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShardSummary {
+    /// Shard index.
+    pub shard: u32,
+    /// Messages waiting in the shard mailbox (not yet pumped).
+    pub mailbox_depth: u64,
+    /// Tenant sessions currently materialized on the shard.
+    pub live_sessions: u64,
+    /// Trace-chunk frames the shard has pumped so far.
+    pub frames: u64,
+    /// Trace events the shard has pumped so far.
+    pub events: u64,
+}
+
 /// One protocol message, either direction.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Frame {
@@ -161,6 +204,14 @@ pub enum Frame {
     /// Explicitly rehydrates an evicted tenant.
     Resume {
         /// Tenant identifier.
+        tenant: String,
+    },
+    /// Asks for live state without flushing: the server answers with
+    /// one [`Frame::Stats`]. An empty tenant string means "all
+    /// tenants"; a non-empty one narrows the answer to that tenant
+    /// (unknown tenants are a [`Frame::Reject`]).
+    Introspect {
+        /// Tenant filter ("" = all).
         tenant: String,
     },
     /// Server handshake acknowledgement.
@@ -202,6 +253,19 @@ pub enum Frame {
     Reject {
         /// Human-readable reason.
         reason: String,
+    },
+    /// The live-state answer to [`Frame::Introspect`]. A snapshot of
+    /// the control plane and shard state at one control-plane tick;
+    /// per-session counters reflect the last pump.
+    Stats {
+        /// The control-plane clock when the answer was taken.
+        clock: u64,
+        /// Bytes of queued chunks charged against the global budget.
+        queued_bytes: u64,
+        /// Per-tenant summaries (filtered when the request named one).
+        tenants: Vec<TenantStats>,
+        /// Per-shard summaries (always all shards).
+        shards: Vec<ShardSummary>,
     },
 }
 
@@ -355,6 +419,80 @@ fn get_events(buf: &mut Bytes) -> Result<Vec<Event>, FrameError> {
     Ok(events)
 }
 
+fn put_tenant_stats(out: &mut BytesMut, stats: &[TenantStats]) {
+    put_varint(out, stats.len() as u64);
+    for t in stats {
+        put_string(out, &t.tenant);
+        put_varint(out, u64::from(t.shard));
+        out.put_u8(u8::from(t.live) | (u8::from(t.finished) << 1));
+        put_varint(out, t.queued_chunks);
+        put_varint(out, t.events_consumed);
+        put_varint(out, t.snapshots);
+        put_varint(out, t.tail_events);
+    }
+}
+
+fn get_tenant_stats(buf: &mut Bytes) -> Result<Vec<TenantStats>, FrameError> {
+    let n = get_varint(buf)?;
+    if n > u64::from(MAX_FRAME_BYTES) {
+        return Err(FrameError::BadPayload("tenant count exceeds frame cap"));
+    }
+    let mut stats = Vec::new();
+    for _ in 0..n {
+        let tenant = get_string(buf)?;
+        let shard = u32::try_from(get_varint(buf)?)
+            .map_err(|_| FrameError::BadPayload("shard overflow"))?;
+        if !buf.has_remaining() {
+            return Err(FrameError::Truncated);
+        }
+        let flags = buf.get_u8();
+        if flags > 0b11 {
+            return Err(FrameError::BadPayload("unknown tenant flags"));
+        }
+        stats.push(TenantStats {
+            tenant,
+            shard,
+            live: flags & 0b01 != 0,
+            finished: flags & 0b10 != 0,
+            queued_chunks: get_varint(buf)?,
+            events_consumed: get_varint(buf)?,
+            snapshots: get_varint(buf)?,
+            tail_events: get_varint(buf)?,
+        });
+    }
+    Ok(stats)
+}
+
+fn put_shard_summaries(out: &mut BytesMut, shards: &[ShardSummary]) {
+    put_varint(out, shards.len() as u64);
+    for s in shards {
+        put_varint(out, u64::from(s.shard));
+        put_varint(out, s.mailbox_depth);
+        put_varint(out, s.live_sessions);
+        put_varint(out, s.frames);
+        put_varint(out, s.events);
+    }
+}
+
+fn get_shard_summaries(buf: &mut Bytes) -> Result<Vec<ShardSummary>, FrameError> {
+    let n = get_varint(buf)?;
+    if n > u64::from(MAX_FRAME_BYTES) {
+        return Err(FrameError::BadPayload("shard count exceeds frame cap"));
+    }
+    let mut shards = Vec::new();
+    for _ in 0..n {
+        shards.push(ShardSummary {
+            shard: u32::try_from(get_varint(buf)?)
+                .map_err(|_| FrameError::BadPayload("shard overflow"))?,
+            mailbox_depth: get_varint(buf)?,
+            live_sessions: get_varint(buf)?,
+            frames: get_varint(buf)?,
+            events: get_varint(buf)?,
+        });
+    }
+    Ok(shards)
+}
+
 fn put_procedures(out: &mut BytesMut, procedures: &[Procedure]) {
     put_varint(out, procedures.len() as u64);
     for p in procedures {
@@ -391,6 +529,50 @@ fn get_procedures(buf: &mut Bytes) -> Result<Vec<Procedure>, FrameError> {
 }
 
 impl Frame {
+    /// The frame's wire kind tag — what `ServeFrame` spans carry in
+    /// their `a` argument so a flight dump names the frame kind.
+    #[must_use]
+    pub fn kind_tag(&self) -> u8 {
+        match self {
+            Frame::Hello { .. } => K_HELLO,
+            Frame::OpenSession { .. } => K_OPEN,
+            Frame::TraceChunk { .. } => K_CHUNK,
+            Frame::Flush { .. } => K_FLUSH,
+            Frame::Evict { .. } => K_EVICT,
+            Frame::Resume { .. } => K_RESUME,
+            Frame::Introspect { .. } => K_INTROSPECT,
+            Frame::HelloAck { .. } => K_HELLO_ACK,
+            Frame::Report { .. } => K_REPORT,
+            Frame::Busy { .. } => K_BUSY,
+            Frame::Shed { .. } => K_SHED,
+            Frame::Reject { .. } => K_REJECT,
+            Frame::Stats { .. } => K_STATS,
+        }
+    }
+
+    /// The tenant this frame addresses, if any. An [`Frame::Introspect`]
+    /// with an empty filter addresses no single tenant and returns
+    /// `None`.
+    #[must_use]
+    pub fn tenant(&self) -> Option<&str> {
+        match self {
+            Frame::OpenSession { tenant, .. }
+            | Frame::TraceChunk { tenant, .. }
+            | Frame::Flush { tenant }
+            | Frame::Evict { tenant }
+            | Frame::Resume { tenant }
+            | Frame::Report { tenant, .. }
+            | Frame::Busy { tenant, .. }
+            | Frame::Shed { tenant, .. } => Some(tenant),
+            Frame::Introspect { tenant } if !tenant.is_empty() => Some(tenant),
+            Frame::Hello { .. }
+            | Frame::HelloAck { .. }
+            | Frame::Reject { .. }
+            | Frame::Stats { .. }
+            | Frame::Introspect { .. } => None,
+        }
+    }
+
     /// Serializes the frame, length prefix included.
     #[must_use]
     pub fn encode(&self) -> Bytes {
@@ -421,6 +603,10 @@ impl Frame {
             }
             Frame::Resume { tenant } => {
                 body.put_u8(K_RESUME);
+                put_string(&mut body, tenant);
+            }
+            Frame::Introspect { tenant } => {
+                body.put_u8(K_INTROSPECT);
                 put_string(&mut body, tenant);
             }
             Frame::HelloAck { version } => {
@@ -463,6 +649,18 @@ impl Frame {
             Frame::Reject { reason } => {
                 body.put_u8(K_REJECT);
                 put_string(&mut body, reason);
+            }
+            Frame::Stats {
+                clock,
+                queued_bytes,
+                tenants,
+                shards,
+            } => {
+                body.put_u8(K_STATS);
+                put_varint(&mut body, *clock);
+                put_varint(&mut body, *queued_bytes);
+                put_tenant_stats(&mut body, tenants);
+                put_shard_summaries(&mut body, shards);
             }
         }
         let mut out = BytesMut::with_capacity(4 + body.len());
@@ -544,6 +742,9 @@ fn decode_body(buf: &mut Bytes) -> Result<Frame, FrameError> {
         K_RESUME => Frame::Resume {
             tenant: get_string(buf)?,
         },
+        K_INTROSPECT => Frame::Introspect {
+            tenant: get_string(buf)?,
+        },
         K_REPORT => {
             let tenant = get_string(buf)?;
             let report_json = get_string(buf)?;
@@ -579,6 +780,18 @@ fn decode_body(buf: &mut Bytes) -> Result<Frame, FrameError> {
         K_REJECT => Frame::Reject {
             reason: get_string(buf)?,
         },
+        K_STATS => {
+            let clock = get_varint(buf)?;
+            let queued_bytes = get_varint(buf)?;
+            let tenants = get_tenant_stats(buf)?;
+            let shards = get_shard_summaries(buf)?;
+            Frame::Stats {
+                clock,
+                queued_bytes,
+                tenants,
+                shards,
+            }
+        }
         other => return Err(FrameError::UnknownKind(other)),
     };
     if buf.has_remaining() {
@@ -643,6 +856,12 @@ mod tests {
             },
             Frame::Evict { tenant: "t".into() },
             Frame::Resume { tenant: "t".into() },
+            Frame::Introspect {
+                tenant: String::new(),
+            },
+            Frame::Introspect {
+                tenant: "tenant-a".into(),
+            },
             Frame::HelloAck {
                 version: WIRE_VERSION,
             },
@@ -664,6 +883,36 @@ mod tests {
             },
             Frame::Reject {
                 reason: "no handshake".into(),
+            },
+            Frame::Stats {
+                clock: 42,
+                queued_bytes: 1 << 20,
+                tenants: vec![TenantStats {
+                    tenant: "tenant-a".into(),
+                    shard: 3,
+                    live: true,
+                    finished: false,
+                    queued_chunks: 2,
+                    events_consumed: u64::MAX,
+                    snapshots: 5,
+                    tail_events: 17,
+                }],
+                shards: vec![
+                    ShardSummary {
+                        shard: 0,
+                        mailbox_depth: 0,
+                        live_sessions: 1,
+                        frames: 9,
+                        events: 4096,
+                    },
+                    ShardSummary {
+                        shard: 3,
+                        mailbox_depth: 2,
+                        live_sessions: 0,
+                        frames: 0,
+                        events: 0,
+                    },
+                ],
             },
         ]
     }
@@ -731,6 +980,74 @@ mod tests {
         );
         let unknown = [1u8, 0, 0, 0, 0x7f];
         assert_eq!(Frame::decode(&unknown), Err(FrameError::UnknownKind(0x7f)));
+    }
+
+    #[test]
+    fn kind_tags_are_unique_and_direction_split() {
+        let frames = sample_frames();
+        let mut tags: Vec<u8> = frames.iter().map(Frame::kind_tag).collect();
+        tags.sort_unstable();
+        tags.dedup();
+        // sample_frames carries two Introspects (empty + named filter).
+        assert_eq!(tags.len(), frames.len() - 1);
+        assert!(
+            Frame::Introspect {
+                tenant: String::new()
+            }
+            .kind_tag()
+                < 0x80
+        );
+        assert!(
+            Frame::Stats {
+                clock: 0,
+                queued_bytes: 0,
+                tenants: Vec::new(),
+                shards: Vec::new(),
+            }
+            .kind_tag()
+                >= 0x80
+        );
+    }
+
+    #[test]
+    fn empty_introspect_filter_addresses_no_tenant() {
+        assert_eq!(
+            Frame::Introspect {
+                tenant: String::new()
+            }
+            .tenant(),
+            None
+        );
+        assert_eq!(Frame::Introspect { tenant: "t".into() }.tenant(), Some("t"));
+    }
+
+    #[test]
+    fn unknown_tenant_flags_are_rejected() {
+        let frame = Frame::Stats {
+            clock: 1,
+            queued_bytes: 0,
+            tenants: vec![TenantStats {
+                tenant: "t".into(),
+                shard: 0,
+                live: false,
+                finished: false,
+                queued_chunks: 0,
+                events_consumed: 0,
+                snapshots: 0,
+                tail_events: 0,
+            }],
+            shards: Vec::new(),
+        };
+        let mut blob = frame.encode().to_vec();
+        // The flags byte follows the 4-byte prefix, kind, clock,
+        // queued_bytes, tenant count, tenant string, and shard varints.
+        let flags_at = blob.len() - 5 - 1;
+        assert_eq!(blob[flags_at], 0);
+        blob[flags_at] = 0b100;
+        assert_eq!(
+            Frame::decode(&blob),
+            Err(FrameError::BadPayload("unknown tenant flags"))
+        );
     }
 
     #[test]

@@ -101,3 +101,75 @@ fn tcp_round_trip_matches_standalone() {
     let server_report = server.join().unwrap();
     assert_eq!(server_report.opened, loads.len() as u64);
 }
+
+#[test]
+fn stats_round_trip_over_tcp() {
+    let mode = RunMode::Optimize(PrefetchPolicy::StreamTail);
+    let loads = generate(&LoadConfig {
+        tenants: 2,
+        chunks_per_tenant: 2,
+        events_per_chunk: 60,
+        seed: 3,
+    })
+    .unwrap();
+
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let server = thread::spawn(move || {
+        let (stream, _) = listener.accept().unwrap();
+        let mut transport = TcpTransport::new(stream);
+        let cfg = ServeConfig::new(tiny_config(), mode).with_shards(2);
+        let mut manager = SessionManager::new(cfg).unwrap();
+        serve(&mut transport, &mut manager, 0).unwrap();
+    });
+
+    let mut client = TcpTransport::connect(addr).unwrap();
+    client
+        .send(&Frame::Hello {
+            version: hds_serve::WIRE_VERSION,
+        })
+        .unwrap();
+    for l in &loads {
+        client
+            .send(&Frame::OpenSession {
+                tenant: l.name.clone(),
+                procedures: l.procedures.clone(),
+            })
+            .unwrap();
+        for chunk in &l.chunks {
+            client
+                .send(&Frame::TraceChunk {
+                    tenant: l.name.clone(),
+                    events: chunk.clone(),
+                })
+                .unwrap();
+        }
+    }
+    client
+        .send(&Frame::Introspect {
+            tenant: String::new(),
+        })
+        .unwrap();
+    client.finish_sending().unwrap();
+
+    assert_eq!(
+        client.recv().unwrap(),
+        Some(Frame::HelloAck {
+            version: hds_serve::WIRE_VERSION
+        })
+    );
+    let Some(Frame::Stats {
+        tenants, shards, ..
+    }) = client.recv().unwrap()
+    else {
+        panic!("introspect over TCP must answer with Stats");
+    };
+    assert_eq!(tenants.len(), loads.len());
+    assert_eq!(shards.len(), 2);
+    for l in &loads {
+        let t = tenants.iter().find(|t| t.tenant == l.name).unwrap();
+        assert!(t.live && !t.finished);
+        assert_eq!(t.queued_chunks, l.chunks.len() as u64);
+    }
+    server.join().unwrap();
+}

@@ -4,7 +4,7 @@
 //! cleanly.
 
 use hds_serve::wire::{decode_stream, MAGIC};
-use hds_serve::{Frame, FrameError, WIRE_VERSION};
+use hds_serve::{Frame, FrameError, ShardSummary, TenantStats, WIRE_VERSION};
 use hds_telemetry::events::ServeBudgetKind;
 use hds_trace::{AccessKind, Addr, DataRef, Pc};
 use hds_vulcan::{Event, ProcId, Procedure};
@@ -46,6 +46,61 @@ fn procedures_strategy() -> impl Strategy<Value = Vec<Procedure>> {
                     format!("proc-{}", n % 32),
                     pcs.into_iter().map(Pc).collect(),
                 )
+            })
+            .collect()
+    })
+}
+
+fn tenant_stats_strategy() -> impl Strategy<Value = Vec<TenantStats>> {
+    proptest::collection::vec(
+        (
+            tenant_strategy(),
+            any::<u32>(),
+            any::<bool>(),
+            any::<bool>(),
+            any::<u64>(),
+            any::<u64>(),
+            (any::<u64>(), any::<u64>()),
+        ),
+        0..5,
+    )
+    .prop_map(|rows| {
+        rows.into_iter()
+            .map(
+                |(tenant, shard, live, finished, queued, consumed, (snaps, tail))| TenantStats {
+                    tenant,
+                    shard,
+                    live,
+                    finished,
+                    queued_chunks: queued,
+                    events_consumed: consumed,
+                    snapshots: snaps,
+                    tail_events: tail,
+                },
+            )
+            .collect()
+    })
+}
+
+fn shard_summaries_strategy() -> impl Strategy<Value = Vec<ShardSummary>> {
+    proptest::collection::vec(
+        (
+            any::<u32>(),
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+        ),
+        0..5,
+    )
+    .prop_map(|rows| {
+        rows.into_iter()
+            .map(|(shard, mailbox, live, frames, events)| ShardSummary {
+                shard,
+                mailbox_depth: mailbox,
+                live_sessions: live,
+                frames,
+                events,
             })
             .collect()
     })
@@ -96,6 +151,20 @@ fn frame_strategy() -> impl Strategy<Value = Frame> {
             }
         ),
         tenant_strategy().prop_map(|reason| Frame::Reject { reason }),
+        prop_oneof![Just(String::new()), tenant_strategy()]
+            .prop_map(|tenant| Frame::Introspect { tenant }),
+        (
+            any::<u64>(),
+            any::<u64>(),
+            tenant_stats_strategy(),
+            shard_summaries_strategy()
+        )
+            .prop_map(|(clock, queued_bytes, tenants, shards)| Frame::Stats {
+                clock,
+                queued_bytes,
+                tenants,
+                shards,
+            }),
     ]
 }
 

@@ -470,6 +470,184 @@ pub struct ServeShardPump {
     pub events: u64,
 }
 
+/// What a span's timeline is attributed to in the flight-recorder /
+/// Perfetto view. Every kind maps to a stable lower-case label and a
+/// nesting *lane*: spans on the same lane of the same track must nest
+/// like parentheses, while different lanes may overlap freely (the
+/// background analysis worker overlaps the hibernation span by design).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SpanKind {
+    /// An awake (profiling) phase of one optimize cycle.
+    Profile,
+    /// A hibernation phase (detuned checks, prefetching if optimized).
+    Hibernate,
+    /// The end-of-awake inline analysis pass (grammar final pass, hot
+    /// stream extraction, machine build, image edit).
+    Analyze,
+    /// DFSM subset construction for one cycle's accepted streams.
+    DfsmBuild,
+    /// The journaled code-image edit installing a cycle's checks.
+    ImageEdit,
+    /// A background analysis job, from handoff to install/starve.
+    BgAnalysis,
+    /// One serve frame handled on the control plane.
+    ServeFrame,
+    /// One serve shard draining its mailbox.
+    ShardPump,
+    /// Instant: a Sequitur append burst folded into the grammar.
+    SequiturAppend,
+    /// Instant: an injected fault killed the session at a crash point.
+    Crash,
+}
+
+impl SpanKind {
+    /// Lower-case label (Perfetto/JSON friendly).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            SpanKind::Profile => "profile",
+            SpanKind::Hibernate => "hibernate",
+            SpanKind::Analyze => "analyze",
+            SpanKind::DfsmBuild => "dfsm_build",
+            SpanKind::ImageEdit => "image_edit",
+            SpanKind::BgAnalysis => "bg_analysis",
+            SpanKind::ServeFrame => "serve_frame",
+            SpanKind::ShardPump => "shard_pump",
+            SpanKind::SequiturAppend => "sequitur_append",
+            SpanKind::Crash => "crash",
+        }
+    }
+
+    /// Nesting lane within a track. Spans sharing a `(track, lane)`
+    /// pair must be well nested; distinct lanes may overlap. The
+    /// background worker gets its own lane because its span begins
+    /// before the awake phase ends and finishes mid-hibernation.
+    #[must_use]
+    pub fn lane(self) -> u32 {
+        match self {
+            SpanKind::BgAnalysis => 1,
+            _ => 0,
+        }
+    }
+
+    /// Every span kind, in rendering order.
+    pub const ALL: [SpanKind; 10] = [
+        SpanKind::Profile,
+        SpanKind::Hibernate,
+        SpanKind::Analyze,
+        SpanKind::DfsmBuild,
+        SpanKind::ImageEdit,
+        SpanKind::BgAnalysis,
+        SpanKind::ServeFrame,
+        SpanKind::ShardPump,
+        SpanKind::SequiturAppend,
+        SpanKind::Crash,
+    ];
+}
+
+/// Whether a [`SpanEvent`] opens, closes, or is a point in time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SpanPhase {
+    /// The span opened.
+    Begin,
+    /// The most recent open span of the same kind/track closed.
+    End,
+    /// A zero-duration marker.
+    Instant,
+}
+
+impl SpanPhase {
+    /// Chrome-trace phase letter (`B`/`E`/`i`).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            SpanPhase::Begin => "B",
+            SpanPhase::End => "E",
+            SpanPhase::Instant => "i",
+        }
+    }
+}
+
+/// A hierarchical span boundary or instant marker. Spans carry the
+/// *simulated* clock only — they charge zero simulated cycles and must
+/// never perturb a digest; wall-clock time is stamped by the recording
+/// observer, not the emitter. The `a`/`b` payload words are
+/// kind-specific (cycle index, grammar size, tenant key, …) and are
+/// documented per emission site.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+pub struct SpanEvent {
+    /// What the span measures.
+    pub kind: SpanKind,
+    /// Begin, end, or instant.
+    pub phase: SpanPhase,
+    /// Simulated cycle count (serve layers use their frame clock).
+    pub at_cycle: u64,
+    /// Timeline track: 0 for the single-session core pipeline,
+    /// `shard + 1` for serve shards; recorders may add an offset to
+    /// keep multiple runs on separate tracks.
+    pub track: u32,
+    /// First kind-specific payload word.
+    pub a: u64,
+    /// Second kind-specific payload word.
+    pub b: u64,
+}
+
+impl SpanEvent {
+    /// A begin boundary on track 0 with empty payload.
+    #[must_use]
+    pub fn begin(kind: SpanKind, at_cycle: u64) -> Self {
+        SpanEvent {
+            kind,
+            phase: SpanPhase::Begin,
+            at_cycle,
+            track: 0,
+            a: 0,
+            b: 0,
+        }
+    }
+
+    /// An end boundary on track 0 with empty payload.
+    #[must_use]
+    pub fn end(kind: SpanKind, at_cycle: u64) -> Self {
+        SpanEvent {
+            kind,
+            phase: SpanPhase::End,
+            at_cycle,
+            track: 0,
+            a: 0,
+            b: 0,
+        }
+    }
+
+    /// An instant marker on track 0 with empty payload.
+    #[must_use]
+    pub fn instant(kind: SpanKind, at_cycle: u64) -> Self {
+        SpanEvent {
+            kind,
+            phase: SpanPhase::Instant,
+            at_cycle,
+            track: 0,
+            a: 0,
+            b: 0,
+        }
+    }
+
+    /// Same event with the payload words set.
+    #[must_use]
+    pub fn with_args(mut self, a: u64, b: u64) -> Self {
+        self.a = a;
+        self.b = b;
+        self
+    }
+
+    /// Same event on another track.
+    #[must_use]
+    pub fn on_track(mut self, track: u32) -> Self {
+        self.track = track;
+        self
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -598,6 +776,48 @@ mod tests {
         }
         .to_value();
         assert_eq!(v.get("queued"), Some(&Value::U64(5)));
+    }
+
+    #[test]
+    fn span_labels_are_distinct() {
+        let labels: Vec<&str> = SpanKind::ALL.iter().map(|k| k.label()).collect();
+        let mut dedup = labels.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), labels.len());
+        assert_eq!(SpanKind::DfsmBuild.label(), "dfsm_build");
+        assert_eq!(SpanPhase::Begin.label(), "B");
+        assert_eq!(SpanPhase::End.label(), "E");
+        assert_eq!(SpanPhase::Instant.label(), "i");
+    }
+
+    #[test]
+    fn bg_analysis_has_its_own_lane() {
+        assert_eq!(SpanKind::BgAnalysis.lane(), 1);
+        for k in SpanKind::ALL {
+            if k != SpanKind::BgAnalysis {
+                assert_eq!(k.lane(), 0, "{}", k.label());
+            }
+        }
+    }
+
+    #[test]
+    fn span_event_builders_compose() {
+        use serde::{Serialize, Value};
+        let e = SpanEvent::begin(SpanKind::Analyze, 500)
+            .with_args(7, 42)
+            .on_track(3);
+        assert_eq!(e.phase, SpanPhase::Begin);
+        assert_eq!(e.track, 3);
+        let v = e.to_value();
+        assert_eq!(v.get("at_cycle"), Some(&Value::U64(500)));
+        assert_eq!(v.get("a"), Some(&Value::U64(7)));
+        assert_eq!(v.get("b"), Some(&Value::U64(42)));
+        assert_eq!(SpanEvent::end(SpanKind::Analyze, 501).phase, SpanPhase::End);
+        assert_eq!(
+            SpanEvent::instant(SpanKind::Crash, 502).phase,
+            SpanPhase::Instant
+        );
     }
 
     #[test]

@@ -57,7 +57,7 @@ use events::{
     AnalysisApplied, AnalysisHandoff, AnalysisStarved, CycleEnd, CycleStart, Deoptimize, DfsmBuilt,
     GuardTripped, PhaseTransition, PrefetchIssued, PrefetchOutcome, RecoveryGaveUp, RecoveryReplay,
     RecoveryRestart, RecoverySnapshot, ServeBusy, ServeSessionEvicted, ServeSessionOpened,
-    ServeSessionResumed, ServeShardPump, ServeShed, StreamDetected,
+    ServeSessionResumed, ServeShardPump, ServeShed, SpanEvent, StreamDetected,
 };
 
 /// Receiver of optimizer lifecycle events.
@@ -129,6 +129,11 @@ pub trait Observer {
     fn serve_busy(&mut self, _event: &ServeBusy) {}
     /// A serving shard drained its mailbox for one pump.
     fn serve_shard_pump(&mut self, _event: &ServeShardPump) {}
+    /// A hierarchical span boundary (begin/end) or instant marker on
+    /// the phase timeline. Spans charge zero simulated cycles; the
+    /// flight recorder in `hds-flight` turns them into Perfetto-style
+    /// traces and crash dumps.
+    fn span(&mut self, _event: &SpanEvent) {}
 }
 
 /// The do-nothing observer: every hook is a no-op and
@@ -211,6 +216,9 @@ impl<O: Observer> Observer for &mut O {
     }
     fn serve_shard_pump(&mut self, event: &ServeShardPump) {
         (**self).serve_shard_pump(event);
+    }
+    fn span(&mut self, event: &SpanEvent) {
+        (**self).span(event);
     }
 }
 
@@ -306,6 +314,10 @@ impl<A: Observer, B: Observer> Observer for (A, B) {
         self.0.serve_shard_pump(event);
         self.1.serve_shard_pump(event);
     }
+    fn span(&mut self, event: &SpanEvent) {
+        self.0.span(event);
+        self.1.span(event);
+    }
 }
 
 #[cfg(test)]
@@ -315,11 +327,15 @@ mod tests {
     #[derive(Default)]
     struct Counting {
         seen: usize,
+        spans: usize,
     }
 
     impl Observer for Counting {
         fn cycle_end(&mut self, _event: &CycleEnd) {
             self.seen += 1;
+        }
+        fn span(&mut self, _event: &SpanEvent) {
+            self.spans += 1;
         }
     }
 
@@ -335,10 +351,21 @@ mod tests {
 
     #[test]
     fn pair_fans_out() {
+        use events::{SpanKind, SpanPhase};
         let mut pair = (Counting::default(), Counting::default());
         pair.cycle_end(&CycleEnd::default());
+        pair.span(&SpanEvent {
+            kind: SpanKind::Profile,
+            phase: SpanPhase::Begin,
+            at_cycle: 0,
+            track: 0,
+            a: 0,
+            b: 0,
+        });
         assert_eq!(pair.0.seen, 1);
         assert_eq!(pair.1.seen, 1);
+        assert_eq!(pair.0.spans, 1);
+        assert_eq!(pair.1.spans, 1);
     }
 
     #[test]

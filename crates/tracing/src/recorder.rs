@@ -1,0 +1,534 @@
+//! The flight recorder: a fixed-capacity ring of recent spans and
+//! events, with crash-triggered JSON dumps.
+
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+use hds_telemetry::events as tev;
+use hds_telemetry::Observer;
+use serde::{Serialize, Value};
+
+use crate::meta::SCHEMA_VERSION;
+
+/// Nesting lane used for discrete (non-span) events, keeping them off
+/// the span lanes so the per-lane nesting discipline stays trivial.
+const EVENT_LANE: u32 = 2;
+
+/// One ring-buffer entry: a span boundary or a discrete event.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FlightRecord {
+    /// Monotonic sequence number over the recorder's lifetime (dense,
+    /// so `seq` gaps in a dump reveal exactly how much the ring lost).
+    pub seq: u64,
+    /// Stable lower-case name: a [`tev::SpanKind`] label or a discrete
+    /// event name (`"restart"`, `"guard_trip"`, …).
+    pub name: &'static str,
+    /// Begin, end, or instant.
+    pub phase: tev::SpanPhase,
+    /// The emitter's simulated clock (deterministic).
+    pub sim_cycle: u64,
+    /// Nanoseconds since the recorder was created (diagnostic only —
+    /// never part of a digest).
+    pub wall_ns: u64,
+    /// Timeline track (0 = core pipeline, `shard + 1` = serve shards,
+    /// plus the recorder's track base).
+    pub track: u32,
+    /// Nesting lane within the track (see [`tev::SpanKind::lane`]).
+    pub lane: u32,
+    /// First kind-specific payload word.
+    pub a: u64,
+    /// Second kind-specific payload word.
+    pub b: u64,
+}
+
+impl Serialize for FlightRecord {
+    fn to_value(&self) -> Value {
+        Value::Obj(vec![
+            ("seq".into(), Value::U64(self.seq)),
+            ("name".into(), Value::Str(self.name.to_string())),
+            ("ph".into(), Value::Str(self.phase.label().to_string())),
+            ("sim_cycle".into(), Value::U64(self.sim_cycle)),
+            ("wall_ns".into(), Value::U64(self.wall_ns)),
+            ("track".into(), Value::U64(u64::from(self.track))),
+            ("lane".into(), Value::U64(u64::from(self.lane))),
+            ("a".into(), Value::U64(self.a)),
+            ("b".into(), Value::U64(self.b)),
+        ])
+    }
+}
+
+/// Which triggers auto-dump the ring to `flightdump-*.json`. Dumps
+/// additionally require a dump directory ([`FlightRecorder::with_dump_dir`]);
+/// without one every trigger is a no-op, so hundred-schedule chaos
+/// sweeps don't spray files.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DumpPolicy {
+    /// Dump when an injected crash kills a session (a `Crash` span
+    /// instant or a serve shard's restart note).
+    pub on_crash: bool,
+    /// Dump when a budget guard trips.
+    pub on_guard_trip: bool,
+    /// Dump when the supervisor's circuit breaker opens.
+    pub on_gave_up: bool,
+    /// Dump on every supervisor restart (noisy; off by default).
+    pub on_restart: bool,
+}
+
+impl Default for DumpPolicy {
+    fn default() -> Self {
+        DumpPolicy {
+            on_crash: true,
+            on_guard_trip: true,
+            on_gave_up: true,
+            on_restart: false,
+        }
+    }
+}
+
+/// A fixed-capacity flight recorder implementing [`Observer`].
+///
+/// Records every [`tev::SpanEvent`] plus the discrete events worth a
+/// black-box line (cycle boundaries, guard trips, de-optimizations,
+/// recovery, serve admission outcomes). The per-reference hooks
+/// (`prefetch_issued`, `prefetch_outcome`) are deliberately *not*
+/// recorded: they would wash every ring with the hottest event class.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    ring: Vec<FlightRecord>,
+    capacity: usize,
+    /// Next write slot once the ring is full.
+    next: usize,
+    /// Records ever pushed (not capped).
+    seq: u64,
+    start: Instant,
+    label: String,
+    track_base: u32,
+    dump_dir: Option<PathBuf>,
+    policy: DumpPolicy,
+    dumps: Vec<PathBuf>,
+    dump_failures: u64,
+}
+
+impl FlightRecorder {
+    /// A recorder keeping the most recent `capacity` records (min 1).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        FlightRecorder {
+            ring: Vec::with_capacity(capacity.min(4096)),
+            capacity,
+            next: 0,
+            seq: 0,
+            start: Instant::now(),
+            label: "session".to_string(),
+            track_base: 0,
+            dump_dir: None,
+            policy: DumpPolicy::default(),
+            dumps: Vec::new(),
+            dump_failures: 0,
+        }
+    }
+
+    /// Names the recorder; the label appears in dump filenames and
+    /// payloads (e.g. the benchmark or tenant under observation).
+    #[must_use]
+    pub fn with_label(mut self, label: impl Into<String>) -> Self {
+        self.label = label.into();
+        self
+    }
+
+    /// Enables auto-dumps into `dir` (created on first dump). Without
+    /// a dump directory every dump trigger is a no-op.
+    #[must_use]
+    pub fn with_dump_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.dump_dir = Some(dir.into());
+        self
+    }
+
+    /// Replaces the default [`DumpPolicy`].
+    #[must_use]
+    pub fn with_policy(mut self, policy: DumpPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Offsets every recorded track by `base` — used to keep the spans
+    /// of consecutive runs (one per benchmark × mode) on separate
+    /// Perfetto tracks with independently monotonic clocks.
+    #[must_use]
+    pub fn with_track_base(mut self, base: u32) -> Self {
+        self.track_base = base;
+        self
+    }
+
+    /// Changes the track base in place (between runs).
+    pub fn set_track_base(&mut self, base: u32) {
+        self.track_base = base;
+    }
+
+    /// The recorder's label.
+    #[must_use]
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Ring capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Records currently held (≤ capacity).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// Whether nothing was recorded yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// Records ever pushed, including those the ring has dropped.
+    #[must_use]
+    pub fn total_recorded(&self) -> u64 {
+        self.seq
+    }
+
+    /// Records lost to wraparound.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.seq - self.ring.len() as u64
+    }
+
+    /// Whether the ring has wrapped at least once.
+    #[must_use]
+    pub fn wrapped(&self) -> bool {
+        self.dropped() > 0
+    }
+
+    /// Paths of the flight dumps written so far.
+    #[must_use]
+    pub fn dump_paths(&self) -> &[PathBuf] {
+        &self.dumps
+    }
+
+    /// Dump attempts that failed with an I/O error (recording never
+    /// propagates I/O failures into the observed run).
+    #[must_use]
+    pub fn dump_failures(&self) -> u64 {
+        self.dump_failures
+    }
+
+    /// The held records, oldest first.
+    #[must_use]
+    pub fn records(&self) -> Vec<FlightRecord> {
+        if self.ring.len() < self.capacity {
+            self.ring.clone()
+        } else {
+            let mut out = Vec::with_capacity(self.ring.len());
+            out.extend_from_slice(&self.ring[self.next..]);
+            out.extend_from_slice(&self.ring[..self.next]);
+            out
+        }
+    }
+
+    fn push(&mut self, name: &'static str, phase: tev::SpanPhase, ev: RecordArgs) {
+        let rec = FlightRecord {
+            seq: self.seq,
+            name,
+            phase,
+            sim_cycle: ev.sim_cycle,
+            wall_ns: u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX),
+            track: self.track_base.saturating_add(ev.track),
+            lane: ev.lane,
+            a: ev.a,
+            b: ev.b,
+        };
+        self.seq += 1;
+        if self.ring.len() < self.capacity {
+            self.ring.push(rec);
+        } else {
+            self.ring[self.next] = rec;
+            self.next = (self.next + 1) % self.capacity;
+        }
+    }
+
+    fn event(&mut self, name: &'static str, sim_cycle: u64, a: u64, b: u64) {
+        self.push(
+            name,
+            tev::SpanPhase::Instant,
+            RecordArgs {
+                sim_cycle,
+                track: 0,
+                lane: EVENT_LANE,
+                a,
+                b,
+            },
+        );
+    }
+
+    fn serve_event(&mut self, name: &'static str, shard: u32, a: u64, b: u64) {
+        self.push(
+            name,
+            tev::SpanPhase::Instant,
+            RecordArgs {
+                sim_cycle: 0,
+                track: shard + 1,
+                lane: EVENT_LANE,
+                a,
+                b,
+            },
+        );
+    }
+
+    /// The dump payload as a serde value (what a dump file contains).
+    #[must_use]
+    pub fn dump_value(&self, reason: &str) -> Value {
+        Value::Obj(vec![
+            (
+                "schema_version".into(),
+                Value::U64(u64::from(SCHEMA_VERSION)),
+            ),
+            ("label".into(), Value::Str(self.label.clone())),
+            ("reason".into(), Value::Str(reason.to_string())),
+            ("total_recorded".into(), Value::U64(self.seq)),
+            ("dropped".into(), Value::U64(self.dropped())),
+            (
+                "wall_ns".into(),
+                Value::U64(u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX)),
+            ),
+            (
+                "records".into(),
+                Value::Arr(self.records().iter().map(Serialize::to_value).collect()),
+            ),
+        ])
+    }
+
+    /// Writes the ring to `path` as pretty JSON.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any filesystem error.
+    pub fn dump_to(&self, path: &Path, reason: &str) -> std::io::Result<()> {
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        let json = serde_json::to_string_pretty(&self.dump_value(reason))
+            .map_err(|e| std::io::Error::other(e.to_string()))?;
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(json.as_bytes())?;
+        f.write_all(b"\n")
+    }
+
+    /// Writes a `flightdump-<label>-<n>.json` into the configured dump
+    /// directory, returning its path — `None` when no directory is
+    /// configured or the write failed (failures are counted, never
+    /// propagated into the observed run).
+    pub fn dump(&mut self, reason: &str) -> Option<PathBuf> {
+        let dir = self.dump_dir.clone()?;
+        let path = dir.join(format!(
+            "flightdump-{}-{}.json",
+            self.label.replace(['/', ' '], "_"),
+            self.dumps.len()
+        ));
+        match self.dump_to(&path, reason) {
+            Ok(()) => {
+                self.dumps.push(path.clone());
+                Some(path)
+            }
+            Err(_) => {
+                self.dump_failures += 1;
+                None
+            }
+        }
+    }
+}
+
+/// Positional record fields, bundled so `push` stays call-site cheap.
+struct RecordArgs {
+    sim_cycle: u64,
+    track: u32,
+    lane: u32,
+    a: u64,
+    b: u64,
+}
+
+impl Observer for FlightRecorder {
+    fn span(&mut self, event: &tev::SpanEvent) {
+        self.push(
+            event.kind.label(),
+            event.phase,
+            RecordArgs {
+                sim_cycle: event.at_cycle,
+                track: event.track,
+                lane: event.kind.lane(),
+                a: event.a,
+                b: event.b,
+            },
+        );
+        if event.kind == tev::SpanKind::Crash && self.policy.on_crash {
+            self.dump("crash");
+        }
+    }
+
+    fn cycle_start(&mut self, event: &tev::CycleStart) {
+        self.event("cycle_start", event.at_cycle, event.opt_cycle, 0);
+    }
+
+    fn cycle_end(&mut self, event: &tev::CycleEnd) {
+        self.event(
+            "cycle_end",
+            event.at_cycle,
+            event.opt_cycle,
+            event.traced_refs,
+        );
+    }
+
+    fn deoptimize(&mut self, event: &tev::Deoptimize) {
+        self.event(
+            "deoptimize",
+            event.at_cycle,
+            u64::from(event.partial),
+            event.stream_id.map_or(u64::MAX, u64::from),
+        );
+    }
+
+    fn guard_tripped(&mut self, event: &tev::GuardTripped) {
+        self.event("guard_trip", event.at_cycle, event.observed, event.budget);
+        if self.policy.on_guard_trip {
+            self.dump("guard_trip");
+        }
+    }
+
+    fn recovery_snapshot(&mut self, event: &tev::RecoverySnapshot) {
+        self.event(
+            "snapshot",
+            event.at_cycle,
+            event.bytes,
+            event.events_consumed,
+        );
+    }
+
+    fn recovery_replay(&mut self, event: &tev::RecoveryReplay) {
+        self.event(
+            "journal_replay",
+            0,
+            u64::from(event.rolled_forward),
+            event.events_consumed,
+        );
+    }
+
+    fn recovery_restart(&mut self, event: &tev::RecoveryRestart) {
+        self.event(
+            "restart",
+            0,
+            u64::from(event.attempt),
+            event.resumed_at_event,
+        );
+        if self.policy.on_restart {
+            self.dump("restart");
+        }
+    }
+
+    fn recovery_gave_up(&mut self, event: &tev::RecoveryGaveUp) {
+        self.event("gave_up", 0, u64::from(event.restarts), event.crashes);
+        if self.policy.on_gave_up {
+            self.dump("gave_up");
+        }
+    }
+
+    fn serve_session_opened(&mut self, event: &tev::ServeSessionOpened) {
+        self.serve_event("serve_open", event.shard, event.tenant, 0);
+    }
+
+    fn serve_session_evicted(&mut self, event: &tev::ServeSessionEvicted) {
+        self.serve_event(
+            "serve_evict",
+            event.shard,
+            event.tenant,
+            event.snapshot_bytes,
+        );
+    }
+
+    fn serve_session_resumed(&mut self, event: &tev::ServeSessionResumed) {
+        self.serve_event(
+            "serve_resume",
+            event.shard,
+            event.tenant,
+            event.replayed_events,
+        );
+    }
+
+    fn serve_shed(&mut self, event: &tev::ServeShed) {
+        self.serve_event("serve_shed", event.shard, event.tenant, event.observed);
+    }
+
+    fn serve_busy(&mut self, event: &tev::ServeBusy) {
+        self.serve_event("serve_busy", event.shard, event.tenant, event.observed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hds_telemetry::events::{SpanEvent, SpanKind};
+
+    #[test]
+    fn ring_keeps_most_recent() {
+        let mut rec = FlightRecorder::new(4);
+        for i in 0..10u64 {
+            rec.span(&SpanEvent::instant(SpanKind::SequiturAppend, i));
+        }
+        assert_eq!(rec.len(), 4);
+        assert_eq!(rec.total_recorded(), 10);
+        assert_eq!(rec.dropped(), 6);
+        assert!(rec.wrapped());
+        let cycles: Vec<u64> = rec.records().iter().map(|r| r.sim_cycle).collect();
+        assert_eq!(cycles, vec![6, 7, 8, 9]);
+        let seqs: Vec<u64> = rec.records().iter().map(|r| r.seq).collect();
+        assert_eq!(seqs, vec![6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn capacity_floor_is_one() {
+        let mut rec = FlightRecorder::new(0);
+        rec.span(&SpanEvent::instant(SpanKind::Crash, 1));
+        rec.span(&SpanEvent::instant(SpanKind::Crash, 2));
+        assert_eq!(rec.capacity(), 1);
+        assert_eq!(rec.len(), 1);
+        assert_eq!(rec.records()[0].sim_cycle, 2);
+    }
+
+    #[test]
+    fn track_base_offsets_spans() {
+        let mut rec = FlightRecorder::new(8).with_track_base(10);
+        rec.span(&SpanEvent::begin(SpanKind::ServeFrame, 3).on_track(2));
+        assert_eq!(rec.records()[0].track, 12);
+    }
+
+    #[test]
+    fn no_dump_dir_means_no_dump() {
+        let mut rec = FlightRecorder::new(8);
+        rec.span(&SpanEvent::instant(SpanKind::Crash, 5));
+        assert!(rec.dump_paths().is_empty());
+        assert_eq!(rec.dump_failures(), 0);
+    }
+
+    #[test]
+    fn dump_value_carries_ring_metadata() {
+        let mut rec = FlightRecorder::new(2).with_label("unit");
+        for i in 0..5u64 {
+            rec.span(&SpanEvent::instant(SpanKind::SequiturAppend, i));
+        }
+        let v = rec.dump_value("test");
+        assert_eq!(v.get("label"), Some(&Value::Str("unit".into())));
+        assert_eq!(v.get("dropped"), Some(&Value::U64(3)));
+        match v.get("records") {
+            Some(Value::Arr(a)) => assert_eq!(a.len(), 2),
+            other => panic!("records: {other:?}"),
+        }
+    }
+}

@@ -26,6 +26,7 @@
 //! | [`optimizer`] | `hds-core` | the dynamic prefetching optimizer |
 //! | [`engine`] | `hds-engine` | parallel suite runner (bit-identical to sequential) |
 //! | [`serve`] | `hds-serve` | sharded multi-tenant serving front-end (wire protocol, eviction, admission control) |
+//! | [`flight`] | `hds-flight` | span flight recorder, Perfetto export, provenance stamps |
 //!
 //! # Quickstart
 //!
@@ -56,6 +57,7 @@ pub use hds_bursty as bursty;
 pub use hds_core as optimizer;
 pub use hds_dfsm as dfsm;
 pub use hds_engine as engine;
+pub use hds_flight as flight;
 pub use hds_guard as guard;
 pub use hds_hotstream as hotstream;
 pub use hds_memsim as memsim;
