@@ -3,7 +3,7 @@
 
 CARGO ?= cargo
 
-.PHONY: verify build test clippy bench-smoke telemetry-demo chaos-smoke bench-par chaos-crash bench-recover serve-smoke trace-smoke bench-trend
+.PHONY: verify build test clippy bench-smoke telemetry-demo chaos-smoke bench-par chaos-crash bench-recover serve-smoke trace-smoke chaos-net bench-trend
 
 ## Tier-1 gate: release build, full test suite, clippy clean, chaos smoke,
 ## parallel-runner smoke (bit-identical + speedup + worker-lag stats),
@@ -11,9 +11,10 @@ CARGO ?= cargo
 ## recovery benchmark (checkpoint neutrality + snapshot sizes), the
 ## serving-layer smoke (sharded == sequential, graceful shedding), the
 ## flight-recorder smoke (tracing is bit-identical and crash dumps
-## land), and the bench-trend gate (serving throughput vs the committed
-## baseline).
-verify: build test clippy chaos-smoke bench-par chaos-crash bench-recover serve-smoke trace-smoke bench-trend
+## land), the hostile-network sweep (every fault schedule converges
+## byte-identically), and the bench-trend gate (serving throughput and
+## chaos goodput vs the committed baselines).
+verify: build test clippy chaos-smoke bench-par chaos-crash bench-recover serve-smoke trace-smoke chaos-net bench-trend
 
 build:
 	$(CARGO) build --release
@@ -68,10 +69,18 @@ serve-smoke:
 trace-smoke:
 	$(CARGO) run --release -p hds-bench --bin bench_trace -- --test-scale
 
-## Bench-trend gate: the freshly written results/BENCH_serve.json
-## (serve-smoke runs first under `make verify`) against the committed
-## baseline — fails if serving throughput fell below 80% of HEAD's at
-## any shard count; skips with a note when either side is missing.
+## Hostile-network sweep: 100+ seeded fault schedules (drop, delay,
+## duplicate, corrupt, partial write, disconnect) through the reliable
+## client against the sharded server — zero panics, every run
+## byte-identical to its fault-free twin. Writes results/BENCH_net.json.
+chaos-net:
+	$(CARGO) run --release -p hds-bench --bin chaos_net -- --test-scale
+
+## Bench-trend gate: the freshly written results/BENCH_serve.json and
+## results/BENCH_net.json (serve-smoke and chaos-net run first under
+## `make verify`) against the committed baselines — fails if serving
+## throughput or chaos goodput fell below 80% of HEAD's; skips with a
+## note when either side is missing.
 bench-trend:
 	$(CARGO) run --release -p hds-bench --bin bench_trend
 

@@ -75,6 +75,8 @@ fn quantile(h: &Histogram, q: f64) -> u64 {
 /// chunks round-robin with a pump per round, flush, and a final pump.
 fn drive(manager: &mut SessionManager<MetricsRecorder>, loads: &[TenantLoad]) -> u64 {
     manager.handle(Frame::Hello {
+        token: String::new(),
+        features: 0,
         version: hds_serve::WIRE_VERSION,
     });
     for l in loads {
@@ -89,6 +91,7 @@ fn drive(manager: &mut SessionManager<MetricsRecorder>, loads: &[TenantLoad]) ->
         for l in loads {
             if let Some(chunk) = l.chunks.get(round) {
                 let responses = manager.handle(Frame::TraceChunk {
+                    seq: 0,
                     tenant: l.name.clone(),
                     events: chunk.clone(),
                 });
@@ -209,6 +212,8 @@ fn main() {
     let mut manager =
         SessionManager::with_observer(tight, MetricsRecorder::new()).expect("valid config");
     manager.handle(Frame::Hello {
+        token: String::new(),
+        features: 0,
         version: hds_serve::WIRE_VERSION,
     });
     for l in &loads {
@@ -225,6 +230,7 @@ fn main() {
         for chunk in &l.chunks {
             offered += 1;
             let responses = manager.handle(Frame::TraceChunk {
+                seq: 0,
                 tenant: l.name.clone(),
                 events: chunk.clone(),
             });

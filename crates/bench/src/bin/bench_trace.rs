@@ -146,7 +146,14 @@ fn forced_crash_dump(config: &OptimizerConfig, dump_dir: &str) -> (Value, String
 fn main() {
     let scale = scale_from_args();
     let out = arg_after("--out").unwrap_or_else(|| "results/BENCH_trace.json".to_string());
-    let dump_dir = arg_after("--dump-dir").unwrap_or_else(|| "results".to_string());
+    // Forced-crash flight dumps are scratch output, not results: keep
+    // them out of the repo tree unless explicitly redirected.
+    let dump_dir = arg_after("--dump-dir").unwrap_or_else(|| {
+        std::env::temp_dir()
+            .join("hds-bench-trace-dumps")
+            .display()
+            .to_string()
+    });
     let reps: u32 = arg_after("--reps")
         .map(|n| n.parse().expect("--reps takes a number"))
         .unwrap_or(5);

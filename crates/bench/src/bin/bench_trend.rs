@@ -1,8 +1,13 @@
-//! Bench-trend gate: compares a freshly generated
-//! `results/BENCH_serve.json` against the committed baseline
-//! (`git show <rev>:results/BENCH_serve.json`) and fails when serving
-//! throughput regressed more than the allowed fraction at any shard
-//! count.
+//! Bench-trend gate: compares freshly generated results files against
+//! the committed baselines (`git show <rev>:results/...`) and fails on
+//! regressions past the allowed fraction:
+//!
+//! * `BENCH_serve.json` — serving throughput (events/s) per shard
+//!   count;
+//! * `BENCH_net.json` — hostile-network goodput (events per poll) per
+//!   fault class. Goodput falls when retry/recovery takes more polls
+//!   to deliver the same events, so this catches convergence
+//!   regressions in the reliable client.
 //!
 //! The comparison is deliberately coarse — a 20% guardrail against
 //! accidental quadratic blowups, not a microbenchmark — because both
@@ -12,8 +17,9 @@
 //! failing: absence of evidence is not a regression.
 //!
 //! Run: `cargo run --release -p hds-bench --bin bench_trend`
-//! (options: `--current <path>`, `--baseline-rev <rev>` (default
-//! `HEAD`), `--min-ratio <f>` (default 0.8)).
+//! (options: `--current <path>`, `--current-net <path>`,
+//! `--baseline-rev <rev>` (default `HEAD`), `--min-ratio <f>`
+//! (default 0.8)).
 
 use std::process::Command;
 
@@ -47,6 +53,28 @@ fn throughputs(doc: &Value) -> Vec<(u64, f64)> {
     out
 }
 
+/// `fault class -> goodput (events per poll)` out of a BENCH_net.json
+/// value: every `per_class` row plus the hostile-mix block.
+fn goodputs(doc: &Value) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    let mut push_row = |row: &Value| {
+        if let (Some(Value::Str(fault)), Some(Value::F64(gp))) =
+            (row.get("fault"), row.get("goodput_events_per_poll"))
+        {
+            out.push((fault.clone(), *gp));
+        }
+    };
+    if let Some(Value::Arr(rows)) = doc.get("per_class") {
+        for row in rows {
+            push_row(row);
+        }
+    }
+    if let Some(hostile) = doc.get("hostile") {
+        push_row(hostile);
+    }
+    out
+}
+
 fn baseline_blob(rev: &str, path: &str) -> Option<String> {
     let out = Command::new("git")
         .args(["show", &format!("{rev}:{path}")])
@@ -58,40 +86,42 @@ fn baseline_blob(rev: &str, path: &str) -> Option<String> {
     Some(String::from_utf8_lossy(&out.stdout).into_owned())
 }
 
-fn main() {
-    let current_path =
-        arg_after("--current").unwrap_or_else(|| "results/BENCH_serve.json".to_string());
-    let rev = arg_after("--baseline-rev").unwrap_or_else(|| "HEAD".to_string());
-    let min_ratio: f64 = arg_after("--min-ratio")
-        .map(|f| f.parse().expect("--min-ratio takes a number"))
-        .unwrap_or(0.8);
-
-    let Ok(current_text) = std::fs::read_to_string(&current_path) else {
-        println!("bench-trend: no fresh {current_path}; skipping (run bench_serve first)");
-        return;
+/// Loads current + committed-baseline JSON for one results file, with
+/// skip-notes on every absence. Returns `None` to skip the gate.
+fn load_pair(
+    current_path: &str,
+    repo_path: &str,
+    rev: &str,
+    producer: &str,
+) -> Option<(Value, Value)> {
+    let Ok(current_text) = std::fs::read_to_string(current_path) else {
+        println!("bench-trend: no fresh {current_path}; skipping (run {producer} first)");
+        return None;
     };
-    let Some(baseline_text) = baseline_blob(&rev, "results/BENCH_serve.json") else {
-        println!("bench-trend: no committed baseline at {rev}; skipping");
-        return;
+    let Some(baseline_text) = baseline_blob(rev, repo_path) else {
+        println!("bench-trend: no committed {repo_path} at {rev}; skipping");
+        return None;
     };
-    let current = serde_json::parse_value_str(&current_text).expect("fresh BENCH_serve parses");
-    let baseline =
-        serde_json::parse_value_str(&baseline_text).expect("committed BENCH_serve parses");
-    let current_tp = throughputs(&current);
-    let baseline_tp = throughputs(&baseline);
-    if current_tp.is_empty() || baseline_tp.is_empty() {
-        println!("bench-trend: per_shards throughput missing on one side; skipping");
-        return;
-    }
+    let current = serde_json::parse_value_str(&current_text)
+        .unwrap_or_else(|e| panic!("fresh {current_path} parses: {e:?}"));
+    let baseline = serde_json::parse_value_str(&baseline_text)
+        .unwrap_or_else(|e| panic!("committed {repo_path} parses: {e:?}"));
+    Some((current, baseline))
+}
 
-    println!(
-        "bench-trend: fresh {current_path} vs {rev} (fail below {:.0}% of baseline)",
-        min_ratio * 100.0
-    );
+/// Compares labelled metric rows against the baseline, printing a
+/// table. Returns how many rows fell below `min_ratio` of baseline.
+fn gate(
+    what: &str,
+    headers: &[&str],
+    current: &[(String, f64)],
+    baseline: &[(String, f64)],
+    min_ratio: f64,
+) -> u32 {
     let mut rows = Vec::new();
     let mut regressions = 0u32;
-    for (shards, cur) in &current_tp {
-        let Some((_, base)) = baseline_tp.iter().find(|(s, _)| s == shards) else {
+    for (key, cur) in current {
+        let Some((_, base)) = baseline.iter().find(|(k, _)| k == key) else {
             continue;
         };
         let ratio = cur / base;
@@ -100,21 +130,82 @@ fn main() {
             regressions += 1;
         }
         rows.push(vec![
-            shards.to_string(),
-            format!("{base:.0}"),
-            format!("{cur:.0}"),
-            format!("{:.2}x", ratio),
+            key.clone(),
+            format!("{base:.2}"),
+            format!("{cur:.2}"),
+            format!("{ratio:.2}x"),
             if ok { "ok" } else { "REGRESSED" }.to_string(),
         ]);
     }
-    print_table(
-        &["shards", "baseline ev/s", "current ev/s", "ratio", "status"],
-        &rows,
+    if rows.is_empty() {
+        println!("bench-trend: no comparable {what} rows; skipping");
+    } else {
+        print_table(headers, &rows);
+    }
+    regressions
+}
+
+fn main() {
+    let current_path =
+        arg_after("--current").unwrap_or_else(|| "results/BENCH_serve.json".to_string());
+    let current_net_path =
+        arg_after("--current-net").unwrap_or_else(|| "results/BENCH_net.json".to_string());
+    let rev = arg_after("--baseline-rev").unwrap_or_else(|| "HEAD".to_string());
+    let min_ratio: f64 = arg_after("--min-ratio")
+        .map(|f| f.parse().expect("--min-ratio takes a number"))
+        .unwrap_or(0.8);
+    println!(
+        "bench-trend: fresh results vs {rev} (fail below {:.0}% of baseline)",
+        min_ratio * 100.0
     );
+
+    let mut regressions = 0u32;
+    if let Some((current, baseline)) = load_pair(
+        &current_path,
+        "results/BENCH_serve.json",
+        &rev,
+        "bench_serve",
+    ) {
+        let current_tp: Vec<(String, f64)> = throughputs(&current)
+            .into_iter()
+            .map(|(s, v)| (s.to_string(), v))
+            .collect();
+        let baseline_tp: Vec<(String, f64)> = throughputs(&baseline)
+            .into_iter()
+            .map(|(s, v)| (s.to_string(), v))
+            .collect();
+        regressions += gate(
+            "serving throughput",
+            &["shards", "baseline ev/s", "current ev/s", "ratio", "status"],
+            &current_tp,
+            &baseline_tp,
+            min_ratio,
+        );
+    }
+    if let Some((current, baseline)) = load_pair(
+        &current_net_path,
+        "results/BENCH_net.json",
+        &rev,
+        "chaos_net",
+    ) {
+        regressions += gate(
+            "chaos goodput",
+            &[
+                "fault",
+                "baseline ev/poll",
+                "current ev/poll",
+                "ratio",
+                "status",
+            ],
+            &goodputs(&current),
+            &goodputs(&baseline),
+            min_ratio,
+        );
+    }
     assert!(
         regressions == 0,
-        "serving throughput regressed more than {:.0}% at {regressions} shard count(s)",
+        "{regressions} benchmark row(s) regressed more than {:.0}% below baseline",
         (1.0 - min_ratio) * 100.0
     );
-    println!("bench-trend: throughput within budget at every shard count");
+    println!("bench-trend: every compared metric within budget");
 }

@@ -1,0 +1,310 @@
+//! Hostile-network sweep: ≥100 seeded fault schedules — a focused
+//! block per fault class plus mixed hostile mixes — each driving a
+//! reliable [`ClientSession`] against a sharded [`SessionManager`]
+//! over a fault-injected loopback. Every schedule must converge with
+//! zero panics and reports byte-identical to the fault-free twin;
+//! per-class retry counts, recovery latency (extra polls vs the quiet
+//! baseline), and goodput (events delivered per poll) land in
+//! `results/BENCH_net.json`.
+//!
+//! Run: `cargo run --release -p hds-bench --bin chaos_net`
+//! (add `--test-scale` for the fast smoke run, `--out <path>` to
+//! redirect the JSON).
+
+use hds_bench::scale_from_args;
+use hds_core::{config_fingerprint, OptimizerConfig, PrefetchPolicy, RunMode};
+use hds_flight::RunMeta;
+use hds_serve::load::{generate, standalone_reference, LoadConfig, TenantLoad};
+use hds_serve::{
+    run_chaos_session, ChaosOutcome, ClientConfig, NetFault, NetFaultPlan, ServeConfig,
+    SessionManager,
+};
+use hds_workloads::Scale;
+use serde::{Serialize, Value};
+
+/// Schedules per focused fault-class block.
+const PER_CLASS: u64 = 13;
+/// Mixed hostile schedules on top of the focused blocks.
+const HOSTILE: u64 = 26;
+/// Poll budget per schedule; exceeding it is a convergence bug.
+const MAX_POLLS: u64 = 200_000;
+
+fn arg_after(flag: &str) -> Option<String> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == flag {
+            return args.next();
+        }
+    }
+    None
+}
+
+fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Obj(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn tiny_config() -> OptimizerConfig {
+    let mut c = OptimizerConfig::test_scale();
+    c.bursty = hds_bursty::BurstyConfig::new(8, 8, 2, 3);
+    c.analysis.min_length = 4;
+    c.analysis.min_unique_refs = 2;
+    c
+}
+
+fn serve_config(config: &OptimizerConfig, mode: RunMode) -> ServeConfig {
+    ServeConfig::new(config.clone(), mode)
+        .with_shards(2)
+        .with_auth_token("hunter2")
+}
+
+fn client_config() -> ClientConfig {
+    ClientConfig {
+        token: "hunter2".into(),
+        ..ClientConfig::default()
+    }
+}
+
+/// Accumulated robustness counters over one block of schedules.
+#[derive(Default)]
+struct Block {
+    schedules: u64,
+    faults: u64,
+    retries: u64,
+    reconnects: u64,
+    rejects: u64,
+    polls: u64,
+    max_polls: u64,
+}
+
+impl Block {
+    fn absorb(&mut self, outcome: &ChaosOutcome) {
+        self.schedules += 1;
+        self.faults += u64::from(outcome.faults_injected);
+        self.retries += outcome.stats.retries;
+        self.reconnects += outcome.stats.reconnects;
+        self.rejects += outcome.stats.rejects;
+        self.polls += outcome.polls;
+        self.max_polls = self.max_polls.max(outcome.polls);
+    }
+
+    #[allow(clippy::cast_precision_loss)]
+    fn mean_polls(&self) -> f64 {
+        self.polls as f64 / self.schedules.max(1) as f64
+    }
+
+    #[allow(clippy::cast_precision_loss)]
+    fn to_value(&self, label: &str, total_events: u64, baseline_polls: u64) -> Value {
+        let mean = self.mean_polls();
+        obj(vec![
+            ("fault", Value::Str(label.to_string())),
+            ("schedules", Value::U64(self.schedules)),
+            ("faults_injected", Value::U64(self.faults)),
+            ("retries", Value::U64(self.retries)),
+            ("reconnects", Value::U64(self.reconnects)),
+            ("rejects", Value::U64(self.rejects)),
+            ("mean_polls", Value::F64(mean)),
+            ("max_polls", Value::U64(self.max_polls)),
+            (
+                "recovery_latency_polls",
+                Value::F64(mean - baseline_polls as f64),
+            ),
+            (
+                "goodput_events_per_poll",
+                Value::F64(total_events as f64 / mean.max(1.0)),
+            ),
+        ])
+    }
+}
+
+/// Runs one schedule to completion, asserting byte-identity against
+/// the precomputed standalone references.
+fn run_verified(
+    config: &OptimizerConfig,
+    mode: RunMode,
+    loads: &[TenantLoad],
+    refs: &[(String, u64)],
+    plan: NetFaultPlan,
+    what: &str,
+) -> ChaosOutcome {
+    let mut manager = SessionManager::new(serve_config(config, mode)).expect("valid serve config");
+    let outcome = run_chaos_session(&mut manager, client_config(), plan, loads, MAX_POLLS)
+        .unwrap_or_else(|e| panic!("schedule {what} failed to converge: {e}"));
+    assert_eq!(
+        outcome.reports.len(),
+        loads.len(),
+        "{what}: missing reports"
+    );
+    for (got, (json, digest)) in outcome.reports.iter().zip(refs) {
+        assert_eq!(
+            &got.report_json, json,
+            "{what}: report diverged for {}",
+            got.tenant
+        );
+        assert_eq!(
+            got.image_digest, *digest,
+            "{what}: digest diverged for {}",
+            got.tenant
+        );
+    }
+    let report = manager.report();
+    assert_eq!(report.drains, 1, "{what}: goodbye never drained");
+    outcome
+}
+
+fn main() {
+    let scale = scale_from_args();
+    let out = arg_after("--out").unwrap_or_else(|| "results/BENCH_net.json".to_string());
+    let config = tiny_config();
+    let mode = RunMode::Optimize(PrefetchPolicy::StreamTail);
+    let load_cfg = match scale {
+        Scale::Test => LoadConfig {
+            tenants: 3,
+            chunks_per_tenant: 4,
+            events_per_chunk: 80,
+            seed: 42,
+        },
+        Scale::Paper => LoadConfig {
+            tenants: 4,
+            chunks_per_tenant: 8,
+            events_per_chunk: 400,
+            seed: 42,
+        },
+    };
+    let loads = generate(&load_cfg).expect("load config is non-degenerate");
+    let total_events: u64 = loads.iter().map(|l| l.all_events().len() as u64).sum();
+    let refs: Vec<(String, u64)> = loads
+        .iter()
+        .map(|l| {
+            let (report, digest) = standalone_reference(&config, mode, l);
+            (
+                serde_json::to_string(&report).expect("report serialises"),
+                digest,
+            )
+        })
+        .collect();
+
+    let total_schedules = PER_CLASS * NetFault::ALL.len() as u64 + HOSTILE;
+    println!(
+        "Hostile-network sweep: {total_schedules} schedules over {} tenants x {} chunks ({total_events} events)",
+        load_cfg.tenants, load_cfg.chunks_per_tenant
+    );
+
+    // The fault-free twin fixes the baseline poll count every recovery
+    // latency is measured against.
+    let baseline = run_verified(
+        &config,
+        mode,
+        &loads,
+        &refs,
+        NetFaultPlan::quiet(),
+        "baseline",
+    );
+    let baseline_polls = baseline.polls;
+    assert_eq!(baseline.faults_injected, 0);
+    println!("  baseline (quiet): {baseline_polls} polls");
+
+    let mut per_class = Vec::new();
+    for fault in NetFault::ALL {
+        let mut block = Block::default();
+        let mut class_hits = 0u64;
+        for seed in 0..PER_CLASS {
+            let plan = NetFaultPlan::focused(seed * 2 + 1, fault, 150);
+            let outcome = run_verified(
+                &config,
+                mode,
+                &loads,
+                &refs,
+                plan,
+                &format!("{}[{seed}]", fault.label()),
+            );
+            class_hits += outcome.fault_counts[fault.index()];
+            block.absorb(&outcome);
+        }
+        assert!(
+            class_hits > 0,
+            "{} schedules never drew their fault",
+            fault.label()
+        );
+        println!(
+            "  {:<14} {:>3} schedules, {:>4} faults, {:>4} retries, {:>3} reconnects, mean {:>6.0} polls",
+            fault.label(),
+            block.schedules,
+            block.faults,
+            block.retries,
+            block.reconnects,
+            block.mean_polls(),
+        );
+        per_class.push(block.to_value(fault.label(), total_events, baseline_polls));
+    }
+
+    let mut hostile = Block::default();
+    for seed in 0..HOSTILE {
+        let plan = NetFaultPlan::hostile(seed * 7 + 3);
+        let outcome = run_verified(
+            &config,
+            mode,
+            &loads,
+            &refs,
+            plan,
+            &format!("hostile[{seed}]"),
+        );
+        hostile.absorb(&outcome);
+    }
+    println!(
+        "  {:<14} {:>3} schedules, {:>4} faults, {:>4} retries, {:>3} reconnects, mean {:>6.0} polls",
+        "hostile-mix",
+        hostile.schedules,
+        hostile.faults,
+        hostile.retries,
+        hostile.reconnects,
+        hostile.mean_polls(),
+    );
+    println!("  all {total_schedules} schedules converged byte-identically, zero panics");
+
+    let result = obj(vec![
+        ("record", Value::Str("bench_net".to_string())),
+        (
+            "meta",
+            RunMeta::capture(Some(config_fingerprint(&config, mode))).to_value(),
+        ),
+        (
+            "scale",
+            Value::Str(match scale {
+                Scale::Test => "test".to_string(),
+                Scale::Paper => "paper".to_string(),
+            }),
+        ),
+        ("tenants", Value::U64(u64::from(load_cfg.tenants))),
+        ("total_events", Value::U64(total_events)),
+        ("schedules", Value::U64(total_schedules)),
+        ("all_identical", Value::Bool(true)),
+        (
+            "baseline",
+            obj(vec![
+                ("polls", Value::U64(baseline_polls)),
+                #[allow(clippy::cast_precision_loss)]
+                (
+                    "goodput_events_per_poll",
+                    Value::F64(total_events as f64 / baseline_polls.max(1) as f64),
+                ),
+            ]),
+        ),
+        ("per_class", Value::Arr(per_class)),
+        (
+            "hostile",
+            hostile.to_value("hostile-mix", total_events, baseline_polls),
+        ),
+    ]);
+    let json = serde_json::to_string_pretty(&result).expect("result serialises infallibly");
+    let path = std::path::Path::new(&out);
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir).expect("creating results directory");
+    }
+    std::fs::write(path, json + "\n").expect("writing results file");
+    println!("wrote {}", path.display());
+}

@@ -17,6 +17,7 @@ pub struct ServeBudgets {
     max_live_sessions: Option<u64>,
     max_queued_chunks: Option<u64>,
     max_global_bytes: Option<u64>,
+    max_duplicate_frames: Option<u64>,
 }
 
 impl ServeBudgets {
@@ -27,6 +28,7 @@ impl ServeBudgets {
             max_live_sessions: None,
             max_queued_chunks: None,
             max_global_bytes: None,
+            max_duplicate_frames: None,
         }
     }
 
@@ -55,12 +57,24 @@ impl ServeBudgets {
         self
     }
 
+    /// Caps duplicate (retransmitted) frames re-received per tenant on
+    /// a reliable connection. Retransmissions below the cap are
+    /// re-acknowledged for free; a client stuck in a retry storm past
+    /// it starts receiving typed `Shed` frames so the control plane is
+    /// not monopolized by replays.
+    #[must_use]
+    pub const fn with_max_duplicate_frames(mut self, cap: u64) -> Self {
+        self.max_duplicate_frames = Some(cap);
+        self
+    }
+
     /// Whether any budget is set at all.
     #[must_use]
     pub fn is_enabled(&self) -> bool {
         self.max_live_sessions.is_some()
             || self.max_queued_chunks.is_some()
             || self.max_global_bytes.is_some()
+            || self.max_duplicate_frames.is_some()
     }
 
     /// The configured cap for one budget kind.
@@ -70,6 +84,7 @@ impl ServeBudgets {
             ServeBudgetKind::LiveSessions => self.max_live_sessions,
             ServeBudgetKind::TenantQueue => self.max_queued_chunks,
             ServeBudgetKind::GlobalBytes => self.max_global_bytes,
+            ServeBudgetKind::RetryStorm => self.max_duplicate_frames,
         }
     }
 }
@@ -92,7 +107,7 @@ pub struct ServeTrip {
 #[derive(Clone, Debug)]
 pub struct ServeGuard {
     config: ServeBudgets,
-    shed: [u64; 3], // indexed by ServeBudgetKind
+    shed: [u64; 4], // indexed by ServeBudgetKind
     busy: u64,
 }
 
@@ -102,7 +117,7 @@ impl ServeGuard {
     pub fn new(config: ServeBudgets) -> Self {
         ServeGuard {
             config,
-            shed: [0; 3],
+            shed: [0; 4],
             busy: 0,
         }
     }
@@ -162,6 +177,30 @@ impl ServeGuard {
                     kind: ServeBudgetKind::GlobalBytes,
                     budget,
                     observed: global_bytes,
+                };
+                self.shed[trip.kind as usize] += 1;
+                return Err(trip);
+            }
+        }
+        Ok(())
+    }
+
+    /// Admits or sheds one *duplicate* (retransmitted) frame.
+    /// `tenant_duplicates` is the prospective per-tenant duplicate
+    /// count if this one were tolerated. Below the cap a duplicate is
+    /// harmless (it is deduplicated, not re-applied); past it the
+    /// refusal is counted as a [`ServeBudgetKind::RetryStorm`] shed.
+    ///
+    /// # Errors
+    ///
+    /// The [`ServeTrip`] naming the retry-storm budget.
+    pub fn admit_duplicate(&mut self, tenant_duplicates: u64) -> Result<(), ServeTrip> {
+        if let Some(budget) = self.config.max_duplicate_frames {
+            if tenant_duplicates > budget {
+                let trip = ServeTrip {
+                    kind: ServeBudgetKind::RetryStorm,
+                    budget,
+                    observed: tenant_duplicates,
                 };
                 self.shed[trip.kind as usize] += 1;
                 return Err(trip);
@@ -231,6 +270,24 @@ mod tests {
         assert_eq!(guard.shed(ServeBudgetKind::GlobalBytes), 1);
         assert_eq!(guard.shed(ServeBudgetKind::LiveSessions), 0);
         assert_eq!(guard.shed_total(), 2);
+    }
+
+    #[test]
+    fn duplicate_storms_trip_the_retry_budget() {
+        let mut guard = ServeGuard::new(ServeBudgets::disabled().with_max_duplicate_frames(2));
+        // Replays up to the cap are absorbed for free — a lossy
+        // network legitimately causes a few.
+        assert_eq!(guard.admit_duplicate(1), Ok(()));
+        assert_eq!(guard.admit_duplicate(2), Ok(()));
+        let trip = guard.admit_duplicate(3).unwrap_err();
+        assert_eq!(trip.kind, ServeBudgetKind::RetryStorm);
+        assert_eq!(trip.budget, 2);
+        assert_eq!(trip.observed, 3);
+        assert_eq!(guard.shed(ServeBudgetKind::RetryStorm), 1);
+        // Disabled budgets absorb any storm.
+        let mut open = ServeGuard::new(ServeBudgets::disabled());
+        assert_eq!(open.admit_duplicate(u64::MAX), Ok(()));
+        assert_eq!(open.shed_total(), 0);
     }
 
     #[test]

@@ -1,0 +1,622 @@
+//! A reliable `HDSW` client: per-frame timeouts, capped-exponential
+//! retry, and reconnect-with-resume on top of any [`Transport`].
+//!
+//! [`ClientSession`] is a poll-driven state machine: every call to
+//! [`ClientSession::step`] advances a logical clock, drains inbound
+//! frames, retransmits the one in-flight request if its ack deadline
+//! lapsed, and sends the next request when the pipeline is clear.
+//! Stop-and-wait keeps the retry algebra simple: at most one frame is
+//! unacknowledged at any time, so resume-after-reconnect only has to
+//! re-establish a single position per tenant.
+//!
+//! Exactly-once delivery is the sum of three pieces: chunks carry
+//! per-tenant sequence numbers, the server deduplicates at or below
+//! its acknowledged sequence and re-acks for free, and after a
+//! reconnect the client re-`Hello`s and re-opens each tenant — the
+//! server answers with the tenant's resume point, and the client
+//! rewinds (or fast-forwards) to it. A retried chunk is therefore
+//! applied exactly once however often the wire dropped, duplicated,
+//! corrupted, or tore it.
+//!
+//! Timeouts count *polls*, not wall-clock time, which makes every
+//! retry schedule deterministic under the chaos harness; a real
+//! deployment calls `step` on a ticker.
+
+use hds_core::Observer;
+use hds_telemetry::events as tev;
+use hds_vulcan::{Event, Procedure};
+
+use crate::transport::{Transport, TransportError};
+use crate::wire::{Frame, RejectCode, FEATURE_RELIABLE, WIRE_VERSION};
+
+/// Client behaviour knobs. Defaults are sane for the chaos harness.
+#[derive(Clone, Debug)]
+pub struct ClientConfig {
+    /// Shared-secret auth token sent in `Hello`.
+    pub token: String,
+    /// Polls to wait for an acknowledgement before retransmitting.
+    pub ack_timeout: u64,
+    /// Consecutive retransmissions of one frame before giving up.
+    pub max_retries: u32,
+    /// First retry backoff, in polls; doubles per attempt.
+    pub backoff_base: u64,
+    /// Backoff ceiling, in polls.
+    pub backoff_cap: u64,
+    /// Send a `Goodbye` drain once every tenant has its report.
+    pub goodbye: bool,
+    /// `AuthFailed` rejects tolerated (with a fresh handshake each
+    /// time) before concluding the credential itself is bad. The wire
+    /// carries no checksum, so a token can be damaged in flight; a
+    /// genuinely wrong token fails persistently and still surfaces as
+    /// [`ClientError::Rejected`].
+    pub auth_retries: u32,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            token: String::new(),
+            ack_timeout: 8,
+            max_retries: 16,
+            backoff_base: 2,
+            backoff_cap: 32,
+            goodbye: true,
+            auth_retries: 2,
+        }
+    }
+}
+
+/// Why a client session gave up.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ClientError {
+    /// One frame exhausted its retransmission budget.
+    RetriesExhausted {
+        /// What was being retried, as a wire kind tag.
+        kind: u8,
+        /// Retries attempted.
+        attempts: u32,
+    },
+    /// The server answered with a reject the client cannot recover
+    /// from (bad auth, draining, a true protocol conflict).
+    Rejected {
+        /// The server's reason code.
+        code: RejectCode,
+        /// The server's free-form detail.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::RetriesExhausted { kind, attempts } => {
+                write!(f, "frame {kind:#04x} unacked after {attempts} retries")
+            }
+            ClientError::Rejected { code, detail } => {
+                write!(f, "fatally rejected ({code}): {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+/// What [`ClientSession::step`] reports back to its driver.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ClientStatus {
+    /// Making progress (or backing off); keep stepping.
+    Working,
+    /// The connection died; hand a fresh transport to
+    /// [`ClientSession::on_reconnected`], then keep stepping.
+    NeedReconnect,
+    /// Every tenant has its report (and the drain, if configured, is
+    /// acknowledged).
+    Done,
+}
+
+/// Robustness counters, for `BENCH_net.json` and assertions.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ClientStats {
+    /// Frames retransmitted after an ack timeout.
+    pub retries: u64,
+    /// Fresh transports attached after a dead connection.
+    pub reconnects: u64,
+    /// Recoverable rejects absorbed (lost handshake, sequence rewind,
+    /// lost open).
+    pub rejects: u64,
+    /// `Busy`/`Shed` refusals absorbed with backoff.
+    pub sheds: u64,
+    /// Acknowledgements received.
+    pub acks: u64,
+    /// Keepalive pings answered.
+    pub pings: u64,
+    /// Polls spent waiting in retry backoff.
+    pub backoff_polls: u64,
+}
+
+/// A tenant's final report as the client received it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TenantReport {
+    /// Tenant identifier.
+    pub tenant: String,
+    /// The server's `Report` JSON, byte-for-byte.
+    pub report_json: String,
+    /// The server's image digest at flush time.
+    pub image_digest: u64,
+}
+
+/// One tenant's upload: program image, chunked events, and the
+/// client-side delivery cursor.
+struct Flow {
+    name: String,
+    procedures: Vec<Procedure>,
+    chunks: Vec<Vec<Event>>,
+    /// Whether the server has confirmed `OpenSession` on the current
+    /// connection.
+    opened: bool,
+    /// Highest chunk sequence number the server has acknowledged.
+    acked: u64,
+    report: Option<TenantReport>,
+}
+
+impl Flow {
+    fn done(&self) -> bool {
+        self.report.is_some()
+    }
+}
+
+/// The one unacknowledged request (stop-and-wait).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Pending {
+    Hello,
+    Open(usize),
+    Chunk(usize, u64),
+    Flush(usize),
+    Goodbye,
+}
+
+/// See the module docs. `T` is the wire, `O` the observer receiving
+/// `Net` span instants for every retry and reconnect.
+pub struct ClientSession<T: Transport, O: Observer = hds_core::NullObserver> {
+    cfg: ClientConfig,
+    obs: O,
+    transport: Option<T>,
+    /// The connection errored; it is kept (so its state — e.g. a chaos
+    /// plan — can be recovered via [`ClientSession::take_transport`])
+    /// but no longer used.
+    dead: bool,
+    flows: Vec<Flow>,
+    poll: u64,
+    handshaken: bool,
+    goodbye_acked: bool,
+    pending: Option<Pending>,
+    sent_at: u64,
+    attempt: u32,
+    backoff: u64,
+    auth_rejects: u32,
+    stats: ClientStats,
+}
+
+impl<T: Transport> ClientSession<T, hds_core::NullObserver> {
+    /// A client with no observer.
+    #[must_use]
+    pub fn new(cfg: ClientConfig) -> Self {
+        ClientSession::with_observer(cfg, hds_core::NullObserver)
+    }
+}
+
+impl<T: Transport, O: Observer> ClientSession<T, O> {
+    /// A client emitting `Net` telemetry into `obs`.
+    #[must_use]
+    pub fn with_observer(cfg: ClientConfig, obs: O) -> Self {
+        ClientSession {
+            cfg,
+            obs,
+            transport: None,
+            dead: false,
+            flows: Vec::new(),
+            poll: 0,
+            handshaken: false,
+            goodbye_acked: false,
+            pending: None,
+            sent_at: 0,
+            attempt: 0,
+            backoff: 0,
+            auth_rejects: 0,
+            stats: ClientStats::default(),
+        }
+    }
+
+    /// Queues a tenant upload: its program image and chunked event
+    /// stream. Chunk `i` is sent with sequence number `i + 1`.
+    pub fn add_tenant(&mut self, name: &str, procedures: Vec<Procedure>, chunks: Vec<Vec<Event>>) {
+        self.flows.push(Flow {
+            name: name.to_string(),
+            procedures,
+            chunks,
+            opened: false,
+            acked: 0,
+            report: None,
+        });
+    }
+
+    /// Attaches the first transport. Equivalent to
+    /// [`ClientSession::on_reconnected`] minus the reconnect
+    /// accounting.
+    pub fn connect(&mut self, transport: T) {
+        self.transport = Some(transport);
+        self.dead = false;
+        self.handshaken = false;
+        self.pending = None;
+        self.attempt = 0;
+        self.backoff = 0;
+    }
+
+    /// Attaches a fresh transport after a dead connection and arms the
+    /// resume protocol: re-`Hello`, re-open every unfinished tenant
+    /// (the server's open ack carries the resume point), resend
+    /// whatever is still unacknowledged.
+    pub fn on_reconnected(&mut self, transport: T) {
+        self.stats.reconnects += 1;
+        self.net_event(tev::NetEventKind::Reconnect, self.stats.reconnects);
+        for flow in &mut self.flows {
+            if !flow.done() {
+                flow.opened = false;
+            }
+        }
+        self.connect(transport);
+    }
+
+    /// Takes the (possibly dead) transport back, e.g. to recover a
+    /// chaos plan before building the replacement connection.
+    pub fn take_transport(&mut self) -> Option<T> {
+        self.pending = None;
+        self.dead = false;
+        self.transport.take()
+    }
+
+    /// Delivery/robustness counters.
+    #[must_use]
+    pub fn stats(&self) -> &ClientStats {
+        &self.stats
+    }
+
+    /// The observer, for reading recorded telemetry back.
+    #[must_use]
+    pub fn observer(&self) -> &O {
+        &self.obs
+    }
+
+    /// Consumes the session and returns its observer.
+    #[must_use]
+    pub fn into_observer(self) -> O {
+        self.obs
+    }
+
+    /// Polls stepped so far.
+    #[must_use]
+    pub fn polls(&self) -> u64 {
+        self.poll
+    }
+
+    /// Every tenant report received, in [`ClientSession::add_tenant`]
+    /// order (a tenant without a report yet is skipped).
+    #[must_use]
+    pub fn reports(&self) -> Vec<&TenantReport> {
+        self.flows
+            .iter()
+            .filter_map(|f| f.report.as_ref())
+            .collect()
+    }
+
+    fn net_event(&mut self, kind: tev::NetEventKind, b: u64) {
+        if O::ENABLED {
+            self.obs.span(
+                &tev::SpanEvent::instant(tev::SpanKind::Net, self.poll).with_args(kind.code(), b),
+            );
+        }
+    }
+
+    fn frame_for(&self, pending: Pending) -> Frame {
+        match pending {
+            Pending::Hello => Frame::Hello {
+                version: WIRE_VERSION,
+                token: self.cfg.token.clone(),
+                features: FEATURE_RELIABLE,
+            },
+            Pending::Open(i) => Frame::OpenSession {
+                tenant: self.flows[i].name.clone(),
+                procedures: self.flows[i].procedures.clone(),
+            },
+            Pending::Chunk(i, seq) => Frame::TraceChunk {
+                tenant: self.flows[i].name.clone(),
+                seq,
+                events: self.flows[i].chunks[(seq - 1) as usize].clone(),
+            },
+            Pending::Flush(i) => Frame::Flush {
+                tenant: self.flows[i].name.clone(),
+            },
+            Pending::Goodbye => Frame::Goodbye,
+        }
+    }
+
+    /// Sends `frame`; a send failure kills the connection.
+    fn push(&mut self, frame: &Frame) -> bool {
+        let Some(t) = self.transport.as_mut() else {
+            return false;
+        };
+        if t.send(frame).is_err() {
+            self.dead = true;
+            return false;
+        }
+        true
+    }
+
+    fn flow_index(&self, tenant: &str) -> Option<usize> {
+        self.flows.iter().position(|f| f.name == tenant)
+    }
+
+    /// The next request due on a clear pipeline, or `None` when all
+    /// work (including the optional drain) is acknowledged.
+    fn next_request(&self) -> Option<Pending> {
+        if !self.handshaken {
+            return Some(Pending::Hello);
+        }
+        for (i, flow) in self.flows.iter().enumerate() {
+            if flow.done() {
+                continue;
+            }
+            if !flow.opened {
+                return Some(Pending::Open(i));
+            }
+            let next_seq = flow.acked + 1;
+            if next_seq <= flow.chunks.len() as u64 {
+                return Some(Pending::Chunk(i, next_seq));
+            }
+            return Some(Pending::Flush(i));
+        }
+        if self.cfg.goodbye && !self.goodbye_acked {
+            return Some(Pending::Goodbye);
+        }
+        None
+    }
+
+    /// Advances the session by one logical tick. Call in a loop; see
+    /// [`ClientStatus`] for what to do between calls.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`] when the session cannot make further progress.
+    pub fn step(&mut self) -> Result<ClientStatus, ClientError> {
+        self.poll += 1;
+        if self.transport.is_none() || self.dead {
+            return Ok(ClientStatus::NeedReconnect);
+        }
+        // Drain everything the server pushed since the last step.
+        loop {
+            let received = match self.transport.as_mut().expect("checked above").recv() {
+                Ok(Some(frame)) => frame,
+                Ok(None) | Err(TransportError::TimedOut) => break,
+                Err(_) => {
+                    self.dead = true;
+                    return Ok(ClientStatus::NeedReconnect);
+                }
+            };
+            self.on_frame(received)?;
+            if self.dead {
+                return Ok(ClientStatus::NeedReconnect);
+            }
+        }
+        if let Some(pending) = self.pending {
+            // Stop-and-wait: the one in-flight request either gets
+            // retransmitted past its deadline (with capped-exponential
+            // backoff) or keeps waiting.
+            if self.poll >= self.sent_at + self.cfg.ack_timeout + self.backoff {
+                self.attempt += 1;
+                if self.attempt > self.cfg.max_retries {
+                    return Err(ClientError::RetriesExhausted {
+                        kind: self.frame_for(pending).kind_tag(),
+                        attempts: self.attempt - 1,
+                    });
+                }
+                self.stats.retries += 1;
+                self.backoff =
+                    (self.cfg.backoff_base << (self.attempt - 1).min(16)).min(self.cfg.backoff_cap);
+                self.stats.backoff_polls += self.backoff;
+                self.net_event(tev::NetEventKind::Retry, self.backoff);
+                let frame = self.frame_for(pending);
+                if !self.push(&frame) {
+                    return Ok(ClientStatus::NeedReconnect);
+                }
+                self.sent_at = self.poll;
+            }
+            return Ok(ClientStatus::Working);
+        }
+        let Some(next) = self.next_request() else {
+            return Ok(ClientStatus::Done);
+        };
+        let frame = self.frame_for(next);
+        if !self.push(&frame) {
+            return Ok(ClientStatus::NeedReconnect);
+        }
+        self.pending = Some(next);
+        self.sent_at = self.poll;
+        self.attempt = 0;
+        self.backoff = 0;
+        Ok(ClientStatus::Working)
+    }
+
+    /// Clears the in-flight request and resets the retry clock.
+    fn clear_pending(&mut self) {
+        self.pending = None;
+        self.attempt = 0;
+        self.backoff = 0;
+    }
+
+    fn on_frame(&mut self, frame: Frame) -> Result<(), ClientError> {
+        match frame {
+            Frame::HelloAck { .. } => {
+                self.handshaken = true;
+                self.auth_rejects = 0;
+                if self.pending == Some(Pending::Hello) {
+                    self.clear_pending();
+                }
+            }
+            Frame::Ack { tenant, seq } => {
+                self.stats.acks += 1;
+                let Some(i) = self.flow_index(&tenant) else {
+                    return Ok(());
+                };
+                self.flows[i].acked = self.flows[i].acked.max(seq);
+                match self.pending {
+                    Some(Pending::Open(j)) if j == i => {
+                        self.flows[i].opened = true;
+                        self.clear_pending();
+                    }
+                    Some(Pending::Chunk(j, s)) if j == i && self.flows[i].acked >= s => {
+                        self.clear_pending();
+                    }
+                    _ => {}
+                }
+            }
+            Frame::Report {
+                tenant,
+                report_json,
+                image_digest,
+            } => {
+                if let Some(i) = self.flow_index(&tenant) {
+                    if self.flows[i].report.is_none() {
+                        self.flows[i].report = Some(TenantReport {
+                            tenant,
+                            report_json,
+                            image_digest,
+                        });
+                    }
+                    if matches!(self.pending, Some(Pending::Flush(j)) if j == i) {
+                        self.clear_pending();
+                    }
+                }
+            }
+            Frame::Ping { nonce } => {
+                self.stats.pings += 1;
+                // Answer out of band; keepalives don't disturb the
+                // stop-and-wait pipeline.
+                self.push(&Frame::Pong { nonce });
+            }
+            Frame::GoodbyeAck { .. } => {
+                self.goodbye_acked = true;
+                if self.pending == Some(Pending::Goodbye) {
+                    self.clear_pending();
+                }
+            }
+            Frame::Busy { .. } | Frame::Shed { .. } => {
+                // The request was refused but not applied: retrying
+                // the same frame later is safe. Restart the timer with
+                // a grown backoff so the retry storm stays polite.
+                self.stats.sheds += 1;
+                self.attempt += 1;
+                if self.attempt > self.cfg.max_retries {
+                    let kind = self.pending.map_or(0, |p| self.frame_for(p).kind_tag());
+                    return Err(ClientError::RetriesExhausted {
+                        kind,
+                        attempts: self.attempt - 1,
+                    });
+                }
+                self.backoff =
+                    (self.cfg.backoff_base << (self.attempt - 1).min(16)).min(self.cfg.backoff_cap);
+                self.stats.backoff_polls += self.backoff;
+                self.sent_at = self.poll;
+            }
+            Frame::Reject { code, detail } => return self.on_reject(code, &detail),
+            // Stats answers and unsolicited server frames carry no
+            // delivery state for this pipeline.
+            _ => {}
+        }
+        Ok(())
+    }
+
+    fn on_reject(&mut self, code: RejectCode, detail: &str) -> Result<(), ClientError> {
+        match code {
+            RejectCode::HandshakeRequired => {
+                // Reordering (or a server restart) lost our Hello:
+                // re-handshake, then resend the rejected request.
+                self.stats.rejects += 1;
+                self.handshaken = false;
+                if self.pending != Some(Pending::Hello) {
+                    self.clear_pending();
+                }
+                Ok(())
+            }
+            RejectCode::BadSequence => {
+                // detail is "<tenant> <last_acked_seq>": rewind to the
+                // server's position.
+                self.stats.rejects += 1;
+                let mut parts = detail.rsplitn(2, ' ');
+                let seq: u64 = parts.next().and_then(|s| s.parse().ok()).unwrap_or(0);
+                let tenant = parts.next().unwrap_or_default();
+                if let Some(i) = self.flow_index(tenant) {
+                    self.flows[i].acked = seq;
+                    if matches!(self.pending, Some(Pending::Chunk(j, _)) if j == i) {
+                        self.clear_pending();
+                    }
+                }
+                Ok(())
+            }
+            RejectCode::UnknownTenant => {
+                // Our OpenSession never arrived; re-open before
+                // retrying the stream frame.
+                self.stats.rejects += 1;
+                if let Some(i) = self.flow_index(detail) {
+                    self.flows[i].opened = false;
+                    match self.pending {
+                        Some(Pending::Chunk(j, _) | Pending::Flush(j)) if j == i => {
+                            self.clear_pending();
+                        }
+                        _ => {}
+                    }
+                }
+                Ok(())
+            }
+            RejectCode::TenantFlushed => {
+                // A retried Flush crossed its own Report in flight.
+                if let Some(i) = self.flow_index(detail) {
+                    if self.flows[i].report.is_some() {
+                        self.stats.rejects += 1;
+                        if matches!(self.pending, Some(Pending::Flush(j)) if j == i) {
+                            self.clear_pending();
+                        }
+                        return Ok(());
+                    }
+                }
+                Err(ClientError::Rejected {
+                    code,
+                    detail: detail.to_string(),
+                })
+            }
+            RejectCode::AuthFailed => {
+                // The token the server read was wrong — but ours may
+                // merely have been damaged in flight (the wire carries
+                // no checksum). Corruption is transient; a bad
+                // credential is persistent. Re-handshake a bounded
+                // number of times before believing the latter.
+                self.auth_rejects += 1;
+                if self.auth_rejects > self.cfg.auth_retries {
+                    return Err(ClientError::Rejected {
+                        code,
+                        detail: detail.to_string(),
+                    });
+                }
+                self.stats.rejects += 1;
+                self.handshaken = false;
+                self.clear_pending();
+                Ok(())
+            }
+            RejectCode::ClientSentServerFrame
+            | RejectCode::TenantAlreadyOpen
+            | RejectCode::Draining => Err(ClientError::Rejected {
+                code,
+                detail: detail.to_string(),
+            }),
+        }
+    }
+}

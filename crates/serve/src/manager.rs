@@ -45,7 +45,7 @@ use hds_telemetry::events::ServeBudgetKind;
 use hds_vulcan::{Event, Procedure};
 
 use crate::report::{ServeReport, ShardStats, TenantOutcome};
-use crate::wire::{Frame, ShardSummary, TenantStats, WIRE_VERSION};
+use crate::wire::{Frame, RejectCode, ShardSummary, TenantStats, FEATURE_RELIABLE, WIRE_VERSION};
 
 /// Virtual points per shard on the consistent-hash ring.
 const VNODES_PER_SHARD: u32 = 64;
@@ -64,6 +64,41 @@ pub fn tenant_key(name: &str) -> u64 {
         h = h.wrapping_mul(0x100_0000_01b3);
     }
     h
+}
+
+/// FNV-1a over a program image (procedure names and PCs) — what makes
+/// a retried `OpenSession` distinguishable from a conflicting one.
+fn image_key(procedures: &[Procedure]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let mut mix = |v: u64| {
+        h ^= v;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    };
+    for p in procedures {
+        for &b in p.name().as_bytes() {
+            mix(u64::from(b));
+        }
+        mix(u64::MAX); // name/pc separator
+        for pc in p.pcs() {
+            mix(u64::from(pc.0));
+        }
+        mix(u64::MAX - 1); // procedure separator
+    }
+    h
+}
+
+/// Compares an offered auth token against the configured secret
+/// without an early exit on the first differing byte, so the compare
+/// time does not leak how much of the token was right.
+fn constant_time_token_eq(offered: &str, secret: &str) -> bool {
+    let (a, b) = (offered.as_bytes(), secret.as_bytes());
+    let mut diff = a.len() ^ b.len();
+    for i in 0..a.len().max(b.len()) {
+        let x = a.get(i).copied().unwrap_or(0);
+        let y = b.get(i).copied().unwrap_or(0);
+        diff |= usize::from(x ^ y);
+    }
+    diff == 0
 }
 
 /// Modeled wire cost of a chunk, charged against the global byte
@@ -103,6 +138,7 @@ pub struct ServeConfig {
     budgets: ServeBudgets,
     evict_on_pressure: bool,
     chaos: Option<(u64, u32)>,
+    auth_token: Option<String>,
     optimizer: OptimizerConfig,
     mode: RunMode,
 }
@@ -118,6 +154,7 @@ impl ServeConfig {
             budgets: ServeBudgets::disabled(),
             evict_on_pressure: true,
             chaos: None,
+            auth_token: None,
             optimizer,
             mode,
         }
@@ -160,6 +197,16 @@ impl ServeConfig {
         self
     }
 
+    /// Requires every `Hello` to carry this shared-secret token,
+    /// checked in constant time. A mismatch (or missing token) is a
+    /// typed [`RejectCode::AuthFailed`] and the handshake does not
+    /// complete.
+    #[must_use]
+    pub fn with_auth_token(mut self, token: impl Into<String>) -> Self {
+        self.auth_token = Some(token.into());
+        self
+    }
+
     /// The shard count.
     #[must_use]
     pub fn shards(&self) -> u32 {
@@ -175,6 +222,14 @@ struct TenantControl {
     finished: bool,
     queued_chunks: u64,
     last_used: u64,
+    /// Fingerprint of the program image the tenant opened with, for
+    /// idempotent re-opens on a reliable connection.
+    image: u64,
+    /// Highest contiguously applied chunk sequence number (0 = none).
+    last_seq: u64,
+    /// Duplicate (retransmitted) frames tolerated so far, charged
+    /// against the retry-storm budget.
+    duplicates: u64,
 }
 
 /// Work item in a shard mailbox, processed strictly in order.
@@ -269,6 +324,10 @@ struct Tally {
     rejected: u64,
     restarts: u64,
     pumps: u64,
+    auth_failures: u64,
+    duplicate_chunks: u64,
+    sequence_gaps: u64,
+    drains: u64,
 }
 
 /// The serving front-end: see the module docs for the architecture.
@@ -283,6 +342,8 @@ pub struct SessionManager<O: Observer = NullObserver> {
     live_count: u64,
     global_queued_bytes: u64,
     hello_done: bool,
+    reliable: bool,
+    draining: bool,
     tally: Tally,
     outcomes: Vec<TenantOutcome>,
 }
@@ -344,6 +405,8 @@ impl<O: Observer> SessionManager<O> {
             live_count: 0,
             global_queued_bytes: 0,
             hello_done: false,
+            reliable: false,
+            draining: false,
             tally: Tally::default(),
             outcomes: Vec::new(),
         })
@@ -352,6 +415,23 @@ impl<O: Observer> SessionManager<O> {
     /// The observer, for reading recorded metrics back.
     pub fn observer(&self) -> &O {
         &self.obs
+    }
+
+    /// Whether a `Goodbye` drain has completed on this manager; a
+    /// draining manager refuses new work with
+    /// [`RejectCode::Draining`].
+    #[must_use]
+    pub fn is_draining(&self) -> bool {
+        self.draining
+    }
+
+    /// Whether every tenant ever opened has been flushed to a final
+    /// report. A peer disconnecting in this state owes the server
+    /// nothing — the serve loop treats its EOF (clean or torn) as a
+    /// normal end of session rather than an error.
+    #[must_use]
+    pub fn all_flushed(&self) -> bool {
+        self.tenants.values().all(|c| c.finished)
     }
 
     /// Consumes the manager and returns its observer.
@@ -391,26 +471,37 @@ impl<O: Observer> SessionManager<O> {
             );
         }
         let responses = match frame {
-            Frame::Hello { .. } => {
-                // Version validity is enforced at decode time.
-                self.hello_done = true;
-                vec![Frame::HelloAck {
-                    version: WIRE_VERSION,
-                }]
+            Frame::Hello {
+                token, features, ..
+            } => self.hello(&token, features),
+            _ if !self.hello_done => {
+                self.reject(RejectCode::HandshakeRequired, "handshake required")
             }
-            _ if !self.hello_done => self.reject("handshake required"),
+            Frame::Goodbye => self.goodbye(),
+            _ if self.draining => self.reject(RejectCode::Draining, "server is draining"),
             Frame::OpenSession { tenant, procedures } => self.open_session(tenant, procedures),
-            Frame::TraceChunk { tenant, events } => self.trace_chunk(tenant, events),
+            Frame::TraceChunk {
+                tenant,
+                seq,
+                events,
+            } => self.trace_chunk(tenant, seq, events),
             Frame::Flush { tenant } => self.flush(tenant),
             Frame::Evict { tenant } => self.evict(&tenant),
             Frame::Resume { tenant } => self.resume(tenant),
             Frame::Introspect { tenant } => self.introspect(&tenant),
+            Frame::Pong { .. } => Vec::new(),
             Frame::HelloAck { .. }
             | Frame::Report { .. }
             | Frame::Busy { .. }
             | Frame::Shed { .. }
             | Frame::Reject { .. }
-            | Frame::Stats { .. } => self.reject("server-to-client frame from client"),
+            | Frame::Stats { .. }
+            | Frame::Ack { .. }
+            | Frame::GoodbyeAck { .. }
+            | Frame::Ping { .. } => self.reject(
+                RejectCode::ClientSentServerFrame,
+                "server-to-client frame from client",
+            ),
         };
         if O::ENABLED {
             self.obs.span(
@@ -427,7 +518,7 @@ impl<O: Observer> SessionManager<O> {
     /// pure observation) no admission-control charge.
     fn introspect(&mut self, filter: &str) -> Vec<Frame> {
         if !filter.is_empty() && !self.tenants.contains_key(filter) {
-            return self.reject("unknown tenant");
+            return self.reject(RejectCode::UnknownTenant, filter);
         }
         let tenants = self
             .tenants
@@ -477,10 +568,86 @@ impl<O: Observer> SessionManager<O> {
         }]
     }
 
-    fn reject(&mut self, reason: &str) -> Vec<Frame> {
+    fn reject(&mut self, code: RejectCode, detail: &str) -> Vec<Frame> {
         self.tally.rejected += 1;
         vec![Frame::Reject {
-            reason: reason.to_string(),
+            code,
+            detail: detail.to_string(),
+        }]
+    }
+
+    /// Leaves a `Net` instant in the flight ring: `a` names the
+    /// network event kind, `b` carries the tenant key or a
+    /// kind-specific value.
+    fn net_event(&mut self, kind: tev::NetEventKind, b: u64) {
+        if O::ENABLED {
+            self.obs.span(
+                &tev::SpanEvent::instant(tev::SpanKind::Net, self.clock).with_args(kind.code(), b),
+            );
+        }
+    }
+
+    /// Handles `Hello`: constant-time token check, then feature
+    /// negotiation. Re-`Hello` on a live manager is how a reconnecting
+    /// client re-authenticates, so this never fails on repetition.
+    fn hello(&mut self, token: &str, features: u8) -> Vec<Frame> {
+        // Version validity is enforced at decode time.
+        if let Some(secret) = self.cfg.auth_token.clone() {
+            if !constant_time_token_eq(token, &secret) {
+                self.tally.auth_failures += 1;
+                let offered = tenant_key(token);
+                self.net_event(tev::NetEventKind::AuthFailure, offered);
+                return self.reject(RejectCode::AuthFailed, "bad auth token");
+            }
+        }
+        self.hello_done = true;
+        self.reliable = features & FEATURE_RELIABLE != 0;
+        vec![Frame::HelloAck {
+            version: WIRE_VERSION,
+        }]
+    }
+
+    /// Handles `Goodbye`: hibernates every live unfinished tenant (the
+    /// shard-side snapshots happen on the caller's next pump) and
+    /// confirms the drain. Idempotent — a retried `Goodbye` re-acks
+    /// with zero newly drained tenants.
+    fn goodbye(&mut self) -> Vec<Frame> {
+        let victims: Vec<String> = self
+            .tenants
+            .iter()
+            .filter(|(_, c)| c.live && !c.finished)
+            .map(|(name, _)| name.clone())
+            .collect();
+        let drained = victims.len() as u64;
+        for name in victims {
+            self.evict_known(&name);
+        }
+        if !self.draining {
+            self.draining = true;
+            self.tally.drains += 1;
+            self.net_event(tev::NetEventKind::Drain, drained);
+        }
+        vec![Frame::GoodbyeAck { drained }]
+    }
+
+    /// Emits the shed telemetry for `trip` and builds the `Shed`
+    /// response (shard looked up from the tenant's control entry).
+    fn shed_frame(&mut self, tenant: String, key: u64, trip: hds_guard::ServeTrip) -> Vec<Frame> {
+        let shard = self.tenants.get(&tenant).map_or(0, |c| c.shard);
+        if O::ENABLED {
+            self.obs.serve_shed(&tev::ServeShed {
+                tenant: key,
+                shard,
+                kind: trip.kind,
+                budget: trip.budget,
+                observed: trip.observed,
+            });
+        }
+        vec![Frame::Shed {
+            tenant,
+            kind: trip.kind,
+            budget: trip.budget,
+            observed: trip.observed,
         }]
     }
 
@@ -538,8 +705,27 @@ impl<O: Observer> SessionManager<O> {
     }
 
     fn open_session(&mut self, tenant: String, procedures: Vec<Procedure>) -> Vec<Frame> {
-        if self.tenants.contains_key(&tenant) {
-            return self.reject("tenant already open");
+        if let Some(ctrl) = self.tenants.get(&tenant) {
+            // A reliable client retrying a lost `OpenSession` (or
+            // re-opening after reconnect) is answered with its resume
+            // point instead of an error — but only for the same
+            // program image; a conflicting image is a real conflict.
+            if self.reliable && ctrl.image == image_key(&procedures) {
+                let (key, last_seq) = (ctrl.key, ctrl.last_seq);
+                let ctrl = self.tenants.get_mut(&tenant).expect("checked above");
+                ctrl.duplicates += 1;
+                let duplicates = ctrl.duplicates;
+                self.tally.duplicate_chunks += 1;
+                if let Err(trip) = self.guard.admit_duplicate(duplicates) {
+                    return self.shed_frame(tenant, key, trip);
+                }
+                self.net_event(tev::NetEventKind::Duplicate, key);
+                return vec![Frame::Ack {
+                    tenant,
+                    seq: last_seq,
+                }];
+            }
+            return self.reject(RejectCode::TenantAlreadyOpen, &tenant);
         }
         let key = tenant_key(&tenant);
         let shard = self.shard_for(key);
@@ -555,6 +741,9 @@ impl<O: Observer> SessionManager<O> {
                 finished: false,
                 queued_chunks: 0,
                 last_used: self.clock,
+                image: image_key(&procedures),
+                last_seq: 0,
+                duplicates: 0,
             },
         );
         self.live_count += 1;
@@ -563,20 +752,53 @@ impl<O: Observer> SessionManager<O> {
             self.obs
                 .serve_session_opened(&tev::ServeSessionOpened { tenant: key, shard });
         }
+        let ack = self.reliable.then(|| tenant.clone());
         self.shards[shard as usize]
             .mailbox
             .push(ShardMsg::Open { tenant, procedures });
-        Vec::new()
+        match ack {
+            // Reliable clients need opens confirmed (the ack's seq is
+            // the resume point: 0, nothing applied yet); legacy
+            // clients expect silence here.
+            Some(tenant) => vec![Frame::Ack { tenant, seq: 0 }],
+            None => Vec::new(),
+        }
     }
 
-    fn trace_chunk(&mut self, tenant: String, events: Vec<Event>) -> Vec<Frame> {
+    fn trace_chunk(&mut self, tenant: String, seq: u64, events: Vec<Event>) -> Vec<Frame> {
         let Some(ctrl) = self.tenants.get(&tenant) else {
-            return self.reject("unknown tenant");
+            return self.reject(RejectCode::UnknownTenant, &tenant);
         };
         if ctrl.finished {
-            return self.reject("tenant already flushed");
+            return self.reject(RejectCode::TenantFlushed, &tenant);
         }
-        let (key, shard, was_live) = (ctrl.key, ctrl.shard, ctrl.live);
+        let (key, shard, was_live, last_seq) = (ctrl.key, ctrl.shard, ctrl.live, ctrl.last_seq);
+        // Sequenced chunks (seq > 0) get exactly-once delivery: a
+        // duplicate is re-acked without being re-applied, a gap makes
+        // the client rewind, and only seq == last + 1 falls through to
+        // the normal admission path below. Unsequenced chunks (seq ==
+        // 0, the legacy fire-and-forget mode) skip all of this.
+        if seq > 0 {
+            if seq <= last_seq {
+                let ctrl = self.tenants.get_mut(&tenant).expect("checked above");
+                ctrl.duplicates += 1;
+                let duplicates = ctrl.duplicates;
+                self.tally.duplicate_chunks += 1;
+                if let Err(trip) = self.guard.admit_duplicate(duplicates) {
+                    return self.shed_frame(tenant, key, trip);
+                }
+                self.net_event(tev::NetEventKind::Duplicate, key);
+                return vec![Frame::Ack {
+                    tenant,
+                    seq: last_seq,
+                }];
+            }
+            if seq > last_seq + 1 {
+                self.tally.sequence_gaps += 1;
+                self.net_event(tev::NetEventKind::SequenceGap, key);
+                return self.reject(RejectCode::BadSequence, &format!("{tenant} {last_seq}"));
+            }
+        }
         if !was_live {
             // Feeding a hibernated tenant reopens it: the shard will
             // rehydrate on pump, so it re-counts against the live cap.
@@ -590,21 +812,10 @@ impl<O: Observer> SessionManager<O> {
             .guard
             .admit_chunk(queued + 1, self.global_queued_bytes + cost)
         {
-            if O::ENABLED {
-                self.obs.serve_shed(&tev::ServeShed {
-                    tenant: key,
-                    shard,
-                    kind: trip.kind,
-                    budget: trip.budget,
-                    observed: trip.observed,
-                });
-            }
-            return vec![Frame::Shed {
-                tenant,
-                kind: trip.kind,
-                budget: trip.budget,
-                observed: trip.observed,
-            }];
+            // A shed sequenced chunk is NOT applied and NOT acked, so
+            // last_seq stays put and the client's retry of the same
+            // seq is still in order.
+            return self.shed_frame(tenant, key, trip);
         }
         let ctrl = self.tenants.get_mut(&tenant).expect("checked above");
         if !was_live {
@@ -613,19 +824,48 @@ impl<O: Observer> SessionManager<O> {
         }
         ctrl.queued_chunks += 1;
         ctrl.last_used = self.clock;
+        if seq > 0 {
+            ctrl.last_seq = seq;
+        }
         self.global_queued_bytes += cost;
+        let ack = (seq > 0).then(|| tenant.clone());
         self.shards[shard as usize]
             .mailbox
             .push(ShardMsg::Chunk { tenant, events });
-        Vec::new()
+        match ack {
+            Some(tenant) => vec![Frame::Ack { tenant, seq }],
+            None => Vec::new(),
+        }
     }
 
     fn flush(&mut self, tenant: String) -> Vec<Frame> {
         let Some(ctrl) = self.tenants.get_mut(&tenant) else {
-            return self.reject("unknown tenant");
+            return self.reject(RejectCode::UnknownTenant, &tenant);
         };
         if ctrl.finished {
-            return self.reject("tenant already flushed");
+            // A reliable client retrying a Flush whose Report was lost
+            // in transit gets the cached report again — flush is
+            // idempotent, the session is computed exactly once.
+            if self.reliable {
+                ctrl.duplicates += 1;
+                let (key, duplicates) = (ctrl.key, ctrl.duplicates);
+                self.tally.duplicate_chunks += 1;
+                if let Err(trip) = self.guard.admit_duplicate(duplicates) {
+                    return self.shed_frame(tenant, key, trip);
+                }
+                self.net_event(tev::NetEventKind::Duplicate, key);
+                if let Some(outcome) = self.outcomes.iter().find(|o| o.tenant == tenant) {
+                    return vec![Frame::Report {
+                        tenant,
+                        report_json: serde_json::to_string(&outcome.report).unwrap_or_default(),
+                        image_digest: outcome.image_digest,
+                    }];
+                }
+                // Flush already enqueued but not yet pumped: the
+                // report will arrive from that pump; nothing to add.
+                return Vec::new();
+            }
+            return self.reject(RejectCode::TenantFlushed, &tenant);
         }
         ctrl.finished = true;
         ctrl.last_used = self.clock;
@@ -642,10 +882,10 @@ impl<O: Observer> SessionManager<O> {
 
     fn evict(&mut self, tenant: &str) -> Vec<Frame> {
         let Some(ctrl) = self.tenants.get(tenant) else {
-            return self.reject("unknown tenant");
+            return self.reject(RejectCode::UnknownTenant, tenant);
         };
         if ctrl.finished {
-            return self.reject("tenant already flushed");
+            return self.reject(RejectCode::TenantFlushed, tenant);
         }
         if !ctrl.live {
             return Vec::new(); // idempotent
@@ -656,10 +896,10 @@ impl<O: Observer> SessionManager<O> {
 
     fn resume(&mut self, tenant: String) -> Vec<Frame> {
         let Some(ctrl) = self.tenants.get(&tenant) else {
-            return self.reject("unknown tenant");
+            return self.reject(RejectCode::UnknownTenant, &tenant);
         };
         if ctrl.finished {
-            return self.reject("tenant already flushed");
+            return self.reject(RejectCode::TenantFlushed, &tenant);
         }
         if ctrl.live {
             return Vec::new(); // idempotent
@@ -821,8 +1061,13 @@ impl<O: Observer> SessionManager<O> {
                 self.guard.shed(ServeBudgetKind::LiveSessions),
                 self.guard.shed(ServeBudgetKind::TenantQueue),
                 self.guard.shed(ServeBudgetKind::GlobalBytes),
+                self.guard.shed(ServeBudgetKind::RetryStorm),
             ],
             rejected: self.tally.rejected,
+            auth_failures: self.tally.auth_failures,
+            duplicate_chunks: self.tally.duplicate_chunks,
+            sequence_gaps: self.tally.sequence_gaps,
+            drains: self.tally.drains,
             restarts: self.tally.restarts,
             pumps: self.tally.pumps,
             frames: self.shards.iter().map(|s| s.frames_total).sum(),

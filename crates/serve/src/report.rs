@@ -48,9 +48,19 @@ pub struct ServeReport {
     /// victim available).
     pub busy: u64,
     /// Chunks shed, indexed by [`ServeBudgetKind`] declaration order.
-    pub shed: [u64; 3],
+    pub shed: [u64; 4],
     /// Protocol violations answered with `Reject`.
     pub rejected: u64,
+    /// `Hello` frames refused for a bad or missing auth token.
+    pub auth_failures: u64,
+    /// Sequenced chunks deduplicated (received again at or below the
+    /// acknowledged sequence number and not re-applied).
+    pub duplicate_chunks: u64,
+    /// Sequenced chunks rejected for skipping ahead of the
+    /// acknowledged sequence number.
+    pub sequence_gaps: u64,
+    /// Graceful drains completed (`Goodbye` → `GoodbyeAck`).
+    pub drains: u64,
     /// Mid-frame crash recoveries (chaos mode only).
     pub restarts: u64,
     /// How many times the mailboxes were pumped.
@@ -73,6 +83,7 @@ impl ServeReport {
             ServeBudgetKind::LiveSessions => 0,
             ServeBudgetKind::TenantQueue => 1,
             ServeBudgetKind::GlobalBytes => 2,
+            ServeBudgetKind::RetryStorm => 3,
         }]
     }
 

@@ -27,6 +27,8 @@ pub enum TransportError {
     Frame(FrameError),
     /// An I/O error from the underlying pipe (TCP only).
     Io(String),
+    /// A read deadline lapsed with no complete frame.
+    TimedOut,
 }
 
 impl std::fmt::Display for TransportError {
@@ -35,6 +37,7 @@ impl std::fmt::Display for TransportError {
             TransportError::Closed => f.write_str("transport closed"),
             TransportError::Frame(e) => write!(f, "frame error: {e}"),
             TransportError::Io(e) => write!(f, "transport i/o error: {e}"),
+            TransportError::TimedOut => f.write_str("transport read timed out"),
         }
     }
 }
@@ -64,12 +67,39 @@ pub trait Transport {
     /// # Errors
     ///
     /// [`TransportError::Frame`] for malformed bytes,
-    /// [`TransportError::Closed`] for a tear mid-frame.
+    /// [`TransportError::Closed`] for a tear mid-frame,
+    /// [`TransportError::TimedOut`] when a read deadline lapses.
     fn recv(&mut self) -> Result<Option<Frame>, TransportError>;
+
+    /// Sends raw bytes, bypassing the frame encoder. This is the
+    /// fault-injection seam: a [`crate::ChaosTransport`] mangles a
+    /// frame's encoding and pushes the damaged bytes through here, so
+    /// corruption and partial writes traverse the same pipe as real
+    /// traffic.
+    ///
+    /// # Errors
+    ///
+    /// [`TransportError::Closed`] / [`TransportError::Io`] when the
+    /// pipe is gone.
+    fn send_bytes(&mut self, bytes: &[u8]) -> Result<(), TransportError>;
+
+    /// Tears the connection down. Bytes already in flight stay
+    /// deliverable; the peer sees `Closed` mid-frame or a clean end of
+    /// stream between frames. Idempotent.
+    fn close(&mut self);
+}
+
+/// One direction of a loopback pair: a byte queue plus a closed flag.
+/// Bytes queued before the close stay deliverable, exactly like data
+/// buffered in a kernel socket when the peer resets.
+#[derive(Default)]
+struct PipeState {
+    bytes: VecDeque<u8>,
+    closed: bool,
 }
 
 /// Shared byte queue between the two ends of a loopback pair.
-type Pipe = Arc<Mutex<VecDeque<u8>>>;
+type Pipe = Arc<Mutex<PipeState>>;
 
 /// One end of an in-process transport pair.
 pub struct LoopbackTransport {
@@ -82,8 +112,8 @@ pub struct LoopbackTransport {
 /// received on the other, byte-serialized through the real wire codec.
 #[must_use]
 pub fn loopback() -> (LoopbackTransport, LoopbackTransport) {
-    let a_to_b: Pipe = Arc::new(Mutex::new(VecDeque::new()));
-    let b_to_a: Pipe = Arc::new(Mutex::new(VecDeque::new()));
+    let a_to_b: Pipe = Arc::new(Mutex::new(PipeState::default()));
+    let b_to_a: Pipe = Arc::new(Mutex::new(PipeState::default()));
     (
         LoopbackTransport {
             out: Arc::clone(&a_to_b),
@@ -100,31 +130,53 @@ pub fn loopback() -> (LoopbackTransport, LoopbackTransport) {
 
 impl Transport for LoopbackTransport {
     fn send(&mut self, frame: &Frame) -> Result<(), TransportError> {
-        let blob = frame.encode();
-        self.out
-            .lock()
-            .map_err(|_| TransportError::Closed)?
-            .extend(blob.iter().copied());
-        Ok(())
+        self.send_bytes(&frame.encode())
     }
 
     fn recv(&mut self) -> Result<Option<Frame>, TransportError> {
-        {
+        let closed = {
             let mut inbox = self.inbox.lock().map_err(|_| TransportError::Closed)?;
-            if !inbox.is_empty() {
-                let drained: Vec<u8> = inbox.drain(..).collect();
+            if !inbox.bytes.is_empty() {
+                let drained: Vec<u8> = inbox.bytes.drain(..).collect();
                 self.reassembly.extend_from_slice(&drained);
             }
+            inbox.closed
+        };
+        if let Some(frame) = decode_stream(&mut self.reassembly)? {
+            return Ok(Some(frame));
         }
-        Ok(decode_stream(&mut self.reassembly)?)
+        // Torn mid-frame: the connection died with a partial frame
+        // buffered and no more bytes can ever arrive.
+        if closed && !self.reassembly.is_empty() {
+            return Err(TransportError::Closed);
+        }
+        Ok(None)
+    }
+
+    fn send_bytes(&mut self, bytes: &[u8]) -> Result<(), TransportError> {
+        let mut out = self.out.lock().map_err(|_| TransportError::Closed)?;
+        if out.closed {
+            return Err(TransportError::Closed);
+        }
+        out.bytes.extend(bytes.iter().copied());
+        Ok(())
+    }
+
+    fn close(&mut self) {
+        for pipe in [&self.out, &self.inbox] {
+            if let Ok(mut state) = pipe.lock() {
+                state.closed = true;
+            }
+        }
     }
 }
 
 /// Blocking TCP transport over `std::net` (feature `net`).
 #[cfg(feature = "net")]
 pub mod tcp {
-    use std::io::{Read, Write};
+    use std::io::{ErrorKind, Read, Write};
     use std::net::TcpStream;
+    use std::time::Duration;
 
     use bytes::BytesMut;
 
@@ -157,6 +209,24 @@ pub mod tcp {
             Ok(TcpTransport::new(stream))
         }
 
+        /// Sets (or clears, with `None`) the read deadline: a `recv`
+        /// with no complete frame inside it returns
+        /// [`TransportError::TimedOut`] instead of blocking forever —
+        /// what lets the serve loop send keepalives and drop dead
+        /// peers.
+        ///
+        /// # Errors
+        ///
+        /// [`TransportError::Io`] when the socket rejects the option.
+        pub fn set_read_deadline(
+            &mut self,
+            deadline: Option<Duration>,
+        ) -> Result<(), TransportError> {
+            self.stream
+                .set_read_timeout(deadline)
+                .map_err(|e| TransportError::Io(e.to_string()))
+        }
+
         /// Half-closes the write side so the peer's `recv` sees a clean
         /// end of stream after draining buffered frames.
         ///
@@ -172,10 +242,7 @@ pub mod tcp {
 
     impl Transport for TcpTransport {
         fn send(&mut self, frame: &Frame) -> Result<(), TransportError> {
-            let blob = frame.encode();
-            self.stream
-                .write_all(&blob)
-                .map_err(|e| TransportError::Io(e.to_string()))
+            self.send_bytes(&frame.encode())
         }
 
         fn recv(&mut self) -> Result<Option<Frame>, TransportError> {
@@ -184,10 +251,13 @@ pub mod tcp {
                     return Ok(Some(frame));
                 }
                 let mut chunk = [0u8; 4096];
-                let n = self
-                    .stream
-                    .read(&mut chunk)
-                    .map_err(|e| TransportError::Io(e.to_string()))?;
+                let n = match self.stream.read(&mut chunk) {
+                    Ok(n) => n,
+                    Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                        return Err(TransportError::TimedOut);
+                    }
+                    Err(e) => return Err(TransportError::Io(e.to_string())),
+                };
                 if n == 0 {
                     // Orderly shutdown: clean only between frames.
                     if self.reassembly.is_empty() {
@@ -197,6 +267,16 @@ pub mod tcp {
                 }
                 self.reassembly.extend_from_slice(&chunk[..n]);
             }
+        }
+
+        fn send_bytes(&mut self, bytes: &[u8]) -> Result<(), TransportError> {
+            self.stream
+                .write_all(bytes)
+                .map_err(|e| TransportError::Io(e.to_string()))
+        }
+
+        fn close(&mut self) {
+            let _ = self.stream.shutdown(std::net::Shutdown::Both);
         }
     }
 }
@@ -210,9 +290,7 @@ mod tests {
     fn loopback_round_trips_frames_in_order() {
         let (mut client, mut server) = loopback();
         let frames = vec![
-            Frame::Hello {
-                version: WIRE_VERSION,
-            },
+            Frame::hello(),
             Frame::Flush {
                 tenant: "alpha".into(),
             },
@@ -235,5 +313,40 @@ mod tests {
                 version: WIRE_VERSION
             })
         );
+    }
+
+    #[test]
+    fn close_between_frames_reads_clean_but_refuses_sends() {
+        let (mut client, mut server) = loopback();
+        client.send(&Frame::Goodbye).unwrap();
+        client.close();
+        // The frame sent before the close still arrives...
+        assert_eq!(server.recv().unwrap(), Some(Frame::Goodbye));
+        // ...the empty stream ends quietly...
+        assert_eq!(server.recv().unwrap(), None);
+        // ...and both ends now refuse writes.
+        assert_eq!(
+            client.send(&Frame::Goodbye),
+            Err(TransportError::Closed),
+            "sender side"
+        );
+        assert_eq!(
+            server.send(&Frame::GoodbyeAck { drained: 0 }),
+            Err(TransportError::Closed),
+            "receiver side"
+        );
+    }
+
+    #[test]
+    fn close_mid_frame_is_a_torn_read() {
+        let (mut client, mut server) = loopback();
+        let blob = Frame::Flush {
+            tenant: "alpha".into(),
+        }
+        .encode();
+        // Deliver only half the frame, then kill the connection.
+        client.send_bytes(&blob[..blob.len() / 2]).unwrap();
+        client.close();
+        assert_eq!(server.recv(), Err(TransportError::Closed));
     }
 }

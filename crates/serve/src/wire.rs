@@ -4,8 +4,14 @@
 //! Layout of every frame:
 //!
 //! ```text
-//! body length u32 LE | kind u8 | kind-specific fields
+//! length u32 LE | kind u8 | kind-specific fields | checksum u32 LE
 //! ```
+//!
+//! where the length covers everything after the prefix, checksum
+//! trailer included. The trailer is FNV-1a over the body, so a frame
+//! damaged in flight decodes to the typed [`FrameError::Damaged`]
+//! (with the stream still framed — the receiver drops it like a lost
+//! packet) instead of silently applying corrupted data.
 //!
 //! The handshake frame additionally embeds the `HDSW` magic and a
 //! protocol version so a server can reject foreign or future clients
@@ -26,8 +32,9 @@ use hds_vulcan::{Event, ProcId, Procedure};
 
 /// Magic bytes inside the `Hello` frame.
 pub const MAGIC: &[u8; 4] = b"HDSW";
-/// Current protocol version.
-pub const WIRE_VERSION: u8 = 1;
+/// Current protocol version. Version 2 added the per-frame checksum
+/// trailer.
+pub const WIRE_VERSION: u8 = 2;
 /// Upper bound on a frame body; larger length prefixes are rejected
 /// before any allocation so a corrupt prefix cannot balloon memory.
 pub const MAX_FRAME_BYTES: u32 = 1 << 26;
@@ -42,12 +49,22 @@ const K_FLUSH: u8 = 0x04;
 const K_EVICT: u8 = 0x05;
 const K_RESUME: u8 = 0x06;
 const K_INTROSPECT: u8 = 0x07;
+const K_GOODBYE: u8 = 0x08;
+const K_PONG: u8 = 0x09;
 const K_HELLO_ACK: u8 = 0x81;
 const K_REPORT: u8 = 0x82;
 const K_BUSY: u8 = 0x83;
 const K_SHED: u8 = 0x84;
 const K_REJECT: u8 = 0x85;
 const K_STATS: u8 = 0x86;
+const K_ACK: u8 = 0x87;
+const K_GOODBYE_ACK: u8 = 0x88;
+const K_PING: u8 = 0x89;
+
+/// `Hello` feature bit: the client speaks the reliable-delivery
+/// sub-protocol (sequenced chunks, server `Ack`s, exactly-once resume
+/// after reconnect).
+pub const FEATURE_RELIABLE: u8 = 0b1;
 
 // Event tags inside a TraceChunk payload.
 const E_ENTER: u8 = 0;
@@ -63,6 +80,87 @@ const E_THREAD: u8 = 6;
 const B_LIVE: u8 = 0;
 const B_QUEUE: u8 = 1;
 const B_BYTES: u8 = 2;
+const B_RETRY: u8 = 3;
+
+/// Why the server refused a frame. One byte on the wire; a typed code
+/// (plus a free-form `detail`) replaces the old free-text-only reason
+/// so clients can branch on the cause — retry, rewind, re-auth, or
+/// give up — without string matching.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum RejectCode {
+    /// A non-`Hello` frame arrived before the handshake.
+    HandshakeRequired,
+    /// The `Hello` token did not match the server's shared secret.
+    AuthFailed,
+    /// A client sent a server→client frame kind.
+    ClientSentServerFrame,
+    /// The frame names a tenant the server has never opened.
+    UnknownTenant,
+    /// `OpenSession` for a tenant that is already open with a
+    /// different program image.
+    TenantAlreadyOpen,
+    /// A stream frame for a tenant whose report is already final.
+    TenantFlushed,
+    /// A sequenced chunk skipped ahead: the client must rewind to the
+    /// acknowledged sequence number carried in `detail`.
+    BadSequence,
+    /// The server is draining after `Goodbye` and accepts no new work.
+    Draining,
+}
+
+impl RejectCode {
+    /// All codes, in wire-tag order.
+    pub const ALL: [RejectCode; 8] = [
+        RejectCode::HandshakeRequired,
+        RejectCode::AuthFailed,
+        RejectCode::ClientSentServerFrame,
+        RejectCode::UnknownTenant,
+        RejectCode::TenantAlreadyOpen,
+        RejectCode::TenantFlushed,
+        RejectCode::BadSequence,
+        RejectCode::Draining,
+    ];
+
+    /// The one-byte wire tag.
+    #[must_use]
+    pub fn wire_tag(self) -> u8 {
+        match self {
+            RejectCode::HandshakeRequired => 0,
+            RejectCode::AuthFailed => 1,
+            RejectCode::ClientSentServerFrame => 2,
+            RejectCode::UnknownTenant => 3,
+            RejectCode::TenantAlreadyOpen => 4,
+            RejectCode::TenantFlushed => 5,
+            RejectCode::BadSequence => 6,
+            RejectCode::Draining => 7,
+        }
+    }
+
+    fn from_wire_tag(tag: u8) -> Option<RejectCode> {
+        RejectCode::ALL.into_iter().find(|c| c.wire_tag() == tag)
+    }
+
+    /// Stable lower-snake label for logs and JSON results.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            RejectCode::HandshakeRequired => "handshake_required",
+            RejectCode::AuthFailed => "auth_failed",
+            RejectCode::ClientSentServerFrame => "client_sent_server_frame",
+            RejectCode::UnknownTenant => "unknown_tenant",
+            RejectCode::TenantAlreadyOpen => "tenant_already_open",
+            RejectCode::TenantFlushed => "tenant_flushed",
+            RejectCode::BadSequence => "bad_sequence",
+            RejectCode::Draining => "draining",
+        }
+    }
+}
+
+impl std::fmt::Display for RejectCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
 
 /// Errors from [`Frame::decode`]. Every malformed input maps to one of
 /// these; decoding never panics.
@@ -96,6 +194,15 @@ pub enum FrameError {
         /// What was wrong.
         &'static str,
     ),
+    /// The frame's checksum trailer did not match its body: bytes were
+    /// damaged in flight. The stream is still framed — drop the frame
+    /// like a lost packet and let the sender's retry re-deliver it.
+    Damaged {
+        /// Checksum recomputed over the received body.
+        want: u32,
+        /// Checksum the frame carried.
+        got: u32,
+    },
 }
 
 impl std::fmt::Display for FrameError {
@@ -109,6 +216,12 @@ impl std::fmt::Display for FrameError {
             FrameError::Overlong => f.write_str("overlong varint in frame"),
             FrameError::BadUtf8 => f.write_str("frame string is not valid UTF-8"),
             FrameError::BadPayload(what) => write!(f, "bad frame payload: {what}"),
+            FrameError::Damaged { want, got } => {
+                write!(
+                    f,
+                    "frame damaged in flight: checksum {got:#010x}, body {want:#010x}"
+                )
+            }
         }
     }
 }
@@ -172,10 +285,19 @@ pub struct ShardSummary {
 /// One protocol message, either direction.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Frame {
-    /// Client handshake: magic + version. Must be the first frame.
+    /// Client handshake: magic + version + auth token + feature bits.
+    /// Must be the first frame. The token is compared against the
+    /// server's shared secret in constant time; a mismatch is a typed
+    /// [`RejectCode::AuthFailed`]. An empty token authenticates only
+    /// against a server with no secret configured.
     Hello {
         /// The client's protocol version.
         version: u8,
+        /// Shared-secret auth token ("" = unauthenticated).
+        token: String,
+        /// Feature bits ([`FEATURE_RELIABLE`], …). Unknown bits are
+        /// ignored by the server.
+        features: u8,
     },
     /// Registers a tenant and its simulated binary's procedures.
     OpenSession {
@@ -188,6 +310,13 @@ pub enum Frame {
     TraceChunk {
         /// Tenant identifier.
         tenant: String,
+        /// Per-tenant sequence number, starting at 1; `0` marks an
+        /// unsequenced (legacy / fire-and-forget) chunk that is never
+        /// acknowledged or deduplicated. On a reliable connection the
+        /// server applies chunk `n+1` exactly once after chunk `n`,
+        /// re-acknowledges duplicates without re-applying them, and
+        /// rejects gaps with [`RejectCode::BadSequence`].
+        seq: u64,
         /// The events, in program order.
         events: Vec<Event>,
     },
@@ -249,10 +378,14 @@ pub enum Frame {
         /// The prospective value that breached it.
         observed: u64,
     },
-    /// A protocol violation (no handshake, unknown tenant, …).
+    /// A protocol violation (no handshake, bad token, unknown
+    /// tenant, …): a typed code plus free-form detail.
     Reject {
-        /// Human-readable reason.
-        reason: String,
+        /// Why the frame was refused.
+        code: RejectCode,
+        /// Human-readable detail. For [`RejectCode::BadSequence`] this
+        /// is `"<tenant> <last_acked_seq>"` so the client can rewind.
+        detail: String,
     },
     /// The live-state answer to [`Frame::Introspect`]. A snapshot of
     /// the control plane and shard state at one control-plane tick;
@@ -266,6 +399,35 @@ pub enum Frame {
         tenants: Vec<TenantStats>,
         /// Per-shard summaries (always all shards).
         shards: Vec<ShardSummary>,
+    },
+    /// Server acknowledgement of a sequenced [`Frame::TraceChunk`]:
+    /// every chunk numbered at or below `seq` is durably applied (or
+    /// deduplicated) and need never be retransmitted.
+    Ack {
+        /// Tenant identifier.
+        tenant: String,
+        /// Highest contiguously applied sequence number.
+        seq: u64,
+    },
+    /// Client request for a graceful drain: the server pumps all
+    /// queued work, hibernates live tenants, answers with
+    /// [`Frame::GoodbyeAck`], and the connection closes cleanly.
+    Goodbye,
+    /// Server confirmation that the drain completed.
+    GoodbyeAck {
+        /// Tenant sessions hibernated by the drain.
+        drained: u64,
+    },
+    /// Server keepalive probe, sent when a read deadline lapses with
+    /// tenants still open; the client answers with [`Frame::Pong`].
+    Ping {
+        /// Echo nonce.
+        nonce: u64,
+    },
+    /// Client answer to [`Frame::Ping`], echoing its nonce.
+    Pong {
+        /// The nonce from the `Ping`.
+        nonce: u64,
     },
 }
 
@@ -289,6 +451,7 @@ fn put_budget_kind(out: &mut BytesMut, kind: hds_telemetry::events::ServeBudgetK
         K::LiveSessions => B_LIVE,
         K::TenantQueue => B_QUEUE,
         K::GlobalBytes => B_BYTES,
+        K::RetryStorm => B_RETRY,
     });
 }
 
@@ -301,6 +464,7 @@ fn get_budget_kind(buf: &mut Bytes) -> Result<hds_telemetry::events::ServeBudget
         B_LIVE => Ok(K::LiveSessions),
         B_QUEUE => Ok(K::TenantQueue),
         B_BYTES => Ok(K::GlobalBytes),
+        B_RETRY => Ok(K::RetryStorm),
         _ => Err(FrameError::BadPayload("unknown budget kind")),
     }
 }
@@ -529,6 +693,17 @@ fn get_procedures(buf: &mut Bytes) -> Result<Vec<Procedure>, FrameError> {
 }
 
 impl Frame {
+    /// A plain unauthenticated `Hello` at the current wire version —
+    /// the handshake every pre-reliability client sent.
+    #[must_use]
+    pub fn hello() -> Frame {
+        Frame::Hello {
+            version: WIRE_VERSION,
+            token: String::new(),
+            features: 0,
+        }
+    }
+
     /// The frame's wire kind tag — what `ServeFrame` spans carry in
     /// their `a` argument so a flight dump names the frame kind.
     #[must_use]
@@ -547,6 +722,11 @@ impl Frame {
             Frame::Shed { .. } => K_SHED,
             Frame::Reject { .. } => K_REJECT,
             Frame::Stats { .. } => K_STATS,
+            Frame::Ack { .. } => K_ACK,
+            Frame::Goodbye => K_GOODBYE,
+            Frame::GoodbyeAck { .. } => K_GOODBYE_ACK,
+            Frame::Ping { .. } => K_PING,
+            Frame::Pong { .. } => K_PONG,
         }
     }
 
@@ -563,13 +743,18 @@ impl Frame {
             | Frame::Resume { tenant }
             | Frame::Report { tenant, .. }
             | Frame::Busy { tenant, .. }
-            | Frame::Shed { tenant, .. } => Some(tenant),
+            | Frame::Shed { tenant, .. }
+            | Frame::Ack { tenant, .. } => Some(tenant),
             Frame::Introspect { tenant } if !tenant.is_empty() => Some(tenant),
             Frame::Hello { .. }
             | Frame::HelloAck { .. }
             | Frame::Reject { .. }
             | Frame::Stats { .. }
-            | Frame::Introspect { .. } => None,
+            | Frame::Introspect { .. }
+            | Frame::Goodbye
+            | Frame::GoodbyeAck { .. }
+            | Frame::Ping { .. }
+            | Frame::Pong { .. } => None,
         }
     }
 
@@ -578,19 +763,30 @@ impl Frame {
     pub fn encode(&self) -> Bytes {
         let mut body = BytesMut::with_capacity(64);
         match self {
-            Frame::Hello { version } => {
+            Frame::Hello {
+                version,
+                token,
+                features,
+            } => {
                 body.put_u8(K_HELLO);
                 body.put_slice(MAGIC);
                 body.put_u8(*version);
+                put_string(&mut body, token);
+                body.put_u8(*features);
             }
             Frame::OpenSession { tenant, procedures } => {
                 body.put_u8(K_OPEN);
                 put_string(&mut body, tenant);
                 put_procedures(&mut body, procedures);
             }
-            Frame::TraceChunk { tenant, events } => {
+            Frame::TraceChunk {
+                tenant,
+                seq,
+                events,
+            } => {
                 body.put_u8(K_CHUNK);
                 put_string(&mut body, tenant);
+                put_varint(&mut body, *seq);
                 put_events(&mut body, events);
             }
             Frame::Flush { tenant } => {
@@ -646,9 +842,10 @@ impl Frame {
                 put_varint(&mut body, *budget);
                 put_varint(&mut body, *observed);
             }
-            Frame::Reject { reason } => {
+            Frame::Reject { code, detail } => {
                 body.put_u8(K_REJECT);
-                put_string(&mut body, reason);
+                body.put_u8(code.wire_tag());
+                put_string(&mut body, detail);
             }
             Frame::Stats {
                 clock,
@@ -662,11 +859,32 @@ impl Frame {
                 put_tenant_stats(&mut body, tenants);
                 put_shard_summaries(&mut body, shards);
             }
+            Frame::Ack { tenant, seq } => {
+                body.put_u8(K_ACK);
+                put_string(&mut body, tenant);
+                put_varint(&mut body, *seq);
+            }
+            Frame::Goodbye => {
+                body.put_u8(K_GOODBYE);
+            }
+            Frame::GoodbyeAck { drained } => {
+                body.put_u8(K_GOODBYE_ACK);
+                put_varint(&mut body, *drained);
+            }
+            Frame::Ping { nonce } => {
+                body.put_u8(K_PING);
+                put_varint(&mut body, *nonce);
+            }
+            Frame::Pong { nonce } => {
+                body.put_u8(K_PONG);
+                put_varint(&mut body, *nonce);
+            }
         }
-        let mut out = BytesMut::with_capacity(4 + body.len());
+        let mut out = BytesMut::with_capacity(4 + body.len() + 4);
         #[allow(clippy::cast_possible_truncation)]
-        out.put_u32_le(body.len() as u32);
+        out.put_u32_le((body.len() + CHECKSUM_BYTES) as u32);
         out.put_slice(&body);
+        out.put_u32_le(body_checksum(&body));
         out.freeze()
     }
 
@@ -693,8 +911,37 @@ impl Frame {
         if buf.remaining() as u64 > u64::from(len) {
             return Err(FrameError::BadPayload("trailing bytes after frame"));
         }
-        decode_body(&mut buf)
+        // The declared length covers the body plus the checksum
+        // trailer; the smallest frame is one kind byte plus the
+        // trailer.
+        if (len as usize) < 1 + CHECKSUM_BYTES {
+            return Err(FrameError::Truncated);
+        }
+        let mut body = buf.copy_to_bytes(buf.remaining() - CHECKSUM_BYTES);
+        let got = buf.get_u32_le();
+        let want = body_checksum(&body);
+        if want != got {
+            return Err(FrameError::Damaged { want, got });
+        }
+        decode_body(&mut body)
     }
+}
+
+/// Bytes of checksum trailer at the end of every frame, covered by the
+/// length prefix.
+const CHECKSUM_BYTES: usize = 4;
+
+/// FNV-1a over the frame body. Each step is `h = (h ^ b) * p` with an
+/// odd `p`, so the per-byte map is invertible mod 2^32 and any
+/// single-byte flip is *guaranteed* to change the sum; longer damage
+/// escapes only with probability ~2^-32.
+fn body_checksum(body: &[u8]) -> u32 {
+    let mut h: u32 = 0x811c_9dc5;
+    for &b in body {
+        h ^= u32::from(b);
+        h = h.wrapping_mul(0x0100_0193);
+    }
+    h
 }
 
 /// Decodes a frame body (the bytes after the length prefix).
@@ -718,7 +965,16 @@ fn decode_body(buf: &mut Bytes) -> Result<Frame, FrameError> {
                 return Err(FrameError::UnsupportedVersion(version));
             }
             if kind == K_HELLO {
-                Frame::Hello { version }
+                let token = get_string(buf)?;
+                if !buf.has_remaining() {
+                    return Err(FrameError::Truncated);
+                }
+                let features = buf.get_u8();
+                Frame::Hello {
+                    version,
+                    token,
+                    features,
+                }
             } else {
                 Frame::HelloAck { version }
             }
@@ -730,8 +986,13 @@ fn decode_body(buf: &mut Bytes) -> Result<Frame, FrameError> {
         }
         K_CHUNK => {
             let tenant = get_string(buf)?;
+            let seq = get_varint(buf)?;
             let events = get_events(buf)?;
-            Frame::TraceChunk { tenant, events }
+            Frame::TraceChunk {
+                tenant,
+                seq,
+                events,
+            }
         }
         K_FLUSH => Frame::Flush {
             tenant: get_string(buf)?,
@@ -777,9 +1038,15 @@ fn decode_body(buf: &mut Bytes) -> Result<Frame, FrameError> {
                 observed,
             }
         }
-        K_REJECT => Frame::Reject {
-            reason: get_string(buf)?,
-        },
+        K_REJECT => {
+            if !buf.has_remaining() {
+                return Err(FrameError::Truncated);
+            }
+            let code = RejectCode::from_wire_tag(buf.get_u8())
+                .ok_or(FrameError::BadPayload("unknown reject code"))?;
+            let detail = get_string(buf)?;
+            Frame::Reject { code, detail }
+        }
         K_STATS => {
             let clock = get_varint(buf)?;
             let queued_bytes = get_varint(buf)?;
@@ -792,6 +1059,21 @@ fn decode_body(buf: &mut Bytes) -> Result<Frame, FrameError> {
                 shards,
             }
         }
+        K_ACK => {
+            let tenant = get_string(buf)?;
+            let seq = get_varint(buf)?;
+            Frame::Ack { tenant, seq }
+        }
+        K_GOODBYE => Frame::Goodbye,
+        K_GOODBYE_ACK => Frame::GoodbyeAck {
+            drained: get_varint(buf)?,
+        },
+        K_PING => Frame::Ping {
+            nonce: get_varint(buf)?,
+        },
+        K_PONG => Frame::Pong {
+            nonce: get_varint(buf)?,
+        },
         other => return Err(FrameError::UnknownKind(other)),
     };
     if buf.has_remaining() {
@@ -831,8 +1113,11 @@ mod tests {
     fn sample_frames() -> Vec<Frame> {
         use hds_telemetry::events::ServeBudgetKind;
         vec![
+            Frame::hello(),
             Frame::Hello {
                 version: WIRE_VERSION,
+                token: "s3cret".into(),
+                features: FEATURE_RELIABLE,
             },
             Frame::OpenSession {
                 tenant: "tenant-a".into(),
@@ -840,6 +1125,7 @@ mod tests {
             },
             Frame::TraceChunk {
                 tenant: "tenant-a".into(),
+                seq: 7,
                 events: vec![
                     Event::Enter(ProcId(0)),
                     Event::Work(3),
@@ -882,8 +1168,17 @@ mod tests {
                 observed: 2048,
             },
             Frame::Reject {
-                reason: "no handshake".into(),
+                code: RejectCode::HandshakeRequired,
+                detail: "no handshake".into(),
             },
+            Frame::Ack {
+                tenant: "tenant-a".into(),
+                seq: u64::MAX,
+            },
+            Frame::Goodbye,
+            Frame::GoodbyeAck { drained: 3 },
+            Frame::Ping { nonce: 0xDEAD },
+            Frame::Pong { nonce: 0xDEAD },
             Frame::Stats {
                 clock: 42,
                 queued_bytes: 1 << 20,
@@ -945,25 +1240,37 @@ mod tests {
         assert!(inbox.is_empty());
     }
 
+    /// Rewrites `blob`'s checksum trailer after a deliberate body
+    /// mutation, so a test exercises the decode error it aims at
+    /// instead of tripping [`FrameError::Damaged`] first.
+    fn reseal(blob: &mut [u8]) {
+        let crc_at = blob.len() - CHECKSUM_BYTES;
+        let sum = body_checksum(&blob[4..crc_at]);
+        blob[crc_at..].copy_from_slice(&sum.to_le_bytes());
+    }
+
+    /// Frames a hand-built body: length prefix + body + checksum.
+    fn seal(body: &[u8]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(4 + body.len() + CHECKSUM_BYTES);
+        out.extend_from_slice(&((body.len() + CHECKSUM_BYTES) as u32).to_le_bytes());
+        out.extend_from_slice(body);
+        out.extend_from_slice(&body_checksum(body).to_le_bytes());
+        out
+    }
+
     #[test]
     fn rejects_bad_handshakes() {
-        let mut ok = Frame::Hello {
-            version: WIRE_VERSION,
-        }
-        .encode()
-        .to_vec();
+        let mut ok = Frame::hello().encode().to_vec();
         // Corrupt the magic.
         ok[5] = b'X';
+        reseal(&mut ok);
         assert_eq!(Frame::decode(&ok), Err(FrameError::BadMagic));
         let future = {
             let mut body = BytesMut::new();
             body.put_u8(K_HELLO);
             body.put_slice(MAGIC);
             body.put_u8(99);
-            let mut out = BytesMut::new();
-            out.put_u32_le(body.len() as u32);
-            out.put_slice(&body);
-            out.freeze()
+            seal(&body)
         };
         assert_eq!(
             Frame::decode(&future),
@@ -978,8 +1285,28 @@ mod tests {
             Frame::decode(&huge),
             Err(FrameError::Oversized(MAX_FRAME_BYTES + 1))
         );
-        let unknown = [1u8, 0, 0, 0, 0x7f];
+        let unknown = seal(&[0x7f]);
         assert_eq!(Frame::decode(&unknown), Err(FrameError::UnknownKind(0x7f)));
+    }
+
+    #[test]
+    fn damaged_frames_are_a_typed_error() {
+        let frame = Frame::Ack {
+            tenant: "tenant-a".into(),
+            seq: 42,
+        };
+        let clean = frame.encode().to_vec();
+        // Flip every single body and trailer byte in turn: each flip
+        // must surface as Damaged, never as a silent mis-decode.
+        for at in 4..clean.len() {
+            let mut blob = clean.clone();
+            blob[at] ^= 0x10;
+            assert!(
+                matches!(Frame::decode(&blob), Err(FrameError::Damaged { .. })),
+                "flip at {at} went undetected"
+            );
+        }
+        assert_eq!(Frame::decode(&clean), Ok(frame));
     }
 
     #[test]
@@ -988,8 +1315,9 @@ mod tests {
         let mut tags: Vec<u8> = frames.iter().map(Frame::kind_tag).collect();
         tags.sort_unstable();
         tags.dedup();
-        // sample_frames carries two Introspects (empty + named filter).
-        assert_eq!(tags.len(), frames.len() - 1);
+        // sample_frames carries two Introspects (empty + named filter)
+        // and two Hellos (plain + authenticated).
+        assert_eq!(tags.len(), frames.len() - 2);
         assert!(
             Frame::Introspect {
                 tenant: String::new()
@@ -1039,11 +1367,13 @@ mod tests {
             shards: Vec::new(),
         };
         let mut blob = frame.encode().to_vec();
-        // The flags byte follows the 4-byte prefix, kind, clock,
-        // queued_bytes, tenant count, tenant string, and shard varints.
-        let flags_at = blob.len() - 5 - 1;
+        // The flags byte sits 5 varint bytes before the checksum
+        // trailer (queued_chunks, events_consumed, snapshots,
+        // tail_events, then the empty shard count).
+        let flags_at = blob.len() - CHECKSUM_BYTES - 5 - 1;
         assert_eq!(blob[flags_at], 0);
         blob[flags_at] = 0b100;
+        reseal(&mut blob);
         assert_eq!(
             Frame::decode(&blob),
             Err(FrameError::BadPayload("unknown tenant flags"))
@@ -1060,14 +1390,43 @@ mod tests {
         )];
         let a = Frame::TraceChunk {
             tenant: "t".into(),
+            seq: 0,
             events: events.clone(),
         }
         .encode();
         let b = Frame::TraceChunk {
             tenant: "t".into(),
+            seq: 0,
             events,
         }
         .encode();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn every_reject_code_round_trips() {
+        for code in RejectCode::ALL {
+            let frame = Frame::Reject {
+                code,
+                detail: format!("detail for {code}"),
+            };
+            let blob = frame.encode();
+            assert_eq!(Frame::decode(&blob), Ok(frame));
+            assert_eq!(RejectCode::from_wire_tag(code.wire_tag()), Some(code));
+        }
+        assert_eq!(RejectCode::from_wire_tag(0xFF), None);
+        // An unknown code byte on the wire is a typed decode error.
+        let mut blob = Frame::Reject {
+            code: RejectCode::Draining,
+            detail: String::new(),
+        }
+        .encode()
+        .to_vec();
+        blob[5] = 0xFF;
+        reseal(&mut blob);
+        assert_eq!(
+            Frame::decode(&blob),
+            Err(FrameError::BadPayload("unknown reject code"))
+        );
     }
 }

@@ -40,6 +40,8 @@ fn run_chaos(seed: u64, max_crashes: u32, loads: &[TenantLoad]) -> ServeReport {
         .with_chaos(seed, max_crashes);
     let mut manager = SessionManager::with_observer(cfg, MetricsRecorder::new()).unwrap();
     manager.handle(Frame::Hello {
+        token: String::new(),
+        features: 0,
         version: hds_serve::WIRE_VERSION,
     });
     for l in loads {
@@ -53,6 +55,7 @@ fn run_chaos(seed: u64, max_crashes: u32, loads: &[TenantLoad]) -> ServeReport {
         for l in loads {
             if let Some(chunk) = l.chunks.get(round) {
                 let responses = manager.handle(Frame::TraceChunk {
+                    seq: 0,
                     tenant: l.name.clone(),
                     events: chunk.clone(),
                 });

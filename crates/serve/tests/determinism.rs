@@ -55,6 +55,8 @@ fn drive(
 ) {
     assert_eq!(
         manager.handle(Frame::Hello {
+            token: String::new(),
+            features: 0,
             version: hds_serve::WIRE_VERSION
         }),
         vec![Frame::HelloAck {
@@ -74,6 +76,7 @@ fn drive(
         for l in loads {
             if let Some(chunk) = l.chunks.get(round) {
                 let responses = manager.handle(Frame::TraceChunk {
+                    seq: 0,
                     tenant: l.name.clone(),
                     events: chunk.clone(),
                 });
@@ -191,6 +194,8 @@ fn busy_when_eviction_disabled() {
         .with_eviction(false);
     let mut manager = SessionManager::with_observer(cfg, MetricsRecorder::new()).unwrap();
     manager.handle(Frame::Hello {
+        token: String::new(),
+        features: 0,
         version: hds_serve::WIRE_VERSION,
     });
     assert!(manager
@@ -222,6 +227,8 @@ fn breached_queue_budgets_shed_typed_frames() {
         .with_budgets(ServeBudgets::disabled().with_max_queued_chunks(1));
     let mut manager = SessionManager::with_observer(cfg, MetricsRecorder::new()).unwrap();
     manager.handle(Frame::Hello {
+        token: String::new(),
+        features: 0,
         version: hds_serve::WIRE_VERSION,
     });
     manager.handle(Frame::OpenSession {
@@ -231,11 +238,13 @@ fn breached_queue_budgets_shed_typed_frames() {
     // First chunk fits the queue; the second (same pump window) sheds.
     assert!(manager
         .handle(Frame::TraceChunk {
+            seq: 0,
             tenant: loads[0].name.clone(),
             events: loads[0].chunks[0].clone(),
         })
         .is_empty());
     let responses = manager.handle(Frame::TraceChunk {
+        seq: 0,
         tenant: loads[0].name.clone(),
         events: loads[0].chunks[1].clone(),
     });
@@ -255,6 +264,7 @@ fn breached_queue_budgets_shed_typed_frames() {
     manager.pump();
     assert!(manager
         .handle(Frame::TraceChunk {
+            seq: 0,
             tenant: loads[0].name.clone(),
             events: loads[0].chunks[1].clone(),
         })
@@ -289,6 +299,8 @@ fn end_to_end_over_loopback_transport() {
     // server drains it, pumping every 4 frames.
     client
         .send(&Frame::Hello {
+            token: String::new(),
+            features: 0,
             version: hds_serve::WIRE_VERSION,
         })
         .unwrap();
@@ -306,6 +318,7 @@ fn end_to_end_over_loopback_transport() {
             if let Some(chunk) = l.chunks.get(round) {
                 client
                     .send(&Frame::TraceChunk {
+                        seq: 0,
                         tenant: l.name.clone(),
                         events: chunk.clone(),
                     })

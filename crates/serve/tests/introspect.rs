@@ -38,6 +38,8 @@ fn introspect_round_trips_on_loopback_without_flushing() {
     // for stats before anything has been pumped.
     client
         .send(&Frame::Hello {
+            token: String::new(),
+            features: 0,
             version: hds_serve::WIRE_VERSION,
         })
         .unwrap();
@@ -52,6 +54,7 @@ fn introspect_round_trips_on_loopback_without_flushing() {
     for chunk in &loads[0].chunks {
         client
             .send(&Frame::TraceChunk {
+                seq: 0,
                 tenant: loads[0].name.clone(),
                 events: chunk.clone(),
             })
@@ -123,6 +126,7 @@ fn introspect_round_trips_on_loopback_without_flushing() {
         }] {
             client
                 .send(&Frame::TraceChunk {
+                    seq: 0,
                     tenant: l.name.clone(),
                     events: chunk.clone(),
                 })
@@ -182,6 +186,8 @@ fn serve_spans_nest_and_chaos_leaves_a_keyed_crash_instant() {
             .with_chaos(seed, 2);
         let mut manager = SessionManager::with_observer(cfg, FlightRecorder::new(1 << 14)).unwrap();
         manager.handle(Frame::Hello {
+            token: String::new(),
+            features: 0,
             version: hds_serve::WIRE_VERSION,
         });
         for l in &loads {
@@ -193,6 +199,7 @@ fn serve_spans_nest_and_chaos_leaves_a_keyed_crash_instant() {
         for l in &loads {
             for chunk in &l.chunks {
                 manager.handle(Frame::TraceChunk {
+                    seq: 0,
                     tenant: l.name.clone(),
                     events: chunk.clone(),
                 });

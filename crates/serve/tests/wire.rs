@@ -4,7 +4,7 @@
 //! cleanly.
 
 use hds_serve::wire::{decode_stream, MAGIC};
-use hds_serve::{Frame, FrameError, ShardSummary, TenantStats, WIRE_VERSION};
+use hds_serve::{Frame, FrameError, RejectCode, ShardSummary, TenantStats, WIRE_VERSION};
 use hds_telemetry::events::ServeBudgetKind;
 use hds_trace::{AccessKind, Addr, DataRef, Pc};
 use hds_vulcan::{Event, ProcId, Procedure};
@@ -108,9 +108,15 @@ fn shard_summaries_strategy() -> impl Strategy<Value = Vec<ShardSummary>> {
 
 fn frame_strategy() -> impl Strategy<Value = Frame> {
     prop_oneof![
-        Just(Frame::Hello {
-            version: WIRE_VERSION
-        }),
+        (
+            prop_oneof![Just(String::new()), tenant_strategy()],
+            any::<u8>()
+        )
+            .prop_map(|(token, features)| Frame::Hello {
+                version: WIRE_VERSION,
+                token,
+                features,
+            }),
         Just(Frame::HelloAck {
             version: WIRE_VERSION
         }),
@@ -118,9 +124,14 @@ fn frame_strategy() -> impl Strategy<Value = Frame> {
             .prop_map(|(tenant, procedures)| Frame::OpenSession { tenant, procedures }),
         (
             tenant_strategy(),
+            any::<u64>(),
             proptest::collection::vec(event_strategy(), 0..50)
         )
-            .prop_map(|(tenant, events)| Frame::TraceChunk { tenant, events }),
+            .prop_map(|(tenant, seq, events)| Frame::TraceChunk {
+                tenant,
+                seq,
+                events
+            }),
         tenant_strategy().prop_map(|tenant| Frame::Flush { tenant }),
         tenant_strategy().prop_map(|tenant| Frame::Evict { tenant }),
         tenant_strategy().prop_map(|tenant| Frame::Resume { tenant }),
@@ -138,19 +149,28 @@ fn frame_strategy() -> impl Strategy<Value = Frame> {
                 observed,
             }
         }),
-        (tenant_strategy(), any::<u64>(), any::<u64>(), 0u8..3u8).prop_map(
+        (tenant_strategy(), any::<u64>(), any::<u64>(), 0u8..4u8).prop_map(
             |(tenant, budget, observed, k)| Frame::Shed {
                 tenant,
                 kind: match k {
                     0 => ServeBudgetKind::LiveSessions,
                     1 => ServeBudgetKind::TenantQueue,
-                    _ => ServeBudgetKind::GlobalBytes,
+                    2 => ServeBudgetKind::GlobalBytes,
+                    _ => ServeBudgetKind::RetryStorm,
                 },
                 budget,
                 observed,
             }
         ),
-        tenant_strategy().prop_map(|reason| Frame::Reject { reason }),
+        (0usize..RejectCode::ALL.len(), tenant_strategy()).prop_map(|(c, detail)| Frame::Reject {
+            code: RejectCode::ALL[c],
+            detail,
+        }),
+        (tenant_strategy(), any::<u64>()).prop_map(|(tenant, seq)| Frame::Ack { tenant, seq }),
+        Just(Frame::Goodbye),
+        any::<u64>().prop_map(|drained| Frame::GoodbyeAck { drained }),
+        any::<u64>().prop_map(|nonce| Frame::Ping { nonce }),
+        any::<u64>().prop_map(|nonce| Frame::Pong { nonce }),
         prop_oneof![Just(String::new()), tenant_strategy()]
             .prop_map(|tenant| Frame::Introspect { tenant }),
         (
@@ -216,27 +236,91 @@ proptest! {
     }
 }
 
+/// Recomputes the FNV-1a checksum trailer after a deliberate byte
+/// mutation, so the test reaches the decode error it aims at instead
+/// of (correctly) tripping `FrameError::Damaged` first.
+fn reseal(blob: &mut [u8]) {
+    let crc_at = blob.len() - 4;
+    let mut h: u32 = 0x811c_9dc5;
+    for &b in &blob[4..crc_at] {
+        h ^= u32::from(b);
+        h = h.wrapping_mul(0x0100_0193);
+    }
+    blob[crc_at..].copy_from_slice(&h.to_le_bytes());
+}
+
 #[test]
 fn version_mismatch_hello_is_rejected_cleanly() {
     // A future-versioned Hello: well-formed frame, unsupported version.
-    let mut blob = Frame::Hello {
-        version: WIRE_VERSION,
-    }
-    .encode()
-    .to_vec();
-    let version_at = blob.len() - 1;
+    // Layout: length prefix (4) + kind (1) + magic (4) + version.
+    let mut blob = Frame::hello().encode().to_vec();
+    let version_at = 9;
     blob[version_at] = WIRE_VERSION + 7;
+    reseal(&mut blob);
     assert_eq!(
         Frame::decode(&blob),
         Err(FrameError::UnsupportedVersion(WIRE_VERSION + 7))
     );
     // And a foreign magic is BadMagic, checked before the version.
-    let mut foreign = Frame::Hello {
-        version: WIRE_VERSION,
-    }
-    .encode()
-    .to_vec();
+    let mut foreign = Frame::hello().encode().to_vec();
     foreign[5] = b'Z';
+    reseal(&mut foreign);
     assert_eq!(Frame::decode(&foreign), Err(FrameError::BadMagic));
     assert_eq!(MAGIC, b"HDSW");
+    // Without resealing, the same flip is caught as in-flight damage.
+    let mut damaged = Frame::hello().encode().to_vec();
+    damaged[version_at] = WIRE_VERSION + 7;
+    assert!(matches!(
+        Frame::decode(&damaged),
+        Err(FrameError::Damaged { .. })
+    ));
+}
+
+#[test]
+fn zero_event_chunk_round_trips() {
+    // The degenerate-but-legal heartbeat chunk: no events at all.
+    let frame = Frame::TraceChunk {
+        tenant: "t".into(),
+        seq: 1,
+        events: Vec::new(),
+    };
+    assert_eq!(Frame::decode(&frame.encode()), Ok(frame));
+}
+
+#[test]
+fn max_varint_boundaries_round_trip() {
+    // u64::MAX needs the full ten-byte LEB128 encoding; every varint
+    // field must survive it.
+    for frame in [
+        Frame::TraceChunk {
+            tenant: "t".into(),
+            seq: u64::MAX,
+            events: Vec::new(),
+        },
+        Frame::Ack {
+            tenant: "t".into(),
+            seq: u64::MAX,
+        },
+        Frame::Report {
+            tenant: "t".into(),
+            report_json: "{}".into(),
+            image_digest: u64::MAX,
+        },
+        Frame::GoodbyeAck { drained: u64::MAX },
+        Frame::Ping { nonce: u64::MAX },
+        Frame::Pong { nonce: u64::MAX },
+    ] {
+        assert_eq!(Frame::decode(&frame.encode()), Ok(frame));
+    }
+}
+
+#[test]
+fn every_reject_code_survives_the_wire() {
+    for code in RejectCode::ALL {
+        let frame = Frame::Reject {
+            code,
+            detail: format!("detail for {code}"),
+        };
+        assert_eq!(Frame::decode(&frame.encode()), Ok(frame));
+    }
 }

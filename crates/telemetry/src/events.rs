@@ -362,6 +362,10 @@ pub enum ServeBudgetKind {
     TenantQueue,
     /// Bytes of trace-chunk payload queued across all tenants.
     GlobalBytes,
+    /// Duplicate (retransmitted) frames re-received for one tenant on
+    /// a reliable connection — the cap that keeps a retry storm from
+    /// monopolizing the control plane.
+    RetryStorm,
 }
 
 impl ServeBudgetKind {
@@ -372,14 +376,16 @@ impl ServeBudgetKind {
             ServeBudgetKind::LiveSessions => "live_sessions",
             ServeBudgetKind::TenantQueue => "tenant_queue",
             ServeBudgetKind::GlobalBytes => "global_bytes",
+            ServeBudgetKind::RetryStorm => "retry_storm",
         }
     }
 
     /// Every serve budget kind, in rendering order.
-    pub const ALL: [ServeBudgetKind; 3] = [
+    pub const ALL: [ServeBudgetKind; 4] = [
         ServeBudgetKind::LiveSessions,
         ServeBudgetKind::TenantQueue,
         ServeBudgetKind::GlobalBytes,
+        ServeBudgetKind::RetryStorm,
     ];
 }
 
@@ -498,6 +504,10 @@ pub enum SpanKind {
     SequiturAppend,
     /// Instant: an injected fault killed the session at a crash point.
     Crash,
+    /// Instant: a network-robustness event on the wire (`hds-net`):
+    /// `a` is the [`NetEventKind`] discriminant, `b` the tenant key or
+    /// backoff amount (per emission site).
+    Net,
 }
 
 impl SpanKind {
@@ -515,6 +525,7 @@ impl SpanKind {
             SpanKind::ShardPump => "shard_pump",
             SpanKind::SequiturAppend => "sequitur_append",
             SpanKind::Crash => "crash",
+            SpanKind::Net => "net",
         }
     }
 
@@ -531,7 +542,7 @@ impl SpanKind {
     }
 
     /// Every span kind, in rendering order.
-    pub const ALL: [SpanKind; 10] = [
+    pub const ALL: [SpanKind; 11] = [
         SpanKind::Profile,
         SpanKind::Hibernate,
         SpanKind::Analyze,
@@ -542,7 +553,59 @@ impl SpanKind {
         SpanKind::ShardPump,
         SpanKind::SequiturAppend,
         SpanKind::Crash,
+        SpanKind::Net,
     ];
+}
+
+/// What a [`SpanKind::Net`] instant records (carried in the event's
+/// `a` payload word). Emitted by the `hds-serve` client session and
+/// manager on the wire's failure-recovery paths.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+pub enum NetEventKind {
+    /// A frame timed out and was retransmitted (`b` = backoff steps).
+    Retry,
+    /// The client tore down a dead transport and reconnected
+    /// (`b` = reconnect ordinal).
+    Reconnect,
+    /// A handshake failed authentication (`b` = 0).
+    AuthFailure,
+    /// A duplicate frame was received and deduplicated
+    /// (`b` = tenant key).
+    Duplicate,
+    /// A sequence gap was detected and the sender told to rewind
+    /// (`b` = tenant key).
+    SequenceGap,
+    /// A graceful drain (`Goodbye`) completed (`b` = tenants
+    /// hibernated).
+    Drain,
+}
+
+impl NetEventKind {
+    /// Lower-case label (Perfetto/JSON friendly).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            NetEventKind::Retry => "retry",
+            NetEventKind::Reconnect => "reconnect",
+            NetEventKind::AuthFailure => "auth_failure",
+            NetEventKind::Duplicate => "duplicate",
+            NetEventKind::SequenceGap => "sequence_gap",
+            NetEventKind::Drain => "drain",
+        }
+    }
+
+    /// The event's wire discriminant (the span's `a` word).
+    #[must_use]
+    pub fn code(self) -> u64 {
+        match self {
+            NetEventKind::Retry => 0,
+            NetEventKind::Reconnect => 1,
+            NetEventKind::AuthFailure => 2,
+            NetEventKind::Duplicate => 3,
+            NetEventKind::SequenceGap => 4,
+            NetEventKind::Drain => 5,
+        }
+    }
 }
 
 /// Whether a [`SpanEvent`] opens, closes, or is a point in time.

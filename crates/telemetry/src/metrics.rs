@@ -182,7 +182,7 @@ pub struct MetricsRecorder {
     serve_evicted: u64,
     serve_resumed: u64,
     serve_busy: u64,
-    serve_shed: [u64; 3], // indexed by serve budget kind
+    serve_shed: [u64; 4], // indexed by serve budget kind
     serve_replayed_events: u64,
     // Histograms.
     stream_length: Histogram,
