@@ -3,7 +3,7 @@
 
 CARGO ?= cargo
 
-.PHONY: verify build test clippy bench-smoke telemetry-demo chaos-smoke bench-par chaos-crash bench-recover serve-smoke trace-smoke chaos-net bench-trend
+.PHONY: verify build test clippy bench-smoke telemetry-demo chaos-smoke bench-par chaos-crash bench-recover serve-smoke trace-smoke chaos-net bench-prefetch bench-trend
 
 ## Tier-1 gate: release build, full test suite, clippy clean, chaos smoke,
 ## parallel-runner smoke (bit-identical + speedup + worker-lag stats),
@@ -12,9 +12,11 @@ CARGO ?= cargo
 ## serving-layer smoke (sharded == sequential, graceful shedding), the
 ## flight-recorder smoke (tracing is bit-identical and crash dumps
 ## land), the hostile-network sweep (every fault schedule converges
-## byte-identically), and the bench-trend gate (serving throughput and
-## chaos goodput vs the committed baselines).
-verify: build test clippy chaos-smoke bench-par chaos-crash bench-recover serve-smoke trace-smoke chaos-net bench-trend
+## byte-identically), the prefetch-backend benchmark (per-backend
+## determinism + seeded A/B reproducibility), and the bench-trend gate
+## (serving throughput, chaos goodput, and backend throughput vs the
+## committed baselines).
+verify: build test clippy chaos-smoke bench-par chaos-crash bench-recover serve-smoke trace-smoke chaos-net bench-prefetch bench-trend
 
 build:
 	$(CARGO) build --release
@@ -76,11 +78,19 @@ trace-smoke:
 chaos-net:
 	$(CARGO) run --release -p hds-bench --bin chaos_net -- --test-scale
 
-## Bench-trend gate: the freshly written results/BENCH_serve.json and
-## results/BENCH_net.json (serve-smoke and chaos-net run first under
-## `make verify`) against the committed baselines — fails if serving
-## throughput or chaos goodput fell below 80% of HEAD's; skips with a
-## note when either side is missing.
+## Prefetch-backend benchmark: every BackendKind through the full
+## online session path — asserts bit-identical reports across reruns
+## and that the seeded A/B split reproduces exact per-tenant arms.
+## Writes results/BENCH_prefetch.json.
+bench-prefetch:
+	$(CARGO) run --release -p hds-bench --bin bench_prefetch -- --test-scale
+
+## Bench-trend gate: the freshly written results/BENCH_serve.json,
+## results/BENCH_net.json, and results/BENCH_prefetch.json (serve-smoke,
+## chaos-net, and bench-prefetch run first under `make verify`) against
+## the committed baselines — fails if serving throughput, chaos goodput,
+## or backend throughput fell below 80% of HEAD's; skips with a note
+## when either side is missing.
 bench-trend:
 	$(CARGO) run --release -p hds-bench --bin bench_trend
 

@@ -1,0 +1,443 @@
+//! Pluggable prefetch backends.
+//!
+//! The paper's Dyn-pref (grammar → DFSM) scheme is one point in the
+//! prefetcher design space. This crate defines the [`PrefetchBackend`]
+//! trait — the contract every *online* (hardware-style, per-access)
+//! backend satisfies towards the optimizer, guard, snapshot, telemetry,
+//! and serve layers — plus two real implementations from the related
+//! work (PAPERS.md):
+//!
+//! * [`PanglossBackend`] — a Markov chain over **miss-block deltas**
+//!   with a compressed, quantized transition table (Pangloss). The
+//!   state is the previous delta, not the previous address, so the
+//!   table stays small and generalizes across the address space.
+//! * [`TriangelBackend`] — a temporal (address-correlating) prefetcher
+//!   with **sampled training metadata** and pattern/metadata filtering
+//!   (Triangel): per-PC training units decide *which* load sites have
+//!   stable temporal behavior before any correlation metadata is
+//!   stored or used.
+//!
+//! The paper's own scheme is represented by [`BackendKind::DynPref`]
+//! and implemented in `hds-core`; selecting it leaves the classic
+//! profile → analyze → optimize path untouched (bit-identical).
+//!
+//! # Contract
+//!
+//! Backends are **deterministic**: integer-only state, FNV-indexed
+//! fixed-capacity tables, no hash-map iteration, no randomness. Two
+//! runs over the same access sequence produce identical predictions,
+//! and [`PrefetchBackend::export_words`] /
+//! [`PrefetchBackend::restore_words`] round-trip the full state so
+//! snapshot/resume is bit-identical mid-run.
+//!
+//! Every prediction carries a **tag** — the index of the table row that
+//! produced it — which the accuracy guard uses to attribute prefetch
+//! fates and surgically disable rows whose accuracy window goes bad
+//! ([`PrefetchBackend::drop_tag`]), the online analogue of the paper's
+//! partial de-optimization.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod pangloss;
+mod triangel;
+
+use hds_memsim::prefetcher::Prefetcher;
+use hds_memsim::AccessOutcome;
+use hds_trace::{Addr, DataRef};
+
+pub use pangloss::{PanglossBackend, PanglossConfig};
+pub use triangel::{TriangelBackend, TriangelConfig};
+
+/// FNV-1a 64-bit hash, the deterministic index/identity hash every
+/// backend table uses.
+#[must_use]
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Which prefetch backend a session runs — the identity that is
+/// negotiated on the wire, recorded in snapshots, and counted in
+/// telemetry.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum BackendKind {
+    /// The paper's software scheme: bursty profiling → Sequitur →
+    /// hot-data-stream analysis → injected prefix-matching DFSM.
+    #[default]
+    DynPref,
+    /// Delta-Markov with a compressed/quantized transition table.
+    Pangloss,
+    /// Temporal prefetching with sampled training metadata and
+    /// pattern/metadata filtering.
+    Triangel,
+}
+
+impl BackendKind {
+    /// Every kind, in wire-code order.
+    pub const ALL: [BackendKind; 3] = [
+        BackendKind::DynPref,
+        BackendKind::Pangloss,
+        BackendKind::Triangel,
+    ];
+
+    /// The label used in reports and figures (matches the paper's
+    /// "Dyn-pref" naming style).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            BackendKind::DynPref => "Dyn-pref",
+            BackendKind::Pangloss => "Pangloss",
+            BackendKind::Triangel => "Triangel",
+        }
+    }
+
+    /// The single-byte code used on the wire and in snapshots.
+    #[must_use]
+    pub fn wire_code(self) -> u8 {
+        match self {
+            BackendKind::DynPref => 0,
+            BackendKind::Pangloss => 1,
+            BackendKind::Triangel => 2,
+        }
+    }
+
+    /// Decodes a wire/snapshot code.
+    #[must_use]
+    pub fn from_wire_code(code: u8) -> Option<BackendKind> {
+        BackendKind::ALL.into_iter().find(|k| k.wire_code() == code)
+    }
+
+    /// Parses a lowercase name (`dyn-pref`, `pangloss`, `triangel`),
+    /// as used in CLI flags.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<BackendKind> {
+        match s {
+            "dyn-pref" | "dynpref" => Some(BackendKind::DynPref),
+            "pangloss" => Some(BackendKind::Pangloss),
+            "triangel" => Some(BackendKind::Triangel),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for BackendKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Backend selection *with configuration* — the field
+/// `OptimizerConfig.backend` carries. [`BackendKind`] is the identity;
+/// this is the identity plus its knobs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum BackendSelect {
+    /// The paper's scheme (default): no online backend, the classic
+    /// grammar→DFSM path runs exactly as before.
+    #[default]
+    DynPref,
+    /// Pangloss with the given table shape.
+    Pangloss(PanglossConfig),
+    /// Triangel with the given table shape.
+    Triangel(TriangelConfig),
+}
+
+impl BackendSelect {
+    /// The backend identity this selection names.
+    #[must_use]
+    pub fn kind(&self) -> BackendKind {
+        match self {
+            BackendSelect::DynPref => BackendKind::DynPref,
+            BackendSelect::Pangloss(_) => BackendKind::Pangloss,
+            BackendSelect::Triangel(_) => BackendKind::Triangel,
+        }
+    }
+
+    /// The default-configured selection for a kind (used when the serve
+    /// tier resolves a negotiated/e A/B-assigned kind that differs from
+    /// the operator's base configuration).
+    #[must_use]
+    pub fn default_for(kind: BackendKind) -> BackendSelect {
+        match kind {
+            BackendKind::DynPref => BackendSelect::DynPref,
+            BackendKind::Pangloss => BackendSelect::Pangloss(PanglossConfig::default()),
+            BackendKind::Triangel => BackendSelect::Triangel(TriangelConfig::default()),
+        }
+    }
+}
+
+/// State-restore failure: the serialized words do not fit this
+/// backend's configured table shape.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RestoreError {
+    /// Word-count mismatch against the configured shape.
+    BadLength {
+        /// Words the configured shape serializes to.
+        expected: usize,
+        /// Words provided.
+        got: usize,
+    },
+}
+
+impl std::fmt::Display for RestoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RestoreError::BadLength { expected, got } => {
+                write!(f, "backend state has {got} words, expected {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RestoreError {}
+
+/// An online prefetch backend: observes every demand access and
+/// proposes tagged prefetches.
+///
+/// Layer contract (DESIGN.md §14):
+///
+/// * the **optimizer** calls [`on_access`](PrefetchBackend::on_access)
+///   once per demand access in program order and charges the returned
+///   table-operation count to the matching cost category;
+/// * the **guard** registers every row of
+///   [`tag_registrations`](PrefetchBackend::tag_registrations) with its
+///   accuracy tracker and calls
+///   [`drop_tag`](PrefetchBackend::drop_tag) when a row's accuracy
+///   window goes bad — a dropped row never learns or predicts again;
+/// * the **snapshot** layer round-trips
+///   [`export_words`](PrefetchBackend::export_words) /
+///   [`restore_words`](PrefetchBackend::restore_words) and a
+///   [`BackendKind::wire_code`] discriminant, and resume is
+///   bit-identical;
+/// * the **serve** tier may construct one backend per tenant; backends
+///   must not share state.
+pub trait PrefetchBackend {
+    /// This backend's identity.
+    fn kind(&self) -> BackendKind;
+
+    /// Observes one demand access (`missed` = it left L1) and pushes
+    /// `(address, row tag)` prefetch proposals. Returns the number of
+    /// table operations performed, for cycle accounting.
+    fn on_access(&mut self, r: DataRef, missed: bool, out: &mut Vec<(Addr, u32)>) -> u64;
+
+    /// Permanently disables one table row (accuracy-driven
+    /// de-optimization). Idempotent.
+    fn drop_tag(&mut self, tag: u32);
+
+    /// `(row tag, stable content hash)` for every *live* row, for guard
+    /// accuracy registration. Hashes are stable across runs so the
+    /// guard's denylist is reproducible.
+    fn tag_registrations(&self) -> Vec<(u32, u64)>;
+
+    /// Live (non-dropped) rows currently holding learned state.
+    fn occupancy(&self) -> usize;
+
+    /// Serializes the full mutable state as flat words.
+    fn export_words(&self) -> Vec<u64>;
+
+    /// Restores state previously produced by
+    /// [`export_words`](PrefetchBackend::export_words) on an
+    /// identically configured backend.
+    ///
+    /// # Errors
+    ///
+    /// [`RestoreError::BadLength`] when `words` does not fit the
+    /// configured shape.
+    fn restore_words(&mut self, words: &[u64]) -> Result<(), RestoreError>;
+}
+
+/// Enum dispatch over the online backends, so the optimizer holds one
+/// concrete field (no `dyn` on the hot path) and snapshots carry a
+/// plain discriminant.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AnyBackend {
+    /// Delta-Markov (Pangloss).
+    Pangloss(PanglossBackend),
+    /// Sampled temporal (Triangel).
+    Triangel(TriangelBackend),
+}
+
+impl AnyBackend {
+    /// Builds the online backend a selection names, at the given cache
+    /// block size. `None` for [`BackendSelect::DynPref`] — the classic
+    /// path has no online backend.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid table shapes (zero degree, non-power-of-two
+    /// rows); builder-validated configurations never panic.
+    #[must_use]
+    pub fn from_select(select: &BackendSelect, block_size: u64) -> Option<AnyBackend> {
+        match select {
+            BackendSelect::DynPref => None,
+            BackendSelect::Pangloss(cfg) => {
+                Some(AnyBackend::Pangloss(PanglossBackend::new(*cfg, block_size)))
+            }
+            BackendSelect::Triangel(cfg) => {
+                Some(AnyBackend::Triangel(TriangelBackend::new(*cfg, block_size)))
+            }
+        }
+    }
+}
+
+macro_rules! dispatch {
+    ($self:ident, $b:ident => $e:expr) => {
+        match $self {
+            AnyBackend::Pangloss($b) => $e,
+            AnyBackend::Triangel($b) => $e,
+        }
+    };
+}
+
+impl PrefetchBackend for AnyBackend {
+    fn kind(&self) -> BackendKind {
+        dispatch!(self, b => b.kind())
+    }
+
+    fn on_access(&mut self, r: DataRef, missed: bool, out: &mut Vec<(Addr, u32)>) -> u64 {
+        dispatch!(self, b => b.on_access(r, missed, out))
+    }
+
+    fn drop_tag(&mut self, tag: u32) {
+        dispatch!(self, b => b.drop_tag(tag));
+    }
+
+    fn tag_registrations(&self) -> Vec<(u32, u64)> {
+        dispatch!(self, b => b.tag_registrations())
+    }
+
+    fn occupancy(&self) -> usize {
+        dispatch!(self, b => b.occupancy())
+    }
+
+    fn export_words(&self) -> Vec<u64> {
+        dispatch!(self, b => b.export_words())
+    }
+
+    fn restore_words(&mut self, words: &[u64]) -> Result<(), RestoreError> {
+        dispatch!(self, b => b.restore_words(words))
+    }
+}
+
+/// Every backend is also a [`Prefetcher`], so the hardware-baseline
+/// harness (`run_with_hw_prefetcher`) and the `related_prefetchers`
+/// experiment drive the *real* implementations rather than idealized
+/// models.
+impl Prefetcher for AnyBackend {
+    fn on_access(&mut self, r: DataRef, outcome: AccessOutcome) -> Vec<Addr> {
+        let mut out = Vec::new();
+        let missed = !matches!(outcome, AccessOutcome::L1Hit);
+        PrefetchBackend::on_access(self, r, missed, &mut out);
+        out.into_iter().map(|(a, _)| a).collect()
+    }
+
+    fn name(&self) -> &'static str {
+        match self {
+            AnyBackend::Pangloss(_) => "pangloss",
+            AnyBackend::Triangel(_) => "triangel",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hds_trace::Pc;
+
+    fn load(pc: u32, addr: u64) -> DataRef {
+        DataRef::new(Pc(pc), Addr(addr))
+    }
+
+    #[test]
+    fn kind_codes_round_trip() {
+        for kind in BackendKind::ALL {
+            assert_eq!(BackendKind::from_wire_code(kind.wire_code()), Some(kind));
+        }
+        assert_eq!(BackendKind::from_wire_code(3), None);
+        assert_eq!(BackendKind::parse("pangloss"), Some(BackendKind::Pangloss));
+        assert_eq!(BackendKind::parse("dyn-pref"), Some(BackendKind::DynPref));
+        assert_eq!(BackendKind::parse("nope"), None);
+    }
+
+    #[test]
+    fn select_kind_and_defaults() {
+        assert_eq!(BackendSelect::default().kind(), BackendKind::DynPref);
+        for kind in BackendKind::ALL {
+            assert_eq!(BackendSelect::default_for(kind).kind(), kind);
+        }
+        assert!(AnyBackend::from_select(&BackendSelect::DynPref, 32).is_none());
+    }
+
+    #[test]
+    fn any_backend_dispatches_and_round_trips() {
+        for kind in [BackendKind::Pangloss, BackendKind::Triangel] {
+            let select = BackendSelect::default_for(kind);
+            let mut b = AnyBackend::from_select(&select, 32).expect("online backend");
+            assert_eq!(b.kind(), kind);
+            let mut out = Vec::new();
+            // Drive a repeating miss pattern so state accumulates.
+            for rep in 0..8 {
+                for k in 0..16u64 {
+                    let _ = PrefetchBackend::on_access(
+                        &mut b,
+                        load(16, 0x1000 + k * 4096 + rep),
+                        true,
+                        &mut out,
+                    );
+                }
+            }
+            let words = b.export_words();
+            let mut fresh = AnyBackend::from_select(&select, 32).expect("online backend");
+            fresh.restore_words(&words).expect("round trip");
+            assert_eq!(fresh, b);
+            assert_eq!(fresh.export_words(), words);
+            assert_eq!(
+                fresh.restore_words(&words[..words.len() - 1]),
+                Err(RestoreError::BadLength {
+                    expected: words.len(),
+                    got: words.len() - 1
+                })
+            );
+        }
+    }
+
+    #[test]
+    fn determinism_same_trace_same_predictions() {
+        for kind in [BackendKind::Pangloss, BackendKind::Triangel] {
+            let select = BackendSelect::default_for(kind);
+            let mut a = AnyBackend::from_select(&select, 32).expect("backend");
+            let mut b = AnyBackend::from_select(&select, 32).expect("backend");
+            let mut out_a = Vec::new();
+            let mut out_b = Vec::new();
+            for rep in 0..4 {
+                for k in 0..32u64 {
+                    let r = load(16 + (k as u32 % 3) * 4, 0x2000 + k * 2048 + rep * 7);
+                    let ops_a = PrefetchBackend::on_access(&mut a, r, k % 5 != 0, &mut out_a);
+                    let ops_b = PrefetchBackend::on_access(&mut b, r, k % 5 != 0, &mut out_b);
+                    assert_eq!(ops_a, ops_b);
+                }
+            }
+            assert_eq!(out_a, out_b);
+            assert_eq!(a.export_words(), b.export_words());
+        }
+    }
+
+    #[test]
+    fn prefetcher_adapter_strips_tags() {
+        let select = BackendSelect::default_for(BackendKind::Pangloss);
+        let mut b = AnyBackend::from_select(&select, 32).expect("backend");
+        assert_eq!(Prefetcher::name(&b), "pangloss");
+        for k in 0..64u64 {
+            let _ = Prefetcher::on_access(&mut b, load(16, 0x1000 + (k % 8) * 4096), {
+                AccessOutcome::Memory
+            });
+        }
+        // A hit never predicts.
+        assert!(Prefetcher::on_access(&mut b, load(16, 0x1000), AccessOutcome::L1Hit).is_empty());
+    }
+}

@@ -1,0 +1,413 @@
+//! Pangloss: a Markov chain over miss-block **deltas** with a
+//! compressed, quantized transition table.
+//!
+//! Classic Markov/correlation prefetchers key their table by miss
+//! *address*, which needs megabytes of state to cover a real working
+//! set. Pangloss instead models the transition `delta → next delta`
+//! over cache-block deltas between consecutive misses: the state space
+//! is the (small, reused) set of deltas, so a few thousand set
+//! -associative rows with saturating confidence counters — the
+//! "compressed/quantized" table — cover the same patterns. Prediction
+//! walks the chain: from the current delta, repeatedly take the most
+//! confident next delta and accumulate it onto the miss address, up to
+//! the configured degree.
+
+use hds_trace::{Addr, DataRef};
+
+use crate::{fnv1a64, BackendKind, PrefetchBackend, RestoreError};
+
+/// Table shape and prediction knobs for [`PanglossBackend`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct PanglossConfig {
+    /// Transition-table rows (one per delta-hash bucket). Must be a
+    /// nonzero power of two.
+    pub rows: u32,
+    /// Entries per row (bounded fan-out per delta context).
+    pub assoc: u32,
+    /// Maximum chained predictions issued per miss.
+    pub degree: u32,
+    /// Minimum saturating confidence an entry needs to predict.
+    pub confidence: u8,
+}
+
+impl Default for PanglossConfig {
+    fn default() -> Self {
+        PanglossConfig {
+            rows: 1024,
+            assoc: 4,
+            degree: 4,
+            confidence: 2,
+        }
+    }
+}
+
+/// One transition-table entry: `conf == 0` means empty.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+struct Entry {
+    /// The predicted next delta (quantized to 32 bits).
+    delta: i32,
+    /// Saturating confidence counter.
+    conf: u8,
+}
+
+/// The delta-Markov backend. See the module docs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PanglossBackend {
+    cfg: PanglossConfig,
+    block_size: u64,
+    /// `rows * assoc` entries, row-major.
+    entries: Vec<Entry>,
+    /// One bit per row: permanently disabled by the accuracy guard.
+    dead: Vec<u64>,
+    last_block: u64,
+    last_delta: i64,
+    /// Bit 0: `last_block` valid; bit 1: `last_delta` valid.
+    flags: u64,
+}
+
+const HAVE_BLOCK: u64 = 1;
+const HAVE_DELTA: u64 = 2;
+
+impl PanglossBackend {
+    /// Builds an empty backend for the given cache block size.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `rows` and `block_size` are nonzero powers of two
+    /// and `assoc`/`degree` are nonzero.
+    #[must_use]
+    pub fn new(cfg: PanglossConfig, block_size: u64) -> Self {
+        assert!(
+            cfg.rows > 0 && cfg.rows.is_power_of_two(),
+            "rows must be a nonzero power of two"
+        );
+        assert!(cfg.assoc > 0, "assoc must be nonzero");
+        assert!(cfg.degree > 0, "degree must be nonzero");
+        assert!(
+            block_size.is_power_of_two(),
+            "block size must be a power of two"
+        );
+        let rows = cfg.rows as usize;
+        PanglossBackend {
+            cfg,
+            block_size,
+            entries: vec![Entry::default(); rows * cfg.assoc as usize],
+            dead: vec![0; rows.div_ceil(64)],
+            last_block: 0,
+            last_delta: 0,
+            flags: 0,
+        }
+    }
+
+    /// The configuration this backend was built with.
+    #[must_use]
+    pub fn config(&self) -> PanglossConfig {
+        self.cfg
+    }
+
+    fn row_of(&self, delta: i64) -> usize {
+        (fnv1a64(&delta.to_le_bytes()) & u64::from(self.cfg.rows - 1)) as usize
+    }
+
+    fn is_dead(&self, row: usize) -> bool {
+        self.dead[row / 64] >> (row % 64) & 1 == 1
+    }
+
+    fn row_entries(&mut self, row: usize) -> &mut [Entry] {
+        let assoc = self.cfg.assoc as usize;
+        &mut self.entries[row * assoc..(row + 1) * assoc]
+    }
+
+    /// Trains `context delta → observed delta` with saturating
+    /// confidence and deterministic least-confident replacement.
+    fn train(&mut self, context: i64, observed: i32) {
+        let row = self.row_of(context);
+        if self.is_dead(row) {
+            return;
+        }
+        let slots = self.row_entries(row);
+        if let Some(e) = slots.iter_mut().find(|e| e.conf > 0 && e.delta == observed) {
+            e.conf = e.conf.saturating_add(1);
+            return;
+        }
+        if let Some(e) = slots.iter_mut().find(|e| e.conf == 0) {
+            *e = Entry {
+                delta: observed,
+                conf: 1,
+            };
+            return;
+        }
+        // Full row: age the least-confident entry (first wins ties);
+        // replace it once its confidence decays to zero.
+        let weakest = (0..slots.len())
+            .min_by_key(|&i| slots[i].conf)
+            .expect("assoc is nonzero");
+        slots[weakest].conf -= 1;
+        if slots[weakest].conf == 0 {
+            slots[weakest] = Entry {
+                delta: observed,
+                conf: 1,
+            };
+        }
+    }
+
+    /// The most confident predicting entry of a delta context, if any.
+    fn predict(&self, context: i64) -> Option<(usize, i32)> {
+        let row = self.row_of(context);
+        if self.is_dead(row) {
+            return None;
+        }
+        let assoc = self.cfg.assoc as usize;
+        self.entries[row * assoc..(row + 1) * assoc]
+            .iter()
+            .filter(|e| e.conf >= self.cfg.confidence.max(1))
+            .max_by_key(|e| e.conf)
+            .map(|e| (row, e.delta))
+    }
+
+    fn expected_words(&self) -> usize {
+        3 + self.dead.len() + self.entries.len()
+    }
+}
+
+impl PrefetchBackend for PanglossBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Pangloss
+    }
+
+    fn on_access(&mut self, r: DataRef, missed: bool, out: &mut Vec<(Addr, u32)>) -> u64 {
+        if !missed {
+            return 0;
+        }
+        let block = r.addr.block(self.block_size);
+        let mut ops = 0u64;
+        let mut context = None;
+        if self.flags & HAVE_BLOCK != 0 {
+            let delta = block.wrapping_sub(self.last_block) as i64;
+            // Quantize: deltas beyond 32 bits saturate (they carry no
+            // reusable locality anyway).
+            #[allow(clippy::cast_possible_truncation)]
+            let q = delta.clamp(i64::from(i32::MIN), i64::from(i32::MAX)) as i32;
+            if self.flags & HAVE_DELTA != 0 && delta != 0 {
+                self.train(self.last_delta, q);
+                ops += 1;
+            }
+            if delta != 0 {
+                self.last_delta = i64::from(q);
+                self.flags |= HAVE_DELTA;
+            }
+            context = (self.flags & HAVE_DELTA != 0).then_some(self.last_delta);
+        }
+        self.last_block = block;
+        self.flags |= HAVE_BLOCK;
+        // Walk the delta chain from the current miss.
+        let mut cur = block;
+        let mut ctx = context;
+        for _ in 0..self.cfg.degree {
+            let Some(d) = ctx else { break };
+            ops += 1;
+            let Some((row, next_delta)) = self.predict(d) else {
+                break;
+            };
+            cur = cur.wrapping_add(next_delta as i64 as u64);
+            #[allow(clippy::cast_possible_truncation)]
+            out.push((Addr(cur.wrapping_mul(self.block_size)), row as u32));
+            ctx = Some(i64::from(next_delta));
+        }
+        ops
+    }
+
+    fn drop_tag(&mut self, tag: u32) {
+        if tag < self.cfg.rows {
+            let row = tag as usize;
+            self.dead[row / 64] |= 1 << (row % 64);
+            self.row_entries(row).fill(Entry::default());
+        }
+    }
+
+    fn tag_registrations(&self) -> Vec<(u32, u64)> {
+        (0..self.cfg.rows)
+            .filter(|&row| !self.is_dead(row as usize))
+            .map(|row| {
+                let mut key = *b"pangloss\0\0\0\0";
+                key[8..].copy_from_slice(&row.to_le_bytes());
+                (row, fnv1a64(&key))
+            })
+            .collect()
+    }
+
+    fn occupancy(&self) -> usize {
+        let assoc = self.cfg.assoc as usize;
+        (0..self.cfg.rows as usize)
+            .filter(|&row| {
+                !self.is_dead(row)
+                    && self.entries[row * assoc..(row + 1) * assoc]
+                        .iter()
+                        .any(|e| e.conf > 0)
+            })
+            .count()
+    }
+
+    fn export_words(&self) -> Vec<u64> {
+        let mut words = Vec::with_capacity(self.expected_words());
+        words.push(self.flags);
+        words.push(self.last_block);
+        words.push(self.last_delta as u64);
+        words.extend_from_slice(&self.dead);
+        words.extend(
+            self.entries
+                .iter()
+                .map(|e| (u64::from(e.delta as u32) << 8) | u64::from(e.conf)),
+        );
+        words
+    }
+
+    fn restore_words(&mut self, words: &[u64]) -> Result<(), RestoreError> {
+        let expected = self.expected_words();
+        if words.len() != expected {
+            return Err(RestoreError::BadLength {
+                expected,
+                got: words.len(),
+            });
+        }
+        self.flags = words[0];
+        self.last_block = words[1];
+        self.last_delta = words[2] as i64;
+        let dead_end = 3 + self.dead.len();
+        self.dead.copy_from_slice(&words[3..dead_end]);
+        for (e, &w) in self.entries.iter_mut().zip(&words[dead_end..]) {
+            #[allow(clippy::cast_possible_truncation)]
+            {
+                *e = Entry {
+                    delta: (w >> 8) as u32 as i32,
+                    conf: (w & 0xff) as u8,
+                };
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hds_trace::Pc;
+
+    fn load(addr: u64) -> DataRef {
+        DataRef::new(Pc(16), Addr(addr))
+    }
+
+    fn trained(block_size: u64, stride: u64, reps: usize) -> PanglossBackend {
+        let mut b = PanglossBackend::new(PanglossConfig::default(), block_size);
+        let mut out = Vec::new();
+        for k in 0..reps as u64 {
+            b.on_access(load(0x1_0000 + k * stride), true, &mut out);
+        }
+        b
+    }
+
+    #[test]
+    fn learns_constant_stride_chain() {
+        // Stride of 4 blocks (block size 32 → stride 128 bytes).
+        let mut b = trained(32, 128, 8);
+        let mut out = Vec::new();
+        b.on_access(load(0x2_0000), true, &mut out);
+        out.clear();
+        b.on_access(load(0x2_0000 + 128), true, &mut out);
+        // Chained degree-4 predictions, 4 blocks apart each.
+        assert_eq!(out.len(), 4, "predictions: {out:?}");
+        let base = Addr(0x2_0000 + 128).block(32);
+        for (i, (addr, _tag)) in out.iter().enumerate() {
+            assert_eq!(addr.block(32), base + 4 * (i as u64 + 1));
+        }
+    }
+
+    #[test]
+    fn hits_and_zero_deltas_are_ignored() {
+        let mut b = PanglossBackend::new(PanglossConfig::default(), 32);
+        let mut out = Vec::new();
+        assert_eq!(b.on_access(load(0x1000), false, &mut out), 0);
+        b.on_access(load(0x1000), true, &mut out);
+        // Same block again: delta 0 trains nothing.
+        b.on_access(load(0x1008), true, &mut out);
+        assert!(out.is_empty());
+        assert_eq!(b.occupancy(), 0);
+    }
+
+    #[test]
+    fn dropped_row_never_predicts_or_relearns() {
+        let mut b = trained(32, 128, 8);
+        assert!(b.occupancy() > 0);
+        let mut out = Vec::new();
+        b.on_access(load(0x3_0000), true, &mut out);
+        out.clear();
+        b.on_access(load(0x3_0000 + 128), true, &mut out);
+        let tags: Vec<u32> = out.iter().map(|&(_, t)| t).collect();
+        assert!(!tags.is_empty());
+        for t in &tags {
+            b.drop_tag(*t);
+        }
+        let mut again = Vec::new();
+        // Retrain hard: the dead row must stay silent.
+        for k in 0..16u64 {
+            again.clear();
+            b.on_access(load(0x5_0000 + k * 128), true, &mut again);
+        }
+        assert!(again.iter().all(|(_, t)| !tags.contains(t)));
+        // Registrations exclude the dead rows.
+        let regs = b.tag_registrations();
+        for t in &tags {
+            assert!(!regs.iter().any(|(row, _)| row == t));
+        }
+    }
+
+    #[test]
+    fn registrations_are_stable_hashes() {
+        let a = PanglossBackend::new(PanglossConfig::default(), 32);
+        let b = trained(32, 128, 8);
+        let ra = a.tag_registrations();
+        let rb = b.tag_registrations();
+        assert_eq!(ra.len(), 1024);
+        assert_eq!(ra, rb, "hashes depend only on row identity");
+    }
+
+    #[test]
+    fn replacement_ages_weakest_entry() {
+        let cfg = PanglossConfig {
+            rows: 1024,
+            assoc: 1,
+            degree: 1,
+            confidence: 1,
+        };
+        let mut b = PanglossBackend::new(cfg, 32);
+        let mut out = Vec::new();
+        // Context delta +1 block observes +2 twice, then +3 twice: the
+        // second pattern must eventually displace the first.
+        for _ in 0..2 {
+            b.on_access(load(0), true, &mut out);
+            b.on_access(load(32), true, &mut out); // delta +1
+            b.on_access(load(96), true, &mut out); // trains +1 -> +2
+        }
+        for _ in 0..3 {
+            b.on_access(load(0), true, &mut out);
+            b.on_access(load(32), true, &mut out);
+            b.on_access(load(128), true, &mut out); // trains +1 -> +3
+        }
+        out.clear();
+        b.on_access(load(0x4000), true, &mut out);
+        b.on_access(load(0x4000 + 32), true, &mut out);
+        let blocks: Vec<u64> = out.iter().map(|(a, _)| a.block(32)).collect();
+        let cur = Addr(0x4000 + 32).block(32);
+        assert_eq!(blocks, vec![cur + 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "rows")]
+    fn validates_rows() {
+        let cfg = PanglossConfig {
+            rows: 3,
+            ..PanglossConfig::default()
+        };
+        let _ = PanglossBackend::new(cfg, 32);
+    }
+}

@@ -1,0 +1,406 @@
+//! Triangel-style temporal prefetching: sampled training metadata with
+//! pattern/metadata filtering.
+//!
+//! Temporal (address-correlating) prefetchers learn `miss → next miss`
+//! pairs, which is powerful on pointer chases but expensive in
+//! metadata. Triangel's insight is to *filter*: a small, sampled set of
+//! per-PC **training units** first decides which load sites actually
+//! exhibit stable temporal behavior (pattern filtering), and only those
+//! sites are allowed to write or use correlation metadata (metadata
+//! filtering). This implementation keeps both filters:
+//!
+//! * training units live in a fixed, hash-indexed table; an untracked
+//!   PC only captures a unit once the incumbent's confidence has
+//!   decayed to zero — hash-capacity **sampling** of the PC space;
+//! * a unit's *pattern confidence* rises each time the temporal table
+//!   correctly anticipated this PC's next miss and falls otherwise;
+//!   predictions are issued only above a confidence threshold;
+//! * temporal-table entries resist replacement proportionally to their
+//!   own confirmation count, so proven metadata survives noise.
+
+use hds_trace::{Addr, DataRef};
+
+use crate::{fnv1a64, BackendKind, PrefetchBackend, RestoreError};
+
+/// Table shape and filtering knobs for [`TriangelBackend`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct TriangelConfig {
+    /// Per-PC training units. Must be a nonzero power of two.
+    pub train_rows: u32,
+    /// Temporal-table rows (direct-mapped by miss block). Must be a
+    /// nonzero power of two.
+    pub table_rows: u32,
+    /// Maximum chained predictions issued per miss.
+    pub degree: u32,
+    /// Pattern confidence a training unit needs before its PC may
+    /// issue prefetches.
+    pub pattern_threshold: u8,
+}
+
+impl Default for TriangelConfig {
+    fn default() -> Self {
+        TriangelConfig {
+            train_rows: 256,
+            table_rows: 2048,
+            degree: 4,
+            pattern_threshold: 2,
+        }
+    }
+}
+
+/// One per-PC training unit (`valid == false` means empty).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+struct TrainUnit {
+    pc: u32,
+    last_block: u64,
+    /// Pattern confidence; doubles as the residency counter sampled
+    /// replacement decays.
+    conf: u8,
+    valid: bool,
+}
+
+/// One temporal-table entry (`conf == 0` means empty).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+struct TemporalEntry {
+    /// The miss block this entry correlates from.
+    tag: u64,
+    /// The observed next miss block.
+    next: u64,
+    /// Confirmation count (saturating).
+    conf: u8,
+}
+
+/// The sampled temporal backend. See the module docs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TriangelBackend {
+    cfg: TriangelConfig,
+    block_size: u64,
+    train: Vec<TrainUnit>,
+    table: Vec<TemporalEntry>,
+    /// One bit per temporal row: permanently disabled by the guard.
+    dead: Vec<u64>,
+}
+
+impl TriangelBackend {
+    /// Builds an empty backend for the given cache block size.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `train_rows`, `table_rows`, and `block_size` are
+    /// nonzero powers of two and `degree` is nonzero.
+    #[must_use]
+    pub fn new(cfg: TriangelConfig, block_size: u64) -> Self {
+        assert!(
+            cfg.train_rows > 0 && cfg.train_rows.is_power_of_two(),
+            "train_rows must be a nonzero power of two"
+        );
+        assert!(
+            cfg.table_rows > 0 && cfg.table_rows.is_power_of_two(),
+            "table_rows must be a nonzero power of two"
+        );
+        assert!(cfg.degree > 0, "degree must be nonzero");
+        assert!(
+            block_size.is_power_of_two(),
+            "block size must be a power of two"
+        );
+        TriangelBackend {
+            cfg,
+            block_size,
+            train: vec![TrainUnit::default(); cfg.train_rows as usize],
+            table: vec![TemporalEntry::default(); cfg.table_rows as usize],
+            dead: vec![0; (cfg.table_rows as usize).div_ceil(64)],
+        }
+    }
+
+    /// The configuration this backend was built with.
+    #[must_use]
+    pub fn config(&self) -> TriangelConfig {
+        self.cfg
+    }
+
+    fn train_row(&self, pc: u32) -> usize {
+        (fnv1a64(&pc.to_le_bytes()) & u64::from(self.cfg.train_rows - 1)) as usize
+    }
+
+    fn table_row(&self, block: u64) -> usize {
+        (fnv1a64(&block.to_le_bytes()) & u64::from(self.cfg.table_rows - 1)) as usize
+    }
+
+    fn is_dead(&self, row: usize) -> bool {
+        self.dead[row / 64] >> (row % 64) & 1 == 1
+    }
+
+    /// Records `prev → block` in the temporal table and reports whether
+    /// the table had already predicted it (pattern confirmation).
+    fn correlate(&mut self, prev: u64, block: u64) -> bool {
+        let row = self.table_row(prev);
+        if self.is_dead(row) {
+            return false;
+        }
+        let e = &mut self.table[row];
+        if e.conf > 0 && e.tag == prev {
+            if e.next == block {
+                e.conf = e.conf.saturating_add(1);
+                return true;
+            }
+            // Established metadata resists one round of contradiction.
+            e.conf -= 1;
+            if e.conf == 0 {
+                *e = TemporalEntry {
+                    tag: prev,
+                    next: block,
+                    conf: 1,
+                };
+            }
+            return false;
+        }
+        if e.conf == 0 {
+            *e = TemporalEntry {
+                tag: prev,
+                next: block,
+                conf: 1,
+            };
+        } else {
+            // Metadata filtering: a proven entry for another block
+            // decays rather than being evicted outright.
+            e.conf -= 1;
+        }
+        false
+    }
+
+    fn expected_words(&self) -> usize {
+        self.train.len() * 2 + self.dead.len() + self.table.len() * 3
+    }
+}
+
+impl PrefetchBackend for TriangelBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Triangel
+    }
+
+    fn on_access(&mut self, r: DataRef, missed: bool, out: &mut Vec<(Addr, u32)>) -> u64 {
+        if !missed {
+            return 0;
+        }
+        let block = r.addr.block(self.block_size);
+        let row = self.train_row(r.pc.0);
+        let mut ops = 1u64; // training-unit probe
+        let unit = self.train[row];
+        if !unit.valid || unit.pc != r.pc.0 {
+            // Sampled training: an untracked PC claims a unit only once
+            // the incumbent's confidence has decayed away.
+            let u = &mut self.train[row];
+            if !u.valid || u.conf == 0 {
+                *u = TrainUnit {
+                    pc: r.pc.0,
+                    last_block: block,
+                    conf: 0,
+                    valid: true,
+                };
+            } else {
+                u.conf -= 1;
+            }
+            return ops;
+        }
+        let prev = unit.last_block;
+        self.train[row].last_block = block;
+        if prev != block {
+            ops += 1;
+            let confirmed = self.correlate(prev, block);
+            let u = &mut self.train[row];
+            if confirmed {
+                u.conf = u.conf.saturating_add(1);
+            } else {
+                u.conf = u.conf.saturating_sub(1);
+            }
+        }
+        // Pattern filtering: only confident PCs issue prefetches.
+        if self.train[row].conf >= self.cfg.pattern_threshold.max(1) {
+            let mut cur = block;
+            for _ in 0..self.cfg.degree {
+                let trow = self.table_row(cur);
+                ops += 1;
+                let e = self.table[trow];
+                if self.is_dead(trow) || e.conf == 0 || e.tag != cur {
+                    break;
+                }
+                #[allow(clippy::cast_possible_truncation)]
+                out.push((Addr(e.next.wrapping_mul(self.block_size)), trow as u32));
+                cur = e.next;
+            }
+        }
+        ops
+    }
+
+    fn drop_tag(&mut self, tag: u32) {
+        if tag < self.cfg.table_rows {
+            let row = tag as usize;
+            self.dead[row / 64] |= 1 << (row % 64);
+            self.table[row] = TemporalEntry::default();
+        }
+    }
+
+    fn tag_registrations(&self) -> Vec<(u32, u64)> {
+        (0..self.cfg.table_rows)
+            .filter(|&row| !self.is_dead(row as usize))
+            .map(|row| {
+                let mut key = *b"triangel\0\0\0\0";
+                key[8..].copy_from_slice(&row.to_le_bytes());
+                (row, fnv1a64(&key))
+            })
+            .collect()
+    }
+
+    fn occupancy(&self) -> usize {
+        (0..self.table.len())
+            .filter(|&row| !self.is_dead(row) && self.table[row].conf > 0)
+            .count()
+    }
+
+    fn export_words(&self) -> Vec<u64> {
+        let mut words = Vec::with_capacity(self.expected_words());
+        for u in &self.train {
+            words.push(u64::from(u.pc) | (u64::from(u.conf) << 32) | (u64::from(u.valid) << 40));
+            words.push(u.last_block);
+        }
+        words.extend_from_slice(&self.dead);
+        for e in &self.table {
+            words.push(e.tag);
+            words.push(e.next);
+            words.push(u64::from(e.conf));
+        }
+        words
+    }
+
+    fn restore_words(&mut self, words: &[u64]) -> Result<(), RestoreError> {
+        let expected = self.expected_words();
+        if words.len() != expected {
+            return Err(RestoreError::BadLength {
+                expected,
+                got: words.len(),
+            });
+        }
+        let mut it = words.iter().copied();
+        #[allow(clippy::cast_possible_truncation)]
+        for u in &mut self.train {
+            let w = it.next().expect("length checked");
+            *u = TrainUnit {
+                pc: w as u32,
+                conf: (w >> 32) as u8,
+                valid: w >> 40 & 1 == 1,
+                last_block: it.next().expect("length checked"),
+            };
+        }
+        for d in &mut self.dead {
+            *d = it.next().expect("length checked");
+        }
+        #[allow(clippy::cast_possible_truncation)]
+        for e in &mut self.table {
+            *e = TemporalEntry {
+                tag: it.next().expect("length checked"),
+                next: it.next().expect("length checked"),
+                conf: it.next().expect("length checked") as u8,
+            };
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hds_trace::Pc;
+
+    fn load(pc: u32, addr: u64) -> DataRef {
+        DataRef::new(Pc(pc), Addr(addr))
+    }
+
+    /// Replays a pointer-chase loop (fixed block sequence from one PC).
+    fn chase(b: &mut TriangelBackend, pc: u32, blocks: &[u64], reps: usize) -> Vec<(Addr, u32)> {
+        let mut out = Vec::new();
+        for _ in 0..reps {
+            for &blk in blocks {
+                b.on_access(load(pc, blk * 32), true, &mut out);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn learns_temporal_chain_after_pattern_confidence() {
+        let mut b = TriangelBackend::new(TriangelConfig::default(), 32);
+        let seq = [0x100u64, 0x9a0, 0x233, 0x771];
+        // The first traversal builds correlation + pattern confidence…
+        let early = chase(&mut b, 16, &seq, 1);
+        assert!(early.is_empty(), "unconfident PC must stay filtered");
+        // …later traversals prefetch the chain.
+        let out = chase(&mut b, 16, &seq, 2);
+        assert!(!out.is_empty());
+        let predicted: Vec<u64> = out.iter().map(|(a, _)| a.block(32)).collect();
+        for p in &predicted {
+            assert!(seq.contains(p), "prediction {p:#x} outside the chain");
+        }
+        assert!(b.occupancy() > 0);
+    }
+
+    #[test]
+    fn unstable_pc_never_issues() {
+        let mut b = TriangelBackend::new(TriangelConfig::default(), 32);
+        let mut out = Vec::new();
+        // Every miss goes somewhere new: correlations never confirm.
+        for k in 0..200u64 {
+            b.on_access(load(16, (0x1000 + k * 977) * 32), true, &mut out);
+        }
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn hits_are_free() {
+        let mut b = TriangelBackend::new(TriangelConfig::default(), 32);
+        let mut out = Vec::new();
+        assert_eq!(b.on_access(load(16, 0x100), false, &mut out), 0);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn dropped_row_never_predicts_or_relearns() {
+        let mut b = TriangelBackend::new(TriangelConfig::default(), 32);
+        let seq = [0x100u64, 0x9a0, 0x233, 0x771];
+        chase(&mut b, 16, &seq, 4);
+        let out = chase(&mut b, 16, &seq, 1);
+        let tags: Vec<u32> = out.iter().map(|&(_, t)| t).collect();
+        assert!(!tags.is_empty());
+        for t in &tags {
+            b.drop_tag(*t);
+        }
+        let again = chase(&mut b, 16, &seq, 4);
+        assert!(again.iter().all(|(_, t)| !tags.contains(t)));
+        let regs = b.tag_registrations();
+        for t in &tags {
+            assert!(!regs.iter().any(|(row, _)| row == t));
+        }
+    }
+
+    #[test]
+    fn training_units_sample_by_decay() {
+        let cfg = TriangelConfig {
+            train_rows: 1,
+            ..TriangelConfig::default()
+        };
+        let mut b = TriangelBackend::new(cfg, 32);
+        let seq = [0x10u64, 0x20, 0x30];
+        // PC 1 owns the single unit and gains confidence.
+        chase(&mut b, 1, &seq, 4);
+        // PC 2 must knock the confidence down before it can train at
+        // all — and until then it predicts nothing.
+        let mut out = Vec::new();
+        for _ in 0..3 {
+            b.on_access(load(2, 0x40 * 32), true, &mut out);
+        }
+        assert!(out.is_empty());
+        // Eventually PC 2 captures the unit and can build its own
+        // confidence.
+        let out = chase(&mut b, 2, &[0x40, 0x50, 0x60], 8);
+        assert!(!out.is_empty(), "PC 2 never captured the training unit");
+    }
+}

@@ -77,6 +77,7 @@ fn drive(manager: &mut SessionManager<MetricsRecorder>, loads: &[TenantLoad]) ->
     manager.handle(Frame::Hello {
         token: String::new(),
         features: 0,
+        backend: None,
         version: hds_serve::WIRE_VERSION,
     });
     for l in loads {
@@ -214,6 +215,7 @@ fn main() {
     manager.handle(Frame::Hello {
         token: String::new(),
         features: 0,
+        backend: None,
         version: hds_serve::WIRE_VERSION,
     });
     for l in &loads {

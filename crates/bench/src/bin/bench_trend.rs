@@ -7,7 +7,10 @@
 //! * `BENCH_net.json` — hostile-network goodput (events per poll) per
 //!   fault class. Goodput falls when retry/recovery takes more polls
 //!   to deliver the same events, so this catches convergence
-//!   regressions in the reliable client.
+//!   regressions in the reliable client;
+//! * `BENCH_prefetch.json` — per-backend session throughput
+//!   (events/s), so a slow table implementation in any prefetch
+//!   backend is caught at the gate.
 //!
 //! The comparison is deliberately coarse — a 20% guardrail against
 //! accidental quadratic blowups, not a microbenchmark — because both
@@ -18,8 +21,8 @@
 //!
 //! Run: `cargo run --release -p hds-bench --bin bench_trend`
 //! (options: `--current <path>`, `--current-net <path>`,
-//! `--baseline-rev <rev>` (default `HEAD`), `--min-ratio <f>`
-//! (default 0.8)).
+//! `--current-prefetch <path>`, `--baseline-rev <rev>` (default
+//! `HEAD`), `--min-ratio <f>` (default 0.8)).
 
 use std::process::Command;
 
@@ -71,6 +74,23 @@ fn goodputs(doc: &Value) -> Vec<(String, f64)> {
     }
     if let Some(hostile) = doc.get("hostile") {
         push_row(hostile);
+    }
+    out
+}
+
+/// `backend label -> events_per_s` out of a BENCH_prefetch.json value.
+fn backend_throughputs(doc: &Value) -> Vec<(String, f64)> {
+    let Some(Value::Arr(rows)) = doc.get("per_backend") else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    for row in rows {
+        let (Some(Value::Str(backend)), Some(Value::F64(eps))) =
+            (row.get("backend"), row.get("events_per_s"))
+        else {
+            continue;
+        };
+        out.push((backend.clone(), *eps));
     }
     out
 }
@@ -150,6 +170,8 @@ fn main() {
         arg_after("--current").unwrap_or_else(|| "results/BENCH_serve.json".to_string());
     let current_net_path =
         arg_after("--current-net").unwrap_or_else(|| "results/BENCH_net.json".to_string());
+    let current_prefetch_path = arg_after("--current-prefetch")
+        .unwrap_or_else(|| "results/BENCH_prefetch.json".to_string());
     let rev = arg_after("--baseline-rev").unwrap_or_else(|| "HEAD".to_string());
     let min_ratio: f64 = arg_after("--min-ratio")
         .map(|f| f.parse().expect("--min-ratio takes a number"))
@@ -199,6 +221,26 @@ fn main() {
             ],
             &goodputs(&current),
             &goodputs(&baseline),
+            min_ratio,
+        );
+    }
+    if let Some((current, baseline)) = load_pair(
+        &current_prefetch_path,
+        "results/BENCH_prefetch.json",
+        &rev,
+        "bench_prefetch",
+    ) {
+        regressions += gate(
+            "backend throughput",
+            &[
+                "backend",
+                "baseline ev/s",
+                "current ev/s",
+                "ratio",
+                "status",
+            ],
+            &backend_throughputs(&current),
+            &backend_throughputs(&baseline),
             min_ratio,
         );
     }

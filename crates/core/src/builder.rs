@@ -2,11 +2,11 @@
 //! construction) and [`EngineConfig`] (validated engine-wide
 //! configuration).
 //!
-//! Historically the crate grew one entry point per capability —
-//! `Executor::run`, `run_observed`, `run_faulted`, plus the matching
-//! `Session::new` / `with_observer` / `with_faults` constructors — a
-//! combinatorial surface that doubled with every new generic. The
-//! builder collapses them: observer and fault injector are optional
+//! Historically the crate grew one entry point per capability — a
+//! one-shot `Executor` plus matching `Session` constructors per
+//! observer/fault combination — a combinatorial surface that doubled
+//! with every new generic (all removed since 0.4). The builder
+//! collapses them: observer and fault injector are optional
 //! attachments with zero-overhead defaults ([`NullObserver`],
 //! [`NoFaults`]), and the run mode is a *typestate* transition — a
 //! builder without a mode has no `build()`/`run()` methods, so "forgot
@@ -30,6 +30,7 @@
 
 use std::fmt;
 
+use hds_backend::BackendSelect;
 use hds_bursty::BurstyConfig;
 use hds_guard::{FaultInjector, FaultPlan, FaultRates, GuardConfig, NoFaults};
 use hds_telemetry::{NullObserver, Observer};
@@ -60,8 +61,8 @@ pub struct NeedsMode;
 #[derive(Clone, Copy, Debug)]
 pub struct Ready(RunMode);
 
-/// Builds a [`Session`] (or drives a whole run): the single,
-/// non-deprecated way to start the optimizer.
+/// Builds a [`Session`] (or drives a whole run): the single way to
+/// start the optimizer.
 ///
 /// Attachments default to the zero-overhead implementations — the
 /// default-generic session (`Observer = NullObserver`,
@@ -171,6 +172,19 @@ impl<M, O: Observer, F: FaultInjector> SessionBuilder<M, O, F> {
     #[must_use]
     pub fn checkpoints(mut self) -> Self {
         self.checkpoints = true;
+        self
+    }
+
+    /// Selects the prefetch backend for optimize-mode runs
+    /// (`OptimizerConfig::backend`). The default,
+    /// [`BackendSelect::DynPref`], is the paper's grammar → DFSM path;
+    /// the alternatives run an online table-driven predictor instead.
+    /// Geometry is validated by [`EngineConfigBuilder::build`]; this
+    /// setter trusts its input like the rest of the raw
+    /// [`OptimizerConfig`] surface.
+    #[must_use]
+    pub fn backend(mut self, backend: BackendSelect) -> Self {
+        self.config.backend = backend;
         self
     }
 }
@@ -340,6 +354,25 @@ pub enum ConfigError {
     /// `PrefetchScheduling::Windowed { degree: 0 }`: queued prefetches
     /// would never issue.
     ZeroWindowedDegree,
+    /// An online backend's prefetch degree is zero: it would train but
+    /// never predict.
+    ZeroBackendDegree {
+        /// The offending backend's label.
+        backend: &'static str,
+    },
+    /// An online backend's table geometry is unusable: a row count that
+    /// is zero or not a power of two (the row index is a hash mask), or
+    /// a zero associativity. The backend constructors would panic on
+    /// these; the builder reports them instead.
+    BadBackendGeometry {
+        /// The offending backend's label.
+        backend: &'static str,
+        /// Which geometry field (`rows`, `assoc`, `train_rows`,
+        /// `table_rows`).
+        field: &'static str,
+        /// The rejected value.
+        value: u32,
+    },
 }
 
 impl fmt::Display for ConfigError {
@@ -365,6 +398,17 @@ impl fmt::Display for ConfigError {
             ConfigError::ZeroWindowedDegree => {
                 write!(f, "windowed prefetch scheduling needs degree >= 1")
             }
+            ConfigError::ZeroBackendDegree { backend } => {
+                write!(f, "{backend} backend needs degree >= 1")
+            }
+            ConfigError::BadBackendGeometry {
+                backend,
+                field,
+                value,
+            } => write!(
+                f,
+                "{backend} backend {field} must be a nonzero power of two, got {value}"
+            ),
         }
     }
 }
@@ -521,6 +565,15 @@ impl EngineConfigBuilder {
         self
     }
 
+    /// Selects the prefetch backend; geometry is validated at
+    /// [`EngineConfigBuilder::build`] with typed [`ConfigError`]s
+    /// instead of the backend constructors' panics.
+    #[must_use]
+    pub fn backend(mut self, backend: BackendSelect) -> Self {
+        self.optimizer.backend = backend;
+        self
+    }
+
     /// Requests deterministic fault injection with the given seed and
     /// rates; read the plan back with [`EngineConfig::fault_plan`].
     #[must_use]
@@ -582,11 +635,55 @@ impl EngineConfigBuilder {
         if let PrefetchScheduling::Windowed { degree: 0 } = optimizer.scheduling {
             return Err(ConfigError::ZeroWindowedDegree);
         }
+        validate_backend(&optimizer.backend)?;
         Ok(EngineConfig {
             optimizer,
             fault_seed: self.fault_seed,
             fault_rates: self.fault_rates,
         })
+    }
+}
+
+/// Checks an online backend's table geometry: row counts must be
+/// nonzero powers of two (row selection is a hash mask), associativity
+/// and prefetch degree must be nonzero.
+fn validate_backend(backend: &BackendSelect) -> Result<(), ConfigError> {
+    fn pow2(backend: &'static str, field: &'static str, value: u32) -> Result<(), ConfigError> {
+        if value == 0 || !value.is_power_of_two() {
+            return Err(ConfigError::BadBackendGeometry {
+                backend,
+                field,
+                value,
+            });
+        }
+        Ok(())
+    }
+    match backend {
+        BackendSelect::DynPref => Ok(()),
+        BackendSelect::Pangloss(c) => {
+            let label = "Pangloss";
+            pow2(label, "rows", c.rows)?;
+            if c.assoc == 0 {
+                return Err(ConfigError::BadBackendGeometry {
+                    backend: label,
+                    field: "assoc",
+                    value: 0,
+                });
+            }
+            if c.degree == 0 {
+                return Err(ConfigError::ZeroBackendDegree { backend: label });
+            }
+            Ok(())
+        }
+        BackendSelect::Triangel(c) => {
+            let label = "Triangel";
+            pow2(label, "train_rows", c.train_rows)?;
+            pow2(label, "table_rows", c.table_rows)?;
+            if c.degree == 0 {
+                return Err(ConfigError::ZeroBackendDegree { backend: label });
+            }
+            Ok(())
+        }
     }
 }
 
@@ -740,6 +837,74 @@ mod tests {
                 .unwrap_err(),
             ConfigError::ZeroWindowedDegree
         );
+    }
+
+    #[test]
+    fn engine_config_validates_backend_geometry() {
+        use hds_backend::{PanglossConfig, TriangelConfig};
+        let err = EngineConfig::builder()
+            .backend(BackendSelect::Pangloss(PanglossConfig {
+                rows: 100,
+                ..PanglossConfig::default()
+            }))
+            .build()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ConfigError::BadBackendGeometry {
+                backend: "Pangloss",
+                field: "rows",
+                value: 100
+            }
+        );
+        assert!(err.to_string().contains("power of two"));
+        let err = EngineConfig::builder()
+            .backend(BackendSelect::Pangloss(PanglossConfig {
+                degree: 0,
+                ..PanglossConfig::default()
+            }))
+            .build()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ConfigError::ZeroBackendDegree {
+                backend: "Pangloss"
+            }
+        );
+        let err = EngineConfig::builder()
+            .backend(BackendSelect::Triangel(TriangelConfig {
+                table_rows: 0,
+                ..TriangelConfig::default()
+            }))
+            .build()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ConfigError::BadBackendGeometry {
+                backend: "Triangel",
+                field: "table_rows",
+                value: 0
+            }
+        );
+        // Defaults for every backend pass.
+        for kind in hds_backend::BackendKind::ALL {
+            assert!(EngineConfig::builder()
+                .backend(BackendSelect::default_for(kind))
+                .build()
+                .is_ok());
+        }
+    }
+
+    #[test]
+    fn session_builder_backend_setter_threads_through() {
+        use hds_backend::PanglossConfig;
+        let select = BackendSelect::Pangloss(PanglossConfig::default());
+        let session = SessionBuilder::new(OptimizerConfig::test_scale())
+            .backend(select)
+            .optimize(PrefetchPolicy::StreamTail)
+            .build();
+        let report = session.finish("backend");
+        assert_eq!(report.mode, "Pangloss");
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Optimizer configuration: run modes, prefetch policies, and the knobs
 //! of every subsystem in one place.
 
+use hds_backend::BackendSelect;
 use hds_bursty::BurstyConfig;
 use hds_dfsm::DfsmConfig;
 use hds_guard::GuardConfig;
@@ -179,6 +180,13 @@ pub struct OptimizerConfig {
     /// behaviorally inert and reported cycle costs are identical to a
     /// build without it.
     pub guard: GuardConfig,
+    /// Which prefetch backend drives `RunMode::Optimize` sessions. The
+    /// default, [`BackendSelect::DynPref`], is the paper's grammar →
+    /// DFSM path and leaves every existing code path untouched; the
+    /// alternative backends (Pangloss, Triangel) replace profiling +
+    /// analysis + matching with an online table-driven predictor (see
+    /// DESIGN.md §14).
+    pub backend: BackendSelect,
 }
 
 impl OptimizerConfig {
@@ -209,6 +217,7 @@ impl OptimizerConfig {
             strategy: CycleStrategy::Dynamic,
             concurrency: AnalysisConcurrency::Inline,
             guard: GuardConfig::disabled(),
+            backend: BackendSelect::DynPref,
         }
     }
 
@@ -234,6 +243,7 @@ impl OptimizerConfig {
             strategy: CycleStrategy::Dynamic,
             concurrency: AnalysisConcurrency::Inline,
             guard: GuardConfig::disabled(),
+            backend: BackendSelect::DynPref,
         }
     }
 }

@@ -2,6 +2,7 @@
 //! profile → analyze → optimize → hibernate cycle, charging cycles for
 //! everything, exactly once per event.
 
+use hds_backend::{AnyBackend, PrefetchBackend};
 use hds_bursty::{BurstyTracer, Mode, Phase, Signal};
 use hds_dfsm::{build as build_dfsm, BuildError, Dfsm, StateId};
 use hds_guard::{CrashPoint, FaultInjector, GuardRuntime, NoFaults, Trip};
@@ -11,7 +12,9 @@ use hds_sequitur::Sequitur;
 use hds_telemetry::events::GuardKind;
 use hds_telemetry::{events as tev, NullObserver, Observer};
 use hds_trace::{DataRef, SymbolTable, TraceBuffer};
-use hds_vulcan::{EditJournal, Event, FrameTracker, Image, Procedure, ProgramSource};
+#[cfg(test)]
+use hds_vulcan::ProgramSource;
+use hds_vulcan::{EditJournal, Event, FrameTracker, Image, Procedure};
 
 use crate::config::{
     AnalysisConcurrency, CycleStrategy, OptimizerConfig, PrefetchPolicy, PrefetchScheduling,
@@ -24,19 +27,6 @@ use crate::pipeline::{
 use crate::report::{CostBreakdown, CycleStats, RunReport, WorkerStats};
 use crate::snapshot::{config_fingerprint, BgState, PendingState, SessionState, Snapshot};
 use crate::SnapshotError;
-
-/// Runs one program under one [`RunMode`]. One-shot: construct, call
-/// [`Executor::run`], read the [`RunReport`].
-#[deprecated(
-    since = "0.4.0",
-    note = "use hds_core::SessionBuilder — e.g. \
-            `SessionBuilder::new(config).procedures(procs).mode(mode).run(&mut program)`"
-)]
-#[derive(Clone, Debug)]
-pub struct Executor {
-    config: OptimizerConfig,
-    mode: RunMode,
-}
 
 /// All mutable state of a run.
 #[derive(Debug)]
@@ -97,87 +87,13 @@ struct RunState {
     /// How to reconstruct the DFSM from `installed` on resume:
     /// 0 = none, 1 = full build, 2 = accuracy-rebuild over survivors.
     dfsm_rebuild: u8,
-}
-
-#[allow(deprecated)]
-impl Executor {
-    /// Creates an executor with the given configuration and mode.
-    #[deprecated(since = "0.4.0", note = "use hds_core::SessionBuilder")]
-    #[must_use]
-    pub fn new(config: OptimizerConfig, mode: RunMode) -> Self {
-        Executor { config, mode }
-    }
-
-    /// Runs `program` to completion. `procedures` describes the static
-    /// image (needed for code injection and the Table 2 "procedures
-    /// modified" statistic); pass the workload's
-    /// `procedures()`.
-    #[deprecated(
-        since = "0.4.0",
-        note = "use `SessionBuilder::new(config).procedures(procs).mode(mode).run(program)`"
-    )]
-    pub fn run<W>(self, program: &mut W, procedures: Vec<Procedure>) -> RunReport
-    where
-        W: ProgramSource + ?Sized,
-    {
-        crate::SessionBuilder::new(self.config)
-            .procedures(procedures)
-            .mode(self.mode)
-            .run(program)
-    }
-
-    /// Like [`Executor::run`], but with an observer receiving every
-    /// telemetry event of the run. Pass `&mut recorder` to keep the
-    /// observer afterwards.
-    #[deprecated(
-        since = "0.4.0",
-        note = "use `SessionBuilder::new(config).procedures(procs).observer(obs).mode(mode)\
-                .run(program)`"
-    )]
-    pub fn run_observed<W, O>(
-        self,
-        program: &mut W,
-        procedures: Vec<Procedure>,
-        obs: O,
-    ) -> RunReport
-    where
-        W: ProgramSource + ?Sized,
-        O: Observer,
-    {
-        crate::SessionBuilder::new(self.config)
-            .procedures(procedures)
-            .observer(obs)
-            .mode(self.mode)
-            .run(program)
-    }
-
-    /// Like [`Executor::run_observed`], but additionally threads a
-    /// [`FaultInjector`] through the session — the chaos-testing entry
-    /// point. Pass `&mut plan` to read the fault counts afterwards.
-    #[deprecated(
-        since = "0.4.0",
-        note = "use `SessionBuilder::new(config).procedures(procs).observer(obs)\
-                .faults(faults).mode(mode).run(program)`"
-    )]
-    pub fn run_faulted<W, O, F>(
-        self,
-        program: &mut W,
-        procedures: Vec<Procedure>,
-        obs: O,
-        faults: F,
-    ) -> RunReport
-    where
-        W: ProgramSource + ?Sized,
-        O: Observer,
-        F: FaultInjector,
-    {
-        crate::SessionBuilder::new(self.config)
-            .procedures(procedures)
-            .observer(obs)
-            .faults(faults)
-            .mode(self.mode)
-            .run(program)
-    }
+    /// The online table-driven prefetch backend, when
+    /// `OptimizerConfig::backend` selects one other than the default
+    /// grammar → DFSM path. `None` for `BackendSelect::DynPref`, so the
+    /// paper's pipeline runs exactly as before — the alternative
+    /// backends replace profiling, analysis, and prefix matching with
+    /// per-access table lookups (DESIGN.md §14).
+    online: Option<AnyBackend>,
 }
 
 /// An incremental (streaming) optimizer session: feed execution events
@@ -185,9 +101,9 @@ impl Executor {
 /// accessors, and produce the final [`RunReport`] with
 /// [`Session::finish`].
 ///
-/// [`Executor::run`] is a thin driver over this type; embedders that
-/// produce events from a live system (rather than a [`ProgramSource`])
-/// use `Session` directly.
+/// [`crate::SessionBuilder::run`] is a thin driver over this type;
+/// embedders that produce events from a live system (rather than a
+/// [`ProgramSource`]) use `Session` directly.
 ///
 /// # Observability
 ///
@@ -244,61 +160,9 @@ pub struct Session<O: Observer = NullObserver, F: FaultInjector = NoFaults> {
     faults: F,
 }
 
-impl Session {
-    /// Creates a session over a program image described by `procedures`,
-    /// with no observer attached.
-    #[deprecated(
-        since = "0.4.0",
-        note = "use `SessionBuilder::new(config).procedures(procs).mode(mode).build()`"
-    )]
-    #[must_use]
-    pub fn new(config: OptimizerConfig, mode: RunMode, procedures: Vec<Procedure>) -> Self {
-        Session::construct(config, mode, procedures, NullObserver, NoFaults)
-    }
-}
-
-impl<O: Observer> Session<O> {
-    /// Creates a session with an attached observer. All telemetry
-    /// events of the run are delivered to `obs`; pass `&mut observer`
-    /// to retain access to it after [`Session::finish`].
-    #[deprecated(
-        since = "0.4.0",
-        note = "use `SessionBuilder::new(config).procedures(procs).observer(obs).mode(mode)\
-                .build()`"
-    )]
-    #[must_use]
-    pub fn with_observer(
-        config: OptimizerConfig,
-        mode: RunMode,
-        procedures: Vec<Procedure>,
-        obs: O,
-    ) -> Self {
-        Session::construct(config, mode, procedures, obs, NoFaults)
-    }
-}
-
 impl<O: Observer, F: FaultInjector> Session<O, F> {
-    /// Creates a session with an attached observer *and* fault injector.
-    /// The default [`NoFaults`] injector monomorphizes every injection
-    /// site away; chaos tests pass an `hds_guard::FaultPlan`.
-    #[deprecated(
-        since = "0.4.0",
-        note = "use `SessionBuilder::new(config).procedures(procs).observer(obs)\
-                .faults(faults).mode(mode).build()`"
-    )]
-    #[must_use]
-    pub fn with_faults(
-        config: OptimizerConfig,
-        mode: RunMode,
-        procedures: Vec<Procedure>,
-        obs: O,
-        faults: F,
-    ) -> Self {
-        Session::construct(config, mode, procedures, obs, faults)
-    }
-
-    /// The one real constructor; every public entry (the deprecated
-    /// shims and [`crate::SessionBuilder`]) funnels here.
+    /// The one real constructor; [`crate::SessionBuilder`] (the sole
+    /// public entry point) funnels here.
     pub(crate) fn construct(
         config: OptimizerConfig,
         mode: RunMode,
@@ -306,15 +170,34 @@ impl<O: Observer, F: FaultInjector> Session<O, F> {
         obs: O,
         faults: F,
     ) -> Self {
-        let guard = config
+        let mut guard = config
             .guard
             .is_enabled()
             .then(|| GuardRuntime::new(config.guard.clone()));
+        // An online backend replaces the grammar → DFSM pipeline for
+        // optimizing sessions; `None` (the default Dyn-pref selection)
+        // leaves every existing path untouched.
+        let online = if mode.optimizes().is_some() {
+            AnyBackend::from_select(&config.backend, config.hierarchy.l1.block_size)
+        } else {
+            None
+        };
+        // Online backends register their table rows as guard "streams"
+        // once, up front: accuracy windows then judge rows exactly like
+        // DFSM stream ids, and `drop_tag` mirrors partial deopt.
+        if let (Some(g), Some(b)) = (guard.as_mut(), online.as_ref()) {
+            if g.tracks_accuracy() {
+                g.begin_install(b.tag_registrations());
+            }
+        }
         // The worker thread only exists in background mode — inline
         // sessions (the default) spawn nothing, so the zero-overhead
-        // claims of the observer/fault generics are untouched.
-        let bg = (config.concurrency == AnalysisConcurrency::Background && mode.analyzes())
-            .then(|| BackgroundAnalysis::spawn(config.clone(), mode.optimizes().is_some()));
+        // claims of the observer/fault generics are untouched. Online
+        // backends never analyze, so they spawn no worker either.
+        let bg = (config.concurrency == AnalysisConcurrency::Background
+            && mode.analyzes()
+            && online.is_none())
+        .then(|| BackgroundAnalysis::spawn(config.clone(), mode.optimizes().is_some()));
         let st = RunState {
             cycles: 0,
             breakdown: CostBreakdown::default(),
@@ -344,6 +227,7 @@ impl<O: Observer, F: FaultInjector> Session<O, F> {
             latest_snapshot: None,
             checkpoints: false,
             dfsm_rebuild: 0,
+            online,
         };
         let mut session = Session {
             config,
@@ -571,6 +455,39 @@ impl<O: Observer, F: FaultInjector> Session<O, F> {
             bg
         });
         faults.restore_state(state.fault_state);
+        // Online backend: rebuild the same backend the config selects
+        // and restore its table image word-for-word. A snapshot captured
+        // under a different backend (or none) is rejected — resuming it
+        // would silently diverge.
+        let online = if mode.optimizes().is_some() {
+            AnyBackend::from_select(&config.backend, config.hierarchy.l1.block_size)
+        } else {
+            None
+        };
+        let online = match (online, state.online) {
+            (None, None) => None,
+            (Some(mut b), Some((kind, words))) => {
+                if b.kind().wire_code() != kind {
+                    return Err(SnapshotError::Malformed(format!(
+                        "online backend kind {kind} does not match session backend {}",
+                        b.kind().wire_code()
+                    )));
+                }
+                b.restore_words(&words)
+                    .map_err(|e| SnapshotError::Malformed(format!("online backend state: {e}")))?;
+                Some(b)
+            }
+            (Some(_), None) => {
+                return Err(SnapshotError::Malformed(
+                    "snapshot has no online backend state for an online session".into(),
+                ))
+            }
+            (None, Some(_)) => {
+                return Err(SnapshotError::Malformed(
+                    "snapshot carries online backend state for a dfsm session".into(),
+                ))
+            }
+        };
         let st = RunState {
             cycles: state.cycles,
             breakdown: state.breakdown,
@@ -604,6 +521,7 @@ impl<O: Observer, F: FaultInjector> Session<O, F> {
             latest_snapshot: Some(snapshot.clone()),
             checkpoints: true,
             dfsm_rebuild: state.dfsm_rebuild,
+            online,
         };
         let mut session = Session {
             config,
@@ -744,12 +662,16 @@ impl<O: Observer, F: FaultInjector> Session<O, F> {
             self.obs
                 .span(&tev::SpanEvent::end(kind, self.st.cycles).with_args(opt_cycle, 0));
         }
-        let mode_label = match self.mode {
-            RunMode::Baseline => "Baseline".to_string(),
-            RunMode::ChecksOnly => "Base".to_string(),
-            RunMode::Profile => "Prof".to_string(),
-            RunMode::Analyze => "Hds".to_string(),
-            RunMode::Optimize(p) => p.label().to_string(),
+        let mode_label = match (self.mode, self.st.online.as_ref()) {
+            // An online backend's report is labeled with its backend,
+            // not the prefetch policy: the policy's tail-vs-sequential
+            // distinction belongs to the DFSM path.
+            (RunMode::Optimize(_), Some(b)) => b.kind().label().to_string(),
+            (RunMode::Baseline, _) => "Baseline".to_string(),
+            (RunMode::ChecksOnly, _) => "Base".to_string(),
+            (RunMode::Profile, _) => "Prof".to_string(),
+            (RunMode::Analyze, _) => "Hds".to_string(),
+            (RunMode::Optimize(p), _) => p.label().to_string(),
         };
         let st = self.st;
         let worker = st
@@ -999,9 +921,20 @@ fn do_check<O: Observer, F: FaultInjector>(
                             st.installed.clear();
                             if let Some(g) = &mut st.guard {
                                 // New profiling cycle: fresh trip
-                                // latches, no installation to track.
+                                // latches. DFSM sessions have no
+                                // installation to track until the next
+                                // install; an online backend's table
+                                // persists across cycles (it is
+                                // hardware-like state, never
+                                // de-optimized), so its surviving rows
+                                // stay registered.
                                 g.begin_cycle();
-                                g.begin_install(std::iter::empty::<(u32, u64)>());
+                                match st.online.as_ref() {
+                                    Some(b) if g.tracks_accuracy() => {
+                                        g.begin_install(b.tag_registrations());
+                                    }
+                                    _ => g.begin_install(std::iter::empty::<(u32, u64)>()),
+                                }
                             }
                             st.tracer.wake();
                             if O::ENABLED {
@@ -1145,6 +1078,10 @@ fn export_session_state<F: FaultInjector>(st: &RunState, faults: &F) -> SessionS
         events_consumed: st.events_consumed,
         snapshots: st.snapshots,
         fault_state: faults.snapshot_state(),
+        online: st
+            .online
+            .as_ref()
+            .map(|b| (b.kind().wire_code(), b.export_words())),
     }
 }
 
@@ -1165,8 +1102,14 @@ fn do_access<O: Observer, F: FaultInjector>(
         st.cycles += res.cycles;
         st.breakdown.memory += res.cycles;
 
-        // Profiling: record the reference if a burst is live.
-        if mode.records() && st.tracer.should_record() && st.buffer.in_burst() {
+        // Profiling: record the reference if a burst is live. Online
+        // backends learn from the access stream directly and never
+        // record a profile.
+        if st.online.is_none()
+            && mode.records()
+            && st.tracer.should_record()
+            && st.buffer.in_burst()
+        {
             if F::ENABLED && faults.truncate_trace() {
                 // Profiling-buffer overflow: the profile collected so
                 // far this phase is lost; recording resumes at the next
@@ -1210,6 +1153,30 @@ fn do_access<O: Observer, F: FaultInjector>(
                     }
                 }
             }
+        }
+
+        // Online table-driven backend (Pangloss / Triangel): a single
+        // lookup-and-train step per access, replacing prefix matching.
+        // Table operations are charged at the same per-check rate as an
+        // injected DFSM site; issued prefetches ride the existing
+        // tagged-issue path so guard accuracy windows and telemetry see
+        // them exactly like Dyn-pref streams.
+        if let Some(mut b) = st.online.take() {
+            let policy = mode.optimizes().unwrap_or(PrefetchPolicy::None);
+            let missed = !matches!(res.outcome, hds_memsim::AccessOutcome::L1Hit);
+            let mut out = Vec::new();
+            let ops = b.on_access(r, missed, &mut out);
+            let c = cost.dfsm_check_cycles * ops;
+            st.cycles += c;
+            st.breakdown.matching += c;
+            if policy != PrefetchPolicy::None {
+                for (addr, tag) in out {
+                    issue_prefetch(config, st, obs, addr, tag);
+                }
+            }
+            st.online = Some(b);
+            drain_outcomes(st, obs);
+            return;
         }
 
         // Injected prefix-matching code (only in optimize modes, only at
@@ -1309,6 +1276,15 @@ fn finish_awake<O: Observer, F: FaultInjector>(
 ) {
     {
         let cost = config.hierarchy.cost;
+        if st.online.is_some() {
+            // Online backends never profile or analyze: the awake phase
+            // boundary just closes an (empty) optimization-cycle record
+            // so cycle counting — and the traced-reference
+            // reconciliation built on it — stays uniform across
+            // backends.
+            degraded_cycle(st, obs, 0, 0);
+            return;
+        }
         if mode.analyzes() && st.bg.is_some() {
             // Concurrent analysis: hand the trace to the worker and
             // keep executing; the result installs at its ready point
@@ -1889,7 +1865,49 @@ fn evaluate_accuracy<O: Observer, F: FaultInjector>(
     obs: &mut O,
     faults: &mut F,
 ) {
-    if st.dfsm.is_none() || !st.guard.as_ref().is_some_and(GuardRuntime::tracks_accuracy) {
+    if !st.guard.as_ref().is_some_and(GuardRuntime::tracks_accuracy) {
+        return;
+    }
+    // Online backends: a bad window surgically disables the offending
+    // table rows (the backend-side analogue of dropping a stream) —
+    // the guard denylists the row id so it can never re-register, and
+    // `drop_tag` clears the row and masks it dead so the backend stops
+    // predicting from it. Persistent inaccuracy therefore drives the
+    // backend toward inertness — the guard-driven fallback.
+    if st.online.is_some() {
+        drain_outcomes(st, obs);
+        let bad = match &mut st.guard {
+            Some(g) => g.evaluate_window(),
+            None => return,
+        };
+        if bad.is_empty() {
+            return;
+        }
+        let bad_ids: Vec<u32> = bad.iter().map(|b| b.stream_id).collect();
+        if let Some(b) = st.online.as_mut() {
+            for id in &bad_ids {
+                b.drop_tag(*id);
+            }
+        }
+        st.partial_deopts += bad.len() as u64;
+        if let Some(g) = &mut st.guard {
+            for id in &bad_ids {
+                g.drop_stream(*id);
+            }
+        }
+        if O::ENABLED {
+            for id in &bad_ids {
+                obs.deoptimize(&tev::Deoptimize {
+                    at_cycle: st.cycles,
+                    opt_cycle: st.cycle_stats.len() as u64,
+                    partial: true,
+                    stream_id: Some(*id),
+                });
+            }
+        }
+        return;
+    }
+    if st.dfsm.is_none() {
         return;
     }
     // Attribute outcomes resolved since the last access before judging.
@@ -2660,59 +2678,86 @@ mod tests {
         assert!(report.cycles.iter().all(|c| c.dfsm_states == 0));
     }
 
-    /// The deprecated construction shims (`Executor::new`,
-    /// `Session::new`/`with_observer`/`with_faults`) must stay
-    /// behaviorally identical to their [`SessionBuilder`] replacements
-    /// until removal. This test is their *only* remaining internal
-    /// exercise; everything else in the workspace goes through the
-    /// builder.
+    /// Online backend sessions (Pangloss / Triangel) are deterministic:
+    /// two identical runs produce identical reports, and the reports
+    /// are labeled with the backend, not the prefetch policy.
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_match_builder() {
-        let mode = RunMode::Optimize(PrefetchPolicy::StreamTail);
-        let reference = {
-            let (mut p, procs) = looping_program(40);
-            execute(tiny_config(), mode, &mut p, procs)
-        };
-
-        // One-shot executor shims.
-        let (mut p, procs) = looping_program(40);
-        let via_run = Executor::new(tiny_config(), mode).run(&mut p, procs);
-        assert_eq!(via_run, reference);
-
-        let (mut p, procs) = looping_program(40);
-        let mut rec = MetricsRecorder::new();
-        let via_observed = Executor::new(tiny_config(), mode).run_observed(&mut p, procs, &mut rec);
-        assert_eq!(via_observed, reference);
-        assert!(rec.traced_refs_total() > 0);
-
-        let (mut p, procs) = looping_program(40);
-        let via_faulted =
-            Executor::new(tiny_config(), mode).run_faulted(&mut p, procs, NullObserver, NoFaults);
-        assert_eq!(via_faulted, reference);
-
-        // Streaming session shims.
-        let (mut p, procs) = looping_program(40);
-        let mut session = Session::new(tiny_config(), mode, procs);
-        while let Some(event) = p.next_event() {
-            session.on_event(event);
+    fn online_backends_run_deterministically() {
+        for select in [
+            hds_backend::BackendSelect::Pangloss(hds_backend::PanglossConfig::default()),
+            hds_backend::BackendSelect::Triangel(hds_backend::TriangelConfig::default()),
+        ] {
+            let mut config = tiny_config();
+            config.backend = select;
+            let mode = RunMode::Optimize(PrefetchPolicy::StreamTail);
+            let (mut p, procs) = big_stream_program(2_000);
+            let a = execute(config.clone(), mode, &mut p, procs);
+            let (mut p, procs) = big_stream_program(2_000);
+            let b = execute(config, mode, &mut p, procs);
+            assert_eq!(a, b);
+            assert_eq!(a.mode, select.kind().label());
+            // The online path never profiles or analyzes.
+            assert_eq!(a.breakdown.recording, 0);
+            assert_eq!(a.breakdown.analysis, 0);
+            assert!(a.cycles.iter().all(|c| c.traced_refs == 0));
         }
-        assert_eq!(session.finish("loop"), reference);
+    }
 
-        let (mut p, procs) = looping_program(40);
-        let mut rec = MetricsRecorder::new();
-        let mut session = Session::with_observer(tiny_config(), mode, procs, &mut rec);
-        while let Some(event) = p.next_event() {
-            session.on_event(event);
-        }
-        assert_eq!(session.finish("loop"), reference);
+    /// An online backend issues prefetches on a repeating miss stream
+    /// and its table state survives snapshot/resume bit-identically.
+    #[test]
+    fn online_backend_snapshot_resumes_bit_identically() {
+        for select in [
+            hds_backend::BackendSelect::Pangloss(hds_backend::PanglossConfig::default()),
+            hds_backend::BackendSelect::Triangel(hds_backend::TriangelConfig::default()),
+        ] {
+            let mut config = tiny_config();
+            config.backend = select;
+            let mode = RunMode::Optimize(PrefetchPolicy::StreamTail);
 
-        let (mut p, procs) = looping_program(40);
-        let mut session = Session::with_faults(tiny_config(), mode, procs, NullObserver, NoFaults);
-        while let Some(event) = p.next_event() {
-            session.on_event(event);
+            // Reference: one uninterrupted run.
+            let (mut p, procs) = big_stream_program(4_000);
+            let mut reference = crate::SessionBuilder::new(config.clone())
+                .procedures(procs)
+                .mode(mode)
+                .build();
+            reference.enable_checkpoints();
+            let mut events = Vec::new();
+            while let Some(e) = p.next_event() {
+                events.push(e.clone());
+                reference.on_event(e);
+            }
+            let snap = reference.latest_snapshot().cloned();
+            let consumed = reference.events_consumed();
+            let ref_report = reference.finish("ref");
+            assert!(ref_report.mem.prefetches_issued > 0, "{select:?}");
+
+            // Resume from the last phase-boundary snapshot and replay
+            // the tail of the event stream: the final report matches
+            // the uninterrupted run exactly.
+            let snap = snap.expect("checkpointing session captured a snapshot");
+            let (_, procs) = big_stream_program(4_000);
+            let state = crate::snapshot::SessionState::from_snapshot(
+                &snap,
+                config_fingerprint(&config, mode),
+            )
+            .unwrap();
+            let mut resumed = Session::<NullObserver, NoFaults>::resume_from(
+                config,
+                mode,
+                procs,
+                &snap,
+                NullObserver,
+                NoFaults,
+            )
+            .unwrap();
+            assert!(state.online.is_some());
+            for e in events.into_iter().skip(state.events_consumed as usize) {
+                resumed.on_event(e);
+            }
+            assert_eq!(resumed.events_consumed(), consumed);
+            assert_eq!(resumed.finish("ref"), ref_report, "{select:?}");
         }
-        assert_eq!(session.finish("loop"), reference);
     }
 
     #[test]

@@ -67,11 +67,17 @@ pub use config::{
     AnalysisConcurrency, CycleStrategy, OptimizerConfig, PrefetchPolicy, PrefetchScheduling,
     RunMode,
 };
-#[allow(deprecated)]
-pub use executor::Executor;
 pub use executor::Session;
 pub use report::{CostBreakdown, CycleStats, RunReport, WorkerStats};
 pub use snapshot::{config_fingerprint, Snapshot, SnapshotError};
+
+// Prefetch backends: the pluggable `PrefetchBackend` trait and its
+// implementations live in `hds_backend`; re-exported so embedders
+// selecting `OptimizerConfig::backend` need only this crate.
+pub use hds_backend::{
+    self as backend, AnyBackend, BackendKind, BackendSelect, PanglossConfig, PrefetchBackend,
+    TriangelConfig,
+};
 
 // Observability: the observer contract lives in `hds_telemetry`;
 // re-exported here so embedders wiring a `Session` observer need only

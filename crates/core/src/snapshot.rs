@@ -292,6 +292,11 @@ pub(crate) struct SessionState {
     pub events_consumed: u64,
     pub snapshots: u64,
     pub fault_state: u64,
+    /// Online prefetch backend state, when one is selected: the
+    /// backend-kind wire code (so resume can reject a snapshot captured
+    /// under a different backend) plus its full table image as the
+    /// canonical word export (`PrefetchBackend::export_words`).
+    pub online: Option<(u8, Vec<u64>)>,
 }
 
 // --- serialization helpers (hand-built: the vendored serde shim has no
@@ -845,6 +850,16 @@ impl SessionState {
             ("events_consumed", u(self.events_consumed)),
             ("snapshots", u(self.snapshots)),
             ("fault_state", u(self.fault_state)),
+            (
+                "online",
+                match &self.online {
+                    None => Value::Null,
+                    Some((kind, words)) => obj(vec![
+                        ("kind", u(u64::from(*kind))),
+                        ("words", arr(words.iter().map(|&w| u(w)).collect())),
+                    ]),
+                },
+            ),
         ]);
         Snapshot::encode_value(&payload)
     }
@@ -909,6 +924,15 @@ impl SessionState {
                 },
             }),
         };
+        let online = match v.get("online") {
+            None | Some(Value::Null) => None,
+            Some(o) => {
+                let kind = u8::try_from(u64_field(o, "kind")?)
+                    .map_err(|_| malformed("online.kind: out of range"))?;
+                let words = u64s(field(o, "words")?, "online.words")?;
+                Some((kind, words))
+            }
+        };
         let dfsm_state = u32::try_from(u64_field(&v, "dfsm_state")?)
             .map_err(|_| malformed("dfsm_state: out of range"))?;
         let dfsm_rebuild = u8::try_from(u64_field(&v, "dfsm_rebuild")?)
@@ -934,6 +958,7 @@ impl SessionState {
             events_consumed: u64_field(&v, "events_consumed")?,
             snapshots: u64_field(&v, "snapshots")?,
             fault_state: u64_field(&v, "fault_state")?,
+            online,
         })
     }
 }
@@ -1054,6 +1079,7 @@ mod tests {
             events_consumed: 987_654,
             snapshots: 6,
             fault_state: 0x1234_5678_9ABC_DEF0,
+            online: Some((1, vec![3, 0xFFFF_FFFF_FFFF_FFFF, 42])),
         }
     }
 

@@ -22,6 +22,7 @@
 //! retry schedule deterministic under the chaos harness; a real
 //! deployment calls `step` on a ticker.
 
+use hds_backend::BackendKind;
 use hds_core::Observer;
 use hds_telemetry::events as tev;
 use hds_vulcan::{Event, Procedure};
@@ -50,6 +51,10 @@ pub struct ClientConfig {
     /// genuinely wrong token fails persistently and still surfaces as
     /// [`ClientError::Rejected`].
     pub auth_retries: u32,
+    /// Prefetch backend to request in `Hello`. `None` (the default)
+    /// omits the negotiation byte entirely — the server's per-tenant
+    /// policy (A/B split or default) then decides.
+    pub backend: Option<BackendKind>,
 }
 
 impl Default for ClientConfig {
@@ -62,6 +67,7 @@ impl Default for ClientConfig {
             backoff_cap: 32,
             goodbye: true,
             auth_retries: 2,
+            backend: None,
         }
     }
 }
@@ -323,6 +329,7 @@ impl<T: Transport, O: Observer> ClientSession<T, O> {
                 version: WIRE_VERSION,
                 token: self.cfg.token.clone(),
                 features: FEATURE_RELIABLE,
+                backend: self.cfg.backend,
             },
             Pending::Open(i) => Frame::OpenSession {
                 tenant: self.flows[i].name.clone(),

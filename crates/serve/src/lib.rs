@@ -47,6 +47,7 @@ pub use client::{
     ClientConfig, ClientError, ClientSession, ClientStats, ClientStatus, TenantReport,
 };
 pub use harness::{run_chaos_session, ChaosHarnessError, ChaosOutcome};
+pub use hds_backend::BackendKind;
 pub use manager::{chunk_cost, tenant_key, ServeConfig, ServeConfigError, SessionManager};
 pub use report::{ServeReport, ShardStats, TenantOutcome};
 pub use transport::{loopback, LoopbackTransport, Transport, TransportError};

@@ -35,6 +35,7 @@
 
 use std::collections::BTreeMap;
 
+use hds_backend::{fnv1a64, BackendKind, BackendSelect};
 use hds_core::{
     NullObserver, Observer, OptimizerConfig, RunMode, RunReport, Session, SessionBuilder, Snapshot,
 };
@@ -141,6 +142,8 @@ pub struct ServeConfig {
     auth_token: Option<String>,
     optimizer: OptimizerConfig,
     mode: RunMode,
+    default_backend: BackendKind,
+    ab_split: Option<(u64, Vec<(BackendKind, u32)>)>,
 }
 
 impl ServeConfig {
@@ -155,8 +158,10 @@ impl ServeConfig {
             evict_on_pressure: true,
             chaos: None,
             auth_token: None,
+            default_backend: optimizer.backend.kind(),
             optimizer,
             mode,
+            ab_split: None,
         }
     }
 
@@ -207,6 +212,29 @@ impl ServeConfig {
         self
     }
 
+    /// Sets the prefetch backend tenants get when neither the `Hello`
+    /// handshake nor an A/B split picked one. Defaults to the kind of
+    /// the optimizer config's own [`OptimizerConfig::backend`], so a
+    /// plain `ServeConfig::new` serves exactly what the config says.
+    #[must_use]
+    pub fn with_backend(mut self, backend: BackendKind) -> Self {
+        self.default_backend = backend;
+        self
+    }
+
+    /// Arms a seeded online A/B split over prefetch backends: each
+    /// tenant without an explicit `Hello`-requested backend is
+    /// assigned the arm at `fnv1a64(seed ‖ tenant) % total_weight`.
+    /// The draw depends only on `seed` and the tenant name, so the
+    /// split reproduces the exact per-tenant assignment across
+    /// reruns, shard counts, and eviction/rehydration. Arms with zero
+    /// total weight disarm the split.
+    #[must_use]
+    pub fn with_ab_split(mut self, seed: u64, arms: Vec<(BackendKind, u32)>) -> Self {
+        self.ab_split = Some((seed, arms));
+        self
+    }
+
     /// The shard count.
     #[must_use]
     pub fn shards(&self) -> u32 {
@@ -214,10 +242,34 @@ impl ServeConfig {
     }
 }
 
+/// Deterministic A/B arm draw: hash `seed ‖ tenant`, reduce mod the
+/// total weight, and walk the arms. Stable across reruns because the
+/// inputs are only the seed and the tenant name.
+fn ab_arm(seed: u64, arms: &[(BackendKind, u32)], tenant: &str) -> Option<BackendKind> {
+    let total: u64 = arms.iter().map(|&(_, w)| u64::from(w)).sum();
+    if total == 0 {
+        return None;
+    }
+    let mut buf = seed.to_le_bytes().to_vec();
+    buf.extend_from_slice(tenant.as_bytes());
+    let mut draw = fnv1a64(&buf) % total;
+    for &(kind, w) in arms {
+        if draw < u64::from(w) {
+            return Some(kind);
+        }
+        draw -= u64::from(w);
+    }
+    None
+}
+
 /// Per-tenant control-plane state (the workers never touch this).
 struct TenantControl {
     shard: u32,
     key: u64,
+    /// The prefetch backend resolved for this tenant at open time
+    /// (request > A/B arm > default); every later rehydration reuses
+    /// it, which is what keeps evict→resume lineages bit-identical.
+    backend: BackendKind,
     live: bool,
     finished: bool,
     queued_chunks: u64,
@@ -237,6 +289,7 @@ enum ShardMsg {
     Open {
         tenant: String,
         procedures: Vec<Procedure>,
+        backend: BackendKind,
     },
     Chunk {
         tenant: String,
@@ -300,6 +353,7 @@ struct LiveSession {
 /// A tenant as its owning shard sees it.
 struct TenantState {
     procedures: Vec<Procedure>,
+    backend: BackendKind,
     live: Option<LiveSession>,
     cold: Option<ColdState>,
     crash_attempts: u32,
@@ -318,6 +372,7 @@ struct Shard {
 #[derive(Default)]
 struct Tally {
     opened: u64,
+    opened_by_backend: [u64; 3],
     evicted: u64,
     resumed: u64,
     replayed_events: u64,
@@ -343,6 +398,9 @@ pub struct SessionManager<O: Observer = NullObserver> {
     global_queued_bytes: u64,
     hello_done: bool,
     reliable: bool,
+    /// Backend the connection asked for in `Hello`, overriding both
+    /// the A/B split and the serve default for tenants it opens.
+    requested_backend: Option<BackendKind>,
     draining: bool,
     tally: Tally,
     outcomes: Vec<TenantOutcome>,
@@ -406,6 +464,7 @@ impl<O: Observer> SessionManager<O> {
             global_queued_bytes: 0,
             hello_done: false,
             reliable: false,
+            requested_backend: None,
             draining: false,
             tally: Tally::default(),
             outcomes: Vec::new(),
@@ -437,6 +496,15 @@ impl<O: Observer> SessionManager<O> {
     /// Consumes the manager and returns its observer.
     pub fn into_observer(self) -> O {
         self.obs
+    }
+
+    /// The prefetch backend a known tenant was assigned at open time
+    /// (request > A/B arm > default), or `None` for a tenant never
+    /// opened. Stable for the tenant's whole lifetime, including
+    /// across eviction and rehydration.
+    #[must_use]
+    pub fn backend_of(&self, tenant: &str) -> Option<BackendKind> {
+        self.tenants.get(tenant).map(|c| c.backend)
     }
 
     /// Which shard a tenant lands on (first ring point at or after the
@@ -472,8 +540,11 @@ impl<O: Observer> SessionManager<O> {
         }
         let responses = match frame {
             Frame::Hello {
-                token, features, ..
-            } => self.hello(&token, features),
+                token,
+                features,
+                backend,
+                ..
+            } => self.hello(&token, features, backend),
             _ if !self.hello_done => {
                 self.reject(RejectCode::HandshakeRequired, "handshake required")
             }
@@ -587,10 +658,14 @@ impl<O: Observer> SessionManager<O> {
         }
     }
 
-    /// Handles `Hello`: constant-time token check, then feature
-    /// negotiation. Re-`Hello` on a live manager is how a reconnecting
-    /// client re-authenticates, so this never fails on repetition.
-    fn hello(&mut self, token: &str, features: u8) -> Vec<Frame> {
+    /// Handles `Hello`: constant-time token check, then feature and
+    /// backend negotiation. Re-`Hello` on a live manager is how a
+    /// reconnecting client re-authenticates, so this never fails on
+    /// repetition. A requested backend (any kind that survived wire
+    /// decoding) is always granted and echoed back in the `HelloAck`;
+    /// clients that omit the byte get `None` back and the serve-side
+    /// policy (A/B split or default) decides per tenant at open time.
+    fn hello(&mut self, token: &str, features: u8, backend: Option<BackendKind>) -> Vec<Frame> {
         // Version validity is enforced at decode time.
         if let Some(secret) = self.cfg.auth_token.clone() {
             if !constant_time_token_eq(token, &secret) {
@@ -602,9 +677,26 @@ impl<O: Observer> SessionManager<O> {
         }
         self.hello_done = true;
         self.reliable = features & FEATURE_RELIABLE != 0;
+        self.requested_backend = backend;
         vec![Frame::HelloAck {
             version: WIRE_VERSION,
+            backend,
         }]
+    }
+
+    /// Resolves the prefetch backend for a tenant about to open:
+    /// `Hello`-requested backend first, then the seeded A/B arm, then
+    /// the configured default.
+    fn backend_for(&self, tenant: &str) -> BackendKind {
+        if let Some(requested) = self.requested_backend {
+            return requested;
+        }
+        if let Some((seed, arms)) = &self.cfg.ab_split {
+            if let Some(kind) = ab_arm(*seed, arms, tenant) {
+                return kind;
+            }
+        }
+        self.cfg.default_backend
     }
 
     /// Handles `Goodbye`: hibernates every live unfinished tenant (the
@@ -732,11 +824,13 @@ impl<O: Observer> SessionManager<O> {
         if let Err(busy) = self.admit_live(&tenant, key, shard) {
             return busy;
         }
+        let backend = self.backend_for(&tenant);
         self.tenants.insert(
             tenant.clone(),
             TenantControl {
                 shard,
                 key,
+                backend,
                 live: true,
                 finished: false,
                 queued_chunks: 0,
@@ -748,14 +842,20 @@ impl<O: Observer> SessionManager<O> {
         );
         self.live_count += 1;
         self.tally.opened += 1;
+        self.tally.opened_by_backend[backend.wire_code() as usize] += 1;
         if O::ENABLED {
-            self.obs
-                .serve_session_opened(&tev::ServeSessionOpened { tenant: key, shard });
+            self.obs.serve_session_opened(&tev::ServeSessionOpened {
+                tenant: key,
+                shard,
+                backend: backend.wire_code(),
+            });
         }
         let ack = self.reliable.then(|| tenant.clone());
-        self.shards[shard as usize]
-            .mailbox
-            .push(ShardMsg::Open { tenant, procedures });
+        self.shards[shard as usize].mailbox.push(ShardMsg::Open {
+            tenant,
+            procedures,
+            backend,
+        });
         match ack {
             // Reliable clients need opens confirmed (the ack's seq is
             // the resume point: 0, nothing applied yet); legacy
@@ -1053,6 +1153,7 @@ impl<O: Observer> SessionManager<O> {
         ServeReport {
             shards: self.cfg.shards,
             opened: self.tally.opened,
+            opened_by_backend: self.tally.opened_by_backend,
             evicted: self.tally.evicted,
             resumed: self.tally.resumed,
             replayed_events: self.tally.replayed_events,
@@ -1086,12 +1187,29 @@ impl<O: Observer> SessionManager<O> {
     }
 }
 
+/// The optimizer config a tenant session actually runs with: the
+/// shared config as-is when the tenant's backend kind already matches
+/// it (so an explicitly tuned [`BackendSelect`] survives), otherwise a
+/// clone with the backend swapped for that kind's default selection.
+/// Deterministic in `(optimizer, kind)`, so build and every later
+/// rehydration derive the identical config.
+fn select_for(optimizer: &OptimizerConfig, kind: BackendKind) -> OptimizerConfig {
+    if optimizer.backend.kind() == kind {
+        optimizer.clone()
+    } else {
+        let mut cfg = optimizer.clone();
+        cfg.backend = BackendSelect::default_for(kind);
+        cfg
+    }
+}
+
 fn build_session(
     optimizer: &OptimizerConfig,
     mode: RunMode,
     procedures: Vec<Procedure>,
+    backend: BackendKind,
 ) -> Session {
-    SessionBuilder::new(optimizer.clone())
+    SessionBuilder::new(select_for(optimizer, backend))
         .procedures(procedures)
         .checkpoints()
         .mode(mode)
@@ -1144,16 +1262,18 @@ fn ensure_live(
         tail: Vec::new(),
     });
     let session = match cold.snapshot {
-        Some(snap) => SessionBuilder::new(optimizer.clone())
+        Some(snap) => SessionBuilder::new(select_for(optimizer, state.backend))
             .procedures(state.procedures.clone())
             .checkpoints()
             .mode(mode)
             .resume(&snap)
             // A snapshot this manager captured always resumes (same
-            // config, mode, procedures); degrade to a fresh build
-            // rather than panicking if it somehow does not.
-            .unwrap_or_else(|_| build_session(optimizer, mode, state.procedures.clone())),
-        None => build_session(optimizer, mode, state.procedures.clone()),
+            // config, mode, procedures, backend); degrade to a fresh
+            // build rather than panicking if it somehow does not.
+            .unwrap_or_else(|_| {
+                build_session(optimizer, mode, state.procedures.clone(), state.backend)
+            }),
+        None => build_session(optimizer, mode, state.procedures.clone(), state.backend),
     };
     let mut live = LiveSession {
         snaps: session.snapshots_taken(),
@@ -1176,12 +1296,17 @@ impl Shard {
         let mut events_n = 0u64;
         for msg in msgs {
             match msg {
-                ShardMsg::Open { tenant, procedures } => {
-                    let session = build_session(optimizer, mode, procedures.clone());
+                ShardMsg::Open {
+                    tenant,
+                    procedures,
+                    backend,
+                } => {
+                    let session = build_session(optimizer, mode, procedures.clone(), backend);
                     self.sessions.insert(
                         tenant,
                         TenantState {
                             procedures,
+                            backend,
                             live: Some(LiveSession {
                                 snaps: session.snapshots_taken(),
                                 session,

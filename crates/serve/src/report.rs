@@ -38,6 +38,11 @@ pub struct ServeReport {
     pub shards: u32,
     /// Sessions opened.
     pub opened: u64,
+    /// Sessions opened per prefetch backend, indexed by backend wire
+    /// code (0 = Dyn-pref, 1 = Pangloss, 2 = Triangel). Sums to
+    /// `opened`; with a seeded A/B split armed these are the arm
+    /// shares.
+    pub opened_by_backend: [u64; 3],
     /// Sessions hibernated (LRU pressure or explicit `Evict`).
     pub evicted: u64,
     /// Sessions rehydrated.
@@ -104,6 +109,12 @@ impl ServeReport {
     pub fn reconciles(&self, rec: &MetricsRecorder) -> Result<(), &'static str> {
         if rec.serve_sessions_opened() != self.opened {
             return Err("opened");
+        }
+        if rec.serve_sessions_opened_by_backend() != self.opened_by_backend {
+            return Err("opened_by_backend");
+        }
+        if self.opened_by_backend.iter().sum::<u64>() != self.opened {
+            return Err("opened_by_backend_sum");
         }
         if rec.serve_sessions_evicted() != self.evicted {
             return Err("evicted");

@@ -305,12 +305,14 @@ mod tests {
         server
             .send(&Frame::HelloAck {
                 version: WIRE_VERSION,
+                backend: None,
             })
             .unwrap();
         assert_eq!(
             client.recv().unwrap(),
             Some(Frame::HelloAck {
-                version: WIRE_VERSION
+                version: WIRE_VERSION,
+                backend: None,
             })
         );
     }

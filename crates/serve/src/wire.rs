@@ -26,6 +26,7 @@
 //! `tests/wire.rs` against truncation and single-byte corruption.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
+use hds_backend::BackendKind;
 use hds_trace::codec::{get_varint, put_varint, unzigzag, zigzag, CodecError};
 use hds_trace::{AccessKind, Addr, DataRef, Pc};
 use hds_vulcan::{Event, ProcId, Procedure};
@@ -298,6 +299,12 @@ pub enum Frame {
         /// Feature bits ([`FEATURE_RELIABLE`], …). Unknown bits are
         /// ignored by the server.
         features: u8,
+        /// Requested prefetch backend for this connection's tenants.
+        /// Encoded as an optional trailing byte: `None` (a pre-backend
+        /// v2 client) omits it entirely, so old frames decode
+        /// unchanged, and the server falls back to its configured
+        /// default / A/B split.
+        backend: Option<BackendKind>,
     },
     /// Registers a tenant and its simulated binary's procedures.
     OpenSession {
@@ -347,6 +354,11 @@ pub enum Frame {
     HelloAck {
         /// The server's protocol version.
         version: u8,
+        /// The backend the server granted this connection (the
+        /// requested one when valid, else the server's resolution).
+        /// Omitted on the wire when `None`, mirroring [`Frame::Hello`],
+        /// so pre-backend clients parse the ack unchanged.
+        backend: Option<BackendKind>,
     },
     /// The tenant's final [`hds_core::RunReport`], serialized as JSON,
     /// plus the code image digest for bit-identity checks.
@@ -701,6 +713,7 @@ impl Frame {
             version: WIRE_VERSION,
             token: String::new(),
             features: 0,
+            backend: None,
         }
     }
 
@@ -767,12 +780,19 @@ impl Frame {
                 version,
                 token,
                 features,
+                backend,
             } => {
                 body.put_u8(K_HELLO);
                 body.put_slice(MAGIC);
                 body.put_u8(*version);
                 put_string(&mut body, token);
                 body.put_u8(*features);
+                // Optional trailing byte: absent entirely for `None`,
+                // so the encoding of a backend-less Hello is
+                // byte-identical to the pre-backend wire format.
+                if let Some(b) = backend {
+                    body.put_u8(b.wire_code());
+                }
             }
             Frame::OpenSession { tenant, procedures } => {
                 body.put_u8(K_OPEN);
@@ -805,10 +825,13 @@ impl Frame {
                 body.put_u8(K_INTROSPECT);
                 put_string(&mut body, tenant);
             }
-            Frame::HelloAck { version } => {
+            Frame::HelloAck { version, backend } => {
                 body.put_u8(K_HELLO_ACK);
                 body.put_slice(MAGIC);
                 body.put_u8(*version);
+                if let Some(b) = backend {
+                    body.put_u8(b.wire_code());
+                }
             }
             Frame::Report {
                 tenant,
@@ -944,6 +967,18 @@ fn body_checksum(body: &[u8]) -> u32 {
     h
 }
 
+/// Reads the optional trailing backend byte of a handshake frame:
+/// `None` when the frame ends first (a pre-backend v2 peer), a typed
+/// error on an unknown code.
+fn get_backend_kind(buf: &mut Bytes) -> Result<Option<BackendKind>, FrameError> {
+    if !buf.has_remaining() {
+        return Ok(None);
+    }
+    BackendKind::from_wire_code(buf.get_u8())
+        .map(Some)
+        .ok_or(FrameError::BadPayload("unknown backend code"))
+}
+
 /// Decodes a frame body (the bytes after the length prefix).
 fn decode_body(buf: &mut Bytes) -> Result<Frame, FrameError> {
     if !buf.has_remaining() {
@@ -970,13 +1005,16 @@ fn decode_body(buf: &mut Bytes) -> Result<Frame, FrameError> {
                     return Err(FrameError::Truncated);
                 }
                 let features = buf.get_u8();
+                let backend = get_backend_kind(buf)?;
                 Frame::Hello {
                     version,
                     token,
                     features,
+                    backend,
                 }
             } else {
-                Frame::HelloAck { version }
+                let backend = get_backend_kind(buf)?;
+                Frame::HelloAck { version, backend }
             }
         }
         K_OPEN => {
@@ -1118,6 +1156,13 @@ mod tests {
                 version: WIRE_VERSION,
                 token: "s3cret".into(),
                 features: FEATURE_RELIABLE,
+                backend: None,
+            },
+            Frame::Hello {
+                version: WIRE_VERSION,
+                token: "s3cret".into(),
+                features: FEATURE_RELIABLE,
+                backend: Some(BackendKind::Triangel),
             },
             Frame::OpenSession {
                 tenant: "tenant-a".into(),
@@ -1150,6 +1195,11 @@ mod tests {
             },
             Frame::HelloAck {
                 version: WIRE_VERSION,
+                backend: None,
+            },
+            Frame::HelloAck {
+                version: WIRE_VERSION,
+                backend: Some(BackendKind::Pangloss),
             },
             Frame::Report {
                 tenant: "tenant-a".into(),
@@ -1315,9 +1365,11 @@ mod tests {
         let mut tags: Vec<u8> = frames.iter().map(Frame::kind_tag).collect();
         tags.sort_unstable();
         tags.dedup();
-        // sample_frames carries two Introspects (empty + named filter)
-        // and two Hellos (plain + authenticated).
-        assert_eq!(tags.len(), frames.len() - 2);
+        // sample_frames carries two Introspects (empty + named
+        // filter), three Hellos (plain, authenticated, and
+        // backend-requesting), and two HelloAcks (with and without a
+        // granted backend).
+        assert_eq!(tags.len(), frames.len() - 4);
         assert!(
             Frame::Introspect {
                 tenant: String::new()

@@ -426,6 +426,7 @@ fn auth_failure_leaves_a_net_instant() {
         version: hds_serve::WIRE_VERSION,
         token: "wrong".into(),
         features: 0,
+        backend: None,
     });
     assert!(matches!(
         responses.as_slice(),

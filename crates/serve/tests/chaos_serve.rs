@@ -42,6 +42,7 @@ fn run_chaos(seed: u64, max_crashes: u32, loads: &[TenantLoad]) -> ServeReport {
     manager.handle(Frame::Hello {
         token: String::new(),
         features: 0,
+        backend: None,
         version: hds_serve::WIRE_VERSION,
     });
     for l in loads {

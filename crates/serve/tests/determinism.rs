@@ -4,7 +4,7 @@
 //! standalone checkpointed `SessionBuilder` session — and every serve
 //! counter reconciles exactly with emitted telemetry.
 
-use hds_core::{OptimizerConfig, PrefetchPolicy, RunMode, RunReport};
+use hds_core::{BackendKind, BackendSelect, OptimizerConfig, PrefetchPolicy, RunMode, RunReport};
 use hds_guard::ServeBudgets;
 use hds_serve::load::{generate, standalone_reference, LoadConfig, TenantLoad};
 use hds_serve::{loopback, serve, Frame, ServeConfig, ServeConfigError, SessionManager, Transport};
@@ -57,10 +57,12 @@ fn drive(
         manager.handle(Frame::Hello {
             token: String::new(),
             features: 0,
+            backend: None,
             version: hds_serve::WIRE_VERSION
         }),
         vec![Frame::HelloAck {
-            version: hds_serve::WIRE_VERSION
+            version: hds_serve::WIRE_VERSION,
+            backend: None,
         }]
     );
     for l in loads {
@@ -143,6 +145,153 @@ fn served_reports_match_standalone_across_shard_counts() {
     }
 }
 
+/// Every non-default backend serves bit-identically to a standalone
+/// run of the same backend, across shard counts — including a
+/// schedule that force-evicts and rehydrates every tenant each round,
+/// which exercises the backend-state snapshot/restore path.
+#[test]
+fn per_backend_served_reports_match_standalone_across_shard_counts() {
+    let loads = load();
+    for kind in [BackendKind::Pangloss, BackendKind::Triangel] {
+        let mut reference_cfg = tiny_config();
+        reference_cfg.backend = BackendSelect::default_for(kind);
+        let refs: BTreeMap<String, (RunReport, u64)> = loads
+            .iter()
+            .map(|l| {
+                (
+                    l.name.clone(),
+                    standalone_reference(&reference_cfg, mode(), l),
+                )
+            })
+            .collect();
+        for (shards, evict_each_round) in [(1u32, false), (2, true), (8, true)] {
+            let cfg = ServeConfig::new(tiny_config(), mode())
+                .with_shards(shards)
+                .with_workers(4)
+                .with_backend(kind);
+            let mut manager = SessionManager::with_observer(cfg, MetricsRecorder::new()).unwrap();
+            drive(&mut manager, &loads, evict_each_round);
+            manager.pump();
+            let report = manager.report();
+            assert_eq!(
+                report.opened_by_backend[kind.wire_code() as usize],
+                loads.len() as u64,
+                "every tenant should open on {kind:?}"
+            );
+            if evict_each_round {
+                assert!(report.evicted >= loads.len() as u64);
+            }
+            for outcome in &report.outcomes {
+                let (expected_report, expected_digest) = &refs[&outcome.tenant];
+                assert_eq!(
+                    &outcome.report, expected_report,
+                    "{kind:?} report diverged for {} at {shards} shards",
+                    outcome.tenant
+                );
+                assert_eq!(outcome.image_digest, *expected_digest);
+                assert_eq!(outcome.report.mode, kind.label());
+            }
+            report
+                .reconciles(manager.observer())
+                .expect("telemetry reconciles");
+        }
+    }
+}
+
+/// A seeded A/B split hands out the exact same per-tenant arm on every
+/// rerun and at every shard count, and each tenant's report is
+/// bit-identical to a standalone run of its assigned backend.
+#[test]
+fn seeded_ab_split_reproduces_assignment_and_reports() {
+    let loads = load();
+    let arms = vec![
+        (BackendKind::DynPref, 2u32),
+        (BackendKind::Pangloss, 1),
+        (BackendKind::Triangel, 1),
+    ];
+    let assignments_at = |shards: u32| -> (BTreeMap<String, BackendKind>, [u64; 3]) {
+        let cfg = ServeConfig::new(tiny_config(), mode())
+            .with_shards(shards)
+            .with_workers(4)
+            .with_ab_split(7, arms.clone());
+        let mut manager = SessionManager::with_observer(cfg, MetricsRecorder::new()).unwrap();
+        drive(&mut manager, &loads, false);
+        manager.pump();
+        let report = manager.report();
+        report
+            .reconciles(manager.observer())
+            .expect("telemetry reconciles");
+        // Every tenant's report is bit-identical to a standalone run
+        // of the backend its arm selected.
+        for outcome in &report.outcomes {
+            let kind = manager.backend_of(&outcome.tenant).expect("tenant opened");
+            let mut reference_cfg = tiny_config();
+            reference_cfg.backend = BackendSelect::default_for(kind);
+            let load = loads.iter().find(|l| l.name == outcome.tenant).unwrap();
+            let (expected_report, expected_digest) =
+                standalone_reference(&reference_cfg, mode(), load);
+            assert_eq!(outcome.report, expected_report);
+            assert_eq!(outcome.image_digest, expected_digest);
+        }
+        (
+            loads
+                .iter()
+                .map(|l| (l.name.clone(), manager.backend_of(&l.name).unwrap()))
+                .collect(),
+            report.opened_by_backend,
+        )
+    };
+    let (first, shares) = assignments_at(1);
+    assert_eq!(shares.iter().sum::<u64>(), loads.len() as u64);
+    assert!(
+        shares.iter().filter(|&&n| n > 0).count() >= 2,
+        "split degenerated to one arm: {shares:?}"
+    );
+    // Same seed → same assignment, independent of sharding and rerun.
+    for shards in [1u32, 2, 8] {
+        let (again, shares_again) = assignments_at(shards);
+        assert_eq!(first, again, "assignment changed at {shards} shards");
+        assert_eq!(shares, shares_again);
+    }
+}
+
+/// A backend requested in `Hello` wins over both the A/B split and
+/// the default, and the grant is echoed in the `HelloAck`.
+#[test]
+fn hello_requested_backend_overrides_split() {
+    let loads = load();
+    let cfg = ServeConfig::new(tiny_config(), mode()).with_ab_split(
+        7,
+        vec![(BackendKind::DynPref, 1), (BackendKind::Pangloss, 1)],
+    );
+    let mut manager = SessionManager::with_observer(cfg, MetricsRecorder::new()).unwrap();
+    let responses = manager.handle(Frame::Hello {
+        token: String::new(),
+        features: 0,
+        backend: Some(BackendKind::Triangel),
+        version: hds_serve::WIRE_VERSION,
+    });
+    assert_eq!(
+        responses,
+        vec![Frame::HelloAck {
+            version: hds_serve::WIRE_VERSION,
+            backend: Some(BackendKind::Triangel),
+        }]
+    );
+    for l in &loads {
+        manager.handle(Frame::OpenSession {
+            tenant: l.name.clone(),
+            procedures: l.procedures.clone(),
+        });
+        assert_eq!(manager.backend_of(&l.name), Some(BackendKind::Triangel));
+    }
+    let report = manager.report();
+    assert_eq!(
+        report.opened_by_backend[BackendKind::Triangel.wire_code() as usize],
+        loads.len() as u64
+    );
+}
+
 #[test]
 fn forced_eviction_of_every_tenant_is_bit_identical() {
     let loads = load();
@@ -196,6 +345,7 @@ fn busy_when_eviction_disabled() {
     manager.handle(Frame::Hello {
         token: String::new(),
         features: 0,
+        backend: None,
         version: hds_serve::WIRE_VERSION,
     });
     assert!(manager
@@ -229,6 +379,7 @@ fn breached_queue_budgets_shed_typed_frames() {
     manager.handle(Frame::Hello {
         token: String::new(),
         features: 0,
+        backend: None,
         version: hds_serve::WIRE_VERSION,
     });
     manager.handle(Frame::OpenSession {
@@ -301,6 +452,7 @@ fn end_to_end_over_loopback_transport() {
         .send(&Frame::Hello {
             token: String::new(),
             features: 0,
+            backend: None,
             version: hds_serve::WIRE_VERSION,
         })
         .unwrap();
@@ -341,7 +493,8 @@ fn end_to_end_over_loopback_transport() {
     assert_eq!(
         client.recv().unwrap(),
         Some(Frame::HelloAck {
-            version: hds_serve::WIRE_VERSION
+            version: hds_serve::WIRE_VERSION,
+            backend: None,
         })
     );
     let mut seen = 0;

@@ -40,6 +40,7 @@ fn introspect_round_trips_on_loopback_without_flushing() {
         .send(&Frame::Hello {
             token: String::new(),
             features: 0,
+            backend: None,
             version: hds_serve::WIRE_VERSION,
         })
         .unwrap();
@@ -69,7 +70,8 @@ fn introspect_round_trips_on_loopback_without_flushing() {
     assert_eq!(
         client.recv().unwrap(),
         Some(Frame::HelloAck {
-            version: hds_serve::WIRE_VERSION
+            version: hds_serve::WIRE_VERSION,
+            backend: None,
         })
     );
     let Some(Frame::Stats {
@@ -188,6 +190,7 @@ fn serve_spans_nest_and_chaos_leaves_a_keyed_crash_instant() {
         manager.handle(Frame::Hello {
             token: String::new(),
             features: 0,
+            backend: None,
             version: hds_serve::WIRE_VERSION,
         });
         for l in &loads {

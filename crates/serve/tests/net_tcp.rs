@@ -59,6 +59,7 @@ fn tcp_round_trip_matches_standalone() {
         .send(&Frame::Hello {
             token: String::new(),
             features: 0,
+            backend: None,
             version: hds_serve::WIRE_VERSION,
         })
         .unwrap();
@@ -89,7 +90,8 @@ fn tcp_round_trip_matches_standalone() {
     assert_eq!(
         client.recv().unwrap(),
         Some(Frame::HelloAck {
-            version: hds_serve::WIRE_VERSION
+            version: hds_serve::WIRE_VERSION,
+            backend: None,
         })
     );
     let mut seen = 0;
@@ -138,6 +140,7 @@ fn stats_round_trip_over_tcp() {
         .send(&Frame::Hello {
             token: String::new(),
             features: 0,
+            backend: None,
             version: hds_serve::WIRE_VERSION,
         })
         .unwrap();
@@ -168,7 +171,8 @@ fn stats_round_trip_over_tcp() {
     assert_eq!(
         client.recv().unwrap(),
         Some(Frame::HelloAck {
-            version: hds_serve::WIRE_VERSION
+            version: hds_serve::WIRE_VERSION,
+            backend: None,
         })
     );
     let Some(Frame::Stats {
@@ -206,6 +210,7 @@ fn bad_auth_over_tcp_is_a_typed_reject_never_a_hang() {
         .send(&Frame::Hello {
             token: "wrong".into(),
             features: 0,
+            backend: None,
             version: hds_serve::WIRE_VERSION,
         })
         .unwrap();
@@ -250,7 +255,8 @@ fn read_deadline_sends_keepalive_pings() {
     assert_eq!(
         client.recv().unwrap(),
         Some(Frame::HelloAck {
-            version: hds_serve::WIRE_VERSION
+            version: hds_serve::WIRE_VERSION,
+            backend: None,
         })
     );
     // Go quiet; the server's read deadline must produce Pings.

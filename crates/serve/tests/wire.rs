@@ -3,6 +3,7 @@
 //! [`FrameError`]s, never panics; foreign handshakes are rejected
 //! cleanly.
 
+use hds_backend::BackendKind;
 use hds_serve::wire::{decode_stream, MAGIC};
 use hds_serve::{Frame, FrameError, RejectCode, ShardSummary, TenantStats, WIRE_VERSION};
 use hds_telemetry::events::ServeBudgetKind;
@@ -106,19 +107,31 @@ fn shard_summaries_strategy() -> impl Strategy<Value = Vec<ShardSummary>> {
     })
 }
 
+fn backend_strategy() -> impl Strategy<Value = Option<BackendKind>> {
+    prop_oneof![
+        Just(None),
+        Just(Some(BackendKind::DynPref)),
+        Just(Some(BackendKind::Pangloss)),
+        Just(Some(BackendKind::Triangel)),
+    ]
+}
+
 fn frame_strategy() -> impl Strategy<Value = Frame> {
     prop_oneof![
         (
             prop_oneof![Just(String::new()), tenant_strategy()],
-            any::<u8>()
+            any::<u8>(),
+            backend_strategy()
         )
-            .prop_map(|(token, features)| Frame::Hello {
+            .prop_map(|(token, features, backend)| Frame::Hello {
                 version: WIRE_VERSION,
                 token,
                 features,
+                backend,
             }),
-        Just(Frame::HelloAck {
-            version: WIRE_VERSION
+        backend_strategy().prop_map(|backend| Frame::HelloAck {
+            version: WIRE_VERSION,
+            backend,
         }),
         (tenant_strategy(), procedures_strategy())
             .prop_map(|(tenant, procedures)| Frame::OpenSession { tenant, procedures }),
@@ -273,6 +286,82 @@ fn version_mismatch_hello_is_rejected_cleanly() {
     assert!(matches!(
         Frame::decode(&damaged),
         Err(FrameError::Damaged { .. })
+    ));
+}
+
+/// A pre-backend (v2) peer's `Hello` carries no trailing backend
+/// byte. Stripping the byte from a modern encoding — and fixing the
+/// length prefix and checksum, exactly the bytes an old encoder
+/// produced — must decode as `backend: None`, not an error.
+#[test]
+fn hello_without_backend_byte_decodes_as_none() {
+    for frame in [
+        Frame::Hello {
+            version: WIRE_VERSION,
+            token: "s3cret".into(),
+            features: 1,
+            backend: Some(BackendKind::Pangloss),
+        },
+        Frame::HelloAck {
+            version: WIRE_VERSION,
+            backend: Some(BackendKind::Triangel),
+        },
+    ] {
+        let with = frame.encode().to_vec();
+        let mut without = with.clone();
+        without.remove(with.len() - 5); // the backend byte sits just before the checksum
+        let len = u32::from_le_bytes(without[..4].try_into().unwrap()) - 1;
+        without[..4].copy_from_slice(&len.to_le_bytes());
+        reseal(&mut without);
+        let decoded = Frame::decode(&without).expect("backend-less frame still decodes");
+        match decoded {
+            Frame::Hello { backend, .. } | Frame::HelloAck { backend, .. } => {
+                assert_eq!(backend, None);
+            }
+            other => panic!("decoded as {other:?}"),
+        }
+        // And the byte really is optional on the way out too: encoding
+        // with `None` yields exactly the stripped (legacy) bytes.
+        let none = match frame {
+            Frame::Hello {
+                version,
+                token,
+                features,
+                ..
+            } => Frame::Hello {
+                version,
+                token,
+                features,
+                backend: None,
+            },
+            Frame::HelloAck { version, .. } => Frame::HelloAck {
+                version,
+                backend: None,
+            },
+            _ => unreachable!(),
+        };
+        assert_eq!(none.encode().to_vec(), without);
+    }
+}
+
+/// A backend code outside the known set is a typed payload error, not
+/// a panic and not a silent default.
+#[test]
+fn unknown_backend_code_is_a_typed_error() {
+    let mut blob = Frame::Hello {
+        version: WIRE_VERSION,
+        token: "s3cret".into(),
+        features: 0,
+        backend: Some(BackendKind::DynPref),
+    }
+    .encode()
+    .to_vec();
+    let backend_at = blob.len() - 5;
+    blob[backend_at] = 7;
+    reseal(&mut blob);
+    assert!(matches!(
+        Frame::decode(&blob),
+        Err(FrameError::BadPayload(_))
     ));
 }
 

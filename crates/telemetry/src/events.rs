@@ -397,6 +397,11 @@ pub struct ServeSessionOpened {
     pub tenant: u64,
     /// Shard the tenant consistently hashes onto.
     pub shard: u32,
+    /// Wire code of the prefetch backend the tenant was assigned
+    /// (0 = Dyn-pref, 1 = Pangloss, 2 = Triangel), whether requested
+    /// in `Hello`, drawn from a seeded A/B split, or the serve
+    /// default.
+    pub backend: u8,
 }
 
 /// A cold tenant's live session was evicted: its state was captured as

@@ -500,6 +500,7 @@ mod tests {
         sink.serve_session_opened(&ServeSessionOpened {
             tenant: 0xbeef,
             shard: 2,
+            backend: 1,
         });
         sink.serve_shed(&ServeShed {
             tenant: 0xbeef,

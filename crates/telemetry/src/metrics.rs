@@ -179,6 +179,7 @@ pub struct MetricsRecorder {
     recovery_gave_up: u64,
     recovery_backoff_cycles: u64,
     serve_opened: u64,
+    serve_opened_by_backend: [u64; 3], // indexed by backend wire code
     serve_evicted: u64,
     serve_resumed: u64,
     serve_busy: u64,
@@ -390,6 +391,15 @@ impl MetricsRecorder {
         self.serve_opened
     }
 
+    /// Tenant sessions opened per prefetch backend, indexed by backend
+    /// wire code (0 = Dyn-pref, 1 = Pangloss, 2 = Triangel).
+    /// Reconciles with `ServeReport::opened_by_backend`; the entries
+    /// sum to [`MetricsRecorder::serve_sessions_opened`].
+    #[must_use]
+    pub fn serve_sessions_opened_by_backend(&self) -> [u64; 3] {
+        self.serve_opened_by_backend
+    }
+
     /// Cold tenant sessions evicted to a snapshot plus replay tail.
     /// Reconciles with `ServeReport::evicted`.
     #[must_use]
@@ -568,6 +578,21 @@ impl MetricsRecorder {
             "Tenant sessions admitted and opened by the serving layer.",
             self.serve_opened,
         );
+        let _ = writeln!(
+            out,
+            "# HELP hds_serve_sessions_opened_by_backend_total Tenant sessions opened per prefetch backend."
+        );
+        let _ = writeln!(
+            out,
+            "# TYPE hds_serve_sessions_opened_by_backend_total counter"
+        );
+        for (code, label) in [(0, "dyn-pref"), (1, "pangloss"), (2, "triangel")] {
+            let _ = writeln!(
+                out,
+                "hds_serve_sessions_opened_by_backend_total{{backend=\"{}\"}} {}",
+                label, self.serve_opened_by_backend[code]
+            );
+        }
         counter(
             &mut out,
             "hds_serve_sessions_evicted_total",
@@ -850,8 +875,11 @@ impl Observer for MetricsRecorder {
         self.recovery_gave_up += 1;
     }
 
-    fn serve_session_opened(&mut self, _event: &ServeSessionOpened) {
+    fn serve_session_opened(&mut self, event: &ServeSessionOpened) {
         self.serve_opened += 1;
+        if let Some(slot) = self.serve_opened_by_backend.get_mut(event.backend as usize) {
+            *slot += 1;
+        }
     }
 
     fn serve_session_evicted(&mut self, _event: &ServeSessionEvicted) {
@@ -1076,10 +1104,12 @@ mod tests {
         m.serve_session_opened(&ServeSessionOpened {
             tenant: 1,
             shard: 0,
+            backend: 0,
         });
         m.serve_session_opened(&ServeSessionOpened {
             tenant: 2,
             shard: 1,
+            backend: 1,
         });
         m.serve_session_evicted(&ServeSessionEvicted {
             tenant: 1,
@@ -1125,6 +1155,7 @@ mod tests {
             events: 0,
         });
         assert_eq!(m.serve_sessions_opened(), 2);
+        assert_eq!(m.serve_sessions_opened_by_backend(), [1, 1, 0]);
         assert_eq!(m.serve_sessions_evicted(), 1);
         assert_eq!(m.serve_sessions_resumed(), 1);
         assert_eq!(m.serve_replayed_events(), 3);
@@ -1137,6 +1168,7 @@ mod tests {
         assert_eq!(m.serve_per_shard()[&0], (4, 37));
         let text = m.render_prometheus();
         assert!(text.contains("hds_serve_sessions_opened_total 2"));
+        assert!(text.contains("hds_serve_sessions_opened_by_backend_total{backend=\"pangloss\"} 1"));
         assert!(text.contains("hds_serve_shed_total{budget=\"tenant_queue\"} 1"));
         assert!(text.contains("hds_serve_shed_total{budget=\"live_sessions\"} 0"));
         assert!(text.contains("hds_serve_busy_total 1"));

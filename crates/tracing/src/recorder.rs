@@ -441,7 +441,12 @@ impl Observer for FlightRecorder {
     }
 
     fn serve_session_opened(&mut self, event: &tev::ServeSessionOpened) {
-        self.serve_event("serve_open", event.shard, event.tenant, 0);
+        self.serve_event(
+            "serve_open",
+            event.shard,
+            event.tenant,
+            u64::from(event.backend),
+        );
     }
 
     fn serve_session_evicted(&mut self, event: &tev::ServeSessionEvicted) {

@@ -18,6 +18,7 @@
 //! | [`hotstream`] | `hds-hotstream` | hot-data-stream analyses |
 //! | [`dfsm`] | `hds-dfsm` | prefix-matching DFSM (build, match, codegen) |
 //! | [`memsim`] | `hds-memsim` | cache hierarchy, cost model, prefetcher baselines |
+//! | [`backend`] | `hds-backend` | pluggable prefetch backends (Dyn-pref, Pangloss, Triangel) |
 //! | [`vulcan`] | `hds-vulcan` | simulated binary image + dynamic editing |
 //! | [`bursty`] | `hds-bursty` | bursty tracing counters and phases |
 //! | [`workloads`] | `hds-workloads` | the six benchmark models |
@@ -53,6 +54,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use hds_backend as backend;
 pub use hds_bursty as bursty;
 pub use hds_core as optimizer;
 pub use hds_dfsm as dfsm;
