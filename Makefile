@@ -3,7 +3,7 @@
 
 CARGO ?= cargo
 
-.PHONY: verify build test clippy bench-smoke telemetry-demo chaos-smoke bench-par chaos-crash bench-recover serve-smoke trace-smoke chaos-net bench-prefetch bench-trend
+.PHONY: verify build test clippy bench-smoke telemetry-demo chaos-smoke bench-par chaos-crash bench-recover serve-smoke trace-smoke chaos-net bench-prefetch chaos-store bench-store bench-trend
 
 ## Tier-1 gate: release build, full test suite, clippy clean, chaos smoke,
 ## parallel-runner smoke (bit-identical + speedup + worker-lag stats),
@@ -13,10 +13,12 @@ CARGO ?= cargo
 ## flight-recorder smoke (tracing is bit-identical and crash dumps
 ## land), the hostile-network sweep (every fault schedule converges
 ## byte-identically), the prefetch-backend benchmark (per-backend
-## determinism + seeded A/B reproducibility), and the bench-trend gate
-## (serving throughput, chaos goodput, and backend throughput vs the
-## committed baselines).
-verify: build test clippy chaos-smoke bench-par chaos-crash bench-recover serve-smoke trace-smoke chaos-net bench-prefetch bench-trend
+## determinism + seeded A/B reproducibility), the durable-store chaos
+## sweep (kill/bit-rot/full-disk schedules recover byte-identically),
+## the durable-store benchmark, and the bench-trend gate (serving
+## throughput, chaos goodput, backend throughput, and store throughput
+## vs the committed baselines).
+verify: build test clippy chaos-smoke bench-par chaos-crash bench-recover serve-smoke trace-smoke chaos-net bench-prefetch chaos-store bench-store bench-trend
 
 build:
 	$(CARGO) build --release
@@ -85,12 +87,28 @@ chaos-net:
 bench-prefetch:
 	$(CARGO) run --release -p hds-bench --bin bench_prefetch -- --test-scale
 
+## Durable-store chaos sweep: 100+ seeded schedules — process kills
+## swept across every mutating storage op (then a seeded page-cache
+## crash and reopen), bit rot on segments and the manifest, focused and
+## hostile fault scripts, and serve-path spill/load round trips on a
+## hostile disk. Zero panics; every schedule recovers byte-identically
+## or restarts from scratch with the restart attributed in telemetry.
+chaos-store:
+	$(CARGO) run --release -p hds-bench --bin chaos_store -- --test-scale
+
+## Durable-store benchmark: spill/load/recovery-scan/compaction
+## throughput and compaction write amplification. Writes
+## results/BENCH_store.json.
+bench-store:
+	$(CARGO) run --release -p hds-bench --bin bench_store -- --test-scale
+
 ## Bench-trend gate: the freshly written results/BENCH_serve.json,
-## results/BENCH_net.json, and results/BENCH_prefetch.json (serve-smoke,
-## chaos-net, and bench-prefetch run first under `make verify`) against
-## the committed baselines — fails if serving throughput, chaos goodput,
-## or backend throughput fell below 80% of HEAD's; skips with a note
-## when either side is missing.
+## results/BENCH_net.json, results/BENCH_prefetch.json, and
+## results/BENCH_store.json (serve-smoke, chaos-net, bench-prefetch,
+## and bench-store run first under `make verify`) against the
+## committed baselines — fails if serving throughput, chaos goodput,
+## backend throughput, or store throughput fell below 80% of HEAD's;
+## skips with a note when either side is missing.
 bench-trend:
 	$(CARGO) run --release -p hds-bench --bin bench_trend
 

@@ -185,6 +185,17 @@ pub trait Buf {
         self.copy_to_slice(&mut raw);
         u32::from_le_bytes(raw)
     }
+
+    /// Consumes and returns a little-endian `u64`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than eight bytes remain.
+    fn get_u64_le(&mut self) -> u64 {
+        let mut raw = [0u8; 8];
+        self.copy_to_slice(&mut raw);
+        u64::from_le_bytes(raw)
+    }
 }
 
 impl Buf for Bytes {
@@ -221,6 +232,11 @@ pub trait BufMut {
 
     /// Appends a little-endian `u32`.
     fn put_u32_le(&mut self, n: u32) {
+        self.put_slice(&n.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    fn put_u64_le(&mut self, n: u64) {
         self.put_slice(&n.to_le_bytes());
     }
 }

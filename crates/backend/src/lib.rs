@@ -50,16 +50,9 @@ pub use pangloss::{PanglossBackend, PanglossConfig};
 pub use triangel::{TriangelBackend, TriangelConfig};
 
 /// FNV-1a 64-bit hash, the deterministic index/identity hash every
-/// backend table uses.
-#[must_use]
-pub fn fnv1a64(bytes: &[u8]) -> u64 {
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    for &b in bytes {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
-}
+/// backend table uses. Re-exported from the workspace-wide
+/// implementation in [`hds_trace::hash`].
+pub use hds_trace::hash::fnv1a64;
 
 /// Which prefetch backend a session runs — the identity that is
 /// negotiated on the wire, recorded in snapshots, and counted in

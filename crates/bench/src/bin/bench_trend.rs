@@ -10,7 +10,11 @@
 //!   regressions in the reliable client;
 //! * `BENCH_prefetch.json` — per-backend session throughput
 //!   (events/s), so a slow table implementation in any prefetch
-//!   backend is caught at the gate.
+//!   backend is caught at the gate;
+//! * `BENCH_store.json` — durable-store operation throughput
+//!   (spills, loads, recovery scans, compactions per second), so a
+//!   slow framing/checksum/index path in the cold-tenant store is
+//!   caught at the gate.
 //!
 //! The comparison is deliberately coarse — a 20% guardrail against
 //! accidental quadratic blowups, not a microbenchmark — because both
@@ -21,8 +25,9 @@
 //!
 //! Run: `cargo run --release -p hds-bench --bin bench_trend`
 //! (options: `--current <path>`, `--current-net <path>`,
-//! `--current-prefetch <path>`, `--baseline-rev <rev>` (default
-//! `HEAD`), `--min-ratio <f>` (default 0.8)).
+//! `--current-prefetch <path>`, `--current-store <path>`,
+//! `--baseline-rev <rev>` (default `HEAD`), `--min-ratio <f>`
+//! (default 0.8)).
 
 use std::process::Command;
 
@@ -91,6 +96,22 @@ fn backend_throughputs(doc: &Value) -> Vec<(String, f64)> {
             continue;
         };
         out.push((backend.clone(), *eps));
+    }
+    out
+}
+
+/// `store op -> ops/s` out of a BENCH_store.json value.
+fn store_throughputs(doc: &Value) -> Vec<(String, f64)> {
+    let Some(Value::Arr(rows)) = doc.get("per_op") else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    for row in rows {
+        let (Some(Value::Str(op)), Some(Value::F64(rate))) = (row.get("op"), row.get("ops_per_s"))
+        else {
+            continue;
+        };
+        out.push((op.clone(), *rate));
     }
     out
 }
@@ -172,6 +193,8 @@ fn main() {
         arg_after("--current-net").unwrap_or_else(|| "results/BENCH_net.json".to_string());
     let current_prefetch_path = arg_after("--current-prefetch")
         .unwrap_or_else(|| "results/BENCH_prefetch.json".to_string());
+    let current_store_path =
+        arg_after("--current-store").unwrap_or_else(|| "results/BENCH_store.json".to_string());
     let rev = arg_after("--baseline-rev").unwrap_or_else(|| "HEAD".to_string());
     let min_ratio: f64 = arg_after("--min-ratio")
         .map(|f| f.parse().expect("--min-ratio takes a number"))
@@ -241,6 +264,20 @@ fn main() {
             ],
             &backend_throughputs(&current),
             &backend_throughputs(&baseline),
+            min_ratio,
+        );
+    }
+    if let Some((current, baseline)) = load_pair(
+        &current_store_path,
+        "results/BENCH_store.json",
+        &rev,
+        "bench_store",
+    ) {
+        regressions += gate(
+            "store throughput",
+            &["op", "baseline ops/s", "current ops/s", "ratio", "status"],
+            &store_throughputs(&current),
+            &store_throughputs(&baseline),
             min_ratio,
         );
     }

@@ -18,6 +18,7 @@ pub struct ServeBudgets {
     max_queued_chunks: Option<u64>,
     max_global_bytes: Option<u64>,
     max_duplicate_frames: Option<u64>,
+    max_store_faults: Option<u64>,
 }
 
 impl ServeBudgets {
@@ -29,6 +30,7 @@ impl ServeBudgets {
             max_queued_chunks: None,
             max_global_bytes: None,
             max_duplicate_frames: None,
+            max_store_faults: None,
         }
     }
 
@@ -68,6 +70,17 @@ impl ServeBudgets {
         self
     }
 
+    /// Caps storage faults tolerated while spilling/loading cold
+    /// tenants through the durable store. Past the cap the manager
+    /// stops talking to the sick store entirely — tenants hibernate
+    /// in memory instead — so a failing disk degrades service to the
+    /// pre-store behavior rather than stalling every pump on it.
+    #[must_use]
+    pub const fn with_max_store_faults(mut self, cap: u64) -> Self {
+        self.max_store_faults = Some(cap);
+        self
+    }
+
     /// Whether any budget is set at all.
     #[must_use]
     pub fn is_enabled(&self) -> bool {
@@ -75,6 +88,7 @@ impl ServeBudgets {
             || self.max_queued_chunks.is_some()
             || self.max_global_bytes.is_some()
             || self.max_duplicate_frames.is_some()
+            || self.max_store_faults.is_some()
     }
 
     /// The configured cap for one budget kind.
@@ -85,6 +99,7 @@ impl ServeBudgets {
             ServeBudgetKind::TenantQueue => self.max_queued_chunks,
             ServeBudgetKind::GlobalBytes => self.max_global_bytes,
             ServeBudgetKind::RetryStorm => self.max_duplicate_frames,
+            ServeBudgetKind::StoreFaults => self.max_store_faults,
         }
     }
 }
@@ -107,7 +122,7 @@ pub struct ServeTrip {
 #[derive(Clone, Debug)]
 pub struct ServeGuard {
     config: ServeBudgets,
-    shed: [u64; 4], // indexed by ServeBudgetKind
+    shed: [u64; 5], // indexed by ServeBudgetKind
     busy: u64,
 }
 
@@ -117,7 +132,7 @@ impl ServeGuard {
     pub fn new(config: ServeBudgets) -> Self {
         ServeGuard {
             config,
-            shed: [0; 4],
+            shed: [0; 5],
             busy: 0,
         }
     }
@@ -209,6 +224,32 @@ impl ServeGuard {
         Ok(())
     }
 
+    /// Admits or refuses one more durable-store operation after
+    /// `store_faults` faults have been observed (including the one
+    /// that just happened). At or below the cap the store stays in
+    /// service; past it the refusal is counted as a
+    /// [`ServeBudgetKind::StoreFaults`] shed and the caller should
+    /// stop spilling — hibernated tenants stay in memory, which is
+    /// degraded but correct.
+    ///
+    /// # Errors
+    ///
+    /// The [`ServeTrip`] naming the store-fault budget.
+    pub fn admit_store_fault(&mut self, store_faults: u64) -> Result<(), ServeTrip> {
+        if let Some(budget) = self.config.max_store_faults {
+            if store_faults > budget {
+                let trip = ServeTrip {
+                    kind: ServeBudgetKind::StoreFaults,
+                    budget,
+                    observed: store_faults,
+                };
+                self.shed[trip.kind as usize] += 1;
+                return Err(trip);
+            }
+        }
+        Ok(())
+    }
+
     /// Chunks shed for one budget kind.
     #[must_use]
     pub fn shed(&self, kind: ServeBudgetKind) -> u64 {
@@ -287,6 +328,23 @@ mod tests {
         // Disabled budgets absorb any storm.
         let mut open = ServeGuard::new(ServeBudgets::disabled());
         assert_eq!(open.admit_duplicate(u64::MAX), Ok(()));
+        assert_eq!(open.shed_total(), 0);
+    }
+
+    #[test]
+    fn store_faults_trip_their_own_budget() {
+        let mut guard = ServeGuard::new(ServeBudgets::disabled().with_max_store_faults(2));
+        // A couple of faults are tolerated — transient I/O happens.
+        assert_eq!(guard.admit_store_fault(1), Ok(()));
+        assert_eq!(guard.admit_store_fault(2), Ok(()));
+        let trip = guard.admit_store_fault(3).unwrap_err();
+        assert_eq!(trip.kind, ServeBudgetKind::StoreFaults);
+        assert_eq!(trip.budget, 2);
+        assert_eq!(trip.observed, 3);
+        assert_eq!(guard.shed(ServeBudgetKind::StoreFaults), 1);
+        // No cap: a flaky store never trips.
+        let mut open = ServeGuard::new(ServeBudgets::disabled());
+        assert_eq!(open.admit_store_fault(u64::MAX), Ok(()));
         assert_eq!(open.shed_total(), 0);
     }
 

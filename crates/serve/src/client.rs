@@ -618,6 +618,23 @@ impl<T: Transport, O: Observer> ClientSession<T, O> {
                 self.clear_pending();
                 Ok(())
             }
+            RejectCode::StoreFailed => {
+                // The server's durable copy of our cold session was
+                // unreadable and it restarted us from scratch: re-open
+                // and replay the whole stream from sequence zero.
+                self.stats.rejects += 1;
+                if let Some(i) = self.flow_index(detail) {
+                    self.flows[i].opened = false;
+                    self.flows[i].acked = 0;
+                    match self.pending {
+                        Some(Pending::Chunk(j, _) | Pending::Flush(j)) if j == i => {
+                            self.clear_pending();
+                        }
+                        _ => {}
+                    }
+                }
+                Ok(())
+            }
             RejectCode::ClientSentServerFrame
             | RejectCode::TenantAlreadyOpen
             | RejectCode::Draining => Err(ClientError::Rejected {

@@ -41,6 +41,7 @@ use hds_core::{
 };
 use hds_engine::parallel_for_each_mut;
 use hds_guard::{CrashPoint, FaultInjector, FaultPlan, ServeBudgets, ServeGuard};
+use hds_store::{Store, TenantRecord};
 use hds_telemetry::events as tev;
 use hds_telemetry::events::ServeBudgetKind;
 use hds_vulcan::{Event, Procedure};
@@ -59,33 +60,22 @@ const CRASH_MID_FRAME: u64 = 3;
 /// FNV-1a — the tenant key used for ring placement and telemetry.
 #[must_use]
 pub fn tenant_key(name: &str) -> u64 {
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    for &b in name.as_bytes() {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(0x100_0000_01b3);
-    }
-    h
+    fnv1a64(name.as_bytes())
 }
 
 /// FNV-1a over a program image (procedure names and PCs) — what makes
 /// a retried `OpenSession` distinguishable from a conflicting one.
 fn image_key(procedures: &[Procedure]) -> u64 {
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    let mut mix = |v: u64| {
-        h ^= v;
-        h = h.wrapping_mul(0x100_0000_01b3);
-    };
+    let mut h = hds_trace::hash::Fnv64::new();
     for p in procedures {
-        for &b in p.name().as_bytes() {
-            mix(u64::from(b));
-        }
-        mix(u64::MAX); // name/pc separator
+        h.write_bytes(p.name().as_bytes());
+        h.write_u64(u64::MAX); // name/pc separator
         for pc in p.pcs() {
-            mix(u64::from(pc.0));
+            h.write_u64(u64::from(pc.0));
         }
-        mix(u64::MAX - 1); // procedure separator
+        h.write_u64(u64::MAX - 1); // procedure separator
     }
-    h
+    h.finish()
 }
 
 /// Compares an offered auth token against the configured secret
@@ -282,6 +272,9 @@ struct TenantControl {
     /// Duplicate (retransmitted) frames tolerated so far, charged
     /// against the retry-storm budget.
     duplicates: u64,
+    /// The tenant's cold state lives in the durable store, not in its
+    /// shard — the next frame for it must load and install first.
+    spilled: bool,
 }
 
 /// Work item in a shard mailbox, processed strictly in order.
@@ -303,6 +296,17 @@ enum ShardMsg {
     },
     Resume {
         tenant: String,
+    },
+    /// Re-seats a tenant loaded back from the durable store as cold
+    /// state; the shard rehydrates it by the exact same path as a
+    /// never-spilled hibernation, which is what keeps spill→load
+    /// lineages bit-identical.
+    Install {
+        tenant: String,
+        procedures: Vec<Procedure>,
+        backend: BackendKind,
+        snapshot: Option<Snapshot>,
+        tail: Vec<Event>,
     },
 }
 
@@ -383,6 +387,11 @@ struct Tally {
     duplicate_chunks: u64,
     sequence_gaps: u64,
     drains: u64,
+    spilled: u64,
+    loaded: u64,
+    compactions: u64,
+    expired: u64,
+    store_faults: u64,
 }
 
 /// The serving front-end: see the module docs for the architecture.
@@ -404,6 +413,12 @@ pub struct SessionManager<O: Observer = NullObserver> {
     draining: bool,
     tally: Tally,
     outcomes: Vec<TenantOutcome>,
+    /// Durable cold-tenant store; when attached, hibernated tenants
+    /// are spilled out of memory at the end of every pump.
+    store: Option<Store>,
+    /// Latched once the store-fault budget trips: the manager stops
+    /// spilling (tenants stay safely in memory) but keeps serving.
+    spill_disabled: bool,
 }
 
 impl SessionManager<NullObserver> {
@@ -468,7 +483,29 @@ impl<O: Observer> SessionManager<O> {
             draining: false,
             tally: Tally::default(),
             outcomes: Vec::new(),
+            store: None,
+            spill_disabled: false,
         })
+    }
+
+    /// Attaches a durable store: from now on, hibernated tenants are
+    /// spilled to it at the end of every [`SessionManager::pump`] and
+    /// their in-memory state is dropped, bounding resident memory by
+    /// the live set. Their next frame loads them back transparently.
+    pub fn attach_store(&mut self, store: Store) {
+        self.store = Some(store);
+    }
+
+    /// The attached store, if any.
+    #[must_use]
+    pub fn store(&self) -> Option<&Store> {
+        self.store.as_ref()
+    }
+
+    /// Detaches and returns the store (chaos harnesses crash and
+    /// reopen its storage between serve generations).
+    pub fn take_store(&mut self) -> Option<Store> {
+        self.store.take()
     }
 
     /// The observer, for reading recorded metrics back.
@@ -658,6 +695,262 @@ impl<O: Observer> SessionManager<O> {
         }
     }
 
+    /// Leaves a `Store` instant in the flight ring: `a` names the
+    /// store event kind, `b` carries the tenant key or a kind-specific
+    /// value.
+    fn store_event(&mut self, kind: tev::StoreEventKind, b: u64) {
+        if O::ENABLED {
+            self.obs.span(
+                &tev::SpanEvent::instant(tev::SpanKind::Store, self.clock)
+                    .with_args(kind.code(), b),
+            );
+        }
+    }
+
+    /// Counts one storage fault (with its degradation `action`),
+    /// charges the store-fault budget, and — on the budget tripping —
+    /// sheds by latching spilling off: tenants stay safely in memory
+    /// and the front-end keeps serving.
+    fn count_store_fault(&mut self, key: u64, action: u8) {
+        self.tally.store_faults += 1;
+        if O::ENABLED {
+            self.obs.store_fault(&tev::StoreFaultObserved {
+                tenant: key,
+                action,
+            });
+        }
+        self.store_event(tev::StoreEventKind::Fault, key);
+        if self.spill_disabled {
+            return;
+        }
+        if let Err(trip) = self.guard.admit_store_fault(self.tally.store_faults) {
+            self.spill_disabled = true;
+            let shard = self.shard_for(key);
+            if O::ENABLED {
+                self.obs.serve_shed(&tev::ServeShed {
+                    tenant: key,
+                    shard,
+                    kind: trip.kind,
+                    budget: trip.budget,
+                    observed: trip.observed,
+                });
+            }
+        }
+    }
+
+    /// Loads a spilled tenant back from the store and enqueues the
+    /// [`ShardMsg::Install`] that re-seats it as cold state, ahead of
+    /// whatever triggering message the caller will push next.
+    ///
+    /// On any failure — unreadable storage, checksum damage, an
+    /// undecodable snapshot — the tenant is restarted from scratch:
+    /// its control entry and durable state are dropped, and the caller
+    /// answers [`RejectCode::StoreFailed`] so the client re-opens and
+    /// replays from its own copy. Never a panic, never a wrong-tenant
+    /// resume.
+    fn install_from_store(&mut self, tenant: &str, key: u64) -> Result<(), Vec<Frame>> {
+        let Some(store) = self.store.as_mut() else {
+            // A spilled flag without a store cannot happen (the flag is
+            // only ever set by the spill pass); degrade to a reject.
+            return Err(self.store_load_failed(tenant, key));
+        };
+        let record = match store.load(tenant) {
+            Ok(record) => record,
+            Err(_) => return Err(self.store_load_failed(tenant, key)),
+        };
+        let snapshot = match record.snapshot {
+            None => None,
+            Some(bytes) => match Snapshot::from_bytes(bytes) {
+                Ok(snap) => Some(snap),
+                // The blob passed the store checksum but does not parse
+                // as a snapshot: same degradation as any other damage.
+                Err(_) => return Err(self.store_load_failed(tenant, key)),
+            },
+        };
+        let ctrl = self.tenants.get_mut(tenant).expect("caller checked");
+        // A/B stickiness: the record carries the backend the tenant was
+        // assigned at open time; the control entry is the live copy and
+        // must agree (`spill` wrote it from the same field).
+        let backend = BackendKind::from_wire_code(record.backend).unwrap_or(ctrl.backend);
+        ctrl.spilled = false;
+        let shard = ctrl.shard;
+        let bytes = snapshot.as_ref().map_or(0, |s| s.len() as u64)
+            + record.tail.len() as u64 * std::mem::size_of::<Event>() as u64;
+        self.tally.loaded += 1;
+        if O::ENABLED {
+            self.obs
+                .store_loaded(&tev::StoreLoaded { tenant: key, bytes });
+        }
+        self.store_event(tev::StoreEventKind::Loaded, key);
+        self.shards[shard as usize].mailbox.push(ShardMsg::Install {
+            tenant: tenant.to_string(),
+            procedures: record.procedures,
+            backend,
+            snapshot,
+            tail: record.tail,
+        });
+        Ok(())
+    }
+
+    /// The restart-from-scratch degradation for an unloadable tenant:
+    /// drop the control entry and any durable remnant, count the
+    /// fault, and build the typed reject.
+    fn store_load_failed(&mut self, tenant: &str, key: u64) -> Vec<Frame> {
+        self.count_store_fault(key, 1);
+        self.store_event(tev::StoreEventKind::Restarted, key);
+        self.tenants.remove(tenant);
+        if let Some(store) = self.store.as_mut() {
+            // Best-effort: stale durable state must not resurrect the
+            // tenant after the client restarts it from scratch.
+            let _ = store.remove(tenant, self.clock);
+        }
+        self.reject(RejectCode::StoreFailed, tenant)
+    }
+
+    /// The end-of-pump spill pass: every hibernated, unfinished tenant
+    /// whose cold state still sits in its shard is written to the
+    /// store; on success the in-memory state (snapshot and replay
+    /// tail) is dropped, so resident memory is bounded by the live
+    /// set. A failed spill keeps the tenant in memory — correctness
+    /// never depends on the disk.
+    fn spill_pass(&mut self) {
+        if self.store.is_none() || self.spill_disabled {
+            return;
+        }
+        let candidates: Vec<(String, u64, u32)> = self
+            .tenants
+            .iter()
+            .filter(|(_, c)| !c.live && !c.finished && !c.spilled)
+            .map(|(name, c)| (name.clone(), c.key, c.shard))
+            .collect();
+        for (name, key, shard) in candidates {
+            if self.spill_disabled {
+                break;
+            }
+            let sessions = &mut self.shards[shard as usize].sessions;
+            // Only hibernated state spills; a tenant something re-woke
+            // (or that never reached its shard) stays put.
+            let is_cold = sessions
+                .get(&name)
+                .is_some_and(|s| s.live.is_none() && s.cold.is_some());
+            if !is_cold {
+                continue;
+            }
+            let state = sessions.remove(&name).expect("checked above");
+            let cold = state.cold.as_ref().expect("checked above");
+            let bytes = cold.snapshot.as_ref().map_or(0, |s| s.len() as u64)
+                + cold.tail.len() as u64 * std::mem::size_of::<Event>() as u64;
+            let record = TenantRecord {
+                tenant: name.clone(),
+                stamp: self.clock,
+                backend: state.backend.wire_code(),
+                procedures: state.procedures.clone(),
+                snapshot: cold.snapshot.as_ref().map(|s| s.as_bytes().to_vec()),
+                tail: cold.tail.clone(),
+            };
+            let store = self.store.as_mut().expect("checked at entry");
+            match store.spill(record) {
+                Ok(()) => {
+                    self.tenants
+                        .get_mut(&name)
+                        .expect("candidate came from the map")
+                        .spilled = true;
+                    self.tally.spilled += 1;
+                    if O::ENABLED {
+                        self.obs
+                            .store_spilled(&tev::StoreSpilled { tenant: key, bytes });
+                    }
+                    self.store_event(tev::StoreEventKind::Spilled, key);
+                }
+                Err(_) => {
+                    // Degrade: the tenant stays resident and correct.
+                    self.shards[shard as usize].sessions.insert(name, state);
+                    self.count_store_fault(key, 0);
+                }
+            }
+        }
+    }
+
+    /// Compacts the attached store at the current clock: folds every
+    /// live tenant to one record in a fresh segment, expires tenants
+    /// whose last spill is older than the store's TTL, and reaps the
+    /// old segments. Expired tenants vanish from the control plane too
+    /// — their next `OpenSession` starts from scratch. A no-op without
+    /// a store; a storage failure abandons the attempt with the old
+    /// layout intact and counts a fault.
+    pub fn compact_store(&mut self) {
+        self.clock += 1;
+        let Some(store) = self.store.as_mut() else {
+            return;
+        };
+        let before = store.tenants();
+        match store.compact(self.clock) {
+            Ok(()) => {
+                let after: std::collections::BTreeSet<String> =
+                    store.tenants().into_iter().collect();
+                let kept = after.len() as u64;
+                let dropped = before.len() as u64 - kept;
+                self.tally.compactions += 1;
+                if O::ENABLED {
+                    self.obs.store_compacted(&tev::StoreCompacted {
+                        kept,
+                        dropped,
+                        segments_dropped: 0,
+                    });
+                }
+                self.store_event(tev::StoreEventKind::Compacted, dropped);
+                for name in before.into_iter().filter(|t| !after.contains(t)) {
+                    let key = tenant_key(&name);
+                    self.tally.expired += 1;
+                    if O::ENABLED {
+                        self.obs.store_expired(&tev::StoreExpired { tenant: key });
+                    }
+                    self.store_event(tev::StoreEventKind::Expired, key);
+                    // Only a spilled (hence cold, unfinished) control
+                    // entry can be orphaned by expiry.
+                    if self.tenants.get(&name).is_some_and(|c| c.spilled) {
+                        self.tenants.remove(&name);
+                    }
+                }
+            }
+            Err(_) => {
+                self.count_store_fault(0, 2);
+            }
+        }
+    }
+
+    /// Tenants currently resident in shard memory (live or hibernated
+    /// but not yet spilled). With a store attached this is bounded by
+    /// the live set between pumps; without one it grows with every
+    /// tenant ever opened.
+    #[must_use]
+    pub fn resident_tenants(&self) -> u64 {
+        self.shards.iter().map(|s| s.sessions.len() as u64).sum()
+    }
+
+    /// Approximate bytes of cold state held in shard memory: snapshot
+    /// bytes plus replay-tail events, for live and hibernated tenants
+    /// alike. The memory-bound test asserts this stays bounded by the
+    /// live set when a store is attached.
+    #[must_use]
+    pub fn resident_bytes(&self) -> u64 {
+        let event = std::mem::size_of::<Event>() as u64;
+        self.shards
+            .iter()
+            .flat_map(|s| s.sessions.values())
+            .map(|state| {
+                let live = state
+                    .live
+                    .as_ref()
+                    .map_or(0, |l| l.tail.len() as u64 * event);
+                let cold = state.cold.as_ref().map_or(0, |c| {
+                    c.snapshot.as_ref().map_or(0, |s| s.len() as u64) + c.tail.len() as u64 * event
+                });
+                live + cold
+            })
+            .sum()
+    }
+
     /// Handles `Hello`: constant-time token check, then feature and
     /// backend negotiation. Re-`Hello` on a live manager is how a
     /// reconnecting client re-authenticates, so this never fails on
@@ -838,6 +1131,7 @@ impl<O: Observer> SessionManager<O> {
                 image: image_key(&procedures),
                 last_seq: 0,
                 duplicates: 0,
+                spilled: false,
             },
         );
         self.live_count += 1;
@@ -905,6 +1199,11 @@ impl<O: Observer> SessionManager<O> {
             if let Err(busy) = self.admit_live(&tenant, key, shard) {
                 return busy;
             }
+            if self.tenants[&tenant].spilled {
+                if let Err(reject) = self.install_from_store(&tenant, key) {
+                    return reject;
+                }
+            }
         }
         let cost = chunk_cost(&events);
         let queued = self.tenants[&tenant].queued_chunks;
@@ -967,6 +1266,13 @@ impl<O: Observer> SessionManager<O> {
             }
             return self.reject(RejectCode::TenantFlushed, &tenant);
         }
+        let (key, spilled) = (ctrl.key, ctrl.spilled);
+        if spilled {
+            if let Err(reject) = self.install_from_store(&tenant, key) {
+                return reject;
+            }
+        }
+        let ctrl = self.tenants.get_mut(&tenant).expect("checked above");
         ctrl.finished = true;
         ctrl.last_used = self.clock;
         if ctrl.live {
@@ -974,6 +1280,14 @@ impl<O: Observer> SessionManager<O> {
             self.live_count -= 1;
         }
         let shard = ctrl.shard;
+        // A flushed tenant's durable state is dead weight: tombstone it
+        // so compaction (and TTL bookkeeping) reclaims the space. Best
+        // effort — a failure just leaves garbage for expiry.
+        if let Some(store) = self.store.as_mut() {
+            if store.contains(&tenant) && store.remove(&tenant, self.clock).is_err() {
+                self.count_store_fault(key, 0);
+            }
+        }
         self.shards[shard as usize]
             .mailbox
             .push(ShardMsg::Flush { tenant });
@@ -1007,6 +1321,11 @@ impl<O: Observer> SessionManager<O> {
         let (key, shard) = (ctrl.key, ctrl.shard);
         if let Err(busy) = self.admit_live(&tenant, key, shard) {
             return busy;
+        }
+        if self.tenants[&tenant].spilled {
+            if let Err(reject) = self.install_from_store(&tenant, key) {
+                return reject;
+            }
         }
         let ctrl = self.tenants.get_mut(&tenant).expect("checked above");
         ctrl.live = true;
@@ -1142,6 +1461,9 @@ impl<O: Observer> SessionManager<O> {
             ctrl.queued_chunks = 0;
         }
         self.global_queued_bytes = 0;
+        // With the mailboxes empty, every hibernated tenant's cold
+        // state is settled — spill it out of memory.
+        self.spill_pass();
         responses
     }
 
@@ -1163,6 +1485,7 @@ impl<O: Observer> SessionManager<O> {
                 self.guard.shed(ServeBudgetKind::TenantQueue),
                 self.guard.shed(ServeBudgetKind::GlobalBytes),
                 self.guard.shed(ServeBudgetKind::RetryStorm),
+                self.guard.shed(ServeBudgetKind::StoreFaults),
             ],
             rejected: self.tally.rejected,
             auth_failures: self.tally.auth_failures,
@@ -1171,6 +1494,11 @@ impl<O: Observer> SessionManager<O> {
             drains: self.tally.drains,
             restarts: self.tally.restarts,
             pumps: self.tally.pumps,
+            spilled: self.tally.spilled,
+            loaded: self.tally.loaded,
+            compactions: self.tally.compactions,
+            expired: self.tally.expired,
+            store_faults: self.tally.store_faults,
             frames: self.shards.iter().map(|s| s.frames_total).sum(),
             events: self.shards.iter().map(|s| s.events_total).sum(),
             per_shard: self
@@ -1382,6 +1710,28 @@ impl Shard {
                     if let Some(state) = self.sessions.get_mut(&tenant) {
                         ensure_live(state, optimizer, mode, &mut self.notes, key);
                     }
+                }
+                ShardMsg::Install {
+                    tenant,
+                    procedures,
+                    backend,
+                    snapshot,
+                    tail,
+                } => {
+                    // Cold state straight from the store; the very next
+                    // message for the tenant rehydrates it through
+                    // `ensure_live`, the same path a never-spilled
+                    // hibernation takes.
+                    self.sessions.insert(
+                        tenant,
+                        TenantState {
+                            procedures,
+                            backend,
+                            live: None,
+                            cold: Some(ColdState { snapshot, tail }),
+                            crash_attempts: 0,
+                        },
+                    );
                 }
             }
         }

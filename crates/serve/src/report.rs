@@ -53,7 +53,7 @@ pub struct ServeReport {
     /// victim available).
     pub busy: u64,
     /// Chunks shed, indexed by [`ServeBudgetKind`] declaration order.
-    pub shed: [u64; 4],
+    pub shed: [u64; 5],
     /// Protocol violations answered with `Reject`.
     pub rejected: u64,
     /// `Hello` frames refused for a bad or missing auth token.
@@ -74,6 +74,19 @@ pub struct ServeReport {
     pub frames: u64,
     /// Events fed into sessions.
     pub events: u64,
+    /// Hibernated tenants durably spilled to the store (and dropped
+    /// from server memory).
+    pub spilled: u64,
+    /// Spilled tenants loaded back from the store and rehydrated.
+    pub loaded: u64,
+    /// Store compaction passes completed.
+    pub compactions: u64,
+    /// Dead tenants expired past the store's TTL.
+    pub expired: u64,
+    /// Storage faults observed; every one degraded gracefully (tenant
+    /// kept in memory, or restarted from scratch with a typed
+    /// `Reject`), never a panic or a silent wrong answer.
+    pub store_faults: u64,
     /// Per-shard breakdown of `frames`/`events`.
     pub per_shard: Vec<ShardStats>,
     /// Final results of every flushed tenant, in flush order.
@@ -89,6 +102,7 @@ impl ServeReport {
             ServeBudgetKind::TenantQueue => 1,
             ServeBudgetKind::GlobalBytes => 2,
             ServeBudgetKind::RetryStorm => 3,
+            ServeBudgetKind::StoreFaults => 4,
         }]
     }
 
@@ -135,6 +149,21 @@ impl ServeReport {
         }
         if rec.recovery_restarts() != self.restarts {
             return Err("restarts");
+        }
+        if rec.store_spilled() != self.spilled {
+            return Err("spilled");
+        }
+        if rec.store_loaded() != self.loaded {
+            return Err("loaded");
+        }
+        if rec.store_compactions() != self.compactions {
+            return Err("compactions");
+        }
+        if rec.store_expired() != self.expired {
+            return Err("expired");
+        }
+        if rec.store_faults() != self.store_faults {
+            return Err("store_faults");
         }
         // The queue-depth histogram sees one sample per shard per
         // pump; its sample count ties the pump loop to telemetry.

@@ -82,6 +82,7 @@ const B_LIVE: u8 = 0;
 const B_QUEUE: u8 = 1;
 const B_BYTES: u8 = 2;
 const B_RETRY: u8 = 3;
+const B_STORE: u8 = 4;
 
 /// Why the server refused a frame. One byte on the wire; a typed code
 /// (plus a free-form `detail`) replaces the old free-text-only reason
@@ -107,11 +108,15 @@ pub enum RejectCode {
     BadSequence,
     /// The server is draining after `Goodbye` and accepts no new work.
     Draining,
+    /// The tenant's durable cold state could not be loaded back
+    /// (corrupt, torn, or unreadable record): the server discarded it
+    /// and the tenant must reopen its session from scratch.
+    StoreFailed,
 }
 
 impl RejectCode {
     /// All codes, in wire-tag order.
-    pub const ALL: [RejectCode; 8] = [
+    pub const ALL: [RejectCode; 9] = [
         RejectCode::HandshakeRequired,
         RejectCode::AuthFailed,
         RejectCode::ClientSentServerFrame,
@@ -120,6 +125,7 @@ impl RejectCode {
         RejectCode::TenantFlushed,
         RejectCode::BadSequence,
         RejectCode::Draining,
+        RejectCode::StoreFailed,
     ];
 
     /// The one-byte wire tag.
@@ -134,6 +140,7 @@ impl RejectCode {
             RejectCode::TenantFlushed => 5,
             RejectCode::BadSequence => 6,
             RejectCode::Draining => 7,
+            RejectCode::StoreFailed => 8,
         }
     }
 
@@ -153,6 +160,7 @@ impl RejectCode {
             RejectCode::TenantFlushed => "tenant_flushed",
             RejectCode::BadSequence => "bad_sequence",
             RejectCode::Draining => "draining",
+            RejectCode::StoreFailed => "store_failed",
         }
     }
 }
@@ -464,6 +472,7 @@ fn put_budget_kind(out: &mut BytesMut, kind: hds_telemetry::events::ServeBudgetK
         K::TenantQueue => B_QUEUE,
         K::GlobalBytes => B_BYTES,
         K::RetryStorm => B_RETRY,
+        K::StoreFaults => B_STORE,
     });
 }
 
@@ -477,6 +486,7 @@ fn get_budget_kind(buf: &mut Bytes) -> Result<hds_telemetry::events::ServeBudget
         B_QUEUE => Ok(K::TenantQueue),
         B_BYTES => Ok(K::GlobalBytes),
         B_RETRY => Ok(K::RetryStorm),
+        B_STORE => Ok(K::StoreFaults),
         _ => Err(FrameError::BadPayload("unknown budget kind")),
     }
 }
@@ -959,12 +969,7 @@ const CHECKSUM_BYTES: usize = 4;
 /// single-byte flip is *guaranteed* to change the sum; longer damage
 /// escapes only with probability ~2^-32.
 fn body_checksum(body: &[u8]) -> u32 {
-    let mut h: u32 = 0x811c_9dc5;
-    for &b in body {
-        h ^= u32::from(b);
-        h = h.wrapping_mul(0x0100_0193);
-    }
-    h
+    hds_trace::hash::fnv1a32(body)
 }
 
 /// Reads the optional trailing backend byte of a handshake frame:

@@ -1,0 +1,48 @@
+//! # hds-store — durable cold-tenant spill
+//!
+//! A crash-safe, single-writer, disk-backed store for hibernated
+//! tenant profiles, so a serving front-end's memory stays bounded by
+//! its *live* set instead of every tenant it has ever seen.
+//!
+//! The moving parts:
+//!
+//! * [`Storage`] — the narrow flat-namespace I/O trait the store runs
+//!   over: real files ([`FsStorage`]), a deterministic in-memory map
+//!   with simulated crashes ([`MemStorage`]), and a seeded fault
+//!   injector ([`FaultyStorage`]) layered over either.
+//! * [`record`] — length + FNV-1a-64 framed records; any single
+//!   flipped byte is a typed error, never a panic.
+//! * [`Store`] — append-only checksummed segments, an atomic
+//!   write-temp-sync-rename manifest as the one commit point,
+//!   kill-safe compaction, and TTL expiry. See [`store`]'s module docs
+//!   for the crash matrix.
+//!
+//! ```
+//! use hds_store::{MemStorage, Store, StoreConfig, TenantRecord};
+//!
+//! let mut store = Store::open(Box::new(MemStorage::new()), StoreConfig::default()).unwrap();
+//! store
+//!     .spill(TenantRecord {
+//!         tenant: "acme".into(),
+//!         stamp: 1,
+//!         backend: 0,
+//!         procedures: Vec::new(),
+//!         snapshot: None,
+//!         tail: Vec::new(),
+//!     })
+//!     .unwrap();
+//! assert_eq!(store.load("acme").unwrap().stamp, 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fault;
+pub mod record;
+pub mod storage;
+pub mod store;
+
+pub use fault::{FaultyStorage, StoreFault, StoreFaultPlan};
+pub use record::{decode_record, encode_record, Record, RecordError, TenantRecord};
+pub use storage::{FsStorage, MemStorage, Storage, StorageError};
+pub use store::{Store, StoreConfig, StoreError, StoreStats, MANIFEST};

@@ -1,0 +1,879 @@
+//! The durable tenant store: checksummed append-only segments, an
+//! atomic manifest as the single commit point, kill-safe compaction,
+//! and TTL expiry.
+//!
+//! # Layout
+//!
+//! The store owns a flat namespace of files behind a [`Storage`]:
+//!
+//! * `MANIFEST` — one framed [`Record`]-style payload listing the live
+//!   segment names and the next segment id. Replaced atomically via
+//!   write-`MANIFEST.tmp.<n>`-sync-rename; the rename **is** the
+//!   commit point for every multi-file transition.
+//! * `seg-<id>.log` — append-only sequences of framed records
+//!   ([`crate::record`]). Later records for a tenant supersede earlier
+//!   ones; a tombstone kills the lineage.
+//!
+//! # Crash matrix
+//!
+//! Every transition is ordered so that a kill at any point leaves a
+//! state [`Store::open`] converges from:
+//!
+//! * **Kill mid-append** — the segment holds a torn frame. The scan
+//!   stops at the first bad record; the durable prefix survives.
+//! * **Kill between manifest commit and first append of a fresh
+//!   segment** — the manifest lists a segment that does not exist yet;
+//!   open treats missing listed segments as empty.
+//! * **Kill mid-compaction before the manifest swap** — the new
+//!   segment file exists but is *unlisted*; open deletes unlisted
+//!   `seg-*` files, so the half-built output vanishes and the old
+//!   segments still serve.
+//! * **Kill after the manifest swap** — the new manifest lists only
+//!   the compacted segment; the stale inputs are unlisted and reaped
+//!   on open. Compaction re-run after any kill converges to the same
+//!   logical contents (the chaos sweep proves it schedule by
+//!   schedule).
+//! * **Torn/corrupt manifest** — the `.tmp` never renamed is ignored
+//!   garbage; a corrupt `MANIFEST` itself is the one unrecoverable
+//!   state, and the store restarts from scratch *loudly* (wipes the
+//!   namespace, counts a fault) rather than guess at live segments.
+
+use std::collections::BTreeMap;
+
+use crate::fault::StoreFault;
+use crate::record::{decode_record, encode_record, Record, RecordError, TenantRecord};
+use crate::storage::{Storage, StorageError};
+
+/// Name of the manifest file — the commit point.
+pub const MANIFEST: &str = "MANIFEST";
+
+/// Typed store failure. Every path degrades to one of these; nothing
+/// in the crate panics on storage or data damage.
+#[derive(Debug)]
+pub enum StoreError {
+    /// The underlying storage failed (possibly injected).
+    Storage(StorageError),
+    /// A record or the manifest failed its checksum or decode.
+    Corrupt {
+        /// File the damage was found in.
+        file: String,
+        /// The decode error.
+        detail: RecordError,
+    },
+    /// The tenant has no durable state.
+    NotFound,
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Storage(e) => write!(f, "storage: {e}"),
+            StoreError::Corrupt { file, detail } => write!(f, "corrupt {file}: {detail}"),
+            StoreError::NotFound => f.write_str("tenant not in store"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<StorageError> for StoreError {
+    fn from(e: StorageError) -> Self {
+        StoreError::Storage(e)
+    }
+}
+
+/// Store tuning knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct StoreConfig {
+    /// Expire tenants whose last spill is older than this many stamp
+    /// units at compaction time. `None` keeps everything forever.
+    pub ttl: Option<u64>,
+    /// Rotate to a fresh segment once the current one exceeds this
+    /// many bytes.
+    pub segment_bytes: usize,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        StoreConfig {
+            ttl: None,
+            segment_bytes: 1 << 20,
+        }
+    }
+}
+
+/// Monotonic counters describing everything the store has done —
+/// exported into `ServeReport` and reconciled against telemetry.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Tenant records durably written.
+    pub spilled: u64,
+    /// Tenant records read back.
+    pub loaded: u64,
+    /// Completed compactions.
+    pub compactions: u64,
+    /// Tenants dropped by TTL expiry.
+    pub expired: u64,
+    /// Storage faults and corruption events survived.
+    pub faults: u64,
+    /// Payload + frame bytes appended to segments.
+    pub bytes_written: u64,
+    /// Index entries dropped because their bytes were unreadable.
+    pub dropped_corrupt: u64,
+    /// Times the store restarted from scratch (corrupt manifest).
+    pub wiped: u64,
+}
+
+#[derive(Clone, Debug)]
+struct IndexEntry {
+    segment: String,
+    offset: usize,
+    len: usize,
+    stamp: u64,
+}
+
+/// Crash-safe single-writer tenant store.
+pub struct Store {
+    storage: Box<dyn Storage>,
+    config: StoreConfig,
+    /// Newest live record per tenant.
+    index: BTreeMap<String, IndexEntry>,
+    /// Live segments in manifest order; the last one is the append
+    /// target.
+    segments: Vec<String>,
+    next_segment: u64,
+    /// Set when an append tore the current segment tail: further
+    /// appends there would be unreadable, so rotate first.
+    poisoned: bool,
+    stats: StoreStats,
+}
+
+fn segment_name(id: u64) -> String {
+    format!("seg-{id}.log")
+}
+
+fn encode_manifest(segments: &[String], next_segment: u64) -> Vec<u8> {
+    // Same len+FNV frame as segment records, fixed-width fields: the
+    // manifest must stay decodable even when every varint in a segment
+    // is suspect.
+    let mut body = Vec::new();
+    body.extend_from_slice(&next_segment.to_le_bytes());
+    body.extend_from_slice(&(segments.len() as u64).to_le_bytes());
+    for s in segments {
+        body.extend_from_slice(&(s.len() as u64).to_le_bytes());
+        body.extend_from_slice(s.as_bytes());
+    }
+    let mut out = Vec::with_capacity(12 + body.len());
+    out.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    out.extend_from_slice(&hds_trace::hash::fnv1a64(&body).to_le_bytes());
+    out.extend_from_slice(&body);
+    out
+}
+
+fn decode_manifest(data: &[u8]) -> Result<(Vec<String>, u64), RecordError> {
+    if data.len() < 12 {
+        return Err(RecordError::Truncated);
+    }
+    let len = u32::from_le_bytes(data[..4].try_into().expect("4")) as usize;
+    let want = u64::from_le_bytes(data[4..12].try_into().expect("8"));
+    if data.len() != 12 + len {
+        return Err(RecordError::Truncated);
+    }
+    let body = &data[12..];
+    if hds_trace::hash::fnv1a64(body) != want {
+        return Err(RecordError::BadChecksum);
+    }
+    let take_u64 = |at: usize| -> Result<u64, RecordError> {
+        body.get(at..at + 8)
+            .map(|b| u64::from_le_bytes(b.try_into().expect("8")))
+            .ok_or(RecordError::Truncated)
+    };
+    let next_segment = take_u64(0)?;
+    let count = usize::try_from(take_u64(8)?).map_err(|_| RecordError::Overlong)?;
+    if count > body.len() {
+        return Err(RecordError::Truncated);
+    }
+    let mut at = 16;
+    let mut segments = Vec::with_capacity(count);
+    for _ in 0..count {
+        let n = usize::try_from(take_u64(at)?).map_err(|_| RecordError::Overlong)?;
+        at += 8;
+        let raw = body.get(at..at + n).ok_or(RecordError::Truncated)?;
+        segments.push(String::from_utf8(raw.to_vec()).map_err(|_| RecordError::BadUtf8)?);
+        at += n;
+    }
+    if at != body.len() {
+        return Err(RecordError::TrailingBytes);
+    }
+    Ok((segments, next_segment))
+}
+
+impl Store {
+    /// Opens (or initializes) a store over `storage`, recovering from
+    /// whatever a previous crash left behind.
+    ///
+    /// # Errors
+    ///
+    /// Only storage-level failures surface (and even a corrupt
+    /// manifest degrades to a loud restart-from-scratch, not an
+    /// error); damage inside segments is absorbed into
+    /// [`StoreStats::dropped_corrupt`].
+    pub fn open(storage: Box<dyn Storage>, config: StoreConfig) -> Result<Self, StoreError> {
+        let mut store = Store {
+            storage,
+            config,
+            index: BTreeMap::new(),
+            segments: Vec::new(),
+            next_segment: 0,
+            poisoned: false,
+            stats: StoreStats::default(),
+        };
+        store.recover()?;
+        Ok(store)
+    }
+
+    fn recover(&mut self) -> Result<(), StoreError> {
+        let files = self.storage.list()?;
+        let manifest = match self.storage.read(MANIFEST) {
+            Ok(data) => match decode_manifest(&data) {
+                Ok(m) => Some(m),
+                Err(_) => {
+                    // The one unrecoverable state: the commit record
+                    // itself is damaged. Restart from scratch, loudly.
+                    self.stats.faults += 1;
+                    self.stats.wiped += 1;
+                    for f in &files {
+                        self.storage.remove(f)?;
+                    }
+                    None
+                }
+            },
+            Err(StorageError::NotFound) => None,
+            Err(e) => return Err(e.into()),
+        };
+        let (segments, next_segment) = manifest.unwrap_or((Vec::new(), 0));
+        // Reap anything the manifest does not vouch for: temp
+        // manifests never renamed, compaction outputs never committed.
+        for f in &files {
+            if f != MANIFEST && !segments.contains(f) {
+                self.storage.remove(f)?;
+            }
+        }
+        self.segments = segments;
+        self.next_segment = next_segment;
+        for seg in &self.segments.clone() {
+            let data = match self.storage.read(seg) {
+                Ok(d) => d,
+                // Committed-but-never-appended segment: fine, empty.
+                Err(StorageError::NotFound) => continue,
+                Err(e) => return Err(e.into()),
+            };
+            self.scan_segment(seg, &data);
+        }
+        Ok(())
+    }
+
+    /// Folds one segment's durable prefix into the index.
+    fn scan_segment(&mut self, seg: &str, data: &[u8]) {
+        let mut offset = 0;
+        loop {
+            let start = offset;
+            match decode_record(data, &mut offset) {
+                Ok(None) => break,
+                Ok(Some(Record::Tenant(r))) => {
+                    self.index.insert(
+                        r.tenant.clone(),
+                        IndexEntry {
+                            segment: seg.to_string(),
+                            offset: start,
+                            len: offset - start,
+                            stamp: r.stamp,
+                        },
+                    );
+                }
+                Ok(Some(Record::Tombstone { tenant, .. })) => {
+                    self.index.remove(&tenant);
+                }
+                Err(_) => {
+                    // Torn tail or damage: everything beyond the first
+                    // bad frame is untrusted.
+                    self.stats.dropped_corrupt += 1;
+                    self.stats.faults += 1;
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Atomically replaces the manifest. The rename is the commit.
+    fn commit_manifest(&mut self) -> Result<(), StoreError> {
+        let tmp = format!("{MANIFEST}.tmp.{}", self.next_segment);
+        let blob = encode_manifest(&self.segments, self.next_segment);
+        // Stale tmp from a crashed attempt: replace, don't append to.
+        self.storage.remove(&tmp)?;
+        self.storage.append(&tmp, &blob)?;
+        self.storage.sync(&tmp)?;
+        self.storage.rename(&tmp, MANIFEST)?;
+        Ok(())
+    }
+
+    /// Ensures there is an appendable segment, rotating if the current
+    /// one is poisoned or over the size threshold. The fresh segment
+    /// is committed to the manifest *before* first use so a crash
+    /// between the two leaves a listed-but-missing segment (treated as
+    /// empty) rather than an unlisted file (reaped).
+    fn ensure_segment(&mut self, incoming: usize) -> Result<(), StoreError> {
+        let rotate = match self.segments.last() {
+            None => true,
+            Some(_) if self.poisoned => true,
+            Some(seg) => {
+                let used = self
+                    .index
+                    .values()
+                    .filter(|e| &e.segment == seg)
+                    .map(|e| e.offset + e.len)
+                    .max()
+                    .unwrap_or(0);
+                used + incoming > self.config.segment_bytes && used > 0
+            }
+        };
+        if rotate {
+            let name = segment_name(self.next_segment);
+            self.next_segment += 1;
+            self.segments.push(name);
+            if let Err(e) = self.commit_manifest() {
+                // Roll back the in-memory intent; nothing durable
+                // changed (tmp garbage is reaped on open).
+                self.segments.pop();
+                self.next_segment -= 1;
+                return Err(e);
+            }
+            self.poisoned = false;
+        }
+        Ok(())
+    }
+
+    /// Durably writes one tenant's cold state. On success the record
+    /// is synced and indexed; on failure the index is untouched and
+    /// the caller still owns the in-memory state.
+    ///
+    /// # Errors
+    ///
+    /// Storage failures (including injected torn writes and
+    /// `NoSpace`). After a torn append the segment tail is poisoned
+    /// and the next spill rotates past it.
+    pub fn spill(&mut self, record: TenantRecord) -> Result<(), StoreError> {
+        let tenant = record.tenant.clone();
+        let stamp = record.stamp;
+        let encoded = encode_record(&Record::Tenant(record));
+        self.ensure_segment(encoded.len())?;
+        let seg = self.segments.last().expect("ensure_segment").clone();
+        let offset = self.append_synced(&seg, &encoded)?;
+        self.index.insert(
+            tenant,
+            IndexEntry {
+                segment: seg,
+                offset,
+                len: encoded.len(),
+                stamp,
+            },
+        );
+        self.stats.spilled += 1;
+        self.stats.bytes_written += encoded.len() as u64;
+        Ok(())
+    }
+
+    /// Appends + syncs, returning the record's offset in the segment.
+    /// Any failure poisons the segment: the tail may hold a torn frame
+    /// now, so future appends must rotate.
+    fn append_synced(&mut self, seg: &str, encoded: &[u8]) -> Result<usize, StoreError> {
+        let offset = match self.storage.read(seg) {
+            Ok(d) => d.len(),
+            Err(StorageError::NotFound) => 0,
+            Err(e) => {
+                self.poisoned = true;
+                return Err(e.into());
+            }
+        };
+        if let Err(e) = self.storage.append(seg, encoded) {
+            self.poisoned = true;
+            return Err(e.into());
+        }
+        if let Err(e) = self.storage.sync(seg) {
+            self.poisoned = true;
+            return Err(e.into());
+        }
+        Ok(offset)
+    }
+
+    /// Reads one tenant's newest record back, verifying its checksum.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::NotFound`] if the tenant has no durable state;
+    /// [`StoreError::Corrupt`] if its bytes fail verification — the
+    /// index entry is dropped (self-heal) so the caller can restart
+    /// the tenant from scratch; storage errors pass through with the
+    /// entry kept (the bytes may be fine, the read path was not).
+    pub fn load(&mut self, tenant: &str) -> Result<TenantRecord, StoreError> {
+        let entry = self
+            .index
+            .get(tenant)
+            .cloned()
+            .ok_or(StoreError::NotFound)?;
+        let data = self.storage.read(&entry.segment)?;
+        let corrupt = |detail: RecordError| StoreError::Corrupt {
+            file: entry.segment.clone(),
+            detail,
+        };
+        if data.len() < entry.offset + entry.len {
+            self.drop_corrupt(tenant);
+            return Err(corrupt(RecordError::Truncated));
+        }
+        let mut offset = entry.offset;
+        match decode_record(&data[..entry.offset + entry.len], &mut offset) {
+            Ok(Some(Record::Tenant(r))) if r.tenant == tenant => {
+                self.stats.loaded += 1;
+                Ok(r)
+            }
+            // Damage that still decodes but names the wrong tenant (or
+            // a tombstone) means the index and bytes disagree: treat
+            // as corruption, never resume the wrong tenant.
+            Ok(_) => {
+                self.drop_corrupt(tenant);
+                Err(corrupt(RecordError::BadChecksum))
+            }
+            Err(e) => {
+                self.drop_corrupt(tenant);
+                Err(corrupt(e))
+            }
+        }
+    }
+
+    fn drop_corrupt(&mut self, tenant: &str) {
+        self.index.remove(tenant);
+        self.stats.dropped_corrupt += 1;
+        self.stats.faults += 1;
+    }
+
+    /// Durably removes a tenant (tombstone append). Idempotent; the
+    /// index is only updated once the tombstone is synced.
+    ///
+    /// # Errors
+    ///
+    /// Storage failures; the tenant stays indexed on failure.
+    pub fn remove(&mut self, tenant: &str, stamp: u64) -> Result<(), StoreError> {
+        if !self.index.contains_key(tenant) {
+            return Ok(());
+        }
+        let encoded = encode_record(&Record::Tombstone {
+            tenant: tenant.to_string(),
+            stamp,
+        });
+        self.ensure_segment(encoded.len())?;
+        let seg = self.segments.last().expect("ensure_segment").clone();
+        self.append_synced(&seg, &encoded)?;
+        self.stats.bytes_written += encoded.len() as u64;
+        self.index.remove(tenant);
+        Ok(())
+    }
+
+    /// Rewrites all live records into one fresh segment, expiring
+    /// tenants older than the TTL, then commits the manifest and reaps
+    /// the old segments. Kill-safe at every step: until the manifest
+    /// rename lands, the old layout is authoritative and the half-done
+    /// output is unlisted garbage; after it lands, the old segments
+    /// are. Re-running after a kill converges.
+    ///
+    /// # Errors
+    ///
+    /// Storage failures abandon the attempt with the old layout intact.
+    pub fn compact(&mut self, now: u64) -> Result<(), StoreError> {
+        // Collect live, unexpired records (decode to fold lineages;
+        // unreadable entries are dropped as corrupt).
+        let tenants: Vec<String> = self.index.keys().cloned().collect();
+        let mut live: Vec<(String, Vec<u8>, u64)> = Vec::new();
+        let mut expired = 0u64;
+        for t in &tenants {
+            let stamp = self.index.get(t).map_or(0, |e| e.stamp);
+            if let Some(ttl) = self.config.ttl {
+                if stamp.saturating_add(ttl) <= now {
+                    expired += 1;
+                    continue;
+                }
+            }
+            match self.load(t) {
+                Ok(r) => {
+                    let encoded = encode_record(&Record::Tenant(r));
+                    live.push((t.clone(), encoded, stamp));
+                }
+                // Already dropped from the index by load(); skip.
+                Err(StoreError::Corrupt { .. } | StoreError::NotFound) => {}
+                Err(e @ StoreError::Storage(_)) => return Err(e),
+            }
+        }
+        // load() above counted these reads; compaction traffic is not
+        // tenant activity, so uncount it.
+        self.stats.loaded -= live.len() as u64;
+
+        let new_seg = segment_name(self.next_segment);
+        // Paranoia for retries after a reap-less crash path: the name
+        // is fresh by construction, but a leftover would corrupt the
+        // append offsets.
+        self.storage.remove(&new_seg)?;
+        let mut index = BTreeMap::new();
+        let mut offset = 0usize;
+        for (tenant, encoded, stamp) in &live {
+            self.storage.append(&new_seg, encoded)?;
+            index.insert(
+                tenant.clone(),
+                IndexEntry {
+                    segment: new_seg.clone(),
+                    offset,
+                    len: encoded.len(),
+                    stamp: *stamp,
+                },
+            );
+            offset += encoded.len();
+        }
+        self.storage.sync(&new_seg)?;
+
+        // The commit point: swap the manifest to list only the output.
+        let old_segments = std::mem::replace(&mut self.segments, vec![new_seg]);
+        let old_next = self.next_segment;
+        self.next_segment += 1;
+        if let Err(e) = self.commit_manifest() {
+            // Not committed: the old layout is still authoritative.
+            // The orphan output is reaped on next open.
+            self.segments = old_segments;
+            self.next_segment = old_next;
+            return Err(e);
+        }
+        self.index = index;
+        self.poisoned = false;
+        self.stats.compactions += 1;
+        self.stats.expired += expired;
+        self.stats.bytes_written += offset as u64;
+        // Reap the inputs; failures are harmless (unlisted files are
+        // removed on next open) but still count as observed faults.
+        for seg in old_segments {
+            if self.storage.remove(&seg).is_err() {
+                self.stats.faults += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether the tenant has durable state.
+    #[must_use]
+    pub fn contains(&self, tenant: &str) -> bool {
+        self.index.contains_key(tenant)
+    }
+
+    /// Tenants with durable state, sorted.
+    #[must_use]
+    pub fn tenants(&self) -> Vec<String> {
+        self.index.keys().cloned().collect()
+    }
+
+    /// The spill stamp recorded for a tenant.
+    #[must_use]
+    pub fn stamp(&self, tenant: &str) -> Option<u64> {
+        self.index.get(tenant).map(|e| e.stamp)
+    }
+
+    /// Counters so far.
+    #[must_use]
+    pub fn stats(&self) -> StoreStats {
+        self.stats
+    }
+
+    /// Notes an externally observed storage fault (e.g. a failed spill
+    /// the serve layer absorbed) so reconciliation sees it.
+    pub fn note_fault(&mut self) {
+        self.stats.faults += 1;
+    }
+
+    /// Live segment names, manifest order.
+    #[must_use]
+    pub fn segments(&self) -> &[String] {
+        &self.segments
+    }
+
+    /// Mutable access to the underlying storage (tests, chaos harness
+    /// inspection).
+    pub fn storage_mut(&mut self) -> &mut dyn Storage {
+        &mut *self.storage
+    }
+
+    /// Consumes the store, handing back its storage — the chaos
+    /// harness's close-crash-reopen cycle.
+    #[must_use]
+    pub fn into_storage(self) -> Box<dyn Storage> {
+        self.storage
+    }
+
+    /// Classifies a storage error for telemetry attribution.
+    #[must_use]
+    pub fn fault_kind(e: &StoreError) -> Option<StoreFault> {
+        match e {
+            StoreError::Storage(StorageError::NoSpace { .. }) => Some(StoreFault::NoSpace),
+            StoreError::Storage(StorageError::Torn { .. }) => Some(StoreFault::Torn),
+            StoreError::Storage(_) => Some(StoreFault::OpenFail),
+            StoreError::Corrupt { .. } => Some(StoreFault::BitRot),
+            StoreError::NotFound => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::{FaultyStorage, StoreFaultPlan};
+    use crate::storage::MemStorage;
+    use hds_vulcan::{Event, ProcId, Procedure};
+    use proptest::prelude::*;
+
+    fn rec(tenant: &str, stamp: u64) -> TenantRecord {
+        TenantRecord {
+            tenant: tenant.to_string(),
+            stamp,
+            backend: (stamp % 3) as u8,
+            procedures: vec![Procedure::new(
+                format!("{tenant}-main"),
+                vec![hds_trace::Pc(1), hds_trace::Pc(2)],
+            )],
+            snapshot: if stamp % 2 == 0 {
+                Some(vec![0xAB; 24 + (stamp as usize % 5)])
+            } else {
+                None
+            },
+            tail: vec![
+                Event::Enter(ProcId(0)),
+                Event::Work(stamp as u32),
+                Event::Exit(ProcId(0)),
+            ],
+        }
+    }
+
+    fn mem_store(config: StoreConfig) -> Store {
+        Store::open(Box::new(MemStorage::new()), config).unwrap()
+    }
+
+    #[test]
+    fn spill_load_round_trips() {
+        let mut s = mem_store(StoreConfig::default());
+        for i in 0..10u64 {
+            s.spill(rec(&format!("t{i}"), i)).unwrap();
+        }
+        // Re-spill supersedes.
+        s.spill(rec("t3", 99)).unwrap();
+        assert_eq!(s.load("t3").unwrap(), rec("t3", 99));
+        assert_eq!(s.load("t7").unwrap(), rec("t7", 7));
+        assert!(matches!(s.load("nope"), Err(StoreError::NotFound)));
+        assert_eq!(s.stats().spilled, 11);
+        assert_eq!(s.stats().loaded, 2);
+    }
+
+    #[test]
+    fn remove_is_durable_and_idempotent() {
+        let mut s = mem_store(StoreConfig::default());
+        s.spill(rec("a", 1)).unwrap();
+        s.spill(rec("b", 2)).unwrap();
+        s.remove("a", 3).unwrap();
+        s.remove("a", 4).unwrap();
+        assert!(!s.contains("a"));
+        // Survives reopen: the tombstone is on disk.
+        let mut s2 = Store::open(s.into_storage(), StoreConfig::default()).unwrap();
+        assert!(!s2.contains("a"));
+        assert_eq!(s2.load("b").unwrap(), rec("b", 2));
+    }
+
+    #[test]
+    fn reopen_rebuilds_index() {
+        let mut s = mem_store(StoreConfig::default());
+        for i in 0..5u64 {
+            s.spill(rec(&format!("t{i}"), i)).unwrap();
+        }
+        s.remove("t2", 10).unwrap();
+        let mut s2 = Store::open(s.into_storage(), StoreConfig::default()).unwrap();
+        assert_eq!(s2.tenants(), vec!["t0", "t1", "t3", "t4"]);
+        assert_eq!(s2.load("t4").unwrap(), rec("t4", 4));
+    }
+
+    #[test]
+    fn crash_keeps_durable_prefix() {
+        for seed in 0..16u64 {
+            let mut s = mem_store(StoreConfig::default());
+            for i in 0..4u64 {
+                s.spill(rec(&format!("t{i}"), i)).unwrap();
+            }
+            let mut storage = s.into_storage();
+            // Every spill synced, so a crash loses nothing indexed.
+            storage
+                .as_any_mut()
+                .downcast_mut::<MemStorage>()
+                .expect("mem")
+                .crash(seed);
+            let mut s2 = Store::open(storage, StoreConfig::default()).unwrap();
+            for i in 0..4u64 {
+                assert_eq!(s2.load(&format!("t{i}")).unwrap(), rec(&format!("t{i}"), i));
+            }
+        }
+    }
+
+    #[test]
+    fn compaction_folds_and_expires() {
+        let mut s = mem_store(StoreConfig {
+            ttl: Some(10),
+            segment_bytes: 256,
+        });
+        for round in 0..3u64 {
+            for i in 0..6u64 {
+                s.spill(rec(&format!("t{i}"), round * 5 + i)).unwrap();
+            }
+        }
+        s.remove("t5", 16).unwrap();
+        let before = s.segments().len();
+        assert!(before > 1, "small segment_bytes must have rotated");
+        s.compact(22).unwrap();
+        assert_eq!(s.segments().len(), 1);
+        // now=22, ttl=10: stamps <= 12 expire. Final stamps are 10+i;
+        // t0 (10), t1 (11), t2 (12) expire; t3 (13), t4 (14) live.
+        assert_eq!(s.tenants(), vec!["t3", "t4"]);
+        assert_eq!(s.stats().expired, 3);
+        assert_eq!(s.stats().compactions, 1);
+        assert_eq!(s.load("t3").unwrap(), rec("t3", 13));
+        // Reopen agrees.
+        let Store { storage, .. } = s;
+        let mut s2 = Store::open(
+            storage,
+            StoreConfig {
+                ttl: Some(10),
+                segment_bytes: 256,
+            },
+        )
+        .unwrap();
+        assert_eq!(s2.tenants(), vec!["t3", "t4"]);
+        assert_eq!(s2.load("t4").unwrap(), rec("t4", 14));
+    }
+
+    #[test]
+    fn torn_spill_keeps_index_and_rotates() {
+        let plan = StoreFaultPlan::focused(9, StoreFault::Torn, 1000).with_max_faults(1);
+        let mut s = Store::open(
+            Box::new(FaultyStorage::new(MemStorage::new(), plan)),
+            StoreConfig::default(),
+        )
+        .unwrap();
+        s.spill(rec("ok", 1)).unwrap_or_else(|_| {
+            // The first mutating op may be the manifest tmp append; if
+            // the fault spent itself there, retry cleanly.
+        });
+        let _ = s.spill(rec("ok", 1));
+        let err = s.spill(rec("torn", 2)).err();
+        // Whether the single fault hit this spill or an earlier op,
+        // the invariant is: every indexed tenant loads cleanly.
+        let _ = err;
+        for t in s.tenants() {
+            assert!(s.load(&t).is_ok(), "indexed tenant {t} must load");
+        }
+        // And further spills succeed (rotation past any poisoned tail).
+        s.spill(rec("after", 3)).unwrap();
+        assert_eq!(s.load("after").unwrap(), rec("after", 3));
+    }
+
+    #[test]
+    fn nospace_surfaces_and_store_survives() {
+        let plan = StoreFaultPlan::focused(11, StoreFault::NoSpace, 1000).with_max_faults(2);
+        let mut s = Store::open(
+            Box::new(FaultyStorage::new(MemStorage::new(), plan)),
+            StoreConfig::default(),
+        )
+        .unwrap();
+        let mut failures = 0;
+        for i in 0..6u64 {
+            if s.spill(rec(&format!("t{i}"), i)).is_err() {
+                failures += 1;
+            }
+        }
+        assert!(failures >= 1, "the injected NoSpace must surface");
+        for t in s.tenants() {
+            assert!(s.load(&t).is_ok());
+        }
+    }
+
+    #[test]
+    fn corrupt_manifest_restarts_from_scratch() {
+        let mut s = mem_store(StoreConfig::default());
+        s.spill(rec("t0", 1)).unwrap();
+        let Store { mut storage, .. } = s;
+        {
+            let mem = storage
+                .as_any_mut()
+                .downcast_mut::<MemStorage>()
+                .expect("mem");
+            let data = mem.data_mut(MANIFEST).expect("manifest exists");
+            let mid = data.len() / 2;
+            data[mid] ^= 0xFF;
+        }
+        let mut s2 = Store::open(storage, StoreConfig::default()).unwrap();
+        assert!(s2.tenants().is_empty(), "scratch restart");
+        assert_eq!(s2.stats().wiped, 1);
+        assert!(s2.stats().faults >= 1);
+        // And it works again.
+        s2.spill(rec("fresh", 2)).unwrap();
+        assert_eq!(s2.load("fresh").unwrap(), rec("fresh", 2));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Corrupting any single byte of the spilled bytes yields a
+        /// typed error and a clean restart-from-scratch for that
+        /// tenant — never a panic, never a wrong-tenant resume.
+        #[test]
+        fn any_byte_corruption_is_typed_and_heals(
+            stamp in 0u64..1000,
+            flip in 1u8..=255,
+            frac in 0.0f64..1.0,
+        ) {
+            let mut s = mem_store(StoreConfig::default());
+            s.spill(rec("victim", stamp)).unwrap();
+            s.spill(rec("bystander", stamp + 1)).unwrap();
+            let seg = s.segments().last().unwrap().clone();
+            let victim_len = {
+                let mem = s
+                    .storage_mut()
+                    .as_any_mut()
+                    .downcast_mut::<MemStorage>()
+                    .unwrap();
+                let data = mem.data_mut(&seg).unwrap();
+                let victim_len = encode_record(&Record::Tenant(rec("victim", stamp))).len();
+                let at = ((victim_len as f64 - 1.0) * frac) as usize;
+                data[at] ^= flip;
+                victim_len
+            };
+            let _ = victim_len;
+            match s.load("victim") {
+                Err(StoreError::Corrupt { .. }) => {
+                    // Healed: the entry is gone, a fresh spill works.
+                    prop_assert!(!s.contains("victim"));
+                    s.spill(rec("victim", stamp + 2)).unwrap();
+                    prop_assert_eq!(s.load("victim").unwrap(), rec("victim", stamp + 2));
+                }
+                Ok(r) => {
+                    // Only acceptable if the flip hit slack bytes, but
+                    // the frame has none: the whole victim record is
+                    // covered. The only Ok is the (impossible for a
+                    // single flip) checksum collision — reject it.
+                    prop_assert!(r == rec("victim", stamp), "decoded record must be unchanged");
+                    prop_assert!(false, "single byte flip must not verify");
+                }
+                Err(other) => prop_assert!(false, "unexpected error {}", other),
+            }
+            // The bystander is untouched either way.
+            prop_assert_eq!(s.load("bystander").unwrap(), rec("bystander", stamp + 1));
+        }
+    }
+}

@@ -366,6 +366,11 @@ pub enum ServeBudgetKind {
     /// a reliable connection — the cap that keeps a retry storm from
     /// monopolizing the control plane.
     RetryStorm,
+    /// Storage faults observed while spilling/loading cold tenants
+    /// through the durable store — the cap that stops the serve layer
+    /// from hammering a sick disk and degrades it to in-memory
+    /// hibernation instead.
+    StoreFaults,
 }
 
 impl ServeBudgetKind {
@@ -377,15 +382,17 @@ impl ServeBudgetKind {
             ServeBudgetKind::TenantQueue => "tenant_queue",
             ServeBudgetKind::GlobalBytes => "global_bytes",
             ServeBudgetKind::RetryStorm => "retry_storm",
+            ServeBudgetKind::StoreFaults => "store_faults",
         }
     }
 
     /// Every serve budget kind, in rendering order.
-    pub const ALL: [ServeBudgetKind; 4] = [
+    pub const ALL: [ServeBudgetKind; 5] = [
         ServeBudgetKind::LiveSessions,
         ServeBudgetKind::TenantQueue,
         ServeBudgetKind::GlobalBytes,
         ServeBudgetKind::RetryStorm,
+        ServeBudgetKind::StoreFaults,
     ];
 }
 
@@ -513,6 +520,10 @@ pub enum SpanKind {
     /// `a` is the [`NetEventKind`] discriminant, `b` the tenant key or
     /// backoff amount (per emission site).
     Net,
+    /// Instant: a durable-store event (`hds-store`): `a` is the
+    /// [`StoreEventKind`] discriminant, `b` the tenant key or byte
+    /// count (per emission site).
+    Store,
 }
 
 impl SpanKind {
@@ -531,6 +542,7 @@ impl SpanKind {
             SpanKind::SequiturAppend => "sequitur_append",
             SpanKind::Crash => "crash",
             SpanKind::Net => "net",
+            SpanKind::Store => "store",
         }
     }
 
@@ -547,7 +559,7 @@ impl SpanKind {
     }
 
     /// Every span kind, in rendering order.
-    pub const ALL: [SpanKind; 11] = [
+    pub const ALL: [SpanKind; 12] = [
         SpanKind::Profile,
         SpanKind::Hibernate,
         SpanKind::Analyze,
@@ -559,6 +571,7 @@ impl SpanKind {
         SpanKind::SequiturAppend,
         SpanKind::Crash,
         SpanKind::Net,
+        SpanKind::Store,
     ];
 }
 
@@ -611,6 +624,117 @@ impl NetEventKind {
             NetEventKind::Drain => 5,
         }
     }
+}
+
+/// What a [`SpanKind::Store`] instant records (carried in the event's
+/// `a` payload word). Emitted by the `hds-serve` manager on the
+/// durable-store spill/load/compact paths, so the flight recorder's
+/// black box says exactly what the store did (and what went wrong)
+/// right before a crash.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+pub enum StoreEventKind {
+    /// A hibernated tenant was durably spilled (`b` = tenant key).
+    Spilled,
+    /// A spilled tenant was loaded and rehydrated (`b` = tenant key).
+    Loaded,
+    /// A compaction pass rewrote the live set (`b` = records kept).
+    Compacted,
+    /// A dead tenant's record passed its TTL and was expired
+    /// (`b` = tenant key).
+    Expired,
+    /// A storage fault was observed and degraded gracefully
+    /// (`b` = tenant key, or 0 for a non-tenant op).
+    Fault,
+    /// A tenant whose spilled record was unreadable was restarted from
+    /// scratch (`b` = tenant key) — the telemetry attribution the
+    /// chaos sweep checks for.
+    Restarted,
+}
+
+impl StoreEventKind {
+    /// Lower-case label (Perfetto/JSON friendly).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            StoreEventKind::Spilled => "spilled",
+            StoreEventKind::Loaded => "loaded",
+            StoreEventKind::Compacted => "compacted",
+            StoreEventKind::Expired => "expired",
+            StoreEventKind::Fault => "fault",
+            StoreEventKind::Restarted => "restarted",
+        }
+    }
+
+    /// The event's wire discriminant (the span's `a` word).
+    #[must_use]
+    pub fn code(self) -> u64 {
+        match self {
+            StoreEventKind::Spilled => 0,
+            StoreEventKind::Loaded => 1,
+            StoreEventKind::Compacted => 2,
+            StoreEventKind::Expired => 3,
+            StoreEventKind::Fault => 4,
+            StoreEventKind::Restarted => 5,
+        }
+    }
+}
+
+/// A hibernated tenant's cold state was durably written to the store
+/// and dropped from server memory. The sum of these events reconciles
+/// exactly with `ServeReport::spilled`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize)]
+pub struct StoreSpilled {
+    /// Stable 64-bit key of the tenant id.
+    pub tenant: u64,
+    /// Bytes of the durable record payload (snapshot + tail).
+    pub bytes: u64,
+}
+
+/// A spilled tenant's record was read back, checksum-verified, and its
+/// session rehydrated. The sum of these events reconciles exactly with
+/// `ServeReport::loaded`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize)]
+pub struct StoreLoaded {
+    /// Stable 64-bit key of the tenant id.
+    pub tenant: u64,
+    /// Bytes of the verified record payload.
+    pub bytes: u64,
+}
+
+/// A compaction pass folded the store's live records into a fresh
+/// segment and dropped the dead ones. The sum of these events
+/// reconciles exactly with `ServeReport::compactions`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize)]
+pub struct StoreCompacted {
+    /// Live records carried into the fresh segment.
+    pub kept: u64,
+    /// Superseded/tombstoned/corrupt records left behind.
+    pub dropped: u64,
+    /// Dead segment files deleted.
+    pub segments_dropped: u64,
+}
+
+/// A tenant's record outlived its TTL with no activity and was
+/// expired by compaction. The sum of these events reconciles exactly
+/// with `ServeReport::expired`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize)]
+pub struct StoreExpired {
+    /// Stable 64-bit key of the tenant id.
+    pub tenant: u64,
+}
+
+/// A storage operation failed (injected or real) and the serve layer
+/// degraded gracefully instead of panicking. The sum of these events
+/// reconciles exactly with `ServeReport::store_faults`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize)]
+pub struct StoreFaultObserved {
+    /// Stable 64-bit key of the tenant id (0 for a non-tenant op such
+    /// as a failed compaction).
+    pub tenant: u64,
+    /// What the serve layer did about it: 0 = kept the tenant in
+    /// memory (spill failed), 1 = restarted the tenant from scratch
+    /// (load failed), 2 = compaction abandoned (store left as-is).
+    pub action: u8,
 }
 
 /// Whether a [`SpanEvent`] opens, closes, or is a point in time.

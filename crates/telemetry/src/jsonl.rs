@@ -8,7 +8,8 @@ use crate::events::{
     AnalysisApplied, AnalysisHandoff, AnalysisStarved, CycleEnd, CycleStart, Deoptimize, DfsmBuilt,
     GuardTripped, PhaseTransition, PrefetchFate, PrefetchIssued, PrefetchOutcome, RecoveryGaveUp,
     RecoveryReplay, RecoveryRestart, RecoverySnapshot, ServeBusy, ServeSessionEvicted,
-    ServeSessionOpened, ServeSessionResumed, ServeShardPump, ServeShed, StreamDetected,
+    ServeSessionOpened, ServeSessionResumed, ServeShardPump, ServeShed, StoreCompacted,
+    StoreExpired, StoreFaultObserved, StoreLoaded, StoreSpilled, StreamDetected,
 };
 use crate::Observer;
 
@@ -263,6 +264,26 @@ impl<W: Write> Observer for JsonlSink<W> {
 
     fn serve_shard_pump(&mut self, event: &ServeShardPump) {
         self.emit("serve_shard_pump", event);
+    }
+
+    fn store_spilled(&mut self, event: &StoreSpilled) {
+        self.emit("store_spilled", event);
+    }
+
+    fn store_loaded(&mut self, event: &StoreLoaded) {
+        self.emit("store_loaded", event);
+    }
+
+    fn store_compacted(&mut self, event: &StoreCompacted) {
+        self.emit("store_compacted", event);
+    }
+
+    fn store_expired(&mut self, event: &StoreExpired) {
+        self.emit("store_expired", event);
+    }
+
+    fn store_fault(&mut self, event: &StoreFaultObserved) {
+        self.emit("store_fault", event);
     }
 }
 

@@ -57,7 +57,8 @@ use events::{
     AnalysisApplied, AnalysisHandoff, AnalysisStarved, CycleEnd, CycleStart, Deoptimize, DfsmBuilt,
     GuardTripped, PhaseTransition, PrefetchIssued, PrefetchOutcome, RecoveryGaveUp, RecoveryReplay,
     RecoveryRestart, RecoverySnapshot, ServeBusy, ServeSessionEvicted, ServeSessionOpened,
-    ServeSessionResumed, ServeShardPump, ServeShed, SpanEvent, StreamDetected,
+    ServeSessionResumed, ServeShardPump, ServeShed, SpanEvent, StoreCompacted, StoreExpired,
+    StoreFaultObserved, StoreLoaded, StoreSpilled, StreamDetected,
 };
 
 /// Receiver of optimizer lifecycle events.
@@ -129,6 +130,17 @@ pub trait Observer {
     fn serve_busy(&mut self, _event: &ServeBusy) {}
     /// A serving shard drained its mailbox for one pump.
     fn serve_shard_pump(&mut self, _event: &ServeShardPump) {}
+    /// The durable store spilled a hibernated tenant to disk and the
+    /// serve layer dropped its in-memory cold state.
+    fn store_spilled(&mut self, _event: &StoreSpilled) {}
+    /// The durable store loaded a spilled tenant back for rehydration.
+    fn store_loaded(&mut self, _event: &StoreLoaded) {}
+    /// The durable store compacted its segments at rest.
+    fn store_compacted(&mut self, _event: &StoreCompacted) {}
+    /// The durable store expired a dead tenant past its TTL.
+    fn store_expired(&mut self, _event: &StoreExpired) {}
+    /// A storage fault was observed and degraded gracefully.
+    fn store_fault(&mut self, _event: &StoreFaultObserved) {}
     /// A hierarchical span boundary (begin/end) or instant marker on
     /// the phase timeline. Spans charge zero simulated cycles; the
     /// flight recorder in `hds-flight` turns them into Perfetto-style
@@ -216,6 +228,21 @@ impl<O: Observer> Observer for &mut O {
     }
     fn serve_shard_pump(&mut self, event: &ServeShardPump) {
         (**self).serve_shard_pump(event);
+    }
+    fn store_spilled(&mut self, event: &StoreSpilled) {
+        (**self).store_spilled(event);
+    }
+    fn store_loaded(&mut self, event: &StoreLoaded) {
+        (**self).store_loaded(event);
+    }
+    fn store_compacted(&mut self, event: &StoreCompacted) {
+        (**self).store_compacted(event);
+    }
+    fn store_expired(&mut self, event: &StoreExpired) {
+        (**self).store_expired(event);
+    }
+    fn store_fault(&mut self, event: &StoreFaultObserved) {
+        (**self).store_fault(event);
     }
     fn span(&mut self, event: &SpanEvent) {
         (**self).span(event);
@@ -313,6 +340,26 @@ impl<A: Observer, B: Observer> Observer for (A, B) {
     fn serve_shard_pump(&mut self, event: &ServeShardPump) {
         self.0.serve_shard_pump(event);
         self.1.serve_shard_pump(event);
+    }
+    fn store_spilled(&mut self, event: &StoreSpilled) {
+        self.0.store_spilled(event);
+        self.1.store_spilled(event);
+    }
+    fn store_loaded(&mut self, event: &StoreLoaded) {
+        self.0.store_loaded(event);
+        self.1.store_loaded(event);
+    }
+    fn store_compacted(&mut self, event: &StoreCompacted) {
+        self.0.store_compacted(event);
+        self.1.store_compacted(event);
+    }
+    fn store_expired(&mut self, event: &StoreExpired) {
+        self.0.store_expired(event);
+        self.1.store_expired(event);
+    }
+    fn store_fault(&mut self, event: &StoreFaultObserved) {
+        self.0.store_fault(event);
+        self.1.store_fault(event);
     }
     fn span(&mut self, event: &SpanEvent) {
         self.0.span(event);

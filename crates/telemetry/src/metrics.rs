@@ -9,7 +9,8 @@ use crate::events::{
     GuardKind, GuardTripped, PhaseKind, PhaseTransition, PrefetchFate, PrefetchIssued,
     PrefetchOutcome, RecoveryGaveUp, RecoveryReplay, RecoveryRestart, RecoverySnapshot,
     ServeBudgetKind, ServeBusy, ServeSessionEvicted, ServeSessionOpened, ServeSessionResumed,
-    ServeShardPump, ServeShed, StreamDetected,
+    ServeShardPump, ServeShed, StoreCompacted, StoreExpired, StoreFaultObserved, StoreLoaded,
+    StoreSpilled, StreamDetected,
 };
 use crate::Observer;
 
@@ -183,8 +184,15 @@ pub struct MetricsRecorder {
     serve_evicted: u64,
     serve_resumed: u64,
     serve_busy: u64,
-    serve_shed: [u64; 4], // indexed by serve budget kind
+    serve_shed: [u64; 5], // indexed by serve budget kind
     serve_replayed_events: u64,
+    store_spilled: u64,
+    store_spilled_bytes: u64,
+    store_loaded: u64,
+    store_loaded_bytes: u64,
+    store_compactions: u64,
+    store_expired: u64,
+    store_faults: u64,
     // Histograms.
     stream_length: Histogram,
     dfsm_state_count: Histogram,
@@ -454,6 +462,48 @@ impl MetricsRecorder {
         &self.per_shard
     }
 
+    /// Tenants durably spilled to the store (and dropped from memory).
+    #[must_use]
+    pub fn store_spilled(&self) -> u64 {
+        self.store_spilled
+    }
+
+    /// Bytes of record payload durably spilled.
+    #[must_use]
+    pub fn store_spilled_bytes(&self) -> u64 {
+        self.store_spilled_bytes
+    }
+
+    /// Spilled tenants loaded back from the store for rehydration.
+    #[must_use]
+    pub fn store_loaded(&self) -> u64 {
+        self.store_loaded
+    }
+
+    /// Bytes of verified record payload loaded back.
+    #[must_use]
+    pub fn store_loaded_bytes(&self) -> u64 {
+        self.store_loaded_bytes
+    }
+
+    /// Store compaction passes completed.
+    #[must_use]
+    pub fn store_compactions(&self) -> u64 {
+        self.store_compactions
+    }
+
+    /// Dead tenants expired past their TTL.
+    #[must_use]
+    pub fn store_expired(&self) -> u64 {
+        self.store_expired
+    }
+
+    /// Storage faults observed (every one degraded gracefully).
+    #[must_use]
+    pub fn store_faults(&self) -> u64 {
+        self.store_faults
+    }
+
     /// Renders everything in Prometheus text exposition format.
     #[must_use]
     #[allow(clippy::too_many_lines)]
@@ -630,6 +680,48 @@ impl MetricsRecorder {
                 self.serve_shed[kind as usize]
             );
         }
+        counter(
+            &mut out,
+            "hds_store_spilled_total",
+            "Tenants durably spilled to the cold-tenant store.",
+            self.store_spilled,
+        );
+        counter(
+            &mut out,
+            "hds_store_spilled_bytes_total",
+            "Bytes of record payload durably spilled.",
+            self.store_spilled_bytes,
+        );
+        counter(
+            &mut out,
+            "hds_store_loaded_total",
+            "Spilled tenants loaded back for rehydration.",
+            self.store_loaded,
+        );
+        counter(
+            &mut out,
+            "hds_store_loaded_bytes_total",
+            "Bytes of verified record payload loaded back.",
+            self.store_loaded_bytes,
+        );
+        counter(
+            &mut out,
+            "hds_store_compactions_total",
+            "Store compaction passes completed.",
+            self.store_compactions,
+        );
+        counter(
+            &mut out,
+            "hds_store_expired_total",
+            "Dead tenants expired past their TTL.",
+            self.store_expired,
+        );
+        counter(
+            &mut out,
+            "hds_store_faults_total",
+            "Storage faults observed (all degraded gracefully).",
+            self.store_faults,
+        );
         let _ = writeln!(
             out,
             "# HELP hds_guard_trips_total Budget-guard trips by guard kind."
@@ -904,6 +996,28 @@ impl Observer for MetricsRecorder {
         let shard = self.per_shard.entry(event.shard).or_default();
         shard.0 += event.frames;
         shard.1 += event.events;
+    }
+
+    fn store_spilled(&mut self, event: &StoreSpilled) {
+        self.store_spilled += 1;
+        self.store_spilled_bytes += event.bytes;
+    }
+
+    fn store_loaded(&mut self, event: &StoreLoaded) {
+        self.store_loaded += 1;
+        self.store_loaded_bytes += event.bytes;
+    }
+
+    fn store_compacted(&mut self, _event: &StoreCompacted) {
+        self.store_compactions += 1;
+    }
+
+    fn store_expired(&mut self, _event: &StoreExpired) {
+        self.store_expired += 1;
+    }
+
+    fn store_fault(&mut self, _event: &StoreFaultObserved) {
+        self.store_faults += 1;
     }
 }
 

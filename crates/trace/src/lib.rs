@@ -38,6 +38,7 @@
 
 mod buffer;
 pub mod codec;
+pub mod hash;
 mod symbol;
 mod types;
 

@@ -65,6 +65,7 @@ pub use hds_hotstream as hotstream;
 pub use hds_memsim as memsim;
 pub use hds_sequitur as sequitur;
 pub use hds_serve as serve;
+pub use hds_store as store;
 pub use hds_telemetry as telemetry;
 pub use hds_trace as trace;
 pub use hds_vulcan as vulcan;
