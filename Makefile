@@ -3,7 +3,7 @@
 
 CARGO ?= cargo
 
-.PHONY: verify build test clippy bench-smoke telemetry-demo chaos-smoke bench-par chaos-crash bench-recover serve-smoke trace-smoke chaos-net bench-prefetch chaos-store bench-store bench-trend
+.PHONY: verify build test clippy bench-smoke telemetry-demo chaos-smoke bench-par chaos-crash bench-recover serve-smoke trace-smoke chaos-net bench-prefetch chaos-store bench-store chaos-cluster bench-cluster bench-trend
 
 ## Tier-1 gate: release build, full test suite, clippy clean, chaos smoke,
 ## parallel-runner smoke (bit-identical + speedup + worker-lag stats),
@@ -15,10 +15,13 @@ CARGO ?= cargo
 ## byte-identically), the prefetch-backend benchmark (per-backend
 ## determinism + seeded A/B reproducibility), the durable-store chaos
 ## sweep (kill/bit-rot/full-disk schedules recover byte-identically),
-## the durable-store benchmark, and the bench-trend gate (serving
-## throughput, chaos goodput, backend throughput, and store throughput
-## vs the committed baselines).
-verify: build test clippy chaos-smoke bench-par chaos-crash bench-recover serve-smoke trace-smoke chaos-net bench-prefetch chaos-store bench-store bench-trend
+## the durable-store benchmark, the cluster chaos sweep (router +
+## owner-fleet sessions byte-identical through kills, re-homes, and
+## membership churn), the cluster benchmark (router goodput + migration
+## latency), and the bench-trend gate (serving throughput, chaos
+## goodput, backend throughput, store throughput, and router goodput vs
+## the committed baselines).
+verify: build test clippy chaos-smoke bench-par chaos-crash bench-recover serve-smoke trace-smoke chaos-net bench-prefetch chaos-store bench-store chaos-cluster bench-cluster bench-trend
 
 build:
 	$(CARGO) build --release
@@ -102,13 +105,28 @@ chaos-store:
 bench-store:
 	$(CARGO) run --release -p hds-bench --bin bench_store -- --test-scale
 
+## Cluster chaos sweep: seeded schedules through the router tier and a
+## fleet of owner processes — crash-free fleets at 2/4/8 owners, owners
+## killed mid-chunk (restarted or re-homed), membership churn with live
+## tenant migration, and kills landing mid-handoff. Zero panics; every
+## schedule's reports byte-identical to standalone sessions.
+chaos-cluster:
+	$(CARGO) run --release -p hds-bench --bin chaos_cluster -- --test-scale
+
+## Cluster benchmark: router goodput (deterministic events per poll) at
+## 2/4/8 owners plus migration latency in polls vs the crash-free twin.
+## Writes results/BENCH_cluster.json.
+bench-cluster:
+	$(CARGO) run --release -p hds-bench --bin bench_cluster -- --test-scale
+
 ## Bench-trend gate: the freshly written results/BENCH_serve.json,
-## results/BENCH_net.json, results/BENCH_prefetch.json, and
-## results/BENCH_store.json (serve-smoke, chaos-net, bench-prefetch,
-## and bench-store run first under `make verify`) against the
-## committed baselines — fails if serving throughput, chaos goodput,
-## backend throughput, or store throughput fell below 80% of HEAD's;
-## skips with a note when either side is missing.
+## results/BENCH_net.json, results/BENCH_prefetch.json,
+## results/BENCH_store.json, and results/BENCH_cluster.json
+## (serve-smoke, chaos-net, bench-prefetch, bench-store, and
+## bench-cluster run first under `make verify`) against the committed
+## baselines — fails if serving throughput, chaos goodput, backend
+## throughput, store throughput, or router goodput fell below 80% of
+## HEAD's; skips with a note when either side is missing.
 bench-trend:
 	$(CARGO) run --release -p hds-bench --bin bench_trend
 

@@ -14,7 +14,11 @@
 //! * `BENCH_store.json` — durable-store operation throughput
 //!   (spills, loads, recovery scans, compactions per second), so a
 //!   slow framing/checksum/index path in the cold-tenant store is
-//!   caught at the gate.
+//!   caught at the gate;
+//! * `BENCH_cluster.json` — router goodput (events per poll) per fleet
+//!   size. Polls are deterministic scheduler rounds, so any extra
+//!   round-trips added to the router ↔ owner forwarding path (chattier
+//!   handoffs, lost pipelining) drop this figure immediately.
 //!
 //! The comparison is deliberately coarse — a 20% guardrail against
 //! accidental quadratic blowups, not a microbenchmark — because both
@@ -26,8 +30,8 @@
 //! Run: `cargo run --release -p hds-bench --bin bench_trend`
 //! (options: `--current <path>`, `--current-net <path>`,
 //! `--current-prefetch <path>`, `--current-store <path>`,
-//! `--baseline-rev <rev>` (default `HEAD`), `--min-ratio <f>`
-//! (default 0.8)).
+//! `--current-cluster <path>`, `--baseline-rev <rev>` (default
+//! `HEAD`), `--min-ratio <f>` (default 0.8)).
 
 use std::process::Command;
 
@@ -116,6 +120,24 @@ fn store_throughputs(doc: &Value) -> Vec<(String, f64)> {
     out
 }
 
+/// `owner count -> router goodput (events per poll)` out of a
+/// BENCH_cluster.json value.
+fn cluster_throughputs(doc: &Value) -> Vec<(String, f64)> {
+    let Some(Value::Arr(rows)) = doc.get("per_owners") else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    for row in rows {
+        let (Some(Value::U64(owners)), Some(Value::F64(gp))) =
+            (row.get("owners"), row.get("goodput_events_per_poll"))
+        else {
+            continue;
+        };
+        out.push((format!("{owners} owners"), *gp));
+    }
+    out
+}
+
 fn baseline_blob(rev: &str, path: &str) -> Option<String> {
     let out = Command::new("git")
         .args(["show", &format!("{rev}:{path}")])
@@ -195,6 +217,8 @@ fn main() {
         .unwrap_or_else(|| "results/BENCH_prefetch.json".to_string());
     let current_store_path =
         arg_after("--current-store").unwrap_or_else(|| "results/BENCH_store.json".to_string());
+    let current_cluster_path =
+        arg_after("--current-cluster").unwrap_or_else(|| "results/BENCH_cluster.json".to_string());
     let rev = arg_after("--baseline-rev").unwrap_or_else(|| "HEAD".to_string());
     let min_ratio: f64 = arg_after("--min-ratio")
         .map(|f| f.parse().expect("--min-ratio takes a number"))
@@ -278,6 +302,26 @@ fn main() {
             &["op", "baseline ops/s", "current ops/s", "ratio", "status"],
             &store_throughputs(&current),
             &store_throughputs(&baseline),
+            min_ratio,
+        );
+    }
+    if let Some((current, baseline)) = load_pair(
+        &current_cluster_path,
+        "results/BENCH_cluster.json",
+        &rev,
+        "bench_cluster",
+    ) {
+        regressions += gate(
+            "router goodput",
+            &[
+                "fleet",
+                "baseline ev/poll",
+                "current ev/poll",
+                "ratio",
+                "status",
+            ],
+            &cluster_throughputs(&current),
+            &cluster_throughputs(&baseline),
             min_ratio,
         );
     }

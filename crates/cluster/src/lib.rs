@@ -1,0 +1,43 @@
+//! Cross-process shard distribution for the hot-data-stream serving
+//! tier: a router process in front, shard-owner processes behind, one
+//! `HDSW` wire protocol everywhere.
+//!
+//! The single-process front-end (`hds-serve`) already splits tenants
+//! across in-memory shards with a consistent-hash ring. This crate
+//! lifts that ring across *process boundaries*:
+//!
+//! * [`OwnerRing`] — the owner-level consistent-hash ring. Membership
+//!   changes move only the tenants whose arc changed hands.
+//! * [`OwnerProcess`] — one shard-owner: a whole `hds-serve`
+//!   [`SessionManager`](hds_serve::SessionManager) reachable only
+//!   through wire frames, with `SIGKILL`-faithful crash semantics.
+//! * [`Router`] — the tier in the middle. Clients speak `HDSW` to it
+//!   exactly as they would to a single server; it journals every
+//!   admitted chunk and forwards it to the tenant's owner over a
+//!   reliable [`ClientSession`](hds_serve::ClientSession) link.
+//!   Tenant handoff (owner join, leave, crash-restart, crash-rehome)
+//!   rides the durable [`TenantRecord`](hds_store::TenantRecord)
+//!   snapshot format, so a moved tenant is bit-identical to one that
+//!   never moved — the property the determinism suite proves at 2, 4,
+//!   and 8 owners, with and without mid-chunk kills.
+//! * [`Cluster`] / [`run_cluster_session`] — an in-process harness
+//!   wiring a client, the router, and a fleet of owners together with
+//!   scripted membership changes and kills.
+//!
+//! The cluster's admission tier reuses `hds-guard`'s
+//! [`RouterBudgets`](hds_guard::RouterBudgets), and every migration,
+//! re-home, and owner restart is observable through `hds-telemetry`'s
+//! cluster events and `Cluster`-kind span instants.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod harness;
+mod owner;
+mod ring;
+mod router;
+
+pub use harness::{run_cluster_session, Cluster, ClusterError, ClusterOutcome, KillPolicy};
+pub use owner::OwnerProcess;
+pub use ring::{OwnerRing, VNODES_PER_OWNER};
+pub use router::{Router, RouterConfig, RouterTally, RouterTick};

@@ -37,6 +37,9 @@
 //!   optional caps on live sessions, per-tenant queued chunks, and
 //!   global queued bytes, breached caps answered with typed
 //!   `Busy`/`Shed` responses and counted for exact reconciliation.
+//! * [`RouterBudgets`] / [`RouterGuard`] — the same discipline one tier
+//!   up, for the cluster router (`hds-cluster`): caps on routed tenants
+//!   and journaled replay bytes.
 //! * [`GuardState`] / [`AccuracyState`] — canonical serializable
 //!   snapshots of the runtime's mutable state, consumed by the core
 //!   crate's crash-consistent checkpoints.
@@ -63,11 +66,13 @@
 mod accuracy;
 mod budget;
 mod fault;
+mod router;
 mod serve;
 
 pub use accuracy::{AccuracyConfig, AccuracyState, BadStream, StreamAccuracyState};
 pub use budget::{GuardConfig, GuardRuntime, GuardState, Trip};
 pub use fault::{CrashPoint, FaultCounts, FaultInjector, FaultPlan, FaultRates, NoFaults};
+pub use router::{RouterBudgetKind, RouterBudgets, RouterGuard, RouterTrip};
 pub use serve::{ServeBudgets, ServeGuard, ServeTrip};
 
 // Re-export the error type faults induce, so callers need not depend on

@@ -1,0 +1,242 @@
+//! Admission-control budgets for the cluster router tier.
+//!
+//! `hds-cluster`'s router journals every admitted chunk until the next
+//! record refresh, so an unbounded tenant population (or a tenant whose
+//! owner is down for a long re-home) could grow router memory without
+//! limit. These budgets apply the same graceful-degradation discipline
+//! as [`crate::ServeBudgets`] one tier up: a breached cap answers the
+//! client with a typed `Busy`/`Shed` frame instead of growing the
+//! journal, and every refusal is counted for exact reconciliation.
+
+/// The two load axes the router tier can blow up on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RouterBudgetKind {
+    /// Concurrently routed tenants across all owners.
+    Tenants = 0,
+    /// Bytes of journaled replay payload held across all tenants.
+    JournalBytes = 1,
+}
+
+impl RouterBudgetKind {
+    /// Every kind, in discriminant order.
+    pub const ALL: [RouterBudgetKind; 2] =
+        [RouterBudgetKind::Tenants, RouterBudgetKind::JournalBytes];
+
+    /// Stable lower-case label for export.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            RouterBudgetKind::Tenants => "tenants",
+            RouterBudgetKind::JournalBytes => "journal_bytes",
+        }
+    }
+}
+
+/// Optional caps on the router tier. `None` means unlimited.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RouterBudgets {
+    max_tenants: Option<u64>,
+    max_journal_bytes: Option<u64>,
+}
+
+impl RouterBudgets {
+    /// Every budget unlimited (admission control never fires).
+    #[must_use]
+    pub const fn disabled() -> Self {
+        RouterBudgets {
+            max_tenants: None,
+            max_journal_bytes: None,
+        }
+    }
+
+    /// Caps concurrently routed tenants. At the cap a new `OpenSession`
+    /// receives `Busy` instead of a route.
+    #[must_use]
+    pub const fn with_max_tenants(mut self, cap: u64) -> Self {
+        self.max_tenants = Some(cap);
+        self
+    }
+
+    /// Caps bytes of journaled replay payload across all tenants.
+    /// Chunks past the cap are shed before they are journaled or
+    /// forwarded, so the client's retransmit (not router memory)
+    /// carries the overload.
+    #[must_use]
+    pub const fn with_max_journal_bytes(mut self, cap: u64) -> Self {
+        self.max_journal_bytes = Some(cap);
+        self
+    }
+
+    /// Whether any budget is set at all.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.max_tenants.is_some() || self.max_journal_bytes.is_some()
+    }
+
+    /// The configured cap for one budget kind.
+    #[must_use]
+    pub fn budget(&self, kind: RouterBudgetKind) -> Option<u64> {
+        match kind {
+            RouterBudgetKind::Tenants => self.max_tenants,
+            RouterBudgetKind::JournalBytes => self.max_journal_bytes,
+        }
+    }
+}
+
+/// One router admission refusal: which budget, its cap, and the
+/// observed value that breached it. Mirrors [`crate::ServeTrip`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RouterTrip {
+    /// Which budget was breached.
+    pub kind: RouterBudgetKind,
+    /// The configured cap.
+    pub budget: u64,
+    /// The observed value that breached it.
+    pub observed: u64,
+}
+
+/// The runtime ledger for [`RouterBudgets`]: answers admission
+/// questions and counts every refusal.
+#[derive(Clone, Debug)]
+pub struct RouterGuard {
+    config: RouterBudgets,
+    shed: [u64; 2], // indexed by RouterBudgetKind
+    busy: u64,
+}
+
+impl RouterGuard {
+    /// A guard enforcing `config`.
+    #[must_use]
+    pub fn new(config: RouterBudgets) -> Self {
+        RouterGuard {
+            config,
+            shed: [0; 2],
+            busy: 0,
+        }
+    }
+
+    /// The enforced budgets.
+    #[must_use]
+    pub fn config(&self) -> &RouterBudgets {
+        &self.config
+    }
+
+    /// Admits or refuses one more routed tenant on top of `routed`
+    /// already-routed tenants. A breach is counted as a `Busy` refusal.
+    ///
+    /// # Errors
+    ///
+    /// The [`RouterTrip`] naming the tenant budget.
+    pub fn admit_tenant(&mut self, routed: u64) -> Result<(), RouterTrip> {
+        if let Some(budget) = self.config.max_tenants {
+            if routed >= budget {
+                self.busy += 1;
+                return Err(RouterTrip {
+                    kind: RouterBudgetKind::Tenants,
+                    budget,
+                    observed: routed,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Admits or sheds one chunk whose admission would grow the total
+    /// journal to `journal_bytes`. A breach is counted as a
+    /// [`RouterBudgetKind::JournalBytes`] shed.
+    ///
+    /// # Errors
+    ///
+    /// The [`RouterTrip`] naming the journal budget.
+    pub fn admit_journal_bytes(&mut self, journal_bytes: u64) -> Result<(), RouterTrip> {
+        if let Some(budget) = self.config.max_journal_bytes {
+            if journal_bytes > budget {
+                let trip = RouterTrip {
+                    kind: RouterBudgetKind::JournalBytes,
+                    budget,
+                    observed: journal_bytes,
+                };
+                self.shed[trip.kind as usize] += 1;
+                return Err(trip);
+            }
+        }
+        Ok(())
+    }
+
+    /// Chunks shed for one budget kind.
+    #[must_use]
+    pub fn shed(&self, kind: RouterBudgetKind) -> u64 {
+        self.shed[kind as usize]
+    }
+
+    /// Chunks shed, all budget kinds summed.
+    #[must_use]
+    pub fn shed_total(&self) -> u64 {
+        self.shed.iter().sum()
+    }
+
+    /// `Busy` refusals counted.
+    #[must_use]
+    pub fn busy(&self) -> u64 {
+        self.busy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_budgets_admit_everything() {
+        let mut guard = RouterGuard::new(RouterBudgets::disabled());
+        assert!(!guard.config().is_enabled());
+        assert_eq!(guard.admit_tenant(u64::MAX), Ok(()));
+        assert_eq!(guard.admit_journal_bytes(u64::MAX), Ok(()));
+        assert_eq!(guard.shed_total(), 0);
+        assert_eq!(guard.busy(), 0);
+    }
+
+    #[test]
+    fn tenant_cap_trips_at_the_boundary() {
+        let mut guard = RouterGuard::new(RouterBudgets::disabled().with_max_tenants(2));
+        assert_eq!(guard.admit_tenant(1), Ok(()));
+        let trip = guard.admit_tenant(2).unwrap_err();
+        assert_eq!(trip.kind, RouterBudgetKind::Tenants);
+        assert_eq!(trip.budget, 2);
+        assert_eq!(trip.observed, 2);
+        assert_eq!(guard.busy(), 1);
+        assert_eq!(guard.shed_total(), 0);
+    }
+
+    #[test]
+    fn journal_cap_sheds_past_the_boundary() {
+        let mut guard = RouterGuard::new(RouterBudgets::disabled().with_max_journal_bytes(1024));
+        // At the cap is still admitted; the prospective total must
+        // exceed it to shed.
+        assert_eq!(guard.admit_journal_bytes(1024), Ok(()));
+        let trip = guard.admit_journal_bytes(1025).unwrap_err();
+        assert_eq!(trip.kind, RouterBudgetKind::JournalBytes);
+        assert_eq!(trip.budget, 1024);
+        assert_eq!(trip.observed, 1025);
+        assert_eq!(guard.shed(RouterBudgetKind::JournalBytes), 1);
+        assert_eq!(guard.shed(RouterBudgetKind::Tenants), 0);
+    }
+
+    #[test]
+    fn budget_lookup_matches_builders() {
+        let budgets = RouterBudgets::disabled()
+            .with_max_tenants(8)
+            .with_max_journal_bytes(4096);
+        assert!(budgets.is_enabled());
+        assert_eq!(budgets.budget(RouterBudgetKind::Tenants), Some(8));
+        assert_eq!(budgets.budget(RouterBudgetKind::JournalBytes), Some(4096));
+        assert_eq!(
+            RouterBudgets::disabled().budget(RouterBudgetKind::Tenants),
+            None
+        );
+        for (i, kind) in RouterBudgetKind::ALL.into_iter().enumerate() {
+            assert_eq!(kind as usize, i);
+            assert!(!kind.label().is_empty());
+        }
+    }
+}

@@ -3,11 +3,17 @@
 //!
 //! [`ClientSession`] is a poll-driven state machine: every call to
 //! [`ClientSession::step`] advances a logical clock, drains inbound
-//! frames, retransmits the one in-flight request if its ack deadline
-//! lapsed, and sends the next request when the pipeline is clear.
-//! Stop-and-wait keeps the retry algebra simple: at most one frame is
-//! unacknowledged at any time, so resume-after-reconnect only has to
-//! re-establish a single position per tenant.
+//! frames, retransmits any in-flight request whose ack deadline
+//! lapsed, and sends the next requests when the window has room.
+//!
+//! Delivery is selective-repeat over sequenced chunks: up to
+//! [`ClientConfig::window`] chunks may be unacknowledged at once, each
+//! on its own retransmission clock. Everything that is *not* a chunk
+//! (`Hello`, `OpenSession`/`Migrate`, `Flush`, `Export`, `Goodbye`) is
+//! a **barrier**: it is only sent on an empty pipeline and nothing
+//! else is sent while it is in flight, which keeps the resume algebra
+//! exactly as simple as classic stop-and-wait (`window = 1`, the
+//! default, *is* classic stop-and-wait).
 //!
 //! Exactly-once delivery is the sum of three pieces: chunks carry
 //! per-tenant sequence numbers, the server deduplicates at or below
@@ -24,6 +30,7 @@
 
 use hds_backend::BackendKind;
 use hds_core::Observer;
+use hds_store::TenantRecord;
 use hds_telemetry::events as tev;
 use hds_vulcan::{Event, Procedure};
 
@@ -55,6 +62,11 @@ pub struct ClientConfig {
     /// omits the negotiation byte entirely — the server's per-tenant
     /// policy (A/B split or default) then decides.
     pub backend: Option<BackendKind>,
+    /// Sequenced chunks allowed in flight at once (selective repeat).
+    /// 1 — the default — is classic stop-and-wait; larger windows
+    /// pipeline the chunk stream over real RTTs. Non-chunk frames are
+    /// barriers regardless of the window.
+    pub window: u64,
 }
 
 impl Default for ClientConfig {
@@ -68,6 +80,7 @@ impl Default for ClientConfig {
             goodbye: true,
             auth_retries: 2,
             backend: None,
+            window: 1,
         }
     }
 }
@@ -138,6 +151,8 @@ pub struct ClientStats {
     pub pings: u64,
     /// Polls spent waiting in retry backoff.
     pub backoff_polls: u64,
+    /// Server-initiated `Stats` pushes received.
+    pub stats_pushes: u64,
 }
 
 /// A tenant's final report as the client received it.
@@ -157,28 +172,59 @@ struct Flow {
     name: String,
     procedures: Vec<Procedure>,
     chunks: Vec<Vec<Event>>,
-    /// Whether the server has confirmed `OpenSession` on the current
+    /// Open by handing the server this migrated durable record instead
+    /// of a fresh `OpenSession` — the receiving half of a cross-process
+    /// tenant handoff. The server seats the record cold and rehydrates
+    /// it through the same path as a store load.
+    open_record: Option<Box<TenantRecord>>,
+    /// Whether the server has confirmed the open on the current
     /// connection.
     opened: bool,
     /// Highest chunk sequence number the server has acknowledged.
     acked: u64,
+    /// Batch flows ([`ClientSession::add_tenant`]) flush as soon as
+    /// every chunk is acknowledged; streaming flows wait for
+    /// [`ClientSession::request_flush`].
+    auto_flush: bool,
+    flush_requested: bool,
+    /// A queued `Export`; the payload is the detach flag.
+    export_requested: Option<bool>,
+    /// The record the server answered the last `Export` with.
+    exported: Option<Box<TenantRecord>>,
     report: Option<TenantReport>,
+    /// The server detached the tenant after an export; the flow is
+    /// finished without a report.
+    detached: bool,
 }
 
 impl Flow {
     fn done(&self) -> bool {
-        self.report.is_some()
+        self.report.is_some() || self.detached
+    }
+
+    /// Every queued chunk acknowledged.
+    fn drained(&self) -> bool {
+        self.acked >= self.chunks.len() as u64
     }
 }
 
-/// The one unacknowledged request (stop-and-wait).
+/// One unacknowledged request.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 enum Pending {
     Hello,
     Open(usize),
     Chunk(usize, u64),
     Flush(usize),
+    Export(usize),
     Goodbye,
+}
+
+/// An unacknowledged request with its own retransmission clock.
+struct InFlight {
+    pending: Pending,
+    sent_at: u64,
+    attempt: u32,
+    backoff: u64,
 }
 
 /// See the module docs. `T` is the wire, `O` the observer receiving
@@ -195,11 +241,9 @@ pub struct ClientSession<T: Transport, O: Observer = hds_core::NullObserver> {
     poll: u64,
     handshaken: bool,
     goodbye_acked: bool,
-    pending: Option<Pending>,
-    sent_at: u64,
-    attempt: u32,
-    backoff: u64,
+    inflight: Vec<InFlight>,
     auth_rejects: u32,
+    last_stats: Option<Frame>,
     stats: ClientStats,
 }
 
@@ -224,26 +268,129 @@ impl<T: Transport, O: Observer> ClientSession<T, O> {
             poll: 0,
             handshaken: false,
             goodbye_acked: false,
-            pending: None,
-            sent_at: 0,
-            attempt: 0,
-            backoff: 0,
+            inflight: Vec::new(),
             auth_rejects: 0,
+            last_stats: None,
             stats: ClientStats::default(),
         }
     }
 
-    /// Queues a tenant upload: its program image and chunked event
-    /// stream. Chunk `i` is sent with sequence number `i + 1`.
-    pub fn add_tenant(&mut self, name: &str, procedures: Vec<Procedure>, chunks: Vec<Vec<Event>>) {
-        self.flows.push(Flow {
-            name: name.to_string(),
+    fn new_flow(name: String, procedures: Vec<Procedure>, auto_flush: bool) -> Flow {
+        Flow {
+            name,
             procedures,
-            chunks,
+            chunks: Vec::new(),
+            open_record: None,
             opened: false,
             acked: 0,
+            auto_flush,
+            flush_requested: false,
+            export_requested: None,
+            exported: None,
             report: None,
-        });
+            detached: false,
+        }
+    }
+
+    /// Queues a batch tenant upload: its program image and chunked
+    /// event stream. Chunk `i` is sent with sequence number `i + 1`,
+    /// and the flow flushes itself once every chunk is acknowledged.
+    pub fn add_tenant(&mut self, name: &str, procedures: Vec<Procedure>, chunks: Vec<Vec<Event>>) {
+        let mut flow = Self::new_flow(name.to_string(), procedures, true);
+        flow.chunks = chunks;
+        self.flows.push(flow);
+    }
+
+    /// Queues a streaming tenant: chunks arrive later through
+    /// [`ClientSession::push_chunk`], and the flow only flushes on
+    /// [`ClientSession::request_flush`] (or exports on
+    /// [`ClientSession::request_export`]).
+    pub fn add_tenant_streaming(&mut self, name: &str, procedures: Vec<Procedure>) {
+        self.flows
+            .push(Self::new_flow(name.to_string(), procedures, false));
+    }
+
+    /// Queues a streaming tenant that opens by *migration*: the open
+    /// frame is a `Migrate` carrying this durable record, so the
+    /// server adopts the tenant's cold state exactly as if it had been
+    /// loaded from its own store.
+    pub fn add_tenant_from_record(&mut self, record: TenantRecord) {
+        let mut flow = Self::new_flow(record.tenant.clone(), record.procedures.clone(), false);
+        flow.open_record = Some(Box::new(record));
+        self.flows.push(flow);
+    }
+
+    /// Appends a chunk to a tenant's stream; it is sent with the next
+    /// sequence number once the window has room. `false` when the
+    /// tenant is unknown or already finished.
+    pub fn push_chunk(&mut self, tenant: &str, events: Vec<Event>) -> bool {
+        match self.flow_index(tenant) {
+            Some(i) if !self.flows[i].done() => {
+                self.flows[i].chunks.push(events);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Asks a streaming tenant to flush (compute its final report)
+    /// once every queued chunk is acknowledged. `false` when the
+    /// tenant is unknown or already finished.
+    pub fn request_flush(&mut self, tenant: &str) -> bool {
+        match self.flow_index(tenant) {
+            Some(i) if !self.flows[i].done() => {
+                self.flows[i].flush_requested = true;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Asks the server to export the tenant's durable record once
+    /// every queued chunk is acknowledged. With `detach` the tenant
+    /// leaves the server entirely (the sending half of a migration);
+    /// without it the record is a point-in-time copy. `false` when the
+    /// tenant is unknown or already finished.
+    pub fn request_export(&mut self, tenant: &str, detach: bool) -> bool {
+        match self.flow_index(tenant) {
+            Some(i) if !self.flows[i].done() => {
+                self.flows[i].export_requested = Some(detach);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// The record the server answered the tenant's last `Export` with,
+    /// if it has arrived.
+    pub fn take_export(&mut self, tenant: &str) -> Option<TenantRecord> {
+        let i = self.flow_index(tenant)?;
+        self.flows[i].exported.take().map(|r| *r)
+    }
+
+    /// The tenant's final report, if it has arrived.
+    pub fn take_report(&mut self, tenant: &str) -> Option<TenantReport> {
+        let i = self.flow_index(tenant)?;
+        self.flows[i].report.take()
+    }
+
+    /// The most recent server `Stats` frame (answer or push), if any
+    /// arrived since the last take.
+    pub fn take_stats(&mut self) -> Option<Frame> {
+        self.last_stats.take()
+    }
+
+    /// Highest chunk sequence number the server has acknowledged for
+    /// the tenant.
+    #[must_use]
+    pub fn acked_seq(&self, tenant: &str) -> Option<u64> {
+        self.flow_index(tenant).map(|i| self.flows[i].acked)
+    }
+
+    /// No requests in flight.
+    #[must_use]
+    pub fn idle(&self) -> bool {
+        self.inflight.is_empty()
     }
 
     /// Attaches the first transport. Equivalent to
@@ -253,9 +400,7 @@ impl<T: Transport, O: Observer> ClientSession<T, O> {
         self.transport = Some(transport);
         self.dead = false;
         self.handshaken = false;
-        self.pending = None;
-        self.attempt = 0;
-        self.backoff = 0;
+        self.inflight.clear();
     }
 
     /// Attaches a fresh transport after a dead connection and arms the
@@ -276,7 +421,7 @@ impl<T: Transport, O: Observer> ClientSession<T, O> {
     /// Takes the (possibly dead) transport back, e.g. to recover a
     /// chaos plan before building the replacement connection.
     pub fn take_transport(&mut self) -> Option<T> {
-        self.pending = None;
+        self.inflight.clear();
         self.dead = false;
         self.transport.take()
     }
@@ -331,9 +476,14 @@ impl<T: Transport, O: Observer> ClientSession<T, O> {
                 features: FEATURE_RELIABLE,
                 backend: self.cfg.backend,
             },
-            Pending::Open(i) => Frame::OpenSession {
-                tenant: self.flows[i].name.clone(),
-                procedures: self.flows[i].procedures.clone(),
+            Pending::Open(i) => match &self.flows[i].open_record {
+                Some(record) => Frame::Migrate {
+                    record: (**record).clone(),
+                },
+                None => Frame::OpenSession {
+                    tenant: self.flows[i].name.clone(),
+                    procedures: self.flows[i].procedures.clone(),
+                },
             },
             Pending::Chunk(i, seq) => Frame::TraceChunk {
                 tenant: self.flows[i].name.clone(),
@@ -342,6 +492,10 @@ impl<T: Transport, O: Observer> ClientSession<T, O> {
             },
             Pending::Flush(i) => Frame::Flush {
                 tenant: self.flows[i].name.clone(),
+            },
+            Pending::Export(i) => Frame::Export {
+                tenant: self.flows[i].name.clone(),
+                detach: self.flows[i].export_requested.unwrap_or(false),
             },
             Pending::Goodbye => Frame::Goodbye,
         }
@@ -359,33 +513,117 @@ impl<T: Transport, O: Observer> ClientSession<T, O> {
         true
     }
 
+    /// The latest flow with this name — a re-homed tenant can come
+    /// back to a link that already holds its finished older flow, and
+    /// delivery state must bind to the live one.
     fn flow_index(&self, tenant: &str) -> Option<usize> {
-        self.flows.iter().position(|f| f.name == tenant)
+        self.flows.iter().rposition(|f| f.name == tenant)
     }
 
-    /// The next request due on a clear pipeline, or `None` when all
-    /// work (including the optional drain) is acknowledged.
-    fn next_request(&self) -> Option<Pending> {
-        if !self.handshaken {
-            return Some(Pending::Hello);
+    /// Sends a barrier request on an (asserted-empty) pipeline.
+    fn send_barrier(&mut self, pending: Pending) -> Result<ClientStatus, ClientError> {
+        let frame = self.frame_for(pending);
+        if !self.push(&frame) {
+            return Ok(ClientStatus::NeedReconnect);
         }
-        for (i, flow) in self.flows.iter().enumerate() {
-            if flow.done() {
+        self.inflight.push(InFlight {
+            pending,
+            sent_at: self.poll,
+            attempt: 0,
+            backoff: 0,
+        });
+        Ok(ClientStatus::Working)
+    }
+
+    /// Sends whatever the window allows: the next barrier on an empty
+    /// pipeline, or chunk top-ups (flows in order) while only chunks
+    /// are in flight.
+    fn fill_window(&mut self) -> Result<ClientStatus, ClientError> {
+        if self
+            .inflight
+            .iter()
+            .any(|e| !matches!(e.pending, Pending::Chunk(..)))
+        {
+            // A barrier in flight: nothing else moves.
+            return Ok(ClientStatus::Working);
+        }
+        if !self.handshaken {
+            if self.inflight.is_empty() {
+                return self.send_barrier(Pending::Hello);
+            }
+            return Ok(ClientStatus::Working);
+        }
+        let window = self.cfg.window.max(1);
+        let mut in_flight = self.inflight.len() as u64;
+        for i in 0..self.flows.len() {
+            if self.flows[i].done() {
                 continue;
             }
-            if !flow.opened {
-                return Some(Pending::Open(i));
+            if !self.flows[i].opened {
+                if self.inflight.is_empty() {
+                    return self.send_barrier(Pending::Open(i));
+                }
+                return Ok(ClientStatus::Working);
             }
-            let next_seq = flow.acked + 1;
-            if next_seq <= flow.chunks.len() as u64 {
-                return Some(Pending::Chunk(i, next_seq));
+            // Top up this flow's chunks: in-flight sequences form a
+            // contiguous run above `acked`, so the next to send is one
+            // past the highest in flight.
+            let highest = self
+                .inflight
+                .iter()
+                .filter_map(|e| match e.pending {
+                    Pending::Chunk(j, s) if j == i => Some(s),
+                    _ => None,
+                })
+                .max()
+                .unwrap_or(self.flows[i].acked);
+            let mut next = highest.max(self.flows[i].acked) + 1;
+            while in_flight < window && next <= self.flows[i].chunks.len() as u64 {
+                let frame = self.frame_for(Pending::Chunk(i, next));
+                if !self.push(&frame) {
+                    return Ok(ClientStatus::NeedReconnect);
+                }
+                self.inflight.push(InFlight {
+                    pending: Pending::Chunk(i, next),
+                    sent_at: self.poll,
+                    attempt: 0,
+                    backoff: 0,
+                });
+                in_flight += 1;
+                next += 1;
             }
-            return Some(Pending::Flush(i));
+            if next <= self.flows[i].chunks.len() as u64 {
+                // Window full with chunks still queued.
+                return Ok(ClientStatus::Working);
+            }
+            let flow = &self.flows[i];
+            if flow.export_requested.is_some() || flow.auto_flush || flow.flush_requested {
+                // Barrier work queued for this flow: wait for its
+                // chunks to be acknowledged and the pipe to clear,
+                // then send it. Later flows wait behind it.
+                if flow.drained() && self.inflight.is_empty() {
+                    if flow.export_requested.is_some() {
+                        return self.send_barrier(Pending::Export(i));
+                    }
+                    return self.send_barrier(Pending::Flush(i));
+                }
+                return Ok(ClientStatus::Working);
+            }
+            // A streaming flow with nothing queued parks without
+            // blocking later flows.
         }
-        if self.cfg.goodbye && !self.goodbye_acked {
-            return Some(Pending::Goodbye);
+        if self.flows.iter().all(Flow::done) {
+            if self.cfg.goodbye && !self.goodbye_acked {
+                if self.inflight.is_empty() {
+                    return self.send_barrier(Pending::Goodbye);
+                }
+                return Ok(ClientStatus::Working);
+            }
+            if self.inflight.is_empty() {
+                return Ok(ClientStatus::Done);
+            }
         }
-        None
+        Ok(ClientStatus::Working)
     }
 
     /// Advances the session by one logical tick. Call in a loop; see
@@ -414,50 +652,38 @@ impl<T: Transport, O: Observer> ClientSession<T, O> {
                 return Ok(ClientStatus::NeedReconnect);
             }
         }
-        if let Some(pending) = self.pending {
-            // Stop-and-wait: the one in-flight request either gets
-            // retransmitted past its deadline (with capped-exponential
-            // backoff) or keeps waiting.
-            if self.poll >= self.sent_at + self.cfg.ack_timeout + self.backoff {
-                self.attempt += 1;
-                if self.attempt > self.cfg.max_retries {
-                    return Err(ClientError::RetriesExhausted {
-                        kind: self.frame_for(pending).kind_tag(),
-                        attempts: self.attempt - 1,
-                    });
-                }
-                self.stats.retries += 1;
-                self.backoff =
-                    (self.cfg.backoff_base << (self.attempt - 1).min(16)).min(self.cfg.backoff_cap);
-                self.stats.backoff_polls += self.backoff;
-                self.net_event(tev::NetEventKind::Retry, self.backoff);
-                let frame = self.frame_for(pending);
-                if !self.push(&frame) {
-                    return Ok(ClientStatus::NeedReconnect);
-                }
-                self.sent_at = self.poll;
+        // Retransmit every in-flight request past its deadline, each
+        // on its own capped-exponential clock (selective repeat).
+        for k in 0..self.inflight.len() {
+            let (pending, sent_at, backoff) = {
+                let e = &self.inflight[k];
+                (e.pending, e.sent_at, e.backoff)
+            };
+            if self.poll < sent_at + self.cfg.ack_timeout + backoff {
+                continue;
             }
-            return Ok(ClientStatus::Working);
+            let attempt = self.inflight[k].attempt + 1;
+            if attempt > self.cfg.max_retries {
+                return Err(ClientError::RetriesExhausted {
+                    kind: self.frame_for(pending).kind_tag(),
+                    attempts: attempt - 1,
+                });
+            }
+            self.stats.retries += 1;
+            let backoff =
+                (self.cfg.backoff_base << (attempt - 1).min(16)).min(self.cfg.backoff_cap);
+            self.stats.backoff_polls += backoff;
+            self.net_event(tev::NetEventKind::Retry, backoff);
+            let frame = self.frame_for(pending);
+            if !self.push(&frame) {
+                return Ok(ClientStatus::NeedReconnect);
+            }
+            let e = &mut self.inflight[k];
+            e.attempt = attempt;
+            e.backoff = backoff;
+            e.sent_at = self.poll;
         }
-        let Some(next) = self.next_request() else {
-            return Ok(ClientStatus::Done);
-        };
-        let frame = self.frame_for(next);
-        if !self.push(&frame) {
-            return Ok(ClientStatus::NeedReconnect);
-        }
-        self.pending = Some(next);
-        self.sent_at = self.poll;
-        self.attempt = 0;
-        self.backoff = 0;
-        Ok(ClientStatus::Working)
-    }
-
-    /// Clears the in-flight request and resets the retry clock.
-    fn clear_pending(&mut self) {
-        self.pending = None;
-        self.attempt = 0;
-        self.backoff = 0;
+        self.fill_window()
     }
 
     fn on_frame(&mut self, frame: Frame) -> Result<(), ClientError> {
@@ -465,9 +691,7 @@ impl<T: Transport, O: Observer> ClientSession<T, O> {
             Frame::HelloAck { .. } => {
                 self.handshaken = true;
                 self.auth_rejects = 0;
-                if self.pending == Some(Pending::Hello) {
-                    self.clear_pending();
-                }
+                self.inflight.retain(|e| e.pending != Pending::Hello);
             }
             Frame::Ack { tenant, seq } => {
                 self.stats.acks += 1;
@@ -475,16 +699,13 @@ impl<T: Transport, O: Observer> ClientSession<T, O> {
                     return Ok(());
                 };
                 self.flows[i].acked = self.flows[i].acked.max(seq);
-                match self.pending {
-                    Some(Pending::Open(j)) if j == i => {
-                        self.flows[i].opened = true;
-                        self.clear_pending();
-                    }
-                    Some(Pending::Chunk(j, s)) if j == i && self.flows[i].acked >= s => {
-                        self.clear_pending();
-                    }
-                    _ => {}
+                if self.inflight.iter().any(|e| e.pending == Pending::Open(i)) {
+                    self.flows[i].opened = true;
+                    self.inflight.retain(|e| e.pending != Pending::Open(i));
                 }
+                let acked = self.flows[i].acked;
+                self.inflight
+                    .retain(|e| !matches!(e.pending, Pending::Chunk(j, s) if j == i && s <= acked));
             }
             Frame::Report {
                 tenant,
@@ -499,47 +720,73 @@ impl<T: Transport, O: Observer> ClientSession<T, O> {
                             image_digest,
                         });
                     }
-                    if matches!(self.pending, Some(Pending::Flush(j)) if j == i) {
-                        self.clear_pending();
-                    }
+                    self.inflight
+                        .retain(|e| !matches!(e.pending, Pending::Flush(j) if j == i));
                 }
+            }
+            Frame::Exported { record } => {
+                if let Some(i) = self.flow_index(&record.tenant) {
+                    let detach = self.flows[i].export_requested.take().unwrap_or(false);
+                    if detach {
+                        self.flows[i].detached = true;
+                    }
+                    self.flows[i].exported = Some(Box::new(record));
+                    self.inflight
+                        .retain(|e| !matches!(e.pending, Pending::Export(j) if j == i));
+                }
+            }
+            stats_frame @ Frame::Stats { .. } => {
+                self.stats.stats_pushes += 1;
+                self.last_stats = Some(stats_frame);
             }
             Frame::Ping { nonce } => {
                 self.stats.pings += 1;
                 // Answer out of band; keepalives don't disturb the
-                // stop-and-wait pipeline.
+                // delivery pipeline.
                 self.push(&Frame::Pong { nonce });
             }
             Frame::GoodbyeAck { .. } => {
                 self.goodbye_acked = true;
-                if self.pending == Some(Pending::Goodbye) {
-                    self.clear_pending();
-                }
+                self.inflight.retain(|e| e.pending != Pending::Goodbye);
             }
             Frame::Busy { .. } | Frame::Shed { .. } => {
                 // The request was refused but not applied: retrying
-                // the same frame later is safe. Restart the timer with
-                // a grown backoff so the retry storm stays polite.
+                // the same frame later is safe. Restart every in-flight
+                // timer with a grown backoff so the retry storm stays
+                // polite.
                 self.stats.sheds += 1;
-                self.attempt += 1;
-                if self.attempt > self.cfg.max_retries {
-                    let kind = self.pending.map_or(0, |p| self.frame_for(p).kind_tag());
-                    return Err(ClientError::RetriesExhausted {
-                        kind,
-                        attempts: self.attempt - 1,
-                    });
+                for k in 0..self.inflight.len() {
+                    let attempt = self.inflight[k].attempt + 1;
+                    if attempt > self.cfg.max_retries {
+                        return Err(ClientError::RetriesExhausted {
+                            kind: self.frame_for(self.inflight[k].pending).kind_tag(),
+                            attempts: attempt - 1,
+                        });
+                    }
+                    let backoff =
+                        (self.cfg.backoff_base << (attempt - 1).min(16)).min(self.cfg.backoff_cap);
+                    self.stats.backoff_polls += backoff;
+                    let e = &mut self.inflight[k];
+                    e.attempt = attempt;
+                    e.backoff = backoff;
+                    e.sent_at = self.poll;
                 }
-                self.backoff =
-                    (self.cfg.backoff_base << (self.attempt - 1).min(16)).min(self.cfg.backoff_cap);
-                self.stats.backoff_polls += self.backoff;
-                self.sent_at = self.poll;
             }
             Frame::Reject { code, detail } => return self.on_reject(code, &detail),
-            // Stats answers and unsolicited server frames carry no
-            // delivery state for this pipeline.
+            // Other unsolicited server frames carry no delivery state
+            // for this pipeline.
             _ => {}
         }
         Ok(())
+    }
+
+    /// Drops every in-flight request bound to flow `i` (chunk, flush,
+    /// export — not an open).
+    fn drop_flow_inflight(&mut self, i: usize) {
+        self.inflight.retain(|e| {
+            !matches!(e.pending,
+                Pending::Chunk(j, _) | Pending::Flush(j) | Pending::Export(j) if j == i)
+        });
     }
 
     fn on_reject(&mut self, code: RejectCode, detail: &str) -> Result<(), ClientError> {
@@ -549,9 +796,7 @@ impl<T: Transport, O: Observer> ClientSession<T, O> {
                 // re-handshake, then resend the rejected request.
                 self.stats.rejects += 1;
                 self.handshaken = false;
-                if self.pending != Some(Pending::Hello) {
-                    self.clear_pending();
-                }
+                self.inflight.retain(|e| e.pending == Pending::Hello);
                 Ok(())
             }
             RejectCode::BadSequence => {
@@ -563,23 +808,20 @@ impl<T: Transport, O: Observer> ClientSession<T, O> {
                 let tenant = parts.next().unwrap_or_default();
                 if let Some(i) = self.flow_index(tenant) {
                     self.flows[i].acked = seq;
-                    if matches!(self.pending, Some(Pending::Chunk(j, _)) if j == i) {
-                        self.clear_pending();
-                    }
+                    self.inflight
+                        .retain(|e| !matches!(e.pending, Pending::Chunk(j, _) if j == i));
                 }
                 Ok(())
             }
             RejectCode::UnknownTenant => {
-                // Our OpenSession never arrived; re-open before
-                // retrying the stream frame.
+                // Our open never arrived (or the tenant already
+                // detached and a stale retry crossed it); re-open
+                // before retrying the stream frame.
                 self.stats.rejects += 1;
                 if let Some(i) = self.flow_index(detail) {
-                    self.flows[i].opened = false;
-                    match self.pending {
-                        Some(Pending::Chunk(j, _) | Pending::Flush(j)) if j == i => {
-                            self.clear_pending();
-                        }
-                        _ => {}
+                    self.drop_flow_inflight(i);
+                    if !self.flows[i].detached {
+                        self.flows[i].opened = false;
                     }
                 }
                 Ok(())
@@ -589,9 +831,8 @@ impl<T: Transport, O: Observer> ClientSession<T, O> {
                 if let Some(i) = self.flow_index(detail) {
                     if self.flows[i].report.is_some() {
                         self.stats.rejects += 1;
-                        if matches!(self.pending, Some(Pending::Flush(j)) if j == i) {
-                            self.clear_pending();
-                        }
+                        self.inflight
+                            .retain(|e| !matches!(e.pending, Pending::Flush(j) if j == i));
                         return Ok(());
                     }
                 }
@@ -615,7 +856,7 @@ impl<T: Transport, O: Observer> ClientSession<T, O> {
                 }
                 self.stats.rejects += 1;
                 self.handshaken = false;
-                self.clear_pending();
+                self.inflight.clear();
                 Ok(())
             }
             RejectCode::StoreFailed => {
@@ -624,14 +865,18 @@ impl<T: Transport, O: Observer> ClientSession<T, O> {
                 // and replay the whole stream from sequence zero.
                 self.stats.rejects += 1;
                 if let Some(i) = self.flow_index(detail) {
+                    if self.flows[i].open_record.is_some() {
+                        // A migrated record the server cannot decode
+                        // will never decode on retry; surface it so
+                        // the router can fall back.
+                        return Err(ClientError::Rejected {
+                            code,
+                            detail: detail.to_string(),
+                        });
+                    }
                     self.flows[i].opened = false;
                     self.flows[i].acked = 0;
-                    match self.pending {
-                        Some(Pending::Chunk(j, _) | Pending::Flush(j)) if j == i => {
-                            self.clear_pending();
-                        }
-                        _ => {}
-                    }
+                    self.drop_flow_inflight(i);
                 }
                 Ok(())
             }

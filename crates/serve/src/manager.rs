@@ -134,6 +134,7 @@ pub struct ServeConfig {
     mode: RunMode,
     default_backend: BackendKind,
     ab_split: Option<(u64, Vec<(BackendKind, u32)>)>,
+    stats_push: u64,
 }
 
 impl ServeConfig {
@@ -152,6 +153,7 @@ impl ServeConfig {
             optimizer,
             mode,
             ab_split: None,
+            stats_push: 0,
         }
     }
 
@@ -222,6 +224,16 @@ impl ServeConfig {
     #[must_use]
     pub fn with_ab_split(mut self, seed: u64, arms: Vec<(BackendKind, u32)>) -> Self {
         self.ab_split = Some((seed, arms));
+        self
+    }
+
+    /// Streams a server-initiated [`Frame::Stats`] summary every
+    /// `every` pumps (0, the default, disarms the push). Clients get
+    /// shard summaries without polling `Introspect` — the frame is the
+    /// same pure observation, charged against no budget.
+    #[must_use]
+    pub fn with_stats_push(mut self, every: u64) -> Self {
+        self.stats_push = every;
         self
     }
 
@@ -308,6 +320,13 @@ enum ShardMsg {
         snapshot: Option<Snapshot>,
         tail: Vec<Event>,
     },
+    /// Settles the tenant to cold state and hands its durable form to
+    /// the control plane as a [`Note::Exported`] — the shard half of a
+    /// cross-process migration (`detach`) or a record refresh.
+    Export {
+        tenant: String,
+        detach: bool,
+    },
 }
 
 /// What a worker did during a pump, replayed through the observer in
@@ -336,6 +355,17 @@ enum Note {
         tenant: String,
         report: Box<RunReport>,
         digest: u64,
+    },
+    /// The settled cold state of an exported tenant — exactly what a
+    /// spill would have written, carried back to the control plane so
+    /// it can answer with a [`Frame::Exported`] record.
+    Exported {
+        tenant: String,
+        procedures: Vec<Procedure>,
+        backend: BackendKind,
+        snapshot: Option<Vec<u8>>,
+        tail: Vec<Event>,
+        detach: bool,
     },
 }
 
@@ -597,6 +627,8 @@ impl<O: Observer> SessionManager<O> {
             Frame::Evict { tenant } => self.evict(&tenant),
             Frame::Resume { tenant } => self.resume(tenant),
             Frame::Introspect { tenant } => self.introspect(&tenant),
+            Frame::Migrate { record } => self.migrate_in(record),
+            Frame::Export { tenant, detach } => self.export(tenant, detach),
             Frame::Pong { .. } => Vec::new(),
             Frame::HelloAck { .. }
             | Frame::Report { .. }
@@ -606,6 +638,7 @@ impl<O: Observer> SessionManager<O> {
             | Frame::Stats { .. }
             | Frame::Ack { .. }
             | Frame::GoodbyeAck { .. }
+            | Frame::Exported { .. }
             | Frame::Ping { .. } => self.reject(
                 RejectCode::ClientSentServerFrame,
                 "server-to-client frame from client",
@@ -628,6 +661,13 @@ impl<O: Observer> SessionManager<O> {
         if !filter.is_empty() && !self.tenants.contains_key(filter) {
             return self.reject(RejectCode::UnknownTenant, filter);
         }
+        vec![self.stats_snapshot(filter)]
+    }
+
+    /// Builds the `Stats` frame for `filter` (empty = every tenant)
+    /// from live control-plane and shard state — shared by
+    /// `Introspect` answers and the periodic server-initiated push.
+    fn stats_snapshot(&self, filter: &str) -> Frame {
         let tenants = self
             .tenants
             .iter()
@@ -668,12 +708,12 @@ impl<O: Observer> SessionManager<O> {
                 events: s.events_total,
             })
             .collect();
-        vec![Frame::Stats {
+        Frame::Stats {
             clock: self.clock,
             queued_bytes: self.global_queued_bytes,
             tenants,
             shards,
-        }]
+        }
     }
 
     fn reject(&mut self, code: RejectCode, detail: &str) -> Vec<Frame> {
@@ -1237,6 +1277,121 @@ impl<O: Observer> SessionManager<O> {
         }
     }
 
+    /// Handles [`Frame::Migrate`]: adopts a tenant arriving from
+    /// another owner process as cold state, exactly as if its durable
+    /// record had been loaded from the local store — the shard
+    /// rehydrates it through the same `ensure_live` path, so a
+    /// migrated lineage is bit-identical to an uninterrupted one.
+    ///
+    /// Sequencing restarts at zero on the new owner: the router owns
+    /// per-link chunk numbering and renumbers after a re-home.
+    fn migrate_in(&mut self, record: TenantRecord) -> Vec<Frame> {
+        let tenant = record.tenant.clone();
+        if let Some(ctrl) = self.tenants.get(&tenant) {
+            // A retried Migrate whose Ack was lost is idempotent for
+            // the same program image, mirroring `open_session`.
+            if self.reliable && ctrl.image == image_key(&record.procedures) {
+                let (key, last_seq) = (ctrl.key, ctrl.last_seq);
+                let ctrl = self.tenants.get_mut(&tenant).expect("checked above");
+                ctrl.duplicates += 1;
+                let duplicates = ctrl.duplicates;
+                self.tally.duplicate_chunks += 1;
+                if let Err(trip) = self.guard.admit_duplicate(duplicates) {
+                    return self.shed_frame(tenant, key, trip);
+                }
+                self.net_event(tev::NetEventKind::Duplicate, key);
+                return vec![Frame::Ack {
+                    tenant,
+                    seq: last_seq,
+                }];
+            }
+            return self.reject(RejectCode::TenantAlreadyOpen, &tenant);
+        }
+        let snapshot = match record.snapshot {
+            None => None,
+            Some(bytes) => match Snapshot::from_bytes(bytes) {
+                Ok(snap) => Some(snap),
+                // The record survived two checksums yet the snapshot
+                // does not parse: same degradation as store damage —
+                // the sender restarts the tenant from its own copy.
+                Err(_) => return self.reject(RejectCode::StoreFailed, &tenant),
+            },
+        };
+        let key = tenant_key(&tenant);
+        let shard = self.shard_for(key);
+        let backend = BackendKind::from_wire_code(record.backend)
+            .unwrap_or_else(|| self.backend_for(&tenant));
+        self.tenants.insert(
+            tenant.clone(),
+            TenantControl {
+                shard,
+                key,
+                backend,
+                live: false,
+                finished: false,
+                queued_chunks: 0,
+                last_used: self.clock,
+                image: image_key(&record.procedures),
+                last_seq: 0,
+                duplicates: 0,
+                spilled: false,
+            },
+        );
+        self.tally.opened += 1;
+        self.tally.opened_by_backend[backend.wire_code() as usize] += 1;
+        if O::ENABLED {
+            self.obs.serve_session_opened(&tev::ServeSessionOpened {
+                tenant: key,
+                shard,
+                backend: backend.wire_code(),
+            });
+        }
+        let ack = self.reliable.then(|| tenant.clone());
+        self.shards[shard as usize].mailbox.push(ShardMsg::Install {
+            tenant,
+            procedures: record.procedures,
+            backend,
+            snapshot,
+            tail: record.tail,
+        });
+        match ack {
+            Some(tenant) => vec![Frame::Ack { tenant, seq: 0 }],
+            None => Vec::new(),
+        }
+    }
+
+    /// Handles [`Frame::Export`]: settles the tenant to cold state and
+    /// asks its shard to emit the durable [`TenantRecord`] on the next
+    /// pump. With `detach` the tenant leaves this owner entirely (the
+    /// control entry and any durable remnant go with it) — the sending
+    /// half of a migration; without it the record is a consistent
+    /// point-in-time copy and the tenant keeps serving here.
+    fn export(&mut self, tenant: String, detach: bool) -> Vec<Frame> {
+        let Some(ctrl) = self.tenants.get(&tenant) else {
+            return self.reject(RejectCode::UnknownTenant, &tenant);
+        };
+        if ctrl.finished {
+            return self.reject(RejectCode::TenantFlushed, &tenant);
+        }
+        let (key, spilled) = (ctrl.key, ctrl.spilled);
+        if spilled {
+            if let Err(reject) = self.install_from_store(&tenant, key) {
+                return reject;
+            }
+        }
+        let ctrl = self.tenants.get_mut(&tenant).expect("checked above");
+        ctrl.last_used = self.clock;
+        if ctrl.live {
+            ctrl.live = false;
+            self.live_count -= 1;
+        }
+        let shard = ctrl.shard;
+        self.shards[shard as usize]
+            .mailbox
+            .push(ShardMsg::Export { tenant, detach });
+        Vec::new()
+    }
+
     fn flush(&mut self, tenant: String) -> Vec<Frame> {
         let Some(ctrl) = self.tenants.get_mut(&tenant) else {
             return self.reject(RejectCode::UnknownTenant, &tenant);
@@ -1446,6 +1601,38 @@ impl<O: Observer> SessionManager<O> {
                             image_digest: digest,
                         });
                     }
+                    Note::Exported {
+                        tenant,
+                        procedures,
+                        backend,
+                        snapshot,
+                        tail,
+                        detach,
+                    } => {
+                        let key = tenant_key(&tenant);
+                        if detach {
+                            // The tenant now lives elsewhere; stale
+                            // durable state must not resurrect it here.
+                            self.tenants.remove(&tenant);
+                            if let Some(store) = self.store.as_mut() {
+                                if store.contains(&tenant)
+                                    && store.remove(&tenant, self.clock).is_err()
+                                {
+                                    self.count_store_fault(key, 0);
+                                }
+                            }
+                        }
+                        responses.push(Frame::Exported {
+                            record: TenantRecord {
+                                tenant,
+                                stamp: self.clock,
+                                backend: backend.wire_code(),
+                                procedures,
+                                snapshot,
+                                tail,
+                            },
+                        });
+                    }
                 }
             }
             if O::ENABLED {
@@ -1464,6 +1651,11 @@ impl<O: Observer> SessionManager<O> {
         // With the mailboxes empty, every hibernated tenant's cold
         // state is settled — spill it out of memory.
         self.spill_pass();
+        // Server-initiated Stats push: a periodic summary streamed to
+        // the client without an Introspect poll.
+        if self.cfg.stats_push > 0 && self.tally.pumps.is_multiple_of(self.cfg.stats_push) {
+            responses.push(self.stats_snapshot(""));
+        }
         responses
     }
 
@@ -1732,6 +1924,30 @@ impl Shard {
                             crash_attempts: 0,
                         },
                     );
+                }
+                ShardMsg::Export { tenant, detach } => {
+                    if let Some(state) = self.sessions.get_mut(&tenant) {
+                        // Settle to cold first; every chunk enqueued
+                        // ahead of the Export has already been fed, so
+                        // the record is a consistent point-in-time
+                        // image — exactly what a spill would write.
+                        hibernate(state);
+                        let cold = state.cold.get_or_insert_with(|| ColdState {
+                            snapshot: None,
+                            tail: Vec::new(),
+                        });
+                        self.notes.push(Note::Exported {
+                            tenant: tenant.clone(),
+                            procedures: state.procedures.clone(),
+                            backend: state.backend,
+                            snapshot: cold.snapshot.as_ref().map(|s| s.as_bytes().to_vec()),
+                            tail: cold.tail.clone(),
+                            detach,
+                        });
+                        if detach {
+                            self.sessions.remove(&tenant);
+                        }
+                    }
                 }
             }
         }

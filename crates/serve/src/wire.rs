@@ -27,6 +27,7 @@
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use hds_backend::BackendKind;
+use hds_store::{decode_record, encode_record, Record, TenantRecord};
 use hds_trace::codec::{get_varint, put_varint, unzigzag, zigzag, CodecError};
 use hds_trace::{AccessKind, Addr, DataRef, Pc};
 use hds_vulcan::{Event, ProcId, Procedure};
@@ -52,6 +53,8 @@ const K_RESUME: u8 = 0x06;
 const K_INTROSPECT: u8 = 0x07;
 const K_GOODBYE: u8 = 0x08;
 const K_PONG: u8 = 0x09;
+const K_MIGRATE: u8 = 0x0A;
+const K_EXPORT: u8 = 0x0B;
 const K_HELLO_ACK: u8 = 0x81;
 const K_REPORT: u8 = 0x82;
 const K_BUSY: u8 = 0x83;
@@ -61,6 +64,7 @@ const K_STATS: u8 = 0x86;
 const K_ACK: u8 = 0x87;
 const K_GOODBYE_ACK: u8 = 0x88;
 const K_PING: u8 = 0x89;
+const K_EXPORTED: u8 = 0x8A;
 
 /// `Hello` feature bit: the client speaks the reliable-delivery
 /// sub-protocol (sequenced chunks, server `Ack`s, exactly-once resume
@@ -358,6 +362,33 @@ pub enum Frame {
         /// Tenant filter ("" = all).
         tenant: String,
     },
+    /// Seats a tenant's complete cold state — the exact durable
+    /// [`TenantRecord`] bytes from `hds-store`, checksummed frame and
+    /// all — on this server. The cluster router uses this to re-home a
+    /// tenant onto a new owner process: the owner rehydrates through
+    /// the same snapshot + replay-tail path as a store load, so
+    /// migration is bit-identical to never having moved. Acknowledged
+    /// with [`Frame::Ack`] at the record's sequence floor (`0`); a
+    /// retransmitted `Migrate` for an already-seated tenant with the
+    /// same image is re-acknowledged without re-applying.
+    Migrate {
+        /// The tenant's full cold state.
+        record: TenantRecord,
+    },
+    /// Asks the server to hibernate the tenant and hand back its
+    /// complete cold state as one [`Frame::Exported`] record — the
+    /// departure half of a live migration. With `detach` the server
+    /// also forgets the tenant entirely (its next appearance is on
+    /// another owner); without it the tenant stays, so a router can
+    /// periodically refresh its copy of the record and truncate its
+    /// replay journal.
+    Export {
+        /// Tenant identifier.
+        tenant: String,
+        /// Forget the tenant after exporting (a true departure) rather
+        /// than keeping it resident (a journal-truncation refresh).
+        detach: bool,
+    },
     /// Server handshake acknowledgement.
     HelloAck {
         /// The server's protocol version.
@@ -428,6 +459,15 @@ pub enum Frame {
         tenant: String,
         /// Highest contiguously applied sequence number.
         seq: u64,
+    },
+    /// The answer to [`Frame::Export`]: the tenant's complete cold
+    /// state in the durable [`TenantRecord`] format, taken after every
+    /// chunk acknowledged so far was applied and the session
+    /// hibernated. Seating this record elsewhere via [`Frame::Migrate`]
+    /// reproduces the tenant bit for bit.
+    Exported {
+        /// The tenant's full cold state.
+        record: TenantRecord,
     },
     /// Client request for a graceful drain: the server pumps all
     /// queued work, hibernates live tenants, answers with
@@ -679,6 +719,37 @@ fn get_shard_summaries(buf: &mut Bytes) -> Result<Vec<ShardSummary>, FrameError>
     Ok(shards)
 }
 
+/// Embeds a tenant record as its *exact* durable `hds-store` bytes
+/// (length + FNV-1a-64 + payload), varint-length-prefixed. Reusing the
+/// segment-file framing verbatim means a record that round-trips
+/// through the wire is byte-identical to one that round-tripped
+/// through disk — migration and spill/load share one codec.
+fn put_record(out: &mut BytesMut, record: &TenantRecord) {
+    let blob = encode_record(&Record::Tenant(record.clone()));
+    put_varint(out, blob.len() as u64);
+    out.put_slice(&blob);
+}
+
+fn get_record(buf: &mut Bytes) -> Result<TenantRecord, FrameError> {
+    let len = usize::try_from(get_varint(buf)?).map_err(|_| FrameError::Oversized(u32::MAX))?;
+    if len > MAX_FRAME_BYTES as usize {
+        return Err(FrameError::BadPayload("record exceeds frame cap"));
+    }
+    if buf.remaining() < len {
+        return Err(FrameError::Truncated);
+    }
+    let blob = buf.copy_to_bytes(len);
+    let mut offset = 0usize;
+    match decode_record(&blob, &mut offset) {
+        Ok(Some(Record::Tenant(record))) if offset == blob.len() => Ok(record),
+        Ok(Some(Record::Tenant(_))) => Err(FrameError::BadPayload("trailing bytes after record")),
+        Ok(Some(Record::Tombstone { .. })) => {
+            Err(FrameError::BadPayload("tombstone record in frame"))
+        }
+        Ok(None) | Err(_) => Err(FrameError::BadPayload("damaged tenant record")),
+    }
+}
+
 fn put_procedures(out: &mut BytesMut, procedures: &[Procedure]) {
     put_varint(out, procedures.len() as u64);
     for p in procedures {
@@ -739,6 +810,8 @@ impl Frame {
             Frame::Evict { .. } => K_EVICT,
             Frame::Resume { .. } => K_RESUME,
             Frame::Introspect { .. } => K_INTROSPECT,
+            Frame::Migrate { .. } => K_MIGRATE,
+            Frame::Export { .. } => K_EXPORT,
             Frame::HelloAck { .. } => K_HELLO_ACK,
             Frame::Report { .. } => K_REPORT,
             Frame::Busy { .. } => K_BUSY,
@@ -746,6 +819,7 @@ impl Frame {
             Frame::Reject { .. } => K_REJECT,
             Frame::Stats { .. } => K_STATS,
             Frame::Ack { .. } => K_ACK,
+            Frame::Exported { .. } => K_EXPORTED,
             Frame::Goodbye => K_GOODBYE,
             Frame::GoodbyeAck { .. } => K_GOODBYE_ACK,
             Frame::Ping { .. } => K_PING,
@@ -767,7 +841,9 @@ impl Frame {
             | Frame::Report { tenant, .. }
             | Frame::Busy { tenant, .. }
             | Frame::Shed { tenant, .. }
+            | Frame::Export { tenant, .. }
             | Frame::Ack { tenant, .. } => Some(tenant),
+            Frame::Migrate { record } | Frame::Exported { record } => Some(&record.tenant),
             Frame::Introspect { tenant } if !tenant.is_empty() => Some(tenant),
             Frame::Hello { .. }
             | Frame::HelloAck { .. }
@@ -834,6 +910,19 @@ impl Frame {
             Frame::Introspect { tenant } => {
                 body.put_u8(K_INTROSPECT);
                 put_string(&mut body, tenant);
+            }
+            Frame::Migrate { record } => {
+                body.put_u8(K_MIGRATE);
+                put_record(&mut body, record);
+            }
+            Frame::Export { tenant, detach } => {
+                body.put_u8(K_EXPORT);
+                put_string(&mut body, tenant);
+                body.put_u8(u8::from(*detach));
+            }
+            Frame::Exported { record } => {
+                body.put_u8(K_EXPORTED);
+                put_record(&mut body, record);
             }
             Frame::HelloAck { version, backend } => {
                 body.put_u8(K_HELLO_ACK);
@@ -1049,6 +1138,24 @@ fn decode_body(buf: &mut Bytes) -> Result<Frame, FrameError> {
         K_INTROSPECT => Frame::Introspect {
             tenant: get_string(buf)?,
         },
+        K_MIGRATE => Frame::Migrate {
+            record: get_record(buf)?,
+        },
+        K_EXPORT => {
+            let tenant = get_string(buf)?;
+            if !buf.has_remaining() {
+                return Err(FrameError::Truncated);
+            }
+            let detach = match buf.get_u8() {
+                0 => false,
+                1 => true,
+                _ => return Err(FrameError::BadPayload("unknown detach flag")),
+            };
+            Frame::Export { tenant, detach }
+        }
+        K_EXPORTED => Frame::Exported {
+            record: get_record(buf)?,
+        },
         K_REPORT => {
             let tenant = get_string(buf)?;
             let report_json = get_string(buf)?;
@@ -1153,6 +1260,21 @@ pub fn decode_stream(buf: &mut BytesMut) -> Result<Option<Frame>, FrameError> {
 mod tests {
     use super::*;
 
+    fn sample_record() -> TenantRecord {
+        TenantRecord {
+            tenant: "tenant-a".into(),
+            stamp: 99,
+            backend: 1,
+            procedures: vec![Procedure::new("main", vec![Pc(16), Pc(20)])],
+            snapshot: Some(b"HDSSNAP1-pretend-blob".to_vec()),
+            tail: vec![
+                Event::Enter(ProcId(0)),
+                Event::Access(DataRef::new(Pc(16), Addr(0x4000)), AccessKind::Load),
+                Event::Exit(ProcId(0)),
+            ],
+        }
+    }
+
     fn sample_frames() -> Vec<Frame> {
         use hds_telemetry::events::ServeBudgetKind;
         vec![
@@ -1197,6 +1319,27 @@ mod tests {
             },
             Frame::Introspect {
                 tenant: "tenant-a".into(),
+            },
+            Frame::Migrate {
+                record: sample_record(),
+            },
+            Frame::Migrate {
+                record: TenantRecord {
+                    snapshot: None,
+                    tail: Vec::new(),
+                    ..sample_record()
+                },
+            },
+            Frame::Export {
+                tenant: "tenant-a".into(),
+                detach: true,
+            },
+            Frame::Export {
+                tenant: "tenant-a".into(),
+                detach: false,
+            },
+            Frame::Exported {
+                record: sample_record(),
             },
             Frame::HelloAck {
                 version: WIRE_VERSION,
@@ -1372,9 +1515,10 @@ mod tests {
         tags.dedup();
         // sample_frames carries two Introspects (empty + named
         // filter), three Hellos (plain, authenticated, and
-        // backend-requesting), and two HelloAcks (with and without a
-        // granted backend).
-        assert_eq!(tags.len(), frames.len() - 4);
+        // backend-requesting), two HelloAcks (with and without a
+        // granted backend), two Migrates (with and without snapshot),
+        // and two Exports (detach on and off).
+        assert_eq!(tags.len(), frames.len() - 6);
         assert!(
             Frame::Introspect {
                 tenant: String::new()
@@ -1458,6 +1602,60 @@ mod tests {
         }
         .encode();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn migrate_frames_carry_the_exact_durable_record_bytes() {
+        // The embedded record must be byte-identical to what
+        // `hds-store` writes to a segment file: one codec for disk and
+        // wire means a migrated tenant rehydrates exactly like a
+        // store-loaded one.
+        let record = sample_record();
+        let blob = Frame::Migrate {
+            record: record.clone(),
+        }
+        .encode();
+        let durable = encode_record(&Record::Tenant(record));
+        let hay: &[u8] = &blob;
+        assert!(
+            hay.windows(durable.len()).any(|w| w == &durable[..]),
+            "durable record bytes not embedded verbatim"
+        );
+    }
+
+    #[test]
+    fn damaged_embedded_records_are_a_typed_error() {
+        let frame = Frame::Exported {
+            record: sample_record(),
+        };
+        let clean = frame.encode().to_vec();
+        // Flip a byte inside the embedded record's payload (past the
+        // frame kind + varint length + record header) and reseal the
+        // *frame* checksum: the inner record checksum must still catch
+        // it as a typed BadPayload, never a panic or a mis-decode.
+        let mut blob = clean.clone();
+        let at = blob.len() - CHECKSUM_BYTES - 4;
+        blob[at] ^= 0x40;
+        reseal(&mut blob);
+        assert_eq!(
+            Frame::decode(&blob),
+            Err(FrameError::BadPayload("damaged tenant record"))
+        );
+        // An unknown detach flag is equally typed.
+        let mut export = Frame::Export {
+            tenant: "t".into(),
+            detach: false,
+        }
+        .encode()
+        .to_vec();
+        let flag_at = export.len() - CHECKSUM_BYTES - 1;
+        assert_eq!(export[flag_at], 0);
+        export[flag_at] = 7;
+        reseal(&mut export);
+        assert_eq!(
+            Frame::decode(&export),
+            Err(FrameError::BadPayload("unknown detach flag"))
+        );
     }
 
     #[test]

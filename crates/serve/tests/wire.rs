@@ -6,6 +6,7 @@
 use hds_backend::BackendKind;
 use hds_serve::wire::{decode_stream, MAGIC};
 use hds_serve::{Frame, FrameError, RejectCode, ShardSummary, TenantStats, WIRE_VERSION};
+use hds_store::TenantRecord;
 use hds_telemetry::events::ServeBudgetKind;
 use hds_trace::{AccessKind, Addr, DataRef, Pc};
 use hds_vulcan::{Event, ProcId, Procedure};
@@ -107,6 +108,30 @@ fn shard_summaries_strategy() -> impl Strategy<Value = Vec<ShardSummary>> {
     })
 }
 
+fn record_strategy() -> impl Strategy<Value = TenantRecord> {
+    (
+        tenant_strategy(),
+        any::<u64>(),
+        any::<u8>(),
+        procedures_strategy(),
+        prop_oneof![
+            Just(None),
+            proptest::collection::vec(any::<u8>(), 0..64).prop_map(Some)
+        ],
+        proptest::collection::vec(event_strategy(), 0..20),
+    )
+        .prop_map(
+            |(tenant, stamp, backend, procedures, snapshot, tail)| TenantRecord {
+                tenant,
+                stamp,
+                backend,
+                procedures,
+                snapshot,
+                tail,
+            },
+        )
+}
+
 fn backend_strategy() -> impl Strategy<Value = Option<BackendKind>> {
     prop_oneof![
         Just(None),
@@ -186,6 +211,10 @@ fn frame_strategy() -> impl Strategy<Value = Frame> {
         any::<u64>().prop_map(|nonce| Frame::Pong { nonce }),
         prop_oneof![Just(String::new()), tenant_strategy()]
             .prop_map(|tenant| Frame::Introspect { tenant }),
+        record_strategy().prop_map(|record| Frame::Migrate { record }),
+        (tenant_strategy(), any::<bool>())
+            .prop_map(|(tenant, detach)| Frame::Export { tenant, detach }),
+        record_strategy().prop_map(|record| Frame::Exported { record }),
         (
             any::<u64>(),
             any::<u64>(),

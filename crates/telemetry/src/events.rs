@@ -524,6 +524,10 @@ pub enum SpanKind {
     /// [`StoreEventKind`] discriminant, `b` the tenant key or byte
     /// count (per emission site).
     Store,
+    /// Instant: a cross-process cluster event (`hds-cluster`): `a` is
+    /// the [`ClusterEventKind`] discriminant, `b` the tenant key or
+    /// owner id (per emission site).
+    Cluster,
 }
 
 impl SpanKind {
@@ -543,6 +547,7 @@ impl SpanKind {
             SpanKind::Crash => "crash",
             SpanKind::Net => "net",
             SpanKind::Store => "store",
+            SpanKind::Cluster => "cluster",
         }
     }
 
@@ -559,7 +564,7 @@ impl SpanKind {
     }
 
     /// Every span kind, in rendering order.
-    pub const ALL: [SpanKind; 12] = [
+    pub const ALL: [SpanKind; 13] = [
         SpanKind::Profile,
         SpanKind::Hibernate,
         SpanKind::Analyze,
@@ -572,6 +577,7 @@ impl SpanKind {
         SpanKind::Crash,
         SpanKind::Net,
         SpanKind::Store,
+        SpanKind::Cluster,
     ];
 }
 
@@ -735,6 +741,103 @@ pub struct StoreFaultObserved {
     /// memory (spill failed), 1 = restarted the tenant from scratch
     /// (load failed), 2 = compaction abandoned (store left as-is).
     pub action: u8,
+}
+
+/// What a [`SpanKind::Cluster`] instant records (carried in the
+/// event's `a` payload word). Emitted by the `hds-cluster` router on
+/// membership changes, tenant handoffs, and owner-process recovery.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+pub enum ClusterEventKind {
+    /// A tenant's durable record moved to another owner in a planned
+    /// migration (`b` = tenant key).
+    Migrated,
+    /// A tenant was re-homed after its owner died, rebuilt from its
+    /// last exported record plus the router's journal (`b` = tenant
+    /// key).
+    Rehomed,
+    /// The router declared an owner process dead (`b` = owner id).
+    OwnerDead,
+    /// A dead owner was restarted in place and its tenants resumed on
+    /// it (`b` = owner id).
+    OwnerRestarted,
+    /// A tenant's standing record copy was refreshed by a non-detach
+    /// export (`b` = tenant key).
+    RecordRefreshed,
+    /// An owner joined the ring (`b` = owner id).
+    OwnerJoined,
+    /// An owner left the ring gracefully (`b` = owner id).
+    OwnerLeft,
+}
+
+impl ClusterEventKind {
+    /// Lower-case label (Perfetto/JSON friendly).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            ClusterEventKind::Migrated => "migrated",
+            ClusterEventKind::Rehomed => "rehomed",
+            ClusterEventKind::OwnerDead => "owner_dead",
+            ClusterEventKind::OwnerRestarted => "owner_restarted",
+            ClusterEventKind::RecordRefreshed => "record_refreshed",
+            ClusterEventKind::OwnerJoined => "owner_joined",
+            ClusterEventKind::OwnerLeft => "owner_left",
+        }
+    }
+
+    /// The event's wire discriminant (the span's `a` word).
+    #[must_use]
+    pub fn code(self) -> u64 {
+        match self {
+            ClusterEventKind::Migrated => 0,
+            ClusterEventKind::Rehomed => 1,
+            ClusterEventKind::OwnerDead => 2,
+            ClusterEventKind::OwnerRestarted => 3,
+            ClusterEventKind::RecordRefreshed => 4,
+            ClusterEventKind::OwnerJoined => 5,
+            ClusterEventKind::OwnerLeft => 6,
+        }
+    }
+}
+
+/// A tenant's durable record was handed from one owner process to
+/// another in a planned migration (join/leave rebalance): the source
+/// exported-and-detached, the destination adopted the record, and the
+/// router replayed the journaled chunks past the record's stamp.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize)]
+pub struct ClusterMigrated {
+    /// Stable 64-bit key of the tenant id.
+    pub tenant: u64,
+    /// Owner process the tenant left.
+    pub from_owner: u32,
+    /// Owner process the tenant now lives on.
+    pub to_owner: u32,
+    /// Journaled chunks replayed on the destination after the record.
+    pub replayed_chunks: u64,
+}
+
+/// A tenant was re-homed after its owner process died: rebuilt on a
+/// surviving (or restarted) owner from its last exported record plus
+/// the router's chunk journal — the crash path of a migration.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize)]
+pub struct ClusterRehomed {
+    /// Stable 64-bit key of the tenant id.
+    pub tenant: u64,
+    /// The dead owner.
+    pub from_owner: u32,
+    /// Owner process the tenant now lives on.
+    pub to_owner: u32,
+    /// Journaled chunks replayed to rebuild the tenant.
+    pub replayed_chunks: u64,
+}
+
+/// The router restarted a dead owner process (supervise-at-process
+/// granularity) and re-drove its tenants through the resume protocol.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize)]
+pub struct ClusterOwnerRestarted {
+    /// The owner that died and came back.
+    pub owner: u32,
+    /// Tenants that lived on it at the time of death.
+    pub tenants: u64,
 }
 
 /// Whether a [`SpanEvent`] opens, closes, or is a point in time.

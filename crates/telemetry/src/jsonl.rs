@@ -5,11 +5,12 @@ use std::io::Write;
 use serde::{Serialize, Value};
 
 use crate::events::{
-    AnalysisApplied, AnalysisHandoff, AnalysisStarved, CycleEnd, CycleStart, Deoptimize, DfsmBuilt,
-    GuardTripped, PhaseTransition, PrefetchFate, PrefetchIssued, PrefetchOutcome, RecoveryGaveUp,
-    RecoveryReplay, RecoveryRestart, RecoverySnapshot, ServeBusy, ServeSessionEvicted,
-    ServeSessionOpened, ServeSessionResumed, ServeShardPump, ServeShed, StoreCompacted,
-    StoreExpired, StoreFaultObserved, StoreLoaded, StoreSpilled, StreamDetected,
+    AnalysisApplied, AnalysisHandoff, AnalysisStarved, ClusterMigrated, ClusterOwnerRestarted,
+    ClusterRehomed, CycleEnd, CycleStart, Deoptimize, DfsmBuilt, GuardTripped, PhaseTransition,
+    PrefetchFate, PrefetchIssued, PrefetchOutcome, RecoveryGaveUp, RecoveryReplay, RecoveryRestart,
+    RecoverySnapshot, ServeBusy, ServeSessionEvicted, ServeSessionOpened, ServeSessionResumed,
+    ServeShardPump, ServeShed, StoreCompacted, StoreExpired, StoreFaultObserved, StoreLoaded,
+    StoreSpilled, StreamDetected,
 };
 use crate::Observer;
 
@@ -284,6 +285,18 @@ impl<W: Write> Observer for JsonlSink<W> {
 
     fn store_fault(&mut self, event: &StoreFaultObserved) {
         self.emit("store_fault", event);
+    }
+
+    fn cluster_migrated(&mut self, event: &ClusterMigrated) {
+        self.emit("cluster_migrated", event);
+    }
+
+    fn cluster_rehomed(&mut self, event: &ClusterRehomed) {
+        self.emit("cluster_rehomed", event);
+    }
+
+    fn cluster_owner_restarted(&mut self, event: &ClusterOwnerRestarted) {
+        self.emit("cluster_owner_restarted", event);
     }
 }
 

@@ -54,11 +54,12 @@ pub use jsonl::JsonlSink;
 pub use metrics::{Histogram, MetricsRecorder, StreamMetrics};
 
 use events::{
-    AnalysisApplied, AnalysisHandoff, AnalysisStarved, CycleEnd, CycleStart, Deoptimize, DfsmBuilt,
-    GuardTripped, PhaseTransition, PrefetchIssued, PrefetchOutcome, RecoveryGaveUp, RecoveryReplay,
-    RecoveryRestart, RecoverySnapshot, ServeBusy, ServeSessionEvicted, ServeSessionOpened,
-    ServeSessionResumed, ServeShardPump, ServeShed, SpanEvent, StoreCompacted, StoreExpired,
-    StoreFaultObserved, StoreLoaded, StoreSpilled, StreamDetected,
+    AnalysisApplied, AnalysisHandoff, AnalysisStarved, ClusterMigrated, ClusterOwnerRestarted,
+    ClusterRehomed, CycleEnd, CycleStart, Deoptimize, DfsmBuilt, GuardTripped, PhaseTransition,
+    PrefetchIssued, PrefetchOutcome, RecoveryGaveUp, RecoveryReplay, RecoveryRestart,
+    RecoverySnapshot, ServeBusy, ServeSessionEvicted, ServeSessionOpened, ServeSessionResumed,
+    ServeShardPump, ServeShed, SpanEvent, StoreCompacted, StoreExpired, StoreFaultObserved,
+    StoreLoaded, StoreSpilled, StreamDetected,
 };
 
 /// Receiver of optimizer lifecycle events.
@@ -141,6 +142,16 @@ pub trait Observer {
     fn store_expired(&mut self, _event: &StoreExpired) {}
     /// A storage fault was observed and degraded gracefully.
     fn store_fault(&mut self, _event: &StoreFaultObserved) {}
+    /// The cluster router completed a planned tenant migration between
+    /// owner processes (export → re-home → rehydrate → journal replay).
+    fn cluster_migrated(&mut self, _event: &ClusterMigrated) {}
+    /// The cluster router re-homed a tenant after its owner died,
+    /// rebuilding the session from the last refreshed record plus the
+    /// journaled tail.
+    fn cluster_rehomed(&mut self, _event: &ClusterRehomed) {}
+    /// The cluster supervisor restarted a dead owner process and the
+    /// router replayed its tenants back onto it.
+    fn cluster_owner_restarted(&mut self, _event: &ClusterOwnerRestarted) {}
     /// A hierarchical span boundary (begin/end) or instant marker on
     /// the phase timeline. Spans charge zero simulated cycles; the
     /// flight recorder in `hds-flight` turns them into Perfetto-style
@@ -243,6 +254,15 @@ impl<O: Observer> Observer for &mut O {
     }
     fn store_fault(&mut self, event: &StoreFaultObserved) {
         (**self).store_fault(event);
+    }
+    fn cluster_migrated(&mut self, event: &ClusterMigrated) {
+        (**self).cluster_migrated(event);
+    }
+    fn cluster_rehomed(&mut self, event: &ClusterRehomed) {
+        (**self).cluster_rehomed(event);
+    }
+    fn cluster_owner_restarted(&mut self, event: &ClusterOwnerRestarted) {
+        (**self).cluster_owner_restarted(event);
     }
     fn span(&mut self, event: &SpanEvent) {
         (**self).span(event);
@@ -360,6 +380,18 @@ impl<A: Observer, B: Observer> Observer for (A, B) {
     fn store_fault(&mut self, event: &StoreFaultObserved) {
         self.0.store_fault(event);
         self.1.store_fault(event);
+    }
+    fn cluster_migrated(&mut self, event: &ClusterMigrated) {
+        self.0.cluster_migrated(event);
+        self.1.cluster_migrated(event);
+    }
+    fn cluster_rehomed(&mut self, event: &ClusterRehomed) {
+        self.0.cluster_rehomed(event);
+        self.1.cluster_rehomed(event);
+    }
+    fn cluster_owner_restarted(&mut self, event: &ClusterOwnerRestarted) {
+        self.0.cluster_owner_restarted(event);
+        self.1.cluster_owner_restarted(event);
     }
     fn span(&mut self, event: &SpanEvent) {
         self.0.span(event);

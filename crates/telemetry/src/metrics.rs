@@ -5,12 +5,12 @@ use std::collections::{BTreeMap, HashMap};
 use std::fmt::Write as _;
 
 use crate::events::{
-    AnalysisApplied, AnalysisHandoff, AnalysisStarved, CycleEnd, CycleStart, Deoptimize, DfsmBuilt,
-    GuardKind, GuardTripped, PhaseKind, PhaseTransition, PrefetchFate, PrefetchIssued,
-    PrefetchOutcome, RecoveryGaveUp, RecoveryReplay, RecoveryRestart, RecoverySnapshot,
-    ServeBudgetKind, ServeBusy, ServeSessionEvicted, ServeSessionOpened, ServeSessionResumed,
-    ServeShardPump, ServeShed, StoreCompacted, StoreExpired, StoreFaultObserved, StoreLoaded,
-    StoreSpilled, StreamDetected,
+    AnalysisApplied, AnalysisHandoff, AnalysisStarved, ClusterMigrated, ClusterOwnerRestarted,
+    ClusterRehomed, CycleEnd, CycleStart, Deoptimize, DfsmBuilt, GuardKind, GuardTripped,
+    PhaseKind, PhaseTransition, PrefetchFate, PrefetchIssued, PrefetchOutcome, RecoveryGaveUp,
+    RecoveryReplay, RecoveryRestart, RecoverySnapshot, ServeBudgetKind, ServeBusy,
+    ServeSessionEvicted, ServeSessionOpened, ServeSessionResumed, ServeShardPump, ServeShed,
+    StoreCompacted, StoreExpired, StoreFaultObserved, StoreLoaded, StoreSpilled, StreamDetected,
 };
 use crate::Observer;
 
@@ -193,6 +193,10 @@ pub struct MetricsRecorder {
     store_compactions: u64,
     store_expired: u64,
     store_faults: u64,
+    cluster_migrations: u64,
+    cluster_rehomes: u64,
+    cluster_owner_restarts: u64,
+    cluster_replayed_chunks: u64,
     // Histograms.
     stream_length: Histogram,
     dfsm_state_count: Histogram,
@@ -504,6 +508,30 @@ impl MetricsRecorder {
         self.store_faults
     }
 
+    /// Planned tenant migrations completed by the cluster router.
+    #[must_use]
+    pub fn cluster_migrations(&self) -> u64 {
+        self.cluster_migrations
+    }
+
+    /// Crash-driven tenant re-homes completed by the cluster router.
+    #[must_use]
+    pub fn cluster_rehomes(&self) -> u64 {
+        self.cluster_rehomes
+    }
+
+    /// Dead owner processes restarted by the cluster supervisor.
+    #[must_use]
+    pub fn cluster_owner_restarts(&self) -> u64 {
+        self.cluster_owner_restarts
+    }
+
+    /// Journaled chunks replayed during migrations and re-homes.
+    #[must_use]
+    pub fn cluster_replayed_chunks(&self) -> u64 {
+        self.cluster_replayed_chunks
+    }
+
     /// Renders everything in Prometheus text exposition format.
     #[must_use]
     #[allow(clippy::too_many_lines)]
@@ -721,6 +749,30 @@ impl MetricsRecorder {
             "hds_store_faults_total",
             "Storage faults observed (all degraded gracefully).",
             self.store_faults,
+        );
+        counter(
+            &mut out,
+            "hds_cluster_migrations_total",
+            "Planned tenant migrations between owner processes.",
+            self.cluster_migrations,
+        );
+        counter(
+            &mut out,
+            "hds_cluster_rehomes_total",
+            "Crash-driven tenant re-homes onto surviving owners.",
+            self.cluster_rehomes,
+        );
+        counter(
+            &mut out,
+            "hds_cluster_owner_restarts_total",
+            "Dead owner processes restarted by the cluster supervisor.",
+            self.cluster_owner_restarts,
+        );
+        counter(
+            &mut out,
+            "hds_cluster_replayed_chunks_total",
+            "Journaled chunks replayed during migrations and re-homes.",
+            self.cluster_replayed_chunks,
         );
         let _ = writeln!(
             out,
@@ -1018,6 +1070,20 @@ impl Observer for MetricsRecorder {
 
     fn store_fault(&mut self, _event: &StoreFaultObserved) {
         self.store_faults += 1;
+    }
+
+    fn cluster_migrated(&mut self, event: &ClusterMigrated) {
+        self.cluster_migrations += 1;
+        self.cluster_replayed_chunks += event.replayed_chunks;
+    }
+
+    fn cluster_rehomed(&mut self, event: &ClusterRehomed) {
+        self.cluster_rehomes += 1;
+        self.cluster_replayed_chunks += event.replayed_chunks;
+    }
+
+    fn cluster_owner_restarted(&mut self, _event: &ClusterOwnerRestarted) {
+        self.cluster_owner_restarts += 1;
     }
 }
 

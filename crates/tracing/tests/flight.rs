@@ -224,6 +224,56 @@ fn wrapped_ring_under_a_real_run_keeps_the_newest_spans() {
 }
 
 #[test]
+fn cluster_instants_record_and_export() {
+    // The router tier marks migrations / re-homes / owner restarts as
+    // `SpanKind::Cluster` instants; they must ride the same ring and
+    // Chrome-trace export as core spans without disturbing nesting.
+    use hds_telemetry::events::{ClusterEventKind, SpanEvent, SpanKind, SpanPhase};
+    let mut rec = FlightRecorder::new(1 << 8).with_label("cluster");
+    for (i, kind) in [
+        ClusterEventKind::Migrated,
+        ClusterEventKind::Rehomed,
+        ClusterEventKind::OwnerDead,
+        ClusterEventKind::OwnerRestarted,
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        rec.span(&SpanEvent {
+            kind: SpanKind::Cluster,
+            phase: SpanPhase::Instant,
+            at_cycle: i as u64 * 10,
+            track: 0,
+            a: u64::from(kind.code()),
+            b: i as u64,
+        });
+    }
+    let records = rec.records();
+    assert_eq!(records.len(), 4);
+    assert!(records.iter().all(|r| r.name == "cluster"));
+    perfetto::validate_nesting(&records).expect("instants never break nesting");
+    let doc = serde_json::parse_value_str(&perfetto::chrome_trace_json(&records))
+        .expect("chrome trace parses");
+    perfetto::validate_chrome_trace(&doc).expect("parsed chrome trace nests");
+    let Value::Obj(fields) = &doc else {
+        panic!("chrome trace is an object")
+    };
+    let events = fields
+        .iter()
+        .find(|(k, _)| k == "traceEvents")
+        .map(|(_, v)| v)
+        .expect("traceEvents present");
+    let Value::Arr(events) = events else {
+        panic!("traceEvents is an array")
+    };
+    let cluster_marks = events
+        .iter()
+        .filter(|e| e.get("name") == Some(&Value::Str("cluster".into())))
+        .count();
+    assert_eq!(cluster_marks, 4, "every cluster instant exports");
+}
+
+#[test]
 fn supervised_crash_free_trace_matches_bare_trace() {
     // Tracing through the supervisor adds only recovery instants, and a
     // crash-free supervised run's span stream still nests.

@@ -27,6 +27,8 @@
 //! | [`optimizer`] | `hds-core` | the dynamic prefetching optimizer |
 //! | [`engine`] | `hds-engine` | parallel suite runner (bit-identical to sequential) |
 //! | [`serve`] | `hds-serve` | sharded multi-tenant serving front-end (wire protocol, eviction, admission control) |
+//! | [`store`] | `hds-store` | durable cold-tenant spill store (crash-safe compaction, TTL) |
+//! | [`cluster`] | `hds-cluster` | cross-process shard distribution (router tier, owner processes, live tenant handoff) |
 //! | [`flight`] | `hds-flight` | span flight recorder, Perfetto export, provenance stamps |
 //!
 //! # Quickstart
@@ -56,6 +58,7 @@
 
 pub use hds_backend as backend;
 pub use hds_bursty as bursty;
+pub use hds_cluster as cluster;
 pub use hds_core as optimizer;
 pub use hds_dfsm as dfsm;
 pub use hds_engine as engine;
