@@ -1,0 +1,42 @@
+//! Review repro: kill every owner (rehome), then join a fresh owner.
+//! The router's comment says the routes "wait for a join", so this
+//! should converge.
+
+use hds_cluster::{run_cluster_session, Cluster, KillPolicy, RouterConfig};
+use hds_core::{OptimizerConfig, PrefetchPolicy, RunMode};
+use hds_serve::client::ClientConfig;
+use hds_serve::load::{generate, LoadConfig};
+use hds_serve::ServeConfig;
+
+#[test]
+fn losing_every_owner_then_joining_recovers() {
+    let serve_cfg = ServeConfig::new(
+        OptimizerConfig::test_scale(),
+        RunMode::Optimize(PrefetchPolicy::StreamTail),
+    );
+    let mut cluster = Cluster::new(serve_cfg, RouterConfig::default(), &[0, 1]).unwrap();
+    let loads = generate(&LoadConfig {
+        tenants: 2,
+        chunks_per_tenant: 4,
+        events_per_chunk: 40,
+        seed: 5,
+    })
+    .unwrap();
+    let outcome = run_cluster_session(
+        &mut cluster,
+        ClientConfig::default(),
+        &loads,
+        50_000,
+        |poll, cluster| {
+            if poll == 30 {
+                cluster.kill_owner(0, KillPolicy::Rehome).unwrap();
+                cluster.kill_owner(1, KillPolicy::Rehome).unwrap();
+            }
+            if poll == 60 {
+                cluster.join_owner(5).unwrap();
+            }
+        },
+    )
+    .expect("session must converge after the fleet is rebuilt");
+    assert_eq!(outcome.reports.len(), 2);
+}
